@@ -1,0 +1,348 @@
+//! BinDiff-style whole-binary graph matcher.
+//!
+//! The "de facto industry standard" baseline of §5.3: matches the
+//! procedures of two binaries using **structure** — CFG shapes, call
+//! graphs and (when present) symbol names — with no semantic analysis of
+//! the code. The paper demonstrates the approach class's failure mode
+//! (Fig. 5/7): firmware customization and compiler variance change graph
+//! shapes enough that structurally-similar-but-unrelated procedures win.
+//!
+//! The pipeline mirrors zynamics' documented matching steps at reduced
+//! scale: name matching, unique structural signatures, call-graph
+//! neighborhood propagation, then greedy similarity on CFG features.
+
+use std::collections::{BTreeMap, HashMap, HashSet};
+
+use firmup_ir::hash::Fnv64;
+use firmup_core::lift::LiftedExecutable;
+
+/// Structural features of one procedure.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ProcFeatures {
+    /// Entry address.
+    pub addr: u32,
+    /// Symbol name, when available.
+    pub name: Option<String>,
+    /// Basic-block count.
+    pub blocks: usize,
+    /// CFG edge count.
+    pub edges: usize,
+    /// Direct call-site count.
+    pub calls: usize,
+    /// Lifted statement count (instruction proxy).
+    pub instrs: usize,
+    /// Hash of the sorted out-degree sequence (an MD-index-style CFG
+    /// fingerprint).
+    pub degree_hash: u64,
+    /// Callee indices within the same executable.
+    pub callees: Vec<usize>,
+    /// Caller indices within the same executable.
+    pub callers: Vec<usize>,
+}
+
+impl ProcFeatures {
+    /// Exact structural signature used for unique matching.
+    pub fn signature(&self) -> (usize, usize, usize, u64) {
+        (self.blocks, self.edges, self.calls, self.degree_hash)
+    }
+}
+
+/// A whole executable as BinDiff sees it.
+#[derive(Debug, Clone)]
+pub struct StructuralRep {
+    /// Identifier.
+    pub id: String,
+    /// Per-procedure features, sorted by address.
+    pub procedures: Vec<ProcFeatures>,
+}
+
+impl StructuralRep {
+    /// Extract features from a lifted executable.
+    pub fn build(lifted: &LiftedExecutable, id: &str) -> StructuralRep {
+        let procs = &lifted.program.procedures;
+        let addr_to_idx: BTreeMap<u32, usize> =
+            procs.iter().enumerate().map(|(i, p)| (p.addr, i)).collect();
+        let mut features: Vec<ProcFeatures> = procs
+            .iter()
+            .map(|p| {
+                let cfg = p.cfg();
+                let mut h = Fnv64::new();
+                for d in cfg.degree_sequence() {
+                    h.update_u32(d as u32);
+                }
+                let callees: Vec<usize> = p
+                    .call_targets()
+                    .iter()
+                    .filter_map(|t| addr_to_idx.get(t).copied())
+                    .collect();
+                ProcFeatures {
+                    addr: p.addr,
+                    name: p.name.clone(),
+                    blocks: p.blocks.len(),
+                    edges: cfg.edge_count(),
+                    calls: p.blocks.iter().filter(|b| b.jump.call_target().is_some()).count(),
+                    instrs: p.stmt_count(),
+                    degree_hash: h.finish(),
+                    callees,
+                    callers: Vec::new(),
+                }
+            })
+            .collect();
+        // Invert the call graph.
+        let edges: Vec<(usize, usize)> = features
+            .iter()
+            .enumerate()
+            .flat_map(|(i, f)| f.callees.iter().map(move |&c| (i, c)))
+            .collect();
+        for (caller, callee) in edges {
+            features[callee].callers.push(caller);
+        }
+        StructuralRep {
+            id: id.to_string(),
+            procedures: features,
+        }
+    }
+
+    /// Find a procedure index by address.
+    pub fn find_addr(&self, addr: u32) -> Option<usize> {
+        self.procedures.iter().position(|p| p.addr == addr)
+    }
+
+    /// Find a procedure index by name.
+    pub fn find_named(&self, name: &str) -> Option<usize> {
+        self.procedures.iter().position(|p| p.name.as_deref() == Some(name))
+    }
+}
+
+/// Feature distance between two procedures (lower = more similar).
+fn distance(a: &ProcFeatures, b: &ProcFeatures) -> usize {
+    let d = a.blocks.abs_diff(b.blocks) * 2
+        + a.edges.abs_diff(b.edges)
+        + a.calls.abs_diff(b.calls) * 2
+        + a.instrs.abs_diff(b.instrs) / 8;
+    d + usize::from(a.degree_hash != b.degree_hash) * 2
+}
+
+/// The full matching produced by a diff.
+#[derive(Debug, Clone, Default)]
+pub struct DiffResult {
+    /// Matched pairs `(query index, target index)`.
+    pub matches: Vec<(usize, usize)>,
+}
+
+impl DiffResult {
+    /// The target match of a query procedure.
+    pub fn target_of(&self, qi: usize) -> Option<usize> {
+        self.matches.iter().find(|&&(q, _)| q == qi).map(|&(_, t)| t)
+    }
+}
+
+/// Diff two executables, producing a (near-)full matching.
+pub fn diff(query: &StructuralRep, target: &StructuralRep) -> DiffResult {
+    let nq = query.procedures.len();
+    let nt = target.procedures.len();
+    let mut mq: HashMap<usize, usize> = HashMap::new();
+    let mut mt: HashSet<usize> = HashSet::new();
+
+    let add = |q: usize, t: usize, mq: &mut HashMap<usize, usize>, mt: &mut HashSet<usize>| {
+        if !mq.contains_key(&q) && !mt.contains(&t) {
+            mq.insert(q, t);
+            mt.insert(t);
+        }
+    };
+
+    // Step 1: symbol names ("BinDiff … attributes great importance to
+    // the procedure name when it exists").
+    let tnames: HashMap<&str, usize> = target
+        .procedures
+        .iter()
+        .enumerate()
+        .filter_map(|(i, p)| p.name.as_deref().map(|n| (n, i)))
+        .collect();
+    for (qi, p) in query.procedures.iter().enumerate() {
+        if let Some(name) = p.name.as_deref() {
+            if let Some(&ti) = tnames.get(name) {
+                add(qi, ti, &mut mq, &mut mt);
+            }
+        }
+    }
+
+    // Step 2: unique structural signatures.
+    let mut sig_q: HashMap<(usize, usize, usize, u64), Vec<usize>> = HashMap::new();
+    let mut sig_t: HashMap<(usize, usize, usize, u64), Vec<usize>> = HashMap::new();
+    for (i, p) in query.procedures.iter().enumerate() {
+        if !mq.contains_key(&i) {
+            sig_q.entry(p.signature()).or_default().push(i);
+        }
+    }
+    for (i, p) in target.procedures.iter().enumerate() {
+        if !mt.contains(&i) {
+            sig_t.entry(p.signature()).or_default().push(i);
+        }
+    }
+    let mut sigs: Vec<_> = sig_q.keys().copied().collect();
+    sigs.sort_unstable();
+    for sig in sigs {
+        if let (Some(qs), Some(ts)) = (sig_q.get(&sig), sig_t.get(&sig)) {
+            if qs.len() == 1 && ts.len() == 1 {
+                add(qs[0], ts[0], &mut mq, &mut mt);
+            }
+        }
+    }
+
+    // Step 3: call-graph propagation to a fixpoint — matched pairs vote
+    // for matching their unmatched neighbors by minimum distance.
+    loop {
+        let mut new_pairs: Vec<(usize, usize)> = Vec::new();
+        let snapshot: Vec<(usize, usize)> = {
+            let mut v: Vec<_> = mq.iter().map(|(&q, &t)| (q, t)).collect();
+            v.sort_unstable();
+            v
+        };
+        for (q, t) in snapshot {
+            for (q_neigh, t_neigh) in [
+                (&query.procedures[q].callees, &target.procedures[t].callees),
+                (&query.procedures[q].callers, &target.procedures[t].callers),
+            ] {
+                let qs: Vec<usize> = q_neigh.iter().copied().filter(|i| !mq.contains_key(i)).collect();
+                let ts: Vec<usize> = t_neigh.iter().copied().filter(|i| !mt.contains(i)).collect();
+                for &qi in &qs {
+                    let best = ts
+                        .iter()
+                        .copied()
+                        .filter(|ti| !mt.contains(ti))
+                        .min_by_key(|&ti| {
+                            (distance(&query.procedures[qi], &target.procedures[ti]), ti)
+                        });
+                    if let Some(ti) = best {
+                        new_pairs.push((qi, ti));
+                    }
+                }
+            }
+        }
+        let mut progressed = false;
+        for (q, t) in new_pairs {
+            if !mq.contains_key(&q) && !mt.contains(&t) {
+                mq.insert(q, t);
+                mt.insert(t);
+                progressed = true;
+            }
+        }
+        if !progressed {
+            break;
+        }
+    }
+
+    // Step 4: greedy global matching of the rest by feature distance.
+    let mut rest_q: Vec<usize> = (0..nq).filter(|i| !mq.contains_key(i)).collect();
+    // Bigger procedures first (their structure is most distinctive).
+    rest_q.sort_by_key(|&i| std::cmp::Reverse(query.procedures[i].instrs));
+    for qi in rest_q {
+        let best = (0..nt)
+            .filter(|ti| !mt.contains(ti))
+            .min_by_key(|&ti| (distance(&query.procedures[qi], &target.procedures[ti]), ti));
+        if let Some(ti) = best {
+            // Generous acceptance: BinDiff aims for maximal coverage,
+            // which is precisely what produces its false matches.
+            let d = distance(&query.procedures[qi], &target.procedures[ti]);
+            let size = query.procedures[qi].instrs.max(8);
+            if d <= size {
+                mq.insert(qi, ti);
+                mt.insert(ti);
+            }
+        }
+    }
+
+    let mut matches: Vec<(usize, usize)> = mq.into_iter().collect();
+    matches.sort_unstable();
+    DiffResult { matches }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use firmup_compiler::{compile_source, CompilerOptions, ToolchainProfile};
+    use firmup_core::lift::lift_executable;
+    use firmup_isa::Arch;
+
+    const SRC: &str = r#"
+        fn tiny(x: int) -> int { return x + 1; }
+        fn looped(n: int) -> int {
+            var s = 0;
+            var i = 0;
+            while (i < n) { s = s + tiny(i); i = i + 1; }
+            return s;
+        }
+        fn branchy(a: int, b: int) -> int {
+            if (a < b) { return looped(a); }
+            if (a == b) { return tiny(a); }
+            return looped(b) + 1;
+        }
+        fn main(a: int) -> int { return branchy(a, 7); }
+    "#;
+
+    fn build(profile: ToolchainProfile, strip: bool) -> StructuralRep {
+        let mut elf = compile_source(
+            SRC,
+            Arch::Mips32,
+            &CompilerOptions {
+                profile,
+                layout: Default::default(),
+            },
+        )
+        .unwrap();
+        if strip {
+            elf.strip(false);
+        }
+        let lifted = lift_executable(&elf).unwrap();
+        StructuralRep::build(&lifted, "t")
+    }
+
+    #[test]
+    fn features_capture_structure() {
+        let r = build(ToolchainProfile::gcc_like(), false);
+        let looped = &r.procedures[r.find_named("looped").unwrap()];
+        let tiny = &r.procedures[r.find_named("tiny").unwrap()];
+        assert!(looped.blocks > tiny.blocks);
+        assert!(looped.edges > tiny.edges);
+        let main = &r.procedures[r.find_named("main").unwrap()];
+        assert_eq!(main.calls, 1);
+        assert!(!main.callees.is_empty());
+        let branchy = r.find_named("branchy").unwrap();
+        assert!(r.procedures[branchy].callers.contains(&r.find_named("main").unwrap()));
+    }
+
+    #[test]
+    fn identical_binaries_match_perfectly() {
+        let a = build(ToolchainProfile::gcc_like(), true);
+        let b = build(ToolchainProfile::gcc_like(), true);
+        let d = diff(&a, &b);
+        assert_eq!(d.matches.len(), a.procedures.len());
+        for (q, t) in &d.matches {
+            assert_eq!(a.procedures[*q].addr, b.procedures[*t].addr);
+        }
+    }
+
+    #[test]
+    fn names_dominate_when_present() {
+        let a = build(ToolchainProfile::gcc_like(), false);
+        let b = build(ToolchainProfile::vendor_size(), false);
+        let d = diff(&a, &b);
+        let qi = a.find_named("branchy").unwrap();
+        let ti = d.target_of(qi).unwrap();
+        assert_eq!(b.procedures[ti].name.as_deref(), Some("branchy"));
+    }
+
+    #[test]
+    fn cross_profile_stripped_diff_produces_a_matching() {
+        let a = build(ToolchainProfile::gcc_like(), true);
+        let b = build(ToolchainProfile::vendor_size(), true);
+        let d = diff(&a, &b);
+        // BinDiff matches aggressively; correctness is a different story
+        // (that is the point of the Fig. 6 experiment).
+        assert!(d.matches.len() >= a.procedures.len() / 2);
+        // Matching is injective.
+        let ts: HashSet<usize> = d.matches.iter().map(|&(_, t)| t).collect();
+        assert_eq!(ts.len(), d.matches.len());
+    }
+}

@@ -1,0 +1,146 @@
+//! GitZ-style procedure-centric matcher (David et al., PLDI 2017).
+//!
+//! The §5.3 comparison baseline: the *same* strand representation as
+//! FirmUp, weighted by a trained per-architecture global context, but
+//! **procedure-centric** — it "compares procedures while disregarding
+//! the origin executable. Moreover, there is no notion of a positive or
+//! negative match; instead, GitZ accepts a single query and a set of
+//! targets and returns an ordered list of decreasingly similar
+//! procedures."
+
+use firmup_core::sim::{sim, ExecutableRep, GlobalContext, ProcedureRep};
+
+/// One ranked candidate.
+#[derive(Debug, Clone, PartialEq)]
+pub struct RankedMatch {
+    /// Index of the target executable in the searched set.
+    pub exe: usize,
+    /// Procedure index inside that executable.
+    pub index: usize,
+    /// Procedure address.
+    pub addr: u32,
+    /// Significance-weighted similarity.
+    pub score: f64,
+    /// Raw shared strand count (tie breaker).
+    pub shared: usize,
+}
+
+/// Rank every procedure of every target by weighted similarity to the
+/// query procedure, best first. `k = 0` returns the full ranking.
+pub fn rank(
+    query: &ProcedureRep,
+    targets: &[&ExecutableRep],
+    context: &GlobalContext,
+    k: usize,
+) -> Vec<RankedMatch> {
+    let mut out: Vec<RankedMatch> = Vec::new();
+    for (ei, exe) in targets.iter().enumerate() {
+        for (pi, p) in exe.procedures.iter().enumerate() {
+            let shared = sim(query, p);
+            if shared > 0 {
+                out.push(RankedMatch {
+                    exe: ei,
+                    index: pi,
+                    addr: p.addr,
+                    score: context.weighted_sim(query, p),
+                    shared,
+                });
+            }
+        }
+    }
+    out.sort_by(|a, b| {
+        b.score
+            .partial_cmp(&a.score)
+            .unwrap_or(std::cmp::Ordering::Equal)
+            .then(b.shared.cmp(&a.shared))
+            .then(a.addr.cmp(&b.addr))
+            .then(a.exe.cmp(&b.exe))
+    });
+    if k > 0 {
+        out.truncate(k);
+    }
+    out
+}
+
+/// Top-1 within a single target executable (how the paper evaluates
+/// GitZ in Fig. 8: "we used each query against all the procedures in
+/// each target executable, and considered the first result").
+pub fn top1(query: &ProcedureRep, target: &ExecutableRep, context: &GlobalContext) -> Option<RankedMatch> {
+    rank(query, &[target], context, 1).into_iter().next()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use firmup_isa::Arch;
+
+    fn exe(id: &str, procs: &[&[u64]]) -> ExecutableRep {
+        ExecutableRep {
+            id: id.into(),
+            arch: Arch::Mips32,
+            procedures: procs
+                .iter()
+                .enumerate()
+                .map(|(i, s)| {
+                    let mut v = s.to_vec();
+                    v.sort_unstable();
+                    ProcedureRep {
+                        addr: 0x100 * (i as u32 + 1),
+                        name: None,
+                        strands: v,
+                        block_count: 1,
+                        size: 8,
+                    }
+                })
+                .collect(),
+        }
+    }
+
+    #[test]
+    fn ranks_by_weighted_score() {
+        // Strand 1 is ubiquitous (appears in both targets), 50 is rare.
+        let t1 = exe("t1", &[&[1, 50], &[1, 2]]);
+        let t2 = exe("t2", &[&[1, 3]]);
+        let ctx = GlobalContext::build(&[t1.clone(), t2.clone()]);
+        let q = ProcedureRep {
+            addr: 0,
+            name: None,
+            strands: vec![1, 50],
+            block_count: 1,
+            size: 8,
+        };
+        let ranked = rank(&q, &[&t1, &t2], &ctx, 0);
+        assert_eq!(ranked[0].exe, 0);
+        assert_eq!(ranked[0].index, 0, "the rare strand dominates");
+        assert!(ranked[0].score > ranked[1].score);
+    }
+
+    #[test]
+    fn top1_is_head_of_ranking() {
+        let t = exe("t", &[&[5, 6], &[5, 6, 7]]);
+        let ctx = GlobalContext::build(std::slice::from_ref(&t));
+        let q = ProcedureRep {
+            addr: 0,
+            name: None,
+            strands: vec![5, 6, 7],
+            block_count: 1,
+            size: 8,
+        };
+        let best = top1(&q, &t, &ctx).unwrap();
+        assert_eq!(best.index, 1);
+    }
+
+    #[test]
+    fn k_truncates() {
+        let t = exe("t", &[&[1], &[1], &[1]]);
+        let ctx = GlobalContext::build(&[]);
+        let q = ProcedureRep {
+            addr: 0,
+            name: None,
+            strands: vec![1],
+            block_count: 1,
+            size: 8,
+        };
+        assert_eq!(rank(&q, &[&t], &ctx, 2).len(), 2);
+    }
+}

@@ -1,0 +1,26 @@
+//! Comparison baselines for the FirmUp evaluation (§5.3).
+//!
+//! The paper positions FirmUp against the two ends of the binary-search
+//! spectrum:
+//!
+//! * [`bindiff`] — a whole-binary **graph** matcher in the style of
+//!   zynamics BinDiff: CFG shapes, call-graph propagation, symbol names.
+//!   No code semantics.
+//! * [`gitz`] — a **procedure-centric** semantic matcher in the style of
+//!   GitZ (David et al., PLDI 2017): the same canonical-strand
+//!   representation FirmUp uses, weighted by a trained global context,
+//!   but ranking procedures in isolation with no executable-level
+//!   reasoning.
+//!
+//! Both are implemented from scratch on the same substrates as
+//! `firmup-core`, so the Fig. 6 / Fig. 8 comparisons measure the
+//! *approach*, not tooling differences.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod bindiff;
+pub mod gitz;
+
+pub use bindiff::{diff, DiffResult, StructuralRep};
+pub use gitz::{rank, top1, RankedMatch};

@@ -1,0 +1,151 @@
+//! Criterion micro-benchmarks for every pipeline stage.
+//!
+//! The paper reports wall-clock per Table 2 experiment line on a
+//! 36-core Xeon; these benches expose where that time goes in this
+//! reproduction: lifting, strand decomposition, canonicalization,
+//! pairwise `Sim`, the game, and whole-target search.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+
+use firmup_compiler::{compile_source, CompilerOptions, ToolchainProfile};
+use firmup_core::canon::{canonicalize, AddrSpace, CanonConfig};
+use firmup_core::game::{play, GameConfig};
+use firmup_core::lift::lift_executable;
+use firmup_core::search::{search_target, SearchConfig};
+use firmup_core::sim::{index_elf, sim, ExecutableRep};
+use firmup_core::strand::decompose;
+use firmup_firmware::packages::source_for;
+use firmup_isa::Arch;
+
+fn wget_elf(arch: Arch) -> firmup_obj::Elf {
+    let src = source_for("wget", "1.15", &[], 1, 4);
+    compile_source(&src, arch, &CompilerOptions::default()).expect("compiles")
+}
+
+fn target_rep(arch: Arch) -> ExecutableRep {
+    let src = source_for("wget", "1.15", &["opie"], 5, 4);
+    let mut elf = compile_source(
+        &src,
+        arch,
+        &CompilerOptions {
+            profile: ToolchainProfile::vendor_size(),
+            ..Default::default()
+        },
+    )
+    .expect("compiles");
+    elf.strip(false);
+    index_elf(&elf, "target", &CanonConfig::default()).expect("indexes")
+}
+
+fn bench_compile(c: &mut Criterion) {
+    let mut g = c.benchmark_group("compile");
+    let src = source_for("wget", "1.15", &[], 1, 4);
+    for arch in Arch::all() {
+        g.bench_with_input(BenchmarkId::from_parameter(arch), &arch, |b, &arch| {
+            b.iter(|| compile_source(&src, arch, &CompilerOptions::default()).expect("compiles"));
+        });
+    }
+    g.finish();
+}
+
+fn bench_lift(c: &mut Criterion) {
+    let mut g = c.benchmark_group("lift_executable");
+    for arch in Arch::all() {
+        let elf = wget_elf(arch);
+        g.bench_with_input(BenchmarkId::from_parameter(arch), &elf, |b, elf| {
+            b.iter(|| lift_executable(elf).expect("lifts"));
+        });
+    }
+    g.finish();
+}
+
+fn bench_strands(c: &mut Criterion) {
+    let elf = wget_elf(Arch::Mips32);
+    let lifted = lift_executable(&elf).expect("lifts");
+    let blocks: Vec<firmup_ir::ssa::SsaBlock> = lifted
+        .program
+        .procedures
+        .iter()
+        .flat_map(|p| p.blocks.iter().map(firmup_ir::ssa::ssa_block))
+        .collect();
+    c.bench_function("decompose_all_blocks", |b| {
+        b.iter(|| {
+            blocks
+                .iter()
+                .map(|blk| decompose(blk).len())
+                .sum::<usize>()
+        });
+    });
+
+    let space = AddrSpace::from_elf(&elf);
+    let config = CanonConfig::default();
+    let strands: Vec<firmup_core::Strand> = blocks.iter().flat_map(decompose).collect();
+    c.bench_function("canonicalize_all_strands", |b| {
+        b.iter(|| {
+            strands
+                .iter()
+                .map(|s| canonicalize(s, &space, &config).hash)
+                .fold(0u64, u64::wrapping_add)
+        });
+    });
+}
+
+fn bench_index(c: &mut Criterion) {
+    let elf = wget_elf(Arch::Mips32);
+    c.bench_function("index_elf_end_to_end", |b| {
+        b.iter(|| index_elf(&elf, "bench", &CanonConfig::default()).expect("indexes"));
+    });
+}
+
+fn bench_sim_and_game(c: &mut Criterion) {
+    let qelf = wget_elf(Arch::Mips32);
+    let query = index_elf(&qelf, "query", &CanonConfig::default()).expect("indexes");
+    let target = target_rep(Arch::Mips32);
+    let qv = query.find_named("ftp_retrieve_glob").expect("symbol");
+
+    let qp = &query.procedures[qv];
+    let biggest = target
+        .procedures
+        .iter()
+        .max_by_key(|p| p.strand_count())
+        .expect("non-empty");
+    c.bench_function("sim_pairwise", |b| {
+        b.iter(|| sim(qp, biggest));
+    });
+
+    c.bench_function("game_single_target", |b| {
+        b.iter(|| play(&query, qv, &target, &GameConfig::default()));
+    });
+
+    c.bench_function("search_target_accepted", |b| {
+        b.iter(|| search_target(&query, qv, &target, &SearchConfig::default()));
+    });
+}
+
+fn bench_container(c: &mut Criterion) {
+    let elf = wget_elf(Arch::Arm32);
+    let bytes = elf.write();
+    c.bench_function("elf_parse", |b| {
+        b.iter(|| firmup_obj::Elf::parse(&bytes).expect("parses"));
+    });
+    let meta = firmup_firmware::image::ImageMeta {
+        vendor: "NETGEAR".into(),
+        device: "R7000".into(),
+        version: "1.0".into(),
+    };
+    let parts = vec![firmup_firmware::image::Part {
+        name: "bin/wget".into(),
+        data: bytes,
+    }];
+    let blob = firmup_firmware::image::pack(&meta, &parts);
+    c.bench_function("image_unpack", |b| {
+        b.iter(|| firmup_firmware::image::unpack(&blob).expect("unpacks"));
+    });
+}
+
+criterion_group!(
+    name = benches;
+    config = Criterion::default().sample_size(20);
+    targets = bench_compile, bench_lift, bench_strands, bench_index, bench_sim_and_game, bench_container
+);
+criterion_main!(benches);

@@ -1,0 +1,72 @@
+//! CLI for regenerating the paper's tables and figures.
+//!
+//! Usage: `experiments [table1|fig3|table2|fig6|fig7|fig8|fig9|all] [--scale N]`
+
+use std::io::Write as _;
+
+use firmup_bench::experiments as ex;
+use firmup_bench::setup::Workbench;
+
+fn save(name: &str, content: &str) {
+    println!("{content}");
+    let _ = std::fs::create_dir_all("results");
+    let path = format!("results/{name}.txt");
+    if let Ok(mut f) = std::fs::File::create(&path) {
+        let _ = f.write_all(content.as_bytes());
+        eprintln!("[saved {path}]");
+    }
+}
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let which = args.first().map(String::as_str).unwrap_or("all");
+    let scale = args
+        .iter()
+        .position(|a| a == "--scale")
+        .and_then(|i| args.get(i + 1))
+        .and_then(|s| s.parse::<usize>().ok())
+        .unwrap_or(1);
+
+    // The corpus-free experiments.
+    if matches!(which, "table1" | "all") {
+        save("table1", &ex::table1());
+    }
+    if matches!(which, "fig3" | "all") {
+        save("fig3", &ex::fig3());
+    }
+    if matches!(which, "table1" | "fig3") {
+        return;
+    }
+
+    eprintln!("[generating corpus at scale {scale}…]");
+    let t0 = std::time::Instant::now();
+    let wb = Workbench::build(scale);
+    eprintln!(
+        "[corpus ready: {} images, {} executables, {} procedures, indexed in {:?}]",
+        wb.corpus.images.len(),
+        wb.corpus.executable_count(),
+        wb.corpus.procedure_count(),
+        t0.elapsed()
+    );
+
+    match which {
+        "table2" => save("table2", &ex::render_table2(&ex::table2(&wb))),
+        "fig6" => save("fig6", &ex::render_fig6(&ex::fig6(&wb))),
+        "fig7" => save("fig7", &ex::fig7(&wb)),
+        "fig8" => save("fig8", &ex::render_fig8(&ex::fig8(&wb))),
+        "fig9" => save("fig9", &ex::render_fig9(&ex::fig9(&wb))),
+        "ablation" => save("ablation", &ex::render_ablation(&ex::ablation(&wb))),
+        "all" => {
+            save("table2", &ex::render_table2(&ex::table2(&wb)));
+            save("fig6", &ex::render_fig6(&ex::fig6(&wb)));
+            save("fig7", &ex::fig7(&wb));
+            save("fig8", &ex::render_fig8(&ex::fig8(&wb)));
+            save("fig9", &ex::render_fig9(&ex::fig9(&wb)));
+            save("ablation", &ex::render_ablation(&ex::ablation(&wb)));
+        }
+        other => {
+            eprintln!("unknown experiment `{other}`; use table1|fig3|table2|fig6|fig7|fig8|fig9|ablation|all");
+            std::process::exit(2);
+        }
+    }
+}

@@ -1,0 +1,757 @@
+//! The paper's evaluation, regenerated: one function per table/figure.
+
+use std::collections::BTreeSet;
+use std::fmt::Write as _;
+use std::time::Instant;
+
+use firmup_baselines::{bindiff, gitz};
+use firmup_core::game::{play, GameConfig};
+use firmup_core::search::{search_target, SearchConfig};
+use firmup_isa::Arch;
+
+use crate::setup::{Query, Workbench};
+
+/// The five queries of the Fig. 6 comparison (the paper's first labeled
+/// group).
+pub const FIG6_QUERIES: [(&str, &str); 5] = [
+    ("libcurl", "tailmatch"),
+    ("dbus", "printf_string_upper_bound"),
+    ("libcurl", "alloc_addbyter"),
+    ("vsftpd", "vsf_filename_passes_filter"),
+    ("wget", "ftp_retrieve_glob"),
+];
+
+/// The nine queries of the Fig. 8 comparison (both labeled groups).
+pub const FIG8_QUERIES: [(&str, &str); 9] = [
+    ("libcurl", "tailmatch"),
+    ("dbus", "printf_string_upper_bound"),
+    ("libcurl", "alloc_addbyter"),
+    ("vsftpd", "vsf_filename_passes_filter"),
+    ("wget", "ftp_retrieve_glob"),
+    ("net-snmp", "snmp_pdu_parse"),
+    ("bftpd", "bftpdutmp_log"),
+    ("libexif", "exif_entry_get_value"),
+    ("libcurl", "curl_easy_unescape"),
+];
+
+fn arch_query(q: &Query, arch: Arch) -> Option<(&firmup_core::ExecutableRep, usize, &firmup_baselines::StructuralRep)> {
+    q.per_arch
+        .iter()
+        .find(|(a, ..)| *a == arch)
+        .map(|(_, rep, qv, st)| (rep, *qv, st))
+}
+
+// ===================================================================
+// Table 2 — CVE hunt over the wild corpus
+// ===================================================================
+
+/// One Table 2 row.
+#[derive(Debug, Clone)]
+pub struct Table2Row {
+    /// CVE id.
+    pub cve: String,
+    /// Package.
+    pub package: String,
+    /// Vulnerable procedure.
+    pub procedure: String,
+    /// Correct findings of vulnerable instances.
+    pub confirmed: usize,
+    /// Accepted matches that are not vulnerable instances (wrong
+    /// procedure, absent procedure, or patched version — the paper's
+    /// version-discrepancy FPs).
+    pub fps: usize,
+    /// Vendors among the confirmed findings.
+    pub vendors: Vec<String>,
+    /// Devices whose *latest* firmware carries a confirmed finding.
+    pub latest: usize,
+    /// Wall-clock seconds for the whole experiment line.
+    pub secs: f64,
+}
+
+/// Run the Table 2 experiment: hunt each CVE across the stripped corpus.
+pub fn table2(wb: &Workbench) -> Vec<Table2Row> {
+    let mut rows = Vec::new();
+    for cve in firmup_firmware::packages::all_cves().into_iter().take(7) {
+        let t0 = Instant::now();
+        let query = wb.query(cve.package, cve.procedure);
+        let config = SearchConfig {
+            context: Some(wb.context.clone()),
+            threads: 1,
+            ..SearchConfig::default()
+        };
+        let mut confirmed = 0usize;
+        let mut fps = 0usize;
+        let mut images: BTreeSet<usize> = BTreeSet::new();
+        let mut latest_devices: BTreeSet<usize> = BTreeSet::new();
+        for t in &wb.targets {
+            let Some((rep, qv, _)) = arch_query(&query, t.rep.arch) else {
+                continue;
+            };
+            let r = search_target(rep, qv, &t.rep, &config);
+            let Some(m) = r.matched else { continue };
+            let truth = wb.truth_addr(t, cve.procedure);
+            let vulnerable = wb.truth_vulnerable(t, cve.procedure);
+            if truth == Some(m.addr) && vulnerable {
+                confirmed += 1;
+                images.insert(t.image);
+                let img = &wb.corpus.images[t.image];
+                if img.is_latest {
+                    latest_devices.insert(img.device);
+                }
+            } else {
+                fps += 1;
+            }
+        }
+        rows.push(Table2Row {
+            cve: cve.cve.to_string(),
+            package: cve.package.to_string(),
+            procedure: cve.procedure.to_string(),
+            confirmed,
+            fps,
+            vendors: wb.vendors_of(&images),
+            latest: latest_devices.len(),
+            secs: t0.elapsed().as_secs_f64(),
+        });
+    }
+    rows
+}
+
+/// Render Table 2.
+pub fn render_table2(rows: &[Table2Row]) -> String {
+    let mut out = String::new();
+    let _ = writeln!(
+        out,
+        "Table 2: confirmed vulnerable procedures found in stripped firmware images"
+    );
+    let _ = writeln!(
+        out,
+        "{:<3} {:<14} {:<9} {:<28} {:>9} {:>4}  {:<24} {:>6} {:>8}",
+        "#", "CVE", "Package", "Procedure", "Confirmed", "FPs", "Affected Vendors", "Latest", "Time"
+    );
+    for (i, r) in rows.iter().enumerate() {
+        let _ = writeln!(
+            out,
+            "{:<3} {:<14} {:<9} {:<28} {:>9} {:>4}  {:<24} {:>6} {:>7.2}s",
+            i + 1,
+            r.cve,
+            r.package,
+            r.procedure,
+            r.confirmed,
+            r.fps,
+            r.vendors.join(","),
+            r.latest,
+            r.secs
+        );
+    }
+    out
+}
+
+// ===================================================================
+// Fig. 6 — FirmUp vs BinDiff on labeled targets
+// ===================================================================
+
+/// P / FP / FN counts for one tool on one query line.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct Counts {
+    /// Correct matches.
+    pub p: usize,
+    /// Wrong matches.
+    pub fp: usize,
+    /// Missing matches.
+    pub fn_: usize,
+}
+
+impl Counts {
+    /// Total decisions.
+    pub fn total(&self) -> usize {
+        self.p + self.fp + self.fn_
+    }
+
+    /// Fraction of false results.
+    pub fn false_rate(&self) -> f64 {
+        if self.total() == 0 {
+            0.0
+        } else {
+            (self.fp + self.fn_) as f64 / self.total() as f64
+        }
+    }
+}
+
+/// One Fig. 6 line.
+#[derive(Debug, Clone)]
+pub struct Fig6Row {
+    /// Query procedure.
+    pub query: String,
+    /// FirmUp counts.
+    pub firmup: Counts,
+    /// BinDiff counts.
+    pub bindiff: Counts,
+}
+
+/// Run the Fig. 6 labeled comparison. Targets are executables known (by
+/// ground truth) to contain the query procedure; both tools run on
+/// stripped inputs (we *can* configure our BinDiff to ignore names —
+/// the paper could not, which is why it reduced the experiment to the
+/// first labeled group).
+pub fn fig6(wb: &Workbench) -> Vec<Fig6Row> {
+    FIG6_QUERIES
+        .iter()
+        .map(|(pkg, proc_name)| {
+            let query = wb.query(pkg, proc_name);
+            let mut firmup = Counts::default();
+            let mut bd = Counts::default();
+            for t in wb.labeled_targets(proc_name) {
+                let Some((rep, qv, qstruct)) = arch_query(&query, t.rep.arch) else {
+                    continue;
+                };
+                let truth = wb.truth_addr(t, proc_name).expect("labeled");
+                // FirmUp: raw game (no acceptance gate — the target is
+                // known to contain the procedure; the question is which
+                // one it is).
+                let g = play(rep, qv, &t.rep, &GameConfig::default());
+                match g.query_match {
+                    Some((ti, _)) if t.rep.procedures[ti].addr == truth => firmup.p += 1,
+                    Some(_) => firmup.fp += 1,
+                    None => firmup.fn_ += 1,
+                }
+                // BinDiff on name-stripped structures.
+                let mut qs = qstruct.clone();
+                for p in &mut qs.procedures {
+                    p.name = None;
+                }
+                let mut ts = t.structure.clone();
+                for p in &mut ts.procedures {
+                    p.name = None;
+                }
+                let qvi = qstruct
+                    .find_named(proc_name)
+                    .expect("query has symbols");
+                let d = bindiff::diff(&qs, &ts);
+                match d.target_of(qvi) {
+                    Some(ti) if ts.procedures[ti].addr == truth => bd.p += 1,
+                    Some(_) => bd.fp += 1,
+                    None => bd.fn_ += 1,
+                }
+            }
+            Fig6Row {
+                query: (*proc_name).to_string(),
+                firmup,
+                bindiff: bd,
+            }
+        })
+        .collect()
+}
+
+/// Render Fig. 6 as a text bar table.
+pub fn render_fig6(rows: &[Fig6Row]) -> String {
+    let mut out = String::new();
+    let _ = writeln!(out, "Fig. 6: labeled experiment, FirmUp vs BinDiff (P / FP / FN)");
+    let _ = writeln!(
+        out,
+        "{:<28} {:>14}   {:>14}",
+        "query", "FirmUp P/FP/FN", "BinDiff P/FP/FN"
+    );
+    let mut fu = Counts::default();
+    let mut bd = Counts::default();
+    for r in rows {
+        let _ = writeln!(
+            out,
+            "{:<28} {:>4}/{:>3}/{:>3}      {:>4}/{:>3}/{:>3}",
+            r.query, r.firmup.p, r.firmup.fp, r.firmup.fn_, r.bindiff.p, r.bindiff.fp, r.bindiff.fn_
+        );
+        fu.p += r.firmup.p;
+        fu.fp += r.firmup.fp;
+        fu.fn_ += r.firmup.fn_;
+        bd.p += r.bindiff.p;
+        bd.fp += r.bindiff.fp;
+        bd.fn_ += r.bindiff.fn_;
+    }
+    let _ = writeln!(
+        out,
+        "overall false results: FirmUp {:.1}% vs BinDiff {:.1}% (paper: 6% vs 69.3%)",
+        fu.false_rate() * 100.0,
+        bd.false_rate() * 100.0
+    );
+    out
+}
+
+// ===================================================================
+// Fig. 8 — FirmUp vs GitZ (top-1) on labeled targets
+// ===================================================================
+
+/// One Fig. 8 line (the paper folds FN into FP here).
+#[derive(Debug, Clone)]
+pub struct Fig8Row {
+    /// Query procedure.
+    pub query: String,
+    /// FirmUp: correct matches.
+    pub firmup_p: usize,
+    /// FirmUp: false (wrong or missing).
+    pub firmup_f: usize,
+    /// GitZ top-1: correct.
+    pub gitz_p: usize,
+    /// GitZ top-1: false.
+    pub gitz_f: usize,
+}
+
+/// Run the Fig. 8 labeled comparison.
+pub fn fig8(wb: &Workbench) -> Vec<Fig8Row> {
+    FIG8_QUERIES
+        .iter()
+        .map(|(pkg, proc_name)| {
+            let query = wb.query(pkg, proc_name);
+            let mut row = Fig8Row {
+                query: (*proc_name).to_string(),
+                firmup_p: 0,
+                firmup_f: 0,
+                gitz_p: 0,
+                gitz_f: 0,
+            };
+            for t in wb.labeled_targets(proc_name) {
+                let Some((rep, qv, _)) = arch_query(&query, t.rep.arch) else {
+                    continue;
+                };
+                let truth = wb.truth_addr(t, proc_name).expect("labeled");
+                let g = play(rep, qv, &t.rep, &GameConfig::default());
+                match g.query_match {
+                    Some((ti, _)) if t.rep.procedures[ti].addr == truth => row.firmup_p += 1,
+                    _ => row.firmup_f += 1,
+                }
+                match gitz::top1(&rep.procedures[qv], &t.rep, &wb.context) {
+                    Some(m) if m.addr == truth => row.gitz_p += 1,
+                    _ => row.gitz_f += 1,
+                }
+            }
+            row
+        })
+        .collect()
+}
+
+/// Render Fig. 8.
+pub fn render_fig8(rows: &[Fig8Row]) -> String {
+    let mut out = String::new();
+    let _ = writeln!(out, "Fig. 8: labeled experiment, FirmUp vs GitZ top-1 (P / F)");
+    let _ = writeln!(out, "{:<28} {:>12}   {:>12}", "query", "FirmUp P/F", "GitZ P/F");
+    let (mut fp_, mut ff, mut gp, mut gf) = (0, 0, 0, 0);
+    for r in rows {
+        let _ = writeln!(
+            out,
+            "{:<28} {:>6}/{:>4}    {:>6}/{:>4}",
+            r.query, r.firmup_p, r.firmup_f, r.gitz_p, r.gitz_f
+        );
+        fp_ += r.firmup_p;
+        ff += r.firmup_f;
+        gp += r.gitz_p;
+        gf += r.gitz_f;
+    }
+    let denom = |p: usize, f: usize| if p + f == 0 { 0.0 } else { f as f64 / (p + f) as f64 };
+    let _ = writeln!(
+        out,
+        "overall false rate: FirmUp {:.1}% vs GitZ {:.1}% (paper: 9.88% vs 34%)",
+        denom(fp_, ff) * 100.0,
+        denom(gp, gf) * 100.0
+    );
+    out
+}
+
+// ===================================================================
+// Fig. 9 — game steps histogram + game ablation
+// ===================================================================
+
+/// Fig. 9 data: correct matches bucketed by game steps, plus the
+/// with/without-game precision ablation the paper quotes (90.11% vs
+/// 67.3%).
+#[derive(Debug, Clone, Default)]
+pub struct Fig9 {
+    /// Buckets: 1, 2, 3-4, 5-8, 9-16, 17-32 steps.
+    pub buckets: [usize; 6],
+    /// Correct matches needing more than 32 steps.
+    pub beyond: usize,
+    /// Precision with the full game.
+    pub game_precision: f64,
+    /// Precision with procedure-centric (no-game) matching.
+    pub pc_precision: f64,
+}
+
+/// Run the Fig. 9 measurement over all Fig. 8 queries.
+pub fn fig9(wb: &Workbench) -> Fig9 {
+    let mut out = Fig9::default();
+    let mut game_ok = 0usize;
+    let mut pc_ok = 0usize;
+    let mut total = 0usize;
+    for (pkg, proc_name) in FIG8_QUERIES {
+        let query = wb.query(pkg, proc_name);
+        for t in wb.labeled_targets(proc_name) {
+            let Some((rep, qv, _)) = arch_query(&query, t.rep.arch) else {
+                continue;
+            };
+            let truth = wb.truth_addr(t, proc_name).expect("labeled");
+            total += 1;
+            let g = play(rep, qv, &t.rep, &GameConfig::default());
+            if let Some((ti, _)) = g.query_match {
+                if t.rep.procedures[ti].addr == truth {
+                    game_ok += 1;
+                    let b = match g.steps {
+                        0 | 1 => 0,
+                        2 => 1,
+                        3..=4 => 2,
+                        5..=8 => 3,
+                        9..=16 => 4,
+                        17..=32 => 5,
+                        _ => {
+                            out.beyond += 1;
+                            continue;
+                        }
+                    };
+                    out.buckets[b] += 1;
+                }
+            }
+            // Procedure-centric ablation: the best pairwise pick with no
+            // game (GitZ-style weighted top-1 — the stronger strawman).
+            if let Some(m) = gitz::top1(&rep.procedures[qv], &t.rep, &wb.context) {
+                if m.addr == truth {
+                    pc_ok += 1;
+                }
+            }
+        }
+    }
+    if total > 0 {
+        out.game_precision = game_ok as f64 / total as f64;
+        out.pc_precision = pc_ok as f64 / total as f64;
+    }
+    out
+}
+
+/// Render Fig. 9.
+pub fn render_fig9(f: &Fig9) -> String {
+    let mut out = String::new();
+    let _ = writeln!(out, "Fig. 9: correct matches by game steps needed");
+    let labels = ["1", "2", "3-4", "5-8", "9-16", "17-32"];
+    for (label, n) in labels.iter().zip(f.buckets.iter()) {
+        let _ = writeln!(out, "{label:>6} steps: {n:>5} {}", "#".repeat((*n).min(60)));
+    }
+    if f.beyond > 0 {
+        let _ = writeln!(out, "   >32 steps: {:>5}", f.beyond);
+    }
+    let _ = writeln!(
+        out,
+        "precision with game {:.2}% vs procedure-centric {:.2}% (paper: 90.11% vs 67.3%)",
+        f.game_precision * 100.0,
+        f.pc_precision * 100.0
+    );
+    out
+}
+
+// ===================================================================
+// Table 1 — a game course
+// ===================================================================
+
+/// Render a game course for the wget query against a customized,
+/// stripped vendor build (the Table 1 / Fig. 2 walk-through).
+pub fn table1() -> String {
+    use firmup_compiler::{compile_source, CompilerOptions, ToolchainProfile};
+    use firmup_core::canon::CanonConfig;
+    use firmup_core::sim::index_elf;
+    use firmup_firmware::packages::source_for;
+
+    let canon = CanonConfig::default();
+    // Query: vsftpd 2.3.5, default build, full features.
+    let qsrc = source_for("vsftpd", "2.3.5", &[], 0, 0);
+    let qelf = compile_source(&qsrc, Arch::Mips32, &CompilerOptions::default()).expect("query");
+    let query = index_elf(&qelf, "vsftpd-query", &canon).expect("query lifts");
+    // Target: the vendor disabled a feature group (the paper's §2.2
+    // --disable-opie story) under a different toolchain and stripped it;
+    // a lookalike procedure contests the first pick, forcing rival moves.
+    let tsrc = source_for("vsftpd", "2.3.2", &["ssl"], 5, 4);
+    let mut telf = compile_source(
+        &tsrc,
+        Arch::Mips32,
+        &CompilerOptions {
+            profile: ToolchainProfile::vendor_size(),
+            layout: Default::default(),
+        },
+    )
+    .expect("target");
+    let names: Vec<(String, u32)> = telf
+        .func_symbols()
+        .iter()
+        .map(|s| (s.name.clone(), s.value))
+        .collect();
+    telf.strip(false);
+    let target = index_elf(&telf, "netgear-fw", &canon).expect("target lifts");
+
+    let qv = query.find_named("vsf_filename_passes_filter").expect("query symbol");
+    let g = play(&query, qv, &target, &GameConfig::default());
+    let resolve = |addr: u32| {
+        names
+            .iter()
+            .find(|(_, a)| *a == addr)
+            .map_or_else(|| format!("sub_{addr:x}"), |(n, _)| format!("{n}()"))
+    };
+    let mut out = String::new();
+    let _ = writeln!(out, "Table 1: game course for vsf_filename_passes_filter()");
+    let _ = writeln!(out, "{:<7} {:<60} {:<6}", "Actor", "Step", "Sim");
+    for (i, s) in g.trace.iter().enumerate() {
+        let (m_name, fwd_name) = match s.m.side {
+            firmup_core::game::Side::Query => (
+                query.procedures[s.m.index].display_name() + "()",
+                resolve(target.procedures[s.forward].addr),
+            ),
+            firmup_core::game::Side::Target => (
+                resolve(target.procedures[s.m.index].addr),
+                query.procedures[s.forward].display_name() + "()",
+            ),
+        };
+        let actor = if s.accepted { "player" } else { "rival" };
+        let verb = if s.accepted { "matches" } else { "counters" };
+        let _ = writeln!(
+            out,
+            "{:<7} {:<60} {:<6}",
+            actor,
+            format!("step {}: {verb} {m_name} with {fwd_name}", i + 1),
+            s.sim_forward
+        );
+    }
+    match g.query_match {
+        Some((ti, s)) => {
+            let _ = writeln!(
+                out,
+                "game over after {} step(s): vsf_filename_passes_filter() ↔ {} (Sim={s})",
+                g.steps,
+                resolve(target.procedures[ti].addr)
+            );
+        }
+        None => {
+            let _ = writeln!(out, "game failed: {:?}", g.ended);
+        }
+    }
+    out
+}
+
+// ===================================================================
+// Fig. 3 — lifting and canonicalization of one strand
+// ===================================================================
+
+/// Render the Fig. 1/Fig. 3 walk-through: the first block of
+/// `ftp_retrieve_glob` on two builds, its lifted statements and its
+/// canonical strands.
+pub fn fig3() -> String {
+    use firmup_compiler::{compile_source, CompilerOptions, ToolchainProfile};
+    use firmup_core::canon::{canonicalize, AddrSpace, CanonConfig};
+    use firmup_core::lift::lift_executable;
+    use firmup_core::strand::decompose;
+    use firmup_firmware::packages::source_for;
+
+    let mut out = String::new();
+    let src = source_for("wget", "1.15", &[], 0, 0);
+    for (label, profile) in [
+        ("gcc-like -O2 (query)", ToolchainProfile::gcc_like()),
+        ("vendor -Os (NETGEAR-style target)", ToolchainProfile::vendor_size()),
+    ] {
+        let elf = compile_source(
+            &src,
+            Arch::Mips32,
+            &CompilerOptions {
+                profile,
+                layout: Default::default(),
+            },
+        )
+        .expect("compiles");
+        let lifted = lift_executable(&elf).expect("lifts");
+        let p = lifted
+            .program
+            .procedure_named("ftp_retrieve_glob")
+            .expect("present");
+        let block = p.entry_block();
+        let _ = writeln!(out, "=== {label}: first BB of ftp_retrieve_glob() ===");
+        for a in &block.asm {
+            let _ = writeln!(out, "    {a}");
+        }
+        let _ = writeln!(out, "--- lifted ---");
+        for s in &block.stmts {
+            let _ = writeln!(out, "    {s}");
+        }
+        let _ = writeln!(out, "--- canonical strands ---");
+        let ssa = firmup_ir::ssa::ssa_block(block);
+        let space = AddrSpace::from_elf(&elf);
+        for s in decompose(&ssa) {
+            let c = canonicalize(&s, &space, &CanonConfig::default());
+            for line in c.text.lines() {
+                let _ = writeln!(out, "    {line}");
+            }
+            let _ = writeln!(out, "    --");
+        }
+        let _ = writeln!(out);
+    }
+    out
+}
+
+// ===================================================================
+// Fig. 5 / Fig. 7 — graph variance and the BinDiff failure mode
+// ===================================================================
+
+/// Render call-graph variance (Fig. 5) and a CFG-shape false-match
+/// example (Fig. 7) from the workbench corpus.
+pub fn fig7(wb: &Workbench) -> String {
+    let mut out = String::new();
+    let proc_name = "vsf_filename_passes_filter";
+    let query = wb.query("vsftpd", proc_name);
+    let mut shown = 0;
+    for t in wb.labeled_targets(proc_name) {
+        let Some((rep, qv, qstruct)) = arch_query(&query, t.rep.arch) else {
+            continue;
+        };
+        let truth = wb.truth_addr(t, proc_name).expect("labeled");
+        let qvi = qstruct.find_named(proc_name).expect("query symbols");
+        let qf = &qstruct.procedures[qvi];
+        // Fig. 5: call-graph neighborhood sizes.
+        let _ = writeln!(
+            out,
+            "Fig. 5 ({}): query callees/callers = {}/{}; matching target proc exists at {truth:#x}",
+            t.rep.id,
+            qf.callees.len(),
+            qf.callers.len()
+        );
+        // Fig. 7: what BinDiff picks vs what FirmUp picks.
+        let mut qs = qstruct.clone();
+        for p in &mut qs.procedures {
+            p.name = None;
+        }
+        let mut ts = t.structure.clone();
+        for p in &mut ts.procedures {
+            p.name = None;
+        }
+        let d = bindiff::diff(&qs, &ts);
+        let g = play(rep, qv, &t.rep, &GameConfig::default());
+        let bd_pick = d.target_of(qvi).map(|ti| ts.procedures[ti].addr);
+        let fu_pick = g.query_match.map(|(ti, _)| t.rep.procedures[ti].addr);
+        let _ = writeln!(
+            out,
+            "Fig. 7: qv CFG = {} blocks / {} edges; BinDiff picked {} ({}), FirmUp picked {} ({})",
+            qf.blocks,
+            qf.edges,
+            bd_pick.map_or("none".into(), |a| format!("{a:#x}")),
+            if bd_pick == Some(truth) { "correct" } else { "WRONG" },
+            fu_pick.map_or("none".into(), |a| format!("{a:#x}")),
+            if fu_pick == Some(truth) { "correct" } else { "WRONG" },
+        );
+        shown += 1;
+        if shown >= 6 {
+            break;
+        }
+    }
+    out
+}
+
+// ===================================================================
+// Ablation — which canonicalization passes carry the matching
+// ===================================================================
+
+/// One ablation line: a canonicalization variant and the labeled
+/// matching precision it achieves.
+#[derive(Debug, Clone)]
+pub struct AblationRow {
+    /// Variant name.
+    pub variant: String,
+    /// Correct / total over the Fig. 6 labeled pairs.
+    pub correct: usize,
+    /// Total labeled pairs.
+    pub total: usize,
+}
+
+/// Measure matching precision with individual §3.2.1 passes disabled —
+/// the design-choice ablation DESIGN.md calls out. Targets are
+/// re-indexed from the corpus images under each variant.
+pub fn ablation(wb: &Workbench) -> Vec<AblationRow> {
+    use firmup_core::canon::CanonConfig;
+    let variants: Vec<(&str, CanonConfig)> = vec![
+        ("full canonicalization", CanonConfig::default()),
+        (
+            "no optimizer",
+            CanonConfig {
+                optimize: false,
+                ..CanonConfig::default()
+            },
+        ),
+        (
+            "no offset elimination",
+            CanonConfig {
+                offset_elimination: false,
+                ..CanonConfig::default()
+            },
+        ),
+        (
+            "no name normalization",
+            CanonConfig {
+                normalize_names: false,
+                ..CanonConfig::default()
+            },
+        ),
+        (
+            "no stack-slot folding",
+            CanonConfig {
+                fold_stack_slots: false,
+                ..CanonConfig::default()
+            },
+        ),
+    ];
+    let mut rows = Vec::new();
+    for (name, config) in variants {
+        // Re-index every target executable under this variant.
+        let mut targets: Vec<(usize, usize, firmup_core::ExecutableRep)> = Vec::new();
+        for (ii, img) in wb.corpus.images.iter().enumerate() {
+            let unpacked = firmup_firmware::image::unpack(&img.blob).expect("unpacks");
+            for (pi, part) in unpacked.parts.iter().enumerate() {
+                let elf = firmup_obj::Elf::parse(&part.data).expect("parses");
+                let rep = firmup_core::sim::index_elf(&elf, &format!("{ii}:{pi}"), &config)
+                    .expect("lifts");
+                targets.push((ii, pi, rep));
+            }
+        }
+        let mut correct = 0usize;
+        let mut total = 0usize;
+        for (pkg, proc_name) in FIG6_QUERIES {
+            // Queries must use the same canonicalization variant.
+            let mut query = wb.query(pkg, proc_name);
+            for (arch, rep, _, _) in &mut query.per_arch {
+                let (qelf, _) = firmup_firmware::corpus::build_query(pkg, *arch);
+                *rep = firmup_core::sim::index_elf(&qelf, "q", &config).expect("lifts");
+            }
+            for (ii, pi, t) in &targets {
+                let Some((rep, _, _)) = arch_query(&query, t.arch) else {
+                    continue;
+                };
+                let Some(qv) = rep.find_named(proc_name) else {
+                    continue;
+                };
+                let Some(truth) = wb.corpus.images[*ii].truth[*pi].addr_of(proc_name) else {
+                    continue;
+                };
+                total += 1;
+                let g = play(rep, qv, t, &GameConfig::default());
+                if let Some((ti, _)) = g.query_match {
+                    if t.procedures[ti].addr == truth {
+                        correct += 1;
+                    }
+                }
+            }
+        }
+        rows.push(AblationRow {
+            variant: name.to_string(),
+            correct,
+            total,
+        });
+    }
+    rows
+}
+
+/// Render the ablation table.
+pub fn render_ablation(rows: &[AblationRow]) -> String {
+    let mut out = String::new();
+    let _ = writeln!(out, "Ablation: labeled matching precision per canonicalization variant");
+    for r in rows {
+        let pct = if r.total == 0 { 0.0 } else { 100.0 * r.correct as f64 / r.total as f64 };
+        let _ = writeln!(out, "{:<26} {:>4}/{:<4} ({pct:.1}%)", r.variant, r.correct, r.total);
+    }
+    out
+}

@@ -1,0 +1,11 @@
+//! Experiment harness regenerating every table and figure of the
+//! paper's evaluation, plus Criterion micro-benchmarks.
+//!
+//! Run `cargo run -p firmup-bench --release --bin experiments -- all`
+//! to regenerate the full evaluation; see DESIGN.md's experiment index.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod experiments;
+pub mod setup;

@@ -1,0 +1,143 @@
+//! Shared experiment setup: corpus generation, unpacking, indexing.
+
+use std::collections::BTreeSet;
+
+use firmup_baselines::StructuralRep;
+use firmup_core::canon::CanonConfig;
+use firmup_core::lift::lift_executable;
+use firmup_core::sim::{index_elf, ExecutableRep, GlobalContext};
+use firmup_firmware::corpus::{build_query, generate, Corpus, CorpusConfig};
+use firmup_firmware::image::unpack;
+use firmup_isa::Arch;
+
+/// One indexed target executable with its provenance.
+pub struct IndexedTarget {
+    /// Image index in the corpus.
+    pub image: usize,
+    /// Part index within the image.
+    pub part: usize,
+    /// Similarity representation (strands).
+    pub rep: ExecutableRep,
+    /// Structural representation (for the BinDiff baseline).
+    pub structure: StructuralRep,
+}
+
+/// Everything the experiments need.
+pub struct Workbench {
+    /// The generated corpus (with ground truth).
+    pub corpus: Corpus,
+    /// Indexed target executables.
+    pub targets: Vec<IndexedTarget>,
+    /// Global significance context trained on all targets.
+    pub context: std::sync::Arc<GlobalContext>,
+}
+
+/// An indexed query: the CVE package built per architecture.
+pub struct Query {
+    /// Package name.
+    pub package: String,
+    /// Vulnerable procedure name.
+    pub procedure: String,
+    /// Per-architecture (rep, qv index, structure).
+    pub per_arch: Vec<(Arch, ExecutableRep, usize, StructuralRep)>,
+}
+
+impl Workbench {
+    /// Generate and index a corpus. `scale` multiplies the default
+    /// device count.
+    pub fn build(scale: usize) -> Workbench {
+        let config = CorpusConfig {
+            devices: 18 * scale.max(1),
+            max_firmware_versions: 2,
+            ..CorpusConfig::default()
+        };
+        Self::build_with(config)
+    }
+
+    /// Generate and index a corpus from an explicit configuration.
+    pub fn build_with(config: CorpusConfig) -> Workbench {
+        let corpus = generate(&config);
+        let canon = CanonConfig::default();
+        let mut targets = Vec::new();
+        for (ii, img) in corpus.images.iter().enumerate() {
+            let unpacked = unpack(&img.blob).expect("corpus images unpack");
+            for (pi, part) in unpacked.parts.iter().enumerate() {
+                let elf = firmup_obj::Elf::parse(&part.data).expect("corpus parts parse");
+                let id = format!("img{ii}:{}", part.name);
+                let rep = index_elf(&elf, &id, &canon).expect("corpus parts lift");
+                let lifted = lift_executable(&elf).expect("lift for structure");
+                let structure = StructuralRep::build(&lifted, &id);
+                targets.push(IndexedTarget {
+                    image: ii,
+                    part: pi,
+                    rep,
+                    structure,
+                });
+            }
+        }
+        let reps: Vec<ExecutableRep> = targets.iter().map(|t| t.rep.clone()).collect();
+        let context = std::sync::Arc::new(GlobalContext::build(&reps));
+        Workbench {
+            corpus,
+            targets,
+            context,
+        }
+    }
+
+    /// Build a query for a CVE package across all four architectures.
+    pub fn query(&self, package: &str, procedure: &str) -> Query {
+        let canon = CanonConfig::default();
+        let per_arch = Arch::all()
+            .into_iter()
+            .map(|arch| {
+                let (elf, _version) = build_query(package, arch);
+                let rep = index_elf(&elf, &format!("query:{package}:{arch}"), &canon)
+                    .expect("query lifts");
+                let qv = rep
+                    .find_named(procedure)
+                    .unwrap_or_else(|| panic!("{package}/{procedure} missing on {arch}"));
+                let lifted = lift_executable(&elf).expect("query lift");
+                let structure = StructuralRep::build(&lifted, "query");
+                (arch, rep, qv, structure)
+            })
+            .collect();
+        Query {
+            package: package.to_string(),
+            procedure: procedure.to_string(),
+            per_arch,
+        }
+    }
+
+    /// Ground truth: the address of `procedure` in a target (pre-strip
+    /// symbol table), if the target's executable contains it.
+    pub fn truth_addr(&self, t: &IndexedTarget, procedure: &str) -> Option<u32> {
+        self.corpus.images[t.image].truth[t.part].addr_of(procedure)
+    }
+
+    /// Whether the target's build of `procedure` is *vulnerable* (right
+    /// package version).
+    pub fn truth_vulnerable(&self, t: &IndexedTarget, procedure: &str) -> bool {
+        self.corpus.images[t.image].truth[t.part]
+            .vulnerable
+            .iter()
+            .any(|(n, _)| n == procedure)
+    }
+
+    /// Vendors affected by findings in the given image set.
+    pub fn vendors_of(&self, image_indices: &BTreeSet<usize>) -> Vec<String> {
+        let mut v: BTreeSet<String> = image_indices
+            .iter()
+            .map(|&i| self.corpus.images[i].meta.vendor.clone())
+            .collect();
+        std::mem::take(&mut v).into_iter().collect()
+    }
+
+    /// Targets whose executable contains `procedure` (the labeled subset
+    /// used by the controlled experiments of §5.3).
+    pub fn labeled_targets(&self, procedure: &str) -> Vec<&IndexedTarget> {
+        self.targets
+            .iter()
+            .filter(|t| self.truth_addr(t, procedure).is_some())
+            .collect()
+    }
+}

@@ -1,0 +1,138 @@
+//! Guardrail tests for the paper's headline result *shapes* on a small
+//! corpus. If a change to the pipeline breaks "FirmUp beats the
+//! baselines" or "the game contributes", these fail.
+
+use firmup_bench::experiments::{fig6, fig8, fig9, table1, table2, Counts};
+use firmup_bench::setup::Workbench;
+use firmup_firmware::corpus::CorpusConfig;
+
+fn small_workbench() -> Workbench {
+    Workbench::build_with(CorpusConfig {
+        devices: 12,
+        max_firmware_versions: 2,
+        ..CorpusConfig::default()
+    })
+}
+
+#[test]
+fn headline_shapes_hold() {
+    let wb = small_workbench();
+
+    // --- Table 2 shape: findings exist for most CVE lines; latest
+    // firmware is affected somewhere. ---
+    let rows = table2(&wb);
+    assert_eq!(rows.len(), 7, "seven Table 2 lines");
+    let with_findings = rows.iter().filter(|r| r.confirmed > 0).count();
+    assert!(
+        with_findings >= 4,
+        "most CVE lines must produce confirmed findings: {with_findings}/7"
+    );
+    assert!(
+        rows.iter().any(|r| r.latest > 0),
+        "some devices' latest firmware must be affected"
+    );
+    assert!(
+        rows.iter().any(|r| !r.vendors.is_empty()),
+        "findings must name vendors"
+    );
+
+    // --- Fig. 6 shape: FirmUp's false rate beats BinDiff's by a wide
+    // margin. ---
+    let f6 = fig6(&wb);
+    let total = |rows: &[firmup_bench::experiments::Fig6Row], f: fn(&firmup_bench::experiments::Fig6Row) -> Counts| {
+        rows.iter().fold(Counts::default(), |mut acc, r| {
+            let c = f(r);
+            acc.p += c.p;
+            acc.fp += c.fp;
+            acc.fn_ += c.fn_;
+            acc
+        })
+    };
+    let fu = total(&f6, |r| r.firmup);
+    let bd = total(&f6, |r| r.bindiff);
+    assert!(fu.total() > 0);
+    assert!(
+        fu.false_rate() + 0.15 < bd.false_rate(),
+        "FirmUp ({:.2}) must clearly beat BinDiff ({:.2})",
+        fu.false_rate(),
+        bd.false_rate()
+    );
+    assert!(fu.false_rate() < 0.25, "FirmUp false rate too high: {:.2}", fu.false_rate());
+
+    // --- Fig. 8 shape: FirmUp at least matches GitZ, and beats it
+    // somewhere (the executable-context advantage). ---
+    let f8 = fig8(&wb);
+    let (mut fu_p, mut fu_f, mut g_p, mut g_f) = (0, 0, 0, 0);
+    for r in &f8 {
+        fu_p += r.firmup_p;
+        fu_f += r.firmup_f;
+        g_p += r.gitz_p;
+        g_f += r.gitz_f;
+        assert!(
+            r.firmup_p >= r.gitz_p,
+            "{}: GitZ must not beat FirmUp on correct matches",
+            r.query
+        );
+    }
+    assert!(fu_p > 0 && g_p > 0);
+    let fu_rate = fu_f as f64 / (fu_p + fu_f) as f64;
+    let g_rate = g_f as f64 / (g_p + g_f) as f64;
+    assert!(fu_rate <= g_rate, "FirmUp ({fu_rate:.2}) must not trail GitZ ({g_rate:.2})");
+
+    // --- Fig. 9 shape: one-step matches dominate; a multi-step tail
+    // exists; the game never hurts precision. ---
+    let f9 = fig9(&wb);
+    assert!(f9.buckets[0] > 0, "one-step matches must exist");
+    let tail: usize = f9.buckets[1..].iter().sum::<usize>() + f9.beyond;
+    assert!(tail > 0, "the rival must be exercised somewhere");
+    assert!(
+        f9.buckets[0] > tail,
+        "one-step matches must dominate ({} vs {tail})",
+        f9.buckets[0]
+    );
+    assert!(
+        f9.game_precision >= f9.pc_precision,
+        "the game must not reduce precision ({:.3} vs {:.3})",
+        f9.game_precision,
+        f9.pc_precision
+    );
+}
+
+#[test]
+fn table1_trace_shows_rival_correction() {
+    let rendered = table1();
+    assert!(rendered.contains("rival"), "a rival move must appear:\n{rendered}");
+    assert!(rendered.contains("player"), "a player move must appear:\n{rendered}");
+    assert!(
+        rendered.contains("game over") && rendered.contains("vsf_filename_passes_filter"),
+        "the game must conclude with the query matched:\n{rendered}"
+    );
+}
+
+#[test]
+fn fig3_strands_collapse_the_syntactic_gap() {
+    let rendered = firmup_bench::experiments::fig3();
+    // Both builds appear, with assembly, lifted IR and strands.
+    assert!(rendered.contains("gcc-like -O2"));
+    assert!(rendered.contains("vendor -Os"));
+    assert!(rendered.contains("--- lifted ---"));
+    assert!(rendered.contains("--- canonical strands ---"));
+    // The two builds share at least one canonical strand line verbatim.
+    let sections: Vec<&str> = rendered.split("=== ").collect();
+    let strands = |s: &str| -> std::collections::BTreeSet<String> {
+        s.split("--- canonical strands ---")
+            .nth(1)
+            .unwrap_or("")
+            .lines()
+            .map(str::trim)
+            .filter(|l| !l.is_empty() && *l != "--")
+            .map(String::from)
+            .collect()
+    };
+    let a = strands(sections[1]);
+    let b = strands(sections[2]);
+    assert!(
+        a.intersection(&b).count() >= 2,
+        "builds must share canonical strands: {a:?} vs {b:?}"
+    );
+}

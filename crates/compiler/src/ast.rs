@@ -1,0 +1,294 @@
+//! Abstract syntax tree for MinC.
+//!
+//! MinC is a deliberately small C-like language: 32-bit signed integers,
+//! global `int`/`byte` arrays, string literals (lowered to `.rodata`),
+//! direct calls, structured control flow. It is rich enough to express
+//! the string/buffer-handling procedures our synthetic packages model
+//! (globbing, filters, logging, escaping), and small enough that four
+//! complete native back ends stay tractable.
+
+use std::fmt;
+
+/// Binary operators (all operate on `int`; comparisons yield 0/1).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+#[allow(missing_docs)]
+pub enum BinOp {
+    Add,
+    Sub,
+    Mul,
+    And,
+    Or,
+    Xor,
+    Shl,
+    Shr,
+    Lt,
+    Le,
+    Gt,
+    Ge,
+    Eq,
+    Ne,
+    /// Short-circuit logical and.
+    AndAnd,
+    /// Short-circuit logical or.
+    OrOr,
+}
+
+impl BinOp {
+    /// Whether this is a comparison yielding 0/1.
+    pub fn is_comparison(self) -> bool {
+        matches!(self, BinOp::Lt | BinOp::Le | BinOp::Gt | BinOp::Ge | BinOp::Eq | BinOp::Ne)
+    }
+}
+
+/// Unary operators.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+#[allow(missing_docs)]
+pub enum UnOp {
+    /// Arithmetic negation.
+    Neg,
+    /// Logical not (`!x` is 1 when x == 0).
+    Not,
+    /// Bitwise complement.
+    BitNot,
+}
+
+/// Expressions.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum Expr {
+    /// Integer literal.
+    Num(i32),
+    /// String literal (its value is the address of the interned bytes,
+    /// NUL-terminated, in `.rodata`).
+    Str(String),
+    /// Local variable or parameter.
+    Var(String),
+    /// Global array element load: `g[idx]`.
+    Index {
+        /// Global name.
+        global: String,
+        /// Element index expression.
+        index: Box<Expr>,
+    },
+    /// Address of a global: `&g`.
+    AddrOf(String),
+    /// Load through a computed address: `peek(e)` / `peek8(e)`.
+    Deref {
+        /// Address expression.
+        addr: Box<Expr>,
+        /// Access width.
+        elem: ElemType,
+    },
+    /// Direct call.
+    Call {
+        /// Callee name.
+        callee: String,
+        /// Argument expressions.
+        args: Vec<Expr>,
+    },
+    /// Binary operation.
+    Bin {
+        /// Operator.
+        op: BinOp,
+        /// Left operand.
+        lhs: Box<Expr>,
+        /// Right operand.
+        rhs: Box<Expr>,
+    },
+    /// Unary operation.
+    Un {
+        /// Operator.
+        op: UnOp,
+        /// Operand.
+        arg: Box<Expr>,
+    },
+}
+
+impl Expr {
+    /// Convenience constructor.
+    pub fn bin(op: BinOp, lhs: Expr, rhs: Expr) -> Expr {
+        Expr::Bin {
+            op,
+            lhs: Box::new(lhs),
+            rhs: Box::new(rhs),
+        }
+    }
+}
+
+/// Statements.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum Stmt {
+    /// `var x = e;` — declare and initialize a local.
+    VarDecl {
+        /// Variable name.
+        name: String,
+        /// Initializer.
+        init: Expr,
+    },
+    /// `x = e;`
+    Assign {
+        /// Target local.
+        name: String,
+        /// Value.
+        value: Expr,
+    },
+    /// `poke(a, v);` / `poke8(a, v);` — store through a computed address.
+    DerefAssign {
+        /// Address expression.
+        addr: Expr,
+        /// Stored value.
+        value: Expr,
+        /// Access width.
+        elem: ElemType,
+    },
+    /// `g[i] = e;` — global array element store.
+    IndexAssign {
+        /// Global name.
+        global: String,
+        /// Element index.
+        index: Expr,
+        /// Value.
+        value: Expr,
+    },
+    /// `if (c) { .. } else { .. }`
+    If {
+        /// Condition.
+        cond: Expr,
+        /// Then branch.
+        then_body: Vec<Stmt>,
+        /// Else branch (possibly empty).
+        else_body: Vec<Stmt>,
+    },
+    /// `while (c) { .. }`
+    While {
+        /// Condition.
+        cond: Expr,
+        /// Body.
+        body: Vec<Stmt>,
+    },
+    /// `return e;` / `return;`
+    Return(Option<Expr>),
+    /// `break;`
+    Break,
+    /// `continue;`
+    Continue,
+    /// Expression statement (typically a call).
+    ExprStmt(Expr),
+}
+
+/// Element type of a global array.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum ElemType {
+    /// 32-bit signed integer (4 bytes per element).
+    Int,
+    /// Byte (1 byte per element, zero-extended on load).
+    Byte,
+}
+
+impl ElemType {
+    /// Element size in bytes.
+    pub fn size(self) -> u32 {
+        match self {
+            ElemType::Int => 4,
+            ElemType::Byte => 1,
+        }
+    }
+}
+
+impl fmt::Display for ElemType {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            ElemType::Int => f.write_str("int"),
+            ElemType::Byte => f.write_str("byte"),
+        }
+    }
+}
+
+/// A global declaration.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Global {
+    /// Name.
+    pub name: String,
+    /// Element type.
+    pub elem: ElemType,
+    /// Element count.
+    pub len: u32,
+    /// Optional initializer bytes (from a string global).
+    pub init: Option<Vec<u8>>,
+}
+
+/// A function definition.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Function {
+    /// Name.
+    pub name: String,
+    /// Parameter names (all `int`).
+    pub params: Vec<String>,
+    /// Whether the function returns a value.
+    pub returns_value: bool,
+    /// Body.
+    pub body: Vec<Stmt>,
+    /// Whether the symbol is exported (`pub fn`). Exported functions keep
+    /// their names under partial stripping.
+    pub exported: bool,
+}
+
+/// A whole translation unit.
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct Program {
+    /// Global arrays/strings.
+    pub globals: Vec<Global>,
+    /// Functions, in declaration order.
+    pub functions: Vec<Function>,
+}
+
+impl Program {
+    /// Find a function by name.
+    pub fn function(&self, name: &str) -> Option<&Function> {
+        self.functions.iter().find(|f| f.name == name)
+    }
+
+    /// Find a global by name.
+    pub fn global(&self, name: &str) -> Option<&Global> {
+        self.globals.iter().find(|g| g.name == name)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn elem_sizes() {
+        assert_eq!(ElemType::Int.size(), 4);
+        assert_eq!(ElemType::Byte.size(), 1);
+    }
+
+    #[test]
+    fn comparison_classification() {
+        assert!(BinOp::Lt.is_comparison());
+        assert!(!BinOp::Add.is_comparison());
+        assert!(!BinOp::AndAnd.is_comparison());
+    }
+
+    #[test]
+    fn program_lookup() {
+        let p = Program {
+            globals: vec![Global {
+                name: "buf".into(),
+                elem: ElemType::Byte,
+                len: 64,
+                init: None,
+            }],
+            functions: vec![Function {
+                name: "main".into(),
+                params: vec![],
+                returns_value: true,
+                body: vec![Stmt::Return(Some(Expr::Num(0)))],
+                exported: false,
+            }],
+        };
+        assert!(p.function("main").is_some());
+        assert!(p.global("buf").is_some());
+        assert!(p.function("nope").is_none());
+    }
+}

@@ -1,0 +1,767 @@
+//! ARM32 back end.
+
+use std::collections::HashMap;
+
+use firmup_isa::arm::{Cond, DpOp, Instr as MI, Operand2, Shift, LR, SP};
+
+use crate::emit::{link, CompileError, FnOut, LinkedBinary, MemLayout, Reloc, RelocTarget};
+use crate::profile::ToolchainProfile;
+use crate::regalloc::{allocate, Allocation, Loc, RegPools};
+use crate::tac::{Instr, Label, Operand, Rel, TBin, TUn, TacFunction, TacProgram, VReg};
+
+/// First scratch register (`r11`, the vendor-agnostic choice).
+const S1: u8 = 11;
+/// Second scratch (`r12`/ip, the ABI's intra-procedure scratch).
+const S2: u8 = 12;
+const ARGS: [u8; 4] = [0, 1, 2, 3];
+const RET: u8 = 0;
+
+fn pools(profile: &ToolchainProfile) -> RegPools {
+    if profile.opt == crate::profile::OptLevel::O0 {
+        return RegPools {
+            caller_saved: vec![],
+            callee_saved: vec![],
+        };
+    }
+    let mut callee: Vec<u16> = (4..=10).collect(); // r4-r10
+    profile.reg_order.apply(&mut callee);
+    RegPools {
+        caller_saved: vec![], // r0-r3 are argument registers; keep them free
+        callee_saved: callee,
+    }
+}
+
+struct Frame {
+    size: u32,
+    save_base: u32,
+    lr_off: Option<u32>,
+}
+
+fn frame_layout(alloc: &Allocation, is_leaf: bool, profile: &ToolchainProfile) -> Frame {
+    let spill_bytes = alloc.spill_slots * 4;
+    let save_bytes = alloc.used_callee_saved.len() as u32 * 4;
+    let lr_bytes = if is_leaf { 0 } else { 4 };
+    let mut size = spill_bytes + save_bytes + lr_bytes + profile.frame_padding;
+    size = (size + 7) & !7;
+    Frame {
+        size,
+        save_base: spill_bytes,
+        lr_off: (!is_leaf).then_some(spill_bytes + save_bytes),
+    }
+}
+
+struct Emitter<'a> {
+    out: Vec<MI>,
+    relocs: Vec<Reloc>,
+    label_at: HashMap<Label, usize>,
+    fixups: Vec<(usize, Label)>,
+    alloc: &'a Allocation,
+    frame: &'a Frame,
+}
+
+fn dp(op: DpOp, rd: u8, rn: u8, op2: Operand2) -> MI {
+    MI::Dp {
+        cond: Cond::Al,
+        op,
+        s: false,
+        rn,
+        rd,
+        op2,
+    }
+}
+
+impl<'a> Emitter<'a> {
+    fn e(&mut self, i: MI) {
+        self.out.push(i);
+    }
+
+    fn li(&mut self, dst: u8, v: i32) {
+        let u = v as u32;
+        if let Some(op2) = Operand2::try_imm(u) {
+            self.e(dp(DpOp::Mov, dst, 0, op2));
+        } else if let Some(op2) = Operand2::try_imm(!u) {
+            self.e(dp(DpOp::Mvn, dst, 0, op2));
+        } else {
+            self.e(MI::Movw {
+                cond: Cond::Al,
+                rd: dst,
+                imm: (u & 0xffff) as u16,
+            });
+            self.e(MI::Movt {
+                cond: Cond::Al,
+                rd: dst,
+                imm: (u >> 16) as u16,
+            });
+        }
+    }
+
+    fn read(&mut self, op: Operand, scratch: u8) -> u8 {
+        match op {
+            Operand::Imm(v) => {
+                self.li(scratch, v);
+                scratch
+            }
+            Operand::V(v) => match self.alloc.of(v) {
+                Loc::Reg(r) => r as u8,
+                Loc::Spill(s) => {
+                    self.e(MI::Ldr {
+                        cond: Cond::Al,
+                        byte: false,
+                        rd: scratch,
+                        rn: SP,
+                        up: true,
+                        off: (s * 4) as u16,
+                    });
+                    scratch
+                }
+            },
+        }
+    }
+
+    /// Operand2 for the right-hand side: immediate when encodable.
+    fn op2(&mut self, op: Operand, scratch: u8) -> Operand2 {
+        if let Operand::Imm(v) = op {
+            if let Some(o) = Operand2::try_imm(v as u32) {
+                return o;
+            }
+        }
+        Operand2::reg(self.read(op, scratch))
+    }
+
+    fn target(&self, dst: VReg, scratch: u8) -> u8 {
+        match self.alloc.of(dst) {
+            Loc::Reg(r) => r as u8,
+            Loc::Spill(_) => scratch,
+        }
+    }
+
+    fn writeback(&mut self, dst: VReg, from: u8) {
+        if let Loc::Spill(s) = self.alloc.of(dst) {
+            self.e(MI::Str {
+                cond: Cond::Al,
+                byte: false,
+                rd: from,
+                rn: SP,
+                up: true,
+                off: (s * 4) as u16,
+            });
+        }
+    }
+
+    fn mv(&mut self, dst: u8, src: u8) {
+        if dst != src {
+            self.e(dp(DpOp::Mov, dst, 0, Operand2::reg(src)));
+        }
+    }
+
+    fn global_addr(&mut self, dst: u8, gid: usize) {
+        self.relocs.push(Reloc {
+            at: self.out.len(),
+            target: RelocTarget::Global(gid),
+        });
+        self.e(MI::Movw {
+            cond: Cond::Al,
+            rd: dst,
+            imm: 0,
+        });
+        self.e(MI::Movt {
+            cond: Cond::Al,
+            rd: dst,
+            imm: 0,
+        });
+    }
+
+    fn branch(&mut self, cond: Cond, l: Label) {
+        self.fixups.push((self.out.len(), l));
+        self.e(MI::B { cond, off: 0 });
+    }
+}
+
+/// Compile a TAC program to a linked ARM binary.
+pub(crate) fn compile(
+    tac: &TacProgram,
+    profile: &ToolchainProfile,
+    layout: MemLayout,
+) -> Result<LinkedBinary, CompileError> {
+    let pools = pools(profile);
+    let mut fns = Vec::with_capacity(tac.functions.len());
+    for f in &tac.functions {
+        fns.push(compile_fn(f, &pools, profile)?);
+    }
+    Ok(link(
+        fns,
+        &tac.globals,
+        layout,
+        |_| 4,
+        patch,
+        |i, out| {
+            firmup_isa::arm::encode(i, out);
+        },
+    ))
+}
+
+fn patch(instrs: &mut [MI], at: usize, instr_addr: u32, target: u32) {
+    match &mut instrs[at] {
+        MI::Movw { imm, .. } => {
+            *imm = (target & 0xffff) as u16;
+            if let MI::Movt { imm, .. } = &mut instrs[at + 1] {
+                *imm = (target >> 16) as u16;
+            } else {
+                unreachable!("global materialization must be movw+movt");
+            }
+        }
+        MI::Bl { off, .. } => {
+            *off = ((target.wrapping_sub(instr_addr.wrapping_add(8))) as i32) >> 2;
+        }
+        other => unreachable!("unexpected reloc site {other:?}"),
+    }
+}
+
+fn rel_cond(rel: Rel) -> Cond {
+    match rel {
+        Rel::Lt => Cond::Lt,
+        Rel::Le => Cond::Le,
+        Rel::Gt => Cond::Gt,
+        Rel::Ge => Cond::Ge,
+        Rel::Eq => Cond::Eq,
+        Rel::Ne => Cond::Ne,
+    }
+}
+
+#[allow(clippy::too_many_lines)]
+fn compile_fn(
+    f: &TacFunction,
+    pools: &RegPools,
+    profile: &ToolchainProfile,
+) -> Result<FnOut<MI>, CompileError> {
+    if f.params.len() > ARGS.len() {
+        return Err(crate::backend::too_many_params(&f.name, f.params.len()));
+    }
+    let alloc = allocate(f, pools);
+    let is_leaf = !f.instrs.iter().any(|i| matches!(i, Instr::Call { .. }));
+    let frame = frame_layout(&alloc, is_leaf, profile);
+    let mut em = Emitter {
+        out: Vec::new(),
+        relocs: Vec::new(),
+        label_at: HashMap::new(),
+        fixups: Vec::new(),
+        alloc: &alloc,
+        frame: &frame,
+    };
+
+    // Prologue.
+    if frame.size > 0 {
+        let op2 = Operand2::try_imm(frame.size).expect("frame size is Operand2-encodable");
+        em.e(dp(DpOp::Sub, SP, SP, op2));
+    }
+    if let Some(off) = frame.lr_off {
+        em.e(MI::Str {
+            cond: Cond::Al,
+            byte: false,
+            rd: LR,
+            rn: SP,
+            up: true,
+            off: off as u16,
+        });
+    }
+    for (k, &r) in alloc.used_callee_saved.iter().enumerate() {
+        em.e(MI::Str {
+            cond: Cond::Al,
+            byte: false,
+            rd: r as u8,
+            rn: SP,
+            up: true,
+            off: (frame.save_base + 4 * k as u32) as u16,
+        });
+    }
+    for (i, &p) in f.params.iter().enumerate() {
+        match alloc.of(p) {
+            Loc::Reg(r) => em.mv(r as u8, ARGS[i]),
+            Loc::Spill(s) => em.e(MI::Str {
+                cond: Cond::Al,
+                byte: false,
+                rd: ARGS[i],
+                rn: SP,
+                up: true,
+                off: (s * 4) as u16,
+            }),
+        }
+    }
+
+    let epilogue = |em: &mut Emitter| {
+        for (k, &r) in em.alloc.used_callee_saved.iter().enumerate() {
+            em.e(MI::Ldr {
+                cond: Cond::Al,
+                byte: false,
+                rd: r as u8,
+                rn: SP,
+                up: true,
+                off: (em.frame.save_base + 4 * k as u32) as u16,
+            });
+        }
+        if let Some(off) = em.frame.lr_off {
+            em.e(MI::Ldr {
+                cond: Cond::Al,
+                byte: false,
+                rd: LR,
+                rn: SP,
+                up: true,
+                off: off as u16,
+            });
+        }
+        if em.frame.size > 0 {
+            let op2 = Operand2::try_imm(em.frame.size).expect("frame size encodable");
+            em.e(dp(DpOp::Add, SP, SP, op2));
+        }
+        em.e(MI::Bx {
+            cond: Cond::Al,
+            rm: LR,
+        });
+    };
+
+    for (ti, instr) in f.instrs.iter().enumerate() {
+        match instr {
+            Instr::Label(l) => {
+                em.label_at.insert(*l, em.out.len());
+            }
+            Instr::Copy { dst, src } => {
+                let d = em.target(*dst, S1);
+                match src {
+                    Operand::Imm(v) => em.li(d, *v),
+                    Operand::V(_) => {
+                        let s = em.read(*src, S1);
+                        em.mv(d, s);
+                    }
+                }
+                em.writeback(*dst, d);
+            }
+            Instr::Bin { op, dst, a, b } => {
+                let ra_ = em.read(*a, S1);
+                let d = em.target(*dst, S1);
+                match op {
+                    TBin::Add | TBin::Sub | TBin::And | TBin::Or | TBin::Xor => {
+                        let op2 = em.op2(*b, S2);
+                        let dop = match op {
+                            TBin::Add => DpOp::Add,
+                            TBin::Sub => DpOp::Sub,
+                            TBin::And => DpOp::And,
+                            TBin::Or => DpOp::Orr,
+                            TBin::Xor => DpOp::Eor,
+                            _ => unreachable!(),
+                        };
+                        em.e(dp(dop, d, ra_, op2));
+                    }
+                    TBin::Shl | TBin::Sar => {
+                        let shift = if *op == TBin::Shl { Shift::Lsl } else { Shift::Asr };
+                        match b {
+                            Operand::Imm(v) => em.e(dp(
+                                DpOp::Mov,
+                                d,
+                                0,
+                                Operand2::Reg {
+                                    rm: ra_,
+                                    shift,
+                                    amount: (*v & 31) as u8,
+                                },
+                            )),
+                            Operand::V(_) => {
+                                // Register-shift-by-register is outside our
+                                // ARM subset; shift amounts are masked and
+                                // materialized through repeated code. MinC
+                                // programs use constant shifts in practice;
+                                // fall back to a short loop-free sequence
+                                // via scratch: not expressible — use mov +
+                                // manual shift by masking to a constant is
+                                // impossible, so clamp: emit shift by 0.
+                                // In practice the packages never shift by a
+                                // runtime amount on ARM targets.
+                                let rb = em.read(*b, S2);
+                                let _ = rb;
+                                return Err(CompileError {
+                                    message: format!(
+                                        "function `{}`: ARM back end requires constant shift amounts",
+                                        f.name
+                                    ),
+                                });
+                            }
+                        }
+                    }
+                    TBin::Mul => {
+                        let rb = em.read(*b, S2);
+                        // MUL rd, rm, rs requires rd != rm on ARMv5; route
+                        // through S2 when they collide (rd == rs is fine).
+                        if d == ra_ {
+                            em.e(MI::Mul {
+                                cond: Cond::Al,
+                                rd: S2,
+                                rm: ra_,
+                                rs: rb,
+                            });
+                            em.mv(d, S2);
+                        } else {
+                            em.e(MI::Mul {
+                                cond: Cond::Al,
+                                rd: d,
+                                rm: ra_,
+                                rs: rb,
+                            });
+                        }
+                    }
+                    TBin::Cmp(rel) => {
+                        let op2 = em.op2(*b, S2);
+                        em.e(MI::Dp {
+                            cond: Cond::Al,
+                            op: DpOp::Cmp,
+                            s: true,
+                            rn: ra_,
+                            rd: 0,
+                            op2,
+                        });
+                        em.e(dp(DpOp::Mov, d, 0, Operand2::Imm { rot: 0, imm: 0 }));
+                        em.e(MI::Dp {
+                            cond: rel_cond(*rel),
+                            op: DpOp::Mov,
+                            s: false,
+                            rn: 0,
+                            rd: d,
+                            op2: Operand2::Imm { rot: 0, imm: 1 },
+                        });
+                    }
+                }
+                em.writeback(*dst, d);
+            }
+            Instr::Un { op, dst, a } => {
+                let ra_ = em.read(*a, S1);
+                let d = em.target(*dst, S1);
+                match op {
+                    TUn::Neg => em.e(dp(DpOp::Rsb, d, ra_, Operand2::Imm { rot: 0, imm: 0 })),
+                    TUn::BitNot => em.e(dp(DpOp::Mvn, d, 0, Operand2::reg(ra_))),
+                    TUn::Not => {
+                        em.e(MI::Dp {
+                            cond: Cond::Al,
+                            op: DpOp::Cmp,
+                            s: true,
+                            rn: ra_,
+                            rd: 0,
+                            op2: Operand2::Imm { rot: 0, imm: 0 },
+                        });
+                        em.e(dp(DpOp::Mov, d, 0, Operand2::Imm { rot: 0, imm: 0 }));
+                        em.e(MI::Dp {
+                            cond: Cond::Eq,
+                            op: DpOp::Mov,
+                            s: false,
+                            rn: 0,
+                            rd: d,
+                            op2: Operand2::Imm { rot: 0, imm: 1 },
+                        });
+                    }
+                }
+                em.writeback(*dst, d);
+            }
+            Instr::AddrOf { dst, global } => {
+                let d = em.target(*dst, S1);
+                em.global_addr(d, *global);
+                em.writeback(*dst, d);
+            }
+            Instr::Load { dst, global, index, elem } => {
+                em.global_addr(S1, *global);
+                let d = em.target(*dst, S2);
+                let byte = *elem == crate::ast::ElemType::Byte;
+                match index {
+                    Operand::Imm(i) => {
+                        let off = i * elem.size() as i32;
+                        if (0..4096).contains(&off) {
+                            em.e(MI::Ldr {
+                                cond: Cond::Al,
+                                byte,
+                                rd: d,
+                                rn: S1,
+                                up: true,
+                                off: off as u16,
+                            });
+                        } else {
+                            em.li(S2, off);
+                            em.e(dp(DpOp::Add, S1, S1, Operand2::reg(S2)));
+                            em.e(MI::Ldr {
+                                cond: Cond::Al,
+                                byte,
+                                rd: d,
+                                rn: S1,
+                                up: true,
+                                off: 0,
+                            });
+                        }
+                    }
+                    Operand::V(_) => {
+                        let idx = em.read(*index, S2);
+                        let op2 = if byte {
+                            Operand2::reg(idx)
+                        } else {
+                            Operand2::Reg {
+                                rm: idx,
+                                shift: Shift::Lsl,
+                                amount: 2,
+                            }
+                        };
+                        em.e(dp(DpOp::Add, S1, S1, op2));
+                        em.e(MI::Ldr {
+                            cond: Cond::Al,
+                            byte,
+                            rd: d,
+                            rn: S1,
+                            up: true,
+                            off: 0,
+                        });
+                    }
+                }
+                em.writeback(*dst, d);
+            }
+            Instr::Store { global, index, value, elem } => {
+                em.global_addr(S1, *global);
+                let byte = *elem == crate::ast::ElemType::Byte;
+                let mut off = 0u16;
+                match index {
+                    Operand::Imm(i) => {
+                        let o = i * elem.size() as i32;
+                        if (0..4096).contains(&o) {
+                            off = o as u16;
+                        } else {
+                            em.li(S2, o);
+                            em.e(dp(DpOp::Add, S1, S1, Operand2::reg(S2)));
+                        }
+                    }
+                    Operand::V(_) => {
+                        let idx = em.read(*index, S2);
+                        let op2 = if byte {
+                            Operand2::reg(idx)
+                        } else {
+                            Operand2::Reg {
+                                rm: idx,
+                                shift: Shift::Lsl,
+                                amount: 2,
+                            }
+                        };
+                        em.e(dp(DpOp::Add, S1, S1, op2));
+                    }
+                }
+                let v = em.read(*value, S2);
+                em.e(MI::Str {
+                    cond: Cond::Al,
+                    byte,
+                    rd: v,
+                    rn: S1,
+                    up: true,
+                    off,
+                });
+            }
+            Instr::LoadPtr { dst, addr, elem } => {
+                let a = em.read(*addr, S1);
+                let d = em.target(*dst, S2);
+                em.e(MI::Ldr {
+                    cond: Cond::Al,
+                    byte: *elem == crate::ast::ElemType::Byte,
+                    rd: d,
+                    rn: a,
+                    up: true,
+                    off: 0,
+                });
+                em.writeback(*dst, d);
+            }
+            Instr::StorePtr { addr, value, elem } => {
+                let a = em.read(*addr, S1);
+                let v = em.read(*value, S2);
+                em.e(MI::Str {
+                    cond: Cond::Al,
+                    byte: *elem == crate::ast::ElemType::Byte,
+                    rd: v,
+                    rn: a,
+                    up: true,
+                    off: 0,
+                });
+            }
+            Instr::Call { dst, callee, args } => {
+                for (i, a) in args.iter().enumerate() {
+                    match a {
+                        Operand::Imm(v) => em.li(ARGS[i], *v),
+                        Operand::V(_) => {
+                            let r = em.read(*a, ARGS[i]);
+                            em.mv(ARGS[i], r);
+                        }
+                    }
+                }
+                em.relocs.push(Reloc {
+                    at: em.out.len(),
+                    target: RelocTarget::Func(*callee),
+                });
+                em.e(MI::Bl {
+                    cond: Cond::Al,
+                    off: 0,
+                });
+                if let Some(d) = dst {
+                    let t = em.target(*d, S1);
+                    em.mv(t, RET);
+                    em.writeback(*d, t);
+                }
+            }
+            Instr::Ret { value } => {
+                if let Some(v) = value {
+                    match v {
+                        Operand::Imm(c) => em.li(RET, *c),
+                        Operand::V(_) => {
+                            let r = em.read(*v, RET);
+                            em.mv(RET, r);
+                        }
+                    }
+                }
+                epilogue(&mut em);
+            }
+            Instr::Jmp(l) => em.branch(Cond::Al, *l),
+            Instr::BrCmp { rel, a, b, taken, fall } => {
+                let ra_ = em.read(*a, S1);
+                let op2 = em.op2(*b, S2);
+                em.e(MI::Dp {
+                    cond: Cond::Al,
+                    op: DpOp::Cmp,
+                    s: true,
+                    rn: ra_,
+                    rd: 0,
+                    op2,
+                });
+                em.branch(rel_cond(*rel), *taken);
+                emit_fall(&mut em, f, ti, *fall);
+            }
+            Instr::BrNz { cond, taken, fall } => {
+                let c = em.read(*cond, S1);
+                em.e(MI::Dp {
+                    cond: Cond::Al,
+                    op: DpOp::Cmp,
+                    s: true,
+                    rn: c,
+                    rd: 0,
+                    op2: Operand2::Imm { rot: 0, imm: 0 },
+                });
+                em.branch(Cond::Ne, *taken);
+                emit_fall(&mut em, f, ti, *fall);
+            }
+        }
+    }
+    if !matches!(
+        f.instrs.last(),
+        Some(Instr::Ret { .. }) | Some(Instr::Jmp(_)) | Some(Instr::BrCmp { .. }) | Some(Instr::BrNz { .. })
+    ) {
+        epilogue(&mut em);
+    }
+
+    // Resolve branches: rel24 measured from PC = idx + 2 words.
+    for (idx, l) in em.fixups.clone() {
+        let target = em.label_at[&l] as i32;
+        let off = target - (idx as i32 + 2);
+        if let MI::B { off: o, .. } = &mut em.out[idx] {
+            *o = off;
+        } else {
+            unreachable!("fixup at non-branch");
+        }
+    }
+
+    Ok(FnOut {
+        name: f.name.clone(),
+        exported: f.exported,
+        instrs: em.out,
+        relocs: em.relocs,
+    })
+}
+
+fn emit_fall(em: &mut Emitter, f: &TacFunction, ti: usize, fall: Label) {
+    if matches!(f.instrs.get(ti + 1), Some(Instr::Label(l)) if *l == fall) {
+        return;
+    }
+    em.branch(Cond::Al, fall);
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::parser::parse;
+    use crate::sema::check;
+    use crate::tac::lower;
+
+    fn build(src: &str, profile: &ToolchainProfile) -> LinkedBinary {
+        let p = parse(src).unwrap();
+        check(&p).unwrap();
+        let mut t = lower(&p);
+        crate::opt::optimize(&mut t, profile.opt_flags());
+        compile(&t, profile, MemLayout::default()).unwrap()
+    }
+
+    fn decode_all(lb: &LinkedBinary) -> Vec<MI> {
+        let mut out = Vec::new();
+        let mut off = 0;
+        while off < lb.text.len() {
+            let (i, _) = firmup_isa::arm::decode(&lb.text, off, lb.text_base + off as u32)
+                .unwrap_or_else(|e| panic!("undecodable at {off}: {e}"));
+            out.push(i);
+            off += 4;
+        }
+        out
+    }
+
+    #[test]
+    fn whole_binary_decodes() {
+        let lb = build(
+            "global b: [byte; 8]; fn helper(x: int) -> int { return x * 3; } fn main(a: int) -> int { b[a] = 1; if (a < 10 && a != 5) { return helper(a); } return b[a]; }",
+            &ToolchainProfile::gcc_like(),
+        );
+        let instrs = decode_all(&lb);
+        assert!(instrs.len() > 10);
+    }
+
+    #[test]
+    fn bl_reloc_resolves() {
+        let lb = build(
+            "fn leaf() -> int { return 3; } fn callee() -> int { return leaf() + 1; } fn main() -> int { return callee(); }",
+            &ToolchainProfile::gcc_like(),
+        );
+        let callee = lb.symbols.iter().find(|s| s.0 == "callee").unwrap().1;
+        let main = lb.symbols.iter().find(|s| s.0 == "main").unwrap();
+        let lo = (main.1 - lb.text_base) as usize;
+        let mut off = lo;
+        let mut ok = false;
+        while off < lo + main.2 as usize {
+            let addr = lb.text_base + off as u32;
+            let (i, _) = firmup_isa::arm::decode(&lb.text, off, addr).unwrap();
+            if let MI::Bl { off: rel, .. } = i {
+                assert_eq!(addr.wrapping_add(8).wrapping_add((rel << 2) as u32), callee);
+                ok = true;
+            }
+            off += 4;
+        }
+        assert!(ok, "no bl in main");
+    }
+
+    #[test]
+    fn conditional_mov_used_for_comparisons() {
+        let lb = build(
+            "fn main(a: int, b: int) -> int { var c = a < b; return c; }",
+            &ToolchainProfile::gcc_like(),
+        );
+        let has_cond_mov = decode_all(&lb).iter().any(|i| {
+            matches!(
+                i,
+                MI::Dp {
+                    cond: Cond::Lt,
+                    op: DpOp::Mov,
+                    ..
+                }
+            )
+        });
+        assert!(has_cond_mov, "comparison value should use movlt");
+    }
+
+    #[test]
+    fn o0_vs_o2_size_difference() {
+        let src = "fn main(a: int, b: int) -> int { var c = a + b; var d = c * 2; return d; }";
+        let o0 = build(src, &ToolchainProfile::vendor_debug());
+        let o2 = build(src, &ToolchainProfile::gcc_like());
+        assert!(o0.text.len() > o2.text.len());
+    }
+}

@@ -1,0 +1,916 @@
+//! MIPS32 back end.
+
+use std::collections::HashMap;
+
+use firmup_isa::mips::{Gpr, Instr as MI, RA, SP, V0};
+
+use crate::emit::{link, CompileError, FnOut, LinkedBinary, MemLayout, Reloc, RelocTarget};
+use crate::profile::ToolchainProfile;
+use crate::regalloc::{allocate, Allocation, Loc, RegPools};
+use crate::tac::{Instr, Label, Operand, Rel, TBin, TUn, TacFunction, TacProgram, VReg};
+
+const ZERO: Gpr = Gpr(0);
+/// `$at`, reserved as the first scratch register (as real assemblers do).
+const S1: Gpr = Gpr(1);
+/// `$v1`, second scratch.
+const S2: Gpr = Gpr(3);
+const ARGS: [Gpr; 4] = [Gpr(4), Gpr(5), Gpr(6), Gpr(7)];
+
+fn pools(profile: &ToolchainProfile) -> RegPools {
+    let mut caller: Vec<u16> = (8..=15).chain([24, 25]).collect(); // t0-t7, t8, t9
+    let mut callee: Vec<u16> = (16..=23).collect(); // s0-s7
+    profile.reg_order.apply(&mut caller);
+    profile.reg_order.apply(&mut callee);
+    if profile.opt == crate::profile::OptLevel::O0 {
+        // -O0 keeps every value in memory.
+        return RegPools {
+            caller_saved: vec![],
+            callee_saved: vec![],
+        };
+    }
+    RegPools {
+        caller_saved: caller,
+        callee_saved: callee,
+    }
+}
+
+struct Frame {
+    size: u32,
+    spill_base: u32,
+    save_base: u32,
+    ra_off: Option<u32>,
+}
+
+fn frame_layout(alloc: &Allocation, is_leaf: bool, profile: &ToolchainProfile) -> Frame {
+    let spill_bytes = alloc.spill_slots * 4;
+    let save_bytes = alloc.used_callee_saved.len() as u32 * 4;
+    let ra_bytes = if is_leaf { 0 } else { 4 };
+    let mut size = spill_bytes + save_bytes + ra_bytes + profile.frame_padding;
+    size = (size + 7) & !7;
+    Frame {
+        size,
+        spill_base: 0,
+        save_base: spill_bytes,
+        ra_off: (!is_leaf).then_some(spill_bytes + save_bytes),
+    }
+}
+
+struct Emitter<'a> {
+    out: Vec<MI>,
+    relocs: Vec<Reloc>,
+    label_at: HashMap<Label, usize>,
+    fixups: Vec<(usize, Label)>,
+    alloc: &'a Allocation,
+    frame: &'a Frame,
+}
+
+impl<'a> Emitter<'a> {
+    fn e(&mut self, i: MI) {
+        self.out.push(i);
+    }
+
+    fn nop(&mut self) {
+        self.e(MI::Sll {
+            rd: ZERO,
+            rt: ZERO,
+            sh: 0,
+        });
+    }
+
+    fn spill_off(&self, slot: u32) -> i16 {
+        (self.frame.spill_base + slot * 4) as i16
+    }
+
+    fn li(&mut self, dst: Gpr, v: i32) {
+        if v == 0 {
+            self.e(MI::Addu { rd: dst, rs: ZERO, rt: ZERO });
+        } else if (-32768..=32767).contains(&v) {
+            self.e(MI::Addiu {
+                rt: dst,
+                rs: ZERO,
+                imm: v as i16,
+            });
+        } else {
+            let u = v as u32;
+            self.e(MI::Lui {
+                rt: dst,
+                imm: (u >> 16) as u16,
+            });
+            if u & 0xffff != 0 {
+                self.e(MI::Ori {
+                    rt: dst,
+                    rs: dst,
+                    imm: (u & 0xffff) as u16,
+                });
+            }
+        }
+    }
+
+    /// Bring an operand into a register (using `scratch` if needed).
+    fn read(&mut self, op: Operand, scratch: Gpr) -> Gpr {
+        match op {
+            Operand::Imm(0) => ZERO,
+            Operand::Imm(v) => {
+                self.li(scratch, v);
+                scratch
+            }
+            Operand::V(v) => match self.alloc.of(v) {
+                Loc::Reg(r) => Gpr(r as u8),
+                Loc::Spill(s) => {
+                    let off = self.spill_off(s);
+                    self.e(MI::Lw {
+                        rt: scratch,
+                        base: SP,
+                        off,
+                    });
+                    scratch
+                }
+            },
+        }
+    }
+
+    /// The register to compute a result into.
+    fn target(&self, dst: VReg, scratch: Gpr) -> Gpr {
+        match self.alloc.of(dst) {
+            Loc::Reg(r) => Gpr(r as u8),
+            Loc::Spill(_) => scratch,
+        }
+    }
+
+    /// Store a computed value to its home if spilled.
+    fn writeback(&mut self, dst: VReg, from: Gpr) {
+        if let Loc::Spill(s) = self.alloc.of(dst) {
+            let off = self.spill_off(s);
+            self.e(MI::Sw {
+                rt: from,
+                base: SP,
+                off,
+            });
+        }
+    }
+
+    /// Move between registers (no-op when identical).
+    fn mv(&mut self, dst: Gpr, src: Gpr) {
+        if dst != src {
+            self.e(MI::Addu {
+                rd: dst,
+                rs: src,
+                rt: ZERO,
+            });
+        }
+    }
+
+    /// Materialize a global's address into `dst` (relocated later).
+    fn global_addr(&mut self, dst: Gpr, gid: usize) {
+        self.relocs.push(Reloc {
+            at: self.out.len(),
+            target: RelocTarget::Global(gid),
+        });
+        self.e(MI::Lui { rt: dst, imm: 0 });
+        self.e(MI::Ori {
+            rt: dst,
+            rs: dst,
+            imm: 0,
+        });
+    }
+
+    /// Emit a branch with a pending label target.
+    fn branch(&mut self, i: MI, l: Label) {
+        self.fixups.push((self.out.len(), l));
+        self.e(i);
+        self.nop(); // delay slot
+    }
+}
+
+/// Compile a TAC program to a linked MIPS binary.
+pub(crate) fn compile(
+    tac: &TacProgram,
+    profile: &ToolchainProfile,
+    layout: MemLayout,
+) -> Result<LinkedBinary, CompileError> {
+    let pools = pools(profile);
+    let mut fns = Vec::with_capacity(tac.functions.len());
+    for f in &tac.functions {
+        fns.push(compile_fn(f, tac, &pools, profile)?);
+    }
+    Ok(link(
+        fns,
+        &tac.globals,
+        layout,
+        |_| 4,
+        patch,
+        firmup_isa::mips::encode,
+    ))
+}
+
+fn patch(instrs: &mut [MI], at: usize, _instr_addr: u32, target: u32) {
+    match &mut instrs[at] {
+        MI::Jal { target: t } | MI::J { target: t } => *t = target,
+        MI::Lui { imm, .. } => {
+            *imm = (target >> 16) as u16;
+            if let MI::Ori { imm, .. } = &mut instrs[at + 1] {
+                *imm = (target & 0xffff) as u16;
+            } else {
+                unreachable!("global materialization must be lui+ori");
+            }
+        }
+        other => unreachable!("unexpected reloc site {other:?}"),
+    }
+}
+
+fn set_branch_target(i: &mut MI, off: i16) {
+    match i {
+        MI::Beq { off: o, .. }
+        | MI::Bne { off: o, .. }
+        | MI::Blez { off: o, .. }
+        | MI::Bgtz { off: o, .. }
+        | MI::Bltz { off: o, .. }
+        | MI::Bgez { off: o, .. } => *o = off,
+        other => unreachable!("not a branch: {other:?}"),
+    }
+}
+
+fn branch_reads(i: &MI) -> Vec<Gpr> {
+    match *i {
+        MI::Beq { rs, rt, .. } | MI::Bne { rs, rt, .. } => vec![rs, rt],
+        MI::Blez { rs, .. } | MI::Bgtz { rs, .. } | MI::Bltz { rs, .. } | MI::Bgez { rs, .. } => {
+            vec![rs]
+        }
+        _ => vec![],
+    }
+}
+
+fn writes(i: &MI) -> Option<Gpr> {
+    match *i {
+        MI::Sll { rd, .. }
+        | MI::Srl { rd, .. }
+        | MI::Sra { rd, .. }
+        | MI::Sllv { rd, .. }
+        | MI::Srlv { rd, .. }
+        | MI::Srav { rd, .. }
+        | MI::Addu { rd, .. }
+        | MI::Subu { rd, .. }
+        | MI::And { rd, .. }
+        | MI::Or { rd, .. }
+        | MI::Xor { rd, .. }
+        | MI::Nor { rd, .. }
+        | MI::Slt { rd, .. }
+        | MI::Sltu { rd, .. }
+        | MI::Mul { rd, .. } => Some(rd),
+        MI::Addiu { rt, .. }
+        | MI::Slti { rt, .. }
+        | MI::Sltiu { rt, .. }
+        | MI::Andi { rt, .. }
+        | MI::Ori { rt, .. }
+        | MI::Xori { rt, .. }
+        | MI::Lui { rt, .. }
+        | MI::Lw { rt, .. }
+        | MI::Lb { rt, .. }
+        | MI::Lbu { rt, .. } => Some(rt),
+        _ => None,
+    }
+}
+
+fn is_simple_fill_candidate(i: &MI) -> bool {
+    matches!(
+        i,
+        MI::Addu { .. }
+            | MI::Subu { .. }
+            | MI::And { .. }
+            | MI::Or { .. }
+            | MI::Xor { .. }
+            | MI::Addiu { .. }
+            | MI::Andi { .. }
+            | MI::Ori { .. }
+            | MI::Xori { .. }
+            | MI::Sll { .. }
+            | MI::Srl { .. }
+            | MI::Sra { .. }
+            | MI::Lw { .. }
+            | MI::Sw { .. }
+    ) && writes(i) != Some(ZERO) || matches!(i, MI::Sw { .. })
+}
+
+#[allow(clippy::too_many_lines)]
+fn compile_fn(
+    f: &TacFunction,
+    tac: &TacProgram,
+    pools: &RegPools,
+    profile: &ToolchainProfile,
+) -> Result<FnOut<MI>, CompileError> {
+    if f.params.len() > ARGS.len() {
+        return Err(crate::backend::too_many_params(&f.name, f.params.len()));
+    }
+    let alloc = allocate(f, pools);
+    let is_leaf = !f.instrs.iter().any(|i| matches!(i, Instr::Call { .. }));
+    let frame = frame_layout(&alloc, is_leaf, profile);
+    let mut em = Emitter {
+        out: Vec::new(),
+        relocs: Vec::new(),
+        label_at: HashMap::new(),
+        fixups: Vec::new(),
+        alloc: &alloc,
+        frame: &frame,
+    };
+
+    // Prologue.
+    if frame.size > 0 {
+        em.e(MI::Addiu {
+            rt: SP,
+            rs: SP,
+            imm: -(frame.size as i32) as i16,
+        });
+    }
+    if let Some(off) = frame.ra_off {
+        em.e(MI::Sw {
+            rt: RA,
+            base: SP,
+            off: off as i16,
+        });
+    }
+    for (k, &r) in alloc.used_callee_saved.iter().enumerate() {
+        em.e(MI::Sw {
+            rt: Gpr(r as u8),
+            base: SP,
+            off: (frame.save_base + 4 * k as u32) as i16,
+        });
+    }
+    // Home the parameters.
+    for (i, &p) in f.params.iter().enumerate() {
+        match alloc.of(p) {
+            Loc::Reg(r) => em.mv(Gpr(r as u8), ARGS[i]),
+            Loc::Spill(s) => {
+                let off = em.spill_off(s);
+                em.e(MI::Sw {
+                    rt: ARGS[i],
+                    base: SP,
+                    off,
+                });
+            }
+        }
+    }
+
+    let epilogue = |em: &mut Emitter| {
+        for (k, &r) in em.alloc.used_callee_saved.iter().enumerate() {
+            em.e(MI::Lw {
+                rt: Gpr(r as u8),
+                base: SP,
+                off: (em.frame.save_base + 4 * k as u32) as i16,
+            });
+        }
+        if let Some(off) = em.frame.ra_off {
+            em.e(MI::Lw {
+                rt: RA,
+                base: SP,
+                off: off as i16,
+            });
+        }
+        if em.frame.size > 0 {
+            em.e(MI::Addiu {
+                rt: SP,
+                rs: SP,
+                imm: em.frame.size as i16,
+            });
+        }
+        em.e(MI::Jr { rs: RA });
+        em.nop();
+    };
+
+    for (ti, instr) in f.instrs.iter().enumerate() {
+        match instr {
+            Instr::Label(l) => {
+                em.label_at.insert(*l, em.out.len());
+            }
+            Instr::Copy { dst, src } => {
+                let d = em.target(*dst, S1);
+                match src {
+                    Operand::Imm(v) => em.li(d, *v),
+                    Operand::V(_) => {
+                        let s = em.read(*src, S1);
+                        em.mv(d, s);
+                    }
+                }
+                em.writeback(*dst, d);
+            }
+            Instr::Bin { op, dst, a, b } => {
+                let ra_ = em.read(*a, S1);
+                let d = em.target(*dst, S1);
+                match (op, b) {
+                    // Immediate forms when the constant fits.
+                    (TBin::Add, Operand::Imm(v)) if (-32768..=32767).contains(v) => {
+                        em.e(MI::Addiu {
+                            rt: d,
+                            rs: ra_,
+                            imm: *v as i16,
+                        });
+                    }
+                    (TBin::And, Operand::Imm(v)) if (0..=0xffff).contains(v) => {
+                        em.e(MI::Andi {
+                            rt: d,
+                            rs: ra_,
+                            imm: *v as u16,
+                        });
+                    }
+                    (TBin::Or, Operand::Imm(v)) if (0..=0xffff).contains(v) => {
+                        em.e(MI::Ori {
+                            rt: d,
+                            rs: ra_,
+                            imm: *v as u16,
+                        });
+                    }
+                    (TBin::Xor, Operand::Imm(v)) if (0..=0xffff).contains(v) => {
+                        em.e(MI::Xori {
+                            rt: d,
+                            rs: ra_,
+                            imm: *v as u16,
+                        });
+                    }
+                    (TBin::Shl, Operand::Imm(v)) => em.e(MI::Sll {
+                        rd: d,
+                        rt: ra_,
+                        sh: (*v & 31) as u8,
+                    }),
+                    (TBin::Sar, Operand::Imm(v)) => em.e(MI::Sra {
+                        rd: d,
+                        rt: ra_,
+                        sh: (*v & 31) as u8,
+                    }),
+                    (TBin::Cmp(Rel::Lt), Operand::Imm(v)) if (-32768..=32767).contains(v) => {
+                        em.e(MI::Slti {
+                            rt: d,
+                            rs: ra_,
+                            imm: *v as i16,
+                        });
+                    }
+                    _ => {
+                        let rb = em.read(*b, S2);
+                        match op {
+                            TBin::Add => em.e(MI::Addu { rd: d, rs: ra_, rt: rb }),
+                            TBin::Sub => em.e(MI::Subu { rd: d, rs: ra_, rt: rb }),
+                            TBin::Mul => em.e(MI::Mul { rd: d, rs: ra_, rt: rb }),
+                            TBin::And => em.e(MI::And { rd: d, rs: ra_, rt: rb }),
+                            TBin::Or => em.e(MI::Or { rd: d, rs: ra_, rt: rb }),
+                            TBin::Xor => em.e(MI::Xor { rd: d, rs: ra_, rt: rb }),
+                            TBin::Shl => em.e(MI::Sllv { rd: d, rt: ra_, rs: rb }),
+                            TBin::Sar => em.e(MI::Srav { rd: d, rt: ra_, rs: rb }),
+                            TBin::Cmp(rel) => emit_cmp_value(&mut em, *rel, d, ra_, rb),
+                        }
+                    }
+                }
+                em.writeback(*dst, d);
+            }
+            Instr::Un { op, dst, a } => {
+                let ra_ = em.read(*a, S1);
+                let d = em.target(*dst, S1);
+                match op {
+                    TUn::Neg => em.e(MI::Subu { rd: d, rs: ZERO, rt: ra_ }),
+                    TUn::Not => em.e(MI::Sltiu { rt: d, rs: ra_, imm: 1 }),
+                    TUn::BitNot => em.e(MI::Nor { rd: d, rs: ra_, rt: ZERO }),
+                }
+                em.writeback(*dst, d);
+            }
+            Instr::AddrOf { dst, global } => {
+                let d = em.target(*dst, S1);
+                em.global_addr(d, *global);
+                em.writeback(*dst, d);
+            }
+            Instr::Load { dst, global, index, elem } => {
+                em.global_addr(S1, *global);
+                let d = em.target(*dst, S2);
+                match index {
+                    Operand::Imm(i) => {
+                        let off = i * elem.size() as i32;
+                        let (base, off) = if (-32768..=32767).contains(&off) {
+                            (S1, off as i16)
+                        } else {
+                            em.li(S2, off);
+                            em.e(MI::Addu { rd: S1, rs: S1, rt: S2 });
+                            (S1, 0)
+                        };
+                        emit_load(&mut em, *elem, d, base, off);
+                    }
+                    Operand::V(_) => {
+                        let idx = em.read(*index, S2);
+                        if elem.size() == 4 {
+                            em.e(MI::Sll { rd: S2, rt: idx, sh: 2 });
+                            em.e(MI::Addu { rd: S1, rs: S1, rt: S2 });
+                        } else {
+                            em.e(MI::Addu { rd: S1, rs: S1, rt: idx });
+                        }
+                        emit_load(&mut em, *elem, d, S1, 0);
+                    }
+                }
+                em.writeback(*dst, d);
+            }
+            Instr::Store { global, index, value, elem } => {
+                em.global_addr(S1, *global);
+                match index {
+                    Operand::Imm(i) => {
+                        let off = i * elem.size() as i32;
+                        if !(-32768..=32767).contains(&off) {
+                            em.li(S2, off);
+                            em.e(MI::Addu { rd: S1, rs: S1, rt: S2 });
+                        }
+                        let v = em.read(*value, S2);
+                        let off16 = if (-32768..=32767).contains(&off) { off as i16 } else { 0 };
+                        emit_store(&mut em, *elem, v, S1, off16);
+                    }
+                    Operand::V(_) => {
+                        let idx = em.read(*index, S2);
+                        if elem.size() == 4 {
+                            em.e(MI::Sll { rd: S2, rt: idx, sh: 2 });
+                            em.e(MI::Addu { rd: S1, rs: S1, rt: S2 });
+                        } else {
+                            em.e(MI::Addu { rd: S1, rs: S1, rt: idx });
+                        }
+                        let v = em.read(*value, S2);
+                        emit_store(&mut em, *elem, v, S1, 0);
+                    }
+                }
+            }
+            Instr::LoadPtr { dst, addr, elem } => {
+                let a = em.read(*addr, S1);
+                let d = em.target(*dst, S2);
+                emit_load(&mut em, *elem, d, a, 0);
+                em.writeback(*dst, d);
+            }
+            Instr::StorePtr { addr, value, elem } => {
+                let a = em.read(*addr, S1);
+                let v = em.read(*value, S2);
+                emit_store(&mut em, *elem, v, a, 0);
+            }
+            Instr::Call { dst, callee, args } => {
+                for (i, a) in args.iter().enumerate() {
+                    match a {
+                        Operand::Imm(v) => em.li(ARGS[i], *v),
+                        Operand::V(_) => {
+                            let r = em.read(*a, ARGS[i]);
+                            em.mv(ARGS[i], r);
+                        }
+                    }
+                }
+                em.relocs.push(Reloc {
+                    at: em.out.len(),
+                    target: RelocTarget::Func(*callee),
+                });
+                em.e(MI::Jal { target: 0 });
+                em.nop(); // delay slot
+                let _ = tac;
+                if let Some(d) = dst {
+                    let t = em.target(*d, S1);
+                    em.mv(t, V0);
+                    em.writeback(*d, t);
+                }
+            }
+            Instr::Ret { value } => {
+                if let Some(v) = value {
+                    match v {
+                        Operand::Imm(c) => em.li(V0, *c),
+                        Operand::V(_) => {
+                            let r = em.read(*v, V0);
+                            em.mv(V0, r);
+                        }
+                    }
+                }
+                epilogue(&mut em);
+            }
+            Instr::Jmp(l) => {
+                // `b label` == beq $zero, $zero (PC-relative, unlike J).
+                em.branch(
+                    MI::Beq {
+                        rs: ZERO,
+                        rt: ZERO,
+                        off: 0,
+                    },
+                    *l,
+                );
+            }
+            Instr::BrCmp { rel, a, b, taken, fall } => {
+                emit_brcmp(&mut em, *rel, *a, *b, *taken);
+                emit_fall(&mut em, f, ti, *fall);
+            }
+            Instr::BrNz { cond, taken, fall } => {
+                let c = em.read(*cond, S1);
+                em.branch(
+                    MI::Bne {
+                        rs: c,
+                        rt: ZERO,
+                        off: 0,
+                    },
+                    *taken,
+                );
+                emit_fall(&mut em, f, ti, *fall);
+            }
+        }
+    }
+    // Emit a trailing epilogue unless the function already cannot fall
+    // off the end (Ret emitted one; Jmp/branches never fall through —
+    // e.g. an optimized infinite loop ends in a bare Jmp).
+    if !matches!(
+        f.instrs.last(),
+        Some(Instr::Ret { .. }) | Some(Instr::Jmp(_)) | Some(Instr::BrCmp { .. }) | Some(Instr::BrNz { .. })
+    ) {
+        epilogue(&mut em);
+    }
+
+    if profile.fill_delay_slots {
+        fill_delay_slots(&mut em);
+    }
+
+    // Resolve intra-function branch offsets.
+    let label_at = em.label_at.clone();
+    for (idx, l) in em.fixups.clone() {
+        let target = label_at[&l] as i32;
+        let off = target - (idx as i32 + 1);
+        set_branch_target(&mut em.out[idx], off as i16);
+    }
+
+    Ok(FnOut {
+        name: f.name.clone(),
+        exported: f.exported,
+        instrs: em.out,
+        relocs: em.relocs,
+    })
+}
+
+fn emit_load(em: &mut Emitter, elem: crate::ast::ElemType, d: Gpr, base: Gpr, off: i16) {
+    match elem {
+        crate::ast::ElemType::Int => em.e(MI::Lw { rt: d, base, off }),
+        crate::ast::ElemType::Byte => em.e(MI::Lbu { rt: d, base, off }),
+    }
+}
+
+fn emit_store(em: &mut Emitter, elem: crate::ast::ElemType, v: Gpr, base: Gpr, off: i16) {
+    match elem {
+        crate::ast::ElemType::Int => em.e(MI::Sw { rt: v, base, off }),
+        crate::ast::ElemType::Byte => em.e(MI::Sb { rt: v, base, off }),
+    }
+}
+
+/// Comparison as a 0/1 value.
+fn emit_cmp_value(em: &mut Emitter, rel: Rel, d: Gpr, a: Gpr, b: Gpr) {
+    match rel {
+        Rel::Lt => em.e(MI::Slt { rd: d, rs: a, rt: b }),
+        Rel::Gt => em.e(MI::Slt { rd: d, rs: b, rt: a }),
+        Rel::Le => {
+            em.e(MI::Slt { rd: d, rs: b, rt: a });
+            em.e(MI::Xori { rt: d, rs: d, imm: 1 });
+        }
+        Rel::Ge => {
+            em.e(MI::Slt { rd: d, rs: a, rt: b });
+            em.e(MI::Xori { rt: d, rs: d, imm: 1 });
+        }
+        Rel::Eq => {
+            em.e(MI::Xor { rd: d, rs: a, rt: b });
+            em.e(MI::Sltiu { rt: d, rs: d, imm: 1 });
+        }
+        Rel::Ne => {
+            em.e(MI::Xor { rd: d, rs: a, rt: b });
+            em.e(MI::Sltu { rd: d, rs: ZERO, rt: d });
+        }
+    }
+}
+
+fn emit_brcmp(em: &mut Emitter, rel: Rel, a: Operand, b: Operand, taken: Label) {
+    // Compare-to-zero forms use the dedicated MIPS branches.
+    if b == Operand::Imm(0) {
+        let ra_ = em.read(a, S1);
+        let i = match rel {
+            Rel::Eq => MI::Beq { rs: ra_, rt: ZERO, off: 0 },
+            Rel::Ne => MI::Bne { rs: ra_, rt: ZERO, off: 0 },
+            Rel::Lt => MI::Bltz { rs: ra_, off: 0 },
+            Rel::Ge => MI::Bgez { rs: ra_, off: 0 },
+            Rel::Le => MI::Blez { rs: ra_, off: 0 },
+            Rel::Gt => MI::Bgtz { rs: ra_, off: 0 },
+        };
+        em.branch(i, taken);
+        return;
+    }
+    let ra_ = em.read(a, S1);
+    let rb = em.read(b, S2);
+    match rel {
+        Rel::Eq => em.branch(MI::Beq { rs: ra_, rt: rb, off: 0 }, taken),
+        Rel::Ne => em.branch(MI::Bne { rs: ra_, rt: rb, off: 0 }, taken),
+        Rel::Lt => {
+            em.e(MI::Slt { rd: S1, rs: ra_, rt: rb });
+            em.branch(MI::Bne { rs: S1, rt: ZERO, off: 0 }, taken);
+        }
+        Rel::Ge => {
+            em.e(MI::Slt { rd: S1, rs: ra_, rt: rb });
+            em.branch(MI::Beq { rs: S1, rt: ZERO, off: 0 }, taken);
+        }
+        Rel::Gt => {
+            em.e(MI::Slt { rd: S1, rs: rb, rt: ra_ });
+            em.branch(MI::Bne { rs: S1, rt: ZERO, off: 0 }, taken);
+        }
+        Rel::Le => {
+            em.e(MI::Slt { rd: S1, rs: rb, rt: ra_ });
+            em.branch(MI::Beq { rs: S1, rt: ZERO, off: 0 }, taken);
+        }
+    }
+}
+
+/// Emit the fall-through edge unless the next TAC instruction is exactly
+/// the fall label.
+fn emit_fall(em: &mut Emitter, f: &TacFunction, ti: usize, fall: Label) {
+    if matches!(f.instrs.get(ti + 1), Some(Instr::Label(l)) if *l == fall) {
+        return;
+    }
+    em.branch(
+        MI::Beq {
+            rs: ZERO,
+            rt: ZERO,
+            off: 0,
+        },
+        fall,
+    );
+}
+
+/// Move a safe preceding instruction into each branch's delay slot,
+/// replacing the NOP. Operates before offsets are resolved, updating
+/// label positions, fixups and relocations accordingly.
+fn fill_delay_slots(em: &mut Emitter) {
+    let mut i = 1;
+    while i + 1 < em.out.len() {
+        let is_branch = em.fixups.iter().any(|&(b, _)| b == i) || matches!(em.out[i], MI::Jal { .. } | MI::Jr { .. });
+        let nop_after = em.out[i + 1]
+            == MI::Sll {
+                rd: ZERO,
+                rt: ZERO,
+                sh: 0,
+            };
+        if !(is_branch && nop_after) {
+            i += 1;
+            continue;
+        }
+        let cand_idx = i - 1;
+        let cand = em.out[cand_idx];
+        let cand_writes = writes(&cand);
+        let br_reads = branch_reads(&em.out[i]);
+        let labels_block = em
+            .label_at
+            .values()
+            .any(|&p| p == cand_idx || p == i || p == i + 1);
+        let reloc_block = em
+            .relocs
+            .iter()
+            .any(|r| r.at == cand_idx || r.at + 1 == cand_idx || r.at == i);
+        let fixup_block = em.fixups.iter().any(|&(b, _)| b == cand_idx);
+        // The candidate must not itself sit in the delay slot of an
+        // earlier branch.
+        let in_prev_slot = cand_idx > 0
+            && (em.fixups.iter().any(|&(b, _)| b == cand_idx - 1)
+                || matches!(em.out[cand_idx - 1], MI::Jal { .. } | MI::Jr { .. }));
+        let safe = !in_prev_slot
+            && is_simple_fill_candidate(&cand)
+            && !labels_block
+            && !reloc_block
+            && !fixup_block
+            && cand_writes.is_none_or(|w| !br_reads.contains(&w));
+        if !safe {
+            i += 1;
+            continue;
+        }
+        // [cand, br, nop] → [br, cand]; indices ≥ i+1 shift down by one,
+        // and the branch moves from i to i-1.
+        em.out.remove(i + 1); // drop nop
+        em.out.swap(cand_idx, i);
+        for (b, _) in &mut em.fixups {
+            if *b == i {
+                *b = cand_idx;
+            } else if *b > i + 1 {
+                *b -= 1;
+            }
+        }
+        for r in &mut em.relocs {
+            if r.at == i {
+                r.at = cand_idx; // jal moved up
+            } else if r.at > i + 1 {
+                r.at -= 1;
+            }
+        }
+        for p in em.label_at.values_mut() {
+            if *p > i + 1 {
+                *p -= 1;
+            }
+        }
+        i += 1;
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::parser::parse;
+    use crate::sema::check;
+    use crate::tac::lower;
+
+    fn build(src: &str, profile: &ToolchainProfile) -> LinkedBinary {
+        let p = parse(src).unwrap();
+        check(&p).unwrap();
+        let mut t = lower(&p);
+        crate::opt::optimize(&mut t, profile.opt_flags());
+        compile(&t, profile, MemLayout::default()).unwrap()
+    }
+
+    #[test]
+    fn trivial_function_encodes_and_decodes() {
+        let lb = build("fn main() -> int { return 42; }", &ToolchainProfile::gcc_like());
+        assert!(!lb.text.is_empty());
+        // Every word decodes.
+        let mut off = 0;
+        while off < lb.text.len() {
+            firmup_isa::mips::decode(&lb.text, off, lb.text_base + off as u32)
+                .unwrap_or_else(|e| panic!("undecodable at {off}: {e}"));
+            off += 4;
+        }
+    }
+
+    #[test]
+    fn call_reloc_points_at_callee() {
+        let lb = build(
+            "fn leaf() -> int { return 3; } fn helper() -> int { return leaf() + 7; } fn main() -> int { return helper(); }",
+            &ToolchainProfile::gcc_like(),
+        );
+        let helper_addr = lb.symbols.iter().find(|s| s.0 == "helper").unwrap().1;
+        // Find the jal in main and check its target.
+        let main = lb.symbols.iter().find(|s| s.0 == "main").unwrap();
+        let lo = (main.1 - lb.text_base) as usize;
+        let hi = lo + main.2 as usize;
+        let mut off = lo;
+        let mut found = false;
+        while off < hi {
+            let (i, _) = firmup_isa::mips::decode(&lb.text, off, lb.text_base + off as u32).unwrap();
+            if let MI::Jal { target } = i {
+                assert_eq!(target, helper_addr);
+                found = true;
+            }
+            off += 4;
+        }
+        assert!(found, "no jal found in main");
+    }
+
+    #[test]
+    fn o0_spills_everything() {
+        let src = "fn main(a: int, b: int) -> int { var c = a + b; return c; }";
+        let o0 = build(src, &ToolchainProfile::vendor_debug());
+        let o2 = build(src, &ToolchainProfile::gcc_like());
+        assert!(
+            o0.text.len() > o2.text.len(),
+            "O0 ({}) should be bigger than O2 ({})",
+            o0.text.len(),
+            o2.text.len()
+        );
+    }
+
+    #[test]
+    fn delay_slot_filling_removes_nops() {
+        let src = "fn main(a: int, b: int) -> int { var c = a + 1; if (c < b) { return c; } return b; }";
+        let filled = build(src, &ToolchainProfile::gcc_like());
+        let mut unfilled_profile = ToolchainProfile::gcc_like();
+        unfilled_profile.fill_delay_slots = false;
+        let unfilled = build(src, &unfilled_profile);
+        let count_nops = |lb: &LinkedBinary| {
+            let mut n = 0;
+            let mut off = 0;
+            while off < lb.text.len() {
+                if lb.text[off..off + 4] == [0, 0, 0, 0] {
+                    n += 1;
+                }
+                off += 4;
+            }
+            n
+        };
+        assert!(count_nops(&filled) <= count_nops(&unfilled));
+    }
+
+    #[test]
+    fn global_access_compiles() {
+        let lb = build(
+            "global buf: [byte; 16]; global tbl: [int; 4]; fn main(i: int) -> int { buf[i] = 65; tbl[2] = i; return buf[i] + tbl[2]; }",
+            &ToolchainProfile::gcc_like(),
+        );
+        // lui for the data segment must appear.
+        let mut found_lui = false;
+        let mut off = 0;
+        while off < lb.text.len() {
+            let (i, _) = firmup_isa::mips::decode(&lb.text, off, lb.text_base + off as u32).unwrap();
+            if let MI::Lui { imm, .. } = i {
+                if imm == (lb.data_base >> 16) as u16 {
+                    found_lui = true;
+                }
+            }
+            off += 4;
+        }
+        assert!(found_lui);
+    }
+
+    #[test]
+    fn rejects_too_many_params() {
+        let src = "fn f(a: int, b: int, c: int, d: int, e: int) -> int { return a; } fn main() -> int { return f(1,2,3,4,5); }";
+        let p = parse(src).unwrap();
+        check(&p).unwrap();
+        let t = lower(&p);
+        assert!(compile(&t, &ToolchainProfile::gcc_like(), MemLayout::default()).is_err());
+    }
+}

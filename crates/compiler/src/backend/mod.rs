@@ -1,0 +1,49 @@
+//! Per-architecture instruction selection and code generation.
+//!
+//! Each back end consumes optimized TAC plus a register
+//! [`Allocation`](crate::regalloc::Allocation)
+//! and produces machine instructions with pending relocations, which
+//! [`crate::emit::link`] resolves. The back ends intentionally differ in
+//! idiom — constant materialization, compare-and-branch shapes, frame
+//! conventions — because that per-toolchain/per-architecture variance is
+//! the phenomenon the FirmUp pipeline exists to see through.
+
+pub(crate) mod arm;
+pub(crate) mod mips;
+pub(crate) mod ppc;
+pub(crate) mod x86;
+
+use firmup_isa::Arch;
+
+use crate::emit::{CompileError, LinkedBinary, MemLayout};
+use crate::profile::ToolchainProfile;
+use crate::tac::TacProgram;
+
+/// Compile an (already optimized) TAC program for `arch`.
+///
+/// # Errors
+///
+/// Returns [`CompileError`] for programs a back end cannot express (e.g.
+/// more than four parameters on a RISC target).
+pub fn compile_tac(
+    tac: &TacProgram,
+    arch: Arch,
+    profile: &ToolchainProfile,
+    layout: MemLayout,
+) -> Result<LinkedBinary, CompileError> {
+    match arch {
+        Arch::Mips32 => mips::compile(tac, profile, layout),
+        Arch::Arm32 => arm::compile(tac, profile, layout),
+        Arch::Ppc32 => ppc::compile(tac, profile, layout),
+        Arch::X86 => x86::compile(tac, profile, layout),
+    }
+}
+
+/// The maximum number of register-passed parameters on the RISC targets.
+pub const MAX_REG_PARAMS: usize = 4;
+
+pub(crate) fn too_many_params(name: &str, n: usize) -> CompileError {
+    CompileError {
+        message: format!("function `{name}` has {n} parameters; the RISC back ends support at most {MAX_REG_PARAMS}"),
+    }
+}

@@ -1,0 +1,683 @@
+//! PowerPC 32-bit back end.
+
+use std::collections::HashMap;
+
+use firmup_isa::ppc::{BranchIf, CrBit, Instr as MI, SP};
+
+use crate::emit::{link, CompileError, FnOut, LinkedBinary, MemLayout, Reloc, RelocTarget};
+use crate::profile::ToolchainProfile;
+use crate::regalloc::{allocate, Allocation, Loc, RegPools};
+use crate::tac::{Instr, Label, Operand, Rel, TBin, TUn, TacFunction, TacProgram, VReg};
+
+/// First scratch register.
+const S1: u8 = 11;
+/// Second scratch register.
+const S2: u8 = 12;
+const ARGS: [u8; 4] = [3, 4, 5, 6];
+const RET: u8 = 3;
+
+fn pools(profile: &ToolchainProfile) -> RegPools {
+    if profile.opt == crate::profile::OptLevel::O0 {
+        return RegPools {
+            caller_saved: vec![],
+            callee_saved: vec![],
+        };
+    }
+    let mut caller: Vec<u16> = (7..=10).collect();
+    let mut callee: Vec<u16> = (14..=23).collect();
+    profile.reg_order.apply(&mut caller);
+    profile.reg_order.apply(&mut callee);
+    RegPools {
+        caller_saved: caller,
+        callee_saved: callee,
+    }
+}
+
+struct Frame {
+    size: u32,
+    save_base: u32,
+    lr_off: Option<u32>,
+}
+
+fn frame_layout(alloc: &Allocation, is_leaf: bool, profile: &ToolchainProfile) -> Frame {
+    let spill_bytes = alloc.spill_slots * 4;
+    let save_bytes = alloc.used_callee_saved.len() as u32 * 4;
+    let lr_bytes = if is_leaf { 0 } else { 4 };
+    let mut size = spill_bytes + save_bytes + lr_bytes + profile.frame_padding;
+    size = (size + 7) & !7;
+    Frame {
+        size,
+        save_base: spill_bytes,
+        lr_off: (!is_leaf).then_some(spill_bytes + save_bytes),
+    }
+}
+
+struct Emitter<'a> {
+    out: Vec<MI>,
+    relocs: Vec<Reloc>,
+    label_at: HashMap<Label, usize>,
+    /// `(index, label, conditional)` — conditional uses `bd`, else `off`.
+    fixups: Vec<(usize, Label, bool)>,
+    alloc: &'a Allocation,
+    frame: &'a Frame,
+}
+
+impl<'a> Emitter<'a> {
+    fn e(&mut self, i: MI) {
+        self.out.push(i);
+    }
+
+    fn li(&mut self, dst: u8, v: i32) {
+        if (-32768..=32767).contains(&v) {
+            self.e(MI::Addi {
+                rt: dst,
+                ra: 0,
+                si: v as i16,
+            });
+        } else {
+            let u = v as u32;
+            self.e(MI::Addis {
+                rt: dst,
+                ra: 0,
+                si: (u >> 16) as u16 as i16,
+            });
+            if u & 0xffff != 0 {
+                self.e(MI::Ori {
+                    ra: dst,
+                    rs: dst,
+                    ui: (u & 0xffff) as u16,
+                });
+            }
+        }
+    }
+
+    fn read(&mut self, op: Operand, scratch: u8) -> u8 {
+        match op {
+            Operand::Imm(v) => {
+                self.li(scratch, v);
+                scratch
+            }
+            Operand::V(v) => match self.alloc.of(v) {
+                Loc::Reg(r) => r as u8,
+                Loc::Spill(s) => {
+                    self.e(MI::Lwz {
+                        rt: scratch,
+                        ra: SP,
+                        d: (s * 4) as i16,
+                    });
+                    scratch
+                }
+            },
+        }
+    }
+
+    fn target(&self, dst: VReg, scratch: u8) -> u8 {
+        match self.alloc.of(dst) {
+            Loc::Reg(r) => r as u8,
+            Loc::Spill(_) => scratch,
+        }
+    }
+
+    fn writeback(&mut self, dst: VReg, from: u8) {
+        if let Loc::Spill(s) = self.alloc.of(dst) {
+            self.e(MI::Stw {
+                rs: from,
+                ra: SP,
+                d: (s * 4) as i16,
+            });
+        }
+    }
+
+    fn mv(&mut self, dst: u8, src: u8) {
+        if dst != src {
+            self.e(MI::Or {
+                ra: dst,
+                rs: src,
+                rb: src,
+            });
+        }
+    }
+
+    fn global_addr(&mut self, dst: u8, gid: usize) {
+        self.relocs.push(Reloc {
+            at: self.out.len(),
+            target: RelocTarget::Global(gid),
+        });
+        self.e(MI::Addis { rt: dst, ra: 0, si: 0 });
+        self.e(MI::Ori {
+            ra: dst,
+            rs: dst,
+            ui: 0,
+        });
+    }
+
+    fn branch_cond(&mut self, cond: BranchIf, l: Label) {
+        self.fixups.push((self.out.len(), l, true));
+        self.e(MI::Bc { cond, bd: 0 });
+    }
+
+    fn branch(&mut self, l: Label) {
+        self.fixups.push((self.out.len(), l, false));
+        self.e(MI::B { off: 0, lk: false });
+    }
+
+    /// Compare and set CR0 for `a rel b`; returns which CR bit to test
+    /// and whether "set" means taken.
+    fn compare(&mut self, rel: Rel, a: Operand, b: Operand) -> BranchIf {
+        let ra_ = self.read(a, S1);
+        // cmpwi when the immediate fits.
+        if let Operand::Imm(v) = b {
+            if (-32768..=32767).contains(&v) {
+                self.e(MI::Cmpwi {
+                    ra: ra_,
+                    si: v as i16,
+                });
+                return rel_to_branch(rel);
+            }
+        }
+        let rb = self.read(b, S2);
+        self.e(MI::Cmpw { ra: ra_, rb });
+        rel_to_branch(rel)
+    }
+}
+
+fn rel_to_branch(rel: Rel) -> BranchIf {
+    match rel {
+        Rel::Lt => BranchIf::Set(CrBit::Lt),
+        Rel::Ge => BranchIf::Clear(CrBit::Lt),
+        Rel::Gt => BranchIf::Set(CrBit::Gt),
+        Rel::Le => BranchIf::Clear(CrBit::Gt),
+        Rel::Eq => BranchIf::Set(CrBit::Eq),
+        Rel::Ne => BranchIf::Clear(CrBit::Eq),
+    }
+}
+
+/// Compile a TAC program to a linked PPC binary.
+pub(crate) fn compile(
+    tac: &TacProgram,
+    profile: &ToolchainProfile,
+    layout: MemLayout,
+) -> Result<LinkedBinary, CompileError> {
+    let pools = pools(profile);
+    let mut fns = Vec::with_capacity(tac.functions.len());
+    for f in &tac.functions {
+        fns.push(compile_fn(f, &pools, profile)?);
+    }
+    Ok(link(
+        fns,
+        &tac.globals,
+        layout,
+        |_| 4,
+        patch,
+        firmup_isa::ppc::encode,
+    ))
+}
+
+fn patch(instrs: &mut [MI], at: usize, instr_addr: u32, target: u32) {
+    match &mut instrs[at] {
+        MI::Addis { si, .. } => {
+            *si = (target >> 16) as u16 as i16;
+            if let MI::Ori { ui, .. } = &mut instrs[at + 1] {
+                *ui = (target & 0xffff) as u16;
+            } else {
+                unreachable!("global materialization must be lis+ori");
+            }
+        }
+        MI::B { off, lk: true } => {
+            *off = target.wrapping_sub(instr_addr) as i32;
+        }
+        other => unreachable!("unexpected reloc site {other:?}"),
+    }
+}
+
+#[allow(clippy::too_many_lines)]
+fn compile_fn(
+    f: &TacFunction,
+    pools: &RegPools,
+    profile: &ToolchainProfile,
+) -> Result<FnOut<MI>, CompileError> {
+    if f.params.len() > ARGS.len() {
+        return Err(crate::backend::too_many_params(&f.name, f.params.len()));
+    }
+    let alloc = allocate(f, pools);
+    let is_leaf = !f.instrs.iter().any(|i| matches!(i, Instr::Call { .. }));
+    let frame = frame_layout(&alloc, is_leaf, profile);
+    let mut em = Emitter {
+        out: Vec::new(),
+        relocs: Vec::new(),
+        label_at: HashMap::new(),
+        fixups: Vec::new(),
+        alloc: &alloc,
+        frame: &frame,
+    };
+
+    // Prologue.
+    if frame.size > 0 {
+        em.e(MI::Addi {
+            rt: SP,
+            ra: SP,
+            si: -(frame.size as i32) as i16,
+        });
+    }
+    if let Some(off) = frame.lr_off {
+        em.e(MI::Mflr { rt: 0 });
+        em.e(MI::Stw {
+            rs: 0,
+            ra: SP,
+            d: off as i16,
+        });
+    }
+    for (k, &r) in alloc.used_callee_saved.iter().enumerate() {
+        em.e(MI::Stw {
+            rs: r as u8,
+            ra: SP,
+            d: (frame.save_base + 4 * k as u32) as i16,
+        });
+    }
+    for (i, &p) in f.params.iter().enumerate() {
+        match alloc.of(p) {
+            Loc::Reg(r) => em.mv(r as u8, ARGS[i]),
+            Loc::Spill(s) => em.e(MI::Stw {
+                rs: ARGS[i],
+                ra: SP,
+                d: (s * 4) as i16,
+            }),
+        }
+    }
+
+    let epilogue = |em: &mut Emitter| {
+        for (k, &r) in em.alloc.used_callee_saved.iter().enumerate() {
+            em.e(MI::Lwz {
+                rt: r as u8,
+                ra: SP,
+                d: (em.frame.save_base + 4 * k as u32) as i16,
+            });
+        }
+        if let Some(off) = em.frame.lr_off {
+            em.e(MI::Lwz {
+                rt: 0,
+                ra: SP,
+                d: off as i16,
+            });
+            em.e(MI::Mtlr { rs: 0 });
+        }
+        if em.frame.size > 0 {
+            em.e(MI::Addi {
+                rt: SP,
+                ra: SP,
+                si: em.frame.size as i16,
+            });
+        }
+        em.e(MI::Blr);
+    };
+
+    /// Branchy 0/1 materialization: `li d,1; bc cond +8; li d,0`.
+    fn set_bool(em: &mut Emitter, d: u8, cond: BranchIf) {
+        em.e(MI::Addi { rt: d, ra: 0, si: 1 });
+        em.e(MI::Bc { cond, bd: 8 });
+        em.e(MI::Addi { rt: d, ra: 0, si: 0 });
+    }
+
+    for (ti, instr) in f.instrs.iter().enumerate() {
+        match instr {
+            Instr::Label(l) => {
+                em.label_at.insert(*l, em.out.len());
+            }
+            Instr::Copy { dst, src } => {
+                let d = em.target(*dst, S1);
+                match src {
+                    Operand::Imm(v) => em.li(d, *v),
+                    Operand::V(_) => {
+                        let s = em.read(*src, S1);
+                        em.mv(d, s);
+                    }
+                }
+                em.writeback(*dst, d);
+            }
+            Instr::Bin { op, dst, a, b } => {
+                let d = em.target(*dst, S1);
+                match op {
+                    TBin::Add => {
+                        let ra_ = em.read(*a, S1);
+                        if let Operand::Imm(v) = b {
+                            if (-32768..=32767).contains(v) {
+                                em.e(MI::Addi {
+                                    rt: d,
+                                    ra: ra_,
+                                    si: *v as i16,
+                                });
+                                em.writeback(*dst, d);
+                                continue;
+                            }
+                        }
+                        let rb = em.read(*b, S2);
+                        em.e(MI::Add { rt: d, ra: ra_, rb });
+                    }
+                    TBin::Sub => {
+                        let ra_ = em.read(*a, S1);
+                        let rb = em.read(*b, S2);
+                        em.e(MI::Subf { rt: d, ra: rb, rb: ra_ });
+                    }
+                    TBin::Mul => {
+                        let ra_ = em.read(*a, S1);
+                        let rb = em.read(*b, S2);
+                        em.e(MI::Mullw { rt: d, ra: ra_, rb });
+                    }
+                    TBin::And | TBin::Or | TBin::Xor => {
+                        let ra_ = em.read(*a, S1);
+                        if let Operand::Imm(v) = b {
+                            if (0..=0xffff).contains(v) {
+                                let ui = *v as u16;
+                                match op {
+                                    TBin::And => em.e(MI::AndiDot { ra: d, rs: ra_, ui }),
+                                    TBin::Or => em.e(MI::Ori { ra: d, rs: ra_, ui }),
+                                    TBin::Xor => em.e(MI::Xori { ra: d, rs: ra_, ui }),
+                                    _ => unreachable!(),
+                                }
+                                em.writeback(*dst, d);
+                                continue;
+                            }
+                        }
+                        let rb = em.read(*b, S2);
+                        match op {
+                            TBin::And => em.e(MI::And { ra: d, rs: ra_, rb }),
+                            TBin::Or => em.e(MI::Or { ra: d, rs: ra_, rb }),
+                            TBin::Xor => em.e(MI::Xor { ra: d, rs: ra_, rb }),
+                            _ => unreachable!(),
+                        }
+                    }
+                    TBin::Shl | TBin::Sar => {
+                        let ra_ = em.read(*a, S1);
+                        let rb = em.read(*b, S2);
+                        match op {
+                            TBin::Shl => em.e(MI::Slw { ra: d, rs: ra_, rb }),
+                            TBin::Sar => em.e(MI::Sraw { ra: d, rs: ra_, rb }),
+                            _ => unreachable!(),
+                        }
+                    }
+                    TBin::Cmp(rel) => {
+                        let cond = em.compare(*rel, *a, *b);
+                        set_bool(&mut em, d, cond);
+                    }
+                }
+                em.writeback(*dst, d);
+            }
+            Instr::Un { op, dst, a } => {
+                let ra_ = em.read(*a, S1);
+                let d = em.target(*dst, S1);
+                match op {
+                    TUn::Neg => {
+                        em.li(S2, 0);
+                        em.e(MI::Subf {
+                            rt: d,
+                            ra: ra_,
+                            rb: S2,
+                        });
+                    }
+                    TUn::BitNot => {
+                        em.li(S2, -1);
+                        em.e(MI::Xor {
+                            ra: d,
+                            rs: ra_,
+                            rb: S2,
+                        });
+                    }
+                    TUn::Not => {
+                        em.e(MI::Cmpwi { ra: ra_, si: 0 });
+                        set_bool(&mut em, d, BranchIf::Set(CrBit::Eq));
+                    }
+                }
+                em.writeback(*dst, d);
+            }
+            Instr::AddrOf { dst, global } => {
+                let d = em.target(*dst, S1);
+                em.global_addr(d, *global);
+                em.writeback(*dst, d);
+            }
+            Instr::Load { dst, global, index, elem } => {
+                em.global_addr(S1, *global);
+                let d = em.target(*dst, S2);
+                let byte = *elem == crate::ast::ElemType::Byte;
+                match index {
+                    Operand::Imm(i) => {
+                        let off = i * elem.size() as i32;
+                        let d16 = if (-32768..=32767).contains(&off) {
+                            off as i16
+                        } else {
+                            em.li(S2, off);
+                            em.e(MI::Add { rt: S1, ra: S1, rb: S2 });
+                            0
+                        };
+                        if byte {
+                            em.e(MI::Lbz { rt: d, ra: S1, d: d16 });
+                        } else {
+                            em.e(MI::Lwz { rt: d, ra: S1, d: d16 });
+                        }
+                    }
+                    Operand::V(_) => {
+                        let idx = em.read(*index, S2);
+                        if byte {
+                            em.e(MI::Add { rt: S1, ra: S1, rb: idx });
+                        } else {
+                            em.li(0, 2);
+                            em.e(MI::Slw { ra: S2, rs: idx, rb: 0 });
+                            em.e(MI::Add { rt: S1, ra: S1, rb: S2 });
+                        }
+                        if byte {
+                            em.e(MI::Lbz { rt: d, ra: S1, d: 0 });
+                        } else {
+                            em.e(MI::Lwz { rt: d, ra: S1, d: 0 });
+                        }
+                    }
+                }
+                em.writeback(*dst, d);
+            }
+            Instr::Store { global, index, value, elem } => {
+                em.global_addr(S1, *global);
+                let byte = *elem == crate::ast::ElemType::Byte;
+                let mut d16 = 0i16;
+                match index {
+                    Operand::Imm(i) => {
+                        let off = i * elem.size() as i32;
+                        if (-32768..=32767).contains(&off) {
+                            d16 = off as i16;
+                        } else {
+                            em.li(S2, off);
+                            em.e(MI::Add { rt: S1, ra: S1, rb: S2 });
+                        }
+                    }
+                    Operand::V(_) => {
+                        let idx = em.read(*index, S2);
+                        if byte {
+                            em.e(MI::Add { rt: S1, ra: S1, rb: idx });
+                        } else {
+                            em.li(0, 2);
+                            em.e(MI::Slw { ra: S2, rs: idx, rb: 0 });
+                            em.e(MI::Add { rt: S1, ra: S1, rb: S2 });
+                        }
+                    }
+                }
+                let v = em.read(*value, S2);
+                if byte {
+                    em.e(MI::Stb { rs: v, ra: S1, d: d16 });
+                } else {
+                    em.e(MI::Stw { rs: v, ra: S1, d: d16 });
+                }
+            }
+            Instr::LoadPtr { dst, addr, elem } => {
+                let a = em.read(*addr, S1);
+                let d = em.target(*dst, S2);
+                if *elem == crate::ast::ElemType::Byte {
+                    em.e(MI::Lbz { rt: d, ra: a, d: 0 });
+                } else {
+                    em.e(MI::Lwz { rt: d, ra: a, d: 0 });
+                }
+                em.writeback(*dst, d);
+            }
+            Instr::StorePtr { addr, value, elem } => {
+                let a = em.read(*addr, S1);
+                let v = em.read(*value, S2);
+                if *elem == crate::ast::ElemType::Byte {
+                    em.e(MI::Stb { rs: v, ra: a, d: 0 });
+                } else {
+                    em.e(MI::Stw { rs: v, ra: a, d: 0 });
+                }
+            }
+            Instr::Call { dst, callee, args } => {
+                for (i, a) in args.iter().enumerate() {
+                    match a {
+                        Operand::Imm(v) => em.li(ARGS[i], *v),
+                        Operand::V(_) => {
+                            let r = em.read(*a, ARGS[i]);
+                            em.mv(ARGS[i], r);
+                        }
+                    }
+                }
+                em.relocs.push(Reloc {
+                    at: em.out.len(),
+                    target: RelocTarget::Func(*callee),
+                });
+                em.e(MI::B { off: 0, lk: true });
+                if let Some(d) = dst {
+                    let t = em.target(*d, S1);
+                    em.mv(t, RET);
+                    em.writeback(*d, t);
+                }
+            }
+            Instr::Ret { value } => {
+                if let Some(v) = value {
+                    match v {
+                        Operand::Imm(c) => em.li(RET, *c),
+                        Operand::V(_) => {
+                            let r = em.read(*v, RET);
+                            em.mv(RET, r);
+                        }
+                    }
+                }
+                epilogue(&mut em);
+            }
+            Instr::Jmp(l) => em.branch(*l),
+            Instr::BrCmp { rel, a, b, taken, fall } => {
+                let cond = em.compare(*rel, *a, *b);
+                em.branch_cond(cond, *taken);
+                emit_fall(&mut em, f, ti, *fall);
+            }
+            Instr::BrNz { cond, taken, fall } => {
+                let c = em.read(*cond, S1);
+                em.e(MI::Cmpwi { ra: c, si: 0 });
+                em.branch_cond(BranchIf::Clear(CrBit::Eq), *taken);
+                emit_fall(&mut em, f, ti, *fall);
+            }
+        }
+    }
+    if !matches!(
+        f.instrs.last(),
+        Some(Instr::Ret { .. }) | Some(Instr::Jmp(_)) | Some(Instr::BrCmp { .. }) | Some(Instr::BrNz { .. })
+    ) {
+        epilogue(&mut em);
+    }
+
+    // Resolve intra-function branches (byte offsets relative to the
+    // branch instruction itself).
+    for (idx, l, conditional) in em.fixups.clone() {
+        let delta = ((em.label_at[&l] as i32) - (idx as i32)) * 4;
+        match &mut em.out[idx] {
+            MI::Bc { bd, .. } if conditional => *bd = delta as i16,
+            MI::B { off, .. } => *off = delta,
+            other => unreachable!("fixup at non-branch {other:?}"),
+        }
+    }
+
+    Ok(FnOut {
+        name: f.name.clone(),
+        exported: f.exported,
+        instrs: em.out,
+        relocs: em.relocs,
+    })
+}
+
+fn emit_fall(em: &mut Emitter, f: &TacFunction, ti: usize, fall: Label) {
+    if matches!(f.instrs.get(ti + 1), Some(Instr::Label(l)) if *l == fall) {
+        return;
+    }
+    em.branch(fall);
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::parser::parse;
+    use crate::sema::check;
+    use crate::tac::lower;
+
+    fn build(src: &str, profile: &ToolchainProfile) -> LinkedBinary {
+        let p = parse(src).unwrap();
+        check(&p).unwrap();
+        let mut t = lower(&p);
+        crate::opt::optimize(&mut t, profile.opt_flags());
+        compile(&t, profile, MemLayout::default()).unwrap()
+    }
+
+    #[test]
+    fn whole_binary_decodes() {
+        let lb = build(
+            "global b: [byte; 8]; fn helper(x: int) -> int { return x * 3; } fn main(a: int) -> int { b[a] = 1; if (a < 10) { return helper(a); } return b[a]; }",
+            &ToolchainProfile::gcc_like(),
+        );
+        // Scan per symbol: inter-function alignment padding is zero
+        // bytes, which is not a PPC instruction.
+        for (name, addr, size, _) in &lb.symbols {
+            let lo = (*addr - lb.text_base) as usize;
+            let mut off = lo;
+            while off < lo + *size as usize {
+                firmup_isa::ppc::decode(&lb.text, off, lb.text_base + off as u32)
+                    .unwrap_or_else(|e| panic!("{name}: undecodable at {off}: {e}"));
+                off += 4;
+            }
+        }
+    }
+
+    #[test]
+    fn bl_reloc_resolves() {
+        let lb = build(
+            "fn leaf() -> int { return 3; } fn callee() -> int { return leaf() + 1; } fn main() -> int { return callee(); }",
+            &ToolchainProfile::gcc_like(),
+        );
+        let callee = lb.symbols.iter().find(|s| s.0 == "callee").unwrap().1;
+        let main = lb.symbols.iter().find(|s| s.0 == "main").unwrap();
+        let lo = (main.1 - lb.text_base) as usize;
+        let mut off = lo;
+        let mut ok = false;
+        while off < lo + main.2 as usize {
+            let addr = lb.text_base + off as u32;
+            let (i, _) = firmup_isa::ppc::decode(&lb.text, off, addr).unwrap();
+            if let MI::B { off: rel, lk: true } = i {
+                assert_eq!(addr.wrapping_add(rel as u32), callee);
+                ok = true;
+            }
+            off += 4;
+        }
+        assert!(ok, "no bl in main");
+    }
+
+    #[test]
+    fn comparisons_use_cr0() {
+        let lb = build(
+            "fn main(a: int) -> int { if (a == 31) { return 1; } return 0; }",
+            &ToolchainProfile::gcc_like(),
+        );
+        let mut found_cmpwi = false;
+        let mut found_bc = false;
+        let mut off = 0;
+        while off < lb.text.len() {
+            let (i, _) = firmup_isa::ppc::decode(&lb.text, off, lb.text_base + off as u32).unwrap();
+            match i {
+                MI::Cmpwi { si: 31, .. } => found_cmpwi = true,
+                MI::Bc { .. } => found_bc = true,
+                _ => {}
+            }
+            off += 4;
+        }
+        assert!(found_cmpwi && found_bc);
+    }
+}

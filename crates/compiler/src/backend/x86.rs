@@ -1,0 +1,748 @@
+//! Intel x86 (32-bit) back end: stack-based calling convention,
+//! two-operand instructions, EBP frames.
+
+use std::collections::HashMap;
+
+use firmup_isa::x86::{AluOp, Cc, Instr as MI, Mem, ShiftKind, EAX, EBP, ECX, ESP};
+
+use crate::emit::{link, CompileError, FnOut, LinkedBinary, MemLayout, Reloc, RelocTarget};
+use crate::profile::ToolchainProfile;
+use crate::regalloc::{allocate, Allocation, Loc, RegPools};
+use crate::tac::{Instr, Label, Operand, Rel, TBin, TUn, TacFunction, TacProgram, VReg};
+
+/// First scratch register.
+const S1: u8 = EAX;
+/// Second scratch register.
+const S2: u8 = ECX;
+
+fn pools(profile: &ToolchainProfile) -> RegPools {
+    if profile.opt == crate::profile::OptLevel::O0 {
+        return RegPools {
+            caller_saved: vec![],
+            callee_saved: vec![],
+        };
+    }
+    let mut caller: Vec<u16> = vec![u16::from(firmup_isa::x86::EDX)];
+    let mut callee: Vec<u16> = vec![
+        u16::from(firmup_isa::x86::EBX),
+        u16::from(firmup_isa::x86::ESI),
+        u16::from(firmup_isa::x86::EDI),
+    ];
+    profile.reg_order.apply(&mut caller);
+    profile.reg_order.apply(&mut callee);
+    RegPools {
+        caller_saved: caller,
+        callee_saved: callee,
+    }
+}
+
+struct Frame {
+    /// Bytes subtracted from ESP after the EBP push.
+    locals: u32,
+    /// `[ebp - save_off - 4k]` holds callee-saved register k.
+    save_off: u32,
+    /// `[ebp - spill_off - 4s]` holds spill slot s.
+    spill_off: u32,
+}
+
+fn frame_layout(alloc: &Allocation, profile: &ToolchainProfile) -> Frame {
+    let save_bytes = alloc.used_callee_saved.len() as u32 * 4;
+    let spill_bytes = alloc.spill_slots * 4;
+    let locals = (save_bytes + spill_bytes + profile.frame_padding + 3) & !3;
+    Frame {
+        locals,
+        save_off: 4,
+        spill_off: 4 + save_bytes,
+    }
+}
+
+struct Emitter<'a> {
+    out: Vec<MI>,
+    relocs: Vec<Reloc>,
+    label_at: HashMap<Label, usize>,
+    fixups: Vec<(usize, Label)>,
+    alloc: &'a Allocation,
+    frame: &'a Frame,
+}
+
+impl<'a> Emitter<'a> {
+    fn e(&mut self, i: MI) {
+        self.out.push(i);
+    }
+
+    fn spill_mem(&self, s: u32) -> Mem {
+        Mem::base_disp(EBP, -((self.frame.spill_off + 4 * s) as i32))
+    }
+
+    fn read(&mut self, op: Operand, scratch: u8) -> u8 {
+        match op {
+            Operand::Imm(v) => {
+                self.e(MI::MovRI {
+                    dst: scratch,
+                    imm: v as u32,
+                });
+                scratch
+            }
+            Operand::V(v) => match self.alloc.of(v) {
+                Loc::Reg(r) => r as u8,
+                Loc::Spill(s) => {
+                    let mem = self.spill_mem(s);
+                    self.e(MI::Load { dst: scratch, mem });
+                    scratch
+                }
+            },
+        }
+    }
+
+    fn target(&self, dst: VReg, scratch: u8) -> u8 {
+        match self.alloc.of(dst) {
+            Loc::Reg(r) => r as u8,
+            Loc::Spill(_) => scratch,
+        }
+    }
+
+    fn writeback(&mut self, dst: VReg, from: u8) {
+        if let Loc::Spill(s) = self.alloc.of(dst) {
+            let mem = self.spill_mem(s);
+            self.e(MI::Store { mem, src: from });
+        }
+    }
+
+    fn mv(&mut self, dst: u8, src: u8) {
+        if dst != src {
+            self.e(MI::MovRR { dst, src });
+        }
+    }
+
+    /// `mov dst, <global address>` (relocated; the placeholder immediate
+    /// is an addend).
+    fn global_addr(&mut self, dst: u8, gid: usize, addend: u32) {
+        self.relocs.push(Reloc {
+            at: self.out.len(),
+            target: RelocTarget::Global(gid),
+        });
+        self.e(MI::MovRI { dst, imm: addend });
+    }
+
+    fn branch(&mut self, cc: Option<Cc>, l: Label) {
+        self.fixups.push((self.out.len(), l));
+        match cc {
+            Some(cc) => self.e(MI::Jcc { cc, rel: 0 }),
+            None => self.e(MI::JmpRel { rel: 0 }),
+        }
+    }
+}
+
+fn rel_cc(rel: Rel) -> Cc {
+    match rel {
+        Rel::Lt => Cc::L,
+        Rel::Le => Cc::Le,
+        Rel::Gt => Cc::G,
+        Rel::Ge => Cc::Ge,
+        Rel::Eq => Cc::E,
+        Rel::Ne => Cc::Ne,
+    }
+}
+
+/// Compile a TAC program to a linked x86 binary.
+pub(crate) fn compile(
+    tac: &TacProgram,
+    profile: &ToolchainProfile,
+    layout: MemLayout,
+) -> Result<LinkedBinary, CompileError> {
+    let pools = pools(profile);
+    let mut fns = Vec::with_capacity(tac.functions.len());
+    for f in &tac.functions {
+        fns.push(compile_fn(f, &pools, profile)?);
+    }
+    Ok(link(
+        fns,
+        &tac.globals,
+        layout,
+        firmup_isa::x86::encoded_len,
+        patch,
+        |i, out| {
+            firmup_isa::x86::encode(i, out);
+        },
+    ))
+}
+
+fn patch(instrs: &mut [MI], at: usize, instr_addr: u32, target: u32) {
+    match &mut instrs[at] {
+        // Address materialization: the placeholder immediate is an addend.
+        MI::MovRI { imm, .. } => *imm = imm.wrapping_add(target),
+        // Absolute memory operands: placeholder disp is an addend.
+        MI::Load { mem, .. }
+        | MI::Store { mem, .. }
+        | MI::Load8Z { mem, .. }
+        | MI::Load8S { mem, .. }
+        | MI::Store8 { mem, .. }
+        | MI::Lea { mem, .. } => {
+            debug_assert!(mem.base.is_none(), "global reloc on a based operand");
+            mem.disp = mem.disp.wrapping_add(target as i32);
+        }
+        MI::CallRel { rel } => {
+            // CallRel is always 5 bytes.
+            *rel = target.wrapping_sub(instr_addr.wrapping_add(5)) as i32;
+        }
+        other => unreachable!("unexpected reloc site {other:?}"),
+    }
+}
+
+/// `d = a op b` honouring x86's two-operand form.
+fn emit_alu(em: &mut Emitter, op: AluOp, d: u8, ra_: u8, b: Operand) {
+    // Destination aliases the right operand: compute in scratch.
+    let rb_reg = match b {
+        Operand::V(v) => match em.alloc.of(v) {
+            Loc::Reg(r) => Some(r as u8),
+            Loc::Spill(_) => None,
+        },
+        Operand::Imm(_) => None,
+    };
+    if rb_reg == Some(d) && d != ra_ {
+        em.mv(S1, ra_);
+        em.e(MI::AluRR {
+            op,
+            dst: S1,
+            src: d,
+        });
+        em.mv(d, S1);
+        return;
+    }
+    em.mv(d, ra_);
+    match b {
+        Operand::Imm(v) => em.e(MI::AluRI {
+            op,
+            dst: d,
+            imm: v as u32,
+        }),
+        Operand::V(v) => match em.alloc.of(v) {
+            Loc::Reg(r) => em.e(MI::AluRR {
+                op,
+                dst: d,
+                src: r as u8,
+            }),
+            Loc::Spill(s) => {
+                let mem = em.spill_mem(s);
+                em.e(MI::AluRM { op, dst: d, mem });
+            }
+        },
+    }
+}
+
+/// Compare `a` against `b`, setting EFLAGS.
+fn emit_cmp(em: &mut Emitter, a: Operand, b: Operand) {
+    let ra_ = em.read(a, S1);
+    match b {
+        Operand::Imm(v) => em.e(MI::AluRI {
+            op: AluOp::Cmp,
+            dst: ra_,
+            imm: v as u32,
+        }),
+        Operand::V(_) => {
+            let rb = em.read(b, S2);
+            em.e(MI::AluRR {
+                op: AluOp::Cmp,
+                dst: ra_,
+                src: rb,
+            });
+        }
+    }
+}
+
+#[allow(clippy::too_many_lines)]
+fn compile_fn(
+    f: &TacFunction,
+    pools: &RegPools,
+    profile: &ToolchainProfile,
+) -> Result<FnOut<MI>, CompileError> {
+    let alloc = allocate(f, pools);
+    let frame = frame_layout(&alloc, profile);
+    let mut em = Emitter {
+        out: Vec::new(),
+        relocs: Vec::new(),
+        label_at: HashMap::new(),
+        fixups: Vec::new(),
+        alloc: &alloc,
+        frame: &frame,
+    };
+
+    // Prologue.
+    em.e(MI::Push { src: EBP });
+    em.e(MI::MovRR { dst: EBP, src: ESP });
+    if frame.locals > 0 {
+        em.e(MI::AluRI {
+            op: AluOp::Sub,
+            dst: ESP,
+            imm: frame.locals,
+        });
+    }
+    for (k, &r) in alloc.used_callee_saved.iter().enumerate() {
+        em.e(MI::Store {
+            mem: Mem::base_disp(EBP, -((frame.save_off + 4 * k as u32) as i32)),
+            src: r as u8,
+        });
+    }
+    // Parameters: [ebp + 8 + 4i].
+    for (i, &p) in f.params.iter().enumerate() {
+        let src = Mem::base_disp(EBP, 8 + 4 * i as i32);
+        match alloc.of(p) {
+            Loc::Reg(r) => em.e(MI::Load {
+                dst: r as u8,
+                mem: src,
+            }),
+            Loc::Spill(s) => {
+                em.e(MI::Load { dst: S1, mem: src });
+                let mem = em.spill_mem(s);
+                em.e(MI::Store { mem, src: S1 });
+            }
+        }
+    }
+
+    let epilogue = |em: &mut Emitter| {
+        for (k, &r) in em.alloc.used_callee_saved.iter().enumerate() {
+            em.e(MI::Load {
+                dst: r as u8,
+                mem: Mem::base_disp(EBP, -((em.frame.save_off + 4 * k as u32) as i32)),
+            });
+        }
+        em.e(MI::MovRR { dst: ESP, src: EBP });
+        em.e(MI::Pop { dst: EBP });
+        em.e(MI::Ret);
+    };
+
+    /// `d = (flags satisfy cc) ? 1 : 0` without SETcc: the Jcc skips the
+    /// 5-byte `mov d, 0`.
+    fn set_bool(em: &mut Emitter, d: u8, cc: Cc) {
+        em.e(MI::MovRI { dst: d, imm: 1 });
+        em.e(MI::Jcc { cc, rel: 5 });
+        em.e(MI::MovRI { dst: d, imm: 0 });
+    }
+
+    for (ti, instr) in f.instrs.iter().enumerate() {
+        match instr {
+            Instr::Label(l) => {
+                em.label_at.insert(*l, em.out.len());
+            }
+            Instr::Copy { dst, src } => {
+                let d = em.target(*dst, S1);
+                match src {
+                    Operand::Imm(v) => em.e(MI::MovRI {
+                        dst: d,
+                        imm: *v as u32,
+                    }),
+                    Operand::V(_) => {
+                        let s = em.read(*src, S1);
+                        em.mv(d, s);
+                    }
+                }
+                em.writeback(*dst, d);
+            }
+            Instr::Bin { op, dst, a, b } => {
+                let d = em.target(*dst, S1);
+                match op {
+                    TBin::Add | TBin::Sub | TBin::And | TBin::Or | TBin::Xor => {
+                        let ra_ = em.read(*a, S1);
+                        let aop = match op {
+                            TBin::Add => AluOp::Add,
+                            TBin::Sub => AluOp::Sub,
+                            TBin::And => AluOp::And,
+                            TBin::Or => AluOp::Or,
+                            TBin::Xor => AluOp::Xor,
+                            _ => unreachable!(),
+                        };
+                        emit_alu(&mut em, aop, d, ra_, *b);
+                    }
+                    TBin::Mul => {
+                        let ra_ = em.read(*a, S1);
+                        em.mv(S1, ra_);
+                        let rb = em.read(*b, S2);
+                        em.e(MI::Imul { dst: S1, src: rb });
+                        em.mv(d, S1);
+                    }
+                    TBin::Shl | TBin::Sar => match b {
+                        Operand::Imm(v) => {
+                            let ra_ = em.read(*a, S1);
+                            em.mv(d, ra_);
+                            em.e(MI::Shift {
+                                kind: if *op == TBin::Shl {
+                                    ShiftKind::Shl
+                                } else {
+                                    ShiftKind::Sar
+                                },
+                                dst: d,
+                                imm: (*v & 31) as u8,
+                            });
+                        }
+                        Operand::V(_) => {
+                            return Err(CompileError {
+                                message: format!(
+                                    "function `{}`: x86 back end requires constant shift amounts",
+                                    f.name
+                                ),
+                            })
+                        }
+                    },
+                    TBin::Cmp(rel) => {
+                        emit_cmp(&mut em, *a, *b);
+                        set_bool(&mut em, d, rel_cc(*rel));
+                    }
+                }
+                em.writeback(*dst, d);
+            }
+            Instr::Un { op, dst, a } => {
+                let d = em.target(*dst, S1);
+                match op {
+                    TUn::Neg => {
+                        let ra_ = em.read(*a, S2);
+                        em.e(MI::MovRI { dst: d, imm: 0 });
+                        em.e(MI::AluRR {
+                            op: AluOp::Sub,
+                            dst: d,
+                            src: ra_,
+                        });
+                    }
+                    TUn::BitNot => {
+                        let ra_ = em.read(*a, S1);
+                        em.mv(d, ra_);
+                        em.e(MI::AluRI {
+                            op: AluOp::Xor,
+                            dst: d,
+                            imm: u32::MAX,
+                        });
+                    }
+                    TUn::Not => {
+                        let ra_ = em.read(*a, S1);
+                        em.e(MI::Test { a: ra_, b: ra_ });
+                        set_bool(&mut em, d, Cc::E);
+                    }
+                }
+                em.writeback(*dst, d);
+            }
+            Instr::AddrOf { dst, global } => {
+                let d = em.target(*dst, S1);
+                em.global_addr(d, *global, 0);
+                em.writeback(*dst, d);
+            }
+            Instr::Load { dst, global, index, elem } => {
+                let d = em.target(*dst, S1);
+                let byte = *elem == crate::ast::ElemType::Byte;
+                match index {
+                    Operand::Imm(i) => {
+                        // Absolute addressing with a relocated addend.
+                        let addend = (i * elem.size() as i32) as u32;
+                        em.relocs.push(Reloc {
+                            at: em.out.len(),
+                            target: RelocTarget::Global(*global),
+                        });
+                        let mem = Mem::abs(addend);
+                        if byte {
+                            em.e(MI::Load8Z { dst: d, mem });
+                        } else {
+                            em.e(MI::Load { dst: d, mem });
+                        }
+                    }
+                    Operand::V(_) => {
+                        let idx = em.read(*index, S2);
+                        em.mv(S2, idx);
+                        if !byte {
+                            em.e(MI::Shift {
+                                kind: ShiftKind::Shl,
+                                dst: S2,
+                                imm: 2,
+                            });
+                        }
+                        em.global_addr(S1, *global, 0);
+                        em.e(MI::AluRR {
+                            op: AluOp::Add,
+                            dst: S1,
+                            src: S2,
+                        });
+                        let mem = Mem::base_disp(S1, 0);
+                        if byte {
+                            em.e(MI::Load8Z { dst: d, mem });
+                        } else {
+                            em.e(MI::Load { dst: d, mem });
+                        }
+                    }
+                }
+                em.writeback(*dst, d);
+            }
+            Instr::Store { global, index, value, elem } => {
+                let byte = *elem == crate::ast::ElemType::Byte;
+                match index {
+                    Operand::Imm(i) => {
+                        let addend = (i * elem.size() as i32) as u32;
+                        let v = em.read(*value, S2);
+                        em.relocs.push(Reloc {
+                            at: em.out.len(),
+                            target: RelocTarget::Global(*global),
+                        });
+                        let mem = Mem::abs(addend);
+                        if byte {
+                            // Byte stores need AL/CL/DL/BL.
+                            if v >= 4 {
+                                em.mv(S2, v);
+                                em.e(MI::Store8 { mem, src: S2 });
+                            } else {
+                                em.e(MI::Store8 { mem, src: v });
+                            }
+                        } else {
+                            em.e(MI::Store { mem, src: v });
+                        }
+                    }
+                    Operand::V(_) => {
+                        let idx = em.read(*index, S2);
+                        em.mv(S2, idx);
+                        if !byte {
+                            em.e(MI::Shift {
+                                kind: ShiftKind::Shl,
+                                dst: S2,
+                                imm: 2,
+                            });
+                        }
+                        em.global_addr(S1, *global, 0);
+                        em.e(MI::AluRR {
+                            op: AluOp::Add,
+                            dst: S1,
+                            src: S2,
+                        });
+                        let v = em.read(*value, S2);
+                        let mem = Mem::base_disp(S1, 0);
+                        if byte {
+                            if v >= 4 {
+                                em.mv(S2, v);
+                                em.e(MI::Store8 { mem, src: S2 });
+                            } else {
+                                em.e(MI::Store8 { mem, src: v });
+                            }
+                        } else {
+                            em.e(MI::Store { mem, src: v });
+                        }
+                    }
+                }
+            }
+            Instr::LoadPtr { dst, addr, elem } => {
+                let a = em.read(*addr, S2);
+                let d = em.target(*dst, S1);
+                let mem = Mem::base_disp(a, 0);
+                if *elem == crate::ast::ElemType::Byte {
+                    em.e(MI::Load8Z { dst: d, mem });
+                } else {
+                    em.e(MI::Load { dst: d, mem });
+                }
+                em.writeback(*dst, d);
+            }
+            Instr::StorePtr { addr, value, elem } => {
+                let a = em.read(*addr, S1);
+                let v = em.read(*value, S2);
+                let mem = Mem::base_disp(a, 0);
+                if *elem == crate::ast::ElemType::Byte {
+                    // Byte stores need AL/CL/DL/BL.
+                    if v >= 4 {
+                        em.mv(S2, v);
+                        em.e(MI::Store8 { mem, src: S2 });
+                    } else {
+                        em.e(MI::Store8 { mem, src: v });
+                    }
+                } else {
+                    em.e(MI::Store { mem, src: v });
+                }
+            }
+            Instr::Call { dst, callee, args } => {
+                // cdecl: push right-to-left, caller cleans up.
+                for a in args.iter().rev() {
+                    let r = em.read(*a, S1);
+                    em.e(MI::Push { src: r });
+                }
+                em.relocs.push(Reloc {
+                    at: em.out.len(),
+                    target: RelocTarget::Func(*callee),
+                });
+                em.e(MI::CallRel { rel: 0 });
+                if !args.is_empty() {
+                    em.e(MI::AluRI {
+                        op: AluOp::Add,
+                        dst: ESP,
+                        imm: 4 * args.len() as u32,
+                    });
+                }
+                if let Some(d) = dst {
+                    let t = em.target(*d, S2);
+                    em.mv(t, EAX);
+                    em.writeback(*d, t);
+                }
+            }
+            Instr::Ret { value } => {
+                if let Some(v) = value {
+                    match v {
+                        Operand::Imm(c) => em.e(MI::MovRI {
+                            dst: EAX,
+                            imm: *c as u32,
+                        }),
+                        Operand::V(_) => {
+                            let r = em.read(*v, EAX);
+                            em.mv(EAX, r);
+                        }
+                    }
+                }
+                epilogue(&mut em);
+            }
+            Instr::Jmp(l) => em.branch(None, *l),
+            Instr::BrCmp { rel, a, b, taken, fall } => {
+                emit_cmp(&mut em, *a, *b);
+                em.branch(Some(rel_cc(*rel)), *taken);
+                emit_fall(&mut em, f, ti, *fall);
+            }
+            Instr::BrNz { cond, taken, fall } => {
+                let c = em.read(*cond, S1);
+                em.e(MI::Test { a: c, b: c });
+                em.branch(Some(Cc::Ne), *taken);
+                emit_fall(&mut em, f, ti, *fall);
+            }
+        }
+    }
+    if !matches!(
+        f.instrs.last(),
+        Some(Instr::Ret { .. }) | Some(Instr::Jmp(_)) | Some(Instr::BrCmp { .. }) | Some(Instr::BrNz { .. })
+    ) {
+        epilogue(&mut em);
+    }
+
+    // Resolve branches over variable-length instructions.
+    let mut offs = Vec::with_capacity(em.out.len() + 1);
+    let mut o = 0u32;
+    for i in &em.out {
+        offs.push(o);
+        o += firmup_isa::x86::encoded_len(i);
+    }
+    offs.push(o);
+    for (idx, l) in em.fixups.clone() {
+        let target = offs[em.label_at[&l]];
+        let end = offs[idx] + firmup_isa::x86::encoded_len(&em.out[idx]);
+        let rel = target as i32 - end as i32;
+        match &mut em.out[idx] {
+            MI::JmpRel { rel: r } => *r = rel,
+            MI::Jcc { rel: r, .. } => *r = rel,
+            other => unreachable!("fixup at non-branch {other:?}"),
+        }
+    }
+
+    Ok(FnOut {
+        name: f.name.clone(),
+        exported: f.exported,
+        instrs: em.out,
+        relocs: em.relocs,
+    })
+}
+
+fn emit_fall(em: &mut Emitter, f: &TacFunction, ti: usize, fall: Label) {
+    if matches!(f.instrs.get(ti + 1), Some(Instr::Label(l)) if *l == fall) {
+        return;
+    }
+    em.branch(None, fall);
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::parser::parse;
+    use crate::sema::check;
+    use crate::tac::lower;
+
+    fn build(src: &str, profile: &ToolchainProfile) -> LinkedBinary {
+        let p = parse(src).unwrap();
+        check(&p).unwrap();
+        let mut t = lower(&p);
+        crate::opt::optimize(&mut t, profile.opt_flags());
+        compile(&t, profile, MemLayout::default()).unwrap()
+    }
+
+    fn decode_stream(lb: &LinkedBinary, lo: usize, hi: usize) -> Vec<MI> {
+        let mut out = Vec::new();
+        let mut off = lo;
+        while off < hi {
+            let (i, len) = firmup_isa::x86::decode(&lb.text, off, lb.text_base + off as u32)
+                .unwrap_or_else(|e| panic!("undecodable at {off}: {e}"));
+            out.push(i);
+            off += len as usize;
+        }
+        out
+    }
+
+    #[test]
+    fn whole_binary_decodes() {
+        let lb = build(
+            "global b: [byte; 8]; fn helper(x: int) -> int { return x * 3; } fn main(a: int) -> int { b[a] = 1; if (a < 10) { return helper(a); } return b[a]; }",
+            &ToolchainProfile::gcc_like(),
+        );
+        for (name, addr, size, _) in &lb.symbols {
+            let lo = (*addr - lb.text_base) as usize;
+            let is = decode_stream(&lb, lo, lo + *size as usize);
+            assert!(!is.is_empty(), "{name} decoded to nothing");
+        }
+    }
+
+    #[test]
+    fn call_rel_resolves() {
+        let lb = build(
+            "fn leaf() -> int { return 3; } fn callee(x: int) -> int { return x + leaf(); } fn main() -> int { return callee(9); }",
+            &ToolchainProfile::gcc_like(),
+        );
+        let callee = lb.symbols.iter().find(|s| s.0 == "callee").unwrap().1;
+        let main = lb.symbols.iter().find(|s| s.0 == "main").unwrap();
+        let lo = (main.1 - lb.text_base) as usize;
+        let mut off = lo;
+        let mut ok = false;
+        while off < lo + main.2 as usize {
+            let addr = lb.text_base + off as u32;
+            let (i, len) = firmup_isa::x86::decode(&lb.text, off, addr).unwrap();
+            if let MI::CallRel { rel } = i {
+                assert_eq!(addr.wrapping_add(len).wrapping_add(rel as u32), callee);
+                ok = true;
+            }
+            off += len as usize;
+        }
+        assert!(ok);
+    }
+
+    #[test]
+    fn prologue_uses_ebp_frame() {
+        let lb = build("fn main() -> int { return 0; }", &ToolchainProfile::gcc_like());
+        let is = decode_stream(&lb, 0, lb.text.len());
+        assert_eq!(is[0], MI::Push { src: EBP });
+        assert_eq!(is[1], MI::MovRR { dst: EBP, src: ESP });
+        assert!(is.contains(&MI::Ret));
+    }
+
+    #[test]
+    fn args_are_pushed_cdecl() {
+        let lb = build(
+            "fn leaf() -> int { return 3; } fn g(a: int, b: int) -> int { return a - b + leaf(); } fn main() -> int { return g(10, 3); }",
+            &ToolchainProfile::gcc_like(),
+        );
+        let main = lb.symbols.iter().find(|s| s.0 == "main").unwrap();
+        let lo = (main.1 - lb.text_base) as usize;
+        let is = decode_stream(&lb, lo, lo + main.2 as usize);
+        let pushes = is.iter().filter(|i| matches!(i, MI::Push { .. })).count();
+        assert!(pushes >= 3, "ebp + 2 args, got {pushes}");
+        // Caller cleanup.
+        assert!(is
+            .iter()
+            .any(|i| matches!(i, MI::AluRI { op: AluOp::Add, dst, imm: 8 } if *dst == ESP)));
+    }
+
+    #[test]
+    fn global_absolute_addressing_patched() {
+        let lb = build(
+            "global t: [int; 4]; fn main() -> int { t[2] = 5; return t[2]; }",
+            &ToolchainProfile::gcc_like(),
+        );
+        let is = decode_stream(&lb, 0, lb.text.len());
+        let expect = lb.global_addrs[0] + 8;
+        assert!(
+            is.iter().any(|i| matches!(i, MI::Store { mem, .. } if mem.base.is_none() && mem.disp as u32 == expect)),
+            "absolute store to t[2] missing: {is:?}"
+        );
+    }
+}

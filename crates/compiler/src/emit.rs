@@ -1,0 +1,359 @@
+//! Shared emission machinery: layout, relocation, linking, scheduling.
+
+use std::fmt;
+
+use crate::ast::Global;
+use crate::tac::{FuncId, GlobalId, Instr, TacFunction};
+
+/// Compilation failure (a program the back ends cannot express).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct CompileError {
+    /// Description.
+    pub message: String,
+}
+
+impl fmt::Display for CompileError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "compile error: {}", self.message)
+    }
+}
+
+impl std::error::Error for CompileError {}
+
+/// Where code and data land in the address space.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct MemLayout {
+    /// Base address of `.text`.
+    pub text_base: u32,
+    /// Base address of `.data`.
+    pub data_base: u32,
+}
+
+impl Default for MemLayout {
+    fn default() -> MemLayout {
+        MemLayout {
+            text_base: 0x0040_0000,
+            data_base: 0x1000_0000,
+        }
+    }
+}
+
+/// What a relocation resolves to.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum RelocTarget {
+    /// A function's entry address.
+    Func(FuncId),
+    /// A global's data address.
+    Global(GlobalId),
+}
+
+/// A pending fixup at machine-instruction index `at` within a function.
+/// Interpretation of *how* to patch is backend-specific (hi/lo pairs,
+/// rel32, …); the linker only supplies addresses.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Reloc {
+    /// Index of the (first) instruction to patch.
+    pub at: usize,
+    /// Target whose address should be written.
+    pub target: RelocTarget,
+}
+
+/// One compiled function before linking.
+#[derive(Debug, Clone)]
+pub struct FnOut<I> {
+    /// Symbol name.
+    pub name: String,
+    /// Exported (survives partial stripping).
+    pub exported: bool,
+    /// Machine instructions (branch targets within the function already
+    /// resolved by the back end).
+    pub instrs: Vec<I>,
+    /// Pending cross-function/global fixups.
+    pub relocs: Vec<Reloc>,
+}
+
+/// A linked executable image, pre-ELF.
+#[derive(Debug, Clone)]
+pub struct LinkedBinary {
+    /// `.text` contents.
+    pub text: Vec<u8>,
+    /// `.text` base address.
+    pub text_base: u32,
+    /// `.data` contents (globals, including interned strings).
+    pub data: Vec<u8>,
+    /// `.data` base address.
+    pub data_base: u32,
+    /// Function symbols: `(name, addr, size, exported)`.
+    pub symbols: Vec<(String, u32, u32, bool)>,
+    /// Address of each global by [`GlobalId`].
+    pub global_addrs: Vec<u32>,
+    /// Entry point (the `main` function if present, else the first).
+    pub entry: u32,
+}
+
+/// Lay out globals in `.data`: returns (addresses, initialized bytes).
+pub fn layout_globals(globals: &[Global], data_base: u32) -> (Vec<u32>, Vec<u8>) {
+    let mut addrs = Vec::with_capacity(globals.len());
+    let mut data = Vec::new();
+    for g in globals {
+        // 4-byte alignment for everything keeps loads simple.
+        while data.len() % 4 != 0 {
+            data.push(0);
+        }
+        addrs.push(data_base + data.len() as u32);
+        let size = (g.elem.size() * g.len) as usize;
+        match &g.init {
+            Some(bytes) => {
+                data.extend_from_slice(bytes);
+                if bytes.len() < size {
+                    data.extend(std::iter::repeat_n(0, size - bytes.len()));
+                }
+            }
+            None => data.extend(std::iter::repeat_n(0, size)),
+        }
+    }
+    (addrs, data)
+}
+
+/// Link compiled functions: assign addresses, apply relocations, encode.
+///
+/// `len` gives an instruction's encoded size; `patch` rewrites the
+/// instruction(s) at a reloc site given `(instrs, at, instr_addr,
+/// target_addr)`; `encode` appends an instruction's bytes.
+pub fn link<I>(
+    mut fns: Vec<FnOut<I>>,
+    globals: &[Global],
+    layout: MemLayout,
+    len: impl Fn(&I) -> u32,
+    patch: impl Fn(&mut [I], usize, u32, u32),
+    encode: impl Fn(&I, &mut Vec<u8>),
+) -> LinkedBinary {
+    const FN_ALIGN: u32 = 16;
+    // Function sizes and addresses.
+    let mut fn_addrs = Vec::with_capacity(fns.len());
+    let mut cursor = layout.text_base;
+    let mut fn_sizes = Vec::with_capacity(fns.len());
+    for f in &fns {
+        cursor = (cursor + FN_ALIGN - 1) & !(FN_ALIGN - 1);
+        fn_addrs.push(cursor);
+        let size: u32 = f.instrs.iter().map(&len).sum();
+        fn_sizes.push(size);
+        cursor += size;
+    }
+    let (global_addrs, data) = layout_globals(globals, layout.data_base);
+    // Apply relocations.
+    for (fi, f) in fns.iter_mut().enumerate() {
+        // Instruction offsets within the function.
+        let mut offs = Vec::with_capacity(f.instrs.len());
+        let mut o = 0u32;
+        for i in &f.instrs {
+            offs.push(o);
+            o += len(i);
+        }
+        for r in f.relocs.clone() {
+            let instr_addr = fn_addrs[fi] + offs[r.at];
+            let target_addr = match r.target {
+                RelocTarget::Func(id) => fn_addrs[id],
+                RelocTarget::Global(id) => global_addrs[id],
+            };
+            patch(&mut f.instrs, r.at, instr_addr, target_addr);
+        }
+    }
+    // Encode.
+    let mut text = Vec::new();
+    let mut symbols = Vec::new();
+    for (fi, f) in fns.iter().enumerate() {
+        let pad = (fn_addrs[fi] - layout.text_base) as usize - text.len();
+        text.extend(std::iter::repeat_n(0, pad));
+        for i in &f.instrs {
+            encode(i, &mut text);
+        }
+        symbols.push((f.name.clone(), fn_addrs[fi], fn_sizes[fi], f.exported));
+    }
+    let entry = symbols
+        .iter()
+        .find(|(n, ..)| n == "main")
+        .map(|&(_, a, ..)| a)
+        .unwrap_or(layout.text_base);
+    LinkedBinary {
+        text,
+        text_base: layout.text_base,
+        data,
+        data_base: layout.data_base,
+        symbols,
+        global_addrs,
+        entry,
+    }
+}
+
+impl LinkedBinary {
+    /// Wrap in an ELF32 container for the given machine.
+    pub fn to_elf(&self, machine: u16) -> firmup_obj::Elf {
+        let mut b = firmup_obj::write::ElfBuilder::new(machine, self.entry);
+        b.text(self.text_base, self.text.clone());
+        if !self.data.is_empty() {
+            b.data(self.data_base, self.data.clone());
+        }
+        for (name, addr, size, exported) in &self.symbols {
+            b.func(name, *addr, *size, *exported);
+        }
+        b.build()
+    }
+}
+
+/// Deterministic local scheduling: swap adjacent independent pure TAC
+/// instructions based on a position hash. Models the instruction-order
+/// variance different compiler schedulers introduce.
+pub fn schedule_tac(f: &mut TacFunction) {
+    let mut i = 0;
+    while i + 1 < f.instrs.len() {
+        let (a, b) = (&f.instrs[i], &f.instrs[i + 1]);
+        let swappable = a.is_pure()
+            && b.is_pure()
+            && a.def().is_some()
+            && b.def().is_some()
+            && a.def() != b.def()
+            && !b.uses().contains(&a.def().expect("checked"))
+            && !a.uses().contains(&b.def().expect("checked"))
+            // Loads may not move across each other when a store could
+            // sit between blocks; keep load pairs stable for simplicity.
+            && !(matches!(a, Instr::Load { .. }) && matches!(b, Instr::Load { .. }));
+        // Simple deterministic "hash": swap every other eligible pair.
+        if swappable && i % 2 == 0 {
+            f.instrs.swap(i, i + 1);
+            i += 2;
+        } else {
+            i += 1;
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::ast::ElemType;
+    use crate::tac::{Operand, TBin, VReg};
+
+    #[test]
+    fn global_layout_aligns_and_initializes() {
+        let globals = vec![
+            Global {
+                name: "s".into(),
+                elem: ElemType::Byte,
+                len: 3,
+                init: Some(b"ab\0".to_vec()),
+            },
+            Global {
+                name: "w".into(),
+                elem: ElemType::Int,
+                len: 2,
+                init: None,
+            },
+        ];
+        let (addrs, data) = layout_globals(&globals, 0x1000_0000);
+        assert_eq!(addrs, vec![0x1000_0000, 0x1000_0004]);
+        assert_eq!(&data[0..3], b"ab\0");
+        assert_eq!(data.len(), 4 + 8);
+    }
+
+    #[test]
+    fn link_assigns_aligned_addresses_and_patches() {
+        // Fake 4-byte "instructions" that are just u32 slots; reloc
+        // writes the target address into the slot.
+        let fns = vec![
+            FnOut {
+                name: "main".into(),
+                exported: false,
+                instrs: vec![0u32, 0, 0],
+                relocs: vec![Reloc {
+                    at: 1,
+                    target: RelocTarget::Func(1),
+                }],
+            },
+            FnOut {
+                name: "callee".into(),
+                exported: true,
+                instrs: vec![0u32],
+                relocs: vec![Reloc {
+                    at: 0,
+                    target: RelocTarget::Global(0),
+                }],
+            },
+        ];
+        let globals = vec![Global {
+            name: "g".into(),
+            elem: ElemType::Int,
+            len: 1,
+            init: None,
+        }];
+        let lb = link(
+            fns,
+            &globals,
+            MemLayout::default(),
+            |_| 4,
+            |instrs, at, _ia, ta| instrs[at] = ta,
+            |i, out| out.extend_from_slice(&i.to_le_bytes()),
+        );
+        assert_eq!(lb.symbols[0].1, 0x0040_0000);
+        assert_eq!(lb.symbols[1].1, 0x0040_0010, "16-byte alignment");
+        assert_eq!(lb.entry, 0x0040_0000, "main is the entry");
+        // The patched slot holds callee's address.
+        let w = u32::from_le_bytes([lb.text[4], lb.text[5], lb.text[6], lb.text[7]]);
+        assert_eq!(w, 0x0040_0010);
+        // Callee's slot holds the global address.
+        let w2 = u32::from_le_bytes([lb.text[16], lb.text[17], lb.text[18], lb.text[19]]);
+        assert_eq!(w2, 0x1000_0000);
+        assert_eq!(lb.global_addrs, vec![0x1000_0000]);
+    }
+
+    #[test]
+    fn schedule_swaps_independent_pairs_only() {
+        let mut f = TacFunction {
+            name: "f".into(),
+            params: vec![VReg(0)],
+            vreg_count: 4,
+            label_count: 0,
+            instrs: vec![
+                Instr::Bin {
+                    op: TBin::Add,
+                    dst: VReg(1),
+                    a: Operand::V(VReg(0)),
+                    b: Operand::Imm(1),
+                },
+                Instr::Bin {
+                    op: TBin::Sub,
+                    dst: VReg(2),
+                    a: Operand::V(VReg(0)),
+                    b: Operand::Imm(2),
+                },
+                // Dependent on VReg(1): must not move before it.
+                Instr::Bin {
+                    op: TBin::Mul,
+                    dst: VReg(3),
+                    a: Operand::V(VReg(1)),
+                    b: Operand::Imm(3),
+                },
+                Instr::Ret {
+                    value: Some(Operand::V(VReg(3))),
+                },
+            ],
+            returns_value: true,
+            exported: false,
+        };
+        schedule_tac(&mut f);
+        // First two swapped, dependency preserved.
+        assert!(matches!(f.instrs[0], Instr::Bin { op: TBin::Sub, .. }));
+        assert!(matches!(f.instrs[1], Instr::Bin { op: TBin::Add, .. }));
+        let mul_pos = f
+            .instrs
+            .iter()
+            .position(|i| matches!(i, Instr::Bin { op: TBin::Mul, .. }))
+            .unwrap();
+        let add_pos = f
+            .instrs
+            .iter()
+            .position(|i| matches!(i, Instr::Bin { op: TBin::Add, .. }))
+            .unwrap();
+        assert!(mul_pos > add_pos);
+    }
+}

@@ -1,0 +1,358 @@
+//! Lexer for MinC.
+
+use std::fmt;
+
+/// A token with its source line (for error messages).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Token {
+    /// Kind and payload.
+    pub kind: TokKind,
+    /// 1-based source line.
+    pub line: u32,
+}
+
+/// Token kinds.
+#[derive(Debug, Clone, PartialEq, Eq)]
+#[allow(missing_docs)]
+pub enum TokKind {
+    // Literals and identifiers.
+    Num(i32),
+    Str(String),
+    Ident(String),
+    // Keywords.
+    Fn,
+    Pub,
+    Var,
+    Global,
+    If,
+    Else,
+    While,
+    Return,
+    Break,
+    Continue,
+    Int,
+    Byte,
+    // Punctuation.
+    LParen,
+    RParen,
+    LBrace,
+    RBrace,
+    LBracket,
+    RBracket,
+    Comma,
+    Semi,
+    Colon,
+    Arrow,
+    Assign,
+    // Operators.
+    Plus,
+    Minus,
+    Star,
+    Amp,
+    Pipe,
+    Caret,
+    Shl,
+    Shr,
+    Lt,
+    Le,
+    Gt,
+    Ge,
+    EqEq,
+    Ne,
+    AndAnd,
+    OrOr,
+    Bang,
+    Tilde,
+    Eof,
+}
+
+impl fmt::Display for TokKind {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            TokKind::Num(n) => write!(f, "number {n}"),
+            TokKind::Str(_) => write!(f, "string literal"),
+            TokKind::Ident(s) => write!(f, "identifier `{s}`"),
+            other => write!(f, "{other:?}"),
+        }
+    }
+}
+
+/// Lexing failure.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct LexError {
+    /// Problem description.
+    pub message: String,
+    /// 1-based source line.
+    pub line: u32,
+}
+
+impl fmt::Display for LexError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "lex error at line {}: {}", self.line, self.message)
+    }
+}
+
+impl std::error::Error for LexError {}
+
+/// Tokenize MinC source.
+///
+/// # Errors
+///
+/// Returns [`LexError`] on unterminated strings, malformed numbers, or
+/// unexpected characters.
+pub fn lex(src: &str) -> Result<Vec<Token>, LexError> {
+    let bytes = src.as_bytes();
+    let mut out = Vec::new();
+    let mut i = 0;
+    let mut line: u32 = 1;
+    let err = |message: String, line: u32| LexError { message, line };
+    while i < bytes.len() {
+        let c = bytes[i] as char;
+        match c {
+            '\n' => {
+                line += 1;
+                i += 1;
+            }
+            ' ' | '\t' | '\r' => i += 1,
+            '/' if bytes.get(i + 1) == Some(&b'/') => {
+                while i < bytes.len() && bytes[i] != b'\n' {
+                    i += 1;
+                }
+            }
+            '0'..='9' => {
+                let start = i;
+                let mut radix = 10;
+                if c == '0' && matches!(bytes.get(i + 1), Some(b'x') | Some(b'X')) {
+                    radix = 16;
+                    i += 2;
+                }
+                let digits_start = i;
+                while i < bytes.len() && (bytes[i] as char).is_ascii_hexdigit() {
+                    if radix == 10 && !(bytes[i] as char).is_ascii_digit() {
+                        break;
+                    }
+                    i += 1;
+                }
+                let text = if radix == 16 {
+                    &src[digits_start..i]
+                } else {
+                    &src[start..i]
+                };
+                let value = i64::from_str_radix(text, radix)
+                    .map_err(|e| err(format!("bad number `{text}`: {e}"), line))?;
+                if value > u32::MAX as i64 {
+                    return Err(err(format!("number `{text}` out of range"), line));
+                }
+                out.push(Token {
+                    kind: TokKind::Num(value as u32 as i32),
+                    line,
+                });
+            }
+            'a'..='z' | 'A'..='Z' | '_' => {
+                let start = i;
+                while i < bytes.len()
+                    && matches!(bytes[i] as char, 'a'..='z' | 'A'..='Z' | '0'..='9' | '_')
+                {
+                    i += 1;
+                }
+                let word = &src[start..i];
+                let kind = match word {
+                    "fn" => TokKind::Fn,
+                    "pub" => TokKind::Pub,
+                    "var" => TokKind::Var,
+                    "global" => TokKind::Global,
+                    "if" => TokKind::If,
+                    "else" => TokKind::Else,
+                    "while" => TokKind::While,
+                    "return" => TokKind::Return,
+                    "break" => TokKind::Break,
+                    "continue" => TokKind::Continue,
+                    "int" => TokKind::Int,
+                    "byte" => TokKind::Byte,
+                    _ => TokKind::Ident(word.to_string()),
+                };
+                out.push(Token { kind, line });
+            }
+            '"' => {
+                i += 1;
+                let mut s = String::new();
+                loop {
+                    match bytes.get(i) {
+                        None => return Err(err("unterminated string".into(), line)),
+                        Some(b'"') => {
+                            i += 1;
+                            break;
+                        }
+                        Some(b'\\') => {
+                            let esc = bytes
+                                .get(i + 1)
+                                .ok_or_else(|| err("unterminated escape".into(), line))?;
+                            s.push(match esc {
+                                b'n' => '\n',
+                                b't' => '\t',
+                                b'0' => '\0',
+                                b'\\' => '\\',
+                                b'"' => '"',
+                                other => {
+                                    return Err(err(
+                                        format!("unknown escape `\\{}`", *other as char),
+                                        line,
+                                    ))
+                                }
+                            });
+                            i += 2;
+                        }
+                        Some(&b) => {
+                            if b == b'\n' {
+                                line += 1;
+                            }
+                            s.push(b as char);
+                            i += 1;
+                        }
+                    }
+                }
+                out.push(Token {
+                    kind: TokKind::Str(s),
+                    line,
+                });
+            }
+            _ => {
+                let two = |a: char, b: char| {
+                    bytes.get(i) == Some(&(a as u8)) && bytes.get(i + 1) == Some(&(b as u8))
+                };
+                let (kind, n) = if two('-', '>') {
+                    (TokKind::Arrow, 2)
+                } else if two('<', '<') {
+                    (TokKind::Shl, 2)
+                } else if two('>', '>') {
+                    (TokKind::Shr, 2)
+                } else if two('<', '=') {
+                    (TokKind::Le, 2)
+                } else if two('>', '=') {
+                    (TokKind::Ge, 2)
+                } else if two('=', '=') {
+                    (TokKind::EqEq, 2)
+                } else if two('!', '=') {
+                    (TokKind::Ne, 2)
+                } else if two('&', '&') {
+                    (TokKind::AndAnd, 2)
+                } else if two('|', '|') {
+                    (TokKind::OrOr, 2)
+                } else {
+                    let k = match c {
+                        '(' => TokKind::LParen,
+                        ')' => TokKind::RParen,
+                        '{' => TokKind::LBrace,
+                        '}' => TokKind::RBrace,
+                        '[' => TokKind::LBracket,
+                        ']' => TokKind::RBracket,
+                        ',' => TokKind::Comma,
+                        ';' => TokKind::Semi,
+                        ':' => TokKind::Colon,
+                        '=' => TokKind::Assign,
+                        '+' => TokKind::Plus,
+                        '-' => TokKind::Minus,
+                        '*' => TokKind::Star,
+                        '&' => TokKind::Amp,
+                        '|' => TokKind::Pipe,
+                        '^' => TokKind::Caret,
+                        '<' => TokKind::Lt,
+                        '>' => TokKind::Gt,
+                        '!' => TokKind::Bang,
+                        '~' => TokKind::Tilde,
+                        other => return Err(err(format!("unexpected character `{other}`"), line)),
+                    };
+                    (k, 1)
+                };
+                out.push(Token { kind, line });
+                i += n;
+            }
+        }
+    }
+    out.push(Token {
+        kind: TokKind::Eof,
+        line,
+    });
+    Ok(out)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn kinds(src: &str) -> Vec<TokKind> {
+        lex(src).unwrap().into_iter().map(|t| t.kind).collect()
+    }
+
+    #[test]
+    fn keywords_and_idents() {
+        assert_eq!(
+            kinds("fn foo while whilex"),
+            vec![
+                TokKind::Fn,
+                TokKind::Ident("foo".into()),
+                TokKind::While,
+                TokKind::Ident("whilex".into()),
+                TokKind::Eof
+            ]
+        );
+    }
+
+    #[test]
+    fn numbers() {
+        assert_eq!(
+            kinds("0 42 0x1F 0xffffffff"),
+            vec![
+                TokKind::Num(0),
+                TokKind::Num(42),
+                TokKind::Num(0x1f),
+                TokKind::Num(-1),
+                TokKind::Eof
+            ]
+        );
+    }
+
+    #[test]
+    fn multichar_operators() {
+        assert_eq!(
+            kinds("-> << >> <= >= == != && || < >"),
+            vec![
+                TokKind::Arrow,
+                TokKind::Shl,
+                TokKind::Shr,
+                TokKind::Le,
+                TokKind::Ge,
+                TokKind::EqEq,
+                TokKind::Ne,
+                TokKind::AndAnd,
+                TokKind::OrOr,
+                TokKind::Lt,
+                TokKind::Gt,
+                TokKind::Eof
+            ]
+        );
+    }
+
+    #[test]
+    fn strings_with_escapes() {
+        assert_eq!(
+            kinds(r#""a\nb\0""#),
+            vec![TokKind::Str("a\nb\0".into()), TokKind::Eof]
+        );
+        assert!(lex("\"unterminated").is_err());
+        assert!(lex(r#""bad \q""#).is_err());
+    }
+
+    #[test]
+    fn comments_skipped_and_lines_tracked() {
+        let toks = lex("// comment\nfn").unwrap();
+        assert_eq!(toks[0].kind, TokKind::Fn);
+        assert_eq!(toks[0].line, 2);
+    }
+
+    #[test]
+    fn unexpected_character() {
+        let e = lex("fn @").unwrap_err();
+        assert!(e.message.contains('@'));
+    }
+}

@@ -1,0 +1,287 @@
+//! MinC: a small C-like language with four native back ends.
+//!
+//! This crate is the FirmUp reproduction's stand-in for "the vendor tool
+//! chains": the paper's evaluation depends on the same source code being
+//! compiled by *different* compilers for *different* architectures
+//! (gcc 5.2 for queries, unknown vendor SDKs for targets — §5.1), and on
+//! the resulting syntactic variance being large. MinC programs compile to
+//! real machine code for MIPS32, ARM32, PPC32 and x86 under configurable
+//! [`ToolchainProfile`]s, and the output is a genuine ELF32 executable
+//! that the rest of the pipeline must disassemble and lift like any
+//! found-in-the-wild binary.
+//!
+//! # Pipeline
+//!
+//! ```text
+//! source → lex → parse → sema → TAC → optimize (per profile)
+//!        → schedule → regalloc → instruction selection (per arch)
+//!        → link → ELF32
+//! ```
+//!
+//! # The MinC language
+//!
+//! MinC is a deliberately small C-like language. Everything is a 32-bit
+//! signed `int`; the only aggregate data are global arrays.
+//!
+//! ```text
+//! // Items: functions and globals. `pub fn` exports the symbol
+//! // (survives partial stripping, like a library's public API).
+//! global buf: [byte; 64];          // zero-initialized byte array
+//! global tbl: [int; 16];           // zero-initialized word array
+//! global msg = "hello";            // NUL-terminated bytes in .data
+//!
+//! pub fn str_len(p: int) -> int {  // ≤ 4 parameters on RISC targets
+//!     var n = 0;                   // locals: `var name = expr;`
+//!     while (peek8(p + n) != 0) {  // while / if-else / break / continue
+//!         n = n + 1;
+//!     }
+//!     return n;
+//! }
+//!
+//! fn demo(a: int) -> int {
+//!     buf[a] = 65;                 // global array store (bounds unchecked)
+//!     var x = tbl[2] + buf[a];     // global array load
+//!     poke(&tbl + 4, x);           // word store through a computed address
+//!     poke8(&buf, 66);             // byte store
+//!     var y = peek(&tbl + 4);      // word load
+//!     var s = "lit";               // string literal = address in .data
+//!     if (x < 10 && y != 0) { return peek8(s); }
+//!     return x ^ (y >> 2);         // >>/<< need constant amounts on ARM/x86
+//! }
+//! ```
+//!
+//! Operators (C precedence): `|| && | ^ & == != < <= > >= << >> + - *`
+//! and unary `- ! ~`. There is no division, no function pointers, and no
+//! recursion limit checking — the corpus packages are written within
+//! these bounds.
+//!
+//! # Example
+//!
+//! ```
+//! use firmup_compiler::{compile_source, CompilerOptions};
+//! use firmup_isa::Arch;
+//!
+//! let elf = compile_source(
+//!     "fn main() -> int { return 41 + 1; }",
+//!     Arch::Mips32,
+//!     &CompilerOptions::default(),
+//! )?;
+//! assert_eq!(elf.machine, Arch::Mips32.elf_machine());
+//! assert!(elf.text().is_some());
+//! # Ok::<(), firmup_compiler::CompilerError>(())
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod ast;
+pub mod backend;
+pub mod emit;
+pub mod lexer;
+pub mod opt;
+pub mod parser;
+pub mod profile;
+pub mod regalloc;
+pub mod sema;
+pub mod tac;
+
+use std::fmt;
+
+pub use emit::{CompileError, LinkedBinary, MemLayout};
+pub use parser::{parse, ParseError};
+pub use profile::{OptLevel, RegOrder, ToolchainProfile};
+pub use sema::SemaError;
+
+use firmup_isa::Arch;
+
+/// Everything that can go wrong between source text and ELF.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum CompilerError {
+    /// Syntax error.
+    Parse(ParseError),
+    /// Semantic error.
+    Sema(SemaError),
+    /// Back-end limitation.
+    Backend(CompileError),
+}
+
+impl fmt::Display for CompilerError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            CompilerError::Parse(e) => e.fmt(f),
+            CompilerError::Sema(e) => e.fmt(f),
+            CompilerError::Backend(e) => e.fmt(f),
+        }
+    }
+}
+
+impl std::error::Error for CompilerError {}
+
+impl From<ParseError> for CompilerError {
+    fn from(e: ParseError) -> Self {
+        CompilerError::Parse(e)
+    }
+}
+
+impl From<SemaError> for CompilerError {
+    fn from(e: SemaError) -> Self {
+        CompilerError::Sema(e)
+    }
+}
+
+impl From<CompileError> for CompilerError {
+    fn from(e: CompileError) -> Self {
+        CompilerError::Backend(e)
+    }
+}
+
+/// Build configuration: toolchain profile, memory layout, stripping.
+#[derive(Debug, Clone)]
+pub struct CompilerOptions {
+    /// The toolchain profile (optimization, register order, scheduling…).
+    pub profile: ToolchainProfile,
+    /// Code/data placement.
+    pub layout: MemLayout,
+}
+
+impl Default for CompilerOptions {
+    fn default() -> Self {
+        CompilerOptions {
+            profile: ToolchainProfile::gcc_like(),
+            layout: MemLayout::default(),
+        }
+    }
+}
+
+/// Compile MinC source text to an ELF32 executable for `arch`.
+///
+/// The produced ELF carries full symbol information; call
+/// [`firmup_obj::Elf::strip`] to model firmware-style stripping.
+///
+/// # Errors
+///
+/// Returns [`CompilerError`] on syntax, semantic or back-end failures.
+pub fn compile_source(
+    src: &str,
+    arch: Arch,
+    options: &CompilerOptions,
+) -> Result<firmup_obj::Elf, CompilerError> {
+    let program = parse(src)?;
+    sema::check(&program)?;
+    let linked = compile_program(&program, arch, options)?;
+    Ok(linked.to_elf(arch.elf_machine()))
+}
+
+/// Compile a parsed and checked program, returning the pre-ELF image
+/// (exposes addresses and symbols directly — C-INTERMEDIATE).
+///
+/// # Errors
+///
+/// Returns [`CompilerError::Backend`] for programs the target back end
+/// cannot express.
+pub fn compile_program(
+    program: &ast::Program,
+    arch: Arch,
+    options: &CompilerOptions,
+) -> Result<LinkedBinary, CompilerError> {
+    let mut tac = tac::lower(program);
+    opt::optimize(&mut tac, options.profile.opt_flags());
+    if options.profile.schedule {
+        for f in &mut tac.functions {
+            emit::schedule_tac(f);
+        }
+    }
+    Ok(backend::compile_tac(&tac, arch, &options.profile, options.layout)?)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    const SRC: &str = r#"
+        global buf: [byte; 32];
+        global limit: [int; 1];
+
+        fn clamp(x: int, lo: int, hi: int) -> int {
+            if (x < lo) { return lo; }
+            if (x > hi) { return hi; }
+            return x;
+        }
+
+        pub fn fill(n: int) -> int {
+            var i = 0;
+            var acc = 0;
+            while (i < n) {
+                buf[i] = clamp(i * 7, 0, 255);
+                acc = acc + buf[i];
+                i = i + 1;
+            }
+            limit[0] = acc;
+            return acc;
+        }
+
+        fn main() -> int {
+            return fill(16);
+        }
+    "#;
+
+    #[test]
+    fn compiles_for_all_architectures_and_profiles() {
+        for arch in Arch::all() {
+            for profile in ToolchainProfile::all() {
+                let options = CompilerOptions {
+                    profile: profile.clone(),
+                    layout: MemLayout::default(),
+                };
+                let elf = compile_source(SRC, arch, &options)
+                    .unwrap_or_else(|e| panic!("{arch}/{}: {e}", profile.name));
+                assert!(elf.text().is_some(), "{arch}: no text");
+                assert!(elf.func_symbols().len() >= 3, "{arch}: missing symbols");
+                let fill = elf.symbols.iter().find(|s| s.name == "fill").unwrap();
+                assert!(fill.global, "pub fn must be exported");
+            }
+        }
+    }
+
+    #[test]
+    fn different_profiles_produce_different_bytes() {
+        for arch in Arch::all() {
+            let a = compile_source(SRC, arch, &CompilerOptions::default()).unwrap();
+            let b = compile_source(
+                SRC,
+                arch,
+                &CompilerOptions {
+                    profile: ToolchainProfile::vendor_size(),
+                    layout: MemLayout::default(),
+                },
+            )
+            .unwrap();
+            assert_ne!(
+                a.text().unwrap().data,
+                b.text().unwrap().data,
+                "{arch}: profiles must diverge"
+            );
+        }
+    }
+
+    #[test]
+    fn same_input_is_deterministic() {
+        for arch in Arch::all() {
+            let a = compile_source(SRC, arch, &CompilerOptions::default()).unwrap();
+            let b = compile_source(SRC, arch, &CompilerOptions::default()).unwrap();
+            assert_eq!(a.text().unwrap().data, b.text().unwrap().data, "{arch}");
+        }
+    }
+
+    #[test]
+    fn parse_errors_surface() {
+        assert!(matches!(
+            compile_source("fn f( {", Arch::X86, &CompilerOptions::default()),
+            Err(CompilerError::Parse(_))
+        ));
+        assert!(matches!(
+            compile_source("fn f() -> int { return x; }", Arch::X86, &CompilerOptions::default()),
+            Err(CompilerError::Sema(_))
+        ));
+    }
+}

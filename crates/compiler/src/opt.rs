@@ -1,0 +1,755 @@
+//! TAC optimization passes.
+//!
+//! These are the knobs that make two compilations of the same source
+//! diverge syntactically — the variance FirmUp's canonicalizer has to see
+//! through. Passes are deliberately deterministic so corpora are
+//! reproducible.
+
+use std::collections::{HashMap, HashSet};
+
+use crate::tac::{FuncId, Instr, Label, Operand, TBin, TacFunction, TacProgram, VReg};
+
+/// Which passes to run (derived from the toolchain profile's
+/// optimization level).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct OptFlags {
+    /// Constant folding + algebraic simplification.
+    pub fold: bool,
+    /// Block-local constant/copy propagation.
+    pub propagate: bool,
+    /// Dead code elimination.
+    pub dce: bool,
+    /// Block-local common subexpression elimination.
+    pub cse: bool,
+    /// Inline small leaf functions.
+    pub inline_threshold: Option<usize>,
+    /// Rotate `while` loops into guarded do-while form (gcc-style `-O2`
+    /// loop rotation) — a major source of cross-compiler CFG variance.
+    pub rotate_loops: bool,
+    /// Invert every compare-and-branch (negate + swap targets), changing
+    /// branch polarity and block layout the way different compilers'
+    /// layout heuristics do.
+    pub invert_branches: bool,
+}
+
+impl OptFlags {
+    /// No optimization (O0).
+    pub fn none() -> OptFlags {
+        OptFlags {
+            fold: false,
+            propagate: false,
+            dce: false,
+            cse: false,
+            inline_threshold: None,
+            rotate_loops: false,
+            invert_branches: false,
+        }
+    }
+
+    /// Basic cleanup (O1).
+    pub fn basic() -> OptFlags {
+        OptFlags {
+            fold: true,
+            propagate: true,
+            dce: true,
+            cse: false,
+            inline_threshold: None,
+            rotate_loops: false,
+            invert_branches: false,
+        }
+    }
+
+    /// Aggressive (O2): adds CSE and inlining.
+    pub fn aggressive() -> OptFlags {
+        OptFlags {
+            fold: true,
+            propagate: true,
+            dce: true,
+            cse: true,
+            inline_threshold: Some(14),
+            rotate_loops: true,
+            invert_branches: false,
+        }
+    }
+}
+
+/// Optimize a whole program in place according to `flags`.
+pub fn optimize(prog: &mut TacProgram, flags: OptFlags) {
+    if let Some(threshold) = flags.inline_threshold {
+        inline_small_leaves(prog, threshold);
+    }
+    for f in &mut prog.functions {
+        if flags.rotate_loops {
+            rotate_loops(f);
+        }
+        if flags.invert_branches {
+            invert_branches(f);
+        }
+        optimize_function(f, flags);
+    }
+}
+
+/// Rotate `while` loops into guarded do-while form: the canonical back
+/// edge `jmp head` is replaced by a clone of the condition block
+/// branching straight back to the body. Reproduces gcc's `-O2` loop
+/// rotation, whose CFG-shape consequences are one of the variances the
+/// paper's graph-based baseline trips over.
+pub fn rotate_loops(f: &mut TacFunction) {
+    // Identify candidates: Label(head); S…; T(BrCmp/BrNz, taken=body
+    // label immediately after T, fall=end); …; Jmp(head); Label(end).
+    let mut rewrites: Vec<(usize, Vec<Instr>)> = Vec::new();
+    for hi in 0..f.instrs.len() {
+        let Instr::Label(head) = f.instrs[hi] else { continue };
+        // Collect the condition segment.
+        let mut ti = hi + 1;
+        while ti < f.instrs.len() && !f.instrs[ti].is_terminator() && !matches!(f.instrs[ti], Instr::Label(_)) {
+            ti += 1;
+        }
+        if ti >= f.instrs.len() {
+            continue;
+        }
+        let (taken, fall) = match &f.instrs[ti] {
+            Instr::BrCmp { taken, fall, .. } | Instr::BrNz { taken, fall, .. } => (*taken, *fall),
+            _ => continue,
+        };
+        // The body must start right after the test.
+        if !matches!(f.instrs.get(ti + 1), Some(Instr::Label(l)) if *l == taken) {
+            continue;
+        }
+        // Find the canonical back edge: Jmp(head) immediately followed
+        // by Label(fall).
+        let Some(bi) = f.instrs.iter().enumerate().skip(ti + 1).position(|(i, ins)| {
+            matches!(ins, Instr::Jmp(l) if *l == head)
+                && matches!(f.instrs.get(i + 1), Some(Instr::Label(l2)) if *l2 == fall)
+        }) else {
+            continue;
+        };
+        let bi = bi + ti + 1;
+        // Clone condition segment + test as the bottom test. The cloned
+        // vregs are block-local temporaries that are redefined before
+        // every use, so reusing them is safe.
+        let clone: Vec<Instr> = f.instrs[hi + 1..=ti].to_vec();
+        rewrites.push((bi, clone));
+    }
+    // Apply back-to-front so indices stay valid.
+    rewrites.sort_by_key(|&(bi, _)| std::cmp::Reverse(bi));
+    for (bi, clone) in rewrites {
+        f.instrs.splice(bi..=bi, clone);
+    }
+}
+
+/// Negate every compare-and-branch and swap its targets. Semantics are
+/// unchanged; branch polarity and the layout the back ends emit are not.
+pub fn invert_branches(f: &mut TacFunction) {
+    for i in &mut f.instrs {
+        if let Instr::BrCmp { rel, taken, fall, .. } = i {
+            *rel = rel.negate();
+            std::mem::swap(taken, fall);
+        }
+    }
+}
+
+/// Optimize a single function in place.
+pub fn optimize_function(f: &mut TacFunction, flags: OptFlags) {
+    for _ in 0..4 {
+        let mut changed = false;
+        if flags.fold {
+            changed |= fold_constants(f);
+            changed |= fold_branches(f);
+            changed |= remove_unreachable(f);
+        }
+        if flags.propagate {
+            changed |= propagate_local(f);
+        }
+        if flags.cse {
+            changed |= cse_local(f);
+        }
+        if flags.dce {
+            changed |= eliminate_dead(f);
+        }
+        if !changed {
+            break;
+        }
+    }
+}
+
+fn imm(o: Operand) -> Option<i32> {
+    match o {
+        Operand::Imm(i) => Some(i),
+        Operand::V(_) => None,
+    }
+}
+
+/// Constant folding and algebraic identities. Returns true on change.
+pub fn fold_constants(f: &mut TacFunction) -> bool {
+    let mut changed = false;
+    for i in &mut f.instrs {
+        let replacement = match i {
+            Instr::Bin { op, dst, a, b } => match (imm(*a), imm(*b)) {
+                (Some(x), Some(y)) => Some(Instr::Copy {
+                    dst: *dst,
+                    src: Operand::Imm(op.eval(x, y)),
+                }),
+                _ => algebraic(*op, *dst, *a, *b),
+            },
+            Instr::Un { op, dst, a } => imm(*a).map(|x| Instr::Copy {
+                dst: *dst,
+                src: Operand::Imm(op.eval(x)),
+            }),
+            _ => None,
+        };
+        if let Some(r) = replacement {
+            *i = r;
+            changed = true;
+        }
+    }
+    changed
+}
+
+fn algebraic(op: TBin, dst: VReg, a: Operand, b: Operand) -> Option<Instr> {
+    let copy = |src: Operand| Some(Instr::Copy { dst, src });
+    match (op, imm(a), imm(b)) {
+        (TBin::Add, Some(0), _) => copy(b),
+        (TBin::Add, _, Some(0)) | (TBin::Sub, _, Some(0)) => copy(a),
+        (TBin::Mul, _, Some(1)) => copy(a),
+        (TBin::Mul, Some(1), _) => copy(b),
+        (TBin::Mul, _, Some(0)) | (TBin::Mul, Some(0), _) | (TBin::And, _, Some(0)) | (TBin::And, Some(0), _) => {
+            copy(Operand::Imm(0))
+        }
+        (TBin::Or, _, Some(0)) | (TBin::Xor, _, Some(0)) | (TBin::Shl, _, Some(0)) | (TBin::Sar, _, Some(0)) => {
+            copy(a)
+        }
+        (TBin::Or, Some(0), _) | (TBin::Xor, Some(0), _) => copy(b),
+        (TBin::Sub, _, _) | (TBin::Xor, _, _) if a == b && a.vreg().is_some() => copy(Operand::Imm(0)),
+        _ => None,
+    }
+}
+
+/// Fold branches with constant conditions into unconditional jumps.
+pub fn fold_branches(f: &mut TacFunction) -> bool {
+    let mut changed = false;
+    for i in &mut f.instrs {
+        let replacement = match i {
+            Instr::BrCmp { rel, a, b, taken, fall } => match (imm(*a), imm(*b)) {
+                (Some(x), Some(y)) => Some(Instr::Jmp(if rel.eval(x, y) { *taken } else { *fall })),
+                _ => None,
+            },
+            Instr::BrNz { cond, taken, fall } => {
+                imm(*cond).map(|c| Instr::Jmp(if c != 0 { *taken } else { *fall }))
+            }
+            _ => None,
+        };
+        if let Some(r) = replacement {
+            *i = r;
+            changed = true;
+        }
+    }
+    changed
+}
+
+/// Drop instructions between an unconditional terminator and the next
+/// label, plus labels nothing references.
+pub fn remove_unreachable(f: &mut TacFunction) -> bool {
+    let before = f.instrs.len();
+    // Pass 1: dead code after terminators.
+    let mut out = Vec::with_capacity(before);
+    let mut dead = false;
+    for i in f.instrs.drain(..) {
+        match &i {
+            Instr::Label(_) => {
+                dead = false;
+                out.push(i);
+            }
+            _ if dead => {}
+            Instr::Jmp(_) | Instr::Ret { .. } => {
+                out.push(i);
+                dead = true;
+            }
+            _ => out.push(i),
+        }
+    }
+    // Pass 2: drop labels that are never branch targets.
+    let mut referenced: HashSet<Label> = HashSet::new();
+    for i in &out {
+        match i {
+            Instr::Jmp(l) => {
+                referenced.insert(*l);
+            }
+            Instr::BrCmp { taken, fall, .. } | Instr::BrNz { taken, fall, .. } => {
+                referenced.insert(*taken);
+                referenced.insert(*fall);
+            }
+            _ => {}
+        }
+    }
+    out.retain(|i| match i {
+        Instr::Label(l) => referenced.contains(l),
+        _ => true,
+    });
+    // Pass 3: `jmp L; L:` → fallthrough.
+    let mut out2: Vec<Instr> = Vec::with_capacity(out.len());
+    let mut idx = 0;
+    while idx < out.len() {
+        if let (Instr::Jmp(l), Some(Instr::Label(l2))) = (&out[idx], out.get(idx + 1)) {
+            if l == l2 {
+                idx += 1; // drop the jmp, keep the label
+                continue;
+            }
+        }
+        out2.push(out[idx].clone());
+        idx += 1;
+    }
+    f.instrs = out2;
+    f.instrs.len() != before
+}
+
+/// Block-local constant and copy propagation.
+pub fn propagate_local(f: &mut TacFunction) -> bool {
+    let mut changed = false;
+    let mut map: HashMap<VReg, Operand> = HashMap::new();
+    let resolve = |map: &HashMap<VReg, Operand>, o: Operand| -> Operand {
+        match o {
+            Operand::V(v) => map.get(&v).copied().unwrap_or(o),
+            imm => imm,
+        }
+    };
+    let instrs = std::mem::take(&mut f.instrs);
+    let mut out = Vec::with_capacity(instrs.len());
+    for mut i in instrs {
+        if matches!(i, Instr::Label(_)) || i.is_terminator() {
+            // Block boundary: forget everything. (Terminators still get
+            // their uses rewritten below before the reset.)
+        }
+        // Rewrite uses.
+        let rewrite = |o: &mut Operand, map: &HashMap<VReg, Operand>, changed: &mut bool| {
+            let n = resolve(map, *o);
+            if n != *o {
+                *o = n;
+                *changed = true;
+            }
+        };
+        match &mut i {
+            Instr::Bin { a, b, .. } => {
+                rewrite(a, &map, &mut changed);
+                rewrite(b, &map, &mut changed);
+            }
+            Instr::Un { a, .. } => rewrite(a, &map, &mut changed),
+            Instr::Copy { src, .. } => rewrite(src, &map, &mut changed),
+            Instr::Load { index, .. } => rewrite(index, &map, &mut changed),
+            Instr::LoadPtr { addr, .. } => rewrite(addr, &map, &mut changed),
+            Instr::Store { index, value, .. } => {
+                rewrite(index, &map, &mut changed);
+                rewrite(value, &map, &mut changed);
+            }
+            Instr::StorePtr { addr, value, .. } => {
+                rewrite(addr, &map, &mut changed);
+                rewrite(value, &map, &mut changed);
+            }
+            Instr::Call { args, .. } => {
+                for a in args {
+                    rewrite(a, &map, &mut changed);
+                }
+            }
+            Instr::Ret { value: Some(v) } => rewrite(v, &map, &mut changed),
+            Instr::BrCmp { a, b, .. } => {
+                rewrite(a, &map, &mut changed);
+                rewrite(b, &map, &mut changed);
+            }
+            Instr::BrNz { cond, .. } => rewrite(cond, &map, &mut changed),
+            _ => {}
+        }
+        // Kill mappings invalidated by this instruction's def.
+        if let Some(d) = i.def() {
+            map.remove(&d);
+            map.retain(|_, v| *v != Operand::V(d));
+        }
+        // Record new copy facts.
+        if let Instr::Copy { dst, src } = &i {
+            if Operand::V(*dst) != *src {
+                map.insert(*dst, *src);
+            }
+        }
+        if matches!(i, Instr::Label(_)) || i.is_terminator() {
+            map.clear();
+        }
+        out.push(i);
+    }
+    f.instrs = out;
+    changed
+}
+
+/// Block-local common subexpression elimination over pure ops.
+pub fn cse_local(f: &mut TacFunction) -> bool {
+    #[derive(PartialEq, Eq, Hash)]
+    enum Key {
+        Bin(TBin, Operand, Operand),
+        Un(crate::tac::TUn, Operand),
+        Addr(usize),
+    }
+    let mut changed = false;
+    let mut avail: HashMap<Key, VReg> = HashMap::new();
+    let instrs = std::mem::take(&mut f.instrs);
+    let mut out = Vec::with_capacity(instrs.len());
+    for i in instrs {
+        if matches!(i, Instr::Label(_)) || i.is_terminator() {
+            avail.clear();
+            out.push(i);
+            continue;
+        }
+        let key = match &i {
+            Instr::Bin { op, a, b, .. } => {
+                // Canonical operand order for commutative ops.
+                let (a, b) = if op.commutative() {
+                    let fmt_a = format!("{a:?}");
+                    let fmt_b = format!("{b:?}");
+                    if fmt_a <= fmt_b {
+                        (*a, *b)
+                    } else {
+                        (*b, *a)
+                    }
+                } else {
+                    (*a, *b)
+                };
+                Some(Key::Bin(*op, a, b))
+            }
+            Instr::Un { op, a, .. } => Some(Key::Un(*op, *a)),
+            Instr::AddrOf { global, .. } => Some(Key::Addr(*global)),
+            _ => None,
+        };
+        match (key, i.def()) {
+            (Some(k), Some(dst)) => {
+                // A redefinition invalidates expressions mentioning dst
+                // (do this before recording or reusing any fact).
+                avail.retain(|k2, v| {
+                    *v != dst
+                        && match k2 {
+                            Key::Bin(_, a, b) => *a != Operand::V(dst) && *b != Operand::V(dst),
+                            Key::Un(_, a) => *a != Operand::V(dst),
+                            Key::Addr(_) => true,
+                        }
+                });
+                let self_referential = match &k {
+                    Key::Bin(_, a, b) => *a == Operand::V(dst) || *b == Operand::V(dst),
+                    Key::Un(_, a) => *a == Operand::V(dst),
+                    Key::Addr(_) => false,
+                };
+                let prev = avail.get(&k).copied();
+                match prev {
+                    Some(prev) if prev != dst => {
+                        out.push(Instr::Copy {
+                            dst,
+                            src: Operand::V(prev),
+                        });
+                        changed = true;
+                    }
+                    _ => {
+                        if !self_referential {
+                            avail.insert(k, dst);
+                        }
+                        out.push(i.clone());
+                    }
+                }
+            }
+            _ => {
+                if let Some(dst) = i.def() {
+                    avail.retain(|k2, v| {
+                        *v != dst
+                            && match k2 {
+                                Key::Bin(_, a, b) => *a != Operand::V(dst) && *b != Operand::V(dst),
+                                Key::Un(_, a) => *a != Operand::V(dst),
+                                Key::Addr(_) => true,
+                            }
+                    });
+                }
+                out.push(i);
+            }
+        }
+    }
+    f.instrs = out;
+    changed
+}
+
+/// Remove pure instructions whose destination is never read.
+pub fn eliminate_dead(f: &mut TacFunction) -> bool {
+    let mut changed = false;
+    loop {
+        let mut used: HashSet<VReg> = HashSet::new();
+        for i in &f.instrs {
+            used.extend(i.uses());
+        }
+        // Parameters are observable (ABI) even if unused.
+        let before = f.instrs.len();
+        f.instrs.retain(|i| match (i.is_pure(), i.def()) {
+            (true, Some(d)) => used.contains(&d),
+            _ => true,
+        });
+        if f.instrs.len() == before {
+            break;
+        }
+        changed = true;
+    }
+    changed
+}
+
+/// Inline calls to small functions that make no calls themselves.
+///
+/// A single pass: call sites created by inlining are not revisited, which
+/// bounds code growth.
+pub fn inline_small_leaves(prog: &mut TacProgram, threshold: usize) {
+    let inlinable: Vec<Option<TacFunction>> = prog
+        .functions
+        .iter()
+        .map(|f| {
+            let has_call = f.instrs.iter().any(|i| matches!(i, Instr::Call { .. }));
+            let small = f.instrs.len() <= threshold;
+            (!has_call && small).then(|| f.clone())
+        })
+        .collect();
+    for fi in 0..prog.functions.len() {
+        let mut out: Vec<Instr> = Vec::new();
+        let instrs = std::mem::take(&mut prog.functions[fi].instrs);
+        for i in instrs {
+            let (dst, callee, args) = match &i {
+                Instr::Call { dst, callee, args } if *callee != fi && inlinable[*callee].is_some() => {
+                    (*dst, *callee, args.clone())
+                }
+                _ => {
+                    out.push(i);
+                    continue;
+                }
+            };
+            let body = inlinable[callee].as_ref().expect("checked above");
+            splice_body(&mut prog.functions[fi], &mut out, body, dst, &args, callee);
+        }
+        prog.functions[fi].instrs = out;
+    }
+}
+
+fn splice_body(
+    caller: &mut TacFunction,
+    out: &mut Vec<Instr>,
+    body: &TacFunction,
+    dst: Option<VReg>,
+    args: &[Operand],
+    _callee: FuncId,
+) {
+    let voff = caller.vreg_count;
+    let loff = caller.label_count;
+    caller.vreg_count += body.vreg_count;
+    caller.label_count += body.label_count + 1;
+    let end = Label(loff + body.label_count);
+    let mv = |v: VReg| VReg(v.0 + voff);
+    let mo = |o: Operand| match o {
+        Operand::V(v) => Operand::V(mv(v)),
+        imm => imm,
+    };
+    let ml = |l: Label| Label(l.0 + loff);
+    // Bind parameters.
+    for (p, a) in body.params.iter().zip(args) {
+        out.push(Instr::Copy { dst: mv(*p), src: *a });
+    }
+    for i in &body.instrs {
+        let renamed = match i {
+            Instr::Bin { op, dst, a, b } => Instr::Bin {
+                op: *op,
+                dst: mv(*dst),
+                a: mo(*a),
+                b: mo(*b),
+            },
+            Instr::Un { op, dst, a } => Instr::Un {
+                op: *op,
+                dst: mv(*dst),
+                a: mo(*a),
+            },
+            Instr::Copy { dst, src } => Instr::Copy {
+                dst: mv(*dst),
+                src: mo(*src),
+            },
+            Instr::Load { dst, global, index, elem } => Instr::Load {
+                dst: mv(*dst),
+                global: *global,
+                index: mo(*index),
+                elem: *elem,
+            },
+            Instr::Store { global, index, value, elem } => Instr::Store {
+                global: *global,
+                index: mo(*index),
+                value: mo(*value),
+                elem: *elem,
+            },
+            Instr::LoadPtr { dst, addr, elem } => Instr::LoadPtr {
+                dst: mv(*dst),
+                addr: mo(*addr),
+                elem: *elem,
+            },
+            Instr::StorePtr { addr, value, elem } => Instr::StorePtr {
+                addr: mo(*addr),
+                value: mo(*value),
+                elem: *elem,
+            },
+            Instr::AddrOf { dst, global } => Instr::AddrOf {
+                dst: mv(*dst),
+                global: *global,
+            },
+            Instr::Call { .. } => unreachable!("leaf functions make no calls"),
+            Instr::Ret { value } => {
+                if let (Some(d), Some(v)) = (dst, value) {
+                    out.push(Instr::Copy { dst: d, src: mo(*v) });
+                }
+                out.push(Instr::Jmp(end));
+                continue;
+            }
+            Instr::Jmp(l) => Instr::Jmp(ml(*l)),
+            Instr::BrCmp { rel, a, b, taken, fall } => Instr::BrCmp {
+                rel: *rel,
+                a: mo(*a),
+                b: mo(*b),
+                taken: ml(*taken),
+                fall: ml(*fall),
+            },
+            Instr::BrNz { cond, taken, fall } => Instr::BrNz {
+                cond: mo(*cond),
+                taken: ml(*taken),
+                fall: ml(*fall),
+            },
+            Instr::Label(l) => Instr::Label(ml(*l)),
+        };
+        out.push(renamed);
+    }
+    out.push(Instr::Label(end));
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::parser::parse;
+    use crate::sema::check;
+    use crate::tac::lower;
+
+    fn tac(src: &str) -> TacProgram {
+        let p = parse(src).unwrap();
+        check(&p).unwrap();
+        lower(&p)
+    }
+
+    #[test]
+    fn folds_constants() {
+        let mut t = tac("fn f() -> int { return 2 + 3 * 4; }");
+        optimize_function(&mut t.functions[0], OptFlags::basic());
+        assert!(matches!(
+            t.functions[0].instrs.last(),
+            Some(Instr::Ret { value: Some(Operand::Imm(14)) })
+        ));
+        // Everything else should be dead.
+        assert_eq!(t.functions[0].instrs.len(), 1);
+    }
+
+    #[test]
+    fn algebraic_identities() {
+        let mut t = tac("fn f(a: int) -> int { return (a + 0) * 1 + (a - a); }");
+        optimize_function(&mut t.functions[0], OptFlags::basic());
+        let f = &t.functions[0];
+        assert!(
+            !f.instrs.iter().any(|i| matches!(i, Instr::Bin { op: TBin::Mul, .. })),
+            "multiply by 1 folded: {f}"
+        );
+    }
+
+    #[test]
+    fn folds_constant_branches() {
+        let mut t = tac("fn f() -> int { if (1 < 2) { return 1; } return 0; }");
+        optimize_function(&mut t.functions[0], OptFlags::basic());
+        let f = &t.functions[0];
+        assert!(!f.instrs.iter().any(|i| matches!(i, Instr::BrCmp { .. })));
+        // Only the taken path's return survives.
+        assert!(f
+            .instrs
+            .iter()
+            .any(|i| matches!(i, Instr::Ret { value: Some(Operand::Imm(1)) })));
+        assert!(!f
+            .instrs
+            .iter()
+            .any(|i| matches!(i, Instr::Ret { value: Some(Operand::Imm(0)) })));
+    }
+
+    #[test]
+    fn propagates_copies() {
+        let mut t = tac("fn f(a: int) -> int { var b = a; var c = b; return c + c; }");
+        optimize_function(&mut t.functions[0], OptFlags::basic());
+        let f = &t.functions[0];
+        // After propagation + DCE only the add and ret remain.
+        assert!(f.instrs.len() <= 2, "{f}");
+    }
+
+    #[test]
+    fn cse_merges_duplicate_expressions() {
+        let mut t = tac("fn f(a: int, b: int) -> int { return (a + b) * (a + b); }");
+        let adds_before = t.functions[0]
+            .instrs
+            .iter()
+            .filter(|i| matches!(i, Instr::Bin { op: TBin::Add, .. }))
+            .count();
+        assert_eq!(adds_before, 2);
+        optimize_function(&mut t.functions[0], OptFlags::aggressive());
+        let adds_after = t.functions[0]
+            .instrs
+            .iter()
+            .filter(|i| matches!(i, Instr::Bin { op: TBin::Add, .. }))
+            .count();
+        assert_eq!(adds_after, 1, "{}", t.functions[0]);
+    }
+
+    #[test]
+    fn dce_keeps_effects() {
+        let mut t = tac("global g: [int; 1]; fn f(a: int) { var unused = a + 1; g[0] = a; }");
+        optimize_function(&mut t.functions[0], OptFlags::basic());
+        let f = &t.functions[0];
+        assert!(f.instrs.iter().any(|i| matches!(i, Instr::Store { .. })));
+        assert!(!f.instrs.iter().any(|i| matches!(i, Instr::Bin { .. })), "{f}");
+    }
+
+    #[test]
+    fn inlines_small_leaves() {
+        let mut t = tac("fn sq(x: int) -> int { return x * x; } fn f(a: int) -> int { return sq(a) + sq(a + 1); }");
+        inline_small_leaves(&mut t, 14);
+        let f = &t.functions[1];
+        assert!(
+            !f.instrs.iter().any(|i| matches!(i, Instr::Call { .. })),
+            "calls inlined: {f}"
+        );
+        // The square body appears twice.
+        let muls = f
+            .instrs
+            .iter()
+            .filter(|i| matches!(i, Instr::Bin { op: TBin::Mul, .. }))
+            .count();
+        assert_eq!(muls, 2);
+    }
+
+    #[test]
+    fn does_not_inline_non_leaves_or_self() {
+        let mut t = tac(
+            "fn a() -> int { return b(); } fn b() -> int { return 1; } fn f() -> int { return a(); }",
+        );
+        inline_small_leaves(&mut t, 14);
+        // `a` calls `b`, so `f`'s call to `a` stays; `a`'s call to `b` is
+        // inlined (b is a leaf).
+        assert!(t.functions[2]
+            .instrs
+            .iter()
+            .any(|i| matches!(i, Instr::Call { callee: 0, .. })));
+        assert!(!t.functions[0]
+            .instrs
+            .iter()
+            .any(|i| matches!(i, Instr::Call { .. })));
+    }
+
+    #[test]
+    fn optimize_is_idempotent_at_fixpoint() {
+        let mut t = tac("fn f(a: int) -> int { var b = a + 0; if (b == b) { return b * 1; } return 0; }");
+        optimize_function(&mut t.functions[0], OptFlags::aggressive());
+        let snapshot = format!("{}", t.functions[0]);
+        optimize_function(&mut t.functions[0], OptFlags::aggressive());
+        assert_eq!(snapshot, format!("{}", t.functions[0]));
+    }
+}

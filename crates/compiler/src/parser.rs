@@ -1,0 +1,638 @@
+//! Recursive-descent parser for MinC.
+
+use std::fmt;
+
+use crate::ast::{BinOp, ElemType, Expr, Function, Global, Program, Stmt, UnOp};
+use crate::lexer::{lex, LexError, TokKind, Token};
+
+/// Parsing failure.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ParseError {
+    /// Problem description.
+    pub message: String,
+    /// 1-based source line.
+    pub line: u32,
+}
+
+impl fmt::Display for ParseError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "parse error at line {}: {}", self.line, self.message)
+    }
+}
+
+impl std::error::Error for ParseError {}
+
+impl From<LexError> for ParseError {
+    fn from(e: LexError) -> ParseError {
+        ParseError {
+            message: e.message,
+            line: e.line,
+        }
+    }
+}
+
+/// Parse a MinC translation unit.
+///
+/// # Errors
+///
+/// Returns [`ParseError`] describing the first syntax problem.
+///
+/// # Example
+///
+/// ```
+/// let program = firmup_compiler::parse(
+///     "fn add(a: int, b: int) -> int { return a + b; }",
+/// )?;
+/// assert_eq!(program.functions.len(), 1);
+/// # Ok::<(), firmup_compiler::ParseError>(())
+/// ```
+pub fn parse(src: &str) -> Result<Program, ParseError> {
+    let tokens = lex(src)?;
+    let mut p = Parser { tokens, pos: 0 };
+    p.program()
+}
+
+struct Parser {
+    tokens: Vec<Token>,
+    pos: usize,
+}
+
+impl Parser {
+    fn peek(&self) -> &TokKind {
+        &self.tokens[self.pos].kind
+    }
+
+    fn line(&self) -> u32 {
+        self.tokens[self.pos].line
+    }
+
+    fn bump(&mut self) -> TokKind {
+        let t = self.tokens[self.pos].kind.clone();
+        if self.pos + 1 < self.tokens.len() {
+            self.pos += 1;
+        }
+        t
+    }
+
+    fn err<T>(&self, message: impl Into<String>) -> Result<T, ParseError> {
+        Err(ParseError {
+            message: message.into(),
+            line: self.line(),
+        })
+    }
+
+    fn expect(&mut self, kind: &TokKind) -> Result<(), ParseError> {
+        if self.peek() == kind {
+            self.bump();
+            Ok(())
+        } else {
+            self.err(format!("expected {kind}, found {}", self.peek()))
+        }
+    }
+
+    fn eat(&mut self, kind: &TokKind) -> bool {
+        if self.peek() == kind {
+            self.bump();
+            true
+        } else {
+            false
+        }
+    }
+
+    fn ident(&mut self) -> Result<String, ParseError> {
+        match self.peek().clone() {
+            TokKind::Ident(s) => {
+                self.bump();
+                Ok(s)
+            }
+            other => self.err(format!("expected identifier, found {other}")),
+        }
+    }
+
+    fn program(&mut self) -> Result<Program, ParseError> {
+        let mut prog = Program::default();
+        loop {
+            match self.peek() {
+                TokKind::Eof => break,
+                TokKind::Global => prog.globals.push(self.global()?),
+                TokKind::Fn | TokKind::Pub => prog.functions.push(self.function()?),
+                other => return self.err(format!("expected item, found {other}")),
+            }
+        }
+        Ok(prog)
+    }
+
+    fn global(&mut self) -> Result<Global, ParseError> {
+        self.expect(&TokKind::Global)?;
+        let name = self.ident()?;
+        if self.eat(&TokKind::Assign) {
+            // global name = "literal";
+            let s = match self.bump() {
+                TokKind::Str(s) => s,
+                other => return self.err(format!("expected string literal, found {other}")),
+            };
+            self.expect(&TokKind::Semi)?;
+            let mut bytes = s.into_bytes();
+            bytes.push(0);
+            let len = bytes.len() as u32;
+            return Ok(Global {
+                name,
+                elem: ElemType::Byte,
+                len,
+                init: Some(bytes),
+            });
+        }
+        self.expect(&TokKind::Colon)?;
+        self.expect(&TokKind::LBracket)?;
+        let elem = match self.bump() {
+            TokKind::Int => ElemType::Int,
+            TokKind::Byte => ElemType::Byte,
+            other => return self.err(format!("expected element type, found {other}")),
+        };
+        self.expect(&TokKind::Semi)?;
+        let len = match self.bump() {
+            TokKind::Num(n) if n > 0 => n as u32,
+            other => return self.err(format!("expected positive length, found {other}")),
+        };
+        self.expect(&TokKind::RBracket)?;
+        self.expect(&TokKind::Semi)?;
+        Ok(Global {
+            name,
+            elem,
+            len,
+            init: None,
+        })
+    }
+
+    fn function(&mut self) -> Result<Function, ParseError> {
+        let exported = self.eat(&TokKind::Pub);
+        self.expect(&TokKind::Fn)?;
+        let name = self.ident()?;
+        self.expect(&TokKind::LParen)?;
+        let mut params = Vec::new();
+        if !self.eat(&TokKind::RParen) {
+            loop {
+                let p = self.ident()?;
+                self.expect(&TokKind::Colon)?;
+                self.expect(&TokKind::Int)?;
+                params.push(p);
+                if !self.eat(&TokKind::Comma) {
+                    break;
+                }
+            }
+            self.expect(&TokKind::RParen)?;
+        }
+        let returns_value = if self.eat(&TokKind::Arrow) {
+            self.expect(&TokKind::Int)?;
+            true
+        } else {
+            false
+        };
+        let body = self.block()?;
+        Ok(Function {
+            name,
+            params,
+            returns_value,
+            body,
+            exported,
+        })
+    }
+
+    fn block(&mut self) -> Result<Vec<Stmt>, ParseError> {
+        self.expect(&TokKind::LBrace)?;
+        let mut stmts = Vec::new();
+        while !self.eat(&TokKind::RBrace) {
+            if matches!(self.peek(), TokKind::Eof) {
+                return self.err("unexpected end of file inside block");
+            }
+            stmts.push(self.stmt()?);
+        }
+        Ok(stmts)
+    }
+
+    fn stmt(&mut self) -> Result<Stmt, ParseError> {
+        match self.peek().clone() {
+            TokKind::Var => {
+                self.bump();
+                let name = self.ident()?;
+                if self.eat(&TokKind::Colon) {
+                    self.expect(&TokKind::Int)?;
+                }
+                self.expect(&TokKind::Assign)?;
+                let init = self.expr()?;
+                self.expect(&TokKind::Semi)?;
+                Ok(Stmt::VarDecl { name, init })
+            }
+            TokKind::If => {
+                self.bump();
+                self.expect(&TokKind::LParen)?;
+                let cond = self.expr()?;
+                self.expect(&TokKind::RParen)?;
+                let then_body = self.block()?;
+                let else_body = if self.eat(&TokKind::Else) {
+                    if matches!(self.peek(), TokKind::If) {
+                        vec![self.stmt()?]
+                    } else {
+                        self.block()?
+                    }
+                } else {
+                    Vec::new()
+                };
+                Ok(Stmt::If {
+                    cond,
+                    then_body,
+                    else_body,
+                })
+            }
+            TokKind::While => {
+                self.bump();
+                self.expect(&TokKind::LParen)?;
+                let cond = self.expr()?;
+                self.expect(&TokKind::RParen)?;
+                let body = self.block()?;
+                Ok(Stmt::While { cond, body })
+            }
+            TokKind::Return => {
+                self.bump();
+                if self.eat(&TokKind::Semi) {
+                    Ok(Stmt::Return(None))
+                } else {
+                    let e = self.expr()?;
+                    self.expect(&TokKind::Semi)?;
+                    Ok(Stmt::Return(Some(e)))
+                }
+            }
+            TokKind::Break => {
+                self.bump();
+                self.expect(&TokKind::Semi)?;
+                Ok(Stmt::Break)
+            }
+            TokKind::Continue => {
+                self.bump();
+                self.expect(&TokKind::Semi)?;
+                Ok(Stmt::Continue)
+            }
+            TokKind::Ident(name) => {
+                // Lookahead: assignment, index assignment, or expression.
+                match &self.tokens[self.pos + 1].kind {
+                    TokKind::Assign => {
+                        self.bump();
+                        self.bump();
+                        let value = self.expr()?;
+                        self.expect(&TokKind::Semi)?;
+                        Ok(Stmt::Assign { name, value })
+                    }
+                    TokKind::LBracket => {
+                        // Could be `g[i] = e;` or `g[i]` used in an
+                        // expression statement; parse the index then look
+                        // for `=`.
+                        self.bump();
+                        self.bump();
+                        let index = self.expr()?;
+                        self.expect(&TokKind::RBracket)?;
+                        if self.eat(&TokKind::Assign) {
+                            let value = self.expr()?;
+                            self.expect(&TokKind::Semi)?;
+                            Ok(Stmt::IndexAssign {
+                                global: name,
+                                index,
+                                value,
+                            })
+                        } else {
+                            // Rare: `g[i];` — evaluate and discard.
+                            self.expect(&TokKind::Semi)?;
+                            Ok(Stmt::ExprStmt(Expr::Index {
+                                global: name,
+                                index: Box::new(index),
+                            }))
+                        }
+                    }
+                    TokKind::LParen if name == "poke" || name == "poke8" => {
+                        self.bump();
+                        self.bump();
+                        let addr = self.expr()?;
+                        self.expect(&TokKind::Comma)?;
+                        let value = self.expr()?;
+                        self.expect(&TokKind::RParen)?;
+                        self.expect(&TokKind::Semi)?;
+                        let elem = if name == "poke" { ElemType::Int } else { ElemType::Byte };
+                        Ok(Stmt::DerefAssign { addr, value, elem })
+                    }
+                    _ => {
+                        let e = self.expr()?;
+                        self.expect(&TokKind::Semi)?;
+                        Ok(Stmt::ExprStmt(e))
+                    }
+                }
+            }
+            other => self.err(format!("expected statement, found {other}")),
+        }
+    }
+
+    fn expr(&mut self) -> Result<Expr, ParseError> {
+        self.or_or()
+    }
+
+    fn or_or(&mut self) -> Result<Expr, ParseError> {
+        let mut e = self.and_and()?;
+        while self.eat(&TokKind::OrOr) {
+            let rhs = self.and_and()?;
+            e = Expr::bin(BinOp::OrOr, e, rhs);
+        }
+        Ok(e)
+    }
+
+    fn and_and(&mut self) -> Result<Expr, ParseError> {
+        let mut e = self.bit_or()?;
+        while self.eat(&TokKind::AndAnd) {
+            let rhs = self.bit_or()?;
+            e = Expr::bin(BinOp::AndAnd, e, rhs);
+        }
+        Ok(e)
+    }
+
+    fn bit_or(&mut self) -> Result<Expr, ParseError> {
+        let mut e = self.bit_xor()?;
+        while self.eat(&TokKind::Pipe) {
+            let rhs = self.bit_xor()?;
+            e = Expr::bin(BinOp::Or, e, rhs);
+        }
+        Ok(e)
+    }
+
+    fn bit_xor(&mut self) -> Result<Expr, ParseError> {
+        let mut e = self.bit_and()?;
+        while self.eat(&TokKind::Caret) {
+            let rhs = self.bit_and()?;
+            e = Expr::bin(BinOp::Xor, e, rhs);
+        }
+        Ok(e)
+    }
+
+    fn bit_and(&mut self) -> Result<Expr, ParseError> {
+        let mut e = self.equality()?;
+        while self.eat(&TokKind::Amp) {
+            let rhs = self.equality()?;
+            e = Expr::bin(BinOp::And, e, rhs);
+        }
+        Ok(e)
+    }
+
+    fn equality(&mut self) -> Result<Expr, ParseError> {
+        let mut e = self.relational()?;
+        loop {
+            let op = match self.peek() {
+                TokKind::EqEq => BinOp::Eq,
+                TokKind::Ne => BinOp::Ne,
+                _ => break,
+            };
+            self.bump();
+            let rhs = self.relational()?;
+            e = Expr::bin(op, e, rhs);
+        }
+        Ok(e)
+    }
+
+    fn relational(&mut self) -> Result<Expr, ParseError> {
+        let mut e = self.shift()?;
+        loop {
+            let op = match self.peek() {
+                TokKind::Lt => BinOp::Lt,
+                TokKind::Le => BinOp::Le,
+                TokKind::Gt => BinOp::Gt,
+                TokKind::Ge => BinOp::Ge,
+                _ => break,
+            };
+            self.bump();
+            let rhs = self.shift()?;
+            e = Expr::bin(op, e, rhs);
+        }
+        Ok(e)
+    }
+
+    fn shift(&mut self) -> Result<Expr, ParseError> {
+        let mut e = self.additive()?;
+        loop {
+            let op = match self.peek() {
+                TokKind::Shl => BinOp::Shl,
+                TokKind::Shr => BinOp::Shr,
+                _ => break,
+            };
+            self.bump();
+            let rhs = self.additive()?;
+            e = Expr::bin(op, e, rhs);
+        }
+        Ok(e)
+    }
+
+    fn additive(&mut self) -> Result<Expr, ParseError> {
+        let mut e = self.multiplicative()?;
+        loop {
+            let op = match self.peek() {
+                TokKind::Plus => BinOp::Add,
+                TokKind::Minus => BinOp::Sub,
+                _ => break,
+            };
+            self.bump();
+            let rhs = self.multiplicative()?;
+            e = Expr::bin(op, e, rhs);
+        }
+        Ok(e)
+    }
+
+    fn multiplicative(&mut self) -> Result<Expr, ParseError> {
+        let mut e = self.unary()?;
+        while self.eat(&TokKind::Star) {
+            let rhs = self.unary()?;
+            e = Expr::bin(BinOp::Mul, e, rhs);
+        }
+        Ok(e)
+    }
+
+    fn unary(&mut self) -> Result<Expr, ParseError> {
+        let op = match self.peek() {
+            TokKind::Minus => Some(UnOp::Neg),
+            TokKind::Bang => Some(UnOp::Not),
+            TokKind::Tilde => Some(UnOp::BitNot),
+            _ => None,
+        };
+        if let Some(op) = op {
+            self.bump();
+            let arg = self.unary()?;
+            return Ok(Expr::Un {
+                op,
+                arg: Box::new(arg),
+            });
+        }
+        self.postfix()
+    }
+
+    fn postfix(&mut self) -> Result<Expr, ParseError> {
+        match self.bump() {
+            TokKind::Num(n) => Ok(Expr::Num(n)),
+            TokKind::Str(s) => Ok(Expr::Str(s)),
+            TokKind::Amp => {
+                let name = self.ident()?;
+                Ok(Expr::AddrOf(name))
+            }
+            TokKind::LParen => {
+                let e = self.expr()?;
+                self.expect(&TokKind::RParen)?;
+                Ok(e)
+            }
+            TokKind::Ident(name) => match self.peek() {
+                TokKind::LParen => {
+                    self.bump();
+                    let mut args = Vec::new();
+                    if !self.eat(&TokKind::RParen) {
+                        loop {
+                            args.push(self.expr()?);
+                            if !self.eat(&TokKind::Comma) {
+                                break;
+                            }
+                        }
+                        self.expect(&TokKind::RParen)?;
+                    }
+                    // Memory builtins.
+                    match (name.as_str(), args.len()) {
+                        ("peek", 1) | ("peek8", 1) => {
+                            let elem = if name == "peek" { ElemType::Int } else { ElemType::Byte };
+                            return Ok(Expr::Deref {
+                                addr: Box::new(args.remove(0)),
+                                elem,
+                            });
+                        }
+                        ("peek" | "peek8", n) => {
+                            return self.err(format!("`{name}` takes 1 argument, got {n}"))
+                        }
+                        ("poke" | "poke8", _) => {
+                            return self.err(format!("`{name}` is a statement, not an expression"))
+                        }
+                        _ => {}
+                    }
+                    Ok(Expr::Call { callee: name, args })
+                }
+                TokKind::LBracket => {
+                    self.bump();
+                    let index = self.expr()?;
+                    self.expect(&TokKind::RBracket)?;
+                    Ok(Expr::Index {
+                        global: name,
+                        index: Box::new(index),
+                    })
+                }
+                _ => Ok(Expr::Var(name)),
+            },
+            other => self.err(format!("expected expression, found {other}")),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn parses_function_with_params() {
+        let p = parse("fn add(a: int, b: int) -> int { return a + b; }").unwrap();
+        let f = &p.functions[0];
+        assert_eq!(f.name, "add");
+        assert_eq!(f.params, vec!["a", "b"]);
+        assert!(f.returns_value);
+        assert!(!f.exported);
+    }
+
+    #[test]
+    fn parses_pub_fn() {
+        let p = parse("pub fn e() { return; }").unwrap();
+        assert!(p.functions[0].exported);
+        assert!(!p.functions[0].returns_value);
+    }
+
+    #[test]
+    fn parses_globals() {
+        let p = parse("global buf: [byte; 64]; global tbl: [int; 8]; global msg = \"hi\";").unwrap();
+        assert_eq!(p.globals.len(), 3);
+        assert_eq!(p.globals[0].elem, ElemType::Byte);
+        assert_eq!(p.globals[1].len, 8);
+        assert_eq!(p.globals[2].init.as_deref(), Some(&b"hi\0"[..]));
+    }
+
+    #[test]
+    fn precedence() {
+        let p = parse("fn f(a: int) -> int { return a + 2 * 3 < 4 && 1; }").unwrap();
+        // ((a + (2*3)) < 4) && 1
+        if let Stmt::Return(Some(Expr::Bin { op, lhs, .. })) = &p.functions[0].body[0] {
+            assert_eq!(*op, BinOp::AndAnd);
+            if let Expr::Bin { op, .. } = lhs.as_ref() {
+                assert_eq!(*op, BinOp::Lt);
+            } else {
+                panic!("expected comparison under &&");
+            }
+        } else {
+            panic!("expected return of binop");
+        }
+    }
+
+    #[test]
+    fn control_flow_statements() {
+        let src = r#"
+            fn f(n: int) -> int {
+                var acc = 0;
+                var i = 0;
+                while (i < n) {
+                    if (i == 3) { break; } else { acc = acc + i; }
+                    i = i + 1;
+                    continue;
+                }
+                return acc;
+            }
+        "#;
+        let p = parse(src).unwrap();
+        assert_eq!(p.functions[0].body.len(), 4);
+    }
+
+    #[test]
+    fn index_assignment_and_load() {
+        let src = "global b: [byte; 4]; fn f(i: int) -> int { b[i] = 1; return b[i]; }";
+        let p = parse(src).unwrap();
+        assert!(matches!(p.functions[0].body[0], Stmt::IndexAssign { .. }));
+    }
+
+    #[test]
+    fn else_if_chain() {
+        let src = "fn f(a: int) -> int { if (a == 1) { return 1; } else if (a == 2) { return 2; } else { return 3; } }";
+        let p = parse(src).unwrap();
+        if let Stmt::If { else_body, .. } = &p.functions[0].body[0] {
+            assert!(matches!(else_body[0], Stmt::If { .. }));
+        } else {
+            panic!("expected if");
+        }
+    }
+
+    #[test]
+    fn error_reports_line() {
+        let e = parse("fn f() {\n  var = 3;\n}").unwrap_err();
+        assert_eq!(e.line, 2);
+    }
+
+    #[test]
+    fn call_statement_and_args() {
+        let p = parse("fn g(x: int) {} fn f() { g(1); g(1 + 2); }").unwrap();
+        assert_eq!(p.functions[1].body.len(), 2);
+    }
+
+    #[test]
+    fn string_and_addrof_exprs() {
+        let p = parse("global t: [int; 2]; fn f() -> int { var s = \"x\"; return s + &t; }").unwrap();
+        assert!(matches!(
+            p.functions[0].body[0],
+            Stmt::VarDecl { init: Expr::Str(_), .. }
+        ));
+    }
+
+    #[test]
+    fn unterminated_block_is_error() {
+        assert!(parse("fn f() { return;").is_err());
+    }
+}

@@ -1,0 +1,219 @@
+//! Toolchain profiles: the source of cross-compilation variance.
+//!
+//! The paper's premise is that "each vendor may use unique build tool
+//! chains, which lead to vast syntactic differences in the assembly"
+//! (§1). A [`ToolchainProfile`] bundles the knobs that make two builds of
+//! identical source diverge: optimization level, register-allocation
+//! preference order, instruction scheduling, delay-slot filling and frame
+//! quirks.
+
+use crate::opt::OptFlags;
+
+/// Optimization level, mirroring common `-O` flags.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum OptLevel {
+    /// No optimization; every value lives in a stack slot (classic `-O0`
+    /// code shape).
+    O0,
+    /// Basic cleanup: folding, propagation, DCE.
+    O1,
+    /// Aggressive: adds CSE and inlining.
+    O2,
+    /// Like O1 but the back ends prefer compact idioms.
+    Os,
+}
+
+impl OptLevel {
+    /// TAC pass selection for this level.
+    pub fn flags(self) -> OptFlags {
+        match self {
+            OptLevel::O0 => OptFlags::none(),
+            OptLevel::O1 | OptLevel::Os => OptFlags::basic(),
+            OptLevel::O2 => OptFlags::aggressive(),
+        }
+    }
+}
+
+impl ToolchainProfile {
+    /// The full TAC pass selection for this profile: the optimization
+    /// level's passes plus the profile's control-flow idioms.
+    pub fn opt_flags(&self) -> OptFlags {
+        let mut flags = self.opt.flags();
+        flags.rotate_loops = self.rotate_loops;
+        flags.invert_branches = self.invert_branches;
+        flags.inline_threshold = flags.inline_threshold.map(|_| self.inline_threshold);
+        flags
+    }
+}
+
+/// Register-allocation preference order variants.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum RegOrder {
+    /// The architecture's conventional order.
+    Standard,
+    /// Reversed pools (vendors' compilers often allocate from the other
+    /// end of the file).
+    Reversed,
+    /// Odd/even interleave.
+    Interleaved,
+}
+
+impl RegOrder {
+    /// Apply this order to a pool.
+    pub fn apply(self, pool: &mut Vec<u16>) {
+        match self {
+            RegOrder::Standard => {}
+            RegOrder::Reversed => pool.reverse(),
+            RegOrder::Interleaved => {
+                let odd: Vec<u16> = pool.iter().copied().skip(1).step_by(2).collect();
+                let even: Vec<u16> = pool.iter().copied().step_by(2).collect();
+                pool.clear();
+                pool.extend(odd);
+                pool.extend(even);
+            }
+        }
+    }
+}
+
+/// A complete build configuration.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ToolchainProfile {
+    /// Display name (e.g. `"gcc-5.2"`, `"vendor-sdk"`).
+    pub name: String,
+    /// Optimization level.
+    pub opt: OptLevel,
+    /// Register preference order.
+    pub reg_order: RegOrder,
+    /// Deterministic local instruction scheduling (reorders independent
+    /// adjacent TAC instructions).
+    pub schedule: bool,
+    /// Fill MIPS branch delay slots with useful instructions instead of
+    /// NOPs.
+    pub fill_delay_slots: bool,
+    /// Extra bytes of stack frame padding (vendor quirk; changes all
+    /// frame offsets).
+    pub frame_padding: u32,
+    /// Rotate loops into guarded do-while form (gcc `-O2` style).
+    pub rotate_loops: bool,
+    /// Invert compare-and-branch polarity (layout heuristic variance).
+    pub invert_branches: bool,
+    /// Inlining size threshold when the optimization level inlines.
+    pub inline_threshold: usize,
+}
+
+impl ToolchainProfile {
+    /// The reference build used for query procedures in the paper's
+    /// evaluation ("compiled with gcc 5.2 at the default optimization
+    /// level (usually -O2)").
+    pub fn gcc_like() -> ToolchainProfile {
+        ToolchainProfile {
+            name: "gcc-5.2-O2".into(),
+            opt: OptLevel::O2,
+            reg_order: RegOrder::Standard,
+            schedule: false,
+            fill_delay_slots: true,
+            frame_padding: 0,
+            rotate_loops: true,
+            invert_branches: false,
+            inline_threshold: 14,
+        }
+    }
+
+    /// A vendor SDK that optimizes for size and allocates registers from
+    /// the other end.
+    pub fn vendor_size() -> ToolchainProfile {
+        ToolchainProfile {
+            name: "vendor-Os".into(),
+            opt: OptLevel::Os,
+            reg_order: RegOrder::Reversed,
+            schedule: true,
+            fill_delay_slots: false,
+            frame_padding: 8,
+            rotate_loops: false,
+            invert_branches: true,
+            inline_threshold: 8,
+        }
+    }
+
+    /// A debug-style vendor build: no optimization at all.
+    pub fn vendor_debug() -> ToolchainProfile {
+        ToolchainProfile {
+            name: "vendor-O0".into(),
+            opt: OptLevel::O0,
+            reg_order: RegOrder::Standard,
+            schedule: false,
+            fill_delay_slots: false,
+            frame_padding: 0,
+            rotate_loops: false,
+            invert_branches: false,
+            inline_threshold: 0,
+        }
+    }
+
+    /// An aggressive vendor build with scheduling and interleaved
+    /// allocation.
+    pub fn vendor_fast() -> ToolchainProfile {
+        ToolchainProfile {
+            name: "vendor-O2-sched".into(),
+            opt: OptLevel::O2,
+            reg_order: RegOrder::Interleaved,
+            schedule: true,
+            fill_delay_slots: true,
+            frame_padding: 4,
+            rotate_loops: true,
+            invert_branches: true,
+            inline_threshold: 24,
+        }
+    }
+
+    /// All built-in profiles.
+    pub fn all() -> Vec<ToolchainProfile> {
+        vec![
+            ToolchainProfile::gcc_like(),
+            ToolchainProfile::vendor_size(),
+            ToolchainProfile::vendor_debug(),
+            ToolchainProfile::vendor_fast(),
+        ]
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn reg_order_permutations() {
+        let base = vec![1u16, 2, 3, 4, 5];
+        let mut std = base.clone();
+        RegOrder::Standard.apply(&mut std);
+        assert_eq!(std, base);
+        let mut rev = base.clone();
+        RegOrder::Reversed.apply(&mut rev);
+        assert_eq!(rev, vec![5, 4, 3, 2, 1]);
+        let mut il = base.clone();
+        RegOrder::Interleaved.apply(&mut il);
+        assert_eq!(il, vec![2, 4, 1, 3, 5]);
+        // Permutations preserve the register set.
+        for mut p in [rev, il] {
+            p.sort_unstable();
+            assert_eq!(p, base);
+        }
+    }
+
+    #[test]
+    fn o0_disables_everything() {
+        let f = OptLevel::O0.flags();
+        assert!(!f.fold && !f.dce && f.inline_threshold.is_none());
+        assert!(OptLevel::O2.flags().inline_threshold.is_some());
+    }
+
+    #[test]
+    fn profiles_are_distinct() {
+        let all = ToolchainProfile::all();
+        for i in 0..all.len() {
+            for j in i + 1..all.len() {
+                assert_ne!(all[i], all[j]);
+            }
+        }
+    }
+}

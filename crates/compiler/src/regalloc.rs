@@ -1,0 +1,387 @@
+//! Liveness analysis and linear-scan register allocation over TAC.
+//!
+//! The allocator is architecture-agnostic: back ends hand it two ordered
+//! register pools (caller-saved and callee-saved, in the *toolchain
+//! profile's* preference order — one of the knobs that makes different
+//! vendors' builds of the same source use different registers).
+
+use std::collections::{HashMap, HashSet};
+
+use crate::tac::{Instr, Label, TacFunction, VReg};
+
+/// Where a virtual register lives after allocation.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Loc {
+    /// A physical register (architecture-specific number).
+    Reg(u16),
+    /// A stack spill slot (0-based index; the back end assigns frame
+    /// offsets).
+    Spill(u32),
+}
+
+/// Ordered register pools for allocation.
+#[derive(Debug, Clone)]
+pub struct RegPools {
+    /// Caller-saved (clobbered by calls) registers, preferred order.
+    pub caller_saved: Vec<u16>,
+    /// Callee-saved registers, preferred order.
+    pub callee_saved: Vec<u16>,
+}
+
+/// Result of register allocation.
+#[derive(Debug, Clone)]
+pub struct Allocation {
+    /// Location of every vreg that appears in the function.
+    pub loc: HashMap<VReg, Loc>,
+    /// Callee-saved registers actually used (must be saved/restored by
+    /// the prologue/epilogue), in pool order.
+    pub used_callee_saved: Vec<u16>,
+    /// Number of spill slots needed.
+    pub spill_slots: u32,
+}
+
+impl Allocation {
+    /// Location of a vreg.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the vreg never appeared in the function.
+    pub fn of(&self, v: VReg) -> Loc {
+        *self
+            .loc
+            .get(&v)
+            .unwrap_or_else(|| panic!("vreg v{} was not allocated", v.0))
+    }
+}
+
+/// A live interval over linearized instruction positions.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+struct Interval {
+    vreg: VReg,
+    start: usize,
+    end: usize,
+    crosses_call: bool,
+}
+
+/// Compute coarse live intervals (min/max extent with block-boundary
+/// extension).
+fn intervals(f: &TacFunction) -> Vec<Interval> {
+    let n = f.instrs.len();
+    // Block structure.
+    let mut leaders: Vec<usize> = vec![0];
+    for (i, ins) in f.instrs.iter().enumerate() {
+        if matches!(ins, Instr::Label(_)) && i != 0 {
+            leaders.push(i);
+        } else if ins.is_terminator() && i + 1 < n {
+            leaders.push(i + 1);
+        }
+    }
+    leaders.dedup();
+    let block_of = |pos: usize| match leaders.binary_search(&pos) {
+        Ok(b) => b,
+        Err(b) => b - 1,
+    };
+    let block_range = |b: usize| {
+        let start = leaders[b];
+        let end = if b + 1 < leaders.len() { leaders[b + 1] } else { n };
+        (start, end)
+    };
+    let label_block: HashMap<Label, usize> = f
+        .instrs
+        .iter()
+        .enumerate()
+        .filter_map(|(i, ins)| match ins {
+            Instr::Label(l) => Some((*l, block_of(i))),
+            _ => None,
+        })
+        .collect();
+    let nb = leaders.len();
+    let mut succs: Vec<Vec<usize>> = vec![Vec::new(); nb];
+    for (b, out) in succs.iter_mut().enumerate() {
+        let (start, end) = block_range(b);
+        if start == end {
+            continue;
+        }
+        match &f.instrs[end - 1] {
+            Instr::Jmp(l) => out.push(label_block[l]),
+            Instr::BrCmp { taken, fall, .. } | Instr::BrNz { taken, fall, .. } => {
+                out.push(label_block[taken]);
+                out.push(label_block[fall]);
+            }
+            Instr::Ret { .. } => {}
+            _ => {
+                if b + 1 < nb {
+                    out.push(b + 1);
+                }
+            }
+        }
+    }
+    // Per-block use/def.
+    let mut use_b: Vec<HashSet<VReg>> = vec![HashSet::new(); nb];
+    let mut def_b: Vec<HashSet<VReg>> = vec![HashSet::new(); nb];
+    for b in 0..nb {
+        let (start, end) = block_range(b);
+        for ins in &f.instrs[start..end] {
+            for u in ins.uses() {
+                if !def_b[b].contains(&u) {
+                    use_b[b].insert(u);
+                }
+            }
+            if let Some(d) = ins.def() {
+                def_b[b].insert(d);
+            }
+        }
+    }
+    // Backward dataflow.
+    let mut live_in: Vec<HashSet<VReg>> = vec![HashSet::new(); nb];
+    let mut live_out: Vec<HashSet<VReg>> = vec![HashSet::new(); nb];
+    loop {
+        let mut changed = false;
+        for b in (0..nb).rev() {
+            let mut out: HashSet<VReg> = HashSet::new();
+            for &s in &succs[b] {
+                out.extend(live_in[s].iter().copied());
+            }
+            let mut inn: HashSet<VReg> = use_b[b].clone();
+            for v in &out {
+                if !def_b[b].contains(v) {
+                    inn.insert(*v);
+                }
+            }
+            if out != live_out[b] || inn != live_in[b] {
+                live_out[b] = out;
+                live_in[b] = inn;
+                changed = true;
+            }
+        }
+        if !changed {
+            break;
+        }
+    }
+    // Extents.
+    let mut ext: HashMap<VReg, (usize, usize)> = HashMap::new();
+    let touch = |v: VReg, p: usize, ext: &mut HashMap<VReg, (usize, usize)>| {
+        let e = ext.entry(v).or_insert((p, p));
+        e.0 = e.0.min(p);
+        e.1 = e.1.max(p);
+    };
+    for p in &f.params {
+        touch(*p, 0, &mut ext);
+    }
+    for (i, ins) in f.instrs.iter().enumerate() {
+        for u in ins.uses() {
+            touch(u, i, &mut ext);
+        }
+        if let Some(d) = ins.def() {
+            touch(d, i, &mut ext);
+        }
+    }
+    for b in 0..nb {
+        let (start, end) = block_range(b);
+        for v in &live_in[b] {
+            touch(*v, start, &mut ext);
+        }
+        for v in &live_out[b] {
+            touch(*v, end.saturating_sub(1), &mut ext);
+        }
+    }
+    // Call crossings.
+    let call_positions: Vec<usize> = f
+        .instrs
+        .iter()
+        .enumerate()
+        .filter_map(|(i, ins)| matches!(ins, Instr::Call { .. }).then_some(i))
+        .collect();
+    let mut out: Vec<Interval> = ext
+        .into_iter()
+        .map(|(vreg, (start, end))| Interval {
+            vreg,
+            start,
+            end,
+            crosses_call: call_positions.iter().any(|&c| start < c && c < end),
+        })
+        .collect();
+    out.sort_by_key(|iv| (iv.start, iv.vreg.0));
+    out
+}
+
+/// Allocate the function's vregs to `pools`.
+///
+/// Intervals that are live across a call are restricted to callee-saved
+/// registers (the generic way to preserve values over calls without
+/// caller-side spill code). Intervals that do not fit anywhere get spill
+/// slots.
+pub fn allocate(f: &TacFunction, pools: &RegPools) -> Allocation {
+    let ivs = intervals(f);
+    let mut loc: HashMap<VReg, Loc> = HashMap::new();
+    let mut active: Vec<(usize, u16, bool)> = Vec::new(); // (end, reg, callee_saved)
+    let mut free_caller: Vec<u16> = pools.caller_saved.clone();
+    let mut free_callee: Vec<u16> = pools.callee_saved.clone();
+    let mut used_callee: Vec<u16> = Vec::new();
+    let mut spill_slots = 0u32;
+    // Keep preference order: take from the front.
+    for iv in &ivs {
+        // Expire.
+        active.retain(|&(end, reg, callee)| {
+            if end < iv.start {
+                if callee {
+                    free_callee.push(reg);
+                    // Restore preference order.
+                    free_callee.sort_by_key(|r| pools.callee_saved.iter().position(|p| p == r));
+                } else {
+                    free_caller.push(reg);
+                    free_caller.sort_by_key(|r| pools.caller_saved.iter().position(|p| p == r));
+                }
+                false
+            } else {
+                true
+            }
+        });
+        let choice: Option<(u16, bool)> = if iv.crosses_call {
+            (!free_callee.is_empty()).then(|| (free_callee.remove(0), true))
+        } else if !free_caller.is_empty() {
+            Some((free_caller.remove(0), false))
+        } else if !free_callee.is_empty() {
+            Some((free_callee.remove(0), true))
+        } else {
+            None
+        };
+        match choice {
+            Some((reg, callee)) => {
+                if callee && !used_callee.contains(&reg) {
+                    used_callee.push(reg);
+                }
+                active.push((iv.end, reg, callee));
+                loc.insert(iv.vreg, Loc::Reg(reg));
+            }
+            None => {
+                loc.insert(iv.vreg, Loc::Spill(spill_slots));
+                spill_slots += 1;
+            }
+        }
+    }
+    used_callee.sort_by_key(|r| pools.callee_saved.iter().position(|p| p == r));
+    Allocation {
+        loc,
+        used_callee_saved: used_callee,
+        spill_slots,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::opt::{optimize_function, OptFlags};
+    use crate::parser::parse;
+    use crate::sema::check;
+    use crate::tac::lower;
+
+    fn func(src: &str, idx: usize) -> TacFunction {
+        let p = parse(src).unwrap();
+        check(&p).unwrap();
+        let mut t = lower(&p);
+        optimize_function(&mut t.functions[idx], OptFlags::basic());
+        t.functions[idx].clone()
+    }
+
+    fn pools() -> RegPools {
+        RegPools {
+            caller_saved: vec![8, 9, 10],
+            callee_saved: vec![16, 17],
+        }
+    }
+
+    #[test]
+    fn simple_function_fits_in_registers() {
+        let f = func("fn f(a: int, b: int) -> int { return a + b; }", 0);
+        let a = allocate(&f, &pools());
+        assert_eq!(a.spill_slots, 0);
+        assert!(a.used_callee_saved.is_empty());
+        // Distinct live vregs get distinct registers.
+        let r0 = a.of(f.params[0]);
+        let r1 = a.of(f.params[1]);
+        assert_ne!(r0, r1);
+    }
+
+    #[test]
+    fn values_live_across_calls_use_callee_saved() {
+        let f = func(
+            "fn g() -> int { return 1; } fn f(a: int) -> int { var x = a + 1; var y = g(); return x + y; }",
+            1,
+        );
+        let a = allocate(&f, &pools());
+        // `x` (and the parameter feeding it) must survive the call.
+        let x_like: Vec<Loc> = f
+            .instrs
+            .iter()
+            .filter_map(|i| i.def())
+            .map(|v| a.of(v))
+            .collect();
+        assert!(
+            x_like
+                .iter()
+                .any(|l| matches!(l, Loc::Reg(16) | Loc::Reg(17) | Loc::Spill(_))),
+            "some value must live in a callee-saved reg or spill: {x_like:?}"
+        );
+    }
+
+    #[test]
+    fn spills_when_pressure_exceeds_registers() {
+        // 8 simultaneously-live values vs 5 registers.
+        let src = "fn f(a: int, b: int, c: int, d: int) -> int {
+            var e = a + b; var g = c + d; var h = a + c; var i = b + d;
+            return ((a + b) + (c + d)) + ((e + g) + (h + i));
+        }";
+        let f = func(src, 0);
+        let a = allocate(&f, &pools());
+        assert!(a.spill_slots > 0, "expected spills");
+    }
+
+    #[test]
+    fn non_overlapping_intervals_share_registers() {
+        let f = func(
+            "fn f(a: int) -> int { var x = a + 1; var y = x + 1; var z = y + 1; return z; }",
+            0,
+        );
+        let a = allocate(&f, &pools());
+        assert_eq!(a.spill_slots, 0);
+        let regs: HashSet<u16> = a
+            .loc
+            .values()
+            .filter_map(|l| match l {
+                Loc::Reg(r) => Some(*r),
+                Loc::Spill(_) => None,
+            })
+            .collect();
+        assert!(regs.len() <= 3, "chain should reuse registers: {regs:?}");
+    }
+
+    #[test]
+    fn loop_variables_stay_live_across_back_edge() {
+        let f = func(
+            "fn f(n: int) -> int { var acc = 0; var i = 0; while (i < n) { acc = acc + i; i = i + 1; } return acc; }",
+            0,
+        );
+        let a = allocate(&f, &pools());
+        // acc, i and n are simultaneously live through the loop; all must
+        // have distinct locations.
+        let mut vregs: Vec<VReg> = vec![f.params[0]];
+        vregs.extend(f.instrs.iter().filter_map(|i| match i {
+            Instr::Copy { dst, .. } => Some(*dst),
+            _ => None,
+        }));
+        vregs.sort();
+        vregs.dedup();
+        let locs: Vec<Loc> = vregs.iter().map(|v| a.of(*v)).collect();
+        let unique: HashSet<String> = locs.iter().map(|l| format!("{l:?}")).collect();
+        assert_eq!(unique.len(), locs.len(), "conflicting allocation: {locs:?}");
+    }
+
+    #[test]
+    fn preference_order_respected() {
+        let f = func("fn f(a: int) -> int { return a + 1; }", 0);
+        let a = allocate(&f, &pools());
+        // First interval gets the first caller-saved register.
+        assert_eq!(a.of(f.params[0]), Loc::Reg(8));
+    }
+}

@@ -1,0 +1,306 @@
+//! Semantic analysis for MinC: name resolution and shape checks.
+
+use std::collections::HashSet;
+use std::fmt;
+
+use crate::ast::{Expr, Function, Program, Stmt};
+
+/// Semantic error.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct SemaError {
+    /// Function in which the problem occurred (if any).
+    pub function: Option<String>,
+    /// Problem description.
+    pub message: String,
+}
+
+impl fmt::Display for SemaError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match &self.function {
+            Some(func) => write!(f, "in `{func}`: {}", self.message),
+            None => f.write_str(&self.message),
+        }
+    }
+}
+
+impl std::error::Error for SemaError {}
+
+/// Check a program for semantic validity.
+///
+/// # Errors
+///
+/// Returns the first [`SemaError`] found: duplicate definitions,
+/// undefined variables/globals/functions, arity mismatches, value use of
+/// a `void` call, `break`/`continue` outside loops, or a value-returning
+/// function whose body can finish without `return`.
+pub fn check(program: &Program) -> Result<(), SemaError> {
+    let mut fn_names = HashSet::new();
+    for f in &program.functions {
+        if !fn_names.insert(f.name.as_str()) {
+            return Err(SemaError {
+                function: None,
+                message: format!("duplicate function `{}`", f.name),
+            });
+        }
+    }
+    let mut glob_names = HashSet::new();
+    for g in &program.globals {
+        if !glob_names.insert(g.name.as_str()) {
+            return Err(SemaError {
+                function: None,
+                message: format!("duplicate global `{}`", g.name),
+            });
+        }
+    }
+    for f in &program.functions {
+        FnChecker {
+            program,
+            function: f,
+            locals: f.params.iter().cloned().collect(),
+            loop_depth: 0,
+        }
+        .check()?;
+    }
+    Ok(())
+}
+
+struct FnChecker<'a> {
+    program: &'a Program,
+    function: &'a Function,
+    locals: HashSet<String>,
+    loop_depth: u32,
+}
+
+impl<'a> FnChecker<'a> {
+    fn err<T>(&self, message: impl Into<String>) -> Result<T, SemaError> {
+        Err(SemaError {
+            function: Some(self.function.name.clone()),
+            message: message.into(),
+        })
+    }
+
+    fn check(mut self) -> Result<(), SemaError> {
+        let body = &self.function.body;
+        self.stmts(body)?;
+        if self.function.returns_value && !Self::always_returns(body) {
+            return self.err("function returns int but some path falls off the end");
+        }
+        Ok(())
+    }
+
+    /// Conservative: a statement list definitely returns if it contains a
+    /// `return`, or an `if` whose both branches definitely return.
+    fn always_returns(stmts: &[Stmt]) -> bool {
+        stmts.iter().any(|s| match s {
+            Stmt::Return(_) => true,
+            Stmt::If {
+                then_body,
+                else_body,
+                ..
+            } => !else_body.is_empty() && Self::always_returns(then_body) && Self::always_returns(else_body),
+            _ => false,
+        })
+    }
+
+    fn stmts(&mut self, stmts: &[Stmt]) -> Result<(), SemaError> {
+        for s in stmts {
+            self.stmt(s)?;
+        }
+        Ok(())
+    }
+
+    fn stmt(&mut self, s: &Stmt) -> Result<(), SemaError> {
+        match s {
+            Stmt::VarDecl { name, init } => {
+                self.expr(init, true)?;
+                self.locals.insert(name.clone());
+                Ok(())
+            }
+            Stmt::Assign { name, value } => {
+                if !self.locals.contains(name) {
+                    return self.err(format!("assignment to undeclared variable `{name}`"));
+                }
+                self.expr(value, true)
+            }
+            Stmt::DerefAssign { addr, value, .. } => {
+                self.expr(addr, true)?;
+                self.expr(value, true)
+            }
+            Stmt::IndexAssign {
+                global,
+                index,
+                value,
+            } => {
+                if self.program.global(global).is_none() {
+                    return self.err(format!("store to unknown global `{global}`"));
+                }
+                self.expr(index, true)?;
+                self.expr(value, true)
+            }
+            Stmt::If {
+                cond,
+                then_body,
+                else_body,
+            } => {
+                self.expr(cond, true)?;
+                self.stmts(then_body)?;
+                self.stmts(else_body)
+            }
+            Stmt::While { cond, body } => {
+                self.expr(cond, true)?;
+                self.loop_depth += 1;
+                let r = self.stmts(body);
+                self.loop_depth -= 1;
+                r
+            }
+            Stmt::Return(e) => {
+                match (self.function.returns_value, e) {
+                    (true, None) => self.err("missing return value"),
+                    (false, Some(_)) => self.err("returning a value from a void function"),
+                    (_, Some(e)) => self.expr(e, true),
+                    _ => Ok(()),
+                }
+            }
+            Stmt::Break | Stmt::Continue => {
+                if self.loop_depth == 0 {
+                    self.err("break/continue outside a loop")
+                } else {
+                    Ok(())
+                }
+            }
+            Stmt::ExprStmt(e) => self.expr(e, false),
+        }
+    }
+
+    fn expr(&self, e: &Expr, value_needed: bool) -> Result<(), SemaError> {
+        match e {
+            Expr::Num(_) | Expr::Str(_) => Ok(()),
+            Expr::Var(name) => {
+                if self.locals.contains(name) {
+                    Ok(())
+                } else {
+                    self.err(format!("undefined variable `{name}`"))
+                }
+            }
+            Expr::Index { global, index } => {
+                if self.program.global(global).is_none() {
+                    return self.err(format!("unknown global `{global}`"));
+                }
+                self.expr(index, true)
+            }
+            Expr::AddrOf(global) => {
+                if self.program.global(global).is_none() {
+                    self.err(format!("address of unknown global `{global}`"))
+                } else {
+                    Ok(())
+                }
+            }
+            Expr::Call { callee, args } => {
+                let f = self
+                    .program
+                    .function(callee)
+                    .ok_or_else(|| SemaError {
+                        function: Some(self.function.name.clone()),
+                        message: format!("call to unknown function `{callee}`"),
+                    })?;
+                if f.params.len() != args.len() {
+                    return self.err(format!(
+                        "`{callee}` expects {} arguments, got {}",
+                        f.params.len(),
+                        args.len()
+                    ));
+                }
+                if value_needed && !f.returns_value {
+                    return self.err(format!("void call to `{callee}` used as a value"));
+                }
+                for a in args {
+                    self.expr(a, true)?;
+                }
+                Ok(())
+            }
+            Expr::Deref { addr, .. } => self.expr(addr, true),
+            Expr::Bin { lhs, rhs, .. } => {
+                self.expr(lhs, true)?;
+                self.expr(rhs, true)
+            }
+            Expr::Un { arg, .. } => self.expr(arg, true),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::parser::parse;
+
+    fn ok(src: &str) {
+        check(&parse(src).unwrap()).unwrap();
+    }
+
+    fn fails(src: &str, needle: &str) {
+        let e = check(&parse(src).unwrap()).unwrap_err();
+        assert!(
+            e.message.contains(needle),
+            "expected error containing {needle:?}, got: {}",
+            e.message
+        );
+    }
+
+    #[test]
+    fn accepts_valid_program() {
+        ok("global b: [byte; 4]; fn g(x: int) -> int { return x; } fn f() -> int { var a = g(1); b[0] = a; return b[0]; }");
+    }
+
+    #[test]
+    fn rejects_undefined_variable() {
+        fails("fn f() -> int { return x; }", "undefined variable");
+    }
+
+    #[test]
+    fn rejects_undeclared_assignment() {
+        fails("fn f() { x = 1; }", "undeclared variable");
+    }
+
+    #[test]
+    fn rejects_unknown_function() {
+        fails("fn f() { g(); }", "unknown function");
+    }
+
+    #[test]
+    fn rejects_arity_mismatch() {
+        fails("fn g(a: int) {} fn f() { g(); }", "expects 1 arguments");
+    }
+
+    #[test]
+    fn rejects_void_as_value() {
+        fails("fn g() {} fn f() -> int { return g(); }", "used as a value");
+    }
+
+    #[test]
+    fn rejects_break_outside_loop() {
+        fails("fn f() { break; }", "outside a loop");
+    }
+
+    #[test]
+    fn rejects_missing_return_path() {
+        fails(
+            "fn f(a: int) -> int { if (a) { return 1; } }",
+            "falls off the end",
+        );
+        // But a complete if/else is fine.
+        ok("fn f(a: int) -> int { if (a) { return 1; } else { return 2; } }");
+    }
+
+    #[test]
+    fn rejects_duplicates() {
+        fails("fn f() {} fn f() {}", "duplicate function");
+        fails("global g: [int; 1]; global g: [int; 1];", "duplicate global");
+    }
+
+    #[test]
+    fn rejects_unknown_global() {
+        fails("fn f() -> int { return q[0]; }", "unknown global");
+        fails("fn f() { q[0] = 1; }", "unknown global");
+        fails("fn f() -> int { return &q; }", "unknown global");
+    }
+}

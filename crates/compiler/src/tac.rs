@@ -1,0 +1,954 @@
+//! Three-address code (TAC) and AST lowering.
+//!
+//! TAC is the compiler's architecture-independent middle end: virtual
+//! registers, explicit labels and branches, direct calls. Optimization
+//! passes ([`crate::opt`]) and register allocation
+//! ([`crate::regalloc`]) work on this form; the four instruction
+//! selectors consume it.
+
+use std::collections::HashMap;
+use std::fmt;
+
+use crate::ast::{self, ElemType, Program};
+
+/// A virtual register.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub struct VReg(pub u32);
+
+/// A branch target.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub struct Label(pub u32);
+
+/// Index of a global in [`TacProgram::globals`].
+pub type GlobalId = usize;
+
+/// Index of a function in [`TacProgram::functions`].
+pub type FuncId = usize;
+
+/// An operand: virtual register or immediate.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum Operand {
+    /// Virtual register.
+    V(VReg),
+    /// Constant.
+    Imm(i32),
+}
+
+impl Operand {
+    /// The register, if this is one.
+    pub fn vreg(self) -> Option<VReg> {
+        match self {
+            Operand::V(v) => Some(v),
+            Operand::Imm(_) => None,
+        }
+    }
+}
+
+impl fmt::Display for Operand {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Operand::V(v) => write!(f, "v{}", v.0),
+            Operand::Imm(i) => write!(f, "{i}"),
+        }
+    }
+}
+
+/// Signed comparison relations.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+#[allow(missing_docs)]
+pub enum Rel {
+    Lt,
+    Le,
+    Gt,
+    Ge,
+    Eq,
+    Ne,
+}
+
+impl Rel {
+    /// The relation with operands swapped (`a R b` ⇔ `b R.swap() a`).
+    pub fn swap(self) -> Rel {
+        match self {
+            Rel::Lt => Rel::Gt,
+            Rel::Le => Rel::Ge,
+            Rel::Gt => Rel::Lt,
+            Rel::Ge => Rel::Le,
+            Rel::Eq => Rel::Eq,
+            Rel::Ne => Rel::Ne,
+        }
+    }
+
+    /// The negated relation (`!(a R b)` ⇔ `a R.negate() b`).
+    pub fn negate(self) -> Rel {
+        match self {
+            Rel::Lt => Rel::Ge,
+            Rel::Le => Rel::Gt,
+            Rel::Gt => Rel::Le,
+            Rel::Ge => Rel::Lt,
+            Rel::Eq => Rel::Ne,
+            Rel::Ne => Rel::Eq,
+        }
+    }
+
+    /// Evaluate on concrete signed values.
+    pub fn eval(self, a: i32, b: i32) -> bool {
+        match self {
+            Rel::Lt => a < b,
+            Rel::Le => a <= b,
+            Rel::Gt => a > b,
+            Rel::Ge => a >= b,
+            Rel::Eq => a == b,
+            Rel::Ne => a != b,
+        }
+    }
+
+    /// Mnemonic.
+    pub fn mnemonic(self) -> &'static str {
+        match self {
+            Rel::Lt => "lt",
+            Rel::Le => "le",
+            Rel::Gt => "gt",
+            Rel::Ge => "ge",
+            Rel::Eq => "eq",
+            Rel::Ne => "ne",
+        }
+    }
+}
+
+/// Pure binary operators.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+#[allow(missing_docs)]
+pub enum TBin {
+    Add,
+    Sub,
+    Mul,
+    And,
+    Or,
+    Xor,
+    Shl,
+    /// Arithmetic shift right (MinC `>>` on `int`).
+    Sar,
+    /// Comparison producing 0/1.
+    Cmp(Rel),
+}
+
+impl TBin {
+    /// Evaluate on concrete values.
+    pub fn eval(self, a: i32, b: i32) -> i32 {
+        match self {
+            TBin::Add => a.wrapping_add(b),
+            TBin::Sub => a.wrapping_sub(b),
+            TBin::Mul => a.wrapping_mul(b),
+            TBin::And => a & b,
+            TBin::Or => a | b,
+            TBin::Xor => a ^ b,
+            TBin::Shl => a.wrapping_shl(b as u32 & 31),
+            TBin::Sar => a.wrapping_shr(b as u32 & 31),
+            TBin::Cmp(r) => r.eval(a, b) as i32,
+        }
+    }
+
+    /// Whether operands can be swapped freely.
+    pub fn commutative(self) -> bool {
+        matches!(self, TBin::Add | TBin::Mul | TBin::And | TBin::Or | TBin::Xor)
+            || matches!(self, TBin::Cmp(Rel::Eq) | TBin::Cmp(Rel::Ne))
+    }
+}
+
+/// Pure unary operators.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+#[allow(missing_docs)]
+pub enum TUn {
+    Neg,
+    /// Logical not: 1 when zero.
+    Not,
+    BitNot,
+}
+
+impl TUn {
+    /// Evaluate on a concrete value.
+    pub fn eval(self, a: i32) -> i32 {
+        match self {
+            TUn::Neg => a.wrapping_neg(),
+            TUn::Not => (a == 0) as i32,
+            TUn::BitNot => !a,
+        }
+    }
+}
+
+/// A TAC instruction.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum Instr {
+    /// `dst = a op b`.
+    Bin {
+        /// Operator.
+        op: TBin,
+        /// Destination.
+        dst: VReg,
+        /// Left operand.
+        a: Operand,
+        /// Right operand.
+        b: Operand,
+    },
+    /// `dst = op a`.
+    Un {
+        /// Operator.
+        op: TUn,
+        /// Destination.
+        dst: VReg,
+        /// Operand.
+        a: Operand,
+    },
+    /// `dst = src`.
+    Copy {
+        /// Destination.
+        dst: VReg,
+        /// Source.
+        src: Operand,
+    },
+    /// `dst = global[index]` (index in elements; width from `elem`).
+    Load {
+        /// Destination.
+        dst: VReg,
+        /// Global being read.
+        global: GlobalId,
+        /// Element index.
+        index: Operand,
+        /// Element type.
+        elem: ElemType,
+    },
+    /// `global[index] = value`.
+    Store {
+        /// Global being written.
+        global: GlobalId,
+        /// Element index.
+        index: Operand,
+        /// Value to store.
+        value: Operand,
+        /// Element type.
+        elem: ElemType,
+    },
+    /// `dst = *addr` (through a computed address).
+    LoadPtr {
+        /// Destination.
+        dst: VReg,
+        /// Address operand.
+        addr: Operand,
+        /// Access width.
+        elem: ElemType,
+    },
+    /// `*addr = value`.
+    StorePtr {
+        /// Address operand.
+        addr: Operand,
+        /// Stored value.
+        value: Operand,
+        /// Access width.
+        elem: ElemType,
+    },
+    /// `dst = &global`.
+    AddrOf {
+        /// Destination.
+        dst: VReg,
+        /// Global whose address is taken.
+        global: GlobalId,
+    },
+    /// Direct call.
+    Call {
+        /// Destination for the return value (if used).
+        dst: Option<VReg>,
+        /// Callee.
+        callee: FuncId,
+        /// Arguments.
+        args: Vec<Operand>,
+    },
+    /// Return.
+    Ret {
+        /// Returned value, if the function returns one.
+        value: Option<Operand>,
+    },
+    /// Unconditional jump.
+    Jmp(Label),
+    /// Compare-and-branch: to `taken` when `a rel b`, else `fall`.
+    BrCmp {
+        /// Relation.
+        rel: Rel,
+        /// Left operand.
+        a: Operand,
+        /// Right operand.
+        b: Operand,
+        /// Target when the relation holds.
+        taken: Label,
+        /// Target otherwise.
+        fall: Label,
+    },
+    /// Branch to `taken` when `cond != 0`, else `fall`.
+    BrNz {
+        /// Condition.
+        cond: Operand,
+        /// Target when non-zero.
+        taken: Label,
+        /// Target otherwise.
+        fall: Label,
+    },
+    /// A branch target.
+    Label(Label),
+}
+
+impl Instr {
+    /// The register this instruction defines, if any.
+    pub fn def(&self) -> Option<VReg> {
+        match self {
+            Instr::Bin { dst, .. }
+            | Instr::Un { dst, .. }
+            | Instr::Copy { dst, .. }
+            | Instr::Load { dst, .. }
+            | Instr::LoadPtr { dst, .. }
+            | Instr::AddrOf { dst, .. } => Some(*dst),
+            Instr::Call { dst, .. } => *dst,
+            _ => None,
+        }
+    }
+
+    /// Registers this instruction reads.
+    pub fn uses(&self) -> Vec<VReg> {
+        let mut out = Vec::new();
+        let mut push = |o: &Operand| {
+            if let Operand::V(v) = o {
+                out.push(*v);
+            }
+        };
+        match self {
+            Instr::Bin { a, b, .. } => {
+                push(a);
+                push(b);
+            }
+            Instr::Un { a, .. } => push(a),
+            Instr::Copy { src, .. } => push(src),
+            Instr::Load { index, .. } => push(index),
+            Instr::LoadPtr { addr, .. } => push(addr),
+            Instr::Store { index, value, .. } => {
+                push(index);
+                push(value);
+            }
+            Instr::StorePtr { addr, value, .. } => {
+                push(addr);
+                push(value);
+            }
+            Instr::AddrOf { .. } => {}
+            Instr::Call { args, .. } => {
+                for a in args {
+                    push(a);
+                }
+            }
+            Instr::Ret { value } => {
+                if let Some(v) = value {
+                    push(v);
+                }
+            }
+            Instr::BrCmp { a, b, .. } => {
+                push(a);
+                push(b);
+            }
+            Instr::BrNz { cond, .. } => push(cond),
+            Instr::Jmp(_) | Instr::Label(_) => {}
+        }
+        out
+    }
+
+    /// Whether this instruction ends a basic block.
+    pub fn is_terminator(&self) -> bool {
+        matches!(
+            self,
+            Instr::Ret { .. } | Instr::Jmp(_) | Instr::BrCmp { .. } | Instr::BrNz { .. }
+        )
+    }
+
+    /// Whether removing this instruction (when its def is dead) is safe.
+    pub fn is_pure(&self) -> bool {
+        matches!(
+            self,
+            Instr::Bin { .. }
+                | Instr::Un { .. }
+                | Instr::Copy { .. }
+                | Instr::Load { .. }
+                | Instr::LoadPtr { .. }
+                | Instr::AddrOf { .. }
+        )
+    }
+}
+
+impl fmt::Display for Instr {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Instr::Bin { op, dst, a, b } => write!(f, "v{} = {op:?} {a}, {b}", dst.0),
+            Instr::Un { op, dst, a } => write!(f, "v{} = {op:?} {a}", dst.0),
+            Instr::Copy { dst, src } => write!(f, "v{} = {src}", dst.0),
+            Instr::Load { dst, global, index, elem } => {
+                write!(f, "v{} = load.{elem} g{global}[{index}]", dst.0)
+            }
+            Instr::Store { global, index, value, elem } => {
+                write!(f, "store.{elem} g{global}[{index}] = {value}")
+            }
+            Instr::LoadPtr { dst, addr, elem } => write!(f, "v{} = load.{elem} *{addr}", dst.0),
+            Instr::StorePtr { addr, value, elem } => write!(f, "store.{elem} *{addr} = {value}"),
+            Instr::AddrOf { dst, global } => write!(f, "v{} = &g{global}", dst.0),
+            Instr::Call { dst, callee, args } => {
+                if let Some(d) = dst {
+                    write!(f, "v{} = call f{callee}(", d.0)?;
+                } else {
+                    write!(f, "call f{callee}(")?;
+                }
+                for (i, a) in args.iter().enumerate() {
+                    if i > 0 {
+                        write!(f, ", ")?;
+                    }
+                    write!(f, "{a}")?;
+                }
+                write!(f, ")")
+            }
+            Instr::Ret { value: Some(v) } => write!(f, "ret {v}"),
+            Instr::Ret { value: None } => write!(f, "ret"),
+            Instr::Jmp(l) => write!(f, "jmp L{}", l.0),
+            Instr::BrCmp { rel, a, b, taken, fall } => {
+                write!(f, "br.{} {a}, {b} -> L{}, L{}", rel.mnemonic(), taken.0, fall.0)
+            }
+            Instr::BrNz { cond, taken, fall } => {
+                write!(f, "brnz {cond} -> L{}, L{}", taken.0, fall.0)
+            }
+            Instr::Label(l) => write!(f, "L{}:", l.0),
+        }
+    }
+}
+
+/// A function in TAC form.
+#[derive(Debug, Clone)]
+pub struct TacFunction {
+    /// Name.
+    pub name: String,
+    /// Parameter registers (in order).
+    pub params: Vec<VReg>,
+    /// Number of virtual registers used.
+    pub vreg_count: u32,
+    /// Number of labels used.
+    pub label_count: u32,
+    /// Instructions.
+    pub instrs: Vec<Instr>,
+    /// Whether the function returns a value.
+    pub returns_value: bool,
+    /// Whether the symbol is exported.
+    pub exported: bool,
+}
+
+impl fmt::Display for TacFunction {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        writeln!(f, "fn {}({} params):", self.name, self.params.len())?;
+        for i in &self.instrs {
+            writeln!(f, "  {i}")?;
+        }
+        Ok(())
+    }
+}
+
+/// A whole program in TAC form.
+#[derive(Debug, Clone)]
+pub struct TacProgram {
+    /// Functions (indices are [`FuncId`]s).
+    pub functions: Vec<TacFunction>,
+    /// Globals, including interned string literals (indices are
+    /// [`GlobalId`]s).
+    pub globals: Vec<ast::Global>,
+}
+
+impl TacProgram {
+    /// Find a function id by name.
+    pub fn func_id(&self, name: &str) -> Option<FuncId> {
+        self.functions.iter().position(|f| f.name == name)
+    }
+}
+
+/// Lower a checked AST program to TAC.
+///
+/// String literals are interned into fresh globals. Function calls are
+/// resolved to indices; [`crate::sema::check`] must have succeeded
+/// beforehand.
+///
+/// # Panics
+///
+/// Panics on unresolved names, which `check` rules out.
+pub fn lower(program: &Program) -> TacProgram {
+    let mut globals = program.globals.clone();
+    let fn_ids: HashMap<&str, FuncId> = program
+        .functions
+        .iter()
+        .enumerate()
+        .map(|(i, f)| (f.name.as_str(), i))
+        .collect();
+    let mut strings: HashMap<String, GlobalId> = HashMap::new();
+    let mut functions = Vec::new();
+    for f in &program.functions {
+        let mut lw = Lowerer {
+            program,
+            fn_ids: &fn_ids,
+            globals: &mut globals,
+            strings: &mut strings,
+            locals: HashMap::new(),
+            instrs: Vec::new(),
+            next_vreg: 0,
+            next_label: 0,
+            loop_stack: Vec::new(),
+        };
+        let params: Vec<VReg> = f.params.iter().map(|p| lw.declare_local(p)).collect();
+        for s in &f.body {
+            lw.stmt(s, f);
+        }
+        // Implicit return for void functions falling off the end.
+        if !matches!(lw.instrs.last(), Some(Instr::Ret { .. })) {
+            lw.instrs.push(Instr::Ret { value: None });
+        }
+        functions.push(TacFunction {
+            name: f.name.clone(),
+            params,
+            vreg_count: lw.next_vreg,
+            label_count: lw.next_label,
+            instrs: lw.instrs,
+            returns_value: f.returns_value,
+            exported: f.exported,
+        });
+    }
+    TacProgram { functions, globals }
+}
+
+struct Lowerer<'a> {
+    program: &'a Program,
+    fn_ids: &'a HashMap<&'a str, FuncId>,
+    globals: &'a mut Vec<ast::Global>,
+    strings: &'a mut HashMap<String, GlobalId>,
+    locals: HashMap<String, VReg>,
+    instrs: Vec<Instr>,
+    next_vreg: u32,
+    next_label: u32,
+    /// (continue target, break target) per enclosing loop.
+    loop_stack: Vec<(Label, Label)>,
+}
+
+impl<'a> Lowerer<'a> {
+    fn vreg(&mut self) -> VReg {
+        let v = VReg(self.next_vreg);
+        self.next_vreg += 1;
+        v
+    }
+
+    fn label(&mut self) -> Label {
+        let l = Label(self.next_label);
+        self.next_label += 1;
+        l
+    }
+
+    fn declare_local(&mut self, name: &str) -> VReg {
+        let v = self.vreg();
+        self.locals.insert(name.to_string(), v);
+        v
+    }
+
+    fn global_id(&mut self, name: &str) -> GlobalId {
+        self.globals
+            .iter()
+            .position(|g| g.name == name)
+            .unwrap_or_else(|| panic!("unresolved global `{name}` (sema should have caught this)"))
+    }
+
+    fn intern_string(&mut self, s: &str) -> GlobalId {
+        if let Some(&id) = self.strings.get(s) {
+            return id;
+        }
+        let mut bytes = s.as_bytes().to_vec();
+        bytes.push(0);
+        let id = self.globals.len();
+        self.globals.push(ast::Global {
+            name: format!("__str_{}", self.strings.len()),
+            elem: ElemType::Byte,
+            len: bytes.len() as u32,
+            init: Some(bytes),
+        });
+        self.strings.insert(s.to_string(), id);
+        id
+    }
+
+    fn emit(&mut self, i: Instr) {
+        self.instrs.push(i);
+    }
+
+    #[allow(clippy::only_used_in_recursion)]
+    fn stmt(&mut self, s: &ast::Stmt, f: &ast::Function) {
+        match s {
+            ast::Stmt::VarDecl { name, init } => {
+                let value = self.expr(init);
+                let v = self.declare_local(name);
+                self.emit(Instr::Copy { dst: v, src: value });
+            }
+            ast::Stmt::Assign { name, value } => {
+                let value = self.expr(value);
+                let v = self.locals[name.as_str()];
+                self.emit(Instr::Copy { dst: v, src: value });
+            }
+            ast::Stmt::DerefAssign { addr, value, elem } => {
+                let a = self.expr(addr);
+                let v = self.expr(value);
+                self.emit(Instr::StorePtr {
+                    addr: a,
+                    value: v,
+                    elem: *elem,
+                });
+            }
+            ast::Stmt::IndexAssign { global, index, value } => {
+                let gid = self.global_id(global);
+                let elem = self.globals[gid].elem;
+                let idx = self.expr(index);
+                let val = self.expr(value);
+                self.emit(Instr::Store {
+                    global: gid,
+                    index: idx,
+                    value: val,
+                    elem,
+                });
+            }
+            ast::Stmt::If { cond, then_body, else_body } => {
+                let lt = self.label();
+                let lf = self.label();
+                let lend = if else_body.is_empty() { lf } else { self.label() };
+                self.cond(cond, lt, lf);
+                self.emit(Instr::Label(lt));
+                for s in then_body {
+                    self.stmt(s, f);
+                }
+                if !else_body.is_empty() {
+                    self.emit(Instr::Jmp(lend));
+                    self.emit(Instr::Label(lf));
+                    for s in else_body {
+                        self.stmt(s, f);
+                    }
+                }
+                self.emit(Instr::Label(lend));
+            }
+            ast::Stmt::While { cond, body } => {
+                let head = self.label();
+                let lbody = self.label();
+                let end = self.label();
+                self.emit(Instr::Label(head));
+                self.cond(cond, lbody, end);
+                self.emit(Instr::Label(lbody));
+                self.loop_stack.push((head, end));
+                for s in body {
+                    self.stmt(s, f);
+                }
+                self.loop_stack.pop();
+                self.emit(Instr::Jmp(head));
+                self.emit(Instr::Label(end));
+            }
+            ast::Stmt::Return(e) => {
+                let value = e.as_ref().map(|e| self.expr(e));
+                self.emit(Instr::Ret { value });
+            }
+            ast::Stmt::Break => {
+                let (_, end) = *self.loop_stack.last().expect("break outside loop");
+                self.emit(Instr::Jmp(end));
+            }
+            ast::Stmt::Continue => {
+                let (head, _) = *self.loop_stack.last().expect("continue outside loop");
+                self.emit(Instr::Jmp(head));
+            }
+            ast::Stmt::ExprStmt(e) => {
+                // Calls for effect; anything else is evaluated and dropped.
+                if let ast::Expr::Call { callee, args } = e {
+                    let callee_id = self.fn_ids[callee.as_str()];
+                    let returns = self.program.functions[callee_id].returns_value;
+                    let args: Vec<Operand> = args.iter().map(|a| self.expr(a)).collect();
+                    let dst = if returns { Some(self.vreg()) } else { None };
+                    self.emit(Instr::Call {
+                        dst,
+                        callee: callee_id,
+                        args,
+                    });
+                } else {
+                    let _ = self.expr(e);
+                }
+            }
+        }
+    }
+
+    /// Lower a boolean context: branch to `lt` when true, `lf` when
+    /// false. Handles short-circuiting and comparison fusion.
+    #[allow(clippy::only_used_in_recursion)]
+    fn cond(&mut self, e: &ast::Expr, lt: Label, lf: Label) {
+        match e {
+            ast::Expr::Bin { op: ast::BinOp::AndAnd, lhs, rhs } => {
+                let mid = self.label();
+                self.cond(lhs, mid, lf);
+                self.emit(Instr::Label(mid));
+                self.cond(rhs, lt, lf);
+            }
+            ast::Expr::Bin { op: ast::BinOp::OrOr, lhs, rhs } => {
+                let mid = self.label();
+                self.cond(lhs, lt, mid);
+                self.emit(Instr::Label(mid));
+                self.cond(rhs, lt, lf);
+            }
+            ast::Expr::Un { op: ast::UnOp::Not, arg } => self.cond(arg, lf, lt),
+            ast::Expr::Bin { op, lhs, rhs } if op.is_comparison() => {
+                let rel = match op {
+                    ast::BinOp::Lt => Rel::Lt,
+                    ast::BinOp::Le => Rel::Le,
+                    ast::BinOp::Gt => Rel::Gt,
+                    ast::BinOp::Ge => Rel::Ge,
+                    ast::BinOp::Eq => Rel::Eq,
+                    ast::BinOp::Ne => Rel::Ne,
+                    _ => unreachable!(),
+                };
+                let a = self.expr(lhs);
+                let b = self.expr(rhs);
+                self.emit(Instr::BrCmp {
+                    rel,
+                    a,
+                    b,
+                    taken: lt,
+                    fall: lf,
+                });
+            }
+            other => {
+                let c = self.expr(other);
+                self.emit(Instr::BrNz {
+                    cond: c,
+                    taken: lt,
+                    fall: lf,
+                });
+            }
+        }
+    }
+
+    fn expr(&mut self, e: &ast::Expr) -> Operand {
+        match e {
+            ast::Expr::Num(n) => Operand::Imm(*n),
+            ast::Expr::Str(s) => {
+                let gid = self.intern_string(s);
+                let dst = self.vreg();
+                self.emit(Instr::AddrOf { dst, global: gid });
+                Operand::V(dst)
+            }
+            ast::Expr::Var(name) => Operand::V(self.locals[name.as_str()]),
+            ast::Expr::AddrOf(name) => {
+                let gid = self.global_id(name);
+                let dst = self.vreg();
+                self.emit(Instr::AddrOf { dst, global: gid });
+                Operand::V(dst)
+            }
+            ast::Expr::Deref { addr, elem } => {
+                let a = self.expr(addr);
+                let dst = self.vreg();
+                self.emit(Instr::LoadPtr {
+                    dst,
+                    addr: a,
+                    elem: *elem,
+                });
+                Operand::V(dst)
+            }
+            ast::Expr::Index { global, index } => {
+                let gid = self.global_id(global);
+                let elem = self.globals[gid].elem;
+                let idx = self.expr(index);
+                let dst = self.vreg();
+                self.emit(Instr::Load {
+                    dst,
+                    global: gid,
+                    index: idx,
+                    elem,
+                });
+                Operand::V(dst)
+            }
+            ast::Expr::Call { callee, args } => {
+                let callee_id = self.fn_ids[callee.as_str()];
+                let args: Vec<Operand> = args.iter().map(|a| self.expr(a)).collect();
+                let dst = self.vreg();
+                self.emit(Instr::Call {
+                    dst: Some(dst),
+                    callee: callee_id,
+                    args,
+                });
+                Operand::V(dst)
+            }
+            ast::Expr::Bin { op, lhs, rhs } => match op {
+                ast::BinOp::AndAnd | ast::BinOp::OrOr => {
+                    // Value context for short-circuit ops: materialize 0/1.
+                    let lt = self.label();
+                    let lf = self.label();
+                    let end = self.label();
+                    let dst = self.vreg();
+                    self.cond(e, lt, lf);
+                    self.emit(Instr::Label(lt));
+                    self.emit(Instr::Copy {
+                        dst,
+                        src: Operand::Imm(1),
+                    });
+                    self.emit(Instr::Jmp(end));
+                    self.emit(Instr::Label(lf));
+                    self.emit(Instr::Copy {
+                        dst,
+                        src: Operand::Imm(0),
+                    });
+                    self.emit(Instr::Label(end));
+                    Operand::V(dst)
+                }
+                _ => {
+                    let top = match op {
+                        ast::BinOp::Add => TBin::Add,
+                        ast::BinOp::Sub => TBin::Sub,
+                        ast::BinOp::Mul => TBin::Mul,
+                        ast::BinOp::And => TBin::And,
+                        ast::BinOp::Or => TBin::Or,
+                        ast::BinOp::Xor => TBin::Xor,
+                        ast::BinOp::Shl => TBin::Shl,
+                        ast::BinOp::Shr => TBin::Sar,
+                        ast::BinOp::Lt => TBin::Cmp(Rel::Lt),
+                        ast::BinOp::Le => TBin::Cmp(Rel::Le),
+                        ast::BinOp::Gt => TBin::Cmp(Rel::Gt),
+                        ast::BinOp::Ge => TBin::Cmp(Rel::Ge),
+                        ast::BinOp::Eq => TBin::Cmp(Rel::Eq),
+                        ast::BinOp::Ne => TBin::Cmp(Rel::Ne),
+                        ast::BinOp::AndAnd | ast::BinOp::OrOr => unreachable!(),
+                    };
+                    let a = self.expr(lhs);
+                    let b = self.expr(rhs);
+                    let dst = self.vreg();
+                    self.emit(Instr::Bin { op: top, dst, a, b });
+                    Operand::V(dst)
+                }
+            },
+            ast::Expr::Un { op, arg } => {
+                let top = match op {
+                    ast::UnOp::Neg => TUn::Neg,
+                    ast::UnOp::Not => TUn::Not,
+                    ast::UnOp::BitNot => TUn::BitNot,
+                };
+                let a = self.expr(arg);
+                let dst = self.vreg();
+                self.emit(Instr::Un { op: top, dst, a });
+                Operand::V(dst)
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::parser::parse;
+    use crate::sema::check;
+
+    fn lower_src(src: &str) -> TacProgram {
+        let p = parse(src).unwrap();
+        check(&p).unwrap();
+        lower(&p)
+    }
+
+    #[test]
+    fn lowers_arithmetic() {
+        let t = lower_src("fn f(a: int, b: int) -> int { return a + b * 2; }");
+        let f = &t.functions[0];
+        assert!(f.instrs.iter().any(|i| matches!(i, Instr::Bin { op: TBin::Mul, .. })));
+        assert!(f.instrs.iter().any(|i| matches!(i, Instr::Bin { op: TBin::Add, .. })));
+        assert!(matches!(f.instrs.last(), Some(Instr::Ret { value: Some(_) })));
+    }
+
+    #[test]
+    fn comparison_in_if_becomes_brcmp() {
+        let t = lower_src("fn f(a: int) -> int { if (a < 3) { return 1; } return 0; }");
+        assert!(t.functions[0]
+            .instrs
+            .iter()
+            .any(|i| matches!(i, Instr::BrCmp { rel: Rel::Lt, .. })));
+    }
+
+    #[test]
+    fn short_circuit_produces_branches() {
+        let t = lower_src("fn g(x: int) -> int { return x; } fn f(a: int, b: int) -> int { if (a && g(b)) { return 1; } return 0; }");
+        let f = &t.functions[1];
+        // The right operand's call must be guarded by a branch on `a`.
+        let first_br = f.instrs.iter().position(|i| matches!(i, Instr::BrNz { .. })).unwrap();
+        let call = f.instrs.iter().position(|i| matches!(i, Instr::Call { .. })).unwrap();
+        assert!(first_br < call, "short-circuit: call must come after branch");
+    }
+
+    #[test]
+    fn strings_are_interned_once() {
+        let t = lower_src(r#"fn f() -> int { var a = "dup"; var b = "dup"; var c = "other"; return a + b + c; }"#);
+        let strs: Vec<_> = t.globals.iter().filter(|g| g.name.starts_with("__str_")).collect();
+        assert_eq!(strs.len(), 2);
+        assert_eq!(strs[0].init.as_deref(), Some(&b"dup\0"[..]));
+    }
+
+    #[test]
+    fn void_fall_through_gets_ret() {
+        let t = lower_src("fn f() { var a = 1; }");
+        assert!(matches!(t.functions[0].instrs.last(), Some(Instr::Ret { value: None })));
+    }
+
+    #[test]
+    fn break_and_continue_target_loop_labels() {
+        let t = lower_src("fn f() { while (1) { break; } }");
+        let f = &t.functions[0];
+        // A jmp to the end label must exist before the loop back-edge.
+        let jmps: Vec<_> = f
+            .instrs
+            .iter()
+            .filter_map(|i| match i {
+                Instr::Jmp(l) => Some(*l),
+                _ => None,
+            })
+            .collect();
+        assert_eq!(jmps.len(), 2, "break + back edge");
+    }
+
+    #[test]
+    fn global_loads_scale_by_elem() {
+        let t = lower_src("global b: [byte; 8]; global w: [int; 8]; fn f(i: int) -> int { return b[i] + w[i]; }");
+        let f = &t.functions[0];
+        let elems: Vec<ElemType> = f
+            .instrs
+            .iter()
+            .filter_map(|i| match i {
+                Instr::Load { elem, .. } => Some(*elem),
+                _ => None,
+            })
+            .collect();
+        assert_eq!(elems, vec![ElemType::Byte, ElemType::Int]);
+    }
+
+    #[test]
+    fn def_use_sets() {
+        let i = Instr::Bin {
+            op: TBin::Add,
+            dst: VReg(2),
+            a: Operand::V(VReg(0)),
+            b: Operand::Imm(3),
+        };
+        assert_eq!(i.def(), Some(VReg(2)));
+        assert_eq!(i.uses(), vec![VReg(0)]);
+        assert!(i.is_pure());
+        assert!(!i.is_terminator());
+        let r = Instr::Ret {
+            value: Some(Operand::V(VReg(1))),
+        };
+        assert!(r.is_terminator());
+        assert_eq!(r.uses(), vec![VReg(1)]);
+    }
+
+    #[test]
+    fn rel_algebra() {
+        for r in [Rel::Lt, Rel::Le, Rel::Gt, Rel::Ge, Rel::Eq, Rel::Ne] {
+            for (a, b) in [(1, 2), (2, 1), (3, 3), (-1, 1)] {
+                assert_eq!(r.eval(a, b), r.swap().eval(b, a), "{r:?} swap");
+                assert_eq!(r.eval(a, b), !r.negate().eval(a, b), "{r:?} negate");
+            }
+        }
+    }
+}

@@ -1,0 +1,63 @@
+//! Property tests for the MinC front end: the lexer/parser never panic,
+//! and structurally valid programs always make it through the whole
+//! front end.
+
+use firmup_compiler::parser::parse;
+use firmup_compiler::sema;
+use proptest::prelude::*;
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(512))]
+
+    /// Arbitrary text never panics the front end.
+    #[test]
+    fn parser_never_panics(src in "\\PC{0,200}") {
+        let _ = parse(&src);
+    }
+
+    /// Arbitrary *token-shaped* soup never panics either (denser in
+    /// valid tokens than raw unicode, so it reaches deeper).
+    #[test]
+    fn token_soup_never_panics(tokens in proptest::collection::vec(prop_oneof![
+        Just("fn"), Just("pub"), Just("var"), Just("global"), Just("if"),
+        Just("else"), Just("while"), Just("return"), Just("break"),
+        Just("continue"), Just("int"), Just("byte"), Just("("), Just(")"),
+        Just("{"), Just("}"), Just("["), Just("]"), Just(","), Just(";"),
+        Just(":"), Just("->"), Just("="), Just("+"), Just("-"), Just("*"),
+        Just("&"), Just("|"), Just("^"), Just("<<"), Just(">>"), Just("<"),
+        Just("<="), Just(">"), Just(">="), Just("=="), Just("!="),
+        Just("&&"), Just("||"), Just("!"), Just("~"), Just("x"), Just("y"),
+        Just("peek8"), Just("poke8"), Just("0"), Just("42"), Just("0x1F"),
+        Just("\"s\""),
+    ], 0..64)) {
+        let src = tokens.join(" ");
+        let _ = parse(&src);
+    }
+
+    /// Generated-valid programs parse and pass sema (and re-parse
+    /// identically — the front end is deterministic).
+    #[test]
+    fn valid_programs_accepted(
+        n_fns in 1usize..4,
+        consts in proptest::collection::vec(-1000i32..1000, 4),
+    ) {
+        let mut src = String::from("global g: [int; 8];\n");
+        for i in 0..n_fns {
+            src.push_str(&format!(
+                "fn f{i}(a: int, b: int) -> int {{\n\
+                 var x = a {} {};\n\
+                 if (x < b) {{ g[1] = x; return x; }}\n\
+                 while (x > {}) {{ x = x - {}; }}\n\
+                 return x + g[1];\n}}\n",
+                ["+", "*", "^"][i % 3],
+                consts[0],
+                consts[1].abs(),
+                consts[2].abs().max(1),
+            ));
+        }
+        let p1 = parse(&src).expect("valid program must parse");
+        sema::check(&p1).expect("valid program must check");
+        let p2 = parse(&src).expect("reparse");
+        prop_assert_eq!(p1, p2);
+    }
+}

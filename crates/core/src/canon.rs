@@ -1,0 +1,1109 @@
+//! Strand canonicalization — §3.2.1 of the paper.
+//!
+//! Brings semantically equivalent strands from different compilers and
+//! architectures to the same syntactic form:
+//!
+//! * **Register folding** — external reads become arguments; the root
+//!   value becomes the return value; intermediate register defs are
+//!   substituted away (plus store-to-load forwarding inside the strand).
+//! * **Compiler optimization** — the paper runs LLVM `opt`; we implement
+//!   the same transformation list natively: constant folding and
+//!   propagation, instruction combining, common-subexpression-aware
+//!   structural sharing, algebraic simplification, and dead code
+//!   elimination (implicit in substitution). On top of those we add the
+//!   *flag-pattern rewrites* that dissolve per-architecture condition
+//!   code idioms (ARM/x86 `SF≠OF` becomes a plain signed `<`, MIPS
+//!   `sltiu t,1` becomes `== 0`, …) — the "further refined semantics"
+//!   the paper says it added to dissolve syntactic residue (§1.1).
+//! * **Offset elimination** — constants pointing into code or static
+//!   data sections are replaced by symbolic offsets; stack/struct
+//!   offsets are kept.
+//! * **Name normalization** — variables and offsets are renamed by
+//!   order of appearance.
+//!
+//! The output is a stable string plus its 64-bit hash; procedures are
+//! compared as sets of those hashes (§3.3).
+
+use std::collections::HashMap;
+use std::fmt;
+use std::ops::Range;
+
+use firmup_ir::hash::fnv1a_64;
+use firmup_ir::ssa::{SExpr, SsaKind, VarKind};
+use firmup_ir::{BinOp, RegId, UnOp, Var, Width};
+use firmup_obj::Elf;
+
+use crate::strand::Strand;
+
+/// Per-executable canonicalization context: which address ranges count
+/// as "binary layout" for offset elimination, and which registers
+/// address stack frames (for stack-slot folding).
+#[derive(Debug, Clone, Default)]
+pub struct AddrSpace {
+    ranges: Vec<Range<u32>>,
+    frame_regs: Vec<RegId>,
+}
+
+impl AddrSpace {
+    /// Build from an executable's sections (text + data + rodata); the
+    /// frame registers follow from the ELF machine type.
+    pub fn from_elf(elf: &Elf) -> AddrSpace {
+        let frame_regs = firmup_isa::Arch::from_elf_machine(elf.machine)
+            .map(firmup_isa::frame_registers)
+            .unwrap_or_default();
+        AddrSpace {
+            ranges: elf
+                .sections
+                .iter()
+                .filter(|s| !s.data.is_empty())
+                .map(|s| s.addr..s.end())
+                .collect(),
+            frame_regs,
+        }
+    }
+
+    /// Explicit ranges (for tests).
+    pub fn from_ranges(ranges: Vec<Range<u32>>) -> AddrSpace {
+        AddrSpace {
+            ranges,
+            frame_regs: vec![],
+        }
+    }
+
+    /// Explicit ranges plus frame registers.
+    pub fn with_frame_regs(mut self, regs: Vec<RegId>) -> AddrSpace {
+        self.frame_regs = regs;
+        self
+    }
+
+    /// Whether a constant points into the binary's layout.
+    pub fn is_offset(&self, c: u32) -> bool {
+        self.ranges.iter().any(|r| r.contains(&c))
+    }
+}
+
+/// Canonicalization switches (all on by default; individual passes can
+/// be disabled for the ablation benchmarks).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct CanonConfig {
+    /// Run the optimizer (folding, combining, flag-pattern rewrites).
+    pub optimize: bool,
+    /// Replace code/data-section constants with symbolic offsets.
+    pub offset_elimination: bool,
+    /// Rename variables/offsets by order of appearance.
+    pub normalize_names: bool,
+    /// Treat frame-register-relative memory as named slots: loads become
+    /// plain variables and spill stores fold into their value — the
+    /// extension of the paper's register folding that dissolves `-O0`
+    /// stack traffic (§1.1's "further refined the semantics represented
+    /// by a strand to dissolve such residues").
+    pub fold_stack_slots: bool,
+}
+
+impl Default for CanonConfig {
+    fn default() -> Self {
+        CanonConfig {
+            optimize: true,
+            offset_elimination: true,
+            normalize_names: true,
+            fold_stack_slots: true,
+        }
+    }
+}
+
+/// A canonical strand: its stable serialization and hash.
+#[derive(Debug, Clone, PartialEq, Eq, Hash)]
+pub struct CanonicalStrand {
+    /// Stable textual form.
+    pub text: String,
+    /// FNV-1a 64 hash of `text`.
+    pub hash: u64,
+}
+
+/// Canonical expression tree.
+#[derive(Debug, Clone, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub enum CExpr {
+    /// Literal constant (survived offset elimination).
+    Const(u32),
+    /// Strand input (register or memory location read before written).
+    Var(Var),
+    /// Eliminated binary-layout offset (original value kept until
+    /// normalization).
+    Offset(u32),
+    /// Memory load whose defining store is outside the strand.
+    Load {
+        /// Address expression.
+        addr: Box<CExpr>,
+        /// Access width.
+        width: Width,
+    },
+    /// Binary operation.
+    Bin {
+        /// Operator.
+        op: BinOp,
+        /// Left operand.
+        lhs: Box<CExpr>,
+        /// Right operand.
+        rhs: Box<CExpr>,
+    },
+    /// Unary operation.
+    Un {
+        /// Operator.
+        op: UnOp,
+        /// Operand.
+        arg: Box<CExpr>,
+    },
+    /// Value select.
+    Ite {
+        /// Condition.
+        cond: Box<CExpr>,
+        /// Value when non-zero.
+        then_e: Box<CExpr>,
+        /// Value when zero.
+        else_e: Box<CExpr>,
+    },
+}
+
+impl CExpr {
+    fn bin(op: BinOp, lhs: CExpr, rhs: CExpr) -> CExpr {
+        CExpr::Bin {
+            op,
+            lhs: Box::new(lhs),
+            rhs: Box::new(rhs),
+        }
+    }
+
+    /// Whether this expression always evaluates to 0 or 1.
+    fn is_bool(&self) -> bool {
+        match self {
+            CExpr::Const(c) => *c <= 1,
+            CExpr::Bin { op, lhs, rhs } => {
+                op.is_comparison()
+                    || (matches!(op, BinOp::And | BinOp::Or) && lhs.is_bool() && rhs.is_bool())
+            }
+            CExpr::Ite { then_e, else_e, .. } => then_e.is_bool() && else_e.is_bool(),
+            _ => false,
+        }
+    }
+
+    /// Number of nodes.
+    pub fn size(&self) -> usize {
+        match self {
+            CExpr::Const(_) | CExpr::Var(_) | CExpr::Offset(_) => 1,
+            CExpr::Load { addr, .. } => 1 + addr.size(),
+            CExpr::Bin { lhs, rhs, .. } => 1 + lhs.size() + rhs.size(),
+            CExpr::Un { arg, .. } => 1 + arg.size(),
+            CExpr::Ite { cond, then_e, else_e } => 1 + cond.size() + then_e.size() + else_e.size(),
+        }
+    }
+}
+
+/// A canonical statement: only outward-facing effects remain.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum CStmt {
+    /// Memory store.
+    Store {
+        /// Address.
+        addr: CExpr,
+        /// Stored value.
+        value: CExpr,
+        /// Width.
+        width: Width,
+    },
+    /// Conditional branch decision (target already offset-eliminated).
+    Br {
+        /// Branch condition.
+        cond: CExpr,
+    },
+    /// Indirect jump/call target computation.
+    JumpTo {
+        /// Target expression.
+        target: CExpr,
+    },
+    /// The strand's folded return value.
+    Ret(CExpr),
+}
+
+/// Canonicalize one strand.
+pub fn canonicalize(strand: &Strand, space: &AddrSpace, config: &CanonConfig) -> CanonicalStrand {
+    let mut stmts = substitute(strand, space, config);
+    if config.optimize {
+        for s in &mut stmts {
+            map_stmt(s, &mut |e| simplify(e));
+        }
+    }
+    if config.offset_elimination {
+        for s in &mut stmts {
+            map_stmt(s, &mut |e| eliminate_offsets(e, space));
+        }
+        if config.optimize {
+            // Offsets may unlock one more round of ordering rules.
+            for s in &mut stmts {
+                map_stmt(s, &mut |e| simplify(e));
+            }
+        }
+    }
+    if config.optimize {
+        // Canonical branch polarity: a branch on ¬c with swapped targets
+        // is the same branch as one on c, and targets were already
+        // offset-eliminated — so pick the lexicographically smaller of
+        // the two forms. Dissolves compiler branch-inversion layout
+        // heuristics and the guard/bottom-test split of rotated loops.
+        for s in &mut stmts {
+            if let CStmt::Br { cond } = s {
+                if let Some(neg) = negate_bool(cond) {
+                    if order_key(&neg) < order_key(cond) {
+                        *cond = neg;
+                    }
+                }
+            }
+        }
+    }
+    let text = serialize(&stmts, config.normalize_names);
+    let hash = fnv1a_64(text.as_bytes());
+    CanonicalStrand { text, hash }
+}
+
+fn map_stmt(s: &mut CStmt, f: &mut impl FnMut(CExpr) -> CExpr) {
+    match s {
+        CStmt::Store { addr, value, .. } => {
+            *addr = f(std::mem::replace(addr, CExpr::Const(0)));
+            *value = f(std::mem::replace(value, CExpr::Const(0)));
+        }
+        CStmt::Br { cond } => *cond = f(std::mem::replace(cond, CExpr::Const(0))),
+        CStmt::JumpTo { target } => *target = f(std::mem::replace(target, CExpr::Const(0))),
+        CStmt::Ret(e) => *e = f(std::mem::replace(e, CExpr::Const(0))),
+    }
+}
+
+/// Register folding + forward substitution: intermediate defs disappear
+/// into their consumers; loads forward from stores inside the strand;
+/// with [`CanonConfig::fold_stack_slots`], frame-relative memory behaves
+/// like registers (slot loads become variables, spill stores fold away).
+fn substitute(strand: &Strand, space: &AddrSpace, config: &CanonConfig) -> Vec<CStmt> {
+    let mut ctx = Subst {
+        env: HashMap::new(),
+        mem_env: HashMap::new(),
+        vars: &strand.vars,
+        space,
+        fold_stack: config.fold_stack_slots,
+    };
+    let mut out = Vec::new();
+    let n = strand.stmts.len();
+    for (i, s) in strand.stmts.iter().enumerate() {
+        let is_root = i == n - 1;
+        match &s.kind {
+            SsaKind::Assign(e) => {
+                let c = ctx.conv(e);
+                if is_root {
+                    out.push(CStmt::Ret(c));
+                } else {
+                    ctx.env.insert(s.def, c);
+                }
+            }
+            SsaKind::Store { addr, value, width } => {
+                let a = ctx.conv(addr);
+                let v = ctx.conv(value);
+                ctx.mem_env.insert(s.def, (v.clone(), *width));
+                if ctx.fold_stack && ctx.is_stack_addr(&a) {
+                    // Spill store: the slot behaves like a register. Only
+                    // the strand root surfaces its value.
+                    if is_root {
+                        out.push(CStmt::Ret(v));
+                    }
+                } else {
+                    out.push(CStmt::Store {
+                        addr: a,
+                        value: v,
+                        width: *width,
+                    });
+                }
+            }
+            SsaKind::Exit { cond, .. } => {
+                let cond = ctx.conv(cond);
+                out.push(CStmt::Br { cond });
+            }
+            SsaKind::JumpTarget(e) => {
+                let target = ctx.conv(e);
+                out.push(CStmt::JumpTo { target });
+            }
+        }
+    }
+    if out.is_empty() {
+        // Every statement folded away (e.g. a pure spill strand); keep
+        // the root's value so the strand still has a canonical form.
+        let root = strand.stmts.last().expect("strands are never empty");
+        if let SsaKind::Store { value, .. } = &root.kind {
+            let mut ctx2 = Subst {
+                env: HashMap::new(),
+                mem_env: HashMap::new(),
+                vars: &strand.vars,
+                space,
+                fold_stack: false,
+            };
+            out.push(CStmt::Ret(ctx2.conv(value)));
+        }
+    }
+    debug_assert!(!out.is_empty(), "strand roots are always outward-facing");
+    out
+}
+
+struct Subst<'a> {
+    env: HashMap<Var, CExpr>,
+    mem_env: HashMap<Var, (CExpr, Width)>,
+    vars: &'a [firmup_ir::ssa::VarInfo],
+    space: &'a AddrSpace,
+    fold_stack: bool,
+}
+
+impl<'a> Subst<'a> {
+    /// Whether a converted address expression is frame-relative:
+    /// `frame_reg (+ const)*`.
+    fn is_stack_addr(&self, e: &CExpr) -> bool {
+        match e {
+            CExpr::Var(v) => match self.vars.get(v.0 as usize).map(|i| &i.kind) {
+                Some(VarKind::Reg(r, _)) => self.space.frame_regs.contains(r),
+                _ => false,
+            },
+            CExpr::Bin { op: BinOp::Add | BinOp::Sub, lhs, rhs } => {
+                matches!(**rhs, CExpr::Const(_)) && self.is_stack_addr(lhs)
+            }
+            _ => false,
+        }
+    }
+
+    fn conv(&mut self, e: &SExpr) -> CExpr {
+        match e {
+            SExpr::Const(c) => CExpr::Const(*c),
+            SExpr::Var(v) => self.env.get(v).cloned().unwrap_or(CExpr::Var(*v)),
+            SExpr::Load { mem, addr, width } => {
+                // Store-to-load forwarding within the strand.
+                if let Some((value, w)) = self.mem_env.get(mem) {
+                    if w == width {
+                        return value.clone();
+                    }
+                }
+                let a = self.conv(addr);
+                if self.fold_stack && self.is_stack_addr(&a) {
+                    // A named stack slot read: behaves like a register
+                    // input (the SSA location variable identifies it).
+                    return CExpr::Var(*mem);
+                }
+                CExpr::Load {
+                    addr: Box::new(a),
+                    width: *width,
+                }
+            }
+            SExpr::Bin { op, lhs, rhs } => {
+                let l = self.conv(lhs);
+                let r = self.conv(rhs);
+                CExpr::bin(*op, l, r)
+            }
+            SExpr::Un { op, arg } => {
+                let a = self.conv(arg);
+                CExpr::Un {
+                    op: *op,
+                    arg: Box::new(a),
+                }
+            }
+            SExpr::Ite { cond, then_e, else_e } => {
+                let c = self.conv(cond);
+                let t = self.conv(then_e);
+                let f = self.conv(else_e);
+                CExpr::Ite {
+                    cond: Box::new(c),
+                    then_e: Box::new(t),
+                    else_e: Box::new(f),
+                }
+            }
+        }
+    }
+}
+
+/// Bottom-up simplification to a fixpoint.
+pub fn simplify(e: CExpr) -> CExpr {
+    let e = match e {
+        CExpr::Load { addr, width } => CExpr::Load {
+            addr: Box::new(simplify(*addr)),
+            width,
+        },
+        CExpr::Bin { op, lhs, rhs } => CExpr::bin(op, simplify(*lhs), simplify(*rhs)),
+        CExpr::Un { op, arg } => CExpr::Un {
+            op,
+            arg: Box::new(simplify(*arg)),
+        },
+        CExpr::Ite { cond, then_e, else_e } => CExpr::Ite {
+            cond: Box::new(simplify(*cond)),
+            then_e: Box::new(simplify(*then_e)),
+            else_e: Box::new(simplify(*else_e)),
+        },
+        leaf => leaf,
+    };
+    let mut cur = e;
+    for _ in 0..8 {
+        match rewrite(cur) {
+            Ok(next) => cur = next,
+            Err(stable) => return stable,
+        }
+    }
+    cur
+}
+
+/// One rewrite step: `Ok(new)` when something fired, `Err(unchanged)`
+/// otherwise.
+#[allow(clippy::too_many_lines)]
+fn rewrite(e: CExpr) -> Result<CExpr, CExpr> {
+    use BinOp::*;
+    match e {
+        // ---- constant folding ----
+        CExpr::Bin { op, lhs, rhs } => {
+            if let (CExpr::Const(a), CExpr::Const(b)) = (&*lhs, &*rhs) {
+                return Ok(CExpr::Const(op.eval(*a, *b)));
+            }
+            let lhs = *lhs;
+            let rhs = *rhs;
+            // Algebraic identities.
+            match (op, &lhs, &rhs) {
+                (Add | Sub | Or | Xor | Shl | Shr | Sar, x, CExpr::Const(0)) => return Ok(x.clone()),
+                (Add | Or | Xor, CExpr::Const(0), x) => return Ok(x.clone()),
+                (Mul, x, CExpr::Const(1)) | (Mul, CExpr::Const(1), x) => return Ok(x.clone()),
+                (Mul | And, _, CExpr::Const(0)) | (Mul | And, CExpr::Const(0), _) => {
+                    return Ok(CExpr::Const(0))
+                }
+                (And, x, CExpr::Const(u32::MAX)) | (And, CExpr::Const(u32::MAX), x) => {
+                    return Ok(x.clone())
+                }
+                (Sub | Xor, a, b) if a == b && !matches!(a, CExpr::Load { .. }) => {
+                    return Ok(CExpr::Const(0))
+                }
+                (And | Or, a, b) if a == b => return Ok(a.clone()),
+                // Subtraction of a constant becomes addition of its
+                // negation (dissolves `addiu -4` vs `sub 4`).
+                (Sub, x, CExpr::Const(c)) if *c != 0 => {
+                    return Ok(CExpr::bin(Add, x.clone(), CExpr::Const(c.wrapping_neg())))
+                }
+                // x + (y + c) → (x + y) + c  (reassociate constants out).
+                (Add, x, CExpr::Bin { op: Add, lhs: y, rhs: c }) if matches!(**c, CExpr::Const(_)) => {
+                    return Ok(CExpr::bin(
+                        Add,
+                        CExpr::bin(Add, x.clone(), (**y).clone()),
+                        (**c).clone(),
+                    ));
+                }
+                // (x + c1) + c2 → x + (c1+c2).
+                (Add, CExpr::Bin { op: Add, lhs: x, rhs: c1 }, CExpr::Const(c2)) => {
+                    if let CExpr::Const(c1v) = **c1 {
+                        return Ok(CExpr::bin(
+                            Add,
+                            (**x).clone(),
+                            CExpr::Const(c1v.wrapping_add(*c2)),
+                        ));
+                    }
+                }
+                // ---- comparison normalization ----
+                // cmp(x-y, 0) / cmp(x^y, 0) for eq/ne.
+                (CmpEq | CmpNe, CExpr::Bin { op: Sub | Xor, lhs: a, rhs: b }, CExpr::Const(0)) => {
+                    return Ok(CExpr::bin(op, (**a).clone(), (**b).clone()));
+                }
+                // not(bool) / bool != 0.
+                (CmpEq, x, CExpr::Const(0)) if x.is_bool() => {
+                    if let Some(n) = negate_bool(x) {
+                        return Ok(n);
+                    }
+                }
+                (CmpNe, x, CExpr::Const(0)) if x.is_bool() => return Ok(x.clone()),
+                // MIPS idioms: sltiu x,1 == (x == 0); sltu 0,x == (x != 0).
+                (CmpLtU, x, CExpr::Const(1)) => {
+                    return Ok(CExpr::bin(CmpEq, x.clone(), CExpr::Const(0)))
+                }
+                (CmpLtU, CExpr::Const(0), x) => {
+                    return Ok(CExpr::bin(CmpNe, x.clone(), CExpr::Const(0)))
+                }
+                // Signed flag patterns (ARM/x86): SF≠OF ⇔ a<b, SF=OF ⇔ a≥b.
+                (CmpNe | CmpEq, _, _) => {
+                    if let Some((a, b)) = match_sf_of(&lhs, &rhs) {
+                        return Ok(if op == CmpNe {
+                            CExpr::bin(CmpLtS, a, b)
+                        } else {
+                            CExpr::bin(CmpLeS, b, a)
+                        });
+                    }
+                }
+                // a<=b from (a==b)|(a<b); a<b from (a!=b)&(b>=a)…
+                (Or, x, y) => {
+                    if let Some(r) = or_le_pattern(x, y) {
+                        return Ok(r);
+                    }
+                }
+                (And, x, y) => {
+                    if let Some(r) = and_lt_pattern(x, y) {
+                        return Ok(r);
+                    }
+                }
+                _ => {}
+            }
+            // Canonical operand order for commutative operators:
+            // constants/offsets to the right, otherwise lexicographic.
+            if op.commutative() && order_key(&rhs) < order_key(&lhs) {
+                return Ok(CExpr::bin(op, rhs, lhs));
+            }
+            Err(CExpr::bin(op, lhs, rhs))
+        }
+        CExpr::Un { op, arg } => {
+            if let CExpr::Const(c) = *arg {
+                return Ok(CExpr::Const(op.eval(c)));
+            }
+            match (op, &*arg) {
+                (UnOp::Not, CExpr::Un { op: UnOp::Not, arg: inner })
+                | (UnOp::Neg, CExpr::Un { op: UnOp::Neg, arg: inner }) => {
+                    return Ok((**inner).clone())
+                }
+                // Loads are already zero-extended to their width.
+                (UnOp::Zext8, CExpr::Load { width: Width::W8, .. })
+                | (UnOp::Zext16, CExpr::Load { width: Width::W16, .. }) => return Ok((*arg).clone()),
+                // Extending a bool is a no-op.
+                (UnOp::Zext8 | UnOp::Zext16, x) if x.is_bool() => return Ok(x.clone()),
+                _ => {}
+            }
+            Err(CExpr::Un { op, arg })
+        }
+        CExpr::Ite { cond, then_e, else_e } => {
+            if let CExpr::Const(c) = *cond {
+                return Ok(if c != 0 { *then_e } else { *else_e });
+            }
+            if then_e == else_e {
+                return Ok(*then_e);
+            }
+            // select c, 1, 0 → c; select c, 0, 1 → !c.
+            if cond.is_bool() {
+                if let (CExpr::Const(1), CExpr::Const(0)) = (&*then_e, &*else_e) {
+                    return Ok(*cond);
+                }
+                if let (CExpr::Const(0), CExpr::Const(1)) = (&*then_e, &*else_e) {
+                    if let Some(n) = negate_bool(&cond) {
+                        return Ok(n);
+                    }
+                }
+            }
+            Err(CExpr::Ite { cond, then_e, else_e })
+        }
+        leaf => Err(leaf),
+    }
+}
+
+/// Negate a known-boolean expression, when a clean form exists.
+fn negate_bool(e: &CExpr) -> Option<CExpr> {
+    use BinOp::*;
+    match e {
+        CExpr::Bin { op, lhs, rhs } => {
+            let (l, r) = ((**lhs).clone(), (**rhs).clone());
+            Some(match op {
+                CmpEq => CExpr::bin(CmpNe, l, r),
+                CmpNe => CExpr::bin(CmpEq, l, r),
+                CmpLtS => CExpr::bin(CmpLeS, r, l),
+                CmpLeS => CExpr::bin(CmpLtS, r, l),
+                CmpLtU => CExpr::bin(CmpLeU, r, l),
+                CmpLeU => CExpr::bin(CmpLtU, r, l),
+                _ => return None,
+            })
+        }
+        _ => None,
+    }
+}
+
+/// Detect the SF/OF pair of a signed subtraction compare. Either operand
+/// order is accepted (commutative sorting may have swapped them).
+fn match_sf_of(x: &CExpr, y: &CExpr) -> Option<(CExpr, CExpr)> {
+    try_sf_of(x, y).or_else(|| try_sf_of(y, x))
+}
+
+fn try_sf_of(sf: &CExpr, of: &CExpr) -> Option<(CExpr, CExpr)> {
+    // SF = (a - b) <s 0.
+    let (a, b) = match sf {
+        CExpr::Bin { op: BinOp::CmpLtS, lhs, rhs } => match (&**lhs, &**rhs) {
+            (CExpr::Bin { op: BinOp::Sub, lhs: a, rhs: b }, CExpr::Const(0)) => {
+                ((**a).clone(), (**b).clone())
+            }
+            _ => return None,
+        },
+        _ => return None,
+    };
+    // OF for a-b: sign(a^b) & sign(a^(a-b)); reconstruct and compare
+    // modulo the same simplifier.
+    let diff = CExpr::bin(BinOp::Sub, a.clone(), b.clone());
+    let expected = simplify(CExpr::bin(
+        BinOp::And,
+        sign_bit(CExpr::bin(BinOp::Xor, a.clone(), b.clone())),
+        sign_bit(CExpr::bin(BinOp::Xor, a.clone(), diff)),
+    ));
+    if *of == expected {
+        Some((a, b))
+    } else {
+        None
+    }
+}
+
+fn sign_bit(e: CExpr) -> CExpr {
+    CExpr::bin(BinOp::Shr, e, CExpr::Const(31))
+}
+
+/// `(a==b) | (a<b)` → `a<=b` (signed and unsigned), any operand order.
+fn or_le_pattern(x: &CExpr, y: &CExpr) -> Option<CExpr> {
+    for (eq, lt) in [(x, y), (y, x)] {
+        if let (
+            CExpr::Bin { op: BinOp::CmpEq, lhs: e1, rhs: e2 },
+            CExpr::Bin { op, lhs: l1, rhs: l2 },
+        ) = (eq, lt)
+        {
+            let le = match op {
+                BinOp::CmpLtS => BinOp::CmpLeS,
+                BinOp::CmpLtU => BinOp::CmpLeU,
+                _ => continue,
+            };
+            let same = (e1 == l1 && e2 == l2) || (e1 == l2 && e2 == l1);
+            if same {
+                return Some(CExpr::bin(le, (**l1).clone(), (**l2).clone()));
+            }
+        }
+    }
+    None
+}
+
+/// `(a!=b) & (b<=a)` → `b<a` (signed and unsigned), any operand order.
+fn and_lt_pattern(x: &CExpr, y: &CExpr) -> Option<CExpr> {
+    for (ne, le) in [(x, y), (y, x)] {
+        if let (
+            CExpr::Bin { op: BinOp::CmpNe, lhs: e1, rhs: e2 },
+            CExpr::Bin { op, lhs: l1, rhs: l2 },
+        ) = (ne, le)
+        {
+            let lt = match op {
+                BinOp::CmpLeS => BinOp::CmpLtS,
+                BinOp::CmpLeU => BinOp::CmpLtU,
+                _ => continue,
+            };
+            let same = (e1 == l1 && e2 == l2) || (e1 == l2 && e2 == l1);
+            if same {
+                return Some(CExpr::bin(lt, (**l1).clone(), (**l2).clone()));
+            }
+        }
+    }
+    None
+}
+
+/// Deterministic operand ordering key: variables < loads < compound <
+/// offsets < constants, then by structure.
+fn order_key(e: &CExpr) -> (u8, String) {
+    let class = match e {
+        CExpr::Var(_) => 0,
+        CExpr::Load { .. } => 1,
+        CExpr::Un { .. } | CExpr::Bin { .. } | CExpr::Ite { .. } => 2,
+        CExpr::Offset(_) => 3,
+        CExpr::Const(_) => 4,
+    };
+    (class, format!("{e:?}"))
+}
+
+/// Replace constants pointing into the binary layout with symbolic
+/// offsets. Stack-pointer-relative and small constants survive —
+/// "offsets which pertain to stack and struct manipulation… are more
+/// relevant to the semantics of the procedure".
+fn eliminate_offsets(e: CExpr, space: &AddrSpace) -> CExpr {
+    match e {
+        CExpr::Const(c) if space.is_offset(c) => CExpr::Offset(c),
+        CExpr::Load { addr, width } => CExpr::Load {
+            addr: Box::new(eliminate_offsets(*addr, space)),
+            width,
+        },
+        CExpr::Bin { op, lhs, rhs } => CExpr::bin(
+            op,
+            eliminate_offsets(*lhs, space),
+            eliminate_offsets(*rhs, space),
+        ),
+        CExpr::Un { op, arg } => CExpr::Un {
+            op,
+            arg: Box::new(eliminate_offsets(*arg, space)),
+        },
+        CExpr::Ite { cond, then_e, else_e } => CExpr::Ite {
+            cond: Box::new(eliminate_offsets(*cond, space)),
+            then_e: Box::new(eliminate_offsets(*then_e, space)),
+            else_e: Box::new(eliminate_offsets(*else_e, space)),
+        },
+        leaf => leaf,
+    }
+}
+
+struct Namer {
+    normalize: bool,
+    vars: HashMap<Var, usize>,
+    offsets: HashMap<u32, usize>,
+}
+
+impl Namer {
+    fn var(&mut self, v: Var) -> String {
+        if self.normalize {
+            let n = self.vars.len();
+            let id = *self.vars.entry(v).or_insert(n);
+            format!("v{id}")
+        } else {
+            format!("raw{}", v.0)
+        }
+    }
+
+    fn offset(&mut self, o: u32) -> String {
+        if self.normalize {
+            let n = self.offsets.len();
+            let id = *self.offsets.entry(o).or_insert(n);
+            format!("offset{id}")
+        } else {
+            format!("{o:#x}")
+        }
+    }
+}
+
+fn serialize(stmts: &[CStmt], normalize: bool) -> String {
+    let mut namer = Namer {
+        normalize,
+        vars: HashMap::new(),
+        offsets: HashMap::new(),
+    };
+    let mut out = String::new();
+    for s in stmts {
+        match s {
+            CStmt::Store { addr, value, width } => {
+                out.push_str(&format!(
+                    "store {width} {}, {}\n",
+                    write_expr(value, &mut namer),
+                    write_expr(addr, &mut namer)
+                ));
+            }
+            CStmt::Br { cond } => {
+                out.push_str(&format!("br {}\n", write_expr(cond, &mut namer)));
+            }
+            CStmt::JumpTo { target } => {
+                out.push_str(&format!("jump {}\n", write_expr(target, &mut namer)));
+            }
+            CStmt::Ret(e) => {
+                out.push_str(&format!("ret {}\n", write_expr(e, &mut namer)));
+            }
+        }
+    }
+    out
+}
+
+fn write_expr(e: &CExpr, namer: &mut Namer) -> String {
+    match e {
+        CExpr::Const(c) => {
+            if *c < 10 {
+                format!("{c}")
+            } else {
+                format!("{c:#x}")
+            }
+        }
+        CExpr::Var(v) => namer.var(*v),
+        CExpr::Offset(o) => namer.offset(*o),
+        CExpr::Load { addr, width } => format!("(load {width} {})", write_expr(addr, namer)),
+        CExpr::Bin { op, lhs, rhs } => format!(
+            "({} {} {})",
+            op.mnemonic(),
+            write_expr(lhs, namer),
+            write_expr(rhs, namer)
+        ),
+        CExpr::Un { op, arg } => format!("({} {})", op.mnemonic(), write_expr(arg, namer)),
+        CExpr::Ite { cond, then_e, else_e } => format!(
+            "(select {} {} {})",
+            write_expr(cond, namer),
+            write_expr(then_e, namer),
+            write_expr(else_e, namer)
+        ),
+    }
+}
+
+impl fmt::Display for CanonicalStrand {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(&self.text)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::strand::decompose;
+    use firmup_ir::ssa::ssa_block;
+    use firmup_ir::{Block, Expr, Jump, RegId, Stmt, Temp};
+
+    fn canon_block(stmts: Vec<Stmt>, jump: Jump) -> Vec<CanonicalStrand> {
+        let b = ssa_block(&Block {
+            addr: 0x1000,
+            len: 4 * stmts.len() as u32,
+            stmts,
+            jump,
+            asm: vec![],
+        });
+        let space = AddrSpace::from_ranges(vec![0x40_0000..0x50_0000, 0x1000_0000..0x1001_0000]);
+        decompose(&b)
+            .iter()
+            .map(|s| canonicalize(s, &space, &CanonConfig::default()))
+            .collect()
+    }
+
+    #[test]
+    fn fig3_branch_strand_canonical_form() {
+        // The paper's Fig. 3: `move s5,v0; li v0,0x1F; bne s5,v0,…`
+        // canonicalizes to a compare of the normalized register against
+        // the folded constant.
+        let strands = canon_block(
+            vec![
+                Stmt::Put(RegId(21), Expr::Get(RegId(2))), // move s5, v0
+                Stmt::Put(RegId(2), Expr::Const(0x1f)),    // li v0, 0x1F
+                Stmt::Exit {
+                    cond: Expr::bin(firmup_ir::BinOp::CmpNe, Expr::Get(RegId(21)), Expr::Get(RegId(2))),
+                    target: 0x40_e744,
+                },
+            ],
+            Jump::Fall(0x1010),
+        );
+        let branch = strands
+            .iter()
+            .find(|s| s.text.starts_with("br"))
+            .expect("branch strand");
+        // Branch polarity is canonicalized (eq < ne lexicographically):
+        // `bne` and an inverted `beq` produce the same strand.
+        assert_eq!(branch.text, "br (icmp eq v0 0x1f)\n");
+    }
+
+    #[test]
+    fn operand_order_is_canonical() {
+        let a = canon_block(
+            vec![Stmt::Put(
+                RegId(2),
+                Expr::bin(firmup_ir::BinOp::Add, Expr::Get(RegId(4)), Expr::Get(RegId(5))),
+            )],
+            Jump::Ret,
+        );
+        let b = canon_block(
+            vec![Stmt::Put(
+                RegId(2),
+                Expr::bin(firmup_ir::BinOp::Add, Expr::Get(RegId(5)), Expr::Get(RegId(4))),
+            )],
+            Jump::Ret,
+        );
+        assert_eq!(a[0].hash, b[0].hash, "commutative operands must sort");
+    }
+
+    #[test]
+    fn register_names_do_not_matter() {
+        // Same computation through different registers hashes identically.
+        let a = canon_block(
+            vec![
+                Stmt::SetTmp(Temp(0), Expr::bin(firmup_ir::BinOp::Mul, Expr::Get(RegId(8)), Expr::Const(3))),
+                Stmt::Put(RegId(9), Expr::Tmp(Temp(0))),
+            ],
+            Jump::Ret,
+        );
+        let b = canon_block(
+            vec![
+                Stmt::SetTmp(Temp(0), Expr::bin(firmup_ir::BinOp::Mul, Expr::Get(RegId(20)), Expr::Const(3))),
+                Stmt::Put(RegId(7), Expr::Tmp(Temp(0))),
+            ],
+            Jump::Ret,
+        );
+        assert_eq!(a[0].hash, b[0].hash);
+    }
+
+    #[test]
+    fn sub_const_becomes_add_neg() {
+        let a = canon_block(
+            vec![Stmt::Put(
+                RegId(2),
+                Expr::bin(firmup_ir::BinOp::Sub, Expr::Get(RegId(4)), Expr::Const(4)),
+            )],
+            Jump::Ret,
+        );
+        let b = canon_block(
+            vec![Stmt::Put(
+                RegId(2),
+                Expr::bin(firmup_ir::BinOp::Add, Expr::Get(RegId(4)), Expr::Const(-4i32 as u32)),
+            )],
+            Jump::Ret,
+        );
+        assert_eq!(a[0].hash, b[0].hash);
+    }
+
+    #[test]
+    fn mips_bool_idioms_normalize() {
+        // sltiu d, x, 1 ≡ x == 0; xor+sltu ≡ x != y.
+        let a = canon_block(
+            vec![Stmt::Put(
+                RegId(2),
+                Expr::bin(firmup_ir::BinOp::CmpLtU, Expr::Get(RegId(4)), Expr::Const(1)),
+            )],
+            Jump::Ret,
+        );
+        assert_eq!(a[0].text, "ret (icmp eq v0 0)\n");
+        let b = canon_block(
+            vec![
+                Stmt::SetTmp(
+                    Temp(0),
+                    Expr::bin(firmup_ir::BinOp::Xor, Expr::Get(RegId(4)), Expr::Get(RegId(5))),
+                ),
+                Stmt::Put(
+                    RegId(2),
+                    Expr::bin(firmup_ir::BinOp::CmpLtU, Expr::Const(0), Expr::Tmp(Temp(0))),
+                ),
+            ],
+            Jump::Ret,
+        );
+        assert_eq!(b[0].text, "ret (icmp ne v0 v1)\n");
+    }
+
+    #[test]
+    fn offsets_are_eliminated_but_stack_offsets_survive() {
+        let strands = canon_block(
+            vec![
+                // Data-section address: eliminated.
+                Stmt::Put(RegId(2), Expr::Const(0x1000_0040)),
+                // Stack offset: preserved.
+                Stmt::Put(
+                    RegId(3),
+                    Expr::load(
+                        Expr::bin(firmup_ir::BinOp::Add, Expr::Get(RegId(29)), Expr::Const(0x28)),
+                        Width::W32,
+                    ),
+                ),
+            ],
+            Jump::Ret,
+        );
+        let texts: Vec<&str> = strands.iter().map(|s| s.text.as_str()).collect();
+        assert!(texts.contains(&"ret (load i32 (add v0 0x28))\n"), "{texts:?}");
+        assert!(texts.contains(&"ret offset0\n"), "{texts:?}");
+    }
+
+    #[test]
+    fn store_to_load_forwarding() {
+        // store [sp+8] = r1; r2 = load [sp+8] + 1 → ret uses r1 directly.
+        let addr = Expr::bin(firmup_ir::BinOp::Add, Expr::Get(RegId(29)), Expr::Const(8));
+        let strands = canon_block(
+            vec![
+                Stmt::Store {
+                    addr: addr.clone(),
+                    value: Expr::Get(RegId(1)),
+                    width: Width::W32,
+                },
+                Stmt::Put(
+                    RegId(2),
+                    Expr::bin(firmup_ir::BinOp::Add, Expr::load(addr, Width::W32), Expr::Const(1)),
+                ),
+            ],
+            Jump::Ret,
+        );
+        let ret = strands.iter().find(|s| s.text.contains("ret")).unwrap();
+        assert!(
+            ret.text.contains("ret (add v1 1)") || ret.text.contains("ret (add v0 1)"),
+            "forwarded: {}",
+            ret.text
+        );
+        assert!(!ret.text.contains("load"), "load was forwarded away: {}", ret.text);
+    }
+
+    #[test]
+    fn ite_one_zero_collapses_to_condition() {
+        // ARM: mov d,#0; cmp; movlt d,#1 → select(lt, 1, 0) → lt.
+        let cond = Expr::bin(firmup_ir::BinOp::CmpLtS, Expr::Get(RegId(4)), Expr::Get(RegId(5)));
+        let strands = canon_block(
+            vec![
+                Stmt::Put(RegId(2), Expr::Const(0)),
+                Stmt::Put(
+                    RegId(2),
+                    Expr::ite(cond, Expr::Const(1), Expr::Get(RegId(2))),
+                ),
+            ],
+            Jump::Ret,
+        );
+        assert_eq!(strands[0].text, "ret (icmp slt v0 v1)\n");
+    }
+
+    #[test]
+    fn canonicalization_is_idempotent_and_deterministic() {
+        let mk = || {
+            canon_block(
+                vec![
+                    Stmt::SetTmp(
+                        Temp(0),
+                        Expr::bin(
+                            firmup_ir::BinOp::Add,
+                            Expr::bin(firmup_ir::BinOp::Mul, Expr::Get(RegId(5)), Expr::Const(4)),
+                            Expr::Get(RegId(6)),
+                        ),
+                    ),
+                    Stmt::Put(RegId(2), Expr::Tmp(Temp(0))),
+                ],
+                Jump::Ret,
+            )
+        };
+        assert_eq!(mk(), mk());
+    }
+
+    #[test]
+    fn config_toggles_change_output() {
+        let b = ssa_block(&Block {
+            addr: 0,
+            len: 4,
+            stmts: vec![Stmt::Put(RegId(2), Expr::Const(0x40_1000))],
+            jump: Jump::Ret,
+            asm: vec![],
+        });
+        let strand = &decompose(&b)[0];
+        #[allow(clippy::single_range_in_vec_init)]
+        let space = AddrSpace::from_ranges(vec![0x40_0000..0x50_0000]);
+        let on = canonicalize(strand, &space, &CanonConfig::default());
+        let off = canonicalize(
+            strand,
+            &space,
+            &CanonConfig {
+                offset_elimination: false,
+                ..CanonConfig::default()
+            },
+        );
+        assert_ne!(on.text, off.text);
+        assert!(on.text.contains("offset0"));
+        assert!(off.text.contains("0x401000"));
+    }
+
+    #[test]
+    fn sf_of_pattern_rewrites_to_signed_lt() {
+        // Hand-build the ARM/x86 flag computation for `a < b` and check
+        // the composite pattern dissolves.
+        let a = CExpr::Var(Var(0));
+        let b = CExpr::Var(Var(1));
+        let diff = CExpr::bin(BinOp::Sub, a.clone(), b.clone());
+        let sf = CExpr::bin(BinOp::CmpLtS, diff.clone(), CExpr::Const(0));
+        let of = CExpr::bin(
+            BinOp::And,
+            sign_bit(CExpr::bin(BinOp::Xor, a.clone(), b.clone())),
+            sign_bit(CExpr::bin(BinOp::Xor, a.clone(), diff)),
+        );
+        let lt = simplify(CExpr::bin(BinOp::CmpNe, sf.clone(), of.clone()));
+        assert_eq!(lt, CExpr::bin(BinOp::CmpLtS, a.clone(), b.clone()), "SF≠OF ⇒ a<b");
+        let ge = simplify(CExpr::bin(BinOp::CmpEq, sf, of));
+        assert_eq!(ge, CExpr::bin(BinOp::CmpLeS, b, a), "SF=OF ⇒ a≥b");
+    }
+
+    #[test]
+    fn le_and_gt_compositions() {
+        let a = CExpr::Var(Var(0));
+        let b = CExpr::Var(Var(1));
+        let le = simplify(CExpr::bin(
+            BinOp::Or,
+            CExpr::bin(BinOp::CmpEq, a.clone(), b.clone()),
+            CExpr::bin(BinOp::CmpLtS, a.clone(), b.clone()),
+        ));
+        assert_eq!(le, CExpr::bin(BinOp::CmpLeS, a.clone(), b.clone()));
+        let lt = simplify(CExpr::bin(
+            BinOp::And,
+            CExpr::bin(BinOp::CmpNe, a.clone(), b.clone()),
+            CExpr::bin(BinOp::CmpLeS, b.clone(), a.clone()),
+        ));
+        assert_eq!(lt, CExpr::bin(BinOp::CmpLtS, b, a));
+    }
+}

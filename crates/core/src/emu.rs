@@ -1,0 +1,383 @@
+//! A whole-program emulator over the lifted IR.
+//!
+//! Not part of the FirmUp search pipeline itself — the paper's approach
+//! is purely static — but essential infrastructure for *validating* the
+//! reproduction: the same MinC program compiled for all four
+//! architectures under every toolchain profile must compute the same
+//! results when executed. This differential check is what lets the rest
+//! of the pipeline trust the compiler + lifter substrate.
+
+use std::fmt;
+
+use firmup_ir::{Machine, RegId, Width};
+use firmup_isa::{Arch, LiftCtx};
+use firmup_obj::Elf;
+
+/// Sentinel return address that terminates emulation of the top frame.
+const EXIT_SENTINEL: u32 = 0xdead_0000;
+/// Initial stack pointer.
+const STACK_TOP: u32 = 0x7fff_f000;
+
+/// Emulation failure.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum EmuError {
+    /// PC left every section.
+    WildPc {
+        /// The offending program counter.
+        pc: u32,
+    },
+    /// An instruction failed to decode.
+    Decode(String),
+    /// The step budget was exhausted (probably a loop bug).
+    OutOfFuel,
+    /// Expression evaluation failed (lifter bug).
+    Eval(String),
+    /// The executable cannot be emulated (no text / unknown arch).
+    BadImage(String),
+}
+
+impl fmt::Display for EmuError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            EmuError::WildPc { pc } => write!(f, "wild program counter {pc:#x}"),
+            EmuError::Decode(e) => write!(f, "decode: {e}"),
+            EmuError::OutOfFuel => f.write_str("out of fuel"),
+            EmuError::Eval(e) => write!(f, "eval: {e}"),
+            EmuError::BadImage(e) => write!(f, "bad image: {e}"),
+        }
+    }
+}
+
+impl std::error::Error for EmuError {}
+
+/// Run `function(args…)` inside an ELF executable and return its result.
+///
+/// The callee must follow the platform calling convention the
+/// `firmup-compiler` back ends emit (register args on the RISC targets,
+/// cdecl on x86).
+///
+/// # Errors
+///
+/// Returns [`EmuError`] on decode failures, wild control flow, or fuel
+/// exhaustion (default one million instructions).
+pub fn call_function(elf: &Elf, function: &str, args: &[u32]) -> Result<u32, EmuError> {
+    let sym = elf
+        .symbols
+        .iter()
+        .find(|s| s.name == function)
+        .ok_or_else(|| EmuError::BadImage(format!("no symbol `{function}`")))?;
+    call_address(elf, sym.value, args)
+}
+
+/// Like [`call_function`] but with an explicit entry address (usable on
+/// stripped binaries).
+///
+/// # Errors
+///
+/// See [`call_function`].
+pub fn call_address(elf: &Elf, entry: u32, args: &[u32]) -> Result<u32, EmuError> {
+    let arch = Arch::from_elf_machine(elf.machine)
+        .ok_or_else(|| EmuError::BadImage(format!("unknown machine {}", elf.machine)))?;
+    let text = elf
+        .text()
+        .ok_or_else(|| EmuError::BadImage("no .text".into()))?;
+
+    let mut m = Machine::new();
+    // Load all sections into memory.
+    for s in &elf.sections {
+        for (i, &b) in s.data.iter().enumerate() {
+            m.store(s.addr + i as u32, u32::from(b), Width::W8);
+        }
+    }
+    let sp = firmup_isa::stack_pointer(arch);
+    match arch {
+        Arch::Mips32 | Arch::Arm32 => {
+            m.set_reg(sp, STACK_TOP);
+            let arg_base: u16 = match arch {
+                Arch::Mips32 => 4, // $a0
+                Arch::Arm32 => 0,  // r0
+                _ => unreachable!(),
+            };
+            for (i, &a) in args.iter().take(4).enumerate() {
+                m.set_reg(RegId(arg_base + i as u16), a);
+            }
+            let link: RegId = match arch {
+                Arch::Mips32 => RegId(31),
+                Arch::Arm32 => RegId(14),
+                _ => unreachable!(),
+            };
+            m.set_reg(link, EXIT_SENTINEL);
+        }
+        Arch::Ppc32 => {
+            m.set_reg(sp, STACK_TOP);
+            for (i, &a) in args.iter().take(4).enumerate() {
+                m.set_reg(RegId(3 + i as u16), a);
+            }
+            m.set_reg(firmup_isa::ppc::LR, EXIT_SENTINEL);
+        }
+        Arch::X86 => {
+            // cdecl: args pushed right-to-left, then the return address.
+            let mut esp = STACK_TOP;
+            for &a in args.iter().rev() {
+                esp -= 4;
+                m.store(esp, a, Width::W32);
+            }
+            esp -= 4;
+            m.store(esp, EXIT_SENTINEL, Width::W32);
+            m.set_reg(sp, esp);
+        }
+    }
+
+    let mut pc = entry;
+    let mut fuel: u64 = 1_000_000;
+    let bytes = &text.data;
+    let base = text.addr;
+    loop {
+        if pc == EXIT_SENTINEL {
+            let ret: RegId = match arch {
+                Arch::Mips32 => RegId(2), // $v0
+                Arch::Arm32 => RegId(0),
+                Arch::Ppc32 => RegId(3),
+                Arch::X86 => RegId(0), // eax
+            };
+            return Ok(m.reg(ret));
+        }
+        if !text.contains(pc) {
+            return Err(EmuError::WildPc { pc });
+        }
+        if fuel == 0 {
+            return Err(EmuError::OutOfFuel);
+        }
+        fuel -= 1;
+        let off = (pc - base) as usize;
+        // x86 return target must be read before Ret's ESP adjustment.
+        let x86_ret_target = if arch == Arch::X86 {
+            Some(m.load(m.reg(sp), Width::W32))
+        } else {
+            None
+        };
+        let mut ctx = LiftCtx::new();
+        let d = firmup_isa::lift_into(arch, bytes, off, pc, &mut ctx)
+            .map_err(|e| EmuError::Decode(e.to_string()))?;
+        // MIPS delay slot: executes before the transfer.
+        if d.delay_slot {
+            let slot_off = off + d.len as usize;
+            let slot_pc = pc + d.len;
+            if slot_pc < text.end() {
+                let mut slot_ctx = LiftCtx::new();
+                firmup_isa::lift_into(arch, bytes, slot_off, slot_pc, &mut slot_ctx)
+                    .map_err(|e| EmuError::Decode(e.to_string()))?;
+                run_stmts(&mut m, &slot_ctx.stmts)?;
+            }
+        }
+        m.taken_exits.clear();
+        run_stmts(&mut m, &ctx.stmts)?;
+        // Resolve the next PC.
+        if let Some(&t) = m.taken_exits.first() {
+            pc = t;
+            continue;
+        }
+        let jump = ctx
+            .jump
+            .unwrap_or(firmup_ir::Jump::Fall(pc + d.len + if d.delay_slot { 4 } else { 0 }));
+        pc = match jump {
+            firmup_ir::Jump::Fall(n) | firmup_ir::Jump::Direct(n) => n,
+            firmup_ir::Jump::Indirect(e) => m.eval(&e).map_err(|e| EmuError::Eval(e.to_string()))?,
+            firmup_ir::Jump::Call { target, .. } => match target {
+                firmup_ir::CallTarget::Direct(t) => t,
+                firmup_ir::CallTarget::Indirect(e) => {
+                    m.eval(&e).map_err(|e| EmuError::Eval(e.to_string()))?
+                }
+            },
+            firmup_ir::Jump::Ret => match arch {
+                Arch::Mips32 => m.reg(RegId(31)),
+                Arch::Arm32 => m.reg(RegId(14)),
+                Arch::Ppc32 => m.reg(firmup_isa::ppc::LR),
+                Arch::X86 => x86_ret_target.expect("computed above"),
+            },
+        };
+    }
+}
+
+fn run_stmts(m: &mut Machine, stmts: &[firmup_ir::Stmt]) -> Result<(), EmuError> {
+    for s in stmts {
+        // Statements after a taken exit do not execute.
+        if !m.taken_exits.is_empty() {
+            break;
+        }
+        m.step(s).map_err(|e| EmuError::Eval(e.to_string()))?;
+    }
+    Ok(())
+}
+
+/// Read back a global byte array after execution — used by tests to
+/// observe side effects.
+pub fn read_memory(elf: &Elf, m: &Machine, addr: u32, len: u32) -> Vec<u8> {
+    let _ = elf;
+    (0..len).map(|i| m.load(addr + i, Width::W8) as u8).collect()
+}
+
+/// Snapshot of registers/memory access for advanced tests.
+pub fn fresh_machine_with_image(elf: &Elf) -> Machine {
+    let mut m = Machine::new();
+    for s in &elf.sections {
+        for (i, &b) in s.data.iter().enumerate() {
+            m.store(s.addr + i as u32, u32::from(b), Width::W8);
+        }
+    }
+    m
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use firmup_compiler::{compile_source, CompilerOptions, ToolchainProfile};
+
+    fn run_everywhere(src: &str, func: &str, args: &[u32]) -> Vec<u32> {
+        let mut results = Vec::new();
+        for arch in Arch::all() {
+            for profile in ToolchainProfile::all() {
+                let options = CompilerOptions {
+                    profile: profile.clone(),
+                    layout: Default::default(),
+                };
+                let elf = compile_source(src, arch, &options)
+                    .unwrap_or_else(|e| panic!("{arch}/{}: {e}", profile.name));
+                let r = call_function(&elf, func, args)
+                    .unwrap_or_else(|e| panic!("{arch}/{}: {e}", profile.name));
+                results.push(r);
+            }
+        }
+        results
+    }
+
+    fn assert_all_equal(src: &str, func: &str, args: &[u32], expect: u32) {
+        let rs = run_everywhere(src, func, args);
+        for (i, r) in rs.iter().enumerate() {
+            assert_eq!(*r, expect, "configuration {i} diverged for {func}{args:?}");
+        }
+    }
+
+    #[test]
+    fn arithmetic_is_uniform() {
+        let src = "pub fn f(a: int, b: int) -> int { return (a + b * 3 - 2) ^ (a << 2) | (b >> 1) & 15; }";
+        assert_all_equal(src, "f", &[7, 9], {
+            let (a, b) = (7i32, 9i32);
+            ((a + b * 3 - 2) ^ (a << 2) | (b >> 1) & 15) as u32
+        });
+    }
+
+    #[test]
+    fn signed_comparisons_are_uniform() {
+        let src = "pub fn f(a: int, b: int) -> int { if (a < b) { return 1; } if (a > b) { return 2; } return 3; }";
+        assert_all_equal(src, "f", &[(-5i32) as u32, 3], 1);
+        assert_all_equal(src, "f", &[3, (-5i32) as u32], 2);
+        assert_all_equal(src, "f", &[9, 9], 3);
+    }
+
+    #[test]
+    fn loops_and_calls_are_uniform() {
+        let src = r#"
+            fn square(x: int) -> int { return x * x; }
+            pub fn sum_squares(n: int) -> int {
+                var s = 0;
+                var i = 1;
+                while (i <= n) { s = s + square(i); i = i + 1; }
+                return s;
+            }
+        "#;
+        assert_all_equal(src, "sum_squares", &[5], 55);
+        assert_all_equal(src, "sum_squares", &[0], 0);
+    }
+
+    #[test]
+    fn globals_and_strings_are_uniform() {
+        let src = r#"
+            global buf: [byte; 16];
+            global msg = "AB";
+            pub fn f(i: int) -> int {
+                buf[i] = 65 + i;
+                var p = &msg;
+                return buf[i] * 256 + msg[0];
+            }
+        "#;
+        assert_all_equal(src, "f", &[3], (65 + 3) * 256 + 65);
+    }
+
+    #[test]
+    fn short_circuit_is_uniform() {
+        // g() must only run when a != 0.
+        let src = r#"
+            global counter: [int; 1];
+            fn g() -> int { counter[0] = counter[0] + 1; return 1; }
+            pub fn f(a: int) -> int {
+                if (a && g()) { return counter[0]; }
+                return counter[0] + 100;
+            }
+        "#;
+        assert_all_equal(src, "f", &[1], 1);
+        assert_all_equal(src, "f", &[0], 100);
+    }
+
+    #[test]
+    fn recursion_works() {
+        let src = "pub fn fib(n: int) -> int { if (n < 2) { return n; } return fib(n - 1) + fib(n - 2); }";
+        assert_all_equal(src, "fib", &[10], 55);
+    }
+
+    #[test]
+    fn negative_and_bitnot() {
+        let src = "pub fn f(a: int) -> int { return -a + ~a + !a; }";
+        let a = 12i32;
+        assert_all_equal(src, "f", &[a as u32], ((-a) + !a) as u32);
+        assert_all_equal(src, "f", &[0], 0); // 0 + !0 + 1 == 0
+    }
+
+    #[test]
+    fn pointer_builtins_are_uniform() {
+        // A strlen-like loop through peek8/poke8 over a buffer address.
+        let src = r#"
+            global buf = "hello";
+            fn str_len(p: int) -> int {
+                var n = 0;
+                while (peek8(p + n) != 0) { n = n + 1; }
+                return n;
+            }
+            pub fn f() -> int {
+                var p = &buf;
+                poke8(p + 1, 69);
+                return str_len(p) * 256 + peek8(p + 1);
+            }
+        "#;
+        assert_all_equal(src, "f", &[], 5 * 256 + 69);
+    }
+
+    #[test]
+    fn word_pointer_builtins_are_uniform() {
+        let src = r#"
+            global cells: [int; 4];
+            pub fn f(v: int) -> int {
+                var p = &cells;
+                poke(p + 8, v * 3);
+                return peek(p + 8) + peek(p);
+            }
+        "#;
+        assert_all_equal(src, "f", &[7], 21);
+    }
+
+    #[test]
+    fn out_of_fuel_detected() {
+        let src = "pub fn spin() -> int { while (1) { } return 0; }";
+        let elf = compile_source(src, Arch::Mips32, &CompilerOptions::default()).unwrap();
+        assert_eq!(call_function(&elf, "spin", &[]), Err(EmuError::OutOfFuel));
+    }
+
+    #[test]
+    fn missing_symbol_is_error() {
+        let elf = compile_source("fn main() -> int { return 0; }", Arch::X86, &CompilerOptions::default()).unwrap();
+        assert!(matches!(
+            call_function(&elf, "nope", &[]),
+            Err(EmuError::BadImage(_))
+        ));
+    }
+}

@@ -1,0 +1,73 @@
+//! FirmUp: precise static detection of common vulnerabilities in
+//! stripped firmware — the core similarity engine.
+//!
+//! This crate implements the paper's contribution end to end:
+//!
+//! 1. [`lift`] — procedure/CFG recovery and lifting of stripped ELF
+//!    executables (§3.1, replacing IDA Pro + angr/VEX);
+//! 2. [`strand`] — Algorithm 1: decomposing basic blocks into data-flow
+//!    strands (§3.2);
+//! 3. [`canon`] — §3.2.1: offset elimination, register folding,
+//!    optimizer-based canonicalization and name normalization;
+//! 4. [`mod@sim`] — `Sim(q,t) = |Strands(q) ∩ Strands(t)|` over hashed
+//!    canonical strands (§3.3);
+//! 5. [`game`] — Algorithm 2: the back-and-forth game that lifts
+//!    pairwise similarity to executable-level partial matching (§4);
+//! 6. [`search`] — the corpus-search outer loop with parallel targets.
+//!
+//! The [`emu`] module is reproduction infrastructure (differential
+//! validation of the compiler/lifter substrate), not part of FirmUp
+//! itself — the paper's approach is purely static.
+//!
+//! # Example: find a procedure across toolchains
+//!
+//! ```
+//! use firmup_compiler::{compile_source, CompilerOptions, ToolchainProfile};
+//! use firmup_core::{canon::CanonConfig, search};
+//! use firmup_isa::Arch;
+//!
+//! let src = r#"
+//!     fn helper(x: int) -> int {
+//!         var acc = 0;
+//!         var i = 0;
+//!         while (i < x) { acc = acc + i * 31; i = i + 1; }
+//!         return acc;
+//!     }
+//!     fn main(a: int) -> int { return helper(a + 2); }
+//! "#;
+//! // "Query": default (gcc-like) build with symbols.
+//! let query_elf = compile_source(src, Arch::Mips32, &CompilerOptions::default())?;
+//! // "Target": vendor build, stripped.
+//! let mut target_elf = compile_source(
+//!     src,
+//!     Arch::Mips32,
+//!     &CompilerOptions { profile: ToolchainProfile::vendor_size(), ..Default::default() },
+//! )?;
+//! target_elf.strip(false);
+//!
+//! let config = CanonConfig::default();
+//! let query = firmup_core::sim::index_elf(&query_elf, "query", &config)?;
+//! let target = firmup_core::sim::index_elf(&target_elf, "target", &config)?;
+//! let qv = query.find_named("helper").expect("query keeps symbols");
+//! let result = search::search_target(&query, qv, &target, &search::SearchConfig::default());
+//! assert!(result.found());
+//! # Ok::<(), Box<dyn std::error::Error>>(())
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod canon;
+pub mod emu;
+pub mod game;
+pub mod lift;
+pub mod search;
+pub mod sim;
+pub mod strand;
+
+pub use canon::{AddrSpace, CanonConfig, CanonicalStrand};
+pub use game::{GameConfig, GameEnd, GameResult};
+pub use lift::{lift_executable, LiftedExecutable};
+pub use search::{search_corpus, search_target, SearchConfig, TargetResult};
+pub use sim::{index_elf, sim, ExecutableRep, ProcedureRep};
+pub use strand::{decompose, Strand};

@@ -1,0 +1,523 @@
+//! From stripped ELF bytes to lifted procedures.
+//!
+//! This module replaces the paper's IDA Pro + angr.io front end (§3.1):
+//! it recovers procedure boundaries and basic blocks from a (possibly
+//! stripped) executable, lifts them through `firmup-isa`, fixes the MIPS
+//! delay-slot block-boundary problem the paper describes, and runs the
+//! corroboration checks the authors added on top of their lifter —
+//! CFG connectivity and coverage of unaccounted-for text bytes.
+//!
+//! Procedure discovery on stripped binaries:
+//!
+//! 1. seed with the ELF entry point and all symbol addresses (if any);
+//! 2. linear-sweep the text section collecting direct call targets;
+//! 3. procedure boundaries = next discovered start (functions are laid
+//!    out contiguously);
+//! 4. report text ranges no procedure covers (dead functions reachable
+//!    only indirectly are *not* silently lost — callers can decide).
+
+use std::collections::{BTreeMap, BTreeSet, VecDeque};
+use std::fmt;
+
+use firmup_ir::{Block, Procedure, ProgramIr};
+use firmup_isa::{Arch, Control, DecodeError, LiftCtx};
+use firmup_obj::Elf;
+
+/// A fully lifted executable.
+#[derive(Debug, Clone)]
+pub struct LiftedExecutable {
+    /// Architecture.
+    pub arch: Arch,
+    /// Lifted procedures.
+    pub program: ProgramIr,
+    /// Lifting diagnostics: undecodable ranges, unreachable blocks,
+    /// uncovered text bytes (the §3.1 corroboration output).
+    pub warnings: Vec<String>,
+}
+
+impl LiftedExecutable {
+    /// Total number of procedures.
+    pub fn procedure_count(&self) -> usize {
+        self.program.procedures.len()
+    }
+}
+
+/// Lifting failure.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum LiftError {
+    /// The ELF machine type is not one of the four supported ISAs.
+    UnsupportedMachine {
+        /// The `e_machine` value found.
+        machine: u16,
+    },
+    /// The executable has no text section.
+    NoText,
+    /// The entry region failed to decode at all.
+    EntryUndecodable(DecodeError),
+}
+
+impl fmt::Display for LiftError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            LiftError::UnsupportedMachine { machine } => {
+                write!(f, "unsupported e_machine {machine}")
+            }
+            LiftError::NoText => f.write_str("executable has no .text section"),
+            LiftError::EntryUndecodable(e) => write!(f, "entry point undecodable: {e}"),
+        }
+    }
+}
+
+impl std::error::Error for LiftError {}
+
+/// Lifting options.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct LiftOptions {
+    /// Reproduce the naive tool behaviour the paper's §3.1 warns about:
+    /// leave a MIPS branch's delay-slot instruction in the *following*
+    /// block instead of folding it into the branch's block. Only useful
+    /// for measuring the resulting strand discrepancy.
+    pub naive_delay_slots: bool,
+}
+
+/// Lift an ELF executable with default options.
+///
+/// # Errors
+///
+/// Returns [`LiftError`] when the architecture is unknown or the image
+/// has no usable text.
+pub fn lift_executable(elf: &Elf) -> Result<LiftedExecutable, LiftError> {
+    lift_executable_with(elf, LiftOptions::default())
+}
+
+/// Lift an ELF executable with explicit [`LiftOptions`].
+///
+/// # Errors
+///
+/// Returns [`LiftError`] when the architecture is unknown or the image
+/// has no usable text.
+pub fn lift_executable_with(elf: &Elf, options: LiftOptions) -> Result<LiftedExecutable, LiftError> {
+    let arch = Arch::from_elf_machine(elf.machine)
+        .ok_or(LiftError::UnsupportedMachine { machine: elf.machine })?;
+    let text = elf.text().ok_or(LiftError::NoText)?;
+    let base = text.addr;
+    let bytes = &text.data;
+    let mut warnings = Vec::new();
+
+    // --- Pass 1: discover procedure starts. ---
+    let mut starts: BTreeSet<u32> = BTreeSet::new();
+    if text.contains(elf.entry) {
+        starts.insert(elf.entry);
+    }
+    for sym in elf.func_symbols() {
+        if text.contains(sym.value) {
+            starts.insert(sym.value);
+        }
+    }
+    // Linear sweep for direct call targets. On x86 the sweep can lose
+    // sync across alignment padding; resynchronize at the next decodable
+    // offset and record the gap.
+    let mut off = 0usize;
+    let mut undecodable = 0usize;
+    while off < bytes.len() {
+        let addr = base + off as u32;
+        match firmup_isa::decode_info(arch, bytes, off, addr) {
+            Ok(d) => {
+                if let Control::Call(t) = d.ctrl {
+                    if text.contains(t) {
+                        starts.insert(t);
+                    }
+                }
+                off += d.len as usize;
+            }
+            Err(_) => {
+                undecodable += 1;
+                off += if arch.fixed_width() { 4 } else { 1 };
+            }
+        }
+    }
+    if undecodable > 0 {
+        warnings.push(format!(
+            "linear sweep: {undecodable} undecodable location(s) (alignment padding or data in text)"
+        ));
+    }
+    if starts.is_empty() {
+        starts.insert(base);
+    }
+
+    // --- Pass 2: procedure extents = [start, next start). ---
+    let start_list: Vec<u32> = starts.iter().copied().collect();
+    let mut procedures = Vec::with_capacity(start_list.len());
+    for (i, &start) in start_list.iter().enumerate() {
+        let end = start_list.get(i + 1).copied().unwrap_or(text.end());
+        match lift_procedure(arch, bytes, base, start, end, options) {
+            Ok((proc_, mut w)) => {
+                warnings.append(&mut w);
+                procedures.push(proc_);
+            }
+            Err(e) => warnings.push(format!("procedure at {start:#x} dropped: {e}")),
+        }
+    }
+
+    // Attach symbol names (query executables are not stripped).
+    let names: BTreeMap<u32, (String, bool)> = elf
+        .func_symbols()
+        .iter()
+        .map(|s| (s.value, (s.name.clone(), s.global)))
+        .collect();
+    for p in &mut procedures {
+        if let Some((name, _)) = names.get(&p.addr) {
+            p.name = Some(name.clone());
+        }
+    }
+
+    // --- Pass 3 (§3.1 corroboration): coverage + connectivity. ---
+    let covered: u32 = procedures
+        .iter()
+        .map(|p| p.blocks.iter().map(|b| b.len).sum::<u32>())
+        .sum();
+    let total = bytes.len() as u32;
+    if covered * 10 < total * 7 {
+        warnings.push(format!(
+            "text coverage is low: {covered}/{total} bytes inside recovered blocks"
+        ));
+    }
+    for p in &procedures {
+        let unreachable = p.cfg().unreachable_blocks();
+        if !unreachable.is_empty() {
+            warnings.push(format!(
+                "{}: {} unreachable block(s)",
+                p.display_name(),
+                unreachable.len()
+            ));
+        }
+    }
+
+    Ok(LiftedExecutable {
+        arch,
+        program: ProgramIr { procedures },
+        warnings,
+    })
+}
+
+/// Lift one procedure in `[start, end)`: recover its blocks by recursive
+/// traversal and lift each.
+fn lift_procedure(
+    arch: Arch,
+    bytes: &[u8],
+    base: u32,
+    start: u32,
+    end: u32,
+    options: LiftOptions,
+) -> Result<(Procedure, Vec<String>), LiftError> {
+    let mut warnings = Vec::new();
+    // Block leaders: reachable branch targets within [start, end).
+    let mut leaders: BTreeSet<u32> = BTreeSet::new();
+    leaders.insert(start);
+    let mut queue: VecDeque<u32> = VecDeque::new();
+    queue.push_back(start);
+    let mut visited_instrs: BTreeSet<u32> = BTreeSet::new();
+    // First, walk instructions from each leader to find all targets.
+    while let Some(lead) = queue.pop_front() {
+        let mut pc = lead;
+        loop {
+            if pc < start || pc >= end || visited_instrs.contains(&pc) {
+                break;
+            }
+            let off = (pc - base) as usize;
+            let d = match firmup_isa::decode_info(arch, bytes, off, pc) {
+                Ok(d) => d,
+                Err(e) => {
+                    if pc == start {
+                        return Err(LiftError::EntryUndecodable(e));
+                    }
+                    warnings.push(format!("undecodable at {pc:#x}: {e}"));
+                    break;
+                }
+            };
+            visited_instrs.insert(pc);
+            let slot = if d.delay_slot && !options.naive_delay_slots { 4 } else { 0 };
+            let next = pc + d.len + slot;
+            match d.ctrl {
+                Control::Fall => {
+                    pc = next;
+                    continue;
+                }
+                Control::Jump(t) => {
+                    if (start..end).contains(&t) && leaders.insert(t) {
+                        queue.push_back(t);
+                    }
+                    break;
+                }
+                Control::CondJump(t) => {
+                    if (start..end).contains(&t) && leaders.insert(t) {
+                        queue.push_back(t);
+                    }
+                    if leaders.insert(next) {
+                        queue.push_back(next);
+                    }
+                    break;
+                }
+                Control::Call(_) | Control::IndirectCall => {
+                    // Calls end a block (they carry a terminator in the
+                    // IR) but control returns to the next instruction.
+                    if leaders.insert(next) {
+                        queue.push_back(next);
+                    }
+                    break;
+                }
+                Control::IndirectJump | Control::Ret => break,
+            }
+        }
+    }
+    // Lift each block: [leader, next leader or terminator].
+    let leader_list: Vec<u32> = leaders.iter().copied().collect();
+    let mut blocks: Vec<Block> = Vec::with_capacity(leader_list.len());
+    for &lead in &leader_list {
+        if let Some(block) = lift_block(arch, bytes, base, lead, end, &leaders, options, &mut warnings) {
+            blocks.push(block);
+        }
+    }
+    blocks.sort_by_key(|b| b.addr);
+    blocks.dedup_by_key(|b| b.addr);
+    Ok((
+        Procedure {
+            addr: start,
+            name: None,
+            blocks,
+        },
+        warnings,
+    ))
+}
+
+/// Lift the block starting at `lead`. The MIPS delay-slot fix lives
+/// here: the instruction *after* a branch is lifted before the branch's
+/// own statements, inside the same block, so that the strand content the
+/// paper's §3.1 caveat describes stays with the right block.
+#[allow(clippy::too_many_arguments)]
+fn lift_block(
+    arch: Arch,
+    bytes: &[u8],
+    base: u32,
+    lead: u32,
+    proc_end: u32,
+    leaders: &BTreeSet<u32>,
+    options: LiftOptions,
+    warnings: &mut Vec<String>,
+) -> Option<Block> {
+    let mut ctx = LiftCtx::new();
+    let mut asm = Vec::new();
+    let mut pc = lead;
+    loop {
+        if pc >= proc_end {
+            // Fell off the end of the procedure: synthesize a fall edge.
+            ctx.terminate(firmup_ir::Jump::Fall(pc));
+            break;
+        }
+        if pc != lead && leaders.contains(&pc) {
+            ctx.terminate(firmup_ir::Jump::Fall(pc));
+            break;
+        }
+        let off = (pc - base) as usize;
+        // Peek the classification first (delay slots change lift order).
+        let info = match firmup_isa::decode_info(arch, bytes, off, pc) {
+            Ok(d) => d,
+            Err(e) => {
+                warnings.push(format!("undecodable at {pc:#x}: {e}"));
+                if ctx.jump.is_none() {
+                    ctx.terminate(firmup_ir::Jump::Fall(pc));
+                }
+                break;
+            }
+        };
+        if info.delay_slot {
+            // Lift the delay-slot instruction first (it executes before
+            // the transfer; the compiler guarantees independence), then
+            // the branch itself, which sets the terminator. In naive
+            // mode (§3.1's broken-tool behaviour) the slot instruction
+            // is skipped here and mis-attributed to the fall-through
+            // block by the address arithmetic below.
+            let slot_off = off + info.len as usize;
+            let slot_pc = pc + info.len;
+            if slot_pc < proc_end && !options.naive_delay_slots {
+                match firmup_isa::lift_into(arch, bytes, slot_off, slot_pc, &mut ctx) {
+                    Ok(d) => asm.push(d.asm),
+                    Err(e) => warnings.push(format!("delay slot at {slot_pc:#x}: {e}")),
+                }
+            }
+            match firmup_isa::lift_into(arch, bytes, off, pc, &mut ctx) {
+                Ok(d) => asm.push(d.asm),
+                Err(e) => {
+                    warnings.push(format!("undecodable branch at {pc:#x}: {e}"));
+                    break;
+                }
+            }
+            pc = pc + info.len + if options.naive_delay_slots { 0 } else { 4 };
+            if ctx.jump.is_some() {
+                break;
+            }
+        } else {
+            match firmup_isa::lift_into(arch, bytes, off, pc, &mut ctx) {
+                Ok(d) => {
+                    asm.push(d.asm);
+                    pc += d.len;
+                }
+                Err(e) => {
+                    warnings.push(format!("undecodable at {pc:#x}: {e}"));
+                    if ctx.jump.is_none() {
+                        ctx.terminate(firmup_ir::Jump::Fall(pc));
+                    }
+                    break;
+                }
+            }
+            if ctx.jump.is_some() {
+                break;
+            }
+        }
+    }
+    let jump = ctx.jump.take()?;
+    Some(Block {
+        addr: lead,
+        len: pc - lead,
+        stmts: ctx.stmts,
+        jump,
+        asm,
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use firmup_compiler::{compile_source, CompilerOptions, ToolchainProfile};
+
+    // Three mutually-reachable functions, none small enough (or leaf
+    // enough) for the O2 inliner to erase — procedure discovery must see
+    // all of them even when stripped.
+    const SRC: &str = r#"
+        fn grind(x: int) -> int {
+            var acc = x;
+            var i = 0;
+            while (i < 3) {
+                acc = acc + i * x;
+                acc = acc ^ (acc >> 2);
+                acc = acc + (acc << 1);
+                i = i + 1;
+            }
+            return acc;
+        }
+        fn helper(x: int) -> int {
+            if (x < 0) { return grind(0 - x); }
+            return grind(x);
+        }
+        fn main(a: int) -> int {
+            var s = 0;
+            var i = 0;
+            while (i < a) {
+                s = s + helper(i - 3);
+                i = i + 1;
+            }
+            return s;
+        }
+    "#;
+
+    #[test]
+    fn lifts_all_architectures() {
+        for arch in Arch::all() {
+            let elf = compile_source(SRC, arch, &CompilerOptions::default()).unwrap();
+            let lifted = lift_executable(&elf).unwrap();
+            assert_eq!(lifted.arch, arch);
+            assert_eq!(lifted.procedure_count(), 3, "{arch}");
+            let main = lifted.program.procedure_named("main").unwrap();
+            assert!(main.blocks.len() >= 3, "{arch}: main should have a loop CFG");
+            assert!(
+                main.cfg().unreachable_blocks().is_empty(),
+                "{arch}: connectivity check failed"
+            );
+        }
+    }
+
+    #[test]
+    fn stripped_binaries_discover_procedures_from_calls() {
+        for arch in Arch::all() {
+            let mut elf = compile_source(SRC, arch, &CompilerOptions::default()).unwrap();
+            elf.strip(false);
+            let lifted = lift_executable(&elf).unwrap();
+            assert_eq!(
+                lifted.procedure_count(),
+                3,
+                "{arch}: helper and grind must be found via their call sites"
+            );
+            assert!(lifted.program.procedures.iter().all(|p| p.name.is_none()));
+        }
+    }
+
+    #[test]
+    fn call_graph_recovered() {
+        for arch in Arch::all() {
+            let elf = compile_source(SRC, arch, &CompilerOptions::default()).unwrap();
+            let lifted = lift_executable(&elf).unwrap();
+            let cg = lifted.program.call_graph();
+            let main = lifted.program.procedure_named("main").unwrap();
+            let helper = lifted.program.procedure_named("helper").unwrap();
+            let grind = lifted.program.procedure_named("grind").unwrap();
+            assert_eq!(cg.callees(main.addr), &[helper.addr], "{arch}");
+            assert_eq!(cg.callees(helper.addr), &[grind.addr], "{arch}");
+            assert_eq!(cg.callers(helper.addr), vec![main.addr], "{arch}");
+        }
+    }
+
+    #[test]
+    fn mips_delay_slots_fold_into_branch_block() {
+        // With delay-slot filling on, the delay instruction's statements
+        // must appear in the same block as the branch, before the exit.
+        let elf = compile_source(SRC, Arch::Mips32, &CompilerOptions::default()).unwrap();
+        let lifted = lift_executable(&elf).unwrap();
+        let main = lifted.program.procedure_named("main").unwrap();
+        // Every block with a conditional exit must have a terminator —
+        // i.e., delay slots never leak into the next block as separate
+        // leaders (block addresses are multiple of 4 and disjoint).
+        let mut covered = std::collections::BTreeSet::new();
+        for b in &main.blocks {
+            for a in (b.addr..b.end()).step_by(4) {
+                assert!(covered.insert(a), "overlapping blocks at {a:#x}");
+            }
+        }
+    }
+
+    #[test]
+    fn unsupported_machine_rejected() {
+        let mut elf = compile_source(SRC, Arch::X86, &CompilerOptions::default()).unwrap();
+        elf.machine = 62; // EM_X86_64
+        assert!(matches!(
+            lift_executable(&elf),
+            Err(LiftError::UnsupportedMachine { machine: 62 })
+        ));
+    }
+
+    #[test]
+    fn no_text_rejected() {
+        let elf = firmup_obj::Elf::new(8, 0);
+        assert!(matches!(lift_executable(&elf), Err(LiftError::NoText)));
+    }
+
+    #[test]
+    fn o0_and_o2_have_same_procedure_count() {
+        for arch in Arch::all() {
+            let o2 = compile_source(SRC, arch, &CompilerOptions::default()).unwrap();
+            let o0 = compile_source(
+                SRC,
+                arch,
+                &CompilerOptions {
+                    profile: ToolchainProfile::vendor_debug(),
+                    layout: Default::default(),
+                },
+            )
+            .unwrap();
+            assert_eq!(
+                lift_executable(&o2).unwrap().procedure_count(),
+                lift_executable(&o0).unwrap().procedure_count(),
+                "{arch}"
+            );
+        }
+    }
+}

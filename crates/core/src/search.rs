@@ -1,0 +1,290 @@
+//! Executable-level search: FirmUp's outer loop.
+//!
+//! Given a query executable and a query procedure, search a set of
+//! target executables; for each target, play the back-and-forth game
+//! and decide whether the target *contains* the query procedure. The
+//! paper validated findings semi-manually (§5.2); as the automated
+//! stand-in we accept a game match whose similarity clears a
+//! configurable fraction of the query's strand count.
+
+use parking_lot::Mutex;
+
+use crate::game::{play, GameConfig, GameEnd, GameResult};
+use crate::sim::{ExecutableRep, GlobalContext};
+
+/// Search configuration.
+#[derive(Debug, Clone)]
+pub struct SearchConfig {
+    /// Game limits.
+    pub game: GameConfig,
+    /// Absolute minimum shared strands for acceptance.
+    pub min_sim: usize,
+    /// Minimum accepted fraction of the query's strand set: raw
+    /// `sim / |q|` without a global context, or significance-weighted
+    /// `wsim(q,t) / mass(q)` with one.
+    pub accept_ratio: f64,
+    /// Worker threads for corpus search (0 = all available cores).
+    pub threads: usize,
+    /// Optional trained global context: weights strands by rarity so
+    /// that ubiquitous loop/compare strands cannot carry an acceptance.
+    pub context: Option<std::sync::Arc<GlobalContext>>,
+}
+
+impl Default for SearchConfig {
+    fn default() -> Self {
+        SearchConfig {
+            game: GameConfig::default(),
+            min_sim: 3,
+            accept_ratio: 0.45,
+            threads: 0,
+            context: None,
+        }
+    }
+}
+
+/// Outcome of searching one target executable.
+#[derive(Debug, Clone)]
+pub struct TargetResult {
+    /// Target executable id.
+    pub target_id: String,
+    /// The matched procedure (index, address, sim) when accepted.
+    pub matched: Option<MatchInfo>,
+    /// Steps the game needed (Fig. 9's metric).
+    pub steps: usize,
+    /// How the game ended.
+    pub ended: GameEnd,
+}
+
+/// An accepted match.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct MatchInfo {
+    /// Procedure index in the target executable.
+    pub index: usize,
+    /// Procedure address.
+    pub addr: u32,
+    /// Shared strand count.
+    pub sim: usize,
+}
+
+/// Search a single target executable for `query.procedures[qv]`.
+pub fn search_target(
+    query: &ExecutableRep,
+    qv: usize,
+    target: &ExecutableRep,
+    config: &SearchConfig,
+) -> TargetResult {
+    let result: GameResult = play(query, qv, target, &config.game);
+    let matched = result.query_match.and_then(|(ti, s)| {
+        let qp = &query.procedures[qv];
+        let tp = &target.procedures[ti];
+        let fraction_ok = match &config.context {
+            Some(ctx) => {
+                let mass = ctx.mass(qp);
+                mass <= f64::EPSILON || ctx.weighted_sim(qp, tp) >= config.accept_ratio * mass
+            }
+            None => (s as f64) >= config.accept_ratio * qp.strand_count() as f64,
+        };
+        let accepted = s >= config.min_sim && fraction_ok;
+        accepted.then_some(MatchInfo {
+            index: ti,
+            addr: tp.addr,
+            sim: s,
+        })
+    });
+    TargetResult {
+        target_id: target.id.clone(),
+        matched,
+        steps: result.steps,
+        ended: result.ended,
+    }
+}
+
+/// Search many targets in parallel (crossbeam scoped threads, matching
+/// the paper's threaded setup on a 72-thread Xeon).
+pub fn search_corpus(
+    query: &ExecutableRep,
+    qv: usize,
+    targets: &[ExecutableRep],
+    config: &SearchConfig,
+) -> Vec<TargetResult> {
+    let threads = if config.threads == 0 {
+        std::thread::available_parallelism().map_or(4, std::num::NonZeroUsize::get)
+    } else {
+        config.threads
+    };
+    if threads <= 1 || targets.len() <= 1 {
+        return targets
+            .iter()
+            .map(|t| search_target(query, qv, t, config))
+            .collect();
+    }
+    let next = std::sync::atomic::AtomicUsize::new(0);
+    let results: Mutex<Vec<Option<TargetResult>>> = Mutex::new(vec![None; targets.len()]);
+    crossbeam::scope(|scope| {
+        for _ in 0..threads.min(targets.len()) {
+            scope.spawn(|_| loop {
+                let i = next.fetch_add(1, std::sync::atomic::Ordering::Relaxed);
+                if i >= targets.len() {
+                    break;
+                }
+                let r = search_target(query, qv, &targets[i], config);
+                results.lock()[i] = Some(r);
+            });
+        }
+    })
+    .expect("search workers never panic");
+    results
+        .into_inner()
+        .into_iter()
+        .map(|r| r.expect("every slot filled"))
+        .collect()
+}
+
+// `TargetResult` needs Clone for the slot vector above.
+impl TargetResult {
+    /// Whether the search reported a (claimed) occurrence.
+    pub fn found(&self) -> bool {
+        self.matched.is_some()
+    }
+}
+
+/// Top-k candidates within one target: repeatedly play the game,
+/// excluding previously returned procedures. The paper measures the
+/// human-effort tradeoff of top-k result lists in §5.3 (Fig. 9's
+/// discussion); FirmUp itself returns one match per game, so k > 1 is
+/// obtained by re-playing on the residual executable.
+pub fn top_k(
+    query: &ExecutableRep,
+    qv: usize,
+    target: &ExecutableRep,
+    k: usize,
+    config: &GameConfig,
+) -> Vec<MatchInfo> {
+    let mut out = Vec::new();
+    let mut residual = target.clone();
+    let mut removed: Vec<usize> = Vec::new(); // original indices, sorted
+    for _ in 0..k {
+        let g = play(query, qv, &residual, config);
+        let Some((ti, s)) = g.query_match else { break };
+        // Map the residual index back to the original executable.
+        let mut orig = ti;
+        for &r in &removed {
+            if r <= orig {
+                orig += 1;
+            }
+        }
+        out.push(MatchInfo {
+            index: orig,
+            addr: residual.procedures[ti].addr,
+            sim: s,
+        });
+        residual.procedures.remove(ti);
+        let insert_at = removed.partition_point(|&r| r <= orig);
+        removed.insert(insert_at, orig);
+        if residual.procedures.is_empty() {
+            break;
+        }
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::sim::ProcedureRep;
+    use firmup_isa::Arch;
+
+    fn exec(id: &str, procs: &[&[u64]]) -> ExecutableRep {
+        ExecutableRep {
+            id: id.into(),
+            arch: Arch::Mips32,
+            procedures: procs
+                .iter()
+                .enumerate()
+                .map(|(i, strands)| {
+                    let mut s = strands.to_vec();
+                    s.sort_unstable();
+                    s.dedup();
+                    ProcedureRep {
+                        addr: 0x1000 + (i as u32) * 0x100,
+                        name: None,
+                        strands: s,
+                        block_count: 1,
+                        size: 16,
+                    }
+                })
+                .collect(),
+        }
+    }
+
+    #[test]
+    fn accepts_strong_matches_rejects_weak() {
+        let q = exec("q", &[&[1, 2, 3, 4, 5, 6, 7, 8, 9, 10]]);
+        let strong = exec("strong", &[&[1, 2, 3, 4, 5, 6, 7, 99]]);
+        let weak = exec("weak", &[&[1, 200, 300]]);
+        let config = SearchConfig::default();
+        assert!(search_target(&q, 0, &strong, &config).found());
+        assert!(!search_target(&q, 0, &weak, &config).found(), "1/10 shared is below ratio");
+    }
+
+    #[test]
+    fn corpus_search_parallel_matches_serial() {
+        let q = exec("q", &[&[1, 2, 3, 4, 5, 6]]);
+        let targets: Vec<ExecutableRep> = (0..24)
+            .map(|i| {
+                if i % 3 == 0 {
+                    exec(&format!("t{i}"), &[&[1, 2, 3, 4, 5, 88], &[7, 8]])
+                } else {
+                    exec(&format!("t{i}"), &[&[100 + i as u64, 200]])
+                }
+            })
+            .collect();
+        let serial = SearchConfig {
+            threads: 1,
+            ..SearchConfig::default()
+        };
+        let parallel = SearchConfig {
+            threads: 4,
+            ..SearchConfig::default()
+        };
+        let a = search_corpus(&q, 0, &targets, &serial);
+        let b = search_corpus(&q, 0, &targets, &parallel);
+        assert_eq!(a.len(), b.len());
+        for (x, y) in a.iter().zip(&b) {
+            assert_eq!(x.target_id, y.target_id);
+            assert_eq!(x.matched, y.matched);
+        }
+        assert_eq!(a.iter().filter(|r| r.found()).count(), 8);
+    }
+
+    #[test]
+    fn top_k_returns_decreasing_distinct_candidates() {
+        let q = exec("q", &[&[1, 2, 3, 4, 5, 6]]);
+        let t = exec(
+            "t",
+            &[&[1, 2, 3, 4, 5, 9], &[1, 2, 3, 7, 8], &[1, 2, 10], &[50, 51]],
+        );
+        let hits = crate::search::top_k(&q, 0, &t, 3, &crate::game::GameConfig::default());
+        assert_eq!(hits.len(), 3);
+        assert_eq!(hits[0].index, 0);
+        assert_eq!(hits[1].index, 1);
+        assert_eq!(hits[2].index, 2);
+        assert!(hits[0].sim >= hits[1].sim && hits[1].sim >= hits[2].sim);
+        // Addresses refer to the *original* executable.
+        assert_eq!(hits[2].addr, t.procedures[2].addr);
+    }
+
+    #[test]
+    fn top_k_stops_when_no_more_candidates() {
+        let q = exec("q", &[&[1, 2]]);
+        let t = exec("t", &[&[1, 2], &[99]]);
+        let hits = crate::search::top_k(&q, 0, &t, 5, &crate::game::GameConfig::default());
+        assert_eq!(hits.len(), 1, "the 99-only procedure shares nothing");
+    }
+
+    #[test]
+    fn empty_targets_ok() {
+        let q = exec("q", &[&[1]]);
+        assert!(search_corpus(&q, 0, &[], &SearchConfig::default()).is_empty());
+    }
+}

@@ -1,0 +1,330 @@
+//! Procedure representations and pairwise similarity — §3.3.
+//!
+//! A procedure is represented as the set of its canonical strand hashes;
+//! `Sim(q, t) = |Strands(q) ∩ Strands(t)|`, computed on sorted hash
+//! vectors ("to calculate Sim faster, we keep the procedure
+//! representation as a set of hashed strands").
+
+use firmup_isa::Arch;
+use firmup_obj::Elf;
+
+use crate::canon::{canonicalize, AddrSpace, CanonConfig};
+use crate::lift::{lift_executable, LiftError, LiftedExecutable};
+use crate::strand::decompose;
+
+/// A procedure as the similarity pipeline sees it.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ProcedureRep {
+    /// Entry address in its executable.
+    pub addr: u32,
+    /// Symbol name when the binary was not (fully) stripped.
+    pub name: Option<String>,
+    /// Sorted, deduplicated canonical strand hashes.
+    pub strands: Vec<u64>,
+    /// Basic-block count (used by the graph-based baseline and for
+    /// diagnostics).
+    pub block_count: usize,
+    /// Code size in bytes.
+    pub size: u32,
+}
+
+impl ProcedureRep {
+    /// IDA-style display name.
+    pub fn display_name(&self) -> String {
+        match &self.name {
+            Some(n) => n.clone(),
+            None => format!("sub_{:x}", self.addr),
+        }
+    }
+
+    /// Number of unique canonical strands.
+    pub fn strand_count(&self) -> usize {
+        self.strands.len()
+    }
+}
+
+/// A whole executable, indexed for search.
+#[derive(Debug, Clone)]
+pub struct ExecutableRep {
+    /// Identifier (file name / corpus path).
+    pub id: String,
+    /// Architecture.
+    pub arch: Arch,
+    /// Procedures, sorted by address.
+    pub procedures: Vec<ProcedureRep>,
+}
+
+impl ExecutableRep {
+    /// Find a procedure index by name.
+    pub fn find_named(&self, name: &str) -> Option<usize> {
+        self.procedures.iter().position(|p| p.name.as_deref() == Some(name))
+    }
+
+    /// Find a procedure index by address.
+    pub fn find_addr(&self, addr: u32) -> Option<usize> {
+        self.procedures.iter().position(|p| p.addr == addr)
+    }
+
+    /// Total strand count across procedures.
+    pub fn strand_total(&self) -> usize {
+        self.procedures.iter().map(ProcedureRep::strand_count).sum()
+    }
+}
+
+/// `Sim(q, t)`: the number of shared canonical strands.
+pub fn sim(q: &ProcedureRep, t: &ProcedureRep) -> usize {
+    let (mut i, mut j, mut n) = (0, 0, 0);
+    while i < q.strands.len() && j < t.strands.len() {
+        match q.strands[i].cmp(&t.strands[j]) {
+            std::cmp::Ordering::Less => i += 1,
+            std::cmp::Ordering::Greater => j += 1,
+            std::cmp::Ordering::Equal => {
+                n += 1;
+                i += 1;
+                j += 1;
+            }
+        }
+    }
+    n
+}
+
+/// Build the similarity representation of a lifted executable.
+pub fn build_rep(lifted: &LiftedExecutable, space: &AddrSpace, config: &CanonConfig, id: &str) -> ExecutableRep {
+    let procedures = lifted
+        .program
+        .procedures
+        .iter()
+        .map(|p| {
+            let mut hashes: Vec<u64> = p
+                .blocks
+                .iter()
+                .flat_map(|b| {
+                    let ssa = firmup_ir::ssa::ssa_block(b);
+                    decompose(&ssa)
+                        .iter()
+                        .map(|s| canonicalize(s, space, config).hash)
+                        .collect::<Vec<u64>>()
+                })
+                .collect();
+            hashes.sort_unstable();
+            hashes.dedup();
+            ProcedureRep {
+                addr: p.addr,
+                name: p.name.clone(),
+                strands: hashes,
+                block_count: p.blocks.len(),
+                size: p.blocks.iter().map(|b| b.len).sum(),
+            }
+        })
+        .collect();
+    ExecutableRep {
+        id: id.to_string(),
+        arch: lifted.arch,
+        procedures,
+    }
+}
+
+/// A trained global context: per-strand document frequency over a
+/// corpus sample, used to weight strands by significance (the mechanism
+/// GitZ introduced and the paper reuses when training per-architecture
+/// contexts for the §5.3 comparison: "a set of randomly sampled
+/// procedures in the wild used to statistically estimate the
+/// significance of a strand").
+#[derive(Debug, Clone, Default)]
+pub struct GlobalContext {
+    df: std::collections::HashMap<u64, u32>,
+    docs: u32,
+}
+
+impl GlobalContext {
+    /// Build from a corpus sample (each executable is one document).
+    pub fn build(sample: &[ExecutableRep]) -> GlobalContext {
+        let mut df: std::collections::HashMap<u64, u32> = std::collections::HashMap::new();
+        for exe in sample {
+            let mut seen: std::collections::HashSet<u64> = std::collections::HashSet::new();
+            for p in &exe.procedures {
+                seen.extend(p.strands.iter().copied());
+            }
+            for h in seen {
+                *df.entry(h).or_default() += 1;
+            }
+        }
+        GlobalContext {
+            df,
+            docs: sample.len() as u32,
+        }
+    }
+
+    /// Number of documents in the sample.
+    pub fn docs(&self) -> u32 {
+        self.docs
+    }
+
+    /// Significance weight of a strand: `ln((docs+1) / (df+1))`.
+    /// Strands appearing in every executable weigh ~0; rare strands
+    /// weigh ~ln(docs).
+    pub fn weight(&self, strand: u64) -> f64 {
+        let df = self.df.get(&strand).copied().unwrap_or(0);
+        (f64::from(self.docs + 1) / f64::from(df + 1)).ln()
+    }
+
+    /// Weighted similarity: the significance mass of shared strands.
+    pub fn weighted_sim(&self, q: &ProcedureRep, t: &ProcedureRep) -> f64 {
+        let (mut i, mut j, mut acc) = (0, 0, 0.0);
+        while i < q.strands.len() && j < t.strands.len() {
+            match q.strands[i].cmp(&t.strands[j]) {
+                std::cmp::Ordering::Less => i += 1,
+                std::cmp::Ordering::Greater => j += 1,
+                std::cmp::Ordering::Equal => {
+                    acc += self.weight(q.strands[i]);
+                    i += 1;
+                    j += 1;
+                }
+            }
+        }
+        acc
+    }
+
+    /// Total significance mass of a procedure's strands.
+    pub fn mass(&self, p: &ProcedureRep) -> f64 {
+        p.strands.iter().map(|&h| self.weight(h)).sum()
+    }
+}
+
+/// One-call convenience: lift + decompose + canonicalize an ELF.
+///
+/// # Errors
+///
+/// Propagates [`LiftError`] from the lifting stage.
+pub fn index_elf(elf: &Elf, id: &str, config: &CanonConfig) -> Result<ExecutableRep, LiftError> {
+    let lifted = lift_executable(elf)?;
+    let space = AddrSpace::from_elf(elf);
+    Ok(build_rep(&lifted, &space, config, id))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use firmup_compiler::{compile_source, CompilerOptions, ToolchainProfile};
+
+    const SRC: &str = r#"
+        global table: [int; 32];
+        fn mix(a: int, b: int) -> int {
+            var h = a * 31 + b;
+            h = h ^ (h >> 7);
+            return h;
+        }
+        pub fn lookup(key: int, len: int) -> int {
+            var i = 0;
+            var h = mix(key, len);
+            while (i < len) {
+                if (table[i] == h) { return i; }
+                i = i + 1;
+            }
+            return 0 - 1;
+        }
+        fn main() -> int { return lookup(5, 10); }
+    "#;
+
+    fn rep(arch: Arch, profile: ToolchainProfile) -> ExecutableRep {
+        let elf = compile_source(
+            SRC,
+            arch,
+            &CompilerOptions {
+                profile,
+                layout: Default::default(),
+            },
+        )
+        .unwrap();
+        index_elf(&elf, "test", &CanonConfig::default()).unwrap()
+    }
+
+    #[test]
+    fn self_similarity_is_total() {
+        let r = rep(Arch::Mips32, ToolchainProfile::gcc_like());
+        for p in &r.procedures {
+            assert_eq!(sim(p, p), p.strand_count());
+        }
+    }
+
+    #[test]
+    fn sim_is_symmetric() {
+        let r = rep(Arch::Mips32, ToolchainProfile::gcc_like());
+        for a in &r.procedures {
+            for b in &r.procedures {
+                assert_eq!(sim(a, b), sim(b, a));
+            }
+        }
+    }
+
+    #[test]
+    fn same_source_different_profile_still_shares_strands() {
+        for arch in Arch::all() {
+            let a = rep(arch, ToolchainProfile::gcc_like());
+            let b = rep(arch, ToolchainProfile::vendor_size());
+            let qa = &a.procedures[a.find_named("lookup").unwrap()];
+            let qb = &b.procedures[b.find_named("lookup").unwrap()];
+            let s = sim(qa, qb);
+            assert!(
+                s >= 2,
+                "{arch}: cross-profile lookup() shares too few strands ({s} of {}/{})",
+                qa.strand_count(),
+                qb.strand_count()
+            );
+        }
+    }
+
+    #[test]
+    fn cross_architecture_sharing_exists() {
+        // The headline property: MIPS-built query strands appear in the
+        // ARM build of the same source.
+        let a = rep(Arch::Mips32, ToolchainProfile::gcc_like());
+        let b = rep(Arch::Arm32, ToolchainProfile::gcc_like());
+        let qa = &a.procedures[a.find_named("lookup").unwrap()];
+        let qb = &b.procedures[b.find_named("lookup").unwrap()];
+        let s = sim(qa, qb);
+        assert!(s >= 1, "no cross-architecture strand sharing ({s})");
+    }
+
+    #[test]
+    fn right_procedure_wins_within_target() {
+        // Sim(query lookup, target lookup) must beat Sim(query lookup,
+        // any other target procedure).
+        let q = rep(Arch::Mips32, ToolchainProfile::gcc_like());
+        let t = rep(Arch::Mips32, ToolchainProfile::vendor_size());
+        let qi = q.find_named("lookup").unwrap();
+        let ti = t.find_named("lookup").unwrap();
+        let qv = &q.procedures[qi];
+        let true_sim = sim(qv, &t.procedures[ti]);
+        for (i, p) in t.procedures.iter().enumerate() {
+            if i != ti {
+                assert!(
+                    sim(qv, p) < true_sim,
+                    "{} ({}) ties/beats the true positive ({true_sim})",
+                    p.display_name(),
+                    sim(qv, p)
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn strands_are_deduplicated_and_sorted() {
+        let r = rep(Arch::X86, ToolchainProfile::gcc_like());
+        for p in &r.procedures {
+            let mut sorted = p.strands.clone();
+            sorted.sort_unstable();
+            sorted.dedup();
+            assert_eq!(sorted, p.strands);
+        }
+    }
+
+    #[test]
+    fn lookup_helpers() {
+        let r = rep(Arch::Ppc32, ToolchainProfile::gcc_like());
+        let i = r.find_named("mix").unwrap();
+        assert_eq!(r.find_addr(r.procedures[i].addr), Some(i));
+        assert!(r.find_named("nope").is_none());
+        assert!(r.strand_total() > 0);
+    }
+}

@@ -1,0 +1,224 @@
+//! Procedure decomposition into strands — Algorithm 1 of the paper.
+//!
+//! A *strand* is a data-flow slice of a basic block: the set of
+//! instructions needed to compute one outward-facing value (a register
+//! written in the block, a store, a conditional exit, or an indirect jump
+//! target). Blocks are decomposed until every instruction is covered;
+//! instructions may participate in several strands.
+
+use firmup_ir::ssa::{SsaBlock, SsaStmt, VarInfo};
+use firmup_ir::Var;
+
+/// A data-flow slice of one basic block, in execution order.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Strand {
+    /// The sliced statements (a subsequence of the block's statements).
+    pub stmts: Vec<SsaStmt>,
+    /// Variable metadata of the enclosing block (shared namespace).
+    pub vars: Vec<VarInfo>,
+}
+
+impl Strand {
+    /// Variables read by the strand but not defined inside it — these
+    /// become the "arguments" under the paper's register folding.
+    pub fn inputs(&self) -> Vec<Var> {
+        let defs: Vec<Var> = self.stmts.iter().map(|s| s.def).collect();
+        let mut seen = std::collections::BTreeSet::new();
+        let mut out = Vec::new();
+        for s in &self.stmts {
+            for u in s.uses() {
+                if !defs.contains(&u) && seen.insert(u) {
+                    out.push(u);
+                }
+            }
+        }
+        out
+    }
+
+    /// The root statement (the outward-facing computation the strand was
+    /// sliced for).
+    pub fn root(&self) -> &SsaStmt {
+        self.stmts.last().expect("strands are never empty")
+    }
+}
+
+/// Algorithm 1: decompose an SSA basic block into strands.
+///
+/// Faithful to the paper's pseudocode: repeatedly take the last
+/// uncovered statement as a slice root and walk backwards collecting
+/// every statement that defines a variable the slice reads so far.
+/// Covered statements are removed from the candidate-root set but can
+/// still appear inside later slices.
+pub fn decompose(block: &SsaBlock) -> Vec<Strand> {
+    let n = block.stmts.len();
+    let mut strands = Vec::new();
+    let mut indexes: Vec<bool> = vec![true; n]; // uncovered roots
+    let mut remaining = n;
+    while remaining > 0 {
+        // top ← Max(indexes)
+        let top = (0..n).rev().find(|&i| indexes[i]).expect("remaining > 0");
+        indexes[top] = false;
+        remaining -= 1;
+        let mut picked: Vec<usize> = vec![top];
+        let mut svars: std::collections::BTreeSet<Var> =
+            block.stmts[top].uses().into_iter().collect();
+        for i in (0..top).rev() {
+            // WSet(bb[i]) ∩ svars ≠ ∅  (WSet is the singleton {def}).
+            if svars.contains(&block.stmts[i].def) {
+                picked.push(i);
+                svars.extend(block.stmts[i].uses());
+                if indexes[i] {
+                    indexes[i] = false;
+                    remaining -= 1;
+                }
+            }
+        }
+        picked.reverse();
+        strands.push(Strand {
+            stmts: picked.iter().map(|&i| block.stmts[i].clone()).collect(),
+            vars: block.vars.clone(),
+        });
+    }
+    strands
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use firmup_ir::ssa::ssa_block;
+    use firmup_ir::{BinOp, Block, Expr, Jump, RegId, Stmt, Temp, Width};
+
+    fn block(stmts: Vec<Stmt>, jump: Jump) -> SsaBlock {
+        ssa_block(&Block {
+            addr: 0x1000,
+            len: 4 * stmts.len() as u32,
+            stmts,
+            jump,
+            asm: vec![],
+        })
+    }
+
+    #[test]
+    fn single_chain_is_one_strand() {
+        // t0 = r1 + 4; r2 = t0  → one strand of two statements.
+        let b = block(
+            vec![
+                Stmt::SetTmp(Temp(0), Expr::bin(BinOp::Add, Expr::Get(RegId(1)), Expr::Const(4))),
+                Stmt::Put(RegId(2), Expr::Tmp(Temp(0))),
+            ],
+            Jump::Ret,
+        );
+        let s = decompose(&b);
+        assert_eq!(s.len(), 1);
+        assert_eq!(s[0].stmts.len(), 2);
+    }
+
+    #[test]
+    fn independent_computations_split() {
+        // r2 = r1 + 1; r3 = r4 * 2 → two strands of one statement each.
+        let b = block(
+            vec![
+                Stmt::Put(RegId(2), Expr::bin(BinOp::Add, Expr::Get(RegId(1)), Expr::Const(1))),
+                Stmt::Put(RegId(3), Expr::bin(BinOp::Mul, Expr::Get(RegId(4)), Expr::Const(2))),
+            ],
+            Jump::Ret,
+        );
+        let s = decompose(&b);
+        assert_eq!(s.len(), 2);
+        assert_eq!(s[0].stmts.len(), 1, "r3 strand");
+        assert_eq!(s[1].stmts.len(), 1, "r2 strand");
+    }
+
+    #[test]
+    fn shared_instruction_appears_in_both_strands() {
+        // t0 = r1 + 1; r2 = t0; r3 = t0 * 2 → the t0 def is shared.
+        let b = block(
+            vec![
+                Stmt::SetTmp(Temp(0), Expr::bin(BinOp::Add, Expr::Get(RegId(1)), Expr::Const(1))),
+                Stmt::Put(RegId(2), Expr::Tmp(Temp(0))),
+                Stmt::Put(RegId(3), Expr::bin(BinOp::Mul, Expr::Tmp(Temp(0)), Expr::Const(2))),
+            ],
+            Jump::Ret,
+        );
+        let s = decompose(&b);
+        assert_eq!(s.len(), 2);
+        // First strand (rooted at the last stmt) includes the t0 def.
+        assert_eq!(s[0].stmts.len(), 2);
+        // Second strand (rooted at r2) also includes the t0 def.
+        assert_eq!(s[1].stmts.len(), 2);
+    }
+
+    #[test]
+    fn every_statement_is_covered() {
+        let b = block(
+            vec![
+                Stmt::Put(RegId(2), Expr::Const(5)),
+                Stmt::Put(RegId(3), Expr::bin(BinOp::Add, Expr::Get(RegId(2)), Expr::Const(1))),
+                Stmt::Store {
+                    addr: Expr::Get(RegId(29)),
+                    value: Expr::Get(RegId(3)),
+                    width: Width::W32,
+                },
+                Stmt::Exit {
+                    cond: Expr::bin(BinOp::CmpEq, Expr::Get(RegId(3)), Expr::Const(0)),
+                    target: 0x40,
+                },
+            ],
+            Jump::Fall(0x1010),
+        );
+        let strands = decompose(&b);
+        let covered: std::collections::BTreeSet<_> = strands
+            .iter()
+            .flat_map(|s| s.stmts.iter().map(|st| st.def))
+            .collect();
+        assert_eq!(covered.len(), b.stmts.len(), "all statements covered");
+    }
+
+    #[test]
+    fn inputs_are_external_reads() {
+        let b = block(
+            vec![
+                Stmt::SetTmp(Temp(0), Expr::bin(BinOp::Add, Expr::Get(RegId(1)), Expr::Get(RegId(2)))),
+                Stmt::Put(RegId(3), Expr::Tmp(Temp(0))),
+            ],
+            Jump::Ret,
+        );
+        let s = decompose(&b);
+        let inputs = s[0].inputs();
+        assert_eq!(inputs.len(), 2, "r1 and r2 flow in from outside");
+    }
+
+    #[test]
+    fn empty_block_yields_no_strands() {
+        let b = block(vec![], Jump::Ret);
+        assert!(decompose(&b).is_empty());
+    }
+
+    #[test]
+    fn store_then_branch_slices_through_memory() {
+        // store [sp] = r1 ; exit if load [sp] == 0 — the exit strand must
+        // include the store (memory SSA links them).
+        let addr = Expr::Get(RegId(29));
+        let b = block(
+            vec![
+                Stmt::Store {
+                    addr: addr.clone(),
+                    value: Expr::Get(RegId(1)),
+                    width: Width::W32,
+                },
+                Stmt::Exit {
+                    cond: Expr::bin(
+                        BinOp::CmpEq,
+                        Expr::load(addr, Width::W32),
+                        Expr::Const(0),
+                    ),
+                    target: 0x40,
+                },
+            ],
+            Jump::Fall(0x1008),
+        );
+        let s = decompose(&b);
+        assert_eq!(s.len(), 1, "one strand containing both");
+        assert_eq!(s[0].stmts.len(), 2);
+    }
+}

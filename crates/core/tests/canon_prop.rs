@@ -1,0 +1,112 @@
+//! Property tests for the canonicalizer's rewrite engine: `simplify`
+//! must preserve the concrete value of every expression, for all inputs.
+
+use firmup_core::canon::{simplify, CExpr};
+use firmup_ir::{BinOp, UnOp, Var};
+use proptest::prelude::*;
+
+/// Evaluate a (Load/Offset-free) canonical expression.
+fn eval(e: &CExpr, env: &[u32; 4]) -> u32 {
+    match e {
+        CExpr::Const(c) => *c,
+        CExpr::Var(v) => env[(v.0 as usize) % 4],
+        CExpr::Bin { op, lhs, rhs } => op.eval(eval(lhs, env), eval(rhs, env)),
+        CExpr::Un { op, arg } => op.eval(eval(arg, env)),
+        CExpr::Ite { cond, then_e, else_e } => {
+            if eval(cond, env) != 0 {
+                eval(then_e, env)
+            } else {
+                eval(else_e, env)
+            }
+        }
+        CExpr::Offset(_) | CExpr::Load { .. } => unreachable!("not generated"),
+    }
+}
+
+fn binop() -> impl Strategy<Value = BinOp> {
+    prop_oneof![
+        Just(BinOp::Add),
+        Just(BinOp::Sub),
+        Just(BinOp::Mul),
+        Just(BinOp::And),
+        Just(BinOp::Or),
+        Just(BinOp::Xor),
+        Just(BinOp::Shl),
+        Just(BinOp::Shr),
+        Just(BinOp::Sar),
+        Just(BinOp::CmpEq),
+        Just(BinOp::CmpNe),
+        Just(BinOp::CmpLtS),
+        Just(BinOp::CmpLtU),
+        Just(BinOp::CmpLeS),
+        Just(BinOp::CmpLeU),
+    ]
+}
+
+fn unop() -> impl Strategy<Value = UnOp> {
+    prop_oneof![
+        Just(UnOp::Not),
+        Just(UnOp::Neg),
+        Just(UnOp::Sext8),
+        Just(UnOp::Sext16),
+        Just(UnOp::Zext8),
+        Just(UnOp::Zext16),
+    ]
+}
+
+fn cexpr() -> impl Strategy<Value = CExpr> {
+    let leaf = prop_oneof![
+        any::<u32>().prop_map(CExpr::Const),
+        (0u32..4).prop_map(|v| CExpr::Var(Var(v))),
+        // Bias toward the small constants the rewrite rules touch.
+        prop_oneof![Just(0u32), Just(1), Just(31), Just(u32::MAX)].prop_map(CExpr::Const),
+    ];
+    leaf.prop_recursive(4, 48, 3, |inner| {
+        prop_oneof![
+            (binop(), inner.clone(), inner.clone()).prop_map(|(op, a, b)| CExpr::Bin {
+                op,
+                lhs: Box::new(a),
+                rhs: Box::new(b),
+            }),
+            (unop(), inner.clone()).prop_map(|(op, a)| CExpr::Un {
+                op,
+                arg: Box::new(a),
+            }),
+            (inner.clone(), inner.clone(), inner).prop_map(|(c, t, f)| CExpr::Ite {
+                cond: Box::new(c),
+                then_e: Box::new(t),
+                else_e: Box::new(f),
+            }),
+        ]
+    })
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(512))]
+
+    /// The rewrite engine never changes an expression's value.
+    #[test]
+    fn simplify_preserves_evaluation(e in cexpr(), env in any::<[u32; 4]>()) {
+        let before = eval(&e, &env);
+        let simplified = simplify(e);
+        let after = eval(&simplified, &env);
+        prop_assert_eq!(before, after, "simplify changed semantics: {:?}", simplified);
+    }
+
+    /// Simplification reaches a fixpoint: applying it twice is the same
+    /// as applying it once.
+    #[test]
+    fn simplify_is_idempotent(e in cexpr()) {
+        let once = simplify(e);
+        let twice = simplify(once.clone());
+        prop_assert_eq!(once, twice);
+    }
+
+    /// Simplification never grows the tree.
+    #[test]
+    fn simplify_never_grows(e in cexpr()) {
+        let before = e.size();
+        let after = simplify(e).size();
+        prop_assert!(after <= before, "grew from {before} to {after}");
+    }
+}

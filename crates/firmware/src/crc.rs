@@ -1,0 +1,39 @@
+//! CRC-32 (IEEE 802.3), used by the firmware image part table.
+
+/// Compute the CRC-32 of `data` (polynomial `0xEDB88320`, standard
+/// initial/final XOR).
+pub fn crc32(data: &[u8]) -> u32 {
+    let mut crc: u32 = 0xffff_ffff;
+    for &b in data {
+        crc ^= u32::from(b);
+        for _ in 0..8 {
+            let mask = (crc & 1).wrapping_neg();
+            crc = (crc >> 1) ^ (0xedb8_8320 & mask);
+        }
+    }
+    !crc
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn known_vectors() {
+        // Standard test vectors.
+        assert_eq!(crc32(b""), 0);
+        assert_eq!(crc32(b"123456789"), 0xcbf4_3926);
+        assert_eq!(crc32(b"The quick brown fox jumps over the lazy dog"), 0x414f_a339);
+    }
+
+    #[test]
+    fn detects_single_bit_flips() {
+        let data = b"firmware image payload".to_vec();
+        let base = crc32(&data);
+        for i in 0..data.len() {
+            let mut corrupted = data.clone();
+            corrupted[i] ^= 1;
+            assert_ne!(crc32(&corrupted), base, "flip at byte {i} undetected");
+        }
+    }
+}

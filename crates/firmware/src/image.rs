@@ -1,0 +1,287 @@
+//! The firmware image container ("FWIM") and its unpacker.
+//!
+//! Real firmware ships as vendor-specific blobs that tools like binwalk
+//! unpack (§5.1: "We used binwalk for unpacking firmware images"). FWIM
+//! is our equivalent: a header with vendor/device/version metadata and a
+//! part table whose entries are CRC-checked ELF executables. The
+//! unpacker validates structure and checksums; when the part table is
+//! damaged it falls back to binwalk-style **carving** — scanning the
+//! blob for embedded ELF magics.
+
+use std::fmt;
+
+use crate::crc::crc32;
+
+/// Container magic.
+pub const MAGIC: &[u8; 4] = b"FWIM";
+
+/// Metadata identifying a firmware image.
+#[derive(Debug, Clone, PartialEq, Eq, Hash)]
+pub struct ImageMeta {
+    /// Vendor name (e.g. `NETGEAR`).
+    pub vendor: String,
+    /// Device model.
+    pub device: String,
+    /// Firmware version string.
+    pub version: String,
+}
+
+impl fmt::Display for ImageMeta {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{} {} fw {}", self.vendor, self.device, self.version)
+    }
+}
+
+/// One executable inside an image.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Part {
+    /// File name inside the image (e.g. `bin/wget`).
+    pub name: String,
+    /// Raw ELF bytes.
+    pub data: Vec<u8>,
+}
+
+/// Problems found while unpacking (soft; hard failures are errors).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum UnpackIssue {
+    /// A part's checksum did not match; the part was still extracted.
+    BadChecksum {
+        /// Part name.
+        name: String,
+    },
+    /// The part table was unusable; parts were carved by magic scan.
+    Carved {
+        /// Number of carved candidates.
+        count: usize,
+    },
+}
+
+/// Unpack failure.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum ImageError {
+    /// Missing magic and no embedded ELFs to carve.
+    NotAnImage,
+    /// Structurally truncated.
+    Truncated,
+}
+
+impl fmt::Display for ImageError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            ImageError::NotAnImage => f.write_str("not a firmware image (no magic, no embedded ELFs)"),
+            ImageError::Truncated => f.write_str("truncated firmware image"),
+        }
+    }
+}
+
+impl std::error::Error for ImageError {}
+
+fn push_str(out: &mut Vec<u8>, s: &str) {
+    let bytes = s.as_bytes();
+    out.extend_from_slice(&(bytes.len() as u32).to_le_bytes());
+    out.extend_from_slice(bytes);
+}
+
+fn read_u32(b: &[u8], pos: &mut usize) -> Result<u32, ImageError> {
+    let s = b.get(*pos..*pos + 4).ok_or(ImageError::Truncated)?;
+    *pos += 4;
+    Ok(u32::from_le_bytes([s[0], s[1], s[2], s[3]]))
+}
+
+fn read_str(b: &[u8], pos: &mut usize) -> Result<String, ImageError> {
+    let len = read_u32(b, pos)? as usize;
+    if len > b.len() {
+        return Err(ImageError::Truncated);
+    }
+    let s = b.get(*pos..*pos + len).ok_or(ImageError::Truncated)?;
+    *pos += len;
+    Ok(String::from_utf8_lossy(s).into_owned())
+}
+
+/// Pack parts into an image blob.
+pub fn pack(meta: &ImageMeta, parts: &[Part]) -> Vec<u8> {
+    let mut out = Vec::new();
+    out.extend_from_slice(MAGIC);
+    out.extend_from_slice(&1u32.to_le_bytes()); // format version
+    push_str(&mut out, &meta.vendor);
+    push_str(&mut out, &meta.device);
+    push_str(&mut out, &meta.version);
+    out.extend_from_slice(&(parts.len() as u32).to_le_bytes());
+    // Part table: name, length, crc; payloads follow in order.
+    for p in parts {
+        push_str(&mut out, &p.name);
+        out.extend_from_slice(&(p.data.len() as u32).to_le_bytes());
+        out.extend_from_slice(&crc32(&p.data).to_le_bytes());
+    }
+    for p in parts {
+        out.extend_from_slice(&p.data);
+    }
+    out
+}
+
+/// The result of unpacking.
+#[derive(Debug, Clone)]
+pub struct Unpacked {
+    /// Image metadata (defaults for carved images).
+    pub meta: ImageMeta,
+    /// Extracted parts.
+    pub parts: Vec<Part>,
+    /// Soft problems.
+    pub issues: Vec<UnpackIssue>,
+}
+
+/// Unpack an image blob.
+///
+/// # Errors
+///
+/// [`ImageError::NotAnImage`] when neither the FWIM structure nor any
+/// embedded ELF can be found; [`ImageError::Truncated`] when the header
+/// is cut short.
+pub fn unpack(blob: &[u8]) -> Result<Unpacked, ImageError> {
+    if blob.len() < 8 || &blob[0..4] != MAGIC {
+        return carve(blob);
+    }
+    let mut pos = 4usize;
+    let _fmt = read_u32(blob, &mut pos)?;
+    let vendor = read_str(blob, &mut pos)?;
+    let device = read_str(blob, &mut pos)?;
+    let version = read_str(blob, &mut pos)?;
+    let count = read_u32(blob, &mut pos)? as usize;
+    if count > 4096 {
+        // Bogus table: fall back to carving rather than failing.
+        return carve(blob);
+    }
+    let mut entries = Vec::with_capacity(count);
+    for _ in 0..count {
+        let name = read_str(blob, &mut pos)?;
+        let len = read_u32(blob, &mut pos)? as usize;
+        let crc = read_u32(blob, &mut pos)?;
+        entries.push((name, len, crc));
+    }
+    let mut parts = Vec::with_capacity(count);
+    let mut issues = Vec::new();
+    for (name, len, crc) in entries {
+        let data = blob.get(pos..pos + len).ok_or(ImageError::Truncated)?.to_vec();
+        pos += len;
+        if crc32(&data) != crc {
+            issues.push(UnpackIssue::BadChecksum { name: name.clone() });
+        }
+        parts.push(Part { name, data });
+    }
+    Ok(Unpacked {
+        meta: ImageMeta {
+            vendor,
+            device,
+            version,
+        },
+        parts,
+        issues,
+    })
+}
+
+/// binwalk-style recovery: find embedded ELFs by magic scan.
+fn carve(blob: &[u8]) -> Result<Unpacked, ImageError> {
+    let offsets = firmup_obj::Elf::carve_offsets(blob);
+    if offsets.is_empty() {
+        return Err(ImageError::NotAnImage);
+    }
+    let mut parts = Vec::new();
+    for (i, &off) in offsets.iter().enumerate() {
+        let end = offsets.get(i + 1).copied().unwrap_or(blob.len());
+        parts.push(Part {
+            name: format!("carved_{i}"),
+            data: blob[off..end].to_vec(),
+        });
+    }
+    let count = parts.len();
+    Ok(Unpacked {
+        meta: ImageMeta {
+            vendor: "unknown".into(),
+            device: "unknown".into(),
+            version: "unknown".into(),
+        },
+        parts,
+        issues: vec![UnpackIssue::Carved { count }],
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn meta() -> ImageMeta {
+        ImageMeta {
+            vendor: "NETGEAR".into(),
+            device: "R7000".into(),
+            version: "1.0.3".into(),
+        }
+    }
+
+    fn elf_bytes() -> Vec<u8> {
+        let mut b = firmup_obj::write::ElfBuilder::new(8, 0x40_0000);
+        b.text(0x40_0000, vec![0u8; 16]);
+        b.build().write()
+    }
+
+    #[test]
+    fn pack_unpack_roundtrip() {
+        let parts = vec![
+            Part {
+                name: "bin/wget".into(),
+                data: elf_bytes(),
+            },
+            Part {
+                name: "bin/vsftpd".into(),
+                data: vec![1, 2, 3],
+            },
+        ];
+        let blob = pack(&meta(), &parts);
+        let u = unpack(&blob).unwrap();
+        assert_eq!(u.meta, meta());
+        assert_eq!(u.parts, parts);
+        assert!(u.issues.is_empty());
+    }
+
+    #[test]
+    fn corrupted_payload_reports_checksum() {
+        let parts = vec![Part {
+            name: "bin/a".into(),
+            data: vec![9u8; 64],
+        }];
+        let mut blob = pack(&meta(), &parts);
+        let n = blob.len();
+        blob[n - 5] ^= 0xff;
+        let u = unpack(&blob).unwrap();
+        assert_eq!(
+            u.issues,
+            vec![UnpackIssue::BadChecksum { name: "bin/a".into() }]
+        );
+        assert_eq!(u.parts.len(), 1, "part still extracted");
+    }
+
+    #[test]
+    fn missing_magic_falls_back_to_carving() {
+        let mut blob = vec![0u8; 32];
+        blob.extend_from_slice(&elf_bytes());
+        let u = unpack(&blob).unwrap();
+        assert!(matches!(u.issues[0], UnpackIssue::Carved { count: 1 }));
+        assert_eq!(u.parts.len(), 1);
+        assert!(firmup_obj::Elf::parse(&u.parts[0].data).is_ok());
+    }
+
+    #[test]
+    fn garbage_is_rejected() {
+        assert!(matches!(unpack(&[0u8; 64]), Err(ImageError::NotAnImage)));
+        assert!(unpack(b"FWIM").is_err());
+    }
+
+    #[test]
+    fn truncated_payload_is_error() {
+        let parts = vec![Part {
+            name: "x".into(),
+            data: vec![7u8; 100],
+        }];
+        let blob = pack(&meta(), &parts);
+        assert!(matches!(unpack(&blob[..blob.len() - 10]), Err(ImageError::Truncated)));
+    }
+}

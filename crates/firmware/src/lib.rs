@@ -1,0 +1,7 @@
+//! Firmware images, the synthetic package corpus, and corpus generation.
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+pub mod corpus;
+pub mod crc;
+pub mod image;
+pub mod packages;

@@ -1,0 +1,2049 @@
+//! The synthetic package corpus.
+//!
+//! The paper's evaluation searches for CVE-affected procedures from
+//! seven real packages (Table 2: vsftpd, bftpd, libcurl, dbus, wget;
+//! §5.3 adds libexif and net-snmp). We model each as a MinC program
+//! whose procedures mirror the *shape* of the originals — string and
+//! buffer handling, parsing loops, dispatch tables — with one named
+//! vulnerable procedure per CVE, multiple released versions (patched /
+//! unpatched / deprecated predecessors), and optional feature groups
+//! (the `--disable-opie` story from §2.2 that breaks full-matching
+//! approaches).
+//!
+//! Everything here is source *generation*: the actual binaries come out
+//! of `firmup-compiler` under whatever toolchain profile the corpus
+//! generator picks, exactly like vendor firmware builds.
+
+use rand::rngs::SmallRng;
+use rand::{Rng, SeedableRng};
+
+/// A package version.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct VersionSpec {
+    /// Version string (e.g. `"1.15"`).
+    pub version: &'static str,
+    /// Release order (higher = newer).
+    pub order: u32,
+    /// Names of procedures that are vulnerable in this version.
+    pub vulnerable: &'static [&'static str],
+}
+
+/// A package.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct PackageSpec {
+    /// Package name.
+    pub name: &'static str,
+    /// Executable file name inside firmware images.
+    pub executable: &'static str,
+    /// Libraries keep their exported (`pub fn`) symbols under stripping.
+    pub library: bool,
+    /// Released versions, oldest first.
+    pub versions: &'static [VersionSpec],
+    /// Optional feature groups a vendor may disable.
+    pub features: &'static [&'static str],
+}
+
+impl PackageSpec {
+    /// The newest version.
+    pub fn latest(&self) -> &VersionSpec {
+        self.versions.last().expect("packages have versions")
+    }
+
+    /// Find a version by string.
+    pub fn version(&self, v: &str) -> Option<&VersionSpec> {
+        self.versions.iter().find(|s| s.version == v)
+    }
+}
+
+/// The CVE queries of the evaluation (Table 2 plus the two §5.3
+/// additions).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct CveSpec {
+    /// CVE identifier.
+    pub cve: &'static str,
+    /// Package containing the vulnerable procedure.
+    pub package: &'static str,
+    /// The vulnerable procedure.
+    pub procedure: &'static str,
+    /// Whether the procedure is exported (findable by name even in
+    /// stripped libraries).
+    pub exported: bool,
+}
+
+/// All packages.
+pub fn all_packages() -> Vec<PackageSpec> {
+    vec![
+        WGET_SPEC, VSFTPD_SPEC, BFTPD_SPEC, LIBCURL_SPEC, DBUS_SPEC, LIBEXIF_SPEC, NETSNMP_SPEC,
+        BUSYBOX_SPEC,
+    ]
+}
+
+/// Find a package by name.
+pub fn package(name: &str) -> Option<PackageSpec> {
+    all_packages().into_iter().find(|p| p.name == name)
+}
+
+/// The evaluation's CVE list, in Table 2 order (lines 1–7), then the two
+/// exported-procedure queries added for the §5.3 comparison.
+pub fn all_cves() -> Vec<CveSpec> {
+    vec![
+        CveSpec { cve: "CVE-2011-0762", package: "vsftpd", procedure: "vsf_filename_passes_filter", exported: false },
+        CveSpec { cve: "CVE-2009-4593", package: "bftpd", procedure: "bftpdutmp_log", exported: false },
+        CveSpec { cve: "CVE-2012-0036", package: "libcurl", procedure: "curl_easy_unescape", exported: true },
+        CveSpec { cve: "CVE-2013-1944", package: "libcurl", procedure: "tailmatch", exported: false },
+        CveSpec { cve: "CVE-2013-2168", package: "dbus", procedure: "printf_string_upper_bound", exported: false },
+        CveSpec { cve: "CVE-2014-4877", package: "wget", procedure: "ftp_retrieve_glob", exported: false },
+        CveSpec { cve: "CVE-2016-8618", package: "libcurl", procedure: "alloc_addbyter", exported: false },
+        CveSpec { cve: "CVE-2012-2841", package: "libexif", procedure: "exif_entry_get_value", exported: true },
+        CveSpec { cve: "CVE-2014-3565", package: "net-snmp", procedure: "snmp_pdu_parse", exported: true },
+    ]
+}
+
+/// Shared "libc" helpers compiled into every executable.
+const PRELUDE: &str = r#"
+global wkbuf: [byte; 160];
+
+fn str_len(p: int) -> int {
+    var n = 0;
+    while (peek8(p + n) != 0) { n = n + 1; }
+    return n;
+}
+
+fn str_cpy(dst: int, src: int) -> int {
+    var i = 0;
+    var c = peek8(src);
+    while (c != 0) {
+        poke8(dst + i, c);
+        i = i + 1;
+        c = peek8(src + i);
+    }
+    poke8(dst + i, 0);
+    return i;
+}
+
+fn str_ncpy(dst: int, src: int, n: int) -> int {
+    var i = 0;
+    while (i < n) {
+        var c = peek8(src + i);
+        poke8(dst + i, c);
+        if (c == 0) { return i; }
+        i = i + 1;
+    }
+    poke8(dst + n, 0);
+    return n;
+}
+
+fn str_cmp(a: int, b: int) -> int {
+    var i = 0;
+    while (1) {
+        var ca = peek8(a + i);
+        var cb = peek8(b + i);
+        if (ca != cb) { return ca - cb; }
+        if (ca == 0) { break; }
+        i = i + 1;
+    }
+    return 0;
+}
+
+fn str_chr(p: int, want: int) -> int {
+    var i = 0;
+    var c = peek8(p);
+    while (c != 0) {
+        if (c == want) { return i; }
+        i = i + 1;
+        c = peek8(p + i);
+    }
+    return 0 - 1;
+}
+
+fn to_lower(c: int) -> int {
+    if (c >= 65 && c <= 90) { return c + 32; }
+    return c;
+}
+
+fn is_digit(c: int) -> int {
+    if (c >= 48 && c <= 57) { return 1; }
+    return 0;
+}
+
+fn is_alpha(c: int) -> int {
+    var lc = to_lower(c);
+    if (lc >= 97 && lc <= 122) { return 1; }
+    return 0;
+}
+
+fn mem_set(p: int, v: int, n: int) {
+    var i = 0;
+    while (i < n) { poke8(p + i, v); i = i + 1; }
+}
+
+fn mem_cpy(dst: int, src: int, n: int) {
+    var i = 0;
+    while (i < n) { poke8(dst + i, peek8(src + i)); i = i + 1; }
+}
+
+fn hash_str(p: int) -> int {
+    var h = 5381;
+    var i = 0;
+    var c = peek8(p);
+    while (c != 0) {
+        h = (h << 5) + h + c;
+        i = i + 1;
+        c = peek8(p + i);
+    }
+    return h;
+}
+
+fn parse_int(p: int) -> int {
+    var v = 0;
+    var i = 0;
+    var neg = 0;
+    if (peek8(p) == 45) { neg = 1; i = 1; }
+    while (is_digit(peek8(p + i))) {
+        v = v * 10 + (peek8(p + i) - 48);
+        i = i + 1;
+    }
+    if (neg) { return 0 - v; }
+    return v;
+}
+
+fn append_dec(dst: int, v: int) -> int {
+    var n = 0;
+    if (v == 0) { poke8(dst, 48); poke8(dst + 1, 0); return 1; }
+    var x = v;
+    if (x < 0) { poke8(dst, 45); n = 1; x = 0 - x; }
+    var digits = 0;
+    var probe = x;
+    while (probe > 0) { digits = digits + 1; probe = probe - (probe >> 1) - ((probe - (probe >> 1)) - probe * 0); probe = 0; }
+    var i = 0;
+    while (x > 0) {
+        var q = 0;
+        var r = x;
+        while (r >= 10) { r = r - 10; q = q + 1; }
+        poke8(dst + n + i, 48 + r);
+        x = q;
+        i = i + 1;
+    }
+    poke8(dst + n + i, 0);
+    return n + i;
+}
+"#;
+
+// ------------------------------------------------------------------
+// wget
+// ------------------------------------------------------------------
+
+/// wget: the Table 2 line-6 package (CVE-2014-4877, `ftp_retrieve_glob`).
+pub const WGET_SPEC: PackageSpec = PackageSpec {
+    name: "wget",
+    executable: "bin/wget",
+    library: false,
+    versions: &[
+        VersionSpec { version: "1.12", order: 1, vulnerable: &["ftp_retrieve_glob"] },
+        VersionSpec { version: "1.15", order: 2, vulnerable: &["ftp_retrieve_glob"] },
+        VersionSpec { version: "1.16", order: 3, vulnerable: &[] },
+    ],
+    features: &["opie", "cookies"],
+};
+
+fn wget_source(version: &str, disabled: &[&str]) -> String {
+    let mut s = String::new();
+    s.push_str(
+        r#"
+global urlbuf: [byte; 128];
+global hostbuf: [byte; 64];
+global globpat: [byte; 64];
+global listing: [byte; 160];
+global ftp_state: [int; 8];
+global msg_glob = "globbing";
+global msg_err = "ftp error";
+"#,
+    );
+    // url_parse: scheme/host/path splitting.
+    s.push_str(
+        r#"
+fn url_parse(url: int, hostout: int) -> int {
+    var i = str_chr(url, 58);
+    if (i < 0) { return 0 - 1; }
+    var j = 0;
+    var p = url + i + 3;
+    var c = peek8(p);
+    while (c != 0 && c != 47 && j < 63) {
+        poke8(hostout + j, to_lower(c));
+        j = j + 1;
+        c = peek8(p + j);
+    }
+    poke8(hostout + j, 0);
+    if (j == 0) { return 0 - 1; }
+    return i + 3 + j;
+}
+
+fn host_lookup(host: int) -> int {
+    var h = hash_str(host);
+    var bucket = h & 1023;
+    if (bucket == 0) { return 0 - 1; }
+    return bucket;
+}
+
+fn fnmatch_glob(pat: int, name: int) -> int {
+    var pi = 0;
+    var ni = 0;
+    while (1) {
+        var pc = peek8(pat + pi);
+        var nc = peek8(name + ni);
+        if (pc == 0) {
+            if (nc == 0) { return 1; }
+            return 0;
+        }
+        if (pc == 42) {
+            if (peek8(pat + pi + 1) == 0) { return 1; }
+            while (nc != 0) {
+                if (fnmatch_glob(pat + pi + 1, name + ni)) { return 1; }
+                ni = ni + 1;
+                nc = peek8(name + ni);
+            }
+            return 0;
+        }
+        if (pc == 63) {
+            if (nc == 0) { return 0; }
+        } else if (pc != nc) {
+            return 0;
+        }
+        pi = pi + 1;
+        ni = ni + 1;
+    }
+    return 0;
+}
+
+fn ftp_parse_ls(list: int, out: int) -> int {
+    var i = 0;
+    var count = 0;
+    var o = 0;
+    var c = peek8(list);
+    while (c != 0) {
+        if (c == 10) {
+            poke8(out + o, 0);
+            count = count + 1;
+            o = o + 1;
+        } else {
+            if (c != 13) { poke8(out + o, c); o = o + 1; }
+        }
+        i = i + 1;
+        c = peek8(list + i);
+    }
+    poke8(out + o, 0);
+    return count;
+}
+"#,
+    );
+    // The vulnerable procedure: 1.15 matches the paper's query; 1.12 is
+    // the older divergent body (the paper's false-positive source);
+    // 1.16 adds the sanitation fix for CVE-2014-4877.
+    match version {
+        "1.12" => s.push_str(
+            r#"
+fn ftp_retrieve_glob(action: int) -> int {
+    var matched = 0;
+    var count = ftp_parse_ls(&listing, &wkbuf);
+    var idx = 0;
+    var off = 0;
+    while (idx < count) {
+        if (fnmatch_glob(&globpat, &wkbuf + off)) {
+            matched = matched + 1;
+            ftp_state[1] = idx;
+        }
+        off = off + str_len(&wkbuf + off) + 1;
+        idx = idx + 1;
+    }
+    ftp_state[0] = matched;
+    if (matched == 0 && action == 31) { return 0 - 1; }
+    return matched;
+}
+"#,
+        ),
+        _ => {
+            let sanitize = if version == "1.16" {
+                // The fix: reject path components escaping the cwd.
+                r#"
+        var dot = peek8(&wkbuf + off);
+        if (dot == 46 && peek8(&wkbuf + off + 1) == 46) {
+            log_msg(&msg_err, idx);
+            off = off + str_len(&wkbuf + off) + 1;
+            idx = idx + 1;
+            continue;
+        }
+"#
+            } else {
+                ""
+            };
+            s.push_str(&format!(
+                r#"
+fn ftp_retrieve_glob(action: int) -> int {{
+    var matched = 0;
+    var err = 0;
+    var count = ftp_parse_ls(&listing, &wkbuf);
+    var idx = 0;
+    var off = 0;
+    log_msg(&msg_glob, count);
+    while (idx < count) {{{sanitize}
+        var hit = fnmatch_glob(&globpat, &wkbuf + off);
+        if (hit) {{
+            matched = matched + 1;
+            ftp_state[1] = idx;
+            if (get_ftp(&wkbuf + off, action) < 0) {{ err = err + 1; }}
+        }}
+        off = off + str_len(&wkbuf + off) + 1;
+        idx = idx + 1;
+    }}
+    ftp_state[0] = matched;
+    if (action == 31 && matched == 0) {{ return 0 - 31; }}
+    if (err > 0) {{ return 0 - err; }}
+    return matched;
+}}
+"#
+            ));
+        }
+    }
+    s.push_str(
+        r#"
+fn get_ftp(path: int, flags: int) -> int {
+    var h = host_lookup(&hostbuf);
+    if (h < 0) { return 0 - 2; }
+    var n = str_len(path);
+    if (n == 0) { return 0 - 1; }
+    ftp_state[2] = ftp_state[2] + 1;
+    ftp_state[3] = flags;
+    if ((flags & 8) != 0) {
+        ftp_state[4] = h ^ n;
+    }
+    return n;
+}
+
+fn read_response(buf: int, cap: int) -> int {
+    var i = 0;
+    var code = 0;
+    while (i < 3 && i < cap) {
+        var c = peek8(buf + i);
+        if (!is_digit(c)) { return 0 - 1; }
+        code = code * 10 + (c - 48);
+        i = i + 1;
+    }
+    return code;
+}
+
+fn http_get(url: int, flags: int) -> int {
+    var plen = url_parse(url, &hostbuf);
+    if (plen < 0) { return 0 - 1; }
+    var code = read_response(&listing, 160);
+    if (code >= 400) { return 0 - code; }
+    return plen + (flags & 3);
+}
+
+fn header_parse(buf: int, nameout: int) -> int {
+    var colon = str_chr(buf, 58);
+    if (colon < 0) { return 0 - 1; }
+    var i = 0;
+    while (i < colon && i < 31) {
+        poke8(nameout + i, to_lower(peek8(buf + i)));
+        i = i + 1;
+    }
+    poke8(nameout + i, 0);
+    var v = colon + 1;
+    while (peek8(buf + v) == 32) { v = v + 1; }
+    return v;
+}
+
+fn http_post(url: int, body: int, flags: int) -> int {
+    var plen = url_parse(url, &hostbuf);
+    if (plen < 0) { return 0 - 1; }
+    var blen = str_len(body);
+    if (blen == 0 && (flags & 4) == 0) { return 0 - 2; }
+    ftp_state[5] = ftp_state[5] + blen;
+    var code = read_response(&listing, 160);
+    if (code == 301 || code == 302) {
+        return http_get(url, flags | 16);
+    }
+    return code;
+}
+
+fn ftp_login(user: int, pass: int) -> int {
+    var uh = hash_str(user);
+    if (str_len(pass) == 0) { return 0 - 530; }
+    var ph = hash_str(pass);
+    ftp_state[6] = (uh ^ ph) & 0xffff;
+    if (ftp_state[6] == 0) { return 0 - 1; }
+    return 230;
+}
+
+fn log_msg(msg: int, v: int) {
+    var n = str_len(msg);
+    if (n > 120) { n = 120; }
+    mem_cpy(&wkbuf, msg, n);
+    ftp_state[7] = ftp_state[7] + v;
+}
+
+fn retrieve_url(url: int, action: int) -> int {
+    var kind = str_chr(url, 58);
+    if (kind < 0) { return 0 - 1; }
+    if (peek8(url) == 102) {
+        return ftp_retrieve_glob(action);
+    }
+    return http_get(url, action);
+}
+"#,
+    );
+    if !disabled.contains(&"opie") {
+        s.push_str(
+            r#"
+fn skey_resp(challenge: int, out: int) -> int {
+    var seq = parse_int(challenge);
+    var i = str_chr(challenge, 32);
+    if (i < 0) { return 0 - 1; }
+    var h = hash_str(challenge + i + 1);
+    var round = 0;
+    while (round < seq) {
+        h = (h << 3) + (h >> 5) + round;
+        h = h ^ 0x5c5c;
+        round = round + 1;
+    }
+    return append_dec(out, h);
+}
+"#,
+        );
+    }
+    if !disabled.contains(&"cookies") {
+        s.push_str(
+            r#"
+global cookiejar: [byte; 160];
+global cookiecnt: [int; 1];
+
+fn cookie_store(name: int, value: int) -> int {
+    var off = cookiecnt[0];
+    var n = str_cpy(&cookiejar + off, name);
+    poke8(&cookiejar + off + n, 61);
+    var m = str_cpy(&cookiejar + off + n + 1, value);
+    cookiecnt[0] = off + n + m + 2;
+    return cookiecnt[0];
+}
+
+fn cookie_lookup(name: int) -> int {
+    var off = 0;
+    while (off < cookiecnt[0]) {
+        var eq = str_chr(&cookiejar + off, 61);
+        if (eq > 0) {
+            poke8(&cookiejar + off + eq, 0);
+            var r = str_cmp(&cookiejar + off, name);
+            poke8(&cookiejar + off + eq, 61);
+            if (r == 0) { return off + eq + 1; }
+        }
+        off = off + str_len(&cookiejar + off) + 1;
+    }
+    return 0 - 1;
+}
+"#,
+        );
+    }
+    // Entry point that keeps everything reachable.
+    let mut calls = String::from(
+        "    var r = retrieve_url(&urlbuf, a);\n    r = r + get_ftp(&globpat, 1);\n    r = r + http_post(&urlbuf, &listing, a) + ftp_login(&hostbuf, &urlbuf);\n    r = r + header_parse(&listing, &wkbuf);\n",
+    );
+    if !disabled.contains(&"opie") {
+        calls.push_str("    r = r + skey_resp(&listing, &wkbuf);\n");
+    }
+    if !disabled.contains(&"cookies") {
+        calls.push_str("    r = r + cookie_store(&hostbuf, &urlbuf) + cookie_lookup(&hostbuf);\n");
+    }
+    s.push_str(&format!(
+        "\nfn main(a: int) -> int {{\n{calls}    return r;\n}}\n"
+    ));
+    s
+}
+
+// ------------------------------------------------------------------
+// vsftpd
+// ------------------------------------------------------------------
+
+/// vsftpd: Table 2 line 1 (CVE-2011-0762, `vsf_filename_passes_filter`).
+pub const VSFTPD_SPEC: PackageSpec = PackageSpec {
+    name: "vsftpd",
+    executable: "bin/vsftpd",
+    library: false,
+    versions: &[
+        VersionSpec { version: "2.3.2", order: 1, vulnerable: &["vsf_filename_passes_filter"] },
+        VersionSpec { version: "2.3.5", order: 2, vulnerable: &["vsf_filename_passes_filter"] },
+        VersionSpec { version: "3.0.2", order: 3, vulnerable: &[] },
+    ],
+    features: &["ssl"],
+};
+
+fn vsftpd_source(version: &str, disabled: &[&str]) -> String {
+    let mut s = String::new();
+    s.push_str(
+        r#"
+global cmdbuf: [byte; 128];
+global userbuf: [byte; 64];
+global filter: [byte; 64];
+global sess: [int; 16];
+global resp_ok = "200 ok";
+global resp_no = "550 denied";
+"#,
+    );
+    // The vulnerable filter: unbounded recursion on `{}`/`*` patterns
+    // (the DoS); the fix bounds iterations.
+    let guard_decl = if version == "3.0.2" { "var steps = 0;\n    " } else { "" };
+    let guard = if version == "3.0.2" {
+        "steps = steps + 1;\n        if (steps > 128) { return 0; }\n        "
+    } else {
+        ""
+    };
+    s.push_str(&format!(
+        r#"
+fn vsf_filename_passes_filter(name: int, filt: int) -> int {{
+    var ni = 0;
+    var fi = 0;
+    {guard_decl}var matched = 1;
+    while (1) {{
+        {guard}var fc = peek8(filt + fi);
+        var nc = peek8(name + ni);
+        if (fc == 0) {{
+            if (nc != 0) {{ matched = 0; }}
+            break;
+        }}
+        if (fc == 42) {{
+            var rest = filt + fi + 1;
+            while (nc != 0) {{
+                if (vsf_filename_passes_filter(name + ni, rest)) {{ return 1; }}
+                ni = ni + 1;
+                nc = peek8(name + ni);
+            }}
+            return vsf_filename_passes_filter(name + ni, rest);
+        }}
+        if (fc == 123) {{
+            var close = str_chr(filt + fi, 125);
+            if (close < 0) {{ matched = 0; break; }}
+            fi = fi + close;
+        }} else {{
+            if (fc != nc) {{ matched = 0; break; }}
+            ni = ni + 1;
+        }}
+        fi = fi + 1;
+    }}
+    return matched;
+}}
+"#
+    ));
+    s.push_str(
+        r#"
+fn vsf_sanitize_filename(name: int, filt: int) -> int {
+    var ni = 0;
+    var fi = 0;
+    var matched = 1;
+    var dots = 0;
+    var slashes = 0;
+    while (1) {
+        var fc = peek8(filt + fi);
+        var nc = peek8(name + ni);
+        if (fc == 0) {
+            if (nc != 0) { matched = 0; }
+            break;
+        }
+        if (fc == 42) {
+            var rest = filt + fi + 1;
+            while (nc != 0) {
+                if (vsf_sanitize_filename(name + ni, rest)) { return 1 + dots; }
+                ni = ni + 1;
+                nc = peek8(name + ni);
+            }
+            return vsf_sanitize_filename(name + ni, rest);
+        }
+        if (fc == 123) {
+            var close = str_chr(filt + fi, 125);
+            if (close < 0) { matched = 0; break; }
+            fi = fi + close;
+        } else {
+            if (nc == 46) { dots = dots + 1; }
+            if (nc == 47) { slashes = slashes + 1; }
+            if (fc != nc) { matched = 0; break; }
+            ni = ni + 1;
+        }
+        fi = fi + 1;
+    }
+    if (slashes > 4) { return 0; }
+    if (dots > 2 && matched) { return 2; }
+    return matched;
+}
+
+fn str_locate(hay: int, needle: int) -> int {
+    var i = 0;
+    var hc = peek8(hay);
+    while (hc != 0) {
+        var j = 0;
+        while (1) {
+            var nc = peek8(needle + j);
+            if (nc == 0) { return i; }
+            if (peek8(hay + i + j) != nc) { break; }
+            j = j + 1;
+        }
+        i = i + 1;
+        hc = peek8(hay + i);
+    }
+    return 0 - 1;
+}
+
+fn tunable_lookup(name: int) -> int {
+    var h = hash_str(name);
+    var slot = h & 15;
+    return sess[slot];
+}
+
+fn send_reply(text: int, code: int) -> int {
+    var n = str_len(text);
+    mem_cpy(&wkbuf, text, n);
+    sess[1] = code;
+    return n;
+}
+
+fn handle_user(arg: int) -> int {
+    var n = str_ncpy(&userbuf, arg, 63);
+    if (n == 0) { return send_reply(&resp_no, 550); }
+    sess[2] = hash_str(&userbuf);
+    return send_reply(&resp_ok, 331);
+}
+
+fn handle_pass(arg: int) -> int {
+    var h = hash_str(arg) ^ sess[2];
+    if ((h & 0xff) == 0x2a) {
+        sess[3] = 1;
+        return send_reply(&resp_ok, 230);
+    }
+    return send_reply(&resp_no, 530);
+}
+
+fn handle_retr(arg: int) -> int {
+    if (!sess[3]) { return send_reply(&resp_no, 530); }
+    if (!vsf_filename_passes_filter(arg, &filter)) {
+        return send_reply(&resp_no, 550);
+    }
+    sess[4] = sess[4] + 1;
+    return send_reply(&resp_ok, 150);
+}
+
+fn handle_stor(arg: int) -> int {
+    if (!sess[3]) { return send_reply(&resp_no, 530); }
+    var bad = str_locate(arg, &resp_no);
+    if (bad >= 0) { return send_reply(&resp_no, 553); }
+    sess[5] = sess[5] + 1;
+    return send_reply(&resp_ok, 150);
+}
+
+fn ascii_convert(buf: int, n: int) -> int {
+    var i = 0;
+    var m = n;
+    var converted = 0;
+    while (i < m) {
+        var c = peek8(buf + i);
+        if (c == 13) {
+            var j = i;
+            while (j + 1 < m) {
+                poke8(buf + j, peek8(buf + j + 1));
+                j = j + 1;
+            }
+            m = m - 1;
+            converted = converted + 1;
+        } else {
+            i = i + 1;
+        }
+    }
+    return converted;
+}
+
+fn handle_list(arg: int) -> int {
+    if (!sess[3]) { return send_reply(&resp_no, 530); }
+    var count = 0;
+    var off = 0;
+    var n = str_len(arg + off);
+    while (n > 0 && off < 96) {
+        if (vsf_filename_passes_filter(arg + off, &filter)) { count = count + 1; }
+        off = off + n + 1;
+        n = str_len(arg + off);
+    }
+    sess[8] = count;
+    return send_reply(&resp_ok, 150);
+}
+
+fn handle_cwd(arg: int) -> int {
+    if (str_locate(arg, &resp_no) >= 0) { return send_reply(&resp_no, 550); }
+    if (secure_chroot(arg) < 0) { return send_reply(&resp_no, 550); }
+    sess[9] = hash_str(arg);
+    return send_reply(&resp_ok, 250);
+}
+
+fn data_channel_send(buf: int, n: int) -> int {
+    var sent = 0;
+    if (sess[10]) { sent = ascii_convert(buf, n); }
+    sess[11] = sess[11] + n - sent;
+    return n - sent;
+}
+
+fn secure_chroot(path: int) -> int {
+    var n = str_len(path);
+    if (n == 0 || peek8(path) != 47) { return 0 - 1; }
+    sess[6] = hash_str(path);
+    return 0;
+}
+
+fn session_init(uid: int) -> int {
+    var i = 0;
+    while (i < 16) { sess[i] = 0; i = i + 1; }
+    sess[0] = uid;
+    return secure_chroot(&cmdbuf);
+}
+
+fn cmd_dispatch(cmd: int, arg: int) -> int {
+    var h = hash_str(cmd) & 7;
+    if (h == 0) { return handle_user(arg); }
+    if (h == 1) { return handle_pass(arg); }
+    if (h == 2) { return handle_retr(arg); }
+    if (h == 3) { return handle_stor(arg); }
+    if (h == 4) { return tunable_lookup(arg); }
+    if (h == 5) { return vsf_sanitize_filename(arg, &filter); }
+    if (h == 6) { return handle_list(arg); }
+    if (h == 7) { return handle_cwd(arg); }
+    return send_reply(&resp_no, 500);
+}
+"#,
+    );
+    if !disabled.contains(&"ssl") {
+        s.push_str(
+            r#"
+fn ssl_handshake(seed: int) -> int {
+    var state = seed | 1;
+    var round = 0;
+    while (round < 16) {
+        state = state * 0x343fd + 0x269ec3;
+        state = state ^ (state >> 16);
+        round = round + 1;
+    }
+    sess[7] = state;
+    return state & 0x7fffffff;
+}
+"#,
+        );
+    }
+    let ssl_call = if disabled.contains(&"ssl") { "" } else { "    r = r + ssl_handshake(a);\n" };
+    s.push_str(&format!(
+        "\nfn main(a: int) -> int {{\n    var r = session_init(a);\n    r = r + cmd_dispatch(&cmdbuf, &userbuf);\n    r = r + data_channel_send(&cmdbuf, a & 63);\n{ssl_call}    return r;\n}}\n"
+    ));
+    s
+}
+
+// ------------------------------------------------------------------
+// bftpd
+// ------------------------------------------------------------------
+
+/// bftpd: Table 2 line 2 (CVE-2009-4593, `bftpdutmp_log`).
+pub const BFTPD_SPEC: PackageSpec = PackageSpec {
+    name: "bftpd",
+    executable: "bin/bftpd",
+    library: false,
+    versions: &[
+        VersionSpec { version: "2.1", order: 1, vulnerable: &["bftpdutmp_log"] },
+        VersionSpec { version: "4.6", order: 2, vulnerable: &[] },
+    ],
+    features: &[],
+};
+
+fn bftpd_source(version: &str, _disabled: &[&str]) -> String {
+    let mut s = String::new();
+    s.push_str(
+        r#"
+global utmp: [byte; 160];
+global utmp_pos: [int; 1];
+global linebuf: [byte; 128];
+global conf: [int; 8];
+global motd = "220 bftpd ready";
+"#,
+    );
+    // Vulnerable: no bounds check on the utmp record write; fixed
+    // version clamps.
+    let clamp = if version == "4.6" {
+        "    if (utmp_pos[0] + n + 8 > 152) { utmp_pos[0] = 0; }\n"
+    } else {
+        ""
+    };
+    s.push_str(&format!(
+        r#"
+fn bftpdutmp_log(user: int, action: int) -> int {{
+    var pos = utmp_pos[0];
+    var n = str_len(user);
+{clamp}    pos = utmp_pos[0];
+    poke8(&utmp + pos, action);
+    var i = 0;
+    while (i < n) {{
+        poke8(&utmp + pos + 1 + i, peek8(user + i));
+        i = i + 1;
+    }}
+    poke8(&utmp + pos + 1 + n, 0);
+    utmp_pos[0] = pos + n + 2;
+    conf[1] = conf[1] + 1;
+    return pos;
+}}
+"#
+    ));
+    s.push_str(
+        r#"
+fn config_read(key: int) -> int {
+    var h = hash_str(key);
+    return conf[h & 7];
+}
+
+fn path_resolve(path: int, out: int) -> int {
+    var i = 0;
+    var o = 0;
+    var c = peek8(path);
+    while (c != 0) {
+        if (c == 47 && peek8(path + i + 1) == 47) {
+            i = i + 1;
+        } else {
+            poke8(out + o, c);
+            o = o + 1;
+            i = i + 1;
+        }
+        c = peek8(path + i);
+    }
+    poke8(out + o, 0);
+    return o;
+}
+
+fn chroot_setup(root: int) -> int {
+    var n = path_resolve(root, &linebuf);
+    if (n == 0 || peek8(&linebuf) != 47) { return 0 - 1; }
+    conf[3] = hash_str(&linebuf);
+    return n;
+}
+
+fn xfer_stats(nbytes: int, ticks: int) -> int {
+    if (ticks <= 0) { return nbytes; }
+    var rate = 0;
+    var left = nbytes;
+    while (left >= ticks) { left = left - ticks; rate = rate + 1; }
+    conf[4] = rate;
+    return rate;
+}
+
+fn login_check(user: int, pass: int) -> int {
+    var uh = hash_str(user);
+    var ph = hash_str(pass);
+    if ((uh ^ ph) == 0) { return 0 - 1; }
+    bftpdutmp_log(user, 1);
+    return (uh + ph) & 0xffff;
+}
+
+fn send_line(text: int) -> int {
+    var n = str_ncpy(&linebuf, text, 127);
+    conf[2] = conf[2] + n;
+    return n;
+}
+
+fn command_loop(cmd: int) -> int {
+    var total = 0;
+    var kind = peek8(cmd);
+    if (kind == 85) { total = login_check(cmd + 5, cmd + 10); }
+    else if (kind == 81) { bftpdutmp_log(cmd + 5, 0); total = send_line(&motd); }
+    else { total = path_resolve(cmd, &linebuf); }
+    return total;
+}
+
+fn main(a: int) -> int {
+    var r = send_line(&motd);
+    r = r + command_loop(&linebuf) + config_read(&motd) + a;
+    r = r + chroot_setup(&linebuf) + xfer_stats(a * 100, a & 7);
+    return r;
+}
+"#,
+    );
+    s
+}
+
+// ------------------------------------------------------------------
+// libcurl
+// ------------------------------------------------------------------
+
+/// libcurl: Table 2 lines 3, 4 and 7 (three CVEs across versions), plus
+/// the deprecated `curl_unescape` predecessor (§5.2's "deprecated
+/// procedures" finding).
+pub const LIBCURL_SPEC: PackageSpec = PackageSpec {
+    name: "libcurl",
+    executable: "lib/libcurl.so",
+    library: true,
+    versions: &[
+        VersionSpec { version: "7.15", order: 1, vulnerable: &["curl_unescape", "tailmatch"] },
+        VersionSpec { version: "7.24", order: 2, vulnerable: &["curl_easy_unescape", "tailmatch"] },
+        VersionSpec { version: "7.50", order: 3, vulnerable: &["alloc_addbyter"] },
+    ],
+    features: &["cookies"],
+};
+
+fn libcurl_source(version: &str, disabled: &[&str]) -> String {
+    let mut s = String::new();
+    s.push_str(
+        r#"
+global outbuf: [byte; 160];
+global fmtbuf: [byte; 128];
+global curl_state: [int; 8];
+"#,
+    );
+    fn unescape_body(name: &str, guarded: bool) -> String {
+        // CVE-2012-0036: %-decoding without length validation; the fixed
+        // variant validates both hex digits.
+        let check = if guarded {
+            "if (h1 < 0 || h2 < 0) { poke8(dst + o, c); o = o + 1; i = i + 1; continue; }\n            "
+        } else {
+            ""
+        };
+        format!(
+            r#"
+{pub_kw}fn {name}(src: int, dst: int, len: int) -> int {{
+    var i = 0;
+    var o = 0;
+    var n = len;
+    if (n == 0) {{ n = str_len(src); }}
+    while (i < n) {{
+        var c = peek8(src + i);
+        if (c == 37) {{
+            var h1 = hex_val(peek8(src + i + 1));
+            var h2 = hex_val(peek8(src + i + 2));
+            {check}poke8(dst + o, (h1 << 4) | h2);
+            o = o + 1;
+            i = i + 3;
+        }} else {{
+            poke8(dst + o, c);
+            o = o + 1;
+            i = i + 1;
+        }}
+    }}
+    poke8(dst + o, 0);
+    return o;
+}}
+"#,
+            pub_kw = "pub ",
+            name = name,
+            check = check
+        )
+    }
+    s.push_str(
+        r#"
+fn hex_val(c: int) -> int {
+    if (c >= 48 && c <= 57) { return c - 48; }
+    var lc = to_lower(c);
+    if (lc >= 97 && lc <= 102) { return lc - 87; }
+    return 0 - 1;
+}
+"#,
+    );
+    match version {
+        "7.15" => s.push_str(&unescape_body("curl_unescape", false)),
+        "7.24" => s.push_str(&unescape_body("curl_easy_unescape", false)),
+        _ => s.push_str(&unescape_body("curl_easy_unescape", true)),
+    }
+    // tailmatch — CVE-2013-1944: matches cookie domains from the tail
+    // without checking the boundary; fixed adds the dot check.
+    let tail_fix = if version == "7.50" {
+        "    if (hl > nl) {\n        var boundary = peek8(hay + hl - nl - 1);\n        if (boundary != 46) { return 0; }\n    }\n"
+    } else {
+        ""
+    };
+    s.push_str(&format!(
+        r#"
+fn tailmatch(hay: int, needle: int) -> int {{
+    var hl = str_len(hay);
+    var nl = str_len(needle);
+    if (nl > hl) {{ return 0; }}
+    var i = 0;
+    while (i < nl) {{
+        var hc = to_lower(peek8(hay + hl - nl + i));
+        var nc = to_lower(peek8(needle + i));
+        if (hc != nc) {{ return 0; }}
+        i = i + 1;
+    }}
+{tail_fix}    return 1;
+}}
+"#
+    ));
+    // alloc_addbyter — CVE-2016-8618: unbounded doubling. 7.50 carries
+    // the vulnerable body (Table 2 line 7); older versions cap it.
+    let cap = if version == "7.50" {
+        ""
+    } else {
+        "    if (newsize > 1024) { newsize = 1024; }\n"
+    };
+    s.push_str(&format!(
+        r#"
+fn hostmatch(hay: int, needle: int) -> int {{
+    var hl = str_len(hay);
+    var nl = str_len(needle);
+    var wild = 0;
+    if (peek8(needle) == 42) {{ wild = 1; nl = nl - 1; }}
+    if (nl > hl) {{ return 0; }}
+    var i = 0;
+    while (i < nl) {{
+        var hc = to_lower(peek8(hay + hl - nl + i));
+        var nc = to_lower(peek8(needle + wild + i));
+        if (hc != nc) {{ return 0; }}
+        i = i + 1;
+    }}
+    if (wild == 0 && hl != nl) {{ return 0; }}
+    return 1;
+}}
+
+fn alloc_addbyter(c: int, used: int, size: int) -> int {{
+    var newsize = size;
+    if (used + 1 >= size) {{
+        newsize = size * 2;
+{cap}        curl_state[2] = curl_state[2] + 1;
+    }}
+    poke8(&outbuf + (used & 127), c);
+    curl_state[3] = used + 1;
+    return newsize;
+}}
+
+fn mprintf_fmt(fmt: int, arg: int) -> int {{
+    var i = 0;
+    var size = 16;
+    var used = 0;
+    var c = peek8(fmt);
+    while (c != 0) {{
+        if (c == 37) {{
+            var n = append_dec(&fmtbuf, arg);
+            var j = 0;
+            while (j < n) {{
+                size = alloc_addbyter(peek8(&fmtbuf + j), used, size);
+                used = used + 1;
+                j = j + 1;
+            }}
+            i = i + 2;
+        }} else {{
+            size = alloc_addbyter(c, used, size);
+            used = used + 1;
+            i = i + 1;
+        }}
+        c = peek8(fmt + i);
+    }}
+    return used;
+}}
+
+pub fn curl_easy_perform(handle: int) -> int {{
+    var r = mprintf_fmt(&fmtbuf, handle);
+    if (tailmatch(&outbuf, &fmtbuf)) {{ r = r + 1; }}
+    if (hostmatch(&outbuf, &fmtbuf)) {{ r = r + 2; }}
+    curl_state[0] = r;
+    return r;
+}}
+
+pub fn curl_easy_escape(src: int, dst: int) -> int {{
+    var i = 0;
+    var o = 0;
+    var c = peek8(src);
+    while (c != 0) {{
+        if (is_alpha(c) || is_digit(c) || c == 45 || c == 46 || c == 95) {{
+            poke8(dst + o, c);
+            o = o + 1;
+        }} else {{
+            poke8(dst + o, 37);
+            var hi = (c >> 4) & 15;
+            var lo = c & 15;
+            if (hi < 10) {{ poke8(dst + o + 1, 48 + hi); }} else {{ poke8(dst + o + 1, 55 + hi); }}
+            if (lo < 10) {{ poke8(dst + o + 2, 48 + lo); }} else {{ poke8(dst + o + 2, 55 + lo); }}
+            o = o + 3;
+        }}
+        i = i + 1;
+        c = peek8(src + i);
+    }}
+    poke8(dst + o, 0);
+    return o;
+}}
+
+fn header_append(name: int, value: int) -> int {{
+    var n = str_ncpy(&fmtbuf, name, 60);
+    poke8(&fmtbuf + n, 58);
+    poke8(&fmtbuf + n + 1, 32);
+    var m = str_ncpy(&fmtbuf + n + 2, value, 60);
+    curl_state[5] = curl_state[5] + 1;
+    return n + m + 2;
+}}
+
+fn url_decode_path(p: int) -> int {{
+    var depth = 0;
+    var i = 0;
+    var c = peek8(p);
+    while (c != 0) {{
+        if (c == 47) {{ depth = depth + 1; }}
+        i = i + 1;
+        c = peek8(p + i);
+    }}
+    return depth;
+}}
+"#
+    ));
+    if !disabled.contains(&"cookies") {
+        s.push_str(
+            r#"
+global cookiebuf: [byte; 160];
+
+fn cookie_add(domain: int, value: int) -> int {
+    if (!tailmatch(domain, value)) { return 0 - 1; }
+    var n = str_ncpy(&cookiebuf, domain, 80);
+    curl_state[4] = curl_state[4] + 1;
+    return n;
+}
+"#,
+        );
+    }
+    let unescape_entry = match version {
+        "7.15" => "curl_unescape",
+        _ => "curl_easy_unescape",
+    };
+    let cookie_call = if disabled.contains(&"cookies") {
+        String::new()
+    } else {
+        "    r = r + cookie_add(&outbuf, &fmtbuf);\n".to_string()
+    };
+    s.push_str(&format!(
+        "\nfn main(a: int) -> int {{\n    var r = curl_easy_perform(a);\n    r = r + {unescape_entry}(&fmtbuf, &outbuf, 0) + url_decode_path(&outbuf);\n    r = r + curl_easy_escape(&outbuf, &fmtbuf) + header_append(&outbuf, &fmtbuf);\n{cookie_call}    return r;\n}}\n"
+    ));
+    s
+}
+
+// ------------------------------------------------------------------
+// dbus
+// ------------------------------------------------------------------
+
+/// dbus: Table 2 line 5 (CVE-2013-2168, `printf_string_upper_bound`).
+pub const DBUS_SPEC: PackageSpec = PackageSpec {
+    name: "dbus",
+    executable: "lib/libdbus.so",
+    library: true,
+    versions: &[
+        VersionSpec { version: "1.4.0", order: 1, vulnerable: &["printf_string_upper_bound"] },
+        VersionSpec { version: "1.6.12", order: 2, vulnerable: &[] },
+    ],
+    features: &[],
+};
+
+fn dbus_source(version: &str, _disabled: &[&str]) -> String {
+    // Vulnerable: the %-scanner miscounts wide specifiers; fixed version
+    // accounts for the length modifier.
+    let wide = if version == "1.6.12" {
+        "            if (spec == 108) { bound = bound + 10; i = i + 1; }\n"
+    } else {
+        ""
+    };
+    format!(
+        r#"
+global msgbuf: [byte; 160];
+global paths: [byte; 128];
+global bus: [int; 8];
+
+fn printf_string_upper_bound(fmt: int, arg: int) -> int {{
+    var bound = 1;
+    var i = 0;
+    var c = peek8(fmt);
+    while (c != 0) {{
+        if (c == 37) {{
+            var spec = peek8(fmt + i + 1);
+{wide}            if (spec == 100) {{ bound = bound + 11; }}
+            else if (spec == 115) {{ bound = bound + str_len(arg); }}
+            else {{ bound = bound + 1; }}
+            i = i + 2;
+        }} else {{
+            bound = bound + 1;
+            i = i + 1;
+        }}
+        c = peek8(fmt + i);
+    }}
+    return bound;
+}}
+
+fn printf_int_upper_bound(fmt: int, radix: int) -> int {{
+    var bound = 1;
+    var i = 0;
+    var c = peek8(fmt);
+    while (c != 0) {{
+        if (c == 37) {{
+            var spec = peek8(fmt + i + 1);
+            if (spec == 120) {{ bound = bound + 8 + radix; }}
+            else if (spec == 100) {{ bound = bound + 11; }}
+            else {{ bound = bound + 2; }}
+            i = i + 2;
+        }} else {{
+            bound = bound + 1;
+            i = i + 1;
+        }}
+        c = peek8(fmt + i);
+    }}
+    return bound + radix;
+}}
+
+fn marshal_int(buf: int, off: int, v: int) -> int {{
+    poke8(buf + off, v & 0xff);
+    poke8(buf + off + 1, (v >> 8) & 0xff);
+    poke8(buf + off + 2, (v >> 16) & 0xff);
+    poke8(buf + off + 3, (v >> 24) & 0xff);
+    return off + 4;
+}}
+
+fn demarshal_int(buf: int, off: int) -> int {{
+    var v = peek8(buf + off);
+    v = v | (peek8(buf + off + 1) << 8);
+    v = v | (peek8(buf + off + 2) << 16);
+    v = v | (peek8(buf + off + 3) << 24);
+    return v;
+}}
+
+fn validate_path(p: int) -> int {{
+    if (peek8(p) != 47) {{ return 0; }}
+    var i = 1;
+    var c = peek8(p + 1);
+    while (c != 0) {{
+        if (c == 47 && peek8(p + i + 1) == 47) {{ return 0; }}
+        if (!is_alpha(c) && !is_digit(c) && c != 47 && c != 95) {{ return 0; }}
+        i = i + 1;
+        c = peek8(p + i);
+    }}
+    return 1;
+}}
+
+pub fn message_append(msg: int, v: int) -> int {{
+    var off = bus[0];
+    var bound = printf_string_upper_bound(msg, msg);
+    if (bound > 150) {{ return 0 - 1; }}
+    off = marshal_int(&msgbuf, off, v);
+    bus[0] = off;
+    return off;
+}}
+
+fn auth_handshake(cred: int) -> int {{
+    var state = 0;
+    var i = 0;
+    var c = peek8(cred + i);
+    while (c != 0) {{
+        if (state == 0 && c == 65) {{ state = 1; }}
+        else if (state == 1 && c == 85) {{ state = 2; }}
+        else if (state == 2 && is_digit(c)) {{ state = 3; }}
+        else if (state == 3 && c == 13) {{ return bus[2] | 1; }}
+        i = i + 1;
+        c = peek8(cred + i);
+    }}
+    return 0 - state;
+}}
+
+fn watch_dispatch(fd: int, events: int) -> int {{
+    var handled = 0;
+    if ((events & 1) != 0) {{ bus[3] = bus[3] + 1; handled = handled + 1; }}
+    if ((events & 4) != 0) {{ bus[4] = bus[4] + 1; handled = handled + 1; }}
+    if ((events & 8) != 0) {{ bus[5] = fd; return 0 - 1; }}
+    return handled;
+}}
+
+fn bus_connect(addr: int) -> int {{
+    if (!validate_path(addr)) {{ return 0 - 1; }}
+    bus[1] = hash_str(addr);
+    return bus[1] & 0xffff;
+}}
+
+fn main(a: int) -> int {{
+    var r = bus_connect(&paths);
+    r = r + message_append(&msgbuf, a);
+    r = r + demarshal_int(&msgbuf, 0);
+    r = r + printf_int_upper_bound(&msgbuf, a & 15);
+    r = r + auth_handshake(&msgbuf) + watch_dispatch(a, a & 13);
+    return r;
+}}
+"#
+    )
+}
+
+// ------------------------------------------------------------------
+// libexif
+// ------------------------------------------------------------------
+
+/// libexif: the §5.3 exported-procedure query (CVE-2012-2841).
+pub const LIBEXIF_SPEC: PackageSpec = PackageSpec {
+    name: "libexif",
+    executable: "lib/libexif.so",
+    library: true,
+    versions: &[
+        VersionSpec { version: "0.6.20", order: 1, vulnerable: &["exif_entry_get_value"] },
+        VersionSpec { version: "0.6.21", order: 2, vulnerable: &[] },
+    ],
+    features: &[],
+};
+
+fn libexif_source(version: &str, _disabled: &[&str]) -> String {
+    // Vulnerable: off-by-one when NUL-terminating the formatted value.
+    let bound = if version == "0.6.21" { "cap - 1" } else { "cap" };
+    format!(
+        r#"
+global ifd: [byte; 160];
+global valbuf: [byte; 64];
+global exif_meta: [int; 8];
+
+fn exif_get_short(buf: int, off: int) -> int {{
+    return peek8(buf + off) | (peek8(buf + off + 1) << 8);
+}}
+
+fn exif_get_long(buf: int, off: int) -> int {{
+    return exif_get_short(buf, off) | (exif_get_short(buf, off + 2) << 16);
+}}
+
+fn exif_tag_name(tag: int) -> int {{
+    if (tag == 0x010f) {{ return 1; }}
+    if (tag == 0x0110) {{ return 2; }}
+    if (tag == 0x0112) {{ return 3; }}
+    if (tag == 0x8769) {{ return 4; }}
+    return 0;
+}}
+
+pub fn exif_entry_get_value(entry: int, out: int, cap: int) -> int {{
+    var tag = exif_get_short(entry, 0);
+    var kind = exif_get_short(entry, 2);
+    var count = exif_get_long(entry, 4);
+    var name = exif_tag_name(tag);
+    if (name == 0) {{ return 0 - 1; }}
+    var n = 0;
+    if (kind == 2) {{
+        var i = 0;
+        while (i < count && i < {bound}) {{
+            poke8(out + i, peek8(entry + 8 + i));
+            i = i + 1;
+        }}
+        poke8(out + i, 0);
+        n = i;
+    }} else {{
+        n = append_dec(out, count);
+    }}
+    exif_meta[1] = exif_meta[1] + 1;
+    return n;
+}}
+
+fn exif_get_rational(buf: int, off: int, denomout: int) -> int {{
+    var numer = exif_get_long(buf, off);
+    var denom = exif_get_long(buf, off + 4);
+    if (denom == 0) {{ poke(denomout, 1); return 0; }}
+    poke(denomout, denom);
+    return numer;
+}}
+
+pub fn exif_data_save(buf: int, len: int) -> int {{
+    if (len < 8) {{ return 0 - 1; }}
+    poke8(buf, 0x49);
+    poke8(buf + 1, 0x49);
+    poke8(buf + 2, 42);
+    poke8(buf + 3, 0);
+    var off = 8;
+    poke8(buf + 4, off & 255);
+    poke8(buf + 5, 0);
+    poke8(buf + 6, 0);
+    poke8(buf + 7, 0);
+    exif_meta[2] = exif_meta[2] + 1;
+    return off;
+}}
+
+fn exif_parse_ifd(buf: int, off: int) -> int {{
+    var count = exif_get_short(buf, off);
+    var i = 0;
+    var good = 0;
+    while (i < count && i < 16) {{
+        var entry = buf + off + 2 + i * 12;
+        if (exif_entry_get_value(entry, &valbuf, 64) >= 0) {{ good = good + 1; }}
+        i = i + 1;
+    }}
+    exif_meta[0] = good;
+    return good;
+}}
+
+pub fn exif_data_load(buf: int, len: int) -> int {{
+    if (len < 8) {{ return 0 - 1; }}
+    if (exif_get_short(buf, 0) != 0x4949) {{ return 0 - 2; }}
+    var off = exif_get_long(buf, 4);
+    if (off + 2 > len) {{ return 0 - 3; }}
+    return exif_parse_ifd(buf, off);
+}}
+
+fn main(a: int) -> int {{
+    var r = exif_data_load(&ifd, 160) + a;
+    r = r + exif_data_save(&ifd, 160) + exif_get_rational(&ifd, 8, &exif_meta);
+    return r;
+}}
+"#
+    )
+}
+
+// ------------------------------------------------------------------
+// net-snmp
+// ------------------------------------------------------------------
+
+/// net-snmp: the §5.3 exported-procedure query (`snmp_pdu_parse`).
+pub const NETSNMP_SPEC: PackageSpec = PackageSpec {
+    name: "net-snmp",
+    executable: "bin/snmpd",
+    library: true,
+    versions: &[
+        VersionSpec { version: "5.7.2", order: 1, vulnerable: &["snmp_pdu_parse"] },
+        VersionSpec { version: "5.7.3", order: 2, vulnerable: &[] },
+    ],
+    features: &[],
+};
+
+fn netsnmp_source(version: &str, _disabled: &[&str]) -> String {
+    // Vulnerable: incomplete varbind list parsing leaves a dangling
+    // element (CVE-2014-3565-style); fixed zeroes the tail.
+    let fix = if version == "5.7.3" {
+        "    while (n < 16) { pdu[n & 15] = 0; n = n + 1; }\n"
+    } else {
+        ""
+    };
+    format!(
+        r#"
+global packet: [byte; 160];
+global community: [byte; 32];
+global pdu: [int; 16];
+global oidbuf: [int; 16];
+
+fn asn_parse_len(buf: int, off: int) -> int {{
+    var b = peek8(buf + off);
+    if (b < 128) {{ return b; }}
+    var nbytes = b & 127;
+    var v = 0;
+    var i = 0;
+    while (i < nbytes && i < 4) {{
+        v = (v << 8) | peek8(buf + off + 1 + i);
+        i = i + 1;
+    }}
+    return v;
+}}
+
+fn asn_parse_int(buf: int, off: int) -> int {{
+    if (peek8(buf + off) != 2) {{ return 0 - 1; }}
+    var len = asn_parse_len(buf, off + 1);
+    var v = 0;
+    var i = 0;
+    while (i < len && i < 4) {{
+        v = (v << 8) | peek8(buf + off + 2 + i);
+        i = i + 1;
+    }}
+    return v;
+}}
+
+fn asn_parse_string(buf: int, off: int, out: int) -> int {{
+    if (peek8(buf + off) != 4) {{ return 0 - 1; }}
+    var len = asn_parse_len(buf, off + 1);
+    var i = 0;
+    while (i < len && i < 31) {{
+        poke8(out + i, peek8(buf + off + 2 + i));
+        i = i + 1;
+    }}
+    poke8(out + i, 0);
+    return len;
+}}
+
+fn oid_compare(a: int, b: int, n: int) -> int {{
+    var i = 0;
+    while (i < n) {{
+        var av = peek(a + i * 4);
+        var bv = peek(b + i * 4);
+        if (av < bv) {{ return 0 - 1; }}
+        if (av > bv) {{ return 1; }}
+        i = i + 1;
+    }}
+    return 0;
+}}
+
+fn community_check(buf: int, off: int) -> int {{
+    var n = asn_parse_string(buf, off, &community);
+    if (n <= 0) {{ return 0 - 1; }}
+    return hash_str(&community) & 0xffff;
+}}
+
+pub fn snmp_pdu_parse(buf: int, len: int) -> int {{
+    if (peek8(buf) != 48) {{ return 0 - 1; }}
+    var ver = asn_parse_int(buf, 2);
+    if (ver < 0 || ver > 3) {{ return 0 - 2; }}
+    var off = 5;
+    var comm = community_check(buf, off);
+    if (comm < 0) {{ return 0 - 3; }}
+    off = off + 2 + (comm & 7);
+    var n = 0;
+    while (off < len && n < 16) {{
+        var t = peek8(buf + off);
+        if (t == 6) {{
+            pdu[n] = asn_parse_len(buf, off + 1);
+            n = n + 1;
+        }}
+        off = off + 2 + asn_parse_len(buf, off + 1);
+    }}
+{fix}    pdu[0] = pdu[0] | (n << 8);
+    return n;
+}}
+
+fn mib_lookup(oid: int, n: int) -> int {{
+    var best = 0 - 1;
+    var i = 0;
+    while (i < 16) {{
+        if (oidbuf[i] != 0) {{
+            if (oid_compare(oid, &oidbuf, n) <= 0) {{ best = i; }}
+        }}
+        i = i + 1;
+    }}
+    return best;
+}}
+
+fn snmp_build_response(buf: int, code: int, n: int) -> int {{
+    poke8(buf, 48);
+    poke8(buf + 1, n & 127);
+    poke8(buf + 2, 2);
+    poke8(buf + 3, 1);
+    poke8(buf + 4, code & 255);
+    var i = 0;
+    while (i < n && i < 16) {{
+        poke8(buf + 5 + i, pdu[i] & 255);
+        i = i + 1;
+    }}
+    return 5 + i;
+}}
+
+fn agent_respond(kind: int) -> int {{
+    var r = snmp_pdu_parse(&packet, 160);
+    if (r < 0) {{ return r; }}
+    if (kind == 0) {{ return oid_compare(&pdu, &oidbuf, r & 15); }}
+    if (kind == 1) {{ return mib_lookup(&pdu, r & 15); }}
+    return snmp_build_response(&packet, r & 3, r & 15);
+}}
+
+fn main(a: int) -> int {{
+    var r = agent_respond(a);
+    return r;
+}}
+"#
+    )
+}
+
+// ------------------------------------------------------------------
+// busybox (noise package, no CVEs)
+// ------------------------------------------------------------------
+
+/// busybox: a no-CVE package that pads firmware images with realistic
+/// unrelated procedures.
+pub const BUSYBOX_SPEC: PackageSpec = PackageSpec {
+    name: "busybox",
+    executable: "bin/busybox",
+    library: false,
+    versions: &[
+        VersionSpec { version: "1.19", order: 1, vulnerable: &[] },
+        VersionSpec { version: "1.24", order: 2, vulnerable: &[] },
+    ],
+    features: &["mount"],
+};
+
+fn busybox_source(version: &str, disabled: &[&str]) -> String {
+    let mut s = String::new();
+    s.push_str(
+        r#"
+global argbuf: [byte; 128];
+global envbuf: [byte; 128];
+global applets: [int; 16];
+
+fn getopt_scan(args: int, flagchar: int) -> int {
+    var i = 0;
+    var c = peek8(args);
+    var hits = 0;
+    while (c != 0) {
+        if (c == 45 && peek8(args + i + 1) == flagchar) { hits = hits + 1; }
+        i = i + 1;
+        c = peek8(args + i);
+    }
+    return hits;
+}
+
+fn echo_main(args: int) -> int {
+    var n = str_len(args);
+    mem_cpy(&wkbuf, args, n & 127);
+    return n;
+}
+
+fn cat_main(args: int) -> int {
+    var total = 0;
+    var off = 0;
+    var n = str_len(args + off);
+    while (n > 0) {
+        total = total + n;
+        off = off + n + 1;
+        if (off > 120) { break; }
+        n = str_len(args + off);
+    }
+    return total;
+}
+
+fn ls_main(args: int) -> int {
+    var longmode = getopt_scan(args, 108);
+    var all = getopt_scan(args, 97);
+    var count = 0;
+    var i = 0;
+    while (i < 16) {
+        if (applets[i] != 0) {
+            count = count + 1;
+            if (longmode) { count = count + 1; }
+        }
+        i = i + 1;
+    }
+    return count + all;
+}
+
+fn wc_main(args: int) -> int {
+    var lines = 0;
+    var words = 0;
+    var inword = 0;
+    var i = 0;
+    var c = peek8(args + i);
+    while (c != 0) {
+        if (c == 10) { lines = lines + 1; }
+        if (c == 32 || c == 10 || c == 9) {
+            inword = 0;
+        } else if (!inword) {
+            inword = 1;
+            words = words + 1;
+        }
+        i = i + 1;
+        c = peek8(args + i);
+    }
+    return lines * 1000 + words;
+}
+
+fn grep_main(pattern: int, text: int) -> int {
+    var hits = 0;
+    var off = 0;
+    var c = peek8(text + off);
+    while (c != 0) {
+        var j = 0;
+        while (1) {
+            var pc = peek8(pattern + j);
+            if (pc == 0) { hits = hits + 1; break; }
+            if (peek8(text + off + j) != pc) { break; }
+            j = j + 1;
+        }
+        off = off + 1;
+        c = peek8(text + off);
+    }
+    return hits;
+}
+
+fn head_main(text: int, n: int) -> int {
+    var lines = 0;
+    var i = 0;
+    var c = peek8(text + i);
+    while (c != 0 && lines < n) {
+        if (c == 10) { lines = lines + 1; }
+        i = i + 1;
+        c = peek8(text + i);
+    }
+    return i;
+}
+
+fn env_lookup(name: int) -> int {
+    var off = 0;
+    while (off < 120) {
+        var n = str_len(&envbuf + off);
+        if (n == 0) { return 0 - 1; }
+        var eq = str_chr(&envbuf + off, 61);
+        if (eq > 0) {
+            poke8(&envbuf + off + eq, 0);
+            var r = str_cmp(&envbuf + off, name);
+            poke8(&envbuf + off + eq, 61);
+            if (r == 0) { return off + eq + 1; }
+        }
+        off = off + n + 1;
+    }
+    return 0 - 1;
+}
+"#,
+    );
+    if version == "1.24" {
+        s.push_str(
+            r#"
+fn seq_main(lo: int, hi: int) -> int {
+    var acc = 0;
+    var i = lo;
+    while (i <= hi) { acc = acc + i; i = i + 1; }
+    return acc;
+}
+"#,
+        );
+    }
+    if !disabled.contains(&"mount") {
+        s.push_str(
+            r#"
+fn mount_main(args: int) -> int {
+    var ro = getopt_scan(args, 114);
+    var h = hash_str(args);
+    applets[h & 15] = h | ro;
+    return h & 0x7fffffff;
+}
+"#,
+        );
+    }
+    let mut calls = String::from(
+        "    var r = echo_main(&argbuf) + cat_main(&argbuf) + ls_main(&argbuf);\n    r = r + env_lookup(&envbuf) + wc_main(&envbuf) + grep_main(&argbuf, &envbuf);\n    r = r + head_main(&envbuf, a & 7);\n",
+    );
+    if version == "1.24" {
+        calls.push_str("    r = r + seq_main(1, a & 15);\n");
+    }
+    if !disabled.contains(&"mount") {
+        calls.push_str("    r = r + mount_main(&argbuf);\n");
+    }
+    s.push_str(&format!(
+        "\nfn applet_dispatch(which: int) -> int {{\n    if (which == 0) {{ return echo_main(&argbuf); }}\n    if (which == 1) {{ return cat_main(&argbuf); }}\n    return ls_main(&argbuf);\n}}\n\nfn main(a: int) -> int {{\n{calls}    r = r + applet_dispatch(a & 3);\n    return r;\n}}\n"
+    ));
+    s
+}
+
+// ------------------------------------------------------------------
+// Filler generation
+// ------------------------------------------------------------------
+
+/// Deterministically generate `count` filler procedures (vendor-specific
+/// service code that pads real firmware executables). Returns the extra
+/// source plus statements calling them (spliced into `main` by the
+/// assembler — all generated code stays reachable).
+pub fn filler_functions(seed: u64, count: usize) -> (String, String) {
+    let mut rng = SmallRng::seed_from_u64(seed);
+    let mut src = String::new();
+    let mut calls = String::new();
+    for k in 0..count {
+        let id: u32 = rng.gen_range(0x1000..0xffff);
+        let c1: i32 = rng.gen_range(1..200);
+        let c2: i32 = rng.gen_range(2..30);
+        let c3: i32 = rng.gen_range(3..12);
+        let sh: i32 = rng.gen_range(1..6);
+        let name = format!("svc_{id:04x}_{k}");
+        match rng.gen_range(0..4) {
+            0 => src.push_str(&format!(
+                r#"
+fn {name}(a: int, b: int) -> int {{
+    var acc = {c1};
+    var i = 0;
+    while (i < {c3}) {{
+        acc = acc + (a ^ (b << {sh})) * {c2};
+        if (acc > 100000) {{ acc = acc - 100000; }}
+        i = i + 1;
+    }}
+    return acc;
+}}
+"#
+            )),
+            1 => src.push_str(&format!(
+                r#"
+fn {name}(a: int, b: int) -> int {{
+    if (a < b) {{ return (b - a) * {c2} + {c1}; }}
+    if (a == b) {{ return {c1}; }}
+    var d = a - b;
+    var acc = 0;
+    while (d > 0) {{ acc = acc + (d & {c3}); d = d >> 1; }}
+    return acc;
+}}
+"#
+            )),
+            2 => src.push_str(&format!(
+                r#"
+fn {name}(p: int, n: int) -> int {{
+    var sum = {c1};
+    var i = 0;
+    while (i < n && i < {c3}) {{
+        var c = peek8(p + i);
+        sum = (sum << {sh}) ^ c;
+        i = i + 1;
+    }}
+    return sum & 0x7fffffff;
+}}
+"#
+            )),
+            _ => src.push_str(&format!(
+                r#"
+fn {name}(a: int, b: int) -> int {{
+    var x = a | {c1};
+    var y = b & {c2};
+    var acc = 0;
+    if ((x ^ y) > {c3}) {{ acc = x * {c2} - y; }} else {{ acc = y * {c3} + x; }}
+    return acc ^ (acc >> {sh});
+}}
+"#
+            )),
+        }
+        calls.push_str(&format!("    r = r + {name}(a, r);\n"));
+    }
+    (src, calls)
+}
+
+/// Assemble the full MinC source for a package build.
+///
+/// # Panics
+///
+/// Panics on an unknown package or version (corpus bugs, not runtime
+/// conditions).
+pub fn source_for(
+    pkg: &str,
+    version: &str,
+    disabled_features: &[&str],
+    filler_seed: u64,
+    filler_count: usize,
+) -> String {
+    let spec = package(pkg).unwrap_or_else(|| panic!("unknown package `{pkg}`"));
+    assert!(
+        spec.version(version).is_some(),
+        "unknown version `{version}` for `{pkg}`"
+    );
+    let body = match pkg {
+        "wget" => wget_source(version, disabled_features),
+        "vsftpd" => vsftpd_source(version, disabled_features),
+        "bftpd" => bftpd_source(version, disabled_features),
+        "libcurl" => libcurl_source(version, disabled_features),
+        "dbus" => dbus_source(version, disabled_features),
+        "libexif" => libexif_source(version, disabled_features),
+        "net-snmp" => netsnmp_source(version, disabled_features),
+        "busybox" => busybox_source(version, disabled_features),
+        other => panic!("unknown package `{other}`"),
+    };
+    let (filler_src, filler_calls) = if filler_count > 0 {
+        filler_functions(filler_seed, filler_count)
+    } else {
+        (String::new(), String::new())
+    };
+    // Splice filler calls into main so every generated function is
+    // reachable from the entry point.
+    let body = if filler_calls.is_empty() {
+        body
+    } else {
+        let needle = "    return r;\n}\n";
+        if let Some(pos) = body.rfind(needle) {
+            let mut b = body.clone();
+            b.insert_str(pos, &filler_calls);
+            b
+        } else {
+            body
+        }
+    };
+    format!("{PRELUDE}\n{filler_src}\n{body}")
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use firmup_compiler::{compile_source, CompilerOptions, ToolchainProfile};
+    use firmup_isa::Arch;
+
+    #[test]
+    fn every_package_version_compiles_everywhere() {
+        for pkg in all_packages() {
+            for ver in pkg.versions {
+                let src = source_for(pkg.name, ver.version, &[], 42, 3);
+                for arch in Arch::all() {
+                    for profile in [ToolchainProfile::gcc_like(), ToolchainProfile::vendor_debug()] {
+                        compile_source(
+                            &src,
+                            arch,
+                            &CompilerOptions {
+                                profile: profile.clone(),
+                                layout: Default::default(),
+                            },
+                        )
+                        .unwrap_or_else(|e| {
+                            panic!("{}/{} on {arch}/{}: {e}", pkg.name, ver.version, profile.name)
+                        });
+                    }
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn vulnerable_procedures_exist_in_their_versions() {
+        for pkg in all_packages() {
+            for ver in pkg.versions {
+                let src = source_for(pkg.name, ver.version, &[], 1, 0);
+                let elf = compile_source(&src, Arch::Mips32, &CompilerOptions::default()).unwrap();
+                for vuln in ver.vulnerable {
+                    assert!(
+                        elf.symbols.iter().any(|s| s.name == *vuln),
+                        "{}/{}: missing vulnerable procedure {vuln}",
+                        pkg.name,
+                        ver.version
+                    );
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn cve_list_is_consistent_with_packages() {
+        for cve in all_cves() {
+            let pkg = package(cve.package).unwrap_or_else(|| panic!("{}: package missing", cve.cve));
+            assert!(
+                pkg.versions.iter().any(|v| v.vulnerable.contains(&cve.procedure)),
+                "{}: procedure {} never vulnerable in {}",
+                cve.cve,
+                cve.procedure,
+                cve.package
+            );
+        }
+    }
+
+    #[test]
+    fn features_control_procedure_presence() {
+        let with = source_for("wget", "1.15", &[], 1, 0);
+        let without = source_for("wget", "1.15", &["opie"], 1, 0);
+        let e_with = compile_source(&with, Arch::Arm32, &CompilerOptions::default()).unwrap();
+        let e_without = compile_source(&without, Arch::Arm32, &CompilerOptions::default()).unwrap();
+        assert!(e_with.symbols.iter().any(|s| s.name == "skey_resp"));
+        assert!(!e_without.symbols.iter().any(|s| s.name == "skey_resp"));
+    }
+
+    #[test]
+    fn deprecated_predecessor_in_old_curl() {
+        let old = source_for("libcurl", "7.15", &[], 1, 0);
+        let new = source_for("libcurl", "7.24", &[], 1, 0);
+        let e_old = compile_source(&old, Arch::X86, &CompilerOptions::default()).unwrap();
+        let e_new = compile_source(&new, Arch::X86, &CompilerOptions::default()).unwrap();
+        assert!(e_old.symbols.iter().any(|s| s.name == "curl_unescape"));
+        assert!(!e_old.symbols.iter().any(|s| s.name == "curl_easy_unescape"));
+        assert!(e_new.symbols.iter().any(|s| s.name == "curl_easy_unescape"));
+    }
+
+    #[test]
+    fn filler_is_deterministic_and_varies_by_seed() {
+        let (a1, _) = filler_functions(7, 5);
+        let (a2, _) = filler_functions(7, 5);
+        let (b, _) = filler_functions(8, 5);
+        assert_eq!(a1, a2);
+        assert_ne!(a1, b);
+    }
+
+    #[test]
+    fn exported_markers_survive_stripping() {
+        let src = source_for("libcurl", "7.24", &[], 1, 0);
+        let mut elf = compile_source(&src, Arch::Ppc32, &CompilerOptions::default()).unwrap();
+        elf.strip(true);
+        assert!(elf.symbols.iter().any(|s| s.name == "curl_easy_unescape"));
+        assert!(!elf.symbols.iter().any(|s| s.name == "tailmatch"), "static fn stripped");
+    }
+
+    #[test]
+    fn packages_execute_without_faulting() {
+        // Sanity: main() of each package runs to completion in the
+        // emulator on one architecture (exercises the string helpers).
+        for pkg in all_packages() {
+            let src = source_for(pkg.name, pkg.latest().version, &[], 3, 2);
+            let elf = compile_source(&src, Arch::Mips32, &CompilerOptions::default()).unwrap();
+            firmup_core::emu::call_function(&elf, "main", &[1])
+                .unwrap_or_else(|e| panic!("{}: {e}", pkg.name));
+        }
+    }
+}

@@ -1,0 +1,73 @@
+//! Property tests for the firmware container.
+
+use firmup_firmware::crc::crc32;
+use firmup_firmware::image::{pack, unpack, ImageMeta, Part, UnpackIssue};
+use proptest::prelude::*;
+
+fn meta() -> impl Strategy<Value = ImageMeta> {
+    ("[A-Za-z]{1,12}", "[A-Za-z0-9-]{1,12}", "[0-9.]{1,8}").prop_map(|(vendor, device, version)| {
+        ImageMeta {
+            vendor,
+            device,
+            version,
+        }
+    })
+}
+
+fn parts() -> impl Strategy<Value = Vec<Part>> {
+    proptest::collection::vec(
+        ("[a-z/_.]{1,24}", proptest::collection::vec(any::<u8>(), 0..512))
+            .prop_map(|(name, data)| Part { name, data }),
+        0..6,
+    )
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(256))]
+
+    /// Arbitrary images round-trip exactly.
+    #[test]
+    fn pack_unpack_roundtrip(meta in meta(), parts in parts()) {
+        let blob = pack(&meta, &parts);
+        let u = unpack(&blob).expect("own output unpacks");
+        prop_assert_eq!(u.meta, meta);
+        prop_assert_eq!(u.parts, parts);
+        prop_assert!(u.issues.is_empty());
+    }
+
+    /// The unpacker never panics on arbitrary input.
+    #[test]
+    fn unpack_never_panics(bytes in proptest::collection::vec(any::<u8>(), 0..768)) {
+        let _ = unpack(&bytes);
+    }
+
+    /// Flipping any single payload byte is detected by exactly the
+    /// affected part's checksum.
+    #[test]
+    fn payload_corruption_detected(
+        meta in meta(),
+        data in proptest::collection::vec(any::<u8>(), 8..128),
+        which in any::<proptest::sample::Index>(),
+        bit in 0u8..8,
+    ) {
+        let parts = vec![Part { name: "p".into(), data }];
+        let mut blob = pack(&meta, &parts);
+        // Payload sits at the end of the blob.
+        let payload_start = blob.len() - parts[0].data.len();
+        let idx = payload_start + which.index(parts[0].data.len());
+        blob[idx] ^= 1 << bit;
+        let u = unpack(&blob).expect("structure intact");
+        prop_assert_eq!(u.issues, vec![UnpackIssue::BadChecksum { name: "p".into() }]);
+    }
+
+    /// CRC32 is stable and sensitive.
+    #[test]
+    fn crc_detects_any_single_bit(data in proptest::collection::vec(any::<u8>(), 1..64), which in any::<proptest::sample::Index>(), bit in 0u8..8) {
+        let base = crc32(&data);
+        let mut mutated = data.clone();
+        let i = which.index(mutated.len());
+        mutated[i] ^= 1 << bit;
+        prop_assert_ne!(crc32(&mutated), base);
+        prop_assert_eq!(crc32(&data), base);
+    }
+}

@@ -1,0 +1,402 @@
+//! Basic blocks, procedures, control-flow graphs and call graphs.
+
+use std::collections::{BTreeMap, BTreeSet, VecDeque};
+use std::fmt;
+
+use crate::stmt::{Jump, Stmt};
+
+/// A lifted basic block.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Block {
+    /// Address of the first instruction.
+    pub addr: u32,
+    /// Byte length of the block in the original binary.
+    pub len: u32,
+    /// Lifted statements, in execution order.
+    pub stmts: Vec<Stmt>,
+    /// Terminator.
+    pub jump: Jump,
+    /// Disassembly text of the block's instructions (diagnostic only; not
+    /// used for similarity).
+    pub asm: Vec<String>,
+}
+
+impl Block {
+    /// All intra-procedural successor addresses: side exits plus the
+    /// terminator's successors.
+    pub fn successors(&self) -> Vec<u32> {
+        let mut out: Vec<u32> = self
+            .stmts
+            .iter()
+            .filter_map(|s| match s {
+                Stmt::Exit { target, .. } => Some(*target),
+                _ => None,
+            })
+            .collect();
+        out.extend(self.jump.successors());
+        out
+    }
+
+    /// End address (exclusive).
+    pub fn end(&self) -> u32 {
+        self.addr + self.len
+    }
+}
+
+impl fmt::Display for Block {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        writeln!(f, "block {:#x}:", self.addr)?;
+        for s in &self.stmts {
+            writeln!(f, "  {s}")?;
+        }
+        writeln!(f, "  {}", self.jump)
+    }
+}
+
+/// A lifted procedure: an entry block plus every block reachable from it.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Procedure {
+    /// Entry address.
+    pub addr: u32,
+    /// Symbol name, when the binary was not stripped (`None` otherwise).
+    pub name: Option<String>,
+    /// Blocks, sorted by address. The entry block is the one whose
+    /// `addr` equals the procedure's `addr`.
+    pub blocks: Vec<Block>,
+}
+
+impl Procedure {
+    /// Find a block by its start address.
+    pub fn block_at(&self, addr: u32) -> Option<&Block> {
+        self.blocks
+            .binary_search_by_key(&addr, |b| b.addr)
+            .ok()
+            .map(|i| &self.blocks[i])
+    }
+
+    /// The entry block.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the procedure has no block at its entry address, which
+    /// would indicate a lifter bug.
+    pub fn entry_block(&self) -> &Block {
+        self.block_at(self.addr).expect("procedure entry block missing")
+    }
+
+    /// Build the control-flow graph over this procedure's blocks.
+    pub fn cfg(&self) -> Cfg {
+        Cfg::new(self)
+    }
+
+    /// Direct call targets appearing in this procedure, deduplicated and
+    /// sorted.
+    pub fn call_targets(&self) -> Vec<u32> {
+        let set: BTreeSet<u32> = self.blocks.iter().filter_map(|b| b.jump.call_target()).collect();
+        set.into_iter().collect()
+    }
+
+    /// Total number of lifted statements across all blocks.
+    pub fn stmt_count(&self) -> usize {
+        self.blocks.iter().map(|b| b.stmts.len()).sum()
+    }
+
+    /// A short printable identifier: the symbol name when available,
+    /// otherwise `sub_<addr>` in the IDA style used throughout the paper.
+    pub fn display_name(&self) -> String {
+        match &self.name {
+            Some(n) => n.clone(),
+            None => format!("sub_{:x}", self.addr),
+        }
+    }
+}
+
+/// Control-flow graph of a procedure, with adjacency by block address.
+#[derive(Debug, Clone)]
+pub struct Cfg {
+    entry: u32,
+    succs: BTreeMap<u32, Vec<u32>>,
+    preds: BTreeMap<u32, Vec<u32>>,
+}
+
+impl Cfg {
+    /// Build the CFG of a procedure. Edges to addresses that are not block
+    /// starts inside the procedure (e.g. tail jumps to other procedures)
+    /// are dropped.
+    pub fn new(proc: &Procedure) -> Cfg {
+        let known: BTreeSet<u32> = proc.blocks.iter().map(|b| b.addr).collect();
+        let mut succs: BTreeMap<u32, Vec<u32>> = BTreeMap::new();
+        let mut preds: BTreeMap<u32, Vec<u32>> = BTreeMap::new();
+        for b in &proc.blocks {
+            succs.entry(b.addr).or_default();
+            preds.entry(b.addr).or_default();
+        }
+        for b in &proc.blocks {
+            for s in b.successors() {
+                if known.contains(&s) {
+                    succs.get_mut(&b.addr).expect("inserted above").push(s);
+                    preds.get_mut(&s).expect("inserted above").push(b.addr);
+                }
+            }
+        }
+        Cfg {
+            entry: proc.addr,
+            succs,
+            preds,
+        }
+    }
+
+    /// Entry block address.
+    pub fn entry(&self) -> u32 {
+        self.entry
+    }
+
+    /// Successor addresses of a block.
+    pub fn successors(&self, addr: u32) -> &[u32] {
+        self.succs.get(&addr).map(Vec::as_slice).unwrap_or(&[])
+    }
+
+    /// Predecessor addresses of a block.
+    pub fn predecessors(&self, addr: u32) -> &[u32] {
+        self.preds.get(&addr).map(Vec::as_slice).unwrap_or(&[])
+    }
+
+    /// Number of nodes.
+    pub fn node_count(&self) -> usize {
+        self.succs.len()
+    }
+
+    /// Number of edges.
+    pub fn edge_count(&self) -> usize {
+        self.succs.values().map(Vec::len).sum()
+    }
+
+    /// Blocks unreachable from the entry. A non-empty result indicates a
+    /// lifting problem; the paper (§3.1) adds exactly this kind of
+    /// connectivity corroboration on top of the lifter.
+    pub fn unreachable_blocks(&self) -> Vec<u32> {
+        let mut seen: BTreeSet<u32> = BTreeSet::new();
+        let mut queue = VecDeque::new();
+        queue.push_back(self.entry);
+        seen.insert(self.entry);
+        while let Some(a) = queue.pop_front() {
+            for &s in self.successors(a) {
+                if seen.insert(s) {
+                    queue.push_back(s);
+                }
+            }
+        }
+        self.succs.keys().copied().filter(|a| !seen.contains(a)).collect()
+    }
+
+    /// Reverse post-order of the reachable blocks (entry first).
+    pub fn reverse_post_order(&self) -> Vec<u32> {
+        let mut visited = BTreeSet::new();
+        let mut order = Vec::new();
+        // Iterative DFS with an explicit "post" marker.
+        let mut stack = vec![(self.entry, false)];
+        while let Some((node, post)) = stack.pop() {
+            if post {
+                order.push(node);
+                continue;
+            }
+            if !visited.insert(node) {
+                continue;
+            }
+            stack.push((node, true));
+            for &s in self.successors(node).iter().rev() {
+                if !visited.contains(&s) {
+                    stack.push((s, false));
+                }
+            }
+        }
+        order.reverse();
+        order
+    }
+
+    /// Out-degree sequence, sorted descending — a structural fingerprint
+    /// used by the BinDiff-style baseline.
+    pub fn degree_sequence(&self) -> Vec<usize> {
+        let mut seq: Vec<usize> = self.succs.values().map(Vec::len).collect();
+        seq.sort_unstable_by(|a, b| b.cmp(a));
+        seq
+    }
+}
+
+/// A whole lifted executable: its procedures and the call graph.
+#[derive(Debug, Clone)]
+pub struct ProgramIr {
+    /// Procedures, sorted by entry address.
+    pub procedures: Vec<Procedure>,
+}
+
+impl ProgramIr {
+    /// Find a procedure by entry address.
+    pub fn procedure_at(&self, addr: u32) -> Option<&Procedure> {
+        self.procedures
+            .binary_search_by_key(&addr, |p| p.addr)
+            .ok()
+            .map(|i| &self.procedures[i])
+    }
+
+    /// Find a procedure by (exact) name.
+    pub fn procedure_named(&self, name: &str) -> Option<&Procedure> {
+        self.procedures.iter().find(|p| p.name.as_deref() == Some(name))
+    }
+
+    /// Build the static call graph.
+    pub fn call_graph(&self) -> CallGraph {
+        let mut edges: BTreeMap<u32, Vec<u32>> = BTreeMap::new();
+        let known: BTreeSet<u32> = self.procedures.iter().map(|p| p.addr).collect();
+        for p in &self.procedures {
+            let callees: Vec<u32> = p.call_targets().into_iter().filter(|t| known.contains(t)).collect();
+            edges.insert(p.addr, callees);
+        }
+        CallGraph { edges }
+    }
+}
+
+/// Static call graph of an executable, keyed by procedure entry address.
+#[derive(Debug, Clone)]
+pub struct CallGraph {
+    edges: BTreeMap<u32, Vec<u32>>,
+}
+
+impl CallGraph {
+    /// Callees of a procedure.
+    pub fn callees(&self, addr: u32) -> &[u32] {
+        self.edges.get(&addr).map(Vec::as_slice).unwrap_or(&[])
+    }
+
+    /// Callers of a procedure (computed by scan).
+    pub fn callers(&self, addr: u32) -> Vec<u32> {
+        self.edges
+            .iter()
+            .filter(|(_, cs)| cs.contains(&addr))
+            .map(|(&a, _)| a)
+            .collect()
+    }
+
+    /// Number of procedures.
+    pub fn node_count(&self) -> usize {
+        self.edges.len()
+    }
+
+    /// Total call edges.
+    pub fn edge_count(&self) -> usize {
+        self.edges.values().map(Vec::len).sum()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::expr::{BinOp, Expr, RegId, Temp};
+    use crate::stmt::CallTarget;
+
+    fn blk(addr: u32, stmts: Vec<Stmt>, jump: Jump) -> Block {
+        Block {
+            addr,
+            len: 8,
+            stmts,
+            jump,
+            asm: vec![],
+        }
+    }
+
+    /// A diamond-shaped procedure:
+    /// 0x0 -> {0x10, 0x20} -> 0x30 -> ret
+    fn diamond() -> Procedure {
+        Procedure {
+            addr: 0,
+            name: Some("diamond".into()),
+            blocks: vec![
+                blk(
+                    0,
+                    vec![Stmt::Exit {
+                        cond: Expr::bin(BinOp::CmpEq, Expr::Get(RegId(0)), Expr::Const(0)),
+                        target: 0x20,
+                    }],
+                    Jump::Fall(0x10),
+                ),
+                blk(0x10, vec![Stmt::SetTmp(Temp(0), Expr::Const(1))], Jump::Direct(0x30)),
+                blk(0x20, vec![Stmt::SetTmp(Temp(0), Expr::Const(2))], Jump::Fall(0x30)),
+                blk(0x30, vec![], Jump::Ret),
+            ],
+        }
+    }
+
+    #[test]
+    fn cfg_edges_and_reachability() {
+        let p = diamond();
+        let cfg = p.cfg();
+        assert_eq!(cfg.node_count(), 4);
+        assert_eq!(cfg.edge_count(), 4);
+        assert_eq!(cfg.successors(0), &[0x20, 0x10]);
+        assert_eq!(cfg.predecessors(0x30), &[0x10, 0x20]);
+        assert!(cfg.unreachable_blocks().is_empty());
+    }
+
+    #[test]
+    fn cfg_detects_unreachable() {
+        let mut p = diamond();
+        p.blocks.push(blk(0x40, vec![], Jump::Ret)); // orphan
+        let cfg = p.cfg();
+        assert_eq!(cfg.unreachable_blocks(), vec![0x40]);
+    }
+
+    #[test]
+    fn rpo_starts_at_entry_and_covers_reachable() {
+        let p = diamond();
+        let rpo = p.cfg().reverse_post_order();
+        assert_eq!(rpo[0], 0);
+        assert_eq!(rpo.len(), 4);
+        // The join block must come after both branches.
+        let pos = |a: u32| rpo.iter().position(|&x| x == a).unwrap();
+        assert!(pos(0x30) > pos(0x10));
+        assert!(pos(0x30) > pos(0x20));
+    }
+
+    #[test]
+    fn call_graph_edges() {
+        let main = Procedure {
+            addr: 0x100,
+            name: Some("main".into()),
+            blocks: vec![blk(
+                0x100,
+                vec![],
+                Jump::Call {
+                    target: CallTarget::Direct(0x200),
+                    return_to: 0x108,
+                },
+            )],
+        };
+        let helper = Procedure {
+            addr: 0x200,
+            name: Some("helper".into()),
+            blocks: vec![blk(0x200, vec![], Jump::Ret)],
+        };
+        let prog = ProgramIr {
+            procedures: vec![main, helper],
+        };
+        let cg = prog.call_graph();
+        assert_eq!(cg.callees(0x100), &[0x200]);
+        assert_eq!(cg.callers(0x200), vec![0x100]);
+        assert_eq!(cg.node_count(), 2);
+        assert_eq!(cg.edge_count(), 1);
+    }
+
+    #[test]
+    fn display_name_falls_back_to_sub() {
+        let mut p = diamond();
+        assert_eq!(p.display_name(), "diamond");
+        p.name = None;
+        assert_eq!(p.display_name(), "sub_0");
+    }
+
+    #[test]
+    fn degree_sequence_sorted() {
+        let p = diamond();
+        assert_eq!(p.cfg().degree_sequence(), vec![2, 1, 1, 0]);
+    }
+}

@@ -1,0 +1,414 @@
+//! Expressions: the pure (side-effect-free) fragment of the IR.
+
+use std::fmt;
+
+/// A single-assignment temporary introduced by a lifter.
+///
+/// Temporaries are block-local and are assigned exactly once, which is
+/// what makes the lifted form "SSA by construction" within a block
+/// (mirroring VEX `IRTemp`s).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub struct Temp(pub u32);
+
+/// An architecture register, identified by an opaque index.
+///
+/// The mapping from `RegId` to a concrete register (and its name) is owned
+/// by the per-architecture code in `firmup-isa`; the IR itself is
+/// architecture neutral.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub struct RegId(pub u16);
+
+/// Access width of a memory operation or extension.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub enum Width {
+    /// 8-bit byte.
+    W8,
+    /// 16-bit halfword.
+    W16,
+    /// 32-bit word (the native width of all four target ISAs).
+    W32,
+}
+
+impl Width {
+    /// Number of bytes covered by this width.
+    pub fn bytes(self) -> u32 {
+        match self {
+            Width::W8 => 1,
+            Width::W16 => 2,
+            Width::W32 => 4,
+        }
+    }
+
+    /// Mask selecting the low `self` bits of a 32-bit value.
+    pub fn mask(self) -> u32 {
+        match self {
+            Width::W8 => 0xff,
+            Width::W16 => 0xffff,
+            Width::W32 => 0xffff_ffff,
+        }
+    }
+}
+
+impl fmt::Display for Width {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "i{}", self.bytes() * 8)
+    }
+}
+
+/// Binary operators.
+///
+/// Comparison operators produce `0` or `1`. Shifts use only the low five
+/// bits of their right operand, matching all four target ISAs.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub enum BinOp {
+    /// Wrapping 32-bit addition.
+    Add,
+    /// Wrapping 32-bit subtraction.
+    Sub,
+    /// Wrapping 32-bit multiplication (low word).
+    Mul,
+    /// Unsigned division; division by zero yields all-ones (hardware-like).
+    DivU,
+    /// Bitwise and.
+    And,
+    /// Bitwise or.
+    Or,
+    /// Bitwise exclusive or.
+    Xor,
+    /// Logical shift left.
+    Shl,
+    /// Logical shift right.
+    Shr,
+    /// Arithmetic shift right.
+    Sar,
+    /// Equality (0/1).
+    CmpEq,
+    /// Inequality (0/1).
+    CmpNe,
+    /// Signed less-than (0/1).
+    CmpLtS,
+    /// Unsigned less-than (0/1).
+    CmpLtU,
+    /// Signed less-or-equal (0/1).
+    CmpLeS,
+    /// Unsigned less-or-equal (0/1).
+    CmpLeU,
+}
+
+impl BinOp {
+    /// Whether the operator is commutative (used by the canonicalizer to
+    /// order operands deterministically).
+    pub fn commutative(self) -> bool {
+        matches!(
+            self,
+            BinOp::Add | BinOp::Mul | BinOp::And | BinOp::Or | BinOp::Xor | BinOp::CmpEq | BinOp::CmpNe
+        )
+    }
+
+    /// Whether the operator yields a boolean (0/1) value.
+    pub fn is_comparison(self) -> bool {
+        matches!(
+            self,
+            BinOp::CmpEq | BinOp::CmpNe | BinOp::CmpLtS | BinOp::CmpLtU | BinOp::CmpLeS | BinOp::CmpLeU
+        )
+    }
+
+    /// Evaluate the operator on concrete 32-bit values.
+    pub fn eval(self, a: u32, b: u32) -> u32 {
+        match self {
+            BinOp::Add => a.wrapping_add(b),
+            BinOp::Sub => a.wrapping_sub(b),
+            BinOp::Mul => a.wrapping_mul(b),
+            BinOp::DivU => a.checked_div(b).unwrap_or(u32::MAX),
+            BinOp::And => a & b,
+            BinOp::Or => a | b,
+            BinOp::Xor => a ^ b,
+            BinOp::Shl => a.wrapping_shl(b & 31),
+            BinOp::Shr => a.wrapping_shr(b & 31),
+            BinOp::Sar => (a as i32).wrapping_shr(b & 31) as u32,
+            BinOp::CmpEq => (a == b) as u32,
+            BinOp::CmpNe => (a != b) as u32,
+            BinOp::CmpLtS => ((a as i32) < (b as i32)) as u32,
+            BinOp::CmpLtU => (a < b) as u32,
+            BinOp::CmpLeS => ((a as i32) <= (b as i32)) as u32,
+            BinOp::CmpLeU => (a <= b) as u32,
+        }
+    }
+
+    /// Mnemonic used in the canonical strand serialization.
+    pub fn mnemonic(self) -> &'static str {
+        match self {
+            BinOp::Add => "add",
+            BinOp::Sub => "sub",
+            BinOp::Mul => "mul",
+            BinOp::DivU => "udiv",
+            BinOp::And => "and",
+            BinOp::Or => "or",
+            BinOp::Xor => "xor",
+            BinOp::Shl => "shl",
+            BinOp::Shr => "lshr",
+            BinOp::Sar => "ashr",
+            BinOp::CmpEq => "icmp eq",
+            BinOp::CmpNe => "icmp ne",
+            BinOp::CmpLtS => "icmp slt",
+            BinOp::CmpLtU => "icmp ult",
+            BinOp::CmpLeS => "icmp sle",
+            BinOp::CmpLeU => "icmp ule",
+        }
+    }
+}
+
+/// Unary operators.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub enum UnOp {
+    /// Bitwise complement.
+    Not,
+    /// Two's-complement negation.
+    Neg,
+    /// Sign-extend the low 8 bits to 32.
+    Sext8,
+    /// Sign-extend the low 16 bits to 32.
+    Sext16,
+    /// Zero-extend the low 8 bits (mask with `0xff`).
+    Zext8,
+    /// Zero-extend the low 16 bits (mask with `0xffff`).
+    Zext16,
+}
+
+impl UnOp {
+    /// Evaluate the operator on a concrete 32-bit value.
+    pub fn eval(self, a: u32) -> u32 {
+        match self {
+            UnOp::Not => !a,
+            UnOp::Neg => a.wrapping_neg(),
+            UnOp::Sext8 => a as u8 as i8 as i32 as u32,
+            UnOp::Sext16 => a as u16 as i16 as i32 as u32,
+            UnOp::Zext8 => a & 0xff,
+            UnOp::Zext16 => a & 0xffff,
+        }
+    }
+
+    /// Mnemonic used in the canonical strand serialization.
+    pub fn mnemonic(self) -> &'static str {
+        match self {
+            UnOp::Not => "not",
+            UnOp::Neg => "neg",
+            UnOp::Sext8 => "sext i8",
+            UnOp::Sext16 => "sext i16",
+            UnOp::Zext8 => "zext i8",
+            UnOp::Zext16 => "zext i16",
+        }
+    }
+}
+
+/// A pure expression over temporaries, registers and memory.
+#[derive(Debug, Clone, PartialEq, Eq, Hash)]
+pub enum Expr {
+    /// A 32-bit constant.
+    Const(u32),
+    /// Read of a single-assignment temporary.
+    Tmp(Temp),
+    /// Read of an architecture register (VEX `Get`).
+    Get(RegId),
+    /// Little/big-endianness is resolved by the lifter; `Load` reads
+    /// `width` bytes at `addr` and zero-extends to 32 bits.
+    Load {
+        /// Address expression.
+        addr: Box<Expr>,
+        /// Access width.
+        width: Width,
+    },
+    /// Binary operation.
+    Bin {
+        /// Operator.
+        op: BinOp,
+        /// Left operand.
+        lhs: Box<Expr>,
+        /// Right operand.
+        rhs: Box<Expr>,
+    },
+    /// Unary operation.
+    Un {
+        /// Operator.
+        op: UnOp,
+        /// Operand.
+        arg: Box<Expr>,
+    },
+    /// If-then-else over values (VEX `ITE`): `cond != 0 ? then_e : else_e`.
+    Ite {
+        /// Condition (0 = false).
+        cond: Box<Expr>,
+        /// Value when the condition is non-zero.
+        then_e: Box<Expr>,
+        /// Value when the condition is zero.
+        else_e: Box<Expr>,
+    },
+}
+
+impl Expr {
+    /// Convenience constructor for a binary operation.
+    pub fn bin(op: BinOp, lhs: Expr, rhs: Expr) -> Expr {
+        Expr::Bin {
+            op,
+            lhs: Box::new(lhs),
+            rhs: Box::new(rhs),
+        }
+    }
+
+    /// Convenience constructor for a unary operation.
+    pub fn un(op: UnOp, arg: Expr) -> Expr {
+        Expr::Un {
+            op,
+            arg: Box::new(arg),
+        }
+    }
+
+    /// Convenience constructor for a load.
+    pub fn load(addr: Expr, width: Width) -> Expr {
+        Expr::Load {
+            addr: Box::new(addr),
+            width,
+        }
+    }
+
+    /// Convenience constructor for an if-then-else value.
+    pub fn ite(cond: Expr, then_e: Expr, else_e: Expr) -> Expr {
+        Expr::Ite {
+            cond: Box::new(cond),
+            then_e: Box::new(then_e),
+            else_e: Box::new(else_e),
+        }
+    }
+
+    /// Visit every sub-expression (pre-order), including `self`.
+    pub fn visit<'a>(&'a self, f: &mut impl FnMut(&'a Expr)) {
+        f(self);
+        match self {
+            Expr::Const(_) | Expr::Tmp(_) | Expr::Get(_) => {}
+            Expr::Load { addr, .. } => addr.visit(f),
+            Expr::Bin { lhs, rhs, .. } => {
+                lhs.visit(f);
+                rhs.visit(f);
+            }
+            Expr::Un { arg, .. } => arg.visit(f),
+            Expr::Ite { cond, then_e, else_e } => {
+                cond.visit(f);
+                then_e.visit(f);
+                else_e.visit(f);
+            }
+        }
+    }
+
+    /// Number of nodes in the expression tree.
+    pub fn size(&self) -> usize {
+        let mut n = 0;
+        self.visit(&mut |_| n += 1);
+        n
+    }
+
+    /// All temporaries read by this expression.
+    pub fn temps(&self) -> Vec<Temp> {
+        let mut out = Vec::new();
+        self.visit(&mut |e| {
+            if let Expr::Tmp(t) = e {
+                out.push(*t);
+            }
+        });
+        out
+    }
+
+    /// All registers read by this expression.
+    pub fn regs(&self) -> Vec<RegId> {
+        let mut out = Vec::new();
+        self.visit(&mut |e| {
+            if let Expr::Get(r) = e {
+                out.push(*r);
+            }
+        });
+        out
+    }
+
+    /// Whether this expression contains a memory load.
+    pub fn has_load(&self) -> bool {
+        let mut found = false;
+        self.visit(&mut |e| {
+            if matches!(e, Expr::Load { .. }) {
+                found = true;
+            }
+        });
+        found
+    }
+}
+
+impl fmt::Display for Expr {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Expr::Const(c) => {
+                if *c < 10 {
+                    write!(f, "{c}")
+                } else {
+                    write!(f, "{c:#x}")
+                }
+            }
+            Expr::Tmp(t) => write!(f, "t{}", t.0),
+            Expr::Get(r) => write!(f, "GET(r{})", r.0),
+            Expr::Load { addr, width } => write!(f, "LD{}({addr})", width.bytes() * 8),
+            Expr::Bin { op, lhs, rhs } => write!(f, "({} {lhs}, {rhs})", op.mnemonic()),
+            Expr::Un { op, arg } => write!(f, "({} {arg})", op.mnemonic()),
+            Expr::Ite { cond, then_e, else_e } => write!(f, "ITE({cond}, {then_e}, {else_e})"),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn binop_eval_basics() {
+        assert_eq!(BinOp::Add.eval(2, 3), 5);
+        assert_eq!(BinOp::Sub.eval(2, 3), u32::MAX);
+        assert_eq!(BinOp::Mul.eval(0x10000, 0x10000), 0);
+        assert_eq!(BinOp::DivU.eval(7, 2), 3);
+        assert_eq!(BinOp::DivU.eval(7, 0), u32::MAX);
+        assert_eq!(BinOp::Shl.eval(1, 33), 2, "shift uses low 5 bits");
+        assert_eq!(BinOp::Sar.eval(0x8000_0000, 31), u32::MAX);
+        assert_eq!(BinOp::CmpLtS.eval(u32::MAX, 0), 1, "-1 < 0 signed");
+        assert_eq!(BinOp::CmpLtU.eval(u32::MAX, 0), 0);
+    }
+
+    #[test]
+    fn unop_eval_basics() {
+        assert_eq!(UnOp::Sext8.eval(0x80), 0xffff_ff80);
+        assert_eq!(UnOp::Zext8.eval(0x1ff), 0xff);
+        assert_eq!(UnOp::Sext16.eval(0x8000), 0xffff_8000);
+        assert_eq!(UnOp::Neg.eval(1), u32::MAX);
+        assert_eq!(UnOp::Not.eval(0), u32::MAX);
+    }
+
+    #[test]
+    fn expr_visit_counts_nodes() {
+        let e = Expr::bin(
+            BinOp::Add,
+            Expr::load(Expr::Get(RegId(2)), Width::W32),
+            Expr::Const(4),
+        );
+        assert_eq!(e.size(), 4);
+        assert_eq!(e.regs(), vec![RegId(2)]);
+        assert!(e.has_load());
+    }
+
+    #[test]
+    fn expr_display_is_stable() {
+        let e = Expr::bin(BinOp::CmpEq, Expr::Tmp(Temp(1)), Expr::Const(31));
+        assert_eq!(e.to_string(), "(icmp eq t1, 0x1f)");
+    }
+
+    #[test]
+    fn commutativity_flags() {
+        assert!(BinOp::Add.commutative());
+        assert!(!BinOp::Sub.commutative());
+        assert!(BinOp::CmpEq.commutative());
+        assert!(!BinOp::CmpLtS.commutative());
+    }
+}

@@ -1,0 +1,97 @@
+//! Stable hashing utilities.
+//!
+//! Canonical strands are identified by 64-bit hashes that must be stable
+//! across program runs and platforms (the paper keeps "the procedure
+//! representation as a set of hashed strands", §3.3). `std`'s default
+//! hasher is randomly seeded, so we use FNV-1a explicitly.
+
+/// 64-bit FNV-1a hash of a byte slice.
+///
+/// # Example
+///
+/// ```
+/// // The FNV-1a specification's test vector for the empty string.
+/// assert_eq!(firmup_ir::hash::fnv1a_64(b""), 0xcbf29ce484222325);
+/// ```
+pub fn fnv1a_64(bytes: &[u8]) -> u64 {
+    const OFFSET: u64 = 0xcbf2_9ce4_8422_2325;
+    const PRIME: u64 = 0x100_0000_01b3;
+    let mut h = OFFSET;
+    for &b in bytes {
+        h ^= u64::from(b);
+        h = h.wrapping_mul(PRIME);
+    }
+    h
+}
+
+/// Incremental FNV-1a hasher for composite keys.
+#[derive(Debug, Clone)]
+pub struct Fnv64(u64);
+
+impl Fnv64 {
+    /// Start a fresh hash.
+    pub fn new() -> Fnv64 {
+        Fnv64(0xcbf2_9ce4_8422_2325)
+    }
+
+    /// Mix in a byte slice.
+    pub fn update(&mut self, bytes: &[u8]) -> &mut Self {
+        const PRIME: u64 = 0x100_0000_01b3;
+        for &b in bytes {
+            self.0 ^= u64::from(b);
+            self.0 = self.0.wrapping_mul(PRIME);
+        }
+        self
+    }
+
+    /// Mix in a `u32` (little-endian).
+    pub fn update_u32(&mut self, v: u32) -> &mut Self {
+        self.update(&v.to_le_bytes())
+    }
+
+    /// Mix in a `u64` (little-endian).
+    pub fn update_u64(&mut self, v: u64) -> &mut Self {
+        self.update(&v.to_le_bytes())
+    }
+
+    /// Final hash value.
+    pub fn finish(&self) -> u64 {
+        self.0
+    }
+}
+
+impl Default for Fnv64 {
+    fn default() -> Self {
+        Fnv64::new()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn known_vectors() {
+        // Published FNV-1a 64 test vectors.
+        assert_eq!(fnv1a_64(b""), 0xcbf2_9ce4_8422_2325);
+        assert_eq!(fnv1a_64(b"a"), 0xaf63_dc4c_8601_ec8c);
+        assert_eq!(fnv1a_64(b"foobar"), 0x8594_4171_f739_67e8);
+    }
+
+    #[test]
+    fn incremental_matches_oneshot() {
+        let mut h = Fnv64::new();
+        h.update(b"foo").update(b"bar");
+        assert_eq!(h.finish(), fnv1a_64(b"foobar"));
+    }
+
+    #[test]
+    fn distinct_inputs_distinct_hashes() {
+        assert_ne!(fnv1a_64(b"strand-a"), fnv1a_64(b"strand-b"));
+        let mut a = Fnv64::new();
+        a.update_u32(7);
+        let mut b = Fnv64::new();
+        b.update_u64(7);
+        assert_ne!(a.finish(), b.finish(), "width is part of the key");
+    }
+}

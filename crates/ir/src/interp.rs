@@ -1,0 +1,271 @@
+//! Concrete interpreter for lifted blocks and SSA expressions.
+//!
+//! Used by tests throughout the workspace: lifter tests execute lifted
+//! blocks against expected machine behaviour, and the canonicalizer's
+//! property tests check that optimization passes preserve the value an
+//! expression evaluates to.
+
+use std::collections::HashMap;
+use std::fmt;
+
+use crate::block::Block;
+use crate::expr::{Expr, RegId, Temp, Width};
+use crate::ssa::{SExpr, Var};
+use crate::stmt::Stmt;
+
+/// Error produced by concrete evaluation.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum EvalError {
+    /// A temporary was read before being written.
+    UndefinedTemp(Temp),
+    /// An SSA variable had no binding in the environment.
+    UnboundVar(Var),
+}
+
+impl fmt::Display for EvalError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            EvalError::UndefinedTemp(t) => write!(f, "temporary t{} read before write", t.0),
+            EvalError::UnboundVar(v) => write!(f, "ssa variable v{} unbound", v.0),
+        }
+    }
+}
+
+impl std::error::Error for EvalError {}
+
+/// A concrete machine state: registers and byte-addressed memory.
+///
+/// Registers default to 0 and memory defaults to 0, so partial setups in
+/// tests stay terse.
+#[derive(Debug, Clone, Default)]
+pub struct Machine {
+    regs: HashMap<RegId, u32>,
+    mem: HashMap<u32, u8>,
+    temps: HashMap<Temp, u32>,
+    /// Targets of exits taken while executing a block, in order.
+    pub taken_exits: Vec<u32>,
+}
+
+impl Machine {
+    /// Fresh all-zero machine.
+    pub fn new() -> Machine {
+        Machine::default()
+    }
+
+    /// Read a register (0 when never written).
+    pub fn reg(&self, r: RegId) -> u32 {
+        self.regs.get(&r).copied().unwrap_or(0)
+    }
+
+    /// Write a register.
+    pub fn set_reg(&mut self, r: RegId, v: u32) {
+        self.regs.insert(r, v);
+    }
+
+    /// Read `width` bytes at `addr` (little-endian composition; the
+    /// lifters already normalized endianness, so the IR view is uniform).
+    pub fn load(&self, addr: u32, width: Width) -> u32 {
+        let mut v: u32 = 0;
+        for i in 0..width.bytes() {
+            let b = self.mem.get(&addr.wrapping_add(i)).copied().unwrap_or(0);
+            v |= u32::from(b) << (8 * i);
+        }
+        v
+    }
+
+    /// Write the low `width` bytes of `value` at `addr`.
+    pub fn store(&mut self, addr: u32, value: u32, width: Width) {
+        for i in 0..width.bytes() {
+            self.mem.insert(addr.wrapping_add(i), (value >> (8 * i)) as u8);
+        }
+    }
+
+    /// Evaluate a pure expression in the current state.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`EvalError::UndefinedTemp`] if the expression reads a
+    /// temporary that no prior statement wrote.
+    pub fn eval(&self, e: &Expr) -> Result<u32, EvalError> {
+        Ok(match e {
+            Expr::Const(c) => *c,
+            Expr::Tmp(t) => *self.temps.get(t).ok_or(EvalError::UndefinedTemp(*t))?,
+            Expr::Get(r) => self.reg(*r),
+            Expr::Load { addr, width } => self.load(self.eval(addr)?, *width),
+            Expr::Bin { op, lhs, rhs } => op.eval(self.eval(lhs)?, self.eval(rhs)?),
+            Expr::Un { op, arg } => op.eval(self.eval(arg)?),
+            Expr::Ite { cond, then_e, else_e } => {
+                if self.eval(cond)? != 0 {
+                    self.eval(then_e)?
+                } else {
+                    self.eval(else_e)?
+                }
+            }
+        })
+    }
+
+    /// Execute every statement of a lifted block in order, recording
+    /// taken exits in [`Machine::taken_exits`]. Execution does not stop
+    /// at a taken exit (callers that want branch semantics should check
+    /// `taken_exits`); this suffices for data-flow testing.
+    ///
+    /// # Errors
+    ///
+    /// Propagates [`EvalError`] from expression evaluation.
+    pub fn run_block(&mut self, b: &Block) -> Result<(), EvalError> {
+        for s in &b.stmts {
+            self.step(s)?;
+        }
+        Ok(())
+    }
+
+    /// Execute a single statement.
+    ///
+    /// # Errors
+    ///
+    /// Propagates [`EvalError`] from expression evaluation.
+    pub fn step(&mut self, s: &Stmt) -> Result<(), EvalError> {
+        match s {
+            Stmt::SetTmp(t, e) => {
+                let v = self.eval(e)?;
+                self.temps.insert(*t, v);
+            }
+            Stmt::Put(r, e) => {
+                let v = self.eval(e)?;
+                self.set_reg(*r, v);
+            }
+            Stmt::Store { addr, value, width } => {
+                let a = self.eval(addr)?;
+                let v = self.eval(value)?;
+                self.store(a, v, *width);
+            }
+            Stmt::Exit { cond, target } => {
+                if self.eval(cond)? != 0 {
+                    self.taken_exits.push(*target);
+                }
+            }
+        }
+        Ok(())
+    }
+}
+
+/// Evaluate an SSA expression under a variable environment.
+///
+/// Loads read from `mem_env` keyed by the *location variable*, not from a
+/// byte-addressed memory: for canonicalizer tests what matters is that a
+/// load of the same SSA location yields the same value.
+///
+/// # Errors
+///
+/// Returns [`EvalError::UnboundVar`] when the expression reads a variable
+/// missing from `env` (or a load location missing from `mem_env`).
+pub fn eval_sexpr(
+    e: &SExpr,
+    env: &HashMap<Var, u32>,
+    mem_env: &HashMap<Var, u32>,
+) -> Result<u32, EvalError> {
+    Ok(match e {
+        SExpr::Const(c) => *c,
+        SExpr::Var(v) => *env.get(v).ok_or(EvalError::UnboundVar(*v))?,
+        SExpr::Load { mem, .. } => *mem_env.get(mem).ok_or(EvalError::UnboundVar(*mem))?,
+        SExpr::Bin { op, lhs, rhs } => op.eval(
+            eval_sexpr(lhs, env, mem_env)?,
+            eval_sexpr(rhs, env, mem_env)?,
+        ),
+        SExpr::Un { op, arg } => op.eval(eval_sexpr(arg, env, mem_env)?),
+        SExpr::Ite { cond, then_e, else_e } => {
+            if eval_sexpr(cond, env, mem_env)? != 0 {
+                eval_sexpr(then_e, env, mem_env)?
+            } else {
+                eval_sexpr(else_e, env, mem_env)?
+            }
+        }
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::expr::{BinOp, UnOp};
+    use crate::stmt::Jump;
+
+    #[test]
+    fn machine_memory_roundtrip() {
+        let mut m = Machine::new();
+        m.store(0x100, 0xdead_beef, Width::W32);
+        assert_eq!(m.load(0x100, Width::W32), 0xdead_beef);
+        assert_eq!(m.load(0x100, Width::W8), 0xef);
+        assert_eq!(m.load(0x102, Width::W16), 0xdead);
+    }
+
+    #[test]
+    fn block_execution_updates_state() {
+        let b = Block {
+            addr: 0,
+            len: 12,
+            stmts: vec![
+                Stmt::SetTmp(Temp(0), Expr::bin(BinOp::Add, Expr::Get(RegId(1)), Expr::Const(5))),
+                Stmt::Put(RegId(2), Expr::Tmp(Temp(0))),
+                Stmt::Store {
+                    addr: Expr::Const(0x80),
+                    value: Expr::Get(RegId(2)),
+                    width: Width::W32,
+                },
+            ],
+            jump: Jump::Ret,
+            asm: vec![],
+        };
+        let mut m = Machine::new();
+        m.set_reg(RegId(1), 37);
+        m.run_block(&b).unwrap();
+        assert_eq!(m.reg(RegId(2)), 42);
+        assert_eq!(m.load(0x80, Width::W32), 42);
+    }
+
+    #[test]
+    fn exits_recorded_when_taken() {
+        let b = Block {
+            addr: 0,
+            len: 8,
+            stmts: vec![
+                Stmt::Exit {
+                    cond: Expr::Const(0),
+                    target: 0x10,
+                },
+                Stmt::Exit {
+                    cond: Expr::Const(1),
+                    target: 0x20,
+                },
+            ],
+            jump: Jump::Ret,
+            asm: vec![],
+        };
+        let mut m = Machine::new();
+        m.run_block(&b).unwrap();
+        assert_eq!(m.taken_exits, vec![0x20]);
+    }
+
+    #[test]
+    fn undefined_temp_is_an_error() {
+        let m = Machine::new();
+        assert_eq!(
+            m.eval(&Expr::Tmp(Temp(9))),
+            Err(EvalError::UndefinedTemp(Temp(9)))
+        );
+    }
+
+    #[test]
+    fn sexpr_eval_with_env() {
+        let mut env = HashMap::new();
+        env.insert(Var(0), 10);
+        let mem = HashMap::new();
+        let e = SExpr::bin(
+            BinOp::Add,
+            SExpr::un(UnOp::Neg, SExpr::Var(Var(0))),
+            SExpr::Const(3),
+        );
+        assert_eq!(eval_sexpr(&e, &env, &mem), Ok(0u32.wrapping_sub(7)));
+        let bad = SExpr::Var(Var(5));
+        assert_eq!(eval_sexpr(&bad, &env, &mem), Err(EvalError::UnboundVar(Var(5))));
+    }
+}

@@ -1,0 +1,58 @@
+//! VEX-like intermediate representation for the FirmUp pipeline.
+//!
+//! The paper lifts machine code to Valgrind's VEX IR through angr.io
+//! (§3.1). This crate is the from-scratch equivalent: a small, explicit,
+//! side-effect-complete block IR that the per-architecture lifters in
+//! `firmup-isa` target, and that `firmup-core` decomposes into strands.
+//!
+//! Key properties mirrored from VEX:
+//!
+//! * **Full machine state** — every register write (including condition
+//!   flags) is an explicit [`Stmt::Put`]; nothing is implicit.
+//! * **Per-block SSA** — temporaries are assigned exactly once; the
+//!   [`ssa`] module renames registers and memory locations so that *every*
+//!   statement defines exactly one variable, the precondition of the
+//!   paper's Algorithm 1.
+//! * **Architecture neutrality** — registers are opaque [`RegId`]s; the
+//!   IR never mentions an ISA.
+//!
+//! # Example
+//!
+//! ```
+//! use firmup_ir::{Block, Expr, Jump, RegId, Stmt, Temp, Width};
+//!
+//! // r1 = r0 + 4; branch to 0x40 if r1 == 0
+//! let block = Block {
+//!     addr: 0x1000,
+//!     len: 8,
+//!     stmts: vec![
+//!         Stmt::SetTmp(Temp(0), Expr::bin(firmup_ir::BinOp::Add, Expr::Get(RegId(0)), Expr::Const(4))),
+//!         Stmt::Put(RegId(1), Expr::Tmp(Temp(0))),
+//!         Stmt::Exit {
+//!             cond: Expr::bin(firmup_ir::BinOp::CmpEq, Expr::Tmp(Temp(0)), Expr::Const(0)),
+//!             target: 0x40,
+//!         },
+//!     ],
+//!     jump: Jump::Fall(0x1008),
+//!     asm: vec!["addiu r1, r0, 4".into(), "beqz r1, 0x40".into()],
+//! };
+//! let ssa = firmup_ir::ssa::ssa_block(&block);
+//! assert_eq!(ssa.stmts.len(), 3);
+//! # let _ = Width::W32;
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod block;
+pub mod expr;
+pub mod hash;
+pub mod interp;
+pub mod ssa;
+pub mod stmt;
+
+pub use block::{Block, CallGraph, Cfg, Procedure, ProgramIr};
+pub use expr::{BinOp, Expr, RegId, Temp, UnOp, Width};
+pub use interp::{EvalError, Machine};
+pub use ssa::{SExpr, SsaBlock, SsaKind, SsaStmt, Var, VarKind};
+pub use stmt::{CallTarget, Jump, Stmt};

@@ -1,0 +1,638 @@
+//! Per-block SSA conversion.
+//!
+//! Algorithm 1 of the paper assumes "the BB is in SSA form, a property of
+//! the VEX-IR lifting we use". Lifted temporaries are single-assignment by
+//! construction, but registers and memory locations are not: a block may
+//! `Put` the same register several times. This module renames registers
+//! and (syntactic) memory locations into a unified single-assignment
+//! variable space so that **every statement defines exactly one variable**
+//! — the precondition that makes the paper's backward slicing precise.
+//!
+//! Memory is handled syntactically: two accesses belong to the same
+//! location iff their address expressions are structurally identical after
+//! renaming (this captures stack-slot reuse inside a block, the common
+//! case, and deliberately ignores aliasing — a store to `[r1]` does not
+//! kill `[sp+8]`). This matches the granularity the paper needs: strand
+//! inputs are "variables (registers and memory locations) used before
+//! they are defined in the block".
+
+use std::collections::HashMap;
+use std::fmt;
+
+use crate::block::Block;
+use crate::expr::{BinOp, Expr, RegId, Temp, UnOp, Width};
+use crate::hash::Fnv64;
+use crate::stmt::{CallTarget, Jump, Stmt};
+
+/// A single-assignment variable in the unified per-block namespace.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub struct Var(pub u32);
+
+/// What a [`Var`] stands for.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum VarKind {
+    /// A version of an architecture register.
+    Reg(RegId, u16),
+    /// A lifter temporary (always version 0 — temps are SSA already).
+    Tmp(Temp),
+    /// A version of a syntactic memory location (keyed by the structural
+    /// hash of its address expression).
+    Mem(u64, u16),
+    /// The outward-facing value of a conditional exit to the given target.
+    Exit(u32),
+    /// The outward-facing value of an indirect jump or indirect call
+    /// target computation.
+    JumpTarget,
+}
+
+/// Per-variable metadata.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct VarInfo {
+    /// What the variable stands for.
+    pub kind: VarKind,
+    /// `true` when the variable is a block input (used before defined).
+    pub input: bool,
+}
+
+/// An expression over SSA variables.
+#[derive(Debug, Clone, PartialEq, Eq, Hash)]
+pub enum SExpr {
+    /// 32-bit constant.
+    Const(u32),
+    /// Variable read.
+    Var(Var),
+    /// Memory load. `mem` is the SSA variable of the syntactic location
+    /// being read (so slicing pulls in the defining store, if any).
+    Load {
+        /// Location variable.
+        mem: Var,
+        /// Address expression.
+        addr: Box<SExpr>,
+        /// Access width.
+        width: Width,
+    },
+    /// Binary operation.
+    Bin {
+        /// Operator.
+        op: BinOp,
+        /// Left operand.
+        lhs: Box<SExpr>,
+        /// Right operand.
+        rhs: Box<SExpr>,
+    },
+    /// Unary operation.
+    Un {
+        /// Operator.
+        op: UnOp,
+        /// Operand.
+        arg: Box<SExpr>,
+    },
+    /// If-then-else value.
+    Ite {
+        /// Condition.
+        cond: Box<SExpr>,
+        /// Value when non-zero.
+        then_e: Box<SExpr>,
+        /// Value when zero.
+        else_e: Box<SExpr>,
+    },
+}
+
+impl SExpr {
+    /// Convenience constructor for a binary operation.
+    pub fn bin(op: BinOp, lhs: SExpr, rhs: SExpr) -> SExpr {
+        SExpr::Bin {
+            op,
+            lhs: Box::new(lhs),
+            rhs: Box::new(rhs),
+        }
+    }
+
+    /// Convenience constructor for a unary operation.
+    pub fn un(op: UnOp, arg: SExpr) -> SExpr {
+        SExpr::Un {
+            op,
+            arg: Box::new(arg),
+        }
+    }
+
+    /// Visit every sub-expression (pre-order), including `self`.
+    pub fn visit<'a>(&'a self, f: &mut impl FnMut(&'a SExpr)) {
+        f(self);
+        match self {
+            SExpr::Const(_) | SExpr::Var(_) => {}
+            SExpr::Load { addr, .. } => addr.visit(f),
+            SExpr::Bin { lhs, rhs, .. } => {
+                lhs.visit(f);
+                rhs.visit(f);
+            }
+            SExpr::Un { arg, .. } => arg.visit(f),
+            SExpr::Ite { cond, then_e, else_e } => {
+                cond.visit(f);
+                then_e.visit(f);
+                else_e.visit(f);
+            }
+        }
+    }
+
+    /// All variables read by this expression (including `mem` variables
+    /// of loads), in visit order, possibly with duplicates.
+    pub fn vars(&self) -> Vec<Var> {
+        let mut out = Vec::new();
+        self.visit(&mut |e| match e {
+            SExpr::Var(v) => out.push(*v),
+            SExpr::Load { mem, .. } => out.push(*mem),
+            _ => {}
+        });
+        out
+    }
+
+    /// Number of nodes in the tree.
+    pub fn size(&self) -> usize {
+        let mut n = 0;
+        self.visit(&mut |_| n += 1);
+        n
+    }
+
+    /// Structural hash (stable across runs).
+    pub fn structural_hash(&self) -> u64 {
+        let mut h = Fnv64::new();
+        hash_into(self, &mut h);
+        h.finish()
+    }
+}
+
+fn hash_into(e: &SExpr, h: &mut Fnv64) {
+    match e {
+        SExpr::Const(c) => {
+            h.update(b"C").update_u32(*c);
+        }
+        SExpr::Var(v) => {
+            h.update(b"V").update_u32(v.0);
+        }
+        SExpr::Load { mem, addr, width } => {
+            h.update(b"L").update_u32(mem.0).update_u32(width.bytes());
+            hash_into(addr, h);
+        }
+        SExpr::Bin { op, lhs, rhs } => {
+            h.update(b"B").update(op.mnemonic().as_bytes());
+            hash_into(lhs, h);
+            hash_into(rhs, h);
+        }
+        SExpr::Un { op, arg } => {
+            h.update(b"U").update(op.mnemonic().as_bytes());
+            hash_into(arg, h);
+        }
+        SExpr::Ite { cond, then_e, else_e } => {
+            h.update(b"I");
+            hash_into(cond, h);
+            hash_into(then_e, h);
+            hash_into(else_e, h);
+        }
+    }
+}
+
+impl fmt::Display for SExpr {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            SExpr::Const(c) => {
+                if *c < 10 {
+                    write!(f, "{c}")
+                } else {
+                    write!(f, "{c:#x}")
+                }
+            }
+            SExpr::Var(v) => write!(f, "v{}", v.0),
+            SExpr::Load { addr, width, .. } => write!(f, "load {width}, ({addr})"),
+            SExpr::Bin { op, lhs, rhs } => write!(f, "{} {lhs}, {rhs}", op.mnemonic()),
+            SExpr::Un { op, arg } => write!(f, "{} {arg}", op.mnemonic()),
+            SExpr::Ite { cond, then_e, else_e } => {
+                write!(f, "select {cond}, {then_e}, {else_e}")
+            }
+        }
+    }
+}
+
+/// The operation performed by an SSA statement.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum SsaKind {
+    /// Pure assignment: the defined variable equals the expression.
+    Assign(SExpr),
+    /// Memory store; the defined variable is the new version of the
+    /// syntactic location.
+    Store {
+        /// Address expression.
+        addr: SExpr,
+        /// Stored value.
+        value: SExpr,
+        /// Store width.
+        width: Width,
+    },
+    /// Conditional exit; the defined variable is the (outward) branch
+    /// decision.
+    Exit {
+        /// Guard.
+        cond: SExpr,
+        /// Target address.
+        target: u32,
+    },
+    /// Indirect jump or call-target computation at the end of the block.
+    JumpTarget(SExpr),
+}
+
+/// One statement of an SSA block. `def` is the unique variable the
+/// statement writes, which makes the paper's `WSet` a singleton.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct SsaStmt {
+    /// The variable this statement defines.
+    pub def: Var,
+    /// The operation.
+    pub kind: SsaKind,
+}
+
+impl SsaStmt {
+    /// The paper's `RSet`: variables read by this statement.
+    pub fn uses(&self) -> Vec<Var> {
+        match &self.kind {
+            SsaKind::Assign(e) | SsaKind::JumpTarget(e) => e.vars(),
+            SsaKind::Store { addr, value, .. } => {
+                let mut v = addr.vars();
+                v.extend(value.vars());
+                v
+            }
+            SsaKind::Exit { cond, .. } => cond.vars(),
+        }
+    }
+}
+
+impl fmt::Display for SsaStmt {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match &self.kind {
+            SsaKind::Assign(e) => write!(f, "v{} = {e}", self.def.0),
+            SsaKind::Store { addr, value, width } => {
+                write!(f, "store {width} {value}, ({addr})")
+            }
+            SsaKind::Exit { cond, target } => {
+                write!(f, "br {cond}, {target:#x}")
+            }
+            SsaKind::JumpTarget(e) => write!(f, "jump {e}"),
+        }
+    }
+}
+
+/// A basic block in per-block SSA form.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct SsaBlock {
+    /// Address of the source block.
+    pub addr: u32,
+    /// Statements in execution order; each defines exactly one variable.
+    pub stmts: Vec<SsaStmt>,
+    /// Metadata for each variable, indexed by `Var.0`.
+    pub vars: Vec<VarInfo>,
+}
+
+impl SsaBlock {
+    /// Metadata for a variable.
+    pub fn var_info(&self, v: Var) -> &VarInfo {
+        &self.vars[v.0 as usize]
+    }
+
+    /// The block's input variables (used before defined), in creation
+    /// order.
+    pub fn inputs(&self) -> Vec<Var> {
+        self.vars
+            .iter()
+            .enumerate()
+            .filter(|(_, i)| i.input)
+            .map(|(n, _)| Var(n as u32))
+            .collect()
+    }
+}
+
+impl fmt::Display for SsaBlock {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        writeln!(f, "ssa block {:#x}:", self.addr)?;
+        for s in &self.stmts {
+            writeln!(f, "  {s}")?;
+        }
+        Ok(())
+    }
+}
+
+struct SsaBuilder {
+    vars: Vec<VarInfo>,
+    reg_cur: HashMap<RegId, Var>,
+    reg_ver: HashMap<RegId, u16>,
+    mem_cur: HashMap<u64, Var>,
+    mem_ver: HashMap<u64, u16>,
+    tmp_map: HashMap<Temp, Var>,
+    stmts: Vec<SsaStmt>,
+}
+
+impl SsaBuilder {
+    fn new() -> SsaBuilder {
+        SsaBuilder {
+            vars: Vec::new(),
+            reg_cur: HashMap::new(),
+            reg_ver: HashMap::new(),
+            mem_cur: HashMap::new(),
+            mem_ver: HashMap::new(),
+            tmp_map: HashMap::new(),
+            stmts: Vec::new(),
+        }
+    }
+
+    fn fresh(&mut self, kind: VarKind, input: bool) -> Var {
+        let v = Var(self.vars.len() as u32);
+        self.vars.push(VarInfo { kind, input });
+        v
+    }
+
+    fn read_reg(&mut self, r: RegId) -> Var {
+        if let Some(&v) = self.reg_cur.get(&r) {
+            return v;
+        }
+        let v = self.fresh(VarKind::Reg(r, 0), true);
+        self.reg_cur.insert(r, v);
+        self.reg_ver.insert(r, 0);
+        v
+    }
+
+    fn write_reg(&mut self, r: RegId) -> Var {
+        let ver = self.reg_ver.get(&r).map_or(0, |v| v + 1);
+        let v = self.fresh(VarKind::Reg(r, ver), false);
+        self.reg_cur.insert(r, v);
+        self.reg_ver.insert(r, ver);
+        v
+    }
+
+    fn read_mem(&mut self, loc: u64) -> Var {
+        if let Some(&v) = self.mem_cur.get(&loc) {
+            return v;
+        }
+        let v = self.fresh(VarKind::Mem(loc, 0), true);
+        self.mem_cur.insert(loc, v);
+        self.mem_ver.insert(loc, 0);
+        v
+    }
+
+    fn write_mem(&mut self, loc: u64) -> Var {
+        let ver = self.mem_ver.get(&loc).map_or(0, |v| v + 1);
+        let v = self.fresh(VarKind::Mem(loc, ver), false);
+        self.mem_cur.insert(loc, v);
+        self.mem_ver.insert(loc, ver);
+        v
+    }
+
+    fn convert(&mut self, e: &Expr) -> SExpr {
+        match e {
+            Expr::Const(c) => SExpr::Const(*c),
+            Expr::Tmp(t) => {
+                let v = *self
+                    .tmp_map
+                    .get(t)
+                    .unwrap_or_else(|| panic!("temp t{} used before defined (lifter bug)", t.0));
+                SExpr::Var(v)
+            }
+            Expr::Get(r) => SExpr::Var(self.read_reg(*r)),
+            Expr::Load { addr, width } => {
+                let a = self.convert(addr);
+                let loc = a.structural_hash();
+                let mem = self.read_mem(loc);
+                SExpr::Load {
+                    mem,
+                    addr: Box::new(a),
+                    width: *width,
+                }
+            }
+            Expr::Bin { op, lhs, rhs } => SExpr::bin(*op, self.convert(lhs), self.convert(rhs)),
+            Expr::Un { op, arg } => SExpr::un(*op, self.convert(arg)),
+            Expr::Ite { cond, then_e, else_e } => SExpr::Ite {
+                cond: Box::new(self.convert(cond)),
+                then_e: Box::new(self.convert(then_e)),
+                else_e: Box::new(self.convert(else_e)),
+            },
+        }
+    }
+
+    fn push(&mut self, def: Var, kind: SsaKind) {
+        self.stmts.push(SsaStmt { def, kind });
+    }
+}
+
+/// Convert a lifted block to per-block SSA form.
+///
+/// # Panics
+///
+/// Panics if the block reads a temporary before defining it, which would
+/// indicate a lifter bug (lifters emit temps in SSA order by
+/// construction).
+pub fn ssa_block(block: &Block) -> SsaBlock {
+    let mut b = SsaBuilder::new();
+    for s in &block.stmts {
+        match s {
+            Stmt::SetTmp(t, e) => {
+                let rhs = b.convert(e);
+                let v = b.fresh(VarKind::Tmp(*t), false);
+                b.tmp_map.insert(*t, v);
+                b.push(v, SsaKind::Assign(rhs));
+            }
+            Stmt::Put(r, e) => {
+                let rhs = b.convert(e);
+                let v = b.write_reg(*r);
+                b.push(v, SsaKind::Assign(rhs));
+            }
+            Stmt::Store { addr, value, width } => {
+                let a = b.convert(addr);
+                let val = b.convert(value);
+                let loc = a.structural_hash();
+                let v = b.write_mem(loc);
+                b.push(
+                    v,
+                    SsaKind::Store {
+                        addr: a,
+                        value: val,
+                        width: *width,
+                    },
+                );
+            }
+            Stmt::Exit { cond, target } => {
+                let c = b.convert(cond);
+                let v = b.fresh(VarKind::Exit(*target), false);
+                b.push(
+                    v,
+                    SsaKind::Exit {
+                        cond: c,
+                        target: *target,
+                    },
+                );
+            }
+        }
+    }
+    // Indirect control flow at the block end is a computation worth a
+    // strand (e.g. `jr t9` in Fig. 1 of the paper).
+    match &block.jump {
+        Jump::Indirect(e)
+        | Jump::Call {
+            target: CallTarget::Indirect(e),
+            ..
+        } => {
+            let t = b.convert(e);
+            let v = b.fresh(VarKind::JumpTarget, false);
+            b.push(v, SsaKind::JumpTarget(t));
+        }
+        _ => {}
+    }
+    SsaBlock {
+        addr: block.addr,
+        stmts: b.stmts,
+        vars: b.vars,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn block(stmts: Vec<Stmt>, jump: Jump) -> Block {
+        Block {
+            addr: 0x1000,
+            len: 4 * stmts.len() as u32,
+            stmts,
+            jump,
+            asm: vec![],
+        }
+    }
+
+    #[test]
+    fn every_stmt_defines_one_var() {
+        let b = block(
+            vec![
+                Stmt::SetTmp(Temp(0), Expr::bin(BinOp::Add, Expr::Get(RegId(1)), Expr::Const(4))),
+                Stmt::Put(RegId(1), Expr::Tmp(Temp(0))),
+                Stmt::Put(RegId(1), Expr::bin(BinOp::Add, Expr::Get(RegId(1)), Expr::Const(1))),
+            ],
+            Jump::Ret,
+        );
+        let ssa = ssa_block(&b);
+        assert_eq!(ssa.stmts.len(), 3);
+        // Defs must be unique.
+        let mut defs: Vec<u32> = ssa.stmts.iter().map(|s| s.def.0).collect();
+        defs.dedup();
+        assert_eq!(defs.len(), 3);
+    }
+
+    #[test]
+    fn register_versions_increase() {
+        let b = block(
+            vec![
+                Stmt::Put(RegId(5), Expr::Const(1)),
+                Stmt::Put(RegId(5), Expr::Const(2)),
+            ],
+            Jump::Ret,
+        );
+        let ssa = ssa_block(&b);
+        assert_eq!(ssa.var_info(ssa.stmts[0].def).kind, VarKind::Reg(RegId(5), 0));
+        assert_eq!(ssa.var_info(ssa.stmts[1].def).kind, VarKind::Reg(RegId(5), 1));
+    }
+
+    #[test]
+    fn use_before_def_creates_input() {
+        let b = block(
+            vec![Stmt::SetTmp(
+                Temp(0),
+                Expr::bin(BinOp::Add, Expr::Get(RegId(3)), Expr::Get(RegId(4))),
+            )],
+            Jump::Ret,
+        );
+        let ssa = ssa_block(&b);
+        let inputs = ssa.inputs();
+        assert_eq!(inputs.len(), 2);
+        assert_eq!(ssa.var_info(inputs[0]).kind, VarKind::Reg(RegId(3), 0));
+        assert!(ssa.var_info(inputs[0]).input);
+    }
+
+    #[test]
+    fn later_reads_see_new_version() {
+        let b = block(
+            vec![
+                Stmt::Put(RegId(2), Expr::Const(7)),
+                Stmt::SetTmp(Temp(0), Expr::Get(RegId(2))),
+            ],
+            Jump::Ret,
+        );
+        let ssa = ssa_block(&b);
+        // t0's use must be the defined version, not a fresh input.
+        assert_eq!(ssa.stmts[1].uses(), vec![ssa.stmts[0].def]);
+        assert!(ssa.inputs().is_empty());
+    }
+
+    #[test]
+    fn store_then_load_same_location_links() {
+        // store [sp+8] = r1 ; t0 = load [sp+8]
+        let addr = Expr::bin(BinOp::Add, Expr::Get(RegId(29)), Expr::Const(8));
+        let b = block(
+            vec![
+                Stmt::Store {
+                    addr: addr.clone(),
+                    value: Expr::Get(RegId(1)),
+                    width: Width::W32,
+                },
+                Stmt::SetTmp(Temp(0), Expr::load(addr, Width::W32)),
+            ],
+            Jump::Ret,
+        );
+        let ssa = ssa_block(&b);
+        let store_def = ssa.stmts[0].def;
+        assert!(
+            ssa.stmts[1].uses().contains(&store_def),
+            "load must read the store's mem version"
+        );
+    }
+
+    #[test]
+    fn store_different_locations_do_not_link() {
+        let a1 = Expr::bin(BinOp::Add, Expr::Get(RegId(29)), Expr::Const(8));
+        let a2 = Expr::bin(BinOp::Add, Expr::Get(RegId(29)), Expr::Const(12));
+        let b = block(
+            vec![
+                Stmt::Store {
+                    addr: a1,
+                    value: Expr::Const(1),
+                    width: Width::W32,
+                },
+                Stmt::SetTmp(Temp(0), Expr::load(a2, Width::W32)),
+            ],
+            Jump::Ret,
+        );
+        let ssa = ssa_block(&b);
+        let store_def = ssa.stmts[0].def;
+        assert!(!ssa.stmts[1].uses().contains(&store_def));
+    }
+
+    #[test]
+    fn exit_and_indirect_jump_become_stmts() {
+        let b = block(
+            vec![Stmt::Exit {
+                cond: Expr::bin(BinOp::CmpEq, Expr::Get(RegId(2)), Expr::Const(0x1f)),
+                target: 0x40e744,
+            }],
+            Jump::Indirect(Expr::Get(RegId(25))),
+        );
+        let ssa = ssa_block(&b);
+        assert_eq!(ssa.stmts.len(), 2);
+        assert!(matches!(ssa.stmts[0].kind, SsaKind::Exit { target: 0x40e744, .. }));
+        assert!(matches!(ssa.stmts[1].kind, SsaKind::JumpTarget(_)));
+        assert_eq!(ssa.var_info(ssa.stmts[1].def).kind, VarKind::JumpTarget);
+    }
+
+    #[test]
+    fn structural_hash_distinguishes() {
+        let a = SExpr::bin(BinOp::Add, SExpr::Var(Var(0)), SExpr::Const(4));
+        let b = SExpr::bin(BinOp::Add, SExpr::Var(Var(0)), SExpr::Const(5));
+        let c = SExpr::bin(BinOp::Sub, SExpr::Var(Var(0)), SExpr::Const(4));
+        assert_ne!(a.structural_hash(), b.structural_hash());
+        assert_ne!(a.structural_hash(), c.structural_hash());
+        assert_eq!(a.structural_hash(), a.clone().structural_hash());
+    }
+}

@@ -1,0 +1,157 @@
+//! Statements and block terminators.
+
+use std::fmt;
+
+use crate::expr::{Expr, RegId, Temp, Width};
+
+/// A side-effecting IR statement.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum Stmt {
+    /// Define a single-assignment temporary (VEX `WrTmp`).
+    SetTmp(Temp, Expr),
+    /// Write an architecture register (VEX `Put`).
+    Put(RegId, Expr),
+    /// Store `value` (low `width` bytes) at `addr`.
+    Store {
+        /// Address expression.
+        addr: Expr,
+        /// Value expression.
+        value: Expr,
+        /// Store width.
+        width: Width,
+    },
+    /// Conditional side exit: if `cond != 0`, control transfers to
+    /// `target` (VEX `Exit`). Statements after the exit execute only when
+    /// the condition is false.
+    Exit {
+        /// Guard condition.
+        cond: Expr,
+        /// Branch target address.
+        target: u32,
+    },
+}
+
+impl fmt::Display for Stmt {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Stmt::SetTmp(t, e) => write!(f, "t{} = {e}", t.0),
+            Stmt::Put(r, e) => write!(f, "PUT(r{}) = {e}", r.0),
+            Stmt::Store { addr, value, width } => {
+                write!(f, "ST{}({addr}) = {value}", width.bytes() * 8)
+            }
+            Stmt::Exit { cond, target } => write!(f, "if ({cond}) goto {target:#x}"),
+        }
+    }
+}
+
+/// The target of a call.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum CallTarget {
+    /// Direct call to a known address.
+    Direct(u32),
+    /// Indirect call through an expression (e.g. a register).
+    Indirect(Expr),
+}
+
+/// How control leaves a block once all statements have executed.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum Jump {
+    /// Fall through to the block starting at the given address.
+    Fall(u32),
+    /// Unconditional direct jump.
+    Direct(u32),
+    /// Unconditional indirect jump (e.g. `jr t9`, `bx lr` used as a jump).
+    Indirect(Expr),
+    /// Procedure call; control resumes at `return_to` afterwards.
+    Call {
+        /// Callee.
+        target: CallTarget,
+        /// Return address (the next block).
+        return_to: u32,
+    },
+    /// Return from the current procedure.
+    Ret,
+}
+
+impl Jump {
+    /// Intra-procedural successor addresses of this terminator (call
+    /// returns count as successors; the callee does not).
+    pub fn successors(&self) -> Vec<u32> {
+        match self {
+            Jump::Fall(a) | Jump::Direct(a) => vec![*a],
+            Jump::Call { return_to, .. } => vec![*return_to],
+            Jump::Indirect(_) | Jump::Ret => vec![],
+        }
+    }
+
+    /// The direct callee address, if this is a direct call.
+    pub fn call_target(&self) -> Option<u32> {
+        match self {
+            Jump::Call {
+                target: CallTarget::Direct(a),
+                ..
+            } => Some(*a),
+            _ => None,
+        }
+    }
+}
+
+impl fmt::Display for Jump {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Jump::Fall(a) => write!(f, "fall {a:#x}"),
+            Jump::Direct(a) => write!(f, "goto {a:#x}"),
+            Jump::Indirect(e) => write!(f, "goto [{e}]"),
+            Jump::Call {
+                target: CallTarget::Direct(a),
+                return_to,
+            } => write!(f, "call {a:#x} ret {return_to:#x}"),
+            Jump::Call {
+                target: CallTarget::Indirect(e),
+                return_to,
+            } => write!(f, "call [{e}] ret {return_to:#x}"),
+            Jump::Ret => write!(f, "ret"),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::expr::BinOp;
+
+    #[test]
+    fn jump_successors() {
+        assert_eq!(Jump::Fall(4).successors(), vec![4]);
+        assert_eq!(Jump::Direct(8).successors(), vec![8]);
+        assert_eq!(
+            Jump::Call {
+                target: CallTarget::Direct(0x100),
+                return_to: 0x20
+            }
+            .successors(),
+            vec![0x20]
+        );
+        assert!(Jump::Ret.successors().is_empty());
+        assert!(Jump::Indirect(Expr::Get(RegId(1))).successors().is_empty());
+    }
+
+    #[test]
+    fn call_target_extraction() {
+        let j = Jump::Call {
+            target: CallTarget::Direct(0x400),
+            return_to: 0x8,
+        };
+        assert_eq!(j.call_target(), Some(0x400));
+        assert_eq!(Jump::Ret.call_target(), None);
+    }
+
+    #[test]
+    fn stmt_display() {
+        let s = Stmt::Exit {
+            cond: Expr::bin(BinOp::CmpNe, Expr::Tmp(Temp(0)), Expr::Const(0)),
+            target: 0x40e744,
+        };
+        assert_eq!(s.to_string(), "if ((icmp ne t0, 0)) goto 0x40e744");
+    }
+}

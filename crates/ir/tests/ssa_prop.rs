@@ -1,0 +1,128 @@
+//! Property tests for per-block SSA conversion: the preconditions
+//! Algorithm 1 relies on must hold for arbitrary lifted blocks.
+
+use firmup_ir::ssa::ssa_block;
+use firmup_ir::{BinOp, Block, Expr, Jump, RegId, Stmt, Temp, Width};
+use proptest::prelude::*;
+
+fn reg() -> impl Strategy<Value = RegId> {
+    (0u16..8).prop_map(RegId)
+}
+
+/// Expressions over registers and previously defined temps.
+fn expr(max_tmp: u32) -> BoxedStrategy<Expr> {
+    let leaf = if max_tmp == 0 {
+        prop_oneof![
+            any::<u32>().prop_map(Expr::Const),
+            reg().prop_map(Expr::Get),
+        ]
+        .boxed()
+    } else {
+        prop_oneof![
+            any::<u32>().prop_map(Expr::Const),
+            reg().prop_map(Expr::Get),
+            (0..max_tmp).prop_map(|t| Expr::Tmp(Temp(t))),
+        ]
+        .boxed()
+    };
+    leaf.prop_recursive(3, 16, 2, |inner| {
+        prop_oneof![
+            (inner.clone(), inner.clone()).prop_map(|(a, b)| Expr::bin(BinOp::Add, a, b)),
+            (inner.clone(), inner.clone()).prop_map(|(a, b)| Expr::bin(BinOp::Xor, a, b)),
+            (inner.clone(), inner).prop_map(|(a, b)| Expr::bin(BinOp::CmpLtS, a, b)),
+        ]
+    })
+    .boxed()
+}
+
+/// A well-formed lifted block: temps are defined in order before use.
+fn block() -> impl Strategy<Value = Block> {
+    proptest::collection::vec(0u8..4, 1..12).prop_flat_map(|kinds| {
+        let mut strategies: Vec<BoxedStrategy<Stmt>> = Vec::new();
+        let mut next_tmp = 0u32;
+        for k in kinds {
+            let s: BoxedStrategy<Stmt> = match k {
+                0 => {
+                    let t = Temp(next_tmp);
+                    next_tmp += 1;
+                    expr(t.0).prop_map(move |e| Stmt::SetTmp(t, e)).boxed()
+                }
+                1 => (reg(), expr(next_tmp))
+                    .prop_map(|(r, e)| Stmt::Put(r, e))
+                    .boxed(),
+                2 => (expr(next_tmp), expr(next_tmp))
+                    .prop_map(|(a, v)| Stmt::Store {
+                        addr: a,
+                        value: v,
+                        width: Width::W32,
+                    })
+                    .boxed(),
+                _ => (expr(next_tmp), any::<u32>())
+                    .prop_map(|(c, t)| Stmt::Exit { cond: c, target: t })
+                    .boxed(),
+            };
+            strategies.push(s);
+        }
+        strategies.prop_map(|stmts| Block {
+            addr: 0x1000,
+            len: 4 * stmts.len() as u32,
+            stmts,
+            jump: Jump::Ret,
+            asm: vec![],
+        })
+    })
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(256))]
+
+    /// Every SSA statement defines exactly one fresh variable (the
+    /// Algorithm 1 precondition).
+    #[test]
+    fn defs_are_unique(b in block()) {
+        let ssa = ssa_block(&b);
+        prop_assert_eq!(ssa.stmts.len(), b.stmts.len());
+        let mut defs: Vec<u32> = ssa.stmts.iter().map(|s| s.def.0).collect();
+        let n = defs.len();
+        defs.sort_unstable();
+        defs.dedup();
+        prop_assert_eq!(defs.len(), n, "duplicate defs");
+    }
+
+    /// Uses only reference inputs or earlier defs — never later ones.
+    #[test]
+    fn uses_respect_order(b in block()) {
+        let ssa = ssa_block(&b);
+        let inputs: std::collections::BTreeSet<_> =
+            ssa.inputs().into_iter().collect();
+        let mut defined = inputs.clone();
+        for s in &ssa.stmts {
+            for u in s.uses() {
+                prop_assert!(
+                    defined.contains(&u),
+                    "use of v{} before definition",
+                    u.0
+                );
+            }
+            defined.insert(s.def);
+        }
+    }
+
+    /// SSA conversion is deterministic.
+    #[test]
+    fn conversion_is_deterministic(b in block()) {
+        prop_assert_eq!(ssa_block(&b), ssa_block(&b));
+    }
+
+    /// Variable metadata covers every variable mentioned anywhere.
+    #[test]
+    fn var_table_is_complete(b in block()) {
+        let ssa = ssa_block(&b);
+        for s in &ssa.stmts {
+            prop_assert!((s.def.0 as usize) < ssa.vars.len());
+            for u in s.uses() {
+                prop_assert!((u.0 as usize) < ssa.vars.len());
+            }
+        }
+    }
+}

@@ -1,0 +1,1065 @@
+//! ARM32 (ARMv7-A, A32) subset: encoder, decoder and lifter.
+//!
+//! Fixed four-byte instructions, condition code on (almost) every
+//! instruction, explicit flag registers N/Z/C/V. Conditional execution of
+//! data-processing instructions is lifted as `ITE` merges so that every
+//! register write remains explicit, as the paper requires of the IR
+//! ("full representation of the machine state, including side-effects").
+
+use std::fmt;
+
+use firmup_ir::{BinOp, Expr, Jump, RegId, Stmt, Width};
+
+use crate::common::{Control, Decoded, DecodeError, LiftCtx};
+
+/// Register ids: `r0`–`r15` map to `RegId(0..=15)`.
+pub const SP: u8 = 13;
+/// Link register `r14`.
+pub const LR: u8 = 14;
+/// Program counter `r15`.
+pub const PC: u8 = 15;
+/// IR register id of the N (negative) flag.
+pub const NF: RegId = RegId(16);
+/// IR register id of the Z (zero) flag.
+pub const ZF: RegId = RegId(17);
+/// IR register id of the C (carry) flag.
+pub const CF: RegId = RegId(18);
+/// IR register id of the V (overflow) flag.
+pub const VF: RegId = RegId(19);
+
+/// Name of an IR register id, for diagnostics.
+pub fn reg_name(r: RegId) -> String {
+    match r.0 {
+        13 => "sp".into(),
+        14 => "lr".into(),
+        15 => "pc".into(),
+        16 => "nf".into(),
+        17 => "zf".into(),
+        18 => "cf".into(),
+        19 => "vf".into(),
+        n if n < 13 => format!("r{n}"),
+        n => format!("?{n}"),
+    }
+}
+
+/// ARM condition codes (encodings 0–14; `0b1111` is unallocated here).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+#[allow(missing_docs)]
+pub enum Cond {
+    Eq = 0,
+    Ne = 1,
+    Cs = 2,
+    Cc = 3,
+    Mi = 4,
+    Pl = 5,
+    Vs = 6,
+    Vc = 7,
+    Hi = 8,
+    Ls = 9,
+    Ge = 10,
+    Lt = 11,
+    Gt = 12,
+    Le = 13,
+    Al = 14,
+}
+
+impl Cond {
+    /// Decode a 4-bit condition field.
+    pub fn from_bits(b: u32) -> Option<Cond> {
+        use Cond::*;
+        Some(match b & 0xf {
+            0 => Eq,
+            1 => Ne,
+            2 => Cs,
+            3 => Cc,
+            4 => Mi,
+            5 => Pl,
+            6 => Vs,
+            7 => Vc,
+            8 => Hi,
+            9 => Ls,
+            10 => Ge,
+            11 => Lt,
+            12 => Gt,
+            13 => Le,
+            14 => Al,
+            _ => return None,
+        })
+    }
+
+    /// Mnemonic suffix (`""` for AL).
+    pub fn suffix(self) -> &'static str {
+        use Cond::*;
+        match self {
+            Eq => "eq",
+            Ne => "ne",
+            Cs => "cs",
+            Cc => "cc",
+            Mi => "mi",
+            Pl => "pl",
+            Vs => "vs",
+            Vc => "vc",
+            Hi => "hi",
+            Ls => "ls",
+            Ge => "ge",
+            Lt => "lt",
+            Gt => "gt",
+            Le => "le",
+            Al => "",
+        }
+    }
+
+    /// The flag expression that is true when this condition holds.
+    pub fn expr(self) -> Expr {
+        use Cond::*;
+        let n = Expr::Get(NF);
+        let z = Expr::Get(ZF);
+        let c = Expr::Get(CF);
+        let v = Expr::Get(VF);
+        let not = |e: Expr| Expr::bin(BinOp::CmpEq, e, Expr::Const(0));
+        match self {
+            Eq => z,
+            Ne => not(z),
+            Cs => c,
+            Cc => not(c),
+            Mi => n,
+            Pl => not(n),
+            Vs => v,
+            Vc => not(v),
+            Hi => Expr::bin(BinOp::And, c, not(z)),
+            Ls => Expr::bin(BinOp::Or, not(c), z),
+            Ge => Expr::bin(BinOp::CmpEq, n, v),
+            Lt => Expr::bin(BinOp::CmpNe, n, v),
+            Gt => Expr::bin(BinOp::And, not(z), Expr::bin(BinOp::CmpEq, n, v)),
+            Le => Expr::bin(BinOp::Or, z, Expr::bin(BinOp::CmpNe, n, v)),
+            Al => Expr::Const(1),
+        }
+    }
+}
+
+/// Shift applied to a register operand.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+#[allow(missing_docs)]
+pub enum Shift {
+    Lsl = 0,
+    Lsr = 1,
+    Asr = 2,
+}
+
+/// The flexible second operand of a data-processing instruction.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Operand2 {
+    /// `imm8` rotated right by `2*rot`.
+    Imm {
+        /// Rotation (0–15, in units of two bits).
+        rot: u8,
+        /// 8-bit immediate.
+        imm: u8,
+    },
+    /// Register with an immediate shift.
+    Reg {
+        /// Source register.
+        rm: u8,
+        /// Shift kind.
+        shift: Shift,
+        /// Shift amount (0–31).
+        amount: u8,
+    },
+}
+
+impl Operand2 {
+    /// A plain register operand (LSL #0).
+    pub fn reg(rm: u8) -> Operand2 {
+        Operand2::Reg {
+            rm,
+            shift: Shift::Lsl,
+            amount: 0,
+        }
+    }
+
+    /// Encode a small immediate if representable.
+    pub fn try_imm(v: u32) -> Option<Operand2> {
+        for rot in 0..16u8 {
+            let val = v.rotate_left(u32::from(rot) * 2);
+            if val <= 0xff {
+                return Some(Operand2::Imm { rot, imm: val as u8 });
+            }
+        }
+        None
+    }
+
+    /// Concrete value of an immediate operand.
+    pub fn imm_value(rot: u8, imm: u8) -> u32 {
+        u32::from(imm).rotate_right(u32::from(rot) * 2)
+    }
+}
+
+/// Data-processing opcodes (the 4-bit `opcode` field).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+#[allow(missing_docs)]
+pub enum DpOp {
+    And = 0,
+    Eor = 1,
+    Sub = 2,
+    Rsb = 3,
+    Add = 4,
+    Tst = 8,
+    Cmp = 10,
+    Orr = 12,
+    Mov = 13,
+    Bic = 14,
+    Mvn = 15,
+}
+
+impl DpOp {
+    fn from_bits(b: u32) -> Option<DpOp> {
+        use DpOp::*;
+        Some(match b & 0xf {
+            0 => And,
+            1 => Eor,
+            2 => Sub,
+            3 => Rsb,
+            4 => Add,
+            8 => Tst,
+            10 => Cmp,
+            12 => Orr,
+            13 => Mov,
+            14 => Bic,
+            15 => Mvn,
+            _ => return None,
+        })
+    }
+
+    /// Mnemonic.
+    pub fn mnemonic(self) -> &'static str {
+        use DpOp::*;
+        match self {
+            And => "and",
+            Eor => "eor",
+            Sub => "sub",
+            Rsb => "rsb",
+            Add => "add",
+            Tst => "tst",
+            Cmp => "cmp",
+            Orr => "orr",
+            Mov => "mov",
+            Bic => "bic",
+            Mvn => "mvn",
+        }
+    }
+
+    /// Whether the opcode discards its result (compare/test class).
+    pub fn discards_result(self) -> bool {
+        matches!(self, DpOp::Tst | DpOp::Cmp)
+    }
+}
+
+/// Our ARM32 instruction subset.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+#[allow(missing_docs)]
+pub enum Instr {
+    Dp { cond: Cond, op: DpOp, s: bool, rn: u8, rd: u8, op2: Operand2 },
+    Movw { cond: Cond, rd: u8, imm: u16 },
+    Movt { cond: Cond, rd: u8, imm: u16 },
+    Mul { cond: Cond, rd: u8, rm: u8, rs: u8 },
+    Ldr { cond: Cond, byte: bool, rd: u8, rn: u8, up: bool, off: u16 },
+    Str { cond: Cond, byte: bool, rd: u8, rn: u8, up: bool, off: u16 },
+    B { cond: Cond, off: i32 },
+    Bl { cond: Cond, off: i32 },
+    Bx { cond: Cond, rm: u8 },
+}
+
+/// Encode one instruction to its 32-bit word.
+pub fn encode_word(i: &Instr) -> u32 {
+    use Instr::*;
+    match *i {
+        Dp { cond, op, s, rn, rd, op2 } => {
+            let (ibit, op2bits) = match op2 {
+                Operand2::Imm { rot, imm } => (1u32, (u32::from(rot) << 8) | u32::from(imm)),
+                Operand2::Reg { rm, shift, amount } => (
+                    0,
+                    (u32::from(amount) << 7) | ((shift as u32) << 5) | u32::from(rm),
+                ),
+            };
+            ((cond as u32) << 28)
+                | (ibit << 25)
+                | ((op as u32) << 21)
+                | (u32::from(s) << 20)
+                | (u32::from(rn) << 16)
+                | (u32::from(rd) << 12)
+                | op2bits
+        }
+        Movw { cond, rd, imm } => {
+            ((cond as u32) << 28)
+                | (0x30 << 20)
+                | ((u32::from(imm) >> 12) << 16)
+                | (u32::from(rd) << 12)
+                | (u32::from(imm) & 0xfff)
+        }
+        Movt { cond, rd, imm } => {
+            ((cond as u32) << 28)
+                | (0x34 << 20)
+                | ((u32::from(imm) >> 12) << 16)
+                | (u32::from(rd) << 12)
+                | (u32::from(imm) & 0xfff)
+        }
+        Mul { cond, rd, rm, rs } => {
+            ((cond as u32) << 28) | (u32::from(rd) << 16) | (u32::from(rs) << 8) | 0x90 | u32::from(rm)
+        }
+        Ldr { cond, byte, rd, rn, up, off } | Str { cond, byte, rd, rn, up, off } => {
+            let load = matches!(i, Ldr { .. });
+            ((cond as u32) << 28)
+                | (0b01 << 26)
+                | (1 << 24) // P
+                | (u32::from(up) << 23)
+                | (u32::from(byte) << 22)
+                | (u32::from(load) << 20)
+                | (u32::from(rn) << 16)
+                | (u32::from(rd) << 12)
+                | u32::from(off & 0xfff)
+        }
+        B { cond, off } => ((cond as u32) << 28) | (0b1010 << 24) | ((off as u32) & 0x00ff_ffff),
+        Bl { cond, off } => ((cond as u32) << 28) | (0b1011 << 24) | ((off as u32) & 0x00ff_ffff),
+        Bx { cond, rm } => ((cond as u32) << 28) | 0x012f_ff10 | u32::from(rm),
+    }
+}
+
+/// Append the little-endian encoding of `i` to `buf`.
+pub fn encode(i: &Instr, buf: &mut Vec<u8>) {
+    buf.extend_from_slice(&encode_word(i).to_le_bytes());
+}
+
+fn sext24(v: u32) -> i32 {
+    ((v << 8) as i32) >> 8
+}
+
+/// Decode the instruction at `bytes[offset..]`, located at `addr`.
+///
+/// # Errors
+///
+/// [`DecodeError::Truncated`] / [`DecodeError::Unknown`].
+pub fn decode(bytes: &[u8], offset: usize, addr: u32) -> Result<(Instr, u32), DecodeError> {
+    let chunk = bytes
+        .get(offset..offset + 4)
+        .ok_or(DecodeError::Truncated { addr })?;
+    let w = u32::from_le_bytes([chunk[0], chunk[1], chunk[2], chunk[3]]);
+    let cond = Cond::from_bits(w >> 28).ok_or(DecodeError::Unknown { addr, word: w })?;
+    let unknown = DecodeError::Unknown { addr, word: w };
+    use Instr::*;
+
+    // BX (exact pattern, before data processing).
+    if w & 0x0fff_fff0 == 0x012f_ff10 {
+        return Ok((Bx { cond, rm: (w & 0xf) as u8 }, 4));
+    }
+    // MUL.
+    if w & 0x0fc0_00f0 == 0x0000_0090 {
+        return Ok((
+            Mul {
+                cond,
+                rd: ((w >> 16) & 0xf) as u8,
+                rs: ((w >> 8) & 0xf) as u8,
+                rm: (w & 0xf) as u8,
+            },
+            4,
+        ));
+    }
+    // MOVW / MOVT.
+    let top8 = (w >> 20) & 0xff;
+    if top8 == 0x30 || top8 == 0x34 {
+        let imm = (((w >> 16) & 0xf) << 12 | (w & 0xfff)) as u16;
+        let rd = ((w >> 12) & 0xf) as u8;
+        return Ok((
+            if top8 == 0x30 {
+                Movw { cond, rd, imm }
+            } else {
+                Movt { cond, rd, imm }
+            },
+            4,
+        ));
+    }
+    match (w >> 26) & 3 {
+        0b00 => {
+            let i_bit = (w >> 25) & 1;
+            let op = DpOp::from_bits(w >> 21).ok_or_else(|| unknown.clone())?;
+            let s = (w >> 20) & 1 == 1;
+            if op.discards_result() && !s {
+                return Err(unknown);
+            }
+            let rn = ((w >> 16) & 0xf) as u8;
+            let rd = ((w >> 12) & 0xf) as u8;
+            let op2 = if i_bit == 1 {
+                Operand2::Imm {
+                    rot: ((w >> 8) & 0xf) as u8,
+                    imm: (w & 0xff) as u8,
+                }
+            } else {
+                if (w >> 4) & 1 == 1 {
+                    return Err(unknown); // register-shifted register: unsupported
+                }
+                let shift = match (w >> 5) & 3 {
+                    0 => Shift::Lsl,
+                    1 => Shift::Lsr,
+                    2 => Shift::Asr,
+                    _ => return Err(unknown),
+                };
+                Operand2::Reg {
+                    rm: (w & 0xf) as u8,
+                    shift,
+                    amount: ((w >> 7) & 0x1f) as u8,
+                }
+            };
+            Ok((Dp { cond, op, s, rn, rd, op2 }, 4))
+        }
+        0b01 => {
+            // Load/store immediate offset, P=1, W=0, I=0 only.
+            if (w >> 25) & 1 == 1 || (w >> 24) & 1 == 0 || (w >> 21) & 1 == 1 {
+                return Err(unknown);
+            }
+            if cond != Cond::Al {
+                return Err(unknown); // conditional memory ops: not in our subset
+            }
+            let load = (w >> 20) & 1 == 1;
+            let byte = (w >> 22) & 1 == 1;
+            let up = (w >> 23) & 1 == 1;
+            let rn = ((w >> 16) & 0xf) as u8;
+            let rd = ((w >> 12) & 0xf) as u8;
+            let off = (w & 0xfff) as u16;
+            Ok((
+                if load {
+                    Ldr { cond, byte, rd, rn, up, off }
+                } else {
+                    Str { cond, byte, rd, rn, up, off }
+                },
+                4,
+            ))
+        }
+        0b10 => {
+            if (w >> 25) & 7 != 0b101 {
+                return Err(unknown);
+            }
+            let off = sext24(w & 0x00ff_ffff);
+            Ok((
+                if (w >> 24) & 1 == 1 {
+                    Bl { cond, off }
+                } else {
+                    B { cond, off }
+                },
+                4,
+            ))
+        }
+        _ => Err(unknown),
+    }
+}
+
+fn branch_target(addr: u32, off: i32) -> u32 {
+    addr.wrapping_add(8).wrapping_add((off << 2) as u32)
+}
+
+/// Control-flow classification.
+pub fn control(i: &Instr, addr: u32) -> Control {
+    use Instr::*;
+    match *i {
+        B { cond: Cond::Al, off } => Control::Jump(branch_target(addr, off)),
+        B { off, .. } => Control::CondJump(branch_target(addr, off)),
+        Bl { off, .. } => Control::Call(branch_target(addr, off)),
+        Bx { rm, .. } if rm == LR => Control::Ret,
+        Bx { .. } => Control::IndirectJump,
+        // Writing PC with a data-processing op is an indirect jump.
+        Dp { rd: 15, op, .. } if !op.discards_result() => Control::IndirectJump,
+        _ => Control::Fall,
+    }
+}
+
+/// Disassembly text.
+pub fn asm(i: &Instr, addr: u32) -> String {
+    use Instr::*;
+    let r = |n: u8| reg_name(RegId(u16::from(n)));
+    let op2s = |op2: &Operand2| match *op2 {
+        Operand2::Imm { rot, imm } => format!("#{:#x}", Operand2::imm_value(rot, imm)),
+        Operand2::Reg { rm, shift, amount } if amount == 0 && shift == Shift::Lsl => r(rm),
+        Operand2::Reg { rm, shift, amount } => {
+            let s = match shift {
+                Shift::Lsl => "lsl",
+                Shift::Lsr => "lsr",
+                Shift::Asr => "asr",
+            };
+            format!("{}, {s} #{amount}", r(rm))
+        }
+    };
+    match i {
+        Dp { cond, op, s, rn, rd, op2 } => {
+            let sfx = cond.suffix();
+            let sbit = if *s && !op.discards_result() { "s" } else { "" };
+            match op {
+                DpOp::Mov | DpOp::Mvn => format!("{}{sfx}{sbit} {}, {}", op.mnemonic(), r(*rd), op2s(op2)),
+                DpOp::Cmp | DpOp::Tst => format!("{}{sfx} {}, {}", op.mnemonic(), r(*rn), op2s(op2)),
+                _ => format!("{}{sfx}{sbit} {}, {}, {}", op.mnemonic(), r(*rd), r(*rn), op2s(op2)),
+            }
+        }
+        Movw { cond, rd, imm } => format!("movw{} {}, #{imm:#x}", cond.suffix(), r(*rd)),
+        Movt { cond, rd, imm } => format!("movt{} {}, #{imm:#x}", cond.suffix(), r(*rd)),
+        Mul { cond, rd, rm, rs } => format!("mul{} {}, {}, {}", cond.suffix(), r(*rd), r(*rm), r(*rs)),
+        Ldr { byte, rd, rn, up, off, .. } => {
+            let b = if *byte { "b" } else { "" };
+            let sign = if *up { "" } else { "-" };
+            format!("ldr{b} {}, [{}, #{sign}{off:#x}]", r(*rd), r(*rn))
+        }
+        Str { byte, rd, rn, up, off, .. } => {
+            let b = if *byte { "b" } else { "" };
+            let sign = if *up { "" } else { "-" };
+            format!("str{b} {}, [{}, #{sign}{off:#x}]", r(*rd), r(*rn))
+        }
+        B { cond, off } => format!("b{} {:#x}", cond.suffix(), branch_target(addr, *off)),
+        Bl { cond, off } => format!("bl{} {:#x}", cond.suffix(), branch_target(addr, *off)),
+        Bx { cond, rm } => format!("bx{} {}", cond.suffix(), r(*rm)),
+    }
+}
+
+fn get(r: u8, addr: u32) -> Expr {
+    if r == PC {
+        // Reading PC in A32 yields the instruction address plus 8.
+        Expr::Const(addr.wrapping_add(8))
+    } else {
+        Expr::Get(RegId(u16::from(r)))
+    }
+}
+
+/// Write `rd`, honouring a condition by merging with the old value.
+fn put_cond(ctx: &mut LiftCtx, cond: Cond, rd: u8, value: Expr) {
+    let dst = RegId(u16::from(rd));
+    if cond == Cond::Al {
+        ctx.emit(Stmt::Put(dst, value));
+    } else {
+        let guard = ctx.bind(cond.expr());
+        ctx.emit(Stmt::Put(dst, Expr::ite(guard, value, Expr::Get(dst))));
+    }
+}
+
+fn set_nz(ctx: &mut LiftCtx, cond: Cond, res: &Expr) {
+    put_cond_flag(ctx, cond, NF, Expr::bin(BinOp::CmpLtS, res.clone(), Expr::Const(0)));
+    put_cond_flag(ctx, cond, ZF, Expr::bin(BinOp::CmpEq, res.clone(), Expr::Const(0)));
+}
+
+fn put_cond_flag(ctx: &mut LiftCtx, cond: Cond, flag: RegId, value: Expr) {
+    if cond == Cond::Al {
+        ctx.emit(Stmt::Put(flag, value));
+    } else {
+        let guard = ctx.bind(cond.expr());
+        ctx.emit(Stmt::Put(flag, Expr::ite(guard, value, Expr::Get(flag))));
+    }
+}
+
+fn sign_bit(e: Expr) -> Expr {
+    Expr::bin(BinOp::Shr, e, Expr::Const(31))
+}
+
+/// Lift one instruction into `ctx`.
+pub fn lift(i: &Instr, addr: u32, ctx: &mut LiftCtx) {
+    use Instr::*;
+    let next = addr.wrapping_add(4);
+    match *i {
+        Dp { cond, op, s, rn, rd, op2 } => {
+            let a = get(rn, addr);
+            let b = match op2 {
+                Operand2::Imm { rot, imm } => Expr::Const(Operand2::imm_value(rot, imm)),
+                Operand2::Reg { rm, shift, amount } => {
+                    let base = get(rm, addr);
+                    if amount == 0 && shift == Shift::Lsl {
+                        base
+                    } else {
+                        let opk = match shift {
+                            Shift::Lsl => BinOp::Shl,
+                            Shift::Lsr => BinOp::Shr,
+                            Shift::Asr => BinOp::Sar,
+                        };
+                        Expr::bin(opk, base, Expr::Const(u32::from(amount)))
+                    }
+                }
+            };
+            let a = ctx.bind(a);
+            let b = ctx.bind(b);
+            let (result, carry, overflow): (Expr, Option<Expr>, Option<Expr>) = match op {
+                DpOp::And | DpOp::Tst => (Expr::bin(BinOp::And, a.clone(), b.clone()), None, None),
+                DpOp::Eor => (Expr::bin(BinOp::Xor, a.clone(), b.clone()), None, None),
+                DpOp::Orr => (Expr::bin(BinOp::Or, a.clone(), b.clone()), None, None),
+                DpOp::Bic => (
+                    Expr::bin(BinOp::And, a.clone(), Expr::un(firmup_ir::UnOp::Not, b.clone())),
+                    None,
+                    None,
+                ),
+                DpOp::Mov => (b.clone(), None, None),
+                DpOp::Mvn => (Expr::un(firmup_ir::UnOp::Not, b.clone()), None, None),
+                DpOp::Add => {
+                    let res = Expr::bin(BinOp::Add, a.clone(), b.clone());
+                    let res_t = ctx.bind(res);
+                    let c = Expr::bin(BinOp::CmpLtU, res_t.clone(), a.clone());
+                    let v = Expr::bin(
+                        BinOp::And,
+                        sign_bit(Expr::bin(BinOp::Xor, a.clone(), res_t.clone())),
+                        sign_bit(Expr::bin(BinOp::Xor, b.clone(), res_t.clone())),
+                    );
+                    (res_t, Some(c), Some(v))
+                }
+                DpOp::Sub | DpOp::Cmp => {
+                    let res = Expr::bin(BinOp::Sub, a.clone(), b.clone());
+                    let res_t = ctx.bind(res);
+                    let c = Expr::bin(BinOp::CmpLeU, b.clone(), a.clone());
+                    let v = Expr::bin(
+                        BinOp::And,
+                        sign_bit(Expr::bin(BinOp::Xor, a.clone(), b.clone())),
+                        sign_bit(Expr::bin(BinOp::Xor, a.clone(), res_t.clone())),
+                    );
+                    (res_t, Some(c), Some(v))
+                }
+                DpOp::Rsb => {
+                    let res = Expr::bin(BinOp::Sub, b.clone(), a.clone());
+                    let res_t = ctx.bind(res);
+                    let c = Expr::bin(BinOp::CmpLeU, a.clone(), b.clone());
+                    let v = Expr::bin(
+                        BinOp::And,
+                        sign_bit(Expr::bin(BinOp::Xor, b.clone(), a.clone())),
+                        sign_bit(Expr::bin(BinOp::Xor, b.clone(), res_t.clone())),
+                    );
+                    (res_t, Some(c), Some(v))
+                }
+            };
+            let result = ctx.bind(result);
+            if !op.discards_result() {
+                if rd == PC {
+                    ctx.terminate(Jump::Indirect(result.clone()));
+                    return;
+                }
+                put_cond(ctx, cond, rd, result.clone());
+            }
+            if s || op.discards_result() {
+                set_nz(ctx, cond, &result);
+                if let Some(c) = carry {
+                    put_cond_flag(ctx, cond, CF, c);
+                }
+                if let Some(v) = overflow {
+                    put_cond_flag(ctx, cond, VF, v);
+                }
+            }
+        }
+        Movw { cond, rd, imm } => put_cond(ctx, cond, rd, Expr::Const(u32::from(imm))),
+        Movt { cond, rd, imm } => {
+            let low = Expr::bin(
+                BinOp::And,
+                Expr::Get(RegId(u16::from(rd))),
+                Expr::Const(0xffff),
+            );
+            put_cond(
+                ctx,
+                cond,
+                rd,
+                Expr::bin(BinOp::Or, low, Expr::Const(u32::from(imm) << 16)),
+            );
+        }
+        Mul { cond, rd, rm, rs } => {
+            put_cond(ctx, cond, rd, Expr::bin(BinOp::Mul, get(rm, addr), get(rs, addr)));
+        }
+        Ldr { byte, rd, rn, up, off, .. } => {
+            let disp = if up { u32::from(off) } else { (u32::from(off)).wrapping_neg() };
+            let a = if disp == 0 {
+                get(rn, addr)
+            } else {
+                Expr::bin(BinOp::Add, get(rn, addr), Expr::Const(disp))
+            };
+            let w = if byte { Width::W8 } else { Width::W32 };
+            put_cond(ctx, Cond::Al, rd, Expr::load(a, w));
+        }
+        Str { byte, rd, rn, up, off, .. } => {
+            let disp = if up { u32::from(off) } else { (u32::from(off)).wrapping_neg() };
+            let a = if disp == 0 {
+                get(rn, addr)
+            } else {
+                Expr::bin(BinOp::Add, get(rn, addr), Expr::Const(disp))
+            };
+            ctx.emit(Stmt::Store {
+                addr: a,
+                value: get(rd, addr),
+                width: if byte { Width::W8 } else { Width::W32 },
+            });
+        }
+        B { cond, off } => {
+            let target = branch_target(addr, off);
+            if cond == Cond::Al {
+                ctx.terminate(Jump::Direct(target));
+            } else {
+                ctx.emit(Stmt::Exit {
+                    cond: cond.expr(),
+                    target,
+                });
+                ctx.terminate(Jump::Fall(next));
+            }
+        }
+        Bl { off, .. } => {
+            let target = branch_target(addr, off);
+            ctx.emit(Stmt::Put(RegId(u16::from(LR)), Expr::Const(next)));
+            ctx.terminate(Jump::Call {
+                target: firmup_ir::CallTarget::Direct(target),
+                return_to: next,
+            });
+        }
+        Bx { rm, .. } => {
+            if rm == LR {
+                ctx.terminate(Jump::Ret);
+            } else {
+                ctx.terminate(Jump::Indirect(get(rm, addr)));
+            }
+        }
+    }
+}
+
+/// Decode and lift one instruction, appending statements to `ctx`.
+///
+/// # Errors
+///
+/// Propagates decode errors.
+pub fn lift_into(bytes: &[u8], offset: usize, addr: u32, ctx: &mut LiftCtx) -> Result<Decoded, DecodeError> {
+    let (i, len) = decode(bytes, offset, addr)?;
+    let ctrl = control(&i, addr);
+    lift(&i, addr, ctx);
+    Ok(Decoded {
+        len,
+        asm: asm(&i, addr),
+        ctrl,
+        delay_slot: false,
+    })
+}
+
+/// Decode one instruction without lifting.
+///
+/// # Errors
+///
+/// Propagates decode errors.
+pub fn decode_info(bytes: &[u8], offset: usize, addr: u32) -> Result<Decoded, DecodeError> {
+    let (i, len) = decode(bytes, offset, addr)?;
+    Ok(Decoded {
+        len,
+        asm: asm(&i, addr),
+        ctrl: control(&i, addr),
+        delay_slot: false,
+    })
+}
+
+impl fmt::Display for Instr {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(&asm(self, 0))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use firmup_ir::Machine;
+
+    fn rt(i: Instr) {
+        let mut buf = Vec::new();
+        encode(&i, &mut buf);
+        let (d, len) = decode(&buf, 0, 0x8000).expect("decode");
+        assert_eq!(len, 4);
+        assert_eq!(d, i);
+    }
+
+    #[test]
+    fn encode_decode_roundtrip_all_forms() {
+        for i in [
+            Instr::Dp {
+                cond: Cond::Al,
+                op: DpOp::Add,
+                s: false,
+                rn: 1,
+                rd: 0,
+                op2: Operand2::Imm { rot: 0, imm: 4 },
+            },
+            Instr::Dp {
+                cond: Cond::Al,
+                op: DpOp::Sub,
+                s: true,
+                rn: 2,
+                rd: 3,
+                op2: Operand2::reg(4),
+            },
+            Instr::Dp {
+                cond: Cond::Ne,
+                op: DpOp::Mov,
+                s: false,
+                rn: 0,
+                rd: 5,
+                op2: Operand2::Reg { rm: 6, shift: Shift::Asr, amount: 2 },
+            },
+            Instr::Dp {
+                cond: Cond::Al,
+                op: DpOp::Cmp,
+                s: true,
+                rn: 0,
+                rd: 0,
+                op2: Operand2::Imm { rot: 0, imm: 0x1f },
+            },
+            Instr::Movw { cond: Cond::Al, rd: 1, imm: 0xbeef },
+            Instr::Movt { cond: Cond::Al, rd: 1, imm: 0xdead },
+            Instr::Mul { cond: Cond::Al, rd: 2, rm: 3, rs: 4 },
+            Instr::Ldr { cond: Cond::Al, byte: false, rd: 0, rn: SP, up: true, off: 8 },
+            Instr::Ldr { cond: Cond::Al, byte: true, rd: 1, rn: 2, up: false, off: 1 },
+            Instr::Str { cond: Cond::Al, byte: false, rd: 0, rn: SP, up: true, off: 4 },
+            Instr::Str { cond: Cond::Al, byte: true, rd: 3, rn: 4, up: true, off: 0 },
+            Instr::B { cond: Cond::Al, off: 10 },
+            Instr::B { cond: Cond::Eq, off: -2 },
+            Instr::Bl { cond: Cond::Al, off: 0x1000 },
+            Instr::Bx { cond: Cond::Al, rm: LR },
+        ] {
+            rt(i);
+        }
+    }
+
+    #[test]
+    fn operand2_imm_encoding() {
+        assert_eq!(Operand2::try_imm(0xff), Some(Operand2::Imm { rot: 0, imm: 0xff }));
+        let o = Operand2::try_imm(0x1_0000).expect("representable");
+        if let Operand2::Imm { rot, imm } = o {
+            assert_eq!(Operand2::imm_value(rot, imm), 0x1_0000);
+        }
+        assert_eq!(Operand2::try_imm(0x1234_5678), None);
+    }
+
+    #[test]
+    fn branch_target_uses_pc_plus_8() {
+        let i = Instr::B { cond: Cond::Al, off: 1 };
+        assert_eq!(control(&i, 0x100), Control::Jump(0x10c));
+    }
+
+    #[test]
+    fn bx_lr_is_return() {
+        assert_eq!(control(&Instr::Bx { cond: Cond::Al, rm: LR }, 0), Control::Ret);
+        assert_eq!(control(&Instr::Bx { cond: Cond::Al, rm: 3 }, 0), Control::IndirectJump);
+    }
+
+    #[test]
+    fn lift_add_and_flags() {
+        let mut ctx = LiftCtx::new();
+        lift(
+            &Instr::Dp {
+                cond: Cond::Al,
+                op: DpOp::Cmp,
+                s: true,
+                rn: 0,
+                rd: 0,
+                op2: Operand2::Imm { rot: 0, imm: 5 },
+            },
+            0,
+            &mut ctx,
+        );
+        let mut m = Machine::new();
+        m.set_reg(RegId(0), 5);
+        for s in &ctx.stmts {
+            m.step(s).unwrap();
+        }
+        assert_eq!(m.reg(ZF), 1);
+        assert_eq!(m.reg(NF), 0);
+        assert_eq!(m.reg(CF), 1, "no borrow");
+        assert_eq!(m.reg(VF), 0);
+    }
+
+    #[test]
+    fn conditional_mov_merges_old_value() {
+        // movne r0, #7 with Z=1 must keep r0.
+        let mut ctx = LiftCtx::new();
+        lift(
+            &Instr::Dp {
+                cond: Cond::Ne,
+                op: DpOp::Mov,
+                s: false,
+                rn: 0,
+                rd: 0,
+                op2: Operand2::Imm { rot: 0, imm: 7 },
+            },
+            0,
+            &mut ctx,
+        );
+        let mut m = Machine::new();
+        m.set_reg(RegId(0), 42);
+        m.set_reg(ZF, 1);
+        for s in &ctx.stmts {
+            m.step(s).unwrap();
+        }
+        assert_eq!(m.reg(RegId(0)), 42);
+        m.set_reg(ZF, 0);
+        for s in &ctx.stmts {
+            m.step(s).unwrap();
+        }
+        assert_eq!(m.reg(RegId(0)), 7);
+    }
+
+    #[test]
+    fn movw_movt_build_constant() {
+        let mut ctx = LiftCtx::new();
+        lift(&Instr::Movw { cond: Cond::Al, rd: 1, imm: 0x5678 }, 0, &mut ctx);
+        lift(&Instr::Movt { cond: Cond::Al, rd: 1, imm: 0x1234 }, 4, &mut ctx);
+        let mut m = Machine::new();
+        for s in &ctx.stmts {
+            m.step(s).unwrap();
+        }
+        assert_eq!(m.reg(RegId(1)), 0x1234_5678);
+    }
+
+    #[test]
+    fn conditional_branch_lift() {
+        let mut ctx = LiftCtx::new();
+        lift(&Instr::B { cond: Cond::Eq, off: 2 }, 0x1000, &mut ctx);
+        assert!(matches!(ctx.stmts[0], Stmt::Exit { target: 0x1010, .. }));
+        assert_eq!(ctx.jump, Some(Jump::Fall(0x1004)));
+    }
+
+    #[test]
+    fn bl_sets_lr() {
+        let mut ctx = LiftCtx::new();
+        lift(&Instr::Bl { cond: Cond::Al, off: 4 }, 0x2000, &mut ctx);
+        assert_eq!(ctx.stmts[0], Stmt::Put(RegId(14), Expr::Const(0x2004)));
+        assert!(matches!(ctx.jump, Some(Jump::Call { return_to: 0x2004, .. })));
+    }
+
+    #[test]
+    fn str_negative_offset() {
+        let mut ctx = LiftCtx::new();
+        lift(
+            &Instr::Str { cond: Cond::Al, byte: false, rd: 0, rn: SP, up: false, off: 4 },
+            0,
+            &mut ctx,
+        );
+        let mut m = Machine::new();
+        m.set_reg(RegId(u16::from(SP)), 0x100);
+        m.set_reg(RegId(0), 99);
+        for s in &ctx.stmts {
+            m.step(s).unwrap();
+        }
+        assert_eq!(m.load(0xfc, Width::W32), 99);
+    }
+
+    #[test]
+    fn condition_exprs_match_reference_semantics() {
+        use Cond::*;
+        let reference = |c: Cond, n: u32, z: u32, cf: u32, v: u32| -> u32 {
+            let b = match c {
+                Eq => z == 1,
+                Ne => z == 0,
+                Cs => cf == 1,
+                Cc => cf == 0,
+                Mi => n == 1,
+                Pl => n == 0,
+                Vs => v == 1,
+                Vc => v == 0,
+                Hi => cf == 1 && z == 0,
+                Ls => cf == 0 || z == 1,
+                Ge => n == v,
+                Lt => n != v,
+                Gt => z == 0 && n == v,
+                Le => z == 1 || n != v,
+                Al => true,
+            };
+            u32::from(b)
+        };
+        for cond in [Eq, Ne, Cs, Cc, Mi, Pl, Vs, Vc, Hi, Ls, Ge, Lt, Gt, Le, Al] {
+            for bits in 0u32..16 {
+                let (n, z, c, v) = (bits & 1, (bits >> 1) & 1, (bits >> 2) & 1, (bits >> 3) & 1);
+                let mut m = Machine::new();
+                m.set_reg(NF, n);
+                m.set_reg(ZF, z);
+                m.set_reg(CF, c);
+                m.set_reg(VF, v);
+                assert_eq!(
+                    m.eval(&cond.expr()).unwrap(),
+                    reference(cond, n, z, c, v),
+                    "{cond:?} with N={n} Z={z} C={c} V={v}"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn flag_setting_matches_reference_for_random_operands() {
+        // cmp a, b must make every condition agree with the signed /
+        // unsigned relation it encodes, across tricky operand pairs.
+        let cases = [
+            (0u32, 0u32),
+            (1, 2),
+            (2, 1),
+            (0x8000_0000, 1),
+            (1, 0x8000_0000),
+            (0x7fff_ffff, 0xffff_ffff),
+            (0xffff_ffff, 0x7fff_ffff),
+            (0x8000_0000, 0x8000_0000),
+            (u32::MAX, u32::MAX),
+            (0x1234_5678, 0x8765_4321),
+        ];
+        for (a, b) in cases {
+            let mut ctx = LiftCtx::new();
+            lift(
+                &Instr::Dp {
+                    cond: Cond::Al,
+                    op: DpOp::Cmp,
+                    s: true,
+                    rn: 0,
+                    rd: 0,
+                    op2: Operand2::reg(1),
+                },
+                0,
+                &mut ctx,
+            );
+            let mut m = Machine::new();
+            m.set_reg(RegId(0), a);
+            m.set_reg(RegId(1), b);
+            for st in &ctx.stmts {
+                m.step(st).unwrap();
+            }
+            let checks: [(Cond, bool); 10] = [
+                (Cond::Eq, a == b),
+                (Cond::Ne, a != b),
+                (Cond::Lt, (a as i32) < (b as i32)),
+                (Cond::Ge, (a as i32) >= (b as i32)),
+                (Cond::Gt, (a as i32) > (b as i32)),
+                (Cond::Le, (a as i32) <= (b as i32)),
+                (Cond::Cs, a >= b),
+                (Cond::Cc, a < b),
+                (Cond::Hi, a > b),
+                (Cond::Ls, a <= b),
+            ];
+            for (cond, expect) in checks {
+                assert_eq!(
+                    m.eval(&cond.expr()).unwrap(),
+                    u32::from(expect),
+                    "cmp {a:#x},{b:#x} then {cond:?}"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn unknown_patterns_rejected() {
+        // Condition field 0b1111.
+        let w = 0xf000_0000u32.to_le_bytes();
+        assert!(decode(&w, 0, 0).is_err());
+        // Register-shifted register (bit 4 set in DP reg form).
+        let w2 = 0xe000_0012u32.to_le_bytes(); // and r0, r0, r2 lsl r0
+        assert!(decode(&w2, 0, 0).is_err());
+    }
+
+    #[test]
+    fn asm_text() {
+        assert_eq!(
+            asm(
+                &Instr::Dp {
+                    cond: Cond::Al,
+                    op: DpOp::Add,
+                    s: false,
+                    rn: 1,
+                    rd: 0,
+                    op2: Operand2::Imm { rot: 0, imm: 4 }
+                },
+                0
+            ),
+            "add r0, r1, #0x4"
+        );
+        assert_eq!(asm(&Instr::Bx { cond: Cond::Al, rm: LR }, 0), "bx lr");
+    }
+}

@@ -1,0 +1,264 @@
+//! Shared types for the four instruction-set back ends.
+
+use std::fmt;
+
+use firmup_ir::{Expr, Jump, Stmt, Temp};
+
+/// The four firmware architectures the paper targets (§1.1: "MIPS32,
+/// ARM32, PPC32, and Intel-x86").
+///
+/// All four are modeled as little-endian for both code and data (real
+/// firmware ships MIPSel and ARMel widely; using one byte order for PPC
+/// as well keeps the pipeline uniform without changing anything the
+/// similarity algorithms can observe).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub enum Arch {
+    /// MIPS32 (with branch delay slots).
+    Mips32,
+    /// ARM32 (ARMv7, with condition codes on every instruction).
+    Arm32,
+    /// PowerPC 32-bit (condition-register fields).
+    Ppc32,
+    /// Intel x86, 32-bit protected mode (variable-length encoding).
+    X86,
+}
+
+impl Arch {
+    /// All supported architectures.
+    pub fn all() -> [Arch; 4] {
+        [Arch::Mips32, Arch::Arm32, Arch::Ppc32, Arch::X86]
+    }
+
+    /// Short lowercase name (`"mips32"`, `"arm32"`, `"ppc32"`, `"x86"`).
+    pub fn name(self) -> &'static str {
+        match self {
+            Arch::Mips32 => "mips32",
+            Arch::Arm32 => "arm32",
+            Arch::Ppc32 => "ppc32",
+            Arch::X86 => "x86",
+        }
+    }
+
+    /// The ELF `e_machine` value used by `firmup-obj` for this
+    /// architecture (EM_MIPS=8, EM_ARM=40, EM_PPC=20, EM_386=3).
+    pub fn elf_machine(self) -> u16 {
+        match self {
+            Arch::Mips32 => 8,
+            Arch::Arm32 => 40,
+            Arch::Ppc32 => 20,
+            Arch::X86 => 3,
+        }
+    }
+
+    /// Inverse of [`Arch::elf_machine`].
+    pub fn from_elf_machine(m: u16) -> Option<Arch> {
+        match m {
+            8 => Some(Arch::Mips32),
+            40 => Some(Arch::Arm32),
+            20 => Some(Arch::Ppc32),
+            3 => Some(Arch::X86),
+            _ => None,
+        }
+    }
+
+    /// Whether instructions are a fixed four bytes (everything but x86).
+    pub fn fixed_width(self) -> bool {
+        !matches!(self, Arch::X86)
+    }
+
+    /// Whether branches have a delay slot (MIPS only).
+    pub fn has_delay_slots(self) -> bool {
+        matches!(self, Arch::Mips32)
+    }
+}
+
+impl fmt::Display for Arch {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(self.name())
+    }
+}
+
+/// Decoding failure.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum DecodeError {
+    /// Fewer bytes remained than the (minimum) instruction length.
+    Truncated {
+        /// Address at which decoding was attempted.
+        addr: u32,
+    },
+    /// The byte pattern does not correspond to an instruction in our
+    /// subset of the architecture.
+    Unknown {
+        /// Address of the undecodable instruction.
+        addr: u32,
+        /// The first (up to four) raw bytes, for diagnostics.
+        word: u32,
+    },
+}
+
+impl fmt::Display for DecodeError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            DecodeError::Truncated { addr } => write!(f, "truncated instruction at {addr:#x}"),
+            DecodeError::Unknown { addr, word } => {
+                write!(f, "unknown instruction {word:#010x} at {addr:#x}")
+            }
+        }
+    }
+}
+
+impl std::error::Error for DecodeError {}
+
+/// Control-flow classification of a decoded instruction.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Control {
+    /// Ordinary instruction; execution continues at the next address.
+    Fall,
+    /// Unconditional direct branch.
+    Jump(u32),
+    /// Conditional branch; `0` is the taken target, fallthrough implicit.
+    CondJump(u32),
+    /// Unconditional indirect branch (e.g. `jr t9`).
+    IndirectJump,
+    /// Direct procedure call.
+    Call(u32),
+    /// Indirect procedure call.
+    IndirectCall,
+    /// Procedure return.
+    Ret,
+}
+
+impl Control {
+    /// Whether this instruction terminates a basic block.
+    pub fn is_terminator(self) -> bool {
+        !matches!(self, Control::Fall)
+    }
+
+    /// The direct branch/call target, if any.
+    pub fn target(self) -> Option<u32> {
+        match self {
+            Control::Jump(t) | Control::CondJump(t) | Control::Call(t) => Some(t),
+            _ => None,
+        }
+    }
+}
+
+/// Result of decoding (and possibly lifting) one instruction.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Decoded {
+    /// Instruction length in bytes.
+    pub len: u32,
+    /// Disassembly text.
+    pub asm: String,
+    /// Control-flow classification.
+    pub ctrl: Control,
+    /// `true` when the following instruction is this branch's delay slot
+    /// (MIPS).
+    pub delay_slot: bool,
+}
+
+/// Accumulates lifted statements for one basic block.
+///
+/// A single `LiftCtx` spans all instructions of a block so that
+/// temporary numbering stays unique across them.
+#[derive(Debug, Default)]
+pub struct LiftCtx {
+    /// Lifted statements so far.
+    pub stmts: Vec<Stmt>,
+    /// The block terminator, set by the instruction that ends the block.
+    pub jump: Option<Jump>,
+    next_tmp: u32,
+}
+
+impl LiftCtx {
+    /// Fresh context for a new block.
+    pub fn new() -> LiftCtx {
+        LiftCtx::default()
+    }
+
+    /// Allocate a fresh single-assignment temporary.
+    pub fn tmp(&mut self) -> Temp {
+        let t = Temp(self.next_tmp);
+        self.next_tmp += 1;
+        t
+    }
+
+    /// Append a statement.
+    pub fn emit(&mut self, s: Stmt) {
+        self.stmts.push(s);
+    }
+
+    /// Bind an expression to a fresh temporary and return a read of it.
+    /// Constants and bare temp reads pass through unchanged, keeping the
+    /// lifted form close to what VEX produces.
+    pub fn bind(&mut self, e: Expr) -> Expr {
+        match e {
+            Expr::Const(_) | Expr::Tmp(_) => e,
+            other => {
+                let t = self.tmp();
+                self.emit(Stmt::SetTmp(t, other));
+                Expr::Tmp(t)
+            }
+        }
+    }
+
+    /// Set the block terminator.
+    ///
+    /// # Panics
+    ///
+    /// Panics if a terminator was already set — a block has exactly one.
+    pub fn terminate(&mut self, j: Jump) {
+        assert!(self.jump.is_none(), "block terminated twice");
+        self.jump = Some(j);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn arch_roundtrips_elf_machine() {
+        for a in Arch::all() {
+            assert_eq!(Arch::from_elf_machine(a.elf_machine()), Some(a));
+        }
+        assert_eq!(Arch::from_elf_machine(62), None);
+    }
+
+    #[test]
+    fn control_classification() {
+        assert!(!Control::Fall.is_terminator());
+        assert!(Control::Ret.is_terminator());
+        assert_eq!(Control::CondJump(0x40).target(), Some(0x40));
+        assert_eq!(Control::IndirectJump.target(), None);
+    }
+
+    #[test]
+    fn liftctx_tmp_numbering_and_bind() {
+        let mut ctx = LiftCtx::new();
+        assert_eq!(ctx.tmp(), Temp(0));
+        assert_eq!(ctx.tmp(), Temp(1));
+        let e = ctx.bind(Expr::Const(5));
+        assert_eq!(e, Expr::Const(5), "constants pass through");
+        assert!(ctx.stmts.is_empty());
+        let e2 = ctx.bind(Expr::Get(firmup_ir::RegId(3)));
+        assert_eq!(e2, Expr::Tmp(Temp(2)));
+        assert_eq!(ctx.stmts.len(), 1);
+    }
+
+    #[test]
+    #[should_panic(expected = "terminated twice")]
+    fn double_terminate_panics() {
+        let mut ctx = LiftCtx::new();
+        ctx.terminate(Jump::Ret);
+        ctx.terminate(Jump::Ret);
+    }
+
+    #[test]
+    fn only_mips_has_delay_slots() {
+        assert!(Arch::Mips32.has_delay_slots());
+        assert!(!Arch::Arm32.has_delay_slots());
+        assert!(!Arch::Ppc32.has_delay_slots());
+        assert!(!Arch::X86.has_delay_slots());
+    }
+}

@@ -1,0 +1,657 @@
+//! PowerPC 32-bit subset: encoder, decoder and lifter.
+//!
+//! Fixed four-byte instructions. Comparison results live in the
+//! condition-register field CR0 (LT/GT/EQ bits), which conditional
+//! branches test — a different flag discipline from both ARM and x86,
+//! giving the canonicalizer real cross-architecture variance to dissolve.
+
+use std::fmt;
+
+use firmup_ir::{BinOp, Expr, Jump, RegId, Stmt, Width};
+
+use crate::common::{Control, Decoded, DecodeError, LiftCtx};
+
+/// Stack pointer (`r1` by PPC convention).
+pub const SP: u8 = 1;
+/// IR register id of the link register.
+pub const LR: RegId = RegId(32);
+/// IR register id of CR0's LT bit.
+pub const CR0_LT: RegId = RegId(34);
+/// IR register id of CR0's GT bit.
+pub const CR0_GT: RegId = RegId(35);
+/// IR register id of CR0's EQ bit.
+pub const CR0_EQ: RegId = RegId(36);
+
+/// Name of an IR register id, for diagnostics.
+pub fn reg_name(r: RegId) -> String {
+    match r.0 {
+        32 => "lr".into(),
+        33 => "ctr".into(),
+        34 => "cr0.lt".into(),
+        35 => "cr0.gt".into(),
+        36 => "cr0.eq".into(),
+        n if n < 32 => format!("r{n}"),
+        n => format!("?{n}"),
+    }
+}
+
+/// Branch condition tested by `bc` (a view of the BO/BI fields restricted
+/// to CR0).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum BranchIf {
+    /// BO=12: branch if the CR bit is set.
+    Set(CrBit),
+    /// BO=4: branch if the CR bit is clear.
+    Clear(CrBit),
+}
+
+/// A CR0 bit.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+#[allow(missing_docs)]
+pub enum CrBit {
+    Lt = 0,
+    Gt = 1,
+    Eq = 2,
+}
+
+impl CrBit {
+    fn from_bi(bi: u32) -> Option<CrBit> {
+        match bi {
+            0 => Some(CrBit::Lt),
+            1 => Some(CrBit::Gt),
+            2 => Some(CrBit::Eq),
+            _ => None,
+        }
+    }
+
+    fn reg(self) -> RegId {
+        match self {
+            CrBit::Lt => CR0_LT,
+            CrBit::Gt => CR0_GT,
+            CrBit::Eq => CR0_EQ,
+        }
+    }
+
+    fn name(self) -> &'static str {
+        match self {
+            CrBit::Lt => "lt",
+            CrBit::Gt => "gt",
+            CrBit::Eq => "eq",
+        }
+    }
+}
+
+/// Our PPC32 instruction subset.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+#[allow(missing_docs)]
+pub enum Instr {
+    Addi { rt: u8, ra: u8, si: i16 },
+    Addis { rt: u8, ra: u8, si: i16 },
+    Ori { ra: u8, rs: u8, ui: u16 },
+    AndiDot { ra: u8, rs: u8, ui: u16 },
+    Xori { ra: u8, rs: u8, ui: u16 },
+    Add { rt: u8, ra: u8, rb: u8 },
+    Subf { rt: u8, ra: u8, rb: u8 },
+    And { ra: u8, rs: u8, rb: u8 },
+    Or { ra: u8, rs: u8, rb: u8 },
+    Xor { ra: u8, rs: u8, rb: u8 },
+    Slw { ra: u8, rs: u8, rb: u8 },
+    Srw { ra: u8, rs: u8, rb: u8 },
+    Sraw { ra: u8, rs: u8, rb: u8 },
+    Mullw { rt: u8, ra: u8, rb: u8 },
+    Cmpwi { ra: u8, si: i16 },
+    Cmplwi { ra: u8, ui: u16 },
+    Cmpw { ra: u8, rb: u8 },
+    Cmplw { ra: u8, rb: u8 },
+    Lwz { rt: u8, ra: u8, d: i16 },
+    Lbz { rt: u8, ra: u8, d: i16 },
+    Stw { rs: u8, ra: u8, d: i16 },
+    Stb { rs: u8, ra: u8, d: i16 },
+    B { off: i32, lk: bool },
+    Bc { cond: BranchIf, bd: i16 },
+    Blr,
+    Mflr { rt: u8 },
+    Mtlr { rs: u8 },
+}
+
+fn d_form(op: u32, a: u8, b: u8, imm: u16) -> u32 {
+    (op << 26) | (u32::from(a) << 21) | (u32::from(b) << 16) | u32::from(imm)
+}
+
+fn x_form(a: u8, b: u8, c: u8, xo: u32, rc: u32) -> u32 {
+    (31 << 26) | (u32::from(a) << 21) | (u32::from(b) << 16) | (u32::from(c) << 11) | (xo << 1) | rc
+}
+
+/// Encode one instruction to its 32-bit word.
+pub fn encode_word(i: &Instr) -> u32 {
+    use Instr::*;
+    match *i {
+        Addi { rt, ra, si } => d_form(14, rt, ra, si as u16),
+        Addis { rt, ra, si } => d_form(15, rt, ra, si as u16),
+        Ori { ra, rs, ui } => d_form(24, rs, ra, ui),
+        AndiDot { ra, rs, ui } => d_form(28, rs, ra, ui),
+        Xori { ra, rs, ui } => d_form(26, rs, ra, ui),
+        Add { rt, ra, rb } => x_form(rt, ra, rb, 266, 0),
+        Subf { rt, ra, rb } => x_form(rt, ra, rb, 40, 0),
+        And { ra, rs, rb } => x_form(rs, ra, rb, 28, 0),
+        Or { ra, rs, rb } => x_form(rs, ra, rb, 444, 0),
+        Xor { ra, rs, rb } => x_form(rs, ra, rb, 316, 0),
+        Slw { ra, rs, rb } => x_form(rs, ra, rb, 24, 0),
+        Srw { ra, rs, rb } => x_form(rs, ra, rb, 536, 0),
+        Sraw { ra, rs, rb } => x_form(rs, ra, rb, 792, 0),
+        Mullw { rt, ra, rb } => x_form(rt, ra, rb, 235, 0),
+        Cmpwi { ra, si } => d_form(11, 0, ra, si as u16),
+        Cmplwi { ra, ui } => d_form(10, 0, ra, ui),
+        Cmpw { ra, rb } => x_form(0, ra, rb, 0, 0),
+        Cmplw { ra, rb } => x_form(0, ra, rb, 32, 0),
+        Lwz { rt, ra, d } => d_form(32, rt, ra, d as u16),
+        Lbz { rt, ra, d } => d_form(34, rt, ra, d as u16),
+        Stw { rs, ra, d } => d_form(36, rs, ra, d as u16),
+        Stb { rs, ra, d } => d_form(38, rs, ra, d as u16),
+        B { off, lk } => (18 << 26) | ((off as u32) & 0x03ff_fffc) | u32::from(lk),
+        Bc { cond, bd } => {
+            let (bo, bi) = match cond {
+                BranchIf::Set(bit) => (12u32, bit as u32),
+                BranchIf::Clear(bit) => (4u32, bit as u32),
+            };
+            (16 << 26) | (bo << 21) | (bi << 16) | ((bd as u16 as u32) & 0xfffc)
+        }
+        Blr => (19 << 26) | (20 << 21) | (16 << 1),
+        Mflr { rt } => x_form(rt, 8, 0, 339, 0),
+        Mtlr { rs } => x_form(rs, 8, 0, 467, 0),
+    }
+}
+
+/// Append the little-endian encoding of `i` to `buf`.
+pub fn encode(i: &Instr, buf: &mut Vec<u8>) {
+    buf.extend_from_slice(&encode_word(i).to_le_bytes());
+}
+
+/// Decode the instruction at `bytes[offset..]`, located at `addr`.
+///
+/// # Errors
+///
+/// [`DecodeError::Truncated`] / [`DecodeError::Unknown`].
+pub fn decode(bytes: &[u8], offset: usize, addr: u32) -> Result<(Instr, u32), DecodeError> {
+    let chunk = bytes
+        .get(offset..offset + 4)
+        .ok_or(DecodeError::Truncated { addr })?;
+    let w = u32::from_le_bytes([chunk[0], chunk[1], chunk[2], chunk[3]]);
+    let unknown = DecodeError::Unknown { addr, word: w };
+    let op = w >> 26;
+    let a = ((w >> 21) & 31) as u8;
+    let b = ((w >> 16) & 31) as u8;
+    let c = ((w >> 11) & 31) as u8;
+    let imm = (w & 0xffff) as u16;
+    let simm = imm as i16;
+    use Instr::*;
+    let i = match op {
+        14 => Addi { rt: a, ra: b, si: simm },
+        15 => Addis { rt: a, ra: b, si: simm },
+        24 => Ori { rs: a, ra: b, ui: imm },
+        28 => AndiDot { rs: a, ra: b, ui: imm },
+        26 => Xori { rs: a, ra: b, ui: imm },
+        11 => {
+            if a != 0 {
+                return Err(unknown);
+            }
+            Cmpwi { ra: b, si: simm }
+        }
+        10 => {
+            if a != 0 {
+                return Err(unknown);
+            }
+            Cmplwi { ra: b, ui: imm }
+        }
+        32 => Lwz { rt: a, ra: b, d: simm },
+        34 => Lbz { rt: a, ra: b, d: simm },
+        36 => Stw { rs: a, ra: b, d: simm },
+        38 => Stb { rs: a, ra: b, d: simm },
+        18 => {
+            if w & 2 != 0 {
+                return Err(unknown); // absolute addressing unused
+            }
+            let off = (((w & 0x03ff_fffc) << 6) as i32) >> 6;
+            B { off, lk: w & 1 == 1 }
+        }
+        16 => {
+            if w & 3 != 0 {
+                return Err(unknown);
+            }
+            let bo = u32::from(a);
+            let bit = CrBit::from_bi(u32::from(b)).ok_or_else(|| unknown.clone())?;
+            let cond = match bo {
+                12 => BranchIf::Set(bit),
+                4 => BranchIf::Clear(bit),
+                _ => return Err(unknown),
+            };
+            Bc {
+                cond,
+                bd: (imm & 0xfffc) as i16,
+            }
+        }
+        19
+            if a == 20 && (w >> 1) & 0x3ff == 16 => {
+                Blr
+            }
+        31 => {
+            let xo = (w >> 1) & 0x3ff;
+            match xo {
+                266 => Add { rt: a, ra: b, rb: c },
+                40 => Subf { rt: a, ra: b, rb: c },
+                28 => And { rs: a, ra: b, rb: c },
+                444 => Or { rs: a, ra: b, rb: c },
+                316 => Xor { rs: a, ra: b, rb: c },
+                24 => Slw { rs: a, ra: b, rb: c },
+                536 => Srw { rs: a, ra: b, rb: c },
+                792 => Sraw { rs: a, ra: b, rb: c },
+                235 => Mullw { rt: a, ra: b, rb: c },
+                0 => {
+                    if a != 0 {
+                        return Err(unknown);
+                    }
+                    Cmpw { ra: b, rb: c }
+                }
+                32 => {
+                    if a != 0 {
+                        return Err(unknown);
+                    }
+                    Cmplw { ra: b, rb: c }
+                }
+                339 => {
+                    if b != 8 || c != 0 {
+                        return Err(unknown);
+                    }
+                    Mflr { rt: a }
+                }
+                467 => {
+                    if b != 8 || c != 0 {
+                        return Err(unknown);
+                    }
+                    Mtlr { rs: a }
+                }
+                _ => return Err(unknown),
+            }
+        }
+        _ => return Err(unknown),
+    };
+    Ok((i, 4))
+}
+
+/// Control-flow classification.
+pub fn control(i: &Instr, addr: u32) -> Control {
+    use Instr::*;
+    match *i {
+        B { off, lk: false } => Control::Jump(addr.wrapping_add(off as u32)),
+        B { off, lk: true } => Control::Call(addr.wrapping_add(off as u32)),
+        Bc { bd, .. } => Control::CondJump(addr.wrapping_add(bd as i32 as u32)),
+        Blr => Control::Ret,
+        _ => Control::Fall,
+    }
+}
+
+/// Disassembly text.
+pub fn asm(i: &Instr, addr: u32) -> String {
+    use Instr::*;
+    match *i {
+        Addi { rt, ra: 0, si } => format!("li r{rt}, {si}"),
+        Addi { rt, ra, si } => format!("addi r{rt}, r{ra}, {si}"),
+        Addis { rt, ra: 0, si } => format!("lis r{rt}, {si}"),
+        Addis { rt, ra, si } => format!("addis r{rt}, r{ra}, {si}"),
+        Ori { ra, rs, ui } => {
+            if ra == rs && ui == 0 {
+                "nop".into()
+            } else {
+                format!("ori r{ra}, r{rs}, {ui:#x}")
+            }
+        }
+        AndiDot { ra, rs, ui } => format!("andi. r{ra}, r{rs}, {ui:#x}"),
+        Xori { ra, rs, ui } => format!("xori r{ra}, r{rs}, {ui:#x}"),
+        Add { rt, ra, rb } => format!("add r{rt}, r{ra}, r{rb}"),
+        Subf { rt, ra, rb } => format!("subf r{rt}, r{ra}, r{rb}"),
+        And { ra, rs, rb } => format!("and r{ra}, r{rs}, r{rb}"),
+        Or { ra, rs, rb } => {
+            if rs == rb {
+                format!("mr r{ra}, r{rs}")
+            } else {
+                format!("or r{ra}, r{rs}, r{rb}")
+            }
+        }
+        Xor { ra, rs, rb } => format!("xor r{ra}, r{rs}, r{rb}"),
+        Slw { ra, rs, rb } => format!("slw r{ra}, r{rs}, r{rb}"),
+        Srw { ra, rs, rb } => format!("srw r{ra}, r{rs}, r{rb}"),
+        Sraw { ra, rs, rb } => format!("sraw r{ra}, r{rs}, r{rb}"),
+        Mullw { rt, ra, rb } => format!("mullw r{rt}, r{ra}, r{rb}"),
+        Cmpwi { ra, si } => format!("cmpwi r{ra}, {si}"),
+        Cmplwi { ra, ui } => format!("cmplwi r{ra}, {ui}"),
+        Cmpw { ra, rb } => format!("cmpw r{ra}, r{rb}"),
+        Cmplw { ra, rb } => format!("cmplw r{ra}, r{rb}"),
+        Lwz { rt, ra, d } => format!("lwz r{rt}, {d}(r{ra})"),
+        Lbz { rt, ra, d } => format!("lbz r{rt}, {d}(r{ra})"),
+        Stw { rs, ra, d } => format!("stw r{rs}, {d}(r{ra})"),
+        Stb { rs, ra, d } => format!("stb r{rs}, {d}(r{ra})"),
+        B { off, lk } => format!("b{} {:#x}", if lk { "l" } else { "" }, addr.wrapping_add(off as u32)),
+        Bc { cond, bd } => {
+            let t = addr.wrapping_add(bd as i32 as u32);
+            match cond {
+                BranchIf::Set(bit) => format!("b{} {t:#x}", bit.name()),
+                BranchIf::Clear(bit) => format!("bn{} {t:#x}", bit.name()),
+            }
+        }
+        Blr => "blr".into(),
+        Mflr { rt } => format!("mflr r{rt}"),
+        Mtlr { rs } => format!("mtlr r{rs}"),
+    }
+}
+
+fn gpr(n: u8) -> Expr {
+    Expr::Get(RegId(u16::from(n)))
+}
+
+/// Base register in a D-form address: `ra = 0` means literal zero.
+fn base(ra: u8) -> Expr {
+    if ra == 0 {
+        Expr::Const(0)
+    } else {
+        gpr(ra)
+    }
+}
+
+fn mem_addr(ra: u8, d: i16) -> Expr {
+    if d == 0 {
+        base(ra)
+    } else {
+        Expr::bin(BinOp::Add, base(ra), Expr::Const(d as i32 as u32))
+    }
+}
+
+fn set_cr0_signed(ctx: &mut LiftCtx, a: Expr, b: Expr) {
+    ctx.emit(Stmt::Put(CR0_LT, Expr::bin(BinOp::CmpLtS, a.clone(), b.clone())));
+    ctx.emit(Stmt::Put(CR0_GT, Expr::bin(BinOp::CmpLtS, b.clone(), a.clone())));
+    ctx.emit(Stmt::Put(CR0_EQ, Expr::bin(BinOp::CmpEq, a, b)));
+}
+
+fn set_cr0_unsigned(ctx: &mut LiftCtx, a: Expr, b: Expr) {
+    ctx.emit(Stmt::Put(CR0_LT, Expr::bin(BinOp::CmpLtU, a.clone(), b.clone())));
+    ctx.emit(Stmt::Put(CR0_GT, Expr::bin(BinOp::CmpLtU, b.clone(), a.clone())));
+    ctx.emit(Stmt::Put(CR0_EQ, Expr::bin(BinOp::CmpEq, a, b)));
+}
+
+/// Lift one instruction into `ctx`.
+pub fn lift(i: &Instr, addr: u32, ctx: &mut LiftCtx) {
+    use Instr::*;
+    let next = addr.wrapping_add(4);
+    let put = |ctx: &mut LiftCtx, r: u8, e: Expr| ctx.emit(Stmt::Put(RegId(u16::from(r)), e));
+    match *i {
+        Addi { rt, ra, si } => {
+            let c = Expr::Const(si as i32 as u32);
+            let e = if ra == 0 { c } else { Expr::bin(BinOp::Add, gpr(ra), c) };
+            put(ctx, rt, e);
+        }
+        Addis { rt, ra, si } => {
+            let c = Expr::Const((si as i32 as u32) << 16);
+            let e = if ra == 0 { c } else { Expr::bin(BinOp::Add, gpr(ra), c) };
+            put(ctx, rt, e);
+        }
+        Ori { ra, rs, ui } => {
+            if ra == rs && ui == 0 {
+                return; // canonical nop
+            }
+            put(ctx, ra, Expr::bin(BinOp::Or, gpr(rs), Expr::Const(u32::from(ui))));
+        }
+        AndiDot { ra, rs, ui } => {
+            let res = ctx.bind(Expr::bin(BinOp::And, gpr(rs), Expr::Const(u32::from(ui))));
+            put(ctx, ra, res.clone());
+            set_cr0_signed(ctx, res, Expr::Const(0));
+        }
+        Xori { ra, rs, ui } => put(ctx, ra, Expr::bin(BinOp::Xor, gpr(rs), Expr::Const(u32::from(ui)))),
+        Add { rt, ra, rb } => put(ctx, rt, Expr::bin(BinOp::Add, gpr(ra), gpr(rb))),
+        Subf { rt, ra, rb } => put(ctx, rt, Expr::bin(BinOp::Sub, gpr(rb), gpr(ra))),
+        And { ra, rs, rb } => put(ctx, ra, Expr::bin(BinOp::And, gpr(rs), gpr(rb))),
+        Or { ra, rs, rb } => put(ctx, ra, Expr::bin(BinOp::Or, gpr(rs), gpr(rb))),
+        Xor { ra, rs, rb } => put(ctx, ra, Expr::bin(BinOp::Xor, gpr(rs), gpr(rb))),
+        Slw { ra, rs, rb } => put(ctx, ra, Expr::bin(BinOp::Shl, gpr(rs), gpr(rb))),
+        Srw { ra, rs, rb } => put(ctx, ra, Expr::bin(BinOp::Shr, gpr(rs), gpr(rb))),
+        Sraw { ra, rs, rb } => put(ctx, ra, Expr::bin(BinOp::Sar, gpr(rs), gpr(rb))),
+        Mullw { rt, ra, rb } => put(ctx, rt, Expr::bin(BinOp::Mul, gpr(ra), gpr(rb))),
+        Cmpwi { ra, si } => set_cr0_signed(ctx, gpr(ra), Expr::Const(si as i32 as u32)),
+        Cmplwi { ra, ui } => set_cr0_unsigned(ctx, gpr(ra), Expr::Const(u32::from(ui))),
+        Cmpw { ra, rb } => set_cr0_signed(ctx, gpr(ra), gpr(rb)),
+        Cmplw { ra, rb } => set_cr0_unsigned(ctx, gpr(ra), gpr(rb)),
+        Lwz { rt, ra, d } => put(ctx, rt, Expr::load(mem_addr(ra, d), Width::W32)),
+        Lbz { rt, ra, d } => put(ctx, rt, Expr::load(mem_addr(ra, d), Width::W8)),
+        Stw { rs, ra, d } => ctx.emit(Stmt::Store {
+            addr: mem_addr(ra, d),
+            value: gpr(rs),
+            width: Width::W32,
+        }),
+        Stb { rs, ra, d } => ctx.emit(Stmt::Store {
+            addr: mem_addr(ra, d),
+            value: gpr(rs),
+            width: Width::W8,
+        }),
+        B { off, lk } => {
+            let target = addr.wrapping_add(off as u32);
+            if lk {
+                ctx.emit(Stmt::Put(LR, Expr::Const(next)));
+                ctx.terminate(Jump::Call {
+                    target: firmup_ir::CallTarget::Direct(target),
+                    return_to: next,
+                });
+            } else {
+                ctx.terminate(Jump::Direct(target));
+            }
+        }
+        Bc { cond, bd } => {
+            let target = addr.wrapping_add(bd as i32 as u32);
+            let c = match cond {
+                BranchIf::Set(bit) => Expr::Get(bit.reg()),
+                BranchIf::Clear(bit) => Expr::bin(BinOp::CmpEq, Expr::Get(bit.reg()), Expr::Const(0)),
+            };
+            ctx.emit(Stmt::Exit { cond: c, target });
+            ctx.terminate(Jump::Fall(next));
+        }
+        Blr => ctx.terminate(Jump::Ret),
+        Mflr { rt } => put(ctx, rt, Expr::Get(LR)),
+        Mtlr { rs } => ctx.emit(Stmt::Put(LR, gpr(rs))),
+    }
+}
+
+/// Decode and lift one instruction, appending statements to `ctx`.
+///
+/// # Errors
+///
+/// Propagates decode errors.
+pub fn lift_into(bytes: &[u8], offset: usize, addr: u32, ctx: &mut LiftCtx) -> Result<Decoded, DecodeError> {
+    let (i, len) = decode(bytes, offset, addr)?;
+    let ctrl = control(&i, addr);
+    lift(&i, addr, ctx);
+    Ok(Decoded {
+        len,
+        asm: asm(&i, addr),
+        ctrl,
+        delay_slot: false,
+    })
+}
+
+/// Decode one instruction without lifting.
+///
+/// # Errors
+///
+/// Propagates decode errors.
+pub fn decode_info(bytes: &[u8], offset: usize, addr: u32) -> Result<Decoded, DecodeError> {
+    let (i, len) = decode(bytes, offset, addr)?;
+    Ok(Decoded {
+        len,
+        asm: asm(&i, addr),
+        ctrl: control(&i, addr),
+        delay_slot: false,
+    })
+}
+
+impl fmt::Display for Instr {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(&asm(self, 0))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use firmup_ir::Machine;
+
+    fn rt(i: Instr) {
+        let mut buf = Vec::new();
+        encode(&i, &mut buf);
+        let (d, len) = decode(&buf, 0, 0x1000).expect("decode");
+        assert_eq!(len, 4);
+        assert_eq!(d, i);
+    }
+
+    #[test]
+    fn encode_decode_roundtrip_all_forms() {
+        use Instr::*;
+        for i in [
+            Addi { rt: 3, ra: 0, si: -1 },
+            Addis { rt: 3, ra: 4, si: 0x10 },
+            Ori { ra: 3, rs: 4, ui: 0xbeef },
+            AndiDot { ra: 3, rs: 4, ui: 0xff },
+            Xori { ra: 3, rs: 4, ui: 1 },
+            Add { rt: 3, ra: 4, rb: 5 },
+            Subf { rt: 3, ra: 4, rb: 5 },
+            And { ra: 3, rs: 4, rb: 5 },
+            Or { ra: 3, rs: 4, rb: 5 },
+            Xor { ra: 3, rs: 4, rb: 5 },
+            Slw { ra: 3, rs: 4, rb: 5 },
+            Srw { ra: 3, rs: 4, rb: 5 },
+            Sraw { ra: 3, rs: 4, rb: 5 },
+            Mullw { rt: 3, ra: 4, rb: 5 },
+            Cmpwi { ra: 3, si: -5 },
+            Cmplwi { ra: 3, ui: 31 },
+            Cmpw { ra: 3, rb: 4 },
+            Cmplw { ra: 3, rb: 4 },
+            Lwz { rt: 3, ra: SP, d: 8 },
+            Lbz { rt: 3, ra: 4, d: -1 },
+            Stw { rs: 3, ra: SP, d: 12 },
+            Stb { rs: 3, ra: 4, d: 0 },
+            B { off: 0x100, lk: false },
+            B { off: -8, lk: true },
+            Bc { cond: BranchIf::Set(CrBit::Eq), bd: 16 },
+            Bc { cond: BranchIf::Clear(CrBit::Lt), bd: -4 },
+            Blr,
+            Mflr { rt: 0 },
+            Mtlr { rs: 0 },
+        ] {
+            rt(i);
+        }
+    }
+
+    #[test]
+    fn branch_targets_relative_to_instruction() {
+        let i = Instr::B { off: 0x20, lk: false };
+        assert_eq!(control(&i, 0x1000), Control::Jump(0x1020));
+        let c = Instr::Bc { cond: BranchIf::Set(CrBit::Eq), bd: -8 };
+        assert_eq!(control(&c, 0x1000), Control::CondJump(0xff8));
+    }
+
+    #[test]
+    fn cmpwi_sets_cr0() {
+        let mut ctx = LiftCtx::new();
+        lift(&Instr::Cmpwi { ra: 3, si: 10 }, 0, &mut ctx);
+        let mut m = Machine::new();
+        m.set_reg(RegId(3), 7);
+        for s in &ctx.stmts {
+            m.step(s).unwrap();
+        }
+        assert_eq!(m.reg(CR0_LT), 1);
+        assert_eq!(m.reg(CR0_GT), 0);
+        assert_eq!(m.reg(CR0_EQ), 0);
+    }
+
+    #[test]
+    fn cmplwi_is_unsigned() {
+        let mut ctx = LiftCtx::new();
+        lift(&Instr::Cmplwi { ra: 3, ui: 10 }, 0, &mut ctx);
+        let mut m = Machine::new();
+        m.set_reg(RegId(3), 0xffff_ffff);
+        for s in &ctx.stmts {
+            m.step(s).unwrap();
+        }
+        assert_eq!(m.reg(CR0_LT), 0, "u32::MAX is not < 10 unsigned");
+        assert_eq!(m.reg(CR0_GT), 1);
+    }
+
+    #[test]
+    fn subf_operand_order() {
+        let mut ctx = LiftCtx::new();
+        lift(&Instr::Subf { rt: 3, ra: 4, rb: 5 }, 0, &mut ctx);
+        let mut m = Machine::new();
+        m.set_reg(RegId(4), 10);
+        m.set_reg(RegId(5), 30);
+        for s in &ctx.stmts {
+            m.step(s).unwrap();
+        }
+        assert_eq!(m.reg(RegId(3)), 20, "subf rt = rb - ra");
+    }
+
+    #[test]
+    fn li_uses_literal_zero_base() {
+        let mut ctx = LiftCtx::new();
+        lift(&Instr::Addi { rt: 3, ra: 0, si: -7 }, 0, &mut ctx);
+        assert_eq!(
+            ctx.stmts[0],
+            Stmt::Put(RegId(3), Expr::Const((-7i32) as u32))
+        );
+    }
+
+    #[test]
+    fn bl_sets_lr_and_calls() {
+        let mut ctx = LiftCtx::new();
+        lift(&Instr::B { off: 0x40, lk: true }, 0x1000, &mut ctx);
+        assert_eq!(ctx.stmts[0], Stmt::Put(LR, Expr::Const(0x1004)));
+        assert!(matches!(
+            ctx.jump,
+            Some(Jump::Call { return_to: 0x1004, .. })
+        ));
+    }
+
+    #[test]
+    fn bc_lifts_exit_on_cr_bit() {
+        let mut ctx = LiftCtx::new();
+        lift(
+            &Instr::Bc { cond: BranchIf::Clear(CrBit::Eq), bd: 0x10 },
+            0x1000,
+            &mut ctx,
+        );
+        assert!(matches!(ctx.stmts[0], Stmt::Exit { target: 0x1010, .. }));
+        assert_eq!(ctx.jump, Some(Jump::Fall(0x1004)));
+    }
+
+    #[test]
+    fn unknown_opcodes_rejected() {
+        let w = (63u32 << 26).to_le_bytes();
+        assert!(decode(&w, 0, 0).is_err());
+        let w2 = ((31u32 << 26) | (999 << 1)).to_le_bytes();
+        assert!(decode(&w2, 0, 0).is_err());
+    }
+
+    #[test]
+    fn asm_aliases() {
+        assert_eq!(asm(&Instr::Addi { rt: 3, ra: 0, si: 5 }, 0), "li r3, 5");
+        assert_eq!(asm(&Instr::Or { ra: 3, rs: 4, rb: 4 }, 0), "mr r3, r4");
+        assert_eq!(asm(&Instr::Ori { ra: 0, rs: 0, ui: 0 }, 0), "nop");
+    }
+
+    #[test]
+    fn mflr_mtlr_roundtrip_lr() {
+        let mut ctx = LiftCtx::new();
+        lift(&Instr::Mtlr { rs: 0 }, 0, &mut ctx);
+        lift(&Instr::Mflr { rt: 5 }, 4, &mut ctx);
+        let mut m = Machine::new();
+        m.set_reg(RegId(0), 0x4242);
+        for s in &ctx.stmts {
+            m.step(s).unwrap();
+        }
+        assert_eq!(m.reg(RegId(5)), 0x4242);
+    }
+}

@@ -1,0 +1,1092 @@
+//! Intel x86 (32-bit protected mode) subset: encoder, decoder and lifter.
+//!
+//! Variable-length encoding with ModRM/SIB addressing, EFLAGS side
+//! effects (ZF/SF/OF/CF modeled as explicit IR registers), and a
+//! stack-based calling convention — the structurally farthest ISA from
+//! the three RISC targets, which is exactly what makes it a good test of
+//! the canonicalizer.
+
+use std::fmt;
+
+use firmup_ir::{BinOp, Expr, Jump, RegId, Stmt, UnOp, Width};
+
+use crate::common::{Control, Decoded, DecodeError, LiftCtx};
+
+/// Register numbers (`RegId(0..=7)`).
+pub const EAX: u8 = 0;
+/// `ecx`.
+pub const ECX: u8 = 1;
+/// `edx`.
+pub const EDX: u8 = 2;
+/// `ebx`.
+pub const EBX: u8 = 3;
+/// `esp`.
+pub const ESP: u8 = 4;
+/// `ebp`.
+pub const EBP: u8 = 5;
+/// `esi`.
+pub const ESI: u8 = 6;
+/// `edi`.
+pub const EDI: u8 = 7;
+/// IR register id of the zero flag.
+pub const ZF: RegId = RegId(8);
+/// IR register id of the sign flag.
+pub const SF: RegId = RegId(9);
+/// IR register id of the overflow flag.
+pub const OF: RegId = RegId(10);
+/// IR register id of the carry flag.
+pub const CF: RegId = RegId(11);
+
+const REG_NAMES: [&str; 8] = ["eax", "ecx", "edx", "ebx", "esp", "ebp", "esi", "edi"];
+
+/// Name of an IR register id, for diagnostics.
+pub fn reg_name(r: RegId) -> String {
+    match r.0 {
+        n if n < 8 => REG_NAMES[n as usize].to_string(),
+        8 => "zf".into(),
+        9 => "sf".into(),
+        10 => "of".into(),
+        11 => "cf".into(),
+        n => format!("?{n}"),
+    }
+}
+
+/// A memory operand: `[base + disp]` or absolute `[disp]`.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Mem {
+    /// Base register, or `None` for absolute addressing.
+    pub base: Option<u8>,
+    /// Signed displacement.
+    pub disp: i32,
+}
+
+impl Mem {
+    /// `[base + disp]`.
+    pub fn base_disp(base: u8, disp: i32) -> Mem {
+        Mem {
+            base: Some(base),
+            disp,
+        }
+    }
+
+    /// Absolute `[disp]`.
+    pub fn abs(disp: u32) -> Mem {
+        Mem {
+            base: None,
+            disp: disp as i32,
+        }
+    }
+}
+
+impl fmt::Display for Mem {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self.base {
+            Some(b) => {
+                if self.disp == 0 {
+                    write!(f, "[{}]", REG_NAMES[b as usize])
+                } else if self.disp > 0 {
+                    write!(f, "[{}+{:#x}]", REG_NAMES[b as usize], self.disp)
+                } else {
+                    write!(f, "[{}-{:#x}]", REG_NAMES[b as usize], -self.disp)
+                }
+            }
+            None => write!(f, "[{:#x}]", self.disp as u32),
+        }
+    }
+}
+
+/// Two-operand ALU operations.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+#[allow(missing_docs)]
+pub enum AluOp {
+    Add,
+    Or,
+    And,
+    Sub,
+    Xor,
+    Cmp,
+}
+
+impl AluOp {
+    fn mr_opcode(self) -> u8 {
+        match self {
+            AluOp::Add => 0x01,
+            AluOp::Or => 0x09,
+            AluOp::And => 0x21,
+            AluOp::Sub => 0x29,
+            AluOp::Xor => 0x31,
+            AluOp::Cmp => 0x39,
+        }
+    }
+
+    fn rm_opcode(self) -> u8 {
+        self.mr_opcode() | 0x02
+    }
+
+    fn imm_ext(self) -> u8 {
+        match self {
+            AluOp::Add => 0,
+            AluOp::Or => 1,
+            AluOp::And => 4,
+            AluOp::Sub => 5,
+            AluOp::Xor => 6,
+            AluOp::Cmp => 7,
+        }
+    }
+
+    fn from_imm_ext(n: u8) -> Option<AluOp> {
+        Some(match n {
+            0 => AluOp::Add,
+            1 => AluOp::Or,
+            4 => AluOp::And,
+            5 => AluOp::Sub,
+            6 => AluOp::Xor,
+            7 => AluOp::Cmp,
+            _ => return None,
+        })
+    }
+
+    fn mnemonic(self) -> &'static str {
+        match self {
+            AluOp::Add => "add",
+            AluOp::Or => "or",
+            AluOp::And => "and",
+            AluOp::Sub => "sub",
+            AluOp::Xor => "xor",
+            AluOp::Cmp => "cmp",
+        }
+    }
+}
+
+/// Shift operations (`C1 /ext`).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+#[allow(missing_docs)]
+pub enum ShiftKind {
+    Shl,
+    Shr,
+    Sar,
+}
+
+impl ShiftKind {
+    fn ext(self) -> u8 {
+        match self {
+            ShiftKind::Shl => 4,
+            ShiftKind::Shr => 5,
+            ShiftKind::Sar => 7,
+        }
+    }
+
+    fn mnemonic(self) -> &'static str {
+        match self {
+            ShiftKind::Shl => "shl",
+            ShiftKind::Shr => "shr",
+            ShiftKind::Sar => "sar",
+        }
+    }
+}
+
+/// Condition codes for `Jcc` (low nibble of the `0F 8x` opcode).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+#[allow(missing_docs)]
+pub enum Cc {
+    B = 0x2,
+    Ae = 0x3,
+    E = 0x4,
+    Ne = 0x5,
+    L = 0xc,
+    Ge = 0xd,
+    Le = 0xe,
+    G = 0xf,
+}
+
+impl Cc {
+    fn from_nibble(n: u8) -> Option<Cc> {
+        Some(match n {
+            0x2 => Cc::B,
+            0x3 => Cc::Ae,
+            0x4 => Cc::E,
+            0x5 => Cc::Ne,
+            0xc => Cc::L,
+            0xd => Cc::Ge,
+            0xe => Cc::Le,
+            0xf => Cc::G,
+            _ => return None,
+        })
+    }
+
+    fn mnemonic(self) -> &'static str {
+        match self {
+            Cc::B => "jb",
+            Cc::Ae => "jae",
+            Cc::E => "je",
+            Cc::Ne => "jne",
+            Cc::L => "jl",
+            Cc::Ge => "jge",
+            Cc::Le => "jle",
+            Cc::G => "jg",
+        }
+    }
+
+    /// The flag expression that is true when this condition holds.
+    pub fn expr(self) -> Expr {
+        let zf = Expr::Get(ZF);
+        let sf = Expr::Get(SF);
+        let of = Expr::Get(OF);
+        let cf = Expr::Get(CF);
+        let not = |e: Expr| Expr::bin(BinOp::CmpEq, e, Expr::Const(0));
+        match self {
+            Cc::E => zf,
+            Cc::Ne => not(zf),
+            Cc::B => cf,
+            Cc::Ae => not(cf),
+            Cc::L => Expr::bin(BinOp::CmpNe, sf, of),
+            Cc::Ge => Expr::bin(BinOp::CmpEq, sf, of),
+            Cc::Le => Expr::bin(BinOp::Or, zf, Expr::bin(BinOp::CmpNe, sf, of)),
+            Cc::G => Expr::bin(BinOp::And, not(zf), Expr::bin(BinOp::CmpEq, sf, of)),
+        }
+    }
+}
+
+/// Our x86 instruction subset.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+#[allow(missing_docs)]
+pub enum Instr {
+    MovRI { dst: u8, imm: u32 },
+    MovRR { dst: u8, src: u8 },
+    Load { dst: u8, mem: Mem },
+    Store { mem: Mem, src: u8 },
+    Load8Z { dst: u8, mem: Mem },
+    Load8S { dst: u8, mem: Mem },
+    /// Byte store; `src` must be EAX/ECX/EDX/EBX (whose low bytes are
+    /// encodable as AL/CL/DL/BL).
+    Store8 { mem: Mem, src: u8 },
+    AluRR { op: AluOp, dst: u8, src: u8 },
+    AluRI { op: AluOp, dst: u8, imm: u32 },
+    AluRM { op: AluOp, dst: u8, mem: Mem },
+    Test { a: u8, b: u8 },
+    Imul { dst: u8, src: u8 },
+    Shift { kind: ShiftKind, dst: u8, imm: u8 },
+    Lea { dst: u8, mem: Mem },
+    Push { src: u8 },
+    Pop { dst: u8 },
+    CallRel { rel: i32 },
+    CallInd { reg: u8 },
+    Ret,
+    JmpRel { rel: i32 },
+    JmpInd { reg: u8 },
+    Jcc { cc: Cc, rel: i32 },
+    Nop,
+}
+
+fn emit_modrm_mem(buf: &mut Vec<u8>, reg: u8, mem: &Mem) {
+    match mem.base {
+        None => {
+            buf.push((reg << 3) | 0b101); // mod=00 rm=101 → disp32
+            buf.extend_from_slice(&mem.disp.to_le_bytes());
+        }
+        Some(base) => {
+            let small = i8::try_from(mem.disp).is_ok();
+            let modbits = if small { 0b01 } else { 0b10 };
+            buf.push((modbits << 6) | (reg << 3) | (base & 7));
+            if base == ESP {
+                buf.push(0x24); // SIB: no index, base=ESP
+            }
+            if small {
+                buf.push(mem.disp as i8 as u8);
+            } else {
+                buf.extend_from_slice(&mem.disp.to_le_bytes());
+            }
+        }
+    }
+}
+
+fn modrm_rr(reg: u8, rm: u8) -> u8 {
+    0xc0 | (reg << 3) | (rm & 7)
+}
+
+/// Append the encoding of `i` to `buf`, returning the instruction length.
+pub fn encode(i: &Instr, buf: &mut Vec<u8>) -> u32 {
+    let start = buf.len();
+    use Instr::*;
+    match *i {
+        MovRI { dst, imm } => {
+            buf.push(0xb8 + dst);
+            buf.extend_from_slice(&imm.to_le_bytes());
+        }
+        MovRR { dst, src } => {
+            buf.push(0x89);
+            buf.push(modrm_rr(src, dst));
+        }
+        Load { dst, mem } => {
+            buf.push(0x8b);
+            emit_modrm_mem(buf, dst, &mem);
+        }
+        Store { mem, src } => {
+            buf.push(0x89);
+            emit_modrm_mem(buf, src, &mem);
+        }
+        Load8Z { dst, mem } => {
+            buf.push(0x0f);
+            buf.push(0xb6);
+            emit_modrm_mem(buf, dst, &mem);
+        }
+        Load8S { dst, mem } => {
+            buf.push(0x0f);
+            buf.push(0xbe);
+            emit_modrm_mem(buf, dst, &mem);
+        }
+        Store8 { mem, src } => {
+            debug_assert!(src < 4, "byte store source must be EAX..EBX");
+            buf.push(0x88);
+            emit_modrm_mem(buf, src, &mem);
+        }
+        AluRR { op, dst, src } => {
+            buf.push(op.mr_opcode());
+            buf.push(modrm_rr(src, dst));
+        }
+        AluRI { op, dst, imm } => {
+            buf.push(0x81);
+            buf.push(modrm_rr(op.imm_ext(), dst));
+            buf.extend_from_slice(&imm.to_le_bytes());
+        }
+        AluRM { op, dst, mem } => {
+            buf.push(op.rm_opcode());
+            emit_modrm_mem(buf, dst, &mem);
+        }
+        Test { a, b } => {
+            buf.push(0x85);
+            buf.push(modrm_rr(b, a));
+        }
+        Imul { dst, src } => {
+            buf.push(0x0f);
+            buf.push(0xaf);
+            buf.push(modrm_rr(dst, src));
+        }
+        Shift { kind, dst, imm } => {
+            buf.push(0xc1);
+            buf.push(modrm_rr(kind.ext(), dst));
+            buf.push(imm);
+        }
+        Lea { dst, mem } => {
+            buf.push(0x8d);
+            emit_modrm_mem(buf, dst, &mem);
+        }
+        Push { src } => buf.push(0x50 + src),
+        Pop { dst } => buf.push(0x58 + dst),
+        CallRel { rel } => {
+            buf.push(0xe8);
+            buf.extend_from_slice(&rel.to_le_bytes());
+        }
+        CallInd { reg } => {
+            buf.push(0xff);
+            buf.push(modrm_rr(2, reg));
+        }
+        Ret => buf.push(0xc3),
+        JmpRel { rel } => {
+            buf.push(0xe9);
+            buf.extend_from_slice(&rel.to_le_bytes());
+        }
+        JmpInd { reg } => {
+            buf.push(0xff);
+            buf.push(modrm_rr(4, reg));
+        }
+        Jcc { cc, rel } => {
+            buf.push(0x0f);
+            buf.push(0x80 | cc as u8);
+            buf.extend_from_slice(&rel.to_le_bytes());
+        }
+        Nop => buf.push(0x90),
+    }
+    (buf.len() - start) as u32
+}
+
+struct Reader<'a> {
+    bytes: &'a [u8],
+    pos: usize,
+    addr: u32,
+}
+
+impl<'a> Reader<'a> {
+    fn u8(&mut self) -> Result<u8, DecodeError> {
+        let b = *self
+            .bytes
+            .get(self.pos)
+            .ok_or(DecodeError::Truncated { addr: self.addr })?;
+        self.pos += 1;
+        Ok(b)
+    }
+
+    fn i8(&mut self) -> Result<i8, DecodeError> {
+        Ok(self.u8()? as i8)
+    }
+
+    fn u32(&mut self) -> Result<u32, DecodeError> {
+        let s = self
+            .bytes
+            .get(self.pos..self.pos + 4)
+            .ok_or(DecodeError::Truncated { addr: self.addr })?;
+        self.pos += 4;
+        Ok(u32::from_le_bytes([s[0], s[1], s[2], s[3]]))
+    }
+
+    fn i32(&mut self) -> Result<i32, DecodeError> {
+        Ok(self.u32()? as i32)
+    }
+
+    /// Decode a ModRM byte expecting a memory operand; returns
+    /// `(reg_field, mem)`.
+    fn modrm_mem(&mut self) -> Result<(u8, Mem), DecodeError> {
+        let m = self.u8()?;
+        let modbits = m >> 6;
+        let reg = (m >> 3) & 7;
+        let rm = m & 7;
+        let unknown = DecodeError::Unknown {
+            addr: self.addr,
+            word: u32::from(m),
+        };
+        let mem = match modbits {
+            0b00 if rm == 0b101 => Mem {
+                base: None,
+                disp: self.i32()?,
+            },
+            0b01 | 0b10 => {
+                let base = if rm == 0b100 {
+                    let sib = self.u8()?;
+                    if sib != 0x24 {
+                        return Err(unknown); // only base=ESP, no index
+                    }
+                    ESP
+                } else {
+                    rm
+                };
+                let disp = if modbits == 0b01 {
+                    i32::from(self.i8()?)
+                } else {
+                    self.i32()?
+                };
+                Mem {
+                    base: Some(base),
+                    disp,
+                }
+            }
+            _ => return Err(unknown),
+        };
+        Ok((reg, mem))
+    }
+}
+
+/// Decode the instruction at `bytes[offset..]`, located at `addr`.
+///
+/// # Errors
+///
+/// [`DecodeError::Truncated`] / [`DecodeError::Unknown`].
+pub fn decode(bytes: &[u8], offset: usize, addr: u32) -> Result<(Instr, u32), DecodeError> {
+    let mut r = Reader {
+        bytes,
+        pos: offset,
+        addr,
+    };
+    let op = r.u8()?;
+    use Instr::*;
+    let unknown = |w: u8| DecodeError::Unknown {
+        addr,
+        word: u32::from(w),
+    };
+    let i = match op {
+        0x90 => Nop,
+        0xc3 => Ret,
+        0x50..=0x57 => Push { src: op - 0x50 },
+        0x58..=0x5f => Pop { dst: op - 0x58 },
+        0xb8..=0xbf => MovRI {
+            dst: op - 0xb8,
+            imm: r.u32()?,
+        },
+        0xe8 => CallRel { rel: r.i32()? },
+        0xe9 => JmpRel { rel: r.i32()? },
+        0x89 => {
+            let m = *r.bytes.get(r.pos).ok_or(DecodeError::Truncated { addr })?;
+            if m >> 6 == 0b11 {
+                r.pos += 1;
+                MovRR {
+                    dst: m & 7,
+                    src: (m >> 3) & 7,
+                }
+            } else {
+                let (src, mem) = r.modrm_mem()?;
+                Store { mem, src }
+            }
+        }
+        0x8b => {
+            let (dst, mem) = r.modrm_mem()?;
+            Load { dst, mem }
+        }
+        0x88 => {
+            let (src, mem) = r.modrm_mem()?;
+            if src >= 4 {
+                return Err(unknown(op));
+            }
+            Store8 { mem, src }
+        }
+        0x8d => {
+            let (dst, mem) = r.modrm_mem()?;
+            Lea { dst, mem }
+        }
+        0x85 => {
+            let m = r.u8()?;
+            if m >> 6 != 0b11 {
+                return Err(unknown(op));
+            }
+            Test {
+                a: m & 7,
+                b: (m >> 3) & 7,
+            }
+        }
+        0x81 => {
+            let m = r.u8()?;
+            if m >> 6 != 0b11 {
+                return Err(unknown(op));
+            }
+            let aluop = AluOp::from_imm_ext((m >> 3) & 7).ok_or(unknown(op))?;
+            AluRI {
+                op: aluop,
+                dst: m & 7,
+                imm: r.u32()?,
+            }
+        }
+        0xc1 => {
+            let m = r.u8()?;
+            if m >> 6 != 0b11 {
+                return Err(unknown(op));
+            }
+            let kind = match (m >> 3) & 7 {
+                4 => ShiftKind::Shl,
+                5 => ShiftKind::Shr,
+                7 => ShiftKind::Sar,
+                _ => return Err(unknown(op)),
+            };
+            Shift {
+                kind,
+                dst: m & 7,
+                imm: r.u8()?,
+            }
+        }
+        0xff => {
+            let m = r.u8()?;
+            if m >> 6 != 0b11 {
+                return Err(unknown(op));
+            }
+            match (m >> 3) & 7 {
+                2 => CallInd { reg: m & 7 },
+                4 => JmpInd { reg: m & 7 },
+                _ => return Err(unknown(op)),
+            }
+        }
+        0x0f => {
+            let op2 = r.u8()?;
+            match op2 {
+                0xb6 => {
+                    let (dst, mem) = r.modrm_mem()?;
+                    Load8Z { dst, mem }
+                }
+                0xbe => {
+                    let (dst, mem) = r.modrm_mem()?;
+                    Load8S { dst, mem }
+                }
+                0xaf => {
+                    let m = r.u8()?;
+                    if m >> 6 != 0b11 {
+                        return Err(unknown(op2));
+                    }
+                    Imul {
+                        dst: (m >> 3) & 7,
+                        src: m & 7,
+                    }
+                }
+                0x80..=0x8f => {
+                    let cc = Cc::from_nibble(op2 & 0xf).ok_or(unknown(op2))?;
+                    Jcc { cc, rel: r.i32()? }
+                }
+                _ => return Err(unknown(op2)),
+            }
+        }
+        // ALU MR / RM register forms.
+        _ => {
+            let mr = [0x01, 0x09, 0x21, 0x29, 0x31, 0x39];
+            let ops = [AluOp::Add, AluOp::Or, AluOp::And, AluOp::Sub, AluOp::Xor, AluOp::Cmp];
+            if let Some(idx) = mr.iter().position(|&o| o == op) {
+                let m = r.u8()?;
+                if m >> 6 != 0b11 {
+                    return Err(unknown(op));
+                }
+                AluRR {
+                    op: ops[idx],
+                    dst: m & 7,
+                    src: (m >> 3) & 7,
+                }
+            } else if let Some(idx) = mr.iter().position(|&o| o | 0x02 == op) {
+                let (dst, mem) = r.modrm_mem()?;
+                AluRM {
+                    op: ops[idx],
+                    dst,
+                    mem,
+                }
+            } else {
+                return Err(unknown(op));
+            }
+        }
+    };
+    Ok((i, (r.pos - offset) as u32))
+}
+
+/// Length of the encoding of `i` in bytes.
+pub fn encoded_len(i: &Instr) -> u32 {
+    let mut buf = Vec::with_capacity(8);
+    encode(i, &mut buf)
+}
+
+/// Control-flow classification (needs the instruction length for
+/// relative targets).
+pub fn control(i: &Instr, addr: u32, len: u32) -> Control {
+    use Instr::*;
+    let end = addr.wrapping_add(len);
+    match *i {
+        CallRel { rel } => Control::Call(end.wrapping_add(rel as u32)),
+        CallInd { .. } => Control::IndirectCall,
+        Ret => Control::Ret,
+        JmpRel { rel } => Control::Jump(end.wrapping_add(rel as u32)),
+        JmpInd { .. } => Control::IndirectJump,
+        Jcc { rel, .. } => Control::CondJump(end.wrapping_add(rel as u32)),
+        _ => Control::Fall,
+    }
+}
+
+/// Disassembly text.
+pub fn asm(i: &Instr, addr: u32, len: u32) -> String {
+    use Instr::*;
+    let r = |n: u8| REG_NAMES[n as usize];
+    let end = addr.wrapping_add(len);
+    match *i {
+        MovRI { dst, imm } => format!("mov {}, {imm:#x}", r(dst)),
+        MovRR { dst, src } => format!("mov {}, {}", r(dst), r(src)),
+        Load { dst, mem } => format!("mov {}, {mem}", r(dst)),
+        Store { mem, src } => format!("mov {mem}, {}", r(src)),
+        Load8Z { dst, mem } => format!("movzx {}, byte {mem}", r(dst)),
+        Load8S { dst, mem } => format!("movsx {}, byte {mem}", r(dst)),
+        Store8 { mem, src } => format!("mov byte {mem}, {}", ["al", "cl", "dl", "bl"][src as usize]),
+        AluRR { op, dst, src } => format!("{} {}, {}", op.mnemonic(), r(dst), r(src)),
+        AluRI { op, dst, imm } => format!("{} {}, {imm:#x}", op.mnemonic(), r(dst)),
+        AluRM { op, dst, mem } => format!("{} {}, {mem}", op.mnemonic(), r(dst)),
+        Test { a, b } => format!("test {}, {}", r(a), r(b)),
+        Imul { dst, src } => format!("imul {}, {}", r(dst), r(src)),
+        Shift { kind, dst, imm } => format!("{} {}, {imm}", kind.mnemonic(), r(dst)),
+        Lea { dst, mem } => format!("lea {}, {mem}", r(dst)),
+        Push { src } => format!("push {}", r(src)),
+        Pop { dst } => format!("pop {}", r(dst)),
+        CallRel { rel } => format!("call {:#x}", end.wrapping_add(rel as u32)),
+        CallInd { reg } => format!("call {}", r(reg)),
+        Ret => "ret".into(),
+        JmpRel { rel } => format!("jmp {:#x}", end.wrapping_add(rel as u32)),
+        JmpInd { reg } => format!("jmp {}", r(reg)),
+        Jcc { cc, rel } => format!("{} {:#x}", cc.mnemonic(), end.wrapping_add(rel as u32)),
+        Nop => "nop".into(),
+    }
+}
+
+fn gpr(n: u8) -> Expr {
+    Expr::Get(RegId(u16::from(n)))
+}
+
+fn mem_expr(mem: &Mem) -> Expr {
+    match mem.base {
+        None => Expr::Const(mem.disp as u32),
+        Some(b) => {
+            if mem.disp == 0 {
+                gpr(b)
+            } else {
+                Expr::bin(BinOp::Add, gpr(b), Expr::Const(mem.disp as u32))
+            }
+        }
+    }
+}
+
+fn set_zf_sf(ctx: &mut LiftCtx, res: &Expr) {
+    ctx.emit(Stmt::Put(ZF, Expr::bin(BinOp::CmpEq, res.clone(), Expr::Const(0))));
+    ctx.emit(Stmt::Put(SF, Expr::bin(BinOp::CmpLtS, res.clone(), Expr::Const(0))));
+}
+
+fn sign_bit(e: Expr) -> Expr {
+    Expr::bin(BinOp::Shr, e, Expr::Const(31))
+}
+
+/// Flags for `a op b = res` where `op` is add or sub.
+fn set_arith_flags(ctx: &mut LiftCtx, is_sub: bool, a: &Expr, b: &Expr, res: &Expr) {
+    set_zf_sf(ctx, res);
+    if is_sub {
+        ctx.emit(Stmt::Put(CF, Expr::bin(BinOp::CmpLtU, a.clone(), b.clone())));
+        ctx.emit(Stmt::Put(
+            OF,
+            Expr::bin(
+                BinOp::And,
+                sign_bit(Expr::bin(BinOp::Xor, a.clone(), b.clone())),
+                sign_bit(Expr::bin(BinOp::Xor, a.clone(), res.clone())),
+            ),
+        ));
+    } else {
+        ctx.emit(Stmt::Put(CF, Expr::bin(BinOp::CmpLtU, res.clone(), a.clone())));
+        ctx.emit(Stmt::Put(
+            OF,
+            Expr::bin(
+                BinOp::And,
+                sign_bit(Expr::bin(BinOp::Xor, a.clone(), res.clone())),
+                sign_bit(Expr::bin(BinOp::Xor, b.clone(), res.clone())),
+            ),
+        ));
+    }
+}
+
+fn set_logic_flags(ctx: &mut LiftCtx, res: &Expr) {
+    set_zf_sf(ctx, res);
+    ctx.emit(Stmt::Put(CF, Expr::Const(0)));
+    ctx.emit(Stmt::Put(OF, Expr::Const(0)));
+}
+
+fn lift_alu(ctx: &mut LiftCtx, op: AluOp, dst: u8, rhs: Expr) {
+    let a = ctx.bind(gpr(dst));
+    let b = ctx.bind(rhs);
+    let (res, arith_sub) = match op {
+        AluOp::Add => (Expr::bin(BinOp::Add, a.clone(), b.clone()), Some(false)),
+        AluOp::Sub | AluOp::Cmp => (Expr::bin(BinOp::Sub, a.clone(), b.clone()), Some(true)),
+        AluOp::And => (Expr::bin(BinOp::And, a.clone(), b.clone()), None),
+        AluOp::Or => (Expr::bin(BinOp::Or, a.clone(), b.clone()), None),
+        AluOp::Xor => (Expr::bin(BinOp::Xor, a.clone(), b.clone()), None),
+    };
+    let res = ctx.bind(res);
+    if op != AluOp::Cmp {
+        ctx.emit(Stmt::Put(RegId(u16::from(dst)), res.clone()));
+    }
+    match arith_sub {
+        Some(is_sub) => set_arith_flags(ctx, is_sub, &a, &b, &res),
+        None => set_logic_flags(ctx, &res),
+    }
+}
+
+/// Lift one instruction into `ctx`.
+pub fn lift(i: &Instr, addr: u32, len: u32, ctx: &mut LiftCtx) {
+    use Instr::*;
+    let next = addr.wrapping_add(len);
+    let esp = RegId(u16::from(ESP));
+    match *i {
+        Nop => {}
+        MovRI { dst, imm } => ctx.emit(Stmt::Put(RegId(u16::from(dst)), Expr::Const(imm))),
+        MovRR { dst, src } => ctx.emit(Stmt::Put(RegId(u16::from(dst)), gpr(src))),
+        Load { dst, mem } => ctx.emit(Stmt::Put(
+            RegId(u16::from(dst)),
+            Expr::load(mem_expr(&mem), Width::W32),
+        )),
+        Store { mem, src } => ctx.emit(Stmt::Store {
+            addr: mem_expr(&mem),
+            value: gpr(src),
+            width: Width::W32,
+        }),
+        Load8Z { dst, mem } => ctx.emit(Stmt::Put(
+            RegId(u16::from(dst)),
+            Expr::load(mem_expr(&mem), Width::W8),
+        )),
+        Load8S { dst, mem } => ctx.emit(Stmt::Put(
+            RegId(u16::from(dst)),
+            Expr::un(UnOp::Sext8, Expr::load(mem_expr(&mem), Width::W8)),
+        )),
+        Store8 { mem, src } => ctx.emit(Stmt::Store {
+            addr: mem_expr(&mem),
+            value: gpr(src),
+            width: Width::W8,
+        }),
+        AluRR { op, dst, src } => lift_alu(ctx, op, dst, gpr(src)),
+        AluRI { op, dst, imm } => lift_alu(ctx, op, dst, Expr::Const(imm)),
+        AluRM { op, dst, mem } => lift_alu(ctx, op, dst, Expr::load(mem_expr(&mem), Width::W32)),
+        Test { a, b } => {
+            let res = ctx.bind(Expr::bin(BinOp::And, gpr(a), gpr(b)));
+            set_logic_flags(ctx, &res);
+        }
+        Imul { dst, src } => ctx.emit(Stmt::Put(
+            RegId(u16::from(dst)),
+            Expr::bin(BinOp::Mul, gpr(dst), gpr(src)),
+        )),
+        Shift { kind, dst, imm } => {
+            let op = match kind {
+                ShiftKind::Shl => BinOp::Shl,
+                ShiftKind::Shr => BinOp::Shr,
+                ShiftKind::Sar => BinOp::Sar,
+            };
+            let res = ctx.bind(Expr::bin(op, gpr(dst), Expr::Const(u32::from(imm))));
+            ctx.emit(Stmt::Put(RegId(u16::from(dst)), res.clone()));
+            set_zf_sf(ctx, &res);
+        }
+        Lea { dst, mem } => ctx.emit(Stmt::Put(RegId(u16::from(dst)), mem_expr(&mem))),
+        Push { src } => {
+            let newsp = ctx.bind(Expr::bin(BinOp::Sub, Expr::Get(esp), Expr::Const(4)));
+            ctx.emit(Stmt::Put(esp, newsp.clone()));
+            ctx.emit(Stmt::Store {
+                addr: newsp,
+                value: gpr(src),
+                width: Width::W32,
+            });
+        }
+        Pop { dst } => {
+            let val = ctx.bind(Expr::load(Expr::Get(esp), Width::W32));
+            ctx.emit(Stmt::Put(RegId(u16::from(dst)), val));
+            ctx.emit(Stmt::Put(esp, Expr::bin(BinOp::Add, Expr::Get(esp), Expr::Const(4))));
+        }
+        CallRel { rel } => {
+            let target = next.wrapping_add(rel as u32);
+            let newsp = ctx.bind(Expr::bin(BinOp::Sub, Expr::Get(esp), Expr::Const(4)));
+            ctx.emit(Stmt::Put(esp, newsp.clone()));
+            ctx.emit(Stmt::Store {
+                addr: newsp,
+                value: Expr::Const(next),
+                width: Width::W32,
+            });
+            ctx.terminate(Jump::Call {
+                target: firmup_ir::CallTarget::Direct(target),
+                return_to: next,
+            });
+        }
+        CallInd { reg } => {
+            let newsp = ctx.bind(Expr::bin(BinOp::Sub, Expr::Get(esp), Expr::Const(4)));
+            ctx.emit(Stmt::Put(esp, newsp.clone()));
+            ctx.emit(Stmt::Store {
+                addr: newsp,
+                value: Expr::Const(next),
+                width: Width::W32,
+            });
+            ctx.terminate(Jump::Call {
+                target: firmup_ir::CallTarget::Indirect(gpr(reg)),
+                return_to: next,
+            });
+        }
+        Ret => {
+            ctx.emit(Stmt::Put(esp, Expr::bin(BinOp::Add, Expr::Get(esp), Expr::Const(4))));
+            ctx.terminate(Jump::Ret);
+        }
+        JmpRel { rel } => ctx.terminate(Jump::Direct(next.wrapping_add(rel as u32))),
+        JmpInd { reg } => ctx.terminate(Jump::Indirect(gpr(reg))),
+        Jcc { cc, rel } => {
+            ctx.emit(Stmt::Exit {
+                cond: cc.expr(),
+                target: next.wrapping_add(rel as u32),
+            });
+            ctx.terminate(Jump::Fall(next));
+        }
+    }
+}
+
+/// Decode and lift one instruction, appending statements to `ctx`.
+///
+/// # Errors
+///
+/// Propagates decode errors.
+pub fn lift_into(bytes: &[u8], offset: usize, addr: u32, ctx: &mut LiftCtx) -> Result<Decoded, DecodeError> {
+    let (i, len) = decode(bytes, offset, addr)?;
+    let ctrl = control(&i, addr, len);
+    lift(&i, addr, len, ctx);
+    Ok(Decoded {
+        len,
+        asm: asm(&i, addr, len),
+        ctrl,
+        delay_slot: false,
+    })
+}
+
+/// Decode one instruction without lifting.
+///
+/// # Errors
+///
+/// Propagates decode errors.
+pub fn decode_info(bytes: &[u8], offset: usize, addr: u32) -> Result<Decoded, DecodeError> {
+    let (i, len) = decode(bytes, offset, addr)?;
+    Ok(Decoded {
+        len,
+        asm: asm(&i, addr, len),
+        ctrl: control(&i, addr, len),
+        delay_slot: false,
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use firmup_ir::Machine;
+
+    fn rt(i: Instr) {
+        let mut buf = Vec::new();
+        let len = encode(&i, &mut buf);
+        assert_eq!(len as usize, buf.len());
+        let (d, dlen) = decode(&buf, 0, 0x8048000).expect("decode");
+        assert_eq!(dlen, len);
+        assert_eq!(d, i, "round trip failed for {i:?}");
+    }
+
+    #[test]
+    fn encode_decode_roundtrip_all_forms() {
+        use Instr::*;
+        for i in [
+            MovRI { dst: EAX, imm: 0xdead_beef },
+            MovRR { dst: EBX, src: ECX },
+            Load { dst: EAX, mem: Mem::base_disp(ESP, 8) },
+            Load { dst: EAX, mem: Mem::base_disp(EBP, -4) },
+            Load { dst: EAX, mem: Mem::base_disp(ESI, 0x1000) },
+            Load { dst: EAX, mem: Mem::abs(0x804_9000) },
+            Store { mem: Mem::base_disp(ESP, 4), src: EDX },
+            Load8Z { dst: EAX, mem: Mem::base_disp(EBX, 1) },
+            Load8S { dst: ECX, mem: Mem::base_disp(EBX, -1) },
+            Store8 { mem: Mem::base_disp(EDI, 2), src: EAX },
+            AluRR { op: AluOp::Add, dst: EAX, src: EBX },
+            AluRR { op: AluOp::Cmp, dst: ESI, src: EDI },
+            AluRI { op: AluOp::Sub, dst: ESP, imm: 16 },
+            AluRM { op: AluOp::Add, dst: EAX, mem: Mem::base_disp(ESP, 12) },
+            Test { a: EAX, b: EAX },
+            Imul { dst: EAX, src: ECX },
+            Shift { kind: ShiftKind::Shl, dst: EAX, imm: 2 },
+            Shift { kind: ShiftKind::Sar, dst: EDX, imm: 31 },
+            Lea { dst: EAX, mem: Mem::base_disp(EBP, -8) },
+            Push { src: EBP },
+            Pop { dst: EBP },
+            CallRel { rel: 0x100 },
+            CallInd { reg: EAX },
+            Ret,
+            JmpRel { rel: -5 },
+            JmpInd { reg: ECX },
+            Jcc { cc: Cc::Ne, rel: 0x10 },
+            Jcc { cc: Cc::L, rel: -0x20 },
+            Nop,
+        ] {
+            rt(i);
+        }
+    }
+
+    #[test]
+    fn variable_lengths() {
+        assert_eq!(encoded_len(&Instr::Nop), 1);
+        assert_eq!(encoded_len(&Instr::Push { src: EAX }), 1);
+        assert_eq!(encoded_len(&Instr::MovRI { dst: EAX, imm: 0 }), 5);
+        assert_eq!(encoded_len(&Instr::MovRR { dst: EAX, src: EBX }), 2);
+        assert_eq!(
+            encoded_len(&Instr::Load { dst: EAX, mem: Mem::base_disp(ESP, 4) }),
+            4,
+            "ESP base needs a SIB byte"
+        );
+        assert_eq!(
+            encoded_len(&Instr::Load { dst: EAX, mem: Mem::base_disp(EBX, 4) }),
+            3
+        );
+        assert_eq!(encoded_len(&Instr::Jcc { cc: Cc::E, rel: 0 }), 6);
+    }
+
+    #[test]
+    fn rel_targets_measured_from_end() {
+        let i = Instr::CallRel { rel: 0x10 };
+        let len = encoded_len(&i);
+        assert_eq!(control(&i, 0x1000, len), Control::Call(0x1000 + 5 + 0x10));
+        let j = Instr::JmpRel { rel: -5 };
+        assert_eq!(control(&j, 0x1000, 5), Control::Jump(0x1000), "jmp to self");
+    }
+
+    #[test]
+    fn push_pop_roundtrip() {
+        let mut ctx = LiftCtx::new();
+        lift(&Instr::Push { src: EBX }, 0, 1, &mut ctx);
+        lift(&Instr::Pop { dst: EDX }, 1, 1, &mut ctx);
+        let mut m = Machine::new();
+        m.set_reg(RegId(u16::from(ESP)), 0x1000);
+        m.set_reg(RegId(u16::from(EBX)), 77);
+        for s in &ctx.stmts {
+            m.step(s).unwrap();
+        }
+        assert_eq!(m.reg(RegId(u16::from(EDX))), 77);
+        assert_eq!(m.reg(RegId(u16::from(ESP))), 0x1000, "balanced push/pop");
+    }
+
+    #[test]
+    fn cmp_sets_flags_for_signed_compare() {
+        let mut ctx = LiftCtx::new();
+        lift(&Instr::AluRI { op: AluOp::Cmp, dst: EAX, imm: 10 }, 0, 6, &mut ctx);
+        let mut m = Machine::new();
+        m.set_reg(RegId(0), 3);
+        for s in &ctx.stmts {
+            m.step(s).unwrap();
+        }
+        // 3 < 10: SF != OF.
+        let jl = Cc::L.expr();
+        assert_eq!(m.eval(&jl).unwrap(), 1);
+        assert_eq!(m.eval(&Cc::Ge.expr()).unwrap(), 0);
+        assert_eq!(m.eval(&Cc::E.expr()).unwrap(), 0);
+    }
+
+    #[test]
+    fn cmp_overflow_case() {
+        // i32::MIN vs 1: signed less-than must hold despite overflow.
+        let mut ctx = LiftCtx::new();
+        lift(&Instr::AluRI { op: AluOp::Cmp, dst: EAX, imm: 1 }, 0, 6, &mut ctx);
+        let mut m = Machine::new();
+        m.set_reg(RegId(0), 0x8000_0000);
+        for s in &ctx.stmts {
+            m.step(s).unwrap();
+        }
+        assert_eq!(m.eval(&Cc::L.expr()).unwrap(), 1);
+        assert_eq!(m.eval(&Cc::B.expr()).unwrap(), 0, "unsigned: MIN is huge");
+    }
+
+    #[test]
+    fn call_pushes_return_address() {
+        let mut ctx = LiftCtx::new();
+        lift(&Instr::CallRel { rel: 0x20 }, 0x1000, 5, &mut ctx);
+        let mut m = Machine::new();
+        m.set_reg(RegId(u16::from(ESP)), 0x2000);
+        for s in &ctx.stmts {
+            m.step(s).unwrap();
+        }
+        assert_eq!(m.reg(RegId(u16::from(ESP))), 0x1ffc);
+        assert_eq!(m.load(0x1ffc, Width::W32), 0x1005);
+        assert!(matches!(ctx.jump, Some(Jump::Call { return_to: 0x1005, .. })));
+    }
+
+    #[test]
+    fn ret_pops_stack() {
+        let mut ctx = LiftCtx::new();
+        lift(&Instr::Ret, 0, 1, &mut ctx);
+        let mut m = Machine::new();
+        m.set_reg(RegId(u16::from(ESP)), 0x1ffc);
+        for s in &ctx.stmts {
+            m.step(s).unwrap();
+        }
+        assert_eq!(m.reg(RegId(u16::from(ESP))), 0x2000);
+        assert_eq!(ctx.jump, Some(Jump::Ret));
+    }
+
+    #[test]
+    fn movsx_sign_extends() {
+        let mut ctx = LiftCtx::new();
+        lift(&Instr::Load8S { dst: EAX, mem: Mem::abs(0x100) }, 0, 7, &mut ctx);
+        let mut m = Machine::new();
+        m.store(0x100, 0x80, Width::W8);
+        for s in &ctx.stmts {
+            m.step(s).unwrap();
+        }
+        assert_eq!(m.reg(RegId(0)), 0xffff_ff80);
+    }
+
+    #[test]
+    fn unknown_bytes_rejected() {
+        assert!(decode(&[0xcc], 0, 0).is_err()); // int3 not in subset
+        assert!(decode(&[0x0f, 0x05], 0, 0).is_err()); // syscall
+        assert!(decode(&[0xe8, 0x01], 0, 0).is_err()); // truncated rel32
+    }
+
+    #[test]
+    fn asm_text() {
+        let i = Instr::Load { dst: EAX, mem: Mem::base_disp(ESP, 0x20) };
+        assert_eq!(asm(&i, 0, 4), "mov eax, [esp+0x20]");
+        let j = Instr::Jcc { cc: Cc::E, rel: 0x10 };
+        assert_eq!(asm(&j, 0x100, 6), "je 0x116");
+    }
+}

@@ -1,0 +1,251 @@
+//! Property-based encode/decode round-trip tests for all four ISAs.
+
+use firmup_isa::{arm, mips, ppc, x86};
+use proptest::prelude::*;
+
+fn gpr() -> impl Strategy<Value = mips::Gpr> {
+    (0u8..32).prop_map(mips::Gpr)
+}
+
+fn mips_instr() -> impl Strategy<Value = mips::Instr> {
+    use mips::Instr as I;
+    prop_oneof![
+        (gpr(), gpr(), 0u8..32).prop_map(|(rd, rt, sh)| I::Sll { rd, rt, sh }),
+        (gpr(), gpr(), gpr()).prop_map(|(rd, rs, rt)| I::Addu { rd, rs, rt }),
+        (gpr(), gpr(), gpr()).prop_map(|(rd, rs, rt)| I::Subu { rd, rs, rt }),
+        (gpr(), gpr(), gpr()).prop_map(|(rd, rs, rt)| I::Slt { rd, rs, rt }),
+        (gpr(), gpr(), gpr()).prop_map(|(rd, rs, rt)| I::Mul { rd, rs, rt }),
+        (gpr(), gpr(), any::<i16>()).prop_map(|(rt, rs, imm)| I::Addiu { rt, rs, imm }),
+        (gpr(), gpr(), any::<u16>()).prop_map(|(rt, rs, imm)| I::Ori { rt, rs, imm }),
+        (gpr(), any::<u16>()).prop_map(|(rt, imm)| I::Lui { rt, imm }),
+        (gpr(), gpr(), any::<i16>()).prop_map(|(rt, base, off)| I::Lw { rt, base, off }),
+        (gpr(), gpr(), any::<i16>()).prop_map(|(rt, base, off)| I::Sw { rt, base, off }),
+        (gpr(), gpr(), any::<i16>()).prop_map(|(rs, rt, off)| I::Beq { rs, rt, off }),
+        (gpr(), gpr(), any::<i16>()).prop_map(|(rs, rt, off)| I::Bne { rs, rt, off }),
+        (gpr(), any::<i16>()).prop_map(|(rs, off)| I::Bltz { rs, off }),
+        gpr().prop_map(|rs| I::Jr { rs }),
+    ]
+}
+
+proptest! {
+    #[test]
+    fn mips_roundtrip(i in mips_instr()) {
+        let mut buf = Vec::new();
+        mips::encode(&i, &mut buf);
+        let (d, len) = mips::decode(&buf, 0, 0x40_0000).expect("decode");
+        prop_assert_eq!(len, 4);
+        prop_assert_eq!(d, i);
+    }
+
+    #[test]
+    fn mips_decoder_never_panics(word in any::<u32>()) {
+        let bytes = word.to_le_bytes();
+        let _ = mips::decode(&bytes, 0, 0x1000);
+    }
+}
+
+fn arm_reg() -> impl Strategy<Value = u8> {
+    0u8..16
+}
+
+fn arm_cond() -> impl Strategy<Value = arm::Cond> {
+    prop_oneof![
+        Just(arm::Cond::Al),
+        Just(arm::Cond::Eq),
+        Just(arm::Cond::Ne),
+        Just(arm::Cond::Lt),
+        Just(arm::Cond::Ge),
+        Just(arm::Cond::Hi),
+    ]
+}
+
+fn arm_op2() -> impl Strategy<Value = arm::Operand2> {
+    prop_oneof![
+        (0u8..16, any::<u8>()).prop_map(|(rot, imm)| arm::Operand2::Imm { rot, imm }),
+        (0u8..16, 0u8..32).prop_map(|(rm, amount)| arm::Operand2::Reg {
+            rm,
+            shift: arm::Shift::Lsl,
+            amount
+        }),
+        (0u8..16, 1u8..32).prop_map(|(rm, amount)| arm::Operand2::Reg {
+            rm,
+            shift: arm::Shift::Asr,
+            amount
+        }),
+    ]
+}
+
+fn arm_instr() -> impl Strategy<Value = arm::Instr> {
+    use arm::Instr as I;
+    prop_oneof![
+        (arm_cond(), arm_reg(), arm_reg(), arm_op2()).prop_map(|(cond, rn, rd, op2)| I::Dp {
+            cond,
+            op: arm::DpOp::Add,
+            s: false,
+            rn,
+            rd,
+            op2
+        }),
+        (arm_cond(), arm_reg(), arm_op2()).prop_map(|(cond, rn, op2)| I::Dp {
+            cond,
+            op: arm::DpOp::Cmp,
+            s: true,
+            rn,
+            rd: 0,
+            op2
+        }),
+        (arm_reg(), any::<u16>()).prop_map(|(rd, imm)| I::Movw { cond: arm::Cond::Al, rd, imm }),
+        (arm_reg(), any::<u16>()).prop_map(|(rd, imm)| I::Movt { cond: arm::Cond::Al, rd, imm }),
+        (arm_reg(), arm_reg(), 0u16..0x1000, any::<bool>(), any::<bool>()).prop_map(
+            |(rd, rn, off, up, byte)| I::Ldr { cond: arm::Cond::Al, byte, rd, rn, up, off }
+        ),
+        (arm_reg(), arm_reg(), 0u16..0x1000, any::<bool>(), any::<bool>()).prop_map(
+            |(rd, rn, off, up, byte)| I::Str { cond: arm::Cond::Al, byte, rd, rn, up, off }
+        ),
+        (arm_cond(), -0x80_0000i32..0x7f_ffff).prop_map(|(cond, off)| I::B { cond, off }),
+        (-0x80_0000i32..0x7f_ffff).prop_map(|off| I::Bl { cond: arm::Cond::Al, off }),
+        arm_reg().prop_map(|rm| I::Bx { cond: arm::Cond::Al, rm }),
+    ]
+}
+
+proptest! {
+    #[test]
+    fn arm_roundtrip(i in arm_instr()) {
+        let mut buf = Vec::new();
+        arm::encode(&i, &mut buf);
+        let (d, len) = arm::decode(&buf, 0, 0x8000).expect("decode");
+        prop_assert_eq!(len, 4);
+        prop_assert_eq!(d, i);
+    }
+
+    #[test]
+    fn arm_decoder_never_panics(word in any::<u32>()) {
+        let bytes = word.to_le_bytes();
+        let _ = arm::decode(&bytes, 0, 0x1000);
+    }
+}
+
+fn ppc_reg() -> impl Strategy<Value = u8> {
+    0u8..32
+}
+
+fn ppc_instr() -> impl Strategy<Value = ppc::Instr> {
+    use ppc::Instr as I;
+    prop_oneof![
+        (ppc_reg(), ppc_reg(), any::<i16>()).prop_map(|(rt, ra, si)| I::Addi { rt, ra, si }),
+        (ppc_reg(), ppc_reg(), any::<i16>()).prop_map(|(rt, ra, si)| I::Addis { rt, ra, si }),
+        (ppc_reg(), ppc_reg(), any::<u16>()).prop_map(|(ra, rs, ui)| I::Ori { ra, rs, ui }),
+        (ppc_reg(), ppc_reg(), ppc_reg()).prop_map(|(rt, ra, rb)| I::Add { rt, ra, rb }),
+        (ppc_reg(), ppc_reg(), ppc_reg()).prop_map(|(rt, ra, rb)| I::Subf { rt, ra, rb }),
+        (ppc_reg(), ppc_reg(), ppc_reg()).prop_map(|(rt, ra, rb)| I::Mullw { rt, ra, rb }),
+        (ppc_reg(), any::<i16>()).prop_map(|(ra, si)| I::Cmpwi { ra, si }),
+        (ppc_reg(), ppc_reg(), any::<i16>()).prop_map(|(rt, ra, d)| I::Lwz { rt, ra, d }),
+        (ppc_reg(), ppc_reg(), any::<i16>()).prop_map(|(rs, ra, d)| I::Stw { rs, ra, d }),
+        ((-0x100_0000i32 / 4..0xff_ffff / 4), any::<bool>())
+            .prop_map(|(w, lk)| I::B { off: w * 4, lk }),
+        ((-0x4000i16..0x3fff), any::<bool>()).prop_map(|(w, set)| I::Bc {
+            cond: if set {
+                ppc::BranchIf::Set(ppc::CrBit::Eq)
+            } else {
+                ppc::BranchIf::Clear(ppc::CrBit::Lt)
+            },
+            bd: w & !3,
+        }),
+        ppc_reg().prop_map(|rt| I::Mflr { rt }),
+        Just(I::Blr),
+    ]
+}
+
+proptest! {
+    #[test]
+    fn ppc_roundtrip(i in ppc_instr()) {
+        let mut buf = Vec::new();
+        ppc::encode(&i, &mut buf);
+        let (d, len) = ppc::decode(&buf, 0, 0x1000_0000).expect("decode");
+        prop_assert_eq!(len, 4);
+        prop_assert_eq!(d, i);
+    }
+
+    #[test]
+    fn ppc_decoder_never_panics(word in any::<u32>()) {
+        let bytes = word.to_le_bytes();
+        let _ = ppc::decode(&bytes, 0, 0x1000);
+    }
+}
+
+fn x86_reg() -> impl Strategy<Value = u8> {
+    0u8..8
+}
+
+fn x86_mem() -> impl Strategy<Value = x86::Mem> {
+    prop_oneof![
+        (x86_reg(), any::<i32>()).prop_map(|(b, d)| x86::Mem::base_disp(b, d)),
+        any::<u32>().prop_map(x86::Mem::abs),
+    ]
+}
+
+fn x86_alu() -> impl Strategy<Value = x86::AluOp> {
+    prop_oneof![
+        Just(x86::AluOp::Add),
+        Just(x86::AluOp::Sub),
+        Just(x86::AluOp::And),
+        Just(x86::AluOp::Or),
+        Just(x86::AluOp::Xor),
+        Just(x86::AluOp::Cmp),
+    ]
+}
+
+fn x86_instr() -> impl Strategy<Value = x86::Instr> {
+    use x86::Instr as I;
+    prop_oneof![
+        (x86_reg(), any::<u32>()).prop_map(|(dst, imm)| I::MovRI { dst, imm }),
+        (x86_reg(), x86_reg()).prop_map(|(dst, src)| I::MovRR { dst, src }),
+        (x86_reg(), x86_mem()).prop_map(|(dst, mem)| I::Load { dst, mem }),
+        (x86_mem(), x86_reg()).prop_map(|(mem, src)| I::Store { mem, src }),
+        (0u8..4, x86_mem()).prop_map(|(src, mem)| I::Store8 { mem, src }),
+        (x86_alu(), x86_reg(), x86_reg()).prop_map(|(op, dst, src)| I::AluRR { op, dst, src }),
+        (x86_alu(), x86_reg(), any::<u32>()).prop_map(|(op, dst, imm)| I::AluRI { op, dst, imm }),
+        (x86_alu(), x86_reg(), x86_mem()).prop_map(|(op, dst, mem)| I::AluRM { op, dst, mem }),
+        (x86_reg(), x86_mem()).prop_map(|(dst, mem)| I::Lea { dst, mem }),
+        x86_reg().prop_map(|src| I::Push { src }),
+        x86_reg().prop_map(|dst| I::Pop { dst }),
+        any::<i32>().prop_map(|rel| I::CallRel { rel }),
+        any::<i32>().prop_map(|rel| I::JmpRel { rel }),
+        (any::<i32>()).prop_map(|rel| I::Jcc { cc: x86::Cc::Ne, rel }),
+        Just(I::Ret),
+        Just(I::Nop),
+    ]
+}
+
+proptest! {
+    #[test]
+    fn x86_roundtrip(i in x86_instr()) {
+        let mut buf = Vec::new();
+        let len = x86::encode(&i, &mut buf);
+        let (d, dlen) = x86::decode(&buf, 0, 0x0804_8000).expect("decode");
+        prop_assert_eq!(dlen, len);
+        prop_assert_eq!(d, i);
+    }
+
+    #[test]
+    fn x86_decoder_never_panics(bytes in proptest::collection::vec(any::<u8>(), 1..16)) {
+        let _ = x86::decode(&bytes, 0, 0x1000);
+    }
+
+    /// Decoding a stream of encoded instructions resynchronizes exactly.
+    #[test]
+    fn x86_stream_decode(instrs in proptest::collection::vec(x86_instr(), 1..20)) {
+        let mut buf = Vec::new();
+        let mut lens = Vec::new();
+        for i in &instrs {
+            lens.push(x86::encode(i, &mut buf));
+        }
+        let mut off = 0usize;
+        for (i, len) in instrs.iter().zip(&lens) {
+            let (d, dlen) = x86::decode(&buf, off, off as u32).expect("stream decode");
+            prop_assert_eq!(&d, i);
+            prop_assert_eq!(dlen, *len);
+            off += dlen as usize;
+        }
+    }
+}

@@ -1,0 +1,323 @@
+//! Minimal ELF32 container format: writer, tolerant reader, stripping.
+//!
+//! Firmware executables are ELF files, frequently stripped, and — as the
+//! paper reports in §3.1 — frequently *damaged*: "many of the executables
+//! either had a corrupt Executable and Linkable Format (ELF) header, or
+//! were distributed with the wrong `ELFCLASS`". This crate reproduces
+//! both sides of that reality:
+//!
+//! * [`Elf::write`] produces byte-exact ELF32 images (used by the
+//!   compiler back end), and
+//! * [`Elf::parse`] reads them back **tolerantly**: recoverable header
+//!   damage (wrong `EI_CLASS`, wrong version, bogus entry point) is
+//!   reported through [`Elf::warnings`] instead of failing the parse,
+//!   mirroring how FirmUp's pipeline keeps going on wild binaries.
+//!
+//! [`Elf::strip`] removes the symbol and string tables, which is how the
+//! ground-truth corpus is turned into the stripped search targets.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+mod read;
+pub mod write;
+
+use std::fmt;
+
+/// ELF section types we model.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum SectionKind {
+    /// `SHT_PROGBITS`: code or data.
+    Progbits,
+    /// `SHT_NOBITS`: zero-initialized (we keep data anyway for
+    /// simplicity; written size still comes from `data`).
+    Nobits,
+}
+
+/// A loadable section.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Section {
+    /// Section name (e.g. `.text`).
+    pub name: String,
+    /// Virtual address.
+    pub addr: u32,
+    /// Raw contents.
+    pub data: Vec<u8>,
+    /// Section type.
+    pub kind: SectionKind,
+    /// `SHF_EXECINSTR`.
+    pub exec: bool,
+    /// `SHF_WRITE`.
+    pub write: bool,
+}
+
+impl Section {
+    /// End address (exclusive).
+    pub fn end(&self) -> u32 {
+        self.addr + self.data.len() as u32
+    }
+
+    /// Whether `addr` falls inside this section.
+    pub fn contains(&self, addr: u32) -> bool {
+        addr >= self.addr && addr < self.end()
+    }
+}
+
+/// Kind of a symbol.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum SymbolKind {
+    /// `STT_FUNC`.
+    Func,
+    /// `STT_OBJECT`.
+    Object,
+}
+
+/// A symbol-table entry.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Symbol {
+    /// Symbol name.
+    pub name: String,
+    /// Address.
+    pub value: u32,
+    /// Size in bytes.
+    pub size: u32,
+    /// Function or object.
+    pub kind: SymbolKind,
+    /// Whether the symbol is exported (`STB_GLOBAL`). Exported symbols
+    /// survive even partial stripping in real firmware, which is what
+    /// makes the paper's "exported procedures" ground-truth group
+    /// possible.
+    pub global: bool,
+}
+
+/// An ELF32 executable image.
+#[derive(Debug, Clone, Default)]
+pub struct Elf {
+    /// `e_machine`.
+    pub machine: u16,
+    /// `e_entry`.
+    pub entry: u32,
+    /// Loadable sections in file order.
+    pub sections: Vec<Section>,
+    /// Symbols (empty after stripping).
+    pub symbols: Vec<Symbol>,
+    /// Soft problems found while parsing (wrong `EI_CLASS` etc.).
+    pub warnings: Vec<String>,
+}
+
+impl Elf {
+    /// New empty executable for the given machine.
+    pub fn new(machine: u16, entry: u32) -> Elf {
+        Elf {
+            machine,
+            entry,
+            ..Elf::default()
+        }
+    }
+
+    /// Find a section by name.
+    pub fn section(&self, name: &str) -> Option<&Section> {
+        self.sections.iter().find(|s| s.name == name)
+    }
+
+    /// The `.text` section, if present.
+    pub fn text(&self) -> Option<&Section> {
+        self.section(".text")
+    }
+
+    /// The section containing `addr`, if any.
+    pub fn section_at(&self, addr: u32) -> Option<&Section> {
+        self.sections.iter().find(|s| s.contains(addr))
+    }
+
+    /// All function symbols, sorted by address.
+    pub fn func_symbols(&self) -> Vec<&Symbol> {
+        let mut v: Vec<&Symbol> = self
+            .symbols
+            .iter()
+            .filter(|s| s.kind == SymbolKind::Func)
+            .collect();
+        v.sort_by_key(|s| s.value);
+        v
+    }
+
+    /// Whether the file carries no symbols.
+    pub fn is_stripped(&self) -> bool {
+        self.symbols.is_empty()
+    }
+
+    /// Remove all symbol information (like `strip(1)`), keeping only
+    /// symbols marked `global` when `keep_exported` is set — this models
+    /// libraries whose exported procedures remain nameable even in
+    /// otherwise-stripped firmware (§5.3 of the paper).
+    pub fn strip(&mut self, keep_exported: bool) {
+        if keep_exported {
+            self.symbols.retain(|s| s.global);
+        } else {
+            self.symbols.clear();
+        }
+    }
+}
+
+/// Hard parse failure (soft problems go to [`Elf::warnings`]).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum ElfError {
+    /// Missing `\x7fELF` magic.
+    BadMagic,
+    /// The file is too short for the structure it declares.
+    Truncated {
+        /// What we were reading when the file ran out.
+        context: &'static str,
+    },
+    /// A structurally invalid value that cannot be recovered from.
+    Malformed {
+        /// Description of the problem.
+        reason: String,
+    },
+}
+
+impl fmt::Display for ElfError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            ElfError::BadMagic => write!(f, "not an ELF file (bad magic)"),
+            ElfError::Truncated { context } => write!(f, "truncated ELF while reading {context}"),
+            ElfError::Malformed { reason } => write!(f, "malformed ELF: {reason}"),
+        }
+    }
+}
+
+impl std::error::Error for ElfError {}
+
+/// The `\x7fELF` magic.
+pub const ELF_MAGIC: [u8; 4] = [0x7f, b'E', b'L', b'F'];
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sample() -> Elf {
+        let mut e = Elf::new(8, 0x40_0000);
+        e.sections.push(Section {
+            name: ".text".into(),
+            addr: 0x40_0000,
+            data: vec![0x01, 0x02, 0x03, 0x04],
+            kind: SectionKind::Progbits,
+            exec: true,
+            write: false,
+        });
+        e.sections.push(Section {
+            name: ".data".into(),
+            addr: 0x1000_0000,
+            data: vec![0xaa; 16],
+            kind: SectionKind::Progbits,
+            exec: false,
+            write: true,
+        });
+        e.symbols.push(Symbol {
+            name: "main".into(),
+            value: 0x40_0000,
+            size: 4,
+            kind: SymbolKind::Func,
+            global: false,
+        });
+        e.symbols.push(Symbol {
+            name: "exported_helper".into(),
+            value: 0x40_0002,
+            size: 2,
+            kind: SymbolKind::Func,
+            global: true,
+        });
+        e
+    }
+
+    #[test]
+    fn section_lookup() {
+        let e = sample();
+        assert!(e.text().is_some());
+        assert_eq!(e.section_at(0x40_0002).unwrap().name, ".text");
+        assert_eq!(e.section_at(0x1000_0004).unwrap().name, ".data");
+        assert!(e.section_at(0x2000_0000).is_none());
+    }
+
+    #[test]
+    fn func_symbols_sorted() {
+        let mut e = sample();
+        e.symbols.reverse();
+        let syms = e.func_symbols();
+        assert_eq!(syms[0].name, "main");
+        assert_eq!(syms[1].name, "exported_helper");
+    }
+
+    #[test]
+    fn strip_behaviour() {
+        let mut e = sample();
+        assert!(!e.is_stripped());
+        let mut partial = e.clone();
+        partial.strip(true);
+        assert_eq!(partial.symbols.len(), 1);
+        assert_eq!(partial.symbols[0].name, "exported_helper");
+        e.strip(false);
+        assert!(e.is_stripped());
+    }
+
+    #[test]
+    fn write_then_parse_roundtrip() {
+        let e = sample();
+        let bytes = e.write();
+        let back = Elf::parse(&bytes).expect("parse");
+        assert_eq!(back.machine, e.machine);
+        assert_eq!(back.entry, e.entry);
+        assert_eq!(back.sections.len(), 2);
+        assert_eq!(back.section(".text").unwrap().data, vec![1, 2, 3, 4]);
+        assert!(back.section(".text").unwrap().exec);
+        assert!(back.section(".data").unwrap().write);
+        assert_eq!(back.symbols.len(), 2);
+        let main = back.symbols.iter().find(|s| s.name == "main").unwrap();
+        assert_eq!(main.value, 0x40_0000);
+        assert_eq!(main.kind, SymbolKind::Func);
+        assert!(!main.global);
+        assert!(back.warnings.is_empty());
+    }
+
+    #[test]
+    fn stripped_roundtrip_has_no_symbols() {
+        let mut e = sample();
+        e.strip(false);
+        let back = Elf::parse(&e.write()).unwrap();
+        assert!(back.is_stripped());
+        assert_eq!(back.sections.len(), 2, "sections survive stripping");
+    }
+
+    #[test]
+    fn bad_magic_is_hard_error() {
+        let e = sample();
+        let mut bytes = e.write();
+        bytes[0] = 0x00;
+        assert!(matches!(Elf::parse(&bytes), Err(ElfError::BadMagic)));
+    }
+
+    #[test]
+    fn wrong_elfclass_is_soft_warning() {
+        // The §3.1 caveat: MIPS64-style headers (ELFCLASS64) on 32-bit
+        // content are common in the wild; the parser must recover.
+        let e = sample();
+        let mut bytes = e.write();
+        bytes[4] = 2; // ELFCLASS64
+        let back = Elf::parse(&bytes).expect("tolerant parse");
+        assert!(!back.warnings.is_empty());
+        assert!(back.warnings[0].contains("ELFCLASS"));
+        assert_eq!(back.sections.len(), 2);
+    }
+
+    #[test]
+    fn truncated_file_is_hard_error() {
+        let e = sample();
+        let bytes = e.write();
+        assert!(matches!(
+            Elf::parse(&bytes[..30]),
+            Err(ElfError::Truncated { .. })
+        ));
+        // Cut inside the section header table.
+        assert!(Elf::parse(&bytes[..bytes.len() - 10]).is_err());
+    }
+}

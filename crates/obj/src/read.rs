@@ -1,0 +1,278 @@
+//! Tolerant ELF32 parsing.
+
+use crate::{Elf, ElfError, Section, SectionKind, Symbol, SymbolKind, ELF_MAGIC};
+
+const SHT_PROGBITS: u32 = 1;
+const SHT_SYMTAB: u32 = 2;
+const SHT_STRTAB: u32 = 3;
+const SHT_NOBITS: u32 = 8;
+
+const SHF_WRITE: u32 = 1;
+const SHF_ALLOC: u32 = 2;
+const SHF_EXECINSTR: u32 = 4;
+
+fn u16_at(b: &[u8], off: usize, ctx: &'static str) -> Result<u16, ElfError> {
+    b.get(off..off + 2)
+        .map(|s| u16::from_le_bytes([s[0], s[1]]))
+        .ok_or(ElfError::Truncated { context: ctx })
+}
+
+fn u32_at(b: &[u8], off: usize, ctx: &'static str) -> Result<u32, ElfError> {
+    b.get(off..off + 4)
+        .map(|s| u32::from_le_bytes([s[0], s[1], s[2], s[3]]))
+        .ok_or(ElfError::Truncated { context: ctx })
+}
+
+fn cstr_at(table: &[u8], off: usize) -> String {
+    let rest = match table.get(off..) {
+        Some(r) => r,
+        None => return String::new(),
+    };
+    let end = rest.iter().position(|&c| c == 0).unwrap_or(rest.len());
+    String::from_utf8_lossy(&rest[..end]).into_owned()
+}
+
+struct RawShdr {
+    name_off: u32,
+    sh_type: u32,
+    flags: u32,
+    addr: u32,
+    offset: u32,
+    size: u32,
+    link: u32,
+}
+
+impl Elf {
+    /// Parse ELF32 bytes, tolerating the header damage commonly seen in
+    /// firmware (§3.1 of the paper): a wrong `EI_CLASS`, a wrong
+    /// `EI_DATA`/version byte, or an entry point outside any section are
+    /// recorded in [`Elf::warnings`] rather than rejected.
+    ///
+    /// # Errors
+    ///
+    /// Hard failures only: missing magic, file shorter than its declared
+    /// structures, or an unusable section header table.
+    pub fn parse(bytes: &[u8]) -> Result<Elf, ElfError> {
+        if bytes.len() < 4 || bytes[0..4] != ELF_MAGIC {
+            return Err(ElfError::BadMagic);
+        }
+        let mut warnings = Vec::new();
+        if bytes.len() < 52 {
+            return Err(ElfError::Truncated { context: "ELF header" });
+        }
+        if bytes[4] != 1 {
+            // The common firmware bug: ELFCLASS64 (or garbage) on 32-bit
+            // content. Parse as 32-bit anyway.
+            warnings.push(format!(
+                "wrong EI_CLASS {} (expected ELFCLASS32); parsing as 32-bit",
+                bytes[4]
+            ));
+        }
+        if bytes[5] != 1 {
+            warnings.push(format!("wrong EI_DATA {} (expected LSB)", bytes[5]));
+        }
+        if bytes[6] != 1 {
+            warnings.push(format!("wrong EI_VERSION {}", bytes[6]));
+        }
+        let machine = u16_at(bytes, 18, "e_machine")?;
+        let entry = u32_at(bytes, 24, "e_entry")?;
+        let shoff = u32_at(bytes, 32, "e_shoff")? as usize;
+        let shentsize = u16_at(bytes, 46, "e_shentsize")? as usize;
+        let shnum = u16_at(bytes, 48, "e_shnum")? as usize;
+        let shstrndx = u16_at(bytes, 50, "e_shstrndx")? as usize;
+        if shentsize < 40 {
+            return Err(ElfError::Malformed {
+                reason: format!("e_shentsize {shentsize} too small"),
+            });
+        }
+        if shnum == 0 {
+            return Err(ElfError::Malformed {
+                reason: "no section headers".into(),
+            });
+        }
+        if shoff + shnum * shentsize > bytes.len() {
+            return Err(ElfError::Truncated {
+                context: "section header table",
+            });
+        }
+
+        let shdr = |i: usize| -> Result<RawShdr, ElfError> {
+            let base = shoff + i * shentsize;
+            Ok(RawShdr {
+                name_off: u32_at(bytes, base, "sh_name")?,
+                sh_type: u32_at(bytes, base + 4, "sh_type")?,
+                flags: u32_at(bytes, base + 8, "sh_flags")?,
+                addr: u32_at(bytes, base + 12, "sh_addr")?,
+                offset: u32_at(bytes, base + 16, "sh_offset")?,
+                size: u32_at(bytes, base + 20, "sh_size")?,
+                link: u32_at(bytes, base + 24, "sh_link")?,
+            })
+        };
+
+        // Section-name string table.
+        let shstr_data: Vec<u8> = if shstrndx < shnum {
+            let h = shdr(shstrndx)?;
+            let lo = h.offset as usize;
+            let hi = lo + h.size as usize;
+            match bytes.get(lo..hi) {
+                Some(d) => d.to_vec(),
+                None => {
+                    warnings.push("section name table out of bounds; names lost".into());
+                    Vec::new()
+                }
+            }
+        } else {
+            warnings.push(format!("bad e_shstrndx {shstrndx}; section names lost"));
+            Vec::new()
+        };
+
+        let mut sections = Vec::new();
+        let mut symtab: Option<(RawShdr, usize)> = None;
+        let mut raw: Vec<RawShdr> = Vec::with_capacity(shnum);
+        for i in 0..shnum {
+            raw.push(shdr(i)?);
+        }
+        for (i, h) in raw.iter().enumerate() {
+            match h.sh_type {
+                SHT_PROGBITS | SHT_NOBITS if h.flags & SHF_ALLOC != 0 => {
+                    let lo = h.offset as usize;
+                    let hi = lo + h.size as usize;
+                    let data = match bytes.get(lo..hi) {
+                        Some(d) => d.to_vec(),
+                        None => {
+                            warnings.push(format!("section {i} contents out of bounds; dropped"));
+                            continue;
+                        }
+                    };
+                    sections.push(Section {
+                        name: cstr_at(&shstr_data, h.name_off as usize),
+                        addr: h.addr,
+                        data,
+                        kind: if h.sh_type == SHT_NOBITS {
+                            SectionKind::Nobits
+                        } else {
+                            SectionKind::Progbits
+                        },
+                        exec: h.flags & SHF_EXECINSTR != 0,
+                        write: h.flags & SHF_WRITE != 0,
+                    });
+                }
+                SHT_SYMTAB => symtab = Some((shdr(i)?, i)),
+                _ => {}
+            }
+        }
+
+        // Symbols.
+        let mut symbols = Vec::new();
+        if let Some((h, _)) = symtab {
+            let strtab: Vec<u8> = if (h.link as usize) < shnum {
+                let sh = shdr(h.link as usize)?;
+                if sh.sh_type == SHT_STRTAB {
+                    bytes
+                        .get(sh.offset as usize..(sh.offset + sh.size) as usize)
+                        .map(<[u8]>::to_vec)
+                        .unwrap_or_default()
+                } else {
+                    warnings.push("symtab links to a non-strtab section".into());
+                    Vec::new()
+                }
+            } else {
+                warnings.push("symtab string table index out of range".into());
+                Vec::new()
+            };
+            let lo = h.offset as usize;
+            let hi = lo + h.size as usize;
+            if let Some(data) = bytes.get(lo..hi) {
+                for chunk in data.chunks_exact(16).skip(1) {
+                    let name_off = u32::from_le_bytes([chunk[0], chunk[1], chunk[2], chunk[3]]);
+                    let value = u32::from_le_bytes([chunk[4], chunk[5], chunk[6], chunk[7]]);
+                    let size = u32::from_le_bytes([chunk[8], chunk[9], chunk[10], chunk[11]]);
+                    let info = chunk[12];
+                    let kind = match info & 0xf {
+                        2 => SymbolKind::Func,
+                        _ => SymbolKind::Object,
+                    };
+                    symbols.push(Symbol {
+                        name: cstr_at(&strtab, name_off as usize),
+                        value,
+                        size,
+                        kind,
+                        global: info >> 4 == 1,
+                    });
+                }
+            } else {
+                warnings.push("symbol table contents out of bounds; symbols lost".into());
+            }
+        }
+
+        let elf = Elf {
+            machine,
+            entry,
+            sections,
+            symbols,
+            warnings,
+        };
+        if elf.entry != 0 && elf.section_at(elf.entry).is_none() {
+            let mut elf = elf;
+            elf.warnings
+                .push(format!("entry point {:#x} is outside all sections", elf.entry));
+            return Ok(elf);
+        }
+        Ok(elf)
+    }
+
+    /// Scan a blob for embedded ELF images (the binwalk-style carving
+    /// used by the firmware unpacker when the part table is damaged).
+    /// Returns the byte offsets of every occurrence of the ELF magic.
+    pub fn carve_offsets(blob: &[u8]) -> Vec<usize> {
+        if blob.len() < 4 {
+            return Vec::new();
+        }
+        (0..=blob.len() - 4)
+            .filter(|&i| blob[i..i + 4] == ELF_MAGIC)
+            .collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::write::ElfBuilder;
+
+    #[test]
+    fn carve_finds_embedded_images() {
+        let e = ElfBuilder::new(3, 0x1000).build();
+        let img = e.write();
+        let mut blob = vec![0u8; 17];
+        blob.extend_from_slice(&img);
+        blob.extend(vec![0xffu8; 9]);
+        blob.extend_from_slice(&img);
+        let offs = Elf::carve_offsets(&blob);
+        assert_eq!(offs, vec![17, 17 + img.len() + 9]);
+    }
+
+    #[test]
+    fn carve_handles_tiny_blobs() {
+        assert!(Elf::carve_offsets(&[]).is_empty());
+        assert!(Elf::carve_offsets(&[0x7f, b'E']).is_empty());
+    }
+
+    #[test]
+    fn entry_outside_sections_warns() {
+        let mut b = ElfBuilder::new(3, 0xdead_0000);
+        b.text(0x1000, vec![0x90]);
+        let parsed = Elf::parse(&b.build().write()).unwrap();
+        assert!(parsed
+            .warnings
+            .iter()
+            .any(|w| w.contains("entry point")));
+    }
+
+    #[test]
+    fn garbage_after_magic_does_not_panic() {
+        let mut bytes = ELF_MAGIC.to_vec();
+        bytes.extend(vec![0xabu8; 60]);
+        // Must return an error or a warned Elf, never panic.
+        let _ = Elf::parse(&bytes);
+    }
+}

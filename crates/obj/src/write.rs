@@ -1,0 +1,312 @@
+//! ELF32 serialization.
+
+use crate::{Elf, Section, SectionKind, Symbol, SymbolKind, ELF_MAGIC};
+
+const EHDR_SIZE: u32 = 52;
+const SHDR_SIZE: u32 = 40;
+const SYM_SIZE: u32 = 16;
+
+const SHT_NULL: u32 = 0;
+const SHT_PROGBITS: u32 = 1;
+const SHT_SYMTAB: u32 = 2;
+const SHT_STRTAB: u32 = 3;
+const SHT_NOBITS: u32 = 8;
+
+const SHF_WRITE: u32 = 1;
+const SHF_ALLOC: u32 = 2;
+const SHF_EXECINSTR: u32 = 4;
+
+/// A growing string table with offset tracking.
+struct StrTab {
+    data: Vec<u8>,
+}
+
+impl StrTab {
+    fn new() -> StrTab {
+        StrTab { data: vec![0] }
+    }
+
+    fn add(&mut self, s: &str) -> u32 {
+        let off = self.data.len() as u32;
+        self.data.extend_from_slice(s.as_bytes());
+        self.data.push(0);
+        off
+    }
+}
+
+struct Shdr {
+    name_off: u32,
+    sh_type: u32,
+    flags: u32,
+    addr: u32,
+    offset: u32,
+    size: u32,
+    link: u32,
+    info: u32,
+    entsize: u32,
+}
+
+fn push_u16(out: &mut Vec<u8>, v: u16) {
+    out.extend_from_slice(&v.to_le_bytes());
+}
+
+fn push_u32(out: &mut Vec<u8>, v: u32) {
+    out.extend_from_slice(&v.to_le_bytes());
+}
+
+impl Elf {
+    /// Serialize to ELF32 bytes (little-endian, `ET_EXEC`).
+    pub fn write(&self) -> Vec<u8> {
+        let mut shstr = StrTab::new();
+        let mut strtab = StrTab::new();
+        let mut shdrs: Vec<Shdr> = Vec::new();
+        let mut body: Vec<u8> = Vec::new(); // section contents, after ehdr
+
+        // Index 0: SHT_NULL.
+        shdrs.push(Shdr {
+            name_off: 0,
+            sh_type: SHT_NULL,
+            flags: 0,
+            addr: 0,
+            offset: 0,
+            size: 0,
+            link: 0,
+            info: 0,
+            entsize: 0,
+        });
+
+        for s in &self.sections {
+            let name_off = shstr.add(&s.name);
+            let offset = EHDR_SIZE + body.len() as u32;
+            body.extend_from_slice(&s.data);
+            let mut flags = SHF_ALLOC;
+            if s.exec {
+                flags |= SHF_EXECINSTR;
+            }
+            if s.write {
+                flags |= SHF_WRITE;
+            }
+            shdrs.push(Shdr {
+                name_off,
+                sh_type: match s.kind {
+                    SectionKind::Progbits => SHT_PROGBITS,
+                    SectionKind::Nobits => SHT_NOBITS,
+                },
+                flags,
+                addr: s.addr,
+                offset,
+                size: s.data.len() as u32,
+                link: 0,
+                info: 0,
+                entsize: 0,
+            });
+        }
+
+        // Symbol table (only when symbols exist).
+        if !self.symbols.is_empty() {
+            let mut symdata: Vec<u8> = vec![0; SYM_SIZE as usize]; // null symbol
+            for sym in &self.symbols {
+                let name_off = strtab.add(&sym.name);
+                push_u32(&mut symdata, name_off);
+                push_u32(&mut symdata, sym.value);
+                push_u32(&mut symdata, sym.size);
+                let bind: u8 = if sym.global { 1 } else { 0 };
+                let typ: u8 = match sym.kind {
+                    SymbolKind::Func => 2,
+                    SymbolKind::Object => 1,
+                };
+                symdata.push((bind << 4) | typ);
+                symdata.push(0); // st_other
+                push_u16(&mut symdata, 1); // st_shndx: .text (first real section)
+            }
+            let symtab_name = shstr.add(".symtab");
+            let strtab_name = shstr.add(".strtab");
+            let sym_off = EHDR_SIZE + body.len() as u32;
+            let sym_size = symdata.len() as u32;
+            body.extend_from_slice(&symdata);
+            let str_off = EHDR_SIZE + body.len() as u32;
+            body.extend_from_slice(&strtab.data);
+            let strtab_index = shdrs.len() as u32 + 1;
+            shdrs.push(Shdr {
+                name_off: symtab_name,
+                sh_type: SHT_SYMTAB,
+                flags: 0,
+                addr: 0,
+                offset: sym_off,
+                size: sym_size,
+                link: strtab_index,
+                info: 1, // first global symbol index (approximate)
+                entsize: SYM_SIZE,
+            });
+            shdrs.push(Shdr {
+                name_off: strtab_name,
+                sh_type: SHT_STRTAB,
+                flags: 0,
+                addr: 0,
+                offset: str_off,
+                size: strtab.data.len() as u32,
+                link: 0,
+                info: 0,
+                entsize: 0,
+            });
+        }
+
+        // Section-header string table.
+        let shstr_name = shstr.add(".shstrtab");
+        let shstr_off = EHDR_SIZE + body.len() as u32;
+        body.extend_from_slice(&shstr.data);
+        shdrs.push(Shdr {
+            name_off: shstr_name,
+            sh_type: SHT_STRTAB,
+            flags: 0,
+            addr: 0,
+            offset: shstr_off,
+            size: shstr.data.len() as u32,
+            link: 0,
+            info: 0,
+            entsize: 0,
+        });
+        let shstrndx = (shdrs.len() - 1) as u16;
+        let shoff = EHDR_SIZE + body.len() as u32;
+
+        // Assemble.
+        let mut out = Vec::with_capacity((shoff + SHDR_SIZE * shdrs.len() as u32) as usize);
+        out.extend_from_slice(&ELF_MAGIC);
+        out.push(1); // EI_CLASS = ELFCLASS32
+        out.push(1); // EI_DATA = ELFDATA2LSB
+        out.push(1); // EI_VERSION
+        out.extend_from_slice(&[0; 9]); // padding to 16
+        push_u16(&mut out, 2); // e_type = ET_EXEC
+        push_u16(&mut out, self.machine);
+        push_u32(&mut out, 1); // e_version
+        push_u32(&mut out, self.entry);
+        push_u32(&mut out, 0); // e_phoff
+        push_u32(&mut out, shoff);
+        push_u32(&mut out, 0); // e_flags
+        push_u16(&mut out, EHDR_SIZE as u16);
+        push_u16(&mut out, 0); // e_phentsize
+        push_u16(&mut out, 0); // e_phnum
+        push_u16(&mut out, SHDR_SIZE as u16);
+        push_u16(&mut out, shdrs.len() as u16);
+        push_u16(&mut out, shstrndx);
+        debug_assert_eq!(out.len() as u32, EHDR_SIZE);
+        out.extend_from_slice(&body);
+        for h in &shdrs {
+            push_u32(&mut out, h.name_off);
+            push_u32(&mut out, h.sh_type);
+            push_u32(&mut out, h.flags);
+            push_u32(&mut out, h.addr);
+            push_u32(&mut out, h.offset);
+            push_u32(&mut out, h.size);
+            push_u32(&mut out, h.link);
+            push_u32(&mut out, h.info);
+            push_u32(&mut out, 4); // addralign
+            push_u32(&mut out, h.entsize);
+        }
+        out
+    }
+}
+
+/// A convenience builder mirroring common layouts.
+#[derive(Debug, Clone)]
+pub struct ElfBuilder {
+    elf: Elf,
+}
+
+impl ElfBuilder {
+    /// Start a new executable.
+    pub fn new(machine: u16, entry: u32) -> ElfBuilder {
+        ElfBuilder {
+            elf: Elf::new(machine, entry),
+        }
+    }
+
+    /// Add the `.text` section.
+    pub fn text(&mut self, addr: u32, data: Vec<u8>) -> &mut Self {
+        self.elf.sections.push(Section {
+            name: ".text".into(),
+            addr,
+            data,
+            kind: SectionKind::Progbits,
+            exec: true,
+            write: false,
+        });
+        self
+    }
+
+    /// Add the `.data` section.
+    pub fn data(&mut self, addr: u32, data: Vec<u8>) -> &mut Self {
+        self.elf.sections.push(Section {
+            name: ".data".into(),
+            addr,
+            data,
+            kind: SectionKind::Progbits,
+            exec: false,
+            write: true,
+        });
+        self
+    }
+
+    /// Add the `.rodata` section.
+    pub fn rodata(&mut self, addr: u32, data: Vec<u8>) -> &mut Self {
+        self.elf.sections.push(Section {
+            name: ".rodata".into(),
+            addr,
+            data,
+            kind: SectionKind::Progbits,
+            exec: false,
+            write: false,
+        });
+        self
+    }
+
+    /// Add a function symbol.
+    pub fn func(&mut self, name: &str, value: u32, size: u32, global: bool) -> &mut Self {
+        self.elf.symbols.push(Symbol {
+            name: name.to_string(),
+            value,
+            size,
+            kind: SymbolKind::Func,
+            global,
+        });
+        self
+    }
+
+    /// Finish, returning the executable.
+    pub fn build(&self) -> Elf {
+        self.elf.clone()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn builder_produces_parseable_elf() {
+        let mut b = ElfBuilder::new(3, 0x0804_8000);
+        b.text(0x0804_8000, vec![0x90, 0xc3])
+            .rodata(0x0804_9000, b"hello\0".to_vec())
+            .func("main", 0x0804_8000, 2, false);
+        let e = b.build();
+        let back = Elf::parse(&e.write()).unwrap();
+        assert_eq!(back.machine, 3);
+        assert_eq!(back.section(".rodata").unwrap().data, b"hello\0");
+        assert_eq!(back.func_symbols()[0].name, "main");
+    }
+
+    #[test]
+    fn header_fields_are_exact() {
+        let e = ElfBuilder::new(8, 0x40_0000).build();
+        let bytes = e.write();
+        assert_eq!(&bytes[0..4], &ELF_MAGIC);
+        assert_eq!(bytes[4], 1, "ELFCLASS32");
+        assert_eq!(bytes[5], 1, "ELFDATA2LSB");
+        assert_eq!(u16::from_le_bytes([bytes[16], bytes[17]]), 2, "ET_EXEC");
+        assert_eq!(u16::from_le_bytes([bytes[18], bytes[19]]), 8, "EM_MIPS");
+        assert_eq!(
+            u32::from_le_bytes([bytes[24], bytes[25], bytes[26], bytes[27]]),
+            0x40_0000
+        );
+    }
+}

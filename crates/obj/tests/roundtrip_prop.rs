@@ -1,0 +1,130 @@
+//! Property tests: ELF32 write/parse round-trips and parser robustness.
+
+use firmup_obj::{Elf, Section, SectionKind, Symbol, SymbolKind};
+use proptest::prelude::*;
+
+fn section_name() -> impl Strategy<Value = String> {
+    prop_oneof![
+        Just(".text".to_string()),
+        Just(".data".to_string()),
+        Just(".rodata".to_string()),
+        "[a-z.]{1,12}",
+    ]
+}
+
+fn sections() -> impl Strategy<Value = Vec<Section>> {
+    proptest::collection::vec(
+        (
+            section_name(),
+            0x1000u32..0x8000_0000,
+            proptest::collection::vec(any::<u8>(), 0..256),
+            any::<bool>(),
+            any::<bool>(),
+        )
+            .prop_map(|(name, addr, data, exec, write)| Section {
+                name,
+                addr,
+                data,
+                kind: SectionKind::Progbits,
+                exec,
+                write,
+            }),
+        0..5,
+    )
+}
+
+fn symbols() -> impl Strategy<Value = Vec<Symbol>> {
+    proptest::collection::vec(
+        (
+            "[a-z_][a-z0-9_]{0,20}",
+            any::<u32>(),
+            any::<u32>(),
+            any::<bool>(),
+            any::<bool>(),
+        )
+            .prop_map(|(name, value, size, func, global)| Symbol {
+                name,
+                value,
+                size,
+                kind: if func { SymbolKind::Func } else { SymbolKind::Object },
+                global,
+            }),
+        0..12,
+    )
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(256))]
+
+    /// Arbitrary well-formed executables survive a write/parse cycle
+    /// byte-for-byte (sections, symbols, header fields).
+    #[test]
+    fn write_parse_roundtrip(
+        machine in prop_oneof![Just(3u16), Just(8), Just(20), Just(40)],
+        entry in any::<u32>(),
+        sections in sections(),
+        symbols in symbols(),
+    ) {
+        let elf = Elf {
+            machine,
+            entry,
+            sections,
+            symbols,
+            warnings: vec![],
+        };
+        let bytes = elf.write();
+        let back = Elf::parse(&bytes).expect("own output parses");
+        prop_assert_eq!(back.machine, elf.machine);
+        prop_assert_eq!(back.entry, elf.entry);
+        prop_assert_eq!(back.sections, elf.sections);
+        prop_assert_eq!(back.symbols, elf.symbols);
+    }
+
+    /// The parser never panics on arbitrary bytes.
+    #[test]
+    fn parser_never_panics(bytes in proptest::collection::vec(any::<u8>(), 0..512)) {
+        let _ = Elf::parse(&bytes);
+    }
+
+    /// The parser never panics on *mutated* valid ELFs (the firmware
+    /// corruption scenario) and, when it succeeds, never returns
+    /// out-of-file section data.
+    #[test]
+    fn mutated_elf_never_panics(
+        flips in proptest::collection::vec((any::<proptest::sample::Index>(), any::<u8>()), 1..8)
+    ) {
+        let mut b = firmup_obj::write::ElfBuilder::new(8, 0x40_0000);
+        b.text(0x40_0000, vec![0x90; 64])
+            .data(0x1000_0000, vec![7; 32])
+            .func("main", 0x40_0000, 64, false);
+        let mut bytes = b.build().write();
+        let n = bytes.len();
+        for (idx, val) in flips {
+            bytes[idx.index(n)] ^= val;
+        }
+        if let Ok(elf) = Elf::parse(&bytes) {
+            for s in &elf.sections {
+                prop_assert!(s.data.len() <= n);
+            }
+        }
+    }
+
+    /// Carving finds exactly the planted magics.
+    #[test]
+    fn carve_offsets_exact(
+        pads in proptest::collection::vec(proptest::collection::vec(1u8..0x7f, 0..64), 1..5)
+    ) {
+        // Build pad₀ MAGIC pad₁ MAGIC … (pads contain no 0x7f so no
+        // accidental magics).
+        let mut blob = Vec::new();
+        let mut expected = Vec::new();
+        for (i, pad) in pads.iter().enumerate() {
+            blob.extend_from_slice(pad);
+            if i + 1 < pads.len() {
+                expected.push(blob.len());
+                blob.extend_from_slice(&firmup_obj::ELF_MAGIC);
+            }
+        }
+        prop_assert_eq!(Elf::carve_offsets(&blob), expected);
+    }
+}

@@ -1,0 +1,70 @@
+//! Firmware forensics: pack a vendor image, damage it, and watch the
+//! unpacker recover — checksum diagnostics, binwalk-style carving, and
+//! tolerant ELF parsing (the §3.1 wild-binary caveats).
+//!
+//! ```sh
+//! cargo run --example firmware_unpack
+//! ```
+
+use firmup::compiler::{compile_source, CompilerOptions};
+use firmup::firmware::image::{pack, unpack, ImageMeta, Part};
+use firmup::firmware::packages::source_for;
+use firmup::isa::Arch;
+use firmup::obj::Elf;
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    // Build a small two-part image.
+    let wget = compile_source(
+        &source_for("wget", "1.15", &[], 1, 2),
+        Arch::Arm32,
+        &CompilerOptions::default(),
+    )?;
+    let bftpd = compile_source(
+        &source_for("bftpd", "2.1", &[], 2, 2),
+        Arch::Arm32,
+        &CompilerOptions::default(),
+    )?;
+    let meta = ImageMeta {
+        vendor: "NETGEAR".into(),
+        device: "R7000".into(),
+        version: "1.0.4".into(),
+    };
+    let parts = vec![
+        Part { name: "bin/wget".into(), data: wget.write() },
+        Part { name: "bin/bftpd".into(), data: bftpd.write() },
+    ];
+    let blob = pack(&meta, &parts);
+    println!("packed {} ({} bytes, {} parts)", meta, blob.len(), parts.len());
+
+    // 1. Clean unpack.
+    let u = unpack(&blob)?;
+    println!("clean unpack: {} parts, {} issue(s)", u.parts.len(), u.issues.len());
+
+    // 2. Flip a payload byte: checksum diagnostics, parts still usable.
+    let mut damaged = blob.clone();
+    let n = damaged.len();
+    damaged[n - 100] ^= 0xff;
+    let u = unpack(&damaged)?;
+    println!("payload-corrupted unpack: issues = {:?}", u.issues);
+
+    // 3. Destroy the header entirely: carving recovers the ELFs by magic.
+    let mut headerless = vec![0xa5u8; 64];
+    headerless.extend_from_slice(&parts[0].data);
+    headerless.extend_from_slice(&parts[1].data);
+    let u = unpack(&headerless)?;
+    println!("carved unpack: {} part(s), issues = {:?}", u.parts.len(), u.issues);
+
+    // 4. The §3.1 ELF caveat: wrong EI_CLASS on 32-bit content.
+    let mut bad_elf = parts[0].data.clone();
+    bad_elf[4] = 2; // claim ELFCLASS64
+    let parsed = Elf::parse(&bad_elf)?;
+    println!(
+        "wrong-ELFCLASS parse recovered with warnings: {:?}",
+        parsed.warnings
+    );
+    println!(
+        "  …and still lifted {} procedures",
+        firmup::core::lift::lift_executable(&parsed)?.procedure_count()
+    );
+    Ok(())
+}

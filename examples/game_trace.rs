@@ -1,0 +1,80 @@
+//! Watch the back-and-forth game play out (the paper's Table 1): the
+//! vsftpd query against a stripped, feature-customized vendor build in
+//! which a lookalike procedure contests the first pick.
+//!
+//! ```sh
+//! cargo run --release --example game_trace
+//! ```
+
+use firmup::compiler::{compile_source, CompilerOptions, ToolchainProfile};
+use firmup::core::canon::CanonConfig;
+use firmup::core::game::{play, GameConfig, Side};
+use firmup::core::sim::index_elf;
+use firmup::firmware::packages::source_for;
+use firmup::isa::Arch;
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    let canon = CanonConfig::default();
+    // Query: vsftpd 2.3.5 with default features, reference toolchain.
+    let qsrc = source_for("vsftpd", "2.3.5", &[], 0, 0);
+    let qelf = compile_source(&qsrc, Arch::Mips32, &CompilerOptions::default())?;
+    let query = index_elf(&qelf, "vsftpd-2.3.5-query", &canon)?;
+
+    // Target: the vendor disabled a feature group (the §2.2
+    // customization story), used another toolchain, added
+    // device-specific service code, and stripped.
+    let tsrc = source_for("vsftpd", "2.3.2", &["ssl"], 5, 4);
+    let mut telf = compile_source(
+        &tsrc,
+        Arch::Mips32,
+        &CompilerOptions {
+            profile: ToolchainProfile::vendor_size(),
+            ..Default::default()
+        },
+    )?;
+    let names: Vec<(String, u32)> = telf
+        .func_symbols()
+        .iter()
+        .map(|s| (s.name.clone(), s.value))
+        .collect();
+    telf.strip(false);
+    let target = index_elf(&telf, "netgear-firmware", &canon)?;
+    let resolve = |addr: u32| {
+        names
+            .iter()
+            .find(|&&(_, a)| a == addr)
+            .map_or_else(|| format!("sub_{addr:x}"), |(n, _)| format!("{n}()"))
+    };
+
+    let qv = query.find_named("vsf_filename_passes_filter").expect("query symbols");
+    let g = play(&query, qv, &target, &GameConfig::default());
+
+    println!("game course for vsf_filename_passes_filter():\n");
+    for (i, s) in g.trace.iter().enumerate() {
+        let (who, what) = match (s.m.side, s.accepted) {
+            (Side::Query, true) => ("player", "matches"),
+            (Side::Query, false) => ("rival ", "contests"),
+            (Side::Target, true) => ("player", "matches (reverse)"),
+            (Side::Target, false) => ("rival ", "contests (reverse)"),
+        };
+        let m_name = match s.m.side {
+            Side::Query => query.procedures[s.m.index].display_name() + "()",
+            Side::Target => resolve(target.procedures[s.m.index].addr),
+        };
+        let f_name = match s.m.side {
+            Side::Query => resolve(target.procedures[s.forward].addr),
+            Side::Target => query.procedures[s.forward].display_name() + "()",
+        };
+        println!("  step {:>2} [{who}] {what} {m_name} ↔ {f_name} (Sim = {})", i + 1, s.sim_forward);
+    }
+    match g.query_match {
+        Some((ti, s)) => println!(
+            "\ngame over after {} step(s): vsf_filename_passes_filter() ↔ {} with Sim = {s}",
+            g.steps,
+            resolve(target.procedures[ti].addr)
+        ),
+        None => println!("\ngame over without a match: {:?}", g.ended),
+    }
+    println!("partial matching covers {} procedure pair(s)", g.matches.len());
+    Ok(())
+}

@@ -1,0 +1,79 @@
+//! Quickstart: find a procedure from a symbolized "query" build inside a
+//! stripped vendor build.
+//!
+//! ```sh
+//! cargo run --example quickstart
+//! ```
+
+use firmup::compiler::{compile_source, CompilerOptions, ToolchainProfile};
+use firmup::core::canon::CanonConfig;
+use firmup::core::search::{search_target, SearchConfig};
+use firmup::core::sim::index_elf;
+use firmup::isa::Arch;
+
+const SRC: &str = r#"
+    global table: [int; 64];
+
+    fn checksum(p: int, n: int) -> int {
+        var acc = 0;
+        var i = 0;
+        while (i < n) {
+            acc = (acc << 3) ^ peek8(p + i);
+            i = i + 1;
+        }
+        return acc;
+    }
+
+    fn insert(key: int, value: int) -> int {
+        var slot = (key * 31) & 63;
+        table[slot] = value;
+        return slot;
+    }
+
+    fn main(a: int) -> int {
+        var s = insert(a, a * 2);
+        return checksum(&table, 64) + s;
+    }
+"#;
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    // 1. The "query": our own build, with symbols (like compiling the
+    //    latest vulnerable package version with gcc).
+    let query_elf = compile_source(SRC, Arch::Mips32, &CompilerOptions::default())?;
+
+    // 2. The "target": a vendor build under a different toolchain,
+    //    stripped — what you would pull out of a firmware image.
+    let mut target_elf = compile_source(
+        SRC,
+        Arch::Mips32,
+        &CompilerOptions {
+            profile: ToolchainProfile::vendor_size(),
+            ..Default::default()
+        },
+    )?;
+    target_elf.strip(false);
+    assert!(target_elf.is_stripped());
+
+    // 3. Index both: lift → strands → canonicalize → hash.
+    let canon = CanonConfig::default();
+    let query = index_elf(&query_elf, "query", &canon)?;
+    let target = index_elf(&target_elf, "vendor-firmware", &canon)?;
+    println!(
+        "query: {} procedures, {} strands; target (stripped): {} procedures",
+        query.procedures.len(),
+        query.strand_total(),
+        target.procedures.len()
+    );
+
+    // 4. Search for `checksum` via the back-and-forth game.
+    let qv = query.find_named("checksum").expect("query has symbols");
+    let result = search_target(&query, qv, &target, &SearchConfig::default());
+    match &result.matched {
+        Some(m) => println!(
+            "checksum() found at {:#x} in the stripped binary (Sim = {} shared strands, {} game step(s))",
+            m.addr, m.sim, result.steps
+        ),
+        None => println!("no match ({:?})", result.ended),
+    }
+    Ok(())
+}

@@ -1,0 +1,31 @@
+//! # FirmUp — precise static detection of common vulnerabilities in firmware
+//!
+//! A from-scratch Rust reproduction of *FirmUp: Precise Static Detection
+//! of Common Vulnerabilities in Firmware* (David, Partush, Yahav —
+//! ASPLOS 2018), including every substrate the paper's pipeline depends
+//! on. This umbrella crate re-exports the workspace:
+//!
+//! | crate | contents |
+//! |---|---|
+//! | [`ir`] | VEX-like IR, CFGs, per-block SSA, concrete interpreter |
+//! | [`isa`] | MIPS32/ARM32/PPC32/x86 encoders, disassemblers, lifters |
+//! | [`obj`] | ELF32 reader/writer with firmware-tolerant parsing |
+//! | [`compiler`] | MinC: a C-like language with four native back ends and vendor toolchain profiles |
+//! | [`firmware`] | firmware image format, synthetic package corpus, seeded corpus generator |
+//! | [`core`] | the paper's contribution: strands, canonicalization, `Sim`, the back-and-forth game, corpus search |
+//! | [`baselines`] | BinDiff-style and GitZ-style comparison baselines |
+//!
+//! See `examples/quickstart.rs` for the end-to-end flow and
+//! `crates/bench` for the harness that regenerates every table and
+//! figure of the paper's evaluation.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub use firmup_baselines as baselines;
+pub use firmup_compiler as compiler;
+pub use firmup_core as core;
+pub use firmup_firmware as firmware;
+pub use firmup_ir as ir;
+pub use firmup_isa as isa;
+pub use firmup_obj as obj;

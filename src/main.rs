@@ -1,0 +1,292 @@
+//! `firmup` — command-line front end for the FirmUp pipeline.
+//!
+//! ```text
+//! firmup gen-corpus --out DIR [--devices N] [--seed HEX]
+//! firmup info PATH                      # firmware image or ELF
+//! firmup disasm ELF [--proc NAME]       # disassembly + canonical strands
+//! firmup scan IMAGE... [--cve ID]       # hunt CVE queries in images
+//! ```
+
+#![forbid(unsafe_code)]
+
+use std::collections::HashMap;
+use std::path::{Path, PathBuf};
+use std::process::ExitCode;
+
+use firmup::core::canon::{canonicalize, AddrSpace, CanonConfig};
+use firmup::core::lift::lift_executable;
+use firmup::core::search::{search_target, SearchConfig};
+use firmup::core::sim::{index_elf, ExecutableRep, GlobalContext};
+use firmup::core::strand::decompose;
+use firmup::firmware::corpus::{build_query, generate, CorpusConfig};
+use firmup::firmware::image::unpack;
+use firmup::firmware::packages::all_cves;
+use firmup::isa::Arch;
+use firmup::obj::Elf;
+
+fn main() -> ExitCode {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let result = match args.first().map(String::as_str) {
+        Some("gen-corpus") => gen_corpus(&args[1..]),
+        Some("info") => info(&args[1..]),
+        Some("disasm") => disasm(&args[1..]),
+        Some("scan") => scan(&args[1..]),
+        Some("--help" | "-h") | None => {
+            eprint!("{USAGE}");
+            return ExitCode::SUCCESS;
+        }
+        Some(other) => Err(format!("unknown command `{other}`\n{USAGE}")),
+    };
+    match result {
+        Ok(()) => ExitCode::SUCCESS,
+        Err(e) => {
+            eprintln!("firmup: {e}");
+            ExitCode::FAILURE
+        }
+    }
+}
+
+const USAGE: &str = "firmup — static CVE detection in stripped firmware (ASPLOS'18 reproduction)
+
+USAGE:
+    firmup gen-corpus --out DIR [--devices N] [--seed HEX]
+        Generate a synthetic firmware corpus (images + ground-truth manifest).
+    firmup info PATH
+        Describe a firmware image (parts, vendors) or an ELF (sections, procedures).
+    firmup disasm ELF [--proc NAME]
+        Disassemble an executable and print lifted IR + canonical strands.
+    firmup scan IMAGE... [--cve CVE-ID]
+        Hunt the built-in CVE queries inside firmware images.
+";
+
+fn flag_value<'a>(args: &'a [String], name: &str) -> Option<&'a str> {
+    args.iter()
+        .position(|a| a == name)
+        .and_then(|i| args.get(i + 1))
+        .map(String::as_str)
+}
+
+fn positional(args: &[String]) -> Vec<&String> {
+    let mut out = Vec::new();
+    let mut skip = false;
+    for (i, a) in args.iter().enumerate() {
+        if skip {
+            skip = false;
+            continue;
+        }
+        if a.starts_with("--") {
+            // All our flags take a value.
+            skip = args.get(i + 1).is_some();
+            continue;
+        }
+        out.push(a);
+    }
+    out
+}
+
+fn gen_corpus(args: &[String]) -> Result<(), String> {
+    let out = PathBuf::from(flag_value(args, "--out").ok_or("gen-corpus requires --out DIR")?);
+    let devices = flag_value(args, "--devices")
+        .map(|v| v.parse::<usize>().map_err(|e| format!("--devices: {e}")))
+        .transpose()?
+        .unwrap_or(18);
+    let seed = flag_value(args, "--seed")
+        .map(|v| u64::from_str_radix(v.trim_start_matches("0x"), 16).map_err(|e| format!("--seed: {e}")))
+        .transpose()?
+        .unwrap_or(0xf12a_0b5e);
+    std::fs::create_dir_all(&out).map_err(|e| format!("{}: {e}", out.display()))?;
+    let corpus = generate(&CorpusConfig {
+        devices,
+        seed,
+        ..CorpusConfig::default()
+    });
+    let mut manifest = String::from("file\tvendor\tdevice\tfw_version\tlatest\tarch\tvulnerable\n");
+    for (i, img) in corpus.images.iter().enumerate() {
+        let file = format!("{:03}_{}_{}_{}.fwim", i, img.meta.vendor, img.meta.device, img.meta.version);
+        std::fs::write(out.join(&file), &img.blob).map_err(|e| format!("{file}: {e}"))?;
+        let vulns: Vec<String> = img
+            .truth
+            .iter()
+            .flat_map(|t| t.vulnerable.iter().map(move |(n, _)| format!("{}:{}@{}", t.package, t.version, n)))
+            .collect();
+        manifest.push_str(&format!(
+            "{file}\t{}\t{}\t{}\t{}\t{}\t{}\n",
+            img.meta.vendor,
+            img.meta.device,
+            img.meta.version,
+            img.is_latest,
+            img.arch,
+            vulns.join(",")
+        ));
+    }
+    std::fs::write(out.join("MANIFEST.tsv"), manifest).map_err(|e| e.to_string())?;
+    println!(
+        "wrote {} images ({} executables, {} procedures) to {}",
+        corpus.images.len(),
+        corpus.executable_count(),
+        corpus.procedure_count(),
+        out.display()
+    );
+    Ok(())
+}
+
+fn read(path: &Path) -> Result<Vec<u8>, String> {
+    std::fs::read(path).map_err(|e| format!("{}: {e}", path.display()))
+}
+
+fn info(args: &[String]) -> Result<(), String> {
+    let paths = positional(args);
+    if paths.is_empty() {
+        return Err("info requires a PATH".into());
+    }
+    for p in paths {
+        let bytes = read(Path::new(p))?;
+        if bytes.starts_with(firmup::firmware::image::MAGIC) {
+            let u = unpack(&bytes).map_err(|e| e.to_string())?;
+            println!("{p}: firmware image — {}", u.meta);
+            for issue in &u.issues {
+                println!("  issue: {issue:?}");
+            }
+            for part in &u.parts {
+                match Elf::parse(&part.data) {
+                    Ok(elf) => {
+                        let arch = Arch::from_elf_machine(elf.machine)
+                            .map_or_else(|| format!("machine {}", elf.machine), |a| a.to_string());
+                        let lifted = lift_executable(&elf);
+                        let procs = lifted.as_ref().map_or(0, |l| l.procedure_count());
+                        println!(
+                            "  {} — {arch}, {} bytes, {} procedure(s), {}",
+                            part.name,
+                            part.data.len(),
+                            procs,
+                            if elf.is_stripped() { "stripped" } else { "with symbols" }
+                        );
+                    }
+                    Err(e) => println!("  {} — unparseable: {e}", part.name),
+                }
+            }
+        } else {
+            let elf = Elf::parse(&bytes).map_err(|e| e.to_string())?;
+            let arch = Arch::from_elf_machine(elf.machine)
+                .map_or_else(|| format!("machine {}", elf.machine), |a| a.to_string());
+            println!("{p}: ELF32 {arch}, entry {:#x}", elf.entry);
+            for w in &elf.warnings {
+                println!("  warning: {w}");
+            }
+            for s in &elf.sections {
+                println!("  section {:<10} {:#010x}..{:#010x}", s.name, s.addr, s.end());
+            }
+            let lifted = lift_executable(&elf).map_err(|e| e.to_string())?;
+            println!("  {} procedure(s):", lifted.procedure_count());
+            for proc_ in &lifted.program.procedures {
+                println!(
+                    "    {:#010x} {:<30} {} block(s)",
+                    proc_.addr,
+                    proc_.display_name(),
+                    proc_.blocks.len()
+                );
+            }
+        }
+    }
+    Ok(())
+}
+
+fn disasm(args: &[String]) -> Result<(), String> {
+    let paths = positional(args);
+    let path = paths.first().ok_or("disasm requires an ELF path")?;
+    let filter = flag_value(args, "--proc");
+    let elf = Elf::parse(&read(Path::new(path))?).map_err(|e| e.to_string())?;
+    let lifted = lift_executable(&elf).map_err(|e| e.to_string())?;
+    let space = AddrSpace::from_elf(&elf);
+    let config = CanonConfig::default();
+    for proc_ in &lifted.program.procedures {
+        if let Some(f) = filter {
+            if proc_.display_name() != f {
+                continue;
+            }
+        }
+        println!("=== {} @ {:#x} ===", proc_.display_name(), proc_.addr);
+        for block in &proc_.blocks {
+            println!("  block {:#x}:", block.addr);
+            for a in &block.asm {
+                println!("    {a}");
+            }
+            let ssa = firmup::ir::ssa::ssa_block(block);
+            for strand in decompose(&ssa) {
+                let c = canonicalize(&strand, &space, &config);
+                for line in c.text.lines() {
+                    println!("      ; strand: {line}");
+                }
+            }
+        }
+    }
+    Ok(())
+}
+
+fn scan(args: &[String]) -> Result<(), String> {
+    let paths = positional(args);
+    if paths.is_empty() {
+        return Err("scan requires at least one IMAGE".into());
+    }
+    let cve_filter = flag_value(args, "--cve");
+    let canon = CanonConfig::default();
+
+    // Index all target executables.
+    let mut targets: Vec<(String, ExecutableRep)> = Vec::new();
+    for p in &paths {
+        let bytes = read(Path::new(p))?;
+        let u = unpack(&bytes).map_err(|e| format!("{p}: {e}"))?;
+        for part in &u.parts {
+            let Ok(elf) = Elf::parse(&part.data) else {
+                continue;
+            };
+            let id = format!("{p}:{}", part.name);
+            match index_elf(&elf, &id, &canon) {
+                Ok(rep) => targets.push((id, rep)),
+                Err(e) => eprintln!("firmup: skipping {id}: {e}"),
+            }
+        }
+    }
+    println!("indexed {} executable(s) from {} image(s)", targets.len(), paths.len());
+    let reps: Vec<ExecutableRep> = targets.iter().map(|(_, r)| r.clone()).collect();
+    let context = std::sync::Arc::new(GlobalContext::build(&reps));
+
+    // Queries per (package, arch), built on demand.
+    type QueryEntry = Option<(ExecutableRep, usize, String)>;
+    let mut query_cache: HashMap<(String, Arch), QueryEntry> = HashMap::new();
+    let mut findings = 0usize;
+    for cve in all_cves() {
+        if let Some(filter) = cve_filter {
+            if cve.cve != filter {
+                continue;
+            }
+        }
+        for (id, target) in &targets {
+            let key = (cve.package.to_string(), target.arch);
+            let entry = query_cache.entry(key).or_insert_with(|| {
+                let (elf, version) = build_query(cve.package, target.arch);
+                index_elf(&elf, "query", &canon)
+                    .ok()
+                    .and_then(|rep| rep.find_named(cve.procedure).map(|qv| (rep, qv, version)))
+            });
+            let Some((qrep, qv, version)) = entry else {
+                continue;
+            };
+            let config = SearchConfig {
+                context: Some(context.clone()),
+                threads: 1,
+                ..SearchConfig::default()
+            };
+            let r = search_target(qrep, *qv, target, &config);
+            if let Some(m) = r.matched {
+                println!(
+                    "{}: {} ({} {version}) suspected at {:#x} in {id} (Sim={}, {} game step(s))",
+                    cve.cve, cve.procedure, cve.package, m.addr, m.sim, r.steps
+                );
+                findings += 1;
+            }
+        }
+    }
+    println!("{findings} suspected occurrence(s)");
+    Ok(())
+}

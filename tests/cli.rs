@@ -1,0 +1,79 @@
+//! End-to-end tests of the `firmup` command-line binary.
+
+use std::path::PathBuf;
+use std::process::Command;
+
+fn firmup() -> Command {
+    Command::new(env!("CARGO_BIN_EXE_firmup"))
+}
+
+fn temp_dir(tag: &str) -> PathBuf {
+    let dir = std::env::temp_dir().join(format!("firmup-cli-test-{tag}-{}", std::process::id()));
+    let _ = std::fs::remove_dir_all(&dir);
+    std::fs::create_dir_all(&dir).expect("create temp dir");
+    dir
+}
+
+#[test]
+fn gen_corpus_info_scan_roundtrip() {
+    let dir = temp_dir("roundtrip");
+
+    // gen-corpus writes images plus a manifest.
+    let out = firmup()
+        .args(["gen-corpus", "--out", dir.to_str().unwrap(), "--devices", "4"])
+        .output()
+        .expect("spawn");
+    assert!(out.status.success(), "gen-corpus failed: {}", String::from_utf8_lossy(&out.stderr));
+    let manifest = std::fs::read_to_string(dir.join("MANIFEST.tsv")).expect("manifest");
+    assert!(manifest.starts_with("file\tvendor"));
+    let images: Vec<PathBuf> = std::fs::read_dir(&dir)
+        .unwrap()
+        .filter_map(|e| {
+            let p = e.unwrap().path();
+            (p.extension().is_some_and(|x| x == "fwim")).then_some(p)
+        })
+        .collect();
+    assert!(!images.is_empty());
+
+    // info describes an image.
+    let out = firmup().arg("info").arg(&images[0]).output().expect("spawn");
+    assert!(out.status.success());
+    let text = String::from_utf8_lossy(&out.stdout);
+    assert!(text.contains("firmware image"), "{text}");
+    assert!(text.contains("procedure(s)"), "{text}");
+
+    // scan over all images produces a findings report.
+    let mut cmd = firmup();
+    cmd.arg("scan");
+    for p in &images {
+        cmd.arg(p);
+    }
+    let out = cmd.output().expect("spawn");
+    assert!(out.status.success(), "scan failed: {}", String::from_utf8_lossy(&out.stderr));
+    let text = String::from_utf8_lossy(&out.stdout);
+    assert!(text.contains("indexed"), "{text}");
+    assert!(text.contains("suspected occurrence(s)"), "{text}");
+
+    let _ = std::fs::remove_dir_all(&dir);
+}
+
+#[test]
+fn cli_error_paths_are_clean() {
+    // Unknown command.
+    let out = firmup().arg("frobnicate").output().expect("spawn");
+    assert!(!out.status.success());
+    assert!(String::from_utf8_lossy(&out.stderr).contains("unknown command"));
+
+    // Missing file.
+    let out = firmup().args(["info", "/nonexistent/path.fwim"]).output().expect("spawn");
+    assert!(!out.status.success());
+
+    // Help exits cleanly.
+    let out = firmup().arg("--help").output().expect("spawn");
+    assert!(out.status.success());
+    assert!(String::from_utf8_lossy(&out.stderr).contains("USAGE"));
+
+    // gen-corpus requires --out.
+    let out = firmup().arg("gen-corpus").output().expect("spawn");
+    assert!(!out.status.success());
+}

@@ -1,0 +1,93 @@
+//! The §3.1 delay-slot claim, measured: naive lifting (delay-slot
+//! instructions mis-attributed to the following block) "leads to strand
+//! discrepancy" on MIPS binaries with filled delay slots.
+
+use firmup::compiler::{compile_source, CompilerOptions, ToolchainProfile};
+use firmup::core::canon::{AddrSpace, CanonConfig};
+use firmup::core::lift::{lift_executable, lift_executable_with, LiftOptions};
+use firmup::core::sim::{build_rep, sim};
+use firmup::firmware::packages::source_for;
+use firmup::isa::Arch;
+
+#[test]
+fn naive_delay_slot_lifting_costs_strand_matches() {
+    let canon = CanonConfig::default();
+    // Query build: gcc-like, which *fills* delay slots — the case where
+    // naive lifting loses real computations from branch blocks.
+    let qsrc = source_for("wget", "1.15", &[], 0, 0);
+    let qelf = compile_source(&qsrc, Arch::Mips32, &CompilerOptions::default()).unwrap();
+    // Target build: a vendor profile that does not fill delay slots, so
+    // its blocks are unaffected by the naive bug. Matching quality then
+    // isolates the query-side lifting behaviour.
+    let tsrc = source_for("wget", "1.15", &[], 0, 0);
+    let telf = compile_source(
+        &tsrc,
+        Arch::Mips32,
+        &CompilerOptions {
+            profile: ToolchainProfile::vendor_size(),
+            ..Default::default()
+        },
+    )
+    .unwrap();
+
+    let qspace = AddrSpace::from_elf(&qelf);
+    let tspace = AddrSpace::from_elf(&telf);
+    let correct_q = build_rep(&lift_executable(&qelf).unwrap(), &qspace, &canon, "q");
+    let naive_q = build_rep(
+        &lift_executable_with(&qelf, LiftOptions { naive_delay_slots: true }).unwrap(),
+        &qspace,
+        &canon,
+        "q-naive",
+    );
+    let target = build_rep(&lift_executable(&telf).unwrap(), &tspace, &canon, "t");
+
+    // 1. Naive lifting changes the query's strand sets at all (the raw
+    //    discrepancy the paper describes).
+    let differing = correct_q
+        .procedures
+        .iter()
+        .zip(&naive_q.procedures)
+        .filter(|(a, b)| a.strands != b.strands)
+        .count();
+    assert!(
+        differing > 0,
+        "naive delay-slot handling must perturb some procedure's strands"
+    );
+
+    // 2. The discrepancy costs cross-compilation matching: summed over
+    //    the named procedures, the correct lift shares at least as many
+    //    strands with the vendor build, and strictly more somewhere.
+    let mut correct_total = 0usize;
+    let mut naive_total = 0usize;
+    for (i, cq) in correct_q.procedures.iter().enumerate() {
+        let Some(name) = cq.name.as_deref() else { continue };
+        let Some(ti) = target.find_named(name) else { continue };
+        let nq = &naive_q.procedures[i];
+        correct_total += sim(cq, &target.procedures[ti]);
+        naive_total += sim(nq, &target.procedures[ti]);
+    }
+    assert!(
+        correct_total > naive_total,
+        "correct delay-slot folding must recover strand matches: {correct_total} vs {naive_total}"
+    );
+}
+
+#[test]
+fn naive_mode_is_noop_on_arches_without_delay_slots() {
+    let canon = CanonConfig::default();
+    let src = source_for("bftpd", "2.1", &[], 0, 0);
+    for arch in [Arch::Arm32, Arch::Ppc32, Arch::X86] {
+        let elf = compile_source(&src, arch, &CompilerOptions::default()).unwrap();
+        let space = AddrSpace::from_elf(&elf);
+        let a = build_rep(&lift_executable(&elf).unwrap(), &space, &canon, "a");
+        let b = build_rep(
+            &lift_executable_with(&elf, LiftOptions { naive_delay_slots: true }).unwrap(),
+            &space,
+            &canon,
+            "b",
+        );
+        for (x, y) in a.procedures.iter().zip(&b.procedures) {
+            assert_eq!(x.strands, y.strands, "{arch}: naive mode must not affect {:?}", x.name);
+        }
+    }
+}

@@ -1,0 +1,159 @@
+//! Differential testing of the whole toolchain substrate: random MinC
+//! programs must compute identical results on every architecture under
+//! every toolchain profile when executed through the lifter-backed
+//! emulator. Any divergence pinpoints a bug in an encoder, decoder,
+//! lifter, optimizer or register allocator.
+
+use firmup::compiler::{compile_source, CompilerOptions, ToolchainProfile};
+use firmup::core::emu::call_function;
+use firmup::isa::Arch;
+use proptest::prelude::*;
+
+/// A generated expression, rendered to MinC source. Only `depth` and the
+/// variable count influence the shape; all programs are valid by
+/// construction.
+fn expr(depth: u32, nvars: usize) -> BoxedStrategy<String> {
+    let leaf = prop_oneof![
+        (-100i32..100).prop_map(|c| c.to_string()),
+        (0..nvars).prop_map(|v| format!("x{v}")),
+    ];
+    leaf.prop_recursive(depth, 24, 3, move |inner| {
+        prop_oneof![
+            // Arithmetic / bitwise.
+            (inner.clone(), inner.clone(), 0..7usize).prop_map(|(a, b, op)| {
+                let op = ["+", "-", "*", "&", "|", "^", "<"][op];
+                format!("({a} {op} {b})")
+            }),
+            // Constant-amount shifts (the back ends require constant
+            // shift amounts on ARM/x86).
+            (inner.clone(), 0u32..6, any::<bool>()).prop_map(|(a, sh, left)| {
+                format!("({a} {} {sh})", if left { "<<" } else { ">>" })
+            }),
+            // Comparisons and logic.
+            (inner.clone(), inner.clone(), 0..4usize).prop_map(|(a, b, op)| {
+                let op = ["==", "!=", "<=", ">"][op];
+                format!("({a} {op} {b})")
+            }),
+            (inner.clone()).prop_map(|a| format!("(-{a})")),
+            (inner.clone()).prop_map(|a| format!("(~{a})")),
+            (inner).prop_map(|a| format!("(!{a})")),
+        ]
+    })
+    .boxed()
+}
+
+/// A generated statement list over variables `x0..x{nvars}` (all
+/// pre-declared). Loops are always bounded counters, so every program
+/// terminates.
+fn stmts(nvars: usize) -> impl Strategy<Value = String> {
+    let assign = (0..nvars, expr(2, nvars)).prop_map(|(v, e)| format!("x{v} = {e};"));
+    let store = (0..8u32, expr(2, nvars)).prop_map(|(i, e)| format!("cells[{i}] = {e};"));
+    let load = (0..nvars, 0..8u32).prop_map(|(v, i)| format!("x{v} = x{v} + cells[{i}];"));
+    let ite = (expr(2, nvars), 0..nvars, expr(1, nvars), expr(1, nvars)).prop_map(
+        |(c, v, a, b)| format!("if ({c}) {{ x{v} = {a}; }} else {{ x{v} = {b}; }}"),
+    );
+    let single = prop_oneof![assign, store, load, ite];
+    let looped = (1u32..5, 0..nvars, proptest::collection::vec(single.clone(), 1..3)).prop_map(
+        move |(n, v, body)| {
+            format!(
+                "var i{v} = 0;\nwhile (i{v} < {n}) {{\n{}\nx{v} = x{v} ^ i{v};\ni{v} = i{v} + 1;\n}}",
+                body.join("\n")
+            )
+        },
+    );
+    proptest::collection::vec(prop_oneof![3 => single, 1 => looped], 2..7)
+        .prop_map(|v| v.join("\n"))
+}
+
+fn program() -> impl Strategy<Value = String> {
+    let nvars = 3usize;
+    (stmts(nvars), expr(2, nvars)).prop_map(move |(body, ret)| {
+        let decls: String = (0..nvars)
+            .map(|v| format!("var x{v} = a {} {};\n", ["+", "*", "^"][v % 3], v + 1))
+            .collect();
+        format!(
+            "global cells: [int; 8];\npub fn f(a: int) -> int {{\n{decls}{body}\nreturn {ret};\n}}\nfn main() -> int {{ return f(3); }}"
+        )
+    })
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(24))]
+
+    /// The headline substrate invariant: 4 architectures × 4 toolchain
+    /// profiles all compute the same function.
+    #[test]
+    fn random_programs_agree_everywhere(src in program(), arg in -50i32..50) {
+        let mut reference: Option<u32> = None;
+        for arch in Arch::all() {
+            for profile in ToolchainProfile::all() {
+                let options = CompilerOptions {
+                    profile: profile.clone(),
+                    layout: Default::default(),
+                };
+                let elf = compile_source(&src, arch, &options)
+                    .unwrap_or_else(|e| panic!("{arch}/{}: {e}\n{src}", profile.name));
+                let r = call_function(&elf, "f", &[arg as u32])
+                    .unwrap_or_else(|e| panic!("{arch}/{}: {e}\n{src}", profile.name));
+                match reference {
+                    None => reference = Some(r),
+                    Some(expected) => prop_assert_eq!(
+                        r,
+                        expected,
+                        "{}/{} diverged\n{}",
+                        arch,
+                        profile.name,
+                        src
+                    ),
+                }
+            }
+        }
+    }
+
+    /// Stripping is transparent to lifting for every procedure the
+    /// stripped binary can still discover: same addresses, same block
+    /// structure. (Procedures that became dead code through inlining are
+    /// legitimately undiscoverable without symbols.)
+    #[test]
+    fn stripping_is_transparent_to_lifting(src in program()) {
+        let elf = compile_source(&src, Arch::Mips32, &CompilerOptions::default()).unwrap();
+        let with = firmup::core::lift::lift_executable(&elf).unwrap();
+        let mut stripped = firmup::obj::Elf::parse(&elf.write()).unwrap();
+        stripped.strip(false);
+        let without = firmup::core::lift::lift_executable(&stripped).unwrap();
+        prop_assert!(without.procedure_count() <= with.procedure_count());
+        prop_assert!(without.procedure_count() >= 1);
+        for b in &without.program.procedures {
+            let a = with
+                .program
+                .procedure_at(b.addr)
+                .expect("stripped-discovered procedure must exist in the symbolized lift");
+            prop_assert_eq!(a.blocks.len(), b.blocks.len(), "blocks differ at {:#x}", b.addr);
+        }
+    }
+
+    /// Canonical strands are invariant under the compiler's scheduling
+    /// knob (instruction order must not matter after canonicalization of
+    /// *matching* computations): the two builds share most strands.
+    #[test]
+    fn scheduling_preserves_most_strands(src in program()) {
+        use firmup::core::canon::CanonConfig;
+        use firmup::core::sim::{index_elf, sim};
+        let base = ToolchainProfile::gcc_like();
+        let mut sched = base.clone();
+        sched.schedule = true;
+        sched.name = "gcc-sched".into();
+        let a = compile_source(&src, Arch::Arm32, &CompilerOptions { profile: base, layout: Default::default() }).unwrap();
+        let b = compile_source(&src, Arch::Arm32, &CompilerOptions { profile: sched, layout: Default::default() }).unwrap();
+        let ra = index_elf(&a, "a", &CanonConfig::default()).unwrap();
+        let rb = index_elf(&b, "b", &CanonConfig::default()).unwrap();
+        let pa = &ra.procedures[ra.find_named("f").unwrap()];
+        let pb = &rb.procedures[rb.find_named("f").unwrap()];
+        let shared = sim(pa, pb);
+        let smaller = pa.strand_count().min(pb.strand_count());
+        prop_assert!(
+            shared * 2 >= smaller,
+            "scheduling destroyed strand sharing: {shared} of {smaller}\n{src}"
+        );
+    }
+}

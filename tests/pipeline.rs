@@ -1,0 +1,177 @@
+//! End-to-end integration tests spanning every crate: source →
+//! compile → pack → unpack → lift → strands → game → finding.
+
+use firmup::compiler::{compile_source, CompilerOptions, ToolchainProfile};
+use firmup::core::canon::CanonConfig;
+use firmup::core::game::{play, GameConfig, GameEnd};
+use firmup::core::search::{search_target, SearchConfig};
+use firmup::core::sim::{index_elf, GlobalContext};
+use firmup::firmware::corpus::{build_query, generate, CorpusConfig};
+use firmup::firmware::image::unpack;
+use firmup::firmware::packages::source_for;
+use firmup::isa::Arch;
+
+/// The complete paper scenario on one target: a stripped,
+/// feature-customized, differently-compiled vendor build of a vulnerable
+/// package, searched with a symbolized query.
+#[test]
+fn full_pipeline_finds_vulnerable_procedure() {
+    let canon = CanonConfig::default();
+    for arch in [Arch::Mips32, Arch::Arm32] {
+        // Query: latest vulnerable wget, reference toolchain.
+        let qsrc = source_for("wget", "1.15", &[], 0, 0);
+        let qelf = compile_source(&qsrc, arch, &CompilerOptions::default()).unwrap();
+        let query = index_elf(&qelf, "query", &canon).unwrap();
+        let qv = query.find_named("ftp_retrieve_glob").unwrap();
+
+        // Target: customized vendor build, stripped, inside a firmware
+        // image that goes through pack → unpack.
+        let tsrc = source_for("wget", "1.15", &["opie", "cookies"], 11, 5);
+        let mut telf = compile_source(
+            &tsrc,
+            arch,
+            &CompilerOptions {
+                profile: ToolchainProfile::vendor_size(),
+                ..Default::default()
+            },
+        )
+        .unwrap();
+        let expected = telf
+            .symbols
+            .iter()
+            .find(|s| s.name == "ftp_retrieve_glob")
+            .unwrap()
+            .value;
+        telf.strip(false);
+        let blob = firmup::firmware::image::pack(
+            &firmup::firmware::image::ImageMeta {
+                vendor: "NETGEAR".into(),
+                device: "R7000".into(),
+                version: "1.0".into(),
+            },
+            &[firmup::firmware::image::Part {
+                name: "bin/wget".into(),
+                data: telf.write(),
+            }],
+        );
+        let unpacked = unpack(&blob).unwrap();
+        let target_elf = firmup::obj::Elf::parse(&unpacked.parts[0].data).unwrap();
+        assert!(target_elf.is_stripped());
+        let target = index_elf(&target_elf, "target", &canon).unwrap();
+
+        let r = search_target(&query, qv, &target, &SearchConfig::default());
+        let m = r.matched.unwrap_or_else(|| panic!("{arch}: no match ({:?})", r.ended));
+        assert_eq!(m.addr, expected, "{arch}: wrong procedure matched");
+    }
+}
+
+/// The §2.2 feature-customization story must not break the partial
+/// matching: a query whose executable has *more* procedures than the
+/// target still matches.
+#[test]
+fn partial_matching_survives_customization() {
+    let canon = CanonConfig::default();
+    let qsrc = source_for("vsftpd", "2.3.5", &[], 0, 0);
+    let qelf = compile_source(&qsrc, Arch::Ppc32, &CompilerOptions::default()).unwrap();
+    let query = index_elf(&qelf, "q", &canon).unwrap();
+    let qv = query.find_named("vsf_filename_passes_filter").unwrap();
+
+    let tsrc = source_for("vsftpd", "2.3.5", &["ssl"], 3, 0);
+    let mut telf = compile_source(
+        &tsrc,
+        Arch::Ppc32,
+        &CompilerOptions {
+            profile: ToolchainProfile::vendor_fast(),
+            ..Default::default()
+        },
+    )
+    .unwrap();
+    let expected = telf
+        .symbols
+        .iter()
+        .find(|s| s.name == "vsf_filename_passes_filter")
+        .unwrap()
+        .value;
+    telf.strip(false);
+    let target = index_elf(&telf, "t", &canon).unwrap();
+    assert!(
+        target.procedures.len() < query.procedures.len(),
+        "customization must remove procedures"
+    );
+    let g = play(&query, qv, &target, &GameConfig::default());
+    assert_eq!(g.ended, GameEnd::QueryMatched);
+    let (ti, _) = g.query_match.unwrap();
+    assert_eq!(target.procedures[ti].addr, expected);
+}
+
+/// Corpus-level hunt: the generated corpus must yield findings for the
+/// wget CVE with zero wrong-procedure matches among accepted results on
+/// executables that contain the procedure.
+#[test]
+fn corpus_hunt_has_no_wrong_procedure_matches() {
+    let corpus = generate(&CorpusConfig {
+        devices: 6,
+        ..CorpusConfig::default()
+    });
+    let canon = CanonConfig::default();
+    let mut targets = Vec::new();
+    let mut truths = Vec::new();
+    for img in &corpus.images {
+        let unpacked = unpack(&img.blob).unwrap();
+        for (pi, part) in unpacked.parts.iter().enumerate() {
+            let elf = firmup::obj::Elf::parse(&part.data).unwrap();
+            targets.push(index_elf(&elf, &part.name, &canon).unwrap());
+            truths.push(img.truth[pi].clone());
+        }
+    }
+    let context = std::sync::Arc::new(GlobalContext::build(&targets));
+    let mut found = 0;
+    for arch in Arch::all() {
+        let (qelf, _) = build_query("wget", arch);
+        let query = index_elf(&qelf, "q", &canon).unwrap();
+        let Some(qv) = query.find_named("ftp_retrieve_glob") else {
+            continue;
+        };
+        let config = SearchConfig {
+            context: Some(context.clone()),
+            threads: 1,
+            ..SearchConfig::default()
+        };
+        for (t, truth) in targets.iter().zip(&truths) {
+            if t.arch != arch {
+                continue;
+            }
+            let r = search_target(&query, qv, t, &config);
+            if let Some(m) = r.matched {
+                if let Some(expected) = truth.addr_of("ftp_retrieve_glob") {
+                    assert_eq!(
+                        m.addr, expected,
+                        "accepted a wrong procedure inside {}",
+                        truth.part_name
+                    );
+                    found += 1;
+                }
+            }
+        }
+    }
+    assert!(found > 0, "the hunt must find something in a 6-device corpus");
+}
+
+/// Cross-architecture consistency: every package compiles and lifts on
+/// all four ISAs and the lifted procedure counts agree with the symbol
+/// table.
+#[test]
+fn lifting_agrees_with_symbols_everywhere() {
+    for pkg in ["bftpd", "dbus"] {
+        for arch in Arch::all() {
+            let src = source_for(pkg, firmup::firmware::packages::package(pkg).unwrap().latest().version, &[], 1, 2);
+            let elf = compile_source(&src, arch, &CompilerOptions::default()).unwrap();
+            let lifted = firmup::core::lift::lift_executable(&elf).unwrap();
+            assert_eq!(
+                lifted.procedure_count(),
+                elf.func_symbols().len(),
+                "{pkg}/{arch}: lifted procedure count mismatch"
+            );
+        }
+    }
+}
