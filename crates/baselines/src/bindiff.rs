@@ -13,8 +13,8 @@
 
 use std::collections::{BTreeMap, HashMap, HashSet};
 
-use firmup_ir::hash::Fnv64;
 use firmup_core::lift::LiftedExecutable;
+use firmup_ir::hash::Fnv64;
 
 /// Structural features of one procedure.
 #[derive(Debug, Clone, PartialEq, Eq)]
@@ -80,7 +80,11 @@ impl StructuralRep {
                     name: p.name.clone(),
                     blocks: p.blocks.len(),
                     edges: cfg.edge_count(),
-                    calls: p.blocks.iter().filter(|b| b.jump.call_target().is_some()).count(),
+                    calls: p
+                        .blocks
+                        .iter()
+                        .filter(|b| b.jump.call_target().is_some())
+                        .count(),
                     instrs: p.stmt_count(),
                     degree_hash: h.finish(),
                     callees,
@@ -110,7 +114,9 @@ impl StructuralRep {
 
     /// Find a procedure index by name.
     pub fn find_named(&self, name: &str) -> Option<usize> {
-        self.procedures.iter().position(|p| p.name.as_deref() == Some(name))
+        self.procedures
+            .iter()
+            .position(|p| p.name.as_deref() == Some(name))
     }
 }
 
@@ -133,7 +139,10 @@ pub struct DiffResult {
 impl DiffResult {
     /// The target match of a query procedure.
     pub fn target_of(&self, qi: usize) -> Option<usize> {
-        self.matches.iter().find(|&&(q, _)| q == qi).map(|&(_, t)| t)
+        self.matches
+            .iter()
+            .find(|&&(q, _)| q == qi)
+            .map(|&(_, t)| t)
     }
 }
 
@@ -204,8 +213,16 @@ pub fn diff(query: &StructuralRep, target: &StructuralRep) -> DiffResult {
                 (&query.procedures[q].callees, &target.procedures[t].callees),
                 (&query.procedures[q].callers, &target.procedures[t].callers),
             ] {
-                let qs: Vec<usize> = q_neigh.iter().copied().filter(|i| !mq.contains_key(i)).collect();
-                let ts: Vec<usize> = t_neigh.iter().copied().filter(|i| !mt.contains(i)).collect();
+                let qs: Vec<usize> = q_neigh
+                    .iter()
+                    .copied()
+                    .filter(|i| !mq.contains_key(i))
+                    .collect();
+                let ts: Vec<usize> = t_neigh
+                    .iter()
+                    .copied()
+                    .filter(|i| !mt.contains(i))
+                    .collect();
                 for &qi in &qs {
                     let best = ts
                         .iter()
@@ -309,7 +326,9 @@ mod tests {
         assert_eq!(main.calls, 1);
         assert!(!main.callees.is_empty());
         let branchy = r.find_named("branchy").unwrap();
-        assert!(r.procedures[branchy].callers.contains(&r.find_named("main").unwrap()));
+        assert!(r.procedures[branchy]
+            .callers
+            .contains(&r.find_named("main").unwrap()));
     }
 
     #[test]

@@ -65,7 +65,11 @@ pub fn rank(
 /// Top-1 within a single target executable (how the paper evaluates
 /// GitZ in Fig. 8: "we used each query against all the procedures in
 /// each target executable, and considered the first result").
-pub fn top1(query: &ProcedureRep, target: &ExecutableRep, context: &GlobalContext) -> Option<RankedMatch> {
+pub fn top1(
+    query: &ProcedureRep,
+    target: &ExecutableRep,
+    context: &GlobalContext,
+) -> Option<RankedMatch> {
     rank(query, &[target], context, 1).into_iter().next()
 }
 

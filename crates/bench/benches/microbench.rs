@@ -11,7 +11,7 @@ use firmup_compiler::{compile_source, CompilerOptions, ToolchainProfile};
 use firmup_core::canon::{canonicalize, AddrSpace, CanonConfig};
 use firmup_core::game::{play, GameConfig};
 use firmup_core::lift::lift_executable;
-use firmup_core::search::{search_target, SearchConfig};
+use firmup_core::search::{search_corpus, search_target, SearchConfig};
 use firmup_core::sim::{index_elf, sim, ExecutableRep};
 use firmup_core::strand::decompose;
 use firmup_firmware::packages::source_for;
@@ -69,12 +69,7 @@ fn bench_strands(c: &mut Criterion) {
         .flat_map(|p| p.blocks.iter().map(firmup_ir::ssa::ssa_block))
         .collect();
     c.bench_function("decompose_all_blocks", |b| {
-        b.iter(|| {
-            blocks
-                .iter()
-                .map(|blk| decompose(blk).len())
-                .sum::<usize>()
-        });
+        b.iter(|| blocks.iter().map(|blk| decompose(blk).len()).sum::<usize>());
     });
 
     let space = AddrSpace::from_elf(&elf);
@@ -122,6 +117,32 @@ fn bench_sim_and_game(c: &mut Criterion) {
     });
 }
 
+/// The acceptance gate for the telemetry layer: with recording disabled,
+/// `search_corpus` must run within 2% of a build that never touches the
+/// telemetry entry points (the disabled fast path is one relaxed atomic
+/// load per hook).
+fn bench_search_telemetry_overhead(c: &mut Criterion) {
+    let qelf = wget_elf(Arch::Mips32);
+    let query = index_elf(&qelf, "query", &CanonConfig::default()).expect("indexes");
+    let qv = query.find_named("ftp_retrieve_glob").expect("symbol");
+    let targets: Vec<ExecutableRep> = Arch::all().iter().map(|&a| target_rep(a)).collect();
+    let config = SearchConfig {
+        threads: 1,
+        ..SearchConfig::default()
+    };
+
+    firmup_telemetry::disable();
+    c.bench_function("search_corpus_telemetry_off", |b| {
+        b.iter(|| search_corpus(&query, qv, &targets, &config));
+    });
+
+    firmup_telemetry::enable();
+    c.bench_function("search_corpus_telemetry_on", |b| {
+        b.iter(|| search_corpus(&query, qv, &targets, &config));
+    });
+    firmup_telemetry::disable();
+}
+
 fn bench_container(c: &mut Criterion) {
     let elf = wget_elf(Arch::Arm32);
     let bytes = elf.write();
@@ -146,6 +167,6 @@ fn bench_container(c: &mut Criterion) {
 criterion_group!(
     name = benches;
     config = Criterion::default().sample_size(20);
-    targets = bench_compile, bench_lift, bench_strands, bench_index, bench_sim_and_game, bench_container
+    targets = bench_compile, bench_lift, bench_strands, bench_index, bench_sim_and_game, bench_container, bench_search_telemetry_overhead
 );
 criterion_main!(benches);

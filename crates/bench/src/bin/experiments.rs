@@ -1,6 +1,12 @@
 //! CLI for regenerating the paper's tables and figures.
 //!
 //! Usage: `experiments [table1|fig3|table2|fig6|fig7|fig8|fig9|all] [--scale N]`
+//!
+//! Every run profiles itself through `firmup-telemetry` and writes the
+//! machine-readable snapshot to `results/bench_metrics.json` — per-stage
+//! span timings (`lift`, `canonicalize`, `index`, `game`, `search`), the
+//! `game.steps` histogram (Fig. 9's metric), and pipeline counters —
+//! seeding the perf trajectory future optimisation PRs measure against.
 
 use std::io::Write as _;
 
@@ -17,7 +23,18 @@ fn save(name: &str, content: &str) {
     }
 }
 
+fn save_metrics() {
+    let _ = std::fs::create_dir_all("results");
+    let path = "results/bench_metrics.json";
+    let json = firmup_telemetry::render_json().render();
+    match std::fs::write(path, json) {
+        Ok(()) => eprintln!("[saved {path}]"),
+        Err(e) => eprintln!("[failed to save {path}: {e}]"),
+    }
+}
+
 fn main() {
+    firmup_telemetry::enable();
     let args: Vec<String> = std::env::args().skip(1).collect();
     let which = args.first().map(String::as_str).unwrap_or("all");
     let scale = args
@@ -35,6 +52,7 @@ fn main() {
         save("fig3", &ex::fig3());
     }
     if matches!(which, "table1" | "fig3") {
+        save_metrics();
         return;
     }
 
@@ -69,4 +87,5 @@ fn main() {
             std::process::exit(2);
         }
     }
+    save_metrics();
 }

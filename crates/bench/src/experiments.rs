@@ -34,7 +34,14 @@ pub const FIG8_QUERIES: [(&str, &str); 9] = [
     ("libcurl", "curl_easy_unescape"),
 ];
 
-fn arch_query(q: &Query, arch: Arch) -> Option<(&firmup_core::ExecutableRep, usize, &firmup_baselines::StructuralRep)> {
+fn arch_query(
+    q: &Query,
+    arch: Arch,
+) -> Option<(
+    &firmup_core::ExecutableRep,
+    usize,
+    &firmup_baselines::StructuralRep,
+)> {
     q.per_arch
         .iter()
         .find(|(a, ..)| *a == arch)
@@ -126,7 +133,15 @@ pub fn render_table2(rows: &[Table2Row]) -> String {
     let _ = writeln!(
         out,
         "{:<3} {:<14} {:<9} {:<28} {:>9} {:>4}  {:<24} {:>6} {:>8}",
-        "#", "CVE", "Package", "Procedure", "Confirmed", "FPs", "Affected Vendors", "Latest", "Time"
+        "#",
+        "CVE",
+        "Package",
+        "Procedure",
+        "Confirmed",
+        "FPs",
+        "Affected Vendors",
+        "Latest",
+        "Time"
     );
     for (i, r) in rows.iter().enumerate() {
         let _ = writeln!(
@@ -223,9 +238,7 @@ pub fn fig6(wb: &Workbench) -> Vec<Fig6Row> {
                 for p in &mut ts.procedures {
                     p.name = None;
                 }
-                let qvi = qstruct
-                    .find_named(proc_name)
-                    .expect("query has symbols");
+                let qvi = qstruct.find_named(proc_name).expect("query has symbols");
                 let d = bindiff::diff(&qs, &ts);
                 match d.target_of(qvi) {
                     Some(ti) if ts.procedures[ti].addr == truth => bd.p += 1,
@@ -245,7 +258,10 @@ pub fn fig6(wb: &Workbench) -> Vec<Fig6Row> {
 /// Render Fig. 6 as a text bar table.
 pub fn render_fig6(rows: &[Fig6Row]) -> String {
     let mut out = String::new();
-    let _ = writeln!(out, "Fig. 6: labeled experiment, FirmUp vs BinDiff (P / FP / FN)");
+    let _ = writeln!(
+        out,
+        "Fig. 6: labeled experiment, FirmUp vs BinDiff (P / FP / FN)"
+    );
     let _ = writeln!(
         out,
         "{:<28} {:>14}   {:>14}",
@@ -257,7 +273,13 @@ pub fn render_fig6(rows: &[Fig6Row]) -> String {
         let _ = writeln!(
             out,
             "{:<28} {:>4}/{:>3}/{:>3}      {:>4}/{:>3}/{:>3}",
-            r.query, r.firmup.p, r.firmup.fp, r.firmup.fn_, r.bindiff.p, r.bindiff.fp, r.bindiff.fn_
+            r.query,
+            r.firmup.p,
+            r.firmup.fp,
+            r.firmup.fn_,
+            r.bindiff.p,
+            r.bindiff.fp,
+            r.bindiff.fn_
         );
         fu.p += r.firmup.p;
         fu.fp += r.firmup.fp;
@@ -330,8 +352,15 @@ pub fn fig8(wb: &Workbench) -> Vec<Fig8Row> {
 /// Render Fig. 8.
 pub fn render_fig8(rows: &[Fig8Row]) -> String {
     let mut out = String::new();
-    let _ = writeln!(out, "Fig. 8: labeled experiment, FirmUp vs GitZ top-1 (P / F)");
-    let _ = writeln!(out, "{:<28} {:>12}   {:>12}", "query", "FirmUp P/F", "GitZ P/F");
+    let _ = writeln!(
+        out,
+        "Fig. 8: labeled experiment, FirmUp vs GitZ top-1 (P / F)"
+    );
+    let _ = writeln!(
+        out,
+        "{:<28} {:>12}   {:>12}",
+        "query", "FirmUp P/F", "GitZ P/F"
+    );
     let (mut fp_, mut ff, mut gp, mut gf) = (0, 0, 0, 0);
     for r in rows {
         let _ = writeln!(
@@ -344,7 +373,13 @@ pub fn render_fig8(rows: &[Fig8Row]) -> String {
         gp += r.gitz_p;
         gf += r.gitz_f;
     }
-    let denom = |p: usize, f: usize| if p + f == 0 { 0.0 } else { f as f64 / (p + f) as f64 };
+    let denom = |p: usize, f: usize| {
+        if p + f == 0 {
+            0.0
+        } else {
+            f as f64 / (p + f) as f64
+        }
+    };
     let _ = writeln!(
         out,
         "overall false rate: FirmUp {:.1}% vs GitZ {:.1}% (paper: 9.88% vs 34%)",
@@ -480,7 +515,9 @@ pub fn table1() -> String {
     telf.strip(false);
     let target = index_elf(&telf, "netgear-fw", &canon).expect("target lifts");
 
-    let qv = query.find_named("vsf_filename_passes_filter").expect("query symbol");
+    let qv = query
+        .find_named("vsf_filename_passes_filter")
+        .expect("query symbol");
     let g = play(&query, qv, &target, &GameConfig::default());
     let resolve = |addr: u32| {
         names
@@ -546,7 +583,10 @@ pub fn fig3() -> String {
     let src = source_for("wget", "1.15", &[], 0, 0);
     for (label, profile) in [
         ("gcc-like -O2 (query)", ToolchainProfile::gcc_like()),
-        ("vendor -Os (NETGEAR-style target)", ToolchainProfile::vendor_size()),
+        (
+            "vendor -Os (NETGEAR-style target)",
+            ToolchainProfile::vendor_size(),
+        ),
     ] {
         let elf = compile_source(
             &src,
@@ -625,7 +665,8 @@ pub fn fig7(wb: &Workbench) -> String {
         let g = play(rep, qv, &t.rep, &GameConfig::default());
         let bd_pick = d.target_of(qvi).map(|ti| ts.procedures[ti].addr);
         let fu_pick = g.query_match.map(|(ti, _)| t.rep.procedures[ti].addr);
-        let _ = writeln!(
+        let _ =
+            writeln!(
             out,
             "Fig. 7: qv CFG = {} blocks / {} edges; BinDiff picked {} ({}), FirmUp picked {} ({})",
             qf.blocks,
@@ -748,10 +789,21 @@ pub fn ablation(wb: &Workbench) -> Vec<AblationRow> {
 /// Render the ablation table.
 pub fn render_ablation(rows: &[AblationRow]) -> String {
     let mut out = String::new();
-    let _ = writeln!(out, "Ablation: labeled matching precision per canonicalization variant");
+    let _ = writeln!(
+        out,
+        "Ablation: labeled matching precision per canonicalization variant"
+    );
     for r in rows {
-        let pct = if r.total == 0 { 0.0 } else { 100.0 * r.correct as f64 / r.total as f64 };
-        let _ = writeln!(out, "{:<26} {:>4}/{:<4} ({pct:.1}%)", r.variant, r.correct, r.total);
+        let pct = if r.total == 0 {
+            0.0
+        } else {
+            100.0 * r.correct as f64 / r.total as f64
+        };
+        let _ = writeln!(
+            out,
+            "{:<26} {:>4}/{:<4} ({pct:.1}%)",
+            r.variant, r.correct, r.total
+        );
     }
     out
 }

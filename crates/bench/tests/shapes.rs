@@ -39,7 +39,8 @@ fn headline_shapes_hold() {
     // --- Fig. 6 shape: FirmUp's false rate beats BinDiff's by a wide
     // margin. ---
     let f6 = fig6(&wb);
-    let total = |rows: &[firmup_bench::experiments::Fig6Row], f: fn(&firmup_bench::experiments::Fig6Row) -> Counts| {
+    let total = |rows: &[firmup_bench::experiments::Fig6Row],
+                 f: fn(&firmup_bench::experiments::Fig6Row) -> Counts| {
         rows.iter().fold(Counts::default(), |mut acc, r| {
             let c = f(r);
             acc.p += c.p;
@@ -57,7 +58,11 @@ fn headline_shapes_hold() {
         fu.false_rate(),
         bd.false_rate()
     );
-    assert!(fu.false_rate() < 0.25, "FirmUp false rate too high: {:.2}", fu.false_rate());
+    assert!(
+        fu.false_rate() < 0.25,
+        "FirmUp false rate too high: {:.2}",
+        fu.false_rate()
+    );
 
     // --- Fig. 8 shape: FirmUp at least matches GitZ, and beats it
     // somewhere (the executable-context advantage). ---
@@ -77,7 +82,10 @@ fn headline_shapes_hold() {
     assert!(fu_p > 0 && g_p > 0);
     let fu_rate = fu_f as f64 / (fu_p + fu_f) as f64;
     let g_rate = g_f as f64 / (g_p + g_f) as f64;
-    assert!(fu_rate <= g_rate, "FirmUp ({fu_rate:.2}) must not trail GitZ ({g_rate:.2})");
+    assert!(
+        fu_rate <= g_rate,
+        "FirmUp ({fu_rate:.2}) must not trail GitZ ({g_rate:.2})"
+    );
 
     // --- Fig. 9 shape: one-step matches dominate; a multi-step tail
     // exists; the game never hurts precision. ---
@@ -101,8 +109,14 @@ fn headline_shapes_hold() {
 #[test]
 fn table1_trace_shows_rival_correction() {
     let rendered = table1();
-    assert!(rendered.contains("rival"), "a rival move must appear:\n{rendered}");
-    assert!(rendered.contains("player"), "a player move must appear:\n{rendered}");
+    assert!(
+        rendered.contains("rival"),
+        "a rival move must appear:\n{rendered}"
+    );
+    assert!(
+        rendered.contains("player"),
+        "a player move must appear:\n{rendered}"
+    );
     assert!(
         rendered.contains("game over") && rendered.contains("vsf_filename_passes_filter"),
         "the game must conclude with the query matched:\n{rendered}"

@@ -352,7 +352,11 @@ fn compile_fn(
                         em.e(dp(dop, d, ra_, op2));
                     }
                     TBin::Shl | TBin::Sar => {
-                        let shift = if *op == TBin::Shl { Shift::Lsl } else { Shift::Asr };
+                        let shift = if *op == TBin::Shl {
+                            Shift::Lsl
+                        } else {
+                            Shift::Asr
+                        };
                         match b {
                             Operand::Imm(v) => em.e(dp(
                                 DpOp::Mov,
@@ -463,7 +467,12 @@ fn compile_fn(
                 em.global_addr(d, *global);
                 em.writeback(*dst, d);
             }
-            Instr::Load { dst, global, index, elem } => {
+            Instr::Load {
+                dst,
+                global,
+                index,
+                elem,
+            } => {
                 em.global_addr(S1, *global);
                 let d = em.target(*dst, S2);
                 let byte = *elem == crate::ast::ElemType::Byte;
@@ -516,7 +525,12 @@ fn compile_fn(
                 }
                 em.writeback(*dst, d);
             }
-            Instr::Store { global, index, value, elem } => {
+            Instr::Store {
+                global,
+                index,
+                value,
+                elem,
+            } => {
                 em.global_addr(S1, *global);
                 let byte = *elem == crate::ast::ElemType::Byte;
                 let mut off = 0u16;
@@ -616,7 +630,13 @@ fn compile_fn(
                 epilogue(&mut em);
             }
             Instr::Jmp(l) => em.branch(Cond::Al, *l),
-            Instr::BrCmp { rel, a, b, taken, fall } => {
+            Instr::BrCmp {
+                rel,
+                a,
+                b,
+                taken,
+                fall,
+            } => {
                 let ra_ = em.read(*a, S1);
                 let op2 = em.op2(*b, S2);
                 em.e(MI::Dp {
@@ -647,7 +667,10 @@ fn compile_fn(
     }
     if !matches!(
         f.instrs.last(),
-        Some(Instr::Ret { .. }) | Some(Instr::Jmp(_)) | Some(Instr::BrCmp { .. }) | Some(Instr::BrNz { .. })
+        Some(Instr::Ret { .. })
+            | Some(Instr::Jmp(_))
+            | Some(Instr::BrCmp { .. })
+            | Some(Instr::BrNz { .. })
     ) {
         epilogue(&mut em);
     }

@@ -83,7 +83,11 @@ impl<'a> Emitter<'a> {
 
     fn li(&mut self, dst: Gpr, v: i32) {
         if v == 0 {
-            self.e(MI::Addu { rd: dst, rs: ZERO, rt: ZERO });
+            self.e(MI::Addu {
+                rd: dst,
+                rs: ZERO,
+                rt: ZERO,
+            });
         } else if (-32768..=32767).contains(&v) {
             self.e(MI::Addiu {
                 rt: dst,
@@ -288,7 +292,8 @@ fn is_simple_fill_candidate(i: &MI) -> bool {
             | MI::Sra { .. }
             | MI::Lw { .. }
             | MI::Sw { .. }
-    ) && writes(i) != Some(ZERO) || matches!(i, MI::Sw { .. })
+    ) && writes(i) != Some(ZERO)
+        || matches!(i, MI::Sw { .. })
 }
 
 #[allow(clippy::too_many_lines)]
@@ -445,14 +450,46 @@ fn compile_fn(
                     _ => {
                         let rb = em.read(*b, S2);
                         match op {
-                            TBin::Add => em.e(MI::Addu { rd: d, rs: ra_, rt: rb }),
-                            TBin::Sub => em.e(MI::Subu { rd: d, rs: ra_, rt: rb }),
-                            TBin::Mul => em.e(MI::Mul { rd: d, rs: ra_, rt: rb }),
-                            TBin::And => em.e(MI::And { rd: d, rs: ra_, rt: rb }),
-                            TBin::Or => em.e(MI::Or { rd: d, rs: ra_, rt: rb }),
-                            TBin::Xor => em.e(MI::Xor { rd: d, rs: ra_, rt: rb }),
-                            TBin::Shl => em.e(MI::Sllv { rd: d, rt: ra_, rs: rb }),
-                            TBin::Sar => em.e(MI::Srav { rd: d, rt: ra_, rs: rb }),
+                            TBin::Add => em.e(MI::Addu {
+                                rd: d,
+                                rs: ra_,
+                                rt: rb,
+                            }),
+                            TBin::Sub => em.e(MI::Subu {
+                                rd: d,
+                                rs: ra_,
+                                rt: rb,
+                            }),
+                            TBin::Mul => em.e(MI::Mul {
+                                rd: d,
+                                rs: ra_,
+                                rt: rb,
+                            }),
+                            TBin::And => em.e(MI::And {
+                                rd: d,
+                                rs: ra_,
+                                rt: rb,
+                            }),
+                            TBin::Or => em.e(MI::Or {
+                                rd: d,
+                                rs: ra_,
+                                rt: rb,
+                            }),
+                            TBin::Xor => em.e(MI::Xor {
+                                rd: d,
+                                rs: ra_,
+                                rt: rb,
+                            }),
+                            TBin::Shl => em.e(MI::Sllv {
+                                rd: d,
+                                rt: ra_,
+                                rs: rb,
+                            }),
+                            TBin::Sar => em.e(MI::Srav {
+                                rd: d,
+                                rt: ra_,
+                                rs: rb,
+                            }),
                             TBin::Cmp(rel) => emit_cmp_value(&mut em, *rel, d, ra_, rb),
                         }
                     }
@@ -463,9 +500,21 @@ fn compile_fn(
                 let ra_ = em.read(*a, S1);
                 let d = em.target(*dst, S1);
                 match op {
-                    TUn::Neg => em.e(MI::Subu { rd: d, rs: ZERO, rt: ra_ }),
-                    TUn::Not => em.e(MI::Sltiu { rt: d, rs: ra_, imm: 1 }),
-                    TUn::BitNot => em.e(MI::Nor { rd: d, rs: ra_, rt: ZERO }),
+                    TUn::Neg => em.e(MI::Subu {
+                        rd: d,
+                        rs: ZERO,
+                        rt: ra_,
+                    }),
+                    TUn::Not => em.e(MI::Sltiu {
+                        rt: d,
+                        rs: ra_,
+                        imm: 1,
+                    }),
+                    TUn::BitNot => em.e(MI::Nor {
+                        rd: d,
+                        rs: ra_,
+                        rt: ZERO,
+                    }),
                 }
                 em.writeback(*dst, d);
             }
@@ -474,7 +523,12 @@ fn compile_fn(
                 em.global_addr(d, *global);
                 em.writeback(*dst, d);
             }
-            Instr::Load { dst, global, index, elem } => {
+            Instr::Load {
+                dst,
+                global,
+                index,
+                elem,
+            } => {
                 em.global_addr(S1, *global);
                 let d = em.target(*dst, S2);
                 match index {
@@ -484,7 +538,11 @@ fn compile_fn(
                             (S1, off as i16)
                         } else {
                             em.li(S2, off);
-                            em.e(MI::Addu { rd: S1, rs: S1, rt: S2 });
+                            em.e(MI::Addu {
+                                rd: S1,
+                                rs: S1,
+                                rt: S2,
+                            });
                             (S1, 0)
                         };
                         emit_load(&mut em, *elem, d, base, off);
@@ -492,36 +550,73 @@ fn compile_fn(
                     Operand::V(_) => {
                         let idx = em.read(*index, S2);
                         if elem.size() == 4 {
-                            em.e(MI::Sll { rd: S2, rt: idx, sh: 2 });
-                            em.e(MI::Addu { rd: S1, rs: S1, rt: S2 });
+                            em.e(MI::Sll {
+                                rd: S2,
+                                rt: idx,
+                                sh: 2,
+                            });
+                            em.e(MI::Addu {
+                                rd: S1,
+                                rs: S1,
+                                rt: S2,
+                            });
                         } else {
-                            em.e(MI::Addu { rd: S1, rs: S1, rt: idx });
+                            em.e(MI::Addu {
+                                rd: S1,
+                                rs: S1,
+                                rt: idx,
+                            });
                         }
                         emit_load(&mut em, *elem, d, S1, 0);
                     }
                 }
                 em.writeback(*dst, d);
             }
-            Instr::Store { global, index, value, elem } => {
+            Instr::Store {
+                global,
+                index,
+                value,
+                elem,
+            } => {
                 em.global_addr(S1, *global);
                 match index {
                     Operand::Imm(i) => {
                         let off = i * elem.size() as i32;
                         if !(-32768..=32767).contains(&off) {
                             em.li(S2, off);
-                            em.e(MI::Addu { rd: S1, rs: S1, rt: S2 });
+                            em.e(MI::Addu {
+                                rd: S1,
+                                rs: S1,
+                                rt: S2,
+                            });
                         }
                         let v = em.read(*value, S2);
-                        let off16 = if (-32768..=32767).contains(&off) { off as i16 } else { 0 };
+                        let off16 = if (-32768..=32767).contains(&off) {
+                            off as i16
+                        } else {
+                            0
+                        };
                         emit_store(&mut em, *elem, v, S1, off16);
                     }
                     Operand::V(_) => {
                         let idx = em.read(*index, S2);
                         if elem.size() == 4 {
-                            em.e(MI::Sll { rd: S2, rt: idx, sh: 2 });
-                            em.e(MI::Addu { rd: S1, rs: S1, rt: S2 });
+                            em.e(MI::Sll {
+                                rd: S2,
+                                rt: idx,
+                                sh: 2,
+                            });
+                            em.e(MI::Addu {
+                                rd: S1,
+                                rs: S1,
+                                rt: S2,
+                            });
                         } else {
-                            em.e(MI::Addu { rd: S1, rs: S1, rt: idx });
+                            em.e(MI::Addu {
+                                rd: S1,
+                                rs: S1,
+                                rt: idx,
+                            });
                         }
                         let v = em.read(*value, S2);
                         emit_store(&mut em, *elem, v, S1, 0);
@@ -585,7 +680,13 @@ fn compile_fn(
                     *l,
                 );
             }
-            Instr::BrCmp { rel, a, b, taken, fall } => {
+            Instr::BrCmp {
+                rel,
+                a,
+                b,
+                taken,
+                fall,
+            } => {
                 emit_brcmp(&mut em, *rel, *a, *b, *taken);
                 emit_fall(&mut em, f, ti, *fall);
             }
@@ -608,7 +709,10 @@ fn compile_fn(
     // e.g. an optimized infinite loop ends in a bare Jmp).
     if !matches!(
         f.instrs.last(),
-        Some(Instr::Ret { .. }) | Some(Instr::Jmp(_)) | Some(Instr::BrCmp { .. }) | Some(Instr::BrNz { .. })
+        Some(Instr::Ret { .. })
+            | Some(Instr::Jmp(_))
+            | Some(Instr::BrCmp { .. })
+            | Some(Instr::BrNz { .. })
     ) {
         epilogue(&mut em);
     }
@@ -650,23 +754,63 @@ fn emit_store(em: &mut Emitter, elem: crate::ast::ElemType, v: Gpr, base: Gpr, o
 /// Comparison as a 0/1 value.
 fn emit_cmp_value(em: &mut Emitter, rel: Rel, d: Gpr, a: Gpr, b: Gpr) {
     match rel {
-        Rel::Lt => em.e(MI::Slt { rd: d, rs: a, rt: b }),
-        Rel::Gt => em.e(MI::Slt { rd: d, rs: b, rt: a }),
+        Rel::Lt => em.e(MI::Slt {
+            rd: d,
+            rs: a,
+            rt: b,
+        }),
+        Rel::Gt => em.e(MI::Slt {
+            rd: d,
+            rs: b,
+            rt: a,
+        }),
         Rel::Le => {
-            em.e(MI::Slt { rd: d, rs: b, rt: a });
-            em.e(MI::Xori { rt: d, rs: d, imm: 1 });
+            em.e(MI::Slt {
+                rd: d,
+                rs: b,
+                rt: a,
+            });
+            em.e(MI::Xori {
+                rt: d,
+                rs: d,
+                imm: 1,
+            });
         }
         Rel::Ge => {
-            em.e(MI::Slt { rd: d, rs: a, rt: b });
-            em.e(MI::Xori { rt: d, rs: d, imm: 1 });
+            em.e(MI::Slt {
+                rd: d,
+                rs: a,
+                rt: b,
+            });
+            em.e(MI::Xori {
+                rt: d,
+                rs: d,
+                imm: 1,
+            });
         }
         Rel::Eq => {
-            em.e(MI::Xor { rd: d, rs: a, rt: b });
-            em.e(MI::Sltiu { rt: d, rs: d, imm: 1 });
+            em.e(MI::Xor {
+                rd: d,
+                rs: a,
+                rt: b,
+            });
+            em.e(MI::Sltiu {
+                rt: d,
+                rs: d,
+                imm: 1,
+            });
         }
         Rel::Ne => {
-            em.e(MI::Xor { rd: d, rs: a, rt: b });
-            em.e(MI::Sltu { rd: d, rs: ZERO, rt: d });
+            em.e(MI::Xor {
+                rd: d,
+                rs: a,
+                rt: b,
+            });
+            em.e(MI::Sltu {
+                rd: d,
+                rs: ZERO,
+                rt: d,
+            });
         }
     }
 }
@@ -676,8 +820,16 @@ fn emit_brcmp(em: &mut Emitter, rel: Rel, a: Operand, b: Operand, taken: Label) 
     if b == Operand::Imm(0) {
         let ra_ = em.read(a, S1);
         let i = match rel {
-            Rel::Eq => MI::Beq { rs: ra_, rt: ZERO, off: 0 },
-            Rel::Ne => MI::Bne { rs: ra_, rt: ZERO, off: 0 },
+            Rel::Eq => MI::Beq {
+                rs: ra_,
+                rt: ZERO,
+                off: 0,
+            },
+            Rel::Ne => MI::Bne {
+                rs: ra_,
+                rt: ZERO,
+                off: 0,
+            },
             Rel::Lt => MI::Bltz { rs: ra_, off: 0 },
             Rel::Ge => MI::Bgez { rs: ra_, off: 0 },
             Rel::Le => MI::Blez { rs: ra_, off: 0 },
@@ -689,23 +841,81 @@ fn emit_brcmp(em: &mut Emitter, rel: Rel, a: Operand, b: Operand, taken: Label) 
     let ra_ = em.read(a, S1);
     let rb = em.read(b, S2);
     match rel {
-        Rel::Eq => em.branch(MI::Beq { rs: ra_, rt: rb, off: 0 }, taken),
-        Rel::Ne => em.branch(MI::Bne { rs: ra_, rt: rb, off: 0 }, taken),
+        Rel::Eq => em.branch(
+            MI::Beq {
+                rs: ra_,
+                rt: rb,
+                off: 0,
+            },
+            taken,
+        ),
+        Rel::Ne => em.branch(
+            MI::Bne {
+                rs: ra_,
+                rt: rb,
+                off: 0,
+            },
+            taken,
+        ),
         Rel::Lt => {
-            em.e(MI::Slt { rd: S1, rs: ra_, rt: rb });
-            em.branch(MI::Bne { rs: S1, rt: ZERO, off: 0 }, taken);
+            em.e(MI::Slt {
+                rd: S1,
+                rs: ra_,
+                rt: rb,
+            });
+            em.branch(
+                MI::Bne {
+                    rs: S1,
+                    rt: ZERO,
+                    off: 0,
+                },
+                taken,
+            );
         }
         Rel::Ge => {
-            em.e(MI::Slt { rd: S1, rs: ra_, rt: rb });
-            em.branch(MI::Beq { rs: S1, rt: ZERO, off: 0 }, taken);
+            em.e(MI::Slt {
+                rd: S1,
+                rs: ra_,
+                rt: rb,
+            });
+            em.branch(
+                MI::Beq {
+                    rs: S1,
+                    rt: ZERO,
+                    off: 0,
+                },
+                taken,
+            );
         }
         Rel::Gt => {
-            em.e(MI::Slt { rd: S1, rs: rb, rt: ra_ });
-            em.branch(MI::Bne { rs: S1, rt: ZERO, off: 0 }, taken);
+            em.e(MI::Slt {
+                rd: S1,
+                rs: rb,
+                rt: ra_,
+            });
+            em.branch(
+                MI::Bne {
+                    rs: S1,
+                    rt: ZERO,
+                    off: 0,
+                },
+                taken,
+            );
         }
         Rel::Le => {
-            em.e(MI::Slt { rd: S1, rs: rb, rt: ra_ });
-            em.branch(MI::Beq { rs: S1, rt: ZERO, off: 0 }, taken);
+            em.e(MI::Slt {
+                rd: S1,
+                rs: rb,
+                rt: ra_,
+            });
+            em.branch(
+                MI::Beq {
+                    rs: S1,
+                    rt: ZERO,
+                    off: 0,
+                },
+                taken,
+            );
         }
     }
 }
@@ -732,7 +942,8 @@ fn emit_fall(em: &mut Emitter, f: &TacFunction, ti: usize, fall: Label) {
 fn fill_delay_slots(em: &mut Emitter) {
     let mut i = 1;
     while i + 1 < em.out.len() {
-        let is_branch = em.fixups.iter().any(|&(b, _)| b == i) || matches!(em.out[i], MI::Jal { .. } | MI::Jr { .. });
+        let is_branch = em.fixups.iter().any(|&(b, _)| b == i)
+            || matches!(em.out[i], MI::Jal { .. } | MI::Jr { .. });
         let nop_after = em.out[i + 1]
             == MI::Sll {
                 rd: ZERO,
@@ -815,7 +1026,10 @@ mod tests {
 
     #[test]
     fn trivial_function_encodes_and_decodes() {
-        let lb = build("fn main() -> int { return 42; }", &ToolchainProfile::gcc_like());
+        let lb = build(
+            "fn main() -> int { return 42; }",
+            &ToolchainProfile::gcc_like(),
+        );
         assert!(!lb.text.is_empty());
         // Every word decodes.
         let mut off = 0;
@@ -840,7 +1054,8 @@ mod tests {
         let mut off = lo;
         let mut found = false;
         while off < hi {
-            let (i, _) = firmup_isa::mips::decode(&lb.text, off, lb.text_base + off as u32).unwrap();
+            let (i, _) =
+                firmup_isa::mips::decode(&lb.text, off, lb.text_base + off as u32).unwrap();
             if let MI::Jal { target } = i {
                 assert_eq!(target, helper_addr);
                 found = true;
@@ -865,7 +1080,8 @@ mod tests {
 
     #[test]
     fn delay_slot_filling_removes_nops() {
-        let src = "fn main(a: int, b: int) -> int { var c = a + 1; if (c < b) { return c; } return b; }";
+        let src =
+            "fn main(a: int, b: int) -> int { var c = a + 1; if (c < b) { return c; } return b; }";
         let filled = build(src, &ToolchainProfile::gcc_like());
         let mut unfilled_profile = ToolchainProfile::gcc_like();
         unfilled_profile.fill_delay_slots = false;
@@ -894,7 +1110,8 @@ mod tests {
         let mut found_lui = false;
         let mut off = 0;
         while off < lb.text.len() {
-            let (i, _) = firmup_isa::mips::decode(&lb.text, off, lb.text_base + off as u32).unwrap();
+            let (i, _) =
+                firmup_isa::mips::decode(&lb.text, off, lb.text_base + off as u32).unwrap();
             if let MI::Lui { imm, .. } = i {
                 if imm == (lb.data_base >> 16) as u16 {
                     found_lui = true;

@@ -143,7 +143,11 @@ impl<'a> Emitter<'a> {
             at: self.out.len(),
             target: RelocTarget::Global(gid),
         });
-        self.e(MI::Addis { rt: dst, ra: 0, si: 0 });
+        self.e(MI::Addis {
+            rt: dst,
+            ra: 0,
+            si: 0,
+        });
         self.e(MI::Ori {
             ra: dst,
             rs: dst,
@@ -313,9 +317,17 @@ fn compile_fn(
 
     /// Branchy 0/1 materialization: `li d,1; bc cond +8; li d,0`.
     fn set_bool(em: &mut Emitter, d: u8, cond: BranchIf) {
-        em.e(MI::Addi { rt: d, ra: 0, si: 1 });
+        em.e(MI::Addi {
+            rt: d,
+            ra: 0,
+            si: 1,
+        });
         em.e(MI::Bc { cond, bd: 8 });
-        em.e(MI::Addi { rt: d, ra: 0, si: 0 });
+        em.e(MI::Addi {
+            rt: d,
+            ra: 0,
+            si: 0,
+        });
     }
 
     for (ti, instr) in f.instrs.iter().enumerate() {
@@ -356,7 +368,11 @@ fn compile_fn(
                     TBin::Sub => {
                         let ra_ = em.read(*a, S1);
                         let rb = em.read(*b, S2);
-                        em.e(MI::Subf { rt: d, ra: rb, rb: ra_ });
+                        em.e(MI::Subf {
+                            rt: d,
+                            ra: rb,
+                            rb: ra_,
+                        });
                     }
                     TBin::Mul => {
                         let ra_ = em.read(*a, S1);
@@ -434,7 +450,12 @@ fn compile_fn(
                 em.global_addr(d, *global);
                 em.writeback(*dst, d);
             }
-            Instr::Load { dst, global, index, elem } => {
+            Instr::Load {
+                dst,
+                global,
+                index,
+                elem,
+            } => {
                 em.global_addr(S1, *global);
                 let d = em.target(*dst, S2);
                 let byte = *elem == crate::ast::ElemType::Byte;
@@ -445,34 +466,71 @@ fn compile_fn(
                             off as i16
                         } else {
                             em.li(S2, off);
-                            em.e(MI::Add { rt: S1, ra: S1, rb: S2 });
+                            em.e(MI::Add {
+                                rt: S1,
+                                ra: S1,
+                                rb: S2,
+                            });
                             0
                         };
                         if byte {
-                            em.e(MI::Lbz { rt: d, ra: S1, d: d16 });
+                            em.e(MI::Lbz {
+                                rt: d,
+                                ra: S1,
+                                d: d16,
+                            });
                         } else {
-                            em.e(MI::Lwz { rt: d, ra: S1, d: d16 });
+                            em.e(MI::Lwz {
+                                rt: d,
+                                ra: S1,
+                                d: d16,
+                            });
                         }
                     }
                     Operand::V(_) => {
                         let idx = em.read(*index, S2);
                         if byte {
-                            em.e(MI::Add { rt: S1, ra: S1, rb: idx });
+                            em.e(MI::Add {
+                                rt: S1,
+                                ra: S1,
+                                rb: idx,
+                            });
                         } else {
                             em.li(0, 2);
-                            em.e(MI::Slw { ra: S2, rs: idx, rb: 0 });
-                            em.e(MI::Add { rt: S1, ra: S1, rb: S2 });
+                            em.e(MI::Slw {
+                                ra: S2,
+                                rs: idx,
+                                rb: 0,
+                            });
+                            em.e(MI::Add {
+                                rt: S1,
+                                ra: S1,
+                                rb: S2,
+                            });
                         }
                         if byte {
-                            em.e(MI::Lbz { rt: d, ra: S1, d: 0 });
+                            em.e(MI::Lbz {
+                                rt: d,
+                                ra: S1,
+                                d: 0,
+                            });
                         } else {
-                            em.e(MI::Lwz { rt: d, ra: S1, d: 0 });
+                            em.e(MI::Lwz {
+                                rt: d,
+                                ra: S1,
+                                d: 0,
+                            });
                         }
                     }
                 }
                 em.writeback(*dst, d);
             }
-            Instr::Store { global, index, value, elem } => {
+            Instr::Store {
+                global,
+                index,
+                value,
+                elem,
+            } => {
                 em.global_addr(S1, *global);
                 let byte = *elem == crate::ast::ElemType::Byte;
                 let mut d16 = 0i16;
@@ -483,25 +541,49 @@ fn compile_fn(
                             d16 = off as i16;
                         } else {
                             em.li(S2, off);
-                            em.e(MI::Add { rt: S1, ra: S1, rb: S2 });
+                            em.e(MI::Add {
+                                rt: S1,
+                                ra: S1,
+                                rb: S2,
+                            });
                         }
                     }
                     Operand::V(_) => {
                         let idx = em.read(*index, S2);
                         if byte {
-                            em.e(MI::Add { rt: S1, ra: S1, rb: idx });
+                            em.e(MI::Add {
+                                rt: S1,
+                                ra: S1,
+                                rb: idx,
+                            });
                         } else {
                             em.li(0, 2);
-                            em.e(MI::Slw { ra: S2, rs: idx, rb: 0 });
-                            em.e(MI::Add { rt: S1, ra: S1, rb: S2 });
+                            em.e(MI::Slw {
+                                ra: S2,
+                                rs: idx,
+                                rb: 0,
+                            });
+                            em.e(MI::Add {
+                                rt: S1,
+                                ra: S1,
+                                rb: S2,
+                            });
                         }
                     }
                 }
                 let v = em.read(*value, S2);
                 if byte {
-                    em.e(MI::Stb { rs: v, ra: S1, d: d16 });
+                    em.e(MI::Stb {
+                        rs: v,
+                        ra: S1,
+                        d: d16,
+                    });
                 } else {
-                    em.e(MI::Stw { rs: v, ra: S1, d: d16 });
+                    em.e(MI::Stw {
+                        rs: v,
+                        ra: S1,
+                        d: d16,
+                    });
                 }
             }
             Instr::LoadPtr { dst, addr, elem } => {
@@ -557,7 +639,13 @@ fn compile_fn(
                 epilogue(&mut em);
             }
             Instr::Jmp(l) => em.branch(*l),
-            Instr::BrCmp { rel, a, b, taken, fall } => {
+            Instr::BrCmp {
+                rel,
+                a,
+                b,
+                taken,
+                fall,
+            } => {
                 let cond = em.compare(*rel, *a, *b);
                 em.branch_cond(cond, *taken);
                 emit_fall(&mut em, f, ti, *fall);
@@ -572,7 +660,10 @@ fn compile_fn(
     }
     if !matches!(
         f.instrs.last(),
-        Some(Instr::Ret { .. }) | Some(Instr::Jmp(_)) | Some(Instr::BrCmp { .. }) | Some(Instr::BrNz { .. })
+        Some(Instr::Ret { .. })
+            | Some(Instr::Jmp(_))
+            | Some(Instr::BrCmp { .. })
+            | Some(Instr::BrNz { .. })
     ) {
         epilogue(&mut em);
     }

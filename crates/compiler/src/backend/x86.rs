@@ -424,7 +424,12 @@ fn compile_fn(
                 em.global_addr(d, *global, 0);
                 em.writeback(*dst, d);
             }
-            Instr::Load { dst, global, index, elem } => {
+            Instr::Load {
+                dst,
+                global,
+                index,
+                elem,
+            } => {
                 let d = em.target(*dst, S1);
                 let byte = *elem == crate::ast::ElemType::Byte;
                 match index {
@@ -468,7 +473,12 @@ fn compile_fn(
                 }
                 em.writeback(*dst, d);
             }
-            Instr::Store { global, index, value, elem } => {
+            Instr::Store {
+                global,
+                index,
+                value,
+                elem,
+            } => {
                 let byte = *elem == crate::ast::ElemType::Byte;
                 match index {
                     Operand::Imm(i) => {
@@ -589,7 +599,13 @@ fn compile_fn(
                 epilogue(&mut em);
             }
             Instr::Jmp(l) => em.branch(None, *l),
-            Instr::BrCmp { rel, a, b, taken, fall } => {
+            Instr::BrCmp {
+                rel,
+                a,
+                b,
+                taken,
+                fall,
+            } => {
                 emit_cmp(&mut em, *a, *b);
                 em.branch(Some(rel_cc(*rel)), *taken);
                 emit_fall(&mut em, f, ti, *fall);
@@ -604,7 +620,10 @@ fn compile_fn(
     }
     if !matches!(
         f.instrs.last(),
-        Some(Instr::Ret { .. }) | Some(Instr::Jmp(_)) | Some(Instr::BrCmp { .. }) | Some(Instr::BrNz { .. })
+        Some(Instr::Ret { .. })
+            | Some(Instr::Jmp(_))
+            | Some(Instr::BrCmp { .. })
+            | Some(Instr::BrNz { .. })
     ) {
         epilogue(&mut em);
     }
@@ -708,7 +727,10 @@ mod tests {
 
     #[test]
     fn prologue_uses_ebp_frame() {
-        let lb = build("fn main() -> int { return 0; }", &ToolchainProfile::gcc_like());
+        let lb = build(
+            "fn main() -> int { return 0; }",
+            &ToolchainProfile::gcc_like(),
+        );
         let is = decode_stream(&lb, 0, lb.text.len());
         assert_eq!(is[0], MI::Push { src: EBP });
         assert_eq!(is[1], MI::MovRR { dst: EBP, src: ESP });

@@ -191,7 +191,12 @@ pub fn compile_program(
             emit::schedule_tac(f);
         }
     }
-    Ok(backend::compile_tac(&tac, arch, &options.profile, options.layout)?)
+    Ok(backend::compile_tac(
+        &tac,
+        arch,
+        &options.profile,
+        options.layout,
+    )?)
 }
 
 #[cfg(test)]
@@ -280,7 +285,11 @@ mod tests {
             Err(CompilerError::Parse(_))
         ));
         assert!(matches!(
-            compile_source("fn f() -> int { return x; }", Arch::X86, &CompilerOptions::default()),
+            compile_source(
+                "fn f() -> int { return x; }",
+                Arch::X86,
+                &CompilerOptions::default()
+            ),
             Err(CompilerError::Sema(_))
         ));
     }

@@ -99,10 +99,15 @@ pub fn rotate_loops(f: &mut TacFunction) {
     // label immediately after T, fall=end); …; Jmp(head); Label(end).
     let mut rewrites: Vec<(usize, Vec<Instr>)> = Vec::new();
     for hi in 0..f.instrs.len() {
-        let Instr::Label(head) = f.instrs[hi] else { continue };
+        let Instr::Label(head) = f.instrs[hi] else {
+            continue;
+        };
         // Collect the condition segment.
         let mut ti = hi + 1;
-        while ti < f.instrs.len() && !f.instrs[ti].is_terminator() && !matches!(f.instrs[ti], Instr::Label(_)) {
+        while ti < f.instrs.len()
+            && !f.instrs[ti].is_terminator()
+            && !matches!(f.instrs[ti], Instr::Label(_))
+        {
             ti += 1;
         }
         if ti >= f.instrs.len() {
@@ -118,10 +123,16 @@ pub fn rotate_loops(f: &mut TacFunction) {
         }
         // Find the canonical back edge: Jmp(head) immediately followed
         // by Label(fall).
-        let Some(bi) = f.instrs.iter().enumerate().skip(ti + 1).position(|(i, ins)| {
-            matches!(ins, Instr::Jmp(l) if *l == head)
-                && matches!(f.instrs.get(i + 1), Some(Instr::Label(l2)) if *l2 == fall)
-        }) else {
+        let Some(bi) = f
+            .instrs
+            .iter()
+            .enumerate()
+            .skip(ti + 1)
+            .position(|(i, ins)| {
+                matches!(ins, Instr::Jmp(l) if *l == head)
+                    && matches!(f.instrs.get(i + 1), Some(Instr::Label(l2)) if *l2 == fall)
+            })
+        else {
             continue;
         };
         let bi = bi + ti + 1;
@@ -142,7 +153,10 @@ pub fn rotate_loops(f: &mut TacFunction) {
 /// unchanged; branch polarity and the layout the back ends emit are not.
 pub fn invert_branches(f: &mut TacFunction) {
     for i in &mut f.instrs {
-        if let Instr::BrCmp { rel, taken, fall, .. } = i {
+        if let Instr::BrCmp {
+            rel, taken, fall, ..
+        } = i
+        {
             *rel = rel.negate();
             std::mem::swap(taken, fall);
         }
@@ -213,14 +227,18 @@ fn algebraic(op: TBin, dst: VReg, a: Operand, b: Operand) -> Option<Instr> {
         (TBin::Add, _, Some(0)) | (TBin::Sub, _, Some(0)) => copy(a),
         (TBin::Mul, _, Some(1)) => copy(a),
         (TBin::Mul, Some(1), _) => copy(b),
-        (TBin::Mul, _, Some(0)) | (TBin::Mul, Some(0), _) | (TBin::And, _, Some(0)) | (TBin::And, Some(0), _) => {
+        (TBin::Mul, _, Some(0))
+        | (TBin::Mul, Some(0), _)
+        | (TBin::And, _, Some(0))
+        | (TBin::And, Some(0), _) => copy(Operand::Imm(0)),
+        (TBin::Or, _, Some(0))
+        | (TBin::Xor, _, Some(0))
+        | (TBin::Shl, _, Some(0))
+        | (TBin::Sar, _, Some(0)) => copy(a),
+        (TBin::Or, Some(0), _) | (TBin::Xor, Some(0), _) => copy(b),
+        (TBin::Sub, _, _) | (TBin::Xor, _, _) if a == b && a.vreg().is_some() => {
             copy(Operand::Imm(0))
         }
-        (TBin::Or, _, Some(0)) | (TBin::Xor, _, Some(0)) | (TBin::Shl, _, Some(0)) | (TBin::Sar, _, Some(0)) => {
-            copy(a)
-        }
-        (TBin::Or, Some(0), _) | (TBin::Xor, Some(0), _) => copy(b),
-        (TBin::Sub, _, _) | (TBin::Xor, _, _) if a == b && a.vreg().is_some() => copy(Operand::Imm(0)),
         _ => None,
     }
 }
@@ -230,7 +248,13 @@ pub fn fold_branches(f: &mut TacFunction) -> bool {
     let mut changed = false;
     for i in &mut f.instrs {
         let replacement = match i {
-            Instr::BrCmp { rel, a, b, taken, fall } => match (imm(*a), imm(*b)) {
+            Instr::BrCmp {
+                rel,
+                a,
+                b,
+                taken,
+                fall,
+            } => match (imm(*a), imm(*b)) {
                 (Some(x), Some(y)) => Some(Instr::Jmp(if rel.eval(x, y) { *taken } else { *fall })),
                 _ => None,
             },
@@ -510,7 +534,9 @@ pub fn inline_small_leaves(prog: &mut TacProgram, threshold: usize) {
         let instrs = std::mem::take(&mut prog.functions[fi].instrs);
         for i in instrs {
             let (dst, callee, args) = match &i {
-                Instr::Call { dst, callee, args } if *callee != fi && inlinable[*callee].is_some() => {
+                Instr::Call { dst, callee, args }
+                    if *callee != fi && inlinable[*callee].is_some() =>
+                {
                     (*dst, *callee, args.clone())
                 }
                 _ => {
@@ -546,7 +572,10 @@ fn splice_body(
     let ml = |l: Label| Label(l.0 + loff);
     // Bind parameters.
     for (p, a) in body.params.iter().zip(args) {
-        out.push(Instr::Copy { dst: mv(*p), src: *a });
+        out.push(Instr::Copy {
+            dst: mv(*p),
+            src: *a,
+        });
     }
     for i in &body.instrs {
         let renamed = match i {
@@ -565,13 +594,23 @@ fn splice_body(
                 dst: mv(*dst),
                 src: mo(*src),
             },
-            Instr::Load { dst, global, index, elem } => Instr::Load {
+            Instr::Load {
+                dst,
+                global,
+                index,
+                elem,
+            } => Instr::Load {
                 dst: mv(*dst),
                 global: *global,
                 index: mo(*index),
                 elem: *elem,
             },
-            Instr::Store { global, index, value, elem } => Instr::Store {
+            Instr::Store {
+                global,
+                index,
+                value,
+                elem,
+            } => Instr::Store {
                 global: *global,
                 index: mo(*index),
                 value: mo(*value),
@@ -594,13 +633,22 @@ fn splice_body(
             Instr::Call { .. } => unreachable!("leaf functions make no calls"),
             Instr::Ret { value } => {
                 if let (Some(d), Some(v)) = (dst, value) {
-                    out.push(Instr::Copy { dst: d, src: mo(*v) });
+                    out.push(Instr::Copy {
+                        dst: d,
+                        src: mo(*v),
+                    });
                 }
                 out.push(Instr::Jmp(end));
                 continue;
             }
             Instr::Jmp(l) => Instr::Jmp(ml(*l)),
-            Instr::BrCmp { rel, a, b, taken, fall } => Instr::BrCmp {
+            Instr::BrCmp {
+                rel,
+                a,
+                b,
+                taken,
+                fall,
+            } => Instr::BrCmp {
                 rel: *rel,
                 a: mo(*a),
                 b: mo(*b),
@@ -638,7 +686,9 @@ mod tests {
         optimize_function(&mut t.functions[0], OptFlags::basic());
         assert!(matches!(
             t.functions[0].instrs.last(),
-            Some(Instr::Ret { value: Some(Operand::Imm(14)) })
+            Some(Instr::Ret {
+                value: Some(Operand::Imm(14))
+            })
         ));
         // Everything else should be dead.
         assert_eq!(t.functions[0].instrs.len(), 1);
@@ -650,7 +700,9 @@ mod tests {
         optimize_function(&mut t.functions[0], OptFlags::basic());
         let f = &t.functions[0];
         assert!(
-            !f.instrs.iter().any(|i| matches!(i, Instr::Bin { op: TBin::Mul, .. })),
+            !f.instrs
+                .iter()
+                .any(|i| matches!(i, Instr::Bin { op: TBin::Mul, .. })),
             "multiply by 1 folded: {f}"
         );
     }
@@ -662,14 +714,18 @@ mod tests {
         let f = &t.functions[0];
         assert!(!f.instrs.iter().any(|i| matches!(i, Instr::BrCmp { .. })));
         // Only the taken path's return survives.
-        assert!(f
-            .instrs
-            .iter()
-            .any(|i| matches!(i, Instr::Ret { value: Some(Operand::Imm(1)) })));
-        assert!(!f
-            .instrs
-            .iter()
-            .any(|i| matches!(i, Instr::Ret { value: Some(Operand::Imm(0)) })));
+        assert!(f.instrs.iter().any(|i| matches!(
+            i,
+            Instr::Ret {
+                value: Some(Operand::Imm(1))
+            }
+        )));
+        assert!(!f.instrs.iter().any(|i| matches!(
+            i,
+            Instr::Ret {
+                value: Some(Operand::Imm(0))
+            }
+        )));
     }
 
     #[test]
@@ -705,7 +761,10 @@ mod tests {
         optimize_function(&mut t.functions[0], OptFlags::basic());
         let f = &t.functions[0];
         assert!(f.instrs.iter().any(|i| matches!(i, Instr::Store { .. })));
-        assert!(!f.instrs.iter().any(|i| matches!(i, Instr::Bin { .. })), "{f}");
+        assert!(
+            !f.instrs.iter().any(|i| matches!(i, Instr::Bin { .. })),
+            "{f}"
+        );
     }
 
     #[test]
@@ -746,7 +805,8 @@ mod tests {
 
     #[test]
     fn optimize_is_idempotent_at_fixpoint() {
-        let mut t = tac("fn f(a: int) -> int { var b = a + 0; if (b == b) { return b * 1; } return 0; }");
+        let mut t =
+            tac("fn f(a: int) -> int { var b = a + 0; if (b == b) { return b * 1; } return 0; }");
         optimize_function(&mut t.functions[0], OptFlags::aggressive());
         let snapshot = format!("{}", t.functions[0]);
         optimize_function(&mut t.functions[0], OptFlags::aggressive());

@@ -315,7 +315,11 @@ impl Parser {
                         let value = self.expr()?;
                         self.expect(&TokKind::RParen)?;
                         self.expect(&TokKind::Semi)?;
-                        let elem = if name == "poke" { ElemType::Int } else { ElemType::Byte };
+                        let elem = if name == "poke" {
+                            ElemType::Int
+                        } else {
+                            ElemType::Byte
+                        };
                         Ok(Stmt::DerefAssign { addr, value, elem })
                     }
                     _ => {
@@ -496,7 +500,11 @@ impl Parser {
                     // Memory builtins.
                     match (name.as_str(), args.len()) {
                         ("peek", 1) | ("peek8", 1) => {
-                            let elem = if name == "peek" { ElemType::Int } else { ElemType::Byte };
+                            let elem = if name == "peek" {
+                                ElemType::Int
+                            } else {
+                                ElemType::Byte
+                            };
                             return Ok(Expr::Deref {
                                 addr: Box::new(args.remove(0)),
                                 elem,
@@ -551,7 +559,8 @@ mod tests {
 
     #[test]
     fn parses_globals() {
-        let p = parse("global buf: [byte; 64]; global tbl: [int; 8]; global msg = \"hi\";").unwrap();
+        let p =
+            parse("global buf: [byte; 64]; global tbl: [int; 8]; global msg = \"hi\";").unwrap();
         assert_eq!(p.globals.len(), 3);
         assert_eq!(p.globals[0].elem, ElemType::Byte);
         assert_eq!(p.globals[1].len, 8);
@@ -624,10 +633,14 @@ mod tests {
 
     #[test]
     fn string_and_addrof_exprs() {
-        let p = parse("global t: [int; 2]; fn f() -> int { var s = \"x\"; return s + &t; }").unwrap();
+        let p =
+            parse("global t: [int; 2]; fn f() -> int { var s = \"x\"; return s + &t; }").unwrap();
         assert!(matches!(
             p.functions[0].body[0],
-            Stmt::VarDecl { init: Expr::Str(_), .. }
+            Stmt::VarDecl {
+                init: Expr::Str(_),
+                ..
+            }
         ));
     }
 

@@ -83,7 +83,11 @@ fn intervals(f: &TacFunction) -> Vec<Interval> {
     };
     let block_range = |b: usize| {
         let start = leaders[b];
-        let end = if b + 1 < leaders.len() { leaders[b + 1] } else { n };
+        let end = if b + 1 < leaders.len() {
+            leaders[b + 1]
+        } else {
+            n
+        };
         (start, end)
     };
     let label_block: HashMap<Label, usize> = f

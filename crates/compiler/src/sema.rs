@@ -97,7 +97,11 @@ impl<'a> FnChecker<'a> {
                 then_body,
                 else_body,
                 ..
-            } => !else_body.is_empty() && Self::always_returns(then_body) && Self::always_returns(else_body),
+            } => {
+                !else_body.is_empty()
+                    && Self::always_returns(then_body)
+                    && Self::always_returns(else_body)
+            }
             _ => false,
         })
     }
@@ -153,14 +157,12 @@ impl<'a> FnChecker<'a> {
                 self.loop_depth -= 1;
                 r
             }
-            Stmt::Return(e) => {
-                match (self.function.returns_value, e) {
-                    (true, None) => self.err("missing return value"),
-                    (false, Some(_)) => self.err("returning a value from a void function"),
-                    (_, Some(e)) => self.expr(e, true),
-                    _ => Ok(()),
-                }
-            }
+            Stmt::Return(e) => match (self.function.returns_value, e) {
+                (true, None) => self.err("missing return value"),
+                (false, Some(_)) => self.err("returning a value from a void function"),
+                (_, Some(e)) => self.expr(e, true),
+                _ => Ok(()),
+            },
             Stmt::Break | Stmt::Continue => {
                 if self.loop_depth == 0 {
                     self.err("break/continue outside a loop")
@@ -196,13 +198,10 @@ impl<'a> FnChecker<'a> {
                 }
             }
             Expr::Call { callee, args } => {
-                let f = self
-                    .program
-                    .function(callee)
-                    .ok_or_else(|| SemaError {
-                        function: Some(self.function.name.clone()),
-                        message: format!("call to unknown function `{callee}`"),
-                    })?;
+                let f = self.program.function(callee).ok_or_else(|| SemaError {
+                    function: Some(self.function.name.clone()),
+                    message: format!("call to unknown function `{callee}`"),
+                })?;
                 if f.params.len() != args.len() {
                     return self.err(format!(
                         "`{callee}` expects {} arguments, got {}",
@@ -294,7 +293,10 @@ mod tests {
     #[test]
     fn rejects_duplicates() {
         fails("fn f() {} fn f() {}", "duplicate function");
-        fails("global g: [int; 1]; global g: [int; 1];", "duplicate global");
+        fails(
+            "global g: [int; 1]; global g: [int; 1];",
+            "duplicate global",
+        );
     }
 
     #[test]

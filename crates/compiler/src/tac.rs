@@ -150,8 +150,10 @@ impl TBin {
 
     /// Whether operands can be swapped freely.
     pub fn commutative(self) -> bool {
-        matches!(self, TBin::Add | TBin::Mul | TBin::And | TBin::Or | TBin::Xor)
-            || matches!(self, TBin::Cmp(Rel::Eq) | TBin::Cmp(Rel::Ne))
+        matches!(
+            self,
+            TBin::Add | TBin::Mul | TBin::And | TBin::Or | TBin::Xor
+        ) || matches!(self, TBin::Cmp(Rel::Eq) | TBin::Cmp(Rel::Ne))
     }
 }
 
@@ -384,10 +386,20 @@ impl fmt::Display for Instr {
             Instr::Bin { op, dst, a, b } => write!(f, "v{} = {op:?} {a}, {b}", dst.0),
             Instr::Un { op, dst, a } => write!(f, "v{} = {op:?} {a}", dst.0),
             Instr::Copy { dst, src } => write!(f, "v{} = {src}", dst.0),
-            Instr::Load { dst, global, index, elem } => {
+            Instr::Load {
+                dst,
+                global,
+                index,
+                elem,
+            } => {
                 write!(f, "v{} = load.{elem} g{global}[{index}]", dst.0)
             }
-            Instr::Store { global, index, value, elem } => {
+            Instr::Store {
+                global,
+                index,
+                value,
+                elem,
+            } => {
                 write!(f, "store.{elem} g{global}[{index}] = {value}")
             }
             Instr::LoadPtr { dst, addr, elem } => write!(f, "v{} = load.{elem} *{addr}", dst.0),
@@ -410,8 +422,20 @@ impl fmt::Display for Instr {
             Instr::Ret { value: Some(v) } => write!(f, "ret {v}"),
             Instr::Ret { value: None } => write!(f, "ret"),
             Instr::Jmp(l) => write!(f, "jmp L{}", l.0),
-            Instr::BrCmp { rel, a, b, taken, fall } => {
-                write!(f, "br.{} {a}, {b} -> L{}, L{}", rel.mnemonic(), taken.0, fall.0)
+            Instr::BrCmp {
+                rel,
+                a,
+                b,
+                taken,
+                fall,
+            } => {
+                write!(
+                    f,
+                    "br.{} {a}, {b} -> L{}, L{}",
+                    rel.mnemonic(),
+                    taken.0,
+                    fall.0
+                )
             }
             Instr::BrNz { cond, taken, fall } => {
                 write!(f, "brnz {cond} -> L{}, L{}", taken.0, fall.0)
@@ -601,7 +625,11 @@ impl<'a> Lowerer<'a> {
                     elem: *elem,
                 });
             }
-            ast::Stmt::IndexAssign { global, index, value } => {
+            ast::Stmt::IndexAssign {
+                global,
+                index,
+                value,
+            } => {
                 let gid = self.global_id(global);
                 let elem = self.globals[gid].elem;
                 let idx = self.expr(index);
@@ -613,10 +641,18 @@ impl<'a> Lowerer<'a> {
                     elem,
                 });
             }
-            ast::Stmt::If { cond, then_body, else_body } => {
+            ast::Stmt::If {
+                cond,
+                then_body,
+                else_body,
+            } => {
                 let lt = self.label();
                 let lf = self.label();
-                let lend = if else_body.is_empty() { lf } else { self.label() };
+                let lend = if else_body.is_empty() {
+                    lf
+                } else {
+                    self.label()
+                };
                 self.cond(cond, lt, lf);
                 self.emit(Instr::Label(lt));
                 for s in then_body {
@@ -682,19 +718,30 @@ impl<'a> Lowerer<'a> {
     #[allow(clippy::only_used_in_recursion)]
     fn cond(&mut self, e: &ast::Expr, lt: Label, lf: Label) {
         match e {
-            ast::Expr::Bin { op: ast::BinOp::AndAnd, lhs, rhs } => {
+            ast::Expr::Bin {
+                op: ast::BinOp::AndAnd,
+                lhs,
+                rhs,
+            } => {
                 let mid = self.label();
                 self.cond(lhs, mid, lf);
                 self.emit(Instr::Label(mid));
                 self.cond(rhs, lt, lf);
             }
-            ast::Expr::Bin { op: ast::BinOp::OrOr, lhs, rhs } => {
+            ast::Expr::Bin {
+                op: ast::BinOp::OrOr,
+                lhs,
+                rhs,
+            } => {
                 let mid = self.label();
                 self.cond(lhs, lt, mid);
                 self.emit(Instr::Label(mid));
                 self.cond(rhs, lt, lf);
             }
-            ast::Expr::Un { op: ast::UnOp::Not, arg } => self.cond(arg, lf, lt),
+            ast::Expr::Un {
+                op: ast::UnOp::Not,
+                arg,
+            } => self.cond(arg, lf, lt),
             ast::Expr::Bin { op, lhs, rhs } if op.is_comparison() => {
                 let rel = match op {
                     ast::BinOp::Lt => Rel::Lt,
@@ -854,9 +901,18 @@ mod tests {
     fn lowers_arithmetic() {
         let t = lower_src("fn f(a: int, b: int) -> int { return a + b * 2; }");
         let f = &t.functions[0];
-        assert!(f.instrs.iter().any(|i| matches!(i, Instr::Bin { op: TBin::Mul, .. })));
-        assert!(f.instrs.iter().any(|i| matches!(i, Instr::Bin { op: TBin::Add, .. })));
-        assert!(matches!(f.instrs.last(), Some(Instr::Ret { value: Some(_) })));
+        assert!(f
+            .instrs
+            .iter()
+            .any(|i| matches!(i, Instr::Bin { op: TBin::Mul, .. })));
+        assert!(f
+            .instrs
+            .iter()
+            .any(|i| matches!(i, Instr::Bin { op: TBin::Add, .. })));
+        assert!(matches!(
+            f.instrs.last(),
+            Some(Instr::Ret { value: Some(_) })
+        ));
     }
 
     #[test]
@@ -873,15 +929,32 @@ mod tests {
         let t = lower_src("fn g(x: int) -> int { return x; } fn f(a: int, b: int) -> int { if (a && g(b)) { return 1; } return 0; }");
         let f = &t.functions[1];
         // The right operand's call must be guarded by a branch on `a`.
-        let first_br = f.instrs.iter().position(|i| matches!(i, Instr::BrNz { .. })).unwrap();
-        let call = f.instrs.iter().position(|i| matches!(i, Instr::Call { .. })).unwrap();
-        assert!(first_br < call, "short-circuit: call must come after branch");
+        let first_br = f
+            .instrs
+            .iter()
+            .position(|i| matches!(i, Instr::BrNz { .. }))
+            .unwrap();
+        let call = f
+            .instrs
+            .iter()
+            .position(|i| matches!(i, Instr::Call { .. }))
+            .unwrap();
+        assert!(
+            first_br < call,
+            "short-circuit: call must come after branch"
+        );
     }
 
     #[test]
     fn strings_are_interned_once() {
-        let t = lower_src(r#"fn f() -> int { var a = "dup"; var b = "dup"; var c = "other"; return a + b + c; }"#);
-        let strs: Vec<_> = t.globals.iter().filter(|g| g.name.starts_with("__str_")).collect();
+        let t = lower_src(
+            r#"fn f() -> int { var a = "dup"; var b = "dup"; var c = "other"; return a + b + c; }"#,
+        );
+        let strs: Vec<_> = t
+            .globals
+            .iter()
+            .filter(|g| g.name.starts_with("__str_"))
+            .collect();
         assert_eq!(strs.len(), 2);
         assert_eq!(strs[0].init.as_deref(), Some(&b"dup\0"[..]));
     }
@@ -889,7 +962,10 @@ mod tests {
     #[test]
     fn void_fall_through_gets_ret() {
         let t = lower_src("fn f() { var a = 1; }");
-        assert!(matches!(t.functions[0].instrs.last(), Some(Instr::Ret { value: None })));
+        assert!(matches!(
+            t.functions[0].instrs.last(),
+            Some(Instr::Ret { value: None })
+        ));
     }
 
     #[test]
@@ -910,7 +986,9 @@ mod tests {
 
     #[test]
     fn global_loads_scale_by_elem() {
-        let t = lower_src("global b: [byte; 8]; global w: [int; 8]; fn f(i: int) -> int { return b[i] + w[i]; }");
+        let t = lower_src(
+            "global b: [byte; 8]; global w: [int; 8]; fn f(i: int) -> int { return b[i] + w[i]; }",
+        );
         let f = &t.functions[0];
         let elems: Vec<ElemType> = f
             .instrs

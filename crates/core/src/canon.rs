@@ -193,7 +193,11 @@ impl CExpr {
             CExpr::Load { addr, .. } => 1 + addr.size(),
             CExpr::Bin { lhs, rhs, .. } => 1 + lhs.size() + rhs.size(),
             CExpr::Un { arg, .. } => 1 + arg.size(),
-            CExpr::Ite { cond, then_e, else_e } => 1 + cond.size() + then_e.size() + else_e.size(),
+            CExpr::Ite {
+                cond,
+                then_e,
+                else_e,
+            } => 1 + cond.size() + then_e.size() + else_e.size(),
         }
     }
 }
@@ -226,6 +230,7 @@ pub enum CStmt {
 
 /// Canonicalize one strand.
 pub fn canonicalize(strand: &Strand, space: &AddrSpace, config: &CanonConfig) -> CanonicalStrand {
+    firmup_telemetry::incr("canon.strands");
     let mut stmts = substitute(strand, space, config);
     if config.optimize {
         for s in &mut stmts {
@@ -365,9 +370,11 @@ impl<'a> Subst<'a> {
                 Some(VarKind::Reg(r, _)) => self.space.frame_regs.contains(r),
                 _ => false,
             },
-            CExpr::Bin { op: BinOp::Add | BinOp::Sub, lhs, rhs } => {
-                matches!(**rhs, CExpr::Const(_)) && self.is_stack_addr(lhs)
-            }
+            CExpr::Bin {
+                op: BinOp::Add | BinOp::Sub,
+                lhs,
+                rhs,
+            } => matches!(**rhs, CExpr::Const(_)) && self.is_stack_addr(lhs),
             _ => false,
         }
     }
@@ -406,7 +413,11 @@ impl<'a> Subst<'a> {
                     arg: Box::new(a),
                 }
             }
-            SExpr::Ite { cond, then_e, else_e } => {
+            SExpr::Ite {
+                cond,
+                then_e,
+                else_e,
+            } => {
                 let c = self.conv(cond);
                 let t = self.conv(then_e);
                 let f = self.conv(else_e);
@@ -432,7 +443,11 @@ pub fn simplify(e: CExpr) -> CExpr {
             op,
             arg: Box::new(simplify(*arg)),
         },
-        CExpr::Ite { cond, then_e, else_e } => CExpr::Ite {
+        CExpr::Ite {
+            cond,
+            then_e,
+            else_e,
+        } => CExpr::Ite {
             cond: Box::new(simplify(*cond)),
             then_e: Box::new(simplify(*then_e)),
             else_e: Box::new(simplify(*else_e)),
@@ -464,7 +479,9 @@ fn rewrite(e: CExpr) -> Result<CExpr, CExpr> {
             let rhs = *rhs;
             // Algebraic identities.
             match (op, &lhs, &rhs) {
-                (Add | Sub | Or | Xor | Shl | Shr | Sar, x, CExpr::Const(0)) => return Ok(x.clone()),
+                (Add | Sub | Or | Xor | Shl | Shr | Sar, x, CExpr::Const(0)) => {
+                    return Ok(x.clone())
+                }
                 (Add | Or | Xor, CExpr::Const(0), x) => return Ok(x.clone()),
                 (Mul, x, CExpr::Const(1)) | (Mul, CExpr::Const(1), x) => return Ok(x.clone()),
                 (Mul | And, _, CExpr::Const(0)) | (Mul | And, CExpr::Const(0), _) => {
@@ -483,7 +500,15 @@ fn rewrite(e: CExpr) -> Result<CExpr, CExpr> {
                     return Ok(CExpr::bin(Add, x.clone(), CExpr::Const(c.wrapping_neg())))
                 }
                 // x + (y + c) → (x + y) + c  (reassociate constants out).
-                (Add, x, CExpr::Bin { op: Add, lhs: y, rhs: c }) if matches!(**c, CExpr::Const(_)) => {
+                (
+                    Add,
+                    x,
+                    CExpr::Bin {
+                        op: Add,
+                        lhs: y,
+                        rhs: c,
+                    },
+                ) if matches!(**c, CExpr::Const(_)) => {
                     return Ok(CExpr::bin(
                         Add,
                         CExpr::bin(Add, x.clone(), (**y).clone()),
@@ -491,7 +516,15 @@ fn rewrite(e: CExpr) -> Result<CExpr, CExpr> {
                     ));
                 }
                 // (x + c1) + c2 → x + (c1+c2).
-                (Add, CExpr::Bin { op: Add, lhs: x, rhs: c1 }, CExpr::Const(c2)) => {
+                (
+                    Add,
+                    CExpr::Bin {
+                        op: Add,
+                        lhs: x,
+                        rhs: c1,
+                    },
+                    CExpr::Const(c2),
+                ) => {
                     if let CExpr::Const(c1v) = **c1 {
                         return Ok(CExpr::bin(
                             Add,
@@ -502,7 +535,15 @@ fn rewrite(e: CExpr) -> Result<CExpr, CExpr> {
                 }
                 // ---- comparison normalization ----
                 // cmp(x-y, 0) / cmp(x^y, 0) for eq/ne.
-                (CmpEq | CmpNe, CExpr::Bin { op: Sub | Xor, lhs: a, rhs: b }, CExpr::Const(0)) => {
+                (
+                    CmpEq | CmpNe,
+                    CExpr::Bin {
+                        op: Sub | Xor,
+                        lhs: a,
+                        rhs: b,
+                    },
+                    CExpr::Const(0),
+                ) => {
                     return Ok(CExpr::bin(op, (**a).clone(), (**b).clone()));
                 }
                 // not(bool) / bool != 0.
@@ -554,20 +595,44 @@ fn rewrite(e: CExpr) -> Result<CExpr, CExpr> {
                 return Ok(CExpr::Const(op.eval(c)));
             }
             match (op, &*arg) {
-                (UnOp::Not, CExpr::Un { op: UnOp::Not, arg: inner })
-                | (UnOp::Neg, CExpr::Un { op: UnOp::Neg, arg: inner }) => {
-                    return Ok((**inner).clone())
-                }
+                (
+                    UnOp::Not,
+                    CExpr::Un {
+                        op: UnOp::Not,
+                        arg: inner,
+                    },
+                )
+                | (
+                    UnOp::Neg,
+                    CExpr::Un {
+                        op: UnOp::Neg,
+                        arg: inner,
+                    },
+                ) => return Ok((**inner).clone()),
                 // Loads are already zero-extended to their width.
-                (UnOp::Zext8, CExpr::Load { width: Width::W8, .. })
-                | (UnOp::Zext16, CExpr::Load { width: Width::W16, .. }) => return Ok((*arg).clone()),
+                (
+                    UnOp::Zext8,
+                    CExpr::Load {
+                        width: Width::W8, ..
+                    },
+                )
+                | (
+                    UnOp::Zext16,
+                    CExpr::Load {
+                        width: Width::W16, ..
+                    },
+                ) => return Ok((*arg).clone()),
                 // Extending a bool is a no-op.
                 (UnOp::Zext8 | UnOp::Zext16, x) if x.is_bool() => return Ok(x.clone()),
                 _ => {}
             }
             Err(CExpr::Un { op, arg })
         }
-        CExpr::Ite { cond, then_e, else_e } => {
+        CExpr::Ite {
+            cond,
+            then_e,
+            else_e,
+        } => {
             if let CExpr::Const(c) = *cond {
                 return Ok(if c != 0 { *then_e } else { *else_e });
             }
@@ -585,7 +650,11 @@ fn rewrite(e: CExpr) -> Result<CExpr, CExpr> {
                     }
                 }
             }
-            Err(CExpr::Ite { cond, then_e, else_e })
+            Err(CExpr::Ite {
+                cond,
+                then_e,
+                else_e,
+            })
         }
         leaf => Err(leaf),
     }
@@ -620,10 +689,19 @@ fn match_sf_of(x: &CExpr, y: &CExpr) -> Option<(CExpr, CExpr)> {
 fn try_sf_of(sf: &CExpr, of: &CExpr) -> Option<(CExpr, CExpr)> {
     // SF = (a - b) <s 0.
     let (a, b) = match sf {
-        CExpr::Bin { op: BinOp::CmpLtS, lhs, rhs } => match (&**lhs, &**rhs) {
-            (CExpr::Bin { op: BinOp::Sub, lhs: a, rhs: b }, CExpr::Const(0)) => {
-                ((**a).clone(), (**b).clone())
-            }
+        CExpr::Bin {
+            op: BinOp::CmpLtS,
+            lhs,
+            rhs,
+        } => match (&**lhs, &**rhs) {
+            (
+                CExpr::Bin {
+                    op: BinOp::Sub,
+                    lhs: a,
+                    rhs: b,
+                },
+                CExpr::Const(0),
+            ) => ((**a).clone(), (**b).clone()),
             _ => return None,
         },
         _ => return None,
@@ -651,8 +729,16 @@ fn sign_bit(e: CExpr) -> CExpr {
 fn or_le_pattern(x: &CExpr, y: &CExpr) -> Option<CExpr> {
     for (eq, lt) in [(x, y), (y, x)] {
         if let (
-            CExpr::Bin { op: BinOp::CmpEq, lhs: e1, rhs: e2 },
-            CExpr::Bin { op, lhs: l1, rhs: l2 },
+            CExpr::Bin {
+                op: BinOp::CmpEq,
+                lhs: e1,
+                rhs: e2,
+            },
+            CExpr::Bin {
+                op,
+                lhs: l1,
+                rhs: l2,
+            },
         ) = (eq, lt)
         {
             let le = match op {
@@ -673,8 +759,16 @@ fn or_le_pattern(x: &CExpr, y: &CExpr) -> Option<CExpr> {
 fn and_lt_pattern(x: &CExpr, y: &CExpr) -> Option<CExpr> {
     for (ne, le) in [(x, y), (y, x)] {
         if let (
-            CExpr::Bin { op: BinOp::CmpNe, lhs: e1, rhs: e2 },
-            CExpr::Bin { op, lhs: l1, rhs: l2 },
+            CExpr::Bin {
+                op: BinOp::CmpNe,
+                lhs: e1,
+                rhs: e2,
+            },
+            CExpr::Bin {
+                op,
+                lhs: l1,
+                rhs: l2,
+            },
         ) = (ne, le)
         {
             let lt = match op {
@@ -724,7 +818,11 @@ fn eliminate_offsets(e: CExpr, space: &AddrSpace) -> CExpr {
             op,
             arg: Box::new(eliminate_offsets(*arg, space)),
         },
-        CExpr::Ite { cond, then_e, else_e } => CExpr::Ite {
+        CExpr::Ite {
+            cond,
+            then_e,
+            else_e,
+        } => CExpr::Ite {
             cond: Box::new(eliminate_offsets(*cond, space)),
             then_e: Box::new(eliminate_offsets(*then_e, space)),
             else_e: Box::new(eliminate_offsets(*else_e, space)),
@@ -810,7 +908,11 @@ fn write_expr(e: &CExpr, namer: &mut Namer) -> String {
             write_expr(rhs, namer)
         ),
         CExpr::Un { op, arg } => format!("({} {})", op.mnemonic(), write_expr(arg, namer)),
-        CExpr::Ite { cond, then_e, else_e } => format!(
+        CExpr::Ite {
+            cond,
+            then_e,
+            else_e,
+        } => format!(
             "(select {} {} {})",
             write_expr(cond, namer),
             write_expr(then_e, namer),
@@ -857,7 +959,11 @@ mod tests {
                 Stmt::Put(RegId(21), Expr::Get(RegId(2))), // move s5, v0
                 Stmt::Put(RegId(2), Expr::Const(0x1f)),    // li v0, 0x1F
                 Stmt::Exit {
-                    cond: Expr::bin(firmup_ir::BinOp::CmpNe, Expr::Get(RegId(21)), Expr::Get(RegId(2))),
+                    cond: Expr::bin(
+                        firmup_ir::BinOp::CmpNe,
+                        Expr::Get(RegId(21)),
+                        Expr::Get(RegId(2)),
+                    ),
                     target: 0x40_e744,
                 },
             ],
@@ -877,14 +983,22 @@ mod tests {
         let a = canon_block(
             vec![Stmt::Put(
                 RegId(2),
-                Expr::bin(firmup_ir::BinOp::Add, Expr::Get(RegId(4)), Expr::Get(RegId(5))),
+                Expr::bin(
+                    firmup_ir::BinOp::Add,
+                    Expr::Get(RegId(4)),
+                    Expr::Get(RegId(5)),
+                ),
             )],
             Jump::Ret,
         );
         let b = canon_block(
             vec![Stmt::Put(
                 RegId(2),
-                Expr::bin(firmup_ir::BinOp::Add, Expr::Get(RegId(5)), Expr::Get(RegId(4))),
+                Expr::bin(
+                    firmup_ir::BinOp::Add,
+                    Expr::Get(RegId(5)),
+                    Expr::Get(RegId(4)),
+                ),
             )],
             Jump::Ret,
         );
@@ -896,14 +1010,20 @@ mod tests {
         // Same computation through different registers hashes identically.
         let a = canon_block(
             vec![
-                Stmt::SetTmp(Temp(0), Expr::bin(firmup_ir::BinOp::Mul, Expr::Get(RegId(8)), Expr::Const(3))),
+                Stmt::SetTmp(
+                    Temp(0),
+                    Expr::bin(firmup_ir::BinOp::Mul, Expr::Get(RegId(8)), Expr::Const(3)),
+                ),
                 Stmt::Put(RegId(9), Expr::Tmp(Temp(0))),
             ],
             Jump::Ret,
         );
         let b = canon_block(
             vec![
-                Stmt::SetTmp(Temp(0), Expr::bin(firmup_ir::BinOp::Mul, Expr::Get(RegId(20)), Expr::Const(3))),
+                Stmt::SetTmp(
+                    Temp(0),
+                    Expr::bin(firmup_ir::BinOp::Mul, Expr::Get(RegId(20)), Expr::Const(3)),
+                ),
                 Stmt::Put(RegId(7), Expr::Tmp(Temp(0))),
             ],
             Jump::Ret,
@@ -923,7 +1043,11 @@ mod tests {
         let b = canon_block(
             vec![Stmt::Put(
                 RegId(2),
-                Expr::bin(firmup_ir::BinOp::Add, Expr::Get(RegId(4)), Expr::Const(-4i32 as u32)),
+                Expr::bin(
+                    firmup_ir::BinOp::Add,
+                    Expr::Get(RegId(4)),
+                    Expr::Const(-4i32 as u32),
+                ),
             )],
             Jump::Ret,
         );
@@ -936,7 +1060,11 @@ mod tests {
         let a = canon_block(
             vec![Stmt::Put(
                 RegId(2),
-                Expr::bin(firmup_ir::BinOp::CmpLtU, Expr::Get(RegId(4)), Expr::Const(1)),
+                Expr::bin(
+                    firmup_ir::BinOp::CmpLtU,
+                    Expr::Get(RegId(4)),
+                    Expr::Const(1),
+                ),
             )],
             Jump::Ret,
         );
@@ -945,7 +1073,11 @@ mod tests {
             vec![
                 Stmt::SetTmp(
                     Temp(0),
-                    Expr::bin(firmup_ir::BinOp::Xor, Expr::Get(RegId(4)), Expr::Get(RegId(5))),
+                    Expr::bin(
+                        firmup_ir::BinOp::Xor,
+                        Expr::Get(RegId(4)),
+                        Expr::Get(RegId(5)),
+                    ),
                 ),
                 Stmt::Put(
                     RegId(2),
@@ -967,7 +1099,11 @@ mod tests {
                 Stmt::Put(
                     RegId(3),
                     Expr::load(
-                        Expr::bin(firmup_ir::BinOp::Add, Expr::Get(RegId(29)), Expr::Const(0x28)),
+                        Expr::bin(
+                            firmup_ir::BinOp::Add,
+                            Expr::Get(RegId(29)),
+                            Expr::Const(0x28),
+                        ),
                         Width::W32,
                     ),
                 ),
@@ -975,7 +1111,10 @@ mod tests {
             Jump::Ret,
         );
         let texts: Vec<&str> = strands.iter().map(|s| s.text.as_str()).collect();
-        assert!(texts.contains(&"ret (load i32 (add v0 0x28))\n"), "{texts:?}");
+        assert!(
+            texts.contains(&"ret (load i32 (add v0 0x28))\n"),
+            "{texts:?}"
+        );
         assert!(texts.contains(&"ret offset0\n"), "{texts:?}");
     }
 
@@ -992,7 +1131,11 @@ mod tests {
                 },
                 Stmt::Put(
                     RegId(2),
-                    Expr::bin(firmup_ir::BinOp::Add, Expr::load(addr, Width::W32), Expr::Const(1)),
+                    Expr::bin(
+                        firmup_ir::BinOp::Add,
+                        Expr::load(addr, Width::W32),
+                        Expr::Const(1),
+                    ),
                 ),
             ],
             Jump::Ret,
@@ -1003,13 +1146,21 @@ mod tests {
             "forwarded: {}",
             ret.text
         );
-        assert!(!ret.text.contains("load"), "load was forwarded away: {}", ret.text);
+        assert!(
+            !ret.text.contains("load"),
+            "load was forwarded away: {}",
+            ret.text
+        );
     }
 
     #[test]
     fn ite_one_zero_collapses_to_condition() {
         // ARM: mov d,#0; cmp; movlt d,#1 → select(lt, 1, 0) → lt.
-        let cond = Expr::bin(firmup_ir::BinOp::CmpLtS, Expr::Get(RegId(4)), Expr::Get(RegId(5)));
+        let cond = Expr::bin(
+            firmup_ir::BinOp::CmpLtS,
+            Expr::Get(RegId(4)),
+            Expr::Get(RegId(5)),
+        );
         let strands = canon_block(
             vec![
                 Stmt::Put(RegId(2), Expr::Const(0)),
@@ -1084,7 +1235,11 @@ mod tests {
             sign_bit(CExpr::bin(BinOp::Xor, a.clone(), diff)),
         );
         let lt = simplify(CExpr::bin(BinOp::CmpNe, sf.clone(), of.clone()));
-        assert_eq!(lt, CExpr::bin(BinOp::CmpLtS, a.clone(), b.clone()), "SF≠OF ⇒ a<b");
+        assert_eq!(
+            lt,
+            CExpr::bin(BinOp::CmpLtS, a.clone(), b.clone()),
+            "SF≠OF ⇒ a<b"
+        );
         let ge = simplify(CExpr::bin(BinOp::CmpEq, sf, of));
         assert_eq!(ge, CExpr::bin(BinOp::CmpLeS, b, a), "SF=OF ⇒ a≥b");
     }

@@ -177,12 +177,14 @@ pub fn call_address(elf: &Elf, entry: u32, args: &[u32]) -> Result<u32, EmuError
             pc = t;
             continue;
         }
-        let jump = ctx
-            .jump
-            .unwrap_or(firmup_ir::Jump::Fall(pc + d.len + if d.delay_slot { 4 } else { 0 }));
+        let jump = ctx.jump.unwrap_or(firmup_ir::Jump::Fall(
+            pc + d.len + if d.delay_slot { 4 } else { 0 },
+        ));
         pc = match jump {
             firmup_ir::Jump::Fall(n) | firmup_ir::Jump::Direct(n) => n,
-            firmup_ir::Jump::Indirect(e) => m.eval(&e).map_err(|e| EmuError::Eval(e.to_string()))?,
+            firmup_ir::Jump::Indirect(e) => {
+                m.eval(&e).map_err(|e| EmuError::Eval(e.to_string()))?
+            }
             firmup_ir::Jump::Call { target, .. } => match target {
                 firmup_ir::CallTarget::Direct(t) => t,
                 firmup_ir::CallTarget::Indirect(e) => {
@@ -214,7 +216,9 @@ fn run_stmts(m: &mut Machine, stmts: &[firmup_ir::Stmt]) -> Result<(), EmuError>
 /// observe side effects.
 pub fn read_memory(elf: &Elf, m: &Machine, addr: u32, len: u32) -> Vec<u8> {
     let _ = elf;
-    (0..len).map(|i| m.load(addr + i, Width::W8) as u8).collect()
+    (0..len)
+        .map(|i| m.load(addr + i, Width::W8) as u8)
+        .collect()
 }
 
 /// Snapshot of registers/memory access for advanced tests.
@@ -374,7 +378,12 @@ mod tests {
 
     #[test]
     fn missing_symbol_is_error() {
-        let elf = compile_source("fn main() -> int { return 0; }", Arch::X86, &CompilerOptions::default()).unwrap();
+        let elf = compile_source(
+            "fn main() -> int { return 0; }",
+            Arch::X86,
+            &CompilerOptions::default(),
+        )
+        .unwrap();
         assert!(matches!(
             call_function(&elf, "nope", &[]),
             Err(EmuError::BadImage(_))

@@ -123,8 +123,14 @@ impl fmt::Display for GameResult {
 /// # Panics
 ///
 /// Panics if `qv` is out of bounds.
-pub fn play(query: &ExecutableRep, qv: usize, target: &ExecutableRep, config: &GameConfig) -> GameResult {
+pub fn play(
+    query: &ExecutableRep,
+    qv: usize,
+    target: &ExecutableRep,
+    config: &GameConfig,
+) -> GameResult {
     assert!(qv < query.procedures.len(), "query index out of range");
+    let _span = firmup_telemetry::span!("game");
     let mut sims: HashMap<(usize, usize), usize> = HashMap::new();
     let mut sim_of = |qi: usize, ti: usize| -> usize {
         *sims
@@ -268,6 +274,16 @@ pub fn play(query: &ExecutableRep, qv: usize, target: &ExecutableRep, config: &G
     let query_match = matched_q.get(&qv).map(|&ti| (ti, sim_of(qv, ti)));
     let mut matches = matches;
     matches.sort_unstable();
+    if firmup_telemetry::enabled() {
+        // Fig. 9's metric: how many back-and-forth iterations games need.
+        firmup_telemetry::incr("game.played");
+        firmup_telemetry::observe("game.steps", steps as u64);
+        firmup_telemetry::incr(match ended {
+            GameEnd::QueryMatched => "game.ended.query_matched",
+            GameEnd::FixedPoint => "game.ended.fixed_point",
+            GameEnd::LimitExceeded => "game.ended.limit_exceeded",
+        });
+    }
     GameResult {
         query_match,
         matches,
@@ -430,7 +446,10 @@ mod tests {
                 ..GameConfig::default()
             },
         );
-        assert!(matches!(r.ended, GameEnd::LimitExceeded | GameEnd::QueryMatched));
+        assert!(matches!(
+            r.ended,
+            GameEnd::LimitExceeded | GameEnd::QueryMatched
+        ));
         assert!(r.steps <= 2);
     }
 
@@ -440,7 +459,10 @@ mod tests {
         let t = exec("t", &[&[1, 2, 3, 4, 5], &[2, 3]]);
         let r = play(&q, 0, &t, &GameConfig::default());
         assert!(!r.trace.is_empty());
-        assert!(r.trace.iter().any(|s| !s.accepted), "a rejected move exists");
+        assert!(
+            r.trace.iter().any(|s| !s.accepted),
+            "a rejected move exists"
+        );
         assert!(r.trace.iter().any(|s| s.accepted));
     }
 
@@ -453,6 +475,8 @@ mod tests {
             ..GameConfig::default()
         };
         assert_eq!(play(&q, 0, &t, &strict).query_match, None);
-        assert!(play(&q, 0, &t, &GameConfig::default()).query_match.is_some());
+        assert!(play(&q, 0, &t, &GameConfig::default())
+            .query_match
+            .is_some());
     }
 }

@@ -96,9 +96,14 @@ pub fn lift_executable(elf: &Elf) -> Result<LiftedExecutable, LiftError> {
 ///
 /// Returns [`LiftError`] when the architecture is unknown or the image
 /// has no usable text.
-pub fn lift_executable_with(elf: &Elf, options: LiftOptions) -> Result<LiftedExecutable, LiftError> {
-    let arch = Arch::from_elf_machine(elf.machine)
-        .ok_or(LiftError::UnsupportedMachine { machine: elf.machine })?;
+pub fn lift_executable_with(
+    elf: &Elf,
+    options: LiftOptions,
+) -> Result<LiftedExecutable, LiftError> {
+    let _span = firmup_telemetry::span!("lift");
+    let arch = Arch::from_elf_machine(elf.machine).ok_or(LiftError::UnsupportedMachine {
+        machine: elf.machine,
+    })?;
     let text = elf.text().ok_or(LiftError::NoText)?;
     let base = text.addr;
     let bytes = &text.data;
@@ -137,6 +142,7 @@ pub fn lift_executable_with(elf: &Elf, options: LiftOptions) -> Result<LiftedExe
         }
     }
     if undecodable > 0 {
+        firmup_telemetry::add("lift.undecodable", undecodable as u64);
         warnings.push(format!(
             "linear sweep: {undecodable} undecodable location(s) (alignment padding or data in text)"
         ));
@@ -178,6 +184,7 @@ pub fn lift_executable_with(elf: &Elf, options: LiftOptions) -> Result<LiftedExe
         .sum();
     let total = bytes.len() as u32;
     if covered * 10 < total * 7 {
+        firmup_telemetry::incr("lift.corroboration.low_coverage");
         warnings.push(format!(
             "text coverage is low: {covered}/{total} bytes inside recovered blocks"
         ));
@@ -185,12 +192,20 @@ pub fn lift_executable_with(elf: &Elf, options: LiftOptions) -> Result<LiftedExe
     for p in &procedures {
         let unreachable = p.cfg().unreachable_blocks();
         if !unreachable.is_empty() {
+            firmup_telemetry::incr("lift.corroboration.disconnected");
             warnings.push(format!(
                 "{}: {} unreachable block(s)",
                 p.display_name(),
                 unreachable.len()
             ));
         }
+    }
+    if firmup_telemetry::enabled() {
+        firmup_telemetry::add("lift.procedures", procedures.len() as u64);
+        firmup_telemetry::add(
+            "lift.blocks",
+            procedures.iter().map(|p| p.blocks.len() as u64).sum(),
+        );
     }
 
     Ok(LiftedExecutable {
@@ -236,7 +251,11 @@ fn lift_procedure(
                 }
             };
             visited_instrs.insert(pc);
-            let slot = if d.delay_slot && !options.naive_delay_slots { 4 } else { 0 };
+            let slot = if d.delay_slot && !options.naive_delay_slots {
+                4
+            } else {
+                0
+            };
             let next = pc + d.len + slot;
             match d.ctrl {
                 Control::Fall => {
@@ -274,7 +293,16 @@ fn lift_procedure(
     let leader_list: Vec<u32> = leaders.iter().copied().collect();
     let mut blocks: Vec<Block> = Vec::with_capacity(leader_list.len());
     for &lead in &leader_list {
-        if let Some(block) = lift_block(arch, bytes, base, lead, end, &leaders, options, &mut warnings) {
+        if let Some(block) = lift_block(
+            arch,
+            bytes,
+            base,
+            lead,
+            end,
+            &leaders,
+            options,
+            &mut warnings,
+        ) {
             blocks.push(block);
         }
     }
@@ -428,7 +456,10 @@ mod tests {
             assert_eq!(lifted.arch, arch);
             assert_eq!(lifted.procedure_count(), 3, "{arch}");
             let main = lifted.program.procedure_named("main").unwrap();
-            assert!(main.blocks.len() >= 3, "{arch}: main should have a loop CFG");
+            assert!(
+                main.blocks.len() >= 3,
+                "{arch}: main should have a loop CFG"
+            );
             assert!(
                 main.cfg().unreachable_blocks().is_empty(),
                 "{arch}: connectivity check failed"

@@ -7,7 +7,7 @@
 //! stand-in we accept a game match whose similarity clears a
 //! configurable fraction of the query's strand count.
 
-use parking_lot::Mutex;
+use std::sync::Mutex;
 
 use crate::game::{play, GameConfig, GameEnd, GameResult};
 use crate::sim::{ExecutableRep, GlobalContext};
@@ -73,6 +73,7 @@ pub fn search_target(
     target: &ExecutableRep,
     config: &SearchConfig,
 ) -> TargetResult {
+    let started = firmup_telemetry::enabled().then(std::time::Instant::now);
     let result: GameResult = play(query, qv, target, &config.game);
     let matched = result.query_match.and_then(|(ti, s)| {
         let qp = &query.procedures[qv];
@@ -91,6 +92,13 @@ pub fn search_target(
             sim: s,
         })
     });
+    if let Some(t0) = started {
+        firmup_telemetry::observe("search.target_us", t0.elapsed().as_micros() as u64);
+        firmup_telemetry::incr("search.targets");
+        if matched.is_some() {
+            firmup_telemetry::incr("search.accepted");
+        }
+    }
     TargetResult {
         target_id: target.id.clone(),
         matched,
@@ -99,14 +107,16 @@ pub fn search_target(
     }
 }
 
-/// Search many targets in parallel (crossbeam scoped threads, matching
-/// the paper's threaded setup on a 72-thread Xeon).
+/// Search many targets in parallel (std scoped threads with a shared
+/// work-stealing index, matching the paper's threaded setup on a
+/// 72-thread Xeon).
 pub fn search_corpus(
     query: &ExecutableRep,
     qv: usize,
     targets: &[ExecutableRep],
     config: &SearchConfig,
 ) -> Vec<TargetResult> {
+    let _span = firmup_telemetry::span!("search");
     let threads = if config.threads == 0 {
         std::thread::available_parallelism().map_or(4, std::num::NonZeroUsize::get)
     } else {
@@ -120,21 +130,27 @@ pub fn search_corpus(
     }
     let next = std::sync::atomic::AtomicUsize::new(0);
     let results: Mutex<Vec<Option<TargetResult>>> = Mutex::new(vec![None; targets.len()]);
-    crossbeam::scope(|scope| {
+    let worker_items = firmup_telemetry::histogram("search.worker_items");
+    std::thread::scope(|scope| {
         for _ in 0..threads.min(targets.len()) {
-            scope.spawn(|_| loop {
-                let i = next.fetch_add(1, std::sync::atomic::Ordering::Relaxed);
-                if i >= targets.len() {
-                    break;
+            scope.spawn(|| {
+                let mut items = 0u64;
+                loop {
+                    let i = next.fetch_add(1, std::sync::atomic::Ordering::Relaxed);
+                    if i >= targets.len() {
+                        break;
+                    }
+                    let r = search_target(query, qv, &targets[i], config);
+                    results.lock().expect("search results lock")[i] = Some(r);
+                    items += 1;
                 }
-                let r = search_target(query, qv, &targets[i], config);
-                results.lock()[i] = Some(r);
+                worker_items.observe(items);
             });
         }
-    })
-    .expect("search workers never panic");
+    });
     results
         .into_inner()
+        .expect("search results lock")
         .into_iter()
         .map(|r| r.expect("every slot filled"))
         .collect()
@@ -224,7 +240,10 @@ mod tests {
         let weak = exec("weak", &[&[1, 200, 300]]);
         let config = SearchConfig::default();
         assert!(search_target(&q, 0, &strong, &config).found());
-        assert!(!search_target(&q, 0, &weak, &config).found(), "1/10 shared is below ratio");
+        assert!(
+            !search_target(&q, 0, &weak, &config).found(),
+            "1/10 shared is below ratio"
+        );
     }
 
     #[test]
@@ -262,7 +281,12 @@ mod tests {
         let q = exec("q", &[&[1, 2, 3, 4, 5, 6]]);
         let t = exec(
             "t",
-            &[&[1, 2, 3, 4, 5, 9], &[1, 2, 3, 7, 8], &[1, 2, 10], &[50, 51]],
+            &[
+                &[1, 2, 3, 4, 5, 9],
+                &[1, 2, 3, 7, 8],
+                &[1, 2, 10],
+                &[50, 51],
+            ],
         );
         let hits = crate::search::top_k(&q, 0, &t, 3, &crate::game::GameConfig::default());
         assert_eq!(hits.len(), 3);

@@ -57,7 +57,9 @@ pub struct ExecutableRep {
 impl ExecutableRep {
     /// Find a procedure index by name.
     pub fn find_named(&self, name: &str) -> Option<usize> {
-        self.procedures.iter().position(|p| p.name.as_deref() == Some(name))
+        self.procedures
+            .iter()
+            .position(|p| p.name.as_deref() == Some(name))
     }
 
     /// Find a procedure index by address.
@@ -89,7 +91,13 @@ pub fn sim(q: &ProcedureRep, t: &ProcedureRep) -> usize {
 }
 
 /// Build the similarity representation of a lifted executable.
-pub fn build_rep(lifted: &LiftedExecutable, space: &AddrSpace, config: &CanonConfig, id: &str) -> ExecutableRep {
+pub fn build_rep(
+    lifted: &LiftedExecutable,
+    space: &AddrSpace,
+    config: &CanonConfig,
+    id: &str,
+) -> ExecutableRep {
+    let _span = firmup_telemetry::span!("canonicalize");
     let procedures = lifted
         .program
         .procedures
@@ -117,11 +125,20 @@ pub fn build_rep(lifted: &LiftedExecutable, space: &AddrSpace, config: &CanonCon
             }
         })
         .collect();
-    ExecutableRep {
+    let rep = ExecutableRep {
         id: id.to_string(),
         arch: lifted.arch,
         procedures,
+    };
+    if firmup_telemetry::enabled() {
+        firmup_telemetry::incr("index.executables");
+        firmup_telemetry::add("index.procedures", rep.procedures.len() as u64);
+        firmup_telemetry::add(
+            "index.strands",
+            rep.procedures.iter().map(|p| p.strands.len() as u64).sum(),
+        );
     }
+    rep
 }
 
 /// A trained global context: per-strand document frequency over a
@@ -197,6 +214,7 @@ impl GlobalContext {
 ///
 /// Propagates [`LiftError`] from the lifting stage.
 pub fn index_elf(elf: &Elf, id: &str, config: &CanonConfig) -> Result<ExecutableRep, LiftError> {
+    let _span = firmup_telemetry::span!("index");
     let lifted = lift_executable(elf)?;
     let space = AddrSpace::from_elf(elf);
     Ok(build_rep(&lifted, &space, config, id))

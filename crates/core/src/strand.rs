@@ -103,7 +103,10 @@ mod tests {
         // t0 = r1 + 4; r2 = t0  → one strand of two statements.
         let b = block(
             vec![
-                Stmt::SetTmp(Temp(0), Expr::bin(BinOp::Add, Expr::Get(RegId(1)), Expr::Const(4))),
+                Stmt::SetTmp(
+                    Temp(0),
+                    Expr::bin(BinOp::Add, Expr::Get(RegId(1)), Expr::Const(4)),
+                ),
                 Stmt::Put(RegId(2), Expr::Tmp(Temp(0))),
             ],
             Jump::Ret,
@@ -118,8 +121,14 @@ mod tests {
         // r2 = r1 + 1; r3 = r4 * 2 → two strands of one statement each.
         let b = block(
             vec![
-                Stmt::Put(RegId(2), Expr::bin(BinOp::Add, Expr::Get(RegId(1)), Expr::Const(1))),
-                Stmt::Put(RegId(3), Expr::bin(BinOp::Mul, Expr::Get(RegId(4)), Expr::Const(2))),
+                Stmt::Put(
+                    RegId(2),
+                    Expr::bin(BinOp::Add, Expr::Get(RegId(1)), Expr::Const(1)),
+                ),
+                Stmt::Put(
+                    RegId(3),
+                    Expr::bin(BinOp::Mul, Expr::Get(RegId(4)), Expr::Const(2)),
+                ),
             ],
             Jump::Ret,
         );
@@ -134,9 +143,15 @@ mod tests {
         // t0 = r1 + 1; r2 = t0; r3 = t0 * 2 → the t0 def is shared.
         let b = block(
             vec![
-                Stmt::SetTmp(Temp(0), Expr::bin(BinOp::Add, Expr::Get(RegId(1)), Expr::Const(1))),
+                Stmt::SetTmp(
+                    Temp(0),
+                    Expr::bin(BinOp::Add, Expr::Get(RegId(1)), Expr::Const(1)),
+                ),
                 Stmt::Put(RegId(2), Expr::Tmp(Temp(0))),
-                Stmt::Put(RegId(3), Expr::bin(BinOp::Mul, Expr::Tmp(Temp(0)), Expr::Const(2))),
+                Stmt::Put(
+                    RegId(3),
+                    Expr::bin(BinOp::Mul, Expr::Tmp(Temp(0)), Expr::Const(2)),
+                ),
             ],
             Jump::Ret,
         );
@@ -153,7 +168,10 @@ mod tests {
         let b = block(
             vec![
                 Stmt::Put(RegId(2), Expr::Const(5)),
-                Stmt::Put(RegId(3), Expr::bin(BinOp::Add, Expr::Get(RegId(2)), Expr::Const(1))),
+                Stmt::Put(
+                    RegId(3),
+                    Expr::bin(BinOp::Add, Expr::Get(RegId(2)), Expr::Const(1)),
+                ),
                 Stmt::Store {
                     addr: Expr::Get(RegId(29)),
                     value: Expr::Get(RegId(3)),
@@ -178,7 +196,10 @@ mod tests {
     fn inputs_are_external_reads() {
         let b = block(
             vec![
-                Stmt::SetTmp(Temp(0), Expr::bin(BinOp::Add, Expr::Get(RegId(1)), Expr::Get(RegId(2)))),
+                Stmt::SetTmp(
+                    Temp(0),
+                    Expr::bin(BinOp::Add, Expr::Get(RegId(1)), Expr::Get(RegId(2))),
+                ),
                 Stmt::Put(RegId(3), Expr::Tmp(Temp(0))),
             ],
             Jump::Ret,
@@ -207,11 +228,7 @@ mod tests {
                     width: Width::W32,
                 },
                 Stmt::Exit {
-                    cond: Expr::bin(
-                        BinOp::CmpEq,
-                        Expr::load(addr, Width::W32),
-                        Expr::Const(0),
-                    ),
+                    cond: Expr::bin(BinOp::CmpEq, Expr::load(addr, Width::W32), Expr::Const(0)),
                     target: 0x40,
                 },
             ],

@@ -12,7 +12,11 @@ fn eval(e: &CExpr, env: &[u32; 4]) -> u32 {
         CExpr::Var(v) => env[(v.0 as usize) % 4],
         CExpr::Bin { op, lhs, rhs } => op.eval(eval(lhs, env), eval(rhs, env)),
         CExpr::Un { op, arg } => op.eval(eval(arg, env)),
-        CExpr::Ite { cond, then_e, else_e } => {
+        CExpr::Ite {
+            cond,
+            then_e,
+            else_e,
+        } => {
             if eval(cond, env) != 0 {
                 eval(then_e, env)
             } else {

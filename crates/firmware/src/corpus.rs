@@ -11,15 +11,12 @@
 
 use std::collections::HashMap;
 
-use rand::rngs::SmallRng;
-use rand::seq::SliceRandom;
-use rand::{Rng, SeedableRng};
-
 use firmup_compiler::{compile_source, CompilerOptions, ToolchainProfile};
 use firmup_isa::Arch;
 
 use crate::image::{pack, ImageMeta, Part};
 use crate::packages::{all_packages, source_for, PackageSpec};
+use crate::rng::{SliceRandom, SmallRng};
 
 /// Corpus generation parameters. All randomness flows from `seed`.
 #[derive(Debug, Clone)]
@@ -86,17 +83,26 @@ pub fn vendors() -> Vec<Vendor> {
         Vendor {
             name: "NETGEAR",
             archs: vec![Arch::Mips32, Arch::Arm32],
-            toolchains: vec![ToolchainProfile::vendor_size(), ToolchainProfile::vendor_fast()],
+            toolchains: vec![
+                ToolchainProfile::vendor_size(),
+                ToolchainProfile::vendor_fast(),
+            ],
         },
         Vendor {
             name: "D-Link",
             archs: vec![Arch::Mips32, Arch::X86],
-            toolchains: vec![ToolchainProfile::vendor_fast(), ToolchainProfile::vendor_debug()],
+            toolchains: vec![
+                ToolchainProfile::vendor_fast(),
+                ToolchainProfile::vendor_debug(),
+            ],
         },
         Vendor {
             name: "ASUS",
             archs: vec![Arch::Arm32, Arch::Ppc32, Arch::Mips32],
-            toolchains: vec![ToolchainProfile::vendor_size(), ToolchainProfile::vendor_debug()],
+            toolchains: vec![
+                ToolchainProfile::vendor_size(),
+                ToolchainProfile::vendor_debug(),
+            ],
         },
     ]
 }
@@ -122,7 +128,10 @@ pub struct BuiltExecutable {
 impl BuiltExecutable {
     /// Address of a (pre-strip) symbol.
     pub fn addr_of(&self, name: &str) -> Option<u32> {
-        self.symbols.iter().find(|(n, ..)| n == name).map(|&(_, a, _)| a)
+        self.symbols
+            .iter()
+            .find(|(n, ..)| n == name)
+            .map(|&(_, a, _)| a)
     }
 }
 
@@ -239,12 +248,27 @@ pub fn generate(config: &CorpusConfig) -> Corpus {
                 let disabled_refs: Vec<&str> = disabled.iter().map(String::as_str).collect();
                 let key = format!(
                     "{}:{}:{:?}:{}:{}:{}:{}",
-                    pkg.name, version, disabled_refs, arch.name(), toolchain.name, filler_seed, filler_count
+                    pkg.name,
+                    version,
+                    disabled_refs,
+                    arch.name(),
+                    toolchain.name,
+                    filler_seed,
+                    filler_count
                 );
                 let (bytes, built) = cache
                     .entry(key)
                     .or_insert_with(|| {
-                        build_executable(pkg, version, &disabled_refs, arch, &toolchain, filler_seed, filler_count, config.strip)
+                        build_executable(
+                            pkg,
+                            version,
+                            &disabled_refs,
+                            arch,
+                            &toolchain,
+                            filler_seed,
+                            filler_count,
+                            config.strip,
+                        )
                     })
                     .clone();
                 truth.push(built);
@@ -306,10 +330,7 @@ fn build_executable(
         .iter()
         .map(|s| (s.name.clone(), s.value, s.size))
         .collect();
-    let vuln_names = pkg
-        .version(version)
-        .map(|v| v.vulnerable)
-        .unwrap_or(&[]);
+    let vuln_names = pkg.version(version).map(|v| v.vulnerable).unwrap_or(&[]);
     let vulnerable: Vec<(String, u32)> = symbols
         .iter()
         .filter(|(n, ..)| vuln_names.contains(&n.as_str()))
@@ -377,7 +398,12 @@ mod tests {
             assert_eq!(u.parts.len(), img.truth.len());
             for part in &u.parts {
                 let elf = firmup_obj::Elf::parse(&part.data).unwrap();
-                assert!(elf.text().is_some(), "{}: {} has no text", img.meta, part.name);
+                assert!(
+                    elf.text().is_some(),
+                    "{}: {} has no text",
+                    img.meta,
+                    part.name
+                );
             }
         }
     }
@@ -420,7 +446,10 @@ mod tests {
             .iter()
             .flat_map(|i| i.truth.iter().map(|t| t.vulnerable.len()))
             .sum();
-        assert!(vulns > 0, "a 9-device corpus must contain vulnerable builds");
+        assert!(
+            vulns > 0,
+            "a 9-device corpus must contain vulnerable builds"
+        );
         // Every vulnerable entry has a resolvable symbol.
         for img in &c.images {
             for t in &img.truth {
@@ -462,6 +491,9 @@ mod tests {
     fn corpus_counts() {
         let c = generate(&CorpusConfig::tiny());
         assert!(c.executable_count() >= c.images.len());
-        assert!(c.procedure_count() > c.executable_count() * 10, "packages have many procedures");
+        assert!(
+            c.procedure_count() > c.executable_count() * 10,
+            "packages have many procedures"
+        );
     }
 }

@@ -68,7 +68,9 @@ pub enum ImageError {
 impl fmt::Display for ImageError {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         match self {
-            ImageError::NotAnImage => f.write_str("not a firmware image (no magic, no embedded ELFs)"),
+            ImageError::NotAnImage => {
+                f.write_str("not a firmware image (no magic, no embedded ELFs)")
+            }
             ImageError::Truncated => f.write_str("truncated firmware image"),
         }
     }
@@ -138,8 +140,9 @@ pub struct Unpacked {
 /// embedded ELF can be found; [`ImageError::Truncated`] when the header
 /// is cut short.
 pub fn unpack(blob: &[u8]) -> Result<Unpacked, ImageError> {
+    let _span = firmup_telemetry::span!("unpack");
     if blob.len() < 8 || &blob[0..4] != MAGIC {
-        return carve(blob);
+        return carve(blob).inspect_err(|_| firmup_telemetry::incr("image.errors"));
     }
     let mut pos = 4usize;
     let _fmt = read_u32(blob, &mut pos)?;
@@ -161,13 +164,18 @@ pub fn unpack(blob: &[u8]) -> Result<Unpacked, ImageError> {
     let mut parts = Vec::with_capacity(count);
     let mut issues = Vec::new();
     for (name, len, crc) in entries {
-        let data = blob.get(pos..pos + len).ok_or(ImageError::Truncated)?.to_vec();
+        let data = blob
+            .get(pos..pos + len)
+            .ok_or(ImageError::Truncated)?
+            .to_vec();
         pos += len;
         if crc32(&data) != crc {
+            firmup_telemetry::incr("image.crc_failures");
             issues.push(UnpackIssue::BadChecksum { name: name.clone() });
         }
         parts.push(Part { name, data });
     }
+    firmup_telemetry::incr("image.unpacked");
     Ok(Unpacked {
         meta: ImageMeta {
             vendor,
@@ -194,6 +202,8 @@ fn carve(blob: &[u8]) -> Result<Unpacked, ImageError> {
         });
     }
     let count = parts.len();
+    firmup_telemetry::incr("image.carved");
+    firmup_telemetry::incr("image.unpacked");
     Ok(Unpacked {
         meta: ImageMeta {
             vendor: "unknown".into(),
@@ -254,7 +264,9 @@ mod tests {
         let u = unpack(&blob).unwrap();
         assert_eq!(
             u.issues,
-            vec![UnpackIssue::BadChecksum { name: "bin/a".into() }]
+            vec![UnpackIssue::BadChecksum {
+                name: "bin/a".into()
+            }]
         );
         assert_eq!(u.parts.len(), 1, "part still extracted");
     }
@@ -282,6 +294,9 @@ mod tests {
             data: vec![7u8; 100],
         }];
         let blob = pack(&meta(), &parts);
-        assert!(matches!(unpack(&blob[..blob.len() - 10]), Err(ImageError::Truncated)));
+        assert!(matches!(
+            unpack(&blob[..blob.len() - 10]),
+            Err(ImageError::Truncated)
+        ));
     }
 }

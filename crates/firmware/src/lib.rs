@@ -5,3 +5,4 @@ pub mod corpus;
 pub mod crc;
 pub mod image;
 pub mod packages;
+pub mod rng;

@@ -14,8 +14,7 @@
 //! of `firmup-compiler` under whatever toolchain profile the corpus
 //! generator picks, exactly like vendor firmware builds.
 
-use rand::rngs::SmallRng;
-use rand::{Rng, SeedableRng};
+use crate::rng::SmallRng;
 
 /// A package version.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -73,7 +72,13 @@ pub struct CveSpec {
 /// All packages.
 pub fn all_packages() -> Vec<PackageSpec> {
     vec![
-        WGET_SPEC, VSFTPD_SPEC, BFTPD_SPEC, LIBCURL_SPEC, DBUS_SPEC, LIBEXIF_SPEC, NETSNMP_SPEC,
+        WGET_SPEC,
+        VSFTPD_SPEC,
+        BFTPD_SPEC,
+        LIBCURL_SPEC,
+        DBUS_SPEC,
+        LIBEXIF_SPEC,
+        NETSNMP_SPEC,
         BUSYBOX_SPEC,
     ]
 }
@@ -87,15 +92,60 @@ pub fn package(name: &str) -> Option<PackageSpec> {
 /// exported-procedure queries added for the §5.3 comparison.
 pub fn all_cves() -> Vec<CveSpec> {
     vec![
-        CveSpec { cve: "CVE-2011-0762", package: "vsftpd", procedure: "vsf_filename_passes_filter", exported: false },
-        CveSpec { cve: "CVE-2009-4593", package: "bftpd", procedure: "bftpdutmp_log", exported: false },
-        CveSpec { cve: "CVE-2012-0036", package: "libcurl", procedure: "curl_easy_unescape", exported: true },
-        CveSpec { cve: "CVE-2013-1944", package: "libcurl", procedure: "tailmatch", exported: false },
-        CveSpec { cve: "CVE-2013-2168", package: "dbus", procedure: "printf_string_upper_bound", exported: false },
-        CveSpec { cve: "CVE-2014-4877", package: "wget", procedure: "ftp_retrieve_glob", exported: false },
-        CveSpec { cve: "CVE-2016-8618", package: "libcurl", procedure: "alloc_addbyter", exported: false },
-        CveSpec { cve: "CVE-2012-2841", package: "libexif", procedure: "exif_entry_get_value", exported: true },
-        CveSpec { cve: "CVE-2014-3565", package: "net-snmp", procedure: "snmp_pdu_parse", exported: true },
+        CveSpec {
+            cve: "CVE-2011-0762",
+            package: "vsftpd",
+            procedure: "vsf_filename_passes_filter",
+            exported: false,
+        },
+        CveSpec {
+            cve: "CVE-2009-4593",
+            package: "bftpd",
+            procedure: "bftpdutmp_log",
+            exported: false,
+        },
+        CveSpec {
+            cve: "CVE-2012-0036",
+            package: "libcurl",
+            procedure: "curl_easy_unescape",
+            exported: true,
+        },
+        CveSpec {
+            cve: "CVE-2013-1944",
+            package: "libcurl",
+            procedure: "tailmatch",
+            exported: false,
+        },
+        CveSpec {
+            cve: "CVE-2013-2168",
+            package: "dbus",
+            procedure: "printf_string_upper_bound",
+            exported: false,
+        },
+        CveSpec {
+            cve: "CVE-2014-4877",
+            package: "wget",
+            procedure: "ftp_retrieve_glob",
+            exported: false,
+        },
+        CveSpec {
+            cve: "CVE-2016-8618",
+            package: "libcurl",
+            procedure: "alloc_addbyter",
+            exported: false,
+        },
+        CveSpec {
+            cve: "CVE-2012-2841",
+            package: "libexif",
+            procedure: "exif_entry_get_value",
+            exported: true,
+        },
+        CveSpec {
+            cve: "CVE-2014-3565",
+            package: "net-snmp",
+            procedure: "snmp_pdu_parse",
+            exported: true,
+        },
     ]
 }
 
@@ -239,9 +289,21 @@ pub const WGET_SPEC: PackageSpec = PackageSpec {
     executable: "bin/wget",
     library: false,
     versions: &[
-        VersionSpec { version: "1.12", order: 1, vulnerable: &["ftp_retrieve_glob"] },
-        VersionSpec { version: "1.15", order: 2, vulnerable: &["ftp_retrieve_glob"] },
-        VersionSpec { version: "1.16", order: 3, vulnerable: &[] },
+        VersionSpec {
+            version: "1.12",
+            order: 1,
+            vulnerable: &["ftp_retrieve_glob"],
+        },
+        VersionSpec {
+            version: "1.15",
+            order: 2,
+            vulnerable: &["ftp_retrieve_glob"],
+        },
+        VersionSpec {
+            version: "1.16",
+            order: 3,
+            vulnerable: &[],
+        },
     ],
     features: &["opie", "cookies"],
 };
@@ -569,9 +631,21 @@ pub const VSFTPD_SPEC: PackageSpec = PackageSpec {
     executable: "bin/vsftpd",
     library: false,
     versions: &[
-        VersionSpec { version: "2.3.2", order: 1, vulnerable: &["vsf_filename_passes_filter"] },
-        VersionSpec { version: "2.3.5", order: 2, vulnerable: &["vsf_filename_passes_filter"] },
-        VersionSpec { version: "3.0.2", order: 3, vulnerable: &[] },
+        VersionSpec {
+            version: "2.3.2",
+            order: 1,
+            vulnerable: &["vsf_filename_passes_filter"],
+        },
+        VersionSpec {
+            version: "2.3.5",
+            order: 2,
+            vulnerable: &["vsf_filename_passes_filter"],
+        },
+        VersionSpec {
+            version: "3.0.2",
+            order: 3,
+            vulnerable: &[],
+        },
     ],
     features: &["ssl"],
 };
@@ -590,7 +664,11 @@ global resp_no = "550 denied";
     );
     // The vulnerable filter: unbounded recursion on `{}`/`*` patterns
     // (the DoS); the fix bounds iterations.
-    let guard_decl = if version == "3.0.2" { "var steps = 0;\n    " } else { "" };
+    let guard_decl = if version == "3.0.2" {
+        "var steps = 0;\n    "
+    } else {
+        ""
+    };
     let guard = if version == "3.0.2" {
         "steps = steps + 1;\n        if (steps > 128) { return 0; }\n        "
     } else {
@@ -830,7 +908,11 @@ fn ssl_handshake(seed: int) -> int {
 "#,
         );
     }
-    let ssl_call = if disabled.contains(&"ssl") { "" } else { "    r = r + ssl_handshake(a);\n" };
+    let ssl_call = if disabled.contains(&"ssl") {
+        ""
+    } else {
+        "    r = r + ssl_handshake(a);\n"
+    };
     s.push_str(&format!(
         "\nfn main(a: int) -> int {{\n    var r = session_init(a);\n    r = r + cmd_dispatch(&cmdbuf, &userbuf);\n    r = r + data_channel_send(&cmdbuf, a & 63);\n{ssl_call}    return r;\n}}\n"
     ));
@@ -847,8 +929,16 @@ pub const BFTPD_SPEC: PackageSpec = PackageSpec {
     executable: "bin/bftpd",
     library: false,
     versions: &[
-        VersionSpec { version: "2.1", order: 1, vulnerable: &["bftpdutmp_log"] },
-        VersionSpec { version: "4.6", order: 2, vulnerable: &[] },
+        VersionSpec {
+            version: "2.1",
+            order: 1,
+            vulnerable: &["bftpdutmp_log"],
+        },
+        VersionSpec {
+            version: "4.6",
+            order: 2,
+            vulnerable: &[],
+        },
     ],
     features: &[],
 };
@@ -977,9 +1067,21 @@ pub const LIBCURL_SPEC: PackageSpec = PackageSpec {
     executable: "lib/libcurl.so",
     library: true,
     versions: &[
-        VersionSpec { version: "7.15", order: 1, vulnerable: &["curl_unescape", "tailmatch"] },
-        VersionSpec { version: "7.24", order: 2, vulnerable: &["curl_easy_unescape", "tailmatch"] },
-        VersionSpec { version: "7.50", order: 3, vulnerable: &["alloc_addbyter"] },
+        VersionSpec {
+            version: "7.15",
+            order: 1,
+            vulnerable: &["curl_unescape", "tailmatch"],
+        },
+        VersionSpec {
+            version: "7.24",
+            order: 2,
+            vulnerable: &["curl_easy_unescape", "tailmatch"],
+        },
+        VersionSpec {
+            version: "7.50",
+            order: 3,
+            vulnerable: &["alloc_addbyter"],
+        },
     ],
     features: &["cookies"],
 };
@@ -1224,8 +1326,16 @@ pub const DBUS_SPEC: PackageSpec = PackageSpec {
     executable: "lib/libdbus.so",
     library: true,
     versions: &[
-        VersionSpec { version: "1.4.0", order: 1, vulnerable: &["printf_string_upper_bound"] },
-        VersionSpec { version: "1.6.12", order: 2, vulnerable: &[] },
+        VersionSpec {
+            version: "1.4.0",
+            order: 1,
+            vulnerable: &["printf_string_upper_bound"],
+        },
+        VersionSpec {
+            version: "1.6.12",
+            order: 2,
+            vulnerable: &[],
+        },
     ],
     features: &[],
 };
@@ -1373,15 +1483,27 @@ pub const LIBEXIF_SPEC: PackageSpec = PackageSpec {
     executable: "lib/libexif.so",
     library: true,
     versions: &[
-        VersionSpec { version: "0.6.20", order: 1, vulnerable: &["exif_entry_get_value"] },
-        VersionSpec { version: "0.6.21", order: 2, vulnerable: &[] },
+        VersionSpec {
+            version: "0.6.20",
+            order: 1,
+            vulnerable: &["exif_entry_get_value"],
+        },
+        VersionSpec {
+            version: "0.6.21",
+            order: 2,
+            vulnerable: &[],
+        },
     ],
     features: &[],
 };
 
 fn libexif_source(version: &str, _disabled: &[&str]) -> String {
     // Vulnerable: off-by-one when NUL-terminating the formatted value.
-    let bound = if version == "0.6.21" { "cap - 1" } else { "cap" };
+    let bound = if version == "0.6.21" {
+        "cap - 1"
+    } else {
+        "cap"
+    };
     format!(
         r#"
 global ifd: [byte; 160];
@@ -1489,8 +1611,16 @@ pub const NETSNMP_SPEC: PackageSpec = PackageSpec {
     executable: "bin/snmpd",
     library: true,
     versions: &[
-        VersionSpec { version: "5.7.2", order: 1, vulnerable: &["snmp_pdu_parse"] },
-        VersionSpec { version: "5.7.3", order: 2, vulnerable: &[] },
+        VersionSpec {
+            version: "5.7.2",
+            order: 1,
+            vulnerable: &["snmp_pdu_parse"],
+        },
+        VersionSpec {
+            version: "5.7.3",
+            order: 2,
+            vulnerable: &[],
+        },
     ],
     features: &[],
 };
@@ -1639,8 +1769,16 @@ pub const BUSYBOX_SPEC: PackageSpec = PackageSpec {
     executable: "bin/busybox",
     library: false,
     versions: &[
-        VersionSpec { version: "1.19", order: 1, vulnerable: &[] },
-        VersionSpec { version: "1.24", order: 2, vulnerable: &[] },
+        VersionSpec {
+            version: "1.19",
+            order: 1,
+            vulnerable: &[],
+        },
+        VersionSpec {
+            version: "1.24",
+            order: 2,
+            vulnerable: &[],
+        },
     ],
     features: &["mount"],
 };
@@ -1946,7 +2084,10 @@ mod tests {
             for ver in pkg.versions {
                 let src = source_for(pkg.name, ver.version, &[], 42, 3);
                 for arch in Arch::all() {
-                    for profile in [ToolchainProfile::gcc_like(), ToolchainProfile::vendor_debug()] {
+                    for profile in [
+                        ToolchainProfile::gcc_like(),
+                        ToolchainProfile::vendor_debug(),
+                    ] {
                         compile_source(
                             &src,
                             arch,
@@ -1956,7 +2097,10 @@ mod tests {
                             },
                         )
                         .unwrap_or_else(|e| {
-                            panic!("{}/{} on {arch}/{}: {e}", pkg.name, ver.version, profile.name)
+                            panic!(
+                                "{}/{} on {arch}/{}: {e}",
+                                pkg.name, ver.version, profile.name
+                            )
                         });
                     }
                 }
@@ -1985,9 +2129,12 @@ mod tests {
     #[test]
     fn cve_list_is_consistent_with_packages() {
         for cve in all_cves() {
-            let pkg = package(cve.package).unwrap_or_else(|| panic!("{}: package missing", cve.cve));
+            let pkg =
+                package(cve.package).unwrap_or_else(|| panic!("{}: package missing", cve.cve));
             assert!(
-                pkg.versions.iter().any(|v| v.vulnerable.contains(&cve.procedure)),
+                pkg.versions
+                    .iter()
+                    .any(|v| v.vulnerable.contains(&cve.procedure)),
                 "{}: procedure {} never vulnerable in {}",
                 cve.cve,
                 cve.procedure,
@@ -2032,7 +2179,10 @@ mod tests {
         let mut elf = compile_source(&src, Arch::Ppc32, &CompilerOptions::default()).unwrap();
         elf.strip(true);
         assert!(elf.symbols.iter().any(|s| s.name == "curl_easy_unescape"));
-        assert!(!elf.symbols.iter().any(|s| s.name == "tailmatch"), "static fn stripped");
+        assert!(
+            !elf.symbols.iter().any(|s| s.name == "tailmatch"),
+            "static fn stripped"
+        );
     }
 
     #[test]

@@ -1,0 +1,170 @@
+//! Deterministic pseudo-randomness for corpus generation, replacing the
+//! external `rand` crate so the workspace builds with zero registry
+//! dependencies.
+//!
+//! The generator is SplitMix64 — a tiny, fast, well-mixed 64-bit PRNG
+//! whose entire state is the seed, which makes corpus generation
+//! trivially reproducible (the property `corpus_is_deterministic`
+//! asserts). The API mirrors the subset of `rand` the crate used:
+//! [`SmallRng::seed_from_u64`], [`SmallRng::gen_range`],
+//! [`SmallRng::gen`], [`SmallRng::gen_bool`], and [`SliceRandom::shuffle`].
+
+use std::ops::{Range, RangeInclusive};
+
+/// Small deterministic PRNG (SplitMix64).
+pub struct SmallRng {
+    state: u64,
+}
+
+impl SmallRng {
+    /// Construct from a 64-bit seed. Equal seeds yield equal streams on
+    /// every platform.
+    pub fn seed_from_u64(seed: u64) -> SmallRng {
+        SmallRng { state: seed }
+    }
+
+    /// Next raw 64-bit output.
+    pub fn next_u64(&mut self) -> u64 {
+        self.state = self.state.wrapping_add(0x9e37_79b9_7f4a_7c15);
+        let mut z = self.state;
+        z = (z ^ (z >> 30)).wrapping_mul(0xbf58_476d_1ce4_e5b9);
+        z = (z ^ (z >> 27)).wrapping_mul(0x94d0_49bb_1331_11eb);
+        z ^ (z >> 31)
+    }
+
+    /// Uniform value in `[0, n)`; `n` must be nonzero. Rejection
+    /// sampling keeps the distribution exact.
+    fn below(&mut self, n: u64) -> u64 {
+        debug_assert!(n > 0);
+        let zone = u64::MAX - (u64::MAX - n + 1) % n;
+        loop {
+            let v = self.next_u64();
+            if v <= zone {
+                return v % n;
+            }
+        }
+    }
+
+    /// Uniform value from a (half-open or inclusive) integer range.
+    pub fn gen_range<T, R: SampleRange<T>>(&mut self, range: R) -> T {
+        range.sample(self)
+    }
+
+    /// An unconstrained random value.
+    pub fn gen<T: RandValue>(&mut self) -> T {
+        T::rand(self)
+    }
+
+    /// `true` with probability `p` (clamped to `[0, 1]`).
+    pub fn gen_bool(&mut self, p: f64) -> bool {
+        // 53 high bits give a uniform double in [0, 1).
+        let unit = (self.next_u64() >> 11) as f64 * (1.0 / (1u64 << 53) as f64);
+        unit < p
+    }
+}
+
+/// Types [`SmallRng::gen`] can produce.
+pub trait RandValue {
+    /// Draw one value.
+    fn rand(rng: &mut SmallRng) -> Self;
+}
+
+impl RandValue for u64 {
+    fn rand(rng: &mut SmallRng) -> u64 {
+        rng.next_u64()
+    }
+}
+
+impl RandValue for bool {
+    fn rand(rng: &mut SmallRng) -> bool {
+        rng.next_u64() & 1 == 1
+    }
+}
+
+/// Ranges [`SmallRng::gen_range`] can sample from.
+pub trait SampleRange<T> {
+    /// Draw one value uniformly from the range.
+    fn sample(self, rng: &mut SmallRng) -> T;
+}
+
+macro_rules! impl_sample_range {
+    ($($t:ty),*) => {$(
+        impl SampleRange<$t> for Range<$t> {
+            fn sample(self, rng: &mut SmallRng) -> $t {
+                assert!(self.start < self.end, "gen_range on empty range");
+                let span = (self.end as i128 - self.start as i128) as u64;
+                (self.start as i128 + rng.below(span) as i128) as $t
+            }
+        }
+        impl SampleRange<$t> for RangeInclusive<$t> {
+            fn sample(self, rng: &mut SmallRng) -> $t {
+                let (lo, hi) = (*self.start() as i128, *self.end() as i128);
+                assert!(lo <= hi, "gen_range on empty range");
+                let span = (hi - lo + 1) as u64; // 0 means the full u64 range
+                let off = if span == 0 { rng.next_u64() } else { rng.below(span) };
+                (lo + off as i128) as $t
+            }
+        }
+    )*};
+}
+impl_sample_range!(u8, u16, u32, u64, usize, i8, i16, i32, i64, isize);
+
+/// In-place random reordering of slices.
+pub trait SliceRandom {
+    /// Fisher–Yates shuffle driven by `rng`.
+    fn shuffle(&mut self, rng: &mut SmallRng);
+}
+
+impl<T> SliceRandom for [T] {
+    fn shuffle(&mut self, rng: &mut SmallRng) {
+        for i in (1..self.len()).rev() {
+            let j = rng.below(i as u64 + 1) as usize;
+            self.swap(i, j);
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn deterministic_stream() {
+        let mut a = SmallRng::seed_from_u64(42);
+        let mut b = SmallRng::seed_from_u64(42);
+        for _ in 0..100 {
+            assert_eq!(a.next_u64(), b.next_u64());
+        }
+    }
+
+    #[test]
+    fn ranges_in_bounds() {
+        let mut rng = SmallRng::seed_from_u64(7);
+        for _ in 0..1000 {
+            let a: usize = rng.gen_range(3..9);
+            assert!((3..9).contains(&a));
+            let b: i32 = rng.gen_range(-5..=5);
+            assert!((-5..=5).contains(&b));
+            let c: u32 = rng.gen_range(0x1000..0xffff);
+            assert!((0x1000..0xffff).contains(&c));
+        }
+    }
+
+    #[test]
+    fn gen_bool_tracks_probability() {
+        let mut rng = SmallRng::seed_from_u64(11);
+        let hits = (0..10_000).filter(|_| rng.gen_bool(0.4)).count();
+        assert!((3_500..4_500).contains(&hits), "got {hits}");
+    }
+
+    #[test]
+    fn shuffle_permutes() {
+        let mut rng = SmallRng::seed_from_u64(3);
+        let mut v: Vec<u32> = (0..50).collect();
+        v.shuffle(&mut rng);
+        let mut sorted = v.clone();
+        sorted.sort_unstable();
+        assert_eq!(sorted, (0..50).collect::<Vec<_>>());
+        assert_ne!(v, sorted, "shuffle left the slice in order");
+    }
+}

@@ -16,7 +16,10 @@ fn meta() -> impl Strategy<Value = ImageMeta> {
 
 fn parts() -> impl Strategy<Value = Vec<Part>> {
     proptest::collection::vec(
-        ("[a-z/_.]{1,24}", proptest::collection::vec(any::<u8>(), 0..512))
+        (
+            "[a-z/_.]{1,24}",
+            proptest::collection::vec(any::<u8>(), 0..512),
+        )
             .prop_map(|(name, data)| Part { name, data }),
         0..6,
     )

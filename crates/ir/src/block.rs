@@ -81,7 +81,8 @@ impl Procedure {
     /// Panics if the procedure has no block at its entry address, which
     /// would indicate a lifter bug.
     pub fn entry_block(&self) -> &Block {
-        self.block_at(self.addr).expect("procedure entry block missing")
+        self.block_at(self.addr)
+            .expect("procedure entry block missing")
     }
 
     /// Build the control-flow graph over this procedure's blocks.
@@ -92,7 +93,11 @@ impl Procedure {
     /// Direct call targets appearing in this procedure, deduplicated and
     /// sorted.
     pub fn call_targets(&self) -> Vec<u32> {
-        let set: BTreeSet<u32> = self.blocks.iter().filter_map(|b| b.jump.call_target()).collect();
+        let set: BTreeSet<u32> = self
+            .blocks
+            .iter()
+            .filter_map(|b| b.jump.call_target())
+            .collect();
         set.into_iter().collect()
     }
 
@@ -186,7 +191,11 @@ impl Cfg {
                 }
             }
         }
-        self.succs.keys().copied().filter(|a| !seen.contains(a)).collect()
+        self.succs
+            .keys()
+            .copied()
+            .filter(|a| !seen.contains(a))
+            .collect()
     }
 
     /// Reverse post-order of the reachable blocks (entry first).
@@ -241,7 +250,9 @@ impl ProgramIr {
 
     /// Find a procedure by (exact) name.
     pub fn procedure_named(&self, name: &str) -> Option<&Procedure> {
-        self.procedures.iter().find(|p| p.name.as_deref() == Some(name))
+        self.procedures
+            .iter()
+            .find(|p| p.name.as_deref() == Some(name))
     }
 
     /// Build the static call graph.
@@ -249,7 +260,11 @@ impl ProgramIr {
         let mut edges: BTreeMap<u32, Vec<u32>> = BTreeMap::new();
         let known: BTreeSet<u32> = self.procedures.iter().map(|p| p.addr).collect();
         for p in &self.procedures {
-            let callees: Vec<u32> = p.call_targets().into_iter().filter(|t| known.contains(t)).collect();
+            let callees: Vec<u32> = p
+                .call_targets()
+                .into_iter()
+                .filter(|t| known.contains(t))
+                .collect();
             edges.insert(p.addr, callees);
         }
         CallGraph { edges }
@@ -319,8 +334,16 @@ mod tests {
                     }],
                     Jump::Fall(0x10),
                 ),
-                blk(0x10, vec![Stmt::SetTmp(Temp(0), Expr::Const(1))], Jump::Direct(0x30)),
-                blk(0x20, vec![Stmt::SetTmp(Temp(0), Expr::Const(2))], Jump::Fall(0x30)),
+                blk(
+                    0x10,
+                    vec![Stmt::SetTmp(Temp(0), Expr::Const(1))],
+                    Jump::Direct(0x30),
+                ),
+                blk(
+                    0x20,
+                    vec![Stmt::SetTmp(Temp(0), Expr::Const(2))],
+                    Jump::Fall(0x30),
+                ),
                 blk(0x30, vec![], Jump::Ret),
             ],
         }

@@ -101,7 +101,13 @@ impl BinOp {
     pub fn commutative(self) -> bool {
         matches!(
             self,
-            BinOp::Add | BinOp::Mul | BinOp::And | BinOp::Or | BinOp::Xor | BinOp::CmpEq | BinOp::CmpNe
+            BinOp::Add
+                | BinOp::Mul
+                | BinOp::And
+                | BinOp::Or
+                | BinOp::Xor
+                | BinOp::CmpEq
+                | BinOp::CmpNe
         )
     }
 
@@ -109,7 +115,12 @@ impl BinOp {
     pub fn is_comparison(self) -> bool {
         matches!(
             self,
-            BinOp::CmpEq | BinOp::CmpNe | BinOp::CmpLtS | BinOp::CmpLtU | BinOp::CmpLeS | BinOp::CmpLeU
+            BinOp::CmpEq
+                | BinOp::CmpNe
+                | BinOp::CmpLtS
+                | BinOp::CmpLtU
+                | BinOp::CmpLeS
+                | BinOp::CmpLeU
         )
     }
 
@@ -291,7 +302,11 @@ impl Expr {
                 rhs.visit(f);
             }
             Expr::Un { arg, .. } => arg.visit(f),
-            Expr::Ite { cond, then_e, else_e } => {
+            Expr::Ite {
+                cond,
+                then_e,
+                else_e,
+            } => {
                 cond.visit(f);
                 then_e.visit(f);
                 else_e.visit(f);
@@ -355,7 +370,11 @@ impl fmt::Display for Expr {
             Expr::Load { addr, width } => write!(f, "LD{}({addr})", width.bytes() * 8),
             Expr::Bin { op, lhs, rhs } => write!(f, "({} {lhs}, {rhs})", op.mnemonic()),
             Expr::Un { op, arg } => write!(f, "({} {arg})", op.mnemonic()),
-            Expr::Ite { cond, then_e, else_e } => write!(f, "ITE({cond}, {then_e}, {else_e})"),
+            Expr::Ite {
+                cond,
+                then_e,
+                else_e,
+            } => write!(f, "ITE({cond}, {then_e}, {else_e})"),
         }
     }
 }

@@ -76,7 +76,8 @@ impl Machine {
     /// Write the low `width` bytes of `value` at `addr`.
     pub fn store(&mut self, addr: u32, value: u32, width: Width) {
         for i in 0..width.bytes() {
-            self.mem.insert(addr.wrapping_add(i), (value >> (8 * i)) as u8);
+            self.mem
+                .insert(addr.wrapping_add(i), (value >> (8 * i)) as u8);
         }
     }
 
@@ -94,7 +95,11 @@ impl Machine {
             Expr::Load { addr, width } => self.load(self.eval(addr)?, *width),
             Expr::Bin { op, lhs, rhs } => op.eval(self.eval(lhs)?, self.eval(rhs)?),
             Expr::Un { op, arg } => op.eval(self.eval(arg)?),
-            Expr::Ite { cond, then_e, else_e } => {
+            Expr::Ite {
+                cond,
+                then_e,
+                else_e,
+            } => {
                 if self.eval(cond)? != 0 {
                     self.eval(then_e)?
                 } else {
@@ -173,7 +178,11 @@ pub fn eval_sexpr(
             eval_sexpr(rhs, env, mem_env)?,
         ),
         SExpr::Un { op, arg } => op.eval(eval_sexpr(arg, env, mem_env)?),
-        SExpr::Ite { cond, then_e, else_e } => {
+        SExpr::Ite {
+            cond,
+            then_e,
+            else_e,
+        } => {
             if eval_sexpr(cond, env, mem_env)? != 0 {
                 eval_sexpr(then_e, env, mem_env)?
             } else {
@@ -204,7 +213,10 @@ mod tests {
             addr: 0,
             len: 12,
             stmts: vec![
-                Stmt::SetTmp(Temp(0), Expr::bin(BinOp::Add, Expr::Get(RegId(1)), Expr::Const(5))),
+                Stmt::SetTmp(
+                    Temp(0),
+                    Expr::bin(BinOp::Add, Expr::Get(RegId(1)), Expr::Const(5)),
+                ),
                 Stmt::Put(RegId(2), Expr::Tmp(Temp(0))),
                 Stmt::Store {
                     addr: Expr::Const(0x80),
@@ -266,6 +278,9 @@ mod tests {
         );
         assert_eq!(eval_sexpr(&e, &env, &mem), Ok(0u32.wrapping_sub(7)));
         let bad = SExpr::Var(Var(5));
-        assert_eq!(eval_sexpr(&bad, &env, &mem), Err(EvalError::UnboundVar(Var(5))));
+        assert_eq!(
+            eval_sexpr(&bad, &env, &mem),
+            Err(EvalError::UnboundVar(Var(5)))
+        );
     }
 }

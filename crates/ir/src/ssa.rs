@@ -127,7 +127,11 @@ impl SExpr {
                 rhs.visit(f);
             }
             SExpr::Un { arg, .. } => arg.visit(f),
-            SExpr::Ite { cond, then_e, else_e } => {
+            SExpr::Ite {
+                cond,
+                then_e,
+                else_e,
+            } => {
                 cond.visit(f);
                 then_e.visit(f);
                 else_e.visit(f);
@@ -183,7 +187,11 @@ fn hash_into(e: &SExpr, h: &mut Fnv64) {
             h.update(b"U").update(op.mnemonic().as_bytes());
             hash_into(arg, h);
         }
-        SExpr::Ite { cond, then_e, else_e } => {
+        SExpr::Ite {
+            cond,
+            then_e,
+            else_e,
+        } => {
             h.update(b"I");
             hash_into(cond, h);
             hash_into(then_e, h);
@@ -206,7 +214,11 @@ impl fmt::Display for SExpr {
             SExpr::Load { addr, width, .. } => write!(f, "load {width}, ({addr})"),
             SExpr::Bin { op, lhs, rhs } => write!(f, "{} {lhs}, {rhs}", op.mnemonic()),
             SExpr::Un { op, arg } => write!(f, "{} {arg}", op.mnemonic()),
-            SExpr::Ite { cond, then_e, else_e } => {
+            SExpr::Ite {
+                cond,
+                then_e,
+                else_e,
+            } => {
                 write!(f, "select {cond}, {then_e}, {else_e}")
             }
         }
@@ -407,7 +419,11 @@ impl SsaBuilder {
             }
             Expr::Bin { op, lhs, rhs } => SExpr::bin(*op, self.convert(lhs), self.convert(rhs)),
             Expr::Un { op, arg } => SExpr::un(*op, self.convert(arg)),
-            Expr::Ite { cond, then_e, else_e } => SExpr::Ite {
+            Expr::Ite {
+                cond,
+                then_e,
+                else_e,
+            } => SExpr::Ite {
                 cond: Box::new(self.convert(cond)),
                 then_e: Box::new(self.convert(then_e)),
                 else_e: Box::new(self.convert(else_e)),
@@ -508,9 +524,15 @@ mod tests {
     fn every_stmt_defines_one_var() {
         let b = block(
             vec![
-                Stmt::SetTmp(Temp(0), Expr::bin(BinOp::Add, Expr::Get(RegId(1)), Expr::Const(4))),
+                Stmt::SetTmp(
+                    Temp(0),
+                    Expr::bin(BinOp::Add, Expr::Get(RegId(1)), Expr::Const(4)),
+                ),
                 Stmt::Put(RegId(1), Expr::Tmp(Temp(0))),
-                Stmt::Put(RegId(1), Expr::bin(BinOp::Add, Expr::Get(RegId(1)), Expr::Const(1))),
+                Stmt::Put(
+                    RegId(1),
+                    Expr::bin(BinOp::Add, Expr::Get(RegId(1)), Expr::Const(1)),
+                ),
             ],
             Jump::Ret,
         );
@@ -532,8 +554,14 @@ mod tests {
             Jump::Ret,
         );
         let ssa = ssa_block(&b);
-        assert_eq!(ssa.var_info(ssa.stmts[0].def).kind, VarKind::Reg(RegId(5), 0));
-        assert_eq!(ssa.var_info(ssa.stmts[1].def).kind, VarKind::Reg(RegId(5), 1));
+        assert_eq!(
+            ssa.var_info(ssa.stmts[0].def).kind,
+            VarKind::Reg(RegId(5), 0)
+        );
+        assert_eq!(
+            ssa.var_info(ssa.stmts[1].def).kind,
+            VarKind::Reg(RegId(5), 1)
+        );
     }
 
     #[test]
@@ -621,7 +649,13 @@ mod tests {
         );
         let ssa = ssa_block(&b);
         assert_eq!(ssa.stmts.len(), 2);
-        assert!(matches!(ssa.stmts[0].kind, SsaKind::Exit { target: 0x40e744, .. }));
+        assert!(matches!(
+            ssa.stmts[0].kind,
+            SsaKind::Exit {
+                target: 0x40e744,
+                ..
+            }
+        ));
         assert!(matches!(ssa.stmts[1].kind, SsaKind::JumpTarget(_)));
         assert_eq!(ssa.var_info(ssa.stmts[1].def).kind, VarKind::JumpTarget);
     }

@@ -10,7 +10,7 @@ use std::fmt;
 
 use firmup_ir::{BinOp, Expr, Jump, RegId, Stmt, Width};
 
-use crate::common::{Control, Decoded, DecodeError, LiftCtx};
+use crate::common::{Control, DecodeError, Decoded, LiftCtx};
 
 /// Register ids: `r0`–`r15` map to `RegId(0..=15)`.
 pub const SP: u8 = 13;
@@ -182,7 +182,10 @@ impl Operand2 {
         for rot in 0..16u8 {
             let val = v.rotate_left(u32::from(rot) * 2);
             if val <= 0xff {
-                return Some(Operand2::Imm { rot, imm: val as u8 });
+                return Some(Operand2::Imm {
+                    rot,
+                    imm: val as u8,
+                });
             }
         }
         None
@@ -258,22 +261,72 @@ impl DpOp {
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
 #[allow(missing_docs)]
 pub enum Instr {
-    Dp { cond: Cond, op: DpOp, s: bool, rn: u8, rd: u8, op2: Operand2 },
-    Movw { cond: Cond, rd: u8, imm: u16 },
-    Movt { cond: Cond, rd: u8, imm: u16 },
-    Mul { cond: Cond, rd: u8, rm: u8, rs: u8 },
-    Ldr { cond: Cond, byte: bool, rd: u8, rn: u8, up: bool, off: u16 },
-    Str { cond: Cond, byte: bool, rd: u8, rn: u8, up: bool, off: u16 },
-    B { cond: Cond, off: i32 },
-    Bl { cond: Cond, off: i32 },
-    Bx { cond: Cond, rm: u8 },
+    Dp {
+        cond: Cond,
+        op: DpOp,
+        s: bool,
+        rn: u8,
+        rd: u8,
+        op2: Operand2,
+    },
+    Movw {
+        cond: Cond,
+        rd: u8,
+        imm: u16,
+    },
+    Movt {
+        cond: Cond,
+        rd: u8,
+        imm: u16,
+    },
+    Mul {
+        cond: Cond,
+        rd: u8,
+        rm: u8,
+        rs: u8,
+    },
+    Ldr {
+        cond: Cond,
+        byte: bool,
+        rd: u8,
+        rn: u8,
+        up: bool,
+        off: u16,
+    },
+    Str {
+        cond: Cond,
+        byte: bool,
+        rd: u8,
+        rn: u8,
+        up: bool,
+        off: u16,
+    },
+    B {
+        cond: Cond,
+        off: i32,
+    },
+    Bl {
+        cond: Cond,
+        off: i32,
+    },
+    Bx {
+        cond: Cond,
+        rm: u8,
+    },
 }
 
 /// Encode one instruction to its 32-bit word.
 pub fn encode_word(i: &Instr) -> u32 {
     use Instr::*;
     match *i {
-        Dp { cond, op, s, rn, rd, op2 } => {
+        Dp {
+            cond,
+            op,
+            s,
+            rn,
+            rd,
+            op2,
+        } => {
             let (ibit, op2bits) = match op2 {
                 Operand2::Imm { rot, imm } => (1u32, (u32::from(rot) << 8) | u32::from(imm)),
                 Operand2::Reg { rm, shift, amount } => (
@@ -304,9 +357,28 @@ pub fn encode_word(i: &Instr) -> u32 {
                 | (u32::from(imm) & 0xfff)
         }
         Mul { cond, rd, rm, rs } => {
-            ((cond as u32) << 28) | (u32::from(rd) << 16) | (u32::from(rs) << 8) | 0x90 | u32::from(rm)
+            ((cond as u32) << 28)
+                | (u32::from(rd) << 16)
+                | (u32::from(rs) << 8)
+                | 0x90
+                | u32::from(rm)
         }
-        Ldr { cond, byte, rd, rn, up, off } | Str { cond, byte, rd, rn, up, off } => {
+        Ldr {
+            cond,
+            byte,
+            rd,
+            rn,
+            up,
+            off,
+        }
+        | Str {
+            cond,
+            byte,
+            rd,
+            rn,
+            up,
+            off,
+        } => {
             let load = matches!(i, Ldr { .. });
             ((cond as u32) << 28)
                 | (0b01 << 26)
@@ -349,7 +421,13 @@ pub fn decode(bytes: &[u8], offset: usize, addr: u32) -> Result<(Instr, u32), De
 
     // BX (exact pattern, before data processing).
     if w & 0x0fff_fff0 == 0x012f_ff10 {
-        return Ok((Bx { cond, rm: (w & 0xf) as u8 }, 4));
+        return Ok((
+            Bx {
+                cond,
+                rm: (w & 0xf) as u8,
+            },
+            4,
+        ));
     }
     // MUL.
     if w & 0x0fc0_00f0 == 0x0000_0090 {
@@ -408,7 +486,17 @@ pub fn decode(bytes: &[u8], offset: usize, addr: u32) -> Result<(Instr, u32), De
                     amount: ((w >> 7) & 0x1f) as u8,
                 }
             };
-            Ok((Dp { cond, op, s, rn, rd, op2 }, 4))
+            Ok((
+                Dp {
+                    cond,
+                    op,
+                    s,
+                    rn,
+                    rd,
+                    op2,
+                },
+                4,
+            ))
         }
         0b01 => {
             // Load/store immediate offset, P=1, W=0, I=0 only.
@@ -426,9 +514,23 @@ pub fn decode(bytes: &[u8], offset: usize, addr: u32) -> Result<(Instr, u32), De
             let off = (w & 0xfff) as u16;
             Ok((
                 if load {
-                    Ldr { cond, byte, rd, rn, up, off }
+                    Ldr {
+                        cond,
+                        byte,
+                        rd,
+                        rn,
+                        up,
+                        off,
+                    }
                 } else {
-                    Str { cond, byte, rd, rn, up, off }
+                    Str {
+                        cond,
+                        byte,
+                        rd,
+                        rn,
+                        up,
+                        off,
+                    }
                 },
                 4,
             ))
@@ -459,7 +561,10 @@ fn branch_target(addr: u32, off: i32) -> u32 {
 pub fn control(i: &Instr, addr: u32) -> Control {
     use Instr::*;
     match *i {
-        B { cond: Cond::Al, off } => Control::Jump(branch_target(addr, off)),
+        B {
+            cond: Cond::Al,
+            off,
+        } => Control::Jump(branch_target(addr, off)),
         B { off, .. } => Control::CondJump(branch_target(addr, off)),
         Bl { off, .. } => Control::Call(branch_target(addr, off)),
         Bx { rm, .. } if rm == LR => Control::Ret,
@@ -487,24 +592,57 @@ pub fn asm(i: &Instr, addr: u32) -> String {
         }
     };
     match i {
-        Dp { cond, op, s, rn, rd, op2 } => {
+        Dp {
+            cond,
+            op,
+            s,
+            rn,
+            rd,
+            op2,
+        } => {
             let sfx = cond.suffix();
             let sbit = if *s && !op.discards_result() { "s" } else { "" };
             match op {
-                DpOp::Mov | DpOp::Mvn => format!("{}{sfx}{sbit} {}, {}", op.mnemonic(), r(*rd), op2s(op2)),
-                DpOp::Cmp | DpOp::Tst => format!("{}{sfx} {}, {}", op.mnemonic(), r(*rn), op2s(op2)),
-                _ => format!("{}{sfx}{sbit} {}, {}, {}", op.mnemonic(), r(*rd), r(*rn), op2s(op2)),
+                DpOp::Mov | DpOp::Mvn => {
+                    format!("{}{sfx}{sbit} {}, {}", op.mnemonic(), r(*rd), op2s(op2))
+                }
+                DpOp::Cmp | DpOp::Tst => {
+                    format!("{}{sfx} {}, {}", op.mnemonic(), r(*rn), op2s(op2))
+                }
+                _ => format!(
+                    "{}{sfx}{sbit} {}, {}, {}",
+                    op.mnemonic(),
+                    r(*rd),
+                    r(*rn),
+                    op2s(op2)
+                ),
             }
         }
         Movw { cond, rd, imm } => format!("movw{} {}, #{imm:#x}", cond.suffix(), r(*rd)),
         Movt { cond, rd, imm } => format!("movt{} {}, #{imm:#x}", cond.suffix(), r(*rd)),
-        Mul { cond, rd, rm, rs } => format!("mul{} {}, {}, {}", cond.suffix(), r(*rd), r(*rm), r(*rs)),
-        Ldr { byte, rd, rn, up, off, .. } => {
+        Mul { cond, rd, rm, rs } => {
+            format!("mul{} {}, {}, {}", cond.suffix(), r(*rd), r(*rm), r(*rs))
+        }
+        Ldr {
+            byte,
+            rd,
+            rn,
+            up,
+            off,
+            ..
+        } => {
             let b = if *byte { "b" } else { "" };
             let sign = if *up { "" } else { "-" };
             format!("ldr{b} {}, [{}, #{sign}{off:#x}]", r(*rd), r(*rn))
         }
-        Str { byte, rd, rn, up, off, .. } => {
+        Str {
+            byte,
+            rd,
+            rn,
+            up,
+            off,
+            ..
+        } => {
             let b = if *byte { "b" } else { "" };
             let sign = if *up { "" } else { "-" };
             format!("str{b} {}, [{}, #{sign}{off:#x}]", r(*rd), r(*rn))
@@ -536,8 +674,18 @@ fn put_cond(ctx: &mut LiftCtx, cond: Cond, rd: u8, value: Expr) {
 }
 
 fn set_nz(ctx: &mut LiftCtx, cond: Cond, res: &Expr) {
-    put_cond_flag(ctx, cond, NF, Expr::bin(BinOp::CmpLtS, res.clone(), Expr::Const(0)));
-    put_cond_flag(ctx, cond, ZF, Expr::bin(BinOp::CmpEq, res.clone(), Expr::Const(0)));
+    put_cond_flag(
+        ctx,
+        cond,
+        NF,
+        Expr::bin(BinOp::CmpLtS, res.clone(), Expr::Const(0)),
+    );
+    put_cond_flag(
+        ctx,
+        cond,
+        ZF,
+        Expr::bin(BinOp::CmpEq, res.clone(), Expr::Const(0)),
+    );
 }
 
 fn put_cond_flag(ctx: &mut LiftCtx, cond: Cond, flag: RegId, value: Expr) {
@@ -558,7 +706,14 @@ pub fn lift(i: &Instr, addr: u32, ctx: &mut LiftCtx) {
     use Instr::*;
     let next = addr.wrapping_add(4);
     match *i {
-        Dp { cond, op, s, rn, rd, op2 } => {
+        Dp {
+            cond,
+            op,
+            s,
+            rn,
+            rd,
+            op2,
+        } => {
             let a = get(rn, addr);
             let b = match op2 {
                 Operand2::Imm { rot, imm } => Expr::Const(Operand2::imm_value(rot, imm)),
@@ -583,7 +738,11 @@ pub fn lift(i: &Instr, addr: u32, ctx: &mut LiftCtx) {
                 DpOp::Eor => (Expr::bin(BinOp::Xor, a.clone(), b.clone()), None, None),
                 DpOp::Orr => (Expr::bin(BinOp::Or, a.clone(), b.clone()), None, None),
                 DpOp::Bic => (
-                    Expr::bin(BinOp::And, a.clone(), Expr::un(firmup_ir::UnOp::Not, b.clone())),
+                    Expr::bin(
+                        BinOp::And,
+                        a.clone(),
+                        Expr::un(firmup_ir::UnOp::Not, b.clone()),
+                    ),
                     None,
                     None,
                 ),
@@ -656,10 +815,26 @@ pub fn lift(i: &Instr, addr: u32, ctx: &mut LiftCtx) {
             );
         }
         Mul { cond, rd, rm, rs } => {
-            put_cond(ctx, cond, rd, Expr::bin(BinOp::Mul, get(rm, addr), get(rs, addr)));
+            put_cond(
+                ctx,
+                cond,
+                rd,
+                Expr::bin(BinOp::Mul, get(rm, addr), get(rs, addr)),
+            );
         }
-        Ldr { byte, rd, rn, up, off, .. } => {
-            let disp = if up { u32::from(off) } else { (u32::from(off)).wrapping_neg() };
+        Ldr {
+            byte,
+            rd,
+            rn,
+            up,
+            off,
+            ..
+        } => {
+            let disp = if up {
+                u32::from(off)
+            } else {
+                (u32::from(off)).wrapping_neg()
+            };
             let a = if disp == 0 {
                 get(rn, addr)
             } else {
@@ -668,8 +843,19 @@ pub fn lift(i: &Instr, addr: u32, ctx: &mut LiftCtx) {
             let w = if byte { Width::W8 } else { Width::W32 };
             put_cond(ctx, Cond::Al, rd, Expr::load(a, w));
         }
-        Str { byte, rd, rn, up, off, .. } => {
-            let disp = if up { u32::from(off) } else { (u32::from(off)).wrapping_neg() };
+        Str {
+            byte,
+            rd,
+            rn,
+            up,
+            off,
+            ..
+        } => {
+            let disp = if up {
+                u32::from(off)
+            } else {
+                (u32::from(off)).wrapping_neg()
+            };
             let a = if disp == 0 {
                 get(rn, addr)
             } else {
@@ -716,7 +902,12 @@ pub fn lift(i: &Instr, addr: u32, ctx: &mut LiftCtx) {
 /// # Errors
 ///
 /// Propagates decode errors.
-pub fn lift_into(bytes: &[u8], offset: usize, addr: u32, ctx: &mut LiftCtx) -> Result<Decoded, DecodeError> {
+pub fn lift_into(
+    bytes: &[u8],
+    offset: usize,
+    addr: u32,
+    ctx: &mut LiftCtx,
+) -> Result<Decoded, DecodeError> {
     let (i, len) = decode(bytes, offset, addr)?;
     let ctrl = control(&i, addr);
     lift(&i, addr, ctx);
@@ -787,7 +978,11 @@ mod tests {
                 s: false,
                 rn: 0,
                 rd: 5,
-                op2: Operand2::Reg { rm: 6, shift: Shift::Asr, amount: 2 },
+                op2: Operand2::Reg {
+                    rm: 6,
+                    shift: Shift::Asr,
+                    amount: 2,
+                },
             },
             Instr::Dp {
                 cond: Cond::Al,
@@ -797,17 +992,70 @@ mod tests {
                 rd: 0,
                 op2: Operand2::Imm { rot: 0, imm: 0x1f },
             },
-            Instr::Movw { cond: Cond::Al, rd: 1, imm: 0xbeef },
-            Instr::Movt { cond: Cond::Al, rd: 1, imm: 0xdead },
-            Instr::Mul { cond: Cond::Al, rd: 2, rm: 3, rs: 4 },
-            Instr::Ldr { cond: Cond::Al, byte: false, rd: 0, rn: SP, up: true, off: 8 },
-            Instr::Ldr { cond: Cond::Al, byte: true, rd: 1, rn: 2, up: false, off: 1 },
-            Instr::Str { cond: Cond::Al, byte: false, rd: 0, rn: SP, up: true, off: 4 },
-            Instr::Str { cond: Cond::Al, byte: true, rd: 3, rn: 4, up: true, off: 0 },
-            Instr::B { cond: Cond::Al, off: 10 },
-            Instr::B { cond: Cond::Eq, off: -2 },
-            Instr::Bl { cond: Cond::Al, off: 0x1000 },
-            Instr::Bx { cond: Cond::Al, rm: LR },
+            Instr::Movw {
+                cond: Cond::Al,
+                rd: 1,
+                imm: 0xbeef,
+            },
+            Instr::Movt {
+                cond: Cond::Al,
+                rd: 1,
+                imm: 0xdead,
+            },
+            Instr::Mul {
+                cond: Cond::Al,
+                rd: 2,
+                rm: 3,
+                rs: 4,
+            },
+            Instr::Ldr {
+                cond: Cond::Al,
+                byte: false,
+                rd: 0,
+                rn: SP,
+                up: true,
+                off: 8,
+            },
+            Instr::Ldr {
+                cond: Cond::Al,
+                byte: true,
+                rd: 1,
+                rn: 2,
+                up: false,
+                off: 1,
+            },
+            Instr::Str {
+                cond: Cond::Al,
+                byte: false,
+                rd: 0,
+                rn: SP,
+                up: true,
+                off: 4,
+            },
+            Instr::Str {
+                cond: Cond::Al,
+                byte: true,
+                rd: 3,
+                rn: 4,
+                up: true,
+                off: 0,
+            },
+            Instr::B {
+                cond: Cond::Al,
+                off: 10,
+            },
+            Instr::B {
+                cond: Cond::Eq,
+                off: -2,
+            },
+            Instr::Bl {
+                cond: Cond::Al,
+                off: 0x1000,
+            },
+            Instr::Bx {
+                cond: Cond::Al,
+                rm: LR,
+            },
         ] {
             rt(i);
         }
@@ -815,7 +1063,10 @@ mod tests {
 
     #[test]
     fn operand2_imm_encoding() {
-        assert_eq!(Operand2::try_imm(0xff), Some(Operand2::Imm { rot: 0, imm: 0xff }));
+        assert_eq!(
+            Operand2::try_imm(0xff),
+            Some(Operand2::Imm { rot: 0, imm: 0xff })
+        );
         let o = Operand2::try_imm(0x1_0000).expect("representable");
         if let Operand2::Imm { rot, imm } = o {
             assert_eq!(Operand2::imm_value(rot, imm), 0x1_0000);
@@ -825,14 +1076,35 @@ mod tests {
 
     #[test]
     fn branch_target_uses_pc_plus_8() {
-        let i = Instr::B { cond: Cond::Al, off: 1 };
+        let i = Instr::B {
+            cond: Cond::Al,
+            off: 1,
+        };
         assert_eq!(control(&i, 0x100), Control::Jump(0x10c));
     }
 
     #[test]
     fn bx_lr_is_return() {
-        assert_eq!(control(&Instr::Bx { cond: Cond::Al, rm: LR }, 0), Control::Ret);
-        assert_eq!(control(&Instr::Bx { cond: Cond::Al, rm: 3 }, 0), Control::IndirectJump);
+        assert_eq!(
+            control(
+                &Instr::Bx {
+                    cond: Cond::Al,
+                    rm: LR
+                },
+                0
+            ),
+            Control::Ret
+        );
+        assert_eq!(
+            control(
+                &Instr::Bx {
+                    cond: Cond::Al,
+                    rm: 3
+                },
+                0
+            ),
+            Control::IndirectJump
+        );
     }
 
     #[test]
@@ -894,8 +1166,24 @@ mod tests {
     #[test]
     fn movw_movt_build_constant() {
         let mut ctx = LiftCtx::new();
-        lift(&Instr::Movw { cond: Cond::Al, rd: 1, imm: 0x5678 }, 0, &mut ctx);
-        lift(&Instr::Movt { cond: Cond::Al, rd: 1, imm: 0x1234 }, 4, &mut ctx);
+        lift(
+            &Instr::Movw {
+                cond: Cond::Al,
+                rd: 1,
+                imm: 0x5678,
+            },
+            0,
+            &mut ctx,
+        );
+        lift(
+            &Instr::Movt {
+                cond: Cond::Al,
+                rd: 1,
+                imm: 0x1234,
+            },
+            4,
+            &mut ctx,
+        );
         let mut m = Machine::new();
         for s in &ctx.stmts {
             m.step(s).unwrap();
@@ -906,7 +1194,14 @@ mod tests {
     #[test]
     fn conditional_branch_lift() {
         let mut ctx = LiftCtx::new();
-        lift(&Instr::B { cond: Cond::Eq, off: 2 }, 0x1000, &mut ctx);
+        lift(
+            &Instr::B {
+                cond: Cond::Eq,
+                off: 2,
+            },
+            0x1000,
+            &mut ctx,
+        );
         assert!(matches!(ctx.stmts[0], Stmt::Exit { target: 0x1010, .. }));
         assert_eq!(ctx.jump, Some(Jump::Fall(0x1004)));
     }
@@ -914,16 +1209,36 @@ mod tests {
     #[test]
     fn bl_sets_lr() {
         let mut ctx = LiftCtx::new();
-        lift(&Instr::Bl { cond: Cond::Al, off: 4 }, 0x2000, &mut ctx);
+        lift(
+            &Instr::Bl {
+                cond: Cond::Al,
+                off: 4,
+            },
+            0x2000,
+            &mut ctx,
+        );
         assert_eq!(ctx.stmts[0], Stmt::Put(RegId(14), Expr::Const(0x2004)));
-        assert!(matches!(ctx.jump, Some(Jump::Call { return_to: 0x2004, .. })));
+        assert!(matches!(
+            ctx.jump,
+            Some(Jump::Call {
+                return_to: 0x2004,
+                ..
+            })
+        ));
     }
 
     #[test]
     fn str_negative_offset() {
         let mut ctx = LiftCtx::new();
         lift(
-            &Instr::Str { cond: Cond::Al, byte: false, rd: 0, rn: SP, up: false, off: 4 },
+            &Instr::Str {
+                cond: Cond::Al,
+                byte: false,
+                rd: 0,
+                rn: SP,
+                up: false,
+                off: 4,
+            },
             0,
             &mut ctx,
         );
@@ -1060,6 +1375,15 @@ mod tests {
             ),
             "add r0, r1, #0x4"
         );
-        assert_eq!(asm(&Instr::Bx { cond: Cond::Al, rm: LR }, 0), "bx lr");
+        assert_eq!(
+            asm(
+                &Instr::Bx {
+                    cond: Cond::Al,
+                    rm: LR
+                },
+                0
+            ),
+            "bx lr"
+        );
     }
 }

@@ -44,7 +44,7 @@ pub mod mips;
 pub mod ppc;
 pub mod x86;
 
-pub use common::{Arch, Control, Decoded, DecodeError, LiftCtx};
+pub use common::{Arch, Control, DecodeError, Decoded, LiftCtx};
 
 use firmup_ir::RegId;
 
@@ -77,7 +77,12 @@ pub fn lift_into(
 ///
 /// Returns a [`DecodeError`] when the bytes are truncated or outside the
 /// supported subset of `arch`.
-pub fn decode_info(arch: Arch, bytes: &[u8], offset: usize, addr: u32) -> Result<Decoded, DecodeError> {
+pub fn decode_info(
+    arch: Arch,
+    bytes: &[u8],
+    offset: usize,
+    addr: u32,
+) -> Result<Decoded, DecodeError> {
     match arch {
         Arch::Mips32 => mips::decode_info(bytes, offset, addr),
         Arch::Arm32 => arm::decode_info(bytes, offset, addr),
@@ -125,7 +130,13 @@ mod tests {
         let mut mips_code = Vec::new();
         mips::encode(&mips::Instr::Jr { rs: mips::RA }, &mut mips_code);
         let mut arm_code = Vec::new();
-        arm::encode(&arm::Instr::Bx { cond: arm::Cond::Al, rm: arm::LR }, &mut arm_code);
+        arm::encode(
+            &arm::Instr::Bx {
+                cond: arm::Cond::Al,
+                rm: arm::LR,
+            },
+            &mut arm_code,
+        );
         let mut ppc_code = Vec::new();
         ppc::encode(&ppc::Instr::Blr, &mut ppc_code);
         let x86_code = vec![0xc3];

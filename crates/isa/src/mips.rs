@@ -12,7 +12,7 @@ use std::fmt;
 
 use firmup_ir::{BinOp, Expr, Jump, RegId, Stmt, UnOp, Width};
 
-use crate::common::{Control, Decoded, DecodeError, LiftCtx};
+use crate::common::{Control, DecodeError, Decoded, LiftCtx};
 
 /// A MIPS general-purpose register (`$0`–`$31`).
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
@@ -21,8 +21,8 @@ pub struct Gpr(pub u8);
 /// Conventional MIPS register names, indexed by number.
 pub const REG_NAMES: [&str; 32] = [
     "zero", "at", "v0", "v1", "a0", "a1", "a2", "a3", "t0", "t1", "t2", "t3", "t4", "t5", "t6",
-    "t7", "s0", "s1", "s2", "s3", "s4", "s5", "s6", "s7", "t8", "t9", "k0", "k1", "gp", "sp",
-    "fp", "ra",
+    "t7", "s0", "s1", "s2", "s3", "s4", "s5", "s6", "s7", "t8", "t9", "k0", "k1", "gp", "sp", "fp",
+    "ra",
 ];
 
 /// Stack pointer (`$sp`).
@@ -105,7 +105,11 @@ pub enum Instr {
 }
 
 fn r_type(funct: u32, rs: u8, rt: u8, rd: u8, sh: u8) -> u32 {
-    (u32::from(rs) << 21) | (u32::from(rt) << 16) | (u32::from(rd) << 11) | (u32::from(sh) << 6) | funct
+    (u32::from(rs) << 21)
+        | (u32::from(rt) << 16)
+        | (u32::from(rd) << 11)
+        | (u32::from(sh) << 6)
+        | funct
 }
 
 fn i_type(op: u32, rs: u8, rt: u8, imm: u16) -> u32 {
@@ -228,26 +232,51 @@ pub fn decode(bytes: &[u8], offset: usize, addr: u32) -> Result<(Instr, u32), De
         0x0d => Ori { rt, rs, imm },
         0x0e => Xori { rt, rs, imm },
         0x0f => Lui { rt, imm },
-        0x20 => Lb { rt, base: rs, off: simm },
-        0x23 => Lw { rt, base: rs, off: simm },
-        0x24 => Lbu { rt, base: rs, off: simm },
-        0x28 => Sb { rt, base: rs, off: simm },
-        0x2b => Sw { rt, base: rs, off: simm },
+        0x20 => Lb {
+            rt,
+            base: rs,
+            off: simm,
+        },
+        0x23 => Lw {
+            rt,
+            base: rs,
+            off: simm,
+        },
+        0x24 => Lbu {
+            rt,
+            base: rs,
+            off: simm,
+        },
+        0x28 => Sb {
+            rt,
+            base: rs,
+            off: simm,
+        },
+        0x2b => Sw {
+            rt,
+            base: rs,
+            off: simm,
+        },
         _ => return Err(DecodeError::Unknown { addr, word: w }),
     };
     Ok((i, 4))
 }
 
 fn branch_target(addr: u32, off: i16) -> u32 {
-    addr.wrapping_add(4).wrapping_add((i32::from(off) << 2) as u32)
+    addr.wrapping_add(4)
+        .wrapping_add((i32::from(off) << 2) as u32)
 }
 
 /// Control-flow classification.
 pub fn control(i: &Instr, addr: u32) -> Control {
     use Instr::*;
     match *i {
-        Beq { off, .. } | Bne { off, .. } | Blez { off, .. } | Bgtz { off, .. }
-        | Bltz { off, .. } | Bgez { off, .. } => Control::CondJump(branch_target(addr, off)),
+        Beq { off, .. }
+        | Bne { off, .. }
+        | Blez { off, .. }
+        | Bgtz { off, .. }
+        | Bltz { off, .. }
+        | Bgez { off, .. } => Control::CondJump(branch_target(addr, off)),
         J { target } => Control::Jump(target),
         Jal { target } => Control::Call(target),
         Jr { rs } if rs == RA => Control::Ret,
@@ -343,10 +372,22 @@ pub fn lift(i: &Instr, addr: u32, ctx: &mut LiftCtx) {
             if rd.0 == 0 && rt.0 == 0 && sh == 0 {
                 return; // nop
             }
-            put(ctx, rd, Expr::bin(BinOp::Shl, get(rt), Expr::Const(u32::from(sh))));
+            put(
+                ctx,
+                rd,
+                Expr::bin(BinOp::Shl, get(rt), Expr::Const(u32::from(sh))),
+            );
         }
-        Srl { rd, rt, sh } => put(ctx, rd, Expr::bin(BinOp::Shr, get(rt), Expr::Const(u32::from(sh)))),
-        Sra { rd, rt, sh } => put(ctx, rd, Expr::bin(BinOp::Sar, get(rt), Expr::Const(u32::from(sh)))),
+        Srl { rd, rt, sh } => put(
+            ctx,
+            rd,
+            Expr::bin(BinOp::Shr, get(rt), Expr::Const(u32::from(sh))),
+        ),
+        Sra { rd, rt, sh } => put(
+            ctx,
+            rd,
+            Expr::bin(BinOp::Sar, get(rt), Expr::Const(u32::from(sh))),
+        ),
         Sllv { rd, rt, rs } => put(ctx, rd, Expr::bin(BinOp::Shl, get(rt), get(rs))),
         Srlv { rd, rt, rs } => put(ctx, rd, Expr::bin(BinOp::Shr, get(rt), get(rs))),
         Srav { rd, rt, rs } => put(ctx, rd, Expr::bin(BinOp::Sar, get(rt), get(rs))),
@@ -355,24 +396,52 @@ pub fn lift(i: &Instr, addr: u32, ctx: &mut LiftCtx) {
         And { rd, rs, rt } => put(ctx, rd, Expr::bin(BinOp::And, get(rs), get(rt))),
         Or { rd, rs, rt } => put(ctx, rd, Expr::bin(BinOp::Or, get(rs), get(rt))),
         Xor { rd, rs, rt } => put(ctx, rd, Expr::bin(BinOp::Xor, get(rs), get(rt))),
-        Nor { rd, rs, rt } => put(ctx, rd, Expr::un(UnOp::Not, Expr::bin(BinOp::Or, get(rs), get(rt)))),
+        Nor { rd, rs, rt } => put(
+            ctx,
+            rd,
+            Expr::un(UnOp::Not, Expr::bin(BinOp::Or, get(rs), get(rt))),
+        ),
         Slt { rd, rs, rt } => put(ctx, rd, Expr::bin(BinOp::CmpLtS, get(rs), get(rt))),
         Sltu { rd, rs, rt } => put(ctx, rd, Expr::bin(BinOp::CmpLtU, get(rs), get(rt))),
         Mul { rd, rs, rt } => put(ctx, rd, Expr::bin(BinOp::Mul, get(rs), get(rt))),
         Addiu { rt, rs, imm } => {
             let c = Expr::Const(imm as i32 as u32);
-            let e = if rs.0 == 0 { c } else { Expr::bin(BinOp::Add, get(rs), c) };
+            let e = if rs.0 == 0 {
+                c
+            } else {
+                Expr::bin(BinOp::Add, get(rs), c)
+            };
             put(ctx, rt, e);
         }
-        Slti { rt, rs, imm } => put(ctx, rt, Expr::bin(BinOp::CmpLtS, get(rs), Expr::Const(imm as i32 as u32))),
-        Sltiu { rt, rs, imm } => put(ctx, rt, Expr::bin(BinOp::CmpLtU, get(rs), Expr::Const(imm as i32 as u32))),
-        Andi { rt, rs, imm } => put(ctx, rt, Expr::bin(BinOp::And, get(rs), Expr::Const(u32::from(imm)))),
+        Slti { rt, rs, imm } => put(
+            ctx,
+            rt,
+            Expr::bin(BinOp::CmpLtS, get(rs), Expr::Const(imm as i32 as u32)),
+        ),
+        Sltiu { rt, rs, imm } => put(
+            ctx,
+            rt,
+            Expr::bin(BinOp::CmpLtU, get(rs), Expr::Const(imm as i32 as u32)),
+        ),
+        Andi { rt, rs, imm } => put(
+            ctx,
+            rt,
+            Expr::bin(BinOp::And, get(rs), Expr::Const(u32::from(imm))),
+        ),
         Ori { rt, rs, imm } => {
             let c = Expr::Const(u32::from(imm));
-            let e = if rs.0 == 0 { c } else { Expr::bin(BinOp::Or, get(rs), c) };
+            let e = if rs.0 == 0 {
+                c
+            } else {
+                Expr::bin(BinOp::Or, get(rs), c)
+            };
             put(ctx, rt, e);
         }
-        Xori { rt, rs, imm } => put(ctx, rt, Expr::bin(BinOp::Xor, get(rs), Expr::Const(u32::from(imm)))),
+        Xori { rt, rs, imm } => put(
+            ctx,
+            rt,
+            Expr::bin(BinOp::Xor, get(rs), Expr::Const(u32::from(imm))),
+        ),
         Lui { rt, imm } => put(ctx, rt, Expr::Const(u32::from(imm) << 16)),
         Lw { rt, base, off } => put(ctx, rt, Expr::load(mem_addr(base, off), Width::W32)),
         Lb { rt, base, off } => put(
@@ -458,7 +527,12 @@ pub fn lift(i: &Instr, addr: u32, ctx: &mut LiftCtx) {
 /// # Errors
 ///
 /// Propagates decode errors; never fails after a successful decode.
-pub fn lift_into(bytes: &[u8], offset: usize, addr: u32, ctx: &mut LiftCtx) -> Result<Decoded, DecodeError> {
+pub fn lift_into(
+    bytes: &[u8],
+    offset: usize,
+    addr: u32,
+    ctx: &mut LiftCtx,
+) -> Result<Decoded, DecodeError> {
     let (i, len) = decode(bytes, offset, addr)?;
     let ctrl = control(&i, addr);
     lift(&i, addr, ctx);
@@ -507,41 +581,156 @@ mod tests {
         let b = Gpr(5);
         let c = Gpr(2);
         for i in [
-            Instr::Sll { rd: c, rt: a, sh: 3 },
-            Instr::Srl { rd: c, rt: a, sh: 31 },
-            Instr::Sra { rd: c, rt: a, sh: 1 },
-            Instr::Sllv { rd: c, rt: a, rs: b },
-            Instr::Srlv { rd: c, rt: a, rs: b },
-            Instr::Srav { rd: c, rt: a, rs: b },
-            Instr::Addu { rd: c, rs: a, rt: b },
-            Instr::Subu { rd: c, rs: a, rt: b },
-            Instr::And { rd: c, rs: a, rt: b },
-            Instr::Or { rd: c, rs: a, rt: b },
-            Instr::Xor { rd: c, rs: a, rt: b },
-            Instr::Nor { rd: c, rs: a, rt: b },
-            Instr::Slt { rd: c, rs: a, rt: b },
-            Instr::Sltu { rd: c, rs: a, rt: b },
-            Instr::Mul { rd: c, rs: a, rt: b },
-            Instr::Addiu { rt: c, rs: a, imm: -4 },
-            Instr::Slti { rt: c, rs: a, imm: 100 },
-            Instr::Sltiu { rt: c, rs: a, imm: -1 },
-            Instr::Andi { rt: c, rs: a, imm: 0xff },
-            Instr::Ori { rt: c, rs: a, imm: 0xbeef },
-            Instr::Xori { rt: c, rs: a, imm: 1 },
+            Instr::Sll {
+                rd: c,
+                rt: a,
+                sh: 3,
+            },
+            Instr::Srl {
+                rd: c,
+                rt: a,
+                sh: 31,
+            },
+            Instr::Sra {
+                rd: c,
+                rt: a,
+                sh: 1,
+            },
+            Instr::Sllv {
+                rd: c,
+                rt: a,
+                rs: b,
+            },
+            Instr::Srlv {
+                rd: c,
+                rt: a,
+                rs: b,
+            },
+            Instr::Srav {
+                rd: c,
+                rt: a,
+                rs: b,
+            },
+            Instr::Addu {
+                rd: c,
+                rs: a,
+                rt: b,
+            },
+            Instr::Subu {
+                rd: c,
+                rs: a,
+                rt: b,
+            },
+            Instr::And {
+                rd: c,
+                rs: a,
+                rt: b,
+            },
+            Instr::Or {
+                rd: c,
+                rs: a,
+                rt: b,
+            },
+            Instr::Xor {
+                rd: c,
+                rs: a,
+                rt: b,
+            },
+            Instr::Nor {
+                rd: c,
+                rs: a,
+                rt: b,
+            },
+            Instr::Slt {
+                rd: c,
+                rs: a,
+                rt: b,
+            },
+            Instr::Sltu {
+                rd: c,
+                rs: a,
+                rt: b,
+            },
+            Instr::Mul {
+                rd: c,
+                rs: a,
+                rt: b,
+            },
+            Instr::Addiu {
+                rt: c,
+                rs: a,
+                imm: -4,
+            },
+            Instr::Slti {
+                rt: c,
+                rs: a,
+                imm: 100,
+            },
+            Instr::Sltiu {
+                rt: c,
+                rs: a,
+                imm: -1,
+            },
+            Instr::Andi {
+                rt: c,
+                rs: a,
+                imm: 0xff,
+            },
+            Instr::Ori {
+                rt: c,
+                rs: a,
+                imm: 0xbeef,
+            },
+            Instr::Xori {
+                rt: c,
+                rs: a,
+                imm: 1,
+            },
             Instr::Lui { rt: c, imm: 0xdead },
-            Instr::Lw { rt: c, base: SP, off: 0x28 },
-            Instr::Lb { rt: c, base: a, off: -1 },
-            Instr::Lbu { rt: c, base: a, off: 0 },
-            Instr::Sw { rt: c, base: SP, off: 4 },
-            Instr::Sb { rt: c, base: a, off: 2 },
-            Instr::Beq { rs: a, rt: b, off: -2 },
-            Instr::Bne { rs: a, rt: b, off: 10 },
+            Instr::Lw {
+                rt: c,
+                base: SP,
+                off: 0x28,
+            },
+            Instr::Lb {
+                rt: c,
+                base: a,
+                off: -1,
+            },
+            Instr::Lbu {
+                rt: c,
+                base: a,
+                off: 0,
+            },
+            Instr::Sw {
+                rt: c,
+                base: SP,
+                off: 4,
+            },
+            Instr::Sb {
+                rt: c,
+                base: a,
+                off: 2,
+            },
+            Instr::Beq {
+                rs: a,
+                rt: b,
+                off: -2,
+            },
+            Instr::Bne {
+                rs: a,
+                rt: b,
+                off: 10,
+            },
             Instr::Blez { rs: a, off: 1 },
             Instr::Bgtz { rs: a, off: 1 },
             Instr::Bltz { rs: a, off: -1 },
             Instr::Bgez { rs: a, off: -1 },
             Instr::Jr { rs: RA },
-            Instr::Jalr { rd: RA, rs: Gpr(25) },
+            Instr::Jalr {
+                rd: RA,
+                rs: Gpr(25),
+            },
         ] {
             roundtrip(i);
         }
@@ -549,7 +738,9 @@ mod tests {
 
     #[test]
     fn jump_targets_roundtrip_within_region() {
-        let i = Instr::Jal { target: 0x0040_b2ac };
+        let i = Instr::Jal {
+            target: 0x0040_b2ac,
+        };
         let mut buf = Vec::new();
         encode(&i, &mut buf);
         let (d, _) = decode(&buf, 0, 0x0040_e700).unwrap();
@@ -559,29 +750,50 @@ mod tests {
     #[test]
     fn unknown_word_is_error() {
         let w = (0x3fu32 << 26).to_le_bytes();
+        assert!(matches!(decode(&w, 0, 0), Err(DecodeError::Unknown { .. })));
         assert!(matches!(
-            decode(&w, 0, 0),
-            Err(DecodeError::Unknown { .. })
+            decode(&w, 2, 0),
+            Err(DecodeError::Truncated { .. })
         ));
-        assert!(matches!(decode(&w, 2, 0), Err(DecodeError::Truncated { .. })));
     }
 
     #[test]
     fn branch_target_math() {
         // beq at 0x1000 with off=+3 → 0x1004 + 12 = 0x1010
-        let i = Instr::Beq { rs: Gpr(1), rt: Gpr(2), off: 3 };
+        let i = Instr::Beq {
+            rs: Gpr(1),
+            rt: Gpr(2),
+            off: 3,
+        };
         assert_eq!(control(&i, 0x1000), Control::CondJump(0x1010));
-        let j = Instr::Bne { rs: Gpr(1), rt: Gpr(2), off: -1 };
+        let j = Instr::Bne {
+            rs: Gpr(1),
+            rt: Gpr(2),
+            off: -1,
+        };
         assert_eq!(control(&j, 0x1000), Control::CondJump(0x1000));
     }
 
     #[test]
     fn control_classes() {
         assert_eq!(control(&Instr::Jr { rs: RA }, 0), Control::Ret);
-        assert_eq!(control(&Instr::Jr { rs: Gpr(25) }, 0), Control::IndirectJump);
-        assert_eq!(control(&Instr::Jal { target: 0x40 }, 0), Control::Call(0x40));
         assert_eq!(
-            control(&Instr::Addu { rd: Gpr(1), rs: Gpr(2), rt: Gpr(3) }, 0),
+            control(&Instr::Jr { rs: Gpr(25) }, 0),
+            Control::IndirectJump
+        );
+        assert_eq!(
+            control(&Instr::Jal { target: 0x40 }, 0),
+            Control::Call(0x40)
+        );
+        assert_eq!(
+            control(
+                &Instr::Addu {
+                    rd: Gpr(1),
+                    rs: Gpr(2),
+                    rt: Gpr(3)
+                },
+                0
+            ),
             Control::Fall
         );
     }
@@ -589,7 +801,15 @@ mod tests {
     #[test]
     fn lift_addiu_executes_correctly() {
         let mut ctx = LiftCtx::new();
-        lift(&Instr::Addiu { rt: Gpr(2), rs: Gpr(4), imm: -4 }, 0, &mut ctx);
+        lift(
+            &Instr::Addiu {
+                rt: Gpr(2),
+                rs: Gpr(4),
+                imm: -4,
+            },
+            0,
+            &mut ctx,
+        );
         let mut m = Machine::new();
         m.set_reg(Gpr(4).reg_id(), 10);
         for s in &ctx.stmts {
@@ -601,9 +821,33 @@ mod tests {
     #[test]
     fn lift_memory_ops_execute_correctly() {
         let mut ctx = LiftCtx::new();
-        lift(&Instr::Sw { rt: Gpr(4), base: SP, off: 8 }, 0, &mut ctx);
-        lift(&Instr::Lw { rt: Gpr(2), base: SP, off: 8 }, 4, &mut ctx);
-        lift(&Instr::Lb { rt: Gpr(3), base: SP, off: 8 }, 8, &mut ctx);
+        lift(
+            &Instr::Sw {
+                rt: Gpr(4),
+                base: SP,
+                off: 8,
+            },
+            0,
+            &mut ctx,
+        );
+        lift(
+            &Instr::Lw {
+                rt: Gpr(2),
+                base: SP,
+                off: 8,
+            },
+            4,
+            &mut ctx,
+        );
+        lift(
+            &Instr::Lb {
+                rt: Gpr(3),
+                base: SP,
+                off: 8,
+            },
+            8,
+            &mut ctx,
+        );
         let mut m = Machine::new();
         m.set_reg(SP.reg_id(), 0x7fff_0000);
         m.set_reg(Gpr(4).reg_id(), 0xffff_ff85);
@@ -617,9 +861,25 @@ mod tests {
     #[test]
     fn zero_register_reads_zero_and_discards_writes() {
         let mut ctx = LiftCtx::new();
-        lift(&Instr::Addu { rd: Gpr(0), rs: Gpr(1), rt: Gpr(2) }, 0, &mut ctx);
+        lift(
+            &Instr::Addu {
+                rd: Gpr(0),
+                rs: Gpr(1),
+                rt: Gpr(2),
+            },
+            0,
+            &mut ctx,
+        );
         assert!(ctx.stmts.is_empty(), "write to $zero discarded");
-        lift(&Instr::Addu { rd: Gpr(3), rs: Gpr(0), rt: Gpr(0) }, 4, &mut ctx);
+        lift(
+            &Instr::Addu {
+                rd: Gpr(3),
+                rs: Gpr(0),
+                rt: Gpr(0),
+            },
+            4,
+            &mut ctx,
+        );
         let mut m = Machine::new();
         m.run_block(&firmup_ir::Block {
             addr: 0,
@@ -635,7 +895,15 @@ mod tests {
     #[test]
     fn branch_lift_emits_exit_and_fall() {
         let mut ctx = LiftCtx::new();
-        lift(&Instr::Bne { rs: Gpr(16), rt: Gpr(2), off: 4 }, 0x1000, &mut ctx);
+        lift(
+            &Instr::Bne {
+                rs: Gpr(16),
+                rt: Gpr(2),
+                off: 4,
+            },
+            0x1000,
+            &mut ctx,
+        );
         assert!(matches!(ctx.stmts[0], Stmt::Exit { target: 0x1014, .. }));
         assert_eq!(ctx.jump, Some(Jump::Fall(0x1008)), "fall skips delay slot");
     }
@@ -653,19 +921,63 @@ mod tests {
 
     #[test]
     fn asm_text() {
-        assert_eq!(asm(&Instr::Sll { rd: Gpr(0), rt: Gpr(0), sh: 0 }, 0), "nop");
-        assert_eq!(asm(&Instr::Addu { rd: Gpr(18), rs: Gpr(4), rt: Gpr(0) }, 0), "move $s2, $a0");
-        assert_eq!(asm(&Instr::Lw { rt: Gpr(28), base: SP, off: 0x28 }, 0), "lw $gp, 40($sp)");
+        assert_eq!(
+            asm(
+                &Instr::Sll {
+                    rd: Gpr(0),
+                    rt: Gpr(0),
+                    sh: 0
+                },
+                0
+            ),
+            "nop"
+        );
+        assert_eq!(
+            asm(
+                &Instr::Addu {
+                    rd: Gpr(18),
+                    rs: Gpr(4),
+                    rt: Gpr(0)
+                },
+                0
+            ),
+            "move $s2, $a0"
+        );
+        assert_eq!(
+            asm(
+                &Instr::Lw {
+                    rt: Gpr(28),
+                    base: SP,
+                    off: 0x28
+                },
+                0
+            ),
+            "lw $gp, 40($sp)"
+        );
     }
 
     #[test]
     fn decode_info_marks_delay_slots() {
         let mut buf = Vec::new();
-        encode(&Instr::Beq { rs: Gpr(1), rt: Gpr(2), off: 1 }, &mut buf);
+        encode(
+            &Instr::Beq {
+                rs: Gpr(1),
+                rt: Gpr(2),
+                off: 1,
+            },
+            &mut buf,
+        );
         let d = decode_info(&buf, 0, 0).unwrap();
         assert!(d.delay_slot);
         let mut buf2 = Vec::new();
-        encode(&Instr::Addiu { rt: Gpr(1), rs: Gpr(1), imm: 1 }, &mut buf2);
+        encode(
+            &Instr::Addiu {
+                rt: Gpr(1),
+                rs: Gpr(1),
+                imm: 1,
+            },
+            &mut buf2,
+        );
         assert!(!decode_info(&buf2, 0, 0).unwrap().delay_slot);
     }
 }

@@ -9,7 +9,7 @@ use std::fmt;
 
 use firmup_ir::{BinOp, Expr, Jump, RegId, Stmt, Width};
 
-use crate::common::{Control, Decoded, DecodeError, LiftCtx};
+use crate::common::{Control, DecodeError, Decoded, LiftCtx};
 
 /// Stack pointer (`r1` by PPC convention).
 pub const SP: u8 = 1;
@@ -186,11 +186,31 @@ pub fn decode(bytes: &[u8], offset: usize, addr: u32) -> Result<(Instr, u32), De
     let simm = imm as i16;
     use Instr::*;
     let i = match op {
-        14 => Addi { rt: a, ra: b, si: simm },
-        15 => Addis { rt: a, ra: b, si: simm },
-        24 => Ori { rs: a, ra: b, ui: imm },
-        28 => AndiDot { rs: a, ra: b, ui: imm },
-        26 => Xori { rs: a, ra: b, ui: imm },
+        14 => Addi {
+            rt: a,
+            ra: b,
+            si: simm,
+        },
+        15 => Addis {
+            rt: a,
+            ra: b,
+            si: simm,
+        },
+        24 => Ori {
+            rs: a,
+            ra: b,
+            ui: imm,
+        },
+        28 => AndiDot {
+            rs: a,
+            ra: b,
+            ui: imm,
+        },
+        26 => Xori {
+            rs: a,
+            ra: b,
+            ui: imm,
+        },
         11 => {
             if a != 0 {
                 return Err(unknown);
@@ -203,16 +223,35 @@ pub fn decode(bytes: &[u8], offset: usize, addr: u32) -> Result<(Instr, u32), De
             }
             Cmplwi { ra: b, ui: imm }
         }
-        32 => Lwz { rt: a, ra: b, d: simm },
-        34 => Lbz { rt: a, ra: b, d: simm },
-        36 => Stw { rs: a, ra: b, d: simm },
-        38 => Stb { rs: a, ra: b, d: simm },
+        32 => Lwz {
+            rt: a,
+            ra: b,
+            d: simm,
+        },
+        34 => Lbz {
+            rt: a,
+            ra: b,
+            d: simm,
+        },
+        36 => Stw {
+            rs: a,
+            ra: b,
+            d: simm,
+        },
+        38 => Stb {
+            rs: a,
+            ra: b,
+            d: simm,
+        },
         18 => {
             if w & 2 != 0 {
                 return Err(unknown); // absolute addressing unused
             }
             let off = (((w & 0x03ff_fffc) << 6) as i32) >> 6;
-            B { off, lk: w & 1 == 1 }
+            B {
+                off,
+                lk: w & 1 == 1,
+            }
         }
         16 => {
             if w & 3 != 0 {
@@ -230,22 +269,55 @@ pub fn decode(bytes: &[u8], offset: usize, addr: u32) -> Result<(Instr, u32), De
                 bd: (imm & 0xfffc) as i16,
             }
         }
-        19
-            if a == 20 && (w >> 1) & 0x3ff == 16 => {
-                Blr
-            }
+        19 if a == 20 && (w >> 1) & 0x3ff == 16 => Blr,
         31 => {
             let xo = (w >> 1) & 0x3ff;
             match xo {
-                266 => Add { rt: a, ra: b, rb: c },
-                40 => Subf { rt: a, ra: b, rb: c },
-                28 => And { rs: a, ra: b, rb: c },
-                444 => Or { rs: a, ra: b, rb: c },
-                316 => Xor { rs: a, ra: b, rb: c },
-                24 => Slw { rs: a, ra: b, rb: c },
-                536 => Srw { rs: a, ra: b, rb: c },
-                792 => Sraw { rs: a, ra: b, rb: c },
-                235 => Mullw { rt: a, ra: b, rb: c },
+                266 => Add {
+                    rt: a,
+                    ra: b,
+                    rb: c,
+                },
+                40 => Subf {
+                    rt: a,
+                    ra: b,
+                    rb: c,
+                },
+                28 => And {
+                    rs: a,
+                    ra: b,
+                    rb: c,
+                },
+                444 => Or {
+                    rs: a,
+                    ra: b,
+                    rb: c,
+                },
+                316 => Xor {
+                    rs: a,
+                    ra: b,
+                    rb: c,
+                },
+                24 => Slw {
+                    rs: a,
+                    ra: b,
+                    rb: c,
+                },
+                536 => Srw {
+                    rs: a,
+                    ra: b,
+                    rb: c,
+                },
+                792 => Sraw {
+                    rs: a,
+                    ra: b,
+                    rb: c,
+                },
+                235 => Mullw {
+                    rt: a,
+                    ra: b,
+                    rb: c,
+                },
                 0 => {
                     if a != 0 {
                         return Err(unknown);
@@ -330,7 +402,11 @@ pub fn asm(i: &Instr, addr: u32) -> String {
         Lbz { rt, ra, d } => format!("lbz r{rt}, {d}(r{ra})"),
         Stw { rs, ra, d } => format!("stw r{rs}, {d}(r{ra})"),
         Stb { rs, ra, d } => format!("stb r{rs}, {d}(r{ra})"),
-        B { off, lk } => format!("b{} {:#x}", if lk { "l" } else { "" }, addr.wrapping_add(off as u32)),
+        B { off, lk } => format!(
+            "b{} {:#x}",
+            if lk { "l" } else { "" },
+            addr.wrapping_add(off as u32)
+        ),
         Bc { cond, bd } => {
             let t = addr.wrapping_add(bd as i32 as u32);
             match cond {
@@ -366,14 +442,26 @@ fn mem_addr(ra: u8, d: i16) -> Expr {
 }
 
 fn set_cr0_signed(ctx: &mut LiftCtx, a: Expr, b: Expr) {
-    ctx.emit(Stmt::Put(CR0_LT, Expr::bin(BinOp::CmpLtS, a.clone(), b.clone())));
-    ctx.emit(Stmt::Put(CR0_GT, Expr::bin(BinOp::CmpLtS, b.clone(), a.clone())));
+    ctx.emit(Stmt::Put(
+        CR0_LT,
+        Expr::bin(BinOp::CmpLtS, a.clone(), b.clone()),
+    ));
+    ctx.emit(Stmt::Put(
+        CR0_GT,
+        Expr::bin(BinOp::CmpLtS, b.clone(), a.clone()),
+    ));
     ctx.emit(Stmt::Put(CR0_EQ, Expr::bin(BinOp::CmpEq, a, b)));
 }
 
 fn set_cr0_unsigned(ctx: &mut LiftCtx, a: Expr, b: Expr) {
-    ctx.emit(Stmt::Put(CR0_LT, Expr::bin(BinOp::CmpLtU, a.clone(), b.clone())));
-    ctx.emit(Stmt::Put(CR0_GT, Expr::bin(BinOp::CmpLtU, b.clone(), a.clone())));
+    ctx.emit(Stmt::Put(
+        CR0_LT,
+        Expr::bin(BinOp::CmpLtU, a.clone(), b.clone()),
+    ));
+    ctx.emit(Stmt::Put(
+        CR0_GT,
+        Expr::bin(BinOp::CmpLtU, b.clone(), a.clone()),
+    ));
     ctx.emit(Stmt::Put(CR0_EQ, Expr::bin(BinOp::CmpEq, a, b)));
 }
 
@@ -385,26 +473,42 @@ pub fn lift(i: &Instr, addr: u32, ctx: &mut LiftCtx) {
     match *i {
         Addi { rt, ra, si } => {
             let c = Expr::Const(si as i32 as u32);
-            let e = if ra == 0 { c } else { Expr::bin(BinOp::Add, gpr(ra), c) };
+            let e = if ra == 0 {
+                c
+            } else {
+                Expr::bin(BinOp::Add, gpr(ra), c)
+            };
             put(ctx, rt, e);
         }
         Addis { rt, ra, si } => {
             let c = Expr::Const((si as i32 as u32) << 16);
-            let e = if ra == 0 { c } else { Expr::bin(BinOp::Add, gpr(ra), c) };
+            let e = if ra == 0 {
+                c
+            } else {
+                Expr::bin(BinOp::Add, gpr(ra), c)
+            };
             put(ctx, rt, e);
         }
         Ori { ra, rs, ui } => {
             if ra == rs && ui == 0 {
                 return; // canonical nop
             }
-            put(ctx, ra, Expr::bin(BinOp::Or, gpr(rs), Expr::Const(u32::from(ui))));
+            put(
+                ctx,
+                ra,
+                Expr::bin(BinOp::Or, gpr(rs), Expr::Const(u32::from(ui))),
+            );
         }
         AndiDot { ra, rs, ui } => {
             let res = ctx.bind(Expr::bin(BinOp::And, gpr(rs), Expr::Const(u32::from(ui))));
             put(ctx, ra, res.clone());
             set_cr0_signed(ctx, res, Expr::Const(0));
         }
-        Xori { ra, rs, ui } => put(ctx, ra, Expr::bin(BinOp::Xor, gpr(rs), Expr::Const(u32::from(ui)))),
+        Xori { ra, rs, ui } => put(
+            ctx,
+            ra,
+            Expr::bin(BinOp::Xor, gpr(rs), Expr::Const(u32::from(ui))),
+        ),
         Add { rt, ra, rb } => put(ctx, rt, Expr::bin(BinOp::Add, gpr(ra), gpr(rb))),
         Subf { rt, ra, rb } => put(ctx, rt, Expr::bin(BinOp::Sub, gpr(rb), gpr(ra))),
         And { ra, rs, rb } => put(ctx, ra, Expr::bin(BinOp::And, gpr(rs), gpr(rb))),
@@ -446,7 +550,9 @@ pub fn lift(i: &Instr, addr: u32, ctx: &mut LiftCtx) {
             let target = addr.wrapping_add(bd as i32 as u32);
             let c = match cond {
                 BranchIf::Set(bit) => Expr::Get(bit.reg()),
-                BranchIf::Clear(bit) => Expr::bin(BinOp::CmpEq, Expr::Get(bit.reg()), Expr::Const(0)),
+                BranchIf::Clear(bit) => {
+                    Expr::bin(BinOp::CmpEq, Expr::Get(bit.reg()), Expr::Const(0))
+                }
             };
             ctx.emit(Stmt::Exit { cond: c, target });
             ctx.terminate(Jump::Fall(next));
@@ -462,7 +568,12 @@ pub fn lift(i: &Instr, addr: u32, ctx: &mut LiftCtx) {
 /// # Errors
 ///
 /// Propagates decode errors.
-pub fn lift_into(bytes: &[u8], offset: usize, addr: u32, ctx: &mut LiftCtx) -> Result<Decoded, DecodeError> {
+pub fn lift_into(
+    bytes: &[u8],
+    offset: usize,
+    addr: u32,
+    ctx: &mut LiftCtx,
+) -> Result<Decoded, DecodeError> {
     let (i, len) = decode(bytes, offset, addr)?;
     let ctrl = control(&i, addr);
     lift(&i, addr, ctx);
@@ -512,32 +623,109 @@ mod tests {
     fn encode_decode_roundtrip_all_forms() {
         use Instr::*;
         for i in [
-            Addi { rt: 3, ra: 0, si: -1 },
-            Addis { rt: 3, ra: 4, si: 0x10 },
-            Ori { ra: 3, rs: 4, ui: 0xbeef },
-            AndiDot { ra: 3, rs: 4, ui: 0xff },
-            Xori { ra: 3, rs: 4, ui: 1 },
-            Add { rt: 3, ra: 4, rb: 5 },
-            Subf { rt: 3, ra: 4, rb: 5 },
-            And { ra: 3, rs: 4, rb: 5 },
-            Or { ra: 3, rs: 4, rb: 5 },
-            Xor { ra: 3, rs: 4, rb: 5 },
-            Slw { ra: 3, rs: 4, rb: 5 },
-            Srw { ra: 3, rs: 4, rb: 5 },
-            Sraw { ra: 3, rs: 4, rb: 5 },
-            Mullw { rt: 3, ra: 4, rb: 5 },
+            Addi {
+                rt: 3,
+                ra: 0,
+                si: -1,
+            },
+            Addis {
+                rt: 3,
+                ra: 4,
+                si: 0x10,
+            },
+            Ori {
+                ra: 3,
+                rs: 4,
+                ui: 0xbeef,
+            },
+            AndiDot {
+                ra: 3,
+                rs: 4,
+                ui: 0xff,
+            },
+            Xori {
+                ra: 3,
+                rs: 4,
+                ui: 1,
+            },
+            Add {
+                rt: 3,
+                ra: 4,
+                rb: 5,
+            },
+            Subf {
+                rt: 3,
+                ra: 4,
+                rb: 5,
+            },
+            And {
+                ra: 3,
+                rs: 4,
+                rb: 5,
+            },
+            Or {
+                ra: 3,
+                rs: 4,
+                rb: 5,
+            },
+            Xor {
+                ra: 3,
+                rs: 4,
+                rb: 5,
+            },
+            Slw {
+                ra: 3,
+                rs: 4,
+                rb: 5,
+            },
+            Srw {
+                ra: 3,
+                rs: 4,
+                rb: 5,
+            },
+            Sraw {
+                ra: 3,
+                rs: 4,
+                rb: 5,
+            },
+            Mullw {
+                rt: 3,
+                ra: 4,
+                rb: 5,
+            },
             Cmpwi { ra: 3, si: -5 },
             Cmplwi { ra: 3, ui: 31 },
             Cmpw { ra: 3, rb: 4 },
             Cmplw { ra: 3, rb: 4 },
-            Lwz { rt: 3, ra: SP, d: 8 },
-            Lbz { rt: 3, ra: 4, d: -1 },
-            Stw { rs: 3, ra: SP, d: 12 },
+            Lwz {
+                rt: 3,
+                ra: SP,
+                d: 8,
+            },
+            Lbz {
+                rt: 3,
+                ra: 4,
+                d: -1,
+            },
+            Stw {
+                rs: 3,
+                ra: SP,
+                d: 12,
+            },
             Stb { rs: 3, ra: 4, d: 0 },
-            B { off: 0x100, lk: false },
+            B {
+                off: 0x100,
+                lk: false,
+            },
             B { off: -8, lk: true },
-            Bc { cond: BranchIf::Set(CrBit::Eq), bd: 16 },
-            Bc { cond: BranchIf::Clear(CrBit::Lt), bd: -4 },
+            Bc {
+                cond: BranchIf::Set(CrBit::Eq),
+                bd: 16,
+            },
+            Bc {
+                cond: BranchIf::Clear(CrBit::Lt),
+                bd: -4,
+            },
             Blr,
             Mflr { rt: 0 },
             Mtlr { rs: 0 },
@@ -548,9 +736,15 @@ mod tests {
 
     #[test]
     fn branch_targets_relative_to_instruction() {
-        let i = Instr::B { off: 0x20, lk: false };
+        let i = Instr::B {
+            off: 0x20,
+            lk: false,
+        };
         assert_eq!(control(&i, 0x1000), Control::Jump(0x1020));
-        let c = Instr::Bc { cond: BranchIf::Set(CrBit::Eq), bd: -8 };
+        let c = Instr::Bc {
+            cond: BranchIf::Set(CrBit::Eq),
+            bd: -8,
+        };
         assert_eq!(control(&c, 0x1000), Control::CondJump(0xff8));
     }
 
@@ -584,7 +778,15 @@ mod tests {
     #[test]
     fn subf_operand_order() {
         let mut ctx = LiftCtx::new();
-        lift(&Instr::Subf { rt: 3, ra: 4, rb: 5 }, 0, &mut ctx);
+        lift(
+            &Instr::Subf {
+                rt: 3,
+                ra: 4,
+                rb: 5,
+            },
+            0,
+            &mut ctx,
+        );
         let mut m = Machine::new();
         m.set_reg(RegId(4), 10);
         m.set_reg(RegId(5), 30);
@@ -597,7 +799,15 @@ mod tests {
     #[test]
     fn li_uses_literal_zero_base() {
         let mut ctx = LiftCtx::new();
-        lift(&Instr::Addi { rt: 3, ra: 0, si: -7 }, 0, &mut ctx);
+        lift(
+            &Instr::Addi {
+                rt: 3,
+                ra: 0,
+                si: -7,
+            },
+            0,
+            &mut ctx,
+        );
         assert_eq!(
             ctx.stmts[0],
             Stmt::Put(RegId(3), Expr::Const((-7i32) as u32))
@@ -607,11 +817,21 @@ mod tests {
     #[test]
     fn bl_sets_lr_and_calls() {
         let mut ctx = LiftCtx::new();
-        lift(&Instr::B { off: 0x40, lk: true }, 0x1000, &mut ctx);
+        lift(
+            &Instr::B {
+                off: 0x40,
+                lk: true,
+            },
+            0x1000,
+            &mut ctx,
+        );
         assert_eq!(ctx.stmts[0], Stmt::Put(LR, Expr::Const(0x1004)));
         assert!(matches!(
             ctx.jump,
-            Some(Jump::Call { return_to: 0x1004, .. })
+            Some(Jump::Call {
+                return_to: 0x1004,
+                ..
+            })
         ));
     }
 
@@ -619,7 +839,10 @@ mod tests {
     fn bc_lifts_exit_on_cr_bit() {
         let mut ctx = LiftCtx::new();
         lift(
-            &Instr::Bc { cond: BranchIf::Clear(CrBit::Eq), bd: 0x10 },
+            &Instr::Bc {
+                cond: BranchIf::Clear(CrBit::Eq),
+                bd: 0x10,
+            },
             0x1000,
             &mut ctx,
         );
@@ -637,9 +860,39 @@ mod tests {
 
     #[test]
     fn asm_aliases() {
-        assert_eq!(asm(&Instr::Addi { rt: 3, ra: 0, si: 5 }, 0), "li r3, 5");
-        assert_eq!(asm(&Instr::Or { ra: 3, rs: 4, rb: 4 }, 0), "mr r3, r4");
-        assert_eq!(asm(&Instr::Ori { ra: 0, rs: 0, ui: 0 }, 0), "nop");
+        assert_eq!(
+            asm(
+                &Instr::Addi {
+                    rt: 3,
+                    ra: 0,
+                    si: 5
+                },
+                0
+            ),
+            "li r3, 5"
+        );
+        assert_eq!(
+            asm(
+                &Instr::Or {
+                    ra: 3,
+                    rs: 4,
+                    rb: 4
+                },
+                0
+            ),
+            "mr r3, r4"
+        );
+        assert_eq!(
+            asm(
+                &Instr::Ori {
+                    ra: 0,
+                    rs: 0,
+                    ui: 0
+                },
+                0
+            ),
+            "nop"
+        );
     }
 
     #[test]

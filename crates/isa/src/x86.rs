@@ -10,7 +10,7 @@ use std::fmt;
 
 use firmup_ir::{BinOp, Expr, Jump, RegId, Stmt, UnOp, Width};
 
-use crate::common::{Control, Decoded, DecodeError, LiftCtx};
+use crate::common::{Control, DecodeError, Decoded, LiftCtx};
 
 /// Register numbers (`RegId(0..=7)`).
 pub const EAX: u8 = 0;
@@ -251,30 +251,91 @@ impl Cc {
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
 #[allow(missing_docs)]
 pub enum Instr {
-    MovRI { dst: u8, imm: u32 },
-    MovRR { dst: u8, src: u8 },
-    Load { dst: u8, mem: Mem },
-    Store { mem: Mem, src: u8 },
-    Load8Z { dst: u8, mem: Mem },
-    Load8S { dst: u8, mem: Mem },
+    MovRI {
+        dst: u8,
+        imm: u32,
+    },
+    MovRR {
+        dst: u8,
+        src: u8,
+    },
+    Load {
+        dst: u8,
+        mem: Mem,
+    },
+    Store {
+        mem: Mem,
+        src: u8,
+    },
+    Load8Z {
+        dst: u8,
+        mem: Mem,
+    },
+    Load8S {
+        dst: u8,
+        mem: Mem,
+    },
     /// Byte store; `src` must be EAX/ECX/EDX/EBX (whose low bytes are
     /// encodable as AL/CL/DL/BL).
-    Store8 { mem: Mem, src: u8 },
-    AluRR { op: AluOp, dst: u8, src: u8 },
-    AluRI { op: AluOp, dst: u8, imm: u32 },
-    AluRM { op: AluOp, dst: u8, mem: Mem },
-    Test { a: u8, b: u8 },
-    Imul { dst: u8, src: u8 },
-    Shift { kind: ShiftKind, dst: u8, imm: u8 },
-    Lea { dst: u8, mem: Mem },
-    Push { src: u8 },
-    Pop { dst: u8 },
-    CallRel { rel: i32 },
-    CallInd { reg: u8 },
+    Store8 {
+        mem: Mem,
+        src: u8,
+    },
+    AluRR {
+        op: AluOp,
+        dst: u8,
+        src: u8,
+    },
+    AluRI {
+        op: AluOp,
+        dst: u8,
+        imm: u32,
+    },
+    AluRM {
+        op: AluOp,
+        dst: u8,
+        mem: Mem,
+    },
+    Test {
+        a: u8,
+        b: u8,
+    },
+    Imul {
+        dst: u8,
+        src: u8,
+    },
+    Shift {
+        kind: ShiftKind,
+        dst: u8,
+        imm: u8,
+    },
+    Lea {
+        dst: u8,
+        mem: Mem,
+    },
+    Push {
+        src: u8,
+    },
+    Pop {
+        dst: u8,
+    },
+    CallRel {
+        rel: i32,
+    },
+    CallInd {
+        reg: u8,
+    },
     Ret,
-    JmpRel { rel: i32 },
-    JmpInd { reg: u8 },
-    Jcc { cc: Cc, rel: i32 },
+    JmpRel {
+        rel: i32,
+    },
+    JmpInd {
+        reg: u8,
+    },
+    Jcc {
+        cc: Cc,
+        rel: i32,
+    },
     Nop,
 }
 
@@ -612,7 +673,14 @@ pub fn decode(bytes: &[u8], offset: usize, addr: u32) -> Result<(Instr, u32), De
         // ALU MR / RM register forms.
         _ => {
             let mr = [0x01, 0x09, 0x21, 0x29, 0x31, 0x39];
-            let ops = [AluOp::Add, AluOp::Or, AluOp::And, AluOp::Sub, AluOp::Xor, AluOp::Cmp];
+            let ops = [
+                AluOp::Add,
+                AluOp::Or,
+                AluOp::And,
+                AluOp::Sub,
+                AluOp::Xor,
+                AluOp::Cmp,
+            ];
             if let Some(idx) = mr.iter().position(|&o| o == op) {
                 let m = r.u8()?;
                 if m >> 6 != 0b11 {
@@ -672,7 +740,9 @@ pub fn asm(i: &Instr, addr: u32, len: u32) -> String {
         Store { mem, src } => format!("mov {mem}, {}", r(src)),
         Load8Z { dst, mem } => format!("movzx {}, byte {mem}", r(dst)),
         Load8S { dst, mem } => format!("movsx {}, byte {mem}", r(dst)),
-        Store8 { mem, src } => format!("mov byte {mem}, {}", ["al", "cl", "dl", "bl"][src as usize]),
+        Store8 { mem, src } => {
+            format!("mov byte {mem}, {}", ["al", "cl", "dl", "bl"][src as usize])
+        }
         AluRR { op, dst, src } => format!("{} {}, {}", op.mnemonic(), r(dst), r(src)),
         AluRI { op, dst, imm } => format!("{} {}, {imm:#x}", op.mnemonic(), r(dst)),
         AluRM { op, dst, mem } => format!("{} {}, {mem}", op.mnemonic(), r(dst)),
@@ -710,8 +780,14 @@ fn mem_expr(mem: &Mem) -> Expr {
 }
 
 fn set_zf_sf(ctx: &mut LiftCtx, res: &Expr) {
-    ctx.emit(Stmt::Put(ZF, Expr::bin(BinOp::CmpEq, res.clone(), Expr::Const(0))));
-    ctx.emit(Stmt::Put(SF, Expr::bin(BinOp::CmpLtS, res.clone(), Expr::Const(0))));
+    ctx.emit(Stmt::Put(
+        ZF,
+        Expr::bin(BinOp::CmpEq, res.clone(), Expr::Const(0)),
+    ));
+    ctx.emit(Stmt::Put(
+        SF,
+        Expr::bin(BinOp::CmpLtS, res.clone(), Expr::Const(0)),
+    ));
 }
 
 fn sign_bit(e: Expr) -> Expr {
@@ -722,7 +798,10 @@ fn sign_bit(e: Expr) -> Expr {
 fn set_arith_flags(ctx: &mut LiftCtx, is_sub: bool, a: &Expr, b: &Expr, res: &Expr) {
     set_zf_sf(ctx, res);
     if is_sub {
-        ctx.emit(Stmt::Put(CF, Expr::bin(BinOp::CmpLtU, a.clone(), b.clone())));
+        ctx.emit(Stmt::Put(
+            CF,
+            Expr::bin(BinOp::CmpLtU, a.clone(), b.clone()),
+        ));
         ctx.emit(Stmt::Put(
             OF,
             Expr::bin(
@@ -732,7 +811,10 @@ fn set_arith_flags(ctx: &mut LiftCtx, is_sub: bool, a: &Expr, b: &Expr, res: &Ex
             ),
         ));
     } else {
-        ctx.emit(Stmt::Put(CF, Expr::bin(BinOp::CmpLtU, res.clone(), a.clone())));
+        ctx.emit(Stmt::Put(
+            CF,
+            Expr::bin(BinOp::CmpLtU, res.clone(), a.clone()),
+        ));
         ctx.emit(Stmt::Put(
             OF,
             Expr::bin(
@@ -835,7 +917,10 @@ pub fn lift(i: &Instr, addr: u32, len: u32, ctx: &mut LiftCtx) {
         Pop { dst } => {
             let val = ctx.bind(Expr::load(Expr::Get(esp), Width::W32));
             ctx.emit(Stmt::Put(RegId(u16::from(dst)), val));
-            ctx.emit(Stmt::Put(esp, Expr::bin(BinOp::Add, Expr::Get(esp), Expr::Const(4))));
+            ctx.emit(Stmt::Put(
+                esp,
+                Expr::bin(BinOp::Add, Expr::Get(esp), Expr::Const(4)),
+            ));
         }
         CallRel { rel } => {
             let target = next.wrapping_add(rel as u32);
@@ -865,7 +950,10 @@ pub fn lift(i: &Instr, addr: u32, len: u32, ctx: &mut LiftCtx) {
             });
         }
         Ret => {
-            ctx.emit(Stmt::Put(esp, Expr::bin(BinOp::Add, Expr::Get(esp), Expr::Const(4))));
+            ctx.emit(Stmt::Put(
+                esp,
+                Expr::bin(BinOp::Add, Expr::Get(esp), Expr::Const(4)),
+            ));
             ctx.terminate(Jump::Ret);
         }
         JmpRel { rel } => ctx.terminate(Jump::Direct(next.wrapping_add(rel as u32))),
@@ -885,7 +973,12 @@ pub fn lift(i: &Instr, addr: u32, len: u32, ctx: &mut LiftCtx) {
 /// # Errors
 ///
 /// Propagates decode errors.
-pub fn lift_into(bytes: &[u8], offset: usize, addr: u32, ctx: &mut LiftCtx) -> Result<Decoded, DecodeError> {
+pub fn lift_into(
+    bytes: &[u8],
+    offset: usize,
+    addr: u32,
+    ctx: &mut LiftCtx,
+) -> Result<Decoded, DecodeError> {
     let (i, len) = decode(bytes, offset, addr)?;
     let ctrl = control(&i, addr, len);
     lift(&i, addr, len, ctx);
@@ -930,25 +1023,79 @@ mod tests {
     fn encode_decode_roundtrip_all_forms() {
         use Instr::*;
         for i in [
-            MovRI { dst: EAX, imm: 0xdead_beef },
+            MovRI {
+                dst: EAX,
+                imm: 0xdead_beef,
+            },
             MovRR { dst: EBX, src: ECX },
-            Load { dst: EAX, mem: Mem::base_disp(ESP, 8) },
-            Load { dst: EAX, mem: Mem::base_disp(EBP, -4) },
-            Load { dst: EAX, mem: Mem::base_disp(ESI, 0x1000) },
-            Load { dst: EAX, mem: Mem::abs(0x804_9000) },
-            Store { mem: Mem::base_disp(ESP, 4), src: EDX },
-            Load8Z { dst: EAX, mem: Mem::base_disp(EBX, 1) },
-            Load8S { dst: ECX, mem: Mem::base_disp(EBX, -1) },
-            Store8 { mem: Mem::base_disp(EDI, 2), src: EAX },
-            AluRR { op: AluOp::Add, dst: EAX, src: EBX },
-            AluRR { op: AluOp::Cmp, dst: ESI, src: EDI },
-            AluRI { op: AluOp::Sub, dst: ESP, imm: 16 },
-            AluRM { op: AluOp::Add, dst: EAX, mem: Mem::base_disp(ESP, 12) },
+            Load {
+                dst: EAX,
+                mem: Mem::base_disp(ESP, 8),
+            },
+            Load {
+                dst: EAX,
+                mem: Mem::base_disp(EBP, -4),
+            },
+            Load {
+                dst: EAX,
+                mem: Mem::base_disp(ESI, 0x1000),
+            },
+            Load {
+                dst: EAX,
+                mem: Mem::abs(0x804_9000),
+            },
+            Store {
+                mem: Mem::base_disp(ESP, 4),
+                src: EDX,
+            },
+            Load8Z {
+                dst: EAX,
+                mem: Mem::base_disp(EBX, 1),
+            },
+            Load8S {
+                dst: ECX,
+                mem: Mem::base_disp(EBX, -1),
+            },
+            Store8 {
+                mem: Mem::base_disp(EDI, 2),
+                src: EAX,
+            },
+            AluRR {
+                op: AluOp::Add,
+                dst: EAX,
+                src: EBX,
+            },
+            AluRR {
+                op: AluOp::Cmp,
+                dst: ESI,
+                src: EDI,
+            },
+            AluRI {
+                op: AluOp::Sub,
+                dst: ESP,
+                imm: 16,
+            },
+            AluRM {
+                op: AluOp::Add,
+                dst: EAX,
+                mem: Mem::base_disp(ESP, 12),
+            },
             Test { a: EAX, b: EAX },
             Imul { dst: EAX, src: ECX },
-            Shift { kind: ShiftKind::Shl, dst: EAX, imm: 2 },
-            Shift { kind: ShiftKind::Sar, dst: EDX, imm: 31 },
-            Lea { dst: EAX, mem: Mem::base_disp(EBP, -8) },
+            Shift {
+                kind: ShiftKind::Shl,
+                dst: EAX,
+                imm: 2,
+            },
+            Shift {
+                kind: ShiftKind::Sar,
+                dst: EDX,
+                imm: 31,
+            },
+            Lea {
+                dst: EAX,
+                mem: Mem::base_disp(EBP, -8),
+            },
             Push { src: EBP },
             Pop { dst: EBP },
             CallRel { rel: 0x100 },
@@ -956,8 +1103,14 @@ mod tests {
             Ret,
             JmpRel { rel: -5 },
             JmpInd { reg: ECX },
-            Jcc { cc: Cc::Ne, rel: 0x10 },
-            Jcc { cc: Cc::L, rel: -0x20 },
+            Jcc {
+                cc: Cc::Ne,
+                rel: 0x10,
+            },
+            Jcc {
+                cc: Cc::L,
+                rel: -0x20,
+            },
             Nop,
         ] {
             rt(i);
@@ -971,12 +1124,18 @@ mod tests {
         assert_eq!(encoded_len(&Instr::MovRI { dst: EAX, imm: 0 }), 5);
         assert_eq!(encoded_len(&Instr::MovRR { dst: EAX, src: EBX }), 2);
         assert_eq!(
-            encoded_len(&Instr::Load { dst: EAX, mem: Mem::base_disp(ESP, 4) }),
+            encoded_len(&Instr::Load {
+                dst: EAX,
+                mem: Mem::base_disp(ESP, 4)
+            }),
             4,
             "ESP base needs a SIB byte"
         );
         assert_eq!(
-            encoded_len(&Instr::Load { dst: EAX, mem: Mem::base_disp(EBX, 4) }),
+            encoded_len(&Instr::Load {
+                dst: EAX,
+                mem: Mem::base_disp(EBX, 4)
+            }),
             3
         );
         assert_eq!(encoded_len(&Instr::Jcc { cc: Cc::E, rel: 0 }), 6);
@@ -1009,7 +1168,16 @@ mod tests {
     #[test]
     fn cmp_sets_flags_for_signed_compare() {
         let mut ctx = LiftCtx::new();
-        lift(&Instr::AluRI { op: AluOp::Cmp, dst: EAX, imm: 10 }, 0, 6, &mut ctx);
+        lift(
+            &Instr::AluRI {
+                op: AluOp::Cmp,
+                dst: EAX,
+                imm: 10,
+            },
+            0,
+            6,
+            &mut ctx,
+        );
         let mut m = Machine::new();
         m.set_reg(RegId(0), 3);
         for s in &ctx.stmts {
@@ -1026,7 +1194,16 @@ mod tests {
     fn cmp_overflow_case() {
         // i32::MIN vs 1: signed less-than must hold despite overflow.
         let mut ctx = LiftCtx::new();
-        lift(&Instr::AluRI { op: AluOp::Cmp, dst: EAX, imm: 1 }, 0, 6, &mut ctx);
+        lift(
+            &Instr::AluRI {
+                op: AluOp::Cmp,
+                dst: EAX,
+                imm: 1,
+            },
+            0,
+            6,
+            &mut ctx,
+        );
         let mut m = Machine::new();
         m.set_reg(RegId(0), 0x8000_0000);
         for s in &ctx.stmts {
@@ -1047,7 +1224,13 @@ mod tests {
         }
         assert_eq!(m.reg(RegId(u16::from(ESP))), 0x1ffc);
         assert_eq!(m.load(0x1ffc, Width::W32), 0x1005);
-        assert!(matches!(ctx.jump, Some(Jump::Call { return_to: 0x1005, .. })));
+        assert!(matches!(
+            ctx.jump,
+            Some(Jump::Call {
+                return_to: 0x1005,
+                ..
+            })
+        ));
     }
 
     #[test]
@@ -1066,7 +1249,15 @@ mod tests {
     #[test]
     fn movsx_sign_extends() {
         let mut ctx = LiftCtx::new();
-        lift(&Instr::Load8S { dst: EAX, mem: Mem::abs(0x100) }, 0, 7, &mut ctx);
+        lift(
+            &Instr::Load8S {
+                dst: EAX,
+                mem: Mem::abs(0x100),
+            },
+            0,
+            7,
+            &mut ctx,
+        );
         let mut m = Machine::new();
         m.store(0x100, 0x80, Width::W8);
         for s in &ctx.stmts {
@@ -1084,9 +1275,15 @@ mod tests {
 
     #[test]
     fn asm_text() {
-        let i = Instr::Load { dst: EAX, mem: Mem::base_disp(ESP, 0x20) };
+        let i = Instr::Load {
+            dst: EAX,
+            mem: Mem::base_disp(ESP, 0x20),
+        };
         assert_eq!(asm(&i, 0, 4), "mov eax, [esp+0x20]");
-        let j = Instr::Jcc { cc: Cc::E, rel: 0x10 };
+        let j = Instr::Jcc {
+            cc: Cc::E,
+            rel: 0x10,
+        };
         assert_eq!(asm(&j, 0x100, 6), "je 0x116");
     }
 }

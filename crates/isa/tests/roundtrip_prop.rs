@@ -94,17 +94,55 @@ fn arm_instr() -> impl Strategy<Value = arm::Instr> {
             rd: 0,
             op2
         }),
-        (arm_reg(), any::<u16>()).prop_map(|(rd, imm)| I::Movw { cond: arm::Cond::Al, rd, imm }),
-        (arm_reg(), any::<u16>()).prop_map(|(rd, imm)| I::Movt { cond: arm::Cond::Al, rd, imm }),
-        (arm_reg(), arm_reg(), 0u16..0x1000, any::<bool>(), any::<bool>()).prop_map(
-            |(rd, rn, off, up, byte)| I::Ldr { cond: arm::Cond::Al, byte, rd, rn, up, off }
-        ),
-        (arm_reg(), arm_reg(), 0u16..0x1000, any::<bool>(), any::<bool>()).prop_map(
-            |(rd, rn, off, up, byte)| I::Str { cond: arm::Cond::Al, byte, rd, rn, up, off }
-        ),
+        (arm_reg(), any::<u16>()).prop_map(|(rd, imm)| I::Movw {
+            cond: arm::Cond::Al,
+            rd,
+            imm
+        }),
+        (arm_reg(), any::<u16>()).prop_map(|(rd, imm)| I::Movt {
+            cond: arm::Cond::Al,
+            rd,
+            imm
+        }),
+        (
+            arm_reg(),
+            arm_reg(),
+            0u16..0x1000,
+            any::<bool>(),
+            any::<bool>()
+        )
+            .prop_map(|(rd, rn, off, up, byte)| I::Ldr {
+                cond: arm::Cond::Al,
+                byte,
+                rd,
+                rn,
+                up,
+                off
+            }),
+        (
+            arm_reg(),
+            arm_reg(),
+            0u16..0x1000,
+            any::<bool>(),
+            any::<bool>()
+        )
+            .prop_map(|(rd, rn, off, up, byte)| I::Str {
+                cond: arm::Cond::Al,
+                byte,
+                rd,
+                rn,
+                up,
+                off
+            }),
         (arm_cond(), -0x80_0000i32..0x7f_ffff).prop_map(|(cond, off)| I::B { cond, off }),
-        (-0x80_0000i32..0x7f_ffff).prop_map(|off| I::Bl { cond: arm::Cond::Al, off }),
-        arm_reg().prop_map(|rm| I::Bx { cond: arm::Cond::Al, rm }),
+        (-0x80_0000i32..0x7f_ffff).prop_map(|off| I::Bl {
+            cond: arm::Cond::Al,
+            off
+        }),
+        arm_reg().prop_map(|rm| I::Bx {
+            cond: arm::Cond::Al,
+            rm
+        }),
     ]
 }
 
@@ -211,7 +249,10 @@ fn x86_instr() -> impl Strategy<Value = x86::Instr> {
         x86_reg().prop_map(|dst| I::Pop { dst }),
         any::<i32>().prop_map(|rel| I::CallRel { rel }),
         any::<i32>().prop_map(|rel| I::JmpRel { rel }),
-        (any::<i32>()).prop_map(|rel| I::Jcc { cc: x86::Cc::Ne, rel }),
+        (any::<i32>()).prop_map(|rel| I::Jcc {
+            cc: x86::Cc::Ne,
+            rel
+        }),
         Just(I::Ret),
         Just(I::Nop),
     ]

@@ -58,7 +58,9 @@ impl Elf {
         }
         let mut warnings = Vec::new();
         if bytes.len() < 52 {
-            return Err(ElfError::Truncated { context: "ELF header" });
+            return Err(ElfError::Truncated {
+                context: "ELF header",
+            });
         }
         if bytes[4] != 1 {
             // The common firmware bug: ELFCLASS64 (or garbage) on 32-bit
@@ -214,8 +216,10 @@ impl Elf {
         };
         if elf.entry != 0 && elf.section_at(elf.entry).is_none() {
             let mut elf = elf;
-            elf.warnings
-                .push(format!("entry point {:#x} is outside all sections", elf.entry));
+            elf.warnings.push(format!(
+                "entry point {:#x} is outside all sections",
+                elf.entry
+            ));
             return Ok(elf);
         }
         Ok(elf)
@@ -262,10 +266,7 @@ mod tests {
         let mut b = ElfBuilder::new(3, 0xdead_0000);
         b.text(0x1000, vec![0x90]);
         let parsed = Elf::parse(&b.build().write()).unwrap();
-        assert!(parsed
-            .warnings
-            .iter()
-            .any(|w| w.contains("entry point")));
+        assert!(parsed.warnings.iter().any(|w| w.contains("entry point")));
     }
 
     #[test]

@@ -46,7 +46,11 @@ fn symbols() -> impl Strategy<Value = Vec<Symbol>> {
                 name,
                 value,
                 size,
-                kind: if func { SymbolKind::Func } else { SymbolKind::Object },
+                kind: if func {
+                    SymbolKind::Func
+                } else {
+                    SymbolKind::Object
+                },
                 global,
             }),
         0..12,

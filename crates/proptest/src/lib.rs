@@ -1,0 +1,682 @@
+//! A from-scratch, std-only property-testing shim.
+//!
+//! The workspace must build and test with **zero registry dependencies**
+//! (firmware build containers are offline), so this crate re-implements
+//! the slice of the `proptest` API the test suite actually uses: the
+//! [`Strategy`] trait with `prop_map` / `prop_flat_map` /
+//! `prop_recursive` / `boxed`, range and tuple and `Vec` strategies,
+//! [`any`], [`Just`], weighted [`prop_oneof!`], `collection::vec`,
+//! `sample::Index`, a tiny character-class regex generator for `&str`
+//! strategies, and the [`proptest!`] test macro.
+//!
+//! Differences from upstream are deliberate: generation is driven by a
+//! deterministic per-test seed (derived from the test name, stable
+//! across runs and machines) and there is **no shrinking** — a failing
+//! case panics with the generated values' `Debug` output instead.
+
+use std::cell::Cell;
+use std::fmt;
+use std::marker::PhantomData;
+use std::ops::Range;
+use std::rc::Rc;
+
+/// Deterministic generator state (SplitMix64): high-quality 64-bit
+/// output from a tiny state, the same construction the firmware corpus
+/// seeder uses.
+pub struct TestRng {
+    state: u64,
+}
+
+impl TestRng {
+    /// Seed explicitly.
+    pub fn from_seed(seed: u64) -> TestRng {
+        TestRng { state: seed }
+    }
+
+    /// Derive a stable seed from a test name and case index.
+    pub fn for_case(name: &str, case: u32) -> TestRng {
+        let mut h = 0xcbf2_9ce4_8422_2325u64; // FNV offset basis
+        for b in name.bytes() {
+            h ^= u64::from(b);
+            h = h.wrapping_mul(0x100_0000_01b3);
+        }
+        TestRng::from_seed(h ^ (u64::from(case)).wrapping_mul(0x9e37_79b9_7f4a_7c15))
+    }
+
+    /// Next raw 64-bit value.
+    pub fn next_u64(&mut self) -> u64 {
+        self.state = self.state.wrapping_add(0x9e37_79b9_7f4a_7c15);
+        let mut z = self.state;
+        z = (z ^ (z >> 30)).wrapping_mul(0xbf58_476d_1ce4_e5b9);
+        z = (z ^ (z >> 27)).wrapping_mul(0x94d0_49bb_1331_11eb);
+        z ^ (z >> 31)
+    }
+
+    /// Uniform value in `[0, n)`. `n` must be nonzero.
+    pub fn below(&mut self, n: u64) -> u64 {
+        debug_assert!(n > 0);
+        // Multiply-shift rejection-free mapping is biased for huge n;
+        // use simple rejection sampling for exactness.
+        let zone = u64::MAX - (u64::MAX - n + 1) % n;
+        loop {
+            let v = self.next_u64();
+            if v <= zone {
+                return v % n;
+            }
+        }
+    }
+}
+
+/// A value generator. The shim's equivalent of proptest's `Strategy`.
+pub trait Strategy {
+    /// The generated type.
+    type Value;
+
+    /// Produce one value.
+    fn gen_value(&self, rng: &mut TestRng) -> Self::Value;
+
+    /// Transform generated values.
+    fn prop_map<U, F>(self, f: F) -> Map<Self, F>
+    where
+        Self: Sized,
+        F: Fn(Self::Value) -> U,
+    {
+        Map { inner: self, f }
+    }
+
+    /// Generate a value, then generate from a strategy built from it.
+    fn prop_flat_map<S2, F>(self, f: F) -> FlatMap<Self, F>
+    where
+        Self: Sized,
+        S2: Strategy,
+        F: Fn(Self::Value) -> S2,
+    {
+        FlatMap { inner: self, f }
+    }
+
+    /// Recursive strategies: `depth` levels of `f` applied over the leaf
+    /// strategy. The `_nodes` / `_items` size hints of the real API are
+    /// accepted and ignored (depth alone bounds our trees).
+    fn prop_recursive<R, F>(
+        self,
+        depth: u32,
+        _nodes: u32,
+        _items: u32,
+        f: F,
+    ) -> BoxedStrategy<Self::Value>
+    where
+        Self: Sized + 'static,
+        Self::Value: 'static,
+        R: Strategy<Value = Self::Value> + 'static,
+        F: Fn(BoxedStrategy<Self::Value>) -> R,
+    {
+        let leaf = self.boxed();
+        let mut cur = leaf.clone();
+        for _ in 0..depth {
+            let deeper = f(cur).boxed();
+            let l = leaf.clone();
+            cur = BoxedStrategy::new(move |rng| {
+                // 1-in-4 chance of bottoming out early keeps expected
+                // sizes small while still reaching full depth often.
+                if rng.below(4) == 0 {
+                    l.gen_value(rng)
+                } else {
+                    deeper.gen_value(rng)
+                }
+            });
+        }
+        cur
+    }
+
+    /// Type-erase.
+    fn boxed(self) -> BoxedStrategy<Self::Value>
+    where
+        Self: Sized + 'static,
+    {
+        let s = self;
+        BoxedStrategy::new(move |rng| s.gen_value(rng))
+    }
+}
+
+/// A type-erased, cheaply clonable strategy.
+pub struct BoxedStrategy<T> {
+    gen: Rc<dyn Fn(&mut TestRng) -> T>,
+}
+
+impl<T> Clone for BoxedStrategy<T> {
+    fn clone(&self) -> Self {
+        BoxedStrategy {
+            gen: Rc::clone(&self.gen),
+        }
+    }
+}
+
+impl<T> BoxedStrategy<T> {
+    /// Wrap a generation function.
+    pub fn new(f: impl Fn(&mut TestRng) -> T + 'static) -> BoxedStrategy<T> {
+        BoxedStrategy { gen: Rc::new(f) }
+    }
+}
+
+impl<T> Strategy for BoxedStrategy<T> {
+    type Value = T;
+    fn gen_value(&self, rng: &mut TestRng) -> T {
+        (self.gen)(rng)
+    }
+}
+
+/// `prop_map` adapter.
+pub struct Map<S, F> {
+    inner: S,
+    f: F,
+}
+
+impl<S, F, U> Strategy for Map<S, F>
+where
+    S: Strategy,
+    F: Fn(S::Value) -> U,
+{
+    type Value = U;
+    fn gen_value(&self, rng: &mut TestRng) -> U {
+        (self.f)(self.inner.gen_value(rng))
+    }
+}
+
+/// `prop_flat_map` adapter.
+pub struct FlatMap<S, F> {
+    inner: S,
+    f: F,
+}
+
+impl<S, F, S2> Strategy for FlatMap<S, F>
+where
+    S: Strategy,
+    S2: Strategy,
+    F: Fn(S::Value) -> S2,
+{
+    type Value = S2::Value;
+    fn gen_value(&self, rng: &mut TestRng) -> S2::Value {
+        (self.f)(self.inner.gen_value(rng)).gen_value(rng)
+    }
+}
+
+/// Always generates a clone of the given value.
+#[derive(Clone, Copy, Debug)]
+pub struct Just<T>(pub T);
+
+impl<T: Clone> Strategy for Just<T> {
+    type Value = T;
+    fn gen_value(&self, _rng: &mut TestRng) -> T {
+        self.0.clone()
+    }
+}
+
+/// Uniformly sampled ranges over the primitive integers.
+macro_rules! impl_range_strategy {
+    ($($t:ty),*) => {$(
+        impl Strategy for Range<$t> {
+            type Value = $t;
+            fn gen_value(&self, rng: &mut TestRng) -> $t {
+                let lo = self.start as i128;
+                let hi = self.end as i128;
+                assert!(lo < hi, "empty range strategy");
+                (lo + rng.below((hi - lo) as u64) as i128) as $t
+            }
+        }
+    )*};
+}
+impl_range_strategy!(u8, u16, u32, u64, usize, i8, i16, i32, i64, isize);
+
+/// Element-wise tuple strategies.
+macro_rules! impl_tuple_strategy {
+    ($($s:ident/$v:ident),+) => {
+        impl<$($s: Strategy),+> Strategy for ($($s,)+) {
+            type Value = ($($s::Value,)+);
+            fn gen_value(&self, rng: &mut TestRng) -> Self::Value {
+                #[allow(non_snake_case)]
+                let ($($s,)+) = self;
+                ($($s.gen_value(rng),)+)
+            }
+        }
+    };
+}
+impl_tuple_strategy!(A / a);
+impl_tuple_strategy!(A / a, B / b);
+impl_tuple_strategy!(A / a, B / b, C / c);
+impl_tuple_strategy!(A / a, B / b, C / c, D / d);
+impl_tuple_strategy!(A / a, B / b, C / c, D / d, E / e);
+impl_tuple_strategy!(A / a, B / b, C / c, D / d, E / e, F / f);
+
+/// A `Vec` of strategies generates element-wise (used to build
+/// position-dependent statement sequences).
+impl<S: Strategy> Strategy for Vec<S> {
+    type Value = Vec<S::Value>;
+    fn gen_value(&self, rng: &mut TestRng) -> Vec<S::Value> {
+        self.iter().map(|s| s.gen_value(rng)).collect()
+    }
+}
+
+/// `&str` strategies: a small regex-subset generator. Supported syntax
+/// is what the test suite uses: literals, `[...]` character classes with
+/// ranges, `\PC` (any printable ASCII), and `{n}` / `{m,n}` repetition.
+impl Strategy for &'static str {
+    type Value = String;
+    fn gen_value(&self, rng: &mut TestRng) -> String {
+        gen_from_pattern(self, rng)
+    }
+}
+
+fn gen_from_pattern(pat: &str, rng: &mut TestRng) -> String {
+    let chars: Vec<char> = pat.chars().collect();
+    let mut out = String::new();
+    let mut i = 0usize;
+    while i < chars.len() {
+        // Parse one atom into a set of candidate characters.
+        let set: Vec<char> = match chars[i] {
+            '[' => {
+                let close = chars[i..]
+                    .iter()
+                    .position(|&c| c == ']')
+                    .map(|p| i + p)
+                    .unwrap_or_else(|| panic!("unterminated class in pattern {pat:?}"));
+                let body = &chars[i + 1..close];
+                i = close + 1;
+                let mut set = Vec::new();
+                let mut j = 0;
+                while j < body.len() {
+                    if j + 2 < body.len() && body[j + 1] == '-' {
+                        let (a, b) = (body[j], body[j + 2]);
+                        for c in a..=b {
+                            set.push(c);
+                        }
+                        j += 3;
+                    } else {
+                        set.push(body[j]);
+                        j += 1;
+                    }
+                }
+                set
+            }
+            '\\' => {
+                // Only `\PC` ("printable char") appears in our tests.
+                assert!(
+                    chars.get(i + 1) == Some(&'P') && chars.get(i + 2) == Some(&'C'),
+                    "unsupported escape in pattern {pat:?}"
+                );
+                i += 3;
+                (' '..='~').collect()
+            }
+            c => {
+                i += 1;
+                vec![c]
+            }
+        };
+        // Optional repetition.
+        let (min, max) = if chars.get(i) == Some(&'{') {
+            let close = chars[i..]
+                .iter()
+                .position(|&c| c == '}')
+                .map(|p| i + p)
+                .unwrap_or_else(|| panic!("unterminated repeat in pattern {pat:?}"));
+            let body: String = chars[i + 1..close].iter().collect();
+            i = close + 1;
+            match body.split_once(',') {
+                Some((a, b)) => (a.parse().unwrap(), b.parse().unwrap()),
+                None => {
+                    let n: usize = body.parse().unwrap();
+                    (n, n)
+                }
+            }
+        } else {
+            (1, 1)
+        };
+        let n = min + rng.below((max - min + 1) as u64) as usize;
+        for _ in 0..n {
+            out.push(set[rng.below(set.len() as u64) as usize]);
+        }
+    }
+    out
+}
+
+/// Types with a canonical "any value" strategy.
+pub trait Arbitrary {
+    /// Generate an unconstrained value.
+    fn arbitrary(rng: &mut TestRng) -> Self;
+}
+
+macro_rules! impl_arbitrary_int {
+    ($($t:ty),*) => {$(
+        impl Arbitrary for $t {
+            fn arbitrary(rng: &mut TestRng) -> $t {
+                rng.next_u64() as $t
+            }
+        }
+    )*};
+}
+impl_arbitrary_int!(u8, u16, u32, u64, usize, i8, i16, i32, i64, isize);
+
+impl Arbitrary for bool {
+    fn arbitrary(rng: &mut TestRng) -> bool {
+        rng.next_u64() & 1 == 1
+    }
+}
+
+impl<T: Arbitrary + Default + Copy, const N: usize> Arbitrary for [T; N] {
+    fn arbitrary(rng: &mut TestRng) -> [T; N] {
+        let mut out = [T::default(); N];
+        for slot in &mut out {
+            *slot = T::arbitrary(rng);
+        }
+        out
+    }
+}
+
+/// Strategy for any value of `T`.
+pub struct Any<T>(PhantomData<T>);
+
+impl<T: Arbitrary> Strategy for Any<T> {
+    type Value = T;
+    fn gen_value(&self, rng: &mut TestRng) -> T {
+        T::arbitrary(rng)
+    }
+}
+
+/// The `any::<T>()` entry point.
+pub fn any<T: Arbitrary>() -> Any<T> {
+    Any(PhantomData)
+}
+
+/// Weighted union over boxed alternatives — the engine behind
+/// [`prop_oneof!`].
+pub fn union_weighted<T: 'static>(options: Vec<(u32, BoxedStrategy<T>)>) -> BoxedStrategy<T> {
+    assert!(!options.is_empty());
+    let total: u64 = options.iter().map(|(w, _)| u64::from(*w)).sum();
+    assert!(total > 0, "all prop_oneof weights are zero");
+    BoxedStrategy::new(move |rng| {
+        let mut pick = rng.below(total);
+        for (w, s) in &options {
+            let w = u64::from(*w);
+            if pick < w {
+                return s.gen_value(rng);
+            }
+            pick -= w;
+        }
+        unreachable!("weight bookkeeping")
+    })
+}
+
+/// Collection strategies.
+pub mod collection {
+    use super::{BoxedStrategy, Strategy, TestRng};
+
+    /// Length specification accepted by [`vec`].
+    #[derive(Clone, Copy, Debug)]
+    pub struct SizeRange {
+        min: usize,
+        max: usize, // inclusive
+    }
+
+    impl From<usize> for SizeRange {
+        fn from(n: usize) -> SizeRange {
+            SizeRange { min: n, max: n }
+        }
+    }
+
+    impl From<std::ops::Range<usize>> for SizeRange {
+        fn from(r: std::ops::Range<usize>) -> SizeRange {
+            assert!(r.start < r.end, "empty size range");
+            SizeRange {
+                min: r.start,
+                max: r.end - 1,
+            }
+        }
+    }
+
+    impl From<std::ops::RangeInclusive<usize>> for SizeRange {
+        fn from(r: std::ops::RangeInclusive<usize>) -> SizeRange {
+            SizeRange {
+                min: *r.start(),
+                max: *r.end(),
+            }
+        }
+    }
+
+    /// A vector whose length is drawn from `size` and whose elements are
+    /// drawn from `element`.
+    pub fn vec<S>(element: S, size: impl Into<SizeRange>) -> BoxedStrategy<Vec<S::Value>>
+    where
+        S: Strategy + 'static,
+        S::Value: 'static,
+    {
+        let size = size.into();
+        BoxedStrategy::new(move |rng: &mut TestRng| {
+            let span = (size.max - size.min + 1) as u64;
+            let n = size.min + rng.below(span) as usize;
+            (0..n).map(|_| element.gen_value(rng)).collect()
+        })
+    }
+}
+
+/// Index sampling (`proptest::sample`).
+pub mod sample {
+    use super::{Arbitrary, TestRng};
+
+    /// An index into a not-yet-known-length collection.
+    #[derive(Clone, Copy, Debug, PartialEq, Eq)]
+    pub struct Index(u64);
+
+    impl Index {
+        /// Resolve against a concrete length (`len > 0`).
+        pub fn index(&self, len: usize) -> usize {
+            assert!(len > 0, "Index::index on empty collection");
+            (self.0 % len as u64) as usize
+        }
+
+        /// Resolve against a slice.
+        pub fn get<'a, T>(&self, slice: &'a [T]) -> &'a T {
+            &slice[self.index(slice.len())]
+        }
+    }
+
+    impl Arbitrary for Index {
+        fn arbitrary(rng: &mut TestRng) -> Index {
+            Index(rng.next_u64())
+        }
+    }
+}
+
+/// Per-proptest-block configuration.
+#[derive(Clone, Copy, Debug)]
+pub struct ProptestConfig {
+    /// Number of generated cases per test.
+    pub cases: u32,
+}
+
+impl Default for ProptestConfig {
+    fn default() -> Self {
+        ProptestConfig { cases: 256 }
+    }
+}
+
+impl ProptestConfig {
+    /// Override the case count.
+    pub fn with_cases(cases: u32) -> ProptestConfig {
+        ProptestConfig { cases }
+    }
+}
+
+/// Error type for test-case bodies (`return Ok(())` early exits).
+#[derive(Debug)]
+pub struct TestCaseError(pub String);
+
+impl fmt::Display for TestCaseError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(&self.0)
+    }
+}
+
+thread_local! {
+    static CURRENT_CASE: Cell<u32> = const { Cell::new(0) };
+}
+
+/// Record the case index being run (for failure messages).
+pub fn set_current_case(case: u32) {
+    CURRENT_CASE.with(|c| c.set(case));
+}
+
+/// The case index being run.
+pub fn current_case() -> u32 {
+    CURRENT_CASE.with(Cell::get)
+}
+
+/// Everything a test module needs.
+pub mod prelude {
+    pub use crate::{
+        any, prop_assert, prop_assert_eq, prop_assert_ne, prop_oneof, proptest, Arbitrary,
+        BoxedStrategy, Just, ProptestConfig, Strategy, TestCaseError,
+    };
+}
+
+/// Assert inside a property body.
+#[macro_export]
+macro_rules! prop_assert {
+    ($cond:expr) => {
+        assert!($cond, "property failed (case {})", $crate::current_case())
+    };
+    ($cond:expr, $($fmt:tt)*) => {
+        assert!($cond, $($fmt)*)
+    };
+}
+
+/// Assert equality inside a property body.
+#[macro_export]
+macro_rules! prop_assert_eq {
+    ($a:expr, $b:expr) => { assert_eq!($a, $b) };
+    ($a:expr, $b:expr, $($fmt:tt)*) => { assert_eq!($a, $b, $($fmt)*) };
+}
+
+/// Assert inequality inside a property body.
+#[macro_export]
+macro_rules! prop_assert_ne {
+    ($a:expr, $b:expr) => { assert_ne!($a, $b) };
+    ($a:expr, $b:expr, $($fmt:tt)*) => { assert_ne!($a, $b, $($fmt)*) };
+}
+
+/// Uniform or weighted choice between strategies.
+#[macro_export]
+macro_rules! prop_oneof {
+    ($($weight:expr => $strategy:expr),+ $(,)?) => {
+        $crate::union_weighted(vec![
+            $(($weight as u32, $crate::Strategy::boxed($strategy))),+
+        ])
+    };
+    ($($strategy:expr),+ $(,)?) => {
+        $crate::union_weighted(vec![
+            $((1u32, $crate::Strategy::boxed($strategy))),+
+        ])
+    };
+}
+
+/// Define property tests. Each `fn name(arg in strategy, ...) { body }`
+/// becomes a `#[test]` that runs `body` over `config.cases` generated
+/// inputs with a deterministic, test-name-derived seed.
+#[macro_export]
+macro_rules! proptest {
+    (#![proptest_config($config:expr)] $($rest:tt)*) => {
+        $crate::proptest!(@expand ($config) $($rest)*);
+    };
+    (@expand ($config:expr) $(
+        $(#[$meta:meta])*
+        fn $name:ident($($arg:ident in $strategy:expr),* $(,)?) $body:block
+    )*) => {
+        $(
+            $(#[$meta])*
+            fn $name() {
+                let __config: $crate::ProptestConfig = $config;
+                for __case in 0..__config.cases {
+                    $crate::set_current_case(__case);
+                    let mut __rng = $crate::TestRng::for_case(stringify!($name), __case);
+                    let ($($arg,)*) = ($(
+                        $crate::Strategy::gen_value(&($strategy), &mut __rng),
+                    )*);
+                    // The closure is what lets property bodies use `?`
+                    // and `return Ok(())` like upstream proptest.
+                    #[allow(clippy::redundant_closure_call)]
+                    let __result: ::std::result::Result<(), $crate::TestCaseError> =
+                        (|| { $body Ok(()) })();
+                    if let Err(e) = __result {
+                        panic!("property `{}` case {} rejected: {e}", stringify!($name), __case);
+                    }
+                }
+            }
+        )*
+    };
+    ($($rest:tt)*) => {
+        $crate::proptest!(@expand ($crate::ProptestConfig::default()) $($rest)*);
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use super::prelude::*;
+
+    #[test]
+    fn rng_is_deterministic() {
+        let mut a = crate::TestRng::for_case("t", 3);
+        let mut b = crate::TestRng::for_case("t", 3);
+        assert_eq!(a.next_u64(), b.next_u64());
+    }
+
+    #[test]
+    fn below_is_in_range() {
+        let mut rng = crate::TestRng::from_seed(7);
+        for _ in 0..1000 {
+            assert!(rng.below(13) < 13);
+        }
+    }
+
+    #[test]
+    fn pattern_generator_respects_classes() {
+        let mut rng = crate::TestRng::from_seed(1);
+        for _ in 0..200 {
+            let s = crate::gen_from_pattern("[a-z_][a-z0-9_]{0,20}", &mut rng);
+            assert!(!s.is_empty() && s.len() <= 21);
+            let mut cs = s.chars();
+            let first = cs.next().unwrap();
+            assert!(first.is_ascii_lowercase() || first == '_', "{s}");
+            assert!(
+                cs.all(|c| c.is_ascii_lowercase() || c.is_ascii_digit() || c == '_'),
+                "{s}"
+            );
+        }
+    }
+
+    proptest! {
+        #![proptest_config(ProptestConfig::with_cases(64))]
+
+        #[test]
+        fn ranges_stay_in_bounds(x in -50i32..50, y in 1u8..7) {
+            prop_assert!((-50..50).contains(&x));
+            prop_assert!((1..7).contains(&y));
+        }
+
+        #[test]
+        fn vec_sizes_respected(v in crate::collection::vec(0u32..10, 2..5)) {
+            prop_assert!(v.len() >= 2 && v.len() < 5);
+            prop_assert!(v.iter().all(|&e| e < 10));
+        }
+
+        #[test]
+        fn oneof_and_flat_map_compose(
+            s in (1usize..4).prop_flat_map(|n| crate::collection::vec(prop_oneof![Just("a"), Just("b")], n))
+        ) {
+            prop_assert!(!s.is_empty() && s.len() < 4);
+            prop_assert!(s.iter().all(|&t| t == "a" || t == "b"));
+            // Early return is supported.
+            if s.len() == 1 {
+                return Ok(());
+            }
+            prop_assert_ne!(s.len(), 1);
+        }
+    }
+}

@@ -1,0 +1,791 @@
+//! # firmup-telemetry
+//!
+//! Zero-dependency (std-only) tracing, metrics, and per-stage pipeline
+//! profiling for the FirmUp reproduction.
+//!
+//! The crate provides four primitives, all registered in a global
+//! thread-safe registry keyed by name:
+//!
+//! - **Counters** — monotonically increasing `u64` totals
+//!   ([`incr`], [`add`], [`counter`]).
+//! - **Gauges** — last-written `i64` values ([`set_gauge`], [`gauge`]).
+//! - **Histograms** — log2-bucketed distributions with count / sum /
+//!   min / max ([`observe`], [`histogram`]). `game.steps` mirrors the
+//!   FirmUp paper's Fig. 9 step-count distribution.
+//! - **Spans** — RAII wall-clock timers ([`span`], [`span!`]) that nest
+//!   through a thread-local stack into `/`-joined call-tree paths
+//!   (`scan/index/lift`). Per-path count and total/min/max latency are
+//!   recorded on drop.
+//!
+//! All of it is gated behind a single [`AtomicU64`]-free relaxed
+//! [`enabled`] flag: when telemetry is off (the default), every entry
+//! point is one relaxed atomic load and an early return, keeping the
+//! overhead on hot paths (corpus search, game steps) well under the 2%
+//! budget the bench suite asserts.
+//!
+//! A structured **event log** emits JSON-lines records ([`event`]) when
+//! tracing is on — enabled by the `FIRMUP_TRACE` environment variable or
+//! programmatically via [`set_trace`] (the CLI's `--trace` flag).
+//!
+//! [`snapshot`] captures a consistent view of every registered metric;
+//! [`Snapshot::render_text`] and [`Snapshot::render_json`] export it for
+//! humans and machines respectively. The JSON form additionally
+//! aggregates span stats by **leaf stage name** (`lift`, `canonicalize`,
+//! `index`, `game`, `search`) so consumers need not care how deeply a
+//! stage was nested.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod json;
+
+use std::cell::RefCell;
+use std::collections::HashMap;
+use std::io::Write;
+use std::sync::atomic::{AtomicBool, AtomicI64, AtomicU64, Ordering};
+use std::sync::{Arc, Mutex, OnceLock};
+use std::time::Instant;
+
+use json::Json;
+
+/// Number of log2 histogram buckets (covers the full `u64` range).
+pub const HIST_BUCKETS: usize = 65;
+
+// ---------------------------------------------------------------------------
+// Global enable gates
+// ---------------------------------------------------------------------------
+
+static ENABLED: AtomicBool = AtomicBool::new(false);
+static TRACE: AtomicBool = AtomicBool::new(false);
+
+/// Turn metric recording on. Idempotent.
+pub fn enable() {
+    ENABLED.store(true, Ordering::Relaxed);
+}
+
+/// Turn metric recording off. Recording calls become near-free no-ops;
+/// already-recorded values are retained.
+pub fn disable() {
+    ENABLED.store(false, Ordering::Relaxed);
+}
+
+/// Whether metric recording is on.
+#[inline]
+pub fn enabled() -> bool {
+    ENABLED.load(Ordering::Relaxed)
+}
+
+/// Turn the JSON-lines event log on or off (the CLI `--trace` flag).
+pub fn set_trace(on: bool) {
+    TRACE.store(on, Ordering::Relaxed);
+}
+
+/// Whether event tracing is on. Checks the `FIRMUP_TRACE` environment
+/// variable once at first call; [`set_trace`] overrides either way.
+#[inline]
+pub fn trace_enabled() -> bool {
+    static FROM_ENV: OnceLock<()> = OnceLock::new();
+    FROM_ENV.get_or_init(|| {
+        if std::env::var_os("FIRMUP_TRACE").is_some_and(|v| !v.is_empty() && v != "0") {
+            TRACE.store(true, Ordering::Relaxed);
+        }
+    });
+    TRACE.load(Ordering::Relaxed)
+}
+
+// ---------------------------------------------------------------------------
+// Registry
+// ---------------------------------------------------------------------------
+
+#[derive(Default)]
+struct Registry {
+    counters: Mutex<HashMap<String, Arc<AtomicU64>>>,
+    gauges: Mutex<HashMap<String, Arc<AtomicI64>>>,
+    histograms: Mutex<HashMap<String, Arc<HistogramInner>>>,
+    spans: Mutex<HashMap<String, Arc<SpanStats>>>,
+}
+
+fn registry() -> &'static Registry {
+    static REGISTRY: OnceLock<Registry> = OnceLock::new();
+    REGISTRY.get_or_init(Registry::default)
+}
+
+fn epoch() -> Instant {
+    static EPOCH: OnceLock<Instant> = OnceLock::new();
+    *EPOCH.get_or_init(Instant::now)
+}
+
+/// Clear every registered metric and span. Intended for tests; racing
+/// recorders may re-register concurrently.
+pub fn reset() {
+    let r = registry();
+    r.counters.lock().unwrap().clear();
+    r.gauges.lock().unwrap().clear();
+    r.histograms.lock().unwrap().clear();
+    r.spans.lock().unwrap().clear();
+}
+
+// ---------------------------------------------------------------------------
+// Counters
+// ---------------------------------------------------------------------------
+
+/// Handle to a registered counter. Cheap to clone; hot loops should
+/// grab one handle instead of resolving the name per call.
+#[derive(Clone)]
+pub struct Counter(Arc<AtomicU64>);
+
+impl Counter {
+    /// Add `n`, if telemetry is enabled.
+    #[inline]
+    pub fn add(&self, n: u64) {
+        if enabled() {
+            self.0.fetch_add(n, Ordering::Relaxed);
+        }
+    }
+
+    /// Add one, if telemetry is enabled.
+    #[inline]
+    pub fn incr(&self) {
+        self.add(1);
+    }
+
+    /// Current total.
+    pub fn get(&self) -> u64 {
+        self.0.load(Ordering::Relaxed)
+    }
+}
+
+/// Look up (registering on first use) the named counter.
+pub fn counter(name: &str) -> Counter {
+    let mut map = registry().counters.lock().unwrap();
+    Counter(Arc::clone(
+        map.entry(name.to_string())
+            .or_insert_with(|| Arc::new(AtomicU64::new(0))),
+    ))
+}
+
+/// Increment the named counter by one.
+#[inline]
+pub fn incr(name: &str) {
+    add(name, 1);
+}
+
+/// Increment the named counter by `n`.
+#[inline]
+pub fn add(name: &str, n: u64) {
+    if enabled() {
+        counter(name).0.fetch_add(n, Ordering::Relaxed);
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Gauges
+// ---------------------------------------------------------------------------
+
+/// Handle to a registered gauge (a last-written `i64`).
+#[derive(Clone)]
+pub struct Gauge(Arc<AtomicI64>);
+
+impl Gauge {
+    /// Overwrite the value, if telemetry is enabled.
+    #[inline]
+    pub fn set(&self, v: i64) {
+        if enabled() {
+            self.0.store(v, Ordering::Relaxed);
+        }
+    }
+
+    /// Current value.
+    pub fn get(&self) -> i64 {
+        self.0.load(Ordering::Relaxed)
+    }
+}
+
+/// Look up (registering on first use) the named gauge.
+pub fn gauge(name: &str) -> Gauge {
+    let mut map = registry().gauges.lock().unwrap();
+    Gauge(Arc::clone(
+        map.entry(name.to_string())
+            .or_insert_with(|| Arc::new(AtomicI64::new(0))),
+    ))
+}
+
+/// Set the named gauge.
+#[inline]
+pub fn set_gauge(name: &str, v: i64) {
+    if enabled() {
+        gauge(name).0.store(v, Ordering::Relaxed);
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Histograms
+// ---------------------------------------------------------------------------
+
+struct HistogramInner {
+    count: AtomicU64,
+    sum: AtomicU64,
+    min: AtomicU64,
+    max: AtomicU64,
+    buckets: [AtomicU64; HIST_BUCKETS],
+}
+
+impl HistogramInner {
+    fn new() -> HistogramInner {
+        HistogramInner {
+            count: AtomicU64::new(0),
+            sum: AtomicU64::new(0),
+            min: AtomicU64::new(u64::MAX),
+            max: AtomicU64::new(0),
+            buckets: [const { AtomicU64::new(0) }; HIST_BUCKETS],
+        }
+    }
+
+    fn record(&self, v: u64) {
+        self.count.fetch_add(1, Ordering::Relaxed);
+        self.sum.fetch_add(v, Ordering::Relaxed);
+        self.min.fetch_min(v, Ordering::Relaxed);
+        self.max.fetch_max(v, Ordering::Relaxed);
+        self.buckets[bucket_of(v)].fetch_add(1, Ordering::Relaxed);
+    }
+}
+
+/// Bucket index for value `v`: 0 holds only zero, bucket `i > 0` holds
+/// `[2^(i-1), 2^i)`.
+#[inline]
+pub fn bucket_of(v: u64) -> usize {
+    (64 - v.leading_zeros()) as usize
+}
+
+/// Inclusive lower bound of bucket `i` (see [`bucket_of`]).
+pub fn bucket_lower_bound(i: usize) -> u64 {
+    if i == 0 {
+        0
+    } else {
+        1u64 << (i - 1)
+    }
+}
+
+/// Handle to a registered histogram.
+#[derive(Clone)]
+pub struct Histogram(Arc<HistogramInner>);
+
+impl Histogram {
+    /// Record one observation, if telemetry is enabled.
+    #[inline]
+    pub fn observe(&self, v: u64) {
+        if enabled() {
+            self.0.record(v);
+        }
+    }
+
+    /// Number of observations so far.
+    pub fn count(&self) -> u64 {
+        self.0.count.load(Ordering::Relaxed)
+    }
+}
+
+/// Look up (registering on first use) the named histogram.
+pub fn histogram(name: &str) -> Histogram {
+    let mut map = registry().histograms.lock().unwrap();
+    Histogram(Arc::clone(
+        map.entry(name.to_string())
+            .or_insert_with(|| Arc::new(HistogramInner::new())),
+    ))
+}
+
+/// Record one observation in the named histogram.
+#[inline]
+pub fn observe(name: &str, v: u64) {
+    if enabled() {
+        histogram(name).0.record(v);
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Spans
+// ---------------------------------------------------------------------------
+
+struct SpanStats {
+    count: AtomicU64,
+    total_ns: AtomicU64,
+    min_ns: AtomicU64,
+    max_ns: AtomicU64,
+}
+
+impl SpanStats {
+    fn new() -> SpanStats {
+        SpanStats {
+            count: AtomicU64::new(0),
+            total_ns: AtomicU64::new(0),
+            min_ns: AtomicU64::new(u64::MAX),
+            max_ns: AtomicU64::new(0),
+        }
+    }
+}
+
+thread_local! {
+    static SPAN_STACK: RefCell<Vec<&'static str>> = const { RefCell::new(Vec::new()) };
+}
+
+/// RAII timer for one pipeline stage. Created by [`span`] / [`span!`];
+/// records elapsed wall time under the `/`-joined path of all open
+/// spans on this thread when dropped.
+pub struct SpanGuard {
+    // None when telemetry was disabled at span entry.
+    active: Option<(String, Instant)>,
+}
+
+/// Open a named span. The name becomes one path segment; nested spans
+/// produce paths such as `scan/index/lift`.
+pub fn span(name: &'static str) -> SpanGuard {
+    if !enabled() {
+        return SpanGuard { active: None };
+    }
+    let path = SPAN_STACK.with(|stack| {
+        let mut stack = stack.borrow_mut();
+        stack.push(name);
+        stack.join("/")
+    });
+    SpanGuard {
+        active: Some((path, Instant::now())),
+    }
+}
+
+impl Drop for SpanGuard {
+    fn drop(&mut self) {
+        let Some((path, started)) = self.active.take() else {
+            return;
+        };
+        let elapsed = started.elapsed().as_nanos() as u64;
+        SPAN_STACK.with(|stack| {
+            stack.borrow_mut().pop();
+        });
+        let stats = {
+            let mut map = registry().spans.lock().unwrap();
+            Arc::clone(
+                map.entry(path)
+                    .or_insert_with(|| Arc::new(SpanStats::new())),
+            )
+        };
+        stats.count.fetch_add(1, Ordering::Relaxed);
+        stats.total_ns.fetch_add(elapsed, Ordering::Relaxed);
+        stats.min_ns.fetch_min(elapsed, Ordering::Relaxed);
+        stats.max_ns.fetch_max(elapsed, Ordering::Relaxed);
+    }
+}
+
+/// Open a span for the rest of the enclosing scope:
+/// `let _span = span!("lift");`
+#[macro_export]
+macro_rules! span {
+    ($name:expr) => {
+        $crate::span($name)
+    };
+}
+
+// ---------------------------------------------------------------------------
+// Event log (JSON-lines)
+// ---------------------------------------------------------------------------
+
+enum TraceSink {
+    Stderr,
+    File(std::io::BufWriter<std::fs::File>),
+}
+
+fn trace_sink() -> &'static Mutex<TraceSink> {
+    static SINK: OnceLock<Mutex<TraceSink>> = OnceLock::new();
+    SINK.get_or_init(|| Mutex::new(TraceSink::Stderr))
+}
+
+/// Redirect the event log from stderr to `path` (truncating it).
+pub fn set_trace_file(path: &std::path::Path) -> std::io::Result<()> {
+    let file = std::fs::File::create(path)?;
+    *trace_sink().lock().unwrap() = TraceSink::File(std::io::BufWriter::new(file));
+    Ok(())
+}
+
+/// Flush the event log (meaningful when routed to a file).
+pub fn flush_trace() {
+    if let TraceSink::File(w) = &mut *trace_sink().lock().unwrap() {
+        let _ = w.flush();
+    }
+}
+
+/// Emit one structured event as a JSON line, if tracing is on. Each
+/// record carries the event `kind`, milliseconds since process start
+/// (`ms`), and the given fields.
+pub fn event(kind: &str, fields: &[(&str, Json)]) {
+    if !trace_enabled() {
+        return;
+    }
+    let mut obj = Vec::with_capacity(fields.len() + 2);
+    obj.push(("event".to_string(), Json::Str(kind.to_string())));
+    obj.push((
+        "ms".to_string(),
+        Json::Num(epoch().elapsed().as_secs_f64() * 1000.0),
+    ));
+    for (k, v) in fields {
+        obj.push(((*k).to_string(), v.clone()));
+    }
+    let line = Json::Obj(obj).render();
+    match &mut *trace_sink().lock().unwrap() {
+        TraceSink::Stderr => {
+            let _ = writeln!(std::io::stderr().lock(), "{line}");
+        }
+        TraceSink::File(w) => {
+            let _ = writeln!(w, "{line}");
+        }
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Snapshot + exporters
+// ---------------------------------------------------------------------------
+
+/// Point-in-time copy of one histogram.
+#[derive(Clone, Debug)]
+pub struct HistogramSnapshot {
+    /// Number of observations.
+    pub count: u64,
+    /// Sum of observations.
+    pub sum: u64,
+    /// Smallest observation (0 when empty).
+    pub min: u64,
+    /// Largest observation (0 when empty).
+    pub max: u64,
+    /// Non-empty buckets as `(inclusive lower bound, count)`.
+    pub buckets: Vec<(u64, u64)>,
+}
+
+impl HistogramSnapshot {
+    /// Mean observation (0.0 when empty).
+    pub fn mean(&self) -> f64 {
+        if self.count == 0 {
+            0.0
+        } else {
+            self.sum as f64 / self.count as f64
+        }
+    }
+}
+
+/// Point-in-time copy of one span path's latency stats.
+#[derive(Clone, Debug)]
+pub struct SpanSnapshot {
+    /// Number of completed spans.
+    pub count: u64,
+    /// Total nanoseconds across all completions.
+    pub total_ns: u64,
+    /// Fastest completion in nanoseconds.
+    pub min_ns: u64,
+    /// Slowest completion in nanoseconds.
+    pub max_ns: u64,
+}
+
+/// A consistent view of every registered metric.
+#[derive(Clone, Debug, Default)]
+pub struct Snapshot {
+    /// Counters, sorted by name.
+    pub counters: Vec<(String, u64)>,
+    /// Gauges, sorted by name.
+    pub gauges: Vec<(String, i64)>,
+    /// Histograms, sorted by name.
+    pub histograms: Vec<(String, HistogramSnapshot)>,
+    /// Span stats keyed by full `/`-joined path, sorted by path.
+    pub spans: Vec<(String, SpanSnapshot)>,
+}
+
+/// Capture the current value of every registered metric.
+pub fn snapshot() -> Snapshot {
+    let r = registry();
+    let mut counters: Vec<(String, u64)> = r
+        .counters
+        .lock()
+        .unwrap()
+        .iter()
+        .map(|(k, v)| (k.clone(), v.load(Ordering::Relaxed)))
+        .collect();
+    counters.sort();
+    let mut gauges: Vec<(String, i64)> = r
+        .gauges
+        .lock()
+        .unwrap()
+        .iter()
+        .map(|(k, v)| (k.clone(), v.load(Ordering::Relaxed)))
+        .collect();
+    gauges.sort();
+    let mut histograms: Vec<(String, HistogramSnapshot)> = r
+        .histograms
+        .lock()
+        .unwrap()
+        .iter()
+        .map(|(k, h)| {
+            let count = h.count.load(Ordering::Relaxed);
+            let buckets = h
+                .buckets
+                .iter()
+                .enumerate()
+                .filter_map(|(i, b)| {
+                    let n = b.load(Ordering::Relaxed);
+                    (n > 0).then_some((bucket_lower_bound(i), n))
+                })
+                .collect();
+            (
+                k.clone(),
+                HistogramSnapshot {
+                    count,
+                    sum: h.sum.load(Ordering::Relaxed),
+                    min: if count == 0 {
+                        0
+                    } else {
+                        h.min.load(Ordering::Relaxed)
+                    },
+                    max: h.max.load(Ordering::Relaxed),
+                    buckets,
+                },
+            )
+        })
+        .collect();
+    histograms.sort_by(|a, b| a.0.cmp(&b.0));
+    let mut spans: Vec<(String, SpanSnapshot)> = r
+        .spans
+        .lock()
+        .unwrap()
+        .iter()
+        .map(|(k, s)| {
+            let count = s.count.load(Ordering::Relaxed);
+            (
+                k.clone(),
+                SpanSnapshot {
+                    count,
+                    total_ns: s.total_ns.load(Ordering::Relaxed),
+                    min_ns: if count == 0 {
+                        0
+                    } else {
+                        s.min_ns.load(Ordering::Relaxed)
+                    },
+                    max_ns: s.max_ns.load(Ordering::Relaxed),
+                },
+            )
+        })
+        .collect();
+    spans.sort_by(|a, b| a.0.cmp(&b.0));
+    Snapshot {
+        counters,
+        gauges,
+        histograms,
+        spans,
+    }
+}
+
+impl Snapshot {
+    /// Span stats aggregated by **leaf stage name** (the last path
+    /// segment), summing across call sites — `scan/index/lift` and
+    /// `index/lift` both contribute to stage `lift`.
+    pub fn stages(&self) -> Vec<(String, SpanSnapshot)> {
+        let mut by_leaf: HashMap<&str, SpanSnapshot> = HashMap::new();
+        for (path, s) in &self.spans {
+            let leaf = path.rsplit('/').next().unwrap_or(path);
+            let entry = by_leaf.entry(leaf).or_insert(SpanSnapshot {
+                count: 0,
+                total_ns: 0,
+                min_ns: u64::MAX,
+                max_ns: 0,
+            });
+            entry.count += s.count;
+            entry.total_ns += s.total_ns;
+            entry.min_ns = entry.min_ns.min(s.min_ns);
+            entry.max_ns = entry.max_ns.max(s.max_ns);
+        }
+        let mut out: Vec<(String, SpanSnapshot)> = by_leaf
+            .into_iter()
+            .map(|(k, mut v)| {
+                if v.count == 0 {
+                    v.min_ns = 0;
+                }
+                (k.to_string(), v)
+            })
+            .collect();
+        out.sort_by_key(|(_, v)| std::cmp::Reverse(v.total_ns));
+        out
+    }
+
+    /// Render a human-readable multi-line summary.
+    pub fn render_text(&self) -> String {
+        use std::fmt::Write as _;
+        let mut out = String::new();
+        if !self.spans.is_empty() {
+            out.push_str("stages (by total time):\n");
+            for (name, s) in self.stages() {
+                let _ = writeln!(
+                    out,
+                    "  {name:<24} {:>6} calls  total {:>10}  mean {:>10}",
+                    s.count,
+                    fmt_ns(s.total_ns as f64),
+                    fmt_ns(if s.count == 0 {
+                        0.0
+                    } else {
+                        s.total_ns as f64 / s.count as f64
+                    }),
+                );
+            }
+        }
+        if !self.counters.is_empty() {
+            out.push_str("counters:\n");
+            for (name, v) in &self.counters {
+                let _ = writeln!(out, "  {name:<32} {v}");
+            }
+        }
+        if !self.gauges.is_empty() {
+            out.push_str("gauges:\n");
+            for (name, v) in &self.gauges {
+                let _ = writeln!(out, "  {name:<32} {v}");
+            }
+        }
+        if !self.histograms.is_empty() {
+            out.push_str("histograms:\n");
+            for (name, h) in &self.histograms {
+                let _ = writeln!(
+                    out,
+                    "  {name:<32} count {} min {} mean {:.1} max {}",
+                    h.count,
+                    h.min,
+                    h.mean(),
+                    h.max,
+                );
+                for (lo, n) in &h.buckets {
+                    let _ = writeln!(out, "    >= {lo:<12} {n}");
+                }
+            }
+        }
+        out
+    }
+
+    /// Render the snapshot as a JSON object with `counters`, `gauges`,
+    /// `histograms`, `spans` (full paths), and `stages` (leaf-name
+    /// aggregates) sections.
+    pub fn render_json(&self) -> Json {
+        let counters = self
+            .counters
+            .iter()
+            .map(|(k, v)| (k.clone(), Json::Num(*v as f64)))
+            .collect();
+        let gauges = self
+            .gauges
+            .iter()
+            .map(|(k, v)| (k.clone(), Json::Num(*v as f64)))
+            .collect();
+        let histograms = self
+            .histograms
+            .iter()
+            .map(|(k, h)| {
+                (
+                    k.clone(),
+                    Json::Obj(vec![
+                        ("count".to_string(), Json::Num(h.count as f64)),
+                        ("sum".to_string(), Json::Num(h.sum as f64)),
+                        ("min".to_string(), Json::Num(h.min as f64)),
+                        ("max".to_string(), Json::Num(h.max as f64)),
+                        ("mean".to_string(), Json::Num(h.mean())),
+                        (
+                            "buckets".to_string(),
+                            Json::Arr(
+                                h.buckets
+                                    .iter()
+                                    .map(|(lo, n)| {
+                                        Json::Arr(vec![Json::Num(*lo as f64), Json::Num(*n as f64)])
+                                    })
+                                    .collect(),
+                            ),
+                        ),
+                    ]),
+                )
+            })
+            .collect();
+        let span_obj = |s: &SpanSnapshot| {
+            Json::Obj(vec![
+                ("count".to_string(), Json::Num(s.count as f64)),
+                ("total_ns".to_string(), Json::Num(s.total_ns as f64)),
+                ("min_ns".to_string(), Json::Num(s.min_ns as f64)),
+                ("max_ns".to_string(), Json::Num(s.max_ns as f64)),
+            ])
+        };
+        let spans = self
+            .spans
+            .iter()
+            .map(|(k, s)| (k.clone(), span_obj(s)))
+            .collect();
+        let stages = self
+            .stages()
+            .iter()
+            .map(|(k, s)| (k.clone(), span_obj(s)))
+            .collect();
+        Json::Obj(vec![
+            ("counters".to_string(), Json::Obj(counters)),
+            ("gauges".to_string(), Json::Obj(gauges)),
+            ("histograms".to_string(), Json::Obj(histograms)),
+            ("spans".to_string(), Json::Obj(spans)),
+            ("stages".to_string(), Json::Obj(stages)),
+        ])
+    }
+}
+
+/// [`snapshot`] + [`Snapshot::render_text`] in one call.
+pub fn render_text() -> String {
+    snapshot().render_text()
+}
+
+/// [`snapshot`] + [`Snapshot::render_json`] in one call.
+pub fn render_json() -> Json {
+    snapshot().render_json()
+}
+
+fn fmt_ns(ns: f64) -> String {
+    if ns >= 1e9 {
+        format!("{:.2} s", ns / 1e9)
+    } else if ns >= 1e6 {
+        format!("{:.2} ms", ns / 1e6)
+    } else if ns >= 1e3 {
+        format!("{:.2} us", ns / 1e3)
+    } else {
+        format!("{ns:.0} ns")
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn bucket_boundaries() {
+        assert_eq!(bucket_of(0), 0);
+        assert_eq!(bucket_of(1), 1);
+        assert_eq!(bucket_of(2), 2);
+        assert_eq!(bucket_of(3), 2);
+        assert_eq!(bucket_of(4), 3);
+        assert_eq!(bucket_of(u64::MAX), 64);
+        assert_eq!(bucket_lower_bound(0), 0);
+        assert_eq!(bucket_lower_bound(1), 1);
+        assert_eq!(bucket_lower_bound(3), 4);
+    }
+
+    #[test]
+    fn disabled_recording_is_a_no_op() {
+        disable();
+        incr("unit.disabled.counter");
+        observe("unit.disabled.hist", 9);
+        {
+            let _s = span!("unit-disabled-span");
+        }
+        let snap = snapshot();
+        assert!(!snap
+            .counters
+            .iter()
+            .any(|(k, v)| k == "unit.disabled.counter" && *v > 0));
+        assert!(!snap
+            .histograms
+            .iter()
+            .any(|(k, h)| k == "unit.disabled.hist" && h.count > 0));
+        assert!(!snap.spans.iter().any(|(k, _)| k == "unit-disabled-span"));
+    }
+}

@@ -1,0 +1,171 @@
+//! Integration tests for the telemetry registry: concurrent recording,
+//! span nesting, and the JSON snapshot round-trip.
+//!
+//! Telemetry state is process-global, so every test here uses uniquely
+//! named metrics and the suite enables recording up front.
+
+use firmup_telemetry as tm;
+use tm::json::Json;
+
+fn enabled() {
+    tm::enable();
+}
+
+#[test]
+fn counters_are_exact_under_contention() {
+    enabled();
+    let c = tm::counter("it.counter.contended");
+    std::thread::scope(|s| {
+        for _ in 0..8 {
+            s.spawn(|| {
+                for _ in 0..10_000 {
+                    c.incr();
+                }
+            });
+        }
+    });
+    assert_eq!(c.get(), 80_000);
+}
+
+#[test]
+fn histograms_are_exact_under_contention() {
+    enabled();
+    let h = tm::histogram("it.hist.contended");
+    std::thread::scope(|s| {
+        for t in 0..8u64 {
+            let h = h.clone();
+            s.spawn(move || {
+                for i in 0..1_000u64 {
+                    h.observe(t * 1_000 + i);
+                }
+            });
+        }
+    });
+    let snap = tm::snapshot();
+    let (_, hist) = snap
+        .histograms
+        .iter()
+        .find(|(k, _)| k == "it.hist.contended")
+        .expect("registered");
+    assert_eq!(hist.count, 8_000);
+    assert_eq!(hist.min, 0);
+    assert_eq!(hist.max, 7_999);
+    // Observations land in log2 buckets covering [0, 8000).
+    assert_eq!(hist.buckets.iter().map(|(_, n)| n).sum::<u64>(), 8_000);
+    let total: u64 = (0..8u64)
+        .map(|t| (0..1_000).map(|i| t * 1_000 + i).sum::<u64>())
+        .sum();
+    assert_eq!(hist.sum, total);
+}
+
+#[test]
+fn spans_nest_into_slash_joined_paths() {
+    enabled();
+    {
+        let _outer = tm::span!("it-outer");
+        {
+            let _inner = tm::span!("it-inner");
+        }
+        {
+            let _inner = tm::span!("it-inner");
+        }
+    }
+    let snap = tm::snapshot();
+    let inner = snap
+        .spans
+        .iter()
+        .find(|(k, _)| k == "it-outer/it-inner")
+        .expect("nested path recorded");
+    assert_eq!(inner.1.count, 2);
+    let outer = snap
+        .spans
+        .iter()
+        .find(|(k, _)| k == "it-outer")
+        .expect("outer path");
+    assert_eq!(outer.1.count, 1);
+    assert!(
+        outer.1.total_ns >= inner.1.total_ns,
+        "outer span encloses both inner spans"
+    );
+    // Leaf aggregation folds paths by last segment.
+    let stages = snap.stages();
+    let (_, leaf) = stages
+        .iter()
+        .find(|(k, _)| k == "it-inner")
+        .expect("stage aggregate");
+    assert_eq!(leaf.count, 2);
+}
+
+#[test]
+fn gauge_keeps_last_write() {
+    enabled();
+    tm::set_gauge("it.gauge", 41);
+    tm::set_gauge("it.gauge", -7);
+    let snap = tm::snapshot();
+    let (_, v) = snap
+        .gauges
+        .iter()
+        .find(|(k, _)| k == "it.gauge")
+        .expect("registered");
+    assert_eq!(*v, -7);
+}
+
+#[test]
+fn json_snapshot_round_trips() {
+    enabled();
+    tm::add("it.json.counter", 3);
+    tm::observe("it.json.hist", 5);
+    tm::observe("it.json.hist", 600);
+    {
+        let _s = tm::span!("it-json-span");
+    }
+    let rendered = tm::render_json().render();
+    let doc = Json::parse(&rendered).expect("snapshot renders valid JSON");
+
+    assert_eq!(
+        doc.get("counters")
+            .and_then(|c| c.get("it.json.counter"))
+            .and_then(Json::as_u64),
+        Some(3)
+    );
+    let hist = doc
+        .get("histograms")
+        .and_then(|h| h.get("it.json.hist"))
+        .expect("histogram");
+    assert_eq!(hist.get("count").and_then(Json::as_u64), Some(2));
+    assert_eq!(hist.get("sum").and_then(Json::as_u64), Some(605));
+    assert_eq!(hist.get("min").and_then(Json::as_u64), Some(5));
+    assert_eq!(hist.get("max").and_then(Json::as_u64), Some(600));
+    let buckets = hist.get("buckets").and_then(Json::as_arr).expect("buckets");
+    assert_eq!(buckets.len(), 2, "5 and 600 live in different log2 buckets");
+
+    let span = doc
+        .get("stages")
+        .and_then(|s| s.get("it-json-span"))
+        .expect("stage");
+    assert_eq!(span.get("count").and_then(Json::as_u64), Some(1));
+}
+
+#[test]
+fn events_route_to_trace_file() {
+    enabled();
+    tm::set_trace(true);
+    let path = std::env::temp_dir().join(format!("firmup-trace-{}.jsonl", std::process::id()));
+    tm::set_trace_file(&path).expect("trace file");
+    tm::event(
+        "it.event",
+        &[("k", Json::Str("v".into())), ("n", Json::Num(7.0))],
+    );
+    tm::flush_trace();
+    tm::set_trace(false);
+    let body = std::fs::read_to_string(&path).expect("trace written");
+    let line = body
+        .lines()
+        .find(|l| l.contains("it.event"))
+        .expect("event line");
+    let doc = Json::parse(line).expect("event line is valid JSON");
+    assert_eq!(doc.get("event").and_then(Json::as_str), Some("it.event"));
+    assert_eq!(doc.get("n").and_then(Json::as_u64), Some(7));
+    assert!(doc.get("ms").is_some(), "events carry a timestamp");
+    let _ = std::fs::remove_file(&path);
+}

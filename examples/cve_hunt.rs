@@ -48,11 +48,8 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
         let Some(qv) = query.find_named("ftp_retrieve_glob") else {
             continue;
         };
-        let arch_targets: Vec<ExecutableRep> = reps
-            .iter()
-            .filter(|r| r.arch == arch)
-            .cloned()
-            .collect();
+        let arch_targets: Vec<ExecutableRep> =
+            reps.iter().filter(|r| r.arch == arch).cloned().collect();
         let config = SearchConfig {
             context: Some(context.clone()),
             ..SearchConfig::default()

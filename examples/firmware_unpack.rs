@@ -30,15 +30,30 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
         version: "1.0.4".into(),
     };
     let parts = vec![
-        Part { name: "bin/wget".into(), data: wget.write() },
-        Part { name: "bin/bftpd".into(), data: bftpd.write() },
+        Part {
+            name: "bin/wget".into(),
+            data: wget.write(),
+        },
+        Part {
+            name: "bin/bftpd".into(),
+            data: bftpd.write(),
+        },
     ];
     let blob = pack(&meta, &parts);
-    println!("packed {} ({} bytes, {} parts)", meta, blob.len(), parts.len());
+    println!(
+        "packed {} ({} bytes, {} parts)",
+        meta,
+        blob.len(),
+        parts.len()
+    );
 
     // 1. Clean unpack.
     let u = unpack(&blob)?;
-    println!("clean unpack: {} parts, {} issue(s)", u.parts.len(), u.issues.len());
+    println!(
+        "clean unpack: {} parts, {} issue(s)",
+        u.parts.len(),
+        u.issues.len()
+    );
 
     // 2. Flip a payload byte: checksum diagnostics, parts still usable.
     let mut damaged = blob.clone();
@@ -52,7 +67,11 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     headerless.extend_from_slice(&parts[0].data);
     headerless.extend_from_slice(&parts[1].data);
     let u = unpack(&headerless)?;
-    println!("carved unpack: {} part(s), issues = {:?}", u.parts.len(), u.issues);
+    println!(
+        "carved unpack: {} part(s), issues = {:?}",
+        u.parts.len(),
+        u.issues
+    );
 
     // 4. The §3.1 ELF caveat: wrong EI_CLASS on 32-bit content.
     let mut bad_elf = parts[0].data.clone();

@@ -46,7 +46,9 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
             .map_or_else(|| format!("sub_{addr:x}"), |(n, _)| format!("{n}()"))
     };
 
-    let qv = query.find_named("vsf_filename_passes_filter").expect("query symbols");
+    let qv = query
+        .find_named("vsf_filename_passes_filter")
+        .expect("query symbols");
     let g = play(&query, qv, &target, &GameConfig::default());
 
     println!("game course for vsf_filename_passes_filter():\n");
@@ -65,7 +67,11 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
             Side::Query => resolve(target.procedures[s.forward].addr),
             Side::Target => query.procedures[s.forward].display_name() + "()",
         };
-        println!("  step {:>2} [{who}] {what} {m_name} ↔ {f_name} (Sim = {})", i + 1, s.sim_forward);
+        println!(
+            "  step {:>2} [{who}] {what} {m_name} ↔ {f_name} (Sim = {})",
+            i + 1,
+            s.sim_forward
+        );
     }
     match g.query_match {
         Some((ti, s)) => println!(
@@ -75,6 +81,9 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
         ),
         None => println!("\ngame over without a match: {:?}", g.ended),
     }
-    println!("partial matching covers {} procedure pair(s)", g.matches.len());
+    println!(
+        "partial matching covers {} procedure pair(s)",
+        g.matches.len()
+    );
     Ok(())
 }

@@ -14,6 +14,7 @@
 //! | [`firmware`] | firmware image format, synthetic package corpus, seeded corpus generator |
 //! | [`core`] | the paper's contribution: strands, canonicalization, `Sim`, the back-and-forth game, corpus search |
 //! | [`baselines`] | BinDiff-style and GitZ-style comparison baselines |
+//! | [`telemetry`] | zero-dependency counters, histograms, span timers, and the JSON-lines event log |
 //!
 //! See `examples/quickstart.rs` for the end-to-end flow and
 //! `crates/bench` for the harness that regenerates every table and
@@ -29,3 +30,4 @@ pub use firmup_firmware as firmware;
 pub use firmup_ir as ir;
 pub use firmup_isa as isa;
 pub use firmup_obj as obj;
+pub use firmup_telemetry as telemetry;

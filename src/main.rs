@@ -55,9 +55,24 @@ USAGE:
         Describe a firmware image (parts, vendors) or an ELF (sections, procedures).
     firmup disasm ELF [--proc NAME]
         Disassemble an executable and print lifted IR + canonical strands.
-    firmup scan IMAGE... [--cve CVE-ID]
-        Hunt the built-in CVE queries inside firmware images.
+    firmup scan IMAGE... [--cve CVE-ID] [--trace] [--metrics-out FILE.json]
+        Hunt the built-in CVE queries inside firmware images. Prints a
+        stage-by-stage profile after the scan; --metrics-out additionally
+        writes the full metrics snapshot (span timings, game.steps
+        histogram, counters) as JSON. --trace (or FIRMUP_TRACE=1) streams
+        structured JSON-lines events to stderr.
 ";
+
+/// Flags that consume the following argument as their value. Everything
+/// else starting with `--` is a boolean flag (e.g. `--trace`).
+const VALUE_FLAGS: &[&str] = &[
+    "--out",
+    "--devices",
+    "--seed",
+    "--proc",
+    "--cve",
+    "--metrics-out",
+];
 
 fn flag_value<'a>(args: &'a [String], name: &str) -> Option<&'a str> {
     args.iter()
@@ -66,20 +81,27 @@ fn flag_value<'a>(args: &'a [String], name: &str) -> Option<&'a str> {
         .map(String::as_str)
 }
 
+fn has_flag(args: &[String], name: &str) -> bool {
+    args.iter().any(|a| a == name)
+}
+
 fn positional(args: &[String]) -> Vec<&String> {
     let mut out = Vec::new();
-    let mut skip = false;
-    for (i, a) in args.iter().enumerate() {
-        if skip {
-            skip = false;
-            continue;
-        }
+    let mut i = 0usize;
+    while i < args.len() {
+        let a = &args[i];
         if a.starts_with("--") {
-            // All our flags take a value.
-            skip = args.get(i + 1).is_some();
+            // Only flags in the table consume a value; boolean flags
+            // (`--trace`) must not eat the following positional.
+            i += if VALUE_FLAGS.contains(&a.as_str()) {
+                2
+            } else {
+                1
+            };
             continue;
         }
         out.push(a);
+        i += 1;
     }
     out
 }
@@ -91,7 +113,9 @@ fn gen_corpus(args: &[String]) -> Result<(), String> {
         .transpose()?
         .unwrap_or(18);
     let seed = flag_value(args, "--seed")
-        .map(|v| u64::from_str_radix(v.trim_start_matches("0x"), 16).map_err(|e| format!("--seed: {e}")))
+        .map(|v| {
+            u64::from_str_radix(v.trim_start_matches("0x"), 16).map_err(|e| format!("--seed: {e}"))
+        })
         .transpose()?
         .unwrap_or(0xf12a_0b5e);
     std::fs::create_dir_all(&out).map_err(|e| format!("{}: {e}", out.display()))?;
@@ -102,12 +126,19 @@ fn gen_corpus(args: &[String]) -> Result<(), String> {
     });
     let mut manifest = String::from("file\tvendor\tdevice\tfw_version\tlatest\tarch\tvulnerable\n");
     for (i, img) in corpus.images.iter().enumerate() {
-        let file = format!("{:03}_{}_{}_{}.fwim", i, img.meta.vendor, img.meta.device, img.meta.version);
+        let file = format!(
+            "{:03}_{}_{}_{}.fwim",
+            i, img.meta.vendor, img.meta.device, img.meta.version
+        );
         std::fs::write(out.join(&file), &img.blob).map_err(|e| format!("{file}: {e}"))?;
         let vulns: Vec<String> = img
             .truth
             .iter()
-            .flat_map(|t| t.vulnerable.iter().map(move |(n, _)| format!("{}:{}@{}", t.package, t.version, n)))
+            .flat_map(|t| {
+                t.vulnerable
+                    .iter()
+                    .map(move |(n, _)| format!("{}:{}@{}", t.package, t.version, n))
+            })
             .collect();
         manifest.push_str(&format!(
             "{file}\t{}\t{}\t{}\t{}\t{}\t{}\n",
@@ -159,7 +190,11 @@ fn info(args: &[String]) -> Result<(), String> {
                             part.name,
                             part.data.len(),
                             procs,
-                            if elf.is_stripped() { "stripped" } else { "with symbols" }
+                            if elf.is_stripped() {
+                                "stripped"
+                            } else {
+                                "with symbols"
+                            }
                         );
                     }
                     Err(e) => println!("  {} — unparseable: {e}", part.name),
@@ -174,7 +209,12 @@ fn info(args: &[String]) -> Result<(), String> {
                 println!("  warning: {w}");
             }
             for s in &elf.sections {
-                println!("  section {:<10} {:#010x}..{:#010x}", s.name, s.addr, s.end());
+                println!(
+                    "  section {:<10} {:#010x}..{:#010x}",
+                    s.name,
+                    s.addr,
+                    s.end()
+                );
             }
             let lifted = lift_executable(&elf).map_err(|e| e.to_string())?;
             println!("  {} procedure(s):", lifted.procedure_count());
@@ -224,6 +264,36 @@ fn disasm(args: &[String]) -> Result<(), String> {
 }
 
 fn scan(args: &[String]) -> Result<(), String> {
+    // Scans always profile themselves: telemetry stays disabled (and
+    // near-free) for every other command.
+    firmup::telemetry::enable();
+    if has_flag(args, "--trace") {
+        firmup::telemetry::set_trace(true);
+    }
+    let metrics_out = flag_value(args, "--metrics-out").map(PathBuf::from);
+    let findings = {
+        let _span = firmup::telemetry::span!("scan");
+        scan_images(args)?
+    };
+    firmup::telemetry::event(
+        "scan.done",
+        &[(
+            "findings",
+            firmup::telemetry::json::Json::Num(findings as f64),
+        )],
+    );
+    firmup::telemetry::flush_trace();
+    let snap = firmup::telemetry::snapshot();
+    print!("{}", snap.render_text());
+    if let Some(path) = metrics_out {
+        std::fs::write(&path, snap.render_json().render())
+            .map_err(|e| format!("{}: {e}", path.display()))?;
+        println!("metrics written to {}", path.display());
+    }
+    Ok(())
+}
+
+fn scan_images(args: &[String]) -> Result<usize, String> {
     let paths = positional(args);
     if paths.is_empty() {
         return Err("scan requires at least one IMAGE".into());
@@ -236,6 +306,18 @@ fn scan(args: &[String]) -> Result<(), String> {
     for p in &paths {
         let bytes = read(Path::new(p))?;
         let u = unpack(&bytes).map_err(|e| format!("{p}: {e}"))?;
+        for issue in &u.issues {
+            firmup::telemetry::event(
+                "unpack.issue",
+                &[
+                    ("image", firmup::telemetry::json::Json::Str((*p).clone())),
+                    (
+                        "issue",
+                        firmup::telemetry::json::Json::Str(format!("{issue:?}")),
+                    ),
+                ],
+            );
+        }
         for part in &u.parts {
             let Ok(elf) = Elf::parse(&part.data) else {
                 continue;
@@ -247,7 +329,11 @@ fn scan(args: &[String]) -> Result<(), String> {
             }
         }
     }
-    println!("indexed {} executable(s) from {} image(s)", targets.len(), paths.len());
+    println!(
+        "indexed {} executable(s) from {} image(s)",
+        targets.len(),
+        paths.len()
+    );
     let reps: Vec<ExecutableRep> = targets.iter().map(|(_, r)| r.clone()).collect();
     let context = std::sync::Arc::new(GlobalContext::build(&reps));
 
@@ -255,6 +341,12 @@ fn scan(args: &[String]) -> Result<(), String> {
     type QueryEntry = Option<(ExecutableRep, usize, String)>;
     let mut query_cache: HashMap<(String, Arch), QueryEntry> = HashMap::new();
     let mut findings = 0usize;
+    let config = SearchConfig {
+        context: Some(context.clone()),
+        threads: 1,
+        ..SearchConfig::default()
+    };
+    let _search_span = firmup::telemetry::span!("search");
     for cve in all_cves() {
         if let Some(filter) = cve_filter {
             if cve.cve != filter {
@@ -272,21 +364,32 @@ fn scan(args: &[String]) -> Result<(), String> {
             let Some((qrep, qv, version)) = entry else {
                 continue;
             };
-            let config = SearchConfig {
-                context: Some(context.clone()),
-                threads: 1,
-                ..SearchConfig::default()
-            };
             let r = search_target(qrep, *qv, target, &config);
             if let Some(m) = r.matched {
                 println!(
                     "{}: {} ({} {version}) suspected at {:#x} in {id} (Sim={}, {} game step(s))",
                     cve.cve, cve.procedure, cve.package, m.addr, m.sim, r.steps
                 );
+                firmup::telemetry::event(
+                    "finding",
+                    &[
+                        (
+                            "cve",
+                            firmup::telemetry::json::Json::Str(cve.cve.to_string()),
+                        ),
+                        ("target", firmup::telemetry::json::Json::Str(id.clone())),
+                        (
+                            "addr",
+                            firmup::telemetry::json::Json::Num(f64::from(m.addr)),
+                        ),
+                        ("sim", firmup::telemetry::json::Json::Num(m.sim as f64)),
+                        ("steps", firmup::telemetry::json::Json::Num(r.steps as f64)),
+                    ],
+                );
                 findings += 1;
             }
         }
     }
     println!("{findings} suspected occurrence(s)");
-    Ok(())
+    Ok(findings)
 }

@@ -20,10 +20,20 @@ fn gen_corpus_info_scan_roundtrip() {
 
     // gen-corpus writes images plus a manifest.
     let out = firmup()
-        .args(["gen-corpus", "--out", dir.to_str().unwrap(), "--devices", "4"])
+        .args([
+            "gen-corpus",
+            "--out",
+            dir.to_str().unwrap(),
+            "--devices",
+            "4",
+        ])
         .output()
         .expect("spawn");
-    assert!(out.status.success(), "gen-corpus failed: {}", String::from_utf8_lossy(&out.stderr));
+    assert!(
+        out.status.success(),
+        "gen-corpus failed: {}",
+        String::from_utf8_lossy(&out.stderr)
+    );
     let manifest = std::fs::read_to_string(dir.join("MANIFEST.tsv")).expect("manifest");
     assert!(manifest.starts_with("file\tvendor"));
     let images: Vec<PathBuf> = std::fs::read_dir(&dir)
@@ -36,7 +46,11 @@ fn gen_corpus_info_scan_roundtrip() {
     assert!(!images.is_empty());
 
     // info describes an image.
-    let out = firmup().arg("info").arg(&images[0]).output().expect("spawn");
+    let out = firmup()
+        .arg("info")
+        .arg(&images[0])
+        .output()
+        .expect("spawn");
     assert!(out.status.success());
     let text = String::from_utf8_lossy(&out.stdout);
     assert!(text.contains("firmware image"), "{text}");
@@ -49,10 +63,127 @@ fn gen_corpus_info_scan_roundtrip() {
         cmd.arg(p);
     }
     let out = cmd.output().expect("spawn");
-    assert!(out.status.success(), "scan failed: {}", String::from_utf8_lossy(&out.stderr));
+    assert!(
+        out.status.success(),
+        "scan failed: {}",
+        String::from_utf8_lossy(&out.stderr)
+    );
     let text = String::from_utf8_lossy(&out.stdout);
     assert!(text.contains("indexed"), "{text}");
     assert!(text.contains("suspected occurrence(s)"), "{text}");
+
+    let _ = std::fs::remove_dir_all(&dir);
+}
+
+#[test]
+fn scan_metrics_out_writes_parseable_profile() {
+    use firmup::telemetry::json::Json;
+
+    let dir = temp_dir("metrics");
+    let out = firmup()
+        .args([
+            "gen-corpus",
+            "--out",
+            dir.to_str().unwrap(),
+            "--devices",
+            "4",
+        ])
+        .output()
+        .expect("spawn");
+    assert!(
+        out.status.success(),
+        "gen-corpus failed: {}",
+        String::from_utf8_lossy(&out.stderr)
+    );
+    let images: Vec<PathBuf> = std::fs::read_dir(&dir)
+        .unwrap()
+        .filter_map(|e| {
+            let p = e.unwrap().path();
+            (p.extension().is_some_and(|x| x == "fwim")).then_some(p)
+        })
+        .collect();
+    assert!(!images.is_empty());
+
+    let metrics = dir.join("metrics.json");
+    let mut cmd = firmup();
+    // `--trace` is a boolean flag: it must NOT swallow the image paths
+    // that follow it (the regression `positional()` used to have).
+    cmd.args([
+        "scan",
+        "--trace",
+        "--metrics-out",
+        metrics.to_str().unwrap(),
+    ]);
+    for p in &images {
+        cmd.arg(p);
+    }
+    let out = cmd.output().expect("spawn");
+    assert!(
+        out.status.success(),
+        "scan failed: {}",
+        String::from_utf8_lossy(&out.stderr)
+    );
+    let text = String::from_utf8_lossy(&out.stdout);
+    assert!(text.contains("stages (by total time):"), "{text}");
+    assert!(text.contains("metrics written to"), "{text}");
+
+    // --trace streams JSON-lines events to stderr.
+    let stderr = String::from_utf8_lossy(&out.stderr);
+    let event_lines: Vec<&str> = stderr.lines().filter(|l| l.starts_with('{')).collect();
+    assert!(
+        !event_lines.is_empty(),
+        "no trace events on stderr: {stderr}"
+    );
+    for line in &event_lines {
+        let doc = Json::parse(line).expect("trace line is valid JSON");
+        assert!(doc.get("event").is_some(), "{line}");
+    }
+
+    // The metrics file parses and carries the acceptance-criteria
+    // content: per-stage span timings and a populated game profile.
+    let body = std::fs::read_to_string(&metrics).expect("metrics file");
+    let doc = Json::parse(&body).expect("metrics file is valid JSON");
+    let stages = doc.get("stages").expect("stages section");
+    for stage in ["lift", "canonicalize", "index", "game", "search"] {
+        let s = stages
+            .get(stage)
+            .unwrap_or_else(|| panic!("missing stage {stage}"));
+        assert!(
+            s.get("count").and_then(Json::as_u64).unwrap_or(0) > 0,
+            "stage {stage} never fired"
+        );
+    }
+    let steps = doc
+        .get("histograms")
+        .and_then(|h| h.get("game.steps"))
+        .expect("game.steps histogram");
+    assert!(steps.get("count").and_then(Json::as_u64).unwrap_or(0) > 0);
+    assert!(
+        !steps
+            .get("buckets")
+            .and_then(Json::as_arr)
+            .expect("buckets")
+            .is_empty(),
+        "game.steps histogram has no buckets"
+    );
+    let games = doc
+        .get("counters")
+        .and_then(|c| c.get("game.played"))
+        .and_then(Json::as_u64)
+        .unwrap_or(0);
+    let ended: u64 = ["query_matched", "fixed_point", "limit_exceeded"]
+        .iter()
+        .filter_map(|e| {
+            doc.get("counters")
+                .and_then(|c| c.get(&format!("game.ended.{e}")))
+                .and_then(Json::as_u64)
+        })
+        .sum();
+    assert!(games > 0, "no games recorded");
+    assert_eq!(
+        games, ended,
+        "every game records exactly one ending counter"
+    );
 
     let _ = std::fs::remove_dir_all(&dir);
 }
@@ -65,7 +196,10 @@ fn cli_error_paths_are_clean() {
     assert!(String::from_utf8_lossy(&out.stderr).contains("unknown command"));
 
     // Missing file.
-    let out = firmup().args(["info", "/nonexistent/path.fwim"]).output().expect("spawn");
+    let out = firmup()
+        .args(["info", "/nonexistent/path.fwim"])
+        .output()
+        .expect("spawn");
     assert!(!out.status.success());
 
     // Help exits cleanly.

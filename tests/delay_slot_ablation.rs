@@ -34,7 +34,13 @@ fn naive_delay_slot_lifting_costs_strand_matches() {
     let tspace = AddrSpace::from_elf(&telf);
     let correct_q = build_rep(&lift_executable(&qelf).unwrap(), &qspace, &canon, "q");
     let naive_q = build_rep(
-        &lift_executable_with(&qelf, LiftOptions { naive_delay_slots: true }).unwrap(),
+        &lift_executable_with(
+            &qelf,
+            LiftOptions {
+                naive_delay_slots: true,
+            },
+        )
+        .unwrap(),
         &qspace,
         &canon,
         "q-naive",
@@ -60,8 +66,12 @@ fn naive_delay_slot_lifting_costs_strand_matches() {
     let mut correct_total = 0usize;
     let mut naive_total = 0usize;
     for (i, cq) in correct_q.procedures.iter().enumerate() {
-        let Some(name) = cq.name.as_deref() else { continue };
-        let Some(ti) = target.find_named(name) else { continue };
+        let Some(name) = cq.name.as_deref() else {
+            continue;
+        };
+        let Some(ti) = target.find_named(name) else {
+            continue;
+        };
         let nq = &naive_q.procedures[i];
         correct_total += sim(cq, &target.procedures[ti]);
         naive_total += sim(nq, &target.procedures[ti]);
@@ -81,13 +91,23 @@ fn naive_mode_is_noop_on_arches_without_delay_slots() {
         let space = AddrSpace::from_elf(&elf);
         let a = build_rep(&lift_executable(&elf).unwrap(), &space, &canon, "a");
         let b = build_rep(
-            &lift_executable_with(&elf, LiftOptions { naive_delay_slots: true }).unwrap(),
+            &lift_executable_with(
+                &elf,
+                LiftOptions {
+                    naive_delay_slots: true,
+                },
+            )
+            .unwrap(),
             &space,
             &canon,
             "b",
         );
         for (x, y) in a.procedures.iter().zip(&b.procedures) {
-            assert_eq!(x.strands, y.strands, "{arch}: naive mode must not affect {:?}", x.name);
+            assert_eq!(
+                x.strands, y.strands,
+                "{arch}: naive mode must not affect {:?}",
+                x.name
+            );
         }
     }
 }

@@ -49,9 +49,8 @@ fn stmts(nvars: usize) -> impl Strategy<Value = String> {
     let assign = (0..nvars, expr(2, nvars)).prop_map(|(v, e)| format!("x{v} = {e};"));
     let store = (0..8u32, expr(2, nvars)).prop_map(|(i, e)| format!("cells[{i}] = {e};"));
     let load = (0..nvars, 0..8u32).prop_map(|(v, i)| format!("x{v} = x{v} + cells[{i}];"));
-    let ite = (expr(2, nvars), 0..nvars, expr(1, nvars), expr(1, nvars)).prop_map(
-        |(c, v, a, b)| format!("if ({c}) {{ x{v} = {a}; }} else {{ x{v} = {b}; }}"),
-    );
+    let ite = (expr(2, nvars), 0..nvars, expr(1, nvars), expr(1, nvars))
+        .prop_map(|(c, v, a, b)| format!("if ({c}) {{ x{v} = {a}; }} else {{ x{v} = {b}; }}"));
     let single = prop_oneof![assign, store, load, ite];
     let looped = (1u32..5, 0..nvars, proptest::collection::vec(single.clone(), 1..3)).prop_map(
         move |(n, v, body)| {

@@ -60,7 +60,9 @@ fn full_pipeline_finds_vulnerable_procedure() {
         let target = index_elf(&target_elf, "target", &canon).unwrap();
 
         let r = search_target(&query, qv, &target, &SearchConfig::default());
-        let m = r.matched.unwrap_or_else(|| panic!("{arch}: no match ({:?})", r.ended));
+        let m = r
+            .matched
+            .unwrap_or_else(|| panic!("{arch}: no match ({:?})", r.ended));
         assert_eq!(m.addr, expected, "{arch}: wrong procedure matched");
     }
 }
@@ -154,7 +156,10 @@ fn corpus_hunt_has_no_wrong_procedure_matches() {
             }
         }
     }
-    assert!(found > 0, "the hunt must find something in a 6-device corpus");
+    assert!(
+        found > 0,
+        "the hunt must find something in a 6-device corpus"
+    );
 }
 
 /// Cross-architecture consistency: every package compiles and lifts on
@@ -164,7 +169,16 @@ fn corpus_hunt_has_no_wrong_procedure_matches() {
 fn lifting_agrees_with_symbols_everywhere() {
     for pkg in ["bftpd", "dbus"] {
         for arch in Arch::all() {
-            let src = source_for(pkg, firmup::firmware::packages::package(pkg).unwrap().latest().version, &[], 1, 2);
+            let src = source_for(
+                pkg,
+                firmup::firmware::packages::package(pkg)
+                    .unwrap()
+                    .latest()
+                    .version,
+                &[],
+                1,
+                2,
+            );
             let elf = compile_source(&src, arch, &CompilerOptions::default()).unwrap();
             let lifted = firmup::core::lift::lift_executable(&elf).unwrap();
             assert_eq!(
