@@ -1,0 +1,428 @@
+//! The unified FirmUp error taxonomy.
+//!
+//! FirmUp's value is scanning *thousands of messy firmware images*
+//! (§5.1's 2,000-image / 200K-procedure corpus): one corrupted package
+//! must never abort a whole scan. Every stage of the pipeline — unpack,
+//! ELF parse, lift, compile (query builds), search — therefore reports
+//! through a single [`FirmUpError`] whose variants wrap the stage-local
+//! error types, and every error carries a [`FaultCtx`] that attributes
+//! the failure to an image, package, procedure, and byte offset.
+//!
+//! Faults that the type system cannot rule out (panics in a lift or a
+//! game on pathological inputs) are contained with [`isolate`], which
+//! converts an unwind into a structured [`FirmUpError::Poisoned`] so
+//! the scan keeps going and telemetry counts the casualty.
+
+use std::any::Any;
+use std::fmt;
+use std::panic::{catch_unwind, AssertUnwindSafe};
+
+use firmup_firmware::image::ImageError;
+use firmup_firmware::packages::PackageError;
+use firmup_obj::ElfError;
+
+use crate::lift::LiftError;
+use crate::search::BudgetReason;
+
+/// Attribution context carried by every [`FirmUpError`]: which image,
+/// package, procedure, and byte offset a failure belongs to. All fields
+/// are optional — stages fill in what they know and callers enrich the
+/// context on the way up with [`FirmUpError::in_ctx`].
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct FaultCtx {
+    /// Firmware image path or id.
+    pub image: Option<String>,
+    /// Package / part name inside the image.
+    pub package: Option<String>,
+    /// Procedure name or address.
+    pub procedure: Option<String>,
+    /// Byte offset into the failing blob.
+    pub offset: Option<u64>,
+}
+
+impl FaultCtx {
+    /// Empty context.
+    pub fn new() -> FaultCtx {
+        FaultCtx::default()
+    }
+
+    /// Context rooted at an image.
+    pub fn image(image: impl Into<String>) -> FaultCtx {
+        FaultCtx {
+            image: Some(image.into()),
+            ..FaultCtx::default()
+        }
+    }
+
+    /// Attach a package / part name.
+    #[must_use]
+    pub fn with_package(mut self, package: impl Into<String>) -> FaultCtx {
+        self.package = Some(package.into());
+        self
+    }
+
+    /// Attach a procedure name or address.
+    #[must_use]
+    pub fn with_procedure(mut self, procedure: impl Into<String>) -> FaultCtx {
+        self.procedure = Some(procedure.into());
+        self
+    }
+
+    /// Attach a byte offset.
+    #[must_use]
+    pub fn with_offset(mut self, offset: u64) -> FaultCtx {
+        self.offset = Some(offset);
+        self
+    }
+
+    /// Whether any attribution is present.
+    pub fn is_empty(&self) -> bool {
+        self.image.is_none()
+            && self.package.is_none()
+            && self.procedure.is_none()
+            && self.offset.is_none()
+    }
+
+    /// Merge: fields already set win; missing fields are taken from
+    /// `outer` (used when an outer stage enriches an inner error).
+    fn absorb(&mut self, outer: FaultCtx) {
+        if self.image.is_none() {
+            self.image = outer.image;
+        }
+        if self.package.is_none() {
+            self.package = outer.package;
+        }
+        if self.procedure.is_none() {
+            self.procedure = outer.procedure;
+        }
+        if self.offset.is_none() {
+            self.offset = outer.offset;
+        }
+    }
+}
+
+impl fmt::Display for FaultCtx {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let mut sep = "";
+        if let Some(i) = &self.image {
+            write!(f, "image={i}")?;
+            sep = ", ";
+        }
+        if let Some(p) = &self.package {
+            write!(f, "{sep}package={p}")?;
+            sep = ", ";
+        }
+        if let Some(p) = &self.procedure {
+            write!(f, "{sep}procedure={p}")?;
+            sep = ", ";
+        }
+        if let Some(o) = self.offset {
+            write!(f, "{sep}offset={o:#x}")?;
+        }
+        Ok(())
+    }
+}
+
+/// The unified pipeline error: one variant per failure class, each
+/// carrying its stage-local source error plus a [`FaultCtx`].
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum FirmUpError {
+    /// Firmware image unpacking failed ([`ImageError`]).
+    Unpack {
+        /// Stage-local cause.
+        source: ImageError,
+        /// Attribution (boxed to keep `Result<_, FirmUpError>` small).
+        ctx: Box<FaultCtx>,
+    },
+    /// ELF parsing failed ([`ElfError`]).
+    Object {
+        /// Stage-local cause.
+        source: ElfError,
+        /// Attribution (boxed to keep `Result<_, FirmUpError>` small).
+        ctx: Box<FaultCtx>,
+    },
+    /// Lifting failed ([`LiftError`]).
+    Lift {
+        /// Stage-local cause.
+        source: LiftError,
+        /// Attribution (boxed to keep `Result<_, FirmUpError>` small).
+        ctx: Box<FaultCtx>,
+    },
+    /// A query/corpus build failed to compile (message of the
+    /// underlying `firmup_compiler::CompilerError`).
+    Compile {
+        /// Rendered compiler diagnostic.
+        message: String,
+        /// Attribution (boxed to keep `Result<_, FirmUpError>` small).
+        ctx: Box<FaultCtx>,
+    },
+    /// Package metadata lookup failed ([`PackageError`]).
+    Package {
+        /// Stage-local cause.
+        source: PackageError,
+        /// Attribution (boxed to keep `Result<_, FirmUpError>` small).
+        ctx: Box<FaultCtx>,
+    },
+    /// A stage panicked and the unwind was contained by [`isolate`]
+    /// (or the search driver); the work item is poisoned, not the scan.
+    Poisoned {
+        /// Rendered panic payload.
+        panic: String,
+        /// Attribution (boxed to keep `Result<_, FirmUpError>` small).
+        ctx: Box<FaultCtx>,
+    },
+    /// A [`crate::search::ScanBudget`] bound fired before the work item
+    /// completed; partial results may still have been reported.
+    BudgetExceeded {
+        /// Which bound fired.
+        reason: BudgetReason,
+        /// Attribution (boxed to keep `Result<_, FirmUpError>` small).
+        ctx: Box<FaultCtx>,
+    },
+    /// Filesystem-level failure (CLI reads).
+    Io {
+        /// Rendered `std::io::Error`.
+        message: String,
+        /// Attribution (boxed to keep `Result<_, FirmUpError>` small).
+        ctx: Box<FaultCtx>,
+    },
+}
+
+impl FirmUpError {
+    /// The attribution context.
+    pub fn ctx(&self) -> &FaultCtx {
+        match self {
+            FirmUpError::Unpack { ctx, .. }
+            | FirmUpError::Object { ctx, .. }
+            | FirmUpError::Lift { ctx, .. }
+            | FirmUpError::Compile { ctx, .. }
+            | FirmUpError::Package { ctx, .. }
+            | FirmUpError::Poisoned { ctx, .. }
+            | FirmUpError::BudgetExceeded { ctx, .. }
+            | FirmUpError::Io { ctx, .. } => ctx.as_ref(),
+        }
+    }
+
+    fn ctx_mut(&mut self) -> &mut FaultCtx {
+        match self {
+            FirmUpError::Unpack { ctx, .. }
+            | FirmUpError::Object { ctx, .. }
+            | FirmUpError::Lift { ctx, .. }
+            | FirmUpError::Compile { ctx, .. }
+            | FirmUpError::Package { ctx, .. }
+            | FirmUpError::Poisoned { ctx, .. }
+            | FirmUpError::BudgetExceeded { ctx, .. }
+            | FirmUpError::Io { ctx, .. } => ctx.as_mut(),
+        }
+    }
+
+    /// Enrich the context: fields the error already attributes win,
+    /// missing ones are filled from `outer`.
+    #[must_use]
+    pub fn in_ctx(mut self, outer: FaultCtx) -> FirmUpError {
+        self.ctx_mut().absorb(outer);
+        self
+    }
+
+    /// Stable failure-class name, used as a telemetry counter suffix
+    /// (`scan.errors.<kind>`).
+    pub fn kind(&self) -> &'static str {
+        match self {
+            FirmUpError::Unpack { .. } => "unpack",
+            FirmUpError::Object { .. } => "object",
+            FirmUpError::Lift { .. } => "lift",
+            FirmUpError::Compile { .. } => "compile",
+            FirmUpError::Package { .. } => "package",
+            FirmUpError::Poisoned { .. } => "poisoned",
+            FirmUpError::BudgetExceeded { .. } => "budget",
+            FirmUpError::Io { .. } => "io",
+        }
+    }
+
+    /// Whether the error is a contained panic.
+    pub fn is_poisoned(&self) -> bool {
+        matches!(self, FirmUpError::Poisoned { .. })
+    }
+}
+
+impl fmt::Display for FirmUpError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            FirmUpError::Unpack { source, .. } => write!(f, "unpack: {source}")?,
+            FirmUpError::Object { source, .. } => write!(f, "object: {source}")?,
+            FirmUpError::Lift { source, .. } => write!(f, "lift: {source}")?,
+            FirmUpError::Compile { message, .. } => write!(f, "compile: {message}")?,
+            FirmUpError::Package { source, .. } => write!(f, "package: {source}")?,
+            FirmUpError::Poisoned { panic, .. } => write!(f, "poisoned (panic): {panic}")?,
+            FirmUpError::BudgetExceeded { reason, .. } => {
+                write!(f, "budget exceeded: {reason}")?;
+            }
+            FirmUpError::Io { message, .. } => write!(f, "io: {message}")?,
+        }
+        let ctx = self.ctx();
+        if !ctx.is_empty() {
+            write!(f, " [{ctx}]")?;
+        }
+        Ok(())
+    }
+}
+
+impl std::error::Error for FirmUpError {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            FirmUpError::Unpack { source, .. } => Some(source),
+            FirmUpError::Object { source, .. } => Some(source),
+            FirmUpError::Lift { source, .. } => Some(source),
+            FirmUpError::Package { source, .. } => Some(source),
+            _ => None,
+        }
+    }
+}
+
+impl From<ImageError> for FirmUpError {
+    fn from(source: ImageError) -> FirmUpError {
+        FirmUpError::Unpack {
+            source,
+            ctx: Box::new(FaultCtx::new()),
+        }
+    }
+}
+
+impl From<ElfError> for FirmUpError {
+    fn from(source: ElfError) -> FirmUpError {
+        FirmUpError::Object {
+            source,
+            ctx: Box::new(FaultCtx::new()),
+        }
+    }
+}
+
+impl From<LiftError> for FirmUpError {
+    fn from(source: LiftError) -> FirmUpError {
+        FirmUpError::Lift {
+            source,
+            ctx: Box::new(FaultCtx::new()),
+        }
+    }
+}
+
+impl From<PackageError> for FirmUpError {
+    fn from(source: PackageError) -> FirmUpError {
+        FirmUpError::Package {
+            source,
+            ctx: Box::new(FaultCtx::new()),
+        }
+    }
+}
+
+impl From<firmup_compiler::CompilerError> for FirmUpError {
+    fn from(source: firmup_compiler::CompilerError) -> FirmUpError {
+        FirmUpError::Compile {
+            message: source.to_string(),
+            ctx: Box::new(FaultCtx::new()),
+        }
+    }
+}
+
+impl From<std::io::Error> for FirmUpError {
+    fn from(source: std::io::Error) -> FirmUpError {
+        FirmUpError::Io {
+            message: source.to_string(),
+            ctx: Box::new(FaultCtx::new()),
+        }
+    }
+}
+
+/// Render a caught panic payload (the `Box<dyn Any>` from
+/// `catch_unwind`) into a displayable message.
+pub fn panic_message(payload: &(dyn Any + Send)) -> String {
+    if let Some(s) = payload.downcast_ref::<&str>() {
+        (*s).to_string()
+    } else if let Some(s) = payload.downcast_ref::<String>() {
+        s.clone()
+    } else {
+        "non-string panic payload".to_string()
+    }
+}
+
+/// Run `f`, containing both structured errors and panics: an unwind is
+/// converted into [`FirmUpError::Poisoned`] carrying `ctx`, so a
+/// pathological work item can never take the scan down with it.
+///
+/// Telemetry: a contained panic increments `scan.targets_poisoned`.
+pub fn isolate<T>(
+    ctx: FaultCtx,
+    f: impl FnOnce() -> Result<T, FirmUpError>,
+) -> Result<T, FirmUpError> {
+    match catch_unwind(AssertUnwindSafe(f)) {
+        Ok(result) => result.map_err(|e| e.in_ctx(ctx)),
+        Err(payload) => {
+            firmup_telemetry::incr("scan.targets_poisoned");
+            Err(FirmUpError::Poisoned {
+                panic: panic_message(payload.as_ref()),
+                ctx: Box::new(ctx),
+            })
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn context_attribution_renders() {
+        let e = FirmUpError::from(ImageError::Truncated).in_ctx(
+            FaultCtx::image("fw.fwim")
+                .with_package("bin/wget")
+                .with_offset(0x40),
+        );
+        let msg = e.to_string();
+        assert!(msg.contains("truncated"), "{msg}");
+        assert!(msg.contains("image=fw.fwim"), "{msg}");
+        assert!(msg.contains("package=bin/wget"), "{msg}");
+        assert!(msg.contains("offset=0x40"), "{msg}");
+        assert_eq!(e.kind(), "unpack");
+    }
+
+    #[test]
+    fn inner_attribution_wins_over_outer() {
+        let e = FirmUpError::Poisoned {
+            panic: "boom".into(),
+            ctx: Box::new(FaultCtx::new().with_package("inner")),
+        }
+        .in_ctx(FaultCtx::image("outer.fwim").with_package("outer"));
+        assert_eq!(e.ctx().package.as_deref(), Some("inner"));
+        assert_eq!(e.ctx().image.as_deref(), Some("outer.fwim"));
+    }
+
+    #[test]
+    fn isolate_contains_panics() {
+        let r: Result<(), FirmUpError> =
+            isolate(FaultCtx::image("x.fwim"), || panic!("index out of range"));
+        let e = r.unwrap_err();
+        assert!(e.is_poisoned());
+        assert!(e.to_string().contains("index out of range"));
+        assert!(e.to_string().contains("x.fwim"));
+    }
+
+    #[test]
+    fn isolate_passes_values_and_errors_through() {
+        assert_eq!(isolate(FaultCtx::new(), || Ok(7)).unwrap(), 7);
+        let e: FirmUpError = ElfError::BadMagic.into();
+        let r: Result<(), _> = isolate(FaultCtx::image("i"), || Err(e));
+        assert_eq!(r.unwrap_err().ctx().image.as_deref(), Some("i"));
+    }
+
+    #[test]
+    fn from_impls_cover_every_stage() {
+        assert_eq!(FirmUpError::from(ImageError::NotAnImage).kind(), "unpack");
+        assert_eq!(FirmUpError::from(ElfError::BadMagic).kind(), "object");
+        assert_eq!(FirmUpError::from(LiftError::NoText).kind(), "lift",);
+        assert_eq!(
+            FirmUpError::from(PackageError::UnknownPackage("zsh".into())).kind(),
+            "package"
+        );
+        assert_eq!(FirmUpError::from(std::io::Error::other("x")).kind(), "io");
+    }
+}

@@ -45,6 +45,9 @@ pub enum GameEnd {
     /// A resource heuristic fired (too many matches / stack too deep /
     /// too many steps) — §4.2's last ending condition.
     LimitExceeded,
+    /// The wall-clock [`GameConfig::deadline`] passed before the game
+    /// settled; the partial matching built so far is still reported.
+    DeadlineExceeded,
 }
 
 /// Tunable limits (§4.2: "as a heuristic, the game can also be stopped
@@ -61,6 +64,10 @@ pub struct GameConfig {
     pub max_matches: usize,
     /// Stop when the work stack grows past this size.
     pub max_stack: usize,
+    /// Wall-clock deadline: stop with [`GameEnd::DeadlineExceeded`] once
+    /// `Instant::now()` passes it. `None` (the default) means untimed.
+    /// Scan budgets ([`crate::search::ScanBudget`]) set this per game.
+    pub deadline: Option<std::time::Instant>,
 }
 
 impl Default for GameConfig {
@@ -70,6 +77,7 @@ impl Default for GameConfig {
             max_steps: 256,
             max_matches: 64,
             max_stack: 64,
+            deadline: None,
         }
     }
 }
@@ -164,6 +172,13 @@ pub fn play(
             || to_match.len() >= config.max_stack
         {
             ended = GameEnd::LimitExceeded;
+            break;
+        }
+        if config
+            .deadline
+            .is_some_and(|d| std::time::Instant::now() >= d)
+        {
+            ended = GameEnd::DeadlineExceeded;
             break;
         }
         steps += 1;
@@ -282,6 +297,7 @@ pub fn play(
             GameEnd::QueryMatched => "game.ended.query_matched",
             GameEnd::FixedPoint => "game.ended.fixed_point",
             GameEnd::LimitExceeded => "game.ended.limit_exceeded",
+            GameEnd::DeadlineExceeded => "game.ended.deadline_exceeded",
         });
     }
     GameResult {
@@ -451,6 +467,30 @@ mod tests {
             GameEnd::LimitExceeded | GameEnd::QueryMatched
         ));
         assert!(r.steps <= 2);
+    }
+
+    #[test]
+    fn expired_deadline_ends_game_gracefully() {
+        // A deadline already in the past must stop the game on its
+        // first iteration with DeadlineExceeded — never hang or panic.
+        let strands: Vec<Vec<u64>> = (0..20)
+            .map(|i| (0..10u64).chain([100 + i as u64]).collect())
+            .collect();
+        let views: Vec<&[u64]> = strands.iter().map(Vec::as_slice).collect();
+        let q = exec("q", &views);
+        let t = exec("t", &views);
+        let r = play(
+            &q,
+            0,
+            &t,
+            &GameConfig {
+                deadline: Some(std::time::Instant::now()),
+                ..GameConfig::default()
+            },
+        );
+        assert_eq!(r.ended, GameEnd::DeadlineExceeded);
+        assert_eq!(r.query_match, None);
+        assert!(r.steps <= 1);
     }
 
     #[test]

@@ -59,6 +59,7 @@
 
 pub mod canon;
 pub mod emu;
+pub mod error;
 pub mod game;
 pub mod lift;
 pub mod search;
@@ -66,8 +67,12 @@ pub mod sim;
 pub mod strand;
 
 pub use canon::{AddrSpace, CanonConfig, CanonicalStrand};
+pub use error::{isolate, FaultCtx, FirmUpError};
 pub use game::{GameConfig, GameEnd, GameResult};
 pub use lift::{lift_executable, LiftedExecutable};
-pub use search::{search_corpus, search_target, SearchConfig, TargetResult};
+pub use search::{
+    search_corpus, search_corpus_robust, search_target, BudgetReason, ScanBudget, ScanReport,
+    SearchConfig, TargetOutcome, TargetResult,
+};
 pub use sim::{index_elf, sim, ExecutableRep, ProcedureRep};
 pub use strand::{decompose, Strand};

@@ -372,6 +372,15 @@ fn lift_block(
                     Ok(d) => asm.push(d.asm),
                     Err(e) => warnings.push(format!("delay slot at {slot_pc:#x}: {e}")),
                 }
+                if ctx.jump.is_some() {
+                    // A control transfer in a delay slot is
+                    // architecturally undefined and never
+                    // compiler-emitted — only corrupted text decodes
+                    // this way. Keep the slot's terminator and end the
+                    // block instead of terminating it twice.
+                    warnings.push(format!("control transfer in delay slot at {slot_pc:#x}"));
+                    break;
+                }
             }
             match firmup_isa::lift_into(arch, bytes, off, pc, &mut ctx) {
                 Ok(d) => asm.push(d.asm),
@@ -447,6 +456,75 @@ mod tests {
             return s;
         }
     "#;
+
+    #[test]
+    fn unsupported_machine_is_a_structured_error() {
+        let mut b = firmup_obj::write::ElfBuilder::new(0x1234, 0x1000);
+        b.text(0x1000, vec![0u8; 16]);
+        let r = lift_executable(&b.build());
+        assert!(matches!(
+            r,
+            Err(LiftError::UnsupportedMachine { machine: 0x1234 })
+        ));
+    }
+
+    #[test]
+    fn missing_text_is_a_structured_error() {
+        // EM_MIPS but no executable section at all.
+        let b = firmup_obj::write::ElfBuilder::new(8, 0);
+        assert!(matches!(
+            lift_executable(&b.build()),
+            Err(LiftError::NoText)
+        ));
+    }
+
+    #[test]
+    fn garbage_text_never_panics_or_hangs() {
+        // Deterministic garbage in .text on every ISA: the lifter must
+        // return Ok-with-warnings or a structured Err, never panic or
+        // spin. (The test harness itself bounds runtime.)
+        let mut state = 0x0bad_f00d_dead_beefu64;
+        let mut next = move || {
+            state = state.wrapping_add(0x9e37_79b9_7f4a_7c15);
+            let mut z = state;
+            z = (z ^ (z >> 30)).wrapping_mul(0xbf58_476d_1ce4_e5b9);
+            z = (z ^ (z >> 27)).wrapping_mul(0x94d0_49bb_1331_11eb);
+            z ^ (z >> 31)
+        };
+        let machines: Vec<u16> = Arch::all().iter().map(|a| a.elf_machine()).collect();
+        for &machine in &machines {
+            for round in 0..8 {
+                let len = 16 + (round * 12);
+                let text: Vec<u8> = (0..len).map(|_| next() as u8).collect();
+                let mut b = firmup_obj::write::ElfBuilder::new(machine, 0x1000);
+                b.text(0x1000, text);
+                let _ = lift_executable(&b.build());
+            }
+        }
+    }
+
+    #[test]
+    fn branch_in_delay_slot_is_contained_not_a_panic() {
+        // Two back-to-back `beq $0,$0,+1`: the second branch sits in the
+        // first one's delay slot — architecturally undefined, never
+        // compiler-emitted, but reachable from corrupted text (the chaos
+        // harness found exactly this via a bit flip). The lifter must
+        // keep one terminator and warn, not panic.
+        let beq: u32 = (4 << 26) | 1;
+        let jr_ra: u32 = (31 << 21) | 8;
+        let mut text = Vec::new();
+        for w in [beq, beq, 0, jr_ra, 0] {
+            text.extend_from_slice(&w.to_le_bytes());
+        }
+        let mut b = firmup_obj::write::ElfBuilder::new(8, 0x1000);
+        b.text(0x1000, text);
+        let lifted = lift_executable(&b.build()).expect("structured result");
+        assert!(
+            lifted.warnings.iter().any(|w| w.contains("delay slot")),
+            "expected a delay-slot warning: {:?}",
+            lifted.warnings
+        );
+    }
 
     #[test]
     fn lifts_all_architectures() {

@@ -7,7 +7,11 @@
 //! stand-in we accept a game match whose similarity clears a
 //! configurable fraction of the query's strand count.
 
+use std::fmt;
+use std::panic::{catch_unwind, AssertUnwindSafe};
+use std::sync::atomic::{AtomicU64, AtomicUsize, Ordering};
 use std::sync::Mutex;
+use std::time::{Duration, Instant};
 
 use crate::game::{play, GameConfig, GameEnd, GameResult};
 use crate::sim::{ExecutableRep, GlobalContext};
@@ -164,6 +168,287 @@ impl TargetResult {
     }
 }
 
+/// Wall-clock and step budgets for a scan, applied at three scopes
+/// (per-game, per-target-executable, whole-scan). `None` means
+/// unbounded; the default is fully unbounded, matching the legacy
+/// [`search_corpus`] behaviour.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct ScanBudget {
+    /// Wall-clock bound for a single back-and-forth game.
+    pub per_game: Option<Duration>,
+    /// Wall-clock bound for all work on one target executable.
+    pub per_target: Option<Duration>,
+    /// Wall-clock bound for the whole scan.
+    pub total: Option<Duration>,
+    /// Total game steps across the whole scan (a deterministic budget
+    /// for reproducible degradation, unlike wall-clock bounds).
+    pub max_steps_total: Option<u64>,
+}
+
+impl ScanBudget {
+    /// A budget with no bounds set.
+    pub fn unlimited() -> ScanBudget {
+        ScanBudget::default()
+    }
+
+    /// Whether any bound is configured.
+    pub fn is_bounded(&self) -> bool {
+        *self != ScanBudget::default()
+    }
+
+    /// The binding wall-clock deadline for a game starting now, given
+    /// when the scan and the current target started — the earliest of
+    /// the three scoped deadlines, tagged with which bound it came from.
+    fn game_deadline(
+        &self,
+        scan_start: Instant,
+        target_start: Instant,
+    ) -> Option<(Instant, BudgetReason)> {
+        let mut best: Option<(Instant, BudgetReason)> = None;
+        let mut consider = |deadline: Option<Instant>, reason: BudgetReason| {
+            if let Some(d) = deadline {
+                if best.is_none_or(|(b, _)| d < b) {
+                    best = Some((d, reason));
+                }
+            }
+        };
+        consider(
+            self.per_game.map(|d| Instant::now() + d),
+            BudgetReason::GameDeadline,
+        );
+        consider(
+            self.per_target.map(|d| target_start + d),
+            BudgetReason::TargetDeadline,
+        );
+        consider(
+            self.total.map(|d| scan_start + d),
+            BudgetReason::ScanDeadline,
+        );
+        best
+    }
+}
+
+/// Which [`ScanBudget`] bound fired.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum BudgetReason {
+    /// [`ScanBudget::per_game`] expired mid-game.
+    GameDeadline,
+    /// [`ScanBudget::per_target`] expired for this target.
+    TargetDeadline,
+    /// [`ScanBudget::total`] expired for the whole scan.
+    ScanDeadline,
+    /// [`ScanBudget::max_steps_total`] was spent.
+    StepBudget,
+}
+
+impl fmt::Display for BudgetReason {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(match self {
+            BudgetReason::GameDeadline => "per-game deadline",
+            BudgetReason::TargetDeadline => "per-target deadline",
+            BudgetReason::ScanDeadline => "scan deadline",
+            BudgetReason::StepBudget => "step budget",
+        })
+    }
+}
+
+/// Fault-tolerant outcome of one target: completed, poisoned by a
+/// contained panic, or degraded by a budget bound. The scan always
+/// produces exactly one outcome per target — a pathological target can
+/// cost at most its own slot.
+#[derive(Debug, Clone)]
+pub enum TargetOutcome {
+    /// The game ran to a natural end.
+    Completed(TargetResult),
+    /// The per-target work panicked; the unwind was contained.
+    Poisoned {
+        /// Target executable id.
+        target_id: String,
+        /// Rendered panic payload.
+        panic: String,
+    },
+    /// A budget bound fired. `partial` carries the degraded result when
+    /// the game got far enough to report one.
+    BudgetExceeded {
+        /// Target executable id.
+        target_id: String,
+        /// Partial result, when the interrupted game produced one.
+        partial: Option<TargetResult>,
+        /// Which bound fired.
+        reason: BudgetReason,
+    },
+}
+
+impl TargetOutcome {
+    /// The target executable id.
+    pub fn target_id(&self) -> &str {
+        match self {
+            TargetOutcome::Completed(r) => &r.target_id,
+            TargetOutcome::Poisoned { target_id, .. }
+            | TargetOutcome::BudgetExceeded { target_id, .. } => target_id,
+        }
+    }
+
+    /// The underlying result, if any (complete or partial).
+    pub fn result(&self) -> Option<&TargetResult> {
+        match self {
+            TargetOutcome::Completed(r) => Some(r),
+            TargetOutcome::BudgetExceeded { partial, .. } => partial.as_ref(),
+            TargetOutcome::Poisoned { .. } => None,
+        }
+    }
+
+    /// Whether a (possibly partial) result reports an occurrence.
+    pub fn found(&self) -> bool {
+        self.result().is_some_and(TargetResult::found)
+    }
+}
+
+/// The report of a fault-tolerant corpus search: one outcome per
+/// target, plus casualty counts.
+#[derive(Debug, Clone, Default)]
+pub struct ScanReport {
+    /// One outcome per target, in target order.
+    pub outcomes: Vec<TargetOutcome>,
+}
+
+impl ScanReport {
+    /// Completed (non-degraded) results.
+    pub fn completed(&self) -> impl Iterator<Item = &TargetResult> {
+        self.outcomes.iter().filter_map(|o| match o {
+            TargetOutcome::Completed(r) => Some(r),
+            _ => None,
+        })
+    }
+
+    /// Number of targets whose work panicked.
+    pub fn poisoned(&self) -> usize {
+        self.outcomes
+            .iter()
+            .filter(|o| matches!(o, TargetOutcome::Poisoned { .. }))
+            .count()
+    }
+
+    /// Number of targets degraded by a budget bound.
+    pub fn budget_exceeded(&self) -> usize {
+        self.outcomes
+            .iter()
+            .filter(|o| matches!(o, TargetOutcome::BudgetExceeded { .. }))
+            .count()
+    }
+
+    /// All results, complete or partial, in target order.
+    pub fn results(&self) -> impl Iterator<Item = &TargetResult> {
+        self.outcomes.iter().filter_map(TargetOutcome::result)
+    }
+}
+
+/// Fault-tolerant corpus search: like [`search_corpus`] but each target
+/// is isolated — a panic poisons only its own slot ([`TargetOutcome::
+/// Poisoned`]), and [`ScanBudget`] bounds degrade targets gracefully
+/// instead of hanging the scan. Telemetry: contained panics count in
+/// `scan.targets_poisoned`, budget casualties in `scan.budget_exceeded`.
+pub fn search_corpus_robust(
+    query: &ExecutableRep,
+    qv: usize,
+    targets: &[ExecutableRep],
+    config: &SearchConfig,
+    budget: &ScanBudget,
+) -> ScanReport {
+    let _span = firmup_telemetry::span!("search");
+    let scan_start = Instant::now();
+    let steps_spent = AtomicU64::new(0);
+
+    let run_one = |target: &ExecutableRep| -> TargetOutcome {
+        // Deterministic bound first: refuse to start once the scan-wide
+        // step budget is spent.
+        if budget
+            .max_steps_total
+            .is_some_and(|max| steps_spent.load(Ordering::Relaxed) >= max)
+        {
+            firmup_telemetry::incr("scan.budget_exceeded");
+            return TargetOutcome::BudgetExceeded {
+                target_id: target.id.clone(),
+                partial: None,
+                reason: BudgetReason::StepBudget,
+            };
+        }
+        let target_start = Instant::now();
+        // A scan/target deadline already in the past: report without
+        // playing at all.
+        let deadline = budget.game_deadline(scan_start, target_start);
+        if let Some((d, reason)) = deadline {
+            if d <= target_start {
+                firmup_telemetry::incr("scan.budget_exceeded");
+                return TargetOutcome::BudgetExceeded {
+                    target_id: target.id.clone(),
+                    partial: None,
+                    reason,
+                };
+            }
+        }
+        let mut cfg = config.clone();
+        cfg.game.deadline = deadline.map(|(d, _)| d);
+        let played = catch_unwind(AssertUnwindSafe(|| search_target(query, qv, target, &cfg)));
+        match played {
+            Ok(r) => {
+                steps_spent.fetch_add(r.steps as u64, Ordering::Relaxed);
+                if r.ended == GameEnd::DeadlineExceeded {
+                    firmup_telemetry::incr("scan.budget_exceeded");
+                    let reason = deadline.map_or(BudgetReason::GameDeadline, |(_, r)| r);
+                    TargetOutcome::BudgetExceeded {
+                        target_id: target.id.clone(),
+                        partial: Some(r),
+                        reason,
+                    }
+                } else {
+                    TargetOutcome::Completed(r)
+                }
+            }
+            Err(payload) => {
+                firmup_telemetry::incr("scan.targets_poisoned");
+                TargetOutcome::Poisoned {
+                    target_id: target.id.clone(),
+                    panic: crate::error::panic_message(payload.as_ref()),
+                }
+            }
+        }
+    };
+
+    let threads = if config.threads == 0 {
+        std::thread::available_parallelism().map_or(4, std::num::NonZeroUsize::get)
+    } else {
+        config.threads
+    };
+    if threads <= 1 || targets.len() <= 1 {
+        return ScanReport {
+            outcomes: targets.iter().map(run_one).collect(),
+        };
+    }
+    let next = AtomicUsize::new(0);
+    let outcomes: Mutex<Vec<Option<TargetOutcome>>> = Mutex::new(vec![None; targets.len()]);
+    std::thread::scope(|scope| {
+        for _ in 0..threads.min(targets.len()) {
+            scope.spawn(|| loop {
+                let i = next.fetch_add(1, Ordering::Relaxed);
+                if i >= targets.len() {
+                    break;
+                }
+                let o = run_one(&targets[i]);
+                outcomes.lock().expect("scan outcomes lock")[i] = Some(o);
+            });
+        }
+    });
+    ScanReport {
+        outcomes: outcomes
+            .into_inner()
+            .expect("scan outcomes lock")
+            .into_iter()
+            .map(|o| o.expect("every slot filled"))
+            .collect(),
+    }
+}
+
 /// Top-k candidates within one target: repeatedly play the game,
 /// excluding previously returned procedures. The paper measures the
 /// human-effort tradeoff of top-k result lists in §5.3 (Fig. 9's
@@ -310,5 +595,118 @@ mod tests {
     fn empty_targets_ok() {
         let q = exec("q", &[&[1]]);
         assert!(search_corpus(&q, 0, &[], &SearchConfig::default()).is_empty());
+    }
+
+    #[test]
+    fn robust_search_matches_legacy_on_healthy_corpus() {
+        let q = exec("q", &[&[1, 2, 3, 4, 5, 6]]);
+        let targets: Vec<ExecutableRep> = (0..12)
+            .map(|i| {
+                if i % 3 == 0 {
+                    exec(&format!("t{i}"), &[&[1, 2, 3, 4, 5, 88], &[7, 8]])
+                } else {
+                    exec(&format!("t{i}"), &[&[100 + i as u64, 200]])
+                }
+            })
+            .collect();
+        let config = SearchConfig {
+            threads: 4,
+            ..SearchConfig::default()
+        };
+        let legacy = search_corpus(&q, 0, &targets, &config);
+        let report = search_corpus_robust(&q, 0, &targets, &config, &ScanBudget::unlimited());
+        assert_eq!(report.outcomes.len(), legacy.len());
+        assert_eq!(report.poisoned(), 0);
+        assert_eq!(report.budget_exceeded(), 0);
+        for (o, r) in report.outcomes.iter().zip(&legacy) {
+            assert_eq!(o.target_id(), r.target_id);
+            assert_eq!(o.result().and_then(|x| x.matched.clone()), r.matched);
+        }
+    }
+
+    #[test]
+    fn panicking_targets_poison_only_their_slot() {
+        // An out-of-range query index makes `play` panic for every
+        // target; the robust scan must contain each unwind and still
+        // produce one outcome per target.
+        let q = exec("q", &[&[1, 2, 3]]);
+        let targets = vec![exec("a", &[&[1, 2]]), exec("b", &[&[3]])];
+        let config = SearchConfig {
+            threads: 2,
+            ..SearchConfig::default()
+        };
+        let report = search_corpus_robust(&q, 99, &targets, &config, &ScanBudget::unlimited());
+        assert_eq!(report.outcomes.len(), 2);
+        assert_eq!(report.poisoned(), 2);
+        for (o, id) in report.outcomes.iter().zip(["a", "b"]) {
+            assert_eq!(o.target_id(), id);
+            match o {
+                TargetOutcome::Poisoned { panic, .. } => {
+                    assert!(panic.contains("out of range"), "{panic}");
+                }
+                other => panic!("expected Poisoned, got {other:?}"),
+            }
+        }
+    }
+
+    #[test]
+    fn spent_step_budget_degrades_remaining_targets() {
+        let q = exec("q", &[&[1, 2, 3]]);
+        let targets = vec![exec("a", &[&[1, 2, 3]]), exec("b", &[&[1, 2, 3]])];
+        let config = SearchConfig {
+            threads: 1,
+            ..SearchConfig::default()
+        };
+        let budget = ScanBudget {
+            max_steps_total: Some(0),
+            ..ScanBudget::default()
+        };
+        let report = search_corpus_robust(&q, 0, &targets, &config, &budget);
+        assert_eq!(report.budget_exceeded(), 2);
+        for o in &report.outcomes {
+            assert!(matches!(
+                o,
+                TargetOutcome::BudgetExceeded {
+                    reason: BudgetReason::StepBudget,
+                    partial: None,
+                    ..
+                }
+            ));
+        }
+    }
+
+    #[test]
+    fn expired_scan_deadline_reports_partial_outcomes() {
+        let q = exec("q", &[&[1, 2, 3]]);
+        let targets = vec![exec("a", &[&[1, 2, 3]])];
+        let budget = ScanBudget {
+            total: Some(Duration::ZERO),
+            ..ScanBudget::default()
+        };
+        let config = SearchConfig {
+            threads: 1,
+            ..SearchConfig::default()
+        };
+        let report = search_corpus_robust(&q, 0, &targets, &config, &budget);
+        assert_eq!(report.outcomes.len(), 1);
+        match &report.outcomes[0] {
+            TargetOutcome::BudgetExceeded { reason, .. } => {
+                assert_eq!(*reason, BudgetReason::ScanDeadline);
+            }
+            other => panic!("expected BudgetExceeded, got {other:?}"),
+        }
+        assert!(!report.outcomes[0].found());
+    }
+
+    #[test]
+    fn budget_reason_display_is_readable() {
+        assert_eq!(BudgetReason::GameDeadline.to_string(), "per-game deadline");
+        assert_eq!(BudgetReason::StepBudget.to_string(), "step budget");
+        assert!(!ScanBudget::unlimited().is_bounded());
+        assert!(ScanBudget {
+            per_game: Some(Duration::from_millis(5)),
+            ..ScanBudget::default()
+        }
+        .is_bounded());
     }
 }

@@ -355,21 +355,43 @@ fn build_executable(
 /// Build a **query** executable: the CVE package compiled like the
 /// paper's queries ("the latest vulnerable version … compiled with
 /// gcc 5.2 at the default optimization level"), not stripped.
+///
+/// # Panics
+///
+/// Panics on an unknown package; scan paths handling external input use
+/// [`try_build_query`].
 pub fn build_query(package_name: &str, arch: Arch) -> (firmup_obj::Elf, String) {
+    try_build_query(package_name, arch).unwrap_or_else(|e| panic!("query build: {e}"))
+}
+
+/// Fallible [`build_query`]: unknown packages are a
+/// [`crate::packages::PackageError`]. A compile failure of a *known*
+/// package still panics — the package tests rule that out, so it is an
+/// internal corpus bug, not an input condition.
+///
+/// # Errors
+///
+/// [`crate::packages::PackageError`] for unknown packages or a
+/// versionless spec.
+pub fn try_build_query(
+    package_name: &str,
+    arch: Arch,
+) -> Result<(firmup_obj::Elf, String), crate::packages::PackageError> {
     let pkg = crate::packages::package(package_name)
-        .unwrap_or_else(|| panic!("unknown package `{package_name}`"));
+        .ok_or_else(|| crate::packages::PackageError::UnknownPackage(package_name.to_string()))?;
     // Latest version that is vulnerable to *something*.
     let version = pkg
         .versions
         .iter()
         .rev()
         .find(|v| !v.vulnerable.is_empty())
-        .unwrap_or(pkg.latest())
+        .or_else(|| pkg.latest())
+        .ok_or_else(|| crate::packages::PackageError::NoVersions(package_name.to_string()))?
         .version;
-    let src = source_for(pkg.name, version, &[], 0, 0);
+    let src = crate::packages::try_source_for(pkg.name, version, &[], 0, 0)?;
     let elf = compile_source(&src, arch, &CompilerOptions::default())
         .unwrap_or_else(|e| panic!("query build {package_name} on {arch}: {e}"));
-    (elf, version.to_string())
+    Ok((elf, version.to_string()))
 }
 
 #[cfg(test)]
@@ -485,6 +507,16 @@ mod tests {
             assert!(elf.symbols.iter().any(|s| s.name == "ftp_retrieve_glob"));
             assert_eq!(version, "1.15", "latest vulnerable wget");
         }
+    }
+
+    #[test]
+    fn unknown_query_package_is_an_error() {
+        use crate::packages::PackageError;
+        let e = try_build_query("definitely-not-a-package", Arch::Mips32).unwrap_err();
+        assert_eq!(
+            e,
+            PackageError::UnknownPackage("definitely-not-a-package".into())
+        );
     }
 
     #[test]

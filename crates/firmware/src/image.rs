@@ -54,6 +54,17 @@ pub enum UnpackIssue {
         /// Number of carved candidates.
         count: usize,
     },
+    /// A part's declared length overran the blob; the payload was
+    /// clipped to the bytes actually present (quarantined, not dropped)
+    /// so the rest of the image still unpacks.
+    TruncatedPart {
+        /// Part name.
+        name: String,
+        /// Length the part table declared.
+        declared: usize,
+        /// Bytes actually available (the clipped payload size).
+        available: usize,
+    },
 }
 
 /// Unpack failure.
@@ -138,7 +149,10 @@ pub struct Unpacked {
 ///
 /// [`ImageError::NotAnImage`] when neither the FWIM structure nor any
 /// embedded ELF can be found; [`ImageError::Truncated`] when the header
-/// is cut short.
+/// or part table is cut short. A part whose *payload* is cut short is
+/// not an error: it is clipped and reported as
+/// [`UnpackIssue::TruncatedPart`] (counted in
+/// `unpack.parts_quarantined`) so the remaining parts still unpack.
 pub fn unpack(blob: &[u8]) -> Result<Unpacked, ImageError> {
     let _span = firmup_telemetry::span!("unpack");
     if blob.len() < 8 || &blob[0..4] != MAGIC {
@@ -164,12 +178,22 @@ pub fn unpack(blob: &[u8]) -> Result<Unpacked, ImageError> {
     let mut parts = Vec::with_capacity(count);
     let mut issues = Vec::new();
     for (name, len, crc) in entries {
-        let data = blob
-            .get(pos..pos + len)
-            .ok_or(ImageError::Truncated)?
-            .to_vec();
-        pos += len;
-        if crc32(&data) != crc {
+        // An oversized declared length (truncated blob or bogus table
+        // entry) clips to the bytes present instead of failing the
+        // whole image: the damaged part is quarantined via an issue and
+        // every other part still unpacks.
+        let end = pos.saturating_add(len).min(blob.len());
+        let start = pos.min(blob.len());
+        let data = blob[start..end].to_vec();
+        pos = start.saturating_add(len); // next entry's declared position
+        if data.len() < len {
+            firmup_telemetry::incr("unpack.parts_quarantined");
+            issues.push(UnpackIssue::TruncatedPart {
+                name: name.clone(),
+                declared: len,
+                available: data.len(),
+            });
+        } else if crc32(&data) != crc {
             firmup_telemetry::incr("image.crc_failures");
             issues.push(UnpackIssue::BadChecksum { name: name.clone() });
         }
@@ -288,15 +312,70 @@ mod tests {
     }
 
     #[test]
-    fn truncated_payload_is_error() {
+    fn truncated_payload_is_clipped_and_reported() {
         let parts = vec![Part {
             name: "x".into(),
             data: vec![7u8; 100],
         }];
         let blob = pack(&meta(), &parts);
-        assert!(matches!(
-            unpack(&blob[..blob.len() - 10]),
-            Err(ImageError::Truncated)
-        ));
+        let u = unpack(&blob[..blob.len() - 10]).unwrap();
+        assert_eq!(u.parts.len(), 1, "clipped part is kept, not dropped");
+        assert_eq!(u.parts[0].data.len(), 90);
+        assert_eq!(
+            u.issues,
+            vec![UnpackIssue::TruncatedPart {
+                name: "x".into(),
+                declared: 100,
+                available: 90,
+            }]
+        );
+    }
+
+    #[test]
+    fn oversized_length_clips_without_starving_other_parts() {
+        // Corrupt the first part's declared length to something huge:
+        // it must clip, and the second part must still be reported (its
+        // payload region is consumed by the oversized claim, so it
+        // clips to empty — quarantined, not dropped).
+        let parts = vec![
+            Part {
+                name: "a".into(),
+                data: vec![1u8; 8],
+            },
+            Part {
+                name: "b".into(),
+                data: vec![2u8; 8],
+            },
+        ];
+        let mut blob = pack(&meta(), &parts);
+        // Part table starts after magic(4)+fmt(4)+3 len-prefixed strings.
+        let strings = 4 + meta().vendor.len() + 4 + meta().device.len() + 4 + meta().version.len();
+        let table = 4 + 4 + strings + 4;
+        // Entry a: name(4+1), len(4), crc(4) — len field offset:
+        let len_off = table + 4 + 1;
+        blob[len_off..len_off + 4].copy_from_slice(&u32::MAX.to_le_bytes());
+        let u = unpack(&blob).unwrap();
+        assert_eq!(u.parts.len(), 2);
+        assert_eq!(u.parts[0].name, "a");
+        assert_eq!(u.parts[0].data.len(), 16, "clipped to the bytes present");
+        assert_eq!(u.parts[1].data.len(), 0);
+        assert_eq!(
+            u.issues
+                .iter()
+                .filter(|i| matches!(i, UnpackIssue::TruncatedPart { .. }))
+                .count(),
+            2
+        );
+    }
+
+    #[test]
+    fn truncated_header_is_error() {
+        let parts = vec![Part {
+            name: "x".into(),
+            data: vec![7u8; 100],
+        }];
+        let blob = pack(&meta(), &parts);
+        // Cut inside the metadata/part table: a hard structural error.
+        assert!(matches!(unpack(&blob[..10]), Err(ImageError::Truncated)));
     }
 }

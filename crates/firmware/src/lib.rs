@@ -3,6 +3,7 @@
 #![warn(missing_docs)]
 pub mod corpus;
 pub mod crc;
+pub mod faultinject;
 pub mod image;
 pub mod packages;
 pub mod rng;

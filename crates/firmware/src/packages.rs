@@ -14,7 +14,42 @@
 //! of `firmup-compiler` under whatever toolchain profile the corpus
 //! generator picks, exactly like vendor firmware builds.
 
+use std::fmt;
+
 use crate::rng::SmallRng;
+
+/// Package metadata lookup failure: the caller named a package or
+/// version the corpus does not model. These are *inputs* (CLI flags,
+/// CVE specs), not internal invariants, so they are errors rather than
+/// panics.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum PackageError {
+    /// No package with this name.
+    UnknownPackage(String),
+    /// The package exists but has no such version.
+    UnknownVersion {
+        /// Package name.
+        package: String,
+        /// Requested version.
+        version: String,
+    },
+    /// The package declares no versions at all.
+    NoVersions(String),
+}
+
+impl fmt::Display for PackageError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            PackageError::UnknownPackage(p) => write!(f, "unknown package `{p}`"),
+            PackageError::UnknownVersion { package, version } => {
+                write!(f, "unknown version `{version}` for `{package}`")
+            }
+            PackageError::NoVersions(p) => write!(f, "package `{p}` has no versions"),
+        }
+    }
+}
+
+impl std::error::Error for PackageError {}
 
 /// A package version.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -43,9 +78,9 @@ pub struct PackageSpec {
 }
 
 impl PackageSpec {
-    /// The newest version.
-    pub fn latest(&self) -> &VersionSpec {
-        self.versions.last().expect("packages have versions")
+    /// The newest version, `None` for a (malformed) versionless spec.
+    pub fn latest(&self) -> Option<&VersionSpec> {
+        self.versions.last()
     }
 
     /// Find a version by string.
@@ -2025,8 +2060,8 @@ fn {name}(a: int, b: int) -> int {{
 ///
 /// # Panics
 ///
-/// Panics on an unknown package or version (corpus bugs, not runtime
-/// conditions).
+/// Panics on an unknown package or version; hot paths (scan, corpus
+/// generation from external inputs) use [`try_source_for`] instead.
 pub fn source_for(
     pkg: &str,
     version: &str,
@@ -2034,11 +2069,31 @@ pub fn source_for(
     filler_seed: u64,
     filler_count: usize,
 ) -> String {
-    let spec = package(pkg).unwrap_or_else(|| panic!("unknown package `{pkg}`"));
-    assert!(
-        spec.version(version).is_some(),
-        "unknown version `{version}` for `{pkg}`"
-    );
+    try_source_for(pkg, version, disabled_features, filler_seed, filler_count)
+        .unwrap_or_else(|e| panic!("{e}"))
+}
+
+/// Assemble the full MinC source for a package build, reporting unknown
+/// packages/versions as [`PackageError`] instead of panicking.
+///
+/// # Errors
+///
+/// [`PackageError::UnknownPackage`] / [`PackageError::UnknownVersion`]
+/// when the corpus does not model the request.
+pub fn try_source_for(
+    pkg: &str,
+    version: &str,
+    disabled_features: &[&str],
+    filler_seed: u64,
+    filler_count: usize,
+) -> Result<String, PackageError> {
+    let spec = package(pkg).ok_or_else(|| PackageError::UnknownPackage(pkg.to_string()))?;
+    if spec.version(version).is_none() {
+        return Err(PackageError::UnknownVersion {
+            package: pkg.to_string(),
+            version: version.to_string(),
+        });
+    }
     let body = match pkg {
         "wget" => wget_source(version, disabled_features),
         "vsftpd" => vsftpd_source(version, disabled_features),
@@ -2048,7 +2103,7 @@ pub fn source_for(
         "libexif" => libexif_source(version, disabled_features),
         "net-snmp" => netsnmp_source(version, disabled_features),
         "busybox" => busybox_source(version, disabled_features),
-        other => panic!("unknown package `{other}`"),
+        other => return Err(PackageError::UnknownPackage(other.to_string())),
     };
     let (filler_src, filler_calls) = if filler_count > 0 {
         filler_functions(filler_seed, filler_count)
@@ -2069,7 +2124,7 @@ pub fn source_for(
             body
         }
     };
-    format!("{PRELUDE}\n{filler_src}\n{body}")
+    Ok(format!("{PRELUDE}\n{filler_src}\n{body}"))
 }
 
 #[cfg(test)]
@@ -2165,6 +2220,22 @@ mod tests {
     }
 
     #[test]
+    fn unknown_package_and_version_are_errors_not_panics() {
+        assert_eq!(
+            try_source_for("zsh", "5.9", &[], 0, 0),
+            Err(PackageError::UnknownPackage("zsh".into()))
+        );
+        assert_eq!(
+            try_source_for("wget", "99.99", &[], 0, 0),
+            Err(PackageError::UnknownVersion {
+                package: "wget".into(),
+                version: "99.99".into(),
+            })
+        );
+        assert!(try_source_for("wget", "1.15", &[], 0, 0).is_ok());
+    }
+
+    #[test]
     fn filler_is_deterministic_and_varies_by_seed() {
         let (a1, _) = filler_functions(7, 5);
         let (a2, _) = filler_functions(7, 5);
@@ -2190,7 +2261,7 @@ mod tests {
         // Sanity: main() of each package runs to completion in the
         // emulator on one architecture (exercises the string helpers).
         for pkg in all_packages() {
-            let src = source_for(pkg.name, pkg.latest().version, &[], 3, 2);
+            let src = source_for(pkg.name, pkg.latest().unwrap().version, &[], 3, 2);
             let elf = compile_source(&src, Arch::Mips32, &CompilerOptions::default()).unwrap();
             firmup_core::emu::call_function(&elf, "main", &[1])
                 .unwrap_or_else(|e| panic!("{}: {e}", pkg.name));

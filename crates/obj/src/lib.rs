@@ -52,9 +52,11 @@ pub struct Section {
 }
 
 impl Section {
-    /// End address (exclusive).
+    /// End address (exclusive), saturating: a malformed section whose
+    /// base address plus size overflows the 32-bit space clamps to
+    /// `u32::MAX` instead of panicking in debug builds.
     pub fn end(&self) -> u32 {
-        self.addr + self.data.len() as u32
+        self.addr.saturating_add(self.data.len() as u32)
     }
 
     /// Whether `addr` falls inside this section.

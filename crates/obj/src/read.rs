@@ -170,8 +170,10 @@ impl Elf {
             let strtab: Vec<u8> = if (h.link as usize) < shnum {
                 let sh = shdr(h.link as usize)?;
                 if sh.sh_type == SHT_STRTAB {
+                    // usize arithmetic: `sh.offset + sh.size` as u32 can
+                    // overflow on attacker-controlled headers.
                     bytes
-                        .get(sh.offset as usize..(sh.offset + sh.size) as usize)
+                        .get(sh.offset as usize..sh.offset as usize + sh.size as usize)
                         .map(<[u8]>::to_vec)
                         .unwrap_or_default()
                 } else {
@@ -275,5 +277,95 @@ mod tests {
         bytes.extend(vec![0xabu8; 60]);
         // Must return an error or a warned Elf, never panic.
         let _ = Elf::parse(&bytes);
+    }
+
+    fn sample_elf() -> Vec<u8> {
+        let mut b = ElfBuilder::new(8, 0x1000);
+        b.text(0x1000, vec![0x90u8; 32]);
+        b.data(0x2000, vec![1, 2, 3, 4]);
+        b.func("f", 0x1000, 16, true);
+        b.func("g", 0x1010, 16, false);
+        b.build().write()
+    }
+
+    fn splitmix(state: &mut u64) -> u64 {
+        *state = state.wrapping_add(0x9e37_79b9_7f4a_7c15);
+        let mut z = *state;
+        z = (z ^ (z >> 30)).wrapping_mul(0xbf58_476d_1ce4_e5b9);
+        z = (z ^ (z >> 27)).wrapping_mul(0x94d0_49bb_1331_11eb);
+        z ^ (z >> 31)
+    }
+
+    #[test]
+    fn truncation_at_every_length_never_panics() {
+        let img = sample_elf();
+        for n in 0..img.len() {
+            // Every prefix must yield Ok or Err — never a panic. Short
+            // prefixes must be hard errors, not empty successes.
+            let r = Elf::parse(&img[..n]);
+            if n < 52 {
+                assert!(r.is_err(), "a {n}-byte prefix cannot be a valid ELF");
+            }
+        }
+    }
+
+    #[test]
+    fn seeded_bitflip_fuzz_never_panics() {
+        let img = sample_elf();
+        let mut state = 0x4646_4952_4d55_5021u64; // pinned seed
+        for _ in 0..500 {
+            let mut bytes = img.clone();
+            let flips = 1 + (splitmix(&mut state) % 8) as usize;
+            for _ in 0..flips {
+                let pos = (splitmix(&mut state) as usize) % bytes.len();
+                let bit = (splitmix(&mut state) % 8) as u32;
+                bytes[pos] ^= 1u8 << bit;
+            }
+            let _ = Elf::parse(&bytes);
+        }
+    }
+
+    #[test]
+    fn overflowing_string_table_bounds_never_panic() {
+        // Smash every SHT_STRTAB header so that `offset + size`
+        // overflows u32 — the symtab string-table slice arithmetic must
+        // use usize math and degrade (lost names), not panic.
+        let mut img = sample_elf();
+        let shoff = u32::from_le_bytes(img[32..36].try_into().unwrap()) as usize;
+        let shentsize = u16::from_le_bytes(img[46..48].try_into().unwrap()) as usize;
+        let shnum = u16::from_le_bytes(img[48..50].try_into().unwrap()) as usize;
+        let mut smashed = 0;
+        for i in 0..shnum {
+            let base = shoff + i * shentsize;
+            let sh_type = u32::from_le_bytes(img[base + 4..base + 8].try_into().unwrap());
+            if sh_type == SHT_STRTAB {
+                img[base + 16..base + 20].copy_from_slice(&0xffff_ff00u32.to_le_bytes());
+                img[base + 20..base + 24].copy_from_slice(&0x0000_0200u32.to_le_bytes());
+                smashed += 1;
+            }
+        }
+        assert!(smashed > 0, "sample ELF must contain a string table");
+        let parsed = Elf::parse(&img).expect("structure is otherwise intact");
+        assert!(
+            parsed.symbols.iter().all(|s| s.name.is_empty()),
+            "names must be lost, not invented"
+        );
+    }
+
+    #[test]
+    fn mangled_section_table_fields_degrade_cleanly() {
+        let img = sample_elf();
+        // Oversized e_shnum: the declared table overruns the file.
+        let mut big = img.clone();
+        big[48..50].copy_from_slice(&u16::MAX.to_le_bytes());
+        assert!(matches!(Elf::parse(&big), Err(ElfError::Truncated { .. })));
+        // Zeroed e_shentsize: malformed.
+        let mut zero = img.clone();
+        zero[46..48].copy_from_slice(&0u16.to_le_bytes());
+        assert!(matches!(Elf::parse(&zero), Err(ElfError::Malformed { .. })));
+        // e_shoff pointing past the end: truncated table.
+        let mut far = img.clone();
+        far[32..36].copy_from_slice(&u32::MAX.to_le_bytes());
+        assert!(matches!(Elf::parse(&far), Err(ElfError::Truncated { .. })));
     }
 }

@@ -1,0 +1,245 @@
+//! The chaos harness: drive every corruption operator through every
+//! pipeline stage and prove nothing panics.
+//!
+//! `firmup chaos` (and the `tests/chaos.rs` suite) generate a small
+//! seeded corpus, damage each image with every
+//! [`CorruptOp`](firmup_firmware::faultinject::CorruptOp), then push the
+//! damaged blob through unpack → ELF parse → lift/index → search, each
+//! stage guarded by [`firmup_core::error::isolate`]. Every trial must
+//! end in a structured error, a degraded-but-completed scan, or a clean
+//! completion; a contained panic is recorded and fails the run — the
+//! guard exists so the harness can *report* the bug instead of dying
+//! from it.
+
+use std::fmt;
+
+use firmup_core::canon::CanonConfig;
+use firmup_core::error::{isolate, FaultCtx, FirmUpError};
+use firmup_core::search::{search_corpus_robust, ScanBudget, SearchConfig};
+use firmup_core::sim::{index_elf, ExecutableRep};
+use firmup_firmware::corpus::{generate, CorpusConfig};
+use firmup_firmware::faultinject::{corrupt, CorruptOp};
+use firmup_firmware::image::unpack;
+use firmup_obj::Elf;
+
+/// Chaos run parameters.
+#[derive(Debug, Clone)]
+pub struct ChaosConfig {
+    /// Master seed: drives both corpus generation and every corruption.
+    pub seed: u64,
+    /// Devices in the generated victim corpus.
+    pub devices: usize,
+    /// Corruption variants per (image, operator) pair.
+    pub variants: u64,
+}
+
+impl Default for ChaosConfig {
+    fn default() -> Self {
+        ChaosConfig {
+            seed: 0xc4a0_5000,
+            devices: 2,
+            variants: 4,
+        }
+    }
+}
+
+/// Tally for one corruption operator across all its trials.
+#[derive(Debug, Clone)]
+pub struct OpReport {
+    /// The operator.
+    pub op: CorruptOp,
+    /// Corrupted blobs pushed through the pipeline.
+    pub trials: u64,
+    /// Trials rejected at unpack with a structured error.
+    pub unpack_errors: u64,
+    /// Parts rejected at ELF parse / lift with a structured error.
+    pub stage_errors: u64,
+    /// Trials that unpacked but yielded nothing searchable (degraded).
+    pub degraded: u64,
+    /// Trials that ran a search to completion.
+    pub searched: u64,
+    /// Search targets degraded by the chaos budget.
+    pub budget_exceeded: u64,
+    /// Panics contained by a stage guard — any nonzero value is a bug.
+    pub panics: u64,
+}
+
+impl OpReport {
+    fn new(op: CorruptOp) -> OpReport {
+        OpReport {
+            op,
+            trials: 0,
+            unpack_errors: 0,
+            stage_errors: 0,
+            degraded: 0,
+            searched: 0,
+            budget_exceeded: 0,
+            panics: 0,
+        }
+    }
+}
+
+/// The full chaos matrix result.
+#[derive(Debug, Clone)]
+pub struct ChaosReport {
+    /// Seed the run used (replays the exact damage).
+    pub seed: u64,
+    /// One tally per operator, in [`CorruptOp::all`] order.
+    pub per_op: Vec<OpReport>,
+}
+
+impl ChaosReport {
+    /// Total trials across operators.
+    pub fn trials(&self) -> u64 {
+        self.per_op.iter().map(|r| r.trials).sum()
+    }
+
+    /// Total contained panics — must be zero for a passing run.
+    pub fn panics(&self) -> u64 {
+        self.per_op.iter().map(|r| r.panics).sum()
+    }
+
+    /// Whether every trial ended in a structured error or a completed
+    /// (possibly degraded) scan.
+    pub fn passed(&self) -> bool {
+        self.panics() == 0
+    }
+}
+
+impl fmt::Display for ChaosReport {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        writeln!(
+            f,
+            "chaos matrix (seed {:#x}, {} trial(s)):",
+            self.seed,
+            self.trials()
+        )?;
+        writeln!(
+            f,
+            "  {:<22} {:>7} {:>8} {:>7} {:>9} {:>9} {:>7} {:>7}",
+            "operator", "trials", "unpack-e", "stage-e", "degraded", "searched", "budget", "PANICS"
+        )?;
+        for r in &self.per_op {
+            writeln!(
+                f,
+                "  {:<22} {:>7} {:>8} {:>7} {:>9} {:>9} {:>7} {:>7}",
+                r.op.name(),
+                r.trials,
+                r.unpack_errors,
+                r.stage_errors,
+                r.degraded,
+                r.searched,
+                r.budget_exceeded,
+                r.panics
+            )?;
+        }
+        writeln!(
+            f,
+            "result: {}",
+            if self.passed() {
+                "PASS — zero panics escaped any stage"
+            } else {
+                "FAIL — a pipeline stage panicked"
+            }
+        )
+    }
+}
+
+/// Run the full operator × stage matrix.
+pub fn run(config: &ChaosConfig) -> ChaosReport {
+    let corpus = generate(&CorpusConfig {
+        seed: config.seed,
+        devices: config.devices.max(1),
+        ..CorpusConfig::tiny()
+    });
+    let canon = CanonConfig::default();
+    let mut per_op = Vec::new();
+    for op in CorruptOp::all() {
+        let mut tally = OpReport::new(op);
+        for (i, img) in corpus.images.iter().enumerate() {
+            for variant in 0..config.variants.max(1) {
+                // Distinct, reproducible damage per (image, op, variant).
+                let seed = config
+                    .seed
+                    .wrapping_mul(0x100_0193)
+                    .wrapping_add((i as u64) << 8)
+                    .wrapping_add(variant);
+                let damaged = corrupt(&img.blob, op, seed);
+                run_trial(
+                    &damaged,
+                    &format!("chaos[{}#{i}v{variant}]", op.name()),
+                    &canon,
+                    &mut tally,
+                );
+            }
+        }
+        per_op.push(tally);
+    }
+    ChaosReport {
+        seed: config.seed,
+        per_op,
+    }
+}
+
+/// Push one damaged blob through unpack → parse → lift/index → search.
+fn run_trial(blob: &[u8], image_id: &str, canon: &CanonConfig, tally: &mut OpReport) {
+    tally.trials += 1;
+    let ctx = FaultCtx::image(image_id);
+
+    // Stage 1: unpack.
+    let unpacked = match isolate(ctx.clone(), || unpack(blob).map_err(FirmUpError::from)) {
+        Ok(u) => u,
+        Err(e) if e.is_poisoned() => {
+            tally.panics += 1;
+            return;
+        }
+        Err(_) => {
+            tally.unpack_errors += 1;
+            return;
+        }
+    };
+
+    // Stage 2+3: ELF parse and lift/index, per part.
+    let mut reps: Vec<ExecutableRep> = Vec::new();
+    for part in &unpacked.parts {
+        let part_ctx = ctx.clone().with_package(&part.name);
+        let indexed = isolate(part_ctx, || {
+            let elf = Elf::parse(&part.data)?;
+            index_elf(&elf, &part.name, canon).map_err(FirmUpError::from)
+        });
+        match indexed {
+            Ok(rep) => reps.push(rep),
+            Err(e) if e.is_poisoned() => tally.panics += 1,
+            Err(_) => tally.stage_errors += 1,
+        }
+    }
+
+    // Stage 4: search. A synthetic query (a clone of the first indexed
+    // procedure) keeps the chaos loop fast — the point is exercising
+    // the game on damaged-but-parseable procedures, not CVE accuracy.
+    let Some(query) = reps
+        .iter()
+        .find(|r| !r.procedures.is_empty())
+        .map(|r| ExecutableRep {
+            id: "chaos-query".into(),
+            arch: r.arch,
+            procedures: vec![r.procedures[0].clone()],
+        })
+    else {
+        tally.degraded += 1;
+        return;
+    };
+    let config = SearchConfig {
+        threads: 1,
+        ..SearchConfig::default()
+    };
+    let budget = ScanBudget {
+        per_game: Some(std::time::Duration::from_millis(250)),
+        per_target: Some(std::time::Duration::from_secs(2)),
+        ..ScanBudget::default()
+    };
+    let report = search_corpus_robust(&query, 0, &reps, &config, &budget);
+    tally.panics += report.poisoned() as u64;
+    tally.budget_exceeded += report.budget_exceeded() as u64;
+    tally.searched += 1;
+}

@@ -23,6 +23,8 @@
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
+pub mod chaos;
+
 pub use firmup_baselines as baselines;
 pub use firmup_compiler as compiler;
 pub use firmup_core as core;

@@ -14,11 +14,12 @@ use std::path::{Path, PathBuf};
 use std::process::ExitCode;
 
 use firmup::core::canon::{canonicalize, AddrSpace, CanonConfig};
+use firmup::core::error::{isolate, FaultCtx, FirmUpError};
 use firmup::core::lift::lift_executable;
-use firmup::core::search::{search_target, SearchConfig};
+use firmup::core::search::{search_corpus_robust, ScanBudget, SearchConfig, TargetOutcome};
 use firmup::core::sim::{index_elf, ExecutableRep, GlobalContext};
 use firmup::core::strand::decompose;
-use firmup::firmware::corpus::{build_query, generate, CorpusConfig};
+use firmup::firmware::corpus::{generate, try_build_query, CorpusConfig};
 use firmup::firmware::image::unpack;
 use firmup::firmware::packages::all_cves;
 use firmup::isa::Arch;
@@ -31,6 +32,7 @@ fn main() -> ExitCode {
         Some("info") => info(&args[1..]),
         Some("disasm") => disasm(&args[1..]),
         Some("scan") => scan(&args[1..]),
+        Some("chaos") => chaos(&args[1..]),
         Some("--help" | "-h") | None => {
             eprint!("{USAGE}");
             return ExitCode::SUCCESS;
@@ -56,11 +58,21 @@ USAGE:
     firmup disasm ELF [--proc NAME]
         Disassemble an executable and print lifted IR + canonical strands.
     firmup scan IMAGE... [--cve CVE-ID] [--trace] [--metrics-out FILE.json]
+                [--game-ms N] [--target-ms N] [--scan-ms N] [--max-steps N]
         Hunt the built-in CVE queries inside firmware images. Prints a
         stage-by-stage profile after the scan; --metrics-out additionally
         writes the full metrics snapshot (span timings, game.steps
         histogram, counters) as JSON. --trace (or FIRMUP_TRACE=1) streams
-        structured JSON-lines events to stderr.
+        structured JSON-lines events to stderr. The scan is fault
+        tolerant: unreadable/corrupt images are reported and skipped, a
+        panicking target poisons only itself, and the --*-ms / --max-steps
+        budgets degrade over-budget targets gracefully instead of hanging.
+    firmup chaos [--seed HEX] [--devices N] [--variants N]
+        Fault-injection matrix: corrupt a seeded corpus with every
+        operator (bit flips, truncation, CRC smash, bogus/overlapping
+        part headers, mangled section tables, oversized lengths) and push
+        each damaged blob through unpack → lift → search. Exits nonzero
+        if any stage panics.
 ";
 
 /// Flags that consume the following argument as their value. Everything
@@ -72,6 +84,11 @@ const VALUE_FLAGS: &[&str] = &[
     "--proc",
     "--cve",
     "--metrics-out",
+    "--game-ms",
+    "--target-ms",
+    "--scan-ms",
+    "--max-steps",
+    "--variants",
 ];
 
 fn flag_value<'a>(args: &'a [String], name: &str) -> Option<&'a str> {
@@ -267,6 +284,15 @@ fn scan(args: &[String]) -> Result<(), String> {
     // Scans always profile themselves: telemetry stays disabled (and
     // near-free) for every other command.
     firmup::telemetry::enable();
+    // Pre-register the fault-tolerance counters so a clean scan still
+    // reports them (at zero) in --metrics-out JSON.
+    for name in [
+        "scan.targets_poisoned",
+        "scan.budget_exceeded",
+        "unpack.parts_quarantined",
+    ] {
+        let _ = firmup::telemetry::counter(name);
+    }
     if has_flag(args, "--trace") {
         firmup::telemetry::set_trace(true);
     }
@@ -293,19 +319,58 @@ fn scan(args: &[String]) -> Result<(), String> {
     Ok(())
 }
 
+/// Parse the `--game-ms`/`--target-ms`/`--scan-ms`/`--max-steps` flags
+/// into a [`ScanBudget`].
+fn scan_budget(args: &[String]) -> Result<ScanBudget, String> {
+    let ms = |flag: &str| -> Result<Option<std::time::Duration>, String> {
+        flag_value(args, flag)
+            .map(|v| {
+                v.parse::<u64>()
+                    .map(std::time::Duration::from_millis)
+                    .map_err(|e| format!("{flag}: {e}"))
+            })
+            .transpose()
+    };
+    Ok(ScanBudget {
+        per_game: ms("--game-ms")?,
+        per_target: ms("--target-ms")?,
+        total: ms("--scan-ms")?,
+        max_steps_total: flag_value(args, "--max-steps")
+            .map(|v| v.parse::<u64>().map_err(|e| format!("--max-steps: {e}")))
+            .transpose()?,
+    })
+}
+
 fn scan_images(args: &[String]) -> Result<usize, String> {
     let paths = positional(args);
     if paths.is_empty() {
         return Err("scan requires at least one IMAGE".into());
     }
     let cve_filter = flag_value(args, "--cve");
+    let budget = scan_budget(args)?;
     let canon = CanonConfig::default();
 
-    // Index all target executables.
+    // Index all target executables. Every per-image and per-part step
+    // is fault-isolated: a corrupt image or a panicking lift is
+    // reported and skipped, never aborting the scan (the corpus-scale
+    // robustness requirement of §5.1).
     let mut targets: Vec<(String, ExecutableRep)> = Vec::new();
+    let mut skipped_images = 0usize;
     for p in &paths {
-        let bytes = read(Path::new(p))?;
-        let u = unpack(&bytes).map_err(|e| format!("{p}: {e}"))?;
+        let img_ctx = FaultCtx::image(*p);
+        let unpacked = isolate(img_ctx.clone(), || {
+            let bytes = std::fs::read(Path::new(p)).map_err(FirmUpError::from)?;
+            unpack(&bytes).map_err(FirmUpError::from)
+        });
+        let u = match unpacked {
+            Ok(u) => u,
+            Err(e) => {
+                eprintln!("firmup: skipping image: {e}");
+                firmup::telemetry::incr(&format!("scan.errors.{}", e.kind()));
+                skipped_images += 1;
+                continue;
+            }
+        };
         for issue in &u.issues {
             firmup::telemetry::event(
                 "unpack.issue",
@@ -319,20 +384,29 @@ fn scan_images(args: &[String]) -> Result<usize, String> {
             );
         }
         for part in &u.parts {
-            let Ok(elf) = Elf::parse(&part.data) else {
-                continue;
-            };
             let id = format!("{p}:{}", part.name);
-            match index_elf(&elf, &id, &canon) {
+            let indexed = isolate(img_ctx.clone().with_package(&part.name), || {
+                let elf = Elf::parse(&part.data)?;
+                index_elf(&elf, &id, &canon).map_err(FirmUpError::from)
+            });
+            match indexed {
                 Ok(rep) => targets.push((id, rep)),
-                Err(e) => eprintln!("firmup: skipping {id}: {e}"),
+                Err(e) => eprintln!("firmup: skipping part: {e}"),
             }
         }
     }
+    if skipped_images == paths.len() {
+        return Err("no scannable image: every input failed to unpack".into());
+    }
     println!(
-        "indexed {} executable(s) from {} image(s)",
+        "indexed {} executable(s) from {} image(s){}",
         targets.len(),
-        paths.len()
+        paths.len() - skipped_images,
+        if skipped_images > 0 {
+            format!(" ({skipped_images} unreadable image(s) skipped)")
+        } else {
+            String::new()
+        }
     );
     let reps: Vec<ExecutableRep> = targets.iter().map(|(_, r)| r.clone()).collect();
     let context = std::sync::Arc::new(GlobalContext::build(&reps));
@@ -341,22 +415,41 @@ fn scan_images(args: &[String]) -> Result<usize, String> {
     type QueryEntry = Option<(ExecutableRep, usize, String)>;
     let mut query_cache: HashMap<(String, Arch), QueryEntry> = HashMap::new();
     let mut findings = 0usize;
+    let mut poisoned = 0usize;
+    let mut over_budget = 0usize;
     let config = SearchConfig {
         context: Some(context.clone()),
         threads: 1,
         ..SearchConfig::default()
     };
     let _search_span = firmup::telemetry::span!("search");
-    for cve in all_cves() {
+    let scan_start = std::time::Instant::now();
+    let scan_deadline = budget.total.map(|d| scan_start + d);
+    let mut steps_left = budget.max_steps_total;
+    'scan: for cve in all_cves() {
         if let Some(filter) = cve_filter {
             if cve.cve != filter {
                 continue;
             }
         }
         for (id, target) in &targets {
+            if scan_deadline.is_some_and(|d| std::time::Instant::now() >= d) {
+                println!("scan budget (--scan-ms) exhausted; remaining targets skipped");
+                break 'scan;
+            }
+            if steps_left == Some(0) {
+                println!("step budget (--max-steps) exhausted; remaining targets skipped");
+                break 'scan;
+            }
             let key = (cve.package.to_string(), target.arch);
             let entry = query_cache.entry(key).or_insert_with(|| {
-                let (elf, version) = build_query(cve.package, target.arch);
+                let (elf, version) = match try_build_query(cve.package, target.arch) {
+                    Ok(q) => q,
+                    Err(e) => {
+                        eprintln!("firmup: query for {}: {e}", cve.cve);
+                        return None;
+                    }
+                };
                 index_elf(&elf, "query", &canon)
                     .ok()
                     .and_then(|rep| rep.find_named(cve.procedure).map(|qv| (rep, qv, version)))
@@ -364,8 +457,43 @@ fn scan_images(args: &[String]) -> Result<usize, String> {
             let Some((qrep, qv, version)) = entry else {
                 continue;
             };
-            let r = search_target(qrep, *qv, target, &config);
-            if let Some(m) = r.matched {
+            let pair_budget = ScanBudget {
+                max_steps_total: steps_left,
+                ..budget
+            };
+            let report = search_corpus_robust(
+                qrep,
+                *qv,
+                std::slice::from_ref(target),
+                &config,
+                &pair_budget,
+            );
+            let Some(outcome) = report.outcomes.into_iter().next() else {
+                continue;
+            };
+            if let (Some(left), Some(r)) = (steps_left.as_mut(), outcome.result()) {
+                *left = left.saturating_sub(r.steps as u64);
+            }
+            match &outcome {
+                TargetOutcome::Poisoned { panic, .. } => {
+                    eprintln!(
+                        "firmup: target {id} poisoned while hunting {}: {panic}",
+                        cve.cve
+                    );
+                    poisoned += 1;
+                    continue;
+                }
+                TargetOutcome::BudgetExceeded { reason, .. } => {
+                    eprintln!(
+                        "firmup: target {id} over budget ({reason}) hunting {}",
+                        cve.cve
+                    );
+                    over_budget += 1;
+                }
+                TargetOutcome::Completed(_) => {}
+            }
+            let Some(r) = outcome.result() else { continue };
+            if let Some(m) = &r.matched {
                 println!(
                     "{}: {} ({} {version}) suspected at {:#x} in {id} (Sim={}, {} game step(s))",
                     cve.cve, cve.procedure, cve.package, m.addr, m.sim, r.steps
@@ -391,5 +519,39 @@ fn scan_images(args: &[String]) -> Result<usize, String> {
         }
     }
     println!("{findings} suspected occurrence(s)");
+    if poisoned > 0 || over_budget > 0 {
+        println!("degraded: {poisoned} poisoned target(s), {over_budget} over-budget target(s)");
+    }
     Ok(findings)
+}
+
+fn chaos(args: &[String]) -> Result<(), String> {
+    let seed = flag_value(args, "--seed")
+        .map(|v| {
+            u64::from_str_radix(v.trim_start_matches("0x"), 16).map_err(|e| format!("--seed: {e}"))
+        })
+        .transpose()?
+        .unwrap_or(0xc4a0_5000);
+    let devices = flag_value(args, "--devices")
+        .map(|v| v.parse::<usize>().map_err(|e| format!("--devices: {e}")))
+        .transpose()?
+        .unwrap_or(2);
+    let variants = flag_value(args, "--variants")
+        .map(|v| v.parse::<u64>().map_err(|e| format!("--variants: {e}")))
+        .transpose()?
+        .unwrap_or(4);
+    let report = firmup::chaos::run(&firmup::chaos::ChaosConfig {
+        seed,
+        devices,
+        variants,
+    });
+    print!("{report}");
+    if report.passed() {
+        Ok(())
+    } else {
+        Err(format!(
+            "{} panic(s) contained by stage guards",
+            report.panics()
+        ))
+    }
 }

@@ -171,14 +171,19 @@ fn scan_metrics_out_writes_parseable_profile() {
         .and_then(|c| c.get("game.played"))
         .and_then(Json::as_u64)
         .unwrap_or(0);
-    let ended: u64 = ["query_matched", "fixed_point", "limit_exceeded"]
-        .iter()
-        .filter_map(|e| {
-            doc.get("counters")
-                .and_then(|c| c.get(&format!("game.ended.{e}")))
-                .and_then(Json::as_u64)
-        })
-        .sum();
+    let ended: u64 = [
+        "query_matched",
+        "fixed_point",
+        "limit_exceeded",
+        "deadline_exceeded",
+    ]
+    .iter()
+    .filter_map(|e| {
+        doc.get("counters")
+            .and_then(|c| c.get(&format!("game.ended.{e}")))
+            .and_then(Json::as_u64)
+    })
+    .sum();
     assert!(games > 0, "no games recorded");
     assert_eq!(
         games, ended,

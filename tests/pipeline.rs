@@ -174,6 +174,7 @@ fn lifting_agrees_with_symbols_everywhere() {
                 firmup::firmware::packages::package(pkg)
                     .unwrap()
                     .latest()
+                    .unwrap()
                     .version,
                 &[],
                 1,
