@@ -1,6 +1,6 @@
 //! CLI for regenerating the paper's tables and figures.
 //!
-//! Usage: `experiments [table1|fig3|table2|fig6|fig7|fig8|fig9|all] [--scale N]`
+//! Usage: `experiments [table1|fig3|table2|fig6|fig7|fig8|fig9|ablation|index|all] [--scale N]`
 //!
 //! Every run profiles itself through `firmup-telemetry` and writes the
 //! machine-readable snapshot to `results/bench_metrics.json` — per-stage
@@ -20,6 +20,16 @@ fn save(name: &str, content: &str) {
     if let Ok(mut f) = std::fs::File::create(&path) {
         let _ = f.write_all(content.as_bytes());
         eprintln!("[saved {path}]");
+    }
+}
+
+fn save_json(name: &str, content: &str) {
+    println!("{content}");
+    let _ = std::fs::create_dir_all("results");
+    let path = format!("results/{name}.json");
+    match std::fs::write(&path, content) {
+        Ok(()) => eprintln!("[saved {path}]"),
+        Err(e) => eprintln!("[failed to save {path}: {e}]"),
     }
 }
 
@@ -51,7 +61,16 @@ fn main() {
     if matches!(which, "fig3" | "all") {
         save("fig3", &ex::fig3());
     }
-    if matches!(which, "table1" | "fig3") {
+    // The index benchmark builds its own corpus (it measures corpus
+    // preparation itself, so the shared Workbench would be cheating).
+    if matches!(which, "index" | "all") {
+        eprintln!("[benchmarking cold vs warm index at scale {scale}…]");
+        save_json(
+            "bench_index",
+            &ex::render_index_bench(&ex::bench_index(scale)),
+        );
+    }
+    if matches!(which, "table1" | "fig3" | "index") {
         save_metrics();
         return;
     }
@@ -83,7 +102,7 @@ fn main() {
             save("ablation", &ex::render_ablation(&ex::ablation(&wb)));
         }
         other => {
-            eprintln!("unknown experiment `{other}`; use table1|fig3|table2|fig6|fig7|fig8|fig9|ablation|all");
+            eprintln!("unknown experiment `{other}`; use table1|fig3|table2|fig6|fig7|fig8|fig9|ablation|index|all");
             std::process::exit(2);
         }
     }

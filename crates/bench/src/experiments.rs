@@ -807,3 +807,152 @@ pub fn render_ablation(rows: &[AblationRow]) -> String {
     }
     out
 }
+
+// ===================================================================
+// Index benchmark — cold vs warm corpus preparation
+// ===================================================================
+
+/// Result of the cold-vs-warm persisted-index experiment (see
+/// EXPERIMENTS.md, "Persisted index: cold vs warm scan startup").
+#[derive(Debug, Clone)]
+pub struct IndexBench {
+    /// Corpus scale multiplier used.
+    pub scale: usize,
+    /// Executables in the corpus.
+    pub executables: usize,
+    /// Procedures across the corpus.
+    pub procedures: usize,
+    /// Size of the persisted `corpus.fui` file in bytes.
+    pub index_bytes: u64,
+    /// Cold preparation: unpack → parse → lift → canonicalize → build.
+    pub cold_ms: f64,
+    /// Warm preparation: load + decode the persisted index (best of 3).
+    pub warm_ms: f64,
+    /// `cold_ms / warm_ms`.
+    pub speedup: f64,
+    /// Whether a search against the reloaded corpus reproduced the
+    /// cold corpus's results exactly.
+    pub results_equal: bool,
+}
+
+/// Measure cold-vs-warm corpus preparation: the cold path runs the full
+/// unpack → parse → lift → canonicalize → build pipeline over a seeded
+/// corpus; the warm path loads the same corpus from a persisted FUIX
+/// index. Both are then searched with the same query to verify the
+/// cache changes *when* the work happens, never *what* is found.
+pub fn bench_index(scale: usize) -> IndexBench {
+    use firmup_core::canon::CanonConfig;
+    use firmup_core::persist::CorpusIndex;
+    use firmup_core::search::search_corpus;
+    use firmup_core::sim::index_elf;
+    use firmup_firmware::corpus::{generate, CorpusConfig};
+    use firmup_firmware::image::unpack;
+
+    let corpus = generate(&CorpusConfig {
+        devices: 6 * scale.max(1),
+        max_firmware_versions: 2,
+        ..CorpusConfig::default()
+    });
+    let canon = CanonConfig::default();
+    let cold_run = || {
+        let mut reps = Vec::new();
+        for img in &corpus.images {
+            let unpacked = unpack(&img.blob).expect("corpus images unpack");
+            for part in &unpacked.parts {
+                let elf = firmup_obj::Elf::parse(&part.data).expect("corpus parts parse");
+                reps.push(index_elf(&elf, &part.name, &canon).expect("corpus parts lift"));
+            }
+        }
+        CorpusIndex::build(reps)
+    };
+
+    let t0 = Instant::now();
+    let cold_index = cold_run();
+    let cold_ms = t0.elapsed().as_secs_f64() * 1e3;
+
+    let dir = std::env::temp_dir().join(format!("firmup-bench-index-{}", std::process::id()));
+    cold_index.save(&dir).expect("save index");
+    let index_bytes = std::fs::metadata(firmup_firmware::index::index_path(&dir))
+        .map(|m| m.len())
+        .unwrap_or(0);
+    let mut warm_ms = f64::INFINITY;
+    let mut warm_index = None;
+    for _ in 0..3 {
+        let t = Instant::now();
+        let loaded = CorpusIndex::load(&dir).expect("load index");
+        warm_ms = warm_ms.min(t.elapsed().as_secs_f64() * 1e3);
+        warm_index = Some(loaded);
+    }
+    let warm_index = warm_index.expect("at least one warm load");
+    let _ = std::fs::remove_dir_all(&dir);
+
+    // Equivalence check: same query, cold corpus vs reloaded corpus.
+    let results_equal = match cold_index
+        .executables
+        .iter()
+        .position(|e| !e.procedures.is_empty())
+    {
+        Some(qi) => {
+            let cold_cfg = SearchConfig {
+                context: Some(cold_index.context.clone()),
+                threads: 1,
+                ..SearchConfig::default()
+            };
+            let warm_cfg = SearchConfig {
+                context: Some(warm_index.context.clone()),
+                threads: 1,
+                ..SearchConfig::default()
+            };
+            let a = search_corpus(
+                &cold_index.executables[qi],
+                0,
+                &cold_index.executables,
+                &cold_cfg,
+            );
+            let b = search_corpus(
+                &warm_index.executables[qi],
+                0,
+                &warm_index.executables,
+                &warm_cfg,
+            );
+            a == b
+        }
+        None => cold_index.executables == warm_index.executables,
+    };
+
+    IndexBench {
+        scale,
+        executables: cold_index.executables.len(),
+        procedures: cold_index
+            .executables
+            .iter()
+            .map(|e| e.procedures.len())
+            .sum(),
+        index_bytes,
+        cold_ms,
+        warm_ms,
+        speedup: if warm_ms > 0.0 {
+            cold_ms / warm_ms
+        } else {
+            0.0
+        },
+        results_equal,
+    }
+}
+
+/// Render the index benchmark as the `results/bench_index.json` payload.
+pub fn render_index_bench(b: &IndexBench) -> String {
+    format!(
+        "{{\n  \"scale\": {},\n  \"executables\": {},\n  \"procedures\": {},\n  \
+         \"index_bytes\": {},\n  \"cold_ms\": {:.3},\n  \"warm_ms\": {:.3},\n  \
+         \"speedup\": {:.2},\n  \"results_equal\": {}\n}}\n",
+        b.scale,
+        b.executables,
+        b.procedures,
+        b.index_bytes,
+        b.cold_ms,
+        b.warm_ms,
+        b.speedup,
+        b.results_equal
+    )
+}

@@ -75,8 +75,7 @@ impl Workbench {
                 });
             }
         }
-        let reps: Vec<ExecutableRep> = targets.iter().map(|t| t.rep.clone()).collect();
-        let context = std::sync::Arc::new(GlobalContext::build(&reps));
+        let context = std::sync::Arc::new(GlobalContext::build(targets.iter().map(|t| &t.rep)));
         Workbench {
             corpus,
             targets,

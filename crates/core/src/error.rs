@@ -18,6 +18,7 @@ use std::fmt;
 use std::panic::{catch_unwind, AssertUnwindSafe};
 
 use firmup_firmware::image::ImageError;
+use firmup_firmware::index::IndexError;
 use firmup_firmware::packages::PackageError;
 use firmup_obj::ElfError;
 
@@ -179,6 +180,17 @@ pub enum FirmUpError {
         /// Attribution (boxed to keep `Result<_, FirmUpError>` small).
         ctx: Box<FaultCtx>,
     },
+    /// A persisted corpus index could not be read
+    /// ([`firmup_firmware::index::IndexError`]): wrong magic, a future
+    /// format version, truncation, a failed record checksum, or an
+    /// undecodable typed payload. An index is a cache — the remedy is
+    /// always "rebuild with `firmup index`", never a crash.
+    Index {
+        /// Stage-local cause.
+        source: IndexError,
+        /// Attribution (boxed to keep `Result<_, FirmUpError>` small).
+        ctx: Box<FaultCtx>,
+    },
     /// Filesystem-level failure (CLI reads).
     Io {
         /// Rendered `std::io::Error`.
@@ -199,6 +211,7 @@ impl FirmUpError {
             | FirmUpError::Package { ctx, .. }
             | FirmUpError::Poisoned { ctx, .. }
             | FirmUpError::BudgetExceeded { ctx, .. }
+            | FirmUpError::Index { ctx, .. }
             | FirmUpError::Io { ctx, .. } => ctx.as_ref(),
         }
     }
@@ -212,6 +225,7 @@ impl FirmUpError {
             | FirmUpError::Package { ctx, .. }
             | FirmUpError::Poisoned { ctx, .. }
             | FirmUpError::BudgetExceeded { ctx, .. }
+            | FirmUpError::Index { ctx, .. }
             | FirmUpError::Io { ctx, .. } => ctx.as_mut(),
         }
     }
@@ -235,6 +249,7 @@ impl FirmUpError {
             FirmUpError::Package { .. } => "package",
             FirmUpError::Poisoned { .. } => "poisoned",
             FirmUpError::BudgetExceeded { .. } => "budget",
+            FirmUpError::Index { .. } => "index",
             FirmUpError::Io { .. } => "io",
         }
     }
@@ -257,6 +272,7 @@ impl fmt::Display for FirmUpError {
             FirmUpError::BudgetExceeded { reason, .. } => {
                 write!(f, "budget exceeded: {reason}")?;
             }
+            FirmUpError::Index { source, .. } => write!(f, "index: {source}")?,
             FirmUpError::Io { message, .. } => write!(f, "io: {message}")?,
         }
         let ctx = self.ctx();
@@ -274,6 +290,7 @@ impl std::error::Error for FirmUpError {
             FirmUpError::Object { source, .. } => Some(source),
             FirmUpError::Lift { source, .. } => Some(source),
             FirmUpError::Package { source, .. } => Some(source),
+            FirmUpError::Index { source, .. } => Some(source),
             _ => None,
         }
     }
@@ -319,6 +336,15 @@ impl From<firmup_compiler::CompilerError> for FirmUpError {
     fn from(source: firmup_compiler::CompilerError) -> FirmUpError {
         FirmUpError::Compile {
             message: source.to_string(),
+            ctx: Box::new(FaultCtx::new()),
+        }
+    }
+}
+
+impl From<IndexError> for FirmUpError {
+    fn from(source: IndexError) -> FirmUpError {
+        FirmUpError::Index {
+            source,
             ctx: Box::new(FaultCtx::new()),
         }
     }
@@ -423,6 +449,7 @@ mod tests {
             FirmUpError::from(PackageError::UnknownPackage("zsh".into())).kind(),
             "package"
         );
+        assert_eq!(FirmUpError::from(IndexError::NotAnIndex).kind(), "index");
         assert_eq!(FirmUpError::from(std::io::Error::other("x")).kind(), "io");
     }
 }

@@ -13,7 +13,9 @@
 //!    canonical strands (§3.3);
 //! 5. [`game`] — Algorithm 2: the back-and-forth game that lifts
 //!    pairwise similarity to executable-level partial matching (§4);
-//! 6. [`search`] — the corpus-search outer loop with parallel targets.
+//! 6. [`search`] — the corpus-search outer loop with parallel targets;
+//! 7. [`persist`] — the on-disk strand-hash corpus index (`firmup
+//!    index` / `firmup scan --index`) with candidate prefiltering.
 //!
 //! The [`emu`] module is reproduction infrastructure (differential
 //! validation of the compiler/lifter substrate), not part of FirmUp
@@ -62,6 +64,7 @@ pub mod emu;
 pub mod error;
 pub mod game;
 pub mod lift;
+pub mod persist;
 pub mod search;
 pub mod sim;
 pub mod strand;
@@ -70,9 +73,10 @@ pub use canon::{AddrSpace, CanonConfig, CanonicalStrand};
 pub use error::{isolate, FaultCtx, FirmUpError};
 pub use game::{GameConfig, GameEnd, GameResult};
 pub use lift::{lift_executable, LiftedExecutable};
+pub use persist::CorpusIndex;
 pub use search::{
-    search_corpus, search_corpus_robust, search_target, BudgetReason, ScanBudget, ScanReport,
-    SearchConfig, TargetOutcome, TargetResult,
+    prefilter_candidates, search_corpus, search_corpus_robust, search_target, BudgetReason,
+    ScanBudget, ScanReport, SearchConfig, TargetOutcome, TargetResult,
 };
-pub use sim::{index_elf, sim, ExecutableRep, ProcedureRep};
+pub use sim::{index_elf, sim, ExecutableRep, GlobalContext, ProcedureRep, StrandPostings};
 pub use strand::{decompose, Strand};

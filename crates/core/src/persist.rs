@@ -1,0 +1,645 @@
+//! Typed persistence of the strand-hash corpus index — the `firmup
+//! index` artifact.
+//!
+//! [`CorpusIndex`] is everything a scan needs *after* the expensive
+//! unpack → parse → lift → canonicalize front half of the pipeline:
+//! every target's [`ExecutableRep`] (procedure metadata + canonical
+//! strand hashes), the trained [`GlobalContext`], and an inverted
+//! [`StrandPostings`] table for candidate prefiltering. `firmup index
+//! IMAGE... --out DIR` builds and saves one; `firmup scan --index DIR`
+//! loads it and goes straight to the back-and-forth game.
+//!
+//! This module owns the *typed* encoding — how reps, context, and
+//! postings become record payloads. The byte-level container (magic,
+//! format version, per-record CRC-32, truncation-safe reads) is
+//! [`firmup_firmware::index`] ("FUIX"); see ARCHITECTURE.md §4 for the
+//! full format specification.
+//!
+//! Record names within the container:
+//!
+//! * `meta` — executable count (u32);
+//! * `exe:<i>` — the i-th [`ExecutableRep`];
+//! * `context` — the [`GlobalContext`] document frequencies;
+//! * `postings` — the [`StrandPostings`] table.
+//!
+//! Unknown record names are skipped on load (the forward-compatibility
+//! rule: additive format changes introduce new names, breaking changes
+//! bump the container's format version).
+
+use std::path::Path;
+use std::sync::Arc;
+
+use firmup_firmware::index::{index_path, read_container, write_container, IndexError, Record};
+use firmup_isa::Arch;
+
+use crate::error::{FaultCtx, FirmUpError};
+use crate::sim::{ExecutableRep, GlobalContext, ProcedureRep, StrandPostings};
+
+/// A persisted (or persistable) scan corpus: canonicalized executables
+/// plus the derived search structures.
+///
+/// ```
+/// use firmup_core::persist::CorpusIndex;
+/// use firmup_core::sim::{ExecutableRep, ProcedureRep};
+/// use firmup_isa::Arch;
+/// let exe = ExecutableRep {
+///     id: "fw/bin/wget".into(),
+///     arch: Arch::Mips32,
+///     procedures: vec![ProcedureRep {
+///         addr: 0x400000, name: None, strands: vec![3, 5, 8],
+///         block_count: 2, size: 24,
+///     }],
+/// };
+/// let index = CorpusIndex::build(vec![exe]);
+/// let blob = index.to_bytes();
+/// let back = CorpusIndex::from_bytes(&blob).unwrap();
+/// assert_eq!(back.executables[0].procedures[0].strands, vec![3, 5, 8]);
+/// ```
+#[derive(Debug, Clone, PartialEq)]
+pub struct CorpusIndex {
+    /// The canonicalized targets, in corpus order. [`StrandPostings`]
+    /// executable positions index into this vector.
+    pub executables: Vec<ExecutableRep>,
+    /// Per-strand document frequencies trained over `executables`.
+    pub context: Arc<GlobalContext>,
+    /// Inverted strand → `(executable, procedure)` table.
+    pub postings: StrandPostings,
+}
+
+impl CorpusIndex {
+    /// Build the derived structures over a set of canonicalized
+    /// executables (the in-memory path a cold scan takes, and the final
+    /// step of `firmup index`).
+    pub fn build(executables: Vec<ExecutableRep>) -> CorpusIndex {
+        let _span = firmup_telemetry::span!("index.build");
+        let context = Arc::new(GlobalContext::build(&executables));
+        let postings = StrandPostings::build(&executables);
+        CorpusIndex {
+            executables,
+            context,
+            postings,
+        }
+    }
+
+    /// Serialize into a FUIX container blob.
+    pub fn to_bytes(&self) -> Vec<u8> {
+        let mut records = Vec::with_capacity(self.executables.len() + 3);
+        records.push(Record::new(
+            "meta",
+            (self.executables.len() as u32).to_le_bytes().to_vec(),
+        ));
+        for (i, exe) in self.executables.iter().enumerate() {
+            records.push(Record::new(format!("exe:{i}"), encode_executable(exe)));
+        }
+        records.push(Record::new("context", encode_context(&self.context)));
+        records.push(Record::new("postings", encode_postings(&self.postings)));
+        write_container(&records)
+    }
+
+    /// Decode from a FUIX container blob.
+    ///
+    /// # Errors
+    ///
+    /// Any container-level damage surfaces as the [`IndexError`] the
+    /// byte layer diagnosed; a record that parses as a container but
+    /// whose typed payload is inconsistent (missing records, undecodable
+    /// fields, unsorted strand vectors) is [`IndexError::Malformed`].
+    pub fn from_bytes(blob: &[u8]) -> Result<CorpusIndex, IndexError> {
+        let records = read_container(blob)?;
+        let mut count: Option<u32> = None;
+        let mut exes: Vec<Option<ExecutableRep>> = Vec::new();
+        let mut context: Option<GlobalContext> = None;
+        let mut postings: Option<StrandPostings> = None;
+        for r in &records {
+            if r.name == "meta" {
+                let mut pos = 0;
+                count = Some(get_u32(&r.payload, &mut pos, "meta record")?);
+            } else if let Some(i) = r.name.strip_prefix("exe:") {
+                let i: usize = i.parse().map_err(|_| malformed("bad exe record name"))?;
+                if i >= exes.len() {
+                    exes.resize_with(i + 1, || None);
+                }
+                exes[i] = Some(decode_executable(&r.payload)?);
+            } else if r.name == "context" {
+                context = Some(decode_context(&r.payload)?);
+            } else if r.name == "postings" {
+                postings = Some(decode_postings(&r.payload)?);
+            }
+            // Unknown record names are future additive extensions: skip.
+        }
+        let count = count.ok_or_else(|| malformed("missing meta record"))? as usize;
+        if exes.len() != count {
+            return Err(malformed(&format!(
+                "meta declares {count} executables, found {}",
+                exes.len()
+            )));
+        }
+        let executables: Vec<ExecutableRep> = exes
+            .into_iter()
+            .enumerate()
+            .map(|(i, e)| e.ok_or_else(|| malformed(&format!("missing record exe:{i}"))))
+            .collect::<Result<_, _>>()?;
+        let context = context.ok_or_else(|| malformed("missing context record"))?;
+        let postings = postings.ok_or_else(|| malformed("missing postings record"))?;
+        Ok(CorpusIndex {
+            executables,
+            context: Arc::new(context),
+            postings,
+        })
+    }
+
+    /// Write the index into `dir` (created if needed) as
+    /// [`firmup_firmware::index::INDEX_FILE`].
+    ///
+    /// # Errors
+    ///
+    /// Filesystem failures surface as [`FirmUpError::Io`].
+    pub fn save(&self, dir: &Path) -> Result<(), FirmUpError> {
+        std::fs::create_dir_all(dir)
+            .map_err(|e| FirmUpError::from(e).in_ctx(FaultCtx::image(dir.display().to_string())))?;
+        let path = index_path(dir);
+        std::fs::write(&path, self.to_bytes()).map_err(|e| {
+            FirmUpError::from(e).in_ctx(FaultCtx::image(path.display().to_string()))
+        })?;
+        Ok(())
+    }
+
+    /// Load the index from `dir`.
+    ///
+    /// Telemetry: a successful load runs under an `index.load` span and
+    /// adds one `index.cache_hit` per executable restored (the unpack /
+    /// lift / canonicalize work the cache saved).
+    ///
+    /// # Errors
+    ///
+    /// A missing or unreadable file is [`FirmUpError::Io`]; a damaged
+    /// one is [`FirmUpError::Index`] wrapping the byte-level diagnosis.
+    /// Both carry the file path in their [`FaultCtx`].
+    pub fn load(dir: &Path) -> Result<CorpusIndex, FirmUpError> {
+        let _span = firmup_telemetry::span!("index.load");
+        let path = index_path(dir);
+        let ctx = FaultCtx::image(path.display().to_string());
+        let blob = std::fs::read(&path).map_err(|e| FirmUpError::from(e).in_ctx(ctx.clone()))?;
+        let index = CorpusIndex::from_bytes(&blob).map_err(|e| FirmUpError::from(e).in_ctx(ctx))?;
+        firmup_telemetry::add("index.cache_hit", index.executables.len() as u64);
+        Ok(index)
+    }
+}
+
+fn malformed(reason: &str) -> IndexError {
+    IndexError::Malformed {
+        reason: reason.to_string(),
+    }
+}
+
+// ---- payload encoding primitives -----------------------------------------
+//
+// Same discipline as the container: little-endian fixed-width integers,
+// length-prefixed strings, every read bounds-checked. Payloads are
+// CRC-protected by the container, so decode errors here mean a *logic*
+// mismatch (or a version-1 reader meeting data only a future version
+// writes inside an existing record — which the format rules forbid).
+
+fn put_u32(out: &mut Vec<u8>, v: u32) {
+    out.extend_from_slice(&v.to_le_bytes());
+}
+
+fn put_u64(out: &mut Vec<u8>, v: u64) {
+    out.extend_from_slice(&v.to_le_bytes());
+}
+
+fn put_str(out: &mut Vec<u8>, s: &str) {
+    put_u32(out, s.len() as u32);
+    out.extend_from_slice(s.as_bytes());
+}
+
+fn get_u32(b: &[u8], pos: &mut usize, what: &str) -> Result<u32, IndexError> {
+    let s = b
+        .get(*pos..pos.saturating_add(4))
+        .ok_or_else(|| malformed(&format!("{what}: payload too short")))?;
+    *pos += 4;
+    Ok(u32::from_le_bytes([s[0], s[1], s[2], s[3]]))
+}
+
+fn get_u64(b: &[u8], pos: &mut usize, what: &str) -> Result<u64, IndexError> {
+    let s = b
+        .get(*pos..pos.saturating_add(8))
+        .ok_or_else(|| malformed(&format!("{what}: payload too short")))?;
+    *pos += 8;
+    Ok(u64::from_le_bytes([
+        s[0], s[1], s[2], s[3], s[4], s[5], s[6], s[7],
+    ]))
+}
+
+fn get_str(b: &[u8], pos: &mut usize, what: &str) -> Result<String, IndexError> {
+    let len = get_u32(b, pos, what)? as usize;
+    if len > b.len() {
+        return Err(malformed(&format!("{what}: string length out of range")));
+    }
+    let s = b
+        .get(*pos..pos.saturating_add(len))
+        .ok_or_else(|| malformed(&format!("{what}: payload too short")))?;
+    *pos += len;
+    String::from_utf8(s.to_vec()).map_err(|_| malformed(&format!("{what}: non-UTF-8 string")))
+}
+
+// ---- ExecutableRep -------------------------------------------------------
+
+fn encode_executable(exe: &ExecutableRep) -> Vec<u8> {
+    let mut out = Vec::new();
+    put_str(&mut out, &exe.id);
+    put_u32(&mut out, u32::from(exe.arch.elf_machine()));
+    put_u32(&mut out, exe.procedures.len() as u32);
+    for p in &exe.procedures {
+        put_u32(&mut out, p.addr);
+        match &p.name {
+            Some(n) => {
+                out.push(1);
+                put_str(&mut out, n);
+            }
+            None => out.push(0),
+        }
+        put_u32(&mut out, p.block_count as u32);
+        put_u32(&mut out, p.size);
+        put_u32(&mut out, p.strands.len() as u32);
+        for &h in &p.strands {
+            put_u64(&mut out, h);
+        }
+    }
+    out
+}
+
+fn decode_executable(b: &[u8]) -> Result<ExecutableRep, IndexError> {
+    let mut pos = 0;
+    let id = get_str(b, &mut pos, "executable id")?;
+    let machine = get_u32(b, &mut pos, "executable arch")?;
+    let machine = u16::try_from(machine).map_err(|_| malformed("arch tag out of range"))?;
+    let arch = Arch::from_elf_machine(machine)
+        .ok_or_else(|| malformed(&format!("unknown arch tag {machine}")))?;
+    let nprocs = get_u32(b, &mut pos, "procedure count")? as usize;
+    if nprocs > b.len() {
+        return Err(malformed("procedure count out of range"));
+    }
+    let mut procedures = Vec::with_capacity(nprocs);
+    for _ in 0..nprocs {
+        let addr = get_u32(b, &mut pos, "procedure addr")?;
+        let has_name = b
+            .get(pos)
+            .copied()
+            .ok_or_else(|| malformed("procedure name tag: payload too short"))?;
+        pos += 1;
+        let name = match has_name {
+            0 => None,
+            1 => Some(get_str(b, &mut pos, "procedure name")?),
+            _ => return Err(malformed("bad procedure name tag")),
+        };
+        let block_count = get_u32(b, &mut pos, "procedure blocks")? as usize;
+        let size = get_u32(b, &mut pos, "procedure size")?;
+        let nstrands = get_u32(b, &mut pos, "strand count")? as usize;
+        if nstrands.saturating_mul(8) > b.len() {
+            return Err(malformed("strand count out of range"));
+        }
+        let mut strands = Vec::with_capacity(nstrands);
+        for _ in 0..nstrands {
+            strands.push(get_u64(b, &mut pos, "strand hash")?);
+        }
+        // The whole pipeline (Sim's merge walk, the game's pruning)
+        // assumes sorted, deduplicated strand vectors; enforce the
+        // invariant at the trust boundary.
+        if strands.windows(2).any(|w| w[0] >= w[1]) {
+            return Err(malformed("strand vector not sorted/deduplicated"));
+        }
+        procedures.push(ProcedureRep {
+            addr,
+            name,
+            strands,
+            block_count,
+            size,
+        });
+    }
+    Ok(ExecutableRep {
+        id,
+        arch,
+        procedures,
+    })
+}
+
+// ---- GlobalContext -------------------------------------------------------
+
+fn encode_context(ctx: &GlobalContext) -> Vec<u8> {
+    let entries = ctx.entries();
+    let mut out = Vec::with_capacity(8 + entries.len() * 12);
+    put_u32(&mut out, ctx.docs());
+    put_u32(&mut out, entries.len() as u32);
+    for (strand, df) in entries {
+        put_u64(&mut out, strand);
+        put_u32(&mut out, df);
+    }
+    out
+}
+
+fn decode_context(b: &[u8]) -> Result<GlobalContext, IndexError> {
+    let mut pos = 0;
+    let docs = get_u32(b, &mut pos, "context docs")?;
+    let n = get_u32(b, &mut pos, "context entry count")? as usize;
+    if n.saturating_mul(12) > b.len() {
+        return Err(malformed("context entry count out of range"));
+    }
+    let mut entries = Vec::with_capacity(n);
+    for _ in 0..n {
+        let strand = get_u64(b, &mut pos, "context strand")?;
+        let df = get_u32(b, &mut pos, "context df")?;
+        entries.push((strand, df));
+    }
+    Ok(GlobalContext::from_entries(docs, entries))
+}
+
+// ---- StrandPostings ------------------------------------------------------
+
+fn encode_postings(postings: &StrandPostings) -> Vec<u8> {
+    let entries = postings.entries();
+    let mut out = Vec::new();
+    put_u32(&mut out, entries.len() as u32);
+    for (strand, sites) in entries {
+        put_u64(&mut out, strand);
+        put_u32(&mut out, sites.len() as u32);
+        for &(exe, proc_) in sites {
+            put_u32(&mut out, exe);
+            put_u32(&mut out, proc_);
+        }
+    }
+    out
+}
+
+fn decode_postings(b: &[u8]) -> Result<StrandPostings, IndexError> {
+    let mut pos = 0;
+    let n = get_u32(b, &mut pos, "postings strand count")? as usize;
+    if n.saturating_mul(12) > b.len() {
+        return Err(malformed("postings strand count out of range"));
+    }
+    let mut entries = Vec::with_capacity(n);
+    for _ in 0..n {
+        let strand = get_u64(b, &mut pos, "postings strand")?;
+        let nsites = get_u32(b, &mut pos, "posting list length")? as usize;
+        if nsites.saturating_mul(8) > b.len() {
+            return Err(malformed("posting list length out of range"));
+        }
+        let mut sites = Vec::with_capacity(nsites);
+        for _ in 0..nsites {
+            let exe = get_u32(b, &mut pos, "posting executable")?;
+            let proc_ = get_u32(b, &mut pos, "posting procedure")?;
+            sites.push((exe, proc_));
+        }
+        entries.push((strand, sites));
+    }
+    Ok(StrandPostings::from_entries(entries))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::search::{prefilter_candidates, search_corpus, SearchConfig};
+    use firmup_firmware::index::FORMAT_VERSION;
+
+    fn exe(id: &str, strand_sets: &[&[u64]]) -> ExecutableRep {
+        ExecutableRep {
+            id: id.to_string(),
+            arch: Arch::Mips32,
+            procedures: strand_sets
+                .iter()
+                .enumerate()
+                .map(|(i, s)| ProcedureRep {
+                    addr: 0x1000 + (i as u32) * 0x40,
+                    name: if i % 2 == 0 {
+                        Some(format!("p{i}"))
+                    } else {
+                        None
+                    },
+                    strands: s.to_vec(),
+                    block_count: i + 1,
+                    size: 16 * (i as u32 + 1),
+                })
+                .collect(),
+        }
+    }
+
+    fn sample() -> CorpusIndex {
+        CorpusIndex::build(vec![
+            exe("a", &[&[1, 2, 3], &[2, 9]]),
+            exe("b", &[&[2, 3, 4]]),
+            exe("c", &[&[], &[7]]),
+        ])
+    }
+
+    #[test]
+    fn roundtrip_preserves_everything() {
+        let index = sample();
+        let back = CorpusIndex::from_bytes(&index.to_bytes()).unwrap();
+        assert_eq!(back.executables, index.executables);
+        assert_eq!(*back.context, *index.context);
+        assert_eq!(back.postings, index.postings);
+    }
+
+    #[test]
+    fn roundtrip_preserves_match_results() {
+        // The acceptance property: searching against a reloaded index
+        // yields the same results as the freshly built one.
+        let index = sample();
+        let back = CorpusIndex::from_bytes(&index.to_bytes()).unwrap();
+        let config = SearchConfig {
+            context: Some(index.context.clone()),
+            ..SearchConfig::default()
+        };
+        let fresh = search_corpus(&index.executables[0], 0, &index.executables, &config);
+        let config = SearchConfig {
+            context: Some(back.context.clone()),
+            ..SearchConfig::default()
+        };
+        let warm = search_corpus(&back.executables[0], 0, &back.executables, &config);
+        assert_eq!(fresh, warm);
+    }
+
+    #[test]
+    fn empty_corpus_roundtrips() {
+        let index = CorpusIndex::build(Vec::new());
+        let back = CorpusIndex::from_bytes(&index.to_bytes()).unwrap();
+        assert!(back.executables.is_empty());
+        assert!(back.postings.is_empty());
+        assert_eq!(back.context.docs(), 0);
+    }
+
+    #[test]
+    fn unknown_records_are_skipped() {
+        // Forward compatibility: a future writer adding a record name is
+        // readable by this version.
+        let index = sample();
+        let records = {
+            let mut r = read_container(&index.to_bytes()).unwrap();
+            r.push(Record::new("future:embedding", vec![9, 9, 9]));
+            r
+        };
+        let back = CorpusIndex::from_bytes(&write_container(&records)).unwrap();
+        assert_eq!(back.executables, index.executables);
+    }
+
+    #[test]
+    fn missing_records_are_diagnosed() {
+        let index = sample();
+        for drop_name in ["meta", "exe:1", "context", "postings"] {
+            let records: Vec<Record> = read_container(&index.to_bytes())
+                .unwrap()
+                .into_iter()
+                .filter(|r| r.name != drop_name)
+                .collect();
+            let err = CorpusIndex::from_bytes(&write_container(&records)).unwrap_err();
+            assert!(
+                matches!(err, IndexError::Malformed { .. }),
+                "dropping {drop_name}: {err:?}"
+            );
+        }
+    }
+
+    #[test]
+    fn unsorted_strands_are_rejected() {
+        let mut bad = exe("x", &[&[5]]);
+        bad.procedures[0].strands = vec![5, 3];
+        let blob = write_container(&[
+            Record::new("meta", 1u32.to_le_bytes().to_vec()),
+            Record::new("exe:0", super::encode_executable(&bad)),
+            Record::new("context", super::encode_context(&GlobalContext::default())),
+            Record::new(
+                "postings",
+                super::encode_postings(&StrandPostings::default()),
+            ),
+        ]);
+        assert!(matches!(
+            CorpusIndex::from_bytes(&blob),
+            Err(IndexError::Malformed { .. })
+        ));
+    }
+
+    #[test]
+    fn save_and_load_through_the_filesystem() {
+        let dir = std::env::temp_dir().join(format!(
+            "firmup-persist-{}-{:?}",
+            std::process::id(),
+            std::thread::current().id()
+        ));
+        let index = sample();
+        index.save(&dir).unwrap();
+        let back = CorpusIndex::load(&dir).unwrap();
+        assert_eq!(back.executables, index.executables);
+        std::fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn load_failures_carry_the_path() {
+        let dir = std::env::temp_dir().join("firmup-persist-definitely-missing");
+        let err = CorpusIndex::load(&dir).unwrap_err();
+        assert_eq!(err.kind(), "io");
+        assert!(err.to_string().contains("corpus.fui"), "{err}");
+    }
+
+    #[test]
+    fn damaged_file_is_an_index_error_with_path() {
+        let dir = std::env::temp_dir().join(format!(
+            "firmup-persist-damaged-{}-{:?}",
+            std::process::id(),
+            std::thread::current().id()
+        ));
+        let index = sample();
+        index.save(&dir).unwrap();
+        let path = index_path(&dir);
+        let mut blob = std::fs::read(&path).unwrap();
+        let n = blob.len();
+        blob[n - 1] ^= 0x01;
+        std::fs::write(&path, &blob).unwrap();
+        let err = CorpusIndex::load(&dir).unwrap_err();
+        assert_eq!(err.kind(), "index");
+        assert!(err.to_string().contains("corpus.fui"), "{err}");
+        std::fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn prefilter_ranks_by_overlap_against_a_reloaded_index() {
+        let index = CorpusIndex::from_bytes(&sample().to_bytes()).unwrap();
+        // Query shares {2,3} with a, {2,3} with b... weight-free check:
+        // a strand counts once per executable.
+        let query = ProcedureRep {
+            addr: 0,
+            name: None,
+            strands: vec![2, 3, 7],
+            block_count: 1,
+            size: 4,
+        };
+        let ranked = prefilter_candidates(&query, &index.postings, None, 0);
+        let score = |e: usize| ranked.iter().find(|&&(i, _)| i == e).map(|&(_, s)| s);
+        assert_eq!(score(0), Some(2.0)); // a: strands 2, 3
+        assert_eq!(score(1), Some(2.0)); // b: strands 2, 3
+        assert_eq!(score(2), Some(1.0)); // c: strand 7
+        let top2 = prefilter_candidates(&query, &index.postings, None, 2);
+        assert_eq!(top2.len(), 2);
+        assert_eq!((top2[0].0, top2[1].0), (0, 1)); // ties break low-index
+    }
+
+    #[test]
+    fn format_version_is_pinned() {
+        // A reminder to bump deliberately: the container this module
+        // writes must stay readable by version-1 readers until the
+        // layout truly breaks.
+        assert_eq!(FORMAT_VERSION, 1);
+        let blob = sample().to_bytes();
+        assert_eq!(&blob[4..8], &1u32.to_le_bytes());
+    }
+}
+
+#[cfg(test)]
+mod prop_tests {
+    use super::*;
+    use proptest::prelude::*;
+
+    fn arb_rep() -> impl Strategy<Value = ExecutableRep> {
+        (
+            "[a-z]{1,12}",
+            0..4usize,
+            proptest::collection::vec(proptest::collection::vec(any::<u64>(), 0..20), 0..6),
+        )
+            .prop_map(|(id, arch_i, strand_sets)| {
+                let arch = Arch::all()[arch_i % Arch::all().len()];
+                ExecutableRep {
+                    id,
+                    arch,
+                    procedures: strand_sets
+                        .into_iter()
+                        .enumerate()
+                        .map(|(i, mut strands)| {
+                            strands.sort_unstable();
+                            strands.dedup();
+                            ProcedureRep {
+                                addr: (i as u32) * 0x20,
+                                name: (i % 3 == 0).then(|| format!("f{i}")),
+                                strands,
+                                block_count: i,
+                                size: i as u32 * 4,
+                            }
+                        })
+                        .collect(),
+                }
+            })
+    }
+
+    proptest! {
+        #![proptest_config(ProptestConfig::with_cases(24))]
+
+        /// Write → read reproduces identical strand hashes (and all
+        /// other fields) for arbitrary corpora.
+        #[test]
+        fn roundtrip_property(reps in proptest::collection::vec(arb_rep(), 0..5)) {
+            let index = CorpusIndex::build(reps);
+            let back = CorpusIndex::from_bytes(&index.to_bytes()).unwrap();
+            prop_assert_eq!(&back.executables, &index.executables);
+            prop_assert_eq!(back.context.entries(), index.context.entries());
+            prop_assert_eq!(back.postings.entries(), index.postings.entries());
+        }
+    }
+}

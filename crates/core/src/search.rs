@@ -13,8 +13,10 @@ use std::sync::atomic::{AtomicU64, AtomicUsize, Ordering};
 use std::sync::Mutex;
 use std::time::{Duration, Instant};
 
+use std::borrow::Borrow;
+
 use crate::game::{play, GameConfig, GameEnd, GameResult};
-use crate::sim::{ExecutableRep, GlobalContext};
+use crate::sim::{ExecutableRep, GlobalContext, ProcedureRep, StrandPostings};
 
 /// Search configuration.
 #[derive(Debug, Clone)]
@@ -47,7 +49,7 @@ impl Default for SearchConfig {
 }
 
 /// Outcome of searching one target executable.
-#[derive(Debug, Clone)]
+#[derive(Debug, Clone, PartialEq, Eq)]
 pub struct TargetResult {
     /// Target executable id.
     pub target_id: String,
@@ -114,10 +116,15 @@ pub fn search_target(
 /// Search many targets in parallel (std scoped threads with a shared
 /// work-stealing index, matching the paper's threaded setup on a
 /// 72-thread Xeon).
-pub fn search_corpus(
+///
+/// Targets are taken through [`Borrow`], so both owned slices
+/// (`&[ExecutableRep]`) and borrowed candidate lists
+/// (`&[&ExecutableRep]`, e.g. a prefiltered subset of a loaded corpus
+/// index) work without cloning a single rep.
+pub fn search_corpus<T: Borrow<ExecutableRep> + Sync>(
     query: &ExecutableRep,
     qv: usize,
-    targets: &[ExecutableRep],
+    targets: &[T],
     config: &SearchConfig,
 ) -> Vec<TargetResult> {
     let _span = firmup_telemetry::span!("search");
@@ -129,7 +136,7 @@ pub fn search_corpus(
     if threads <= 1 || targets.len() <= 1 {
         return targets
             .iter()
-            .map(|t| search_target(query, qv, t, config))
+            .map(|t| search_target(query, qv, t.borrow(), config))
             .collect();
     }
     let next = std::sync::atomic::AtomicUsize::new(0);
@@ -144,7 +151,7 @@ pub fn search_corpus(
                     if i >= targets.len() {
                         break;
                     }
-                    let r = search_target(query, qv, &targets[i], config);
+                    let r = search_target(query, qv, targets[i].borrow(), config);
                     results.lock().expect("search results lock")[i] = Some(r);
                     items += 1;
                 }
@@ -158,6 +165,67 @@ pub fn search_corpus(
         .into_iter()
         .map(|r| r.expect("every slot filled"))
         .collect()
+}
+
+/// Candidate prefiltering over a strand postings table: rank executables
+/// by (optionally significance-weighted) strand overlap with the query
+/// procedure and keep the top `k`.
+///
+/// This is the corpus-index fast path: instead of playing the full
+/// back-and-forth game against every executable in a 2,000-image corpus,
+/// the scan walks only the posting lists of the query's strands —
+/// touching exactly the executables that share at least one canonical
+/// strand — and plays the game against the `k` best. With a
+/// [`GlobalContext`], each shared strand contributes its significance
+/// weight (so ubiquitous prologue strands cannot carry a candidate);
+/// without one, every shared strand counts 1.0.
+///
+/// Returns `(executable index, overlap score)` pairs, best first, ties
+/// broken toward the lower index for determinism. `k == 0` is treated
+/// as "no limit" (rank everything that overlaps). Executables sharing
+/// no strand with the query are never returned — the game cannot accept
+/// them anyway ([`SearchConfig::min_sim`] ≥ 1).
+///
+/// Telemetry: each invocation adds the surviving candidate count to
+/// `prefilter.candidates` and counts `prefilter.invocations`.
+pub fn prefilter_candidates(
+    query: &ProcedureRep,
+    postings: &StrandPostings,
+    context: Option<&GlobalContext>,
+    k: usize,
+) -> Vec<(usize, f64)> {
+    let mut overlap: std::collections::HashMap<u32, f64> = std::collections::HashMap::new();
+    for &strand in &query.strands {
+        let sites = postings.postings(strand);
+        if sites.is_empty() {
+            continue;
+        }
+        let w = context.map_or(1.0, |c| c.weight(strand));
+        // A strand counts once per executable, no matter how many of its
+        // procedures contain it — mirroring set-based `Sim`.
+        let mut last: Option<u32> = None;
+        for &(exe, _proc) in sites {
+            if last != Some(exe) {
+                *overlap.entry(exe).or_default() += w;
+                last = Some(exe);
+            }
+        }
+    }
+    let mut ranked: Vec<(usize, f64)> = overlap
+        .into_iter()
+        .map(|(exe, score)| (exe as usize, score))
+        .collect();
+    ranked.sort_by(|a, b| {
+        b.1.partial_cmp(&a.1)
+            .unwrap_or(std::cmp::Ordering::Equal)
+            .then(a.0.cmp(&b.0))
+    });
+    if k > 0 {
+        ranked.truncate(k);
+    }
+    firmup_telemetry::incr("prefilter.invocations");
+    firmup_telemetry::add("prefilter.candidates", ranked.len() as u64);
+    ranked
 }
 
 // `TargetResult` needs Clone for the slot vector above.
@@ -348,10 +416,10 @@ impl ScanReport {
 /// Poisoned`]), and [`ScanBudget`] bounds degrade targets gracefully
 /// instead of hanging the scan. Telemetry: contained panics count in
 /// `scan.targets_poisoned`, budget casualties in `scan.budget_exceeded`.
-pub fn search_corpus_robust(
+pub fn search_corpus_robust<T: Borrow<ExecutableRep> + Sync>(
     query: &ExecutableRep,
     qv: usize,
-    targets: &[ExecutableRep],
+    targets: &[T],
     config: &SearchConfig,
     budget: &ScanBudget,
 ) -> ScanReport {
@@ -422,7 +490,7 @@ pub fn search_corpus_robust(
     };
     if threads <= 1 || targets.len() <= 1 {
         return ScanReport {
-            outcomes: targets.iter().map(run_one).collect(),
+            outcomes: targets.iter().map(|t| run_one(t.borrow())).collect(),
         };
     }
     let next = AtomicUsize::new(0);
@@ -434,7 +502,7 @@ pub fn search_corpus_robust(
                 if i >= targets.len() {
                     break;
                 }
-                let o = run_one(&targets[i]);
+                let o = run_one(targets[i].borrow());
                 outcomes.lock().expect("scan outcomes lock")[i] = Some(o);
             });
         }
@@ -594,7 +662,8 @@ mod tests {
     #[test]
     fn empty_targets_ok() {
         let q = exec("q", &[&[1]]);
-        assert!(search_corpus(&q, 0, &[], &SearchConfig::default()).is_empty());
+        let empty: &[ExecutableRep] = &[];
+        assert!(search_corpus(&q, 0, empty, &SearchConfig::default()).is_empty());
     }
 
     #[test]

@@ -44,7 +44,7 @@ impl ProcedureRep {
 }
 
 /// A whole executable, indexed for search.
-#[derive(Debug, Clone)]
+#[derive(Debug, PartialEq, Eq)]
 pub struct ExecutableRep {
     /// Identifier (file name / corpus path).
     pub id: String,
@@ -52,6 +52,23 @@ pub struct ExecutableRep {
     pub arch: Arch,
     /// Procedures, sorted by address.
     pub procedures: Vec<ProcedureRep>,
+}
+
+impl Clone for ExecutableRep {
+    /// Cloning a rep copies every strand vector, which is the dominant
+    /// allocation on corpus-scale scans — so each clone is counted in
+    /// the `rep.clones` telemetry counter. Scan-path code should borrow
+    /// reps (e.g. [`GlobalContext::build`] takes any iterator of
+    /// references); a regression test pins `rep.clones` to stay flat as
+    /// the corpus grows.
+    fn clone(&self) -> ExecutableRep {
+        firmup_telemetry::incr("rep.clones");
+        ExecutableRep {
+            id: self.id.clone(),
+            arch: self.arch,
+            procedures: self.procedures.clone(),
+        }
+    }
 }
 
 impl ExecutableRep {
@@ -147,7 +164,7 @@ pub fn build_rep(
 /// contexts for the §5.3 comparison: "a set of randomly sampled
 /// procedures in the wild used to statistically estimate the
 /// significance of a strand").
-#[derive(Debug, Clone, Default)]
+#[derive(Debug, Clone, Default, PartialEq)]
 pub struct GlobalContext {
     df: std::collections::HashMap<u64, u32>,
     docs: u32,
@@ -155,9 +172,22 @@ pub struct GlobalContext {
 
 impl GlobalContext {
     /// Build from a corpus sample (each executable is one document).
-    pub fn build(sample: &[ExecutableRep]) -> GlobalContext {
+    ///
+    /// Takes any iterator of *borrowed* reps, so callers holding
+    /// `Vec<ExecutableRep>`, `&[ExecutableRep]`, or keyed collections
+    /// can train a context without cloning a single strand vector:
+    ///
+    /// ```
+    /// use firmup_core::sim::{ExecutableRep, GlobalContext};
+    /// let reps: Vec<ExecutableRep> = Vec::new();
+    /// let ctx = GlobalContext::build(&reps); // borrows, never clones
+    /// assert_eq!(ctx.docs(), 0);
+    /// ```
+    pub fn build<'a>(sample: impl IntoIterator<Item = &'a ExecutableRep>) -> GlobalContext {
         let mut df: std::collections::HashMap<u64, u32> = std::collections::HashMap::new();
+        let mut docs = 0u32;
         for exe in sample {
+            docs += 1;
             let mut seen: std::collections::HashSet<u64> = std::collections::HashSet::new();
             for p in &exe.procedures {
                 seen.extend(p.strands.iter().copied());
@@ -166,15 +196,29 @@ impl GlobalContext {
                 *df.entry(h).or_default() += 1;
             }
         }
-        GlobalContext {
-            df,
-            docs: sample.len() as u32,
-        }
+        GlobalContext { df, docs }
     }
 
     /// Number of documents in the sample.
     pub fn docs(&self) -> u32 {
         self.docs
+    }
+
+    /// The serializable form: `(strand, document frequency)` pairs,
+    /// sorted by strand hash. Inverse of [`GlobalContext::from_entries`].
+    pub fn entries(&self) -> Vec<(u64, u32)> {
+        let mut v: Vec<(u64, u32)> = self.df.iter().map(|(&k, &n)| (k, n)).collect();
+        v.sort_unstable();
+        v
+    }
+
+    /// Rebuild a context from its serialized parts (see
+    /// `firmup_core::persist` for the on-disk encoding).
+    pub fn from_entries(docs: u32, entries: impl IntoIterator<Item = (u64, u32)>) -> GlobalContext {
+        GlobalContext {
+            df: entries.into_iter().collect(),
+            docs,
+        }
     }
 
     /// Significance weight of a strand: `ln((docs+1) / (df+1))`.
@@ -205,6 +249,89 @@ impl GlobalContext {
     /// Total significance mass of a procedure's strands.
     pub fn mass(&self, p: &ProcedureRep) -> f64 {
         p.strands.iter().map(|&h| self.weight(h)).sum()
+    }
+}
+
+/// An inverted strand index: canonical strand hash → every
+/// `(executable, procedure)` that contains it.
+///
+/// This is the corpus-index query structure: given a query procedure's
+/// strand set, walking the posting lists of just those strands touches
+/// only executables that share *something* with the query, so candidate
+/// prefiltering ([`crate::search::prefilter_candidates`]) costs
+/// `O(query strands × matching sites)` instead of
+/// `O(corpus procedures)`. Executable/procedure positions are `u32`
+/// indices into the owning corpus slice (2,000-image corpora fit with
+/// room to spare, and the narrower posting entries halve the on-disk
+/// postings record).
+///
+/// ```
+/// use firmup_core::sim::{ExecutableRep, ProcedureRep, StrandPostings};
+/// use firmup_isa::Arch;
+/// let exe = ExecutableRep {
+///     id: "t".into(),
+///     arch: Arch::Mips32,
+///     procedures: vec![ProcedureRep {
+///         addr: 0x1000, name: None, strands: vec![7, 9], block_count: 1, size: 8,
+///     }],
+/// };
+/// let postings = StrandPostings::build([&exe]);
+/// assert_eq!(postings.postings(7), &[(0, 0)]);
+/// assert!(postings.postings(8).is_empty());
+/// ```
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct StrandPostings {
+    map: std::collections::HashMap<u64, Vec<(u32, u32)>>,
+}
+
+impl StrandPostings {
+    /// Build the inverted index over a corpus of borrowed reps. Posting
+    /// lists come out sorted by `(executable, procedure)` because the
+    /// corpus is walked in order.
+    pub fn build<'a>(executables: impl IntoIterator<Item = &'a ExecutableRep>) -> StrandPostings {
+        let mut map: std::collections::HashMap<u64, Vec<(u32, u32)>> =
+            std::collections::HashMap::new();
+        for (ei, exe) in executables.into_iter().enumerate() {
+            for (pi, proc_) in exe.procedures.iter().enumerate() {
+                for &h in &proc_.strands {
+                    map.entry(h).or_default().push((ei as u32, pi as u32));
+                }
+            }
+        }
+        StrandPostings { map }
+    }
+
+    /// The posting list for one strand (empty when the strand is absent
+    /// from the corpus).
+    pub fn postings(&self, strand: u64) -> &[(u32, u32)] {
+        self.map.get(&strand).map_or(&[], Vec::as_slice)
+    }
+
+    /// Number of distinct strands in the index.
+    pub fn strand_count(&self) -> usize {
+        self.map.len()
+    }
+
+    /// Whether the index holds no strands at all.
+    pub fn is_empty(&self) -> bool {
+        self.map.is_empty()
+    }
+
+    /// The serializable form: `(strand, posting list)` pairs sorted by
+    /// strand hash. Inverse of [`StrandPostings::from_entries`].
+    pub fn entries(&self) -> Vec<(u64, &[(u32, u32)])> {
+        let mut v: Vec<(u64, &[(u32, u32)])> =
+            self.map.iter().map(|(&k, l)| (k, l.as_slice())).collect();
+        v.sort_unstable_by_key(|&(k, _)| k);
+        v
+    }
+
+    /// Rebuild a postings table from its serialized parts (see
+    /// `firmup_core::persist` for the on-disk encoding).
+    pub fn from_entries(entries: impl IntoIterator<Item = (u64, Vec<(u32, u32)>)>) -> Self {
+        StrandPostings {
+            map: entries.into_iter().collect(),
+        }
     }
 }
 

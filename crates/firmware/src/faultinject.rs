@@ -40,12 +40,16 @@ pub enum CorruptOp {
     /// Declare an absurdly oversized length field (part table or ELF
     /// section size).
     OversizeLength,
+    /// Rewrite a container's format-version field (FWIM or FUIX index)
+    /// with a wild future version: index loaders must reject it with a
+    /// structured "unsupported version" error instead of misparsing.
+    VersionBump,
 }
 
 impl CorruptOp {
     /// All operators, in a stable order (the chaos matrix iterates
     /// this).
-    pub fn all() -> [CorruptOp; 7] {
+    pub fn all() -> [CorruptOp; 8] {
         [
             CorruptOp::BitFlip,
             CorruptOp::Truncate,
@@ -54,6 +58,7 @@ impl CorruptOp {
             CorruptOp::OverlapParts,
             CorruptOp::MangleSectionTable,
             CorruptOp::OversizeLength,
+            CorruptOp::VersionBump,
         ]
     }
 
@@ -67,6 +72,7 @@ impl CorruptOp {
             CorruptOp::OverlapParts => "overlap_parts",
             CorruptOp::MangleSectionTable => "mangle_section_table",
             CorruptOp::OversizeLength => "oversize_length",
+            CorruptOp::VersionBump => "version_bump",
         }
     }
 }
@@ -176,6 +182,17 @@ pub fn corrupt(blob: &[u8], op: CorruptOp, seed: u64) -> Vec<u8> {
                 }
             }
         }
+        CorruptOp::VersionBump => {
+            // Both FWIM and FUIX keep a u32 format version at offset 4.
+            let recognized =
+                out.len() >= 8 && (&out[0..4] == MAGIC || &out[0..4] == crate::index::MAGIC);
+            if recognized {
+                let wild = (rng.next_u64() as u32) | 0x8000_0000;
+                out[4..8].copy_from_slice(&wild.to_le_bytes());
+            } else {
+                scribble(&mut out, &mut rng, 4);
+            }
+        }
     }
     out
 }
@@ -196,7 +213,8 @@ fn pick<'a, T>(items: &'a [T], rng: &mut SmallRng) -> Option<&'a T> {
     }
 }
 
-/// Byte offsets of one FWIM part-table entry's fields.
+/// Byte offsets of one FWIM part-table / FUIX record-table entry's
+/// fields (the two formats deliberately share the entry shape).
 struct PartEntry {
     name_len_off: usize,
     len_off: usize,
@@ -207,11 +225,16 @@ struct PartTable {
     entries: Vec<PartEntry>,
 }
 
-/// Walk a FWIM header far enough to locate the part-table entries
-/// (offsets only; payloads untouched). Returns `None` for non-FWIM or
-/// structurally hopeless blobs.
+/// Walk a FWIM or FUIX header far enough to locate the part/record
+/// table entries (offsets only; payloads untouched). Returns `None` for
+/// unrecognized or structurally hopeless blobs.
 fn part_table(blob: &[u8]) -> Option<PartTable> {
-    if blob.len() < 8 || &blob[0..4] != MAGIC {
+    if blob.len() < 8 {
+        return None;
+    }
+    let is_fwim = &blob[0..4] == MAGIC;
+    let is_fuix = &blob[0..4] == crate::index::MAGIC;
+    if !is_fwim && !is_fuix {
         return None;
     }
     let mut pos = 8usize; // magic + format version
@@ -220,12 +243,14 @@ fn part_table(blob: &[u8]) -> Option<PartTable> {
         *pos += 4;
         Some(u32::from_le_bytes([s[0], s[1], s[2], s[3]]))
     };
-    // vendor, device, version strings
-    for _ in 0..3 {
-        let len = read_u32(&mut pos)? as usize;
-        pos = pos.checked_add(len)?;
-        if pos > blob.len() {
-            return None;
+    if is_fwim {
+        // vendor, device, version strings (FUIX has no metadata block).
+        for _ in 0..3 {
+            let len = read_u32(&mut pos)? as usize;
+            pos = pos.checked_add(len)?;
+            if pos > blob.len() {
+                return None;
+            }
         }
     }
     let count = read_u32(&mut pos)? as usize;
@@ -338,6 +363,39 @@ mod tests {
             !u.issues.is_empty(),
             "CRC smash must be noticed by the unpacker"
         );
+    }
+
+    #[test]
+    fn version_bump_rewrites_the_header_version() {
+        let img = sample_image();
+        let bumped = corrupt(&img, CorruptOp::VersionBump, 3);
+        assert_eq!(&bumped[0..4], MAGIC, "magic untouched");
+        let v = u32::from_le_bytes([bumped[4], bumped[5], bumped[6], bumped[7]]);
+        assert!(v >= 0x8000_0000, "version must be wild, got {v:#x}");
+    }
+
+    #[test]
+    fn structure_aware_ops_target_fuix_record_tables() {
+        use crate::index::{read_container, write_container, IndexError, Record};
+        let blob = write_container(&[
+            Record::new("meta", vec![1, 2, 3, 4]),
+            Record::new("exe:0", vec![9u8; 64]),
+        ]);
+        let table = part_table(&blob).expect("FUIX blob has a locatable record table");
+        assert_eq!(table.entries.len(), 2);
+        // Smashing the located CRCs must trip the container's checksum
+        // verification — proof the offsets are right for FUIX too.
+        let smashed = corrupt(&blob, CorruptOp::CrcSmash, 11);
+        assert!(matches!(
+            read_container(&smashed),
+            Err(IndexError::ChecksumMismatch { .. })
+        ));
+        // And a version bump must be rejected as unsupported.
+        let bumped = corrupt(&blob, CorruptOp::VersionBump, 11);
+        assert!(matches!(
+            read_container(&bumped),
+            Err(IndexError::UnsupportedVersion { .. })
+        ));
     }
 
     #[test]

@@ -1,0 +1,334 @@
+//! The on-disk corpus-index container ("FUIX") — byte-level layer.
+//!
+//! `firmup index` persists lifted-and-canonicalized executables so that
+//! repeated scans (`firmup scan --index DIR`) skip the dominant
+//! unpack → parse → lift → canonicalize cost entirely. This module owns
+//! the *container*: a versioned, checksummed, truncation-safe record
+//! file, deliberately shaped like the FWIM image format ([`crate::image`])
+//! so the same fault-injection operators exercise both parsers. The
+//! *typed* layer — how `ExecutableRep`, the strand postings table, and
+//! the global context are encoded into record payloads — lives in
+//! `firmup-core::persist`, which depends on this crate (never the other
+//! way around).
+//!
+//! # File layout (format version 1)
+//!
+//! ```text
+//! offset 0   magic           b"FUIX"
+//! offset 4   format version  u32 LE (currently 1)
+//! offset 8   record count    u32 LE (N, capped at 1_048_576)
+//! then       record table    N × { name: u32 len + UTF-8 bytes,
+//!                                  payload length: u32 LE,
+//!                                  payload crc32:  u32 LE }
+//! then       payloads        concatenated in table order
+//! ```
+//!
+//! Integrity and forward-compatibility rules (see ARCHITECTURE.md §4 for
+//! the full specification):
+//!
+//! * every multi-byte read is bounds-checked — a cut-short file yields
+//!   [`IndexError::Truncated`], never a panic or a wild slice;
+//! * each record payload carries a CRC-32 ([`crate::crc::crc32`]); a
+//!   mismatch yields [`IndexError::ChecksumMismatch`] naming the record;
+//! * a future *compatible* extension adds new record names — readers
+//!   must skip records they do not recognize;
+//! * an *incompatible* change bumps [`FORMAT_VERSION`]; readers reject
+//!   newer versions with [`IndexError::UnsupportedVersion`] instead of
+//!   misparsing them.
+
+use std::fmt;
+use std::path::{Path, PathBuf};
+
+use crate::crc::crc32;
+
+/// Container magic (`b"FUIX"` — FirmUp IndeX).
+pub const MAGIC: &[u8; 4] = b"FUIX";
+
+/// Current container format version. Bump only for layout changes a
+/// version-1 reader would misparse; additive changes use new record
+/// names instead.
+pub const FORMAT_VERSION: u32 = 1;
+
+/// Highest record count a reader accepts; anything larger is treated as
+/// a corrupt header (the same defensive cap the FWIM unpacker applies
+/// to its part table).
+pub const MAX_RECORDS: u32 = 1 << 20;
+
+/// File name of the index inside its directory (`firmup index --out DIR`
+/// writes `DIR/corpus.fui`).
+pub const INDEX_FILE: &str = "corpus.fui";
+
+/// Path of the index file inside an index directory.
+pub fn index_path(dir: &Path) -> PathBuf {
+    dir.join(INDEX_FILE)
+}
+
+/// One named, checksummed record.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Record {
+    /// Record name (e.g. `meta`, `exe:3`, `postings`, `context`).
+    pub name: String,
+    /// Raw payload bytes; the typed encoding is `firmup-core`'s concern.
+    pub payload: Vec<u8>,
+}
+
+impl Record {
+    /// Convenience constructor.
+    pub fn new(name: impl Into<String>, payload: Vec<u8>) -> Record {
+        Record {
+            name: name.into(),
+            payload,
+        }
+    }
+}
+
+/// Structured container read failure. Every variant is a *diagnosis*:
+/// chaos testing requires that no input — bit-flipped, truncated,
+/// version-bumped, or oversized — escalates past this enum.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum IndexError {
+    /// The blob does not start with the FUIX magic.
+    NotAnIndex,
+    /// The file declares a format version this reader does not support.
+    UnsupportedVersion {
+        /// Version found in the header.
+        found: u32,
+        /// Highest version this reader supports.
+        supported: u32,
+    },
+    /// The file ran out while reading the named structure.
+    Truncated {
+        /// What was being read when the bytes ran out.
+        context: &'static str,
+    },
+    /// A record payload's CRC-32 did not match its table entry.
+    ChecksumMismatch {
+        /// Name of the damaged record.
+        record: String,
+    },
+    /// A structurally invalid value (bogus record count, non-UTF-8 name,
+    /// undecodable typed payload).
+    Malformed {
+        /// Description of the problem.
+        reason: String,
+    },
+}
+
+impl fmt::Display for IndexError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            IndexError::NotAnIndex => f.write_str("not a firmup index (bad magic)"),
+            IndexError::UnsupportedVersion { found, supported } => write!(
+                f,
+                "unsupported index format version {found} (this build reads ≤ {supported})"
+            ),
+            IndexError::Truncated { context } => {
+                write!(f, "truncated index while reading {context}")
+            }
+            IndexError::ChecksumMismatch { record } => {
+                write!(f, "index record `{record}` failed its checksum")
+            }
+            IndexError::Malformed { reason } => write!(f, "malformed index: {reason}"),
+        }
+    }
+}
+
+impl std::error::Error for IndexError {}
+
+fn push_str(out: &mut Vec<u8>, s: &str) {
+    let bytes = s.as_bytes();
+    out.extend_from_slice(&(bytes.len() as u32).to_le_bytes());
+    out.extend_from_slice(bytes);
+}
+
+fn read_u32(b: &[u8], pos: &mut usize, context: &'static str) -> Result<u32, IndexError> {
+    let s = b
+        .get(*pos..pos.saturating_add(4))
+        .ok_or(IndexError::Truncated { context })?;
+    *pos += 4;
+    Ok(u32::from_le_bytes([s[0], s[1], s[2], s[3]]))
+}
+
+fn read_str(b: &[u8], pos: &mut usize, context: &'static str) -> Result<String, IndexError> {
+    let len = read_u32(b, pos, context)? as usize;
+    if len > b.len() {
+        return Err(IndexError::Truncated { context });
+    }
+    let s = b
+        .get(*pos..pos.saturating_add(len))
+        .ok_or(IndexError::Truncated { context })?;
+    *pos += len;
+    String::from_utf8(s.to_vec()).map_err(|_| IndexError::Malformed {
+        reason: format!("non-UTF-8 string in {context}"),
+    })
+}
+
+/// Serialize records into a FUIX container blob.
+pub fn write_container(records: &[Record]) -> Vec<u8> {
+    let mut out = Vec::new();
+    out.extend_from_slice(MAGIC);
+    out.extend_from_slice(&FORMAT_VERSION.to_le_bytes());
+    out.extend_from_slice(&(records.len() as u32).to_le_bytes());
+    for r in records {
+        push_str(&mut out, &r.name);
+        out.extend_from_slice(&(r.payload.len() as u32).to_le_bytes());
+        out.extend_from_slice(&crc32(&r.payload).to_le_bytes());
+    }
+    for r in records {
+        out.extend_from_slice(&r.payload);
+    }
+    out
+}
+
+/// Parse a FUIX container blob back into its records.
+///
+/// # Errors
+///
+/// Returns a structured [`IndexError`] for every class of damage: wrong
+/// magic, unsupported version, truncation anywhere (header, table,
+/// payload region), a bogus record count, a non-UTF-8 record name, or a
+/// payload whose CRC-32 disagrees with the table. Unlike the FWIM
+/// unpacker there is no carving fallback and no quarantine: an index is
+/// a *cache*, so any damage invalidates the whole file and the caller
+/// rebuilds it from the source images.
+pub fn read_container(blob: &[u8]) -> Result<Vec<Record>, IndexError> {
+    if blob.len() < 4 || &blob[0..4] != MAGIC {
+        return Err(IndexError::NotAnIndex);
+    }
+    let mut pos = 4usize;
+    let version = read_u32(blob, &mut pos, "format version")?;
+    if version > FORMAT_VERSION {
+        return Err(IndexError::UnsupportedVersion {
+            found: version,
+            supported: FORMAT_VERSION,
+        });
+    }
+    let count = read_u32(blob, &mut pos, "record count")?;
+    if count > MAX_RECORDS {
+        return Err(IndexError::Malformed {
+            reason: format!("record count {count} exceeds the {MAX_RECORDS} cap"),
+        });
+    }
+    let mut entries = Vec::with_capacity(count as usize);
+    for _ in 0..count {
+        let name = read_str(blob, &mut pos, "record table")?;
+        let len = read_u32(blob, &mut pos, "record table")? as usize;
+        let crc = read_u32(blob, &mut pos, "record table")?;
+        entries.push((name, len, crc));
+    }
+    let mut records = Vec::with_capacity(entries.len());
+    for (name, len, crc) in entries {
+        let payload = blob
+            .get(pos..pos.saturating_add(len))
+            .ok_or(IndexError::Truncated {
+                context: "record payload",
+            })?
+            .to_vec();
+        pos += len;
+        if crc32(&payload) != crc {
+            return Err(IndexError::ChecksumMismatch { record: name });
+        }
+        records.push(Record { name, payload });
+    }
+    Ok(records)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sample() -> Vec<Record> {
+        vec![
+            Record::new("meta", vec![1, 0, 0, 0]),
+            Record::new("exe:0", (0u8..200).collect()),
+            Record::new("postings", vec![]),
+        ]
+    }
+
+    #[test]
+    fn container_roundtrip() {
+        let records = sample();
+        let blob = write_container(&records);
+        assert_eq!(read_container(&blob).unwrap(), records);
+    }
+
+    #[test]
+    fn empty_container_roundtrips() {
+        let blob = write_container(&[]);
+        assert_eq!(read_container(&blob).unwrap(), vec![]);
+    }
+
+    #[test]
+    fn bad_magic_is_not_an_index() {
+        let mut blob = write_container(&sample());
+        blob[0] = b'X';
+        assert_eq!(read_container(&blob), Err(IndexError::NotAnIndex));
+        assert_eq!(read_container(&[]), Err(IndexError::NotAnIndex));
+    }
+
+    #[test]
+    fn future_version_is_rejected_not_misparsed() {
+        let mut blob = write_container(&sample());
+        blob[4..8].copy_from_slice(&u32::MAX.to_le_bytes());
+        assert_eq!(
+            read_container(&blob),
+            Err(IndexError::UnsupportedVersion {
+                found: u32::MAX,
+                supported: FORMAT_VERSION,
+            })
+        );
+    }
+
+    #[test]
+    fn every_truncation_point_is_a_structured_error() {
+        let blob = write_container(&sample());
+        for cut in 0..blob.len() {
+            match read_container(&blob[..cut]) {
+                Err(_) => {}
+                Ok(_) => panic!("cut at {cut} of {} parsed successfully", blob.len()),
+            }
+        }
+    }
+
+    #[test]
+    fn payload_bitflip_fails_the_record_checksum() {
+        let records = sample();
+        let mut blob = write_container(&records);
+        let n = blob.len();
+        blob[n - 1] ^= 0x80; // last byte of exe:0's payload region
+        match read_container(&blob) {
+            Err(IndexError::ChecksumMismatch { record }) => assert_eq!(record, "exe:0"),
+            other => panic!("expected ChecksumMismatch, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn bogus_record_count_is_malformed() {
+        let mut blob = write_container(&sample());
+        blob[8..12].copy_from_slice(&u32::MAX.to_le_bytes());
+        assert!(matches!(
+            read_container(&blob),
+            Err(IndexError::Malformed { .. }) | Err(IndexError::Truncated { .. })
+        ));
+    }
+
+    #[test]
+    fn non_utf8_record_name_is_malformed() {
+        let mut blob = write_container(&[Record::new("abcd", vec![])]);
+        // The name bytes start after magic+version+count+name-length.
+        blob[16] = 0xff;
+        blob[17] = 0xfe;
+        assert!(matches!(
+            read_container(&blob),
+            Err(IndexError::Malformed { .. })
+        ));
+    }
+
+    #[test]
+    fn index_path_appends_the_canonical_file_name() {
+        assert_eq!(
+            index_path(Path::new("/tmp/idx")),
+            PathBuf::from("/tmp/idx/corpus.fui")
+        );
+    }
+}

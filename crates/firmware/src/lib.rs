@@ -5,5 +5,6 @@ pub mod corpus;
 pub mod crc;
 pub mod faultinject;
 pub mod image;
+pub mod index;
 pub mod packages;
 pub mod rng;

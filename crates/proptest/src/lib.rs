@@ -409,7 +409,7 @@ pub fn union_weighted<T: 'static>(options: Vec<(u32, BoxedStrategy<T>)>) -> Boxe
 pub mod collection {
     use super::{BoxedStrategy, Strategy, TestRng};
 
-    /// Length specification accepted by [`vec`].
+    /// Length specification accepted by [`vec()`].
     #[derive(Clone, Copy, Debug)]
     pub struct SizeRange {
         min: usize,

@@ -12,7 +12,7 @@
 //! - **Histograms** — log2-bucketed distributions with count / sum /
 //!   min / max ([`observe`], [`histogram`]). `game.steps` mirrors the
 //!   FirmUp paper's Fig. 9 step-count distribution.
-//! - **Spans** — RAII wall-clock timers ([`span`], [`span!`]) that nest
+//! - **Spans** — RAII wall-clock timers ([`span()`], [`span!`]) that nest
 //!   through a thread-local stack into `/`-joined call-tree paths
 //!   (`scan/index/lift`). Per-path count and total/min/max latency are
 //!   recorded on drop.
@@ -328,7 +328,7 @@ thread_local! {
     static SPAN_STACK: RefCell<Vec<&'static str>> = const { RefCell::new(Vec::new()) };
 }
 
-/// RAII timer for one pipeline stage. Created by [`span`] / [`span!`];
+/// RAII timer for one pipeline stage. Created by [`span()`] / [`span!`];
 /// records elapsed wall time under the `/`-joined path of all open
 /// spans on this thread when dropped.
 pub struct SpanGuard {

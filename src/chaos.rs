@@ -2,10 +2,13 @@
 //! pipeline stage and prove nothing panics.
 //!
 //! `firmup chaos` (and the `tests/chaos.rs` suite) generate a small
-//! seeded corpus, damage each image with every
-//! [`CorruptOp`](firmup_firmware::faultinject::CorruptOp), then push the
-//! damaged blob through unpack → ELF parse → lift/index → search, each
-//! stage guarded by [`firmup_core::error::isolate`]. Every trial must
+//! seeded corpus, damage each image with every [`CorruptOp`], then push
+//! the damaged blob through unpack → ELF parse → lift/index → search,
+//! each stage guarded by [`firmup_core::error::isolate`]. Each trial
+//! additionally damages a pristine persisted corpus index
+//! ([`firmup_core::persist::CorpusIndex`]) with the same operator and
+//! pushes it through the index loader, which must answer with a
+//! structured [`firmup_firmware::index::IndexError`]. Every trial must
 //! end in a structured error, a degraded-but-completed scan, or a clean
 //! completion; a contained panic is recorded and fails the run — the
 //! guard exists so the harness can *report* the bug instead of dying
@@ -15,6 +18,7 @@ use std::fmt;
 
 use firmup_core::canon::CanonConfig;
 use firmup_core::error::{isolate, FaultCtx, FirmUpError};
+use firmup_core::persist::CorpusIndex;
 use firmup_core::search::{search_corpus_robust, ScanBudget, SearchConfig};
 use firmup_core::sim::{index_elf, ExecutableRep};
 use firmup_firmware::corpus::{generate, CorpusConfig};
@@ -60,6 +64,12 @@ pub struct OpReport {
     pub searched: u64,
     /// Search targets degraded by the chaos budget.
     pub budget_exceeded: u64,
+    /// Damaged index blobs rejected by the loader with a structured
+    /// [`firmup_firmware::index::IndexError`].
+    pub index_errors: u64,
+    /// Damaged index blobs the loader still accepted (damage landed in
+    /// slack the format tolerates — e.g. a no-op truncation).
+    pub index_ok: u64,
     /// Panics contained by a stage guard — any nonzero value is a bug.
     pub panics: u64,
 }
@@ -74,6 +84,8 @@ impl OpReport {
             degraded: 0,
             searched: 0,
             budget_exceeded: 0,
+            index_errors: 0,
+            index_ok: 0,
             panics: 0,
         }
     }
@@ -116,13 +128,22 @@ impl fmt::Display for ChaosReport {
         )?;
         writeln!(
             f,
-            "  {:<22} {:>7} {:>8} {:>7} {:>9} {:>9} {:>7} {:>7}",
-            "operator", "trials", "unpack-e", "stage-e", "degraded", "searched", "budget", "PANICS"
+            "  {:<22} {:>7} {:>8} {:>7} {:>9} {:>9} {:>7} {:>7} {:>7} {:>7}",
+            "operator",
+            "trials",
+            "unpack-e",
+            "stage-e",
+            "degraded",
+            "searched",
+            "budget",
+            "idx-err",
+            "idx-ok",
+            "PANICS"
         )?;
         for r in &self.per_op {
             writeln!(
                 f,
-                "  {:<22} {:>7} {:>8} {:>7} {:>9} {:>9} {:>7} {:>7}",
+                "  {:<22} {:>7} {:>8} {:>7} {:>9} {:>9} {:>7} {:>7} {:>7} {:>7}",
                 r.op.name(),
                 r.trials,
                 r.unpack_errors,
@@ -130,6 +151,8 @@ impl fmt::Display for ChaosReport {
                 r.degraded,
                 r.searched,
                 r.budget_exceeded,
+                r.index_errors,
+                r.index_ok,
                 r.panics
             )?;
         }
@@ -153,6 +176,28 @@ pub fn run(config: &ChaosConfig) -> ChaosReport {
         ..CorpusConfig::tiny()
     });
     let canon = CanonConfig::default();
+    // One pristine persisted index per image: the index-corruption stage
+    // damages *these* blobs, exercising the FUIX reader exactly the way
+    // the image operators exercise the FWIM unpacker.
+    let index_blobs: Vec<Vec<u8>> = corpus
+        .images
+        .iter()
+        .map(|img| {
+            let reps = unpack(&img.blob).map_or_else(
+                |_| Vec::new(),
+                |u| {
+                    u.parts
+                        .iter()
+                        .filter_map(|part| {
+                            let elf = Elf::parse(&part.data).ok()?;
+                            index_elf(&elf, &part.name, &canon).ok()
+                        })
+                        .collect()
+                },
+            );
+            CorpusIndex::build(reps).to_bytes()
+        })
+        .collect();
     let mut per_op = Vec::new();
     for op in CorruptOp::all() {
         let mut tally = OpReport::new(op);
@@ -169,6 +214,12 @@ pub fn run(config: &ChaosConfig) -> ChaosReport {
                     &damaged,
                     &format!("chaos[{}#{i}v{variant}]", op.name()),
                     &canon,
+                    &mut tally,
+                );
+                let damaged_index = corrupt(&index_blobs[i], op, seed.wrapping_mul(31) ^ 0x1d);
+                run_index_trial(
+                    &damaged_index,
+                    &format!("chaos-index[{}#{i}v{variant}]", op.name()),
                     &mut tally,
                 );
             }
@@ -242,4 +293,19 @@ fn run_trial(blob: &[u8], image_id: &str, canon: &CanonConfig, tally: &mut OpRep
     tally.panics += report.poisoned() as u64;
     tally.budget_exceeded += report.budget_exceeded() as u64;
     tally.searched += 1;
+}
+
+/// Push one damaged index blob through the persisted-index loader. Any
+/// outcome but a structured error or a successful decode (when the
+/// damage happened to land in tolerated slack) is a contained panic —
+/// and a bug.
+fn run_index_trial(blob: &[u8], index_id: &str, tally: &mut OpReport) {
+    let loaded = isolate(FaultCtx::image(index_id), || {
+        CorpusIndex::from_bytes(blob).map_err(FirmUpError::from)
+    });
+    match loaded {
+        Ok(_) => tally.index_ok += 1,
+        Err(e) if e.is_poisoned() => tally.panics += 1,
+        Err(_) => tally.index_errors += 1,
+    }
 }

@@ -4,8 +4,12 @@
 //! firmup gen-corpus --out DIR [--devices N] [--seed HEX]
 //! firmup info PATH                      # firmware image or ELF
 //! firmup disasm ELF [--proc NAME]       # disassembly + canonical strands
+//! firmup index IMAGE... --out DIR       # persist a strand-hash corpus index
 //! firmup scan IMAGE... [--cve ID]       # hunt CVE queries in images
+//! firmup scan --index DIR [--cve ID]    # warm scan from a saved index
 //! ```
+//!
+//! See the README's subcommand reference table for the full flag list.
 
 #![forbid(unsafe_code)]
 
@@ -16,8 +20,11 @@ use std::process::ExitCode;
 use firmup::core::canon::{canonicalize, AddrSpace, CanonConfig};
 use firmup::core::error::{isolate, FaultCtx, FirmUpError};
 use firmup::core::lift::lift_executable;
-use firmup::core::search::{search_corpus_robust, ScanBudget, SearchConfig, TargetOutcome};
-use firmup::core::sim::{index_elf, ExecutableRep, GlobalContext};
+use firmup::core::persist::CorpusIndex;
+use firmup::core::search::{
+    prefilter_candidates, search_corpus_robust, ScanBudget, SearchConfig, TargetOutcome,
+};
+use firmup::core::sim::{index_elf, ExecutableRep};
 use firmup::core::strand::decompose;
 use firmup::firmware::corpus::{generate, try_build_query, CorpusConfig};
 use firmup::firmware::image::unpack;
@@ -31,6 +38,7 @@ fn main() -> ExitCode {
         Some("gen-corpus") => gen_corpus(&args[1..]),
         Some("info") => info(&args[1..]),
         Some("disasm") => disasm(&args[1..]),
+        Some("index") => index(&args[1..]),
         Some("scan") => scan(&args[1..]),
         Some("chaos") => chaos(&args[1..]),
         Some("--help" | "-h") | None => {
@@ -57,16 +65,32 @@ USAGE:
         Describe a firmware image (parts, vendors) or an ELF (sections, procedures).
     firmup disasm ELF [--proc NAME]
         Disassemble an executable and print lifted IR + canonical strands.
-    firmup scan IMAGE... [--cve CVE-ID] [--trace] [--metrics-out FILE.json]
+    firmup index IMAGE... --out DIR [--threads N]
+        Unpack, lift, and canonicalize every executable in the images and
+        persist the result — procedure metadata, canonical strand hashes,
+        the trained global context, and an inverted strand->procedure
+        postings table — as DIR/corpus.fui (a versioned, checksummed
+        binary index). Per-part work fans out over --threads (0 = all
+        cores, the default); a corrupt part is skipped, never fatal.
+    firmup scan IMAGE... [--index DIR] [--cve CVE-ID] [--threads N]
+                [--top-k K] [--trace] [--metrics-out FILE.json]
                 [--game-ms N] [--target-ms N] [--scan-ms N] [--max-steps N]
-        Hunt the built-in CVE queries inside firmware images. Prints a
-        stage-by-stage profile after the scan; --metrics-out additionally
-        writes the full metrics snapshot (span timings, game.steps
-        histogram, counters) as JSON. --trace (or FIRMUP_TRACE=1) streams
-        structured JSON-lines events to stderr. The scan is fault
-        tolerant: unreadable/corrupt images are reported and skipped, a
-        panicking target poisons only itself, and the --*-ms / --max-steps
-        budgets degrade over-budget targets gracefully instead of hanging.
+        Hunt the built-in CVE queries inside firmware images. With
+        --index DIR the targets come from a saved index instead of
+        IMAGE... arguments, skipping unpack/lift/canonicalize entirely;
+        --top-k K additionally prefilters each query to the K most
+        strand-overlapping executables before playing the game (0 = play
+        everything, the default). --threads N parallelizes the per-target
+        games (0 = all cores; default 1 for deterministic output order).
+        Prints a stage-by-stage profile after the scan; --metrics-out
+        additionally writes the full metrics snapshot (span timings,
+        game.steps histogram, counters) as JSON. --trace (or
+        FIRMUP_TRACE=1) streams structured JSON-lines events to stderr.
+        The scan is fault tolerant: unreadable/corrupt images are
+        reported and skipped, a damaged index is a structured error, a
+        panicking target poisons only itself, and the --*-ms /
+        --max-steps budgets degrade over-budget targets gracefully
+        instead of hanging.
     firmup chaos [--seed HEX] [--devices N] [--variants N]
         Fault-injection matrix: corrupt a seeded corpus with every
         operator (bit flips, truncation, CRC smash, bogus/overlapping
@@ -89,6 +113,9 @@ const VALUE_FLAGS: &[&str] = &[
     "--scan-ms",
     "--max-steps",
     "--variants",
+    "--index",
+    "--threads",
+    "--top-k",
 ];
 
 fn flag_value<'a>(args: &'a [String], name: &str) -> Option<&'a str> {
@@ -290,6 +317,9 @@ fn scan(args: &[String]) -> Result<(), String> {
         "scan.targets_poisoned",
         "scan.budget_exceeded",
         "unpack.parts_quarantined",
+        "index.cache_hit",
+        "prefilter.candidates",
+        "rep.clones",
     ] {
         let _ = firmup::telemetry::counter(name);
     }
@@ -341,22 +371,25 @@ fn scan_budget(args: &[String]) -> Result<ScanBudget, String> {
     })
 }
 
-fn scan_images(args: &[String]) -> Result<usize, String> {
-    let paths = positional(args);
-    if paths.is_empty() {
-        return Err("scan requires at least one IMAGE".into());
-    }
-    let cve_filter = flag_value(args, "--cve");
-    let budget = scan_budget(args)?;
-    let canon = CanonConfig::default();
+/// Parse a `usize`-valued flag.
+fn usize_flag(args: &[String], name: &str) -> Result<Option<usize>, String> {
+    flag_value(args, name)
+        .map(|v| v.parse::<usize>().map_err(|e| format!("{name}: {e}")))
+        .transpose()
+}
 
-    // Index all target executables. Every per-image and per-part step
-    // is fault-isolated: a corrupt image or a panicking lift is
-    // reported and skipped, never aborting the scan (the corpus-scale
-    // robustness requirement of §5.1).
-    let mut targets: Vec<(String, ExecutableRep)> = Vec::new();
+/// Unpack every image and lift + canonicalize each contained executable,
+/// fanning the per-part work out over `threads` scoped worker threads
+/// (0 = one per core). Every per-image and per-part step is
+/// fault-isolated: a corrupt image or a panicking lift is reported and
+/// skipped, never aborting the run (the corpus-scale robustness
+/// requirement of §5.1). Returns the reps in deterministic image/part
+/// order plus the count of images that failed to unpack entirely.
+fn lift_images(paths: &[&String], threads: usize) -> Result<(Vec<ExecutableRep>, usize), String> {
+    let canon = CanonConfig::default();
+    let mut parts: Vec<(FaultCtx, String, Vec<u8>)> = Vec::new();
     let mut skipped_images = 0usize;
-    for p in &paths {
+    for p in paths {
         let img_ctx = FaultCtx::image(*p);
         let unpacked = isolate(img_ctx.clone(), || {
             let bytes = std::fs::read(Path::new(p)).map_err(FirmUpError::from)?;
@@ -383,33 +416,143 @@ fn scan_images(args: &[String]) -> Result<usize, String> {
                 ],
             );
         }
-        for part in &u.parts {
+        for part in u.parts {
+            let ctx = img_ctx.clone().with_package(&part.name);
             let id = format!("{p}:{}", part.name);
-            let indexed = isolate(img_ctx.clone().with_package(&part.name), || {
-                let elf = Elf::parse(&part.data)?;
-                index_elf(&elf, &id, &canon).map_err(FirmUpError::from)
-            });
-            match indexed {
-                Ok(rep) => targets.push((id, rep)),
-                Err(e) => eprintln!("firmup: skipping part: {e}"),
-            }
+            parts.push((ctx, id, part.data));
         }
     }
     if skipped_images == paths.len() {
         return Err("no scannable image: every input failed to unpack".into());
     }
+
+    let threads = if threads == 0 {
+        std::thread::available_parallelism().map_or(4, std::num::NonZeroUsize::get)
+    } else {
+        threads
+    };
+    let lift_one = |(ctx, id, data): &(FaultCtx, String, Vec<u8>)| {
+        isolate(ctx.clone(), || {
+            let elf = Elf::parse(data)?;
+            index_elf(&elf, id, &canon).map_err(FirmUpError::from)
+        })
+    };
+    let lifted: Vec<Result<ExecutableRep, FirmUpError>> = if threads <= 1 || parts.len() <= 1 {
+        parts.iter().map(lift_one).collect()
+    } else {
+        let next = std::sync::atomic::AtomicUsize::new(0);
+        let slots: std::sync::Mutex<Vec<Option<Result<ExecutableRep, FirmUpError>>>> =
+            std::sync::Mutex::new(vec![None; parts.len()]);
+        std::thread::scope(|scope| {
+            for _ in 0..threads.min(parts.len()) {
+                scope.spawn(|| loop {
+                    let i = next.fetch_add(1, std::sync::atomic::Ordering::Relaxed);
+                    if i >= parts.len() {
+                        break;
+                    }
+                    let r = lift_one(&parts[i]);
+                    slots.lock().expect("lift slots lock")[i] = Some(r);
+                });
+            }
+        });
+        slots
+            .into_inner()
+            .expect("lift slots lock")
+            .into_iter()
+            .map(|r| r.expect("every slot filled"))
+            .collect()
+    };
+    let mut reps = Vec::with_capacity(lifted.len());
+    for r in lifted {
+        match r {
+            Ok(rep) => reps.push(rep),
+            Err(e) => eprintln!("firmup: skipping part: {e}"),
+        }
+    }
+    Ok((reps, skipped_images))
+}
+
+fn index(args: &[String]) -> Result<(), String> {
+    firmup::telemetry::enable();
+    let paths = positional(args);
+    if paths.is_empty() {
+        return Err("index requires at least one IMAGE".into());
+    }
+    let out = PathBuf::from(flag_value(args, "--out").ok_or("index requires --out DIR")?);
+    let threads = usize_flag(args, "--threads")?.unwrap_or(0);
+    let (reps, skipped) = lift_images(&paths, threads)?;
+    let corpus = CorpusIndex::build(reps);
+    corpus.save(&out).map_err(|e| e.to_string())?;
     println!(
-        "indexed {} executable(s) from {} image(s){}",
-        targets.len(),
-        paths.len() - skipped_images,
-        if skipped_images > 0 {
-            format!(" ({skipped_images} unreadable image(s) skipped)")
+        "indexed {} executable(s) ({} procedure(s), {} distinct strand(s)) from {} image(s){} -> {}",
+        corpus.executables.len(),
+        corpus
+            .executables
+            .iter()
+            .map(|e| e.procedures.len())
+            .sum::<usize>(),
+        corpus.postings.strand_count(),
+        paths.len() - skipped,
+        if skipped > 0 {
+            format!(" ({skipped} unreadable image(s) skipped)")
         } else {
             String::new()
-        }
+        },
+        firmup::firmware::index::index_path(&out).display()
     );
-    let reps: Vec<ExecutableRep> = targets.iter().map(|(_, r)| r.clone()).collect();
-    let context = std::sync::Arc::new(GlobalContext::build(&reps));
+    print!("{}", firmup::telemetry::snapshot().render_text());
+    Ok(())
+}
+
+fn scan_images(args: &[String]) -> Result<usize, String> {
+    let paths = positional(args);
+    let index_dir = flag_value(args, "--index").map(PathBuf::from);
+    if paths.is_empty() && index_dir.is_none() {
+        return Err("scan requires at least one IMAGE (or --index DIR)".into());
+    }
+    let cve_filter = flag_value(args, "--cve");
+    let budget = scan_budget(args)?;
+    let canon = CanonConfig::default();
+    let threads = usize_flag(args, "--threads")?.unwrap_or(1);
+    let top_k = usize_flag(args, "--top-k")?.unwrap_or(0);
+
+    // Acquire the corpus: warm path loads the persisted index and skips
+    // unpack/lift/canonicalize entirely; cold path lifts the images and
+    // builds the same structures in memory. Either way the scan loop
+    // below is identical.
+    let corpus = if let Some(dir) = &index_dir {
+        let corpus = CorpusIndex::load(dir).map_err(|e| e.to_string())?;
+        println!(
+            "loaded {} executable(s) from index {}",
+            corpus.executables.len(),
+            dir.display()
+        );
+        corpus
+    } else {
+        let (reps, skipped_images) = lift_images(&paths, threads)?;
+        println!(
+            "indexed {} executable(s) from {} image(s){}",
+            reps.len(),
+            paths.len() - skipped_images,
+            if skipped_images > 0 {
+                format!(" ({skipped_images} unreadable image(s) skipped)")
+            } else {
+                String::new()
+            }
+        );
+        CorpusIndex::build(reps)
+    };
+
+    // Group targets by architecture so each (CVE, arch) pair plays its
+    // game against all same-arch targets in one (possibly threaded)
+    // search call.
+    let mut arch_groups: Vec<(Arch, Vec<usize>)> = Vec::new();
+    for (i, exe) in corpus.executables.iter().enumerate() {
+        match arch_groups.iter_mut().find(|(a, _)| *a == exe.arch) {
+            Some((_, members)) => members.push(i),
+            None => arch_groups.push((exe.arch, vec![i])),
+        }
+    }
 
     // Queries per (package, arch), built on demand.
     type QueryEntry = Option<(ExecutableRep, usize, String)>;
@@ -418,8 +561,8 @@ fn scan_images(args: &[String]) -> Result<usize, String> {
     let mut poisoned = 0usize;
     let mut over_budget = 0usize;
     let config = SearchConfig {
-        context: Some(context.clone()),
-        threads: 1,
+        context: Some(corpus.context.clone()),
+        threads,
         ..SearchConfig::default()
     };
     let _search_span = firmup::telemetry::span!("search");
@@ -432,7 +575,7 @@ fn scan_images(args: &[String]) -> Result<usize, String> {
                 continue;
             }
         }
-        for (id, target) in &targets {
+        for (arch, members) in &arch_groups {
             if scan_deadline.is_some_and(|d| std::time::Instant::now() >= d) {
                 println!("scan budget (--scan-ms) exhausted; remaining targets skipped");
                 break 'scan;
@@ -441,9 +584,9 @@ fn scan_images(args: &[String]) -> Result<usize, String> {
                 println!("step budget (--max-steps) exhausted; remaining targets skipped");
                 break 'scan;
             }
-            let key = (cve.package.to_string(), target.arch);
+            let key = (cve.package.to_string(), *arch);
             let entry = query_cache.entry(key).or_insert_with(|| {
-                let (elf, version) = match try_build_query(cve.package, target.arch) {
+                let (elf, version) = match try_build_query(cve.package, *arch) {
                     Ok(q) => q,
                     Err(e) => {
                         eprintln!("firmup: query for {}: {e}", cve.cve);
@@ -457,64 +600,83 @@ fn scan_images(args: &[String]) -> Result<usize, String> {
             let Some((qrep, qv, version)) = entry else {
                 continue;
             };
+            // Candidate selection: either every same-arch target, or
+            // the top-k by weighted strand overlap from the inverted
+            // postings table.
+            let candidate_idx: Vec<usize> = if top_k > 0 {
+                prefilter_candidates(
+                    &qrep.procedures[*qv],
+                    &corpus.postings,
+                    Some(&corpus.context),
+                    0,
+                )
+                .into_iter()
+                .map(|(i, _)| i)
+                .filter(|&i| corpus.executables[i].arch == *arch)
+                .take(top_k)
+                .collect()
+            } else {
+                members.clone()
+            };
+            if candidate_idx.is_empty() {
+                continue;
+            }
+            let candidates: Vec<&ExecutableRep> = candidate_idx
+                .iter()
+                .map(|&i| &corpus.executables[i])
+                .collect();
             let pair_budget = ScanBudget {
                 max_steps_total: steps_left,
                 ..budget
             };
-            let report = search_corpus_robust(
-                qrep,
-                *qv,
-                std::slice::from_ref(target),
-                &config,
-                &pair_budget,
-            );
-            let Some(outcome) = report.outcomes.into_iter().next() else {
-                continue;
-            };
-            if let (Some(left), Some(r)) = (steps_left.as_mut(), outcome.result()) {
-                *left = left.saturating_sub(r.steps as u64);
-            }
-            match &outcome {
-                TargetOutcome::Poisoned { panic, .. } => {
-                    eprintln!(
-                        "firmup: target {id} poisoned while hunting {}: {panic}",
-                        cve.cve
-                    );
-                    poisoned += 1;
-                    continue;
+            let report = search_corpus_robust(qrep, *qv, &candidates, &config, &pair_budget);
+            for outcome in report.outcomes {
+                let id = outcome.target_id().to_string();
+                if let (Some(left), Some(r)) = (steps_left.as_mut(), outcome.result()) {
+                    *left = left.saturating_sub(r.steps as u64);
                 }
-                TargetOutcome::BudgetExceeded { reason, .. } => {
-                    eprintln!(
-                        "firmup: target {id} over budget ({reason}) hunting {}",
-                        cve.cve
-                    );
-                    over_budget += 1;
+                match &outcome {
+                    TargetOutcome::Poisoned { panic, .. } => {
+                        eprintln!(
+                            "firmup: target {id} poisoned while hunting {}: {panic}",
+                            cve.cve
+                        );
+                        poisoned += 1;
+                        continue;
+                    }
+                    TargetOutcome::BudgetExceeded { reason, .. } => {
+                        eprintln!(
+                            "firmup: target {id} over budget ({reason}) hunting {}",
+                            cve.cve
+                        );
+                        over_budget += 1;
+                    }
+                    TargetOutcome::Completed(_) => {}
                 }
-                TargetOutcome::Completed(_) => {}
-            }
-            let Some(r) = outcome.result() else { continue };
-            if let Some(m) = &r.matched {
-                println!(
-                    "{}: {} ({} {version}) suspected at {:#x} in {id} (Sim={}, {} game step(s))",
-                    cve.cve, cve.procedure, cve.package, m.addr, m.sim, r.steps
-                );
-                firmup::telemetry::event(
-                    "finding",
-                    &[
-                        (
-                            "cve",
-                            firmup::telemetry::json::Json::Str(cve.cve.to_string()),
-                        ),
-                        ("target", firmup::telemetry::json::Json::Str(id.clone())),
-                        (
-                            "addr",
-                            firmup::telemetry::json::Json::Num(f64::from(m.addr)),
-                        ),
-                        ("sim", firmup::telemetry::json::Json::Num(m.sim as f64)),
-                        ("steps", firmup::telemetry::json::Json::Num(r.steps as f64)),
-                    ],
-                );
-                findings += 1;
+                let Some(r) = outcome.result() else { continue };
+                if let Some(m) = &r.matched {
+                    println!(
+                        "{}: {} ({} {version}) suspected at {:#x} in {id} (Sim={}, {} game step(s))",
+                        cve.cve, cve.procedure, cve.package, m.addr, m.sim, r.steps
+                    );
+                    firmup::telemetry::event(
+                        "finding",
+                        &[
+                            (
+                                "cve",
+                                firmup::telemetry::json::Json::Str(cve.cve.to_string()),
+                            ),
+                            ("target", firmup::telemetry::json::Json::Str(id.clone())),
+                            (
+                                "addr",
+                                firmup::telemetry::json::Json::Num(f64::from(m.addr)),
+                            ),
+                            ("sim", firmup::telemetry::json::Json::Num(m.sim as f64)),
+                            ("steps", firmup::telemetry::json::Json::Num(r.steps as f64)),
+                        ],
+                    );
+                    findings += 1;
+                }
             }
         }
     }

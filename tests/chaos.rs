@@ -36,6 +36,21 @@ fn chaos_matrix_contains_every_operator_with_zero_panics() {
             "{}: unaccounted trial",
             op.op.name()
         );
+        // The index-corruption stage runs once per trial and must be
+        // equally accounted for: a structured IndexError or a load the
+        // damage happened to leave decodable — never a panic (counted
+        // above).
+        assert_eq!(
+            op.index_errors + op.index_ok,
+            op.trials,
+            "{}: unaccounted index trial",
+            op.op.name()
+        );
+        assert!(
+            op.index_errors > 0,
+            "{}: operator never damaged the index detectably",
+            op.op.name()
+        );
     }
     assert!(report.passed());
 }
@@ -56,6 +71,8 @@ fn chaos_is_deterministic_for_a_pinned_seed() {
         assert_eq!(ra.stage_errors, rb.stage_errors, "{}", ra.op.name());
         assert_eq!(ra.degraded, rb.degraded, "{}", ra.op.name());
         assert_eq!(ra.searched, rb.searched, "{}", ra.op.name());
+        assert_eq!(ra.index_errors, rb.index_errors, "{}", ra.op.name());
+        assert_eq!(ra.index_ok, rb.index_ok, "{}", ra.op.name());
     }
 }
 

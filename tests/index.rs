@@ -1,0 +1,279 @@
+//! End-to-end tests of the persisted corpus index: `firmup index` →
+//! `firmup scan --index` equivalence, corruption handling, prefiltering,
+//! and the borrowed-context allocation regression.
+
+use std::path::{Path, PathBuf};
+use std::process::Command;
+
+use firmup::telemetry::json::Json;
+
+fn firmup() -> Command {
+    Command::new(env!("CARGO_BIN_EXE_firmup"))
+}
+
+fn temp_dir(tag: &str) -> PathBuf {
+    let dir = std::env::temp_dir().join(format!("firmup-index-test-{tag}-{}", std::process::id()));
+    let _ = std::fs::remove_dir_all(&dir);
+    std::fs::create_dir_all(&dir).expect("create temp dir");
+    dir
+}
+
+/// Generate a corpus into `dir/corpus`, returning the image paths.
+fn gen_corpus(dir: &Path, devices: &str) -> Vec<PathBuf> {
+    let corpus = dir.join("corpus");
+    let out = firmup()
+        .args([
+            "gen-corpus",
+            "--out",
+            corpus.to_str().unwrap(),
+            "--devices",
+            devices,
+        ])
+        .output()
+        .expect("spawn");
+    assert!(
+        out.status.success(),
+        "gen-corpus failed: {}",
+        String::from_utf8_lossy(&out.stderr)
+    );
+    let mut images: Vec<PathBuf> = std::fs::read_dir(&corpus)
+        .unwrap()
+        .filter_map(|e| {
+            let p = e.unwrap().path();
+            (p.extension().is_some_and(|x| x == "fwim")).then_some(p)
+        })
+        .collect();
+    images.sort();
+    assert!(!images.is_empty());
+    images
+}
+
+/// Findings lines of a scan (the CVE hits), in order.
+fn findings(stdout: &str) -> Vec<String> {
+    stdout
+        .lines()
+        .filter(|l| l.contains("suspected at"))
+        .map(str::to_string)
+        .collect()
+}
+
+#[test]
+fn warm_scan_reproduces_cold_scan_findings() {
+    let dir = temp_dir("equivalence");
+    let images = gen_corpus(&dir, "4");
+    let idx = dir.join("idx");
+
+    // Build the persisted index.
+    let out = firmup()
+        .arg("index")
+        .args(&images)
+        .args(["--out", idx.to_str().unwrap()])
+        .output()
+        .expect("spawn");
+    assert!(
+        out.status.success(),
+        "index failed: {}",
+        String::from_utf8_lossy(&out.stderr)
+    );
+    let text = String::from_utf8_lossy(&out.stdout);
+    assert!(text.contains("indexed"), "{text}");
+    assert!(idx.join("corpus.fui").is_file(), "no corpus.fui written");
+
+    // Cold scan (from images) and warm scan (from the index) must agree
+    // on every finding.
+    let cold = firmup().arg("scan").args(&images).output().expect("spawn");
+    assert!(cold.status.success());
+    let warm = firmup()
+        .args(["scan", "--index", idx.to_str().unwrap()])
+        .output()
+        .expect("spawn");
+    assert!(
+        warm.status.success(),
+        "warm scan failed: {}",
+        String::from_utf8_lossy(&warm.stderr)
+    );
+    let warm_text = String::from_utf8_lossy(&warm.stdout);
+    assert!(
+        warm_text.contains("loaded") && warm_text.contains("from index"),
+        "{warm_text}"
+    );
+    let cold_findings = findings(&String::from_utf8_lossy(&cold.stdout));
+    let warm_findings = findings(&warm_text);
+    assert!(!cold_findings.is_empty(), "cold scan found nothing");
+    assert_eq!(cold_findings, warm_findings);
+}
+
+#[test]
+fn prefiltered_scan_still_finds_the_planted_cves() {
+    let dir = temp_dir("prefilter");
+    let images = gen_corpus(&dir, "3");
+    let idx = dir.join("idx");
+    assert!(firmup()
+        .arg("index")
+        .args(&images)
+        .args(["--out", idx.to_str().unwrap()])
+        .output()
+        .expect("spawn")
+        .status
+        .success());
+
+    let full = firmup()
+        .args(["scan", "--index", idx.to_str().unwrap()])
+        .output()
+        .expect("spawn");
+    let metrics = dir.join("metrics.json");
+    let pref = firmup()
+        .args([
+            "scan",
+            "--index",
+            idx.to_str().unwrap(),
+            "--top-k",
+            "3",
+            "--metrics-out",
+            metrics.to_str().unwrap(),
+        ])
+        .output()
+        .expect("spawn");
+    assert!(pref.status.success());
+    // Prefiltering keeps the true positives: with the planted ground
+    // truth, the vulnerable executable shares far more weighted strands
+    // with the query than any rival, so top-3 never drops a finding.
+    let full_findings = findings(&String::from_utf8_lossy(&full.stdout));
+    let pref_findings = findings(&String::from_utf8_lossy(&pref.stdout));
+    assert!(!full_findings.is_empty());
+    for f in &full_findings {
+        assert!(
+            pref_findings.contains(f),
+            "prefilter dropped a finding: {f}"
+        );
+    }
+    // And the prefilter actually ran (counter is in the metrics file).
+    let doc = Json::parse(&std::fs::read_to_string(&metrics).unwrap()).unwrap();
+    let counters = doc.get("counters").expect("counters");
+    assert!(
+        counters
+            .get("prefilter.candidates")
+            .and_then(Json::as_u64)
+            .unwrap_or(0)
+            > 0,
+        "prefilter.candidates never incremented"
+    );
+    assert!(
+        counters
+            .get("index.cache_hit")
+            .and_then(Json::as_u64)
+            .unwrap_or(0)
+            > 0,
+        "index.cache_hit never incremented"
+    );
+}
+
+#[test]
+fn corrupted_index_is_a_structured_error_not_a_panic() {
+    let dir = temp_dir("corrupt");
+    let images = gen_corpus(&dir, "2");
+    let idx = dir.join("idx");
+    assert!(firmup()
+        .arg("index")
+        .args(&images)
+        .args(["--out", idx.to_str().unwrap()])
+        .output()
+        .expect("spawn")
+        .status
+        .success());
+    let fui = idx.join("corpus.fui");
+    let pristine = std::fs::read(&fui).unwrap();
+
+    // Damage the file several ways; every scan must exit with the
+    // normal failure code (1) and a structured diagnosis — no panic
+    // (which would exit 101 and print a backtrace marker).
+    let mut damaged: Vec<(&str, Vec<u8>)> = vec![
+        ("bad magic", {
+            let mut b = pristine.clone();
+            b[0] = b'X';
+            b
+        }),
+        ("future version", {
+            let mut b = pristine.clone();
+            b[4..8].copy_from_slice(&0xfeed_beefu32.to_le_bytes());
+            b
+        }),
+        ("payload bit flip", {
+            let mut b = pristine.clone();
+            let n = b.len();
+            b[n - 3] ^= 0x40;
+            b
+        }),
+        ("empty file", Vec::new()),
+    ];
+    for cut in [5usize, 9, 21, pristine.len() / 2, pristine.len() - 1] {
+        damaged.push(("truncation", pristine[..cut].to_vec()));
+    }
+    for (what, blob) in damaged {
+        std::fs::write(&fui, &blob).unwrap();
+        let out = firmup()
+            .args(["scan", "--index", idx.to_str().unwrap()])
+            .output()
+            .expect("spawn");
+        assert!(!out.status.success(), "{what}: scan succeeded?!");
+        assert_eq!(
+            out.status.code(),
+            Some(1),
+            "{what}: wrong exit code (panic?)"
+        );
+        let stderr = String::from_utf8_lossy(&out.stderr);
+        assert!(stderr.contains("firmup:"), "{what}: {stderr}");
+        assert!(
+            !stderr.contains("panicked"),
+            "{what}: panic escaped: {stderr}"
+        );
+        // The diagnosis names the index file.
+        assert!(stderr.contains("corpus.fui"), "{what}: {stderr}");
+    }
+}
+
+#[test]
+fn scan_peak_rep_clones_stay_flat_as_the_corpus_grows() {
+    // The regression this pins: scan used to clone every ExecutableRep
+    // to build the GlobalContext, doubling peak allocations. Contexts
+    // are now built from borrowed reps, so the `rep.clones` telemetry
+    // counter must not scale with corpus size.
+    let clones_for = |tag: &str, devices: &str| -> (u64, u64) {
+        let dir = temp_dir(tag);
+        let images = gen_corpus(&dir, devices);
+        let metrics = dir.join("metrics.json");
+        let out = firmup()
+            .arg("scan")
+            .args(&images)
+            .args(["--metrics-out", metrics.to_str().unwrap()])
+            .output()
+            .expect("spawn");
+        assert!(out.status.success());
+        let doc = Json::parse(&std::fs::read_to_string(&metrics).unwrap()).unwrap();
+        let counters = doc.get("counters").expect("counters");
+        let clones = counters
+            .get("rep.clones")
+            .and_then(Json::as_u64)
+            .expect("rep.clones counter registered");
+        let indexed = counters
+            .get("index.executables")
+            .and_then(Json::as_u64)
+            .unwrap_or(0);
+        let _ = std::fs::remove_dir_all(&dir);
+        (clones, indexed)
+    };
+    let (small_clones, small_reps) = clones_for("clones-small", "2");
+    let (big_clones, big_reps) = clones_for("clones-big", "6");
+    assert!(
+        big_reps > small_reps,
+        "corpus did not grow ({small_reps} -> {big_reps})"
+    );
+    // Scan-path code must not clone per-target: whatever constant
+    // cloning remains (none today) may not track corpus size.
+    assert_eq!(
+        small_clones, big_clones,
+        "rep.clones scales with corpus size ({small_reps} reps -> {small_clones} clones, \
+         {big_reps} reps -> {big_clones} clones)"
+    );
+    assert_eq!(big_clones, 0, "scan path clones ExecutableRep");
+}
