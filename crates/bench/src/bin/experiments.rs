@@ -8,18 +8,21 @@
 //! `game.steps` histogram (Fig. 9's metric), and pipeline counters —
 //! seeding the perf trajectory future optimisation PRs measure against.
 
-use std::io::Write as _;
+use std::path::Path;
 
 use firmup_bench::experiments as ex;
 use firmup_bench::setup::Workbench;
+use firmup_firmware::durable::write_atomic;
 
+// Results land via temp+fsync+rename so a crashed or ^C'd run never
+// leaves a half-written table behind for a later `all` to mix in.
 fn save(name: &str, content: &str) {
     println!("{content}");
     let _ = std::fs::create_dir_all("results");
     let path = format!("results/{name}.txt");
-    if let Ok(mut f) = std::fs::File::create(&path) {
-        let _ = f.write_all(content.as_bytes());
-        eprintln!("[saved {path}]");
+    match write_atomic(Path::new(&path), content.as_bytes()) {
+        Ok(()) => eprintln!("[saved {path}]"),
+        Err(e) => eprintln!("[failed to save {path}: {e}]"),
     }
 }
 
@@ -27,7 +30,7 @@ fn save_json(name: &str, content: &str) {
     println!("{content}");
     let _ = std::fs::create_dir_all("results");
     let path = format!("results/{name}.json");
-    match std::fs::write(&path, content) {
+    match write_atomic(Path::new(&path), content.as_bytes()) {
         Ok(()) => eprintln!("[saved {path}]"),
         Err(e) => eprintln!("[failed to save {path}: {e}]"),
     }
@@ -37,7 +40,7 @@ fn save_metrics() {
     let _ = std::fs::create_dir_all("results");
     let path = "results/bench_metrics.json";
     let json = firmup_telemetry::render_json().render();
-    match std::fs::write(path, json) {
+    match write_atomic(Path::new(path), json.as_bytes()) {
         Ok(()) => eprintln!("[saved {path}]"),
         Err(e) => eprintln!("[failed to save {path}: {e}]"),
     }

@@ -17,6 +17,7 @@ use std::any::Any;
 use std::fmt;
 use std::panic::{catch_unwind, AssertUnwindSafe};
 
+use firmup_firmware::durable::LockError;
 use firmup_firmware::image::ImageError;
 use firmup_firmware::index::IndexError;
 use firmup_firmware::packages::PackageError;
@@ -191,6 +192,16 @@ pub enum FirmUpError {
         /// Attribution (boxed to keep `Result<_, FirmUpError>` small).
         ctx: Box<FaultCtx>,
     },
+    /// An index directory's advisory writer lock could not be acquired
+    /// ([`firmup_firmware::durable::LockError`]): either a live
+    /// `firmup index` holds it (the caller should wait or pick another
+    /// directory) or the lock file itself was unreachable.
+    Lock {
+        /// Stage-local cause.
+        source: LockError,
+        /// Attribution (boxed to keep `Result<_, FirmUpError>` small).
+        ctx: Box<FaultCtx>,
+    },
     /// Filesystem-level failure (CLI reads).
     Io {
         /// Rendered `std::io::Error`.
@@ -212,6 +223,7 @@ impl FirmUpError {
             | FirmUpError::Poisoned { ctx, .. }
             | FirmUpError::BudgetExceeded { ctx, .. }
             | FirmUpError::Index { ctx, .. }
+            | FirmUpError::Lock { ctx, .. }
             | FirmUpError::Io { ctx, .. } => ctx.as_ref(),
         }
     }
@@ -226,6 +238,7 @@ impl FirmUpError {
             | FirmUpError::Poisoned { ctx, .. }
             | FirmUpError::BudgetExceeded { ctx, .. }
             | FirmUpError::Index { ctx, .. }
+            | FirmUpError::Lock { ctx, .. }
             | FirmUpError::Io { ctx, .. } => ctx.as_mut(),
         }
     }
@@ -250,6 +263,7 @@ impl FirmUpError {
             FirmUpError::Poisoned { .. } => "poisoned",
             FirmUpError::BudgetExceeded { .. } => "budget",
             FirmUpError::Index { .. } => "index",
+            FirmUpError::Lock { .. } => "lock",
             FirmUpError::Io { .. } => "io",
         }
     }
@@ -273,6 +287,7 @@ impl fmt::Display for FirmUpError {
                 write!(f, "budget exceeded: {reason}")?;
             }
             FirmUpError::Index { source, .. } => write!(f, "index: {source}")?,
+            FirmUpError::Lock { source, .. } => write!(f, "lock: {source}")?,
             FirmUpError::Io { message, .. } => write!(f, "io: {message}")?,
         }
         let ctx = self.ctx();
@@ -291,6 +306,7 @@ impl std::error::Error for FirmUpError {
             FirmUpError::Lift { source, .. } => Some(source),
             FirmUpError::Package { source, .. } => Some(source),
             FirmUpError::Index { source, .. } => Some(source),
+            FirmUpError::Lock { source, .. } => Some(source),
             _ => None,
         }
     }
@@ -344,6 +360,15 @@ impl From<firmup_compiler::CompilerError> for FirmUpError {
 impl From<IndexError> for FirmUpError {
     fn from(source: IndexError) -> FirmUpError {
         FirmUpError::Index {
+            source,
+            ctx: Box::new(FaultCtx::new()),
+        }
+    }
+}
+
+impl From<LockError> for FirmUpError {
+    fn from(source: LockError) -> FirmUpError {
+        FirmUpError::Lock {
             source,
             ctx: Box::new(FaultCtx::new()),
         }
@@ -450,6 +475,14 @@ mod tests {
             "package"
         );
         assert_eq!(FirmUpError::from(IndexError::NotAnIndex).kind(), "index");
+        assert_eq!(
+            FirmUpError::from(LockError::Held {
+                pid: 1,
+                path: "idx/index.lock".into()
+            })
+            .kind(),
+            "lock"
+        );
         assert_eq!(FirmUpError::from(std::io::Error::other("x")).kind(), "io");
     }
 }

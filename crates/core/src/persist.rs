@@ -26,10 +26,15 @@
 //! rule: additive format changes introduce new names, breaking changes
 //! bump the container's format version).
 
-use std::path::Path;
+use std::path::{Path, PathBuf};
 use std::sync::Arc;
 
-use firmup_firmware::index::{index_path, read_container, write_container, IndexError, Record};
+use firmup_firmware::crc::crc32;
+use firmup_firmware::durable::write_atomic;
+use firmup_firmware::index::{
+    append_journal, index_path, journal_path, parse_journal, read_container, segment_file_name,
+    segments_dir, write_container, IndexError, JournalEntry, Record,
+};
 use firmup_isa::Arch;
 
 use crate::error::{FaultCtx, FirmUpError};
@@ -149,7 +154,10 @@ impl CorpusIndex {
     }
 
     /// Write the index into `dir` (created if needed) as
-    /// [`firmup_firmware::index::INDEX_FILE`].
+    /// [`firmup_firmware::index::INDEX_FILE`]. The write is atomic
+    /// (temp file + fsync + rename): a concurrent reader sees either
+    /// the previous complete index or this one, never a torn hybrid,
+    /// and a crash mid-save cannot destroy the old file.
     ///
     /// # Errors
     ///
@@ -158,7 +166,7 @@ impl CorpusIndex {
         std::fs::create_dir_all(dir)
             .map_err(|e| FirmUpError::from(e).in_ctx(FaultCtx::image(dir.display().to_string())))?;
         let path = index_path(dir);
-        std::fs::write(&path, self.to_bytes()).map_err(|e| {
+        write_atomic(&path, &self.to_bytes()).map_err(|e| {
             FirmUpError::from(e).in_ctx(FaultCtx::image(path.display().to_string()))
         })?;
         Ok(())
@@ -172,14 +180,32 @@ impl CorpusIndex {
     ///
     /// # Errors
     ///
-    /// A missing or unreadable file is [`FirmUpError::Io`]; a damaged
-    /// one is [`FirmUpError::Index`] wrapping the byte-level diagnosis.
-    /// Both carry the file path in their [`FaultCtx`].
+    /// A missing file is [`IndexError::Missing`] and a zero-length one
+    /// is [`IndexError::Truncated`] — distinct structured diagnoses
+    /// (the first means "never built", the second "a write died"), both
+    /// surfaced as [`FirmUpError::Index`]. Other unreadable files are
+    /// [`FirmUpError::Io`]; damaged ones wrap the byte-level
+    /// [`IndexError`]. All carry the file path in their [`FaultCtx`].
     pub fn load(dir: &Path) -> Result<CorpusIndex, FirmUpError> {
         let _span = firmup_telemetry::span!("index.load");
         let path = index_path(dir);
         let ctx = FaultCtx::image(path.display().to_string());
-        let blob = std::fs::read(&path).map_err(|e| FirmUpError::from(e).in_ctx(ctx.clone()))?;
+        let blob = match std::fs::read(&path) {
+            Ok(b) => b,
+            Err(e) if e.kind() == std::io::ErrorKind::NotFound => {
+                return Err(FirmUpError::from(IndexError::Missing {
+                    path: path.display().to_string(),
+                })
+                .in_ctx(ctx));
+            }
+            Err(e) => return Err(FirmUpError::from(e).in_ctx(ctx)),
+        };
+        if blob.is_empty() {
+            return Err(FirmUpError::from(IndexError::Truncated {
+                context: "empty index file",
+            })
+            .in_ctx(ctx));
+        }
         let index = CorpusIndex::from_bytes(&blob).map_err(|e| FirmUpError::from(e).in_ctx(ctx))?;
         firmup_telemetry::add("index.cache_hit", index.executables.len() as u64);
         Ok(index)
@@ -189,6 +215,221 @@ impl CorpusIndex {
 fn malformed(reason: &str) -> IndexError {
     IndexError::Malformed {
         reason: reason.to_string(),
+    }
+}
+
+// ---- per-image checkpoint segments ---------------------------------------
+
+/// Serialize one image's executables as a checkpoint segment (a small
+/// FUIX container: `meta` count + `exe:<i>` records). Segments hold
+/// only reps — the derived context/postings are rebuilt at finalize,
+/// so a resumed build and an uninterrupted one produce byte-identical
+/// `corpus.fui` files.
+pub fn segment_to_bytes(reps: &[ExecutableRep]) -> Vec<u8> {
+    let mut records = Vec::with_capacity(reps.len() + 1);
+    records.push(Record::new(
+        "meta",
+        (reps.len() as u32).to_le_bytes().to_vec(),
+    ));
+    for (i, exe) in reps.iter().enumerate() {
+        records.push(Record::new(format!("exe:{i}"), encode_executable(exe)));
+    }
+    write_container(&records)
+}
+
+/// Decode a checkpoint segment back into its executables.
+///
+/// # Errors
+///
+/// Container damage or a typed-payload inconsistency, as a structured
+/// [`IndexError`].
+pub fn segment_from_bytes(blob: &[u8]) -> Result<Vec<ExecutableRep>, IndexError> {
+    let records = read_container(blob)?;
+    let mut count: Option<u32> = None;
+    let mut exes: Vec<Option<ExecutableRep>> = Vec::new();
+    for r in &records {
+        if r.name == "meta" {
+            let mut pos = 0;
+            count = Some(get_u32(&r.payload, &mut pos, "segment meta")?);
+        } else if let Some(i) = r.name.strip_prefix("exe:") {
+            let i: usize = i.parse().map_err(|_| malformed("bad exe record name"))?;
+            if i >= exes.len() {
+                exes.resize_with(i + 1, || None);
+            }
+            exes[i] = Some(decode_executable(&r.payload)?);
+        }
+    }
+    let count = count.ok_or_else(|| malformed("segment missing meta record"))? as usize;
+    if exes.len() != count {
+        return Err(malformed(&format!(
+            "segment meta declares {count} executables, found {}",
+            exes.len()
+        )));
+    }
+    exes.into_iter()
+        .enumerate()
+        .map(|(i, e)| e.ok_or_else(|| malformed(&format!("segment missing record exe:{i}"))))
+        .collect()
+}
+
+/// What [`IndexCheckpoint::open`] found on disk.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct CheckpointStats {
+    /// Committed segments that verified and will be reused.
+    pub reused: usize,
+    /// Journal entries whose segment was missing or failed its CRC
+    /// (dropped; those images re-lift).
+    pub damaged: usize,
+    /// Whether the journal ended in a torn (discarded) append.
+    pub torn_tail: bool,
+}
+
+/// The journaled checkpoint state of one `firmup index --out DIR`
+/// build: per-image segments under `DIR/segments/` plus a manifest
+/// journal (`journal.fuj`) whose entries commit each segment. A build
+/// that crashes after N commits resumes by replaying the journal,
+/// verifying each segment's CRC, and re-lifting only what is missing —
+/// at most one image of work is lost.
+#[derive(Debug)]
+pub struct IndexCheckpoint {
+    dir: PathBuf,
+    entries: Vec<JournalEntry>,
+}
+
+impl IndexCheckpoint {
+    /// Open (or reset) the checkpoint state in `dir`.
+    ///
+    /// With `resume` false the journal and all segments are cleared for
+    /// a fresh build — but `corpus.fui` is left alone, so concurrent
+    /// readers keep loading the last complete snapshot until the new
+    /// one atomically replaces it. With `resume` true the journal is
+    /// replayed: each entry's segment file is read and its CRC-32
+    /// verified; entries that fail are dropped (their images re-lift).
+    ///
+    /// # Errors
+    ///
+    /// Filesystem failures as [`FirmUpError::Io`].
+    pub fn open(
+        dir: &Path,
+        resume: bool,
+    ) -> Result<(IndexCheckpoint, CheckpointStats), FirmUpError> {
+        let io_ctx = |p: &Path| FaultCtx::image(p.display().to_string());
+        std::fs::create_dir_all(dir).map_err(|e| FirmUpError::from(e).in_ctx(io_ctx(dir)))?;
+        let seg_dir = segments_dir(dir);
+        std::fs::create_dir_all(&seg_dir)
+            .map_err(|e| FirmUpError::from(e).in_ctx(io_ctx(&seg_dir)))?;
+        let journal = journal_path(dir);
+        let mut stats = CheckpointStats::default();
+        let mut entries = Vec::new();
+        if resume {
+            let bytes = match std::fs::read(&journal) {
+                Ok(b) => b,
+                Err(e) if e.kind() == std::io::ErrorKind::NotFound => Vec::new(),
+                Err(e) => return Err(FirmUpError::from(e).in_ctx(io_ctx(&journal))),
+            };
+            let (parsed, torn) = parse_journal(&bytes);
+            stats.torn_tail = torn;
+            for entry in parsed {
+                let seg_path = seg_dir.join(&entry.segment);
+                match std::fs::read(&seg_path) {
+                    Ok(blob) if crc32(&blob) == entry.crc => {
+                        stats.reused += 1;
+                        entries.push(entry);
+                    }
+                    _ => stats.damaged += 1,
+                }
+            }
+            if torn || stats.damaged > 0 {
+                // Rewrite the journal to only the verified entries so
+                // the damage is diagnosed once, not on every restart.
+                let mut fresh = String::new();
+                for e in &entries {
+                    fresh.push_str(&firmup_firmware::index::render_journal_entry(e));
+                }
+                write_atomic(&journal, fresh.as_bytes())
+                    .map_err(|e| FirmUpError::from(e).in_ctx(io_ctx(&journal)))?;
+            }
+        } else {
+            match std::fs::remove_file(&journal) {
+                Ok(()) => {}
+                Err(e) if e.kind() == std::io::ErrorKind::NotFound => {}
+                Err(e) => return Err(FirmUpError::from(e).in_ctx(io_ctx(&journal))),
+            }
+            let listing = std::fs::read_dir(&seg_dir)
+                .map_err(|e| FirmUpError::from(e).in_ctx(io_ctx(&seg_dir)))?;
+            for item in listing.flatten() {
+                let _ = std::fs::remove_file(item.path());
+            }
+        }
+        Ok((
+            IndexCheckpoint {
+                dir: dir.to_path_buf(),
+                entries,
+            },
+            stats,
+        ))
+    }
+
+    /// Whether a segment for this image digest is already committed.
+    pub fn committed(&self, digest: u64) -> bool {
+        self.entries.iter().any(|e| e.digest == digest)
+    }
+
+    /// Number of committed segments (reused + newly written).
+    pub fn segments(&self) -> usize {
+        self.entries.len()
+    }
+
+    /// Load the executables of a committed segment.
+    ///
+    /// # Errors
+    ///
+    /// [`FirmUpError::Index`] if no such segment is committed or its
+    /// contents fail to decode; [`FirmUpError::Io`] on read failures.
+    pub fn load_segment(&self, digest: u64) -> Result<Vec<ExecutableRep>, FirmUpError> {
+        let entry = self
+            .entries
+            .iter()
+            .find(|e| e.digest == digest)
+            .ok_or_else(|| {
+                FirmUpError::from(malformed(&format!(
+                    "no committed segment for {digest:016x}"
+                )))
+            })?;
+        let path = segments_dir(&self.dir).join(&entry.segment);
+        let ctx = FaultCtx::image(path.display().to_string());
+        let blob = std::fs::read(&path).map_err(|e| FirmUpError::from(e).in_ctx(ctx.clone()))?;
+        segment_from_bytes(&blob).map_err(|e| FirmUpError::from(e).in_ctx(ctx))
+    }
+
+    /// Durably commit one image's executables: write the segment
+    /// atomically, then append (and fsync) its journal entry. Only
+    /// after both is the image's work safe against a crash.
+    ///
+    /// Telemetry: increments `index.segments_committed`.
+    ///
+    /// # Errors
+    ///
+    /// Filesystem failures as [`FirmUpError::Io`].
+    pub fn commit(&mut self, digest: u64, reps: &[ExecutableRep]) -> Result<(), FirmUpError> {
+        let bytes = segment_to_bytes(reps);
+        let entry = JournalEntry {
+            digest,
+            crc: crc32(&bytes),
+            executables: reps.len() as u32,
+            segment: segment_file_name(digest),
+        };
+        let seg_path = segments_dir(&self.dir).join(&entry.segment);
+        write_atomic(&seg_path, &bytes).map_err(|e| {
+            FirmUpError::from(e).in_ctx(FaultCtx::image(seg_path.display().to_string()))
+        })?;
+        let journal = journal_path(&self.dir);
+        append_journal(&journal, &entry).map_err(|e| {
+            FirmUpError::from(e).in_ctx(FaultCtx::image(journal.display().to_string()))
+        })?;
+        firmup_telemetry::incr("index.segments_committed");
+        self.entries.push(entry);
+        Ok(())
     }
 }
 
@@ -533,11 +774,46 @@ mod tests {
     }
 
     #[test]
-    fn load_failures_carry_the_path() {
+    fn missing_index_is_a_structured_missing_error_with_path() {
         let dir = std::env::temp_dir().join("firmup-persist-definitely-missing");
         let err = CorpusIndex::load(&dir).unwrap_err();
-        assert_eq!(err.kind(), "io");
+        assert_eq!(err.kind(), "index");
+        assert!(
+            matches!(
+                err,
+                FirmUpError::Index {
+                    source: IndexError::Missing { .. },
+                    ..
+                }
+            ),
+            "{err:?}"
+        );
         assert!(err.to_string().contains("corpus.fui"), "{err}");
+    }
+
+    #[test]
+    fn zero_length_index_is_a_structured_truncation_with_path() {
+        let dir = std::env::temp_dir().join(format!(
+            "firmup-persist-empty-{}-{:?}",
+            std::process::id(),
+            std::thread::current().id()
+        ));
+        std::fs::create_dir_all(&dir).unwrap();
+        std::fs::write(index_path(&dir), b"").unwrap();
+        let err = CorpusIndex::load(&dir).unwrap_err();
+        assert_eq!(err.kind(), "index");
+        assert!(
+            matches!(
+                err,
+                FirmUpError::Index {
+                    source: IndexError::Truncated { .. },
+                    ..
+                }
+            ),
+            "{err:?}"
+        );
+        assert!(err.to_string().contains("corpus.fui"), "{err}");
+        std::fs::remove_dir_all(&dir).ok();
     }
 
     #[test]
@@ -580,6 +856,74 @@ mod tests {
         let top2 = prefilter_candidates(&query, &index.postings, None, 2);
         assert_eq!(top2.len(), 2);
         assert_eq!((top2[0].0, top2[1].0), (0, 1)); // ties break low-index
+    }
+
+    #[test]
+    fn segments_roundtrip() {
+        let reps = sample().executables;
+        let blob = segment_to_bytes(&reps);
+        assert_eq!(segment_from_bytes(&blob).unwrap(), reps);
+        assert!(segment_from_bytes(&segment_to_bytes(&[]))
+            .unwrap()
+            .is_empty());
+        // Damage is diagnosed, not panicked on.
+        let mut bad = blob.clone();
+        let n = bad.len();
+        bad[n - 1] ^= 1;
+        assert!(segment_from_bytes(&bad).is_err());
+    }
+
+    #[test]
+    fn checkpoint_commit_resume_and_damage_detection() {
+        let dir = std::env::temp_dir().join(format!(
+            "firmup-checkpoint-{}-{:?}",
+            std::process::id(),
+            std::thread::current().id()
+        ));
+        let _ = std::fs::remove_dir_all(&dir);
+        let reps = sample().executables;
+
+        // Fresh build: commit two segments.
+        let (mut ckpt, stats) = IndexCheckpoint::open(&dir, false).unwrap();
+        assert_eq!(stats, CheckpointStats::default());
+        ckpt.commit(0x11, &reps[0..1]).unwrap();
+        ckpt.commit(0x22, &reps[1..3]).unwrap();
+        assert!(ckpt.committed(0x11) && ckpt.committed(0x22) && !ckpt.committed(0x33));
+
+        // Resume: both segments verify and reload intact.
+        let (ckpt, stats) = IndexCheckpoint::open(&dir, true).unwrap();
+        assert_eq!(
+            (stats.reused, stats.damaged, stats.torn_tail),
+            (2, 0, false)
+        );
+        assert_eq!(ckpt.load_segment(0x11).unwrap(), reps[0..1]);
+        assert_eq!(ckpt.load_segment(0x22).unwrap(), reps[1..3]);
+
+        // Damage one segment on disk: resume drops exactly that entry.
+        let seg = segments_dir(&dir).join(segment_file_name(0x11));
+        let mut blob = std::fs::read(&seg).unwrap();
+        blob[10] ^= 0xff;
+        std::fs::write(&seg, &blob).unwrap();
+        let (ckpt, stats) = IndexCheckpoint::open(&dir, true).unwrap();
+        assert_eq!((stats.reused, stats.damaged), (1, 1));
+        assert!(!ckpt.committed(0x11) && ckpt.committed(0x22));
+
+        // A torn journal tail is discarded and flagged once: the
+        // rewrite means the *next* resume is clean.
+        let journal = journal_path(&dir);
+        let mut bytes = std::fs::read(&journal).unwrap();
+        bytes.extend_from_slice(b"seg 00000000000000ab 0000");
+        std::fs::write(&journal, &bytes).unwrap();
+        let (_, stats) = IndexCheckpoint::open(&dir, true).unwrap();
+        assert!(stats.torn_tail);
+        let (_, stats) = IndexCheckpoint::open(&dir, true).unwrap();
+        assert!(!stats.torn_tail, "journal rewrite did not stick");
+
+        // Fresh open clears everything.
+        let (ckpt, _) = IndexCheckpoint::open(&dir, false).unwrap();
+        assert_eq!(ckpt.segments(), 0);
+        assert!(!journal.exists());
+        std::fs::remove_dir_all(&dir).ok();
     }
 
     #[test]

@@ -1,0 +1,586 @@
+//! Crash-safe filesystem primitives for every on-disk FirmUp artifact.
+//!
+//! The corpus pipeline's on-disk artifacts (`corpus.fui`, checkpoint
+//! segments, the manifest journal, metrics sidecars) must survive the
+//! failures a 200K-executable indexing run actually meets: a `kill -9`
+//! mid-write, ENOSPC, a concurrent writer, transient `EINTR`s. This
+//! module is the single seam all of them go through:
+//!
+//! * [`write_atomic`] — temp file in the target directory → write →
+//!   fsync file → rename over the destination → fsync directory.
+//!   Readers observe either the old complete file or the new complete
+//!   file, never a torn hybrid.
+//! * [`acquire_lock`] — an advisory lock file (`index.lock`, pid +
+//!   heartbeat mtime) so two concurrent `firmup index --out DIR`
+//!   writers fail fast with a structured [`LockError::Held`] instead of
+//!   corrupting each other's output. Stale locks (dead pid, or a
+//!   heartbeat older than [`LockOptions::stale_after`]) are stolen.
+//! * [`retry_io`] — bounded retry with exponential backoff for
+//!   *transient* IO failures, jittered by the crate's deterministic
+//!   SplitMix64 so chaos trials replay byte-for-byte.
+//! * [`crash_point`] — deterministic crash injection: when the
+//!   [`CRASH_POINT_ENV`] environment variable arms a named point, the
+//!   process aborts the n-th time execution reaches it. The
+//!   crash-consistency chaos matrix (`firmup chaos --crash-matrix`)
+//!   uses this to kill a child `firmup index` at exact points
+//!   (after-temp-write, before-rename, mid-journal-append, between
+//!   segments) and then assert that resume restores a byte-identical
+//!   index.
+
+use std::fmt;
+use std::fs::{self, File, OpenOptions};
+use std::io::{self, Write};
+use std::path::{Path, PathBuf};
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::time::Duration;
+
+use crate::rng::SmallRng;
+
+/// File name of the advisory writer lock inside an index directory.
+pub const LOCK_FILE: &str = "index.lock";
+
+/// Environment variable arming one deterministic crash point:
+/// `name[:n]` aborts the process the n-th time [`crash_point`] is
+/// reached with that name (default n = 1).
+pub const CRASH_POINT_ENV: &str = "FIRMUP_CRASH_POINT";
+
+/// Crash point: the temp file's bytes are written but not yet fsynced
+/// or renamed into place.
+pub const CP_AFTER_TEMP_WRITE: &str = "durable.after_temp_write";
+/// Crash point: the temp file is durable but the rename over the
+/// destination has not happened.
+pub const CP_BEFORE_RENAME: &str = "durable.before_rename";
+/// Crash point: half of a journal entry's bytes are on disk (a torn
+/// append the journal reader must detect and discard).
+pub const CP_MID_JOURNAL_APPEND: &str = "journal.mid_append";
+/// Crash point: between two committed per-image index segments.
+pub const CP_BETWEEN_SEGMENTS: &str = "index.between_segments";
+
+static CRASH_HITS: AtomicU64 = AtomicU64::new(0);
+
+/// Parse a crash spec `name[:n]` into its point name and 1-based
+/// trigger count (a missing or unparseable count means 1).
+pub fn parse_crash_spec(spec: &str) -> (&str, u64) {
+    match spec.rsplit_once(':') {
+        Some((name, n)) => match n.parse::<u64>() {
+            Ok(n) if n > 0 => (name, n),
+            _ => (spec, 1),
+        },
+        None => (spec, 1),
+    }
+}
+
+/// Whether the named crash point is armed by [`CRASH_POINT_ENV`]
+/// (regardless of how many hits remain before it fires). Callers that
+/// need to stage partial writes around a point (the journal's torn
+/// append) use this to avoid paying the staging cost in normal runs.
+pub fn crash_armed(name: &str) -> bool {
+    std::env::var(CRASH_POINT_ENV).is_ok_and(|spec| parse_crash_spec(&spec).0 == name)
+}
+
+/// Deterministic crash injection: if [`CRASH_POINT_ENV`] arms this
+/// point, count the hit and abort the process (no destructors, no
+/// flushes — the closest safe approximation of `kill -9`) when the
+/// armed occurrence is reached. A no-op in normal runs.
+pub fn crash_point(name: &str) {
+    let Ok(spec) = std::env::var(CRASH_POINT_ENV) else {
+        return;
+    };
+    let (point, nth) = parse_crash_spec(&spec);
+    if point != name {
+        return;
+    }
+    let hit = CRASH_HITS.fetch_add(1, Ordering::SeqCst) + 1;
+    if hit == nth {
+        eprintln!("firmup: injected crash at {name} (hit {hit})");
+        std::process::abort();
+    }
+}
+
+/// FNV-1a 64-bit over a sequence of byte chunks (chunk boundaries are
+/// delimited so `["ab","c"]` and `["a","bc"]` hash differently).
+pub fn fnv1a_64(chunks: &[&[u8]]) -> u64 {
+    let mut h: u64 = 0xcbf2_9ce4_8422_2325;
+    let mut step = |b: u8| {
+        h ^= u64::from(b);
+        h = h.wrapping_mul(0x0000_0100_0000_01b3);
+    };
+    for chunk in chunks {
+        for &b in *chunk {
+            step(b);
+        }
+        step(0xff);
+    }
+    h
+}
+
+/// Maximum attempts [`retry_io`] makes (1 initial + retries).
+pub const MAX_IO_ATTEMPTS: u32 = 4;
+
+/// Whether an IO error is worth retrying: interruption and
+/// resource-pressure kinds that routinely clear on their own. Anything
+/// else (ENOSPC, permission, missing path) fails immediately.
+pub fn is_transient(e: &io::Error) -> bool {
+    matches!(
+        e.kind(),
+        io::ErrorKind::Interrupted | io::ErrorKind::WouldBlock | io::ErrorKind::TimedOut
+    )
+}
+
+/// Backoff before retry number `attempt` (1-based): exponential base
+/// with SplitMix64 jitter, deterministic for a given rng stream so
+/// chaos trials replay identically. Capped well under a second — this
+/// is for transient hiccups, not outage-riding.
+pub fn backoff_delay(attempt: u32, rng: &mut SmallRng) -> Duration {
+    let base_ms = 1u64 << attempt.min(6);
+    Duration::from_micros(base_ms * 1000 + rng.gen_range(0..1000u64))
+}
+
+/// Run `op`, retrying transient IO failures up to [`MAX_IO_ATTEMPTS`]
+/// total attempts with deterministic jittered backoff (seeded from
+/// `label`, so a given call site always replays the same delays).
+///
+/// Telemetry: each retry increments `io.retries`.
+///
+/// # Errors
+///
+/// The last error once attempts are exhausted, or the first
+/// non-transient error immediately.
+pub fn retry_io<T>(label: &str, mut op: impl FnMut() -> io::Result<T>) -> io::Result<T> {
+    let mut rng = SmallRng::seed_from_u64(fnv1a_64(&[label.as_bytes()]));
+    let mut attempt = 0u32;
+    loop {
+        match op() {
+            Ok(v) => return Ok(v),
+            Err(e) if attempt + 1 < MAX_IO_ATTEMPTS && is_transient(&e) => {
+                attempt += 1;
+                firmup_telemetry::incr("io.retries");
+                std::thread::sleep(backoff_delay(attempt, &mut rng));
+            }
+            Err(e) => return Err(e),
+        }
+    }
+}
+
+/// Durably replace `path` with `bytes`: write a temp file in the same
+/// directory, fsync it, rename it over `path`, then fsync the
+/// directory so the rename itself is durable. A crash at any point
+/// leaves either the old complete file or the new complete file (plus,
+/// at worst, a stray `.*.tmp.*` file that `firmup fsck` sweeps).
+///
+/// # Errors
+///
+/// Any filesystem failure after transient-retry exhaustion; the temp
+/// file is removed on error.
+pub fn write_atomic(path: &Path, bytes: &[u8]) -> io::Result<()> {
+    let parent = match path.parent() {
+        Some(p) if !p.as_os_str().is_empty() => p.to_path_buf(),
+        _ => PathBuf::from("."),
+    };
+    let name = path
+        .file_name()
+        .and_then(|n| n.to_str())
+        .ok_or_else(|| io::Error::new(io::ErrorKind::InvalidInput, "write_atomic: no file name"))?;
+    let tmp = parent.join(format!(".{name}.tmp.{}", std::process::id()));
+    let result = (|| {
+        let mut f = retry_io("write_atomic.create", || File::create(&tmp))?;
+        // `write_all` already retries `Interrupted` internally.
+        f.write_all(bytes)?;
+        crash_point(CP_AFTER_TEMP_WRITE);
+        retry_io("write_atomic.sync", || f.sync_all())?;
+        drop(f);
+        crash_point(CP_BEFORE_RENAME);
+        retry_io("write_atomic.rename", || fs::rename(&tmp, path))?;
+        // Make the directory entry durable too; best effort — some
+        // filesystems refuse fsync on directories.
+        if let Ok(d) = File::open(&parent) {
+            let _ = d.sync_all();
+        }
+        Ok(())
+    })();
+    if result.is_err() {
+        let _ = fs::remove_file(&tmp);
+    }
+    result
+}
+
+/// Whether a directory entry name looks like a [`write_atomic`] temp
+/// file (`.NAME.tmp.PID`) — the only kind of debris an interrupted
+/// atomic write can leave. `firmup fsck` sweeps these.
+pub fn is_tmp_debris(name: &str) -> bool {
+    name.starts_with('.') && name.contains(".tmp.")
+}
+
+// ---- advisory writer lock ------------------------------------------------
+
+/// Structured lock-acquisition failure.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum LockError {
+    /// Another live writer holds the lock.
+    Held {
+        /// Pid recorded in the lock file (0 if unreadable).
+        pid: u64,
+        /// The lock file path.
+        path: String,
+    },
+    /// Filesystem failure while creating or inspecting the lock.
+    Io {
+        /// The lock file path.
+        path: String,
+        /// Rendered `std::io::Error`.
+        message: String,
+    },
+}
+
+impl fmt::Display for LockError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            LockError::Held { pid, path } => write!(
+                f,
+                "index lock held by pid {pid} ({path}): another `firmup index` is writing this \
+                 directory — wait for it, or delete the lock file if that process is gone"
+            ),
+            LockError::Io { path, message } => write!(f, "lock file {path}: {message}"),
+        }
+    }
+}
+
+impl std::error::Error for LockError {}
+
+/// Lock-acquisition tuning.
+#[derive(Debug, Clone)]
+pub struct LockOptions {
+    /// A lock whose heartbeat mtime is older than this is presumed
+    /// abandoned and stolen (the dead-pid check catches most crashes
+    /// instantly on Linux; this bound also covers hung writers and
+    /// recycled pids).
+    pub stale_after: Duration,
+}
+
+impl Default for LockOptions {
+    fn default() -> LockOptions {
+        LockOptions {
+            stale_after: Duration::from_secs(600),
+        }
+    }
+}
+
+impl LockOptions {
+    /// Defaults, with `FIRMUP_LOCK_STALE_MS` overriding the staleness
+    /// bound (used by tests to exercise the steal path quickly).
+    pub fn from_env() -> LockOptions {
+        let mut opts = LockOptions::default();
+        if let Some(ms) = std::env::var("FIRMUP_LOCK_STALE_MS")
+            .ok()
+            .and_then(|v| v.parse::<u64>().ok())
+        {
+            opts.stale_after = Duration::from_millis(ms);
+        }
+        opts
+    }
+}
+
+/// A held advisory lock; dropping it releases (deletes) the lock file.
+/// An aborted process leaves the file behind with a dead pid, which the
+/// next writer detects and steals.
+#[derive(Debug)]
+pub struct LockGuard {
+    path: PathBuf,
+}
+
+impl LockGuard {
+    /// The lock file path.
+    pub fn path(&self) -> &Path {
+        &self.path
+    }
+
+    /// Refresh the heartbeat mtime (writers call this after each
+    /// committed segment so a long build is never mistaken for stale).
+    pub fn heartbeat(&self) {
+        let _ = fs::write(&self.path, lock_body());
+    }
+}
+
+impl Drop for LockGuard {
+    fn drop(&mut self) {
+        let _ = fs::remove_file(&self.path);
+    }
+}
+
+fn lock_body() -> String {
+    format!("pid {}\n", std::process::id())
+}
+
+/// Parse the pid out of a lock file's contents.
+fn parse_lock_pid(contents: &str) -> Option<u64> {
+    let rest = contents.strip_prefix("pid ")?;
+    rest.lines().next()?.trim().parse().ok()
+}
+
+/// Whether the process with `pid` is alive: `Some(true/false)` on
+/// Linux (via `/proc`), `None` where liveness cannot be determined.
+pub fn pid_alive(pid: u64) -> Option<bool> {
+    #[cfg(target_os = "linux")]
+    {
+        Some(Path::new(&format!("/proc/{pid}")).exists())
+    }
+    #[cfg(not(target_os = "linux"))]
+    {
+        let _ = pid;
+        None
+    }
+}
+
+/// Acquire the advisory writer lock for `dir` (created if needed).
+///
+/// A fresh lock file is created with `O_EXCL`; if one already exists it
+/// is stolen only when stale — its pid is dead (Linux), its contents
+/// are garbage (a writer died mid-create), or its heartbeat mtime is
+/// older than [`LockOptions::stale_after`]. Stealing goes through a
+/// rename so two stealers cannot both win.
+///
+/// # Errors
+///
+/// [`LockError::Held`] when a live writer holds the lock;
+/// [`LockError::Io`] for filesystem failures.
+pub fn acquire_lock(dir: &Path, opts: &LockOptions) -> Result<LockGuard, LockError> {
+    let path = dir.join(LOCK_FILE);
+    let io_err = |e: io::Error| LockError::Io {
+        path: path.display().to_string(),
+        message: e.to_string(),
+    };
+    fs::create_dir_all(dir).map_err(io_err)?;
+    for attempt in 0..2 {
+        match OpenOptions::new().write(true).create_new(true).open(&path) {
+            Ok(mut f) => {
+                f.write_all(lock_body().as_bytes()).map_err(io_err)?;
+                let _ = f.sync_all();
+                return Ok(LockGuard { path });
+            }
+            Err(e) if e.kind() == io::ErrorKind::AlreadyExists => {
+                let holder = fs::read_to_string(&path)
+                    .ok()
+                    .and_then(|c| parse_lock_pid(&c));
+                let age = fs::metadata(&path)
+                    .and_then(|m| m.modified())
+                    .ok()
+                    .and_then(|t| t.elapsed().ok());
+                let dead = match holder {
+                    None => true, // unreadable or garbage: writer died mid-create
+                    Some(pid) => pid_alive(pid) == Some(false),
+                };
+                let expired = age.is_some_and(|a| a >= opts.stale_after);
+                if (dead || expired) && attempt == 0 {
+                    let side = dir.join(format!(".{LOCK_FILE}.stale.{}", std::process::id()));
+                    if fs::rename(&path, &side).is_ok() {
+                        let _ = fs::remove_file(&side);
+                    }
+                    continue;
+                }
+                return Err(LockError::Held {
+                    pid: holder.unwrap_or(0),
+                    path: path.display().to_string(),
+                });
+            }
+            Err(e) => return Err(io_err(e)),
+        }
+    }
+    Err(LockError::Held {
+        pid: 0,
+        path: path.display().to_string(),
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn temp_dir(tag: &str) -> PathBuf {
+        let dir = std::env::temp_dir().join(format!(
+            "firmup-durable-{tag}-{}-{:?}",
+            std::process::id(),
+            std::thread::current().id()
+        ));
+        let _ = fs::remove_dir_all(&dir);
+        fs::create_dir_all(&dir).expect("create temp dir");
+        dir
+    }
+
+    #[test]
+    fn write_atomic_creates_and_replaces() {
+        let dir = temp_dir("atomic");
+        let path = dir.join("data.bin");
+        write_atomic(&path, b"first").unwrap();
+        assert_eq!(fs::read(&path).unwrap(), b"first");
+        write_atomic(&path, b"second, longer contents").unwrap();
+        assert_eq!(fs::read(&path).unwrap(), b"second, longer contents");
+        // No temp debris left behind.
+        let leftovers: Vec<String> = fs::read_dir(&dir)
+            .unwrap()
+            .map(|e| e.unwrap().file_name().to_string_lossy().into_owned())
+            .filter(|n| is_tmp_debris(n))
+            .collect();
+        assert!(leftovers.is_empty(), "debris: {leftovers:?}");
+        let _ = fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn write_atomic_rejects_pathless_targets() {
+        assert!(write_atomic(Path::new("/"), b"x").is_err());
+    }
+
+    #[test]
+    fn retry_recovers_from_transient_errors() {
+        firmup_telemetry::enable();
+        let before = firmup_telemetry::counter("io.retries").get();
+        let mut failures = 2;
+        let v = retry_io("test.transient", || {
+            if failures > 0 {
+                failures -= 1;
+                Err(io::Error::new(io::ErrorKind::Interrupted, "eintr"))
+            } else {
+                Ok(42)
+            }
+        })
+        .unwrap();
+        assert_eq!(v, 42);
+        assert_eq!(failures, 0);
+        assert!(firmup_telemetry::counter("io.retries").get() >= before + 2);
+    }
+
+    #[test]
+    fn retry_gives_up_on_hard_errors_immediately() {
+        let mut calls = 0;
+        let r: io::Result<()> = retry_io("test.hard", || {
+            calls += 1;
+            Err(io::Error::new(io::ErrorKind::PermissionDenied, "nope"))
+        });
+        assert!(r.is_err());
+        assert_eq!(calls, 1, "non-transient errors must not retry");
+    }
+
+    #[test]
+    fn retry_exhausts_bounded_attempts() {
+        let mut calls = 0;
+        let r: io::Result<()> = retry_io("test.exhaust", || {
+            calls += 1;
+            Err(io::Error::new(io::ErrorKind::WouldBlock, "busy"))
+        });
+        assert!(r.is_err());
+        assert_eq!(calls, MAX_IO_ATTEMPTS, "must stop at the attempt cap");
+    }
+
+    #[test]
+    fn backoff_is_deterministic_and_bounded() {
+        let mut a = SmallRng::seed_from_u64(9);
+        let mut b = SmallRng::seed_from_u64(9);
+        for attempt in 1..MAX_IO_ATTEMPTS {
+            let da = backoff_delay(attempt, &mut a);
+            let db = backoff_delay(attempt, &mut b);
+            assert_eq!(da, db, "jitter must replay");
+            assert!(da < Duration::from_millis(200), "backoff too long: {da:?}");
+        }
+    }
+
+    #[test]
+    fn crash_spec_parses_names_and_counts() {
+        assert_eq!(
+            parse_crash_spec("durable.before_rename"),
+            ("durable.before_rename", 1)
+        );
+        assert_eq!(
+            parse_crash_spec("index.between_segments:3"),
+            ("index.between_segments", 3)
+        );
+        // A malformed count falls back to the whole spec, count 1.
+        assert_eq!(
+            parse_crash_spec("weird:notanumber"),
+            ("weird:notanumber", 1)
+        );
+    }
+
+    #[test]
+    fn crash_point_is_inert_without_the_env() {
+        // The test harness must not set the env; reaching every point is
+        // then a no-op.
+        assert!(std::env::var(CRASH_POINT_ENV).is_err());
+        crash_point(CP_AFTER_TEMP_WRITE);
+        crash_point(CP_BEFORE_RENAME);
+        crash_point(CP_MID_JOURNAL_APPEND);
+        crash_point(CP_BETWEEN_SEGMENTS);
+        assert!(!crash_armed(CP_MID_JOURNAL_APPEND));
+    }
+
+    #[test]
+    fn lock_roundtrip_and_mutual_exclusion() {
+        let dir = temp_dir("lock");
+        let opts = LockOptions::default();
+        let guard = acquire_lock(&dir, &opts).unwrap();
+        assert!(guard.path().is_file());
+        // Second acquisition fails fast with the holder's pid.
+        match acquire_lock(&dir, &opts) {
+            Err(LockError::Held { pid, path }) => {
+                assert_eq!(pid, u64::from(std::process::id()));
+                assert!(path.contains(LOCK_FILE));
+            }
+            other => panic!("expected Held, got {other:?}"),
+        }
+        let lock_path = guard.path().to_path_buf();
+        drop(guard);
+        assert!(!lock_path.exists(), "drop must release the lock");
+        // Reacquisition succeeds after release.
+        let again = acquire_lock(&dir, &opts).unwrap();
+        drop(again);
+        let _ = fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn dead_pid_lock_is_stolen() {
+        let dir = temp_dir("stale-pid");
+        // Pid far above any default pid_max: guaranteed dead.
+        fs::write(dir.join(LOCK_FILE), "pid 4199999999\n").unwrap();
+        let guard = acquire_lock(&dir, &LockOptions::default()).unwrap();
+        drop(guard);
+        let _ = fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn garbage_lock_contents_are_stolen() {
+        let dir = temp_dir("stale-garbage");
+        fs::write(dir.join(LOCK_FILE), "???").unwrap();
+        let guard = acquire_lock(&dir, &LockOptions::default()).unwrap();
+        drop(guard);
+        let _ = fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn heartbeat_defeats_mtime_staleness() {
+        let dir = temp_dir("heartbeat");
+        let opts = LockOptions {
+            stale_after: Duration::from_millis(80),
+        };
+        let guard = acquire_lock(&dir, &opts).unwrap();
+        std::thread::sleep(Duration::from_millis(120));
+        guard.heartbeat();
+        // The heartbeat refreshed mtime; a rival must still see Held.
+        assert!(matches!(
+            acquire_lock(&dir, &opts),
+            Err(LockError::Held { .. })
+        ));
+        drop(guard);
+        let _ = fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn fnv_distinguishes_chunk_boundaries() {
+        assert_ne!(fnv1a_64(&[b"ab", b"c"]), fnv1a_64(&[b"a", b"bc"]));
+        assert_eq!(fnv1a_64(&[b"abc"]), fnv1a_64(&[b"abc"]));
+    }
+
+    #[test]
+    fn tmp_debris_names_are_recognized() {
+        assert!(is_tmp_debris(".corpus.fui.tmp.1234"));
+        assert!(!is_tmp_debris("corpus.fui"));
+        assert!(!is_tmp_debris(".hidden"));
+    }
+}

@@ -44,12 +44,22 @@ pub enum CorruptOp {
     /// with a wild future version: index loaders must reject it with a
     /// structured "unsupported version" error instead of misparsing.
     VersionBump,
+    /// Cut the blob at a 512-byte sector boundary — the shape a crashed
+    /// non-atomic rename/write leaves behind (whole leading sectors
+    /// durable, the tail gone). Distinct from [`CorruptOp::Truncate`],
+    /// whose cut lands anywhere.
+    TornRename,
+    /// Overwrite the blob's header with advisory-lock-file text
+    /// (`pid N\n...`) — what a reader sees if it opens the wrong file in
+    /// an index directory, or a buggy writer leaks lock contents into a
+    /// data file. Parsers must diagnose "not an index/image", not panic.
+    StaleLock,
 }
 
 impl CorruptOp {
     /// All operators, in a stable order (the chaos matrix iterates
     /// this).
-    pub fn all() -> [CorruptOp; 8] {
+    pub fn all() -> [CorruptOp; 10] {
         [
             CorruptOp::BitFlip,
             CorruptOp::Truncate,
@@ -59,6 +69,8 @@ impl CorruptOp {
             CorruptOp::MangleSectionTable,
             CorruptOp::OversizeLength,
             CorruptOp::VersionBump,
+            CorruptOp::TornRename,
+            CorruptOp::StaleLock,
         ]
     }
 
@@ -73,6 +85,8 @@ impl CorruptOp {
             CorruptOp::MangleSectionTable => "mangle_section_table",
             CorruptOp::OversizeLength => "oversize_length",
             CorruptOp::VersionBump => "version_bump",
+            CorruptOp::TornRename => "torn_rename",
+            CorruptOp::StaleLock => "stale_lock",
         }
     }
 }
@@ -192,6 +206,30 @@ pub fn corrupt(blob: &[u8], op: CorruptOp, seed: u64) -> Vec<u8> {
             } else {
                 scribble(&mut out, &mut rng, 4);
             }
+        }
+        CorruptOp::TornRename => {
+            // Keep only whole leading 512-byte sectors, never the full
+            // blob: the on-disk residue of a crash between a partial
+            // write and its rename.
+            let sectors = out.len() / 512;
+            let max_keep = if out.len().is_multiple_of(512) {
+                sectors.saturating_sub(1)
+            } else {
+                sectors
+            };
+            if max_keep == 0 {
+                out.truncate(0);
+            } else {
+                let keep = 512 * rng.gen_range(1..=max_keep);
+                out.truncate(keep);
+            }
+        }
+        CorruptOp::StaleLock => {
+            // Stamp advisory-lock text over the header region.
+            let pid = rng.gen_range(2..100_000u64);
+            let text = format!("pid {pid}\n");
+            let n = text.len().min(out.len());
+            out[..n].copy_from_slice(&text.as_bytes()[..n]);
         }
     }
     out
@@ -396,6 +434,39 @@ mod tests {
             read_container(&bumped),
             Err(IndexError::UnsupportedVersion { .. })
         ));
+    }
+
+    #[test]
+    fn torn_rename_cuts_on_sector_boundaries() {
+        let img = sample_image();
+        for seed in 0..32 {
+            let torn = corrupt(&img, CorruptOp::TornRename, seed);
+            assert!(torn.len() < img.len(), "seed {seed}: nothing torn off");
+            assert_eq!(torn.len() % 512, 0, "seed {seed}: cut mid-sector");
+            assert_eq!(torn, img[..torn.len()], "seed {seed}: prefix altered");
+        }
+        // Sub-sector blobs lose everything (the single partial sector
+        // was never durable).
+        assert!(corrupt(&[7u8; 100], CorruptOp::TornRename, 1).is_empty());
+        // Exact-multiple blobs still always shrink.
+        let exact = vec![3u8; 1024];
+        let torn = corrupt(&exact, CorruptOp::TornRename, 5);
+        assert_eq!(torn.len(), 512);
+    }
+
+    #[test]
+    fn stale_lock_spoils_the_magic_with_lock_text() {
+        use crate::index::{read_container, write_container, IndexError, Record};
+        let blob = write_container(&[Record::new("meta", vec![1, 2, 3, 4])]);
+        let damaged = corrupt(&blob, CorruptOp::StaleLock, 9);
+        assert!(damaged.starts_with(b"pid "), "lock text not stamped");
+        assert_eq!(read_container(&damaged), Err(IndexError::NotAnIndex));
+        let img = sample_image();
+        let damaged = corrupt(&img, CorruptOp::StaleLock, 9);
+        assert!(!damaged.starts_with(MAGIC), "FWIM magic must be spoiled");
+        // The unpacker may still carve embedded ELFs (degraded mode);
+        // it must simply not panic.
+        let _ = unpack(&damaged);
     }
 
     #[test]

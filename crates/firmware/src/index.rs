@@ -87,6 +87,12 @@ impl Record {
 /// version-bumped, or oversized — escalates past this enum.
 #[derive(Debug, Clone, PartialEq, Eq)]
 pub enum IndexError {
+    /// No index file exists at the path (distinct from a damaged one:
+    /// the fix is `firmup index`, not repair).
+    Missing {
+        /// Path that was opened.
+        path: String,
+    },
     /// The blob does not start with the FUIX magic.
     NotAnIndex,
     /// The file declares a format version this reader does not support.
@@ -117,6 +123,10 @@ pub enum IndexError {
 impl fmt::Display for IndexError {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         match self {
+            IndexError::Missing { path } => write!(
+                f,
+                "no index at {path} — run `firmup index` first (or wait for an in-progress build)"
+            ),
             IndexError::NotAnIndex => f.write_str("not a firmup index (bad magic)"),
             IndexError::UnsupportedVersion { found, supported } => write!(
                 f,
@@ -233,6 +243,210 @@ pub fn read_container(blob: &[u8]) -> Result<Vec<Record>, IndexError> {
     Ok(records)
 }
 
+// ---- manifest journal & checkpoint segments ------------------------------
+
+/// File name of the checkpoint manifest journal inside an index
+/// directory: one line per committed per-image segment.
+pub const JOURNAL_FILE: &str = "journal.fuj";
+
+/// Subdirectory holding per-image checkpoint segments.
+pub const SEGMENTS_DIR: &str = "segments";
+
+/// Path of the manifest journal inside an index directory.
+pub fn journal_path(dir: &Path) -> PathBuf {
+    dir.join(JOURNAL_FILE)
+}
+
+/// Path of the segments subdirectory inside an index directory.
+pub fn segments_dir(dir: &Path) -> PathBuf {
+    dir.join(SEGMENTS_DIR)
+}
+
+/// Canonical segment file name for an image digest.
+pub fn segment_file_name(digest: u64) -> String {
+    format!("seg-{digest:016x}.fui")
+}
+
+/// Content digest of a source image: FNV-1a 64 over the path tag and
+/// the raw bytes (chunk-delimited, so tag/content confusion is
+/// impossible). Identifies which segment belongs to which image across
+/// restarts.
+pub fn image_digest(tag: &str, bytes: &[u8]) -> u64 {
+    crate::durable::fnv1a_64(&[tag.as_bytes(), bytes])
+}
+
+/// One committed checkpoint: image digest → durable segment file.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct JournalEntry {
+    /// [`image_digest`] of the source image.
+    pub digest: u64,
+    /// CRC-32 of the full segment file's bytes.
+    pub crc: u32,
+    /// Number of executables the segment holds.
+    pub executables: u32,
+    /// Segment file name inside [`SEGMENTS_DIR`].
+    pub segment: String,
+}
+
+/// Render one journal line: `seg <digest> <crc> <count> <file> <linecrc>\n`,
+/// where `linecrc` is the CRC-32 of everything before its own field —
+/// a torn append (crash mid-write) fails this check and is discarded by
+/// [`parse_journal`] instead of poisoning the manifest.
+pub fn render_journal_entry(e: &JournalEntry) -> String {
+    let body = format!(
+        "seg {:016x} {:08x} {} {}",
+        e.digest, e.crc, e.executables, e.segment
+    );
+    let linecrc = crc32(body.as_bytes());
+    format!("{body} {linecrc:08x}\n")
+}
+
+fn parse_journal_line(line: &str) -> Option<JournalEntry> {
+    let (body, crc_field) = line.rsplit_once(' ')?;
+    let linecrc = u32::from_str_radix(crc_field.trim(), 16).ok()?;
+    if crc32(body.as_bytes()) != linecrc {
+        return None;
+    }
+    let mut fields = body.split(' ');
+    if fields.next()? != "seg" {
+        return None;
+    }
+    let digest = u64::from_str_radix(fields.next()?, 16).ok()?;
+    let crc = u32::from_str_radix(fields.next()?, 16).ok()?;
+    let executables = fields.next()?.parse().ok()?;
+    let segment = fields.next()?.to_string();
+    if fields.next().is_some() || segment.contains('/') || segment.contains("..") {
+        return None;
+    }
+    Some(JournalEntry {
+        digest,
+        crc,
+        executables,
+        segment,
+    })
+}
+
+/// Parse a manifest journal: valid entries in order, plus whether a
+/// torn (unparseable) tail was found. Parsing stops at the first bad
+/// line — anything after a torn append is untrusted.
+pub fn parse_journal(bytes: &[u8]) -> (Vec<JournalEntry>, bool) {
+    let text = String::from_utf8_lossy(bytes);
+    let mut entries = Vec::new();
+    for line in text.split('\n') {
+        if line.is_empty() {
+            continue;
+        }
+        match parse_journal_line(line) {
+            Some(e) => entries.push(e),
+            None => return (entries, true),
+        }
+    }
+    (entries, false)
+}
+
+/// Append one entry to the journal and fsync it. When the
+/// `journal.mid_append` crash point is armed, the entry is staged in
+/// two synced halves so an injected crash leaves a *real* torn tail on
+/// disk (which [`parse_journal`] must then discard).
+///
+/// # Errors
+///
+/// Any filesystem failure opening, writing, or syncing the journal.
+pub fn append_journal(path: &Path, entry: &JournalEntry) -> std::io::Result<()> {
+    use std::io::Write;
+    let line = render_journal_entry(entry);
+    let mut f = std::fs::OpenOptions::new()
+        .create(true)
+        .append(true)
+        .open(path)?;
+    if crate::durable::crash_armed(crate::durable::CP_MID_JOURNAL_APPEND) {
+        let half = line.len() / 2;
+        f.write_all(&line.as_bytes()[..half])?;
+        f.sync_all()?;
+        crate::durable::crash_point(crate::durable::CP_MID_JOURNAL_APPEND);
+        f.write_all(&line.as_bytes()[half..])?;
+    } else {
+        f.write_all(line.as_bytes())?;
+    }
+    f.sync_all()
+}
+
+// ---- tolerant per-record verification (fsck) -----------------------------
+
+/// Verdict for one record during a tolerant [`scan_container`] walk.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum RecordStatus {
+    /// Payload present and its CRC-32 matches.
+    Ok,
+    /// Payload present but its CRC-32 disagrees with the table.
+    ChecksumMismatch,
+    /// The payload region ends before this record's bytes.
+    TruncatedPayload,
+}
+
+/// One row of an fsck verdict table.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct RecordCheck {
+    /// Record name from the table.
+    pub name: String,
+    /// Declared payload length.
+    pub len: u32,
+    /// Verification verdict.
+    pub status: RecordStatus,
+}
+
+/// Walk a FUIX container *tolerantly*, producing a per-record verdict
+/// instead of stopping at the first damaged record — `firmup fsck`'s
+/// view. Header or record-table damage still fails the whole file (no
+/// table means nothing to itemize).
+///
+/// # Errors
+///
+/// Structured [`IndexError`] when the header or record table is
+/// unreadable.
+pub fn scan_container(blob: &[u8]) -> Result<Vec<RecordCheck>, IndexError> {
+    if blob.is_empty() {
+        return Err(IndexError::Truncated {
+            context: "empty index file",
+        });
+    }
+    if blob.len() < 4 || &blob[0..4] != MAGIC {
+        return Err(IndexError::NotAnIndex);
+    }
+    let mut pos = 4usize;
+    let version = read_u32(blob, &mut pos, "format version")?;
+    if version > FORMAT_VERSION {
+        return Err(IndexError::UnsupportedVersion {
+            found: version,
+            supported: FORMAT_VERSION,
+        });
+    }
+    let count = read_u32(blob, &mut pos, "record count")?;
+    if count > MAX_RECORDS {
+        return Err(IndexError::Malformed {
+            reason: format!("record count {count} exceeds the {MAX_RECORDS} cap"),
+        });
+    }
+    let mut entries = Vec::with_capacity(count as usize);
+    for _ in 0..count {
+        let name = read_str(blob, &mut pos, "record table")?;
+        let len = read_u32(blob, &mut pos, "record table")?;
+        let crc = read_u32(blob, &mut pos, "record table")?;
+        entries.push((name, len, crc));
+    }
+    let mut checks = Vec::with_capacity(entries.len());
+    for (name, len, crc) in entries {
+        let status = match blob.get(pos..pos.saturating_add(len as usize)) {
+            None => RecordStatus::TruncatedPayload,
+            Some(payload) if crc32(payload) != crc => RecordStatus::ChecksumMismatch,
+            Some(_) => RecordStatus::Ok,
+        };
+        pos = pos.saturating_add(len as usize);
+        checks.push(RecordCheck { name, len, status });
+    }
+    Ok(checks)
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -330,5 +544,117 @@ mod tests {
             index_path(Path::new("/tmp/idx")),
             PathBuf::from("/tmp/idx/corpus.fui")
         );
+    }
+
+    fn entry(i: u64) -> JournalEntry {
+        JournalEntry {
+            digest: 0x1234_5678_9abc_def0 ^ i,
+            crc: 0xdead_beef ^ i as u32,
+            executables: 3 + i as u32,
+            segment: segment_file_name(0x1234_5678_9abc_def0 ^ i),
+        }
+    }
+
+    #[test]
+    fn journal_roundtrips_and_orders() {
+        let mut bytes = Vec::new();
+        for i in 0..5 {
+            bytes.extend_from_slice(render_journal_entry(&entry(i)).as_bytes());
+        }
+        let (entries, torn) = parse_journal(&bytes);
+        assert!(!torn);
+        assert_eq!(entries, (0..5).map(entry).collect::<Vec<_>>());
+    }
+
+    #[test]
+    fn torn_journal_tail_is_discarded_not_fatal() {
+        let mut bytes = Vec::new();
+        bytes.extend_from_slice(render_journal_entry(&entry(0)).as_bytes());
+        bytes.extend_from_slice(render_journal_entry(&entry(1)).as_bytes());
+        let full = bytes.len();
+        bytes.extend_from_slice(render_journal_entry(&entry(2)).as_bytes());
+        // Tear the last append anywhere mid-line: the first two entries
+        // survive, the tail is flagged.
+        for cut in full + 1..bytes.len() - 1 {
+            let (entries, torn) = parse_journal(&bytes[..cut]);
+            assert!(torn, "cut at {cut} not flagged torn");
+            assert_eq!(entries.len(), 2, "cut at {cut} lost committed entries");
+        }
+    }
+
+    #[test]
+    fn corrupted_journal_line_fails_its_own_crc() {
+        let mut line = render_journal_entry(&entry(7)).into_bytes();
+        line[6] ^= 0x01; // flip one digest nibble; linecrc now disagrees
+        let (entries, torn) = parse_journal(&line);
+        assert!(torn);
+        assert!(entries.is_empty());
+    }
+
+    #[test]
+    fn journal_rejects_path_traversal_in_segment_names() {
+        let body = "seg 0000000000000001 00000001 1 ../evil.fui";
+        let line = format!("{body} {:08x}\n", crc32(body.as_bytes()));
+        let (entries, torn) = parse_journal(line.as_bytes());
+        assert!(entries.is_empty() && torn);
+    }
+
+    #[test]
+    fn append_journal_survives_restart() {
+        let dir = std::env::temp_dir().join(format!("firmup-journal-{}", std::process::id()));
+        let _ = std::fs::remove_dir_all(&dir);
+        std::fs::create_dir_all(&dir).unwrap();
+        let path = journal_path(&dir);
+        append_journal(&path, &entry(0)).unwrap();
+        append_journal(&path, &entry(1)).unwrap();
+        let (entries, torn) = parse_journal(&std::fs::read(&path).unwrap());
+        assert!(!torn);
+        assert_eq!(entries, vec![entry(0), entry(1)]);
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn image_digest_separates_tag_and_content() {
+        assert_ne!(image_digest("a.fwim", b"xy"), image_digest("a.fwimx", b"y"));
+        assert_eq!(image_digest("a.fwim", b"xy"), image_digest("a.fwim", b"xy"));
+    }
+
+    #[test]
+    fn scan_container_itemizes_damage_per_record() {
+        let records = sample();
+        let blob = write_container(&records);
+        // Pristine: every record Ok.
+        let checks = scan_container(&blob).unwrap();
+        assert_eq!(checks.len(), records.len());
+        assert!(checks.iter().all(|c| c.status == RecordStatus::Ok));
+
+        // Flip a byte in the middle record's payload: only it reports
+        // ChecksumMismatch, the rest stay Ok (unlike read_container,
+        // which stops at the first failure).
+        let mut damaged = blob.clone();
+        let n = damaged.len();
+        damaged[n - 100] ^= 0xff; // inside exe:0's 200-byte payload
+        let checks = scan_container(&damaged).unwrap();
+        assert_eq!(checks[0].status, RecordStatus::Ok);
+        assert_eq!(checks[1].status, RecordStatus::ChecksumMismatch);
+        assert_eq!(checks[2].status, RecordStatus::Ok);
+
+        // Truncate into the payload region: the cut record (and any
+        // after it) report TruncatedPayload.
+        let cut = blob.len() - 150;
+        let checks = scan_container(&blob[..cut]).unwrap();
+        assert_eq!(checks[0].status, RecordStatus::Ok);
+        assert_eq!(checks[1].status, RecordStatus::TruncatedPayload);
+    }
+
+    #[test]
+    fn scan_container_rejects_unreadable_headers() {
+        assert!(matches!(
+            scan_container(&[]),
+            Err(IndexError::Truncated { .. })
+        ));
+        let mut blob = write_container(&sample());
+        blob[0] = b'X';
+        assert_eq!(scan_container(&blob), Err(IndexError::NotAnIndex));
     }
 }

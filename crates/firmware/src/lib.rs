@@ -3,6 +3,7 @@
 #![warn(missing_docs)]
 pub mod corpus;
 pub mod crc;
+pub mod durable;
 pub mod faultinject;
 pub mod image;
 pub mod index;

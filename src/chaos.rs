@@ -309,3 +309,300 @@ fn run_index_trial(blob: &[u8], index_id: &str, tally: &mut OpReport) {
         Err(_) => tally.index_errors += 1,
     }
 }
+
+// ---- crash-consistency matrix ---------------------------------------------
+
+/// Crash-matrix run parameters (`firmup chaos --crash-matrix`).
+#[derive(Debug, Clone)]
+pub struct CrashMatrixConfig {
+    /// Corpus seed (also names the scratch directory).
+    pub seed: u64,
+    /// Devices in the generated victim corpus.
+    pub devices: usize,
+    /// The `firmup` binary to drive as crashing/resuming children.
+    pub firmup_bin: std::path::PathBuf,
+}
+
+/// One crash-point trial's measurements.
+#[derive(Debug, Clone)]
+pub struct CrashTrial {
+    /// The `FIRMUP_CRASH_POINT` spec injected into the child build.
+    pub spec: String,
+    /// The injected child did abort (a trial where it survives measures
+    /// nothing).
+    pub crashed: bool,
+    /// `firmup index --resume` completed afterwards.
+    pub resume_ok: bool,
+    /// Segments the resume reused from the journal.
+    pub reused: u64,
+    /// Segments the resume had to (re-)lift and commit.
+    pub committed: u64,
+    /// Expected reused count for this crash point.
+    pub expected_reused: u64,
+    /// `firmup fsck` reported the resumed directory clean.
+    pub fsck_clean: bool,
+    /// Warm-scan findings byte-identical to the uninterrupted baseline.
+    pub findings_match: bool,
+    /// `corpus.fui` byte-identical to the uninterrupted baseline.
+    pub fui_identical: bool,
+}
+
+impl CrashTrial {
+    /// The full invariant: crash observed, resume clean, work reuse
+    /// exact, fsck clean, findings and index bytes identical.
+    pub fn passed(&self) -> bool {
+        self.crashed
+            && self.resume_ok
+            && self.reused == self.expected_reused
+            && self.fsck_clean
+            && self.findings_match
+            && self.fui_identical
+    }
+}
+
+/// The crash-consistency matrix result.
+#[derive(Debug)]
+pub struct CrashMatrixReport {
+    /// Seed the run used.
+    pub seed: u64,
+    /// Images in the victim corpus (= segments per full build).
+    pub images: usize,
+    /// Findings the uninterrupted baseline produced.
+    pub baseline_findings: usize,
+    /// One row per injected crash point.
+    pub trials: Vec<CrashTrial>,
+}
+
+impl CrashMatrixReport {
+    /// Whether every trial upheld the invariant.
+    pub fn passed(&self) -> bool {
+        !self.trials.is_empty() && self.trials.iter().all(CrashTrial::passed)
+    }
+}
+
+impl fmt::Display for CrashMatrixReport {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        writeln!(
+            f,
+            "crash-consistency matrix (seed {:#x}, {} image(s), {} baseline finding(s)):",
+            self.seed, self.images, self.baseline_findings
+        )?;
+        writeln!(
+            f,
+            "  {:<32} {:>7} {:>7} {:>9} {:>9} {:>5} {:>9} {:>5} {:>7}",
+            "crash point",
+            "crashed",
+            "resumed",
+            "reused",
+            "expected",
+            "fsck",
+            "findings",
+            "fui",
+            "verdict"
+        )?;
+        let yn = |b: bool| if b { "yes" } else { "NO" };
+        for t in &self.trials {
+            writeln!(
+                f,
+                "  {:<32} {:>7} {:>7} {:>9} {:>9} {:>5} {:>9} {:>5} {:>7}",
+                t.spec,
+                yn(t.crashed),
+                yn(t.resume_ok),
+                format!("{}+{}", t.reused, t.committed),
+                t.expected_reused,
+                yn(t.fsck_clean),
+                yn(t.findings_match),
+                yn(t.fui_identical),
+                if t.passed() { "pass" } else { "FAIL" }
+            )?;
+        }
+        writeln!(
+            f,
+            "result: {}",
+            if self.passed() {
+                "PASS — every crash point resumed to a byte-identical index"
+            } else {
+                "FAIL — a crash point violated the resume invariant"
+            }
+        )
+    }
+}
+
+/// Findings lines of a scan's stdout (the CVE hits), verbatim.
+fn findings_of(stdout: &[u8]) -> Vec<String> {
+    String::from_utf8_lossy(stdout)
+        .lines()
+        .filter(|l| l.contains("suspected at"))
+        .map(str::to_string)
+        .collect()
+}
+
+/// Read `index.segments_reused` / `index.segments_committed` out of a
+/// `--metrics-out` JSON snapshot.
+fn read_segment_counters(path: &std::path::Path) -> Result<(u64, u64), String> {
+    let text = std::fs::read_to_string(path).map_err(|e| format!("{}: {e}", path.display()))?;
+    let doc = firmup_telemetry::json::Json::parse(&text)
+        .map_err(|e| format!("{}: unparseable metrics JSON: {e}", path.display()))?;
+    let counters = doc
+        .get("counters")
+        .ok_or_else(|| format!("{}: no counters object", path.display()))?;
+    let get = |name: &str| {
+        counters
+            .get(name)
+            .and_then(firmup_telemetry::json::Json::as_u64)
+            .unwrap_or(0)
+    };
+    Ok((
+        get("index.segments_reused"),
+        get("index.segments_committed"),
+    ))
+}
+
+/// Run the crash-consistency matrix: for each deterministic crash point
+/// ([`firmup_firmware::durable`]'s `CP_*` set), kill a child
+/// `firmup index` at that exact point, then assert the invariant —
+/// *the directory loads clean, `--resume` re-lifts only what was never
+/// committed, `fsck` is clean, and the warm-scan findings and
+/// `corpus.fui` bytes are identical to an uninterrupted run*.
+///
+/// # Errors
+///
+/// Setup failures (scratch dir, corpus generation, a baseline build
+/// that won't run at all); trial *failures* are not errors — they land
+/// in the report as failed rows.
+pub fn run_crash_matrix(config: &CrashMatrixConfig) -> Result<CrashMatrixReport, String> {
+    use std::process::Command;
+    let work = std::env::temp_dir().join(format!(
+        "firmup-crashmatrix-{:x}-{}",
+        config.seed,
+        std::process::id()
+    ));
+    let _ = std::fs::remove_dir_all(&work);
+    std::fs::create_dir_all(&work).map_err(|e| format!("{}: {e}", work.display()))?;
+
+    // Victim corpus, written as .fwim files for the child processes.
+    let corpus = generate(&CorpusConfig {
+        seed: config.seed,
+        devices: config.devices.max(2),
+        ..CorpusConfig::tiny()
+    });
+    let mut images: Vec<std::path::PathBuf> = Vec::new();
+    for (i, img) in corpus.images.iter().enumerate() {
+        let path = work.join(format!("{i:03}.fwim"));
+        std::fs::write(&path, &img.blob).map_err(|e| format!("{}: {e}", path.display()))?;
+        images.push(path);
+    }
+    let n = images.len();
+
+    let index_args = |dir: &std::path::Path, extra: &[&str]| -> Vec<String> {
+        let mut v = vec!["index".to_string()];
+        v.extend(images.iter().map(|p| p.display().to_string()));
+        v.extend(["--out".to_string(), dir.display().to_string()]);
+        v.extend(["--threads".to_string(), "1".to_string()]);
+        v.extend(extra.iter().map(|s| (*s).to_string()));
+        v
+    };
+    let run_child =
+        |args: &[String], crash: Option<&str>| -> Result<std::process::Output, String> {
+            let mut cmd = Command::new(&config.firmup_bin);
+            cmd.args(args);
+            match crash {
+                Some(spec) => cmd.env("FIRMUP_CRASH_POINT", spec),
+                None => cmd.env_remove("FIRMUP_CRASH_POINT"),
+            };
+            cmd.output().map_err(|e| format!("spawn firmup: {e}"))
+        };
+
+    // Uninterrupted baseline: build, scan, remember bytes + findings.
+    let base = work.join("baseline");
+    let out = run_child(&index_args(&base, &[]), None)?;
+    if !out.status.success() {
+        return Err(format!(
+            "baseline index failed: {}",
+            String::from_utf8_lossy(&out.stderr)
+        ));
+    }
+    let base_fui = std::fs::read(firmup_firmware::index::index_path(&base))
+        .map_err(|e| format!("baseline corpus.fui: {e}"))?;
+    let scan_args = |dir: &std::path::Path| {
+        vec![
+            "scan".to_string(),
+            "--index".to_string(),
+            dir.display().to_string(),
+        ]
+    };
+    let out = run_child(&scan_args(&base), None)?;
+    if !out.status.success() {
+        return Err(format!(
+            "baseline scan failed: {}",
+            String::from_utf8_lossy(&out.stderr)
+        ));
+    }
+    let base_findings = findings_of(&out.stdout);
+
+    // The matrix: each crash point, including a kill after every k-th
+    // segment, plus the final corpus.fui rename (the (n+1)-th atomic
+    // write of the build — n segments come first).
+    let mut specs: Vec<(String, u64)> = vec![
+        ("durable.after_temp_write:1".to_string(), 0),
+        ("durable.before_rename:1".to_string(), 0),
+        ("journal.mid_append:1".to_string(), 0),
+    ];
+    for k in 1..=n as u64 {
+        specs.push((format!("index.between_segments:{k}"), k));
+    }
+    specs.push((format!("durable.before_rename:{}", n + 1), n as u64));
+
+    let mut trials = Vec::new();
+    for (spec, expected_reused) in specs {
+        let dir = work.join(format!("trial-{}", spec.replace([':', '.'], "_")));
+        let crashed = !run_child(&index_args(&dir, &[]), Some(&spec))?
+            .status
+            .success();
+        let metrics = dir.join("resume-metrics.json");
+        let resume = run_child(
+            &index_args(
+                &dir,
+                &["--resume", "--metrics-out", metrics.to_str().unwrap_or("")],
+            ),
+            None,
+        )?;
+        let resume_ok = resume.status.success();
+        let (reused, committed) = if resume_ok {
+            read_segment_counters(&metrics).unwrap_or((u64::MAX, u64::MAX))
+        } else {
+            (u64::MAX, u64::MAX)
+        };
+        let fsck = run_child(&["fsck".to_string(), dir.display().to_string()], None)?;
+        let scan = run_child(&scan_args(&dir), None)?;
+        let findings_match = scan.status.success() && findings_of(&scan.stdout) == base_findings;
+        let fui_identical = std::fs::read(firmup_firmware::index::index_path(&dir))
+            .is_ok_and(|bytes| bytes == base_fui);
+        trials.push(CrashTrial {
+            spec,
+            crashed,
+            resume_ok,
+            reused,
+            committed,
+            expected_reused,
+            fsck_clean: fsck.status.success(),
+            findings_match,
+            fui_identical,
+        });
+    }
+    let report = CrashMatrixReport {
+        seed: config.seed,
+        images: n,
+        baseline_findings: base_findings.len(),
+        trials,
+    };
+    if report.passed() {
+        let _ = std::fs::remove_dir_all(&work);
+    } else {
+        eprintln!(
+            "crash matrix: scratch kept for debugging at {}",
+            work.display()
+        );
+    }
+    Ok(report)
+}

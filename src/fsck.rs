@@ -1,0 +1,513 @@
+//! `firmup fsck` — offline integrity verification and repair of an
+//! index directory.
+//!
+//! An index directory holds three kinds of durable state: the
+//! checkpoint journal (`journal.fuj`), the per-image segments under
+//! `segments/`, and the final `corpus.fui`. fsck verifies all of them
+//! — every record CRC is re-computed, every journal entry's segment is
+//! read back — and reports a per-record verdict table. Damaged
+//! segments are quarantined (moved into `quarantine/`) so a later
+//! `--repair` run, given the source images, re-lifts *only* the images
+//! whose checkpoints were lost and rebuilds `corpus.fui` from the
+//! surviving plus repaired segments.
+//!
+//! fsck takes the directory's writer lock: it must never race a live
+//! `firmup index`.
+
+use std::fmt;
+use std::path::{Path, PathBuf};
+
+use firmup_core::error::{FaultCtx, FirmUpError};
+use firmup_core::persist::{segment_from_bytes, CorpusIndex, IndexCheckpoint};
+use firmup_firmware::crc::crc32;
+use firmup_firmware::durable::{acquire_lock, is_tmp_debris, write_atomic, LockOptions};
+use firmup_firmware::index::{
+    image_digest, index_path, journal_path, parse_journal, render_journal_entry, scan_container,
+    segments_dir, JournalEntry, RecordStatus,
+};
+
+/// Subdirectory damaged segments are moved into.
+pub const QUARANTINE_DIR: &str = "quarantine";
+
+/// What to check and whether to fix it.
+#[derive(Debug, Clone, Default)]
+pub struct FsckOptions {
+    /// Rebuild what verification condemned (requires the source images
+    /// for any lost segments).
+    pub repair: bool,
+    /// Source images, for re-lifting damaged/missing segments.
+    pub images: Vec<PathBuf>,
+    /// Lift parallelism for repairs (0 = all cores).
+    pub threads: usize,
+}
+
+/// Verdict for one checked object.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Verdict {
+    /// Verified intact.
+    Ok,
+    /// Damaged (and quarantined where applicable).
+    Damaged,
+    /// Referenced but absent.
+    Missing,
+    /// Present but unreferenced (warning, not damage).
+    Orphan,
+    /// Was damaged or missing; rebuilt by `--repair`.
+    Repaired,
+}
+
+impl Verdict {
+    fn label(self) -> &'static str {
+        match self {
+            Verdict::Ok => "ok",
+            Verdict::Damaged => "DAMAGED",
+            Verdict::Missing => "MISSING",
+            Verdict::Orphan => "orphan",
+            Verdict::Repaired => "repaired",
+        }
+    }
+}
+
+/// One row of the verdict table.
+#[derive(Debug, Clone)]
+pub struct FsckRow {
+    /// What was checked (`journal`, `segment <file>`, `corpus.fui`, or
+    /// `corpus.fui record <name>`).
+    pub what: String,
+    /// The verdict.
+    pub verdict: Verdict,
+    /// Diagnosis detail (empty when ok).
+    pub detail: String,
+}
+
+/// Full fsck outcome: the verdict table plus summary counts.
+#[derive(Debug, Default)]
+pub struct FsckReport {
+    /// Per-object verdicts, in check order.
+    pub rows: Vec<FsckRow>,
+    /// Stray `write_atomic` temp files swept.
+    pub tmp_swept: usize,
+    /// Whether the journal ended in a torn append (trimmed).
+    pub torn_tail: bool,
+    /// Segments quarantined this run.
+    pub quarantined: usize,
+    /// Segments rebuilt by `--repair`.
+    pub repaired: usize,
+}
+
+impl FsckReport {
+    fn push(&mut self, what: impl Into<String>, verdict: Verdict, detail: impl Into<String>) {
+        self.rows.push(FsckRow {
+            what: what.into(),
+            verdict,
+            detail: detail.into(),
+        });
+    }
+
+    /// Damaged/missing rows not superseded by a later `Repaired` row
+    /// for the same object (the verdict table is a history: a repair
+    /// resolves the diagnosis that preceded it). Rebuilding a container
+    /// also resolves its sub-objects (`corpus.fui` covers every
+    /// `corpus.fui record <name>` row).
+    fn unresolved(&self) -> usize {
+        let covers = |repaired: &str, what: &str| {
+            what == repaired
+                || what
+                    .strip_prefix(repaired)
+                    .is_some_and(|r| r.starts_with(' '))
+        };
+        self.rows
+            .iter()
+            .enumerate()
+            .filter(|(i, r)| {
+                matches!(r.verdict, Verdict::Damaged | Verdict::Missing)
+                    && !self.rows[i + 1..].iter().any(|later| {
+                        later.verdict == Verdict::Repaired && covers(&later.what, &r.what)
+                    })
+            })
+            .count()
+    }
+
+    /// Whether every object is intact (or was repaired): orphans and a
+    /// trimmed torn tail are warnings, anything damaged or missing is
+    /// not clean.
+    pub fn clean(&self) -> bool {
+        self.unresolved() == 0
+    }
+}
+
+impl fmt::Display for FsckReport {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let width = self.rows.iter().map(|r| r.what.len()).max().unwrap_or(4);
+        writeln!(f, "{:<width$}  verdict   detail", "object")?;
+        for r in &self.rows {
+            writeln!(
+                f,
+                "{:<width$}  {:<8}  {}",
+                r.what,
+                r.verdict.label(),
+                r.detail
+            )?;
+        }
+        let damaged = self.unresolved();
+        writeln!(
+            f,
+            "fsck: {} object(s) checked, {} damaged/missing, {} quarantined, {} repaired{}{}",
+            self.rows.len(),
+            damaged,
+            self.quarantined,
+            self.repaired,
+            if self.torn_tail {
+                ", torn journal tail trimmed"
+            } else {
+                ""
+            },
+            if self.tmp_swept > 0 {
+                format!(", {} stray tmp file(s) swept", self.tmp_swept)
+            } else {
+                String::new()
+            }
+        )?;
+        writeln!(
+            f,
+            "fsck: {}",
+            if self.clean() { "clean" } else { "NOT clean" }
+        )
+    }
+}
+
+fn sweep_tmp(dir: &Path, report: &mut FsckReport) {
+    let Ok(listing) = std::fs::read_dir(dir) else {
+        return;
+    };
+    for item in listing.flatten() {
+        let name = item.file_name();
+        if name.to_str().is_some_and(is_tmp_debris) && std::fs::remove_file(item.path()).is_ok() {
+            report.tmp_swept += 1;
+        }
+    }
+}
+
+fn quarantine(dir: &Path, path: &Path, report: &mut FsckReport) {
+    let qdir = dir.join(QUARANTINE_DIR);
+    let _ = std::fs::create_dir_all(&qdir);
+    if let Some(name) = path.file_name() {
+        if std::fs::rename(path, qdir.join(name)).is_ok() {
+            report.quarantined += 1;
+        }
+    }
+}
+
+/// Verify (and with [`FsckOptions::repair`], rebuild) the index
+/// directory `dir`.
+///
+/// # Errors
+///
+/// [`FirmUpError::Lock`] when a live writer holds the directory,
+/// [`FirmUpError::Io`] on unreadable metadata. Damage to the *index
+/// contents* is not an error — it lands in the report.
+pub fn run(dir: &Path, opts: &FsckOptions) -> Result<FsckReport, FirmUpError> {
+    let _lock = acquire_lock(dir, &LockOptions::from_env())?;
+    let mut report = FsckReport::default();
+    let seg_dir = segments_dir(dir);
+    sweep_tmp(dir, &mut report);
+    sweep_tmp(&seg_dir, &mut report);
+
+    // Journal: parse, trim a torn tail, verify each entry's segment.
+    let journal = journal_path(dir);
+    let journal_bytes = match std::fs::read(&journal) {
+        Ok(b) => b,
+        Err(e) if e.kind() == std::io::ErrorKind::NotFound => Vec::new(),
+        Err(e) => {
+            return Err(FirmUpError::from(e).in_ctx(FaultCtx::image(journal.display().to_string())))
+        }
+    };
+    let (entries, torn) = parse_journal(&journal_bytes);
+    report.torn_tail = torn;
+    let mut valid: Vec<JournalEntry> = Vec::new();
+    let mut journal_dirty = torn;
+    for entry in entries {
+        let seg_path = seg_dir.join(&entry.segment);
+        let what = format!("segment {}", entry.segment);
+        match std::fs::read(&seg_path) {
+            Err(_) => {
+                report.push(what, Verdict::Missing, "segment file absent");
+                journal_dirty = true;
+            }
+            Ok(blob) if crc32(&blob) != entry.crc => {
+                report.push(what, Verdict::Damaged, "CRC-32 mismatch vs journal");
+                quarantine(dir, &seg_path, &mut report);
+                journal_dirty = true;
+            }
+            Ok(blob) => match segment_from_bytes(&blob) {
+                Ok(reps) if reps.len() as u32 == entry.executables => {
+                    report.push(what, Verdict::Ok, format!("{} executable(s)", reps.len()));
+                    valid.push(entry);
+                }
+                Ok(reps) => {
+                    report.push(
+                        what,
+                        Verdict::Damaged,
+                        format!(
+                            "journal declares {} executable(s), segment holds {}",
+                            entry.executables,
+                            reps.len()
+                        ),
+                    );
+                    quarantine(dir, &seg_path, &mut report);
+                    journal_dirty = true;
+                }
+                Err(e) => {
+                    report.push(what, Verdict::Damaged, e.to_string());
+                    quarantine(dir, &seg_path, &mut report);
+                    journal_dirty = true;
+                }
+            },
+        }
+    }
+
+    // Orphan segments: present on disk, unreferenced by the journal.
+    if let Ok(listing) = std::fs::read_dir(&seg_dir) {
+        for item in listing.flatten() {
+            let name = item.file_name().to_string_lossy().into_owned();
+            if !valid.iter().any(|e| e.segment == name) {
+                report.push(
+                    format!("segment {name}"),
+                    Verdict::Orphan,
+                    "not referenced by the journal",
+                );
+            }
+        }
+    }
+
+    // Repair lost segments from source images, if provided.
+    if opts.repair {
+        let (mut ckpt, _) = IndexCheckpoint::open(dir, true)?;
+        for img in &opts.images {
+            let tag = img.display().to_string();
+            let bytes = match std::fs::read(img) {
+                Ok(b) => b,
+                Err(e) => {
+                    report.push(format!("image {tag}"), Verdict::Missing, e.to_string());
+                    continue;
+                }
+            };
+            let digest = image_digest(&tag, &bytes);
+            if ckpt.committed(digest) {
+                continue;
+            }
+            match crate::pipeline::lift_image(&tag, &bytes, opts.threads) {
+                Ok(reps) => {
+                    let n = reps.len();
+                    ckpt.commit(digest, &reps)?;
+                    firmup_telemetry::add("fsck.records_repaired", n as u64);
+                    report.repaired += 1;
+                    report.push(
+                        format!(
+                            "segment {}",
+                            firmup_firmware::index::segment_file_name(digest)
+                        ),
+                        Verdict::Repaired,
+                        format!("re-lifted {n} executable(s) from {tag}"),
+                    );
+                }
+                Err(e) => {
+                    report.push(format!("image {tag}"), Verdict::Damaged, e.to_string());
+                }
+            }
+        }
+        // Re-read the journal: the checkpoint open above already
+        // dropped condemned entries and the repairs appended new ones.
+        let bytes = std::fs::read(&journal).unwrap_or_default();
+        valid = parse_journal(&bytes).0;
+        journal_dirty = false;
+    } else if journal_dirty && !journal_bytes.is_empty() {
+        // Rewrite the journal to only the verified entries so the next
+        // resume does not re-diagnose the same damage.
+        let mut fresh = String::new();
+        for e in &valid {
+            fresh.push_str(&render_journal_entry(e));
+        }
+        write_atomic(&journal, fresh.as_bytes()).map_err(|e| {
+            FirmUpError::from(e).in_ctx(FaultCtx::image(journal.display().to_string()))
+        })?;
+    }
+    let _ = journal_dirty;
+
+    // corpus.fui: per-record verdicts, then a full typed decode.
+    let fui = index_path(dir);
+    let mut fui_ok = false;
+    match std::fs::read(&fui) {
+        Err(_) => report.push("corpus.fui", Verdict::Missing, "index file absent"),
+        Ok(blob) if blob.is_empty() => {
+            report.push("corpus.fui", Verdict::Damaged, "zero-length file")
+        }
+        Ok(blob) => match scan_container(&blob) {
+            Err(e) => report.push("corpus.fui", Verdict::Damaged, e.to_string()),
+            Ok(checks) => {
+                let mut damaged = 0usize;
+                for c in &checks {
+                    let verdict = match c.status {
+                        RecordStatus::Ok => Verdict::Ok,
+                        _ => {
+                            damaged += 1;
+                            Verdict::Damaged
+                        }
+                    };
+                    let detail = match c.status {
+                        RecordStatus::Ok => format!("{} byte(s)", c.len),
+                        RecordStatus::ChecksumMismatch => "CRC-32 mismatch".to_string(),
+                        RecordStatus::TruncatedPayload => "payload truncated".to_string(),
+                    };
+                    report.push(format!("corpus.fui record {}", c.name), verdict, detail);
+                }
+                if damaged == 0 {
+                    match CorpusIndex::from_bytes(&blob) {
+                        Ok(_) => fui_ok = true,
+                        Err(e) => report.push("corpus.fui", Verdict::Damaged, e.to_string()),
+                    }
+                }
+            }
+        },
+    }
+
+    // Rebuild corpus.fui from the (surviving + repaired) segments.
+    if opts.repair && !fui_ok {
+        let (ckpt, _) = IndexCheckpoint::open(dir, true)?;
+        let mut reps = Vec::new();
+        let mut complete = true;
+        for e in &valid {
+            match ckpt.load_segment(e.digest) {
+                Ok(mut segment_reps) => reps.append(&mut segment_reps),
+                Err(_) => complete = false,
+            }
+        }
+        if complete {
+            CorpusIndex::build(reps).save(dir)?;
+            report.push("corpus.fui", Verdict::Repaired, "rebuilt from segments");
+        } else {
+            report.push(
+                "corpus.fui",
+                Verdict::Damaged,
+                "cannot rebuild: segments still missing (pass the source images)",
+            );
+        }
+    }
+    Ok(report)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use firmup_core::sim::{ExecutableRep, ProcedureRep};
+    use firmup_isa::Arch;
+
+    fn rep(id: &str) -> ExecutableRep {
+        ExecutableRep {
+            id: id.into(),
+            arch: Arch::Mips32,
+            procedures: vec![ProcedureRep {
+                addr: 0x1000,
+                name: Some("f".into()),
+                strands: vec![1, 4, 9],
+                block_count: 1,
+                size: 16,
+            }],
+        }
+    }
+
+    fn setup(tag: &str) -> (PathBuf, IndexCheckpoint) {
+        let dir = std::env::temp_dir().join(format!("firmup-fsck-{tag}-{}", std::process::id()));
+        let _ = std::fs::remove_dir_all(&dir);
+        let (mut ckpt, _) = IndexCheckpoint::open(&dir, false).unwrap();
+        ckpt.commit(0xa1, &[rep("a")]).unwrap();
+        ckpt.commit(0xb2, &[rep("b")]).unwrap();
+        CorpusIndex::build(vec![rep("a"), rep("b")])
+            .save(&dir)
+            .unwrap();
+        (dir, ckpt)
+    }
+
+    #[test]
+    fn pristine_directory_is_clean() {
+        let (dir, _ckpt) = setup("clean");
+        let report = run(&dir, &FsckOptions::default()).unwrap();
+        assert!(report.clean(), "{report}");
+        assert_eq!(report.quarantined, 0);
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn damaged_segment_is_condemned_and_quarantined() {
+        let (dir, _ckpt) = setup("damage");
+        let seg = segments_dir(&dir).join(firmup_firmware::index::segment_file_name(0xa1));
+        let mut blob = std::fs::read(&seg).unwrap();
+        blob[12] ^= 0xff;
+        std::fs::write(&seg, &blob).unwrap();
+        let report = run(&dir, &FsckOptions::default()).unwrap();
+        assert!(!report.clean(), "{report}");
+        assert_eq!(report.quarantined, 1);
+        assert!(dir
+            .join(QUARANTINE_DIR)
+            .join(firmup_firmware::index::segment_file_name(0xa1))
+            .is_file());
+        // The journal was rewritten: a second fsck reports the segment
+        // gone from the manifest (clean now — the damage is recorded).
+        let report = run(&dir, &FsckOptions::default()).unwrap();
+        assert!(
+            !report.rows.iter().any(|r| r.verdict == Verdict::Damaged),
+            "{report}"
+        );
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn damaged_corpus_record_gets_a_per_record_verdict() {
+        let (dir, _ckpt) = setup("record");
+        let fui = index_path(&dir);
+        let mut blob = std::fs::read(&fui).unwrap();
+        let n = blob.len();
+        blob[n - 2] ^= 0x20; // inside the last record's payload
+        std::fs::write(&fui, &blob).unwrap();
+        let report = run(&dir, &FsckOptions::default()).unwrap();
+        assert!(!report.clean());
+        let damaged: Vec<&FsckRow> = report
+            .rows
+            .iter()
+            .filter(|r| r.verdict == Verdict::Damaged)
+            .collect();
+        assert_eq!(damaged.len(), 1, "{report}");
+        assert!(damaged[0].what.starts_with("corpus.fui record"), "{report}");
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn repair_rebuilds_corpus_from_surviving_segments() {
+        let (dir, _ckpt) = setup("rebuild");
+        // Smash corpus.fui entirely; segments are intact, so repair
+        // rebuilds without any source images.
+        std::fs::write(index_path(&dir), b"garbage").unwrap();
+        let report = run(
+            &dir,
+            &FsckOptions {
+                repair: true,
+                ..FsckOptions::default()
+            },
+        )
+        .unwrap();
+        assert!(report.clean(), "{report}");
+        let back = CorpusIndex::load(&dir).unwrap();
+        assert_eq!(back.executables.len(), 2);
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn missing_directory_contents_are_reported_not_panicked() {
+        let dir = std::env::temp_dir().join(format!("firmup-fsck-void-{}", std::process::id()));
+        let _ = std::fs::remove_dir_all(&dir);
+        std::fs::create_dir_all(&dir).unwrap();
+        let report = run(&dir, &FsckOptions::default()).unwrap();
+        assert!(!report.clean(), "an empty dir has no corpus.fui: {report}");
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+}

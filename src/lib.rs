@@ -20,10 +20,13 @@
 //! `crates/bench` for the harness that regenerates every table and
 //! figure of the paper's evaluation.
 
-#![forbid(unsafe_code)]
+#![deny(unsafe_code)] // one scoped allow: the SIGINT binding in `shutdown`
 #![warn(missing_docs)]
 
 pub mod chaos;
+pub mod fsck;
+pub mod pipeline;
+pub mod shutdown;
 
 pub use firmup_baselines as baselines;
 pub use firmup_compiler as compiler;

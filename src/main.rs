@@ -5,6 +5,8 @@
 //! firmup info PATH                      # firmware image or ELF
 //! firmup disasm ELF [--proc NAME]       # disassembly + canonical strands
 //! firmup index IMAGE... --out DIR       # persist a strand-hash corpus index
+//! firmup index ... --resume             # continue a crashed/interrupted build
+//! firmup fsck DIR [--repair] [IMAGE...] # verify (and rebuild) a saved index
 //! firmup scan IMAGE... [--cve ID]       # hunt CVE queries in images
 //! firmup scan --index DIR [--cve ID]    # warm scan from a saved index
 //! ```
@@ -18,38 +20,62 @@ use std::path::{Path, PathBuf};
 use std::process::ExitCode;
 
 use firmup::core::canon::{canonicalize, AddrSpace, CanonConfig};
-use firmup::core::error::{isolate, FaultCtx, FirmUpError};
+use firmup::core::error::FirmUpError;
 use firmup::core::lift::lift_executable;
-use firmup::core::persist::CorpusIndex;
+use firmup::core::persist::{CorpusIndex, IndexCheckpoint};
 use firmup::core::search::{
     prefilter_candidates, search_corpus_robust, ScanBudget, SearchConfig, TargetOutcome,
 };
 use firmup::core::sim::{index_elf, ExecutableRep};
-use firmup::core::strand::decompose;
 use firmup::firmware::corpus::{generate, try_build_query, CorpusConfig};
+use firmup::firmware::durable::{
+    acquire_lock, crash_point, write_atomic, LockOptions, CP_BETWEEN_SEGMENTS,
+};
 use firmup::firmware::image::unpack;
+use firmup::firmware::index::image_digest;
 use firmup::firmware::packages::all_cves;
 use firmup::isa::Arch;
 use firmup::obj::Elf;
 
+/// Top-level command outcome: a printable failure, or a clean SIGINT
+/// cut-short (which exits with [`firmup::shutdown::INTERRUPT_EXIT_CODE`]
+/// so scripts can tell the two apart).
+enum CliError {
+    Msg(String),
+    Interrupted,
+}
+
+impl From<String> for CliError {
+    fn from(msg: String) -> CliError {
+        CliError::Msg(msg)
+    }
+}
+
 fn main() -> ExitCode {
     let args: Vec<String> = std::env::args().skip(1).collect();
-    let result = match args.first().map(String::as_str) {
-        Some("gen-corpus") => gen_corpus(&args[1..]),
-        Some("info") => info(&args[1..]),
-        Some("disasm") => disasm(&args[1..]),
+    let result: Result<(), CliError> = match args.first().map(String::as_str) {
+        Some("gen-corpus") => gen_corpus(&args[1..]).map_err(CliError::Msg),
+        Some("info") => info(&args[1..]).map_err(CliError::Msg),
+        Some("disasm") => disasm(&args[1..]).map_err(CliError::Msg),
         Some("index") => index(&args[1..]),
+        Some("fsck") => fsck_cmd(&args[1..]).map_err(CliError::Msg),
         Some("scan") => scan(&args[1..]),
-        Some("chaos") => chaos(&args[1..]),
+        Some("chaos") => chaos(&args[1..]).map_err(CliError::Msg),
         Some("--help" | "-h") | None => {
             eprint!("{USAGE}");
             return ExitCode::SUCCESS;
         }
-        Some(other) => Err(format!("unknown command `{other}`\n{USAGE}")),
+        Some(other) => Err(CliError::Msg(format!("unknown command `{other}`\n{USAGE}"))),
     };
     match result {
         Ok(()) => ExitCode::SUCCESS,
-        Err(e) => {
+        Err(CliError::Interrupted) => {
+            eprintln!(
+                "firmup: interrupted — committed work is durable; rerun with --resume to continue"
+            );
+            ExitCode::from(firmup::shutdown::INTERRUPT_EXIT_CODE)
+        }
+        Err(CliError::Msg(e)) => {
             eprintln!("firmup: {e}");
             ExitCode::FAILURE
         }
@@ -65,13 +91,26 @@ USAGE:
         Describe a firmware image (parts, vendors) or an ELF (sections, procedures).
     firmup disasm ELF [--proc NAME]
         Disassemble an executable and print lifted IR + canonical strands.
-    firmup index IMAGE... --out DIR [--threads N]
+    firmup index IMAGE... --out DIR [--threads N] [--resume]
+                 [--metrics-out FILE.json]
         Unpack, lift, and canonicalize every executable in the images and
         persist the result — procedure metadata, canonical strand hashes,
         the trained global context, and an inverted strand->procedure
         postings table — as DIR/corpus.fui (a versioned, checksummed
         binary index). Per-part work fans out over --threads (0 = all
         cores, the default); a corrupt part is skipped, never fatal.
+        The build is crash safe: each image is committed as a durable
+        checkpoint segment (DIR/segments/ + DIR/journal.fuj) behind an
+        advisory lock, every file lands via temp+fsync+rename, and ^C
+        exits cleanly (code 130) after the current segment. --resume
+        verifies the journal and re-lifts only what was never committed.
+    firmup fsck DIR [--repair] [IMAGE...] [--threads N]
+        Verify a saved index: sweep atomic-write debris, trim a torn
+        journal tail, CRC-check every checkpoint segment (quarantining
+        damage), and decode every corpus.fui record. Prints a per-object
+        verdict table; exits nonzero unless clean. With --repair (and
+        the source IMAGE... for anything lost) rebuilds only the damaged
+        pieces and rewrites corpus.fui from verified segments.
     firmup scan IMAGE... [--index DIR] [--cve CVE-ID] [--threads N]
                 [--top-k K] [--trace] [--metrics-out FILE.json]
                 [--game-ms N] [--target-ms N] [--scan-ms N] [--max-steps N]
@@ -84,23 +123,28 @@ USAGE:
         games (0 = all cores; default 1 for deterministic output order).
         Prints a stage-by-stage profile after the scan; --metrics-out
         additionally writes the full metrics snapshot (span timings,
-        game.steps histogram, counters) as JSON. --trace (or
+        game.steps histogram, counters) as JSON, atomically. --trace (or
         FIRMUP_TRACE=1) streams structured JSON-lines events to stderr.
         The scan is fault tolerant: unreadable/corrupt images are
         reported and skipped, a damaged index is a structured error, a
-        panicking target poisons only itself, and the --*-ms /
-        --max-steps budgets degrade over-budget targets gracefully
-        instead of hanging.
-    firmup chaos [--seed HEX] [--devices N] [--variants N]
+        panicking target poisons only itself, the --*-ms / --max-steps
+        budgets degrade over-budget targets gracefully instead of
+        hanging, and ^C stops at the next target boundary (exit 130)
+        after flushing findings and metrics.
+    firmup chaos [--seed HEX] [--devices N] [--variants N] [--crash-matrix]
         Fault-injection matrix: corrupt a seeded corpus with every
-        operator (bit flips, truncation, CRC smash, bogus/overlapping
-        part headers, mangled section tables, oversized lengths) and push
-        each damaged blob through unpack → lift → search. Exits nonzero
-        if any stage panics.
+        operator (bit flips, truncation, torn sector-aligned renames,
+        stale lock stamps, CRC smash, bogus/overlapping part headers,
+        mangled section tables, oversized lengths) and push each damaged
+        blob through unpack -> lift -> search. Exits nonzero if any stage
+        panics. --crash-matrix instead kills a child `firmup index` at
+        every deterministic crash point and asserts each one resumes to
+        a byte-identical index with identical scan findings.
 ";
 
 /// Flags that consume the following argument as their value. Everything
-/// else starting with `--` is a boolean flag (e.g. `--trace`).
+/// else starting with `--` is a boolean flag (e.g. `--trace`,
+/// `--resume`, `--repair`, `--crash-matrix`).
 const VALUE_FLAGS: &[&str] = &[
     "--out",
     "--devices",
@@ -296,7 +340,7 @@ fn disasm(args: &[String]) -> Result<(), String> {
                 println!("    {a}");
             }
             let ssa = firmup::ir::ssa::ssa_block(block);
-            for strand in decompose(&ssa) {
+            for strand in firmup::core::strand::decompose(&ssa) {
                 let c = canonicalize(&strand, &space, &config);
                 for line in c.text.lines() {
                     println!("      ; strand: {line}");
@@ -307,7 +351,7 @@ fn disasm(args: &[String]) -> Result<(), String> {
     Ok(())
 }
 
-fn scan(args: &[String]) -> Result<(), String> {
+fn scan(args: &[String]) -> Result<(), CliError> {
     // Scans always profile themselves: telemetry stays disabled (and
     // near-free) for every other command.
     firmup::telemetry::enable();
@@ -320,14 +364,16 @@ fn scan(args: &[String]) -> Result<(), String> {
         "index.cache_hit",
         "prefilter.candidates",
         "rep.clones",
+        "io.retries",
     ] {
         let _ = firmup::telemetry::counter(name);
     }
     if has_flag(args, "--trace") {
         firmup::telemetry::set_trace(true);
     }
+    firmup::shutdown::install();
     let metrics_out = flag_value(args, "--metrics-out").map(PathBuf::from);
-    let findings = {
+    let (findings, interrupted) = {
         let _span = firmup::telemetry::span!("scan");
         scan_images(args)?
     };
@@ -342,9 +388,12 @@ fn scan(args: &[String]) -> Result<(), String> {
     let snap = firmup::telemetry::snapshot();
     print!("{}", snap.render_text());
     if let Some(path) = metrics_out {
-        std::fs::write(&path, snap.render_json().render())
-            .map_err(|e| format!("{}: {e}", path.display()))?;
+        write_atomic(&path, snap.render_json().render().as_bytes())
+            .map_err(|e| CliError::Msg(format!("{}: {e}", path.display())))?;
         println!("metrics written to {}", path.display());
+    }
+    if interrupted {
+        return Err(CliError::Interrupted);
     }
     Ok(())
 }
@@ -379,91 +428,34 @@ fn usize_flag(args: &[String], name: &str) -> Result<Option<usize>, String> {
 }
 
 /// Unpack every image and lift + canonicalize each contained executable,
-/// fanning the per-part work out over `threads` scoped worker threads
-/// (0 = one per core). Every per-image and per-part step is
-/// fault-isolated: a corrupt image or a panicking lift is reported and
-/// skipped, never aborting the run (the corpus-scale robustness
-/// requirement of §5.1). Returns the reps in deterministic image/part
-/// order plus the count of images that failed to unpack entirely.
+/// pooling the per-part work of *all* images over `threads` scoped
+/// worker threads (0 = one per core) via [`firmup::pipeline`]. Every
+/// per-image and per-part step is fault-isolated: a corrupt image or a
+/// panicking lift is reported and skipped, never aborting the run (the
+/// corpus-scale robustness requirement of §5.1). Returns the reps in
+/// deterministic image/part order plus the count of images that failed
+/// to unpack entirely.
 fn lift_images(paths: &[&String], threads: usize) -> Result<(Vec<ExecutableRep>, usize), String> {
-    let canon = CanonConfig::default();
-    let mut parts: Vec<(FaultCtx, String, Vec<u8>)> = Vec::new();
+    let mut parts: Vec<firmup::pipeline::PartJob> = Vec::new();
     let mut skipped_images = 0usize;
     for p in paths {
-        let img_ctx = FaultCtx::image(*p);
-        let unpacked = isolate(img_ctx.clone(), || {
-            let bytes = std::fs::read(Path::new(p)).map_err(FirmUpError::from)?;
-            unpack(&bytes).map_err(FirmUpError::from)
-        });
-        let u = match unpacked {
-            Ok(u) => u,
+        let unpacked = std::fs::read(Path::new(p.as_str()))
+            .map_err(FirmUpError::from)
+            .and_then(|bytes| firmup::pipeline::unpack_parts(p, &bytes));
+        match unpacked {
+            Ok(mut jobs) => parts.append(&mut jobs),
             Err(e) => {
                 eprintln!("firmup: skipping image: {e}");
                 firmup::telemetry::incr(&format!("scan.errors.{}", e.kind()));
                 skipped_images += 1;
-                continue;
             }
-        };
-        for issue in &u.issues {
-            firmup::telemetry::event(
-                "unpack.issue",
-                &[
-                    ("image", firmup::telemetry::json::Json::Str((*p).clone())),
-                    (
-                        "issue",
-                        firmup::telemetry::json::Json::Str(format!("{issue:?}")),
-                    ),
-                ],
-            );
-        }
-        for part in u.parts {
-            let ctx = img_ctx.clone().with_package(&part.name);
-            let id = format!("{p}:{}", part.name);
-            parts.push((ctx, id, part.data));
         }
     }
     if skipped_images == paths.len() {
         return Err("no scannable image: every input failed to unpack".into());
     }
-
-    let threads = if threads == 0 {
-        std::thread::available_parallelism().map_or(4, std::num::NonZeroUsize::get)
-    } else {
-        threads
-    };
-    let lift_one = |(ctx, id, data): &(FaultCtx, String, Vec<u8>)| {
-        isolate(ctx.clone(), || {
-            let elf = Elf::parse(data)?;
-            index_elf(&elf, id, &canon).map_err(FirmUpError::from)
-        })
-    };
-    let lifted: Vec<Result<ExecutableRep, FirmUpError>> = if threads <= 1 || parts.len() <= 1 {
-        parts.iter().map(lift_one).collect()
-    } else {
-        let next = std::sync::atomic::AtomicUsize::new(0);
-        let slots: std::sync::Mutex<Vec<Option<Result<ExecutableRep, FirmUpError>>>> =
-            std::sync::Mutex::new(vec![None; parts.len()]);
-        std::thread::scope(|scope| {
-            for _ in 0..threads.min(parts.len()) {
-                scope.spawn(|| loop {
-                    let i = next.fetch_add(1, std::sync::atomic::Ordering::Relaxed);
-                    if i >= parts.len() {
-                        break;
-                    }
-                    let r = lift_one(&parts[i]);
-                    slots.lock().expect("lift slots lock")[i] = Some(r);
-                });
-            }
-        });
-        slots
-            .into_inner()
-            .expect("lift slots lock")
-            .into_iter()
-            .map(|r| r.expect("every slot filled"))
-            .collect()
-    };
-    let mut reps = Vec::with_capacity(lifted.len());
-    for r in lifted {
+    let mut reps = Vec::with_capacity(parts.len());
+    for r in firmup::pipeline::lift_parts(&parts, threads) {
         match r {
             Ok(rep) => reps.push(rep),
             Err(e) => eprintln!("firmup: skipping part: {e}"),
@@ -472,17 +464,134 @@ fn lift_images(paths: &[&String], threads: usize) -> Result<(Vec<ExecutableRep>,
     Ok((reps, skipped_images))
 }
 
-fn index(args: &[String]) -> Result<(), String> {
+fn index(args: &[String]) -> Result<(), CliError> {
     firmup::telemetry::enable();
+    // Pre-register the durability counters so every run (including one
+    // that reuses everything) reports them in --metrics-out JSON.
+    for name in [
+        "index.segments_committed",
+        "index.segments_reused",
+        "index.resumed",
+        "io.retries",
+    ] {
+        let _ = firmup::telemetry::counter(name);
+    }
     let paths = positional(args);
     if paths.is_empty() {
-        return Err("index requires at least one IMAGE".into());
+        return Err(CliError::Msg("index requires at least one IMAGE".into()));
     }
-    let out = PathBuf::from(flag_value(args, "--out").ok_or("index requires --out DIR")?);
+    let out = PathBuf::from(
+        flag_value(args, "--out")
+            .ok_or_else(|| CliError::Msg("index requires --out DIR".into()))?,
+    );
     let threads = usize_flag(args, "--threads")?.unwrap_or(0);
-    let (reps, skipped) = lift_images(&paths, threads)?;
+    let resume = has_flag(args, "--resume");
+    let metrics_out = flag_value(args, "--metrics-out").map(PathBuf::from);
+    firmup::shutdown::install();
+    std::fs::create_dir_all(&out).map_err(|e| format!("{}: {e}", out.display()))?;
+    // One writer at a time: a second `firmup index` on the same DIR gets
+    // a structured lock-held error instead of a torn index.
+    let lock = acquire_lock(&out, &LockOptions::from_env())
+        .map_err(|e| CliError::Msg(FirmUpError::from(e).to_string()))?;
+    if resume {
+        firmup::telemetry::incr("index.resumed");
+    }
+    let (mut ckpt, stats) =
+        IndexCheckpoint::open(&out, resume).map_err(|e| CliError::Msg(e.to_string()))?;
+    if stats.torn_tail {
+        eprintln!("firmup: journal ended in a torn append (trimmed; that segment will be rebuilt)");
+    }
+    if stats.damaged > 0 {
+        eprintln!(
+            "firmup: {} damaged checkpoint segment(s) dropped; they will be re-lifted",
+            stats.damaged
+        );
+    }
+    // Test hook: slow the per-segment loop down so concurrency tests can
+    // reliably observe a writer mid-build.
+    let segment_delay = std::env::var("FIRMUP_TEST_SEGMENT_DELAY_MS")
+        .ok()
+        .and_then(|v| v.parse::<u64>().ok())
+        .map(std::time::Duration::from_millis);
+
+    let mut reps: Vec<ExecutableRep> = Vec::new();
+    let mut skipped = 0usize;
+    let mut segments_done = 0usize;
+    let mut was_interrupted = false;
+    for p in &paths {
+        let bytes = match std::fs::read(Path::new(p.as_str())) {
+            Ok(b) => b,
+            Err(e) => {
+                eprintln!("firmup: skipping image {p}: {e}");
+                firmup::telemetry::incr("scan.errors.io");
+                skipped += 1;
+                continue;
+            }
+        };
+        let digest = image_digest(p, &bytes);
+        if ckpt.committed(digest) {
+            match ckpt.load_segment(digest) {
+                Ok(seg) => {
+                    firmup::telemetry::incr("index.segments_reused");
+                    reps.extend(seg);
+                    segments_done += 1;
+                }
+                Err(e) => return Err(CliError::Msg(e.to_string())),
+            }
+        } else {
+            match firmup::pipeline::lift_image(p, &bytes, threads) {
+                Ok(seg) => {
+                    ckpt.commit(digest, &seg)
+                        .map_err(|e| CliError::Msg(e.to_string()))?;
+                    reps.extend(seg);
+                    segments_done += 1;
+                }
+                Err(e) => {
+                    eprintln!("firmup: skipping image: {e}");
+                    firmup::telemetry::incr(&format!("scan.errors.{}", e.kind()));
+                    skipped += 1;
+                }
+            }
+        }
+        lock.heartbeat();
+        crash_point(CP_BETWEEN_SEGMENTS);
+        if let Some(d) = segment_delay {
+            std::thread::sleep(d);
+        }
+        if firmup::shutdown::interrupted() {
+            was_interrupted = true;
+            break;
+        }
+    }
+
+    let write_metrics = |metrics_out: &Option<PathBuf>| -> Result<(), CliError> {
+        if let Some(path) = metrics_out {
+            let snap = firmup::telemetry::snapshot();
+            write_atomic(path, snap.render_json().render().as_bytes())
+                .map_err(|e| CliError::Msg(format!("{}: {e}", path.display())))?;
+            println!("metrics written to {}", path.display());
+        }
+        Ok(())
+    };
+
+    if was_interrupted {
+        println!(
+            "interrupted: {segments_done} image segment(s) durable in {}; rerun with --resume to finish",
+            out.display()
+        );
+        print!("{}", firmup::telemetry::snapshot().render_text());
+        write_metrics(&metrics_out)?;
+        return Err(CliError::Interrupted);
+    }
+    if skipped == paths.len() {
+        return Err(CliError::Msg(
+            "no indexable image: every input failed to unpack".into(),
+        ));
+    }
     let corpus = CorpusIndex::build(reps);
-    corpus.save(&out).map_err(|e| e.to_string())?;
+    corpus
+        .save(&out)
+        .map_err(|e| CliError::Msg(e.to_string()))?;
     println!(
         "indexed {} executable(s) ({} procedure(s), {} distinct strand(s)) from {} image(s){} -> {}",
         corpus.executables.len(),
@@ -501,10 +610,36 @@ fn index(args: &[String]) -> Result<(), String> {
         firmup::firmware::index::index_path(&out).display()
     );
     print!("{}", firmup::telemetry::snapshot().render_text());
+    write_metrics(&metrics_out)?;
+    drop(lock);
     Ok(())
 }
 
-fn scan_images(args: &[String]) -> Result<usize, String> {
+fn fsck_cmd(args: &[String]) -> Result<(), String> {
+    firmup::telemetry::enable();
+    let _ = firmup::telemetry::counter("fsck.records_repaired");
+    let pos = positional(args);
+    let (dir, images) = pos.split_first().ok_or("fsck requires a DIR")?;
+    let opts = firmup::fsck::FsckOptions {
+        repair: has_flag(args, "--repair"),
+        images: images.iter().map(|p| PathBuf::from(p.as_str())).collect(),
+        threads: usize_flag(args, "--threads")?.unwrap_or(0),
+    };
+    let report = firmup::fsck::run(Path::new(dir.as_str()), &opts).map_err(|e| e.to_string())?;
+    print!("{report}");
+    if report.clean() {
+        Ok(())
+    } else if opts.repair {
+        Err(
+            "index not clean after repair (pass the source IMAGE... to rebuild lost segments)"
+                .into(),
+        )
+    } else {
+        Err("index not clean (rerun with --repair and the source images to rebuild)".into())
+    }
+}
+
+fn scan_images(args: &[String]) -> Result<(usize, bool), String> {
     let paths = positional(args);
     let index_dir = flag_value(args, "--index").map(PathBuf::from);
     if paths.is_empty() && index_dir.is_none() {
@@ -560,6 +695,7 @@ fn scan_images(args: &[String]) -> Result<usize, String> {
     let mut findings = 0usize;
     let mut poisoned = 0usize;
     let mut over_budget = 0usize;
+    let mut interrupted = false;
     let config = SearchConfig {
         context: Some(corpus.context.clone()),
         threads,
@@ -576,6 +712,11 @@ fn scan_images(args: &[String]) -> Result<usize, String> {
             }
         }
         for (arch, members) in &arch_groups {
+            if firmup::shutdown::interrupted() {
+                println!("interrupted; findings so far are complete for the targets scanned");
+                interrupted = true;
+                break 'scan;
+            }
             if scan_deadline.is_some_and(|d| std::time::Instant::now() >= d) {
                 println!("scan budget (--scan-ms) exhausted; remaining targets skipped");
                 break 'scan;
@@ -684,7 +825,7 @@ fn scan_images(args: &[String]) -> Result<usize, String> {
     if poisoned > 0 || over_budget > 0 {
         println!("degraded: {poisoned} poisoned target(s), {over_budget} over-budget target(s)");
     }
-    Ok(findings)
+    Ok((findings, interrupted))
 }
 
 fn chaos(args: &[String]) -> Result<(), String> {
@@ -698,6 +839,20 @@ fn chaos(args: &[String]) -> Result<(), String> {
         .map(|v| v.parse::<usize>().map_err(|e| format!("--devices: {e}")))
         .transpose()?
         .unwrap_or(2);
+    if has_flag(args, "--crash-matrix") {
+        let firmup_bin = std::env::current_exe().map_err(|e| format!("current_exe: {e}"))?;
+        let report = firmup::chaos::run_crash_matrix(&firmup::chaos::CrashMatrixConfig {
+            seed,
+            devices,
+            firmup_bin,
+        })?;
+        print!("{report}");
+        return if report.passed() {
+            Ok(())
+        } else {
+            Err("crash-consistency violation (see matrix above)".into())
+        };
+    }
     let variants = flag_value(args, "--variants")
         .map(|v| v.parse::<u64>().map_err(|e| format!("--variants: {e}")))
         .transpose()?

@@ -1,0 +1,139 @@
+//! Shared unpack → lift plumbing for the CLI front end.
+//!
+//! Three commands walk the same front half of the pipeline — `scan`
+//! (cold path), `index` (per-image checkpointed), and `fsck --repair`
+//! (rebuild damaged segments) — so the fault-isolated unpack and the
+//! work-stealing parallel lift live here once. Every per-image and
+//! per-part step runs under [`isolate`]: a corrupt image or a panicking
+//! lift is a structured, skippable error, never a process abort.
+
+use firmup_core::canon::CanonConfig;
+use firmup_core::error::{isolate, FaultCtx, FirmUpError};
+use firmup_core::sim::{index_elf, ExecutableRep};
+use firmup_firmware::image::unpack;
+use firmup_obj::Elf;
+
+/// One liftable part: attribution context, executable id
+/// (`image:part`), and the raw ELF bytes.
+pub type PartJob = (FaultCtx, String, Vec<u8>);
+
+/// Unpack one image blob into its part jobs. Emits an `unpack.issue`
+/// telemetry event per degraded-but-recoverable issue.
+///
+/// # Errors
+///
+/// A structured [`FirmUpError`] when the image is unreadable beyond
+/// recovery (including a contained panic in the unpacker).
+pub fn unpack_parts(tag: &str, bytes: &[u8]) -> Result<Vec<PartJob>, FirmUpError> {
+    let img_ctx = FaultCtx::image(tag);
+    let u = isolate(img_ctx.clone(), || unpack(bytes).map_err(FirmUpError::from))?;
+    for issue in &u.issues {
+        firmup_telemetry::event(
+            "unpack.issue",
+            &[
+                ("image", firmup_telemetry::json::Json::Str(tag.to_string())),
+                (
+                    "issue",
+                    firmup_telemetry::json::Json::Str(format!("{issue:?}")),
+                ),
+            ],
+        );
+    }
+    Ok(u.parts
+        .into_iter()
+        .map(|part| {
+            let ctx = img_ctx.clone().with_package(&part.name);
+            let id = format!("{tag}:{}", part.name);
+            (ctx, id, part.data)
+        })
+        .collect())
+}
+
+/// Lift + canonicalize each part, fanning out over `threads` scoped
+/// worker threads (0 = one per core). Results keep part order; each
+/// slot is the part's [`ExecutableRep`] or the structured error that
+/// felled it.
+pub fn lift_parts(parts: &[PartJob], threads: usize) -> Vec<Result<ExecutableRep, FirmUpError>> {
+    let canon = CanonConfig::default();
+    let threads = if threads == 0 {
+        std::thread::available_parallelism().map_or(4, std::num::NonZeroUsize::get)
+    } else {
+        threads
+    };
+    let lift_one = |(ctx, id, data): &PartJob| {
+        isolate(ctx.clone(), || {
+            let elf = Elf::parse(data)?;
+            index_elf(&elf, id, &canon).map_err(FirmUpError::from)
+        })
+    };
+    if threads <= 1 || parts.len() <= 1 {
+        return parts.iter().map(lift_one).collect();
+    }
+    let next = std::sync::atomic::AtomicUsize::new(0);
+    let slots: std::sync::Mutex<Vec<Option<Result<ExecutableRep, FirmUpError>>>> =
+        std::sync::Mutex::new(vec![None; parts.len()]);
+    std::thread::scope(|scope| {
+        for _ in 0..threads.min(parts.len()) {
+            scope.spawn(|| loop {
+                let i = next.fetch_add(1, std::sync::atomic::Ordering::Relaxed);
+                if i >= parts.len() {
+                    break;
+                }
+                let r = lift_one(&parts[i]);
+                slots.lock().expect("lift slots lock")[i] = Some(r);
+            });
+        }
+    });
+    slots
+        .into_inner()
+        .expect("lift slots lock")
+        .into_iter()
+        .map(|r| r.expect("every slot filled"))
+        .collect()
+}
+
+/// Unpack one image and lift every part, keeping only the successful
+/// reps (failures are reported to stderr and skipped) — the per-image
+/// unit `firmup index` checkpoints and `fsck --repair` rebuilds.
+///
+/// # Errors
+///
+/// Only when the image itself is unreadable; per-part failures degrade.
+pub fn lift_image(
+    tag: &str,
+    bytes: &[u8],
+    threads: usize,
+) -> Result<Vec<ExecutableRep>, FirmUpError> {
+    let parts = unpack_parts(tag, bytes)?;
+    let mut reps = Vec::with_capacity(parts.len());
+    for r in lift_parts(&parts, threads) {
+        match r {
+            Ok(rep) => reps.push(rep),
+            Err(e) => {
+                eprintln!("firmup: skipping part: {e}");
+                firmup_telemetry::incr(&format!("scan.errors.{}", e.kind()));
+            }
+        }
+    }
+    Ok(reps)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use firmup_firmware::corpus::{generate, CorpusConfig};
+
+    #[test]
+    fn lift_image_produces_ordered_reps_and_degrades_on_garbage() {
+        let corpus = generate(&CorpusConfig::tiny());
+        let img = &corpus.images[0];
+        let reps = lift_image("img0", &img.blob, 2).unwrap();
+        assert!(!reps.is_empty());
+        // Part order is preserved and ids carry the tag.
+        assert!(reps.iter().all(|r| r.id.starts_with("img0:")));
+        let serial = lift_image("img0", &img.blob, 1).unwrap();
+        assert_eq!(reps, serial, "parallel lift must match serial order");
+        // Total garbage is a structured error, not a panic.
+        assert!(lift_image("junk", &[0u8; 16], 1).is_err());
+    }
+}

@@ -1,0 +1,88 @@
+//! Graceful SIGINT handling for long-running commands.
+//!
+//! `firmup index` over a 200K-executable corpus runs for hours; a ^C
+//! must not discard committed checkpoint segments or leave a torn
+//! journal. [`install`] registers a minimal signal handler that only
+//! sets an atomic flag; the `index`/`scan` loops poll [`interrupted`]
+//! at their safe points (between committed segments, between search
+//! batches), flush what they have, and exit with
+//! [`INTERRUPT_EXIT_CODE`] so callers can tell a clean interrupt from a
+//! failure.
+//!
+//! A second ^C while the first is still being honored falls back to the
+//! default disposition (immediate termination) — the escape hatch when
+//! a safe point is far away.
+
+use std::sync::atomic::{AtomicBool, Ordering};
+
+/// Exit code for a run cut short by SIGINT after flushing its state
+/// (the conventional 128 + SIGINT).
+pub const INTERRUPT_EXIT_CODE: u8 = 130;
+
+static INTERRUPTED: AtomicBool = AtomicBool::new(false);
+
+/// Whether a SIGINT has arrived since [`install`].
+pub fn interrupted() -> bool {
+    INTERRUPTED.load(Ordering::SeqCst)
+}
+
+/// Reset the flag (tests only; production installs once per process).
+pub fn reset() {
+    INTERRUPTED.store(false, Ordering::SeqCst);
+}
+
+/// Install the SIGINT handler. Idempotent; a no-op on non-Unix
+/// platforms (where [`interrupted`] simply stays false and commands run
+/// to completion or die by the default disposition).
+pub fn install() {
+    #[cfg(unix)]
+    sys::install();
+}
+
+#[cfg(unix)]
+#[allow(unsafe_code)] // libc signal(2) binding: std exposes no signal API
+mod sys {
+    use super::{AtomicBool, Ordering, INTERRUPTED};
+
+    const SIGINT: i32 = 2;
+    const SIG_DFL: usize = 0;
+
+    extern "C" {
+        fn signal(signum: i32, handler: usize) -> usize;
+    }
+
+    extern "C" fn on_sigint(_sig: i32) {
+        // Async-signal-safe: one atomic store, then restore the default
+        // disposition so a second ^C terminates immediately.
+        INTERRUPTED.store(true, Ordering::SeqCst);
+        unsafe {
+            signal(SIGINT, SIG_DFL);
+        }
+    }
+
+    static INSTALLED: AtomicBool = AtomicBool::new(false);
+
+    pub fn install() {
+        if INSTALLED.swap(true, Ordering::SeqCst) {
+            return;
+        }
+        unsafe {
+            signal(SIGINT, on_sigint as extern "C" fn(i32) as usize);
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn flag_starts_clear_and_resets() {
+        install();
+        assert!(!interrupted());
+        INTERRUPTED.store(true, Ordering::SeqCst);
+        assert!(interrupted());
+        reset();
+        assert!(!interrupted());
+    }
+}

@@ -119,6 +119,38 @@ fn chaos_subcommand_reports_a_passing_matrix() {
 }
 
 #[test]
+fn crash_matrix_passes_for_the_pinned_seed() {
+    let out = firmup()
+        .args([
+            "chaos",
+            "--crash-matrix",
+            "--seed",
+            "c4a05000",
+            "--devices",
+            "2",
+        ])
+        .output()
+        .expect("spawn");
+    let text = String::from_utf8_lossy(&out.stdout);
+    assert!(
+        out.status.success(),
+        "crash matrix failed:\n{text}\n{}",
+        String::from_utf8_lossy(&out.stderr)
+    );
+    assert!(text.contains("crash-consistency matrix"), "{text}");
+    assert!(text.contains("result: PASS"), "matrix did not pass: {text}");
+    // Every deterministic crash point is exercised.
+    for point in [
+        "durable.after_temp_write",
+        "durable.before_rename",
+        "journal.mid_append",
+        "index.between_segments",
+    ] {
+        assert!(text.contains(point), "missing crash point row: {point}");
+    }
+}
+
+#[test]
 fn scan_survives_a_poisoned_image_and_reports_the_healthy_ones() {
     let dir = temp_dir("poisoned-scan");
     let out = firmup()

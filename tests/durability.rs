@@ -1,0 +1,377 @@
+//! End-to-end crash-safety tests of `firmup index`: kill/resume work
+//! reuse, writer mutual exclusion, stale-lock recovery, SIGINT
+//! semantics, and the `firmup fsck` detect → quarantine → repair flow.
+
+use std::path::{Path, PathBuf};
+use std::process::Command;
+
+use firmup::telemetry::json::Json;
+
+fn firmup() -> Command {
+    Command::new(env!("CARGO_BIN_EXE_firmup"))
+}
+
+fn temp_dir(tag: &str) -> PathBuf {
+    let dir = std::env::temp_dir().join(format!("firmup-durability-{tag}-{}", std::process::id()));
+    let _ = std::fs::remove_dir_all(&dir);
+    std::fs::create_dir_all(&dir).expect("create temp dir");
+    dir
+}
+
+/// Generate a corpus into `dir/corpus`, returning the image paths.
+fn gen_corpus(dir: &Path, devices: &str) -> Vec<PathBuf> {
+    let corpus = dir.join("corpus");
+    let out = firmup()
+        .args([
+            "gen-corpus",
+            "--out",
+            corpus.to_str().unwrap(),
+            "--devices",
+            devices,
+        ])
+        .output()
+        .expect("spawn");
+    assert!(
+        out.status.success(),
+        "gen-corpus failed: {}",
+        String::from_utf8_lossy(&out.stderr)
+    );
+    let mut images: Vec<PathBuf> = std::fs::read_dir(&corpus)
+        .unwrap()
+        .filter_map(|e| {
+            let p = e.unwrap().path();
+            (p.extension().is_some_and(|x| x == "fwim")).then_some(p)
+        })
+        .collect();
+    images.sort();
+    assert!(!images.is_empty());
+    images
+}
+
+fn index_into(images: &[PathBuf], idx: &Path, extra: &[&str]) -> std::process::Output {
+    firmup()
+        .arg("index")
+        .args(images)
+        .args(["--out", idx.to_str().unwrap(), "--threads", "1"])
+        .args(extra)
+        .output()
+        .expect("spawn index")
+}
+
+fn findings(stdout: &[u8]) -> Vec<String> {
+    String::from_utf8_lossy(stdout)
+        .lines()
+        .filter(|l| l.contains("suspected at"))
+        .map(str::to_string)
+        .collect()
+}
+
+fn warm_findings(idx: &Path) -> Vec<String> {
+    let out = firmup()
+        .args(["scan", "--index", idx.to_str().unwrap()])
+        .output()
+        .expect("spawn scan");
+    assert!(
+        out.status.success(),
+        "warm scan failed: {}",
+        String::from_utf8_lossy(&out.stderr)
+    );
+    findings(&out.stdout)
+}
+
+fn counter(metrics: &Path, name: &str) -> u64 {
+    let doc = Json::parse(&std::fs::read_to_string(metrics).expect("metrics file"))
+        .expect("metrics JSON");
+    doc.get("counters")
+        .and_then(|c| c.get(name))
+        .and_then(Json::as_u64)
+        .unwrap_or(0)
+}
+
+#[test]
+fn resume_after_kill_relifts_only_the_unfinished_images() {
+    let dir = temp_dir("resume");
+    let images = gen_corpus(&dir, "3");
+    let n = images.len() as u64;
+    assert!(n >= 3, "need several images to kill between");
+
+    // Reference: an uninterrupted build of the same images.
+    let reference = dir.join("reference");
+    assert!(index_into(&images, &reference, &[]).status.success());
+    let reference_fui = std::fs::read(reference.join("corpus.fui")).unwrap();
+
+    // Kill the build right after the second committed segment.
+    let idx = dir.join("idx");
+    let killed = firmup()
+        .arg("index")
+        .args(&images)
+        .args(["--out", idx.to_str().unwrap(), "--threads", "1"])
+        .env("FIRMUP_CRASH_POINT", "index.between_segments:2")
+        .output()
+        .expect("spawn");
+    assert!(!killed.status.success(), "crash point did not fire");
+    assert!(
+        !idx.join("corpus.fui").exists(),
+        "corpus.fui written before all segments committed"
+    );
+
+    // Resume: exactly the two committed segments are reused, the rest
+    // re-lifted, and the final index is byte-identical to the
+    // uninterrupted build.
+    let metrics = dir.join("resume-metrics.json");
+    let resumed = index_into(
+        &images,
+        &idx,
+        &["--resume", "--metrics-out", metrics.to_str().unwrap()],
+    );
+    assert!(
+        resumed.status.success(),
+        "resume failed: {}",
+        String::from_utf8_lossy(&resumed.stderr)
+    );
+    assert_eq!(counter(&metrics, "index.segments_reused"), 2);
+    assert_eq!(counter(&metrics, "index.segments_committed"), n - 2);
+    assert_eq!(counter(&metrics, "index.resumed"), 1);
+    assert_eq!(
+        std::fs::read(idx.join("corpus.fui")).unwrap(),
+        reference_fui,
+        "resumed index differs from the uninterrupted build"
+    );
+}
+
+#[test]
+fn second_concurrent_writer_gets_a_structured_lock_error() {
+    let dir = temp_dir("lock");
+    let images = gen_corpus(&dir, "2");
+    let idx = dir.join("idx");
+
+    let mut first = firmup()
+        .arg("index")
+        .args(&images)
+        .args(["--out", idx.to_str().unwrap()])
+        .env("FIRMUP_TEST_SEGMENT_DELAY_MS", "500")
+        .stdout(std::process::Stdio::null())
+        .stderr(std::process::Stdio::null())
+        .spawn()
+        .expect("spawn first writer");
+    // Wait for the first writer to take the lock.
+    for _ in 0..500 {
+        if idx.join("index.lock").exists() {
+            break;
+        }
+        std::thread::sleep(std::time::Duration::from_millis(10));
+    }
+    assert!(
+        idx.join("index.lock").exists(),
+        "writer never took the lock"
+    );
+
+    let second = index_into(&images, &idx, &[]);
+    assert!(!second.status.success(), "second writer won the lock?!");
+    assert_eq!(second.status.code(), Some(1), "panic, not a clean error");
+    let stderr = String::from_utf8_lossy(&second.stderr);
+    assert!(
+        stderr.contains("lock held by pid"),
+        "no structured lock diagnosis: {stderr}"
+    );
+    assert!(!stderr.contains("panicked"), "{stderr}");
+
+    assert!(first.wait().expect("wait").success());
+    // The surviving writer's index is whole.
+    assert!(!warm_findings(&idx).is_empty());
+}
+
+#[test]
+fn stale_lock_from_a_dead_process_is_stolen() {
+    let dir = temp_dir("stale-lock");
+    let images = gen_corpus(&dir, "2");
+    let idx = dir.join("idx");
+    std::fs::create_dir_all(&idx).unwrap();
+    // A pid far above any real pid_max: provably dead.
+    std::fs::write(idx.join("index.lock"), "pid 4199999999\n").unwrap();
+    let out = index_into(&images, &idx, &[]);
+    assert!(
+        out.status.success(),
+        "dead-pid lock not stolen: {}",
+        String::from_utf8_lossy(&out.stderr)
+    );
+    assert!(!warm_findings(&idx).is_empty());
+}
+
+#[cfg(unix)]
+#[test]
+fn sigint_flushes_the_checkpoint_and_exits_130() {
+    let dir = temp_dir("sigint");
+    let images = gen_corpus(&dir, "3");
+
+    let reference = dir.join("reference");
+    assert!(index_into(&images, &reference, &[]).status.success());
+    let reference_fui = std::fs::read(reference.join("corpus.fui")).unwrap();
+
+    let idx = dir.join("idx");
+    let mut child = firmup()
+        .arg("index")
+        .args(&images)
+        .args(["--out", idx.to_str().unwrap(), "--threads", "1"])
+        .env("FIRMUP_TEST_SEGMENT_DELAY_MS", "200")
+        .stdout(std::process::Stdio::null())
+        .stderr(std::process::Stdio::null())
+        .spawn()
+        .expect("spawn");
+    // Interrupt once the first segment is durably journaled.
+    for _ in 0..500 {
+        if std::fs::read(idx.join("journal.fuj")).is_ok_and(|b| !b.is_empty()) {
+            break;
+        }
+        std::thread::sleep(std::time::Duration::from_millis(10));
+    }
+    let kill = Command::new("kill")
+        .args(["-INT", &child.id().to_string()])
+        .status()
+        .expect("spawn kill");
+    assert!(kill.success());
+    let status = child.wait().expect("wait");
+    assert_eq!(
+        status.code(),
+        Some(130),
+        "interrupt must exit 130 (got {status:?})"
+    );
+    assert!(
+        !idx.join("corpus.fui").exists(),
+        "interrupted build wrote a final index"
+    );
+
+    // Everything journaled before the ^C is reused; the result is
+    // byte-identical to the uninterrupted build.
+    let metrics = dir.join("metrics.json");
+    let resumed = index_into(
+        &images,
+        &idx,
+        &["--resume", "--metrics-out", metrics.to_str().unwrap()],
+    );
+    assert!(
+        resumed.status.success(),
+        "resume failed: {}",
+        String::from_utf8_lossy(&resumed.stderr)
+    );
+    assert!(counter(&metrics, "index.segments_reused") >= 1);
+    assert_eq!(
+        std::fs::read(idx.join("corpus.fui")).unwrap(),
+        reference_fui
+    );
+}
+
+#[test]
+fn fsck_detects_quarantines_and_repairs_segment_damage() {
+    let dir = temp_dir("fsck");
+    let images = gen_corpus(&dir, "3");
+    let idx = dir.join("idx");
+    assert!(index_into(&images, &idx, &[]).status.success());
+    let baseline = {
+        let mut f = warm_findings(&idx);
+        f.sort();
+        f
+    };
+    assert!(!baseline.is_empty());
+
+    // A clean index passes.
+    let clean = firmup()
+        .args(["fsck", idx.to_str().unwrap()])
+        .output()
+        .expect("spawn");
+    assert!(
+        clean.status.success(),
+        "clean index flagged: {}",
+        String::from_utf8_lossy(&clean.stdout)
+    );
+
+    // Flip a byte in one checkpoint segment.
+    let seg_dir = idx.join("segments");
+    let victim = std::fs::read_dir(&seg_dir)
+        .unwrap()
+        .map(|e| e.unwrap().path())
+        .next()
+        .expect("a segment");
+    let mut blob = std::fs::read(&victim).unwrap();
+    let mid = blob.len() / 2;
+    blob[mid] ^= 0x20;
+    std::fs::write(&victim, &blob).unwrap();
+
+    // Detect: nonzero exit, the verdict table names the damage, and the
+    // damaged segment is quarantined out of the way.
+    let detect = firmup()
+        .args(["fsck", idx.to_str().unwrap()])
+        .output()
+        .expect("spawn");
+    assert!(!detect.status.success(), "damage not detected");
+    assert_eq!(detect.status.code(), Some(1));
+    let table = String::from_utf8_lossy(&detect.stdout);
+    assert!(table.contains("DAMAGED"), "{table}");
+    assert!(!victim.exists(), "damaged segment not quarantined");
+    assert!(
+        idx.join("quarantine").read_dir().unwrap().next().is_some(),
+        "quarantine directory empty"
+    );
+
+    // Repair: re-lift the lost segment from the source images, exit 0,
+    // and the warm scan matches the pre-damage baseline (repair may
+    // reorder executables, so compare the finding *set*).
+    let mut repair_cmd = firmup();
+    repair_cmd.args(["fsck", idx.to_str().unwrap(), "--repair"]);
+    repair_cmd.args(&images);
+    let repair = repair_cmd.output().expect("spawn");
+    let table = String::from_utf8_lossy(&repair.stdout);
+    assert!(
+        repair.status.success(),
+        "repair failed: {table}\n{}",
+        String::from_utf8_lossy(&repair.stderr)
+    );
+    assert!(table.contains("repaired"), "{table}");
+    let mut after = warm_findings(&idx);
+    after.sort();
+    assert_eq!(after, baseline, "repair changed the scan results");
+
+    // And the repaired index is clean again.
+    assert!(firmup()
+        .args(["fsck", idx.to_str().unwrap()])
+        .output()
+        .expect("spawn")
+        .status
+        .success());
+}
+
+#[test]
+fn fsck_rebuilds_a_torn_corpus_file_from_segments() {
+    let dir = temp_dir("fsck-fui");
+    let images = gen_corpus(&dir, "2");
+    let idx = dir.join("idx");
+    assert!(index_into(&images, &idx, &[]).status.success());
+    let mut baseline = warm_findings(&idx);
+    baseline.sort();
+
+    // Tear corpus.fui in half — as a crashed non-atomic writer would.
+    let fui = idx.join("corpus.fui");
+    let pristine = std::fs::read(&fui).unwrap();
+    std::fs::write(&fui, &pristine[..pristine.len() / 2]).unwrap();
+
+    assert!(!firmup()
+        .args(["fsck", idx.to_str().unwrap()])
+        .output()
+        .expect("spawn")
+        .status
+        .success());
+    // No source images needed: every segment survived, so --repair can
+    // rebuild corpus.fui from the journal alone.
+    let repair = firmup()
+        .args(["fsck", idx.to_str().unwrap(), "--repair"])
+        .output()
+        .expect("spawn");
+    assert!(
+        repair.status.success(),
+        "repair failed: {}",
+        String::from_utf8_lossy(&repair.stdout)
+    );
+    let mut after = warm_findings(&idx);
+    after.sort();
+    assert_eq!(after, baseline);
+}

@@ -233,6 +233,71 @@ fn corrupted_index_is_a_structured_error_not_a_panic() {
 }
 
 #[test]
+fn reader_during_rebuild_sees_a_complete_snapshot_never_a_torn_one() {
+    let dir = temp_dir("concurrent-reader");
+    let images = gen_corpus(&dir, "3");
+    let idx = dir.join("idx");
+
+    // First build: the snapshot concurrent readers are allowed to see.
+    assert!(firmup()
+        .arg("index")
+        .args(&images)
+        .args(["--out", idx.to_str().unwrap()])
+        .output()
+        .expect("spawn")
+        .status
+        .success());
+    let baseline = {
+        let out = firmup()
+            .args(["scan", "--index", idx.to_str().unwrap()])
+            .output()
+            .expect("spawn");
+        assert!(out.status.success());
+        findings(&String::from_utf8_lossy(&out.stdout))
+    };
+    assert!(!baseline.is_empty());
+
+    // Rebuild the same directory slowly (test hook delays each segment).
+    // corpus.fui is only ever replaced atomically, so every reader that
+    // races the writer must see the complete previous snapshot — never
+    // a torn file, never a panic.
+    let mut writer = firmup()
+        .arg("index")
+        .args(&images)
+        .args(["--out", idx.to_str().unwrap()])
+        .env("FIRMUP_TEST_SEGMENT_DELAY_MS", "400")
+        .stdout(std::process::Stdio::null())
+        .stderr(std::process::Stdio::null())
+        .spawn()
+        .expect("spawn writer");
+    let mut reads_during = 0usize;
+    for _ in 0..50 {
+        let writer_live = writer.try_wait().expect("try_wait").is_none();
+        let out = firmup()
+            .args(["scan", "--index", idx.to_str().unwrap()])
+            .output()
+            .expect("spawn reader");
+        let stderr = String::from_utf8_lossy(&out.stderr);
+        assert!(!stderr.contains("panicked"), "reader panicked: {stderr}");
+        assert!(out.status.success(), "reader failed mid-rebuild: {stderr}");
+        assert_eq!(
+            findings(&String::from_utf8_lossy(&out.stdout)),
+            baseline,
+            "reader saw a torn/partial snapshot"
+        );
+        if !writer_live {
+            break;
+        }
+        reads_during += 1;
+    }
+    assert!(
+        reads_during > 0,
+        "writer finished before any concurrent read; raise the delay"
+    );
+    assert!(writer.wait().expect("wait").success());
+}
+
+#[test]
 fn scan_peak_rep_clones_stay_flat_as_the_corpus_grows() {
     // The regression this pins: scan used to clone every ExecutableRep
     // to build the GlobalContext, doubling peak allocations. Contexts
