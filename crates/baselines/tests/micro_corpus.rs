@@ -1,0 +1,169 @@
+//! Baseline behavior pinned on a 3-executable micro-corpus: a symboled
+//! query build, a stripped vendor-profile twin of the same source, and a
+//! stripped decoy from unrelated source. These rankings feed the Fig. 6
+//! / Fig. 8 comparisons — if either baseline's ordering drifts, the
+//! paper-shape experiments change meaning silently.
+
+use firmup_baselines::{bindiff, gitz};
+use firmup_compiler::{compile_source, CompilerOptions, ToolchainProfile};
+use firmup_core::canon::CanonConfig;
+use firmup_core::lift::lift_executable;
+use firmup_core::sim::{index_elf, ExecutableRep, GlobalContext};
+use firmup_isa::Arch;
+
+/// The "known" source: `checksum` is the CVE-analog query procedure.
+const SRC_KNOWN: &str = r#"
+    fn checksum(n: int) -> int {
+        var s = 7;
+        var i = 0;
+        while (i < n) {
+            s = s + s + i;
+            if (s > 997) { s = s - 991; }
+            i = i + 1;
+        }
+        return s;
+    }
+    fn helper(x: int) -> int { return x + 3; }
+    fn dispatch(a: int, b: int) -> int {
+        if (a < b) { return checksum(a); }
+        if (a == b) { return helper(a); }
+        return checksum(b) + 1;
+    }
+    fn main(a: int) -> int { return dispatch(a, 9); }
+"#;
+
+/// Unrelated decoy source sharing only trivial shapes with the above.
+const SRC_DECOY: &str = r#"
+    fn accumulate(n: int) -> int {
+        var s = 0;
+        var i = 0;
+        while (i < n) { s = s + i; i = i + 1; }
+        return s;
+    }
+    fn main(a: int) -> int { return accumulate(a + 4); }
+"#;
+
+fn compile(src: &str, profile: ToolchainProfile, strip: bool) -> firmup_obj::Elf {
+    let mut elf = compile_source(
+        src,
+        Arch::Mips32,
+        &CompilerOptions {
+            profile,
+            layout: Default::default(),
+        },
+    )
+    .expect("micro-corpus source compiles");
+    if strip {
+        elf.strip(false);
+    }
+    elf
+}
+
+/// The micro-corpus: (query rep + index of `checksum`, stripped twin
+/// rep, stripped decoy rep, ground-truth `checksum` address in the twin).
+fn micro_corpus() -> (ExecutableRep, usize, ExecutableRep, ExecutableRep, u32) {
+    let canon = CanonConfig::default();
+    let query = index_elf(
+        &compile(SRC_KNOWN, ToolchainProfile::gcc_like(), false),
+        "query",
+        &canon,
+    )
+    .expect("query indexes");
+    let qv = query.find_named("checksum").expect("query keeps symbols");
+    // Learn the twin's ground-truth address from its symboled build;
+    // stripping removes names, not addresses.
+    let twin_named = index_elf(
+        &compile(SRC_KNOWN, ToolchainProfile::vendor_size(), false),
+        "twin-named",
+        &canon,
+    )
+    .expect("twin indexes");
+    let truth = twin_named.procedures[twin_named.find_named("checksum").expect("named twin")].addr;
+    let twin = index_elf(
+        &compile(SRC_KNOWN, ToolchainProfile::vendor_size(), true),
+        "twin",
+        &canon,
+    )
+    .expect("stripped twin indexes");
+    let decoy = index_elf(
+        &compile(SRC_DECOY, ToolchainProfile::gcc_like(), true),
+        "decoy",
+        &canon,
+    )
+    .expect("decoy indexes");
+    (query, qv, twin, decoy, truth)
+}
+
+#[test]
+fn gitz_ranking_pins_twin_over_decoy() {
+    let (query, qv, twin, decoy, truth) = micro_corpus();
+    let ctx = GlobalContext::build([&twin, &decoy]);
+    let ranked = gitz::rank(&query.procedures[qv], &[&twin, &decoy], &ctx, 0);
+    assert!(!ranked.is_empty(), "the twin must share strands");
+    // Top-1 is the true procedure in the twin executable.
+    assert_eq!(ranked[0].exe, 0, "twin outranks decoy");
+    assert_eq!(ranked[0].addr, truth, "top-1 is the planted procedure");
+    // The ranking is ordered: scores never increase, and score ties
+    // break on shared-strand count (both stable, never arrival order).
+    for pair in ranked.windows(2) {
+        assert!(
+            pair[0].score > pair[1].score
+                || (pair[0].score == pair[1].score && pair[0].shared >= pair[1].shared),
+            "ranking out of order: {pair:?}"
+        );
+    }
+    // k-truncation returns exactly the head of the full ranking.
+    assert_eq!(
+        gitz::rank(&query.procedures[qv], &[&twin, &decoy], &ctx, 2),
+        ranked[..2.min(ranked.len())]
+    );
+    // top1 within the twin agrees with the global ranking's head.
+    let best = gitz::top1(&query.procedures[qv], &twin, &ctx).expect("twin has a top-1");
+    assert_eq!(best.addr, truth);
+}
+
+#[test]
+fn bindiff_matches_the_twin_and_stays_injective_on_the_decoy() {
+    let canon_query = compile(SRC_KNOWN, ToolchainProfile::gcc_like(), false);
+    let twin_named = compile(SRC_KNOWN, ToolchainProfile::vendor_size(), false);
+    let decoy = compile(SRC_DECOY, ToolchainProfile::gcc_like(), true);
+    let q = bindiff::StructuralRep::build(&lift_executable(&canon_query).unwrap(), "query");
+    let t_named = bindiff::StructuralRep::build(&lift_executable(&twin_named).unwrap(), "twin");
+    let d = bindiff::StructuralRep::build(&lift_executable(&decoy).unwrap(), "decoy");
+    let truth = t_named.procedures[t_named.find_named("checksum").unwrap()].addr;
+
+    // Names present: the name pass must pin every shared procedure.
+    let named = bindiff::diff(&q, &t_named);
+    let qi = q.find_named("checksum").unwrap();
+    let ti = named.target_of(qi).expect("checksum matches by name");
+    assert_eq!(t_named.procedures[ti].addr, truth);
+
+    // Stripped: structure alone still recovers the planted procedure in
+    // the same-source twin (the loop + guard CFG shape is unique here).
+    let strip = |r: &bindiff::StructuralRep| {
+        let mut r = r.clone();
+        for p in &mut r.procedures {
+            p.name = None;
+        }
+        r
+    };
+    let stripped = bindiff::diff(&strip(&q), &strip(&t_named));
+    let ti = stripped
+        .target_of(qi)
+        .expect("checksum matches structurally");
+    assert_eq!(
+        t_named.procedures[ti].addr, truth,
+        "stripped twin diff must recover the planted procedure"
+    );
+
+    // Against the decoy, BinDiff still over-matches (its documented
+    // failure mode) but the matching stays injective.
+    let on_decoy = bindiff::diff(&strip(&q), &d);
+    let targets: std::collections::HashSet<usize> =
+        on_decoy.matches.iter().map(|&(_, t)| t).collect();
+    assert_eq!(
+        targets.len(),
+        on_decoy.matches.len(),
+        "matching must be injective"
+    );
+}

@@ -1,6 +1,7 @@
 //! CLI for regenerating the paper's tables and figures.
 //!
-//! Usage: `experiments [table1|fig3|table2|fig6|fig7|fig8|fig9|ablation|index|all] [--scale N]`
+//! Usage: `experiments [table1|fig3|table2|fig6|fig7|fig8|fig9|ablation|index|scan-bench|all]
+//! [--scale N] [--quick]`
 //!
 //! Every run profiles itself through `firmup-telemetry` and writes the
 //! machine-readable snapshot to `results/bench_metrics.json` — per-stage
@@ -73,6 +74,43 @@ fn main() {
             &ex::render_index_bench(&ex::bench_index(scale)),
         );
     }
+    // The scan-scaling benchmark also builds its own corpus (it measures
+    // the scan decomposition end to end); with a checked-in baseline it
+    // doubles as a regression gate: exit 1 on a speedup/determinism
+    // regression, warn on improvement.
+    if matches!(which, "scan-bench") {
+        let quick = args.iter().any(|a| a == "--quick");
+        eprintln!(
+            "[benchmarking scan scaling ({} sweep)…]",
+            if quick { "quick" } else { "full" }
+        );
+        let rendered = ex::render_scan_bench(&ex::bench_scan(quick));
+        save_json("bench_scan", &rendered);
+        // The checked-in baseline is a --quick sweep; only a --quick run
+        // is an apples-to-apples regression gate.
+        if quick {
+            match std::fs::read_to_string("results/bench_baseline.json") {
+                Ok(baseline) => match ex::compare_scan_bench(&rendered, &baseline, 0.20) {
+                    Ok(warnings) => {
+                        for w in warnings {
+                            eprintln!("[bench warning: {w}]");
+                        }
+                        eprintln!("[scan bench within ±20% of results/bench_baseline.json]");
+                    }
+                    Err(e) => {
+                        eprintln!("[bench regression: {e}]");
+                        save_metrics();
+                        std::process::exit(1);
+                    }
+                },
+                Err(_) => {
+                    eprintln!("[no results/bench_baseline.json; skipping regression comparison]");
+                }
+            }
+        }
+        save_metrics();
+        return;
+    }
     if matches!(which, "table1" | "fig3" | "index") {
         save_metrics();
         return;
@@ -105,7 +143,7 @@ fn main() {
             save("ablation", &ex::render_ablation(&ex::ablation(&wb)));
         }
         other => {
-            eprintln!("unknown experiment `{other}`; use table1|fig3|table2|fig6|fig7|fig8|fig9|ablation|index|all");
+            eprintln!("unknown experiment `{other}`; use table1|fig3|table2|fig6|fig7|fig8|fig9|ablation|index|scan-bench|all");
             std::process::exit(2);
         }
     }

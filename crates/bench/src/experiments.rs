@@ -940,6 +940,400 @@ pub fn bench_index(scale: usize) -> IndexBench {
     }
 }
 
+// ===================================================================
+// Scan benchmark — work-stealing executor scaling, cold vs warm
+// ===================================================================
+
+/// One cell of the scan-scaling sweep: a (mode, thread-count) pair.
+#[derive(Debug, Clone)]
+pub struct ScanBenchCell {
+    /// `"cold"` (index built in memory) or `"warm"` (loaded from disk).
+    pub mode: &'static str,
+    /// Worker thread count for the work-stealing executor.
+    pub threads: usize,
+    /// Wall-clock time of the full CVE sweep in milliseconds.
+    pub wall_ms: f64,
+    /// Target games played per second.
+    pub targets_per_sec: f64,
+    /// Serial (same-mode, threads = 1) wall time divided by this cell's.
+    pub speedup: f64,
+    /// Number of findings produced.
+    pub findings: usize,
+    /// Whether the findings fingerprint is byte-identical to the cold
+    /// serial reference — the determinism invariant, measured.
+    pub results_equal: bool,
+    /// Median per-target game latency (µs, from `search.target_us`).
+    pub p50_target_us: f64,
+    /// 95th-percentile per-target game latency (µs).
+    pub p95_target_us: f64,
+}
+
+/// Result of the scan-scaling experiment (see EXPERIMENTS.md,
+/// "Scaling: the work-stealing scan executor").
+#[derive(Debug, Clone)]
+pub struct ScanBench {
+    /// Whether this was the reduced `--quick` sweep.
+    pub quick: bool,
+    /// Devices in the generated corpus.
+    pub devices: usize,
+    /// Executables in the corpus.
+    pub executables: usize,
+    /// Target games per full sweep (jobs × candidates).
+    pub plays: usize,
+    /// `available_parallelism()` of the host — speedups above 1 are
+    /// physically impossible when this is 1.
+    pub host_cpus: usize,
+    /// The sweep, cold cells first, threads ascending within a mode.
+    pub cells: Vec<ScanBenchCell>,
+}
+
+/// The per-cell delta of one log2 histogram between two snapshots.
+/// `min`/`max` are bucket-precision estimates (quantile clamps only).
+fn histogram_delta(
+    before: &firmup_telemetry::Snapshot,
+    after: &firmup_telemetry::Snapshot,
+    name: &str,
+) -> firmup_telemetry::HistogramSnapshot {
+    fn find<'a>(
+        s: &'a firmup_telemetry::Snapshot,
+        name: &str,
+    ) -> Option<&'a firmup_telemetry::HistogramSnapshot> {
+        s.histograms.iter().find(|(n, _)| n == name).map(|(_, h)| h)
+    }
+    let empty = firmup_telemetry::HistogramSnapshot {
+        count: 0,
+        sum: 0,
+        min: 0,
+        max: 0,
+        buckets: Vec::new(),
+    };
+    let Some(a) = find(after, name) else {
+        return empty;
+    };
+    let b = find(before, name);
+    let mut buckets: Vec<(u64, u64)> = Vec::new();
+    for &(lo, n) in &a.buckets {
+        let prev = b
+            .and_then(|h| h.buckets.iter().find(|&&(l, _)| l == lo))
+            .map_or(0, |&(_, c)| c);
+        if n > prev {
+            buckets.push((lo, n - prev));
+        }
+    }
+    if buckets.is_empty() {
+        return empty;
+    }
+    let min = buckets[0].0;
+    let last_lo = buckets[buckets.len() - 1].0;
+    let max = if last_lo == 0 { 0 } else { 2 * last_lo - 1 };
+    firmup_telemetry::HistogramSnapshot {
+        count: a.count - b.map_or(0, |h| h.count),
+        sum: a.sum - b.map_or(0, |h| h.sum),
+        min,
+        max,
+        buckets,
+    }
+}
+
+/// Measure how the sharded, work-stealing scan executor scales: the full
+/// built-in CVE hunt (every query × every same-arch target, exactly the
+/// `firmup scan` decomposition) swept over threads ∈ {1, 2, 4, 8}
+/// (`quick`: {1, 2, 4}) × {cold, warm} corpus. Every cell's merged
+/// findings are fingerprinted against the cold serial reference —
+/// `results_equal` is the determinism invariant, measured rather than
+/// assumed.
+pub fn bench_scan(quick: bool) -> ScanBench {
+    use firmup_core::canon::CanonConfig;
+    use firmup_core::executor::resolve_threads;
+    use firmup_core::persist::CorpusIndex;
+    use firmup_core::search::{merge_outcomes, scan_units, ScanBudget, ScanUnit};
+    use firmup_core::sim::{index_elf, ExecutableRep};
+    use firmup_firmware::corpus::{generate, try_build_query, CorpusConfig};
+    use firmup_firmware::image::unpack;
+    use firmup_firmware::packages::all_cves;
+
+    firmup_telemetry::enable();
+    let devices = if quick { 4 } else { 8 };
+    let corpus = generate(&CorpusConfig {
+        devices,
+        max_firmware_versions: 2,
+        ..CorpusConfig::default()
+    });
+    let canon = CanonConfig::default();
+    let mut reps = Vec::new();
+    for (ii, img) in corpus.images.iter().enumerate() {
+        let unpacked = unpack(&img.blob).expect("corpus images unpack");
+        for part in &unpacked.parts {
+            let elf = firmup_obj::Elf::parse(&part.data).expect("corpus parts parse");
+            let id = format!("img{ii}:{}", part.name);
+            reps.push(index_elf(&elf, &id, &canon).expect("corpus parts lift"));
+        }
+    }
+    let cold = CorpusIndex::build(reps);
+    let dir = std::env::temp_dir().join(format!("firmup-bench-scan-{}", std::process::id()));
+    cold.save(&dir).expect("save index");
+    let warm = CorpusIndex::load(&dir).expect("load index");
+    let _ = std::fs::remove_dir_all(&dir);
+
+    // Jobs exactly as `firmup scan` builds them: one per (CVE, arch
+    // group), query compiled once per (package, arch).
+    let mut arch_groups: Vec<(Arch, Vec<usize>)> = Vec::new();
+    for (i, exe) in cold.executables.iter().enumerate() {
+        match arch_groups.iter_mut().find(|(a, _)| *a == exe.arch) {
+            Some((_, members)) => members.push(i),
+            None => arch_groups.push((exe.arch, vec![i])),
+        }
+    }
+    let mut query_store: Vec<ExecutableRep> = Vec::new();
+    let mut cache: std::collections::HashMap<(String, Arch), Option<usize>> =
+        std::collections::HashMap::new();
+    // (query-store index, query procedure, CVE id, candidate targets)
+    let mut jobs: Vec<(usize, usize, &'static str, Vec<usize>)> = Vec::new();
+    for cve in all_cves() {
+        for (arch, members) in &arch_groups {
+            let slot = *cache
+                .entry((cve.package.to_string(), *arch))
+                .or_insert_with(|| {
+                    try_build_query(cve.package, *arch)
+                        .ok()
+                        .and_then(|(elf, _)| index_elf(&elf, "query", &canon).ok())
+                        .map(|rep| {
+                            query_store.push(rep);
+                            query_store.len() - 1
+                        })
+                });
+            let Some(qi) = slot else { continue };
+            let Some(qv) = query_store[qi].find_named(cve.procedure) else {
+                continue;
+            };
+            jobs.push((qi, qv, cve.cve, members.clone()));
+        }
+    }
+    let plays: usize = jobs.iter().map(|(.., members)| members.len()).sum();
+
+    // One sweep: decompose along shard boundaries, run every unit, and
+    // fingerprint the merged findings (content + stable ids only).
+    let run_sweep = |index: &CorpusIndex, threads: usize| -> (f64, Vec<String>) {
+        let shards = index.shards(resolve_threads(threads) * 4);
+        let mut units: Vec<ScanUnit> = Vec::new();
+        for (j, (.., members)) in jobs.iter().enumerate() {
+            for shard in &shards {
+                let targets: Vec<usize> = members
+                    .iter()
+                    .copied()
+                    .filter(|i| shard.range().contains(i))
+                    .collect();
+                if !targets.is_empty() {
+                    units.push(ScanUnit { job: j, targets });
+                }
+            }
+        }
+        let job_queries: Vec<(&ExecutableRep, usize)> = jobs
+            .iter()
+            .map(|&(qi, qv, ..)| (&query_store[qi], qv))
+            .collect();
+        let config = SearchConfig {
+            context: Some(index.context.clone()),
+            threads,
+            ..SearchConfig::default()
+        };
+        let t0 = Instant::now();
+        let per_unit = scan_units(
+            &job_queries,
+            &units,
+            &index.executables,
+            &config,
+            &ScanBudget::unlimited(),
+            &|| false,
+        );
+        let wall_ms = t0.elapsed().as_secs_f64() * 1e3;
+        let mut per_job: Vec<Vec<Vec<firmup_core::search::TargetOutcome>>> =
+            jobs.iter().map(|_| Vec::new()).collect();
+        for (unit, outs) in units.iter().zip(per_unit) {
+            per_job[unit.job].push(outs);
+        }
+        let mut fingerprint: Vec<String> = Vec::new();
+        for (job, outs) in jobs.iter().zip(per_job) {
+            let cve = job.2;
+            for o in merge_outcomes(outs) {
+                if let Some(r) = o.result() {
+                    if let Some(m) = &r.matched {
+                        fingerprint.push(format!(
+                            "{cve}|{}|{:#x}|{}|{}",
+                            o.target_id(),
+                            m.addr,
+                            m.sim,
+                            r.steps
+                        ));
+                    }
+                }
+            }
+        }
+        (wall_ms, fingerprint)
+    };
+
+    let sweep: &[usize] = if quick { &[1, 2, 4] } else { &[1, 2, 4, 8] };
+    let mut cells = Vec::new();
+    let mut reference: Option<Vec<String>> = None;
+    for (mode, index) in [("cold", &cold), ("warm", &warm)] {
+        let mut serial_wall = 0.0f64;
+        for &threads in sweep {
+            let before = firmup_telemetry::snapshot();
+            // Best of three: sub-100ms sweeps are jitter-prone, and the
+            // repeats double as a run-to-run determinism check.
+            let (mut wall_ms, fp) = run_sweep(index, threads);
+            let mut stable = true;
+            for _ in 0..2 {
+                let (w, fp_rep) = run_sweep(index, threads);
+                wall_ms = wall_ms.min(w);
+                stable &= fp_rep == fp;
+            }
+            let after = firmup_telemetry::snapshot();
+            let h = histogram_delta(&before, &after, "search.target_us");
+            if threads == 1 {
+                serial_wall = wall_ms;
+            }
+            let reference = reference.get_or_insert_with(|| fp.clone());
+            cells.push(ScanBenchCell {
+                mode,
+                threads,
+                wall_ms,
+                targets_per_sec: if wall_ms > 0.0 {
+                    plays as f64 / (wall_ms / 1e3)
+                } else {
+                    0.0
+                },
+                speedup: if wall_ms > 0.0 {
+                    serial_wall / wall_ms
+                } else {
+                    0.0
+                },
+                findings: fp.len(),
+                results_equal: stable && fp == *reference,
+                p50_target_us: h.quantile(0.5),
+                p95_target_us: h.quantile(0.95),
+            });
+        }
+    }
+    ScanBench {
+        quick,
+        devices,
+        executables: cold.executables.len(),
+        plays,
+        host_cpus: std::thread::available_parallelism().map_or(1, usize::from),
+        cells,
+    }
+}
+
+/// Render the scan benchmark as the `results/bench_scan.json` payload.
+pub fn render_scan_bench(b: &ScanBench) -> String {
+    use firmup_telemetry::json::Json;
+    let r3 = |x: f64| (x * 1e3).round() / 1e3;
+    let cells: Vec<Json> = b
+        .cells
+        .iter()
+        .map(|c| {
+            Json::Obj(vec![
+                ("mode".into(), Json::Str(c.mode.to_string())),
+                ("threads".into(), Json::Num(c.threads as f64)),
+                ("wall_ms".into(), Json::Num(r3(c.wall_ms))),
+                ("targets_per_sec".into(), Json::Num(r3(c.targets_per_sec))),
+                ("speedup".into(), Json::Num(r3(c.speedup))),
+                ("findings".into(), Json::Num(c.findings as f64)),
+                ("results_equal".into(), Json::Bool(c.results_equal)),
+                ("p50_target_us".into(), Json::Num(r3(c.p50_target_us))),
+                ("p95_target_us".into(), Json::Num(r3(c.p95_target_us))),
+            ])
+        })
+        .collect();
+    let doc = Json::Obj(vec![
+        ("quick".into(), Json::Bool(b.quick)),
+        ("devices".into(), Json::Num(b.devices as f64)),
+        ("executables".into(), Json::Num(b.executables as f64)),
+        ("plays".into(), Json::Num(b.plays as f64)),
+        ("host_cpus".into(), Json::Num(b.host_cpus as f64)),
+        ("cells".into(), Json::Arr(cells)),
+    ]);
+    let mut out = doc.render();
+    out.push('\n');
+    out
+}
+
+/// Compare a fresh `bench_scan.json` against a checked-in baseline.
+///
+/// Hard failures (the `Err` string): unparseable documents, a sweep
+/// shape mismatch (different `quick`/`devices`, or a baseline cell with
+/// no matching (mode, threads) cell), any cell with `results_equal:
+/// false`, a findings-count change, or a speedup below `baseline ×
+/// (1 - tol)`. Speedups *above* `baseline × (1 + tol)` — e.g. a 1-core
+/// baseline replayed on a many-core runner — only produce warnings
+/// (the `Ok` list), which is what lets the same baseline gate hosts of
+/// different widths.
+pub fn compare_scan_bench(current: &str, baseline: &str, tol: f64) -> Result<Vec<String>, String> {
+    use firmup_telemetry::json::Json;
+    let cur = Json::parse(current).map_err(|e| format!("current bench_scan.json: {e}"))?;
+    let base = Json::parse(baseline).map_err(|e| format!("baseline bench_scan.json: {e}"))?;
+    for key in ["quick", "devices"] {
+        let (a, b) = (cur.get(key), base.get(key));
+        if a.map(Json::render) != b.map(Json::render) {
+            return Err(format!(
+                "sweep shape mismatch on `{key}`: current {:?} vs baseline {:?}",
+                a.map(Json::render),
+                b.map(Json::render)
+            ));
+        }
+    }
+    let cells = |doc: &Json| -> Result<Vec<Json>, String> {
+        Ok(doc
+            .get("cells")
+            .and_then(Json::as_arr)
+            .ok_or("missing `cells` array")?
+            .to_vec())
+    };
+    let cur_cells = cells(&cur)?;
+    let mut warnings = Vec::new();
+    for bc in cells(&base)? {
+        let (mode, threads) = (
+            bc.get("mode").and_then(Json::as_str).unwrap_or(""),
+            bc.get("threads").and_then(Json::as_u64).unwrap_or(0),
+        );
+        let cc = cur_cells
+            .iter()
+            .find(|c| {
+                c.get("mode").and_then(Json::as_str) == Some(mode)
+                    && c.get("threads").and_then(Json::as_u64) == Some(threads)
+            })
+            .ok_or_else(|| format!("no current cell for mode={mode} threads={threads}"))?;
+        if !matches!(cc.get("results_equal"), Some(Json::Bool(true))) {
+            return Err(format!(
+                "determinism violation: mode={mode} threads={threads} has results_equal != true"
+            ));
+        }
+        let num = |c: &Json, k: &str| c.get(k).and_then(Json::as_f64);
+        let (cf, bf) = (num(cc, "findings"), num(&bc, "findings"));
+        if cf != bf {
+            return Err(format!(
+                "findings changed for mode={mode} threads={threads}: {cf:?} vs baseline {bf:?}"
+            ));
+        }
+        if let (Some(cs), Some(bs)) = (num(cc, "speedup"), num(&bc, "speedup")) {
+            if cs < bs * (1.0 - tol) {
+                return Err(format!(
+                    "speedup regression for mode={mode} threads={threads}: \
+                     {cs:.2} < {bs:.2} × (1 - {tol:.2})"
+                ));
+            }
+            if cs > bs * (1.0 + tol) {
+                warnings.push(format!(
+                    "speedup improved for mode={mode} threads={threads}: \
+                     {cs:.2} > {bs:.2} × (1 + {tol:.2}) — consider reblessing the baseline"
+                ));
+            }
+        }
+    }
+    Ok(warnings)
+}
+
 /// Render the index benchmark as the `results/bench_index.json` payload.
 pub fn render_index_bench(b: &IndexBench) -> String {
     format!(
@@ -955,4 +1349,98 @@ pub fn render_index_bench(b: &IndexBench) -> String {
         b.speedup,
         b.results_equal
     )
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn doc(quick: bool, cells: &[(&str, u64, f64, u64, bool)]) -> String {
+        use firmup_telemetry::json::Json;
+        let cells: Vec<Json> = cells
+            .iter()
+            .map(|&(mode, threads, speedup, findings, eq)| {
+                Json::Obj(vec![
+                    ("mode".into(), Json::Str(mode.to_string())),
+                    ("threads".into(), Json::Num(threads as f64)),
+                    ("speedup".into(), Json::Num(speedup)),
+                    ("findings".into(), Json::Num(findings as f64)),
+                    ("results_equal".into(), Json::Bool(eq)),
+                ])
+            })
+            .collect();
+        Json::Obj(vec![
+            ("quick".into(), Json::Bool(quick)),
+            ("devices".into(), Json::Num(4.0)),
+            ("cells".into(), Json::Arr(cells)),
+        ])
+        .render()
+    }
+
+    #[test]
+    fn comparator_accepts_within_tolerance() {
+        let base = doc(
+            true,
+            &[("cold", 1, 1.0, 9, true), ("cold", 4, 2.0, 9, true)],
+        );
+        let cur = doc(
+            true,
+            &[("cold", 1, 1.0, 9, true), ("cold", 4, 1.7, 9, true)],
+        );
+        let warnings = compare_scan_bench(&cur, &base, 0.20).expect("within tolerance");
+        assert!(warnings.is_empty(), "{warnings:?}");
+    }
+
+    #[test]
+    fn comparator_fails_on_speedup_regression_and_warns_on_improvement() {
+        let base = doc(true, &[("cold", 4, 2.0, 9, true)]);
+        let slow = doc(true, &[("cold", 4, 1.5, 9, true)]);
+        let err = compare_scan_bench(&slow, &base, 0.20).unwrap_err();
+        assert!(err.contains("speedup regression"), "{err}");
+        let fast = doc(true, &[("cold", 4, 3.1, 9, true)]);
+        let warnings = compare_scan_bench(&fast, &base, 0.20).expect("improvement passes");
+        assert_eq!(warnings.len(), 1, "{warnings:?}");
+        assert!(warnings[0].contains("improved"), "{warnings:?}");
+    }
+
+    #[test]
+    fn comparator_hard_fails_on_determinism_findings_and_shape() {
+        let base = doc(true, &[("cold", 1, 1.0, 9, true)]);
+        let nondet = doc(true, &[("cold", 1, 1.0, 9, false)]);
+        assert!(compare_scan_bench(&nondet, &base, 0.20)
+            .unwrap_err()
+            .contains("determinism"));
+        let drifted = doc(true, &[("cold", 1, 1.0, 7, true)]);
+        assert!(compare_scan_bench(&drifted, &base, 0.20)
+            .unwrap_err()
+            .contains("findings changed"));
+        let missing = doc(true, &[("warm", 1, 1.0, 9, true)]);
+        assert!(compare_scan_bench(&missing, &base, 0.20)
+            .unwrap_err()
+            .contains("no current cell"));
+        let full = doc(false, &[("cold", 1, 1.0, 9, true)]);
+        assert!(compare_scan_bench(&full, &base, 0.20)
+            .unwrap_err()
+            .contains("sweep shape mismatch"));
+        assert!(compare_scan_bench("nonsense", &base, 0.20).is_err());
+    }
+
+    #[test]
+    fn histogram_delta_subtracts_prior_observations() {
+        firmup_telemetry::enable();
+        let name = "bench.test.delta_histogram";
+        firmup_telemetry::observe(name, 10);
+        let before = firmup_telemetry::snapshot();
+        firmup_telemetry::observe(name, 100);
+        firmup_telemetry::observe(name, 100);
+        let after = firmup_telemetry::snapshot();
+        let d = histogram_delta(&before, &after, name);
+        assert_eq!(d.count, 2);
+        assert_eq!(d.sum, 200);
+        let p50 = d.quantile(0.5);
+        assert!((64.0..128.0).contains(&p50), "p50 = {p50}");
+        let none = histogram_delta(&after, &after, name);
+        assert_eq!(none.count, 0);
+        assert_eq!(none.quantile(0.5), 0.0);
+    }
 }

@@ -1,0 +1,63 @@
+//! Differential guard for the Table 2 / §5.3 ordering: on the
+//! planted-CVE corpus, FirmUp must recover at least as many correct
+//! matches as each baseline — BinDiff (Fig. 6) and GitZ top-1 (Fig. 8).
+//! `shapes.rs` checks the false-*rate* margins; this test pins the raw
+//! correct-match ordering so a regression cannot hide behind a shifting
+//! denominator.
+
+use firmup_bench::experiments::{fig6, fig8, Counts};
+use firmup_bench::setup::Workbench;
+use firmup_firmware::corpus::CorpusConfig;
+
+#[test]
+fn firmup_recovers_at_least_as_many_planted_cves_as_both_baselines() {
+    let wb = Workbench::build_with(CorpusConfig {
+        devices: 8,
+        max_firmware_versions: 2,
+        ..CorpusConfig::default()
+    });
+
+    let f6 = fig6(&wb);
+    let mut firmup = Counts::default();
+    let mut bindiff = Counts::default();
+    for r in &f6 {
+        firmup.p += r.firmup.p;
+        firmup.fp += r.firmup.fp;
+        firmup.fn_ += r.firmup.fn_;
+        bindiff.p += r.bindiff.p;
+        bindiff.fp += r.bindiff.fp;
+        bindiff.fn_ += r.bindiff.fn_;
+    }
+    assert!(firmup.total() > 0, "the labeled set must be non-empty");
+    assert_eq!(
+        firmup.total(),
+        bindiff.total(),
+        "both tools must judge the same labeled targets"
+    );
+    assert!(
+        firmup.p >= bindiff.p,
+        "BinDiff must not recover more planted procedures than FirmUp \
+         ({} vs {})",
+        bindiff.p,
+        firmup.p
+    );
+
+    let f8 = fig8(&wb);
+    let (mut fu_p, mut fu_f, mut g_p, mut g_f) = (0usize, 0usize, 0usize, 0usize);
+    for r in &f8 {
+        fu_p += r.firmup_p;
+        fu_f += r.firmup_f;
+        g_p += r.gitz_p;
+        g_f += r.gitz_f;
+    }
+    assert!(fu_p + fu_f > 0, "the Fig. 8 labeled set must be non-empty");
+    assert_eq!(
+        fu_p + fu_f,
+        g_p + g_f,
+        "both tools must judge the same labeled targets"
+    );
+    assert!(
+        fu_p >= g_p,
+        "GitZ must not recover more planted procedures than FirmUp ({g_p} vs {fu_p})"
+    );
+}

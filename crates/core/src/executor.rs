@@ -1,0 +1,184 @@
+//! Work-stealing executor for fine-grained scan work units.
+//!
+//! A corpus scan decomposes into many independent units — a chunk of
+//! targets inside one [`crate::search::search_corpus`] call, or a
+//! (query × candidate-shard) pair at the whole-scan level (see
+//! [`crate::search::scan_units`]). [`run_units`] schedules those units
+//! over `std::thread::scope` workers that drain a per-worker chunked
+//! deque and steal from a sibling's tail when their own runs dry —
+//! std-only, no extra dependencies.
+//!
+//! **Determinism invariant.** Every unit's result lands in a slot
+//! vector indexed by unit number, and the merged output is read back in
+//! slot order. Scheduling, stealing, and arrival order can never leak
+//! into results: for a fixed input, `threads = N` produces the same
+//! output vector for every `N`.
+//!
+//! Telemetry: each processed chunk counts in `scan.units_done`, times a
+//! `unit` span, and records its item count in the `scan.unit_items`
+//! histogram; each successful steal counts in `scan.steal_count`.
+
+use std::collections::VecDeque;
+use std::ops::Range;
+use std::sync::Mutex;
+
+/// Resolve a `threads` setting: `0` means one worker per available
+/// core (falling back to 4 when parallelism cannot be queried).
+pub fn resolve_threads(threads: usize) -> usize {
+    if threads == 0 {
+        std::thread::available_parallelism().map_or(4, std::num::NonZeroUsize::get)
+    } else {
+        threads
+    }
+}
+
+/// Scheduling chunk size for `items` spread over `threads` workers:
+/// about four chunks per worker so stealing can rebalance a skewed
+/// workload, never zero.
+pub fn chunk_size(items: usize, threads: usize) -> usize {
+    (items / (threads.max(1) * 4)).max(1)
+}
+
+/// Process one chunk of unit indices, with per-chunk telemetry.
+fn run_chunk<R>(
+    range: Range<usize>,
+    run: &(impl Fn(usize) -> R + Sync),
+    out: &mut Vec<(usize, R)>,
+) {
+    let _span = firmup_telemetry::span!("unit");
+    firmup_telemetry::incr("scan.units_done");
+    firmup_telemetry::observe("scan.unit_items", range.len() as u64);
+    for i in range {
+        out.push((i, run(i)));
+    }
+}
+
+/// Run `n` independent work units over `threads` workers (resolved via
+/// [`resolve_threads`]) pulling chunks of `chunk` consecutive unit
+/// indices from per-worker deques, stealing from siblings when idle.
+///
+/// `run(i)` is called exactly once for every `i in 0..n`; the returned
+/// vector holds the results in unit order regardless of thread count or
+/// scheduling — see the module docs for the determinism invariant.
+///
+/// A panic inside `run` propagates out of the scope join (poisoning the
+/// whole call), exactly like the pre-executor scoped-thread pools;
+/// callers that need isolation catch unwinds inside `run` (as
+/// [`crate::search::search_corpus_robust`] does).
+pub fn run_units<R, F>(n: usize, threads: usize, chunk: usize, run: F) -> Vec<R>
+where
+    R: Send,
+    F: Fn(usize) -> R + Sync,
+{
+    let threads = resolve_threads(threads).min(n.max(1));
+    let chunk = chunk.max(1);
+    if threads <= 1 || n <= 1 {
+        let mut out = Vec::with_capacity(n);
+        for start in (0..n).step_by(chunk) {
+            run_chunk(start..(start + chunk).min(n), &run, &mut out);
+        }
+        return out.into_iter().map(|(_, r)| r).collect();
+    }
+    // Deal chunks round-robin across per-worker deques up front; no new
+    // work is ever enqueued, so "every deque empty" is a safe exit.
+    let queues: Vec<Mutex<VecDeque<Range<usize>>>> =
+        (0..threads).map(|_| Mutex::new(VecDeque::new())).collect();
+    for (c, start) in (0..n).step_by(chunk).enumerate() {
+        queues[c % threads]
+            .lock()
+            .expect("unit queue lock")
+            .push_back(start..(start + chunk).min(n));
+    }
+    let slots: Mutex<Vec<Option<R>>> = Mutex::new((0..n).map(|_| None).collect());
+    std::thread::scope(|scope| {
+        for w in 0..threads {
+            let queues = &queues;
+            let slots = &slots;
+            let run = &run;
+            scope.spawn(move || {
+                let mut done: Vec<(usize, R)> = Vec::new();
+                loop {
+                    // Own work first (front), then steal a victim's tail.
+                    let job = queues[w]
+                        .lock()
+                        .expect("unit queue lock")
+                        .pop_front()
+                        .or_else(|| {
+                            (1..threads).find_map(|off| {
+                                let victim = (w + off) % threads;
+                                let stolen =
+                                    queues[victim].lock().expect("unit queue lock").pop_back();
+                                if stolen.is_some() {
+                                    firmup_telemetry::incr("scan.steal_count");
+                                }
+                                stolen
+                            })
+                        });
+                    let Some(range) = job else { break };
+                    run_chunk(range, run, &mut done);
+                }
+                let mut slots = slots.lock().expect("unit slots lock");
+                for (i, r) in done {
+                    slots[i] = Some(r);
+                }
+            });
+        }
+    });
+    slots
+        .into_inner()
+        .expect("unit slots lock")
+        .into_iter()
+        .map(|r| r.expect("every unit slot filled"))
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::sync::atomic::{AtomicUsize, Ordering};
+
+    #[test]
+    fn results_are_in_unit_order_for_every_thread_count() {
+        let calls = AtomicUsize::new(0);
+        for threads in [1, 2, 3, 4, 8] {
+            for n in [0, 1, 2, 7, 33] {
+                calls.store(0, Ordering::Relaxed);
+                let out = run_units(n, threads, 3, |i| {
+                    calls.fetch_add(1, Ordering::Relaxed);
+                    i * 10
+                });
+                assert_eq!(out, (0..n).map(|i| i * 10).collect::<Vec<_>>());
+                assert_eq!(calls.load(Ordering::Relaxed), n, "run once per unit");
+            }
+        }
+    }
+
+    #[test]
+    fn idle_workers_steal_pending_chunks() {
+        firmup_telemetry::enable();
+        let before = firmup_telemetry::counter("scan.steal_count").get();
+        // chunk = 1 deals unit i to queue i % 2: evens to worker 0, odds
+        // to worker 1. Worker 0's units sleep, so worker 1 drains its
+        // own queue quickly and must steal the pending even units.
+        run_units(8, 2, 1, |i| {
+            if i % 2 == 0 {
+                std::thread::sleep(std::time::Duration::from_millis(20));
+            }
+            i
+        });
+        assert!(
+            firmup_telemetry::counter("scan.steal_count").get() > before,
+            "no steal recorded for a skewed workload"
+        );
+    }
+
+    #[test]
+    fn chunk_size_is_never_zero_and_scales_down() {
+        assert_eq!(chunk_size(0, 4), 1);
+        assert_eq!(chunk_size(3, 4), 1);
+        assert!(chunk_size(1000, 4) >= 2);
+        assert!(chunk_size(1000, 1) > chunk_size(1000, 8));
+        assert!(resolve_threads(0) >= 1);
+        assert_eq!(resolve_threads(3), 3);
+    }
+}

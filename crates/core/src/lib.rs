@@ -62,6 +62,7 @@
 pub mod canon;
 pub mod emu;
 pub mod error;
+pub mod executor;
 pub mod game;
 pub mod lift;
 pub mod persist;
@@ -71,12 +72,14 @@ pub mod strand;
 
 pub use canon::{AddrSpace, CanonConfig, CanonicalStrand};
 pub use error::{isolate, FaultCtx, FirmUpError};
+pub use executor::{resolve_threads, run_units};
 pub use game::{GameConfig, GameEnd, GameResult};
 pub use lift::{lift_executable, LiftedExecutable};
-pub use persist::CorpusIndex;
+pub use persist::{CorpusIndex, IndexShard};
 pub use search::{
-    prefilter_candidates, search_corpus, search_corpus_robust, search_target, BudgetReason,
-    ScanBudget, ScanReport, SearchConfig, TargetOutcome, TargetResult,
+    merge_outcomes, prefilter_candidates, scan_units, search_corpus, search_corpus_robust,
+    search_target, BudgetReason, ScanBudget, ScanReport, ScanUnit, SearchConfig, TargetOutcome,
+    TargetResult,
 };
 pub use sim::{index_elf, sim, ExecutableRep, GlobalContext, ProcedureRep, StrandPostings};
 pub use strand::{decompose, Strand};

@@ -71,6 +71,24 @@ pub struct CorpusIndex {
     pub postings: StrandPostings,
 }
 
+/// A borrowed, contiguous shard of a [`CorpusIndex`]'s executables
+/// table — one slice of the corpus a scan work unit plays against. See
+/// [`CorpusIndex::shards`].
+#[derive(Debug, Clone, Copy)]
+pub struct IndexShard<'a> {
+    /// Global executable index of `executables[0]`.
+    pub base: usize,
+    /// This shard's executables, borrowed from the index.
+    pub executables: &'a [ExecutableRep],
+}
+
+impl IndexShard<'_> {
+    /// The global executable indices this shard owns.
+    pub fn range(&self) -> std::ops::Range<usize> {
+        self.base..self.base + self.executables.len()
+    }
+}
+
 impl CorpusIndex {
     /// Build the derived structures over a set of canonicalized
     /// executables (the in-memory path a cold scan takes, and the final
@@ -84,6 +102,35 @@ impl CorpusIndex {
             context,
             postings,
         }
+    }
+
+    /// Split the executables table into at most `k` near-equal,
+    /// contiguous shards for feeding scan workers directly. Shards
+    /// *borrow* — no [`ExecutableRep`] is cloned (the scan path's
+    /// `rep.clones == 0` invariant), the postings table and context
+    /// stay shared, and a shard's [`IndexShard::range`] reports the
+    /// global executable indices it owns, so a prefiltered candidate
+    /// list (global indices from [`crate::search::prefilter_candidates`])
+    /// can be routed to its owning shard without any re-indexing.
+    ///
+    /// `k == 0` is treated as 1; an empty corpus yields no shards;
+    /// every executable lands in exactly one shard.
+    pub fn shards(&self, k: usize) -> Vec<IndexShard<'_>> {
+        let n = self.executables.len();
+        if n == 0 {
+            return Vec::new();
+        }
+        let k = k.clamp(1, n);
+        (0..k)
+            .map(|i| {
+                let lo = i * n / k;
+                let hi = (i + 1) * n / k;
+                IndexShard {
+                    base: lo,
+                    executables: &self.executables[lo..hi],
+                }
+            })
+            .collect()
     }
 
     /// Serialize into a FUIX container blob.
@@ -670,6 +717,30 @@ mod tests {
             exe("b", &[&[2, 3, 4]]),
             exe("c", &[&[], &[7]]),
         ])
+    }
+
+    #[test]
+    fn shards_partition_the_corpus_without_cloning() {
+        let index = sample();
+        for k in [0usize, 1, 2, 3, 7] {
+            let shards = index.shards(k);
+            assert!(!shards.is_empty());
+            assert!(shards.len() <= index.executables.len());
+            // Contiguous, complete, non-overlapping coverage.
+            let mut next = 0usize;
+            for s in &shards {
+                assert_eq!(s.base, next);
+                assert_eq!(s.range().start, s.base);
+                next = s.range().end;
+                // The borrowed slice really is the index's own storage.
+                for (off, e) in s.executables.iter().enumerate() {
+                    assert!(std::ptr::eq(e, &index.executables[s.base + off]));
+                }
+            }
+            assert_eq!(next, index.executables.len());
+        }
+        // Empty corpus: no shards.
+        assert!(CorpusIndex::build(Vec::new()).shards(4).is_empty());
     }
 
     #[test]

@@ -9,12 +9,12 @@
 
 use std::fmt;
 use std::panic::{catch_unwind, AssertUnwindSafe};
-use std::sync::atomic::{AtomicU64, AtomicUsize, Ordering};
-use std::sync::Mutex;
+use std::sync::atomic::{AtomicU64, Ordering};
 use std::time::{Duration, Instant};
 
 use std::borrow::Borrow;
 
+use crate::executor::{chunk_size, resolve_threads, run_units};
 use crate::game::{play, GameConfig, GameEnd, GameResult};
 use crate::sim::{ExecutableRep, GlobalContext, ProcedureRep, StrandPostings};
 
@@ -113,9 +113,10 @@ pub fn search_target(
     }
 }
 
-/// Search many targets in parallel (std scoped threads with a shared
-/// work-stealing index, matching the paper's threaded setup on a
-/// 72-thread Xeon).
+/// Search many targets in parallel over the work-stealing executor
+/// ([`crate::executor::run_units`], matching the paper's threaded setup
+/// on a 72-thread Xeon). Targets are chunked for scheduling; results
+/// come back in target order for every thread count.
 ///
 /// Targets are taken through [`Borrow`], so both owned slices
 /// (`&[ExecutableRep]`) and borrowed candidate lists
@@ -128,43 +129,13 @@ pub fn search_corpus<T: Borrow<ExecutableRep> + Sync>(
     config: &SearchConfig,
 ) -> Vec<TargetResult> {
     let _span = firmup_telemetry::span!("search");
-    let threads = if config.threads == 0 {
-        std::thread::available_parallelism().map_or(4, std::num::NonZeroUsize::get)
-    } else {
-        config.threads
-    };
-    if threads <= 1 || targets.len() <= 1 {
-        return targets
-            .iter()
-            .map(|t| search_target(query, qv, t.borrow(), config))
-            .collect();
-    }
-    let next = std::sync::atomic::AtomicUsize::new(0);
-    let results: Mutex<Vec<Option<TargetResult>>> = Mutex::new(vec![None; targets.len()]);
-    let worker_items = firmup_telemetry::histogram("search.worker_items");
-    std::thread::scope(|scope| {
-        for _ in 0..threads.min(targets.len()) {
-            scope.spawn(|| {
-                let mut items = 0u64;
-                loop {
-                    let i = next.fetch_add(1, std::sync::atomic::Ordering::Relaxed);
-                    if i >= targets.len() {
-                        break;
-                    }
-                    let r = search_target(query, qv, targets[i].borrow(), config);
-                    results.lock().expect("search results lock")[i] = Some(r);
-                    items += 1;
-                }
-                worker_items.observe(items);
-            });
-        }
-    });
-    results
-        .into_inner()
-        .expect("search results lock")
-        .into_iter()
-        .map(|r| r.expect("every slot filled"))
-        .collect()
+    let threads = resolve_threads(config.threads);
+    run_units(
+        targets.len(),
+        threads,
+        chunk_size(targets.len(), threads),
+        |i| search_target(query, qv, targets[i].borrow(), config),
+    )
 }
 
 /// Candidate prefiltering over a strand postings table: rank executables
@@ -411,10 +382,155 @@ impl ScanReport {
     }
 }
 
+/// Play one target under budget bounds, containing panics. The per-game
+/// deadline is computed *here*, immediately before the game starts —
+/// never once per worker or per unit — so a slow sibling game on the
+/// same worker can never eat a later game's `per_game` allowance.
+fn run_one_target(
+    query: &ExecutableRep,
+    qv: usize,
+    target: &ExecutableRep,
+    config: &SearchConfig,
+    budget: &ScanBudget,
+    scan_start: Instant,
+    steps_spent: &AtomicU64,
+) -> TargetOutcome {
+    // Deterministic bound first: refuse to start once the scan-wide
+    // step budget is spent.
+    if budget
+        .max_steps_total
+        .is_some_and(|max| steps_spent.load(Ordering::Relaxed) >= max)
+    {
+        firmup_telemetry::incr("scan.budget_exceeded");
+        return TargetOutcome::BudgetExceeded {
+            target_id: target.id.clone(),
+            partial: None,
+            reason: BudgetReason::StepBudget,
+        };
+    }
+    let target_start = Instant::now();
+    // A scan/target deadline already in the past: report without
+    // playing at all.
+    let deadline = budget.game_deadline(scan_start, target_start);
+    if let Some((d, reason)) = deadline {
+        if d <= target_start {
+            firmup_telemetry::incr("scan.budget_exceeded");
+            return TargetOutcome::BudgetExceeded {
+                target_id: target.id.clone(),
+                partial: None,
+                reason,
+            };
+        }
+    }
+    let mut cfg = config.clone();
+    cfg.game.deadline = deadline.map(|(d, _)| d);
+    let played = catch_unwind(AssertUnwindSafe(|| search_target(query, qv, target, &cfg)));
+    match played {
+        Ok(r) => {
+            steps_spent.fetch_add(r.steps as u64, Ordering::Relaxed);
+            if r.ended == GameEnd::DeadlineExceeded {
+                firmup_telemetry::incr("scan.budget_exceeded");
+                let reason = deadline.map_or(BudgetReason::GameDeadline, |(_, r)| r);
+                TargetOutcome::BudgetExceeded {
+                    target_id: target.id.clone(),
+                    partial: Some(r),
+                    reason,
+                }
+            } else {
+                TargetOutcome::Completed(r)
+            }
+        }
+        Err(payload) => {
+            firmup_telemetry::incr("scan.targets_poisoned");
+            TargetOutcome::Poisoned {
+                target_id: target.id.clone(),
+                panic: crate::error::panic_message(payload.as_ref()),
+            }
+        }
+    }
+}
+
+/// One fine-grained scan work unit: a query job plus the shard of
+/// candidate targets it plays against.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ScanUnit {
+    /// Index into the job list passed to [`scan_units`].
+    pub job: usize,
+    /// Indices into the corpus slice passed to [`scan_units`] —
+    /// typically one candidate shard of a prefiltered list.
+    pub targets: Vec<usize>,
+}
+
+/// Execute fine-grained (query × candidate-shard) scan units over the
+/// work-stealing executor, sharing one [`ScanBudget`] across all units:
+/// the scan deadline and the step budget are global, while per-target
+/// and per-game deadlines are re-derived immediately before every
+/// single game — a slow sibling game on the same worker can never eat a
+/// later game's allowance. Returns one outcome vector per unit,
+/// in unit order — combine a job's vectors with [`merge_outcomes`] for
+/// an arrival-order-free report.
+///
+/// `stop` is polled before each unit starts; once it returns `true`
+/// remaining units yield empty outcome vectors (the cooperative-cancel
+/// path behind `^C`). A cancelled scan naturally loses the determinism
+/// guarantee, exactly like a wall-clock budget.
+pub fn scan_units<T: Borrow<ExecutableRep> + Sync>(
+    jobs: &[(&ExecutableRep, usize)],
+    units: &[ScanUnit],
+    corpus: &[T],
+    config: &SearchConfig,
+    budget: &ScanBudget,
+    stop: &(dyn Fn() -> bool + Sync),
+) -> Vec<Vec<TargetOutcome>> {
+    let _span = firmup_telemetry::span!("search");
+    let scan_start = Instant::now();
+    let steps_spent = AtomicU64::new(0);
+    run_units(units.len(), resolve_threads(config.threads), 1, |u| {
+        if stop() {
+            return Vec::new();
+        }
+        let unit = &units[u];
+        let (query, qv) = jobs[unit.job];
+        unit.targets
+            .iter()
+            .map(|&t| {
+                run_one_target(
+                    query,
+                    qv,
+                    corpus[t].borrow(),
+                    config,
+                    budget,
+                    scan_start,
+                    &steps_spent,
+                )
+            })
+            .collect()
+    })
+}
+
+/// Deterministically merge one query job's per-unit outcomes: findings
+/// first, ranked by (sim descending, target id, match address), then
+/// the non-findings by target id. The order is a pure function of
+/// result content and stable identifiers — never of unit arrival order
+/// — which is what keeps `--threads N` byte-identical for every `N`.
+pub fn merge_outcomes(per_unit: Vec<Vec<TargetOutcome>>) -> Vec<TargetOutcome> {
+    fn key(o: &TargetOutcome) -> (u8, std::cmp::Reverse<usize>, &str, u32) {
+        match o.result().and_then(|r| r.matched.as_ref()) {
+            Some(m) => (0, std::cmp::Reverse(m.sim), o.target_id(), m.addr),
+            None => (1, std::cmp::Reverse(0), o.target_id(), 0),
+        }
+    }
+    let mut all: Vec<TargetOutcome> = per_unit.into_iter().flatten().collect();
+    all.sort_by(|a, b| key(a).cmp(&key(b)));
+    all
+}
+
 /// Fault-tolerant corpus search: like [`search_corpus`] but each target
 /// is isolated — a panic poisons only its own slot ([`TargetOutcome::
 /// Poisoned`]), and [`ScanBudget`] bounds degrade targets gracefully
-/// instead of hanging the scan. Telemetry: contained panics count in
+/// instead of hanging the scan. Implemented as a single-job [`scan_units`]
+/// call whose units are contiguous target chunks, so outcomes keep
+/// target order. Telemetry: contained panics count in
 /// `scan.targets_poisoned`, budget casualties in `scan.budget_exceeded`.
 pub fn search_corpus_robust<T: Borrow<ExecutableRep> + Sync>(
     query: &ExecutableRep,
@@ -423,97 +539,17 @@ pub fn search_corpus_robust<T: Borrow<ExecutableRep> + Sync>(
     config: &SearchConfig,
     budget: &ScanBudget,
 ) -> ScanReport {
-    let _span = firmup_telemetry::span!("search");
-    let scan_start = Instant::now();
-    let steps_spent = AtomicU64::new(0);
-
-    let run_one = |target: &ExecutableRep| -> TargetOutcome {
-        // Deterministic bound first: refuse to start once the scan-wide
-        // step budget is spent.
-        if budget
-            .max_steps_total
-            .is_some_and(|max| steps_spent.load(Ordering::Relaxed) >= max)
-        {
-            firmup_telemetry::incr("scan.budget_exceeded");
-            return TargetOutcome::BudgetExceeded {
-                target_id: target.id.clone(),
-                partial: None,
-                reason: BudgetReason::StepBudget,
-            };
-        }
-        let target_start = Instant::now();
-        // A scan/target deadline already in the past: report without
-        // playing at all.
-        let deadline = budget.game_deadline(scan_start, target_start);
-        if let Some((d, reason)) = deadline {
-            if d <= target_start {
-                firmup_telemetry::incr("scan.budget_exceeded");
-                return TargetOutcome::BudgetExceeded {
-                    target_id: target.id.clone(),
-                    partial: None,
-                    reason,
-                };
-            }
-        }
-        let mut cfg = config.clone();
-        cfg.game.deadline = deadline.map(|(d, _)| d);
-        let played = catch_unwind(AssertUnwindSafe(|| search_target(query, qv, target, &cfg)));
-        match played {
-            Ok(r) => {
-                steps_spent.fetch_add(r.steps as u64, Ordering::Relaxed);
-                if r.ended == GameEnd::DeadlineExceeded {
-                    firmup_telemetry::incr("scan.budget_exceeded");
-                    let reason = deadline.map_or(BudgetReason::GameDeadline, |(_, r)| r);
-                    TargetOutcome::BudgetExceeded {
-                        target_id: target.id.clone(),
-                        partial: Some(r),
-                        reason,
-                    }
-                } else {
-                    TargetOutcome::Completed(r)
-                }
-            }
-            Err(payload) => {
-                firmup_telemetry::incr("scan.targets_poisoned");
-                TargetOutcome::Poisoned {
-                    target_id: target.id.clone(),
-                    panic: crate::error::panic_message(payload.as_ref()),
-                }
-            }
-        }
-    };
-
-    let threads = if config.threads == 0 {
-        std::thread::available_parallelism().map_or(4, std::num::NonZeroUsize::get)
-    } else {
-        config.threads
-    };
-    if threads <= 1 || targets.len() <= 1 {
-        return ScanReport {
-            outcomes: targets.iter().map(|t| run_one(t.borrow())).collect(),
-        };
-    }
-    let next = AtomicUsize::new(0);
-    let outcomes: Mutex<Vec<Option<TargetOutcome>>> = Mutex::new(vec![None; targets.len()]);
-    std::thread::scope(|scope| {
-        for _ in 0..threads.min(targets.len()) {
-            scope.spawn(|| loop {
-                let i = next.fetch_add(1, Ordering::Relaxed);
-                if i >= targets.len() {
-                    break;
-                }
-                let o = run_one(targets[i].borrow());
-                outcomes.lock().expect("scan outcomes lock")[i] = Some(o);
-            });
-        }
-    });
+    let chunk = chunk_size(targets.len(), resolve_threads(config.threads));
+    let units: Vec<ScanUnit> = (0..targets.len())
+        .step_by(chunk)
+        .map(|start| ScanUnit {
+            job: 0,
+            targets: (start..(start + chunk).min(targets.len())).collect(),
+        })
+        .collect();
+    let per_unit = scan_units(&[(query, qv)], &units, targets, config, budget, &|| false);
     ScanReport {
-        outcomes: outcomes
-            .into_inner()
-            .expect("scan outcomes lock")
-            .into_iter()
-            .map(|o| o.expect("every slot filled"))
-            .collect(),
+        outcomes: per_unit.into_iter().flatten().collect(),
     }
 }
 
@@ -765,6 +801,116 @@ mod tests {
             other => panic!("expected BudgetExceeded, got {other:?}"),
         }
         assert!(!report.outcomes[0].found());
+    }
+
+    #[test]
+    fn slow_game_exceeds_only_its_own_unit_under_parallel_workers() {
+        // Regression test for per-game deadline scoping: the deadline
+        // must be derived immediately before *each* game, never once
+        // per worker. A single pathologically slow target must come
+        // back BudgetExceeded while every sibling unit on the same
+        // worker pool completes.
+        //
+        // The slow game is a rival cascade: the query has procedures
+        // q_k sharing `common` plus k extra strands with every target
+        // procedure, so the back-match from any target prefers the
+        // highest-index unmatched q over q_0 — each step counters the
+        // last, and with ~32k-strand sets every step costs millions of
+        // merge operations, far beyond a 1 ms game allowance.
+        let common: Vec<u64> = (0..32_768).collect();
+        let extras: Vec<u64> = (900_000..900_040).collect();
+        let proc_with = |addr: u32, strands: Vec<u64>| ProcedureRep {
+            addr,
+            name: None,
+            strands,
+            block_count: 1,
+            size: 16,
+        };
+        let query = ExecutableRep {
+            id: "q".into(),
+            arch: Arch::Mips32,
+            procedures: (0..40)
+                .map(|k| {
+                    let mut s = common.clone();
+                    s.extend_from_slice(&extras[..k]);
+                    proc_with(0x1000 + k as u32, s)
+                })
+                .collect(),
+        };
+        let slow = ExecutableRep {
+            id: "slow".into(),
+            arch: Arch::Mips32,
+            procedures: (0..40)
+                .map(|j| {
+                    let mut s = common.clone();
+                    s.extend_from_slice(&extras);
+                    proc_with(0x2000 + j as u32, s)
+                })
+                .collect(),
+        };
+        // Fast siblings: one tiny procedure each. Their games accept on
+        // the first step (sim ties break toward q_0), so they finish
+        // with QueryMatched no matter how slow the wall clock is.
+        let fast = |i: u32| ExecutableRep {
+            id: format!("fast{i}"),
+            arch: Arch::Mips32,
+            procedures: vec![proc_with(0x3000 + i, vec![1, 2, 3])],
+        };
+        let targets = vec![slow, fast(0), fast(1), fast(2)];
+        let config = SearchConfig {
+            threads: 2,
+            ..SearchConfig::default()
+        };
+        let budget = ScanBudget {
+            per_game: Some(Duration::from_millis(1)),
+            ..ScanBudget::default()
+        };
+        let report = search_corpus_robust(&query, 0, &targets, &config, &budget);
+        assert_eq!(report.outcomes.len(), 4);
+        match &report.outcomes[0] {
+            TargetOutcome::BudgetExceeded { reason, .. } => {
+                assert_eq!(*reason, BudgetReason::GameDeadline);
+            }
+            other => panic!("slow target should exceed its game deadline, got {other:?}"),
+        }
+        for o in &report.outcomes[1..] {
+            assert!(
+                matches!(o, TargetOutcome::Completed(_)),
+                "sibling unit degraded by a neighbour's slow game: {o:?}"
+            );
+        }
+    }
+
+    #[test]
+    fn merge_outcomes_is_independent_of_unit_split_and_arrival() {
+        let done = |id: &str, sim: Option<(usize, u32)>| {
+            TargetOutcome::Completed(TargetResult {
+                target_id: id.into(),
+                matched: sim.map(|(s, addr)| MatchInfo {
+                    index: 0,
+                    addr,
+                    sim: s,
+                }),
+                steps: 1,
+                ended: GameEnd::QueryMatched,
+            })
+        };
+        let a = done("t/a", Some((9, 0x10)));
+        let b = done("t/b", Some((9, 0x20))); // ties with a on sim → id order
+        let c = done("t/c", Some((12, 0x30))); // best sim → first
+        let d = done("t/d", None); // non-finding → after all findings
+                                   // Two different unit splits, each in a different arrival order.
+        let merged1 = merge_outcomes(vec![
+            vec![d.clone(), a.clone()],
+            vec![b.clone()],
+            vec![c.clone()],
+        ]);
+        let merged2 = merge_outcomes(vec![vec![c.clone(), b.clone(), a.clone(), d.clone()]]);
+        let ids = |v: &[TargetOutcome]| -> Vec<String> {
+            v.iter().map(|o| o.target_id().to_string()).collect()
+        };
+        assert_eq!(ids(&merged1), vec!["t/c", "t/a", "t/b", "t/d"]);
+        assert_eq!(ids(&merged1), ids(&merged2));
     }
 
     #[test]

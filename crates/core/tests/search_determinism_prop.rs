@@ -1,0 +1,141 @@
+//! Property tests for the scan determinism invariant: for arbitrary
+//! small corpora, `search_corpus` / `search_corpus_robust` findings are
+//! identical across runs and across every thread count 1..=4 — the
+//! work-stealing executor merges by unit slot, never by arrival order.
+
+use firmup_core::search::{
+    merge_outcomes, scan_units, search_corpus, search_corpus_robust, ScanBudget, ScanUnit,
+    SearchConfig, TargetOutcome,
+};
+use firmup_core::sim::{ExecutableRep, ProcedureRep};
+use firmup_isa::Arch;
+use proptest::prelude::*;
+
+fn exec(id: String, procs: Vec<Vec<u64>>) -> ExecutableRep {
+    ExecutableRep {
+        id,
+        arch: Arch::Mips32,
+        procedures: procs
+            .into_iter()
+            .enumerate()
+            .map(|(i, mut strands)| {
+                strands.sort_unstable();
+                strands.dedup();
+                ProcedureRep {
+                    addr: 0x1000 + (i as u32) * 0x40,
+                    name: None,
+                    strands,
+                    block_count: 1,
+                    size: 16,
+                }
+            })
+            .collect(),
+    }
+}
+
+/// Random corpora: 2..12 executables of up to 5 procedures over a small
+/// strand universe, so overlaps (and equal-score ties) are common.
+fn rand_corpus() -> impl Strategy<Value = Vec<ExecutableRep>> {
+    proptest::collection::vec(
+        proptest::collection::vec(proptest::collection::vec(0u64..30, 1..8), 1..5),
+        2..12,
+    )
+    .prop_map(|execs| {
+        execs
+            .into_iter()
+            .enumerate()
+            .map(|(i, procs)| exec(format!("t{i}"), procs))
+            .collect()
+    })
+}
+
+fn fingerprint(results: &[firmup_core::search::TargetResult]) -> Vec<String> {
+    results
+        .iter()
+        .map(|r| format!("{}|{:?}|{}|{:?}", r.target_id, r.matched, r.steps, r.ended))
+        .collect()
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(48))]
+
+    /// `search_corpus` findings are identical across runs and across
+    /// thread counts 1..=4.
+    #[test]
+    fn corpus_search_is_thread_count_invariant(corpus in rand_corpus(), qpick in 0usize..12) {
+        let q = &corpus[qpick % corpus.len()];
+        if q.procedures[0].strands.is_empty() {
+            return Ok(());
+        }
+        let reference = {
+            let config = SearchConfig { threads: 1, ..SearchConfig::default() };
+            fingerprint(&search_corpus(q, 0, &corpus, &config))
+        };
+        for threads in 1..=4usize {
+            let config = SearchConfig { threads, ..SearchConfig::default() };
+            // Across thread counts AND across repeated runs.
+            for run in 0..2 {
+                let got = fingerprint(&search_corpus(q, 0, &corpus, &config));
+                prop_assert_eq!(
+                    &got, &reference,
+                    "threads={} run={} diverged", threads, run
+                );
+            }
+        }
+    }
+
+    /// The robust scan (unit-sharded, work-stealing) reports the same
+    /// outcomes for every thread count when unbudgeted.
+    #[test]
+    fn robust_scan_is_thread_count_invariant(corpus in rand_corpus()) {
+        let q = &corpus[0];
+        let describe = |o: &TargetOutcome| {
+            format!("{}|{:?}", o.target_id(), o.result().map(|r| (&r.matched, r.steps)))
+        };
+        let reference: Vec<String> = search_corpus_robust(
+            q, 0, &corpus,
+            &SearchConfig { threads: 1, ..SearchConfig::default() },
+            &ScanBudget::unlimited(),
+        ).outcomes.iter().map(&describe).collect();
+        for threads in 2..=4usize {
+            let got: Vec<String> = search_corpus_robust(
+                q, 0, &corpus,
+                &SearchConfig { threads, ..SearchConfig::default() },
+                &ScanBudget::unlimited(),
+            ).outcomes.iter().map(&describe).collect();
+            prop_assert_eq!(&got, &reference, "threads={} diverged", threads);
+        }
+    }
+
+    /// Unit decomposition is transparent: any shard split of the same
+    /// candidate list, merged with `merge_outcomes`, yields one fixed
+    /// sequence — equal-score ties break on stable target ids, never on
+    /// batch arrival.
+    #[test]
+    fn unit_split_does_not_change_merged_outcomes(
+        corpus in rand_corpus(),
+        split_seed in 1usize..5,
+    ) {
+        let q = &corpus[0];
+        let config = SearchConfig { threads: 3, ..SearchConfig::default() };
+        let jobs = [(q, 0usize)];
+        let whole = vec![ScanUnit { job: 0, targets: (0..corpus.len()).collect() }];
+        let sharded: Vec<ScanUnit> = (0..corpus.len())
+            .collect::<Vec<_>>()
+            .chunks(split_seed)
+            .map(|c| ScanUnit { job: 0, targets: c.to_vec() })
+            .collect();
+        let describe = |outs: Vec<TargetOutcome>| -> Vec<String> {
+            outs.iter()
+                .map(|o| format!("{}|{:?}", o.target_id(), o.result().map(|r| &r.matched)))
+                .collect()
+        };
+        let a = describe(merge_outcomes(scan_units(
+            &jobs, &whole, &corpus, &config, &ScanBudget::unlimited(), &|| false,
+        )));
+        let b = describe(merge_outcomes(scan_units(
+            &jobs, &sharded, &corpus, &config, &ScanBudget::unlimited(), &|| false,
+        )));
+        prop_assert_eq!(a, b, "shard split {} changed merged outcomes", split_seed);
+    }
+}

@@ -467,6 +467,38 @@ impl HistogramSnapshot {
             self.sum as f64 / self.count as f64
         }
     }
+
+    /// Estimate the `q`-quantile (`0.0..=1.0`) from the log2 buckets:
+    /// find the bucket that crosses rank `q * count` and interpolate
+    /// linearly inside it, clamping to the recorded `min`/`max`. The
+    /// estimate is exact when the crossing bucket holds one distinct
+    /// value and otherwise accurate to the bucket's span (a factor of
+    /// two). Returns 0.0 when the histogram is empty.
+    pub fn quantile(&self, q: f64) -> f64 {
+        if self.count == 0 {
+            return 0.0;
+        }
+        let rank = q.clamp(0.0, 1.0) * self.count as f64;
+        let mut seen = 0.0;
+        for (bi, &(lo, n)) in self.buckets.iter().enumerate() {
+            let next = seen + n as f64;
+            if next >= rank || bi + 1 == self.buckets.len() {
+                if lo == 0 {
+                    return 0.0;
+                }
+                // Bucket i > 0 covers [lo, 2*lo).
+                let frac = if n == 0 {
+                    0.0
+                } else {
+                    ((rank - seen) / n as f64).clamp(0.0, 1.0)
+                };
+                let v = lo as f64 + frac * lo as f64;
+                return v.clamp(self.min as f64, self.max as f64);
+            }
+            seen = next;
+        }
+        self.max as f64
+    }
 }
 
 /// Point-in-time copy of one span path's latency stats.
@@ -767,6 +799,47 @@ mod tests {
         assert_eq!(bucket_lower_bound(0), 0);
         assert_eq!(bucket_lower_bound(1), 1);
         assert_eq!(bucket_lower_bound(3), 4);
+    }
+
+    #[test]
+    fn quantile_estimates_from_log2_buckets() {
+        let snap = |values: &[u64]| {
+            let mut buckets: Vec<(u64, u64)> = Vec::new();
+            for &v in values {
+                let lo = bucket_lower_bound(bucket_of(v));
+                match buckets.iter_mut().find(|(b, _)| *b == lo) {
+                    Some((_, n)) => *n += 1,
+                    None => buckets.push((lo, 1)),
+                }
+            }
+            buckets.sort_unstable();
+            HistogramSnapshot {
+                count: values.len() as u64,
+                sum: values.iter().sum(),
+                min: values.iter().copied().min().unwrap_or(0),
+                max: values.iter().copied().max().unwrap_or(0),
+                buckets,
+            }
+        };
+        // Empty histogram.
+        assert_eq!(snap(&[]).quantile(0.5), 0.0);
+        // A single value: min == max pins the estimate exactly.
+        assert_eq!(snap(&[100]).quantile(0.5), 100.0);
+        assert_eq!(snap(&[100]).quantile(0.95), 100.0);
+        // All zeros stay zero.
+        assert_eq!(snap(&[0, 0, 0]).quantile(0.99), 0.0);
+        // A spread: the median lands in the right bucket, and p100
+        // clamps to max.
+        let h = snap(&[1, 2, 4, 8, 16, 32, 64, 128]);
+        let p50 = h.quantile(0.5);
+        assert!((4.0..=16.0).contains(&p50), "p50 = {p50}");
+        assert_eq!(h.quantile(1.0), 128.0);
+        // Monotone in q.
+        assert!(h.quantile(0.95) >= h.quantile(0.5));
+        // Heavily skewed data: p95 sits in the top bucket's range.
+        let h = snap(&[1; 19].iter().copied().chain([1000]).collect::<Vec<_>>());
+        assert!(h.quantile(0.5) <= 2.0);
+        assert!(h.quantile(0.99) > 500.0);
     }
 
     #[test]

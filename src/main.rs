@@ -21,10 +21,12 @@ use std::process::ExitCode;
 
 use firmup::core::canon::{canonicalize, AddrSpace, CanonConfig};
 use firmup::core::error::FirmUpError;
+use firmup::core::executor::resolve_threads;
 use firmup::core::lift::lift_executable;
 use firmup::core::persist::{CorpusIndex, IndexCheckpoint};
 use firmup::core::search::{
-    prefilter_candidates, search_corpus_robust, ScanBudget, SearchConfig, TargetOutcome,
+    merge_outcomes, prefilter_candidates, scan_units, BudgetReason, ScanBudget, ScanUnit,
+    SearchConfig, TargetOutcome,
 };
 use firmup::core::sim::{index_elf, ExecutableRep};
 use firmup::firmware::corpus::{generate, try_build_query, CorpusConfig};
@@ -112,16 +114,22 @@ USAGE:
         the source IMAGE... for anything lost) rebuilds only the damaged
         pieces and rewrites corpus.fui from verified segments.
     firmup scan IMAGE... [--index DIR] [--cve CVE-ID] [--threads N]
-                [--top-k K] [--trace] [--metrics-out FILE.json]
+                [--top-k K] [--format text|json] [--trace]
+                [--metrics-out FILE.json]
                 [--game-ms N] [--target-ms N] [--scan-ms N] [--max-steps N]
         Hunt the built-in CVE queries inside firmware images. With
         --index DIR the targets come from a saved index instead of
         IMAGE... arguments, skipping unpack/lift/canonicalize entirely;
         --top-k K additionally prefilters each query to the K most
         strand-overlapping executables before playing the game (0 = play
-        everything, the default). --threads N parallelizes the per-target
-        games (0 = all cores; default 1 for deterministic output order).
-        Prints a stage-by-stage profile after the scan; --metrics-out
+        everything, the default). --threads N schedules fine-grained
+        (query x candidate-shard) work units over a work-stealing
+        executor (0 = all cores; default 1); findings are byte-identical
+        for every N — results merge on (similarity, target id, address),
+        never on arrival order. --format json emits the findings as one
+        machine-readable JSON document on stdout (all diagnostics and
+        the profile move to stderr); text (the default) prints one line
+        per finding. Prints a stage-by-stage profile; --metrics-out
         additionally writes the full metrics snapshot (span timings,
         game.steps histogram, counters) as JSON, atomically. --trace (or
         FIRMUP_TRACE=1) streams structured JSON-lines events to stderr.
@@ -160,6 +168,7 @@ const VALUE_FLAGS: &[&str] = &[
     "--index",
     "--threads",
     "--top-k",
+    "--format",
 ];
 
 fn flag_value<'a>(args: &'a [String], name: &str) -> Option<&'a str> {
@@ -360,6 +369,8 @@ fn scan(args: &[String]) -> Result<(), CliError> {
     for name in [
         "scan.targets_poisoned",
         "scan.budget_exceeded",
+        "scan.units_done",
+        "scan.steal_count",
         "unpack.parts_quarantined",
         "index.cache_hit",
         "prefilter.candidates",
@@ -371,11 +382,20 @@ fn scan(args: &[String]) -> Result<(), CliError> {
     if has_flag(args, "--trace") {
         firmup::telemetry::set_trace(true);
     }
+    let json_mode = match flag_value(args, "--format") {
+        None | Some("text") => false,
+        Some("json") => true,
+        Some(other) => {
+            return Err(CliError::Msg(format!(
+                "--format: expected `text` or `json`, got `{other}`"
+            )))
+        }
+    };
     firmup::shutdown::install();
     let metrics_out = flag_value(args, "--metrics-out").map(PathBuf::from);
     let (findings, interrupted) = {
         let _span = firmup::telemetry::span!("scan");
-        scan_images(args)?
+        scan_images(args, json_mode)?
     };
     firmup::telemetry::event(
         "scan.done",
@@ -386,11 +406,22 @@ fn scan(args: &[String]) -> Result<(), CliError> {
     );
     firmup::telemetry::flush_trace();
     let snap = firmup::telemetry::snapshot();
-    print!("{}", snap.render_text());
+    // In JSON mode stdout carries exactly one document: the findings.
+    // Everything informational — profile included — goes to stderr.
+    if json_mode {
+        eprint!("{}", snap.render_text());
+    } else {
+        print!("{}", snap.render_text());
+    }
     if let Some(path) = metrics_out {
         write_atomic(&path, snap.render_json().render().as_bytes())
             .map_err(|e| CliError::Msg(format!("{}: {e}", path.display())))?;
-        println!("metrics written to {}", path.display());
+        let msg = format!("metrics written to {}", path.display());
+        if json_mode {
+            eprintln!("{msg}");
+        } else {
+            println!("{msg}");
+        }
     }
     if interrupted {
         return Err(CliError::Interrupted);
@@ -639,7 +670,16 @@ fn fsck_cmd(args: &[String]) -> Result<(), String> {
     }
 }
 
-fn scan_images(args: &[String]) -> Result<(usize, bool), String> {
+/// One scan job: a built CVE query and the candidate targets it plays
+/// against. The query rep lives behind an `Arc` shared with the cache —
+/// an [`ExecutableRep`] is never cloned on the scan path.
+struct ScanJob {
+    cve: firmup::firmware::packages::CveSpec,
+    query: std::sync::Arc<(ExecutableRep, usize, String)>,
+    candidates: Vec<usize>,
+}
+
+fn scan_images(args: &[String], json_mode: bool) -> Result<(usize, bool), String> {
     let paths = positional(args);
     let index_dir = flag_value(args, "--index").map(PathBuf::from);
     if paths.is_empty() && index_dir.is_none() {
@@ -650,22 +690,31 @@ fn scan_images(args: &[String]) -> Result<(usize, bool), String> {
     let canon = CanonConfig::default();
     let threads = usize_flag(args, "--threads")?.unwrap_or(1);
     let top_k = usize_flag(args, "--top-k")?.unwrap_or(0);
+    // Informational lines: stdout normally, stderr when stdout is the
+    // JSON findings document.
+    let info = |msg: String| {
+        if json_mode {
+            eprintln!("{msg}");
+        } else {
+            println!("{msg}");
+        }
+    };
 
     // Acquire the corpus: warm path loads the persisted index and skips
     // unpack/lift/canonicalize entirely; cold path lifts the images and
-    // builds the same structures in memory. Either way the scan loop
-    // below is identical.
+    // builds the same structures in memory. Either way the scan below is
+    // identical.
     let corpus = if let Some(dir) = &index_dir {
         let corpus = CorpusIndex::load(dir).map_err(|e| e.to_string())?;
-        println!(
+        info(format!(
             "loaded {} executable(s) from index {}",
             corpus.executables.len(),
             dir.display()
-        );
+        ));
         corpus
     } else {
         let (reps, skipped_images) = lift_images(&paths, threads)?;
-        println!(
+        info(format!(
             "indexed {} executable(s) from {} image(s){}",
             reps.len(),
             paths.len() - skipped_images,
@@ -674,13 +723,11 @@ fn scan_images(args: &[String]) -> Result<(usize, bool), String> {
             } else {
                 String::new()
             }
-        );
+        ));
         CorpusIndex::build(reps)
     };
 
-    // Group targets by architecture so each (CVE, arch) pair plays its
-    // game against all same-arch targets in one (possibly threaded)
-    // search call.
+    // Group targets by architecture: each (CVE, arch) pair is one job.
     let mut arch_groups: Vec<(Arch, Vec<usize>)> = Vec::new();
     for (i, exe) in corpus.executables.iter().enumerate() {
         match arch_groups.iter_mut().find(|(a, _)| *a == exe.arch) {
@@ -689,141 +736,208 @@ fn scan_images(args: &[String]) -> Result<(usize, bool), String> {
         }
     }
 
-    // Queries per (package, arch), built on demand.
-    type QueryEntry = Option<(ExecutableRep, usize, String)>;
+    // Phase 1 — build the job list serially: compile one query per
+    // (package, arch) and select its candidates (whole arch group, or
+    // top-k by weighted strand overlap from the postings table).
+    type QueryEntry = Option<std::sync::Arc<(ExecutableRep, usize, String)>>;
     let mut query_cache: HashMap<(String, Arch), QueryEntry> = HashMap::new();
-    let mut findings = 0usize;
-    let mut poisoned = 0usize;
-    let mut over_budget = 0usize;
-    let mut interrupted = false;
+    let mut jobs: Vec<ScanJob> = Vec::new();
+    {
+        let _span = firmup::telemetry::span!("queries");
+        for cve in all_cves() {
+            if let Some(filter) = cve_filter {
+                if cve.cve != filter {
+                    continue;
+                }
+            }
+            for (arch, members) in &arch_groups {
+                let key = (cve.package.to_string(), *arch);
+                let entry = query_cache.entry(key).or_insert_with(|| {
+                    let (elf, version) = match try_build_query(cve.package, *arch) {
+                        Ok(q) => q,
+                        Err(e) => {
+                            eprintln!("firmup: query for {}: {e}", cve.cve);
+                            return None;
+                        }
+                    };
+                    index_elf(&elf, "query", &canon).ok().and_then(|rep| {
+                        rep.find_named(cve.procedure)
+                            .map(|qv| std::sync::Arc::new((rep, qv, version)))
+                    })
+                });
+                let Some(query) = entry else {
+                    continue;
+                };
+                let candidates: Vec<usize> = if top_k > 0 {
+                    prefilter_candidates(
+                        &query.0.procedures[query.1],
+                        &corpus.postings,
+                        Some(&corpus.context),
+                        0,
+                    )
+                    .into_iter()
+                    .map(|(i, _)| i)
+                    .filter(|&i| corpus.executables[i].arch == *arch)
+                    .take(top_k)
+                    .collect()
+                } else {
+                    members.clone()
+                };
+                if candidates.is_empty() {
+                    continue;
+                }
+                jobs.push(ScanJob {
+                    cve,
+                    query: std::sync::Arc::clone(query),
+                    candidates,
+                });
+            }
+        }
+    }
+
+    // Phase 2 — decompose every job's candidate list along the index's
+    // shard boundaries into fine-grained (query × candidate-shard) work
+    // units, then execute them all in one work-stealing pass sharing a
+    // single scan-wide budget. `^C` cancels cooperatively at the next
+    // unit boundary.
+    let shards = corpus.shards(resolve_threads(threads) * 4);
+    let mut units: Vec<ScanUnit> = Vec::new();
+    for (j, job) in jobs.iter().enumerate() {
+        for shard in &shards {
+            let targets: Vec<usize> = job
+                .candidates
+                .iter()
+                .copied()
+                .filter(|i| shard.range().contains(i))
+                .collect();
+            if !targets.is_empty() {
+                units.push(ScanUnit { job: j, targets });
+            }
+        }
+    }
+    let job_queries: Vec<(&ExecutableRep, usize)> =
+        jobs.iter().map(|j| (&j.query.0, j.query.1)).collect();
     let config = SearchConfig {
         context: Some(corpus.context.clone()),
         threads,
         ..SearchConfig::default()
     };
-    let _search_span = firmup::telemetry::span!("search");
-    let scan_start = std::time::Instant::now();
-    let scan_deadline = budget.total.map(|d| scan_start + d);
-    let mut steps_left = budget.max_steps_total;
-    'scan: for cve in all_cves() {
-        if let Some(filter) = cve_filter {
-            if cve.cve != filter {
-                continue;
-            }
-        }
-        for (arch, members) in &arch_groups {
-            if firmup::shutdown::interrupted() {
-                println!("interrupted; findings so far are complete for the targets scanned");
-                interrupted = true;
-                break 'scan;
-            }
-            if scan_deadline.is_some_and(|d| std::time::Instant::now() >= d) {
-                println!("scan budget (--scan-ms) exhausted; remaining targets skipped");
-                break 'scan;
-            }
-            if steps_left == Some(0) {
-                println!("step budget (--max-steps) exhausted; remaining targets skipped");
-                break 'scan;
-            }
-            let key = (cve.package.to_string(), *arch);
-            let entry = query_cache.entry(key).or_insert_with(|| {
-                let (elf, version) = match try_build_query(cve.package, *arch) {
-                    Ok(q) => q,
-                    Err(e) => {
-                        eprintln!("firmup: query for {}: {e}", cve.cve);
-                        return None;
-                    }
-                };
-                index_elf(&elf, "query", &canon)
-                    .ok()
-                    .and_then(|rep| rep.find_named(cve.procedure).map(|qv| (rep, qv, version)))
-            });
-            let Some((qrep, qv, version)) = entry else {
-                continue;
-            };
-            // Candidate selection: either every same-arch target, or
-            // the top-k by weighted strand overlap from the inverted
-            // postings table.
-            let candidate_idx: Vec<usize> = if top_k > 0 {
-                prefilter_candidates(
-                    &qrep.procedures[*qv],
-                    &corpus.postings,
-                    Some(&corpus.context),
-                    0,
-                )
-                .into_iter()
-                .map(|(i, _)| i)
-                .filter(|&i| corpus.executables[i].arch == *arch)
-                .take(top_k)
-                .collect()
-            } else {
-                members.clone()
-            };
-            if candidate_idx.is_empty() {
-                continue;
-            }
-            let candidates: Vec<&ExecutableRep> = candidate_idx
-                .iter()
-                .map(|&i| &corpus.executables[i])
-                .collect();
-            let pair_budget = ScanBudget {
-                max_steps_total: steps_left,
-                ..budget
-            };
-            let report = search_corpus_robust(qrep, *qv, &candidates, &config, &pair_budget);
-            for outcome in report.outcomes {
-                let id = outcome.target_id().to_string();
-                if let (Some(left), Some(r)) = (steps_left.as_mut(), outcome.result()) {
-                    *left = left.saturating_sub(r.steps as u64);
+    let per_unit = scan_units(
+        &job_queries,
+        &units,
+        &corpus.executables,
+        &config,
+        &budget,
+        &firmup::shutdown::interrupted,
+    );
+
+    // Phase 3 — regroup outcomes per job and merge deterministically:
+    // findings rank on (sim, target id, address), never arrival order,
+    // so `--threads N` prints byte-identical findings for every N.
+    let mut per_job: Vec<Vec<Vec<TargetOutcome>>> = jobs.iter().map(|_| Vec::new()).collect();
+    for (unit, outcomes) in units.iter().zip(per_unit) {
+        per_job[unit.job].push(outcomes);
+    }
+    let mut findings = 0usize;
+    let mut poisoned = 0usize;
+    let mut over_budget = 0usize;
+    let mut saw_scan_deadline = false;
+    let mut saw_step_budget = false;
+    let mut json_findings: Vec<firmup::telemetry::json::Json> = Vec::new();
+    for (job, job_outcomes) in jobs.iter().zip(per_job) {
+        let cve = &job.cve;
+        let version = &job.query.2;
+        for outcome in merge_outcomes(job_outcomes) {
+            let id = outcome.target_id().to_string();
+            match &outcome {
+                TargetOutcome::Poisoned { panic, .. } => {
+                    eprintln!(
+                        "firmup: target {id} poisoned while hunting {}: {panic}",
+                        cve.cve
+                    );
+                    poisoned += 1;
+                    continue;
                 }
-                match &outcome {
-                    TargetOutcome::Poisoned { panic, .. } => {
-                        eprintln!(
-                            "firmup: target {id} poisoned while hunting {}: {panic}",
-                            cve.cve
-                        );
-                        poisoned += 1;
-                        continue;
+                TargetOutcome::BudgetExceeded { reason, .. } => {
+                    eprintln!(
+                        "firmup: target {id} over budget ({reason}) hunting {}",
+                        cve.cve
+                    );
+                    over_budget += 1;
+                    match reason {
+                        BudgetReason::ScanDeadline => saw_scan_deadline = true,
+                        BudgetReason::StepBudget => saw_step_budget = true,
+                        _ => {}
                     }
-                    TargetOutcome::BudgetExceeded { reason, .. } => {
-                        eprintln!(
-                            "firmup: target {id} over budget ({reason}) hunting {}",
-                            cve.cve
-                        );
-                        over_budget += 1;
-                    }
-                    TargetOutcome::Completed(_) => {}
                 }
-                let Some(r) = outcome.result() else { continue };
-                if let Some(m) = &r.matched {
+                TargetOutcome::Completed(_) => {}
+            }
+            let Some(r) = outcome.result() else { continue };
+            if let Some(m) = &r.matched {
+                if json_mode {
+                    use firmup::telemetry::json::Json;
+                    json_findings.push(Json::Obj(vec![
+                        ("cve".into(), Json::Str(cve.cve.to_string())),
+                        ("procedure".into(), Json::Str(cve.procedure.to_string())),
+                        ("package".into(), Json::Str(cve.package.to_string())),
+                        ("version".into(), Json::Str(version.clone())),
+                        ("target".into(), Json::Str(id.clone())),
+                        ("addr".into(), Json::Num(f64::from(m.addr))),
+                        ("sim".into(), Json::Num(m.sim as f64)),
+                        ("steps".into(), Json::Num(r.steps as f64)),
+                    ]));
+                } else {
                     println!(
                         "{}: {} ({} {version}) suspected at {:#x} in {id} (Sim={}, {} game step(s))",
                         cve.cve, cve.procedure, cve.package, m.addr, m.sim, r.steps
                     );
-                    firmup::telemetry::event(
-                        "finding",
-                        &[
-                            (
-                                "cve",
-                                firmup::telemetry::json::Json::Str(cve.cve.to_string()),
-                            ),
-                            ("target", firmup::telemetry::json::Json::Str(id.clone())),
-                            (
-                                "addr",
-                                firmup::telemetry::json::Json::Num(f64::from(m.addr)),
-                            ),
-                            ("sim", firmup::telemetry::json::Json::Num(m.sim as f64)),
-                            ("steps", firmup::telemetry::json::Json::Num(r.steps as f64)),
-                        ],
-                    );
-                    findings += 1;
                 }
+                firmup::telemetry::event(
+                    "finding",
+                    &[
+                        (
+                            "cve",
+                            firmup::telemetry::json::Json::Str(cve.cve.to_string()),
+                        ),
+                        ("target", firmup::telemetry::json::Json::Str(id.clone())),
+                        (
+                            "addr",
+                            firmup::telemetry::json::Json::Num(f64::from(m.addr)),
+                        ),
+                        ("sim", firmup::telemetry::json::Json::Num(m.sim as f64)),
+                        ("steps", firmup::telemetry::json::Json::Num(r.steps as f64)),
+                    ],
+                );
+                findings += 1;
             }
         }
     }
-    println!("{findings} suspected occurrence(s)");
+    let interrupted = firmup::shutdown::interrupted();
+    if saw_scan_deadline {
+        info("scan budget (--scan-ms) exhausted; remaining targets skipped".to_string());
+    }
+    if saw_step_budget {
+        info("step budget (--max-steps) exhausted; remaining targets skipped".to_string());
+    }
+    if interrupted {
+        info("interrupted; findings so far are complete for the targets scanned".to_string());
+    }
+    if json_mode {
+        use firmup::telemetry::json::Json;
+        let doc = Json::Obj(vec![
+            ("findings".into(), Json::Arr(json_findings)),
+            ("total".into(), Json::Num(findings as f64)),
+            ("poisoned".into(), Json::Num(poisoned as f64)),
+            ("over_budget".into(), Json::Num(over_budget as f64)),
+            ("interrupted".into(), Json::Bool(interrupted)),
+        ]);
+        println!("{}", doc.render());
+    }
+    info(format!("{findings} suspected occurrence(s)"));
     if poisoned > 0 || over_budget > 0 {
-        println!("degraded: {poisoned} poisoned target(s), {over_budget} over-budget target(s)");
+        info(format!(
+            "degraded: {poisoned} poisoned target(s), {over_budget} over-budget target(s)"
+        ));
     }
     Ok((findings, interrupted))
 }

@@ -193,6 +193,106 @@ fn scan_metrics_out_writes_parseable_profile() {
     let _ = std::fs::remove_dir_all(&dir);
 }
 
+/// Golden end-to-end conformance: `firmup scan --format json` over the
+/// default-seed 3-device corpus must reproduce
+/// `tests/fixtures/golden_findings.json` byte for byte — cold (from
+/// images), warm (from a saved index), and with `--threads 4`. The
+/// determinism invariant makes all four runs byte-identical.
+///
+/// Bless path: after an intentional behavior change, regenerate the
+/// fixture with
+///
+/// ```text
+/// FIRMUP_BLESS=1 cargo test --test cli golden_scan_output
+/// ```
+///
+/// and commit the diff.
+#[test]
+fn golden_scan_output_matches_fixture_cold_warm_and_threaded() {
+    let dir = temp_dir("golden");
+    let out = firmup()
+        .args(["gen-corpus", "--out", ".", "--devices", "3"])
+        .current_dir(&dir)
+        .output()
+        .expect("spawn");
+    assert!(
+        out.status.success(),
+        "gen-corpus failed: {}",
+        String::from_utf8_lossy(&out.stderr)
+    );
+    // Bare file names (the scan runs inside `dir`) so target ids in the
+    // JSON are path-independent and identical between cold and warm.
+    let mut images: Vec<String> = std::fs::read_dir(&dir)
+        .unwrap()
+        .filter_map(|e| {
+            let p = e.unwrap().path();
+            (p.extension().is_some_and(|x| x == "fwim"))
+                .then(|| p.file_name().unwrap().to_str().unwrap().to_string())
+        })
+        .collect();
+    images.sort();
+    assert!(!images.is_empty());
+
+    let scan = |extra: &[&str], tag: &str| -> String {
+        let mut cmd = firmup();
+        cmd.arg("scan").current_dir(&dir);
+        if !extra.contains(&"--index") {
+            for p in &images {
+                cmd.arg(p);
+            }
+        }
+        cmd.args(["--format", "json"]).args(extra);
+        let out = cmd.output().expect("spawn");
+        assert!(
+            out.status.success(),
+            "{tag} scan failed: {}",
+            String::from_utf8_lossy(&out.stderr)
+        );
+        String::from_utf8(out.stdout).expect("json stdout is UTF-8")
+    };
+
+    let cold = scan(&[], "cold");
+    // JSON mode keeps stdout to exactly one machine-readable document.
+    assert_eq!(cold.lines().count(), 1, "stdout must be one JSON line");
+    firmup::telemetry::json::Json::parse(cold.trim()).expect("stdout parses as JSON");
+
+    let mut cmd = firmup();
+    cmd.arg("index").current_dir(&dir);
+    for p in &images {
+        cmd.arg(p);
+    }
+    cmd.args(["--out", "idx"]);
+    let out = cmd.output().expect("spawn");
+    assert!(
+        out.status.success(),
+        "index failed: {}",
+        String::from_utf8_lossy(&out.stderr)
+    );
+
+    let warm = scan(&["--index", "idx"], "warm");
+    let threaded = scan(&["--threads", "4"], "cold --threads 4");
+    let warm_threaded = scan(&["--index", "idx", "--threads", "4"], "warm --threads 4");
+    assert_eq!(cold, warm, "warm scan diverged from cold scan");
+    assert_eq!(cold, threaded, "--threads 4 diverged from serial scan");
+    assert_eq!(cold, warm_threaded, "warm --threads 4 diverged");
+
+    let fixture =
+        PathBuf::from(env!("CARGO_MANIFEST_DIR")).join("tests/fixtures/golden_findings.json");
+    if std::env::var("FIRMUP_BLESS").is_ok() {
+        std::fs::write(&fixture, &cold).expect("bless fixture");
+    } else {
+        let golden = std::fs::read_to_string(&fixture)
+            .expect("tests/fixtures/golden_findings.json (bless with FIRMUP_BLESS=1)");
+        assert_eq!(
+            cold, golden,
+            "scan output diverged from the golden fixture; if intentional, \
+             rebless with FIRMUP_BLESS=1 cargo test --test cli golden_scan_output"
+        );
+    }
+
+    let _ = std::fs::remove_dir_all(&dir);
+}
+
 #[test]
 fn cli_error_paths_are_clean() {
     // Unknown command.
