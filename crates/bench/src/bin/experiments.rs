@@ -1,6 +1,6 @@
 //! CLI for regenerating the paper's tables and figures.
 //!
-//! Usage: `experiments [table1|fig3|table2|fig6|fig7|fig8|fig9|ablation|index|scan-bench|all]
+//! Usage: `experiments [table1|fig3|table2|fig6|fig7|fig8|fig9|ablation|index|scan-bench|trace-overhead|all]
 //! [--scale N] [--quick]`
 //!
 //! Every run profiles itself through `firmup-telemetry` and writes the
@@ -111,6 +111,29 @@ fn main() {
         save_metrics();
         return;
     }
+    // The trace-overhead gate: instrumentation must cost the hot scan
+    // less than the budget, measured rather than assumed.
+    if matches!(which, "trace-overhead") {
+        eprintln!("[benchmarking tracing overhead at scale {scale}…]");
+        let b = ex::bench_trace_overhead(scale);
+        save_json("bench_trace_overhead", &ex::render_trace_overhead(&b));
+        save_metrics();
+        if b.overhead_full >= ex::TRACE_OVERHEAD_BUDGET {
+            eprintln!(
+                "[tracing overhead regression: full tracing costs {:+.1}% ≥ {:.0}% budget]",
+                b.overhead_full * 100.0,
+                ex::TRACE_OVERHEAD_BUDGET * 100.0
+            );
+            std::process::exit(1);
+        }
+        eprintln!(
+            "[full tracing overhead {:+.1}%, metrics-only {:+.1}% — within the {:.0}% budget]",
+            b.overhead_full * 100.0,
+            b.overhead_metrics * 100.0,
+            ex::TRACE_OVERHEAD_BUDGET * 100.0
+        );
+        return;
+    }
     if matches!(which, "table1" | "fig3" | "index") {
         save_metrics();
         return;
@@ -143,7 +166,7 @@ fn main() {
             save("ablation", &ex::render_ablation(&ex::ablation(&wb)));
         }
         other => {
-            eprintln!("unknown experiment `{other}`; use table1|fig3|table2|fig6|fig7|fig8|fig9|ablation|index|scan-bench|all");
+            eprintln!("unknown experiment `{other}`; use table1|fig3|table2|fig6|fig7|fig8|fig9|ablation|index|scan-bench|trace-overhead|all");
             std::process::exit(2);
         }
     }

@@ -1334,6 +1334,179 @@ pub fn compare_scan_bench(current: &str, baseline: &str, tol: f64) -> Result<Vec
     Ok(warnings)
 }
 
+// ===================================================================
+// Trace-overhead benchmark — what instrumentation costs the hot path
+// ===================================================================
+
+/// One cell of the trace-overhead sweep: a telemetry mode and the
+/// best-of-3 wall time of the same scan workload under it.
+#[derive(Debug, Clone)]
+pub struct TraceOverheadCell {
+    /// `"off"` (recording disabled), `"metrics"` (span-stats registry
+    /// only), or `"full"` (metrics + span-trace collection).
+    pub mode: &'static str,
+    /// Best-of-3 wall time in milliseconds.
+    pub wall_ms: f64,
+    /// Spans collected per run (non-zero only in `full` mode).
+    pub spans: usize,
+}
+
+/// Result of `experiments trace-overhead`: the cost of observability on
+/// a representative scan, as a fraction of the untraced wall time.
+#[derive(Debug, Clone)]
+pub struct TraceOverhead {
+    /// Corpus scale multiplier.
+    pub scale: usize,
+    /// Devices in the generated corpus.
+    pub devices: usize,
+    /// Executables scanned.
+    pub executables: usize,
+    /// Target games per run (arch queries × targets).
+    pub plays: usize,
+    /// The three mode cells, in off → metrics → full order.
+    pub cells: Vec<TraceOverheadCell>,
+    /// `metrics` wall over `off` wall, minus 1.
+    pub overhead_metrics: f64,
+    /// `full` wall over `off` wall, minus 1 — gated at < 10%.
+    pub overhead_full: f64,
+}
+
+/// Budget the CI gate holds `overhead_full` under.
+pub const TRACE_OVERHEAD_BUDGET: f64 = 0.10;
+
+/// Measure what telemetry costs a hot scan: one CVE query (all four
+/// architectures) played against every corpus target, identical across
+/// three telemetry modes — recording off, metrics only, and full span
+/// tracing. Each mode is best-of-3 after a shared warm-up run, so the
+/// comparison isolates instrumentation from cache state. Restores the
+/// enabled-metrics/no-span-trace state the experiments CLI runs under.
+pub fn bench_trace_overhead(scale: usize) -> TraceOverhead {
+    use firmup_core::search::{search_corpus_robust, ScanBudget};
+    use firmup_core::sim::ExecutableRep;
+
+    let wb = Workbench::build(scale);
+    let reps: Vec<&ExecutableRep> = wb.targets.iter().map(|t| &t.rep).collect();
+    // Three queries × four architectures each: enough games that the
+    // wall time dwarfs scheduler jitter, so a <10% budget is testable.
+    let queries: Vec<Query> = FIG6_QUERIES[..3]
+        .iter()
+        .map(|(pkg, proc)| wb.query(pkg, proc))
+        .collect();
+    let config = SearchConfig {
+        context: Some(std::sync::Arc::clone(&wb.context)),
+        threads: 4,
+        ..SearchConfig::default()
+    };
+    let run = || {
+        let mut findings = 0usize;
+        for query in &queries {
+            for (_, rep, qv, _) in &query.per_arch {
+                let report =
+                    search_corpus_robust(rep, *qv, &reps, &config, &ScanBudget::unlimited());
+                findings += report
+                    .outcomes
+                    .iter()
+                    .filter(|o| o.result().is_some_and(|r| r.found()))
+                    .count();
+            }
+        }
+        findings
+    };
+
+    // Warm up caches once, outside any measurement.
+    firmup_telemetry::disable();
+    firmup_telemetry::set_span_trace(false);
+    let _ = run();
+
+    // Best-of-3 with the modes interleaved round-robin, so slow drift
+    // (frequency scaling, page-cache warming) hits every mode equally
+    // instead of biasing whichever mode measures first.
+    let modes: [(&'static str, bool, bool); 3] = [
+        ("off", false, false),
+        ("metrics", true, false),
+        ("full", true, true),
+    ];
+    let mut cells: Vec<TraceOverheadCell> = modes
+        .iter()
+        .map(|&(mode, ..)| TraceOverheadCell {
+            mode,
+            wall_ms: f64::INFINITY,
+            spans: 0,
+        })
+        .collect();
+    for _ in 0..3 {
+        for (cell, &(_, metrics, span_trace)) in cells.iter_mut().zip(&modes) {
+            if metrics {
+                firmup_telemetry::enable();
+            } else {
+                firmup_telemetry::disable();
+            }
+            firmup_telemetry::set_span_trace(span_trace);
+            drop(firmup_telemetry::take_trace());
+            let t0 = Instant::now();
+            let _ = run();
+            cell.wall_ms = cell.wall_ms.min(t0.elapsed().as_secs_f64() * 1e3);
+            cell.spans = firmup_telemetry::take_trace().spans.len();
+        }
+    }
+    firmup_telemetry::enable();
+    firmup_telemetry::set_span_trace(false);
+
+    let wall = |mode: &str| {
+        cells
+            .iter()
+            .find(|c| c.mode == mode)
+            .map_or(0.0, |c| c.wall_ms)
+    };
+    let overhead = |mode: &str| {
+        if wall("off") > 0.0 {
+            wall(mode) / wall("off") - 1.0
+        } else {
+            0.0
+        }
+    };
+    TraceOverhead {
+        scale,
+        devices: wb.corpus.images.len(),
+        executables: reps.len(),
+        plays: queries.iter().map(|q| q.per_arch.len()).sum::<usize>() * reps.len(),
+        overhead_metrics: overhead("metrics"),
+        overhead_full: overhead("full"),
+        cells,
+    }
+}
+
+/// Render the trace-overhead result as the
+/// `results/bench_trace_overhead.json` payload.
+pub fn render_trace_overhead(b: &TraceOverhead) -> String {
+    use firmup_telemetry::json::Json;
+    let r3 = |x: f64| (x * 1e3).round() / 1e3;
+    let cells: Vec<Json> = b
+        .cells
+        .iter()
+        .map(|c| {
+            Json::Obj(vec![
+                ("mode".into(), Json::Str(c.mode.to_string())),
+                ("wall_ms".into(), Json::Num(r3(c.wall_ms))),
+                ("spans".into(), Json::Num(c.spans as f64)),
+            ])
+        })
+        .collect();
+    let doc = Json::Obj(vec![
+        ("scale".into(), Json::Num(b.scale as f64)),
+        ("devices".into(), Json::Num(b.devices as f64)),
+        ("executables".into(), Json::Num(b.executables as f64)),
+        ("plays".into(), Json::Num(b.plays as f64)),
+        ("cells".into(), Json::Arr(cells)),
+        ("overhead_metrics".into(), Json::Num(r3(b.overhead_metrics))),
+        ("overhead_full".into(), Json::Num(r3(b.overhead_full))),
+        ("budget".into(), Json::Num(TRACE_OVERHEAD_BUDGET)),
+    ]);
+    let mut out = doc.render();
+    out.push('\n');
+    out
+}
+
 /// Render the index benchmark as the `results/bench_index.json` payload.
 pub fn render_index_bench(b: &IndexBench) -> String {
     format!(

@@ -14,13 +14,21 @@
 //! into results: for a fixed input, `threads = N` produces the same
 //! output vector for every `N`.
 //!
-//! Telemetry: each processed chunk counts in `scan.units_done`, times a
-//! `unit` span, and records its item count in the `scan.unit_items`
-//! histogram; each successful steal counts in `scan.steal_count`.
+//! Telemetry: each processed chunk counts in `scan.units_done` and
+//! records its item count in the `scan.unit_items` histogram; each
+//! successful steal counts in `scan.steal_count` and (under span
+//! tracing) emits a `steal` instant with thief/victim lanes. Each
+//! *unit* runs under a `unit` span parented on the caller's innermost
+//! span via an explicit [`TraceCtx`] keyed by unit index — so the
+//! reconstructed span tree is identical at every thread count even when
+//! a unit executes on a stolen worker, and chunk boundaries (which vary
+//! with `threads`) never shape the tree.
 
 use std::collections::VecDeque;
 use std::ops::Range;
 use std::sync::Mutex;
+
+use firmup_telemetry::TraceCtx;
 
 /// Resolve a `threads` setting: `0` means one worker per available
 /// core (falling back to 4 when parallelism cannot be queried).
@@ -39,16 +47,23 @@ pub fn chunk_size(items: usize, threads: usize) -> usize {
     (items / (threads.max(1) * 4)).max(1)
 }
 
-/// Process one chunk of unit indices, with per-chunk telemetry.
+/// Process one chunk of unit indices, with per-chunk telemetry. Every
+/// unit gets its own `unit` span, parented on `parent` (the caller's
+/// innermost span at [`run_units`] entry) and keyed by unit index so
+/// its identity is scheduling-independent.
 fn run_chunk<R>(
     range: Range<usize>,
+    parent: Option<&TraceCtx>,
     run: &(impl Fn(usize) -> R + Sync),
     out: &mut Vec<(usize, R)>,
 ) {
-    let _span = firmup_telemetry::span!("unit");
     firmup_telemetry::incr("scan.units_done");
     firmup_telemetry::observe("scan.unit_items", range.len() as u64);
     for i in range {
+        let _span = match parent {
+            Some(p) => p.child("unit", i as u64).enter(),
+            None => firmup_telemetry::span!("unit"),
+        };
         out.push((i, run(i)));
     }
 }
@@ -72,10 +87,18 @@ where
 {
     let threads = resolve_threads(threads).min(n.max(1));
     let chunk = chunk.max(1);
+    // Captured once on the calling thread: the parent every unit span
+    // hangs from, no matter which worker ends up executing it.
+    let parent = firmup_telemetry::current_ctx();
     if threads <= 1 || n <= 1 {
         let mut out = Vec::with_capacity(n);
         for start in (0..n).step_by(chunk) {
-            run_chunk(start..(start + chunk).min(n), &run, &mut out);
+            run_chunk(
+                start..(start + chunk).min(n),
+                parent.as_ref(),
+                &run,
+                &mut out,
+            );
         }
         return out.into_iter().map(|(_, r)| r).collect();
     }
@@ -95,27 +118,38 @@ where
             let queues = &queues;
             let slots = &slots;
             let run = &run;
+            let parent = parent.as_ref();
             scope.spawn(move || {
+                firmup_telemetry::set_worker(Some(w as u32));
                 let mut done: Vec<(usize, R)> = Vec::new();
                 loop {
                     // Own work first (front), then steal a victim's tail.
-                    let job = queues[w]
-                        .lock()
-                        .expect("unit queue lock")
-                        .pop_front()
-                        .or_else(|| {
-                            (1..threads).find_map(|off| {
-                                let victim = (w + off) % threads;
-                                let stolen =
-                                    queues[victim].lock().expect("unit queue lock").pop_back();
-                                if stolen.is_some() {
-                                    firmup_telemetry::incr("scan.steal_count");
-                                }
-                                stolen
-                            })
-                        });
+                    // The own-queue pop must be its own statement: a
+                    // guard temporary chained into `.or_else(..)` would
+                    // stay alive across the whole steal scan, and two
+                    // idle workers each holding their own (empty) queue
+                    // lock while trying the other's form a lock cycle.
+                    let own = queues[w].lock().expect("unit queue lock").pop_front();
+                    let job = own.or_else(|| {
+                        (1..threads).find_map(|off| {
+                            let victim = (w + off) % threads;
+                            let stolen = queues[victim].lock().expect("unit queue lock").pop_back();
+                            if let Some(range) = &stolen {
+                                firmup_telemetry::incr("scan.steal_count");
+                                firmup_telemetry::trace_instant(
+                                    "steal",
+                                    &[
+                                        ("victim", victim.to_string()),
+                                        ("thief", w.to_string()),
+                                        ("units", format!("{range:?}")),
+                                    ],
+                                );
+                            }
+                            stolen
+                        })
+                    });
                     let Some(range) = job else { break };
-                    run_chunk(range, run, &mut done);
+                    run_chunk(range, parent, run, &mut done);
                 }
                 let mut slots = slots.lock().expect("unit slots lock");
                 for (i, r) in done {
@@ -170,6 +204,44 @@ mod tests {
             firmup_telemetry::counter("scan.steal_count").get() > before,
             "no steal recorded for a skewed workload"
         );
+    }
+
+    #[test]
+    fn concurrent_stealers_never_deadlock() {
+        // Regression: the steal scan once ran while the thief still held
+        // its own (empty) queue lock — the guard temporary from
+        // `queues[w].lock()` chained straight into `.or_else(..)` lived
+        // until the end of the statement — so several simultaneously
+        // idle workers could each hold their own queue lock while
+        // probing a sibling's and form a lock cycle. Steal-heavy rounds
+        // (one unit per worker, one straggler) made that near-certain
+        // over a few hundred iterations; a watchdog turns the historic
+        // hang into a clean failure.
+        use std::sync::mpsc;
+        let (tx, rx) = mpsc::channel();
+        std::thread::spawn(move || {
+            for round in 0..400usize {
+                let n = 12;
+                let out = run_units(n, 4, 1, |i| {
+                    // Skewed, allocation-bearing work so workers drain
+                    // their queues at different rates and re-enter the
+                    // steal scan many times per round.
+                    let mut acc = 0u64;
+                    for k in 0..((i * 7 + round) % 23) * 40 {
+                        acc = acc.wrapping_mul(6364136223846793005).wrapping_add(k as u64);
+                        if k % 16 == 0 {
+                            acc ^= format!("{acc:x}").len() as u64;
+                        }
+                    }
+                    (i, acc)
+                });
+                assert_eq!(out.len(), n);
+                assert!(out.iter().enumerate().all(|(i, r)| r.0 == i));
+            }
+            let _ = tx.send(());
+        });
+        rx.recv_timeout(std::time::Duration::from_secs(120))
+            .expect("steal-heavy rounds deadlocked: lock cycle among idle stealers");
     }
 
     #[test]

@@ -50,6 +50,19 @@ pub enum GameEnd {
     DeadlineExceeded,
 }
 
+impl GameEnd {
+    /// Stable snake_case label — the suffix of the `game.ended.*`
+    /// telemetry counters and the value `--explain` reports.
+    pub fn label(self) -> &'static str {
+        match self {
+            GameEnd::QueryMatched => "query_matched",
+            GameEnd::FixedPoint => "fixed_point",
+            GameEnd::LimitExceeded => "limit_exceeded",
+            GameEnd::DeadlineExceeded => "deadline_exceeded",
+        }
+    }
+}
+
 /// Tunable limits (§4.2: "as a heuristic, the game can also be stopped
 /// if too many matches were found or ToMatch contains too many
 /// procedures").
@@ -293,12 +306,7 @@ pub fn play(
         // Fig. 9's metric: how many back-and-forth iterations games need.
         firmup_telemetry::incr("game.played");
         firmup_telemetry::observe("game.steps", steps as u64);
-        firmup_telemetry::incr(match ended {
-            GameEnd::QueryMatched => "game.ended.query_matched",
-            GameEnd::FixedPoint => "game.ended.fixed_point",
-            GameEnd::LimitExceeded => "game.ended.limit_exceeded",
-            GameEnd::DeadlineExceeded => "game.ended.deadline_exceeded",
-        });
+        firmup_telemetry::incr(&format!("game.ended.{}", ended.label()));
     }
     GameResult {
         query_match,

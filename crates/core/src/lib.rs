@@ -78,8 +78,8 @@ pub use lift::{lift_executable, LiftedExecutable};
 pub use persist::{CorpusIndex, IndexShard};
 pub use search::{
     merge_outcomes, prefilter_candidates, scan_units, search_corpus, search_corpus_robust,
-    search_target, BudgetReason, ScanBudget, ScanReport, ScanUnit, SearchConfig, TargetOutcome,
-    TargetResult,
+    search_target, BudgetReason, Explain, ScanBudget, ScanReport, ScanUnit, SearchConfig,
+    TargetOutcome, TargetResult,
 };
 pub use sim::{index_elf, sim, ExecutableRep, GlobalContext, ProcedureRep, StrandPostings};
 pub use strand::{decompose, Strand};

@@ -59,6 +59,12 @@ pub struct TargetResult {
     pub steps: usize,
     /// How the game ended.
     pub ended: GameEnd,
+    /// Microseconds left on the binding wall-clock deadline when the
+    /// game returned (negative when the game overran it). `None` when
+    /// the search ran without a deadline — the only case covered by the
+    /// determinism invariant, which is why this is recorded here and not
+    /// derived at report time.
+    pub deadline_margin_us: Option<i64>,
 }
 
 /// An accepted match.
@@ -105,11 +111,20 @@ pub fn search_target(
             firmup_telemetry::incr("search.accepted");
         }
     }
+    let deadline_margin_us = config.game.deadline.map(|d| {
+        let now = Instant::now();
+        if d >= now {
+            i64::try_from((d - now).as_micros()).unwrap_or(i64::MAX)
+        } else {
+            -i64::try_from((now - d).as_micros()).unwrap_or(i64::MAX)
+        }
+    });
     TargetResult {
         target_id: target.id.clone(),
         matched,
         steps: result.steps,
         ended: result.ended,
+        deadline_margin_us,
     }
 }
 
@@ -204,6 +219,163 @@ impl TargetResult {
     /// Whether the search reported a (claimed) occurrence.
     pub fn found(&self) -> bool {
         self.matched.is_some()
+    }
+}
+
+/// Provenance for one accepted finding: why the scan believes this
+/// target procedure is the query (`scan --explain`). Every field is a
+/// pure function of the input corpus and configuration, so explain
+/// records inherit the scan determinism invariant — byte-identical
+/// across thread counts and cold vs. warm — except `deadline_margin_us`,
+/// which only exists on budget-bounded scans (already outside the
+/// invariant).
+#[derive(Debug, Clone, PartialEq)]
+pub struct Explain {
+    /// 1-based rank of the target among the prefiltered candidates, if
+    /// a candidate prefilter ran.
+    pub prefilter_rank: Option<usize>,
+    /// The target's strand-overlap prefilter score.
+    pub prefilter_score: Option<f64>,
+    /// How many candidates the prefilter ranked in total.
+    pub prefilter_pool: Option<usize>,
+    /// Strand count of the query procedure.
+    pub query_strands: usize,
+    /// Strand count of the matched target procedure.
+    pub target_strands: usize,
+    /// Shared canonical strands (the game's `sim`).
+    pub shared_strands: usize,
+    /// Acceptance threshold the match had to clear
+    /// ([`SearchConfig::accept_ratio`]).
+    pub accept_ratio: f64,
+    /// Significance-weighted similarity, when a trained
+    /// [`GlobalContext`] weighted the acceptance.
+    pub weighted_sim: Option<f64>,
+    /// Total significance mass of the query procedure under that
+    /// context.
+    pub query_mass: Option<f64>,
+    /// Back-and-forth rounds the game needed.
+    pub game_steps: usize,
+    /// How the game ended ([`GameEnd::label`]).
+    pub game_ended: GameEnd,
+    /// Wall-clock margin to the binding deadline, from
+    /// [`TargetResult::deadline_margin_us`].
+    pub deadline_margin_us: Option<i64>,
+}
+
+impl Explain {
+    /// Assemble the provenance of an accepted match from the search
+    /// inputs that produced it. Prefilter provenance is attached
+    /// separately via [`Explain::with_prefilter`].
+    pub fn for_match(
+        query: &ExecutableRep,
+        qv: usize,
+        target: &ExecutableRep,
+        m: &MatchInfo,
+        r: &TargetResult,
+        config: &SearchConfig,
+    ) -> Explain {
+        let qp = &query.procedures[qv];
+        let tp = &target.procedures[m.index];
+        let (weighted_sim, query_mass) = match &config.context {
+            Some(ctx) => (Some(ctx.weighted_sim(qp, tp)), Some(ctx.mass(qp))),
+            None => (None, None),
+        };
+        Explain {
+            prefilter_rank: None,
+            prefilter_score: None,
+            prefilter_pool: None,
+            query_strands: qp.strand_count(),
+            target_strands: tp.strand_count(),
+            shared_strands: m.sim,
+            accept_ratio: config.accept_ratio,
+            weighted_sim,
+            query_mass,
+            game_steps: r.steps,
+            game_ended: r.ended,
+            deadline_margin_us: r.deadline_margin_us,
+        }
+    }
+
+    /// Attach prefilter provenance: the target's 1-based `rank` and
+    /// overlap `score` among a ranked pool of `pool` candidates.
+    #[must_use]
+    pub fn with_prefilter(mut self, rank: usize, score: f64, pool: usize) -> Explain {
+        self.prefilter_rank = Some(rank);
+        self.prefilter_score = Some(score);
+        self.prefilter_pool = Some(pool);
+        self
+    }
+
+    /// Render as a JSON object (the `explain` field of a JSON finding).
+    pub fn to_json(&self) -> firmup_telemetry::json::Json {
+        use firmup_telemetry::json::Json;
+        let mut obj: Vec<(String, Json)> = Vec::new();
+        let mut num = |k: &str, v: f64| obj.push((k.to_string(), Json::Num(v)));
+        if let Some(r) = self.prefilter_rank {
+            num("prefilter_rank", r as f64);
+        }
+        if let Some(s) = self.prefilter_score {
+            num("prefilter_score", s);
+        }
+        if let Some(p) = self.prefilter_pool {
+            num("prefilter_pool", p as f64);
+        }
+        num("query_strands", self.query_strands as f64);
+        num("target_strands", self.target_strands as f64);
+        num("shared_strands", self.shared_strands as f64);
+        num("accept_ratio", self.accept_ratio);
+        if let Some(w) = self.weighted_sim {
+            num("weighted_sim", w);
+        }
+        if let Some(m) = self.query_mass {
+            num("query_mass", m);
+        }
+        num("game_steps", self.game_steps as f64);
+        obj.push((
+            "game_ended".to_string(),
+            Json::Str(self.game_ended.label().to_string()),
+        ));
+        if let Some(us) = self.deadline_margin_us {
+            obj.push(("deadline_margin_us".to_string(), Json::Num(us as f64)));
+        }
+        Json::Obj(obj)
+    }
+
+    /// Render as indented human-readable lines (the `--explain` text
+    /// output under a finding).
+    pub fn render_text(&self) -> String {
+        use std::fmt::Write as _;
+        let mut out = String::new();
+        if let (Some(rank), Some(score), Some(pool)) = (
+            self.prefilter_rank,
+            self.prefilter_score,
+            self.prefilter_pool,
+        ) {
+            let _ = writeln!(
+                out,
+                "    prefilter: rank {rank}/{pool} (overlap score {score:.2})"
+            );
+        }
+        let _ = write!(
+            out,
+            "    strands: {} shared of {} query / {} target (accept ratio {:.2})",
+            self.shared_strands, self.query_strands, self.target_strands, self.accept_ratio
+        );
+        out.push('\n');
+        if let (Some(w), Some(m)) = (self.weighted_sim, self.query_mass) {
+            let _ = writeln!(out, "    weighted: wsim {w:.3} of query mass {m:.3}");
+        }
+        let _ = write!(
+            out,
+            "    game: {} step(s), ended {}",
+            self.game_steps,
+            self.game_ended.label()
+        );
+        out.push('\n');
+        if let Some(us) = self.deadline_margin_us {
+            let _ = writeln!(out, "    deadline margin: {us} us");
+        }
+        out
     }
 }
 
@@ -893,6 +1065,7 @@ mod tests {
                 }),
                 steps: 1,
                 ended: GameEnd::QueryMatched,
+                deadline_margin_us: None,
             })
         };
         let a = done("t/a", Some((9, 0x10)));

@@ -1,0 +1,130 @@
+//! Regression tests for cross-thread span parentage: the span tree
+//! reconstructed from a traced scan must be byte-identical for every
+//! `--threads N`, even when units execute on stolen workers. Before
+//! spans carried an explicit [`firmup_telemetry::TraceCtx`], a unit
+//! running on a worker thread lost its parent (the thread-local span
+//! stack was empty there) and surfaced as an orphaned root.
+//!
+//! These tests drain the process-global trace collector with
+//! `take_trace()`, so they live alone in this binary — a sibling `#[test]`
+//! that also drained (or emitted spans concurrently under the same trace
+//! id) would race. Everything runs inside the single test below.
+
+use firmup_core::search::{scan_units, ScanBudget, ScanUnit, SearchConfig};
+use firmup_core::sim::{ExecutableRep, ProcedureRep};
+use firmup_isa::Arch;
+use firmup_telemetry::{set_span_trace, take_trace, Trace, TraceCtx};
+
+fn exec(id: String, procs: Vec<Vec<u64>>) -> ExecutableRep {
+    ExecutableRep {
+        id,
+        arch: Arch::Mips32,
+        procedures: procs
+            .into_iter()
+            .enumerate()
+            .map(|(i, mut strands)| {
+                strands.sort_unstable();
+                strands.dedup();
+                ProcedureRep {
+                    addr: 0x1000 + (i as u32) * 0x40,
+                    name: None,
+                    strands,
+                    block_count: 1,
+                    size: 16,
+                }
+            })
+            .collect(),
+    }
+}
+
+/// A small corpus with overlapping strand sets so every target plays a
+/// non-trivial game (each game emits a `game` span under its unit).
+fn corpus() -> Vec<ExecutableRep> {
+    (0..12)
+        .map(|i| {
+            let base = (i as u64) % 5;
+            exec(
+                format!("t{i}"),
+                vec![
+                    vec![base, base + 1, base + 2, 20],
+                    vec![base + 3, 21, 22],
+                    vec![7, 8, base],
+                ],
+            )
+        })
+        .collect()
+}
+
+/// Run one traced scan with a fixed unit decomposition (one unit per
+/// target — NOT thread-derived, so the tree comparison isolates
+/// scheduling from sharding) and return the drained trace plus the root
+/// trace id.
+fn traced_scan(threads: usize, targets: &[ExecutableRep]) -> (Trace, u64) {
+    let root = TraceCtx::root("tt-scan");
+    let trace_id = root.trace_id();
+    {
+        let _root = root.enter();
+        let units: Vec<ScanUnit> = (0..targets.len())
+            .map(|t| ScanUnit {
+                job: 0,
+                targets: vec![t],
+            })
+            .collect();
+        let config = SearchConfig {
+            threads,
+            ..SearchConfig::default()
+        };
+        let _ = scan_units(
+            &[(&targets[0], 0)],
+            &units,
+            targets,
+            &config,
+            &ScanBudget::unlimited(),
+            &|| false,
+        );
+    }
+    (take_trace(), trace_id)
+}
+
+#[test]
+fn span_tree_is_identical_across_thread_counts() {
+    set_span_trace(true);
+    let targets = corpus();
+    drop(take_trace()); // discard spans from before this test
+
+    let (serial, id1) = traced_scan(1, &targets);
+    let reference = serial.tree_for(id1).render_stable();
+    // The serial tree has the full expected shape: one root, one search
+    // span, one unit per target, one game per played target.
+    assert_eq!(serial.tree_for(id1).roots.len(), 1, "exactly one root");
+    assert!(reference.starts_with("tt-scan#"), "root leads the render");
+    let units = serial.spans.iter().filter(|s| s.name == "unit").count();
+    assert_eq!(units, targets.len(), "one unit span per scan unit");
+    assert!(
+        serial
+            .spans
+            .iter()
+            .any(|s| s.path == "tt-scan/search/unit/game"),
+        "game spans nest under their unit"
+    );
+
+    for threads in 2..=4usize {
+        let (t, id) = traced_scan(threads, &targets);
+        assert_eq!(id, id1, "same root name must derive the same trace id");
+        // Parentage survives work stealing: every span recorded on a
+        // worker thread still belongs to the scan's trace and links a
+        // parent — no orphaned roots.
+        for s in &t.spans {
+            assert_eq!(s.trace_id, id1, "span {} left the trace", s.path);
+            if s.name != "tt-scan" {
+                assert_ne!(s.parent_id, 0, "span {} orphaned (parent 0)", s.path);
+            }
+        }
+        let got = t.tree_for(id).render_stable();
+        assert_eq!(
+            got, reference,
+            "span tree diverged between threads=1 and threads={threads}"
+        );
+    }
+    set_span_trace(false);
+}

@@ -1,0 +1,168 @@
+//! Chrome trace-event JSON export (the format Perfetto and
+//! `about://tracing` load).
+//!
+//! Each [`crate::SpanRecord`] becomes one `ph:"X"` *complete* event and
+//! each [`crate::InstantRecord`] a `ph:"i"` *instant* event. All events
+//! share `pid` 1; the `tid` encodes the lane — 0 for the main thread,
+//! `worker + 1` for executor workers — and `ph:"M"` metadata events name
+//! the lanes. Span identity (trace/span/parent ids as fixed-width hex)
+//! and the `/`-joined path ride in `args`, so the deterministic tree can
+//! be reconstructed from the file alone.
+
+use crate::json::Json;
+use crate::trace_ctx::Trace;
+
+fn hex(id: u64) -> Json {
+    Json::Str(format!("{id:016x}"))
+}
+
+fn lane(worker: Option<u32>) -> (f64, String) {
+    match worker {
+        None => (0.0, "main".to_string()),
+        Some(w) => (f64::from(w) + 1.0, format!("worker-{w}")),
+    }
+}
+
+/// Render a drained trace as a Chrome trace-event JSON document.
+pub fn render_chrome(trace: &Trace) -> Json {
+    let mut events: Vec<Json> = Vec::with_capacity(trace.spans.len() + trace.instants.len() + 4);
+    // Name the lanes that actually appear.
+    let mut lanes: Vec<(f64, String)> = trace
+        .spans
+        .iter()
+        .map(|s| lane(s.worker))
+        .chain(trace.instants.iter().map(|i| lane(i.worker)))
+        .collect();
+    lanes.sort_by(|a, b| a.0.total_cmp(&b.0));
+    lanes.dedup_by(|a, b| a.0 == b.0);
+    for (tid, name) in lanes {
+        events.push(Json::Obj(vec![
+            ("ph".to_string(), Json::Str("M".to_string())),
+            ("name".to_string(), Json::Str("thread_name".to_string())),
+            ("pid".to_string(), Json::Num(1.0)),
+            ("tid".to_string(), Json::Num(tid)),
+            (
+                "args".to_string(),
+                Json::Obj(vec![("name".to_string(), Json::Str(name))]),
+            ),
+        ]));
+    }
+    for s in &trace.spans {
+        let (tid, _) = lane(s.worker);
+        let mut args = vec![
+            ("trace".to_string(), hex(s.trace_id)),
+            ("span".to_string(), hex(s.span_id)),
+            ("parent".to_string(), hex(s.parent_id)),
+            ("path".to_string(), Json::Str(s.path.clone())),
+        ];
+        for (k, v) in &s.attrs {
+            args.push((k.clone(), Json::Str(v.clone())));
+        }
+        events.push(Json::Obj(vec![
+            ("ph".to_string(), Json::Str("X".to_string())),
+            ("name".to_string(), Json::Str(s.name.clone())),
+            ("cat".to_string(), Json::Str("span".to_string())),
+            ("pid".to_string(), Json::Num(1.0)),
+            ("tid".to_string(), Json::Num(tid)),
+            ("ts".to_string(), Json::Num(s.start_ns as f64 / 1e3)),
+            ("dur".to_string(), Json::Num(s.dur_ns as f64 / 1e3)),
+            ("args".to_string(), Json::Obj(args)),
+        ]));
+    }
+    for i in &trace.instants {
+        let (tid, _) = lane(i.worker);
+        let args = i
+            .attrs
+            .iter()
+            .map(|(k, v)| (k.clone(), Json::Str(v.clone())))
+            .collect();
+        events.push(Json::Obj(vec![
+            ("ph".to_string(), Json::Str("i".to_string())),
+            ("name".to_string(), Json::Str(i.name.clone())),
+            ("cat".to_string(), Json::Str("executor".to_string())),
+            ("s".to_string(), Json::Str("t".to_string())),
+            ("pid".to_string(), Json::Num(1.0)),
+            ("tid".to_string(), Json::Num(tid)),
+            ("ts".to_string(), Json::Num(i.ts_ns as f64 / 1e3)),
+            ("args".to_string(), Json::Obj(args)),
+        ]));
+    }
+    Json::Obj(vec![
+        ("traceEvents".to_string(), Json::Arr(events)),
+        ("displayTimeUnit".to_string(), Json::Str("ms".to_string())),
+        (
+            "otherData".to_string(),
+            Json::Obj(vec![
+                (
+                    "tool".to_string(),
+                    Json::Str("firmup --trace-out".to_string()),
+                ),
+                ("dropped_spans".to_string(), Json::Num(trace.dropped as f64)),
+            ]),
+        ),
+    ])
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::trace_ctx::{InstantRecord, SpanRecord};
+
+    fn span(id: u64, parent: u64, worker: Option<u32>) -> SpanRecord {
+        SpanRecord {
+            trace_id: 7,
+            span_id: id,
+            parent_id: parent,
+            name: format!("s{id}"),
+            path: format!("root/s{id}"),
+            start_ns: 1_000,
+            dur_ns: 2_000,
+            worker,
+            attrs: vec![("k".to_string(), "v".to_string())],
+        }
+    }
+
+    #[test]
+    fn chrome_export_has_lanes_spans_and_instants() {
+        let trace = Trace {
+            spans: vec![span(2, 1, None), span(3, 1, Some(0))],
+            instants: vec![InstantRecord {
+                name: "steal".to_string(),
+                ts_ns: 1_500,
+                worker: Some(1),
+                attrs: vec![("from".to_string(), "0".to_string())],
+            }],
+            dropped: 0,
+        };
+        let doc = render_chrome(&trace);
+        let rendered = doc.render();
+        let parsed = Json::parse(&rendered).expect("chrome export is valid JSON");
+        let events = parsed
+            .get("traceEvents")
+            .and_then(Json::as_arr)
+            .expect("traceEvents array");
+        // 3 lanes (main, worker-0, worker-1) + 2 spans + 1 instant.
+        assert_eq!(events.len(), 6, "{rendered}");
+        let phs: Vec<&str> = events
+            .iter()
+            .filter_map(|e| e.get("ph").and_then(Json::as_str))
+            .collect();
+        assert_eq!(phs.iter().filter(|p| **p == "M").count(), 3);
+        assert_eq!(phs.iter().filter(|p| **p == "X").count(), 2);
+        assert_eq!(phs.iter().filter(|p| **p == "i").count(), 1);
+        // Span identity is reconstructable from args.
+        let x = events
+            .iter()
+            .find(|e| e.get("ph").and_then(Json::as_str) == Some("X"))
+            .unwrap();
+        let args = x.get("args").expect("args");
+        assert_eq!(
+            args.get("parent").and_then(Json::as_str),
+            Some("0000000000000001")
+        );
+        assert_eq!(args.get("k").and_then(Json::as_str), Some("v"));
+        // ts/dur are microseconds.
+        assert_eq!(x.get("ts").and_then(Json::as_f64), Some(1.0));
+        assert_eq!(x.get("dur").and_then(Json::as_f64), Some(2.0));
+    }
+}

@@ -1,0 +1,100 @@
+//! Collapsed-stack ("folded") flamegraph export.
+//!
+//! One line per distinct span path: the `/`-joined path with separators
+//! rewritten to `;` (the stack frame delimiter flamegraph tools expect),
+//! then the path's **self time** in integer nanoseconds — total duration
+//! minus the duration of its direct children, clamped at zero (clock
+//! jitter can make children sum past their parent). Feed the output
+//! straight to `flamegraph.pl`, inferno, or speedscope.
+
+use std::collections::HashMap;
+
+use crate::trace_ctx::Trace;
+
+/// Render a drained trace as collapsed-stack lines, sorted by stack so
+/// output is deterministic for a deterministic trace.
+pub fn render_folded(trace: &Trace) -> String {
+    // Total wall time per path, then subtract direct children: a path's
+    // direct parent is everything before its last '/' segment.
+    let mut total: HashMap<&str, u64> = HashMap::new();
+    for s in &trace.spans {
+        *total.entry(s.path.as_str()).or_insert(0) += s.dur_ns;
+    }
+    let mut child_sum: HashMap<&str, u64> = HashMap::new();
+    for (path, ns) in &total {
+        if let Some((parent, _)) = path.rsplit_once('/') {
+            if total.contains_key(parent) {
+                *child_sum.entry(parent).or_insert(0) += ns;
+            }
+        }
+    }
+    let mut lines: Vec<String> = total
+        .iter()
+        .filter_map(|(path, ns)| {
+            let self_ns = ns.saturating_sub(child_sum.get(path).copied().unwrap_or(0));
+            (self_ns > 0).then(|| format!("{} {self_ns}", path.replace('/', ";")))
+        })
+        .collect();
+    lines.sort_unstable();
+    let mut out = lines.join("\n");
+    if !out.is_empty() {
+        out.push('\n');
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::trace_ctx::SpanRecord;
+
+    fn span(path: &str, dur_ns: u64) -> SpanRecord {
+        SpanRecord {
+            trace_id: 1,
+            span_id: 1,
+            parent_id: 0,
+            name: path.rsplit('/').next().unwrap().to_string(),
+            path: path.to_string(),
+            start_ns: 0,
+            dur_ns,
+            worker: None,
+            attrs: Vec::new(),
+        }
+    }
+
+    #[test]
+    fn folded_output_is_self_time_with_semicolon_stacks() {
+        let trace = Trace {
+            spans: vec![
+                span("scan", 100),
+                span("scan/search", 60),
+                span("scan/search/game", 25),
+                span("scan/search/game", 15),
+            ],
+            instants: Vec::new(),
+            dropped: 0,
+        };
+        let folded = render_folded(&trace);
+        let lines: Vec<&str> = folded.lines().collect();
+        assert_eq!(
+            lines,
+            vec![
+                "scan 40",             // 100 - 60
+                "scan;search 20",      // 60 - (25 + 15)
+                "scan;search;game 40", // leaf keeps everything
+            ]
+        );
+    }
+
+    #[test]
+    fn folded_clamps_overcommitted_parents_and_skips_empty() {
+        let trace = Trace {
+            spans: vec![span("a", 10), span("a/b", 25)],
+            instants: Vec::new(),
+            dropped: 0,
+        };
+        // Parent self time would be negative: clamped to 0 and omitted.
+        assert_eq!(render_folded(&trace), "a;b 25\n");
+        assert_eq!(render_folded(&Trace::default()), "");
+    }
+}

@@ -1,0 +1,18 @@
+//! Exporters: trace and metric renderings for external tools.
+//!
+//! - [`chrome`] — Chrome trace-event JSON ([`render_chrome`]), loadable
+//!   in Perfetto / `about://tracing`, with one lane per executor worker
+//!   and instant markers for work steals.
+//! - [`folded`] — collapsed-stack flamegraph lines ([`render_folded`])
+//!   for `flamegraph.pl` / speedscope / inferno.
+//! - [`prometheus`] — Prometheus text exposition
+//!   ([`render_prometheus`]) over a metric [`crate::Snapshot`]: the
+//!   `/metrics` payload a future `firmup serve` will return.
+
+pub mod chrome;
+pub mod folded;
+pub mod prometheus;
+
+pub use chrome::render_chrome;
+pub use folded::render_folded;
+pub use prometheus::{parse_exposition, render_prometheus, Sample};

@@ -1,0 +1,221 @@
+//! Prometheus text exposition (format version 0.0.4) over a metric
+//! [`Snapshot`] — the `/metrics` payload a future `firmup serve` will
+//! return.
+//!
+//! Mapping:
+//!
+//! - counters → `firmup_<name>_total` (TYPE `counter`)
+//! - gauges → `firmup_<name>` (TYPE `gauge`)
+//! - log2 histograms → `firmup_<name>` (TYPE `histogram`) with
+//!   *cumulative* `_bucket{le="..."}` series. A registry bucket with
+//!   inclusive lower bound `lo > 0` covers `[lo, 2*lo)`, so its
+//!   inclusive integer upper bound is `(lo-1)*2 + 1` — which lands on
+//!   `u64::MAX` for the top bucket without overflowing — and the zero
+//!   bucket gets `le="0"`. A `+Inf` bucket, `_sum`, and `_count` close
+//!   the family.
+//! - span stats → two labeled counters, `firmup_span_count_total` and
+//!   `firmup_span_ns_total`, with the `/`-joined path as a `path` label.
+//!
+//! Metric names are sanitized to `[a-zA-Z0-9_]` (dots and dashes become
+//! underscores). [`parse_exposition`] parses the same dialect back into
+//! [`Sample`]s so tests can round-trip render → parse → compare.
+
+use crate::Snapshot;
+
+/// Sanitize one metric name segment into Prometheus's charset.
+fn sanitize(name: &str) -> String {
+    name.chars()
+        .map(|c| if c.is_ascii_alphanumeric() { c } else { '_' })
+        .collect()
+}
+
+fn escape_label(v: &str) -> String {
+    v.replace('\\', "\\\\")
+        .replace('"', "\\\"")
+        .replace('\n', "\\n")
+}
+
+/// Inclusive upper bound of the log2 bucket whose inclusive lower bound
+/// is `lo` (see module docs).
+fn bucket_upper(lo: u64) -> u64 {
+    if lo == 0 {
+        0
+    } else {
+        (lo - 1).wrapping_mul(2).wrapping_add(1)
+    }
+}
+
+/// Render the snapshot in Prometheus text exposition format.
+pub fn render_prometheus(snap: &Snapshot) -> String {
+    use std::fmt::Write as _;
+    let mut out = String::new();
+    for (name, v) in &snap.counters {
+        let n = format!("firmup_{}_total", sanitize(name));
+        let _ = writeln!(out, "# TYPE {n} counter");
+        let _ = writeln!(out, "{n} {v}");
+    }
+    for (name, v) in &snap.gauges {
+        let n = format!("firmup_{}", sanitize(name));
+        let _ = writeln!(out, "# TYPE {n} gauge");
+        let _ = writeln!(out, "{n} {v}");
+    }
+    for (name, h) in &snap.histograms {
+        let n = format!("firmup_{}", sanitize(name));
+        let _ = writeln!(out, "# TYPE {n} histogram");
+        let mut cum = 0u64;
+        for (lo, count) in &h.buckets {
+            cum += count;
+            let _ = writeln!(out, "{n}_bucket{{le=\"{}\"}} {cum}", bucket_upper(*lo));
+        }
+        let _ = writeln!(out, "{n}_bucket{{le=\"+Inf\"}} {}", h.count);
+        let _ = writeln!(out, "{n}_sum {}", h.sum);
+        let _ = writeln!(out, "{n}_count {}", h.count);
+    }
+    if !snap.spans.is_empty() {
+        let _ = writeln!(out, "# TYPE firmup_span_count_total counter");
+        let _ = writeln!(out, "# TYPE firmup_span_ns_total counter");
+        for (path, s) in &snap.spans {
+            let p = escape_label(path);
+            let _ = writeln!(out, "firmup_span_count_total{{path=\"{p}\"}} {}", s.count);
+            let _ = writeln!(out, "firmup_span_ns_total{{path=\"{p}\"}} {}", s.total_ns);
+        }
+    }
+    out
+}
+
+/// One parsed exposition sample.
+#[derive(Clone, Debug, PartialEq)]
+pub struct Sample {
+    /// Metric name (including any `_total`/`_bucket` suffix).
+    pub name: String,
+    /// Label pairs in source order.
+    pub labels: Vec<(String, String)>,
+    /// Sample value.
+    pub value: f64,
+}
+
+/// Parse the exposition dialect [`render_prometheus`] emits back into
+/// samples, skipping comments and blank lines.
+///
+/// # Errors
+///
+/// A line that is neither a comment nor `name[{labels}] value` is
+/// rejected with a message naming it.
+pub fn parse_exposition(text: &str) -> Result<Vec<Sample>, String> {
+    let mut out = Vec::new();
+    for line in text.lines() {
+        let line = line.trim();
+        if line.is_empty() || line.starts_with('#') {
+            continue;
+        }
+        let (series, value) = line
+            .rsplit_once(' ')
+            .ok_or_else(|| format!("malformed sample line: {line}"))?;
+        let value: f64 = value
+            .parse()
+            .map_err(|_| format!("malformed value in: {line}"))?;
+        let (name, labels) = match series.split_once('{') {
+            None => (series.to_string(), Vec::new()),
+            Some((name, rest)) => {
+                let body = rest
+                    .strip_suffix('}')
+                    .ok_or_else(|| format!("unterminated labels in: {line}"))?;
+                let mut labels = Vec::new();
+                for pair in body.split(',').filter(|p| !p.is_empty()) {
+                    let (k, v) = pair
+                        .split_once('=')
+                        .ok_or_else(|| format!("malformed label in: {line}"))?;
+                    let v = v
+                        .strip_prefix('"')
+                        .and_then(|v| v.strip_suffix('"'))
+                        .ok_or_else(|| format!("unquoted label value in: {line}"))?;
+                    labels.push((
+                        k.to_string(),
+                        v.replace("\\n", "\n")
+                            .replace("\\\"", "\"")
+                            .replace("\\\\", "\\"),
+                    ));
+                }
+                (name.to_string(), labels)
+            }
+        };
+        out.push(Sample {
+            name,
+            labels,
+            value,
+        });
+    }
+    Ok(out)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::{HistogramSnapshot, SpanSnapshot};
+
+    #[test]
+    fn bucket_upper_bounds_cover_u64_edges() {
+        assert_eq!(bucket_upper(0), 0);
+        assert_eq!(bucket_upper(1), 1); // [1,2) → le 1
+        assert_eq!(bucket_upper(2), 3); // [2,4) → le 3
+        assert_eq!(bucket_upper(1 << 62), (1 << 63) - 1);
+        assert_eq!(bucket_upper(1 << 63), u64::MAX);
+    }
+
+    #[test]
+    fn render_parse_round_trip_matches_snapshot() {
+        let snap = Snapshot {
+            counters: vec![("game.played".to_string(), 42)],
+            gauges: vec![("scan.queue-depth".to_string(), -3)],
+            histograms: vec![(
+                "game.steps".to_string(),
+                HistogramSnapshot {
+                    count: 6,
+                    sum: 30,
+                    min: 0,
+                    max: 17,
+                    buckets: vec![(0, 1), (2, 3), (16, 2)],
+                },
+            )],
+            spans: vec![(
+                "scan/search".to_string(),
+                SpanSnapshot {
+                    count: 5,
+                    total_ns: 1_000,
+                    min_ns: 100,
+                    max_ns: 400,
+                },
+            )],
+        };
+        let text = render_prometheus(&snap);
+        let samples = parse_exposition(&text).expect("round-trip parse");
+        let find = |name: &str, label: Option<(&str, &str)>| -> f64 {
+            samples
+                .iter()
+                .find(|s| {
+                    s.name == name
+                        && label
+                            .is_none_or(|(k, v)| s.labels.iter().any(|(lk, lv)| lk == k && lv == v))
+                })
+                .unwrap_or_else(|| panic!("missing sample {name} in:\n{text}"))
+                .value
+        };
+        assert_eq!(find("firmup_game_played_total", None), 42.0);
+        assert_eq!(find("firmup_scan_queue_depth", None), -3.0);
+        // Cumulative buckets: 1, 1+3, 1+3+2, then +Inf == count.
+        assert_eq!(find("firmup_game_steps_bucket", Some(("le", "0"))), 1.0);
+        assert_eq!(find("firmup_game_steps_bucket", Some(("le", "3"))), 4.0);
+        assert_eq!(find("firmup_game_steps_bucket", Some(("le", "31"))), 6.0);
+        assert_eq!(find("firmup_game_steps_bucket", Some(("le", "+Inf"))), 6.0);
+        assert_eq!(find("firmup_game_steps_sum", None), 30.0);
+        assert_eq!(find("firmup_game_steps_count", None), 6.0);
+        assert_eq!(
+            find("firmup_span_count_total", Some(("path", "scan/search"))),
+            5.0
+        );
+        assert_eq!(
+            find("firmup_span_ns_total", Some(("path", "scan/search"))),
+            1000.0
+        );
+    }
+}

@@ -13,9 +13,11 @@
 //!   min / max ([`observe`], [`histogram`]). `game.steps` mirrors the
 //!   FirmUp paper's Fig. 9 step-count distribution.
 //! - **Spans** — RAII wall-clock timers ([`span()`], [`span!`]) that nest
-//!   through a thread-local stack into `/`-joined call-tree paths
+//!   through a thread-local frame stack into `/`-joined call-tree paths
 //!   (`scan/index/lift`). Per-path count and total/min/max latency are
-//!   recorded on drop.
+//!   recorded on drop. Spans carry deterministic trace/span ids (see
+//!   [`trace_ctx`]); an explicit [`TraceCtx`] hands a parent span across
+//!   threads so the executor's stolen units still nest correctly.
 //!
 //! All of it is gated behind a single [`AtomicU64`]-free relaxed
 //! [`enabled`] flag: when telemetry is off (the default), every entry
@@ -33,13 +35,25 @@
 //! aggregates span stats by **leaf stage name** (`lift`, `canonicalize`,
 //! `index`, `game`, `search`) so consumers need not care how deeply a
 //! stage was nested.
+//!
+//! The [`export`] module renders traces and snapshots for external
+//! tools: Chrome trace-event JSON (Perfetto), collapsed-stack
+//! flamegraphs, and Prometheus text exposition.
 
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
+pub mod export;
 pub mod json;
+pub mod trace_ctx;
 
-use std::cell::RefCell;
+pub use export::{render_chrome, render_folded, render_prometheus};
+pub use trace_ctx::{
+    current_ctx, current_worker, set_span_trace, set_worker, span_trace_enabled, take_trace,
+    trace_instant, trace_snapshot, InstantRecord, SpanRecord, Trace, TraceCtx, TraceNode,
+    TraceTree, MAX_TRACE_SPANS,
+};
+
 use std::collections::HashMap;
 use std::io::Write;
 use std::sync::atomic::{AtomicBool, AtomicI64, AtomicU64, Ordering};
@@ -113,6 +127,11 @@ fn registry() -> &'static Registry {
 fn epoch() -> Instant {
     static EPOCH: OnceLock<Instant> = OnceLock::new();
     *EPOCH.get_or_init(Instant::now)
+}
+
+/// Nanoseconds since the process-wide telemetry epoch (first use).
+pub(crate) fn epoch_ns() -> u64 {
+    epoch().elapsed().as_nanos() as u64
 }
 
 /// Clear every registered metric and span. Intended for tests; racing
@@ -324,54 +343,59 @@ impl SpanStats {
     }
 }
 
-thread_local! {
-    static SPAN_STACK: RefCell<Vec<&'static str>> = const { RefCell::new(Vec::new()) };
+/// Feed one finished span into the per-path latency registry.
+pub(crate) fn record_span_stats(path: &str, elapsed_ns: u64) {
+    let stats = {
+        let mut map = registry().spans.lock().unwrap();
+        Arc::clone(
+            map.entry(path.to_string())
+                .or_insert_with(|| Arc::new(SpanStats::new())),
+        )
+    };
+    stats.count.fetch_add(1, Ordering::Relaxed);
+    stats.total_ns.fetch_add(elapsed_ns, Ordering::Relaxed);
+    stats.min_ns.fetch_min(elapsed_ns, Ordering::Relaxed);
+    stats.max_ns.fetch_max(elapsed_ns, Ordering::Relaxed);
 }
 
-/// RAII timer for one pipeline stage. Created by [`span()`] / [`span!`];
-/// records elapsed wall time under the `/`-joined path of all open
-/// spans on this thread when dropped.
+/// RAII timer for one pipeline stage. Created by [`span()`] / [`span!`]
+/// or by entering an explicit [`TraceCtx`]; on drop it records elapsed
+/// wall time under the `/`-joined path of all open spans on this thread
+/// and — when span tracing is on ([`set_span_trace`]) — appends a
+/// [`SpanRecord`] to the global trace collector.
 pub struct SpanGuard {
-    // None when telemetry was disabled at span entry.
-    active: Option<(String, Instant)>,
+    // None when both metrics and span tracing were off at span entry.
+    pub(crate) active: Option<trace_ctx::ActiveSpan>,
+}
+
+impl SpanGuard {
+    /// Attach a key-value attribute, exported in the trace record's
+    /// `args`. No-op on an inert guard.
+    pub fn attr(&mut self, key: &str, value: impl ToString) {
+        if let Some(a) = &mut self.active {
+            a.push_attr(key, value.to_string());
+        }
+    }
 }
 
 /// Open a named span. The name becomes one path segment; nested spans
-/// produce paths such as `scan/index/lift`.
+/// produce paths such as `scan/index/lift`. The span is an *ambient*
+/// child of whatever span is innermost on this thread — to parent under
+/// a span running on another thread, carry a [`TraceCtx`] instead.
 pub fn span(name: &'static str) -> SpanGuard {
-    if !enabled() {
+    if !enabled() && !span_trace_enabled() {
         return SpanGuard { active: None };
     }
-    let path = SPAN_STACK.with(|stack| {
-        let mut stack = stack.borrow_mut();
-        stack.push(name);
-        stack.join("/")
-    });
     SpanGuard {
-        active: Some((path, Instant::now())),
+        active: Some(trace_ctx::push_ambient(name)),
     }
 }
 
 impl Drop for SpanGuard {
     fn drop(&mut self) {
-        let Some((path, started)) = self.active.take() else {
-            return;
-        };
-        let elapsed = started.elapsed().as_nanos() as u64;
-        SPAN_STACK.with(|stack| {
-            stack.borrow_mut().pop();
-        });
-        let stats = {
-            let mut map = registry().spans.lock().unwrap();
-            Arc::clone(
-                map.entry(path)
-                    .or_insert_with(|| Arc::new(SpanStats::new())),
-            )
-        };
-        stats.count.fetch_add(1, Ordering::Relaxed);
-        stats.total_ns.fetch_add(elapsed, Ordering::Relaxed);
-        stats.min_ns.fetch_min(elapsed, Ordering::Relaxed);
-        stats.max_ns.fetch_max(elapsed, Ordering::Relaxed);
+        if let Some(active) = self.active.take() {
+            trace_ctx::finish(active);
+        }
     }
 }
 

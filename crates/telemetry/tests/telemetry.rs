@@ -147,6 +147,152 @@ fn json_snapshot_round_trips() {
 }
 
 #[test]
+fn quantile_edge_cases() {
+    // Empty histogram: every quantile is 0.0.
+    let empty = tm::HistogramSnapshot {
+        count: 0,
+        sum: 0,
+        min: 0,
+        max: 0,
+        buckets: Vec::new(),
+    };
+    for q in [0.0, 0.5, 1.0] {
+        assert_eq!(empty.quantile(q), 0.0);
+    }
+
+    // Single-bucket histogram: every quantile stays inside [min, max].
+    let single = tm::HistogramSnapshot {
+        count: 4,
+        sum: 44,
+        min: 9,
+        max: 13,
+        buckets: vec![(8, 4)], // all four values in [8, 16)
+    };
+    for q in [0.0, 0.25, 0.5, 0.75, 1.0] {
+        let v = single.quantile(q);
+        assert!((9.0..=13.0).contains(&v), "q={q} gave {v}");
+    }
+    // q=0.0 pins to the low edge, q=1.0 to the recorded max.
+    assert_eq!(single.quantile(0.0), 9.0);
+    assert_eq!(single.quantile(1.0), 13.0);
+
+    // Out-of-range q clamps rather than panicking.
+    assert_eq!(single.quantile(-1.0), single.quantile(0.0));
+    assert_eq!(single.quantile(2.0), single.quantile(1.0));
+}
+
+#[test]
+fn bucket_round_trip_at_u64_boundaries() {
+    // Every bucket index round-trips through its own lower bound.
+    for i in 0..tm::HIST_BUCKETS {
+        assert_eq!(tm::bucket_of(tm::bucket_lower_bound(i)), i, "bucket {i}");
+    }
+    // Powers of two open a new bucket; their predecessors close one.
+    for k in 1..64u32 {
+        let p = 1u64 << k;
+        assert_eq!(tm::bucket_of(p), k as usize + 1, "2^{k}");
+        assert_eq!(tm::bucket_of(p - 1), k as usize, "2^{k} - 1");
+    }
+    // The extremes: only zero lands in bucket 0, and u64::MAX lands in
+    // the last bucket.
+    assert_eq!(tm::bucket_of(0), 0);
+    assert_eq!(tm::bucket_of(1), 1);
+    assert_eq!(tm::bucket_of(u64::MAX), tm::HIST_BUCKETS - 1);
+    assert_eq!(tm::bucket_lower_bound(tm::HIST_BUCKETS - 1), 1u64 << 63);
+    // Every value sits within its bucket's [lo, 2*lo) range.
+    for v in [0u64, 1, 2, 3, 7, 64, 1_000_003, u64::MAX / 2, u64::MAX] {
+        let lo = tm::bucket_lower_bound(tm::bucket_of(v));
+        assert!(lo <= v, "lower bound {lo} above value {v}");
+        if lo > 0 && lo <= u64::MAX / 2 {
+            assert!(v < lo * 2, "value {v} escapes bucket [{lo}, {})", lo * 2);
+        }
+    }
+}
+
+#[test]
+fn trace_ctx_reparents_spans_across_threads() {
+    enabled();
+    // A root on the main thread; children entered on worker threads via
+    // explicit contexts. With the old thread-local-only stack these
+    // worker spans would record as roots named "it-ctx-unit"; with
+    // TraceCtx they nest under the root's path.
+    let root = tm::TraceCtx::root("it-ctx-root");
+    {
+        let _g = root.clone().enter();
+        std::thread::scope(|s| {
+            for i in 0..4u64 {
+                let ctx = root.child("it-ctx-unit", i);
+                s.spawn(move || {
+                    let _u = ctx.enter();
+                    let _inner = tm::span!("it-ctx-inner");
+                });
+            }
+        });
+    }
+    let snap = tm::snapshot();
+    let count_of = |path: &str| {
+        snap.spans
+            .iter()
+            .find(|(k, _)| k == path)
+            .map_or(0, |(_, s)| s.count)
+    };
+    assert_eq!(count_of("it-ctx-root"), 1);
+    assert_eq!(count_of("it-ctx-root/it-ctx-unit"), 4);
+    assert_eq!(count_of("it-ctx-root/it-ctx-unit/it-ctx-inner"), 4);
+    assert_eq!(count_of("it-ctx-unit"), 0, "no orphaned worker spans");
+}
+
+#[test]
+fn prometheus_round_trips_against_live_registry() {
+    enabled();
+    tm::add("it.prom.counter", 17);
+    tm::set_gauge("it.prom.gauge", -4);
+    for v in [0u64, 3, 3, 900] {
+        tm::observe("it.prom.hist", v);
+    }
+    let snap = tm::snapshot();
+    let samples =
+        tm::export::parse_exposition(&tm::render_prometheus(&snap)).expect("exposition parses");
+    let value = |name: &str, le: Option<&str>| {
+        samples
+            .iter()
+            .find(|s| {
+                s.name == name
+                    && le.is_none_or(|want| s.labels.iter().any(|(k, v)| k == "le" && v == want))
+            })
+            .unwrap_or_else(|| panic!("missing {name}"))
+            .value
+    };
+    assert_eq!(value("firmup_it_prom_counter_total", None), 17.0);
+    assert_eq!(value("firmup_it_prom_gauge", None), -4.0);
+    let hist = snap
+        .histograms
+        .iter()
+        .find(|(k, _)| k == "it.prom.hist")
+        .map(|(_, h)| h)
+        .expect("histogram registered");
+    assert_eq!(value("firmup_it_prom_hist_count", None), hist.count as f64);
+    assert_eq!(value("firmup_it_prom_hist_sum", None), hist.sum as f64);
+    assert_eq!(
+        value("firmup_it_prom_hist_bucket", Some("+Inf")),
+        hist.count as f64
+    );
+    // Cumulative bucket counts are monotone and end at count.
+    let mut les: Vec<f64> = samples
+        .iter()
+        .filter(|s| s.name == "firmup_it_prom_hist_bucket")
+        .map(|s| s.value)
+        .collect();
+    let sorted = {
+        let mut s = les.clone();
+        s.sort_by(f64::total_cmp);
+        s
+    };
+    assert_eq!(les, sorted, "bucket counts are cumulative");
+    assert_eq!(les.pop(), Some(hist.count as f64));
+}
+
+#[test]
 fn events_route_to_trace_file() {
     enabled();
     tm::set_trace(true);

@@ -9,6 +9,7 @@
 //! firmup fsck DIR [--repair] [IMAGE...] # verify (and rebuild) a saved index
 //! firmup scan IMAGE... [--cve ID]       # hunt CVE queries in images
 //! firmup scan --index DIR [--cve ID]    # warm scan from a saved index
+//! firmup profile IMAGE... [--out FILE]  # scan + collapsed-stack profile
 //! ```
 //!
 //! See the README's subcommand reference table for the full flag list.
@@ -21,11 +22,10 @@ use std::process::ExitCode;
 
 use firmup::core::canon::{canonicalize, AddrSpace, CanonConfig};
 use firmup::core::error::FirmUpError;
-use firmup::core::executor::resolve_threads;
 use firmup::core::lift::lift_executable;
 use firmup::core::persist::{CorpusIndex, IndexCheckpoint};
 use firmup::core::search::{
-    merge_outcomes, prefilter_candidates, scan_units, BudgetReason, ScanBudget, ScanUnit,
+    merge_outcomes, prefilter_candidates, scan_units, BudgetReason, Explain, ScanBudget, ScanUnit,
     SearchConfig, TargetOutcome,
 };
 use firmup::core::sim::{index_elf, ExecutableRep};
@@ -62,6 +62,7 @@ fn main() -> ExitCode {
         Some("index") => index(&args[1..]),
         Some("fsck") => fsck_cmd(&args[1..]).map_err(CliError::Msg),
         Some("scan") => scan(&args[1..]),
+        Some("profile") => profile(&args[1..]),
         Some("chaos") => chaos(&args[1..]).map_err(CliError::Msg),
         Some("--help" | "-h") | None => {
             eprint!("{USAGE}");
@@ -114,8 +115,8 @@ USAGE:
         the source IMAGE... for anything lost) rebuilds only the damaged
         pieces and rewrites corpus.fui from verified segments.
     firmup scan IMAGE... [--index DIR] [--cve CVE-ID] [--threads N]
-                [--top-k K] [--format text|json] [--trace]
-                [--metrics-out FILE.json]
+                [--top-k K] [--format text|json] [--explain] [--trace]
+                [--trace-out FILE.json] [--metrics-out FILE.json]
                 [--game-ms N] [--target-ms N] [--scan-ms N] [--max-steps N]
         Hunt the built-in CVE queries inside firmware images. With
         --index DIR the targets come from a saved index instead of
@@ -138,7 +139,20 @@ USAGE:
         panicking target poisons only itself, the --*-ms / --max-steps
         budgets degrade over-budget targets gracefully instead of
         hanging, and ^C stops at the next target boundary (exit 130)
-        after flushing findings and metrics.
+        after flushing findings and metrics. --explain attaches a
+        provenance record to every finding (prefilter rank/score, strand
+        overlap counts, game rounds, deadline margin) in both text and
+        JSON output; explain records obey the same determinism invariant
+        as the findings themselves. --trace-out FILE.json records every
+        span with stable trace/span ids and writes a Chrome trace-event
+        file (open it in Perfetto or about://tracing) with one lane per
+        worker thread and instant markers for work steals.
+    firmup profile IMAGE... [--index DIR] [--cve CVE-ID] [--threads N]
+                [--top-k K] [--out FILE]
+        Run a quiet scan with span tracing on and fold the span tree
+        into collapsed flamegraph stacks (\"path;to;span self_ns\" lines,
+        ready for flamegraph.pl / inferno / speedscope). Writes to
+        results/profile.folded unless --out overrides it.
     firmup chaos [--seed HEX] [--devices N] [--variants N] [--crash-matrix]
         Fault-injection matrix: corrupt a seeded corpus with every
         operator (bit flips, truncation, torn sector-aligned renames,
@@ -160,6 +174,7 @@ const VALUE_FLAGS: &[&str] = &[
     "--proc",
     "--cve",
     "--metrics-out",
+    "--trace-out",
     "--game-ms",
     "--target-ms",
     "--scan-ms",
@@ -360,6 +375,16 @@ fn disasm(args: &[String]) -> Result<(), String> {
     Ok(())
 }
 
+/// Where scan output goes: human text on stdout, one JSON document on
+/// stdout (informational lines on stderr), or nothing (the `profile`
+/// subcommand, which only wants the trace).
+#[derive(Clone, Copy, PartialEq)]
+enum OutputMode {
+    Text,
+    Json,
+    Quiet,
+}
+
 fn scan(args: &[String]) -> Result<(), CliError> {
     // Scans always profile themselves: telemetry stays disabled (and
     // near-free) for every other command.
@@ -382,20 +407,24 @@ fn scan(args: &[String]) -> Result<(), CliError> {
     if has_flag(args, "--trace") {
         firmup::telemetry::set_trace(true);
     }
-    let json_mode = match flag_value(args, "--format") {
-        None | Some("text") => false,
-        Some("json") => true,
+    let mode = match flag_value(args, "--format") {
+        None | Some("text") => OutputMode::Text,
+        Some("json") => OutputMode::Json,
         Some(other) => {
             return Err(CliError::Msg(format!(
                 "--format: expected `text` or `json`, got `{other}`"
             )))
         }
     };
+    let trace_out = flag_value(args, "--trace-out").map(PathBuf::from);
+    if trace_out.is_some() {
+        firmup::telemetry::set_span_trace(true);
+    }
     firmup::shutdown::install();
     let metrics_out = flag_value(args, "--metrics-out").map(PathBuf::from);
     let (findings, interrupted) = {
         let _span = firmup::telemetry::span!("scan");
-        scan_images(args, json_mode)?
+        scan_images(args, mode)?
     };
     firmup::telemetry::event(
         "scan.done",
@@ -405,10 +434,17 @@ fn scan(args: &[String]) -> Result<(), CliError> {
         )],
     );
     firmup::telemetry::flush_trace();
-    let snap = firmup::telemetry::snapshot();
     // In JSON mode stdout carries exactly one document: the findings.
     // Everything informational — profile included — goes to stderr.
-    if json_mode {
+    let info = |msg: String| {
+        if mode == OutputMode::Json {
+            eprintln!("{msg}");
+        } else {
+            println!("{msg}");
+        }
+    };
+    let snap = firmup::telemetry::snapshot();
+    if mode == OutputMode::Json {
         eprint!("{}", snap.render_text());
     } else {
         print!("{}", snap.render_text());
@@ -416,13 +452,58 @@ fn scan(args: &[String]) -> Result<(), CliError> {
     if let Some(path) = metrics_out {
         write_atomic(&path, snap.render_json().render().as_bytes())
             .map_err(|e| CliError::Msg(format!("{}: {e}", path.display())))?;
-        let msg = format!("metrics written to {}", path.display());
-        if json_mode {
-            eprintln!("{msg}");
-        } else {
-            println!("{msg}");
+        info(format!("metrics written to {}", path.display()));
+    }
+    if let Some(path) = trace_out {
+        let trace = firmup::telemetry::take_trace();
+        let doc = firmup::telemetry::render_chrome(&trace);
+        write_atomic(&path, doc.render().as_bytes())
+            .map_err(|e| CliError::Msg(format!("{}: {e}", path.display())))?;
+        info(format!(
+            "trace written to {} ({} span(s), {} instant(s){})",
+            path.display(),
+            trace.spans.len(),
+            trace.instants.len(),
+            if trace.dropped > 0 {
+                format!(", {} dropped", trace.dropped)
+            } else {
+                String::new()
+            }
+        ));
+    }
+    if interrupted {
+        return Err(CliError::Interrupted);
+    }
+    Ok(())
+}
+
+/// `firmup profile` — run a quiet scan with span tracing on and fold
+/// the resulting span tree into collapsed flamegraph stacks.
+fn profile(args: &[String]) -> Result<(), CliError> {
+    firmup::telemetry::enable();
+    firmup::telemetry::set_span_trace(true);
+    firmup::shutdown::install();
+    let out = flag_value(args, "--out")
+        .map_or_else(|| PathBuf::from("results/profile.folded"), PathBuf::from);
+    let (findings, interrupted) = {
+        let _span = firmup::telemetry::span!("scan");
+        scan_images(args, OutputMode::Quiet)?
+    };
+    let trace = firmup::telemetry::take_trace();
+    let folded = firmup::telemetry::render_folded(&trace);
+    if let Some(dir) = out.parent() {
+        if !dir.as_os_str().is_empty() {
+            std::fs::create_dir_all(dir)
+                .map_err(|e| CliError::Msg(format!("{}: {e}", dir.display())))?;
         }
     }
+    write_atomic(&out, folded.as_bytes())
+        .map_err(|e| CliError::Msg(format!("{}: {e}", out.display())))?;
+    eprintln!(
+        "profile: folded {} span(s) into {} ({findings} finding(s))",
+        trace.spans.len(),
+        out.display()
+    );
     if interrupted {
         return Err(CliError::Interrupted);
     }
@@ -677,9 +758,12 @@ struct ScanJob {
     cve: firmup::firmware::packages::CveSpec,
     query: std::sync::Arc<(ExecutableRep, usize, String)>,
     candidates: Vec<usize>,
+    /// Full prefilter ranking `(corpus index, overlap score)` kept for
+    /// `--explain` provenance (None when explain is off).
+    prefilter: Option<Vec<(usize, f64)>>,
 }
 
-fn scan_images(args: &[String], json_mode: bool) -> Result<(usize, bool), String> {
+fn scan_images(args: &[String], mode: OutputMode) -> Result<(usize, bool), String> {
     let paths = positional(args);
     let index_dir = flag_value(args, "--index").map(PathBuf::from);
     if paths.is_empty() && index_dir.is_none() {
@@ -690,14 +774,12 @@ fn scan_images(args: &[String], json_mode: bool) -> Result<(usize, bool), String
     let canon = CanonConfig::default();
     let threads = usize_flag(args, "--threads")?.unwrap_or(1);
     let top_k = usize_flag(args, "--top-k")?.unwrap_or(0);
+    let explain = has_flag(args, "--explain");
     // Informational lines: stdout normally, stderr when stdout is the
-    // JSON findings document.
-    let info = |msg: String| {
-        if json_mode {
-            eprintln!("{msg}");
-        } else {
-            println!("{msg}");
-        }
+    // JSON findings document or suppressed (`firmup profile`).
+    let info = |msg: String| match mode {
+        OutputMode::Text => println!("{msg}"),
+        OutputMode::Json | OutputMode::Quiet => eprintln!("{msg}"),
     };
 
     // Acquire the corpus: warm path loads the persisted index and skips
@@ -768,18 +850,28 @@ fn scan_images(args: &[String], json_mode: bool) -> Result<(usize, bool), String
                 let Some(query) = entry else {
                     continue;
                 };
-                let candidates: Vec<usize> = if top_k > 0 {
+                // The full overlap ranking serves two masters: --top-k
+                // candidate selection and --explain provenance (rank /
+                // score / pool). Computed once, unconditionally ranked
+                // (k = 0) so explain records are identical with and
+                // without --top-k trimming.
+                let ranked: Option<Vec<(usize, f64)>> = (top_k > 0 || explain).then(|| {
                     prefilter_candidates(
                         &query.0.procedures[query.1],
                         &corpus.postings,
                         Some(&corpus.context),
                         0,
                     )
-                    .into_iter()
-                    .map(|(i, _)| i)
-                    .filter(|&i| corpus.executables[i].arch == *arch)
-                    .take(top_k)
-                    .collect()
+                });
+                let candidates: Vec<usize> = if top_k > 0 {
+                    ranked
+                        .as_deref()
+                        .unwrap_or_default()
+                        .iter()
+                        .map(|&(i, _)| i)
+                        .filter(|&i| corpus.executables[i].arch == *arch)
+                        .take(top_k)
+                        .collect()
                 } else {
                     members.clone()
                 };
@@ -790,6 +882,7 @@ fn scan_images(args: &[String], json_mode: bool) -> Result<(usize, bool), String
                     cve,
                     query: std::sync::Arc::clone(query),
                     candidates,
+                    prefilter: if explain { ranked } else { None },
                 });
             }
         }
@@ -799,8 +892,13 @@ fn scan_images(args: &[String], json_mode: bool) -> Result<(usize, bool), String
     // shard boundaries into fine-grained (query × candidate-shard) work
     // units, then execute them all in one work-stealing pass sharing a
     // single scan-wide budget. `^C` cancels cooperatively at the next
-    // unit boundary.
-    let shards = corpus.shards(resolve_threads(threads) * 4);
+    // unit boundary. The shard count is a fixed constant — never derived
+    // from `--threads` — so the unit decomposition, and with it the span
+    // tree reconstructed from `--trace-out`, is identical at every
+    // thread count; 32 shards keeps stealing granular for typical core
+    // counts (`shards` clamps to the corpus size).
+    const SCAN_SHARDS: usize = 32;
+    let shards = corpus.shards(SCAN_SHARDS);
     let mut units: Vec<ScanUnit> = Vec::new();
     for (j, job) in jobs.iter().enumerate() {
         for shard in &shards {
@@ -844,6 +942,14 @@ fn scan_images(args: &[String], json_mode: bool) -> Result<(usize, bool), String
     let mut saw_scan_deadline = false;
     let mut saw_step_budget = false;
     let mut json_findings: Vec<firmup::telemetry::json::Json> = Vec::new();
+    // Resolve a finding's target id back to its corpus slot, for
+    // --explain provenance (strand counts, prefilter rank).
+    let target_index: HashMap<&str, usize> = corpus
+        .executables
+        .iter()
+        .enumerate()
+        .map(|(i, e)| (e.id.as_str(), i))
+        .collect();
     for (job, job_outcomes) in jobs.iter().zip(per_job) {
         let cve = &job.cve;
         let version = &job.query.2;
@@ -874,23 +980,54 @@ fn scan_images(args: &[String], json_mode: bool) -> Result<(usize, bool), String
             }
             let Some(r) = outcome.result() else { continue };
             if let Some(m) = &r.matched {
-                if json_mode {
-                    use firmup::telemetry::json::Json;
-                    json_findings.push(Json::Obj(vec![
-                        ("cve".into(), Json::Str(cve.cve.to_string())),
-                        ("procedure".into(), Json::Str(cve.procedure.to_string())),
-                        ("package".into(), Json::Str(cve.package.to_string())),
-                        ("version".into(), Json::Str(version.clone())),
-                        ("target".into(), Json::Str(id.clone())),
-                        ("addr".into(), Json::Num(f64::from(m.addr))),
-                        ("sim".into(), Json::Num(m.sim as f64)),
-                        ("steps".into(), Json::Num(r.steps as f64)),
-                    ]));
+                let explain_rec = if explain {
+                    target_index.get(id.as_str()).map(|&ti| {
+                        let mut ex = Explain::for_match(
+                            &job.query.0,
+                            job.query.1,
+                            &corpus.executables[ti],
+                            m,
+                            r,
+                            &config,
+                        );
+                        if let Some(pf) = &job.prefilter {
+                            if let Some(pos) = pf.iter().position(|&(i, _)| i == ti) {
+                                ex = ex.with_prefilter(pos + 1, pf[pos].1, pf.len());
+                            }
+                        }
+                        ex
+                    })
                 } else {
-                    println!(
-                        "{}: {} ({} {version}) suspected at {:#x} in {id} (Sim={}, {} game step(s))",
-                        cve.cve, cve.procedure, cve.package, m.addr, m.sim, r.steps
-                    );
+                    None
+                };
+                match mode {
+                    OutputMode::Json => {
+                        use firmup::telemetry::json::Json;
+                        let mut obj = vec![
+                            ("cve".into(), Json::Str(cve.cve.to_string())),
+                            ("procedure".into(), Json::Str(cve.procedure.to_string())),
+                            ("package".into(), Json::Str(cve.package.to_string())),
+                            ("version".into(), Json::Str(version.clone())),
+                            ("target".into(), Json::Str(id.clone())),
+                            ("addr".into(), Json::Num(f64::from(m.addr))),
+                            ("sim".into(), Json::Num(m.sim as f64)),
+                            ("steps".into(), Json::Num(r.steps as f64)),
+                        ];
+                        if let Some(ex) = &explain_rec {
+                            obj.push(("explain".into(), ex.to_json()));
+                        }
+                        json_findings.push(Json::Obj(obj));
+                    }
+                    OutputMode::Text => {
+                        println!(
+                            "{}: {} ({} {version}) suspected at {:#x} in {id} (Sim={}, {} game step(s))",
+                            cve.cve, cve.procedure, cve.package, m.addr, m.sim, r.steps
+                        );
+                        if let Some(ex) = &explain_rec {
+                            print!("{}", ex.render_text());
+                        }
+                    }
+                    OutputMode::Quiet => {}
                 }
                 firmup::telemetry::event(
                     "finding",
@@ -922,7 +1059,7 @@ fn scan_images(args: &[String], json_mode: bool) -> Result<(usize, bool), String
     if interrupted {
         info("interrupted; findings so far are complete for the targets scanned".to_string());
     }
-    if json_mode {
+    if mode == OutputMode::Json {
         use firmup::telemetry::json::Json;
         let doc = Json::Obj(vec![
             ("findings".into(), Json::Arr(json_findings)),

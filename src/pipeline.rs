@@ -60,27 +60,43 @@ pub fn lift_parts(parts: &[PartJob], threads: usize) -> Vec<Result<ExecutableRep
     } else {
         threads
     };
-    let lift_one = |(ctx, id, data): &PartJob| {
+    // Every part runs under a `part` span parented on the caller's
+    // innermost span and keyed by part index, so the span tree is the
+    // same whether the part lifts inline or on a worker thread.
+    let parent = firmup_telemetry::current_ctx();
+    let lift_one = |i: usize, (ctx, id, data): &PartJob| {
+        let _span = match &parent {
+            Some(p) => p.child("part", i as u64).enter(),
+            None => firmup_telemetry::span!("part"),
+        };
         isolate(ctx.clone(), || {
             let elf = Elf::parse(data)?;
             index_elf(&elf, id, &canon).map_err(FirmUpError::from)
         })
     };
     if threads <= 1 || parts.len() <= 1 {
-        return parts.iter().map(lift_one).collect();
+        return parts
+            .iter()
+            .enumerate()
+            .map(|(i, p)| lift_one(i, p))
+            .collect();
     }
     let next = std::sync::atomic::AtomicUsize::new(0);
     let slots: std::sync::Mutex<Vec<Option<Result<ExecutableRep, FirmUpError>>>> =
         std::sync::Mutex::new(vec![None; parts.len()]);
     std::thread::scope(|scope| {
-        for _ in 0..threads.min(parts.len()) {
-            scope.spawn(|| loop {
-                let i = next.fetch_add(1, std::sync::atomic::Ordering::Relaxed);
-                if i >= parts.len() {
-                    break;
+        for w in 0..threads.min(parts.len()) {
+            let (lift_one, next, slots) = (&lift_one, &next, &slots);
+            scope.spawn(move || {
+                firmup_telemetry::set_worker(Some(w as u32));
+                loop {
+                    let i = next.fetch_add(1, std::sync::atomic::Ordering::Relaxed);
+                    if i >= parts.len() {
+                        break;
+                    }
+                    let r = lift_one(i, &parts[i]);
+                    slots.lock().expect("lift slots lock")[i] = Some(r);
                 }
-                let r = lift_one(&parts[i]);
-                slots.lock().expect("lift slots lock")[i] = Some(r);
             });
         }
     });

@@ -293,6 +293,277 @@ fn golden_scan_output_matches_fixture_cold_warm_and_threaded() {
     let _ = std::fs::remove_dir_all(&dir);
 }
 
+/// `--format json` keeps stdout machine-pure even with every
+/// observability flag raised at once: progress, metrics, and trace
+/// confirmations all belong to stderr, and stdout is exactly one
+/// parseable JSON document.
+#[test]
+fn scan_json_stdout_stays_pure_with_observability_flags() {
+    use firmup::telemetry::json::Json;
+
+    let dir = temp_dir("json-pure");
+    let out = firmup()
+        .args(["gen-corpus", "--out", ".", "--devices", "3"])
+        .current_dir(&dir)
+        .output()
+        .expect("spawn");
+    assert!(out.status.success());
+    let images: Vec<PathBuf> = std::fs::read_dir(&dir)
+        .unwrap()
+        .filter_map(|e| {
+            let p = e.unwrap().path();
+            (p.extension().is_some_and(|x| x == "fwim")).then_some(p)
+        })
+        .collect();
+
+    let mut cmd = firmup();
+    cmd.args([
+        "scan",
+        "--format",
+        "json",
+        "--explain",
+        "--trace",
+        "--threads",
+        "2",
+        "--metrics-out",
+        dir.join("m.json").to_str().unwrap(),
+        "--trace-out",
+        dir.join("t.json").to_str().unwrap(),
+    ]);
+    for p in &images {
+        cmd.arg(p);
+    }
+    let out = cmd.output().expect("spawn");
+    assert!(
+        out.status.success(),
+        "scan failed: {}",
+        String::from_utf8_lossy(&out.stderr)
+    );
+    let stdout = String::from_utf8(out.stdout).expect("UTF-8 stdout");
+    assert_eq!(
+        stdout.lines().count(),
+        1,
+        "stdout must be exactly one JSON line, got:\n{stdout}"
+    );
+    let doc = Json::parse(stdout.trim()).expect("stdout parses as JSON");
+    assert!(doc.get("findings").is_some(), "{stdout}");
+    // The informational lines really moved to stderr, not into the void.
+    let stderr = String::from_utf8_lossy(&out.stderr);
+    assert!(stderr.contains("metrics written to"), "{stderr}");
+    assert!(stderr.contains("trace written to"), "{stderr}");
+
+    let _ = std::fs::remove_dir_all(&dir);
+}
+
+/// Golden provenance conformance: `scan --explain --format json` over
+/// the default-seed 3-device corpus must reproduce
+/// `tests/fixtures/golden_explain.json` byte for byte — cold, warm
+/// (saved index), and with `--threads 4`. Explain records (prefilter
+/// rank/score, strand overlap, game rounds) are part of the determinism
+/// contract. Rebless with `FIRMUP_BLESS=1 cargo test --test cli
+/// golden_explain`.
+#[test]
+fn golden_explain_output_matches_fixture_cold_warm_and_threaded() {
+    use firmup::telemetry::json::Json;
+
+    let dir = temp_dir("golden-explain");
+    let out = firmup()
+        .args(["gen-corpus", "--out", ".", "--devices", "3"])
+        .current_dir(&dir)
+        .output()
+        .expect("spawn");
+    assert!(out.status.success());
+    let mut images: Vec<String> = std::fs::read_dir(&dir)
+        .unwrap()
+        .filter_map(|e| {
+            let p = e.unwrap().path();
+            (p.extension().is_some_and(|x| x == "fwim"))
+                .then(|| p.file_name().unwrap().to_str().unwrap().to_string())
+        })
+        .collect();
+    images.sort();
+    assert!(!images.is_empty());
+
+    let scan = |extra: &[&str], tag: &str| -> String {
+        let mut cmd = firmup();
+        cmd.arg("scan").current_dir(&dir);
+        if !extra.contains(&"--index") {
+            for p in &images {
+                cmd.arg(p);
+            }
+        }
+        cmd.args(["--format", "json", "--explain"]).args(extra);
+        let out = cmd.output().expect("spawn");
+        assert!(
+            out.status.success(),
+            "{tag} scan failed: {}",
+            String::from_utf8_lossy(&out.stderr)
+        );
+        String::from_utf8(out.stdout).expect("json stdout is UTF-8")
+    };
+
+    let cold = scan(&[], "cold");
+    // Every finding carries its provenance record.
+    let doc = Json::parse(cold.trim()).expect("stdout parses as JSON");
+    let findings = doc
+        .get("findings")
+        .and_then(Json::as_arr)
+        .expect("findings array");
+    assert!(!findings.is_empty(), "corpus plants at least one CVE");
+    for f in findings {
+        let ex = f.get("explain").expect("finding has explain record");
+        assert!(ex.get("query_strands").and_then(Json::as_u64).unwrap_or(0) > 0);
+        assert!(ex.get("shared_strands").is_some());
+        assert!(ex.get("game_steps").is_some());
+        assert!(ex.get("game_ended").and_then(Json::as_str).is_some());
+    }
+
+    let mut cmd = firmup();
+    cmd.arg("index").current_dir(&dir);
+    for p in &images {
+        cmd.arg(p);
+    }
+    cmd.args(["--out", "idx"]);
+    assert!(cmd.output().expect("spawn").status.success());
+
+    let warm = scan(&["--index", "idx"], "warm");
+    let threaded = scan(&["--threads", "4"], "cold --threads 4");
+    assert_eq!(cold, warm, "explain output diverged warm vs cold");
+    assert_eq!(cold, threaded, "explain output diverged across threads");
+
+    let fixture =
+        PathBuf::from(env!("CARGO_MANIFEST_DIR")).join("tests/fixtures/golden_explain.json");
+    if std::env::var("FIRMUP_BLESS").is_ok() {
+        std::fs::write(&fixture, &cold).expect("bless fixture");
+    } else {
+        let golden = std::fs::read_to_string(&fixture)
+            .expect("tests/fixtures/golden_explain.json (bless with FIRMUP_BLESS=1)");
+        assert_eq!(
+            cold, golden,
+            "explain output diverged from the golden fixture; if intentional, \
+             rebless with FIRMUP_BLESS=1 cargo test --test cli golden_explain"
+        );
+    }
+
+    let _ = std::fs::remove_dir_all(&dir);
+}
+
+/// `--trace-out` writes a Perfetto-loadable Chrome trace whose span
+/// tree — the (span, parent, path) relation carried in event args — is
+/// fully linked (no dangling parents) and byte-identical between
+/// `--threads 1` and `--threads 4`. `firmup profile` folds the same
+/// spans into non-empty collapsed stacks.
+#[test]
+fn trace_out_is_thread_invariant_and_profile_folds_stacks() {
+    use firmup::telemetry::json::Json;
+
+    let dir = temp_dir("trace-out");
+    let out = firmup()
+        .args(["gen-corpus", "--out", ".", "--devices", "3"])
+        .current_dir(&dir)
+        .output()
+        .expect("spawn");
+    assert!(out.status.success());
+    let images: Vec<PathBuf> = std::fs::read_dir(&dir)
+        .unwrap()
+        .filter_map(|e| {
+            let p = e.unwrap().path();
+            (p.extension().is_some_and(|x| x == "fwim")).then_some(p)
+        })
+        .collect();
+
+    // One traced scan per thread count; return the sorted span relation.
+    let tree = |threads: &str, path: &str| -> Vec<String> {
+        let mut cmd = firmup();
+        cmd.args(["scan", "--threads", threads, "--trace-out", path])
+            .current_dir(&dir);
+        for p in &images {
+            cmd.arg(p);
+        }
+        let out = cmd.output().expect("spawn");
+        assert!(
+            out.status.success(),
+            "traced scan failed: {}",
+            String::from_utf8_lossy(&out.stderr)
+        );
+        let body = std::fs::read_to_string(dir.join(path)).expect("trace file");
+        let doc = Json::parse(&body).expect("trace file is valid JSON");
+        let events = doc
+            .get("traceEvents")
+            .and_then(Json::as_arr)
+            .expect("traceEvents array");
+        let spans: Vec<&Json> = events
+            .iter()
+            .filter(|e| e.get("ph").and_then(Json::as_str) == Some("X"))
+            .collect();
+        assert!(!spans.is_empty(), "trace has no spans");
+        // Every parent link resolves: either the no-parent sentinel or
+        // another recorded span.
+        let ids: std::collections::HashSet<&str> = spans
+            .iter()
+            .filter_map(|s| {
+                s.get("args")
+                    .and_then(|a| a.get("span"))
+                    .and_then(Json::as_str)
+            })
+            .collect();
+        let mut rel: Vec<String> = spans
+            .iter()
+            .map(|s| {
+                let args = s.get("args").expect("span args");
+                let span = args.get("span").and_then(Json::as_str).expect("span id");
+                let parent = args
+                    .get("parent")
+                    .and_then(Json::as_str)
+                    .expect("parent id");
+                let path = args.get("path").and_then(Json::as_str).expect("span path");
+                assert!(
+                    parent == "0000000000000000" || ids.contains(parent),
+                    "span {span} ({path}) has dangling parent {parent}"
+                );
+                format!("{span}|{parent}|{path}")
+            })
+            .collect();
+        rel.sort();
+        rel
+    };
+
+    let serial = tree("1", "t1.json");
+    let threaded = tree("4", "t4.json");
+    assert_eq!(
+        serial, threaded,
+        "span tree diverged between --threads 1 and --threads 4"
+    );
+
+    // `firmup profile` writes non-empty collapsed stacks rooted at scan.
+    let folded = dir.join("p.folded");
+    let mut cmd = firmup();
+    cmd.args(["profile", "--out", folded.to_str().unwrap()])
+        .current_dir(&dir);
+    for p in &images {
+        cmd.arg(p);
+    }
+    let out = cmd.output().expect("spawn");
+    assert!(
+        out.status.success(),
+        "profile failed: {}",
+        String::from_utf8_lossy(&out.stderr)
+    );
+    assert!(out.stdout.is_empty(), "profile keeps stdout clean");
+    let body = std::fs::read_to_string(&folded).expect("folded file");
+    assert!(!body.trim().is_empty(), "folded output is empty");
+    for line in body.lines() {
+        let (stack, count) = line.rsplit_once(' ').expect("folded line shape");
+        assert!(!stack.is_empty());
+        count
+            .parse::<u64>()
+            .expect("folded self-time is an integer");
+    }
+    assert!(body.lines().any(|l| l.starts_with("scan")), "{body}");
+
+    let _ = std::fs::remove_dir_all(&dir);
+}
+
 #[test]
 fn cli_error_paths_are_clean() {
     // Unknown command.
