@@ -26,6 +26,7 @@
 
 use std::collections::VecDeque;
 use std::ops::Range;
+use std::sync::atomic::{AtomicUsize, Ordering};
 use std::sync::Mutex;
 
 use firmup_telemetry::TraceCtx;
@@ -37,6 +38,71 @@ pub fn resolve_threads(threads: usize) -> usize {
         std::thread::available_parallelism().map_or(4, std::num::NonZeroUsize::get)
     } else {
         threads
+    }
+}
+
+/// Process-wide ceiling on workers spawned by concurrent [`run_units`]
+/// calls (`0` = uncapped). A long-lived server admitting many scans at
+/// once sets this once so N in-flight requests × M threads each cannot
+/// oversubscribe the machine.
+static WORKER_CAP: AtomicUsize = AtomicUsize::new(0);
+
+/// Workers currently granted to in-flight [`run_units`] calls.
+static WORKERS_IN_USE: AtomicUsize = AtomicUsize::new(0);
+
+/// Set the process-wide worker ceiling shared by every concurrent
+/// [`run_units`] call (`0` restores the default: uncapped). Each call
+/// still gets at least one worker, so a saturated cap degrades to
+/// serial execution instead of blocking — and the determinism invariant
+/// makes the granted width unobservable in results.
+pub fn set_worker_cap(cap: usize) {
+    WORKER_CAP.store(cap, Ordering::SeqCst);
+}
+
+/// A grant of worker slots against [`WORKER_CAP`], released on drop.
+struct WorkerClaim {
+    granted: usize,
+    charged: usize,
+}
+
+impl Drop for WorkerClaim {
+    fn drop(&mut self) {
+        if self.charged > 0 {
+            WORKERS_IN_USE.fetch_sub(self.charged, Ordering::SeqCst);
+        }
+    }
+}
+
+/// How many of `want` workers fit under `cap` given `already` granted:
+/// everything when uncapped, otherwise what remains — but never less
+/// than one, so no caller ever blocks on the cap.
+fn grant(want: usize, cap: usize, already: usize) -> usize {
+    if cap == 0 {
+        want
+    } else {
+        want.min(cap.saturating_sub(already)).max(1)
+    }
+}
+
+/// Claim up to `want` worker slots against the global cap.
+fn claim_workers(want: usize) -> WorkerClaim {
+    let cap = WORKER_CAP.load(Ordering::SeqCst);
+    if cap == 0 || want <= 1 {
+        return WorkerClaim {
+            granted: want,
+            charged: 0,
+        };
+    }
+    // Optimistically charge the full request, then refund what the cap
+    // refuses — a single fetch_add keeps concurrent claimants additive.
+    let already = WORKERS_IN_USE.fetch_add(want, Ordering::SeqCst);
+    let granted = grant(want, cap, already);
+    if granted < want {
+        WORKERS_IN_USE.fetch_sub(want - granted, Ordering::SeqCst);
+    }
+    WorkerClaim {
+        granted,
+        charged: granted,
     }
 }
 
@@ -85,7 +151,8 @@ where
     R: Send,
     F: Fn(usize) -> R + Sync,
 {
-    let threads = resolve_threads(threads).min(n.max(1));
+    let claim = claim_workers(resolve_threads(threads).min(n.max(1)));
+    let threads = claim.granted;
     let chunk = chunk.max(1);
     // Captured once on the calling thread: the parent every unit span
     // hangs from, no matter which worker ends up executing it.
@@ -242,6 +309,54 @@ mod tests {
         });
         rx.recv_timeout(std::time::Duration::from_secs(120))
             .expect("steal-heavy rounds deadlocked: lock cycle among idle stealers");
+    }
+
+    #[test]
+    fn grant_math_caps_but_never_starves() {
+        // Uncapped: everything granted.
+        assert_eq!(grant(8, 0, 1000), 8);
+        // Under cap: full request.
+        assert_eq!(grant(3, 8, 2), 3);
+        // Partially available: what remains.
+        assert_eq!(grant(4, 8, 6), 2);
+        // Saturated (or overshot): still one worker, never zero.
+        assert_eq!(grant(4, 8, 8), 1);
+        assert_eq!(grant(4, 8, 100), 1);
+        // want = 1 is always satisfiable.
+        assert_eq!(grant(1, 2, 2), 1);
+    }
+
+    #[test]
+    fn capped_run_units_stays_correct_and_releases_slots() {
+        // Functional check under a tight cap: results stay deterministic
+        // and complete while several run_units calls race for two slots,
+        // and every slot is released afterwards. Counter *values* during
+        // the race are scheduling-dependent, so only the end state is
+        // asserted exactly.
+        set_worker_cap(2);
+        std::thread::scope(|scope| {
+            for _ in 0..4 {
+                scope.spawn(|| {
+                    for _ in 0..5 {
+                        let out = run_units(16, 4, 1, |i| i * 3);
+                        assert_eq!(out, (0..16).map(|i| i * 3).collect::<Vec<_>>());
+                    }
+                });
+            }
+        });
+        set_worker_cap(0);
+        // Sibling tests may have claimed slots during the capped window;
+        // their calls are short, so the counter must drain to zero. With
+        // the cap back at 0 no new claim charges anything, so a counter
+        // stuck above zero is a leak.
+        let gone = (0..1000).any(|_| {
+            if WORKERS_IN_USE.load(Ordering::SeqCst) == 0 {
+                return true;
+            }
+            std::thread::sleep(std::time::Duration::from_millis(10));
+            false
+        });
+        assert!(gone, "worker slots leaked past their run_units call");
     }
 
     #[test]

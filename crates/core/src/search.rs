@@ -394,6 +394,12 @@ pub struct ScanBudget {
     /// Total game steps across the whole scan (a deterministic budget
     /// for reproducible degradation, unlike wall-clock bounds).
     pub max_steps_total: Option<u64>,
+    /// Absolute wall-clock deadline for the whole scan. Unlike `total`
+    /// (which is measured from when the scan loop itself starts), this
+    /// is an externally anchored instant — set it to charge setup work
+    /// (index load, queue wait in a server) against the caller's
+    /// deadline. When both are set the earlier one binds.
+    pub deadline: Option<Instant>,
 }
 
 impl ScanBudget {
@@ -405,6 +411,22 @@ impl ScanBudget {
     /// Whether any bound is configured.
     pub fn is_bounded(&self) -> bool {
         *self != ScanBudget::default()
+    }
+
+    /// Convert the relative `total` bound into an absolute [`deadline`]
+    /// anchored at `now`, so everything that happens after `now` — index
+    /// load, queue wait, lift — counts against the whole-scan allowance
+    /// instead of restarting the clock when the scan loop is reached.
+    /// Keeps the earlier instant when a deadline is already set.
+    ///
+    /// [`deadline`]: ScanBudget::deadline
+    #[must_use]
+    pub fn anchored(mut self, now: Instant) -> ScanBudget {
+        if let Some(total) = self.total.take() {
+            let d = now + total;
+            self.deadline = Some(self.deadline.map_or(d, |e| e.min(d)));
+        }
+        self
     }
 
     /// The binding wall-clock deadline for a game starting now, given
@@ -435,6 +457,7 @@ impl ScanBudget {
             self.total.map(|d| scan_start + d),
             BudgetReason::ScanDeadline,
         );
+        consider(self.deadline, BudgetReason::ScanDeadline);
         best
     }
 }
@@ -1084,6 +1107,69 @@ mod tests {
         };
         assert_eq!(ids(&merged1), vec!["t/c", "t/a", "t/b", "t/d"]);
         assert_eq!(ids(&merged1), ids(&merged2));
+    }
+
+    #[test]
+    fn anchored_budget_converts_total_into_earliest_deadline() {
+        let now = Instant::now();
+        // total becomes an absolute deadline anchored at `now`.
+        let b = ScanBudget {
+            total: Some(Duration::from_secs(5)),
+            ..ScanBudget::default()
+        }
+        .anchored(now);
+        assert_eq!(b.total, None);
+        assert_eq!(b.deadline, Some(now + Duration::from_secs(5)));
+        assert!(b.is_bounded());
+        // An earlier pre-existing deadline wins; a later one is tightened.
+        let early = now + Duration::from_secs(1);
+        let b = ScanBudget {
+            total: Some(Duration::from_secs(5)),
+            deadline: Some(early),
+            ..ScanBudget::default()
+        }
+        .anchored(now);
+        assert_eq!(b.deadline, Some(early));
+        let b = ScanBudget {
+            total: Some(Duration::from_secs(1)),
+            deadline: Some(now + Duration::from_secs(60)),
+            ..ScanBudget::default()
+        }
+        .anchored(now);
+        assert_eq!(b.deadline, Some(now + Duration::from_secs(1)));
+        // No total: anchoring is a no-op.
+        let b = ScanBudget::unlimited().anchored(now);
+        assert_eq!(b, ScanBudget::unlimited());
+    }
+
+    #[test]
+    fn expired_anchored_deadline_reports_scan_deadline_without_playing() {
+        let q = exec("q", &[&[1, 2, 3]]);
+        let targets = vec![exec("a", &[&[1, 2, 3]]), exec("b", &[&[1, 2, 3]])];
+        // A zero allowance anchored before the scan loop starts: every
+        // target must come back ScanDeadline-exceeded without playing.
+        let budget = ScanBudget {
+            total: Some(Duration::ZERO),
+            ..ScanBudget::default()
+        }
+        .anchored(Instant::now());
+        let config = SearchConfig {
+            threads: 1,
+            ..SearchConfig::default()
+        };
+        let report = search_corpus_robust(&q, 0, &targets, &config, &budget);
+        assert_eq!(report.outcomes.len(), 2);
+        for o in &report.outcomes {
+            match o {
+                TargetOutcome::BudgetExceeded {
+                    reason, partial, ..
+                } => {
+                    assert_eq!(*reason, BudgetReason::ScanDeadline);
+                    assert!(partial.is_none(), "deadline in the past must not play");
+                }
+                other => panic!("expected BudgetExceeded, got {other:?}"),
+            }
+        }
     }
 
     #[test]

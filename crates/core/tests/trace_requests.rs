@@ -1,0 +1,151 @@
+//! Regression test for *per-request* span parentage: a serving process
+//! runs many scans concurrently, each under its own
+//! [`TraceCtx::root_keyed`] root (keyed by request id). The trace
+//! drained from such a process must reconstruct into one disjoint,
+//! non-interleaved span tree per request — same shape for every
+//! request, no span attributed to the wrong request, no orphans — even
+//! when the two scans' units execute simultaneously on work-stealing
+//! executors.
+//!
+//! Like `trace_tree.rs`, this drains the process-global trace collector
+//! with `take_trace()`, so it lives alone in its own test binary: a
+//! sibling `#[test]` emitting spans concurrently would race the drain.
+
+use firmup_core::search::{scan_units, ScanBudget, ScanUnit, SearchConfig};
+use firmup_core::sim::{ExecutableRep, ProcedureRep};
+use firmup_isa::Arch;
+use firmup_telemetry::{set_span_trace, take_trace, TraceCtx};
+
+fn exec(id: String, procs: Vec<Vec<u64>>) -> ExecutableRep {
+    ExecutableRep {
+        id,
+        arch: Arch::Mips32,
+        procedures: procs
+            .into_iter()
+            .enumerate()
+            .map(|(i, mut strands)| {
+                strands.sort_unstable();
+                strands.dedup();
+                ProcedureRep {
+                    addr: 0x1000 + (i as u32) * 0x40,
+                    name: None,
+                    strands,
+                    block_count: 1,
+                    size: 16,
+                }
+            })
+            .collect(),
+    }
+}
+
+fn corpus() -> Vec<ExecutableRep> {
+    (0..10)
+        .map(|i| {
+            let base = (i as u64) % 4;
+            exec(
+                format!("t{i}"),
+                vec![
+                    vec![base, base + 1, base + 2, 30],
+                    vec![base + 3, 31, 32],
+                    vec![5, 6, base],
+                ],
+            )
+        })
+        .collect()
+}
+
+/// One "request": a scan under a request-keyed trace root, the way
+/// `firmup serve` runs it. Returns the request's trace id.
+fn request_scan(request_id: u64, targets: &[ExecutableRep]) -> u64 {
+    let root = TraceCtx::root_keyed("request", request_id);
+    let trace_id = root.trace_id();
+    let _root = root.enter();
+    let units: Vec<ScanUnit> = (0..targets.len())
+        .map(|t| ScanUnit {
+            job: 0,
+            targets: vec![t],
+        })
+        .collect();
+    let config = SearchConfig {
+        threads: 2,
+        ..SearchConfig::default()
+    };
+    let _ = scan_units(
+        &[(&targets[0], 0)],
+        &units,
+        targets,
+        &config,
+        &ScanBudget::unlimited(),
+        &|| false,
+    );
+    trace_id
+}
+
+#[test]
+fn concurrent_requests_trace_into_disjoint_identical_trees() {
+    set_span_trace(true);
+    let targets = corpus();
+    drop(take_trace()); // discard spans from before this test
+
+    // Two requests in flight at once, each on its own thread with its
+    // own keyed root — exactly the serving topology.
+    let (id_a, id_b) = std::thread::scope(|s| {
+        let a = s.spawn(|| request_scan(1, &targets));
+        let b = s.spawn(|| request_scan(2, &targets));
+        (a.join().expect("request 1"), b.join().expect("request 2"))
+    });
+    let trace = take_trace();
+    set_span_trace(false);
+
+    assert_ne!(
+        id_a, id_b,
+        "distinct request keys must derive distinct trace ids"
+    );
+
+    // Non-interleaved: every span belongs to exactly one request's
+    // trace, and everything below the root has a parent — no span is
+    // orphaned by crossing onto a stolen worker mid-request.
+    for s in &trace.spans {
+        assert!(
+            s.trace_id == id_a || s.trace_id == id_b,
+            "span {} belongs to neither request",
+            s.path
+        );
+        if s.name != "request" {
+            assert_ne!(s.parent_id, 0, "span {} orphaned (parent 0)", s.path);
+        }
+    }
+
+    // Each request reconstructs into one rooted tree of the same shape:
+    // identical sorted path multisets, one unit span per scan unit.
+    let paths = |id: u64| {
+        let mut v: Vec<&str> = trace
+            .spans
+            .iter()
+            .filter(|s| s.trace_id == id)
+            .map(|s| s.path.as_str())
+            .collect();
+        v.sort_unstable();
+        v
+    };
+    let (paths_a, paths_b) = (paths(id_a), paths(id_b));
+    assert_eq!(
+        paths_a, paths_b,
+        "the two requests' span trees diverged in shape"
+    );
+    assert_eq!(
+        paths_a.iter().filter(|p| p.ends_with("/unit")).count(),
+        targets.len(),
+        "one unit span per scan unit per request"
+    );
+    assert_eq!(
+        trace.tree_for(id_a).roots.len(),
+        1,
+        "request 1 has one root"
+    );
+    assert_eq!(
+        trace.tree_for(id_b).roots.len(),
+        1,
+        "request 2 has one root"
+    );
+}

@@ -321,6 +321,21 @@ pub fn observe(name: &str, v: u64) {
     }
 }
 
+/// Register every listed metric up front so a run that never touches
+/// one still reports it (at zero) in snapshots and exposition scrapes —
+/// dashboards and tests can rely on the full metric family existing.
+pub fn preregister(counters: &[&str], gauges: &[&str], histograms: &[&str]) {
+    for name in counters {
+        let _ = counter(name);
+    }
+    for name in gauges {
+        let _ = gauge(name);
+    }
+    for name in histograms {
+        let _ = histogram(name);
+    }
+}
+
 // ---------------------------------------------------------------------------
 // Spans
 // ---------------------------------------------------------------------------

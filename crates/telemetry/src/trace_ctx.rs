@@ -245,7 +245,18 @@ impl TraceCtx {
     /// A fresh root context. The trace id (and root span id) derive from
     /// `name`, so a fixed workload gets a fixed trace identity.
     pub fn root(name: &str) -> TraceCtx {
-        let id = derive_id(0, name, 0);
+        TraceCtx::root_keyed(name, 0)
+    }
+
+    /// A fresh root context whose trace id derives from `name` *and*
+    /// `key`. A long-lived server roots each request at
+    /// `root_keyed("request", request_id)`: every request owns a
+    /// distinct trace id, so spans from concurrently executing requests
+    /// reconstruct into disjoint per-request trees instead of
+    /// interleaving — and the same request id always yields the same
+    /// tree identity.
+    pub fn root_keyed(name: &str, key: u64) -> TraceCtx {
+        let id = derive_id(0, name, key);
         TraceCtx {
             trace_id: id,
             span_id: id,

@@ -606,3 +606,269 @@ pub fn run_crash_matrix(config: &CrashMatrixConfig) -> Result<CrashMatrixReport,
     }
     Ok(report)
 }
+
+/// `firmup chaos --serve` parameters.
+#[derive(Debug, Clone)]
+pub struct ServeChaosConfig {
+    /// Corpus seed (also names the scratch directory).
+    pub seed: u64,
+    /// Devices in the generated victim corpus.
+    pub devices: usize,
+    /// The `firmup` binary to run as the daemon under test.
+    pub firmup_bin: std::path::PathBuf,
+}
+
+/// One assertion of the serve drill, with evidence for the report.
+#[derive(Debug, Clone)]
+pub struct ServeChaosStep {
+    /// What was asserted.
+    pub name: &'static str,
+    /// Whether it held.
+    pub ok: bool,
+    /// Observed evidence (status line, body prefix, exit code, ...).
+    pub detail: String,
+}
+
+/// The serve-stage chaos result: a scripted fault-injection drill
+/// against a live daemon.
+#[derive(Debug)]
+pub struct ServeChaosReport {
+    /// Seed the run used.
+    pub seed: u64,
+    /// One row per assertion, in drill order.
+    pub steps: Vec<ServeChaosStep>,
+}
+
+impl ServeChaosReport {
+    /// Whether every assertion held.
+    pub fn passed(&self) -> bool {
+        !self.steps.is_empty() && self.steps.iter().all(|s| s.ok)
+    }
+}
+
+impl fmt::Display for ServeChaosReport {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        writeln!(f, "serve chaos drill (seed {:#x}):", self.seed)?;
+        for s in &self.steps {
+            writeln!(
+                f,
+                "  {:<44} {:>4}  {}",
+                s.name,
+                if s.ok { "pass" } else { "FAIL" },
+                s.detail
+            )?;
+        }
+        writeln!(
+            f,
+            "result: {}",
+            if self.passed() {
+                "PASS — the daemon degraded, never crashed"
+            } else {
+                "FAIL — a serve invariant was violated"
+            }
+        )
+    }
+}
+
+/// Fault-inject a live daemon between SIGHUP reloads and assert it
+/// *degrades* instead of crashing: a reload of a corrupted index keeps
+/// the old snapshot serving byte-identical findings and surfaces the
+/// error through `/readyz`; restoring the index and reloading recovers;
+/// SIGTERM drains to exit 0.
+///
+/// # Errors
+///
+/// Setup failures only (scratch dir, corpus generation, the daemon not
+/// starting at all); assertion *failures* land in the report as failed
+/// rows. Unix-only (signals); on other platforms returns an error.
+pub fn run_serve_chaos(config: &ServeChaosConfig) -> Result<ServeChaosReport, String> {
+    use std::process::Command;
+    use std::time::Duration;
+
+    use crate::serve::protocol::http_request;
+
+    if !cfg!(unix) {
+        return Err("the serve chaos drill needs unix signals".into());
+    }
+    let work = std::env::temp_dir().join(format!(
+        "firmup-servechaos-{:x}-{}",
+        config.seed,
+        std::process::id()
+    ));
+    let _ = std::fs::remove_dir_all(&work);
+    std::fs::create_dir_all(&work).map_err(|e| format!("{}: {e}", work.display()))?;
+
+    let corpus = generate(&CorpusConfig {
+        seed: config.seed,
+        devices: config.devices.max(1),
+        ..CorpusConfig::tiny()
+    });
+    let mut images: Vec<String> = Vec::new();
+    for (i, img) in corpus.images.iter().enumerate() {
+        let path = work.join(format!("{i:03}.fwim"));
+        std::fs::write(&path, &img.blob).map_err(|e| format!("{}: {e}", path.display()))?;
+        images.push(path.display().to_string());
+    }
+
+    let idx = work.join("idx");
+    let mut index_args = vec!["index".to_string()];
+    index_args.extend(images.iter().cloned());
+    index_args.extend(["--out".to_string(), idx.display().to_string()]);
+    let out = Command::new(&config.firmup_bin)
+        .args(&index_args)
+        .output()
+        .map_err(|e| format!("spawn firmup index: {e}"))?;
+    if !out.status.success() {
+        return Err(format!(
+            "index build failed: {}",
+            String::from_utf8_lossy(&out.stderr)
+        ));
+    }
+
+    // Baseline: what a correct scan of this index answers, bytes and all.
+    let out = Command::new(&config.firmup_bin)
+        .args([
+            "scan",
+            "--index",
+            &idx.display().to_string(),
+            "--format",
+            "json",
+        ])
+        .output()
+        .map_err(|e| format!("spawn firmup scan: {e}"))?;
+    if !out.status.success() {
+        return Err(format!(
+            "baseline scan failed: {}",
+            String::from_utf8_lossy(&out.stderr)
+        ));
+    }
+    let baseline = out.stdout;
+
+    // The daemon under test.
+    let port_file = work.join("port");
+    let mut daemon = Command::new(&config.firmup_bin)
+        .args([
+            "serve",
+            "--index",
+            &idx.display().to_string(),
+            "--listen",
+            "127.0.0.1:0",
+            "--port-file",
+            &port_file.display().to_string(),
+            "--drain-ms",
+            "2000",
+        ])
+        .stdout(std::process::Stdio::null())
+        .stderr(std::process::Stdio::null())
+        .spawn()
+        .map_err(|e| format!("spawn firmup serve: {e}"))?;
+    let mut addr = String::new();
+    for _ in 0..200 {
+        if let Ok(s) = std::fs::read_to_string(&port_file) {
+            addr = s.trim().to_string();
+            break;
+        }
+        std::thread::sleep(Duration::from_millis(50));
+    }
+    if addr.is_empty() {
+        let _ = daemon.kill();
+        return Err("daemon never wrote its port file".into());
+    }
+    let timeout = Duration::from_secs(30);
+    let hup = |pid: u32| {
+        let _ = Command::new("kill")
+            .args(["-HUP", &pid.to_string()])
+            .status();
+    };
+    let readyz = |want_ready: bool| -> (bool, String) {
+        // Reload is asynchronous to the signal: poll until /readyz
+        // reflects the wanted state or the clock runs out.
+        for _ in 0..100 {
+            if let Ok(resp) = http_request(&addr, "GET", "/readyz", None, timeout) {
+                let body = String::from_utf8_lossy(&resp.body).into_owned();
+                let ready = resp.status == 200;
+                if ready == want_ready {
+                    return (true, format!("{} {body}", resp.status));
+                }
+            }
+            std::thread::sleep(Duration::from_millis(50));
+        }
+        match http_request(&addr, "GET", "/readyz", None, timeout) {
+            Ok(resp) => (
+                false,
+                format!("{} {}", resp.status, String::from_utf8_lossy(&resp.body)),
+            ),
+            Err(e) => (false, format!("readyz: {e}")),
+        }
+    };
+    let scan_matches = || -> (bool, String) {
+        match http_request(&addr, "POST", "/scan", Some(b"{}"), timeout) {
+            Ok(resp) => (
+                resp.status == 200 && resp.body == baseline,
+                format!("{} ({} byte body)", resp.status, resp.body.len()),
+            ),
+            Err(e) => (false, format!("scan: {e}")),
+        }
+    };
+    let mut steps: Vec<ServeChaosStep> = Vec::new();
+    let mut step = |name: &'static str, (ok, detail): (bool, String)| {
+        steps.push(ServeChaosStep { name, ok, detail });
+    };
+
+    step("daemon serves the CLI-identical baseline", scan_matches());
+
+    // Fault injection: corrupt the on-disk index, then ask for a reload.
+    let fui = firmup_firmware::index::index_path(&idx);
+    let pristine = std::fs::read(&fui).map_err(|e| format!("{}: {e}", fui.display()))?;
+    std::fs::write(&fui, b"FUIXgarbage").map_err(|e| format!("{}: {e}", fui.display()))?;
+    hup(daemon.id());
+    step("failed reload turns /readyz not-ready", readyz(false));
+    step(
+        "old snapshot keeps serving identical findings",
+        scan_matches(),
+    );
+
+    // Recovery: restore the index the way `firmup index` writes it.
+    firmup_firmware::durable::write_atomic(&fui, &pristine)
+        .map_err(|e| format!("{}: {e}", fui.display()))?;
+    hup(daemon.id());
+    step("reload of the restored index recovers", readyz(true));
+    step(
+        "recovered daemon still serves identical findings",
+        scan_matches(),
+    );
+
+    // Graceful drain.
+    let _ = Command::new("kill")
+        .args(["-TERM", &daemon.id().to_string()])
+        .status();
+    let mut exit = None;
+    for _ in 0..200 {
+        if let Some(status) = daemon.try_wait().map_err(|e| format!("wait: {e}"))? {
+            exit = status.code();
+            break;
+        }
+        std::thread::sleep(Duration::from_millis(50));
+    }
+    if exit.is_none() {
+        let _ = daemon.kill();
+    }
+    step(
+        "SIGTERM drains to exit 0",
+        (exit == Some(0), format!("exit {exit:?}")),
+    );
+
+    let report = ServeChaosReport {
+        seed: config.seed,
+        steps,
+    };
+    if report.passed() {
+        let _ = std::fs::remove_dir_all(&work);
+    } else {
+        eprintln!(
+            "serve chaos: scratch kept for debugging at {}",
+            work.display()
+        );
+    }
+    Ok(report)
+}

@@ -26,6 +26,7 @@
 pub mod chaos;
 pub mod fsck;
 pub mod pipeline;
+pub mod serve;
 pub mod shutdown;
 
 pub use firmup_baselines as baselines;

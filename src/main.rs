@@ -10,13 +10,13 @@
 //! firmup scan IMAGE... [--cve ID]       # hunt CVE queries in images
 //! firmup scan --index DIR [--cve ID]    # warm scan from a saved index
 //! firmup profile IMAGE... [--out FILE]  # scan + collapsed-stack profile
+//! firmup serve --index DIR [--listen ADDR]  # long-lived scan daemon
 //! ```
 //!
 //! See the README's subcommand reference table for the full flag list.
 
 #![forbid(unsafe_code)]
 
-use std::collections::HashMap;
 use std::path::{Path, PathBuf};
 use std::process::ExitCode;
 
@@ -24,18 +24,14 @@ use firmup::core::canon::{canonicalize, AddrSpace, CanonConfig};
 use firmup::core::error::FirmUpError;
 use firmup::core::lift::lift_executable;
 use firmup::core::persist::{CorpusIndex, IndexCheckpoint};
-use firmup::core::search::{
-    merge_outcomes, prefilter_candidates, scan_units, BudgetReason, Explain, ScanBudget, ScanUnit,
-    SearchConfig, TargetOutcome,
-};
-use firmup::core::sim::{index_elf, ExecutableRep};
-use firmup::firmware::corpus::{generate, try_build_query, CorpusConfig};
+use firmup::core::search::ScanBudget;
+use firmup::core::sim::ExecutableRep;
+use firmup::firmware::corpus::{generate, CorpusConfig};
 use firmup::firmware::durable::{
     acquire_lock, crash_point, write_atomic, LockOptions, CP_BETWEEN_SEGMENTS,
 };
 use firmup::firmware::image::unpack;
 use firmup::firmware::index::image_digest;
-use firmup::firmware::packages::all_cves;
 use firmup::isa::Arch;
 use firmup::obj::Elf;
 
@@ -64,6 +60,18 @@ fn main() -> ExitCode {
         Some("scan") => scan(&args[1..]),
         Some("profile") => profile(&args[1..]),
         Some("chaos") => chaos(&args[1..]).map_err(CliError::Msg),
+        // `serve` owns its exit code (0 = clean/SIGTERM drain, 130 =
+        // SIGINT) — it never goes through the index-oriented
+        // "rerun with --resume" interrupt message below.
+        Some("serve") => {
+            return match serve_cmd(&args[1..]) {
+                Ok(code) => ExitCode::from(code),
+                Err(e) => {
+                    eprintln!("firmup: {e}");
+                    ExitCode::FAILURE
+                }
+            }
+        }
         Some("--help" | "-h") | None => {
             eprint!("{USAGE}");
             return ExitCode::SUCCESS;
@@ -153,7 +161,36 @@ USAGE:
         into collapsed flamegraph stacks (\"path;to;span self_ns\" lines,
         ready for flamegraph.pl / inferno / speedscope). Writes to
         results/profile.folded unless --out overrides it.
+    firmup serve --index DIR [--listen ADDR] [--workers N] [--queue-cap N]
+                [--threads N] [--max-request-ms N] [--drain-ms N]
+                [--port-file FILE] [--metrics-out FILE.json]
+                [--trace-out FILE.json]
+        Long-lived scan daemon over a resident index. Loads DIR once and
+        answers concurrent scan requests over TCP at ADDR (default
+        127.0.0.1:7878; :0 picks a free port, written to --port-file).
+        Speaks two wire dialects on the same port: minimal HTTP/1.1
+        (POST /scan with a JSON body; GET /healthz, /readyz, /metrics)
+        and bare newline-JSON (one request object in, one findings
+        document out). A scan body is {\"cve\": ..., \"top_k\": N,
+        \"explain\": bool, \"deadline_ms\": N} — every field optional —
+        and the response is byte-identical to `firmup scan --index DIR
+        --format json` stdout for the same snapshot, regardless of load
+        or --threads. Admission is bounded at --queue-cap pending
+        requests (default 64); beyond it requests are shed with a
+        structured 429 + Retry-After instead of queueing unboundedly.
+        deadline_ms (or the x-firmup-deadline-ms header), capped by
+        --max-request-ms (default 60000; 0 = uncapped), is anchored at
+        arrival — queue wait counts — and exhaustion returns partial
+        results with over_budget markers, exactly like the CLI. A
+        panicking request answers 500 and poisons only itself. SIGHUP
+        hot-reloads the index (in-flight requests finish on the old
+        snapshot; a failed reload keeps the old snapshot and surfaces
+        the error in /readyz). SIGTERM/SIGINT drain gracefully: stop
+        accepting, answer everything admitted (budget-cancelled after
+        --drain-ms, default 5000), flush metrics/trace, exit 0 (130 for
+        SIGINT).
     firmup chaos [--seed HEX] [--devices N] [--variants N] [--crash-matrix]
+                 [--serve]
         Fault-injection matrix: corrupt a seeded corpus with every
         operator (bit flips, truncation, torn sector-aligned renames,
         stale lock stamps, CRC smash, bogus/overlapping part headers,
@@ -161,7 +198,12 @@ USAGE:
         blob through unpack -> lift -> search. Exits nonzero if any stage
         panics. --crash-matrix instead kills a child `firmup index` at
         every deterministic crash point and asserts each one resumes to
-        a byte-identical index with identical scan findings.
+        a byte-identical index with identical scan findings. --serve
+        instead runs the serving drill: boot a child daemon, corrupt
+        its on-disk index between SIGHUP reloads, and assert it
+        degrades (old snapshot keeps serving identical findings, the
+        reload error surfaces in /readyz, a restored index recovers,
+        SIGTERM drains to exit 0) rather than crashing.
 ";
 
 /// Flags that consume the following argument as their value. Everything
@@ -184,6 +226,12 @@ const VALUE_FLAGS: &[&str] = &[
     "--threads",
     "--top-k",
     "--format",
+    "--listen",
+    "--workers",
+    "--queue-cap",
+    "--max-request-ms",
+    "--drain-ms",
+    "--port-file",
 ];
 
 fn flag_value<'a>(args: &'a [String], name: &str) -> Option<&'a str> {
@@ -529,6 +577,7 @@ fn scan_budget(args: &[String]) -> Result<ScanBudget, String> {
         max_steps_total: flag_value(args, "--max-steps")
             .map(|v| v.parse::<u64>().map_err(|e| format!("--max-steps: {e}")))
             .transpose()?,
+        deadline: None,
     })
 }
 
@@ -751,30 +800,24 @@ fn fsck_cmd(args: &[String]) -> Result<(), String> {
     }
 }
 
-/// One scan job: a built CVE query and the candidate targets it plays
-/// against. The query rep lives behind an `Arc` shared with the cache —
-/// an [`ExecutableRep`] is never cloned on the scan path.
-struct ScanJob {
-    cve: firmup::firmware::packages::CveSpec,
-    query: std::sync::Arc<(ExecutableRep, usize, String)>,
-    candidates: Vec<usize>,
-    /// Full prefilter ranking `(corpus index, overlap score)` kept for
-    /// `--explain` provenance (None when explain is off).
-    prefilter: Option<Vec<(usize, f64)>>,
-}
-
 fn scan_images(args: &[String], mode: OutputMode) -> Result<(usize, bool), String> {
     let paths = positional(args);
     let index_dir = flag_value(args, "--index").map(PathBuf::from);
     if paths.is_empty() && index_dir.is_none() {
         return Err("scan requires at least one IMAGE (or --index DIR)".into());
     }
-    let cve_filter = flag_value(args, "--cve");
-    let budget = scan_budget(args)?;
-    let canon = CanonConfig::default();
-    let threads = usize_flag(args, "--threads")?.unwrap_or(1);
-    let top_k = usize_flag(args, "--top-k")?.unwrap_or(0);
-    let explain = has_flag(args, "--explain");
+    // Anchor the whole-scan allowance *before* acquiring the corpus:
+    // `--scan-ms` is the caller's deadline for the command, so index
+    // load (or cold lift) counts against it — a corrupt or slow index
+    // can no longer blow past the deadline before the clock even starts.
+    let budget = scan_budget(args)?.anchored(std::time::Instant::now());
+    let opts = firmup::pipeline::ScanOptions {
+        cve: flag_value(args, "--cve").map(str::to_string),
+        top_k: usize_flag(args, "--top-k")?.unwrap_or(0),
+        threads: usize_flag(args, "--threads")?.unwrap_or(1),
+        explain: has_flag(args, "--explain"),
+    };
+    let threads = opts.threads;
     // Informational lines: stdout normally, stderr when stdout is the
     // JSON findings document or suppressed (`firmup profile`).
     let info = |msg: String| match mode {
@@ -787,6 +830,14 @@ fn scan_images(args: &[String], mode: OutputMode) -> Result<(usize, bool), Strin
     // builds the same structures in memory. Either way the scan below is
     // identical.
     let corpus = if let Some(dir) = &index_dir {
+        // Test hook: make the index load observably slow, so tests can
+        // pin that load time is charged against --scan-ms.
+        if let Some(ms) = std::env::var("FIRMUP_TEST_INDEX_LOAD_DELAY_MS")
+            .ok()
+            .and_then(|v| v.parse::<u64>().ok())
+        {
+            std::thread::sleep(std::time::Duration::from_millis(ms));
+        }
         let corpus = CorpusIndex::load(dir).map_err(|e| e.to_string())?;
         info(format!(
             "loaded {} executable(s) from index {}",
@@ -809,271 +860,61 @@ fn scan_images(args: &[String], mode: OutputMode) -> Result<(usize, bool), Strin
         CorpusIndex::build(reps)
     };
 
-    // Group targets by architecture: each (CVE, arch) pair is one job.
-    let mut arch_groups: Vec<(Arch, Vec<usize>)> = Vec::new();
-    for (i, exe) in corpus.executables.iter().enumerate() {
-        match arch_groups.iter_mut().find(|(a, _)| *a == exe.arch) {
-            Some((_, members)) => members.push(i),
-            None => arch_groups.push((exe.arch, vec![i])),
-        }
-    }
-
-    // Phase 1 — build the job list serially: compile one query per
-    // (package, arch) and select its candidates (whole arch group, or
-    // top-k by weighted strand overlap from the postings table).
-    type QueryEntry = Option<std::sync::Arc<(ExecutableRep, usize, String)>>;
-    let mut query_cache: HashMap<(String, Arch), QueryEntry> = HashMap::new();
-    let mut jobs: Vec<ScanJob> = Vec::new();
-    {
-        let _span = firmup::telemetry::span!("queries");
-        for cve in all_cves() {
-            if let Some(filter) = cve_filter {
-                if cve.cve != filter {
-                    continue;
-                }
-            }
-            for (arch, members) in &arch_groups {
-                let key = (cve.package.to_string(), *arch);
-                let entry = query_cache.entry(key).or_insert_with(|| {
-                    let (elf, version) = match try_build_query(cve.package, *arch) {
-                        Ok(q) => q,
-                        Err(e) => {
-                            eprintln!("firmup: query for {}: {e}", cve.cve);
-                            return None;
-                        }
-                    };
-                    index_elf(&elf, "query", &canon).ok().and_then(|rep| {
-                        rep.find_named(cve.procedure)
-                            .map(|qv| std::sync::Arc::new((rep, qv, version)))
-                    })
-                });
-                let Some(query) = entry else {
-                    continue;
-                };
-                // The full overlap ranking serves two masters: --top-k
-                // candidate selection and --explain provenance (rank /
-                // score / pool). Computed once, unconditionally ranked
-                // (k = 0) so explain records are identical with and
-                // without --top-k trimming.
-                let ranked: Option<Vec<(usize, f64)>> = (top_k > 0 || explain).then(|| {
-                    prefilter_candidates(
-                        &query.0.procedures[query.1],
-                        &corpus.postings,
-                        Some(&corpus.context),
-                        0,
-                    )
-                });
-                let candidates: Vec<usize> = if top_k > 0 {
-                    ranked
-                        .as_deref()
-                        .unwrap_or_default()
-                        .iter()
-                        .map(|&(i, _)| i)
-                        .filter(|&i| corpus.executables[i].arch == *arch)
-                        .take(top_k)
-                        .collect()
-                } else {
-                    members.clone()
-                };
-                if candidates.is_empty() {
-                    continue;
-                }
-                jobs.push(ScanJob {
-                    cve,
-                    query: std::sync::Arc::clone(query),
-                    candidates,
-                    prefilter: if explain { ranked } else { None },
-                });
-            }
-        }
-    }
-
-    // Phase 2 — decompose every job's candidate list along the index's
-    // shard boundaries into fine-grained (query × candidate-shard) work
-    // units, then execute them all in one work-stealing pass sharing a
-    // single scan-wide budget. `^C` cancels cooperatively at the next
-    // unit boundary. The shard count is a fixed constant — never derived
-    // from `--threads` — so the unit decomposition, and with it the span
-    // tree reconstructed from `--trace-out`, is identical at every
-    // thread count; 32 shards keeps stealing granular for typical core
-    // counts (`shards` clamps to the corpus size).
-    const SCAN_SHARDS: usize = 32;
-    let shards = corpus.shards(SCAN_SHARDS);
-    let mut units: Vec<ScanUnit> = Vec::new();
-    for (j, job) in jobs.iter().enumerate() {
-        for shard in &shards {
-            let targets: Vec<usize> = job
-                .candidates
-                .iter()
-                .copied()
-                .filter(|i| shard.range().contains(i))
-                .collect();
-            if !targets.is_empty() {
-                units.push(ScanUnit { job: j, targets });
-            }
-        }
-    }
-    let job_queries: Vec<(&ExecutableRep, usize)> =
-        jobs.iter().map(|j| (&j.query.0, j.query.1)).collect();
-    let config = SearchConfig {
-        context: Some(corpus.context.clone()),
-        threads,
-        ..SearchConfig::default()
-    };
-    let per_unit = scan_units(
-        &job_queries,
-        &units,
-        &corpus.executables,
-        &config,
+    // The scan core is shared with `firmup serve`: same query build,
+    // unit decomposition, work-stealing pass, and deterministic merge —
+    // which is what keeps a served response byte-identical to this
+    // CLI's JSON output for the same corpus snapshot.
+    let cache = firmup::pipeline::QueryCache::default();
+    let output = firmup::pipeline::run_scan(
+        &corpus,
+        &opts,
         &budget,
+        &cache,
         &firmup::shutdown::interrupted,
     );
-
-    // Phase 3 — regroup outcomes per job and merge deterministically:
-    // findings rank on (sim, target id, address), never arrival order,
-    // so `--threads N` prints byte-identical findings for every N.
-    let mut per_job: Vec<Vec<Vec<TargetOutcome>>> = jobs.iter().map(|_| Vec::new()).collect();
-    for (unit, outcomes) in units.iter().zip(per_unit) {
-        per_job[unit.job].push(outcomes);
+    for d in &output.diagnostics {
+        eprintln!("{d}");
     }
-    let mut findings = 0usize;
-    let mut poisoned = 0usize;
-    let mut over_budget = 0usize;
-    let mut saw_scan_deadline = false;
-    let mut saw_step_budget = false;
-    let mut json_findings: Vec<firmup::telemetry::json::Json> = Vec::new();
-    // Resolve a finding's target id back to its corpus slot, for
-    // --explain provenance (strand counts, prefilter rank).
-    let target_index: HashMap<&str, usize> = corpus
-        .executables
-        .iter()
-        .enumerate()
-        .map(|(i, e)| (e.id.as_str(), i))
-        .collect();
-    for (job, job_outcomes) in jobs.iter().zip(per_job) {
-        let cve = &job.cve;
-        let version = &job.query.2;
-        for outcome in merge_outcomes(job_outcomes) {
-            let id = outcome.target_id().to_string();
-            match &outcome {
-                TargetOutcome::Poisoned { panic, .. } => {
-                    eprintln!(
-                        "firmup: target {id} poisoned while hunting {}: {panic}",
-                        cve.cve
-                    );
-                    poisoned += 1;
-                    continue;
-                }
-                TargetOutcome::BudgetExceeded { reason, .. } => {
-                    eprintln!(
-                        "firmup: target {id} over budget ({reason}) hunting {}",
-                        cve.cve
-                    );
-                    over_budget += 1;
-                    match reason {
-                        BudgetReason::ScanDeadline => saw_scan_deadline = true,
-                        BudgetReason::StepBudget => saw_step_budget = true,
-                        _ => {}
-                    }
-                }
-                TargetOutcome::Completed(_) => {}
-            }
-            let Some(r) = outcome.result() else { continue };
-            if let Some(m) = &r.matched {
-                let explain_rec = if explain {
-                    target_index.get(id.as_str()).map(|&ti| {
-                        let mut ex = Explain::for_match(
-                            &job.query.0,
-                            job.query.1,
-                            &corpus.executables[ti],
-                            m,
-                            r,
-                            &config,
-                        );
-                        if let Some(pf) = &job.prefilter {
-                            if let Some(pos) = pf.iter().position(|&(i, _)| i == ti) {
-                                ex = ex.with_prefilter(pos + 1, pf[pos].1, pf.len());
-                            }
-                        }
-                        ex
-                    })
-                } else {
-                    None
-                };
-                match mode {
-                    OutputMode::Json => {
-                        use firmup::telemetry::json::Json;
-                        let mut obj = vec![
-                            ("cve".into(), Json::Str(cve.cve.to_string())),
-                            ("procedure".into(), Json::Str(cve.procedure.to_string())),
-                            ("package".into(), Json::Str(cve.package.to_string())),
-                            ("version".into(), Json::Str(version.clone())),
-                            ("target".into(), Json::Str(id.clone())),
-                            ("addr".into(), Json::Num(f64::from(m.addr))),
-                            ("sim".into(), Json::Num(m.sim as f64)),
-                            ("steps".into(), Json::Num(r.steps as f64)),
-                        ];
-                        if let Some(ex) = &explain_rec {
-                            obj.push(("explain".into(), ex.to_json()));
-                        }
-                        json_findings.push(Json::Obj(obj));
-                    }
-                    OutputMode::Text => {
-                        println!(
-                            "{}: {} ({} {version}) suspected at {:#x} in {id} (Sim={}, {} game step(s))",
-                            cve.cve, cve.procedure, cve.package, m.addr, m.sim, r.steps
-                        );
-                        if let Some(ex) = &explain_rec {
-                            print!("{}", ex.render_text());
-                        }
-                    }
-                    OutputMode::Quiet => {}
-                }
-                firmup::telemetry::event(
-                    "finding",
-                    &[
-                        (
-                            "cve",
-                            firmup::telemetry::json::Json::Str(cve.cve.to_string()),
-                        ),
-                        ("target", firmup::telemetry::json::Json::Str(id.clone())),
-                        (
-                            "addr",
-                            firmup::telemetry::json::Json::Num(f64::from(m.addr)),
-                        ),
-                        ("sim", firmup::telemetry::json::Json::Num(m.sim as f64)),
-                        ("steps", firmup::telemetry::json::Json::Num(r.steps as f64)),
-                    ],
+    for f in &output.findings {
+        match mode {
+            OutputMode::Text => {
+                println!(
+                    "{}: {} ({} {}) suspected at {:#x} in {} (Sim={}, {} game step(s))",
+                    f.cve.cve,
+                    f.cve.procedure,
+                    f.cve.package,
+                    f.version,
+                    f.addr,
+                    f.target,
+                    f.sim,
+                    f.steps
                 );
-                findings += 1;
+                if let Some(ex) = &f.explain {
+                    print!("{}", ex.render_text());
+                }
             }
+            OutputMode::Json | OutputMode::Quiet => {}
         }
     }
     let interrupted = firmup::shutdown::interrupted();
-    if saw_scan_deadline {
+    if output.saw_scan_deadline {
         info("scan budget (--scan-ms) exhausted; remaining targets skipped".to_string());
     }
-    if saw_step_budget {
+    if output.saw_step_budget {
         info("step budget (--max-steps) exhausted; remaining targets skipped".to_string());
     }
     if interrupted {
         info("interrupted; findings so far are complete for the targets scanned".to_string());
     }
     if mode == OutputMode::Json {
-        use firmup::telemetry::json::Json;
-        let doc = Json::Obj(vec![
-            ("findings".into(), Json::Arr(json_findings)),
-            ("total".into(), Json::Num(findings as f64)),
-            ("poisoned".into(), Json::Num(poisoned as f64)),
-            ("over_budget".into(), Json::Num(over_budget as f64)),
-            ("interrupted".into(), Json::Bool(interrupted)),
-        ]);
-        println!("{}", doc.render());
+        println!("{}", output.render_json(interrupted).render());
     }
+    let findings = output.findings.len();
     info(format!("{findings} suspected occurrence(s)"));
-    if poisoned > 0 || over_budget > 0 {
+    if output.poisoned > 0 || output.over_budget > 0 {
         info(format!(
-            "degraded: {poisoned} poisoned target(s), {over_budget} over-budget target(s)"
+            "degraded: {} poisoned target(s), {} over-budget target(s)",
+            output.poisoned, output.over_budget
         ));
     }
     Ok((findings, interrupted))
@@ -1090,6 +931,20 @@ fn chaos(args: &[String]) -> Result<(), String> {
         .map(|v| v.parse::<usize>().map_err(|e| format!("--devices: {e}")))
         .transpose()?
         .unwrap_or(2);
+    if has_flag(args, "--serve") {
+        let firmup_bin = std::env::current_exe().map_err(|e| format!("current_exe: {e}"))?;
+        let report = firmup::chaos::run_serve_chaos(&firmup::chaos::ServeChaosConfig {
+            seed,
+            devices,
+            firmup_bin,
+        })?;
+        print!("{report}");
+        return if report.passed() {
+            Ok(())
+        } else {
+            Err("serve-stage degradation violation (see drill above)".into())
+        };
+    }
     if has_flag(args, "--crash-matrix") {
         let firmup_bin = std::env::current_exe().map_err(|e| format!("current_exe: {e}"))?;
         let report = firmup::chaos::run_crash_matrix(&firmup::chaos::CrashMatrixConfig {
@@ -1122,4 +977,38 @@ fn chaos(args: &[String]) -> Result<(), String> {
             report.panics()
         ))
     }
+}
+
+/// `firmup serve`: parse flags into a [`firmup::serve::ServeConfig`]
+/// and run the daemon; the returned code becomes the process exit code.
+fn serve_cmd(args: &[String]) -> Result<u8, String> {
+    let index_dir = PathBuf::from(
+        flag_value(args, "--index").ok_or_else(|| "serve requires --index DIR".to_string())?,
+    );
+    let max_request_ms = flag_value(args, "--max-request-ms")
+        .map(|v| {
+            v.parse::<u64>()
+                .map_err(|e| format!("--max-request-ms: {e}"))
+        })
+        .transpose()?
+        .unwrap_or(60_000);
+    let drain_ms = flag_value(args, "--drain-ms")
+        .map(|v| v.parse::<u64>().map_err(|e| format!("--drain-ms: {e}")))
+        .transpose()?
+        .unwrap_or(5_000);
+    let cfg = firmup::serve::ServeConfig {
+        index_dir,
+        listen: flag_value(args, "--listen")
+            .unwrap_or("127.0.0.1:7878")
+            .to_string(),
+        workers: usize_flag(args, "--workers")?.unwrap_or(4),
+        queue_cap: usize_flag(args, "--queue-cap")?.unwrap_or(64),
+        threads: usize_flag(args, "--threads")?.unwrap_or(1),
+        max_request_ms: (max_request_ms > 0).then_some(max_request_ms),
+        drain_ms,
+        port_file: flag_value(args, "--port-file").map(PathBuf::from),
+        metrics_out: flag_value(args, "--metrics-out").map(PathBuf::from),
+        trace_out: flag_value(args, "--trace-out").map(PathBuf::from),
+    };
+    firmup::serve::run(&cfg)
 }

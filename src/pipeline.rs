@@ -1,4 +1,4 @@
-//! Shared unpack → lift plumbing for the CLI front end.
+//! Shared pipeline plumbing for the CLI front end and the daemon.
 //!
 //! Three commands walk the same front half of the pipeline — `scan`
 //! (cold path), `index` (per-image checkpointed), and `fsck --repair`
@@ -6,12 +6,32 @@
 //! work-stealing parallel lift live here once. Every per-image and
 //! per-part step runs under [`isolate`]: a corrupt image or a panicking
 //! lift is a structured, skippable error, never a process abort.
+//!
+//! The back half lives here too: [`run_scan`] executes one complete
+//! corpus scan (query build → unit decomposition → work-stealing search
+//! → deterministic merge) against an already-acquired [`CorpusIndex`]
+//! and returns a structured [`ScanOutput`]. `firmup scan` renders it as
+//! text or JSON; `firmup serve` renders the *same* [`ScanOutput`] per
+//! request — which is what makes a served response byte-identical to
+//! single-threaded CLI output for the same snapshot.
+
+use std::collections::HashMap;
+use std::sync::{Arc, Mutex};
 
 use firmup_core::canon::CanonConfig;
 use firmup_core::error::{isolate, FaultCtx, FirmUpError};
+use firmup_core::persist::CorpusIndex;
+use firmup_core::search::{
+    merge_outcomes, prefilter_candidates, scan_units, BudgetReason, Explain, ScanBudget, ScanUnit,
+    SearchConfig, TargetOutcome,
+};
 use firmup_core::sim::{index_elf, ExecutableRep};
+use firmup_firmware::corpus::try_build_query;
 use firmup_firmware::image::unpack;
+use firmup_firmware::packages::{all_cves, CveSpec};
+use firmup_isa::Arch;
 use firmup_obj::Elf;
+use firmup_telemetry::json::Json;
 
 /// One liftable part: attribution context, executable id
 /// (`image:part`), and the raw ELF bytes.
@@ -132,6 +152,368 @@ pub fn lift_image(
         }
     }
     Ok(reps)
+}
+
+// ---------------------------------------------------------------------------
+// Shared scan core (CLI `scan` and `serve` both render from this)
+// ---------------------------------------------------------------------------
+
+/// Number of contiguous corpus shards a scan decomposes into. A fixed
+/// constant — never derived from `--threads` — so the (query ×
+/// candidate-shard) unit decomposition, and with it the span tree
+/// reconstructed from `--trace-out`, is identical at every thread
+/// count; 32 keeps stealing granular for typical core counts
+/// (`CorpusIndex::shards` clamps to the corpus size).
+pub const SCAN_SHARDS: usize = 32;
+
+/// A compiled CVE query: the query rep, the index of the vulnerable
+/// procedure inside it, and the vulnerable package version string.
+type QueryRep = Arc<(ExecutableRep, usize, String)>;
+
+/// Cache of compiled CVE queries keyed by (package, arch). Query
+/// compilation is corpus-independent, so one cache can serve every scan
+/// in a process — the CLI builds a fresh one per run, `firmup serve`
+/// shares one across all requests. A failed build is cached as `None`
+/// (and reported once via [`ScanOutput::diagnostics`]) so a broken
+/// package is not recompiled per request.
+#[derive(Default)]
+pub struct QueryCache {
+    entries: Mutex<HashMap<(String, Arch), Option<QueryRep>>>,
+}
+
+/// One scan job: a built CVE query and the candidate targets it plays
+/// against. The query rep lives behind an `Arc` shared with the cache —
+/// an [`ExecutableRep`] is never cloned on the scan path.
+struct ScanJob {
+    cve: CveSpec,
+    query: QueryRep,
+    candidates: Vec<usize>,
+    /// Full prefilter ranking `(corpus index, overlap score)` kept for
+    /// explain provenance (None when explain is off).
+    prefilter: Option<Vec<(usize, f64)>>,
+}
+
+/// What one scan should hunt and how hard.
+#[derive(Clone, Debug, Default)]
+pub struct ScanOptions {
+    /// Restrict to one CVE id (`--cve`); `None` hunts every built-in.
+    pub cve: Option<String>,
+    /// Prefilter each query to the K most strand-overlapping
+    /// executables before playing the game (0 = play everything).
+    pub top_k: usize,
+    /// Worker threads for the work-stealing executor (0 = all cores).
+    /// Findings are byte-identical for every value.
+    pub threads: usize,
+    /// Attach an [`Explain`] provenance record to every finding.
+    pub explain: bool,
+}
+
+/// One confirmed finding, with everything both renderers (CLI text/JSON
+/// and the serve response) need.
+#[derive(Clone, Debug)]
+pub struct ScanFinding {
+    /// The CVE query that matched.
+    pub cve: CveSpec,
+    /// Vulnerable package version string from the query build.
+    pub version: String,
+    /// Target executable id (`image:part`).
+    pub target: String,
+    /// Address of the matched procedure inside the target.
+    pub addr: u32,
+    /// Similarity score of the match.
+    pub sim: usize,
+    /// Back-and-forth game steps played.
+    pub steps: usize,
+    /// Provenance record (only when [`ScanOptions::explain`] is set).
+    pub explain: Option<Explain>,
+}
+
+impl ScanFinding {
+    /// The finding as one JSON object (the element shape of the CLI's
+    /// `--format json` `findings` array and of serve responses).
+    pub fn to_json(&self) -> Json {
+        let mut obj = vec![
+            ("cve".into(), Json::Str(self.cve.cve.to_string())),
+            (
+                "procedure".into(),
+                Json::Str(self.cve.procedure.to_string()),
+            ),
+            ("package".into(), Json::Str(self.cve.package.to_string())),
+            ("version".into(), Json::Str(self.version.clone())),
+            ("target".into(), Json::Str(self.target.clone())),
+            ("addr".into(), Json::Num(f64::from(self.addr))),
+            ("sim".into(), Json::Num(self.sim as f64)),
+            ("steps".into(), Json::Num(self.steps as f64)),
+        ];
+        if let Some(ex) = &self.explain {
+            obj.push(("explain".into(), ex.to_json()));
+        }
+        Json::Obj(obj)
+    }
+}
+
+/// Structured result of one whole-corpus scan: deterministically merged
+/// findings plus degradation counts and human-readable diagnostics.
+#[derive(Clone, Debug, Default)]
+pub struct ScanOutput {
+    /// Confirmed findings in deterministic merge order (sim descending,
+    /// target id, address — never arrival order).
+    pub findings: Vec<ScanFinding>,
+    /// Targets whose work panicked (the unwind was contained).
+    pub poisoned: usize,
+    /// Targets degraded by a budget bound.
+    pub over_budget: usize,
+    /// Whether the whole-scan deadline fired at least once.
+    pub saw_scan_deadline: bool,
+    /// Whether the step budget fired at least once.
+    pub saw_step_budget: bool,
+    /// Human-readable degradation lines (poisoned targets, over-budget
+    /// targets, query-build failures), for stderr.
+    pub diagnostics: Vec<String>,
+}
+
+impl ScanOutput {
+    /// Render the scan as the canonical findings document — the exact
+    /// JSON the CLI prints on stdout under `--format json` and the body
+    /// `firmup serve` returns, byte-identical for the same corpus
+    /// snapshot and options at any thread count.
+    pub fn render_json(&self, interrupted: bool) -> Json {
+        Json::Obj(vec![
+            (
+                "findings".into(),
+                Json::Arr(self.findings.iter().map(ScanFinding::to_json).collect()),
+            ),
+            ("total".into(), Json::Num(self.findings.len() as f64)),
+            ("poisoned".into(), Json::Num(self.poisoned as f64)),
+            ("over_budget".into(), Json::Num(self.over_budget as f64)),
+            ("interrupted".into(), Json::Bool(interrupted)),
+        ])
+    }
+}
+
+/// Execute one complete scan against an acquired corpus: build (or
+/// fetch cached) CVE queries, decompose candidates along the index's
+/// [`SCAN_SHARDS`] shard boundaries into fine-grained work units, run
+/// them all in one work-stealing pass sharing `budget`, and merge the
+/// outcomes deterministically. `stop` is polled at unit boundaries (the
+/// cooperative-cancel path behind `^C` and serve's drain deadline).
+///
+/// Every per-finding `finding` telemetry event is emitted here, under
+/// whatever span/trace context the caller has entered — `firmup serve`
+/// enters a per-request root so concurrent scans trace disjointly.
+pub fn run_scan(
+    corpus: &CorpusIndex,
+    opts: &ScanOptions,
+    budget: &ScanBudget,
+    cache: &QueryCache,
+    stop: &(dyn Fn() -> bool + Sync),
+) -> ScanOutput {
+    let canon = CanonConfig::default();
+    let mut out = ScanOutput::default();
+
+    // Group targets by architecture: each (CVE, arch) pair is one job.
+    let mut arch_groups: Vec<(Arch, Vec<usize>)> = Vec::new();
+    for (i, exe) in corpus.executables.iter().enumerate() {
+        match arch_groups.iter_mut().find(|(a, _)| *a == exe.arch) {
+            Some((_, members)) => members.push(i),
+            None => arch_groups.push((exe.arch, vec![i])),
+        }
+    }
+
+    // Phase 1 — build the job list serially: compile one query per
+    // (package, arch) and select its candidates (whole arch group, or
+    // top-k by weighted strand overlap from the postings table).
+    let mut jobs: Vec<ScanJob> = Vec::new();
+    {
+        let _span = firmup_telemetry::span!("queries");
+        for cve in all_cves() {
+            if let Some(filter) = &opts.cve {
+                if cve.cve != filter.as_str() {
+                    continue;
+                }
+            }
+            for (arch, members) in &arch_groups {
+                let key = (cve.package.to_string(), *arch);
+                let mut entries = cache.entries.lock().expect("query cache lock");
+                let entry = entries.entry(key).or_insert_with(|| {
+                    let (elf, version) = match try_build_query(cve.package, *arch) {
+                        Ok(q) => q,
+                        Err(e) => {
+                            out.diagnostics
+                                .push(format!("firmup: query for {}: {e}", cve.cve));
+                            return None;
+                        }
+                    };
+                    index_elf(&elf, "query", &canon).ok().and_then(|rep| {
+                        rep.find_named(cve.procedure)
+                            .map(|qv| Arc::new((rep, qv, version)))
+                    })
+                });
+                let Some(query) = entry.clone() else {
+                    continue;
+                };
+                drop(entries);
+                // The full overlap ranking serves two masters: top-k
+                // candidate selection and explain provenance (rank /
+                // score / pool). Computed once, unconditionally ranked
+                // (k = 0) so explain records are identical with and
+                // without top-k trimming.
+                let ranked: Option<Vec<(usize, f64)>> =
+                    (opts.top_k > 0 || opts.explain).then(|| {
+                        prefilter_candidates(
+                            &query.0.procedures[query.1],
+                            &corpus.postings,
+                            Some(&corpus.context),
+                            0,
+                        )
+                    });
+                let candidates: Vec<usize> = if opts.top_k > 0 {
+                    ranked
+                        .as_deref()
+                        .unwrap_or_default()
+                        .iter()
+                        .map(|&(i, _)| i)
+                        .filter(|&i| corpus.executables[i].arch == *arch)
+                        .take(opts.top_k)
+                        .collect()
+                } else {
+                    members.clone()
+                };
+                if candidates.is_empty() {
+                    continue;
+                }
+                jobs.push(ScanJob {
+                    cve,
+                    query,
+                    candidates,
+                    prefilter: if opts.explain { ranked } else { None },
+                });
+            }
+        }
+    }
+
+    // Phase 2 — decompose every job's candidate list along the index's
+    // shard boundaries into fine-grained (query × candidate-shard) work
+    // units, then execute them all in one work-stealing pass sharing a
+    // single scan-wide budget.
+    let shards = corpus.shards(SCAN_SHARDS);
+    let mut units: Vec<ScanUnit> = Vec::new();
+    for (j, job) in jobs.iter().enumerate() {
+        for shard in &shards {
+            let targets: Vec<usize> = job
+                .candidates
+                .iter()
+                .copied()
+                .filter(|i| shard.range().contains(i))
+                .collect();
+            if !targets.is_empty() {
+                units.push(ScanUnit { job: j, targets });
+            }
+        }
+    }
+    let job_queries: Vec<(&ExecutableRep, usize)> =
+        jobs.iter().map(|j| (&j.query.0, j.query.1)).collect();
+    let config = SearchConfig {
+        context: Some(corpus.context.clone()),
+        threads: opts.threads,
+        ..SearchConfig::default()
+    };
+    let per_unit = scan_units(
+        &job_queries,
+        &units,
+        &corpus.executables,
+        &config,
+        budget,
+        stop,
+    );
+
+    // Phase 3 — regroup outcomes per job and merge deterministically:
+    // findings rank on (sim, target id, address), never arrival order,
+    // so any thread count yields byte-identical findings.
+    let mut per_job: Vec<Vec<Vec<TargetOutcome>>> = jobs.iter().map(|_| Vec::new()).collect();
+    for (unit, outcomes) in units.iter().zip(per_unit) {
+        per_job[unit.job].push(outcomes);
+    }
+    // Resolve a finding's target id back to its corpus slot, for
+    // explain provenance (strand counts, prefilter rank).
+    let target_index: HashMap<&str, usize> = corpus
+        .executables
+        .iter()
+        .enumerate()
+        .map(|(i, e)| (e.id.as_str(), i))
+        .collect();
+    for (job, job_outcomes) in jobs.iter().zip(per_job) {
+        let cve = &job.cve;
+        for outcome in merge_outcomes(job_outcomes) {
+            let id = outcome.target_id().to_string();
+            match &outcome {
+                TargetOutcome::Poisoned { panic, .. } => {
+                    out.diagnostics.push(format!(
+                        "firmup: target {id} poisoned while hunting {}: {panic}",
+                        cve.cve
+                    ));
+                    out.poisoned += 1;
+                    continue;
+                }
+                TargetOutcome::BudgetExceeded { reason, .. } => {
+                    out.diagnostics.push(format!(
+                        "firmup: target {id} over budget ({reason}) hunting {}",
+                        cve.cve
+                    ));
+                    out.over_budget += 1;
+                    match reason {
+                        BudgetReason::ScanDeadline => out.saw_scan_deadline = true,
+                        BudgetReason::StepBudget => out.saw_step_budget = true,
+                        _ => {}
+                    }
+                }
+                TargetOutcome::Completed(_) => {}
+            }
+            let Some(r) = outcome.result() else { continue };
+            if let Some(m) = &r.matched {
+                let explain_rec = if opts.explain {
+                    target_index.get(id.as_str()).map(|&ti| {
+                        let mut ex = Explain::for_match(
+                            &job.query.0,
+                            job.query.1,
+                            &corpus.executables[ti],
+                            m,
+                            r,
+                            &config,
+                        );
+                        if let Some(pf) = &job.prefilter {
+                            if let Some(pos) = pf.iter().position(|&(i, _)| i == ti) {
+                                ex = ex.with_prefilter(pos + 1, pf[pos].1, pf.len());
+                            }
+                        }
+                        ex
+                    })
+                } else {
+                    None
+                };
+                firmup_telemetry::event(
+                    "finding",
+                    &[
+                        ("cve", Json::Str(cve.cve.to_string())),
+                        ("target", Json::Str(id.clone())),
+                        ("addr", Json::Num(f64::from(m.addr))),
+                        ("sim", Json::Num(m.sim as f64)),
+                        ("steps", Json::Num(r.steps as f64)),
+                    ],
+                );
+                out.findings.push(ScanFinding {
+                    cve: *cve,
+                    version: job.query.2.clone(),
+                    target: id,
+                    addr: m.addr,
+                    sim: m.sim,
+                    steps: r.steps,
+                    explain: explain_rec,
+                });
+            }
+        }
+    }
+    out
 }
 
 #[cfg(test)]

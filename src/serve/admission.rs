@@ -1,0 +1,148 @@
+//! Bounded admission queue with explicit load shedding.
+//!
+//! The daemon's robustness hinges on never queueing unboundedly: a
+//! burst beyond `cap` pending requests is *shed* — the caller gets a
+//! structured `429 overloaded` response immediately — instead of piling
+//! up latency until every client times out. [`AdmissionQueue::try_push`]
+//! never blocks; [`AdmissionQueue::pop`] blocks workers until work or
+//! [`AdmissionQueue::close`], after which the queue drains (accepted
+//! items are still handed out) and then reports exhaustion — the
+//! graceful-drain half of SIGTERM handling.
+
+use std::collections::VecDeque;
+use std::sync::{Condvar, Mutex};
+
+/// A bounded MPMC queue: non-blocking bounded push, blocking pop,
+/// drain-then-exhaust close semantics.
+pub struct AdmissionQueue<T> {
+    state: Mutex<State<T>>,
+    cv: Condvar,
+    cap: usize,
+}
+
+struct State<T> {
+    queue: VecDeque<T>,
+    closed: bool,
+}
+
+impl<T> AdmissionQueue<T> {
+    /// A queue admitting at most `cap` pending items (`cap = 0` sheds
+    /// everything — useful for drills and tests of the shed path).
+    pub fn new(cap: usize) -> AdmissionQueue<T> {
+        AdmissionQueue {
+            state: Mutex::new(State {
+                queue: VecDeque::new(),
+                closed: false,
+            }),
+            cv: Condvar::new(),
+            cap,
+        }
+    }
+
+    /// The configured capacity.
+    pub fn capacity(&self) -> usize {
+        self.cap
+    }
+
+    /// Pending items right now (racy by nature; for metrics/readiness).
+    pub fn depth(&self) -> usize {
+        self.state.lock().expect("admission lock").queue.len()
+    }
+
+    /// Admit `item`, returning the post-push depth — or shed it (handing
+    /// the item back) when the queue is full or closed. Never blocks.
+    pub fn try_push(&self, item: T) -> Result<usize, T> {
+        let mut s = self.state.lock().expect("admission lock");
+        if s.closed || s.queue.len() >= self.cap {
+            return Err(item);
+        }
+        s.queue.push_back(item);
+        let depth = s.queue.len();
+        drop(s);
+        self.cv.notify_one();
+        Ok(depth)
+    }
+
+    /// Take the next item, blocking while the queue is open and empty.
+    /// After [`close`](AdmissionQueue::close), remaining items are still
+    /// handed out (the drain guarantee: every accepted request gets an
+    /// answer); only then does `pop` return `None`.
+    pub fn pop(&self) -> Option<T> {
+        let mut s = self.state.lock().expect("admission lock");
+        loop {
+            if let Some(item) = s.queue.pop_front() {
+                return Some(item);
+            }
+            if s.closed {
+                return None;
+            }
+            s = self.cv.wait(s).expect("admission wait");
+        }
+    }
+
+    /// Stop admitting; wake every blocked popper so workers can drain
+    /// what was accepted and then exit.
+    pub fn close(&self) {
+        self.state.lock().expect("admission lock").closed = true;
+        self.cv.notify_all();
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::sync::Arc;
+    use std::time::Duration;
+
+    #[test]
+    fn fills_sheds_then_drains() {
+        let q = AdmissionQueue::new(2);
+        assert_eq!(q.try_push(1), Ok(1));
+        assert_eq!(q.try_push(2), Ok(2));
+        // Full: the third item is shed, handed back intact.
+        assert_eq!(q.try_push(3), Err(3));
+        assert_eq!(q.depth(), 2);
+        // Draining makes room again.
+        assert_eq!(q.pop(), Some(1));
+        assert_eq!(q.try_push(4), Ok(2));
+        assert_eq!(q.pop(), Some(2));
+        assert_eq!(q.pop(), Some(4));
+        assert_eq!(q.depth(), 0);
+    }
+
+    #[test]
+    fn zero_capacity_sheds_everything() {
+        let q = AdmissionQueue::new(0);
+        assert_eq!(q.try_push("x"), Err("x"));
+        assert_eq!(q.depth(), 0);
+    }
+
+    #[test]
+    fn close_drains_accepted_items_then_reports_exhaustion() {
+        let q = AdmissionQueue::new(8);
+        assert_eq!(q.try_push(1), Ok(1));
+        assert_eq!(q.try_push(2), Ok(2));
+        q.close();
+        // Post-close pushes shed; accepted items still drain in order.
+        assert_eq!(q.try_push(3), Err(3));
+        assert_eq!(q.pop(), Some(1));
+        assert_eq!(q.pop(), Some(2));
+        assert_eq!(q.pop(), None);
+        assert_eq!(q.pop(), None, "exhaustion is sticky");
+    }
+
+    #[test]
+    fn blocked_poppers_wake_on_push_and_on_close() {
+        let q = Arc::new(AdmissionQueue::new(4));
+        let q2 = Arc::clone(&q);
+        let popper = std::thread::spawn(move || (q2.pop(), q2.pop()));
+        // Give the popper time to block, then feed it and close.
+        std::thread::sleep(Duration::from_millis(50));
+        assert!(q.try_push(7).is_ok());
+        std::thread::sleep(Duration::from_millis(50));
+        q.close();
+        let (first, second) = popper.join().expect("popper");
+        assert_eq!(first, Some(7));
+        assert_eq!(second, None);
+    }
+}

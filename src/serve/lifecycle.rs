@@ -1,0 +1,206 @@
+//! Snapshot lifecycle for the daemon: the `Arc`-held corpus index and
+//! its SIGHUP hot-reload path, plus the graceful-drain clock.
+//!
+//! Reload safety leans on the PR-4 durability layer: `firmup index`
+//! always lands `corpus.fui` via temp + fsync + atomic rename (behind
+//! an advisory writer lock), so a reader opening the file sees either
+//! the old bytes or the new bytes, never a torn mix. The daemon
+//! therefore reloads locklessly: [`SnapshotStore::reload`] loads the
+//! file into a *new* [`CorpusIndex`], and only on success swaps the
+//! `Arc` — in-flight requests keep scanning their own clone of the old
+//! `Arc` undisturbed, and a failed reload (corrupt or half-written
+//! index) keeps serving the old snapshot while surfacing the error
+//! through `/readyz`.
+
+use std::path::{Path, PathBuf};
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::{Arc, Mutex};
+use std::time::{Duration, Instant};
+
+use firmup_core::persist::CorpusIndex;
+
+/// The daemon's resident corpus index: swap-on-reload behind an `Arc`,
+/// with the last reload failure retained for readiness reporting.
+pub struct SnapshotStore {
+    dir: PathBuf,
+    current: Mutex<Arc<CorpusIndex>>,
+    epoch: AtomicU64,
+    reload_error: Mutex<Option<String>>,
+}
+
+impl SnapshotStore {
+    /// Load the initial snapshot from `dir` (epoch 1).
+    ///
+    /// # Errors
+    ///
+    /// The index's structured load error; the daemon refuses to start
+    /// without a valid snapshot (readiness would be a lie).
+    pub fn open(dir: &Path) -> Result<SnapshotStore, String> {
+        let corpus = CorpusIndex::load(dir).map_err(|e| e.to_string())?;
+        Ok(SnapshotStore {
+            dir: dir.to_path_buf(),
+            current: Mutex::new(Arc::new(corpus)),
+            epoch: AtomicU64::new(1),
+            reload_error: Mutex::new(None),
+        })
+    }
+
+    /// The current snapshot. Each request clones the `Arc` once and
+    /// scans that clone for its whole lifetime — a concurrent reload
+    /// can never swap an index out from under a running scan.
+    pub fn snapshot(&self) -> Arc<CorpusIndex> {
+        Arc::clone(&self.current.lock().expect("snapshot lock"))
+    }
+
+    /// How many successful loads have happened (starts at 1).
+    pub fn epoch(&self) -> u64 {
+        self.epoch.load(Ordering::SeqCst)
+    }
+
+    /// The failure message from the most recent reload attempt, if it
+    /// failed (cleared by the next success). Surfaces in `/readyz`.
+    pub fn reload_error(&self) -> Option<String> {
+        self.reload_error.lock().expect("reload error lock").clone()
+    }
+
+    /// Reload the index from disk (the SIGHUP path). On success the new
+    /// snapshot is swapped in and the epoch bumps; on failure the old
+    /// snapshot stays current and the error is retained for `/readyz` —
+    /// the daemon degrades, it never crashes or serves a torn index.
+    ///
+    /// # Errors
+    ///
+    /// The load failure, also retained in [`reload_error`].
+    ///
+    /// [`reload_error`]: SnapshotStore::reload_error
+    pub fn reload(&self) -> Result<(), String> {
+        match CorpusIndex::load(&self.dir) {
+            Ok(corpus) => {
+                *self.current.lock().expect("snapshot lock") = Arc::new(corpus);
+                self.epoch.fetch_add(1, Ordering::SeqCst);
+                *self.reload_error.lock().expect("reload error lock") = None;
+                Ok(())
+            }
+            Err(e) => {
+                let msg = e.to_string();
+                *self.reload_error.lock().expect("reload error lock") = Some(msg.clone());
+                Err(msg)
+            }
+        }
+    }
+}
+
+/// The graceful-drain clock: started when a terminating signal arrives;
+/// once `limit` elapses, in-flight scans are budget-cancelled so the
+/// daemon's exit latency is bounded even under pathological requests.
+pub struct DrainState {
+    started: Mutex<Option<Instant>>,
+    limit: Duration,
+}
+
+impl DrainState {
+    /// A drain allowing in-flight work `limit` to finish naturally.
+    pub fn new(limit: Duration) -> DrainState {
+        DrainState {
+            started: Mutex::new(None),
+            limit,
+        }
+    }
+
+    /// Mark the drain as started (idempotent; the first call anchors
+    /// the clock).
+    pub fn begin(&self) {
+        let mut s = self.started.lock().expect("drain lock");
+        if s.is_none() {
+            *s = Some(Instant::now());
+        }
+    }
+
+    /// Whether a drain has begun.
+    pub fn draining(&self) -> bool {
+        self.started.lock().expect("drain lock").is_some()
+    }
+
+    /// Whether the drain allowance is spent — the stop signal handed to
+    /// in-flight scans (they cancel cooperatively at unit boundaries).
+    pub fn expired(&self) -> bool {
+        self.started
+            .lock()
+            .expect("drain lock")
+            .is_some_and(|t| t.elapsed() >= self.limit)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use firmup_firmware::corpus::{generate, CorpusConfig};
+
+    fn temp_dir(tag: &str) -> PathBuf {
+        let dir =
+            std::env::temp_dir().join(format!("firmup-lifecycle-{tag}-{}", std::process::id()));
+        let _ = std::fs::remove_dir_all(&dir);
+        std::fs::create_dir_all(&dir).expect("create temp dir");
+        dir
+    }
+
+    fn build_index(dir: &Path, seed: u64) -> usize {
+        let corpus = generate(&CorpusConfig {
+            seed,
+            ..CorpusConfig::tiny()
+        });
+        let mut reps = Vec::new();
+        for (i, img) in corpus.images.iter().enumerate() {
+            reps.extend(
+                crate::pipeline::lift_image(&format!("img{i}"), &img.blob, 1).expect("lift"),
+            );
+        }
+        let n = reps.len();
+        CorpusIndex::build(reps).save(dir).expect("save index");
+        n
+    }
+
+    #[test]
+    fn reload_failure_retains_old_snapshot_and_surfaces_error() {
+        let dir = temp_dir("reload");
+        let n = build_index(&dir, 0x51ee_d001);
+        let store = SnapshotStore::open(&dir).expect("open");
+        assert_eq!(store.epoch(), 1);
+        assert_eq!(store.snapshot().executables.len(), n);
+        assert_eq!(store.reload_error(), None);
+
+        // Corrupt the on-disk index: reload fails, old snapshot serves on.
+        let fui = firmup_firmware::index::index_path(&dir);
+        let pristine = std::fs::read(&fui).expect("read index");
+        std::fs::write(&fui, b"FUIXgarbage").expect("corrupt");
+        let held = store.snapshot();
+        assert!(store.reload().is_err());
+        assert_eq!(store.epoch(), 1, "failed reload must not bump the epoch");
+        assert!(store.reload_error().is_some());
+        assert_eq!(store.snapshot().executables.len(), n);
+        // The Arc a request already holds is untouched by any of this.
+        assert_eq!(held.executables.len(), n);
+
+        // Restore and reload: epoch bumps, error clears.
+        std::fs::write(&fui, &pristine).expect("restore");
+        store.reload().expect("reload restored index");
+        assert_eq!(store.epoch(), 2);
+        assert_eq!(store.reload_error(), None);
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn drain_clock_starts_once_and_expires() {
+        let d = DrainState::new(Duration::from_millis(30));
+        assert!(!d.draining());
+        assert!(!d.expired());
+        d.begin();
+        assert!(d.draining());
+        assert!(!d.expired());
+        std::thread::sleep(Duration::from_millis(40));
+        assert!(d.expired());
+        // begin() is idempotent: the clock does not restart.
+        d.begin();
+        assert!(d.expired());
+    }
+}

@@ -1,0 +1,487 @@
+//! Minimal std-only wire protocol for `firmup serve`.
+//!
+//! Two dialects on one port, distinguished by the first byte:
+//!
+//! - **HTTP/1.1** (`GET /healthz`, `GET /readyz`, `GET /metrics`,
+//!   `POST /scan`): request line + headers + `Content-Length` body;
+//!   every response closes the connection.
+//! - **newline JSON**: a bare JSON object on one line (first byte `{`)
+//!   is treated as a `POST /scan` body; the response is the findings
+//!   document on one line. The body bytes are identical to the HTTP
+//!   dialect's — and to the CLI's `--format json` stdout.
+//!
+//! Parsing is defensive: the request line, header count, and body size
+//! are all capped, and any malformation is a structured
+//! [`ProtocolError`] the server answers with a 400 — never a panic or a
+//! hang.
+
+use std::io::{self, BufRead, BufReader, Read, Write};
+use std::net::TcpStream;
+use std::time::Duration;
+
+use firmup_telemetry::json::Json;
+
+/// Hard cap on accepted header count (defensive bound).
+const MAX_HEADERS: usize = 64;
+/// Hard cap on a single header/request line length.
+const MAX_LINE: usize = 8 * 1024;
+
+/// A request the server failed to parse, with the HTTP status the
+/// response should carry.
+#[derive(Debug)]
+pub struct ProtocolError {
+    /// Response status (400 malformed, 413 too large, ...).
+    pub status: u16,
+    /// Human-readable reason, echoed in the error body.
+    pub message: String,
+}
+
+impl ProtocolError {
+    fn bad(message: impl Into<String>) -> ProtocolError {
+        ProtocolError {
+            status: 400,
+            message: message.into(),
+        }
+    }
+}
+
+/// One parsed incoming request (either dialect).
+#[derive(Debug)]
+pub struct Request {
+    /// HTTP method (`POST` for the newline-JSON dialect).
+    pub method: String,
+    /// Request path (`/scan` for the newline-JSON dialect).
+    pub path: String,
+    /// Header pairs in arrival order (empty for newline JSON).
+    pub headers: Vec<(String, String)>,
+    /// Request body bytes.
+    pub body: Vec<u8>,
+    /// Whether this came in as a bare JSON line (response must be a
+    /// bare JSON line too, no status line or headers).
+    pub raw_json: bool,
+}
+
+/// Case-insensitive header lookup.
+pub fn header<'a>(headers: &'a [(String, String)], name: &str) -> Option<&'a str> {
+    headers
+        .iter()
+        .find(|(k, _)| k.eq_ignore_ascii_case(name))
+        .map(|(_, v)| v.as_str())
+}
+
+/// Read one line capped at [`MAX_LINE`] bytes, stripping `\r\n`/`\n`.
+fn read_line<R: BufRead>(r: &mut R) -> Result<String, ProtocolError> {
+    let mut line = Vec::new();
+    loop {
+        let mut byte = [0u8; 1];
+        match r.read(&mut byte) {
+            Ok(0) => break,
+            Ok(_) => {
+                if byte[0] == b'\n' {
+                    break;
+                }
+                line.push(byte[0]);
+                if line.len() > MAX_LINE {
+                    return Err(ProtocolError {
+                        status: 431,
+                        message: "request line too long".into(),
+                    });
+                }
+            }
+            Err(e) => return Err(ProtocolError::bad(format!("read: {e}"))),
+        }
+    }
+    if line.last() == Some(&b'\r') {
+        line.pop();
+    }
+    String::from_utf8(line).map_err(|_| ProtocolError::bad("request line is not UTF-8"))
+}
+
+/// Parse one request off the stream, auto-detecting the dialect.
+///
+/// # Errors
+///
+/// A [`ProtocolError`] (status + reason) for anything malformed, an
+/// empty connection, or a body over `max_body` bytes.
+pub fn read_request<R: BufRead>(r: &mut R, max_body: usize) -> Result<Request, ProtocolError> {
+    let first = read_line(r)?;
+    let trimmed = first.trim();
+    if trimmed.is_empty() {
+        return Err(ProtocolError::bad("empty request"));
+    }
+    if trimmed.starts_with('{') {
+        // Newline-JSON dialect: the line *is* the scan request body.
+        return Ok(Request {
+            method: "POST".into(),
+            path: "/scan".into(),
+            headers: Vec::new(),
+            body: trimmed.as_bytes().to_vec(),
+            raw_json: true,
+        });
+    }
+    let mut parts = trimmed.split_whitespace();
+    let (method, path, version) = match (parts.next(), parts.next(), parts.next()) {
+        (Some(m), Some(p), Some(v)) if v.starts_with("HTTP/1.") => {
+            (m.to_string(), p.to_string(), v)
+        }
+        _ => {
+            return Err(ProtocolError::bad(format!(
+                "malformed request line: {trimmed}"
+            )))
+        }
+    };
+    let _ = version;
+    let mut headers = Vec::new();
+    loop {
+        let line = read_line(r)?;
+        if line.trim().is_empty() {
+            break;
+        }
+        if headers.len() >= MAX_HEADERS {
+            return Err(ProtocolError {
+                status: 431,
+                message: "too many headers".into(),
+            });
+        }
+        let (k, v) = line
+            .split_once(':')
+            .ok_or_else(|| ProtocolError::bad(format!("malformed header: {line}")))?;
+        headers.push((k.trim().to_string(), v.trim().to_string()));
+    }
+    let len: usize = header(&headers, "content-length")
+        .map(|v| {
+            v.parse()
+                .map_err(|_| ProtocolError::bad(format!("bad content-length: {v}")))
+        })
+        .transpose()?
+        .unwrap_or(0);
+    if len > max_body {
+        return Err(ProtocolError {
+            status: 413,
+            message: format!("body of {len} bytes exceeds the {max_body}-byte cap"),
+        });
+    }
+    let mut body = vec![0u8; len];
+    r.read_exact(&mut body)
+        .map_err(|e| ProtocolError::bad(format!("short body: {e}")))?;
+    Ok(Request {
+        method,
+        path,
+        headers,
+        body,
+        raw_json: false,
+    })
+}
+
+/// One parsed scan request: every field optional, all defaults matching
+/// the CLI's (`--top-k 0`, every CVE, no explain, no deadline).
+#[derive(Clone, Debug, Default, PartialEq)]
+pub struct ScanRequest {
+    /// Restrict to one CVE id.
+    pub cve: Option<String>,
+    /// Prefilter each query to the K most strand-overlapping targets.
+    pub top_k: Option<usize>,
+    /// Attach explain provenance to each finding.
+    pub explain: bool,
+    /// Client deadline in milliseconds, counted from request *arrival*
+    /// (queue wait included). The server caps it at `--max-request-ms`.
+    pub deadline_ms: Option<u64>,
+}
+
+/// Parse a `/scan` body (empty = all defaults) plus the
+/// `x-firmup-deadline-ms` header (body field wins when both are set).
+///
+/// # Errors
+///
+/// A message naming the malformed field; the server answers 400.
+pub fn parse_scan_request(req: &Request) -> Result<ScanRequest, String> {
+    let mut out = ScanRequest::default();
+    if let Some(v) = header(&req.headers, "x-firmup-deadline-ms") {
+        out.deadline_ms = Some(
+            v.parse::<u64>()
+                .map_err(|_| format!("x-firmup-deadline-ms: not a number: {v}"))?,
+        );
+    }
+    let body = std::str::from_utf8(&req.body).map_err(|_| "body is not UTF-8".to_string())?;
+    if body.trim().is_empty() {
+        return Ok(out);
+    }
+    let doc = Json::parse(body).map_err(|e| format!("body is not valid JSON: {e}"))?;
+    let obj = doc
+        .as_obj()
+        .ok_or_else(|| "body must be a JSON object".to_string())?;
+    for (key, value) in obj {
+        match key.as_str() {
+            "cve" => {
+                out.cve = Some(
+                    value
+                        .as_str()
+                        .ok_or_else(|| "cve: expected a string".to_string())?
+                        .to_string(),
+                );
+            }
+            "top_k" => {
+                out.top_k = Some(
+                    value
+                        .as_u64()
+                        .ok_or_else(|| "top_k: expected a number".to_string())?
+                        as usize,
+                );
+            }
+            "explain" => {
+                out.explain = match value {
+                    Json::Bool(b) => *b,
+                    _ => return Err("explain: expected a boolean".to_string()),
+                };
+            }
+            "deadline_ms" => {
+                out.deadline_ms = Some(
+                    value
+                        .as_u64()
+                        .ok_or_else(|| "deadline_ms: expected a number".to_string())?,
+                );
+            }
+            other => return Err(format!("unknown field: {other}")),
+        }
+    }
+    Ok(out)
+}
+
+/// Reason phrase for the handful of statuses the daemon emits.
+fn reason(status: u16) -> &'static str {
+    match status {
+        200 => "OK",
+        400 => "Bad Request",
+        404 => "Not Found",
+        405 => "Method Not Allowed",
+        413 => "Payload Too Large",
+        429 => "Too Many Requests",
+        431 => "Request Header Fields Too Large",
+        500 => "Internal Server Error",
+        503 => "Service Unavailable",
+        _ => "",
+    }
+}
+
+/// Write one response in the request's dialect: a full HTTP/1.1
+/// response for HTTP requests, or the bare body line for the
+/// newline-JSON dialect (where the body itself carries any error as a
+/// JSON object). Always flushes; the connection closes after.
+///
+/// # Errors
+///
+/// Propagates I/O failures (a vanished client is the caller's to log,
+/// never to panic over).
+pub fn write_response<W: Write>(
+    w: &mut W,
+    raw_json: bool,
+    status: u16,
+    content_type: &str,
+    extra_headers: &[(&str, String)],
+    body: &[u8],
+) -> io::Result<()> {
+    if raw_json {
+        w.write_all(body)?;
+        if body.last() != Some(&b'\n') {
+            w.write_all(b"\n")?;
+        }
+        return w.flush();
+    }
+    write!(w, "HTTP/1.1 {status} {}\r\n", reason(status))?;
+    write!(w, "Content-Type: {content_type}\r\n")?;
+    write!(w, "Content-Length: {}\r\n", body.len())?;
+    for (k, v) in extra_headers {
+        write!(w, "{k}: {v}\r\n")?;
+    }
+    w.write_all(b"Connection: close\r\n\r\n")?;
+    w.write_all(body)?;
+    w.flush()
+}
+
+/// A JSON error body `{"error": ..., "detail": ...}` shared by both
+/// dialects (the newline dialect has no status line, so the `error`
+/// field is how those clients learn what happened).
+pub fn error_body(error: &str, detail: &str) -> Vec<u8> {
+    Json::Obj(vec![
+        ("error".into(), Json::Str(error.to_string())),
+        ("detail".into(), Json::Str(detail.to_string())),
+    ])
+    .render()
+    .into_bytes()
+}
+
+/// One parsed response from [`http_request`].
+#[derive(Debug)]
+pub struct HttpResponse {
+    /// Status code from the status line.
+    pub status: u16,
+    /// Header pairs in arrival order.
+    pub headers: Vec<(String, String)>,
+    /// Response body bytes.
+    pub body: Vec<u8>,
+}
+
+/// Minimal std-only HTTP/1.1 client for tests, chaos drills, and CI
+/// smoke scripts: one request, one response, connection closed.
+/// `timeout` bounds connect, read, and write individually, so a wedged
+/// server surfaces as a timeout error rather than a hang.
+///
+/// # Errors
+///
+/// Any socket failure, timeout, or malformed response.
+pub fn http_request(
+    addr: &str,
+    method: &str,
+    path: &str,
+    body: Option<&[u8]>,
+    timeout: Duration,
+) -> io::Result<HttpResponse> {
+    let stream = TcpStream::connect(addr)?;
+    stream.set_read_timeout(Some(timeout))?;
+    stream.set_write_timeout(Some(timeout))?;
+    let mut w = io::BufWriter::new(&stream);
+    write!(w, "{method} {path} HTTP/1.1\r\nHost: firmup\r\n")?;
+    let body = body.unwrap_or_default();
+    write!(w, "Content-Length: {}\r\n\r\n", body.len())?;
+    w.write_all(body)?;
+    w.flush()?;
+    drop(w);
+    let mut r = BufReader::new(&stream);
+    let mut status_line = String::new();
+    r.read_line(&mut status_line)?;
+    let status: u16 = status_line
+        .split_whitespace()
+        .nth(1)
+        .and_then(|s| s.parse().ok())
+        .ok_or_else(|| {
+            io::Error::new(
+                io::ErrorKind::InvalidData,
+                format!("malformed status line: {status_line:?}"),
+            )
+        })?;
+    let mut headers = Vec::new();
+    loop {
+        let mut line = String::new();
+        r.read_line(&mut line)?;
+        if line.trim().is_empty() {
+            break;
+        }
+        if let Some((k, v)) = line.split_once(':') {
+            headers.push((k.trim().to_string(), v.trim().to_string()));
+        }
+    }
+    let mut body = Vec::new();
+    match header(&headers, "content-length").and_then(|v| v.parse::<usize>().ok()) {
+        Some(len) => {
+            body.resize(len, 0);
+            r.read_exact(&mut body)?;
+        }
+        None => {
+            r.read_to_end(&mut body)?;
+        }
+    }
+    Ok(HttpResponse {
+        status,
+        headers,
+        body,
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn parse(bytes: &[u8]) -> Result<Request, ProtocolError> {
+        read_request(&mut BufReader::new(bytes), 1024)
+    }
+
+    #[test]
+    fn parses_http_post_with_body() {
+        let req = parse(
+            b"POST /scan HTTP/1.1\r\nContent-Length: 2\r\nX-Firmup-Deadline-Ms: 500\r\n\r\n{}",
+        )
+        .expect("parse");
+        assert_eq!(req.method, "POST");
+        assert_eq!(req.path, "/scan");
+        assert_eq!(req.body, b"{}");
+        assert!(!req.raw_json);
+        let scan = parse_scan_request(&req).expect("scan request");
+        assert_eq!(scan.deadline_ms, Some(500));
+        assert_eq!(scan.cve, None);
+    }
+
+    #[test]
+    fn parses_newline_json_dialect() {
+        let req = parse(b"{\"cve\": \"CVE-2011-0762\", \"deadline_ms\": 9, \"explain\": true}\n")
+            .expect("parse");
+        assert!(req.raw_json);
+        assert_eq!(req.path, "/scan");
+        let scan = parse_scan_request(&req).expect("scan request");
+        assert_eq!(scan.cve.as_deref(), Some("CVE-2011-0762"));
+        assert_eq!(scan.deadline_ms, Some(9));
+        assert!(scan.explain);
+    }
+
+    #[test]
+    fn malformed_requests_are_structured_errors() {
+        // Garbage request line.
+        assert_eq!(parse(b"nonsense\r\n\r\n").unwrap_err().status, 400);
+        // Empty connection.
+        assert_eq!(parse(b"").unwrap_err().status, 400);
+        // Oversized body.
+        assert_eq!(
+            parse(b"POST /scan HTTP/1.1\r\nContent-Length: 99999\r\n\r\n")
+                .unwrap_err()
+                .status,
+            413
+        );
+        // Body shorter than Content-Length claims.
+        assert_eq!(
+            parse(b"POST /scan HTTP/1.1\r\nContent-Length: 10\r\n\r\nab")
+                .unwrap_err()
+                .status,
+            400
+        );
+        // Invalid JSON body is a parse error at the scan-request layer.
+        let req =
+            parse(b"POST /scan HTTP/1.1\r\nContent-Length: 9\r\n\r\n{not json").expect("http ok");
+        assert!(parse_scan_request(&req).is_err());
+        // Unknown fields are rejected (typo safety).
+        let req = parse(b"{\"cvee\": \"x\"}\n").expect("parse");
+        assert!(parse_scan_request(&req).is_err());
+    }
+
+    #[test]
+    fn response_writer_emits_both_dialects() {
+        let mut http = Vec::new();
+        write_response(
+            &mut http,
+            false,
+            429,
+            "application/json",
+            &[("Retry-After", "1".to_string())],
+            b"{\"error\":\"overloaded\"}",
+        )
+        .expect("write");
+        let text = String::from_utf8(http).expect("utf8");
+        assert!(
+            text.starts_with("HTTP/1.1 429 Too Many Requests\r\n"),
+            "{text}"
+        );
+        assert!(text.contains("Retry-After: 1\r\n"), "{text}");
+        assert!(text.contains("Content-Length: 22\r\n"), "{text}");
+        assert!(text.ends_with("{\"error\":\"overloaded\"}"), "{text}");
+
+        let mut raw = Vec::new();
+        write_response(
+            &mut raw,
+            true,
+            200,
+            "application/json",
+            &[],
+            b"{\"total\": 0}",
+        )
+        .expect("write");
+        assert_eq!(raw, b"{\"total\": 0}\n");
+    }
+}

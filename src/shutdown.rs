@@ -1,4 +1,4 @@
-//! Graceful SIGINT handling for long-running commands.
+//! Graceful signal handling for long-running commands.
 //!
 //! `firmup index` over a 200K-executable corpus runs for hours; a ^C
 //! must not discard committed checkpoint segments or leave a torn
@@ -9,11 +9,19 @@
 //! [`INTERRUPT_EXIT_CODE`] so callers can tell a clean interrupt from a
 //! failure.
 //!
-//! A second ^C while the first is still being honored falls back to the
-//! default disposition (immediate termination) — the escape hatch when
-//! a safe point is far away.
+//! `firmup serve` needs the fuller daemon set — [`install_serve`]
+//! additionally registers SIGTERM (the orchestrator's polite stop,
+//! reported by [`term_signal`] so the exit code can distinguish it from
+//! ^C) and SIGHUP (hot index reload: the handler only bumps a
+//! generation counter read by [`hup_generation`]; the accept loop
+//! notices the change and swaps the snapshot at a safe point).
+//!
+//! A second ^C/SIGTERM while the first is still being honored falls
+//! back to the default disposition (immediate termination) — the escape
+//! hatch when a safe point is far away. SIGHUP stays installed: reload
+//! is repeatable.
 
-use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::atomic::{AtomicBool, AtomicU64, AtomicUsize, Ordering};
 
 /// Exit code for a run cut short by SIGINT after flushing its state
 /// (the conventional 128 + SIGINT).
@@ -21,14 +29,40 @@ pub const INTERRUPT_EXIT_CODE: u8 = 130;
 
 static INTERRUPTED: AtomicBool = AtomicBool::new(false);
 
-/// Whether a SIGINT has arrived since [`install`].
+/// First terminating signal received (0 = none yet). Only the first
+/// write sticks, so the exit code reflects what actually stopped us.
+static TERM_SIG: AtomicUsize = AtomicUsize::new(0);
+
+/// SIGHUP reload-request generation; every HUP bumps it.
+static HUP_GEN: AtomicU64 = AtomicU64::new(0);
+
+/// Whether a SIGINT (or, after [`install_serve`], SIGTERM) has arrived
+/// since installation.
 pub fn interrupted() -> bool {
     INTERRUPTED.load(Ordering::SeqCst)
+}
+
+/// Which terminating signal arrived first (SIGINT = 2, SIGTERM = 15),
+/// or `None` while still running. Lets `firmup serve` exit 0 on a
+/// drain-to-completion SIGTERM but 130 on ^C.
+pub fn term_signal() -> Option<i32> {
+    match TERM_SIG.load(Ordering::SeqCst) {
+        0 => None,
+        s => Some(s as i32),
+    }
+}
+
+/// How many SIGHUPs have arrived since process start. A serving loop
+/// remembers the last generation it acted on and reloads whenever the
+/// counter moves past it.
+pub fn hup_generation() -> u64 {
+    HUP_GEN.load(Ordering::SeqCst)
 }
 
 /// Reset the flag (tests only; production installs once per process).
 pub fn reset() {
     INTERRUPTED.store(false, Ordering::SeqCst);
+    TERM_SIG.store(0, Ordering::SeqCst);
 }
 
 /// Install the SIGINT handler. Idempotent; a no-op on non-Unix
@@ -39,35 +73,63 @@ pub fn install() {
     sys::install();
 }
 
+/// Install the full daemon signal set (SIGINT + SIGTERM terminate after
+/// a graceful drain, SIGHUP requests a hot reload). Idempotent; a no-op
+/// on non-Unix platforms.
+pub fn install_serve() {
+    #[cfg(unix)]
+    sys::install_serve();
+}
+
 #[cfg(unix)]
 #[allow(unsafe_code)] // libc signal(2) binding: std exposes no signal API
 mod sys {
-    use super::{AtomicBool, Ordering, INTERRUPTED};
+    use super::{AtomicBool, Ordering, HUP_GEN, INTERRUPTED, TERM_SIG};
 
+    const SIGHUP: i32 = 1;
     const SIGINT: i32 = 2;
+    const SIGTERM: i32 = 15;
     const SIG_DFL: usize = 0;
 
     extern "C" {
         fn signal(signum: i32, handler: usize) -> usize;
     }
 
-    extern "C" fn on_sigint(_sig: i32) {
-        // Async-signal-safe: one atomic store, then restore the default
-        // disposition so a second ^C terminates immediately.
+    extern "C" fn on_term(sig: i32) {
+        // Async-signal-safe: atomic stores only, then restore the
+        // default disposition so a second signal terminates immediately.
+        let _ = TERM_SIG.compare_exchange(0, sig as usize, Ordering::SeqCst, Ordering::SeqCst);
         INTERRUPTED.store(true, Ordering::SeqCst);
         unsafe {
-            signal(SIGINT, SIG_DFL);
+            signal(sig, SIG_DFL);
         }
     }
 
+    extern "C" fn on_hup(_sig: i32) {
+        // Stays installed: reload is repeatable, unlike termination.
+        HUP_GEN.fetch_add(1, Ordering::SeqCst);
+    }
+
     static INSTALLED: AtomicBool = AtomicBool::new(false);
+    static SERVE_INSTALLED: AtomicBool = AtomicBool::new(false);
 
     pub fn install() {
         if INSTALLED.swap(true, Ordering::SeqCst) {
             return;
         }
         unsafe {
-            signal(SIGINT, on_sigint as extern "C" fn(i32) as usize);
+            signal(SIGINT, on_term as extern "C" fn(i32) as usize);
+        }
+    }
+
+    pub fn install_serve() {
+        install();
+        if SERVE_INSTALLED.swap(true, Ordering::SeqCst) {
+            return;
+        }
+        unsafe {
+            signal(SIGTERM, on_term as extern "C" fn(i32) as usize);
+            signal(SIGHUP, on_hup as extern "C" fn(i32) as usize);
         }
     }
 }
@@ -80,9 +142,15 @@ mod tests {
     fn flag_starts_clear_and_resets() {
         install();
         assert!(!interrupted());
+        assert_eq!(term_signal(), None);
         INTERRUPTED.store(true, Ordering::SeqCst);
+        TERM_SIG.store(15, Ordering::SeqCst);
         assert!(interrupted());
+        assert_eq!(term_signal(), Some(15));
         reset();
         assert!(!interrupted());
+        assert_eq!(term_signal(), None);
+        // HUP generation is monotonic and starts observable.
+        assert!(hup_generation() < u64::MAX);
     }
 }

@@ -587,3 +587,83 @@ fn cli_error_paths_are_clean() {
     let out = firmup().arg("gen-corpus").output().expect("spawn");
     assert!(!out.status.success());
 }
+
+/// Regression: `--scan-ms` is the caller's deadline for the whole
+/// command, so on the warm path the clock must start *before* the index
+/// load, not after it. (It used to start after, letting a slow load
+/// consume unbounded time the budget was supposed to cap.) With a
+/// load artificially slower than the whole allowance, every target must
+/// come back over-budget — and the command still exits cleanly with the
+/// structured degradation messages.
+#[test]
+fn scan_ms_clock_starts_before_warm_index_load() {
+    let dir = temp_dir("scanms-clock");
+    let out = firmup()
+        .args(["gen-corpus", "--out", ".", "--devices", "1"])
+        .current_dir(&dir)
+        .output()
+        .expect("spawn");
+    assert!(out.status.success());
+    let image = std::fs::read_dir(&dir)
+        .unwrap()
+        .filter_map(|e| {
+            let p = e.unwrap().path();
+            (p.extension().is_some_and(|x| x == "fwim"))
+                .then(|| p.file_name().unwrap().to_str().unwrap().to_string())
+        })
+        .next()
+        .expect("one image");
+    let out = firmup()
+        .args(["index", &image, "--out", "idx"])
+        .current_dir(&dir)
+        .output()
+        .expect("spawn");
+    assert!(
+        out.status.success(),
+        "index failed: {}",
+        String::from_utf8_lossy(&out.stderr)
+    );
+
+    // Load delay (400ms) > whole-scan allowance (150ms): if the clock
+    // started after the load, the scan would complete normally; with
+    // the fix it must report every target over budget and find nothing.
+    let out = firmup()
+        .args(["scan", "--index", "idx", "--scan-ms", "150"])
+        .env("FIRMUP_TEST_INDEX_LOAD_DELAY_MS", "400")
+        .current_dir(&dir)
+        .output()
+        .expect("spawn");
+    assert!(
+        out.status.success(),
+        "budget exhaustion must degrade, not fail: {}",
+        String::from_utf8_lossy(&out.stderr)
+    );
+    let stdout = String::from_utf8_lossy(&out.stdout);
+    let stderr = String::from_utf8_lossy(&out.stderr);
+    assert!(
+        stdout.contains("scan budget (--scan-ms) exhausted"),
+        "missing the deadline degradation notice:\n{stdout}"
+    );
+    assert!(
+        stdout.contains("0 suspected occurrence(s)"),
+        "an exhausted-at-load scan must find nothing:\n{stdout}"
+    );
+    assert!(
+        stderr.contains("over budget (scan deadline)"),
+        "per-target diagnostics must name the scan deadline:\n{stderr}"
+    );
+
+    // Control: the same scan without the injected delay completes and
+    // actually finds things within the same allowance.
+    let out = firmup()
+        .args(["scan", "--index", "idx", "--scan-ms", "10000"])
+        .current_dir(&dir)
+        .output()
+        .expect("spawn");
+    assert!(out.status.success());
+    assert!(
+        String::from_utf8_lossy(&out.stdout).contains("suspected at"),
+        "control scan should find occurrences"
+    );
+    let _ = std::fs::remove_dir_all(&dir);
+}
