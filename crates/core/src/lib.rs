@@ -75,7 +75,7 @@ pub use error::{isolate, FaultCtx, FirmUpError};
 pub use executor::{resolve_threads, run_units};
 pub use game::{GameConfig, GameEnd, GameResult};
 pub use lift::{lift_executable, LiftedExecutable};
-pub use persist::{CorpusIndex, IndexShard};
+pub use persist::{CorpusIndex, RepAt};
 pub use search::{
     merge_outcomes, prefilter_candidates, scan_units, search_corpus, search_corpus_robust,
     search_target, BudgetReason, Explain, ScanBudget, ScanReport, ScanUnit, SearchConfig,

@@ -18,6 +18,8 @@
 //! Record names within the container:
 //!
 //! * `meta` — executable count (u32);
+//! * `exemeta` — per-executable id + arch, decodable without touching
+//!   any `exe:<i>` payload (written by v2 indexes; enables lazy loads);
 //! * `exe:<i>` — the i-th [`ExecutableRep`];
 //! * `context` — the [`GlobalContext`] document frequencies;
 //! * `postings` — the [`StrandPostings`] table.
@@ -25,20 +27,58 @@
 //! Unknown record names are skipped on load (the forward-compatibility
 //! rule: additive format changes introduce new names, breaking changes
 //! bump the container's format version).
+//!
+//! ## Eager vs. lazy loading
+//!
+//! [`CorpusIndex::load`] decodes every record up front (the historical
+//! path; works for v1 and v2 files). [`CorpusIndex::open`] reads only
+//! the record table, `meta`/`exemeta`, `context`, and `postings` from a
+//! v2 file — each [`ExecutableRep`] stays a byte range until a scan
+//! asks for it via [`CorpusIndex::try_get`] /
+//! [`CorpusIndex::ensure_decoded`], then is cached for the life of the
+//! index. Warm-scan startup cost therefore scales with the *candidate
+//! set*, not the corpus. v1 files fall back to the eager path.
 
+use std::borrow::Borrow;
 use std::path::{Path, PathBuf};
-use std::sync::Arc;
+use std::sync::{Arc, OnceLock};
 
 use firmup_firmware::crc::crc32;
 use firmup_firmware::durable::write_atomic;
 use firmup_firmware::index::{
-    append_journal, index_path, journal_path, parse_journal, read_container, segment_file_name,
-    segments_dir, write_container, IndexError, JournalEntry, Record,
+    append_journal, index_path, journal_path, parse_journal, read_container, read_table,
+    record_bytes, segment_file_name, segments_dir, write_container, write_container_v2, IndexError,
+    JournalEntry, Record, TableEntry, FORMAT_V2,
 };
 use firmup_isa::Arch;
 
 use crate::error::{FaultCtx, FirmUpError};
 use crate::sim::{ExecutableRep, GlobalContext, ProcedureRep, StrandPostings};
+
+/// How a [`CorpusIndex`] holds its executables: fully decoded, or as
+/// byte ranges into the loaded container blob that decode on first use.
+#[derive(Debug, Clone)]
+enum RepStore {
+    /// Every rep decoded, in corpus order (built in memory, or loaded
+    /// via the eager path).
+    Eager(Vec<ExecutableRep>),
+    /// The container blob plus one table entry per executable; slot `i`
+    /// is populated the first time executable `i` is needed.
+    Lazy {
+        blob: Vec<u8>,
+        entries: Vec<LazyExe>,
+        slots: Vec<OnceLock<ExecutableRep>>,
+    },
+}
+
+/// The cheap, always-available identity of a lazily held executable:
+/// what `exemeta` records, plus where the full payload lives.
+#[derive(Debug, Clone)]
+struct LazyExe {
+    id: String,
+    arch: Arch,
+    table: TableEntry,
+}
 
 /// A persisted (or persistable) scan corpus: canonicalized executables
 /// plus the derived search structures.
@@ -58,34 +98,36 @@ use crate::sim::{ExecutableRep, GlobalContext, ProcedureRep, StrandPostings};
 /// let index = CorpusIndex::build(vec![exe]);
 /// let blob = index.to_bytes();
 /// let back = CorpusIndex::from_bytes(&blob).unwrap();
-/// assert_eq!(back.executables[0].procedures[0].strands, vec![3, 5, 8]);
+/// assert_eq!(back.get(0).procedures[0].strands, vec![3, 5, 8]);
 /// ```
-#[derive(Debug, Clone, PartialEq)]
+#[derive(Debug, Clone)]
 pub struct CorpusIndex {
     /// The canonicalized targets, in corpus order. [`StrandPostings`]
-    /// executable positions index into this vector.
-    pub executables: Vec<ExecutableRep>,
-    /// Per-strand document frequencies trained over `executables`.
+    /// executable positions index into this store.
+    store: RepStore,
+    /// Per-strand document frequencies trained over the executables.
     pub context: Arc<GlobalContext>,
     /// Inverted strand → `(executable, procedure)` table.
     pub postings: StrandPostings,
 }
 
-/// A borrowed, contiguous shard of a [`CorpusIndex`]'s executables
-/// table — one slice of the corpus a scan work unit plays against. See
-/// [`CorpusIndex::shards`].
+/// A cheap handle to one executable of a [`CorpusIndex`], usable
+/// wherever the search layer takes `Borrow<ExecutableRep>` (e.g.
+/// [`crate::search::scan_units`]). The handle does *not* decode: the
+/// caller must [`CorpusIndex::ensure_decoded`] every index it will
+/// borrow first — `Borrow` is infallible, so an undecoded slot is a
+/// programming error and panics.
 #[derive(Debug, Clone, Copy)]
-pub struct IndexShard<'a> {
-    /// Global executable index of `executables[0]`.
-    pub base: usize,
-    /// This shard's executables, borrowed from the index.
-    pub executables: &'a [ExecutableRep],
+pub struct RepAt<'a> {
+    /// The owning index.
+    pub index: &'a CorpusIndex,
+    /// Global executable position.
+    pub i: usize,
 }
 
-impl IndexShard<'_> {
-    /// The global executable indices this shard owns.
-    pub fn range(&self) -> std::ops::Range<usize> {
-        self.base..self.base + self.executables.len()
+impl Borrow<ExecutableRep> for RepAt<'_> {
+    fn borrow(&self) -> &ExecutableRep {
+        self.index.get(self.i)
     }
 }
 
@@ -98,57 +140,217 @@ impl CorpusIndex {
         let context = Arc::new(GlobalContext::build(&executables));
         let postings = StrandPostings::build(&executables);
         CorpusIndex {
-            executables,
+            store: RepStore::Eager(executables),
             context,
             postings,
         }
     }
 
-    /// Split the executables table into at most `k` near-equal,
-    /// contiguous shards for feeding scan workers directly. Shards
-    /// *borrow* — no [`ExecutableRep`] is cloned (the scan path's
-    /// `rep.clones == 0` invariant), the postings table and context
-    /// stay shared, and a shard's [`IndexShard::range`] reports the
-    /// global executable indices it owns, so a prefiltered candidate
-    /// list (global indices from [`crate::search::prefilter_candidates`])
-    /// can be routed to its owning shard without any re-indexing.
+    /// Number of executables in the corpus (decoded or not).
+    pub fn len(&self) -> usize {
+        match &self.store {
+            RepStore::Eager(v) => v.len(),
+            RepStore::Lazy { entries, .. } => entries.len(),
+        }
+    }
+
+    /// Whether the corpus is empty.
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    /// Whether this index decodes executables on demand (a v2 file
+    /// opened via [`CorpusIndex::open`]) rather than holding them all.
+    pub fn is_lazy(&self) -> bool {
+        matches!(self.store, RepStore::Lazy { .. })
+    }
+
+    /// Executable `i`'s id, without decoding its payload.
     ///
-    /// `k == 0` is treated as 1; an empty corpus yields no shards;
-    /// every executable lands in exactly one shard.
-    pub fn shards(&self, k: usize) -> Vec<IndexShard<'_>> {
-        let n = self.executables.len();
+    /// # Panics
+    ///
+    /// If `i >= self.len()`.
+    pub fn exe_id(&self, i: usize) -> &str {
+        match &self.store {
+            RepStore::Eager(v) => &v[i].id,
+            RepStore::Lazy { entries, .. } => &entries[i].id,
+        }
+    }
+
+    /// Executable `i`'s architecture, without decoding its payload.
+    ///
+    /// # Panics
+    ///
+    /// If `i >= self.len()`.
+    pub fn exe_arch(&self, i: usize) -> Arch {
+        match &self.store {
+            RepStore::Eager(v) => v[i].arch,
+            RepStore::Lazy { entries, .. } => entries[i].arch,
+        }
+    }
+
+    /// Executable `i`, which must already be decoded (always true for
+    /// an eager store; after [`CorpusIndex::ensure_decoded`] for a lazy
+    /// one). The infallible accessor the scan's inner loop and
+    /// [`RepAt`] use.
+    ///
+    /// # Panics
+    ///
+    /// If `i` is out of range, or the slot is lazy and undecoded — a
+    /// programming error (a candidate reached the play phase without
+    /// going through `ensure_decoded`).
+    pub fn get(&self, i: usize) -> &ExecutableRep {
+        match &self.store {
+            RepStore::Eager(v) => &v[i],
+            RepStore::Lazy { slots, .. } => slots[i]
+                .get()
+                .unwrap_or_else(|| panic!("executable {i} not decoded; ensure_decoded first")),
+        }
+    }
+
+    /// Executable `i`, decoding (and caching) it if this is a lazy
+    /// store. Concurrent calls may race to decode the same slot; the
+    /// loser's work is discarded — wasteful but correct, and the scan
+    /// path avoids it by batching through
+    /// [`CorpusIndex::ensure_decoded`] before going parallel.
+    ///
+    /// Telemetry: each payload actually decoded adds one
+    /// `index.reps_decoded`.
+    ///
+    /// # Errors
+    ///
+    /// A damaged payload (CRC mismatch, truncated range, undecodable
+    /// fields) surfaces as the structured [`IndexError`].
+    ///
+    /// # Panics
+    ///
+    /// If `i >= self.len()`.
+    pub fn try_get(&self, i: usize) -> Result<&ExecutableRep, IndexError> {
+        match &self.store {
+            RepStore::Eager(v) => Ok(&v[i]),
+            RepStore::Lazy {
+                blob,
+                entries,
+                slots,
+            } => {
+                if let Some(rep) = slots[i].get() {
+                    return Ok(rep);
+                }
+                let bytes = record_bytes(blob, &entries[i].table)?;
+                let rep = decode_executable(bytes)?;
+                firmup_telemetry::incr("index.reps_decoded");
+                // A concurrent decoder may have won the race; either
+                // value is identical, so keep whichever landed.
+                let _ = slots[i].set(rep);
+                slots[i]
+                    .get()
+                    .ok_or_else(|| malformed("decoded slot vanished"))
+            }
+        }
+    }
+
+    /// Decode every executable in `indices` (the scan's candidate set),
+    /// so subsequent [`CorpusIndex::get`] / [`RepAt`] borrows are
+    /// infallible. A no-op on eager stores and for already-decoded
+    /// slots.
+    ///
+    /// # Errors
+    ///
+    /// The first damaged payload aborts with its [`IndexError`].
+    pub fn ensure_decoded(
+        &self,
+        indices: impl IntoIterator<Item = usize>,
+    ) -> Result<(), IndexError> {
+        for i in indices {
+            self.try_get(i)?;
+        }
+        Ok(())
+    }
+
+    /// Decode everything — the lazy store's escape hatch for callers
+    /// that genuinely need the whole corpus (re-serialization, fsck
+    /// rebuilds, whole-corpus diffs).
+    ///
+    /// # Errors
+    ///
+    /// The first damaged payload aborts with its [`IndexError`].
+    pub fn ensure_all(&self) -> Result<(), IndexError> {
+        self.ensure_decoded(0..self.len())
+    }
+
+    /// Borrowable handles for the whole corpus, in order — the slice
+    /// scan workers index into. Decode candidates first
+    /// ([`CorpusIndex::ensure_decoded`]); see [`RepAt`].
+    pub fn rep_view(&self) -> Vec<RepAt<'_>> {
+        (0..self.len()).map(|i| RepAt { index: self, i }).collect()
+    }
+
+    /// Split `0..len()` into at most `k` near-equal contiguous ranges
+    /// for feeding scan workers. Ranges only name executable positions
+    /// — nothing is cloned or decoded — so a prefiltered candidate list
+    /// (global indices from [`crate::search::prefilter_candidates`])
+    /// routes to its owning shard by range membership.
+    ///
+    /// `k == 0` is treated as 1; an empty corpus yields no ranges;
+    /// every executable lands in exactly one range.
+    pub fn shard_ranges(&self, k: usize) -> Vec<std::ops::Range<usize>> {
+        let n = self.len();
         if n == 0 {
             return Vec::new();
         }
         let k = k.clamp(1, n);
-        (0..k)
-            .map(|i| {
-                let lo = i * n / k;
-                let hi = (i + 1) * n / k;
-                IndexShard {
-                    base: lo,
-                    executables: &self.executables[lo..hi],
-                }
-            })
-            .collect()
+        (0..k).map(|i| (i * n / k)..((i + 1) * n / k)).collect()
     }
 
-    /// Serialize into a FUIX container blob.
-    pub fn to_bytes(&self) -> Vec<u8> {
-        let mut records = Vec::with_capacity(self.executables.len() + 3);
-        records.push(Record::new(
-            "meta",
-            (self.executables.len() as u32).to_le_bytes().to_vec(),
-        ));
-        for (i, exe) in self.executables.iter().enumerate() {
-            records.push(Record::new(format!("exe:{i}"), encode_executable(exe)));
+    /// The typed records every format version shares; v2 additionally
+    /// writes `exemeta` so lazy readers can skip the exe payloads.
+    ///
+    /// # Panics
+    ///
+    /// On a lazy store with undecoded slots (callers re-serializing a
+    /// lazy index must [`CorpusIndex::ensure_all`] first).
+    fn typed_records(&self, with_exemeta: bool) -> Vec<Record> {
+        let n = self.len();
+        let mut records = Vec::with_capacity(n + 4);
+        records.push(Record::new("meta", (n as u32).to_le_bytes().to_vec()));
+        if with_exemeta {
+            records.push(Record::new("exemeta", encode_exemeta(self)));
+        }
+        for i in 0..n {
+            records.push(Record::new(
+                format!("exe:{i}"),
+                encode_executable(self.get(i)),
+            ));
         }
         records.push(Record::new("context", encode_context(&self.context)));
         records.push(Record::new("postings", encode_postings(&self.postings)));
-        write_container(&records)
+        records
     }
 
-    /// Decode from a FUIX container blob.
+    /// Serialize into a FUIX v2 container blob (offset table + `exemeta`
+    /// record, so readers may load it lazily).
+    ///
+    /// # Panics
+    ///
+    /// On a lazy store with undecoded slots; [`CorpusIndex::ensure_all`]
+    /// first.
+    pub fn to_bytes(&self) -> Vec<u8> {
+        write_container_v2(&self.typed_records(true))
+    }
+
+    /// Serialize into the historical FUIX v1 container (byte-identical
+    /// to what pre-v2 builds wrote) — the back-compat escape hatch for
+    /// producing indexes older readers can load.
+    ///
+    /// # Panics
+    ///
+    /// On a lazy store with undecoded slots; [`CorpusIndex::ensure_all`]
+    /// first.
+    pub fn to_bytes_v1(&self) -> Vec<u8> {
+        write_container(&self.typed_records(false))
+    }
+
+    /// Decode from a FUIX container blob, eagerly (v1 or v2).
     ///
     /// # Errors
     ///
@@ -177,7 +379,8 @@ impl CorpusIndex {
             } else if r.name == "postings" {
                 postings = Some(decode_postings(&r.payload)?);
             }
-            // Unknown record names are future additive extensions: skip.
+            // Unknown record names (including exemeta, which the eager
+            // path has no use for) are additive extensions: skip.
         }
         let count = count.ok_or_else(|| malformed("missing meta record"))? as usize;
         if exes.len() != count {
@@ -194,7 +397,84 @@ impl CorpusIndex {
         let context = context.ok_or_else(|| malformed("missing context record"))?;
         let postings = postings.ok_or_else(|| malformed("missing postings record"))?;
         Ok(CorpusIndex {
-            executables,
+            store: RepStore::Eager(executables),
+            context: Arc::new(context),
+            postings,
+        })
+    }
+
+    /// Decode a FUIX v2 blob lazily: verify the offset table, decode
+    /// `meta`/`exemeta`/`context`/`postings`, and hold every `exe:<i>`
+    /// as an unverified byte range until first use. A v1 blob (no
+    /// offset table semantics worth exploiting, no `exemeta`) falls
+    /// back to the eager [`CorpusIndex::from_bytes`].
+    ///
+    /// Telemetry: adds the blob length to `index.bytes_mapped` when the
+    /// lazy path is taken.
+    ///
+    /// # Errors
+    ///
+    /// Structured [`IndexError`]s for a damaged header, offset table,
+    /// or any eagerly read record; a v2 file missing `exemeta` (or with
+    /// counts disagreeing with `meta`) is [`IndexError::Malformed`].
+    pub fn from_bytes_lazy(blob: Vec<u8>) -> Result<CorpusIndex, IndexError> {
+        let (version, table) = read_table(&blob)?;
+        if version < FORMAT_V2 {
+            return CorpusIndex::from_bytes(&blob);
+        }
+        let mut count: Option<u32> = None;
+        let mut identities: Option<Vec<(String, Arch)>> = None;
+        let mut context: Option<GlobalContext> = None;
+        let mut postings: Option<StrandPostings> = None;
+        let mut exe_tables: Vec<Option<TableEntry>> = Vec::new();
+        for e in &table {
+            if e.name == "meta" {
+                let payload = record_bytes(&blob, e)?;
+                let mut pos = 0;
+                count = Some(get_u32(payload, &mut pos, "meta record")?);
+            } else if e.name == "exemeta" {
+                identities = Some(decode_exemeta(record_bytes(&blob, e)?)?);
+            } else if let Some(i) = e.name.strip_prefix("exe:") {
+                let i: usize = i.parse().map_err(|_| malformed("bad exe record name"))?;
+                if i >= exe_tables.len() {
+                    exe_tables.resize_with(i + 1, || None);
+                }
+                exe_tables[i] = Some(e.clone());
+            } else if e.name == "context" {
+                context = Some(decode_context(record_bytes(&blob, e)?)?);
+            } else if e.name == "postings" {
+                postings = Some(decode_postings(record_bytes(&blob, e)?)?);
+            }
+        }
+        let count = count.ok_or_else(|| malformed("missing meta record"))? as usize;
+        let identities =
+            identities.ok_or_else(|| malformed("v2 container missing exemeta record"))?;
+        if exe_tables.len() != count || identities.len() != count {
+            return Err(malformed(&format!(
+                "meta declares {count} executables, found {} payloads / {} identities",
+                exe_tables.len(),
+                identities.len()
+            )));
+        }
+        let entries: Vec<LazyExe> = identities
+            .into_iter()
+            .zip(exe_tables)
+            .enumerate()
+            .map(|(i, ((id, arch), t))| {
+                let table = t.ok_or_else(|| malformed(&format!("missing record exe:{i}")))?;
+                Ok(LazyExe { id, arch, table })
+            })
+            .collect::<Result<_, IndexError>>()?;
+        let context = context.ok_or_else(|| malformed("missing context record"))?;
+        let postings = postings.ok_or_else(|| malformed("missing postings record"))?;
+        firmup_telemetry::add("index.bytes_mapped", blob.len() as u64);
+        let slots = (0..count).map(|_| OnceLock::new()).collect();
+        Ok(CorpusIndex {
+            store: RepStore::Lazy {
+                blob,
+                entries,
+                slots,
+            },
             context: Arc::new(context),
             postings,
         })
@@ -254,8 +534,62 @@ impl CorpusIndex {
             .in_ctx(ctx));
         }
         let index = CorpusIndex::from_bytes(&blob).map_err(|e| FirmUpError::from(e).in_ctx(ctx))?;
-        firmup_telemetry::add("index.cache_hit", index.executables.len() as u64);
+        firmup_telemetry::add("index.cache_hit", index.len() as u64);
         Ok(index)
+    }
+
+    /// Open the index from `dir`, lazily when the file is v2 (eagerly
+    /// for v1) — the preferred scan-time entry point: postings, context,
+    /// and executable identities load now; procedure payloads load when
+    /// a scan's candidate set demands them.
+    ///
+    /// Telemetry and errors match [`CorpusIndex::load`], plus
+    /// `index.bytes_mapped` on the lazy path.
+    ///
+    /// # Errors
+    ///
+    /// As [`CorpusIndex::load`].
+    pub fn open(dir: &Path) -> Result<CorpusIndex, FirmUpError> {
+        let _span = firmup_telemetry::span!("index.load");
+        let path = index_path(dir);
+        let ctx = FaultCtx::image(path.display().to_string());
+        let blob = match std::fs::read(&path) {
+            Ok(b) => b,
+            Err(e) if e.kind() == std::io::ErrorKind::NotFound => {
+                return Err(FirmUpError::from(IndexError::Missing {
+                    path: path.display().to_string(),
+                })
+                .in_ctx(ctx));
+            }
+            Err(e) => return Err(FirmUpError::from(e).in_ctx(ctx)),
+        };
+        if blob.is_empty() {
+            return Err(FirmUpError::from(IndexError::Truncated {
+                context: "empty index file",
+            })
+            .in_ctx(ctx));
+        }
+        let index =
+            CorpusIndex::from_bytes_lazy(blob).map_err(|e| FirmUpError::from(e).in_ctx(ctx))?;
+        firmup_telemetry::add("index.cache_hit", index.len() as u64);
+        Ok(index)
+    }
+
+    /// Write the index into `dir` in the historical v1 layout — see
+    /// [`CorpusIndex::to_bytes_v1`]. Same atomicity as
+    /// [`CorpusIndex::save`].
+    ///
+    /// # Errors
+    ///
+    /// Filesystem failures surface as [`FirmUpError::Io`].
+    pub fn save_v1(&self, dir: &Path) -> Result<(), FirmUpError> {
+        std::fs::create_dir_all(dir)
+            .map_err(|e| FirmUpError::from(e).in_ctx(FaultCtx::image(dir.display().to_string())))?;
+        let path = index_path(dir);
+        write_atomic(&path, &self.to_bytes_v1()).map_err(|e| {
+            FirmUpError::from(e).in_ctx(FaultCtx::image(path.display().to_string()))
+        })?;
+        Ok(())
     }
 }
 
@@ -612,6 +946,41 @@ fn decode_executable(b: &[u8]) -> Result<ExecutableRep, IndexError> {
     })
 }
 
+// ---- exemeta -------------------------------------------------------------
+//
+// The v2 sidecar that makes lazy loads possible: every executable's id
+// and arch in one small eagerly read record, so arch-grouping and
+// progress reporting never touch an exe payload.
+
+fn encode_exemeta(index: &CorpusIndex) -> Vec<u8> {
+    let n = index.len();
+    let mut out = Vec::new();
+    put_u32(&mut out, n as u32);
+    for i in 0..n {
+        put_str(&mut out, index.exe_id(i));
+        put_u32(&mut out, u32::from(index.exe_arch(i).elf_machine()));
+    }
+    out
+}
+
+fn decode_exemeta(b: &[u8]) -> Result<Vec<(String, Arch)>, IndexError> {
+    let mut pos = 0;
+    let n = get_u32(b, &mut pos, "exemeta count")? as usize;
+    if n.saturating_mul(8) > b.len() {
+        return Err(malformed("exemeta count out of range"));
+    }
+    let mut out = Vec::with_capacity(n);
+    for _ in 0..n {
+        let id = get_str(b, &mut pos, "exemeta id")?;
+        let machine = get_u32(b, &mut pos, "exemeta arch")?;
+        let machine = u16::try_from(machine).map_err(|_| malformed("arch tag out of range"))?;
+        let arch = Arch::from_elf_machine(machine)
+            .ok_or_else(|| malformed(&format!("unknown arch tag {machine}")))?;
+        out.push((id, arch));
+    }
+    Ok(out)
+}
+
 // ---- GlobalContext -------------------------------------------------------
 
 fn encode_context(ctx: &GlobalContext) -> Vec<u8> {
@@ -687,7 +1056,14 @@ fn decode_postings(b: &[u8]) -> Result<StrandPostings, IndexError> {
 mod tests {
     use super::*;
     use crate::search::{prefilter_candidates, search_corpus, SearchConfig};
-    use firmup_firmware::index::FORMAT_VERSION;
+    use firmup_firmware::index::{FORMAT_V1, MAX_SUPPORTED_VERSION};
+
+    /// Decode everything and clone it out — the test-side view of an
+    /// index's executables, agnostic to eager vs. lazy storage.
+    fn reps_of(ix: &CorpusIndex) -> Vec<ExecutableRep> {
+        ix.ensure_all().unwrap();
+        (0..ix.len()).map(|i| ix.get(i).clone()).collect()
+    }
 
     fn exe(id: &str, strand_sets: &[&[u64]]) -> ExecutableRep {
         ExecutableRep {
@@ -720,64 +1096,140 @@ mod tests {
     }
 
     #[test]
-    fn shards_partition_the_corpus_without_cloning() {
+    fn shard_ranges_partition_the_corpus() {
         let index = sample();
         for k in [0usize, 1, 2, 3, 7] {
-            let shards = index.shards(k);
-            assert!(!shards.is_empty());
-            assert!(shards.len() <= index.executables.len());
+            let ranges = index.shard_ranges(k);
+            assert!(!ranges.is_empty());
+            assert!(ranges.len() <= index.len());
             // Contiguous, complete, non-overlapping coverage.
             let mut next = 0usize;
-            for s in &shards {
-                assert_eq!(s.base, next);
-                assert_eq!(s.range().start, s.base);
-                next = s.range().end;
-                // The borrowed slice really is the index's own storage.
-                for (off, e) in s.executables.iter().enumerate() {
-                    assert!(std::ptr::eq(e, &index.executables[s.base + off]));
-                }
+            for r in &ranges {
+                assert_eq!(r.start, next);
+                next = r.end;
             }
-            assert_eq!(next, index.executables.len());
+            assert_eq!(next, index.len());
         }
-        // Empty corpus: no shards.
-        assert!(CorpusIndex::build(Vec::new()).shards(4).is_empty());
+        // Empty corpus: no ranges.
+        assert!(CorpusIndex::build(Vec::new()).shard_ranges(4).is_empty());
     }
 
     #[test]
     fn roundtrip_preserves_everything() {
         let index = sample();
         let back = CorpusIndex::from_bytes(&index.to_bytes()).unwrap();
-        assert_eq!(back.executables, index.executables);
+        assert_eq!(reps_of(&back), reps_of(&index));
         assert_eq!(*back.context, *index.context);
         assert_eq!(back.postings, index.postings);
     }
 
     #[test]
-    fn roundtrip_preserves_match_results() {
-        // The acceptance property: searching against a reloaded index
-        // yields the same results as the freshly built one.
+    fn lazy_roundtrip_matches_eager() {
         let index = sample();
-        let back = CorpusIndex::from_bytes(&index.to_bytes()).unwrap();
+        let blob = index.to_bytes();
+        let eager = CorpusIndex::from_bytes(&blob).unwrap();
+        let lazy = CorpusIndex::from_bytes_lazy(blob).unwrap();
+        assert!(lazy.is_lazy() && !eager.is_lazy());
+        assert_eq!(lazy.len(), eager.len());
+        // Identity is available before any payload decode.
+        for i in 0..lazy.len() {
+            assert_eq!(lazy.exe_id(i), eager.exe_id(i));
+            assert_eq!(lazy.exe_arch(i), eager.exe_arch(i));
+        }
+        assert_eq!(*lazy.context, *eager.context);
+        assert_eq!(lazy.postings, eager.postings);
+        assert_eq!(reps_of(&lazy), reps_of(&eager));
+        // Re-serializing a fully decoded lazy index reproduces the blob.
+        assert_eq!(lazy.to_bytes(), eager.to_bytes());
+    }
+
+    #[test]
+    fn v1_blob_falls_back_to_eager_load() {
+        let index = sample();
+        let back = CorpusIndex::from_bytes_lazy(index.to_bytes_v1()).unwrap();
+        assert!(!back.is_lazy());
+        assert_eq!(reps_of(&back), reps_of(&index));
+    }
+
+    #[test]
+    fn v2_without_exemeta_is_malformed_for_lazy_loads() {
+        let index = sample();
+        let records: Vec<Record> = index
+            .typed_records(true)
+            .into_iter()
+            .filter(|r| r.name != "exemeta")
+            .collect();
+        let blob = write_container_v2(&records);
+        // Eager readers don't need the sidecar...
+        assert_eq!(
+            reps_of(&CorpusIndex::from_bytes(&blob).unwrap()),
+            reps_of(&index)
+        );
+        // ...lazy ones diagnose its absence.
+        let err = CorpusIndex::from_bytes_lazy(blob).unwrap_err();
+        assert!(matches!(err, IndexError::Malformed { .. }), "{err:?}");
+    }
+
+    #[test]
+    fn lazy_damage_surfaces_at_decode_not_open() {
+        let index = sample();
+        let blob = index.to_bytes();
+        // Find the exe:1 payload and flip a bit in it: the offset table
+        // still verifies, so open succeeds; try_get(1) diagnoses.
+        let (_, table) = read_table(&blob).unwrap();
+        let e1 = table.iter().find(|e| e.name == "exe:1").unwrap().clone();
+        let mut bad = blob;
+        bad[e1.offset as usize] ^= 0x40;
+        let lazy = CorpusIndex::from_bytes_lazy(bad).unwrap();
+        assert!(lazy.try_get(0).is_ok());
+        let err = lazy.try_get(1).unwrap_err();
+        assert!(
+            matches!(err, IndexError::ChecksumMismatch { .. }),
+            "{err:?}"
+        );
+        assert!(lazy.ensure_all().is_err());
+    }
+
+    #[test]
+    fn roundtrip_preserves_match_results() {
+        // The acceptance property: searching against a reloaded index —
+        // eager or lazy — yields the same results as the freshly built
+        // one.
+        let index = sample();
+        let blob = index.to_bytes();
+        let back = CorpusIndex::from_bytes(&blob).unwrap();
+        let lazy = CorpusIndex::from_bytes_lazy(blob).unwrap();
+        lazy.ensure_all().unwrap();
         let config = SearchConfig {
             context: Some(index.context.clone()),
             ..SearchConfig::default()
         };
-        let fresh = search_corpus(&index.executables[0], 0, &index.executables, &config);
+        let fresh = search_corpus(index.get(0), 0, &index.rep_view(), &config);
         let config = SearchConfig {
             context: Some(back.context.clone()),
             ..SearchConfig::default()
         };
-        let warm = search_corpus(&back.executables[0], 0, &back.executables, &config);
+        let warm = search_corpus(back.get(0), 0, &back.rep_view(), &config);
+        let config = SearchConfig {
+            context: Some(lazy.context.clone()),
+            ..SearchConfig::default()
+        };
+        let cold = search_corpus(lazy.get(0), 0, &lazy.rep_view(), &config);
         assert_eq!(fresh, warm);
+        assert_eq!(fresh, cold);
     }
 
     #[test]
     fn empty_corpus_roundtrips() {
         let index = CorpusIndex::build(Vec::new());
-        let back = CorpusIndex::from_bytes(&index.to_bytes()).unwrap();
-        assert!(back.executables.is_empty());
-        assert!(back.postings.is_empty());
-        assert_eq!(back.context.docs(), 0);
+        for back in [
+            CorpusIndex::from_bytes(&index.to_bytes()).unwrap(),
+            CorpusIndex::from_bytes_lazy(index.to_bytes()).unwrap(),
+        ] {
+            assert!(back.is_empty());
+            assert!(back.postings.is_empty());
+            assert_eq!(back.context.docs(), 0);
+        }
     }
 
     #[test]
@@ -791,7 +1243,7 @@ mod tests {
             r
         };
         let back = CorpusIndex::from_bytes(&write_container(&records)).unwrap();
-        assert_eq!(back.executables, index.executables);
+        assert_eq!(reps_of(&back), reps_of(&index));
     }
 
     #[test]
@@ -840,7 +1292,16 @@ mod tests {
         let index = sample();
         index.save(&dir).unwrap();
         let back = CorpusIndex::load(&dir).unwrap();
-        assert_eq!(back.executables, index.executables);
+        assert_eq!(reps_of(&back), reps_of(&index));
+        // open() takes the lazy path for the v2 file save() writes...
+        let lazy = CorpusIndex::open(&dir).unwrap();
+        assert!(lazy.is_lazy());
+        assert_eq!(reps_of(&lazy), reps_of(&index));
+        // ...and the eager path for a v1 file.
+        index.save_v1(&dir).unwrap();
+        let v1 = CorpusIndex::open(&dir).unwrap();
+        assert!(!v1.is_lazy());
+        assert_eq!(reps_of(&v1), reps_of(&index));
         std::fs::remove_dir_all(&dir).ok();
     }
 
@@ -931,7 +1392,7 @@ mod tests {
 
     #[test]
     fn segments_roundtrip() {
-        let reps = sample().executables;
+        let reps = reps_of(&sample());
         let blob = segment_to_bytes(&reps);
         assert_eq!(segment_from_bytes(&blob).unwrap(), reps);
         assert!(segment_from_bytes(&segment_to_bytes(&[]))
@@ -952,7 +1413,7 @@ mod tests {
             std::thread::current().id()
         ));
         let _ = std::fs::remove_dir_all(&dir);
-        let reps = sample().executables;
+        let reps = reps_of(&sample());
 
         // Fresh build: commit two segments.
         let (mut ckpt, stats) = IndexCheckpoint::open(&dir, false).unwrap();
@@ -999,12 +1460,14 @@ mod tests {
 
     #[test]
     fn format_version_is_pinned() {
-        // A reminder to bump deliberately: the container this module
-        // writes must stay readable by version-1 readers until the
-        // layout truly breaks.
-        assert_eq!(FORMAT_VERSION, 1);
-        let blob = sample().to_bytes();
-        assert_eq!(&blob[4..8], &1u32.to_le_bytes());
+        // A reminder to bump deliberately: to_bytes writes the current
+        // (v2, lazily loadable) layout; to_bytes_v1 stays byte-for-byte
+        // what pre-v2 builds wrote so old readers keep working.
+        assert_eq!(FORMAT_V1, 1);
+        assert_eq!(MAX_SUPPORTED_VERSION, 2);
+        let index = sample();
+        assert_eq!(&index.to_bytes()[4..8], &2u32.to_le_bytes());
+        assert_eq!(&index.to_bytes_v1()[4..8], &1u32.to_le_bytes());
     }
 }
 
@@ -1043,18 +1506,36 @@ mod prop_tests {
             })
     }
 
+    fn decoded(ix: &CorpusIndex) -> Vec<ExecutableRep> {
+        ix.ensure_all().unwrap();
+        (0..ix.len()).map(|i| ix.get(i).clone()).collect()
+    }
+
     proptest! {
         #![proptest_config(ProptestConfig::with_cases(24))]
 
         /// Write → read reproduces identical strand hashes (and all
-        /// other fields) for arbitrary corpora.
+        /// other fields) for arbitrary corpora — through the eager v2
+        /// reader, the lazy v2 reader, and the v1 compatibility writer
+        /// alike.
         #[test]
         fn roundtrip_property(reps in proptest::collection::vec(arb_rep(), 0..5)) {
             let index = CorpusIndex::build(reps);
-            let back = CorpusIndex::from_bytes(&index.to_bytes()).unwrap();
-            prop_assert_eq!(&back.executables, &index.executables);
-            prop_assert_eq!(back.context.entries(), index.context.entries());
-            prop_assert_eq!(back.postings.entries(), index.postings.entries());
+            let blob = index.to_bytes();
+            let eager = CorpusIndex::from_bytes(&blob).unwrap();
+            let lazy = CorpusIndex::from_bytes_lazy(blob).unwrap();
+            let v1 = CorpusIndex::from_bytes(&index.to_bytes_v1()).unwrap();
+            let want = decoded(&index);
+            for back in [&eager, &lazy, &v1] {
+                prop_assert_eq!(&decoded(back), &want);
+                prop_assert_eq!(back.context.entries(), index.context.entries());
+                prop_assert_eq!(back.postings.entries(), index.postings.entries());
+            }
+            // Identity metadata is consistent with the decoded reps.
+            for (i, w) in want.iter().enumerate() {
+                prop_assert_eq!(lazy.exe_id(i), &w.id);
+                prop_assert_eq!(lazy.exe_arch(i), w.arch);
+            }
         }
     }
 }

@@ -66,6 +66,84 @@ impl CorpusConfig {
     }
 }
 
+/// Named corpus sizes (`firmup gen-corpus --scale ...`), each a fixed
+/// [`CorpusConfig`] so a preset name always reproduces the same corpus.
+/// See CORPUS.md for the mapping to the paper's §6 corpus dimensions.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum ScalePreset {
+    /// Today's fixture corpus: 18 devices, ~24 images, ~3k procedures.
+    /// Fast enough for every CI job.
+    Smoke,
+    /// ~90 devices / ~120 images / ~25k procedures: local soak runs.
+    Small,
+    /// ~375 devices / ~500 images / ≥100k procedures: the scaling
+    /// bench substrate (gated CI only).
+    Medium,
+    /// ~1500 devices / ~2–3k images: the closest approximation of the
+    /// paper's ~2,000 crawled images this generator produces.
+    Paper,
+}
+
+impl ScalePreset {
+    /// All presets, smallest first.
+    pub fn all() -> [ScalePreset; 4] {
+        [
+            ScalePreset::Smoke,
+            ScalePreset::Small,
+            ScalePreset::Medium,
+            ScalePreset::Paper,
+        ]
+    }
+
+    /// Parse a preset name as the CLI spells it.
+    pub fn parse(name: &str) -> Option<ScalePreset> {
+        match name {
+            "smoke" => Some(ScalePreset::Smoke),
+            "small" => Some(ScalePreset::Small),
+            "medium" => Some(ScalePreset::Medium),
+            "paper" => Some(ScalePreset::Paper),
+            _ => None,
+        }
+    }
+
+    /// The CLI name.
+    pub fn name(self) -> &'static str {
+        match self {
+            ScalePreset::Smoke => "smoke",
+            ScalePreset::Small => "small",
+            ScalePreset::Medium => "medium",
+            ScalePreset::Paper => "paper",
+        }
+    }
+
+    /// The generation parameters this preset pins. `Smoke` is exactly
+    /// [`CorpusConfig::default`], so existing fixtures and golden tests
+    /// are unchanged; larger presets scale device count and raise the
+    /// filler range (real firmware executables carry far more
+    /// procedures than the fixture's handful).
+    pub fn config(self) -> CorpusConfig {
+        match self {
+            ScalePreset::Smoke => CorpusConfig::default(),
+            ScalePreset::Small => CorpusConfig {
+                devices: 90,
+                filler: (8, 24),
+                ..CorpusConfig::default()
+            },
+            ScalePreset::Medium => CorpusConfig {
+                devices: 375,
+                filler: (24, 56),
+                ..CorpusConfig::default()
+            },
+            ScalePreset::Paper => CorpusConfig {
+                devices: 1500,
+                max_firmware_versions: 3,
+                filler: (24, 56),
+                ..CorpusConfig::default()
+            },
+        }
+    }
+}
+
 /// A vendor with its characteristic build environment.
 #[derive(Debug, Clone)]
 pub struct Vendor {
@@ -177,13 +255,77 @@ impl Corpus {
     }
 }
 
-/// Generate a corpus.
-///
-/// # Panics
-///
-/// Panics only on internal corpus bugs (a package failing to compile),
-/// which the package tests rule out.
-pub fn generate(config: &CorpusConfig) -> Corpus {
+/// One planned package build inside a firmware image.
+#[derive(Debug, Clone)]
+pub struct BuildPlan {
+    /// The package to compile.
+    pub pkg: PackageSpec,
+    /// Version to compile.
+    pub version: &'static str,
+    /// Feature groups the vendor disabled.
+    pub disabled: Vec<String>,
+}
+
+/// One planned firmware version of a device.
+#[derive(Debug, Clone)]
+pub struct FirmwarePlan {
+    /// Firmware version string.
+    pub version: String,
+    /// Whether this is the device's latest firmware.
+    pub is_latest: bool,
+    /// Package builds, busybox first.
+    pub builds: Vec<BuildPlan>,
+}
+
+/// Everything needed to build one device's images, fixed before any
+/// compilation happens. Building a device plan is *pure*: it touches no
+/// RNG, so plans can be built in any order, in parallel, or selectively
+/// (resume) and still produce byte-identical images.
+#[derive(Debug, Clone)]
+pub struct DevicePlan {
+    /// Device index within the corpus.
+    pub device: usize,
+    /// Vendor name.
+    pub vendor: &'static str,
+    /// Device model string.
+    pub model: String,
+    /// Architecture.
+    pub arch: Arch,
+    /// Toolchain profile.
+    pub toolchain: ToolchainProfile,
+    /// Seed for filler-procedure generation (shared by all of this
+    /// device's builds, like a vendor SDK's common code).
+    pub filler_seed: u64,
+    /// Filler procedures per executable.
+    pub filler_count: usize,
+    /// Firmware versions, oldest first.
+    pub firmwares: Vec<FirmwarePlan>,
+}
+
+/// A fully drawn corpus plan: the deterministic output of the seed,
+/// before any compilation.
+#[derive(Debug, Clone)]
+pub struct CorpusPlan {
+    /// One plan per device, in device order.
+    pub devices: Vec<DevicePlan>,
+    /// The configuration that produced the plan.
+    pub config: CorpusConfig,
+}
+
+impl CorpusPlan {
+    /// Total images this plan will produce.
+    pub fn image_count(&self) -> usize {
+        self.devices.iter().map(|d| d.firmwares.len()).sum()
+    }
+}
+
+/// Draw the full corpus plan from the seed. All randomness happens
+/// here, sequentially, in exactly the order the original single-pass
+/// generator drew it — so a given `(seed, config)` produces the same
+/// corpus bytes it always has, while the expensive compilation becomes
+/// a pure per-device function ([`build_device`]) that callers may
+/// parallelize or resume.
+pub fn plan(config: &CorpusConfig) -> CorpusPlan {
     let mut rng = SmallRng::seed_from_u64(config.seed);
     let vendors = vendors();
     let cve_packages: Vec<PackageSpec> = all_packages()
@@ -191,12 +333,7 @@ pub fn generate(config: &CorpusConfig) -> Corpus {
         .filter(|p| p.name != "busybox")
         .collect();
     let busybox = crate::packages::package("busybox").expect("busybox exists");
-    // Compile cache: identical (pkg, version, features, arch, profile,
-    // filler) tuples yield byte-identical executables — modeling vendors
-    // not recompiling unchanged packages between firmware releases
-    // (observed by the paper in §5.2, "Confirming findings").
-    let mut cache: HashMap<String, (Vec<u8>, BuiltExecutable)> = HashMap::new();
-    let mut images = Vec::new();
+    let mut devices = Vec::with_capacity(config.devices);
 
     for device in 0..config.devices {
         let vendor = &vendors[device % vendors.len()];
@@ -235,60 +372,23 @@ pub fn generate(config: &CorpusConfig) -> Corpus {
             })
             .collect();
 
+        let mut firmwares = Vec::with_capacity(fw_count);
         for fw in 0..fw_count {
-            let fw_version = format!("1.{}.{}", fw, device % 7);
-            let mut parts = Vec::new();
-            let mut truth = Vec::new();
-            // busybox + chosen packages.
-            let mut to_build: Vec<(PackageSpec, usize, Vec<String>)> =
-                vec![(busybox, busybox.versions.len() - 1, vec![])];
-            to_build.extend(pkg_state.iter().cloned());
-            for (pkg, vi, disabled) in &to_build {
-                let version = pkg.versions[*vi].version;
-                let disabled_refs: Vec<&str> = disabled.iter().map(String::as_str).collect();
-                let key = format!(
-                    "{}:{}:{:?}:{}:{}:{}:{}",
-                    pkg.name,
-                    version,
-                    disabled_refs,
-                    arch.name(),
-                    toolchain.name,
-                    filler_seed,
-                    filler_count
-                );
-                let (bytes, built) = cache
-                    .entry(key)
-                    .or_insert_with(|| {
-                        build_executable(
-                            pkg,
-                            version,
-                            &disabled_refs,
-                            arch,
-                            &toolchain,
-                            filler_seed,
-                            filler_count,
-                            config.strip,
-                        )
-                    })
-                    .clone();
-                truth.push(built);
-                parts.push(Part {
-                    name: pkg.executable.to_string(),
-                    data: bytes,
-                });
-            }
-            let meta = ImageMeta {
-                vendor: vendor.name.to_string(),
-                device: model.clone(),
-                version: fw_version,
-            };
-            images.push(CorpusImage {
-                blob: pack(&meta, &parts),
-                meta,
-                device,
+            // busybox + chosen packages, versions as of this firmware.
+            let mut builds = vec![BuildPlan {
+                pkg: busybox,
+                version: busybox.versions[busybox.versions.len() - 1].version,
+                disabled: Vec::new(),
+            }];
+            builds.extend(pkg_state.iter().map(|(pkg, vi, disabled)| BuildPlan {
+                pkg: *pkg,
+                version: pkg.versions[*vi].version,
+                disabled: disabled.clone(),
+            }));
+            firmwares.push(FirmwarePlan {
+                version: format!("1.{}.{}", fw, device % 7),
                 is_latest: fw == fw_count - 1,
-                arch,
-                truth,
+                builds,
             });
             // Firmware update: occasionally bump package versions.
             for (pkg, vi, _) in &mut pkg_state {
@@ -297,6 +397,108 @@ pub fn generate(config: &CorpusConfig) -> Corpus {
                 }
             }
         }
+        devices.push(DevicePlan {
+            device,
+            vendor: vendor.name,
+            model,
+            arch,
+            toolchain,
+            filler_seed,
+            filler_count,
+            firmwares,
+        });
+    }
+    CorpusPlan {
+        devices,
+        config: config.clone(),
+    }
+}
+
+/// Build one device's images from its plan. Pure (no RNG, no shared
+/// state): safe to call for any subset of devices, in any order, on any
+/// thread — the bytes depend only on the plan.
+///
+/// The compile cache is per-device: identical (pkg, version, features,
+/// arch, profile, filler) tuples yield byte-identical executables —
+/// modeling vendors not recompiling unchanged packages between firmware
+/// releases (observed by the paper in §5.2, "Confirming findings").
+/// Cache keys embed the device's random `filler_seed`, so cross-device
+/// hits cannot occur and a per-device cache reproduces exactly what the
+/// old corpus-global cache did.
+///
+/// # Panics
+///
+/// Panics only on internal corpus bugs (a package failing to compile),
+/// which the package tests rule out.
+pub fn build_device(plan: &DevicePlan, strip: bool) -> Vec<CorpusImage> {
+    let mut cache: HashMap<String, (Vec<u8>, BuiltExecutable)> = HashMap::new();
+    let mut images = Vec::with_capacity(plan.firmwares.len());
+    for fwp in &plan.firmwares {
+        let mut parts = Vec::new();
+        let mut truth = Vec::new();
+        for b in &fwp.builds {
+            let disabled_refs: Vec<&str> = b.disabled.iter().map(String::as_str).collect();
+            let key = format!(
+                "{}:{}:{:?}:{}:{}:{}:{}",
+                b.pkg.name,
+                b.version,
+                disabled_refs,
+                plan.arch.name(),
+                plan.toolchain.name,
+                plan.filler_seed,
+                plan.filler_count
+            );
+            let (bytes, built) = cache
+                .entry(key)
+                .or_insert_with(|| {
+                    build_executable(
+                        &b.pkg,
+                        b.version,
+                        &disabled_refs,
+                        plan.arch,
+                        &plan.toolchain,
+                        plan.filler_seed,
+                        plan.filler_count,
+                        strip,
+                    )
+                })
+                .clone();
+            truth.push(built);
+            parts.push(Part {
+                name: b.pkg.executable.to_string(),
+                data: bytes,
+            });
+        }
+        let meta = ImageMeta {
+            vendor: plan.vendor.to_string(),
+            device: plan.model.clone(),
+            version: fwp.version.clone(),
+        };
+        images.push(CorpusImage {
+            blob: pack(&meta, &parts),
+            meta,
+            device: plan.device,
+            is_latest: fwp.is_latest,
+            arch: plan.arch,
+            truth,
+        });
+    }
+    images
+}
+
+/// Generate a corpus: draw the [`plan`], then [`build_device`] each
+/// device in order. Byte-identical to the historical single-pass
+/// generator for every `(seed, config)`.
+///
+/// # Panics
+///
+/// Panics only on internal corpus bugs (a package failing to compile),
+/// which the package tests rule out.
+pub fn generate(config: &CorpusConfig) -> Corpus {
+    let plan = plan(config);
+    let mut images = Vec::with_capacity(plan.image_count());
+    for device in &plan.devices {
+        images.extend(build_device(device, config.strip));
     }
     Corpus {
         images,
@@ -408,6 +610,54 @@ mod tests {
             assert_eq!(x.blob, y.blob);
             assert_eq!(x.meta, y.meta);
         }
+    }
+
+    #[test]
+    fn plan_then_build_matches_generate() {
+        // build_device is pure: building devices out of order must
+        // reproduce generate()'s bytes exactly.
+        let config = CorpusConfig::tiny();
+        let whole = generate(&config);
+        let p = plan(&config);
+        assert_eq!(p.image_count(), whole.images.len());
+        let mut rebuilt: Vec<Vec<CorpusImage>> = vec![Vec::new(); p.devices.len()];
+        for (slot, dp) in p.devices.iter().enumerate().rev() {
+            rebuilt[slot] = build_device(dp, config.strip);
+        }
+        let flat: Vec<&CorpusImage> = rebuilt.iter().flatten().collect();
+        assert_eq!(flat.len(), whole.images.len());
+        for (x, y) in flat.iter().zip(&whole.images) {
+            assert_eq!(x.blob, y.blob);
+            assert_eq!(x.meta, y.meta);
+            assert_eq!(x.device, y.device);
+            assert_eq!(x.is_latest, y.is_latest);
+        }
+    }
+
+    #[test]
+    fn scale_presets_parse_and_size() {
+        for p in ScalePreset::all() {
+            assert_eq!(ScalePreset::parse(p.name()), Some(p));
+        }
+        assert_eq!(ScalePreset::parse("nope"), None);
+        assert_eq!(
+            ScalePreset::Smoke.config().devices,
+            CorpusConfig::default().devices
+        );
+        // Planning is cheap (no compilation) even at paper scale; check
+        // the presets hit their advertised image counts.
+        let medium = plan(&ScalePreset::Medium.config());
+        assert!(
+            medium.image_count() >= 500,
+            "medium preset must plan >= 500 images, got {}",
+            medium.image_count()
+        );
+        let paper = plan(&ScalePreset::Paper.config());
+        assert!(
+            paper.image_count() >= 2000,
+            "paper preset must plan >= 2000 images, got {}",
+            paper.image_count()
+        );
     }
 
     #[test]

@@ -15,13 +15,35 @@
 //!
 //! ```text
 //! offset 0   magic           b"FUIX"
-//! offset 4   format version  u32 LE (currently 1)
+//! offset 4   format version  u32 LE (1)
 //! offset 8   record count    u32 LE (N, capped at 1_048_576)
 //! then       record table    N × { name: u32 len + UTF-8 bytes,
 //!                                  payload length: u32 LE,
 //!                                  payload crc32:  u32 LE }
 //! then       payloads        concatenated in table order
 //! ```
+//!
+//! # File layout (format version 2 — offset table, lazy reads)
+//!
+//! ```text
+//! offset 0   magic           b"FUIX"
+//! offset 4   format version  u32 LE (2)
+//! offset 8   record count    u32 LE (N, capped at 1_048_576)
+//! then       record table    N × { name: u32 len + UTF-8 bytes,
+//!                                  payload offset: u64 LE (absolute),
+//!                                  payload length: u32 LE,
+//!                                  payload crc32:  u32 LE }
+//! then       table crc32     u32 LE over bytes [4 .. table end)
+//! then       payload region  (offsets point into it, table order)
+//! ```
+//!
+//! The explicit offsets let a reader locate any record without touching
+//! the others — [`read_table`] parses and verifies *only* the header and
+//! table (the table CRC catches offset-table bit flips eagerly), and
+//! [`record_bytes`] bounds-checks and CRC-verifies one payload on
+//! demand. That is the substrate of the lazy `CorpusIndex` load path in
+//! `firmup-core::persist`: postings and metadata records are decoded at
+//! open, each `exe:<i>` only when a scan actually needs that candidate.
 //!
 //! Integrity and forward-compatibility rules (see ARCHITECTURE.md §4 for
 //! the full specification):
@@ -30,11 +52,14 @@
 //!   [`IndexError::Truncated`], never a panic or a wild slice;
 //! * each record payload carries a CRC-32 ([`crate::crc::crc32`]); a
 //!   mismatch yields [`IndexError::ChecksumMismatch`] naming the record;
+//! * in version 2 the record table additionally carries its own CRC-32,
+//!   so a damaged offset table is rejected at open instead of steering
+//!   lazy reads to wrong byte ranges;
 //! * a future *compatible* extension adds new record names — readers
 //!   must skip records they do not recognize;
-//! * an *incompatible* change bumps [`FORMAT_VERSION`]; readers reject
-//!   newer versions with [`IndexError::UnsupportedVersion`] instead of
-//!   misparsing them.
+//! * an *incompatible* change bumps the format version; readers reject
+//!   versions above [`MAX_SUPPORTED_VERSION`] with
+//!   [`IndexError::UnsupportedVersion`] instead of misparsing them.
 
 use std::fmt;
 use std::path::{Path, PathBuf};
@@ -44,10 +69,18 @@ use crate::crc::crc32;
 /// Container magic (`b"FUIX"` — FirmUp IndeX).
 pub const MAGIC: &[u8; 4] = b"FUIX";
 
-/// Current container format version. Bump only for layout changes a
-/// version-1 reader would misparse; additive changes use new record
-/// names instead.
-pub const FORMAT_VERSION: u32 = 1;
+/// Format version 1: length-only record table, payloads concatenated
+/// after it. Readable (eagerly) and writable for back compat.
+pub const FORMAT_V1: u32 = 1;
+
+/// Format version 2: record table with absolute payload offsets and a
+/// table-level CRC-32, enabling lazy per-record reads.
+pub const FORMAT_V2: u32 = 2;
+
+/// Highest format version this build reads. Bump only for layout
+/// changes an older reader would misparse; additive changes use new
+/// record names instead.
+pub const MAX_SUPPORTED_VERSION: u32 = FORMAT_V2;
 
 /// Highest record count a reader accepts; anything larger is treated as
 /// a corrupt header (the same defensive cap the FWIM unpacker applies
@@ -159,6 +192,16 @@ fn read_u32(b: &[u8], pos: &mut usize, context: &'static str) -> Result<u32, Ind
     Ok(u32::from_le_bytes([s[0], s[1], s[2], s[3]]))
 }
 
+fn read_u64(b: &[u8], pos: &mut usize, context: &'static str) -> Result<u64, IndexError> {
+    let s = b
+        .get(*pos..pos.saturating_add(8))
+        .ok_or(IndexError::Truncated { context })?;
+    *pos += 8;
+    Ok(u64::from_le_bytes([
+        s[0], s[1], s[2], s[3], s[4], s[5], s[6], s[7],
+    ]))
+}
+
 fn read_str(b: &[u8], pos: &mut usize, context: &'static str) -> Result<String, IndexError> {
     let len = read_u32(b, pos, context)? as usize;
     if len > b.len() {
@@ -173,11 +216,12 @@ fn read_str(b: &[u8], pos: &mut usize, context: &'static str) -> Result<String, 
     })
 }
 
-/// Serialize records into a FUIX container blob.
+/// Serialize records into a version-1 FUIX container blob (the
+/// back-compat writer; new indexes use [`write_container_v2`]).
 pub fn write_container(records: &[Record]) -> Vec<u8> {
     let mut out = Vec::new();
     out.extend_from_slice(MAGIC);
-    out.extend_from_slice(&FORMAT_VERSION.to_le_bytes());
+    out.extend_from_slice(&FORMAT_V1.to_le_bytes());
     out.extend_from_slice(&(records.len() as u32).to_le_bytes());
     for r in records {
         push_str(&mut out, &r.name);
@@ -190,27 +234,75 @@ pub fn write_container(records: &[Record]) -> Vec<u8> {
     out
 }
 
-/// Parse a FUIX container blob back into its records.
+/// Serialize records into a version-2 FUIX container blob: the record
+/// table carries absolute payload offsets and is sealed with its own
+/// CRC-32, so readers can verify the table eagerly and fetch payloads
+/// lazily.
+pub fn write_container_v2(records: &[Record]) -> Vec<u8> {
+    let mut out = Vec::new();
+    out.extend_from_slice(MAGIC);
+    out.extend_from_slice(&FORMAT_V2.to_le_bytes());
+    out.extend_from_slice(&(records.len() as u32).to_le_bytes());
+    // The table's byte size is known up front: name fields plus the
+    // fixed 16 bytes (offset u64 + len u32 + crc u32) per record, plus
+    // the trailing table CRC.
+    let table_bytes: usize = records.iter().map(|r| 4 + r.name.len() + 16).sum();
+    let mut offset = (out.len() + table_bytes + 4) as u64;
+    for r in records {
+        push_str(&mut out, &r.name);
+        out.extend_from_slice(&offset.to_le_bytes());
+        out.extend_from_slice(&(r.payload.len() as u32).to_le_bytes());
+        out.extend_from_slice(&crc32(&r.payload).to_le_bytes());
+        offset += r.payload.len() as u64;
+    }
+    let table_crc = crc32(&out[4..]);
+    out.extend_from_slice(&table_crc.to_le_bytes());
+    for r in records {
+        out.extend_from_slice(&r.payload);
+    }
+    out
+}
+
+/// One parsed record-table row: where a payload lives and how to verify
+/// it, without having read it.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct TableEntry {
+    /// Record name.
+    pub name: String,
+    /// Absolute offset of the payload in the blob.
+    pub offset: u64,
+    /// Payload length in bytes.
+    pub len: u32,
+    /// CRC-32 of the payload.
+    pub crc: u32,
+}
+
+/// Parse and verify a FUIX container's header and record table only —
+/// no payload bytes are read. Returns the format version and one
+/// [`TableEntry`] per record (for version 1, offsets are synthesized
+/// from the cumulative lengths, so the lazy accessors work on both
+/// layouts). For version 2 the table CRC is verified here, so a
+/// bit-flipped or truncated offset table is a structured error at open
+/// — it can never steer a later [`record_bytes`] to a wrong range.
 ///
 /// # Errors
 ///
-/// Returns a structured [`IndexError`] for every class of damage: wrong
-/// magic, unsupported version, truncation anywhere (header, table,
-/// payload region), a bogus record count, a non-UTF-8 record name, or a
-/// payload whose CRC-32 disagrees with the table. Unlike the FWIM
-/// unpacker there is no carving fallback and no quarantine: an index is
-/// a *cache*, so any damage invalidates the whole file and the caller
-/// rebuilds it from the source images.
-pub fn read_container(blob: &[u8]) -> Result<Vec<Record>, IndexError> {
+/// [`IndexError::NotAnIndex`] (bad magic),
+/// [`IndexError::UnsupportedVersion`], [`IndexError::Truncated`]
+/// (header or table cut short), [`IndexError::Malformed`] (bogus record
+/// count, non-UTF-8 name, payload offset inside the table), or
+/// [`IndexError::ChecksumMismatch`] on the v2 table CRC (reported as
+/// record `<table>`).
+pub fn read_table(blob: &[u8]) -> Result<(u32, Vec<TableEntry>), IndexError> {
     if blob.len() < 4 || &blob[0..4] != MAGIC {
         return Err(IndexError::NotAnIndex);
     }
     let mut pos = 4usize;
     let version = read_u32(blob, &mut pos, "format version")?;
-    if version > FORMAT_VERSION {
+    if version > MAX_SUPPORTED_VERSION {
         return Err(IndexError::UnsupportedVersion {
             found: version,
-            supported: FORMAT_VERSION,
+            supported: MAX_SUPPORTED_VERSION,
         });
     }
     let count = read_u32(blob, &mut pos, "record count")?;
@@ -220,25 +312,110 @@ pub fn read_container(blob: &[u8]) -> Result<Vec<Record>, IndexError> {
         });
     }
     let mut entries = Vec::with_capacity(count as usize);
-    for _ in 0..count {
-        let name = read_str(blob, &mut pos, "record table")?;
-        let len = read_u32(blob, &mut pos, "record table")? as usize;
-        let crc = read_u32(blob, &mut pos, "record table")?;
-        entries.push((name, len, crc));
-    }
-    let mut records = Vec::with_capacity(entries.len());
-    for (name, len, crc) in entries {
-        let payload = blob
-            .get(pos..pos.saturating_add(len))
-            .ok_or(IndexError::Truncated {
-                context: "record payload",
-            })?
-            .to_vec();
-        pos += len;
-        if crc32(&payload) != crc {
-            return Err(IndexError::ChecksumMismatch { record: name });
+    if version >= FORMAT_V2 {
+        for _ in 0..count {
+            let name = read_str(blob, &mut pos, "record table")?;
+            let offset = read_u64(blob, &mut pos, "record table")?;
+            let len = read_u32(blob, &mut pos, "record table")?;
+            let crc = read_u32(blob, &mut pos, "record table")?;
+            entries.push(TableEntry {
+                name,
+                offset,
+                len,
+                crc,
+            });
         }
-        records.push(Record { name, payload });
+        let table_end = pos;
+        let declared = read_u32(blob, &mut pos, "record table checksum")?;
+        if crc32(&blob[4..table_end]) != declared {
+            return Err(IndexError::ChecksumMismatch {
+                record: "<table>".to_string(),
+            });
+        }
+        // Offsets pointing back into the header/table would alias
+        // structure bytes as payload — structurally invalid even if the
+        // payload CRC happens to hold.
+        let payload_base = pos as u64;
+        if let Some(e) = entries.iter().find(|e| e.offset < payload_base) {
+            return Err(IndexError::Malformed {
+                reason: format!(
+                    "record `{}` declares payload offset {} inside the table (payloads start at \
+                     {payload_base})",
+                    e.name, e.offset
+                ),
+            });
+        }
+    } else {
+        for _ in 0..count {
+            let name = read_str(blob, &mut pos, "record table")?;
+            let len = read_u32(blob, &mut pos, "record table")?;
+            let crc = read_u32(blob, &mut pos, "record table")?;
+            entries.push(TableEntry {
+                name,
+                offset: 0,
+                len,
+                crc,
+            });
+        }
+        // v1 has no explicit offsets: payloads follow the table in
+        // record order.
+        let mut offset = pos as u64;
+        for e in &mut entries {
+            e.offset = offset;
+            offset += u64::from(e.len);
+        }
+    }
+    Ok((version, entries))
+}
+
+/// Fetch and verify one record's payload bytes by its table entry —
+/// the lazy read path. Bounds are checked (a cut-short payload region
+/// is [`IndexError::Truncated`]) and the payload CRC-32 is verified on
+/// every call.
+///
+/// # Errors
+///
+/// [`IndexError::Truncated`] when the blob ends before the payload
+/// range, [`IndexError::ChecksumMismatch`] naming the record when its
+/// bytes fail the CRC.
+pub fn record_bytes<'a>(blob: &'a [u8], entry: &TableEntry) -> Result<&'a [u8], IndexError> {
+    let start = usize::try_from(entry.offset).map_err(|_| IndexError::Truncated {
+        context: "record payload",
+    })?;
+    let payload = blob
+        .get(start..start.saturating_add(entry.len as usize))
+        .ok_or(IndexError::Truncated {
+            context: "record payload",
+        })?;
+    if crc32(payload) != entry.crc {
+        return Err(IndexError::ChecksumMismatch {
+            record: entry.name.clone(),
+        });
+    }
+    Ok(payload)
+}
+
+/// Parse a FUIX container blob (either format version) back into its
+/// records, eagerly verifying every payload.
+///
+/// # Errors
+///
+/// Returns a structured [`IndexError`] for every class of damage: wrong
+/// magic, unsupported version, truncation anywhere (header, table,
+/// payload region), a bogus record count, a non-UTF-8 record name, a
+/// damaged v2 table checksum, or a payload whose CRC-32 disagrees with
+/// the table. Unlike the FWIM unpacker there is no carving fallback and
+/// no quarantine: an index is a *cache*, so any damage invalidates the
+/// whole file and the caller rebuilds it from the source images.
+pub fn read_container(blob: &[u8]) -> Result<Vec<Record>, IndexError> {
+    let (_, entries) = read_table(blob)?;
+    let mut records = Vec::with_capacity(entries.len());
+    for entry in entries {
+        let payload = record_bytes(blob, &entry)?.to_vec();
+        records.push(Record {
+            name: entry.name,
+            payload,
+        });
     }
     Ok(records)
 }
@@ -410,39 +587,19 @@ pub fn scan_container(blob: &[u8]) -> Result<Vec<RecordCheck>, IndexError> {
             context: "empty index file",
         });
     }
-    if blob.len() < 4 || &blob[0..4] != MAGIC {
-        return Err(IndexError::NotAnIndex);
-    }
-    let mut pos = 4usize;
-    let version = read_u32(blob, &mut pos, "format version")?;
-    if version > FORMAT_VERSION {
-        return Err(IndexError::UnsupportedVersion {
-            found: version,
-            supported: FORMAT_VERSION,
-        });
-    }
-    let count = read_u32(blob, &mut pos, "record count")?;
-    if count > MAX_RECORDS {
-        return Err(IndexError::Malformed {
-            reason: format!("record count {count} exceeds the {MAX_RECORDS} cap"),
-        });
-    }
-    let mut entries = Vec::with_capacity(count as usize);
-    for _ in 0..count {
-        let name = read_str(blob, &mut pos, "record table")?;
-        let len = read_u32(blob, &mut pos, "record table")?;
-        let crc = read_u32(blob, &mut pos, "record table")?;
-        entries.push((name, len, crc));
-    }
+    let (_, entries) = read_table(blob)?;
     let mut checks = Vec::with_capacity(entries.len());
-    for (name, len, crc) in entries {
-        let status = match blob.get(pos..pos.saturating_add(len as usize)) {
-            None => RecordStatus::TruncatedPayload,
-            Some(payload) if crc32(payload) != crc => RecordStatus::ChecksumMismatch,
-            Some(_) => RecordStatus::Ok,
+    for entry in entries {
+        let status = match record_bytes(blob, &entry) {
+            Ok(_) => RecordStatus::Ok,
+            Err(IndexError::ChecksumMismatch { .. }) => RecordStatus::ChecksumMismatch,
+            Err(_) => RecordStatus::TruncatedPayload,
         };
-        pos = pos.saturating_add(len as usize);
-        checks.push(RecordCheck { name, len, status });
+        checks.push(RecordCheck {
+            name: entry.name,
+            len: entry.len,
+            status,
+        });
     }
     Ok(checks)
 }
@@ -467,8 +624,37 @@ mod tests {
     }
 
     #[test]
+    fn container_v2_roundtrip() {
+        let records = sample();
+        let blob = write_container_v2(&records);
+        assert_eq!(blob[4..8], FORMAT_V2.to_le_bytes());
+        assert_eq!(read_container(&blob).unwrap(), records);
+        // Lazy path: table-only parse, then each payload on demand.
+        let (version, entries) = read_table(&blob).unwrap();
+        assert_eq!(version, FORMAT_V2);
+        assert_eq!(entries.len(), records.len());
+        for (e, r) in entries.iter().zip(&records) {
+            assert_eq!(e.name, r.name);
+            assert_eq!(record_bytes(&blob, e).unwrap(), &r.payload[..]);
+        }
+    }
+
+    #[test]
+    fn v1_table_synthesizes_correct_offsets() {
+        let records = sample();
+        let blob = write_container(&records);
+        let (version, entries) = read_table(&blob).unwrap();
+        assert_eq!(version, FORMAT_V1);
+        for (e, r) in entries.iter().zip(&records) {
+            assert_eq!(record_bytes(&blob, e).unwrap(), &r.payload[..]);
+        }
+    }
+
+    #[test]
     fn empty_container_roundtrips() {
         let blob = write_container(&[]);
+        assert_eq!(read_container(&blob).unwrap(), vec![]);
+        let blob = write_container_v2(&[]);
         assert_eq!(read_container(&blob).unwrap(), vec![]);
     }
 
@@ -482,37 +668,91 @@ mod tests {
 
     #[test]
     fn future_version_is_rejected_not_misparsed() {
-        let mut blob = write_container(&sample());
-        blob[4..8].copy_from_slice(&u32::MAX.to_le_bytes());
-        assert_eq!(
-            read_container(&blob),
-            Err(IndexError::UnsupportedVersion {
-                found: u32::MAX,
-                supported: FORMAT_VERSION,
-            })
-        );
+        for blob in [write_container(&sample()), write_container_v2(&sample())] {
+            let mut blob = blob;
+            blob[4..8].copy_from_slice(&u32::MAX.to_le_bytes());
+            assert_eq!(
+                read_container(&blob),
+                Err(IndexError::UnsupportedVersion {
+                    found: u32::MAX,
+                    supported: MAX_SUPPORTED_VERSION,
+                })
+            );
+        }
     }
 
     #[test]
     fn every_truncation_point_is_a_structured_error() {
-        let blob = write_container(&sample());
-        for cut in 0..blob.len() {
-            match read_container(&blob[..cut]) {
-                Err(_) => {}
-                Ok(_) => panic!("cut at {cut} of {} parsed successfully", blob.len()),
+        for blob in [write_container(&sample()), write_container_v2(&sample())] {
+            for cut in 0..blob.len() {
+                match read_container(&blob[..cut]) {
+                    Err(_) => {}
+                    Ok(_) => panic!("cut at {cut} of {} parsed successfully", blob.len()),
+                }
             }
         }
     }
 
     #[test]
+    fn v2_table_bitflips_are_caught_eagerly() {
+        let blob = write_container_v2(&sample());
+        // Find where the table ends: header(12) + per-record name/offset/
+        // len/crc fields + the 4-byte table CRC.
+        let table_end: usize = 12
+            + sample()
+                .iter()
+                .map(|r| 4 + r.name.len() + 16)
+                .sum::<usize>()
+            + 4;
+        // Every single-bit flip inside the version, count, table, or
+        // table-CRC bytes must be rejected by read_table itself — the
+        // lazy path never trusts a damaged table.
+        for pos in 4..table_end {
+            for bit in 0..8 {
+                let mut damaged = blob.clone();
+                damaged[pos] ^= 1 << bit;
+                assert!(
+                    read_table(&damaged).is_err(),
+                    "table flip at byte {pos} bit {bit} accepted"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn v2_offsets_into_the_table_are_malformed() {
+        // Hand-craft a v2 container whose record points at the header,
+        // with a recomputed table CRC so only the offset check can
+        // reject it.
+        let payload = vec![7u8; 8];
+        let mut blob = Vec::new();
+        blob.extend_from_slice(MAGIC);
+        blob.extend_from_slice(&FORMAT_V2.to_le_bytes());
+        blob.extend_from_slice(&1u32.to_le_bytes());
+        blob.extend_from_slice(&1u32.to_le_bytes()); // name len
+        blob.push(b'x');
+        blob.extend_from_slice(&0u64.to_le_bytes()); // offset inside header
+        blob.extend_from_slice(&(payload.len() as u32).to_le_bytes());
+        blob.extend_from_slice(&crc32(&payload).to_le_bytes());
+        let table_crc = crc32(&blob[4..]);
+        blob.extend_from_slice(&table_crc.to_le_bytes());
+        blob.extend_from_slice(&payload);
+        assert!(matches!(
+            read_table(&blob),
+            Err(IndexError::Malformed { .. })
+        ));
+    }
+
+    #[test]
     fn payload_bitflip_fails_the_record_checksum() {
         let records = sample();
-        let mut blob = write_container(&records);
-        let n = blob.len();
-        blob[n - 1] ^= 0x80; // last byte of exe:0's payload region
-        match read_container(&blob) {
-            Err(IndexError::ChecksumMismatch { record }) => assert_eq!(record, "exe:0"),
-            other => panic!("expected ChecksumMismatch, got {other:?}"),
+        for mut blob in [write_container(&records), write_container_v2(&records)] {
+            let n = blob.len();
+            blob[n - 1] ^= 0x80; // last byte of exe:0's payload region
+            match read_container(&blob) {
+                Err(IndexError::ChecksumMismatch { record }) => assert_eq!(record, "exe:0"),
+                other => panic!("expected ChecksumMismatch, got {other:?}"),
+            }
         }
     }
 
@@ -622,29 +862,30 @@ mod tests {
     #[test]
     fn scan_container_itemizes_damage_per_record() {
         let records = sample();
-        let blob = write_container(&records);
-        // Pristine: every record Ok.
-        let checks = scan_container(&blob).unwrap();
-        assert_eq!(checks.len(), records.len());
-        assert!(checks.iter().all(|c| c.status == RecordStatus::Ok));
+        for blob in [write_container(&records), write_container_v2(&records)] {
+            // Pristine: every record Ok.
+            let checks = scan_container(&blob).unwrap();
+            assert_eq!(checks.len(), records.len());
+            assert!(checks.iter().all(|c| c.status == RecordStatus::Ok));
 
-        // Flip a byte in the middle record's payload: only it reports
-        // ChecksumMismatch, the rest stay Ok (unlike read_container,
-        // which stops at the first failure).
-        let mut damaged = blob.clone();
-        let n = damaged.len();
-        damaged[n - 100] ^= 0xff; // inside exe:0's 200-byte payload
-        let checks = scan_container(&damaged).unwrap();
-        assert_eq!(checks[0].status, RecordStatus::Ok);
-        assert_eq!(checks[1].status, RecordStatus::ChecksumMismatch);
-        assert_eq!(checks[2].status, RecordStatus::Ok);
+            // Flip a byte in the middle record's payload: only it reports
+            // ChecksumMismatch, the rest stay Ok (unlike read_container,
+            // which stops at the first failure).
+            let mut damaged = blob.clone();
+            let n = damaged.len();
+            damaged[n - 100] ^= 0xff; // inside exe:0's 200-byte payload
+            let checks = scan_container(&damaged).unwrap();
+            assert_eq!(checks[0].status, RecordStatus::Ok);
+            assert_eq!(checks[1].status, RecordStatus::ChecksumMismatch);
+            assert_eq!(checks[2].status, RecordStatus::Ok);
 
-        // Truncate into the payload region: the cut record (and any
-        // after it) report TruncatedPayload.
-        let cut = blob.len() - 150;
-        let checks = scan_container(&blob[..cut]).unwrap();
-        assert_eq!(checks[0].status, RecordStatus::Ok);
-        assert_eq!(checks[1].status, RecordStatus::TruncatedPayload);
+            // Truncate into the payload region: the cut record (and any
+            // after it) report TruncatedPayload.
+            let cut = blob.len() - 150;
+            let checks = scan_container(&blob[..cut]).unwrap();
+            assert_eq!(checks[0].status, RecordStatus::Ok);
+            assert_eq!(checks[1].status, RecordStatus::TruncatedPayload);
+        }
     }
 
     #[test]

@@ -295,18 +295,34 @@ fn run_trial(blob: &[u8], image_id: &str, canon: &CanonConfig, tally: &mut OpRep
     tally.searched += 1;
 }
 
-/// Push one damaged index blob through the persisted-index loader. Any
-/// outcome but a structured error or a successful decode (when the
+/// Push one damaged index blob through both persisted-index read
+/// paths: the eager loader and the lazy loader driven to full decode
+/// (`ensure_all`, where deferred payload CRCs are finally checked).
+/// Any outcome but a structured error or a successful decode (when the
 /// damage happened to land in tolerated slack) is a contained panic —
-/// and a bug.
+/// and a bug. The two paths must also *agree*: damage the eager loader
+/// rejects must never survive the lazy path fully decoded.
 fn run_index_trial(blob: &[u8], index_id: &str, tally: &mut OpReport) {
-    let loaded = isolate(FaultCtx::image(index_id), || {
+    let eager = isolate(FaultCtx::image(index_id), || {
         CorpusIndex::from_bytes(blob).map_err(FirmUpError::from)
     });
-    match loaded {
-        Ok(_) => tally.index_ok += 1,
-        Err(e) if e.is_poisoned() => tally.panics += 1,
-        Err(_) => tally.index_errors += 1,
+    let lazy = isolate(FaultCtx::image(index_id), || {
+        let index = CorpusIndex::from_bytes_lazy(blob.to_vec()).map_err(FirmUpError::from)?;
+        index.ensure_all().map_err(FirmUpError::from)?;
+        Ok(index)
+    });
+    for loaded in [&eager, &lazy] {
+        match loaded {
+            Ok(_) => tally.index_ok += 1,
+            Err(e) if e.is_poisoned() => tally.panics += 1,
+            Err(_) => tally.index_errors += 1,
+        }
+    }
+    // Divergence is a lazy-path hole: count it like a panic so the
+    // matrix fails loudly instead of averaging it away.
+    if eager.is_err() && lazy.is_ok() {
+        eprintln!("chaos: {index_id}: eager loader rejected damage the lazy path accepted");
+        tally.panics += 1;
     }
 }
 

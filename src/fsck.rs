@@ -497,7 +497,7 @@ mod tests {
         .unwrap();
         assert!(report.clean(), "{report}");
         let back = CorpusIndex::load(&dir).unwrap();
-        assert_eq!(back.executables.len(), 2);
+        assert_eq!(back.len(), 2);
         let _ = std::fs::remove_dir_all(&dir);
     }
 

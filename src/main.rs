@@ -1,7 +1,7 @@
 //! `firmup` — command-line front end for the FirmUp pipeline.
 //!
 //! ```text
-//! firmup gen-corpus --out DIR [--devices N] [--seed HEX]
+//! firmup gen-corpus --out DIR [--scale PRESET] [--threads N] [--resume]
 //! firmup info PATH                      # firmware image or ELF
 //! firmup disasm ELF [--proc NAME]       # disassembly + canonical strands
 //! firmup index IMAGE... --out DIR       # persist a strand-hash corpus index
@@ -26,9 +26,11 @@ use firmup::core::lift::lift_executable;
 use firmup::core::persist::{CorpusIndex, IndexCheckpoint};
 use firmup::core::search::ScanBudget;
 use firmup::core::sim::ExecutableRep;
-use firmup::firmware::corpus::{generate, CorpusConfig};
+use firmup::firmware::corpus::{
+    build_device, plan as corpus_plan, CorpusImage, DevicePlan, ScalePreset,
+};
 use firmup::firmware::durable::{
-    acquire_lock, crash_point, write_atomic, LockOptions, CP_BETWEEN_SEGMENTS,
+    acquire_lock, crash_point, fnv1a_64, write_atomic, LockOptions, CP_BETWEEN_SEGMENTS,
 };
 use firmup::firmware::image::unpack;
 use firmup::firmware::index::image_digest;
@@ -52,7 +54,7 @@ impl From<String> for CliError {
 fn main() -> ExitCode {
     let args: Vec<String> = std::env::args().skip(1).collect();
     let result: Result<(), CliError> = match args.first().map(String::as_str) {
-        Some("gen-corpus") => gen_corpus(&args[1..]).map_err(CliError::Msg),
+        Some("gen-corpus") => gen_corpus(&args[1..]),
         Some("info") => info(&args[1..]).map_err(CliError::Msg),
         Some("disasm") => disasm(&args[1..]).map_err(CliError::Msg),
         Some("index") => index(&args[1..]),
@@ -96,8 +98,23 @@ fn main() -> ExitCode {
 const USAGE: &str = "firmup — static CVE detection in stripped firmware (ASPLOS'18 reproduction)
 
 USAGE:
-    firmup gen-corpus --out DIR [--devices N] [--seed HEX]
-        Generate a synthetic firmware corpus (images + ground-truth manifest).
+    firmup gen-corpus --out DIR [--scale smoke|small|medium|paper]
+                 [--devices N] [--seed HEX] [--threads N] [--resume]
+                 [--metrics-out FILE.json]
+        Generate a synthetic firmware corpus (images + ground-truth
+        manifest). --scale picks a preset sized against the paper's
+        corpus dimensions (smoke = the CI fixture, medium >= 500 images
+        / >= 100k procedures, paper >= 2000 images); --devices overrides
+        the preset's device count. All randomness is drawn once from the
+        seed into a plan, then each device is built as a pure function
+        over --threads workers (0 = all cores, the default) — the output
+        bytes are identical for every N. The run is crash safe: every
+        image and per-device manifest fragment lands via
+        temp+fsync+rename and each finished device is committed to
+        DIR/gen.fuj behind an advisory lock; ^C exits cleanly (code 130)
+        after in-flight devices, and --resume verifies the journal by
+        content digest (never timestamps) and rebuilds only the devices
+        that never committed.
     firmup info PATH
         Describe a firmware image (parts, vendors) or an ELF (sections, procedures).
     firmup disasm ELF [--proc NAME]
@@ -212,6 +229,7 @@ USAGE:
 const VALUE_FLAGS: &[&str] = &[
     "--out",
     "--devices",
+    "--scale",
     "--seed",
     "--proc",
     "--cve",
@@ -266,58 +284,339 @@ fn positional(args: &[String]) -> Vec<&String> {
     out
 }
 
-fn gen_corpus(args: &[String]) -> Result<(), String> {
-    let out = PathBuf::from(flag_value(args, "--out").ok_or("gen-corpus requires --out DIR")?);
-    let devices = flag_value(args, "--devices")
-        .map(|v| v.parse::<usize>().map_err(|e| format!("--devices: {e}")))
-        .transpose()?
-        .unwrap_or(18);
-    let seed = flag_value(args, "--seed")
-        .map(|v| {
-            u64::from_str_radix(v.trim_start_matches("0x"), 16).map_err(|e| format!("--seed: {e}"))
+/// Tab-separated ground-truth manifest header (one row per image).
+const MANIFEST_HEADER: &str = "file\tvendor\tdevice\tfw_version\tlatest\tarch\tvulnerable\n";
+
+/// Deterministic on-disk name of the `global`-th corpus image.
+fn image_file_name(global: usize, img: &CorpusImage) -> String {
+    format!(
+        "{:03}_{}_{}_{}.fwim",
+        global, img.meta.vendor, img.meta.device, img.meta.version
+    )
+}
+
+/// One MANIFEST.tsv row for `img`, stored as `file`.
+fn manifest_line(file: &str, img: &CorpusImage) -> String {
+    let vulns: Vec<String> = img
+        .truth
+        .iter()
+        .flat_map(|t| {
+            t.vulnerable
+                .iter()
+                .map(move |(n, _)| format!("{}:{}@{}", t.package, t.version, n))
         })
-        .transpose()?
-        .unwrap_or(0xf12a_0b5e);
-    std::fs::create_dir_all(&out).map_err(|e| format!("{}: {e}", out.display()))?;
-    let corpus = generate(&CorpusConfig {
-        devices,
-        seed,
-        ..CorpusConfig::default()
-    });
-    let mut manifest = String::from("file\tvendor\tdevice\tfw_version\tlatest\tarch\tvulnerable\n");
-    for (i, img) in corpus.images.iter().enumerate() {
-        let file = format!(
-            "{:03}_{}_{}_{}.fwim",
-            i, img.meta.vendor, img.meta.device, img.meta.version
-        );
-        std::fs::write(out.join(&file), &img.blob).map_err(|e| format!("{file}: {e}"))?;
-        let vulns: Vec<String> = img
+        .collect();
+    format!(
+        "{file}\t{}\t{}\t{}\t{}\t{}\t{}\n",
+        img.meta.vendor,
+        img.meta.device,
+        img.meta.version,
+        img.is_latest,
+        img.arch,
+        vulns.join(",")
+    )
+}
+
+/// A committed device parsed back out of `gen.fuj`: summary totals for
+/// the final report plus the digests that let `--resume` verify the
+/// durable bytes instead of trusting them.
+struct GenEntry {
+    execs: u64,
+    procs: u64,
+    frag_digest: u64,
+    files: Vec<(String, u64)>,
+}
+
+/// Parse one `gen1` journal line. A malformed or torn line yields
+/// `None` and its device is simply rebuilt — the journal is a cache of
+/// proofs, never the source of truth.
+fn parse_gen_line(line: &str) -> Option<(usize, GenEntry)> {
+    let mut parts = line.split('\t');
+    if parts.next()? != "gen1" {
+        return None;
+    }
+    let device = parts.next()?.parse().ok()?;
+    let execs = parts.next()?.parse().ok()?;
+    let procs = parts.next()?.parse().ok()?;
+    let frag_digest = u64::from_str_radix(parts.next()?, 16).ok()?;
+    let mut files = Vec::new();
+    for f in parts.next()?.split(',') {
+        let (name, digest) = f.rsplit_once(':')?;
+        files.push((name.to_string(), u64::from_str_radix(digest, 16).ok()?));
+    }
+    if parts.next().is_some() {
+        return None;
+    }
+    Some((
+        device,
+        GenEntry {
+            execs,
+            procs,
+            frag_digest,
+            files,
+        },
+    ))
+}
+
+/// Build one planned device and commit it durably: image files and the
+/// device's manifest fragment land via temp+fsync+rename, then a
+/// `gen1` line (with content digests) is appended to `gen.fuj` under
+/// the journal mutex and fsync'd. Returns `(executables, procedures)`.
+fn build_one_device(
+    out: &Path,
+    frag_dir: &Path,
+    dp: &DevicePlan,
+    strip: bool,
+    first_image: usize,
+    journal: &std::sync::Mutex<std::fs::File>,
+) -> Result<(u64, u64), String> {
+    use std::io::Write as _;
+    let images = build_device(dp, strip);
+    let mut frag = String::new();
+    let mut files = Vec::with_capacity(images.len());
+    let mut execs = 0u64;
+    let mut procs = 0u64;
+    for (k, img) in images.iter().enumerate() {
+        let file = image_file_name(first_image + k, img);
+        write_atomic(&out.join(&file), &img.blob).map_err(|e| format!("{file}: {e}"))?;
+        firmup::telemetry::incr("gen.images_written");
+        frag.push_str(&manifest_line(&file, img));
+        files.push(format!("{file}:{:016x}", image_digest(&file, &img.blob)));
+        execs += img.truth.len() as u64;
+        procs += img
             .truth
             .iter()
-            .flat_map(|t| {
-                t.vulnerable
-                    .iter()
-                    .map(move |(n, _)| format!("{}:{}@{}", t.package, t.version, n))
-            })
-            .collect();
-        manifest.push_str(&format!(
-            "{file}\t{}\t{}\t{}\t{}\t{}\t{}\n",
-            img.meta.vendor,
-            img.meta.device,
-            img.meta.version,
-            img.is_latest,
-            img.arch,
-            vulns.join(",")
-        ));
+            .map(|t| t.symbols.len() as u64)
+            .sum::<u64>();
     }
-    std::fs::write(out.join("MANIFEST.tsv"), manifest).map_err(|e| e.to_string())?;
+    let frag_path = frag_dir.join(format!("{:05}.tsv", dp.device));
+    write_atomic(&frag_path, frag.as_bytes())
+        .map_err(|e| format!("{}: {e}", frag_path.display()))?;
+    let line = format!(
+        "gen1\t{}\t{execs}\t{procs}\t{:016x}\t{}\n",
+        dp.device,
+        fnv1a_64(&[frag.as_bytes()]),
+        files.join(",")
+    );
+    let mut jf = journal.lock().expect("gen journal lock");
+    jf.write_all(line.as_bytes())
+        .and_then(|()| jf.sync_data())
+        .map_err(|e| format!("gen.fuj: {e}"))?;
+    Ok((execs, procs))
+}
+
+fn gen_corpus(args: &[String]) -> Result<(), CliError> {
+    use std::io::Write as _;
+    firmup::telemetry::enable();
+    // Pre-register the generation counters so every run (including a
+    // fully reused --resume) reports them in --metrics-out JSON.
+    for name in [
+        "gen.devices_built",
+        "gen.devices_reused",
+        "gen.images_written",
+        "io.retries",
+    ] {
+        let _ = firmup::telemetry::counter(name);
+    }
+    let out = PathBuf::from(
+        flag_value(args, "--out")
+            .ok_or_else(|| CliError::Msg("gen-corpus requires --out DIR".into()))?,
+    );
+    let preset = match flag_value(args, "--scale") {
+        None => ScalePreset::Smoke,
+        Some(name) => ScalePreset::parse(name).ok_or_else(|| {
+            CliError::Msg(format!(
+                "--scale: expected smoke|small|medium|paper, got `{name}`"
+            ))
+        })?,
+    };
+    let mut config = preset.config();
+    if let Some(d) = usize_flag(args, "--devices")? {
+        config.devices = d;
+    }
+    if let Some(v) = flag_value(args, "--seed") {
+        config.seed = u64::from_str_radix(v.trim_start_matches("0x"), 16)
+            .map_err(|e| CliError::Msg(format!("--seed: {e}")))?;
+    }
+    let threads = usize_flag(args, "--threads")?.unwrap_or(0);
+    let resume = has_flag(args, "--resume");
+    let metrics_out = flag_value(args, "--metrics-out").map(PathBuf::from);
+    firmup::shutdown::install();
+    std::fs::create_dir_all(&out).map_err(|e| format!("{}: {e}", out.display()))?;
+    // One writer at a time, like `firmup index`: a concurrent generator
+    // on the same DIR gets a structured lock-held error.
+    let lock = acquire_lock(&out, &LockOptions::from_env())
+        .map_err(|e| CliError::Msg(FirmUpError::from(e).to_string()))?;
+
+    // Draw every random decision up front; from here on building a
+    // device is pure, so order / parallelism / resume can't change the
+    // output bytes.
+    let plan = corpus_plan(&config);
+    let mut offsets = Vec::with_capacity(plan.devices.len());
+    let mut total_images = 0usize;
+    for d in &plan.devices {
+        offsets.push(total_images);
+        total_images += d.firmwares.len();
+    }
+
+    let journal_path = out.join("gen.fuj");
+    let frag_dir = out.join("manifest.d");
+    std::fs::create_dir_all(&frag_dir).map_err(|e| format!("{}: {e}", frag_dir.display()))?;
+    // The header pins what the journal describes; resuming under a
+    // different seed or scale would silently interleave two corpora.
+    let header = format!(
+        "genhdr\t{:016x}\t{}\t{}\n",
+        config.seed,
+        config.devices,
+        preset.name()
+    );
+
+    // Devices already durable (resume only). Verification is zero
+    // trust: a device counts only if its journal line, every image
+    // file, and its manifest fragment all digest-match.
+    let mut committed: std::collections::HashMap<usize, (u64, u64)> =
+        std::collections::HashMap::new();
+    let journal_text = if resume {
+        std::fs::read_to_string(&journal_path).unwrap_or_default()
+    } else {
+        String::new()
+    };
+    if !journal_text.is_empty() {
+        let mut lines = journal_text.lines();
+        if lines.next().map(|h| format!("{h}\n")) != Some(header.clone()) {
+            return Err(CliError::Msg(format!(
+                "{}: journal was written for a different seed/scale; \
+                 rerun without --resume or use a fresh --out",
+                journal_path.display()
+            )));
+        }
+        for line in lines {
+            let Some((d, entry)) = parse_gen_line(line) else {
+                continue;
+            };
+            if d >= plan.devices.len() {
+                continue;
+            }
+            let verified = entry.files.len() == plan.devices[d].firmwares.len()
+                && entry.files.iter().all(|(name, digest)| {
+                    std::fs::read(out.join(name)).is_ok_and(|b| image_digest(name, &b) == *digest)
+                })
+                && std::fs::read(frag_dir.join(format!("{d:05}.tsv")))
+                    .is_ok_and(|b| fnv1a_64(&[&b]) == entry.frag_digest);
+            if verified {
+                committed.insert(d, (entry.execs, entry.procs));
+            }
+        }
+        firmup::telemetry::add("gen.devices_reused", committed.len() as u64);
+    }
+    let jf = if journal_text.starts_with(&header) {
+        std::fs::OpenOptions::new()
+            .append(true)
+            .open(&journal_path)
+            .map_err(|e| CliError::Msg(format!("{}: {e}", journal_path.display())))?
+    } else {
+        // Fresh run (or unreadable/foreign journal without --resume):
+        // start the journal over. Stale image files from the same plan
+        // are overwritten in place.
+        let mut f = std::fs::File::create(&journal_path)
+            .map_err(|e| CliError::Msg(format!("{}: {e}", journal_path.display())))?;
+        f.write_all(header.as_bytes())
+            .and_then(|()| f.sync_data())
+            .map_err(|e| CliError::Msg(format!("{}: {e}", journal_path.display())))?;
+        f
+    };
+    let journal = std::sync::Mutex::new(jf);
+
+    let todo: Vec<usize> = (0..plan.devices.len())
+        .filter(|d| !committed.contains_key(d))
+        .collect();
+    let errors = std::sync::Mutex::new(Vec::<String>::new());
+    let built: Vec<Option<(u64, u64)>> = {
+        let _span = firmup::telemetry::span!("gen.build");
+        firmup::core::executor::run_units(todo.len(), threads, 1, |j| {
+            if firmup::shutdown::interrupted() {
+                return None;
+            }
+            let d = todo[j];
+            let r = build_one_device(
+                &out,
+                &frag_dir,
+                &plan.devices[d],
+                config.strip,
+                offsets[d],
+                &journal,
+            );
+            lock.heartbeat();
+            crash_point(CP_BETWEEN_SEGMENTS);
+            match r {
+                Ok(tot) => {
+                    firmup::telemetry::incr("gen.devices_built");
+                    Some(tot)
+                }
+                Err(e) => {
+                    errors.lock().expect("gen error list").push(e);
+                    None
+                }
+            }
+        })
+    };
+    if let Some(e) = errors
+        .into_inner()
+        .expect("gen error list")
+        .into_iter()
+        .next()
+    {
+        return Err(CliError::Msg(e));
+    }
+
+    let write_metrics = |metrics_out: &Option<PathBuf>| -> Result<(), CliError> {
+        if let Some(path) = metrics_out {
+            let snap = firmup::telemetry::snapshot();
+            write_atomic(path, snap.render_json().render().as_bytes())
+                .map_err(|e| CliError::Msg(format!("{}: {e}", path.display())))?;
+            println!("metrics written to {}", path.display());
+        }
+        Ok(())
+    };
+
+    let durable = committed.len() + built.iter().flatten().count();
+    if firmup::shutdown::interrupted() {
+        println!(
+            "interrupted: {durable}/{} device(s) durable in {}; rerun with --resume to finish",
+            plan.devices.len(),
+            out.display()
+        );
+        write_metrics(&metrics_out)?;
+        return Err(CliError::Interrupted);
+    }
+
+    // Assemble MANIFEST.tsv from the per-device fragments, in plan
+    // order — byte-identical whatever order the devices finished in.
+    let mut manifest = String::from(MANIFEST_HEADER);
+    for d in 0..plan.devices.len() {
+        let frag_path = frag_dir.join(format!("{d:05}.tsv"));
+        let frag = std::fs::read_to_string(&frag_path)
+            .map_err(|e| CliError::Msg(format!("{}: {e}", frag_path.display())))?;
+        manifest.push_str(&frag);
+    }
+    write_atomic(&out.join("MANIFEST.tsv"), manifest.as_bytes())
+        .map_err(|e| CliError::Msg(format!("MANIFEST.tsv: {e}")))?;
+
+    let mut execs = 0u64;
+    let mut procs = 0u64;
+    for &(e, p) in committed.values().chain(built.iter().flatten()) {
+        execs += e;
+        procs += p;
+    }
     println!(
         "wrote {} images ({} executables, {} procedures) to {}",
-        corpus.images.len(),
-        corpus.executable_count(),
-        corpus.procedure_count(),
+        total_images,
+        execs,
+        procs,
         out.display()
     );
+    write_metrics(&metrics_out)?;
+    drop(lock);
     Ok(())
 }
 
@@ -446,6 +745,8 @@ fn scan(args: &[String]) -> Result<(), CliError> {
         "scan.steal_count",
         "unpack.parts_quarantined",
         "index.cache_hit",
+        "index.reps_decoded",
+        "index.bytes_mapped",
         "prefilter.candidates",
         "rep.clones",
         "io.retries",
@@ -633,6 +934,8 @@ fn index(args: &[String]) -> Result<(), CliError> {
         "index.segments_committed",
         "index.segments_reused",
         "index.resumed",
+        "index.reps_decoded",
+        "index.bytes_mapped",
         "io.retries",
     ] {
         let _ = firmup::telemetry::counter(name);
@@ -755,11 +1058,9 @@ fn index(args: &[String]) -> Result<(), CliError> {
         .map_err(|e| CliError::Msg(e.to_string()))?;
     println!(
         "indexed {} executable(s) ({} procedure(s), {} distinct strand(s)) from {} image(s){} -> {}",
-        corpus.executables.len(),
-        corpus
-            .executables
-            .iter()
-            .map(|e| e.procedures.len())
+        corpus.len(),
+        (0..corpus.len())
+            .map(|i| corpus.get(i).procedures.len())
             .sum::<usize>(),
         corpus.postings.strand_count(),
         paths.len() - skipped,
@@ -838,10 +1139,10 @@ fn scan_images(args: &[String], mode: OutputMode) -> Result<(usize, bool), Strin
         {
             std::thread::sleep(std::time::Duration::from_millis(ms));
         }
-        let corpus = CorpusIndex::load(dir).map_err(|e| e.to_string())?;
+        let corpus = CorpusIndex::open(dir).map_err(|e| e.to_string())?;
         info(format!(
             "loaded {} executable(s) from index {}",
-            corpus.executables.len(),
+            corpus.len(),
             dir.display()
         ));
         corpus
@@ -871,7 +1172,19 @@ fn scan_images(args: &[String], mode: OutputMode) -> Result<(usize, bool), Strin
         &budget,
         &cache,
         &firmup::shutdown::interrupted,
-    );
+    )
+    .map_err(|e| {
+        // A lazy decode failure names the index file, like load errors.
+        let e = match &index_dir {
+            Some(dir) => e.in_ctx(firmup::core::error::FaultCtx::image(
+                firmup::firmware::index::index_path(dir)
+                    .display()
+                    .to_string(),
+            )),
+            None => e,
+        };
+        e.to_string()
+    })?;
     for d in &output.diagnostics {
         eprintln!("{d}");
     }

@@ -298,25 +298,37 @@ impl ScanOutput {
 /// outcomes deterministically. `stop` is polled at unit boundaries (the
 /// cooperative-cancel path behind `^C` and serve's drain deadline).
 ///
+/// On a lazily opened index only the union of every job's candidates is
+/// decoded (batched, before the parallel pass), so with `--top-k` the
+/// per-scan decode cost tracks the candidate set, not the corpus.
+///
 /// Every per-finding `finding` telemetry event is emitted here, under
 /// whatever span/trace context the caller has entered — `firmup serve`
 /// enters a per-request root so concurrent scans trace disjointly.
+///
+/// # Errors
+///
+/// A damaged executable payload in a lazily opened index surfaces as
+/// the structured [`FirmUpError::Index`] the decode diagnosed (callers
+/// add the index path context).
 pub fn run_scan(
     corpus: &CorpusIndex,
     opts: &ScanOptions,
     budget: &ScanBudget,
     cache: &QueryCache,
     stop: &(dyn Fn() -> bool + Sync),
-) -> ScanOutput {
+) -> Result<ScanOutput, FirmUpError> {
     let canon = CanonConfig::default();
     let mut out = ScanOutput::default();
 
     // Group targets by architecture: each (CVE, arch) pair is one job.
+    // Identity metadata only — no executable payload is decoded here.
     let mut arch_groups: Vec<(Arch, Vec<usize>)> = Vec::new();
-    for (i, exe) in corpus.executables.iter().enumerate() {
-        match arch_groups.iter_mut().find(|(a, _)| *a == exe.arch) {
+    for i in 0..corpus.len() {
+        let arch = corpus.exe_arch(i);
+        match arch_groups.iter_mut().find(|(a, _)| *a == arch) {
             Some((_, members)) => members.push(i),
-            None => arch_groups.push((exe.arch, vec![i])),
+            None => arch_groups.push((arch, vec![i])),
         }
     }
 
@@ -373,7 +385,7 @@ pub fn run_scan(
                         .unwrap_or_default()
                         .iter()
                         .map(|&(i, _)| i)
-                        .filter(|&i| corpus.executables[i].arch == *arch)
+                        .filter(|&i| corpus.exe_arch(i) == *arch)
                         .take(opts.top_k)
                         .collect()
                 } else {
@@ -392,11 +404,24 @@ pub fn run_scan(
         }
     }
 
-    // Phase 2 — decompose every job's candidate list along the index's
+    // Phase 2 — decode the union of every job's candidates (a no-op on
+    // eager indexes; on lazy ones this is the only place executable
+    // payloads are read, batched so the parallel pass below borrows
+    // infallibly), then decompose candidate lists along the index's
     // shard boundaries into fine-grained (query × candidate-shard) work
-    // units, then execute them all in one work-stealing pass sharing a
+    // units and execute them all in one work-stealing pass sharing a
     // single scan-wide budget.
-    let shards = corpus.shards(SCAN_SHARDS);
+    {
+        let _span = firmup_telemetry::span!("decode");
+        let mut wanted: Vec<usize> = jobs
+            .iter()
+            .flat_map(|j| j.candidates.iter().copied())
+            .collect();
+        wanted.sort_unstable();
+        wanted.dedup();
+        corpus.ensure_decoded(wanted)?;
+    }
+    let shards = corpus.shard_ranges(SCAN_SHARDS);
     let mut units: Vec<ScanUnit> = Vec::new();
     for (j, job) in jobs.iter().enumerate() {
         for shard in &shards {
@@ -404,7 +429,7 @@ pub fn run_scan(
                 .candidates
                 .iter()
                 .copied()
-                .filter(|i| shard.range().contains(i))
+                .filter(|i| shard.contains(i))
                 .collect();
             if !targets.is_empty() {
                 units.push(ScanUnit { job: j, targets });
@@ -418,14 +443,8 @@ pub fn run_scan(
         threads: opts.threads,
         ..SearchConfig::default()
     };
-    let per_unit = scan_units(
-        &job_queries,
-        &units,
-        &corpus.executables,
-        &config,
-        budget,
-        stop,
-    );
+    let corpus_view = corpus.rep_view();
+    let per_unit = scan_units(&job_queries, &units, &corpus_view, &config, budget, stop);
 
     // Phase 3 — regroup outcomes per job and merge deterministically:
     // findings rank on (sim, target id, address), never arrival order,
@@ -436,12 +455,8 @@ pub fn run_scan(
     }
     // Resolve a finding's target id back to its corpus slot, for
     // explain provenance (strand counts, prefilter rank).
-    let target_index: HashMap<&str, usize> = corpus
-        .executables
-        .iter()
-        .enumerate()
-        .map(|(i, e)| (e.id.as_str(), i))
-        .collect();
+    let target_index: HashMap<&str, usize> =
+        (0..corpus.len()).map(|i| (corpus.exe_id(i), i)).collect();
     for (job, job_outcomes) in jobs.iter().zip(per_job) {
         let cve = &job.cve;
         for outcome in merge_outcomes(job_outcomes) {
@@ -476,7 +491,7 @@ pub fn run_scan(
                         let mut ex = Explain::for_match(
                             &job.query.0,
                             job.query.1,
-                            &corpus.executables[ti],
+                            corpus.get(ti),
                             m,
                             r,
                             &config,
@@ -513,7 +528,7 @@ pub fn run_scan(
             }
         }
     }
-    out
+    Ok(out)
 }
 
 #[cfg(test)]

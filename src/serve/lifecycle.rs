@@ -166,7 +166,7 @@ mod tests {
         let n = build_index(&dir, 0x51ee_d001);
         let store = SnapshotStore::open(&dir).expect("open");
         assert_eq!(store.epoch(), 1);
-        assert_eq!(store.snapshot().executables.len(), n);
+        assert_eq!(store.snapshot().len(), n);
         assert_eq!(store.reload_error(), None);
 
         // Corrupt the on-disk index: reload fails, old snapshot serves on.
@@ -177,9 +177,9 @@ mod tests {
         assert!(store.reload().is_err());
         assert_eq!(store.epoch(), 1, "failed reload must not bump the epoch");
         assert!(store.reload_error().is_some());
-        assert_eq!(store.snapshot().executables.len(), n);
+        assert_eq!(store.snapshot().len(), n);
         // The Arc a request already holds is untouched by any of this.
-        assert_eq!(held.executables.len(), n);
+        assert_eq!(held.len(), n);
 
         // Restore and reload: epoch bumps, error clears.
         std::fs::write(&fui, &pristine).expect("restore");

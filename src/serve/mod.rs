@@ -156,7 +156,7 @@ pub fn run(cfg: &ServeConfig) -> Result<u8, String> {
     }
     eprintln!(
         "serve: listening on {addr} ({} executable(s) from {}, epoch {})",
-        store.snapshot().executables.len(),
+        store.snapshot().len(),
         cfg.index_dir.display(),
         store.epoch()
     );
@@ -210,7 +210,7 @@ pub fn run(cfg: &ServeConfig) -> Result<u8, String> {
                     Ok(()) => eprintln!(
                         "serve: index reloaded (epoch {}, {} executable(s))",
                         store.epoch(),
-                        store.snapshot().executables.len()
+                        store.snapshot().len()
                     ),
                     Err(e) => {
                         firmup_telemetry::incr("serve.reload_failures");
@@ -413,7 +413,7 @@ fn readyz(job: &Job, cfg: &ServeConfig, store: &SnapshotStore, depth: usize) {
         ("epoch".into(), Json::Num(store.epoch() as f64)),
         (
             "executables".into(),
-            Json::Num(store.snapshot().executables.len() as f64),
+            Json::Num(store.snapshot().len() as f64),
         ),
         ("queue_depth".into(), Json::Num(depth as f64)),
         ("queue_capacity".into(), Json::Num(cfg.queue_cap as f64)),
@@ -492,13 +492,7 @@ fn scan(
     };
     let id = job.id;
     let scanned = isolate(FaultCtx::image(format!("request-{id}")), || {
-        Ok(crate::pipeline::run_scan(
-            &snapshot,
-            &opts,
-            &budget,
-            cache,
-            &|| drain.expired(),
-        ))
+        crate::pipeline::run_scan(&snapshot, &opts, &budget, cache, &|| drain.expired())
     });
     match scanned {
         Ok(output) => {

@@ -36,13 +36,14 @@ fn chaos_matrix_contains_every_operator_with_zero_panics() {
             "{}: unaccounted trial",
             op.op.name()
         );
-        // The index-corruption stage runs once per trial and must be
-        // equally accounted for: a structured IndexError or a load the
-        // damage happened to leave decodable — never a panic (counted
-        // above).
+        // The index-corruption stage pushes each damaged blob through
+        // both read paths (eager load and lazy load driven to full
+        // decode) and every attempt must be equally accounted for: a
+        // structured IndexError or a load the damage happened to leave
+        // decodable — never a panic (counted above).
         assert_eq!(
             op.index_errors + op.index_ok,
-            op.trials,
+            2 * op.trials,
             "{}: unaccounted index trial",
             op.op.name()
         );

@@ -586,6 +586,113 @@ fn cli_error_paths_are_clean() {
     // gen-corpus requires --out.
     let out = firmup().arg("gen-corpus").output().expect("spawn");
     assert!(!out.status.success());
+
+    // gen-corpus rejects unknown scale presets with a structured error.
+    let out = firmup()
+        .args(["gen-corpus", "--out", "/tmp/x", "--scale", "bogus"])
+        .output()
+        .expect("spawn");
+    assert!(!out.status.success());
+    assert!(String::from_utf8_lossy(&out.stderr).contains("--scale"));
+}
+
+/// Read the `*.fwim` image bytes and MANIFEST.tsv of a generated corpus
+/// directory, keyed by file name.
+fn corpus_bytes(dir: &std::path::Path) -> Vec<(String, Vec<u8>)> {
+    let mut out: Vec<(String, Vec<u8>)> = std::fs::read_dir(dir)
+        .expect("read corpus dir")
+        .filter_map(|e| {
+            let p = e.unwrap().path();
+            let name = p.file_name().unwrap().to_string_lossy().into_owned();
+            (name.ends_with(".fwim") || name == "MANIFEST.tsv")
+                .then(|| (name, std::fs::read(&p).expect("read corpus file")))
+        })
+        .collect();
+    out.sort();
+    out
+}
+
+#[test]
+fn gen_corpus_is_thread_invariant_and_resumes_after_a_crash() {
+    let base = temp_dir("gen-resume");
+    let gen_args = |out: &std::path::Path, threads: &str| {
+        vec![
+            "gen-corpus".to_string(),
+            "--out".to_string(),
+            out.to_string_lossy().into_owned(),
+            "--scale".to_string(),
+            "smoke".to_string(),
+            "--devices".to_string(),
+            "4".to_string(),
+            "--threads".to_string(),
+            threads.to_string(),
+        ]
+    };
+
+    // Reference: a clean single-threaded run.
+    let clean = base.join("clean");
+    let out = firmup()
+        .args(gen_args(&clean, "1"))
+        .output()
+        .expect("spawn");
+    assert!(
+        out.status.success(),
+        "gen-corpus failed: {}",
+        String::from_utf8_lossy(&out.stderr)
+    );
+    let reference = corpus_bytes(&clean);
+    assert!(reference.iter().any(|(n, _)| n == "MANIFEST.tsv"));
+
+    // Generation is planned before any building, so worker count must
+    // not change a single output byte.
+    let threaded = base.join("threaded");
+    let out = firmup()
+        .args(gen_args(&threaded, "3"))
+        .output()
+        .expect("spawn");
+    assert!(
+        out.status.success(),
+        "threaded gen-corpus failed: {}",
+        String::from_utf8_lossy(&out.stderr)
+    );
+    assert_eq!(reference, corpus_bytes(&threaded), "threads changed bytes");
+
+    // Kill the generator after its second committed device, then
+    // resume: the journal must carry the committed work across the
+    // crash and the final corpus must be byte-identical to a clean run.
+    let crashed = base.join("crashed");
+    let out = firmup()
+        .args(gen_args(&crashed, "1"))
+        .env("FIRMUP_CRASH_POINT", "index.between_segments:2")
+        .output()
+        .expect("spawn");
+    assert!(!out.status.success(), "injected crash did not fire");
+    assert!(
+        crashed.join("gen.fuj").is_file(),
+        "no generation journal survived the crash"
+    );
+    let metrics = base.join("gen_metrics.json");
+    let mut resume_args = gen_args(&crashed, "1");
+    resume_args.push("--resume".into());
+    resume_args.push("--metrics-out".into());
+    resume_args.push(metrics.to_string_lossy().into_owned());
+    let out = firmup().args(&resume_args).output().expect("spawn");
+    assert!(
+        out.status.success(),
+        "gen-corpus --resume failed: {}",
+        String::from_utf8_lossy(&out.stderr)
+    );
+    assert_eq!(reference, corpus_bytes(&crashed), "resume changed bytes");
+    // The resume actually reused the pre-crash devices rather than
+    // silently rebuilding the world.
+    let doc = firmup::telemetry::json::Json::parse(&std::fs::read_to_string(&metrics).unwrap())
+        .expect("metrics JSON");
+    let counters = doc.get("counters").expect("counters");
+    let reused = counters
+        .get("gen.devices_reused")
+        .and_then(firmup::telemetry::json::Json::as_u64)
+        .unwrap_or(0);
+    assert!(reused >= 2, "expected >= 2 reused devices, got {reused}");
 }
 
 /// Regression: `--scan-ms` is the caller's deadline for the whole

@@ -169,6 +169,97 @@ fn prefiltered_scan_still_finds_the_planted_cves() {
 }
 
 #[test]
+fn lazy_warm_scan_reports_decode_counters_and_maps_the_whole_blob() {
+    let dir = temp_dir("lazy-metrics");
+    let images = gen_corpus(&dir, "3");
+    let idx = dir.join("idx");
+    assert!(firmup()
+        .arg("index")
+        .args(&images)
+        .args(["--out", idx.to_str().unwrap()])
+        .output()
+        .expect("spawn")
+        .status
+        .success());
+
+    let metrics = dir.join("lazy_metrics.json");
+    let out = firmup()
+        .args([
+            "scan",
+            "--index",
+            idx.to_str().unwrap(),
+            "--top-k",
+            "2",
+            "--metrics-out",
+            metrics.to_str().unwrap(),
+        ])
+        .output()
+        .expect("spawn");
+    assert!(
+        out.status.success(),
+        "warm scan failed: {}",
+        String::from_utf8_lossy(&out.stderr)
+    );
+    let doc = Json::parse(&std::fs::read_to_string(&metrics).unwrap()).unwrap();
+    let counters = doc.get("counters").expect("counters");
+    let counter = |name: &str| counters.get(name).and_then(Json::as_u64).unwrap_or(0);
+    // The lazy loader decoded at least the prefiltered candidates…
+    assert!(counter("index.reps_decoded") > 0, "no lazy decodes counted");
+    // …and `bytes_mapped` accounts for exactly the on-disk index blob.
+    let fui_len = std::fs::metadata(idx.join("corpus.fui"))
+        .expect("corpus.fui")
+        .len();
+    assert_eq!(
+        counter("index.bytes_mapped"),
+        fui_len,
+        "bytes_mapped must equal the corpus.fui size"
+    );
+}
+
+#[test]
+fn v1_index_scans_byte_identically_to_v2() {
+    let dir = temp_dir("v1-compat");
+    let images = gen_corpus(&dir, "3");
+    let idx_v2 = dir.join("idx-v2");
+    assert!(firmup()
+        .arg("index")
+        .args(&images)
+        .args(["--out", idx_v2.to_str().unwrap()])
+        .output()
+        .expect("spawn")
+        .status
+        .success());
+
+    // Rewrite the same corpus in the historical v1 container (no
+    // offset table, no exemeta sidecar) — the eager-only format every
+    // pre-v2 build wrote.
+    let idx_v1 = dir.join("idx-v1");
+    std::fs::create_dir_all(&idx_v1).unwrap();
+    let corpus = firmup::core::persist::CorpusIndex::load(&idx_v2).expect("load v2");
+    corpus.save_v1(&idx_v1).expect("save v1");
+
+    let scan = |idx: &Path| {
+        let out = firmup()
+            .args(["scan", "--index", idx.to_str().unwrap(), "--top-k", "2"])
+            .output()
+            .expect("spawn");
+        assert!(
+            out.status.success(),
+            "scan failed: {}",
+            String::from_utf8_lossy(&out.stderr)
+        );
+        findings(&String::from_utf8_lossy(&out.stdout))
+    };
+    let v2_findings = scan(&idx_v2);
+    let v1_findings = scan(&idx_v1);
+    assert!(!v2_findings.is_empty(), "v2 scan found nothing");
+    assert_eq!(
+        v2_findings, v1_findings,
+        "v1 eager and v2 lazy scans must agree byte for byte"
+    );
+}
+
+#[test]
 fn corrupted_index_is_a_structured_error_not_a_panic() {
     let dir = temp_dir("corrupt");
     let images = gen_corpus(&dir, "2");
