@@ -478,7 +478,8 @@ mod tests {
         assert_eq!(
             FirmUpError::from(LockError::Held {
                 pid: 1,
-                path: "idx/index.lock".into()
+                path: "idx/index.lock".into(),
+                scope: "index".into()
             })
             .kind(),
             "lock"

@@ -18,11 +18,27 @@
 //! Record names within the container:
 //!
 //! * `meta` — executable count (u32);
+//! * `seals` — digests of the images folded into this file (omitted
+//!   when empty); readers skip manifest segments whose digest is
+//!   sealed, which is what makes `firmup compact`'s two-file publish
+//!   crash-safe (see ARCHITECTURE.md §4.9);
 //! * `exemeta` — per-executable id + arch, decodable without touching
 //!   any `exe:<i>` payload (written by v2 indexes; enables lazy loads);
 //! * `exe:<i>` — the i-th [`ExecutableRep`];
 //! * `context` — the [`GlobalContext`] document frequencies;
 //! * `postings` — the [`StrandPostings`] table.
+//!
+//! ## Multi-segment layouts
+//!
+//! An index directory may additionally carry a live-segment manifest
+//! (`segments.fum`) naming per-image segments under `segments/` that
+//! were appended by `firmup index --add` *after* `corpus.fui` was last
+//! written. [`CorpusIndex::open`] / [`CorpusIndex::load`] union the
+//! base file with every live (unsealed) segment in manifest order:
+//! executables concatenate, document frequencies add, and posting
+//! lists merge with the segment's local executable positions rebased
+//! by the running total — so the merged structures are exactly what a
+//! from-scratch build over the same image set would produce.
 //!
 //! Unknown record names are skipped on load (the forward-compatibility
 //! rule: additive format changes introduce new names, breaking changes
@@ -46,9 +62,9 @@ use std::sync::{Arc, OnceLock};
 use firmup_firmware::crc::crc32;
 use firmup_firmware::durable::write_atomic;
 use firmup_firmware::index::{
-    append_journal, index_path, journal_path, parse_journal, read_container, read_table,
-    record_bytes, segment_file_name, segments_dir, write_container, write_container_v2, IndexError,
-    JournalEntry, Record, TableEntry, FORMAT_V2,
+    append_journal, index_path, journal_path, manifest_path, parse_journal, read_container,
+    read_manifest, read_table, record_bytes, segment_file_name, segments_dir, write_container,
+    write_container_v2, IndexError, JournalEntry, Record, TableEntry, FORMAT_V2,
 };
 use firmup_isa::Arch;
 
@@ -62,22 +78,26 @@ enum RepStore {
     /// Every rep decoded, in corpus order (built in memory, or loaded
     /// via the eager path).
     Eager(Vec<ExecutableRep>),
-    /// The container blob plus one table entry per executable; slot `i`
-    /// is populated the first time executable `i` is needed.
+    /// One container blob per source (the base file, then each live
+    /// segment) plus one table entry per executable; slot `i` is
+    /// populated the first time executable `i` is needed.
     Lazy {
-        blob: Vec<u8>,
+        blobs: Vec<Vec<u8>>,
         entries: Vec<LazyExe>,
         slots: Vec<OnceLock<ExecutableRep>>,
     },
 }
 
 /// The cheap, always-available identity of a lazily held executable:
-/// what `exemeta` records, plus where the full payload lives.
+/// what `exemeta` records, plus where the full payload lives. A `None`
+/// table means the slot was pre-decoded at open time (a segment
+/// without lazy sidecars) and never needs its blob again.
 #[derive(Debug, Clone)]
 struct LazyExe {
     id: String,
     arch: Arch,
-    table: TableEntry,
+    blob: usize,
+    table: Option<TableEntry>,
 }
 
 /// A persisted (or persistable) scan corpus: canonicalized executables
@@ -109,6 +129,14 @@ pub struct CorpusIndex {
     pub context: Arc<GlobalContext>,
     /// Inverted strand → `(executable, procedure)` table.
     pub postings: StrandPostings,
+    /// Digests of the images folded into this corpus (base file seals
+    /// plus any live segments unioned at open). Empty for indexes that
+    /// predate incremental ingestion.
+    seals: Vec<u64>,
+    /// Manifest epoch observed at open (0 when no manifest exists).
+    seg_epoch: u64,
+    /// Live (unsealed) segments unioned at open.
+    seg_count: usize,
 }
 
 /// A cheap handle to one executable of a [`CorpusIndex`], usable
@@ -143,7 +171,37 @@ impl CorpusIndex {
             store: RepStore::Eager(executables),
             context,
             postings,
+            seals: Vec::new(),
+            seg_epoch: 0,
+            seg_count: 0,
         }
+    }
+
+    /// Digests of the images folded into this corpus, in ingestion
+    /// order: the base file's `seals` record plus the digest of every
+    /// live segment unioned at open. The dedup set `index --add`
+    /// consults, and the seal list `compact` persists.
+    pub fn seals(&self) -> &[u64] {
+        &self.seals
+    }
+
+    /// Replace the seal list (used by builders that know the image
+    /// digests of everything they folded in — `firmup index` and
+    /// `compact`). Serialized as the `seals` record, omitted when
+    /// empty so pre-incremental blobs stay byte-identical.
+    pub fn set_seals(&mut self, seals: Vec<u64>) {
+        self.seals = seals;
+    }
+
+    /// Manifest epoch observed when this index was opened (0 when the
+    /// directory had no `segments.fum`).
+    pub fn segment_epoch(&self) -> u64 {
+        self.seg_epoch
+    }
+
+    /// Number of live segments unioned into this index at open.
+    pub fn segment_count(&self) -> usize {
+        self.seg_count
     }
 
     /// Number of executables in the corpus (decoded or not).
@@ -229,14 +287,18 @@ impl CorpusIndex {
         match &self.store {
             RepStore::Eager(v) => Ok(&v[i]),
             RepStore::Lazy {
-                blob,
+                blobs,
                 entries,
                 slots,
             } => {
                 if let Some(rep) = slots[i].get() {
                     return Ok(rep);
                 }
-                let bytes = record_bytes(blob, &entries[i].table)?;
+                let table = entries[i]
+                    .table
+                    .as_ref()
+                    .ok_or_else(|| malformed("pre-decoded slot lost its value"))?;
+                let bytes = record_bytes(&blobs[entries[i].blob], table)?;
                 let rep = decode_executable(bytes)?;
                 firmup_telemetry::incr("index.reps_decoded");
                 // A concurrent decoder may have won the race; either
@@ -311,8 +373,11 @@ impl CorpusIndex {
     /// lazy index must [`CorpusIndex::ensure_all`] first).
     fn typed_records(&self, with_exemeta: bool) -> Vec<Record> {
         let n = self.len();
-        let mut records = Vec::with_capacity(n + 4);
+        let mut records = Vec::with_capacity(n + 5);
         records.push(Record::new("meta", (n as u32).to_le_bytes().to_vec()));
+        if !self.seals.is_empty() {
+            records.push(Record::new("seals", encode_seals(&self.seals)));
+        }
         if with_exemeta {
             records.push(Record::new("exemeta", encode_exemeta(self)));
         }
@@ -364,10 +429,13 @@ impl CorpusIndex {
         let mut exes: Vec<Option<ExecutableRep>> = Vec::new();
         let mut context: Option<GlobalContext> = None;
         let mut postings: Option<StrandPostings> = None;
+        let mut seals: Vec<u64> = Vec::new();
         for r in &records {
             if r.name == "meta" {
                 let mut pos = 0;
                 count = Some(get_u32(&r.payload, &mut pos, "meta record")?);
+            } else if r.name == "seals" {
+                seals = decode_seals(&r.payload)?;
             } else if let Some(i) = r.name.strip_prefix("exe:") {
                 let i: usize = i.parse().map_err(|_| malformed("bad exe record name"))?;
                 if i >= exes.len() {
@@ -400,6 +468,9 @@ impl CorpusIndex {
             store: RepStore::Eager(executables),
             context: Arc::new(context),
             postings,
+            seals,
+            seg_epoch: 0,
+            seg_count: 0,
         })
     }
 
@@ -427,11 +498,14 @@ impl CorpusIndex {
         let mut context: Option<GlobalContext> = None;
         let mut postings: Option<StrandPostings> = None;
         let mut exe_tables: Vec<Option<TableEntry>> = Vec::new();
+        let mut seals: Vec<u64> = Vec::new();
         for e in &table {
             if e.name == "meta" {
                 let payload = record_bytes(&blob, e)?;
                 let mut pos = 0;
                 count = Some(get_u32(payload, &mut pos, "meta record")?);
+            } else if e.name == "seals" {
+                seals = decode_seals(record_bytes(&blob, e)?)?;
             } else if e.name == "exemeta" {
                 identities = Some(decode_exemeta(record_bytes(&blob, e)?)?);
             } else if let Some(i) = e.name.strip_prefix("exe:") {
@@ -462,7 +536,12 @@ impl CorpusIndex {
             .enumerate()
             .map(|(i, ((id, arch), t))| {
                 let table = t.ok_or_else(|| malformed(&format!("missing record exe:{i}")))?;
-                Ok(LazyExe { id, arch, table })
+                Ok(LazyExe {
+                    id,
+                    arch,
+                    blob: 0,
+                    table: Some(table),
+                })
             })
             .collect::<Result<_, IndexError>>()?;
         let context = context.ok_or_else(|| malformed("missing context record"))?;
@@ -471,12 +550,15 @@ impl CorpusIndex {
         let slots = (0..count).map(|_| OnceLock::new()).collect();
         Ok(CorpusIndex {
             store: RepStore::Lazy {
-                blob,
+                blobs: vec![blob],
                 entries,
                 slots,
             },
             context: Arc::new(context),
             postings,
+            seals,
+            seg_epoch: 0,
+            seg_count: 0,
         })
     }
 
@@ -514,34 +596,15 @@ impl CorpusIndex {
     /// [`FirmUpError::Io`]; damaged ones wrap the byte-level
     /// [`IndexError`]. All carry the file path in their [`FaultCtx`].
     pub fn load(dir: &Path) -> Result<CorpusIndex, FirmUpError> {
-        let _span = firmup_telemetry::span!("index.load");
-        let path = index_path(dir);
-        let ctx = FaultCtx::image(path.display().to_string());
-        let blob = match std::fs::read(&path) {
-            Ok(b) => b,
-            Err(e) if e.kind() == std::io::ErrorKind::NotFound => {
-                return Err(FirmUpError::from(IndexError::Missing {
-                    path: path.display().to_string(),
-                })
-                .in_ctx(ctx));
-            }
-            Err(e) => return Err(FirmUpError::from(e).in_ctx(ctx)),
-        };
-        if blob.is_empty() {
-            return Err(FirmUpError::from(IndexError::Truncated {
-                context: "empty index file",
-            })
-            .in_ctx(ctx));
-        }
-        let index = CorpusIndex::from_bytes(&blob).map_err(|e| FirmUpError::from(e).in_ctx(ctx))?;
-        firmup_telemetry::add("index.cache_hit", index.len() as u64);
-        Ok(index)
+        CorpusIndex::open_dir(dir, true)
     }
 
     /// Open the index from `dir`, lazily when the file is v2 (eagerly
     /// for v1) — the preferred scan-time entry point: postings, context,
     /// and executable identities load now; procedure payloads load when
-    /// a scan's candidate set demands them.
+    /// a scan's candidate set demands them. Live segments named by the
+    /// directory's manifest are unioned in (their payloads stay lazy
+    /// too when they carry the v2 sidecars).
     ///
     /// Telemetry and errors match [`CorpusIndex::load`], plus
     /// `index.bytes_mapped` on the lazy path.
@@ -550,6 +613,13 @@ impl CorpusIndex {
     ///
     /// As [`CorpusIndex::load`].
     pub fn open(dir: &Path) -> Result<CorpusIndex, FirmUpError> {
+        CorpusIndex::open_dir(dir, false)
+    }
+
+    /// The shared directory entry point behind [`CorpusIndex::load`]
+    /// (eager) and [`CorpusIndex::open`] (lazy): read `corpus.fui`,
+    /// then union every live segment the manifest names.
+    fn open_dir(dir: &Path, eager: bool) -> Result<CorpusIndex, FirmUpError> {
         let _span = firmup_telemetry::span!("index.load");
         let path = index_path(dir);
         let ctx = FaultCtx::image(path.display().to_string());
@@ -569,10 +639,139 @@ impl CorpusIndex {
             })
             .in_ctx(ctx));
         }
-        let index =
-            CorpusIndex::from_bytes_lazy(blob).map_err(|e| FirmUpError::from(e).in_ctx(ctx))?;
+        let mut index = if eager {
+            CorpusIndex::from_bytes(&blob).map_err(|e| FirmUpError::from(e).in_ctx(ctx))?
+        } else {
+            CorpusIndex::from_bytes_lazy(blob).map_err(|e| FirmUpError::from(e).in_ctx(ctx))?
+        };
+        let manifest_ctx = FaultCtx::image(manifest_path(dir).display().to_string());
+        let manifest = read_manifest(dir).map_err(|e| FirmUpError::from(e).in_ctx(manifest_ctx))?;
+        if let Some(m) = manifest {
+            index.seg_epoch = m.epoch;
+            // Segments whose digest is already sealed into the base
+            // were folded by a compact whose manifest rewrite hasn't
+            // landed (or crashed mid-publish): skip them, or their
+            // executables would count twice.
+            let live: Vec<JournalEntry> = m
+                .entries
+                .into_iter()
+                .filter(|e| !index.seals.contains(&e.digest))
+                .collect();
+            index.seg_count = live.len();
+            index.union_segments(dir, &live)?;
+        }
         firmup_telemetry::add("index.cache_hit", index.len() as u64);
         Ok(index)
+    }
+
+    /// Fold each live segment into the loaded base, in manifest order:
+    /// append its executables, add its document frequencies, and merge
+    /// its posting lists with local executable positions rebased by the
+    /// running corpus size. Rebasing preserves every list's `(exe,
+    /// proc)` ordering, so the merged table is exactly what
+    /// [`StrandPostings::build`] over the concatenated corpus yields.
+    fn union_segments(&mut self, dir: &Path, live: &[JournalEntry]) -> Result<(), FirmUpError> {
+        if live.is_empty() {
+            return Ok(());
+        }
+        let seg_dir = segments_dir(dir);
+        let mut docs = self.context.docs();
+        let mut df: std::collections::HashMap<u64, u32> =
+            self.context.entries().into_iter().collect();
+        let mut post: std::collections::HashMap<u64, Vec<(u32, u32)>> = self
+            .postings
+            .entries()
+            .into_iter()
+            .map(|(s, l)| (s, l.to_vec()))
+            .collect();
+        for entry in live {
+            let path = seg_dir.join(&entry.segment);
+            let ctx = FaultCtx::image(path.display().to_string());
+            let blob = match std::fs::read(&path) {
+                Ok(b) => b,
+                Err(e) if e.kind() == std::io::ErrorKind::NotFound => {
+                    return Err(FirmUpError::from(IndexError::Missing {
+                        path: path.display().to_string(),
+                    })
+                    .in_ctx(ctx));
+                }
+                Err(e) => return Err(FirmUpError::from(e).in_ctx(ctx)),
+            };
+            if crc32(&blob) != entry.crc {
+                return Err(FirmUpError::from(IndexError::ChecksumMismatch {
+                    record: entry.segment.clone(),
+                })
+                .in_ctx(ctx));
+            }
+            let offset = self.len() as u32;
+            let parts = decode_segment_parts(blob, !self.is_lazy())
+                .map_err(|e| FirmUpError::from(e).in_ctx(ctx))?;
+            docs += parts.docs;
+            for (s, n) in parts.df {
+                *df.entry(s).or_default() += n;
+            }
+            for (s, sites) in parts.postings {
+                post.entry(s)
+                    .or_default()
+                    .extend(sites.into_iter().map(|(e, p)| (e + offset, p)));
+            }
+            self.push_segment_store(parts.store);
+            self.seals.push(entry.digest);
+        }
+        self.context = Arc::new(GlobalContext::from_entries(docs, df));
+        self.postings = StrandPostings::from_entries(post);
+        Ok(())
+    }
+
+    /// Append one decoded segment's executables to this index's store,
+    /// keeping the store's eager/lazy shape.
+    fn push_segment_store(&mut self, parts: SegmentStore) {
+        match (&mut self.store, parts) {
+            (RepStore::Eager(v), SegmentStore::Decoded(reps)) => v.extend(reps),
+            (RepStore::Lazy { entries, slots, .. }, SegmentStore::Decoded(reps)) => {
+                // A segment without lazy sidecars under a lazy base:
+                // hold the already-decoded reps in pre-filled slots.
+                for rep in reps {
+                    entries.push(LazyExe {
+                        id: rep.id.clone(),
+                        arch: rep.arch,
+                        blob: 0,
+                        table: None,
+                    });
+                    let slot = OnceLock::new();
+                    let _ = slot.set(rep);
+                    slots.push(slot);
+                }
+            }
+            (
+                RepStore::Lazy {
+                    blobs,
+                    entries,
+                    slots,
+                },
+                SegmentStore::Lazy {
+                    blob,
+                    identities,
+                    tables,
+                },
+            ) => {
+                let bi = blobs.len();
+                firmup_telemetry::add("index.bytes_mapped", blob.len() as u64);
+                blobs.push(blob);
+                for ((id, arch), table) in identities.into_iter().zip(tables) {
+                    entries.push(LazyExe {
+                        id,
+                        arch,
+                        blob: bi,
+                        table: Some(table),
+                    });
+                    slots.push(OnceLock::new());
+                }
+            }
+            (RepStore::Eager(_), SegmentStore::Lazy { .. }) => {
+                unreachable!("eager open never requests lazy segment parts")
+            }
+        }
     }
 
     /// Write the index into `dir` in the historical v1 layout — see
@@ -601,21 +800,139 @@ fn malformed(reason: &str) -> IndexError {
 
 // ---- per-image checkpoint segments ---------------------------------------
 
-/// Serialize one image's executables as a checkpoint segment (a small
-/// FUIX container: `meta` count + `exe:<i>` records). Segments hold
-/// only reps — the derived context/postings are rebuilt at finalize,
-/// so a resumed build and an uninterrupted one produce byte-identical
-/// `corpus.fui` files.
+/// Serialize one image's executables as a checkpoint segment: a FUIX
+/// v2 container holding `meta` + `exe:<i>` plus the mergeable sidecars
+/// (`exemeta`, per-segment `context` and `postings` with *local*
+/// executable positions) that let [`CorpusIndex::open`] union the
+/// segment without decoding its payloads. Derived structures are still
+/// rebuilt from scratch at finalize, so a resumed build and an
+/// uninterrupted one produce byte-identical `corpus.fui` files.
 pub fn segment_to_bytes(reps: &[ExecutableRep]) -> Vec<u8> {
-    let mut records = Vec::with_capacity(reps.len() + 1);
+    let mut records = Vec::with_capacity(reps.len() + 4);
     records.push(Record::new(
         "meta",
         (reps.len() as u32).to_le_bytes().to_vec(),
     ));
+    records.push(Record::new(
+        "exemeta",
+        encode_exemeta_pairs(reps.iter().map(|r| (r.id.as_str(), r.arch))),
+    ));
     for (i, exe) in reps.iter().enumerate() {
         records.push(Record::new(format!("exe:{i}"), encode_executable(exe)));
     }
-    write_container(&records)
+    records.push(Record::new(
+        "context",
+        encode_context(&GlobalContext::build(reps)),
+    ));
+    records.push(Record::new(
+        "postings",
+        encode_postings(&StrandPostings::build(reps)),
+    ));
+    write_container_v2(&records)
+}
+
+/// How a segment's executables enter the loaded store.
+enum SegmentStore {
+    /// Fully decoded reps (eager open, or a segment without sidecars).
+    Decoded(Vec<ExecutableRep>),
+    /// The segment blob plus identity/table rows for lazy decode.
+    Lazy {
+        blob: Vec<u8>,
+        identities: Vec<(String, Arch)>,
+        tables: Vec<TableEntry>,
+    },
+}
+
+/// One segment's contribution to the union: its store shape plus the
+/// mergeable derived parts (document count, per-strand frequencies,
+/// posting lists with segment-local executable positions).
+struct SegmentParts {
+    store: SegmentStore,
+    docs: u32,
+    df: Vec<(u64, u32)>,
+    postings: Vec<(u64, Vec<(u32, u32)>)>,
+}
+
+/// Pull a segment apart for the union. With `eager` false and every
+/// sidecar present, payload records stay undecoded byte ranges; a
+/// segment missing any sidecar (e.g. written before segments carried
+/// them) falls back to a full decode and rebuilds the derived parts —
+/// [`GlobalContext::build`]/[`StrandPostings::build`] over the same
+/// reps produce identical entries, so the union is unaffected.
+fn decode_segment_parts(blob: Vec<u8>, eager: bool) -> Result<SegmentParts, IndexError> {
+    let (version, table) = read_table(&blob)?;
+    let mut count: Option<u32> = None;
+    let mut identities: Option<Vec<(String, Arch)>> = None;
+    let mut context: Option<GlobalContext> = None;
+    let mut postings: Option<StrandPostings> = None;
+    let mut exe_tables: Vec<Option<TableEntry>> = Vec::new();
+    if version >= FORMAT_V2 {
+        for e in &table {
+            if e.name == "meta" {
+                let payload = record_bytes(&blob, e)?;
+                let mut pos = 0;
+                count = Some(get_u32(payload, &mut pos, "segment meta")?);
+            } else if e.name == "exemeta" {
+                identities = Some(decode_exemeta(record_bytes(&blob, e)?)?);
+            } else if let Some(i) = e.name.strip_prefix("exe:") {
+                let i: usize = i.parse().map_err(|_| malformed("bad exe record name"))?;
+                if i >= exe_tables.len() {
+                    exe_tables.resize_with(i + 1, || None);
+                }
+                exe_tables[i] = Some(e.clone());
+            } else if e.name == "context" {
+                context = Some(decode_context(record_bytes(&blob, e)?)?);
+            } else if e.name == "postings" {
+                postings = Some(decode_postings(record_bytes(&blob, e)?)?);
+            }
+        }
+    }
+    match (identities, context, postings) {
+        (Some(identities), Some(context), Some(postings)) if !eager => {
+            let count = count.ok_or_else(|| malformed("segment missing meta record"))? as usize;
+            if exe_tables.len() != count || identities.len() != count {
+                return Err(malformed(&format!(
+                    "segment meta declares {count} executables, found {} payloads / {} identities",
+                    exe_tables.len(),
+                    identities.len()
+                )));
+            }
+            let tables: Vec<TableEntry> = exe_tables
+                .into_iter()
+                .enumerate()
+                .map(|(i, t)| t.ok_or_else(|| malformed(&format!("segment missing exe:{i}"))))
+                .collect::<Result<_, _>>()?;
+            Ok(SegmentParts {
+                docs: context.docs(),
+                df: context.entries(),
+                postings: postings
+                    .entries()
+                    .into_iter()
+                    .map(|(s, l)| (s, l.to_vec()))
+                    .collect(),
+                store: SegmentStore::Lazy {
+                    blob,
+                    identities,
+                    tables,
+                },
+            })
+        }
+        (_, context, postings) => {
+            let reps = segment_from_bytes(&blob)?;
+            let context = context.unwrap_or_else(|| GlobalContext::build(&reps));
+            let postings = postings.unwrap_or_else(|| StrandPostings::build(&reps));
+            Ok(SegmentParts {
+                docs: context.docs(),
+                df: context.entries(),
+                postings: postings
+                    .entries()
+                    .into_iter()
+                    .map(|(s, l)| (s, l.to_vec()))
+                    .collect(),
+                store: SegmentStore::Decoded(reps),
+            })
+        }
+    }
 }
 
 /// Decode a checkpoint segment back into its executables.
@@ -736,6 +1053,15 @@ impl IndexCheckpoint {
                 Err(e) if e.kind() == std::io::ErrorKind::NotFound => {}
                 Err(e) => return Err(FirmUpError::from(e).in_ctx(io_ctx(&journal))),
             }
+            // A fresh build also invalidates the live-segment manifest:
+            // its entries point at segment files cleared below, and the
+            // rebuilt corpus.fui will carry its own seals.
+            let manifest = manifest_path(dir);
+            match std::fs::remove_file(&manifest) {
+                Ok(()) => {}
+                Err(e) if e.kind() == std::io::ErrorKind::NotFound => {}
+                Err(e) => return Err(FirmUpError::from(e).in_ctx(io_ctx(&manifest))),
+            }
             let listing = std::fs::read_dir(&seg_dir)
                 .map_err(|e| FirmUpError::from(e).in_ctx(io_ctx(&seg_dir)))?;
             for item in listing.flatten() {
@@ -754,6 +1080,13 @@ impl IndexCheckpoint {
     /// Whether a segment for this image digest is already committed.
     pub fn committed(&self, digest: u64) -> bool {
         self.entries.iter().any(|e| e.digest == digest)
+    }
+
+    /// The journal entry of a committed segment, if any — what `index
+    /// --add` copies into the manifest when it adopts a segment that a
+    /// crashed run committed but never published.
+    pub fn entry(&self, digest: u64) -> Option<&JournalEntry> {
+        self.entries.iter().find(|e| e.digest == digest)
     }
 
     /// Number of committed segments (reused + newly written).
@@ -953,12 +1286,15 @@ fn decode_executable(b: &[u8]) -> Result<ExecutableRep, IndexError> {
 // progress reporting never touch an exe payload.
 
 fn encode_exemeta(index: &CorpusIndex) -> Vec<u8> {
-    let n = index.len();
+    encode_exemeta_pairs((0..index.len()).map(|i| (index.exe_id(i), index.exe_arch(i))))
+}
+
+fn encode_exemeta_pairs<'a>(items: impl ExactSizeIterator<Item = (&'a str, Arch)>) -> Vec<u8> {
     let mut out = Vec::new();
-    put_u32(&mut out, n as u32);
-    for i in 0..n {
-        put_str(&mut out, index.exe_id(i));
-        put_u32(&mut out, u32::from(index.exe_arch(i).elf_machine()));
+    put_u32(&mut out, items.len() as u32);
+    for (id, arch) in items {
+        put_str(&mut out, id);
+        put_u32(&mut out, u32::from(arch.elf_machine()));
     }
     out
 }
@@ -977,6 +1313,34 @@ fn decode_exemeta(b: &[u8]) -> Result<Vec<(String, Arch)>, IndexError> {
         let arch = Arch::from_elf_machine(machine)
             .ok_or_else(|| malformed(&format!("unknown arch tag {machine}")))?;
         out.push((id, arch));
+    }
+    Ok(out)
+}
+
+// ---- seals ---------------------------------------------------------------
+//
+// The image digests folded into a corpus file, in ingestion order.
+// Written only when non-empty so pre-incremental blobs (and every
+// golden fixture derived from them) keep their exact bytes.
+
+fn encode_seals(seals: &[u64]) -> Vec<u8> {
+    let mut out = Vec::with_capacity(4 + seals.len() * 8);
+    put_u32(&mut out, seals.len() as u32);
+    for &d in seals {
+        put_u64(&mut out, d);
+    }
+    out
+}
+
+fn decode_seals(b: &[u8]) -> Result<Vec<u64>, IndexError> {
+    let mut pos = 0;
+    let n = get_u32(b, &mut pos, "seals count")? as usize;
+    if n.saturating_mul(8) > b.len() {
+        return Err(malformed("seals count out of range"));
+    }
+    let mut out = Vec::with_capacity(n);
+    for _ in 0..n {
+        out.push(get_u64(b, &mut pos, "seal digest")?);
     }
     Ok(out)
 }
@@ -1455,6 +1819,213 @@ mod tests {
         let (ckpt, _) = IndexCheckpoint::open(&dir, false).unwrap();
         assert_eq!(ckpt.segments(), 0);
         assert!(!journal.exists());
+        std::fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn seals_record_roundtrips_and_is_omitted_when_empty() {
+        let mut index = sample();
+        // No seals: bytes are exactly the pre-incremental layout (no
+        // `seals` record at all).
+        let plain = index.to_bytes();
+        assert!(read_container(&plain)
+            .unwrap()
+            .iter()
+            .all(|r| r.name != "seals"));
+        index.set_seals(vec![0xaa, 0xbb, 0xcc]);
+        let sealed = index.to_bytes();
+        assert_ne!(plain, sealed);
+        let eager = CorpusIndex::from_bytes(&sealed).unwrap();
+        assert_eq!(eager.seals(), &[0xaa, 0xbb, 0xcc]);
+        let lazy = CorpusIndex::from_bytes_lazy(sealed.clone()).unwrap();
+        assert_eq!(lazy.seals(), &[0xaa, 0xbb, 0xcc]);
+        // Re-serialization keeps the seal list (compact depends on it).
+        lazy.ensure_all().unwrap();
+        assert_eq!(lazy.to_bytes(), sealed);
+        // Old-style readers skip the record; the reps still load.
+        assert_eq!(reps_of(&eager), reps_of(&index));
+    }
+
+    /// Build the on-disk shape `index --add` leaves behind: a base
+    /// `corpus.fui` over `base_reps`, plus one live segment per entry
+    /// of `segments`, published via the manifest at `epoch`.
+    fn write_layout(
+        dir: &std::path::Path,
+        base: &CorpusIndex,
+        segments: &[(u64, &[ExecutableRep])],
+        epoch: u64,
+    ) {
+        use firmup_firmware::index::{write_manifest, Manifest};
+        base.save(dir).unwrap();
+        std::fs::create_dir_all(segments_dir(dir)).unwrap();
+        let mut entries = Vec::new();
+        for &(digest, reps) in segments {
+            let blob = segment_to_bytes(reps);
+            let name = segment_file_name(digest);
+            std::fs::write(segments_dir(dir).join(&name), &blob).unwrap();
+            entries.push(JournalEntry {
+                digest,
+                crc: crc32(&blob),
+                executables: reps.len() as u32,
+                segment: name,
+            });
+        }
+        write_manifest(dir, &Manifest { epoch, entries }).unwrap();
+    }
+
+    #[test]
+    fn multi_segment_open_unions_live_segments() {
+        let dir = std::env::temp_dir().join(format!(
+            "firmup-union-{}-{:?}",
+            std::process::id(),
+            std::thread::current().id()
+        ));
+        let _ = std::fs::remove_dir_all(&dir);
+        let all = reps_of(&sample());
+        let mut base = CorpusIndex::build(all[0..1].to_vec());
+        base.set_seals(vec![0xa1]);
+        write_layout(&dir, &base, &[(0xb2, &all[1..2]), (0xc3, &all[2..3])], 7);
+
+        let full = CorpusIndex::build(all.clone());
+        for index in [
+            CorpusIndex::open(&dir).unwrap(),
+            CorpusIndex::load(&dir).unwrap(),
+        ] {
+            assert_eq!(index.len(), 3);
+            assert_eq!(index.segment_epoch(), 7);
+            assert_eq!(index.segment_count(), 2);
+            assert_eq!(index.seals(), &[0xa1, 0xb2, 0xc3]);
+            assert_eq!(reps_of(&index), all);
+            // The merged derived structures are exactly the
+            // from-scratch build's.
+            assert_eq!(index.context.entries(), full.context.entries());
+            assert_eq!(index.context.docs(), full.context.docs());
+            assert_eq!(index.postings.entries(), full.postings.entries());
+        }
+        // The lazy path stays lazy across the union.
+        assert!(CorpusIndex::open(&dir).unwrap().is_lazy());
+        std::fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn sealed_segments_are_skipped_on_open() {
+        // The compact crash window: corpus.fui already holds an image
+        // whose segment the (not yet rewritten) manifest still names.
+        let dir = std::env::temp_dir().join(format!(
+            "firmup-sealskip-{}-{:?}",
+            std::process::id(),
+            std::thread::current().id()
+        ));
+        let _ = std::fs::remove_dir_all(&dir);
+        let all = reps_of(&sample());
+        let mut base = CorpusIndex::build(all.clone());
+        base.set_seals(vec![0xa1, 0xb2, 0xc3]);
+        // Manifest still lists 0xb2 and 0xc3 — both sealed, both skipped.
+        write_layout(&dir, &base, &[(0xb2, &all[1..2]), (0xc3, &all[2..3])], 9);
+        let index = CorpusIndex::open(&dir).unwrap();
+        assert_eq!(index.len(), 3, "sealed segments must not double-count");
+        assert_eq!(index.segment_count(), 0);
+        assert_eq!(index.segment_epoch(), 9);
+        std::fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn add_history_then_union_reproduces_full_build_bytes() {
+        // The compact contract: serializing the unioned index writes
+        // the same bytes a from-scratch build over the same images (in
+        // the same order, with the same seals) would.
+        let dir = std::env::temp_dir().join(format!(
+            "firmup-compacteq-{}-{:?}",
+            std::process::id(),
+            std::thread::current().id()
+        ));
+        let _ = std::fs::remove_dir_all(&dir);
+        let all = reps_of(&sample());
+        let mut base = CorpusIndex::build(all[0..1].to_vec());
+        base.set_seals(vec![0xa1]);
+        write_layout(&dir, &base, &[(0xb2, &all[1..2]), (0xc3, &all[2..3])], 2);
+        let union = CorpusIndex::load(&dir).unwrap();
+        let mut full = CorpusIndex::build(all);
+        full.set_seals(vec![0xa1, 0xb2, 0xc3]);
+        assert_eq!(union.to_bytes(), full.to_bytes());
+        std::fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn unsidecared_segments_fall_back_to_eager_union() {
+        // A segment written without the v2 sidecars (e.g. by an older
+        // build) still unions — just eagerly.
+        let dir = std::env::temp_dir().join(format!(
+            "firmup-plainseg-{}-{:?}",
+            std::process::id(),
+            std::thread::current().id()
+        ));
+        let _ = std::fs::remove_dir_all(&dir);
+        let all = reps_of(&sample());
+        let base = CorpusIndex::build(all[0..1].to_vec());
+        base.save(&dir).unwrap();
+        std::fs::create_dir_all(segments_dir(&dir)).unwrap();
+        // Hand-roll the old layout: meta + exe:<i> only, v1 container.
+        let mut records = vec![Record::new("meta", 2u32.to_le_bytes().to_vec())];
+        for (i, exe) in all[1..3].iter().enumerate() {
+            records.push(Record::new(format!("exe:{i}"), encode_executable(exe)));
+        }
+        let blob = write_container(&records);
+        let name = segment_file_name(0xdd);
+        std::fs::write(segments_dir(&dir).join(&name), &blob).unwrap();
+        firmup_firmware::index::write_manifest(
+            &dir,
+            &firmup_firmware::index::Manifest {
+                epoch: 1,
+                entries: vec![JournalEntry {
+                    digest: 0xdd,
+                    crc: crc32(&blob),
+                    executables: 2,
+                    segment: name,
+                }],
+            },
+        )
+        .unwrap();
+        let full = CorpusIndex::build(all.clone());
+        let index = CorpusIndex::open(&dir).unwrap();
+        assert_eq!(reps_of(&index), all);
+        assert_eq!(index.context.entries(), full.context.entries());
+        assert_eq!(index.postings.entries(), full.postings.entries());
+        std::fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn damaged_live_segment_fails_open_with_structured_error() {
+        let dir = std::env::temp_dir().join(format!(
+            "firmup-badseg-{}-{:?}",
+            std::process::id(),
+            std::thread::current().id()
+        ));
+        let _ = std::fs::remove_dir_all(&dir);
+        let all = reps_of(&sample());
+        let base = CorpusIndex::build(all[0..1].to_vec());
+        write_layout(&dir, &base, &[(0xb2, &all[1..2])], 1);
+        let seg = segments_dir(&dir).join(segment_file_name(0xb2));
+        let mut blob = std::fs::read(&seg).unwrap();
+        let n = blob.len();
+        blob[n / 2] ^= 0xff;
+        std::fs::write(&seg, &blob).unwrap();
+        let err = CorpusIndex::open(&dir).unwrap_err();
+        assert_eq!(err.kind(), "index");
+        assert!(err.to_string().contains("checksum"), "{err}");
+        // A missing segment file is diagnosed as Missing, not Io.
+        std::fs::remove_file(&seg).unwrap();
+        let err = CorpusIndex::open(&dir).unwrap_err();
+        assert!(
+            matches!(
+                err,
+                FirmUpError::Index {
+                    source: IndexError::Missing { .. },
+                    ..
+                }
+            ),
+            "{err:?}"
+        );
         std::fs::remove_dir_all(&dir).ok();
     }
 

@@ -222,6 +222,10 @@ pub enum LockError {
         pid: u64,
         /// The lock file path.
         path: String,
+        /// The holder's operation scope (`index`, `add`, `compact`,
+        /// `fsck`; empty when the lock predates scoping or the body was
+        /// unreadable).
+        scope: String,
     },
     /// Filesystem failure while creating or inspecting the lock.
     Io {
@@ -235,11 +239,18 @@ pub enum LockError {
 impl fmt::Display for LockError {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         match self {
-            LockError::Held { pid, path } => write!(
-                f,
-                "index lock held by pid {pid} ({path}): another `firmup index` is writing this \
-                 directory — wait for it, or delete the lock file if that process is gone"
-            ),
+            LockError::Held { pid, path, scope } => {
+                let what = if scope.is_empty() {
+                    "a `firmup` writer".to_string()
+                } else {
+                    format!("a `firmup {scope}` run")
+                };
+                write!(
+                    f,
+                    "index lock held by pid {pid} ({path}): {what} is writing this directory — \
+                     wait for it, or delete the lock file if that process is gone"
+                )
+            }
             LockError::Io { path, message } => write!(f, "lock file {path}: {message}"),
         }
     }
@@ -255,12 +266,18 @@ pub struct LockOptions {
     /// instantly on Linux; this bound also covers hung writers and
     /// recycled pids).
     pub stale_after: Duration,
+    /// Operation scope recorded in the lock body (`index`, `add`,
+    /// `compact`, `fsck`). A rival writer's [`LockError::Held`] carries
+    /// the holder's scope, so `firmup compact` colliding with a live
+    /// `firmup index --add` names exactly what it collided with.
+    pub scope: String,
 }
 
 impl Default for LockOptions {
     fn default() -> LockOptions {
         LockOptions {
             stale_after: Duration::from_secs(600),
+            scope: "index".to_string(),
         }
     }
 }
@@ -278,6 +295,13 @@ impl LockOptions {
         }
         opts
     }
+
+    /// Environment defaults with an explicit operation scope.
+    pub fn scoped(scope: &str) -> LockOptions {
+        let mut opts = LockOptions::from_env();
+        opts.scope = scope.to_string();
+        opts
+    }
 }
 
 /// A held advisory lock; dropping it releases (deletes) the lock file.
@@ -286,6 +310,7 @@ impl LockOptions {
 #[derive(Debug)]
 pub struct LockGuard {
     path: PathBuf,
+    scope: String,
 }
 
 impl LockGuard {
@@ -294,10 +319,15 @@ impl LockGuard {
         &self.path
     }
 
+    /// The operation scope this lock was acquired under.
+    pub fn scope(&self) -> &str {
+        &self.scope
+    }
+
     /// Refresh the heartbeat mtime (writers call this after each
     /// committed segment so a long build is never mistaken for stale).
     pub fn heartbeat(&self) {
-        let _ = fs::write(&self.path, lock_body());
+        let _ = fs::write(&self.path, lock_body(&self.scope));
     }
 }
 
@@ -307,14 +337,26 @@ impl Drop for LockGuard {
     }
 }
 
-fn lock_body() -> String {
-    format!("pid {}\n", std::process::id())
+fn lock_body(scope: &str) -> String {
+    format!("pid {}\nscope {scope}\n", std::process::id())
 }
 
 /// Parse the pid out of a lock file's contents.
 fn parse_lock_pid(contents: &str) -> Option<u64> {
     let rest = contents.strip_prefix("pid ")?;
     rest.lines().next()?.trim().parse().ok()
+}
+
+/// Parse the operation scope out of a lock file's contents. Empty for
+/// pre-scoping lock bodies (a bare `pid N\n` line still parses — old
+/// and new writers interoperate on the same directory).
+fn parse_lock_scope(contents: &str) -> String {
+    contents
+        .lines()
+        .find_map(|l| l.strip_prefix("scope "))
+        .unwrap_or("")
+        .trim()
+        .to_string()
 }
 
 /// Whether the process with `pid` is alive: `Some(true/false)` on
@@ -353,14 +395,21 @@ pub fn acquire_lock(dir: &Path, opts: &LockOptions) -> Result<LockGuard, LockErr
     for attempt in 0..2 {
         match OpenOptions::new().write(true).create_new(true).open(&path) {
             Ok(mut f) => {
-                f.write_all(lock_body().as_bytes()).map_err(io_err)?;
+                f.write_all(lock_body(&opts.scope).as_bytes())
+                    .map_err(io_err)?;
                 let _ = f.sync_all();
-                return Ok(LockGuard { path });
+                return Ok(LockGuard {
+                    path,
+                    scope: opts.scope.clone(),
+                });
             }
             Err(e) if e.kind() == io::ErrorKind::AlreadyExists => {
-                let holder = fs::read_to_string(&path)
-                    .ok()
-                    .and_then(|c| parse_lock_pid(&c));
+                let contents = fs::read_to_string(&path).ok();
+                let holder = contents.as_deref().and_then(parse_lock_pid);
+                let holder_scope = contents
+                    .as_deref()
+                    .map(parse_lock_scope)
+                    .unwrap_or_default();
                 let age = fs::metadata(&path)
                     .and_then(|m| m.modified())
                     .ok()
@@ -380,6 +429,7 @@ pub fn acquire_lock(dir: &Path, opts: &LockOptions) -> Result<LockGuard, LockErr
                 return Err(LockError::Held {
                     pid: holder.unwrap_or(0),
                     path: path.display().to_string(),
+                    scope: holder_scope,
                 });
             }
             Err(e) => return Err(io_err(e)),
@@ -388,6 +438,7 @@ pub fn acquire_lock(dir: &Path, opts: &LockOptions) -> Result<LockGuard, LockErr
     Err(LockError::Held {
         pid: 0,
         path: path.display().to_string(),
+        scope: String::new(),
     })
 }
 
@@ -517,11 +568,12 @@ mod tests {
         let opts = LockOptions::default();
         let guard = acquire_lock(&dir, &opts).unwrap();
         assert!(guard.path().is_file());
-        // Second acquisition fails fast with the holder's pid.
+        // Second acquisition fails fast with the holder's pid and scope.
         match acquire_lock(&dir, &opts) {
-            Err(LockError::Held { pid, path }) => {
+            Err(LockError::Held { pid, path, scope }) => {
                 assert_eq!(pid, u64::from(std::process::id()));
                 assert!(path.contains(LOCK_FILE));
+                assert_eq!(scope, "index");
             }
             other => panic!("expected Held, got {other:?}"),
         }
@@ -545,6 +597,64 @@ mod tests {
     }
 
     #[test]
+    fn rival_scopes_collide_and_name_each_other() {
+        let dir = temp_dir("scopes");
+        let add = acquire_lock(&dir, &LockOptions::scoped("add")).unwrap();
+        assert_eq!(add.scope(), "add");
+        // A concurrent compact fails fast and learns it hit an add.
+        match acquire_lock(&dir, &LockOptions::scoped("compact")) {
+            Err(LockError::Held { scope, .. }) => assert_eq!(scope, "add"),
+            other => panic!("expected Held, got {other:?}"),
+        }
+        // The rendered error names the holder's operation, so the
+        // structured FirmUpError wrapping it does too.
+        let err = acquire_lock(&dir, &LockOptions::scoped("compact")).unwrap_err();
+        assert!(err.to_string().contains("firmup add"), "{err}");
+        // Heartbeats preserve the scope line.
+        add.heartbeat();
+        match acquire_lock(&dir, &LockOptions::scoped("index")) {
+            Err(LockError::Held { scope, .. }) => assert_eq!(scope, "add"),
+            other => panic!("expected Held, got {other:?}"),
+        }
+        drop(add);
+        let _ = fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn legacy_scopeless_lock_bodies_still_parse() {
+        let dir = temp_dir("legacy-lock");
+        // A live-pid legacy lock (no scope line) must still read as Held
+        // with an empty scope, not as garbage to steal.
+        fs::write(dir.join(LOCK_FILE), format!("pid {}\n", std::process::id())).unwrap();
+        match acquire_lock(&dir, &LockOptions::scoped("add")) {
+            Err(LockError::Held { pid, scope, .. }) => {
+                assert_eq!(pid, u64::from(std::process::id()));
+                assert_eq!(scope, "");
+            }
+            other => panic!("expected Held, got {other:?}"),
+        }
+        let _ = fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn stale_add_and_compact_locks_are_stolen() {
+        // One steal drill per writer scope: a dead-pid lock left by a
+        // crashed `index --add` or `compact` must not wedge the next run.
+        for scope in ["add", "compact"] {
+            let dir = temp_dir(&format!("stale-{scope}"));
+            fs::write(
+                dir.join(LOCK_FILE),
+                format!("pid 4199999999\nscope {scope}\n"),
+            )
+            .unwrap();
+            let guard = acquire_lock(&dir, &LockOptions::scoped(scope)).unwrap();
+            assert_eq!(guard.scope(), scope);
+            drop(guard);
+            let _ = fs::remove_dir_all(&dir);
+        }
+    }
+
+    #[test]
     fn garbage_lock_contents_are_stolen() {
         let dir = temp_dir("stale-garbage");
         fs::write(dir.join(LOCK_FILE), "???").unwrap();
@@ -558,6 +668,7 @@ mod tests {
         let dir = temp_dir("heartbeat");
         let opts = LockOptions {
             stale_after: Duration::from_millis(80),
+            ..LockOptions::default()
         };
         let guard = acquire_lock(&dir, &opts).unwrap();
         std::thread::sleep(Duration::from_millis(120));

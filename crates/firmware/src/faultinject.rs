@@ -54,12 +54,19 @@ pub enum CorruptOp {
     /// an index directory, or a buggy writer leaks lock contents into a
     /// data file. Parsers must diagnose "not an index/image", not panic.
     StaleLock,
+    /// Cut a line-oriented segment manifest (`segments.fum`) strictly
+    /// *mid-line* — the residue of a crashed non-atomic manifest writer.
+    /// Line CRCs (and the count-sealing footer) must flag the document
+    /// torn; the strict reader rejects it and `fsck --repair` salvages
+    /// the valid prefix. Falls back to an arbitrary-offset cut on blobs
+    /// that are not manifests.
+    TornManifest,
 }
 
 impl CorruptOp {
     /// All operators, in a stable order (the chaos matrix iterates
     /// this).
-    pub fn all() -> [CorruptOp; 10] {
+    pub fn all() -> [CorruptOp; 11] {
         [
             CorruptOp::BitFlip,
             CorruptOp::Truncate,
@@ -71,6 +78,7 @@ impl CorruptOp {
             CorruptOp::VersionBump,
             CorruptOp::TornRename,
             CorruptOp::StaleLock,
+            CorruptOp::TornManifest,
         ]
     }
 
@@ -87,6 +95,7 @@ impl CorruptOp {
             CorruptOp::VersionBump => "version_bump",
             CorruptOp::TornRename => "torn_rename",
             CorruptOp::StaleLock => "stale_lock",
+            CorruptOp::TornManifest => "torn_manifest",
         }
     }
 }
@@ -230,6 +239,41 @@ pub fn corrupt(blob: &[u8], op: CorruptOp, seed: u64) -> Vec<u8> {
             let text = format!("pid {pid}\n");
             let n = text.len().min(out.len());
             out[..n].copy_from_slice(&text.as_bytes()[..n]);
+        }
+        CorruptOp::TornManifest => {
+            // Cut a `fum ` manifest strictly mid-line: pick a line, keep
+            // everything before it plus a partial prefix of it, so the
+            // torn line's trailing CRC field never survives intact.
+            let line_starts: Vec<usize> = if out.starts_with(b"fum ") {
+                std::iter::once(0)
+                    .chain(
+                        out.iter()
+                            .enumerate()
+                            .filter(|&(_, &b)| b == b'\n')
+                            .map(|(i, _)| i + 1),
+                    )
+                    .filter(|&s| s < out.len())
+                    .collect()
+            } else {
+                Vec::new()
+            };
+            if line_starts.is_empty() {
+                // Not a manifest (or a headerless scrap): arbitrary cut,
+                // still always shrinking non-empty blobs.
+                let keep = rng.gen_range(0..out.len());
+                out.truncate(keep);
+            } else {
+                let start = *pick(&line_starts, &mut rng).expect("non-empty");
+                let line_end = out[start..]
+                    .iter()
+                    .position(|&b| b == b'\n')
+                    .map_or(out.len(), |p| start + p + 1);
+                // Keep at least one byte of the line (a cut at the line
+                // start would be indistinguishable from a clean shorter
+                // document for non-final lines) and never the whole line.
+                let keep = start + 1 + rng.gen_range(0..(line_end - start - 1).max(1));
+                out.truncate(keep.min(out.len() - 1));
+            }
         }
     }
     out
@@ -467,6 +511,46 @@ mod tests {
         // The unpacker may still carve embedded ELFs (degraded mode);
         // it must simply not panic.
         let _ = unpack(&damaged);
+    }
+
+    #[test]
+    fn torn_manifest_cuts_mid_line_and_is_always_diagnosed() {
+        use crate::index::{
+            parse_manifest, scan_manifest, segment_file_name, JournalEntry, Manifest,
+        };
+        let m = Manifest {
+            epoch: 5,
+            entries: (0..4)
+                .map(|i| JournalEntry {
+                    digest: 0x1000 + i,
+                    crc: 0xabcd ^ i as u32,
+                    executables: 2,
+                    segment: segment_file_name(0x1000 + i),
+                })
+                .collect(),
+        };
+        let blob = crate::index::render_manifest(&m).into_bytes();
+        for seed in 0..64 {
+            let torn = corrupt(&blob, CorruptOp::TornManifest, seed);
+            assert!(torn.len() < blob.len(), "seed {seed}: nothing torn off");
+            assert_eq!(torn, blob[..torn.len()], "seed {seed}: prefix altered");
+            // The cut must land mid-line: the residue never ends in '\n'.
+            assert_ne!(*torn.last().unwrap(), b'\n', "seed {seed}: clean cut");
+            // The strict reader rejects it; the tolerant scan salvages a
+            // valid prefix of the original entries.
+            assert!(parse_manifest(&torn).is_err(), "seed {seed}: accepted");
+            let scan = scan_manifest(&torn);
+            assert!(scan.torn, "seed {seed}: not flagged");
+            assert!(scan.entries.len() <= m.entries.len());
+            for (got, want) in scan.entries.iter().zip(m.entries.iter()) {
+                assert_eq!(got, want, "seed {seed}: salvage diverged");
+            }
+        }
+        // Non-manifest blobs fall back to a plain shrinking cut.
+        let img = sample_image();
+        let torn = corrupt(&img, CorruptOp::TornManifest, 3);
+        assert!(torn.len() < img.len());
+        assert_eq!(torn, img[..torn.len()]);
     }
 
     #[test]

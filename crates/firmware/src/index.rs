@@ -548,6 +548,173 @@ pub fn append_journal(path: &Path, entry: &JournalEntry) -> std::io::Result<()> 
     f.sync_all()
 }
 
+// ---- live-segment manifest (incremental `index --add`) -------------------
+
+/// File name of the live-segment manifest inside an index directory.
+///
+/// The manifest is the *reader-visible* list of segments: `corpus.fui`
+/// plus the manifest's segments, in manifest order, are the whole
+/// corpus. The journal ([`JOURNAL_FILE`]) remains the *writer*'s
+/// crash-recovery log — a segment can be journaled (durable, reusable
+/// by `--resume`) without being manifested (visible to readers) yet.
+pub const MANIFEST_FILE: &str = "segments.fum";
+
+/// Path of the live-segment manifest inside an index directory.
+pub fn manifest_path(dir: &Path) -> PathBuf {
+    dir.join(MANIFEST_FILE)
+}
+
+/// Parsed live-segment manifest: a generation counter plus the ordered
+/// list of live (not-yet-compacted) segments.
+#[derive(Debug, Clone, PartialEq, Eq, Default)]
+pub struct Manifest {
+    /// Generation counter: bumped by every `index --add` and `compact`
+    /// publish, so `firmup serve` can report reload progress.
+    pub epoch: u64,
+    /// Live segments in append order (the merge order readers use).
+    pub entries: Vec<JournalEntry>,
+}
+
+/// Render a manifest document. Every line carries a trailing CRC-32 of
+/// its own body (the journal-line convention), and the footer repeats
+/// the entry count — a truncated or torn manifest fails one of the two
+/// and is diagnosed instead of silently dropping segments:
+///
+/// ```text
+/// fum <epoch> <linecrc>
+/// seg <digest> <crc> <count> <file> <linecrc>   (one per segment)
+/// end <n> <linecrc>
+/// ```
+pub fn render_manifest(m: &Manifest) -> String {
+    let mut out = String::new();
+    let header = format!("fum {}", m.epoch);
+    out.push_str(&format!("{header} {:08x}\n", crc32(header.as_bytes())));
+    for e in &m.entries {
+        out.push_str(&render_journal_entry(e));
+    }
+    let footer = format!("end {}", m.entries.len());
+    out.push_str(&format!("{footer} {:08x}\n", crc32(footer.as_bytes())));
+    out
+}
+
+/// Tolerant manifest walk (the fsck view): header epoch if readable,
+/// the valid prefix of entries, and whether the document is damaged
+/// (torn tail, bad line CRC, missing or disagreeing footer).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ManifestScan {
+    /// Epoch from the header, when the header line was intact.
+    pub epoch: Option<u64>,
+    /// Longest valid prefix of segment entries.
+    pub entries: Vec<JournalEntry>,
+    /// Whether any damage was found (the strict parse would fail).
+    pub torn: bool,
+}
+
+fn parse_crc_line<'a>(line: &'a str, keyword: &str) -> Option<&'a str> {
+    let (body, crc_field) = line.rsplit_once(' ')?;
+    let linecrc = u32::from_str_radix(crc_field.trim(), 16).ok()?;
+    if crc32(body.as_bytes()) != linecrc {
+        return None;
+    }
+    body.strip_prefix(keyword)?.strip_prefix(' ')
+}
+
+/// Walk a manifest tolerantly: never fails, reports the valid prefix
+/// and whether the document was damaged. `fsck --repair` rewrites the
+/// manifest from this prefix ("repair to a consistent prefix").
+pub fn scan_manifest(bytes: &[u8]) -> ManifestScan {
+    let text = String::from_utf8_lossy(bytes);
+    let mut lines = text.split('\n').filter(|l| !l.is_empty());
+    let epoch = lines
+        .next()
+        .and_then(|l| parse_crc_line(l, "fum"))
+        .and_then(|rest| rest.parse::<u64>().ok());
+    let mut entries = Vec::new();
+    let mut torn = epoch.is_none();
+    let mut footer_count: Option<usize> = None;
+    for line in lines {
+        if torn && epoch.is_none() {
+            // Header damage poisons everything after it: a seg line we
+            // cannot anchor to an epoch is untrusted.
+            break;
+        }
+        if let Some(rest) = parse_crc_line(line, "end") {
+            footer_count = rest.parse::<usize>().ok();
+            break;
+        }
+        match parse_journal_line(line) {
+            Some(e) => entries.push(e),
+            None => {
+                torn = true;
+                break;
+            }
+        }
+    }
+    if footer_count != Some(entries.len()) {
+        torn = true;
+    }
+    ManifestScan {
+        epoch,
+        entries,
+        torn,
+    }
+}
+
+/// Parse a manifest strictly — the reader path. Any damage (bad header,
+/// torn seg line, missing or disagreeing footer) is a structured
+/// [`IndexError::Malformed`]: a reader must never silently scan a
+/// shorter corpus than the writer published.
+///
+/// # Errors
+///
+/// [`IndexError::Malformed`] naming the damage.
+pub fn parse_manifest(bytes: &[u8]) -> Result<Manifest, IndexError> {
+    let scan = scan_manifest(bytes);
+    if scan.torn {
+        return Err(IndexError::Malformed {
+            reason: format!(
+                "torn segment manifest ({} valid entr{} salvageable — run `firmup fsck --repair`)",
+                scan.entries.len(),
+                if scan.entries.len() == 1 { "y" } else { "ies" }
+            ),
+        });
+    }
+    Ok(Manifest {
+        epoch: scan.epoch.unwrap_or(0),
+        entries: scan.entries,
+    })
+}
+
+/// Read the manifest of an index directory. A missing file is
+/// `Ok(None)` — a plain single-file index (or one written by an older
+/// build) simply has no live segments.
+///
+/// # Errors
+///
+/// [`IndexError::Malformed`] for a damaged manifest, or an I/O failure
+/// surfaced as [`IndexError::Malformed`] naming the path.
+pub fn read_manifest(dir: &Path) -> Result<Option<Manifest>, IndexError> {
+    let path = manifest_path(dir);
+    match std::fs::read(&path) {
+        Ok(bytes) => parse_manifest(&bytes).map(Some),
+        Err(e) if e.kind() == std::io::ErrorKind::NotFound => Ok(None),
+        Err(e) => Err(IndexError::Malformed {
+            reason: format!("reading {}: {e}", path.display()),
+        }),
+    }
+}
+
+/// Atomically publish a manifest (tmp + fsync + rename via
+/// [`crate::durable::write_atomic`], so the `durable.*` crash points
+/// cover the publish step).
+///
+/// # Errors
+///
+/// Any filesystem failure of the atomic write.
+pub fn write_manifest(dir: &Path, m: &Manifest) -> std::io::Result<()> {
+    crate::durable::write_atomic(&manifest_path(dir), render_manifest(m).as_bytes())
+}
+
 // ---- tolerant per-record verification (fsck) -----------------------------
 
 /// Verdict for one record during a tolerant [`scan_container`] walk.
@@ -850,6 +1017,105 @@ mod tests {
         let (entries, torn) = parse_journal(&std::fs::read(&path).unwrap());
         assert!(!torn);
         assert_eq!(entries, vec![entry(0), entry(1)]);
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn manifest_roundtrips_with_epoch_and_order() {
+        let m = Manifest {
+            epoch: 7,
+            entries: (0..4).map(entry).collect(),
+        };
+        let text = render_manifest(&m);
+        assert_eq!(parse_manifest(text.as_bytes()).unwrap(), m);
+        // Empty manifests (post-compact) roundtrip too.
+        let empty = Manifest {
+            epoch: 9,
+            entries: vec![],
+        };
+        assert_eq!(
+            parse_manifest(render_manifest(&empty).as_bytes()).unwrap(),
+            empty
+        );
+    }
+
+    #[test]
+    fn torn_manifest_is_rejected_strictly_and_salvaged_tolerantly() {
+        let m = Manifest {
+            epoch: 3,
+            entries: (0..3).map(entry).collect(),
+        };
+        let text = render_manifest(&m).into_bytes();
+        // Every truncation point either still parses (only when nothing
+        // was lost — i.e. never, because the footer seals the count) or
+        // is a structured Malformed error; the tolerant scan salvages
+        // exactly the whole lines before the cut.
+        for cut in 0..text.len() - 1 {
+            let sliced = &text[..cut];
+            assert!(
+                matches!(parse_manifest(sliced), Err(IndexError::Malformed { .. })),
+                "cut at {cut} of {} parsed strictly",
+                text.len()
+            );
+            let scan = scan_manifest(sliced);
+            assert!(scan.torn, "cut at {cut} not flagged");
+            assert!(scan.entries.len() <= 3);
+            for (got, want) in scan.entries.iter().zip(m.entries.iter()) {
+                assert_eq!(got, want, "salvaged prefix diverged at cut {cut}");
+            }
+        }
+        // A flipped byte inside a seg line fails that line's CRC.
+        let mut damaged = text.clone();
+        let seg_line_start = render_manifest(&Manifest {
+            epoch: 3,
+            entries: vec![],
+        })
+        .lines()
+        .next()
+        .unwrap()
+        .len()
+            + 1;
+        damaged[seg_line_start + 6] ^= 0x01;
+        let scan = scan_manifest(&damaged);
+        assert!(scan.torn);
+        assert!(scan.entries.is_empty());
+        // A damaged header poisons the document entirely.
+        let mut bad_header = text;
+        bad_header[1] = b'x';
+        let scan = scan_manifest(&bad_header);
+        assert!(scan.torn && scan.epoch.is_none() && scan.entries.is_empty());
+    }
+
+    #[test]
+    fn manifest_footer_count_seals_the_entry_list() {
+        let m = Manifest {
+            epoch: 1,
+            entries: (0..2).map(entry).collect(),
+        };
+        let text = render_manifest(&m);
+        // Drop one seg line but keep the (now disagreeing) footer: the
+        // count mismatch must be diagnosed.
+        let mut lines: Vec<&str> = text.lines().collect();
+        lines.remove(1);
+        let forged = format!("{}\n", lines.join("\n"));
+        assert!(parse_manifest(forged.as_bytes()).is_err());
+        let scan = scan_manifest(forged.as_bytes());
+        assert!(scan.torn);
+        assert_eq!(scan.entries.len(), 1);
+    }
+
+    #[test]
+    fn manifest_read_write_roundtrip_on_disk() {
+        let dir = std::env::temp_dir().join(format!("firmup-manifest-{}", std::process::id()));
+        let _ = std::fs::remove_dir_all(&dir);
+        std::fs::create_dir_all(&dir).unwrap();
+        assert_eq!(read_manifest(&dir).unwrap(), None);
+        let m = Manifest {
+            epoch: 2,
+            entries: (0..2).map(entry).collect(),
+        };
+        write_manifest(&dir, &m).unwrap();
+        assert_eq!(read_manifest(&dir).unwrap(), Some(m));
         let _ = std::fs::remove_dir_all(&dir);
     }
 

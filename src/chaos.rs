@@ -376,6 +376,49 @@ impl CrashTrial {
     }
 }
 
+/// One trial of the incremental-ingestion state machines: kill
+/// `firmup index --add` or `firmup compact` at a crash point (or tear
+/// the manifest behind its back), recover with the documented command,
+/// and check the recovered directory against the full-build baseline.
+#[derive(Debug, Clone)]
+pub struct IngestTrial {
+    /// Which state machine was attacked: `add` or `compact`.
+    pub stage: &'static str,
+    /// The injected `FIRMUP_CRASH_POINT` spec (or the fault name).
+    pub spec: String,
+    /// The injected child did abort (or the fault was applied).
+    pub crashed: bool,
+    /// The recovery command completed.
+    pub rerun_ok: bool,
+    /// Segments the recovery adopted from the journal without
+    /// re-lifting (`add` trials only).
+    pub adopted: u64,
+    /// Expected adoption count, when the trial pins one.
+    pub expected_adopted: Option<u64>,
+    /// `firmup fsck` exits 0 on the recovered directory.
+    pub fsck_clean: bool,
+    /// Scan findings byte-identical to the full-build baseline.
+    pub findings_match: bool,
+    /// Recovered durable state matches the no-crash reference: the
+    /// manifest bytes for `add`, the full-build `corpus.fui` bytes plus
+    /// an empty manifest for `compact`.
+    pub state_match: bool,
+}
+
+impl IngestTrial {
+    /// The full invariant for one ingest crash trial.
+    pub fn passed(&self) -> bool {
+        self.crashed
+            && self.rerun_ok
+            && self
+                .expected_adopted
+                .is_none_or(|want| self.adopted == want)
+            && self.fsck_clean
+            && self.findings_match
+            && self.state_match
+    }
+}
+
 /// The crash-consistency matrix result.
 #[derive(Debug)]
 pub struct CrashMatrixReport {
@@ -387,12 +430,17 @@ pub struct CrashMatrixReport {
     pub baseline_findings: usize,
     /// One row per injected crash point.
     pub trials: Vec<CrashTrial>,
+    /// One row per `index --add` / `compact` crash trial.
+    pub ingest_trials: Vec<IngestTrial>,
 }
 
 impl CrashMatrixReport {
     /// Whether every trial upheld the invariant.
     pub fn passed(&self) -> bool {
-        !self.trials.is_empty() && self.trials.iter().all(CrashTrial::passed)
+        !self.trials.is_empty()
+            && self.trials.iter().all(CrashTrial::passed)
+            && !self.ingest_trials.is_empty()
+            && self.ingest_trials.iter().all(IngestTrial::passed)
     }
 }
 
@@ -432,13 +480,45 @@ impl fmt::Display for CrashMatrixReport {
                 if t.passed() { "pass" } else { "FAIL" }
             )?;
         }
+        writeln!(f, "ingest state machines (index --add / compact):")?;
+        writeln!(
+            f,
+            "  {:<10} {:<34} {:>7} {:>7} {:>9} {:>5} {:>9} {:>6} {:>7}",
+            "stage",
+            "crash point",
+            "crashed",
+            "rerun",
+            "adopted",
+            "fsck",
+            "findings",
+            "state",
+            "verdict"
+        )?;
+        for t in &self.ingest_trials {
+            writeln!(
+                f,
+                "  {:<10} {:<34} {:>7} {:>7} {:>9} {:>5} {:>9} {:>6} {:>7}",
+                t.stage,
+                t.spec,
+                yn(t.crashed),
+                yn(t.rerun_ok),
+                match t.expected_adopted {
+                    Some(want) => format!("{}/{want}", t.adopted),
+                    None => "-".to_string(),
+                },
+                yn(t.fsck_clean),
+                yn(t.findings_match),
+                yn(t.state_match),
+                if t.passed() { "pass" } else { "FAIL" }
+            )?;
+        }
         writeln!(
             f,
             "result: {}",
             if self.passed() {
-                "PASS — every crash point resumed to a byte-identical index"
+                "PASS — every crash point recovered to byte-identical findings"
             } else {
-                "FAIL — a crash point violated the resume invariant"
+                "FAIL — a crash point violated the recovery invariant"
             }
         )
     }
@@ -606,11 +686,193 @@ pub fn run_crash_matrix(config: &CrashMatrixConfig) -> Result<CrashMatrixReport,
             fui_identical,
         });
     }
+    // ---- ingest state machines: index --add and compact ------------------
+    //
+    // Base = a full build of the first half of the corpus; the second
+    // half arrives via `index --add`. The recovery contract under test:
+    // rerunning the same command finishes the interrupted publish, and
+    // findings (plus, after compact, the corpus.fui bytes themselves)
+    // are identical to the uninterrupted full build.
+    let n1 = (n / 2).max(1);
+    let (base_imgs, add_imgs) = images.split_at(n1);
+    let m = add_imgs.len() as u64;
+    let sub_index_args =
+        |imgs: &[std::path::PathBuf], dir: &std::path::Path, extra: &[&str]| -> Vec<String> {
+            let mut v = vec!["index".to_string()];
+            v.extend(imgs.iter().map(|p| p.display().to_string()));
+            v.extend(["--out".to_string(), dir.display().to_string()]);
+            v.extend(["--threads".to_string(), "1".to_string()]);
+            v.extend(extra.iter().map(|s| (*s).to_string()));
+            v
+        };
+    // Seed one trial directory with the half-corpus base, then the
+    // uninterrupted `--add` reference whose manifest bytes every add
+    // trial must reproduce.
+    let setup_base = |dir: &std::path::Path| -> Result<(), String> {
+        let out = run_child(&sub_index_args(base_imgs, dir, &[]), None)?;
+        if !out.status.success() {
+            return Err(format!(
+                "half-corpus base build failed: {}",
+                String::from_utf8_lossy(&out.stderr)
+            ));
+        }
+        Ok(())
+    };
+    let reference = work.join("ingest-reference");
+    setup_base(&reference)?;
+    let out = run_child(&sub_index_args(add_imgs, &reference, &["--add"]), None)?;
+    if !out.status.success() {
+        return Err(format!(
+            "reference `index --add` failed: {}",
+            String::from_utf8_lossy(&out.stderr)
+        ));
+    }
+    let reference_manifest = std::fs::read(firmup_firmware::index::manifest_path(&reference))
+        .map_err(|e| format!("reference manifest: {e}"))?;
+
+    let mut ingest_trials: Vec<IngestTrial> = Vec::new();
+    // Add-machine crash points: mid segment write, mid journal append,
+    // after each committed segment, and at the manifest publish rename
+    // (the (m+1)-th atomic write — m segment writes come first).
+    let mut add_specs: Vec<(String, Option<u64>)> = vec![
+        ("durable.after_temp_write:1".to_string(), Some(0)),
+        ("journal.mid_append:1".to_string(), Some(0)),
+    ];
+    for k in 1..=m {
+        add_specs.push((format!("index.between_segments:{k}"), Some(k)));
+    }
+    add_specs.push((format!("durable.before_rename:{}", m + 1), Some(m)));
+    for (spec, expected_adopted) in add_specs {
+        let dir = work.join(format!("add-{}", spec.replace([':', '.'], "_")));
+        setup_base(&dir)?;
+        let crashed = !run_child(&sub_index_args(add_imgs, &dir, &["--add"]), Some(&spec))?
+            .status
+            .success();
+        let metrics = dir.join("add-metrics.json");
+        let rerun = run_child(
+            &sub_index_args(
+                add_imgs,
+                &dir,
+                &["--add", "--metrics-out", metrics.to_str().unwrap_or("")],
+            ),
+            None,
+        )?;
+        let rerun_ok = rerun.status.success();
+        let adopted = if rerun_ok {
+            read_segment_counters(&metrics).map_or(u64::MAX, |(reused, _)| reused)
+        } else {
+            u64::MAX
+        };
+        let fsck = run_child(&["fsck".to_string(), dir.display().to_string()], None)?;
+        let scan = run_child(&scan_args(&dir), None)?;
+        let findings_match = scan.status.success() && findings_of(&scan.stdout) == base_findings;
+        let state_match = std::fs::read(firmup_firmware::index::manifest_path(&dir))
+            .is_ok_and(|bytes| bytes == reference_manifest);
+        ingest_trials.push(IngestTrial {
+            stage: "add",
+            spec,
+            crashed,
+            rerun_ok,
+            adopted,
+            expected_adopted,
+            fsck_clean: fsck.status.success(),
+            findings_match,
+            state_match,
+        });
+    }
+    // Torn-manifest fault: shear the published manifest's tail (the
+    // crash `write_manifest` can't produce but a dying disk can), then
+    // recover with `fsck --repair` — both live entries are salvageable,
+    // so findings must survive intact.
+    {
+        let dir = work.join("add-torn-manifest");
+        setup_base(&dir)?;
+        let ok = run_child(&sub_index_args(add_imgs, &dir, &["--add"]), None)?
+            .status
+            .success();
+        let mpath = firmup_firmware::index::manifest_path(&dir);
+        let torn_applied = ok
+            && std::fs::read(&mpath).is_ok_and(|bytes| {
+                bytes.len() > 3 && std::fs::write(&mpath, &bytes[..bytes.len() - 3]).is_ok()
+            });
+        let repair = run_child(
+            &[
+                "fsck".to_string(),
+                dir.display().to_string(),
+                "--repair".to_string(),
+            ],
+            None,
+        )?;
+        let fsck = run_child(&["fsck".to_string(), dir.display().to_string()], None)?;
+        let scan = run_child(&scan_args(&dir), None)?;
+        let findings_match = scan.status.success() && findings_of(&scan.stdout) == base_findings;
+        // The repaired manifest re-publishes the same entries at a
+        // bumped epoch; entry-for-entry equality is the contract.
+        let state_match = std::fs::read(&mpath).is_ok_and(|bytes| {
+            let reref = firmup_firmware::index::scan_manifest(&reference_manifest);
+            let scan = firmup_firmware::index::scan_manifest(&bytes);
+            !scan.torn && scan.entries == reref.entries
+        });
+        ingest_trials.push(IngestTrial {
+            stage: "add",
+            spec: "torn-manifest+fsck--repair".to_string(),
+            crashed: torn_applied,
+            rerun_ok: repair.status.success(),
+            adopted: 0,
+            expected_adopted: None,
+            fsck_clean: fsck.status.success(),
+            findings_match,
+            state_match,
+        });
+    }
+    // Compact-machine crash points: mid corpus.fui temp write, at the
+    // corpus.fui rename, and at the manifest-clear rename (the window
+    // where every manifest entry is sealed — readers must skip them and
+    // the rerun must finish the publish idempotently).
+    for spec in [
+        "durable.after_temp_write:1",
+        "durable.before_rename:1",
+        "durable.before_rename:2",
+    ] {
+        let dir = work.join(format!("compact-{}", spec.replace([':', '.'], "_")));
+        setup_base(&dir)?;
+        let ok = run_child(&sub_index_args(add_imgs, &dir, &["--add"]), None)?
+            .status
+            .success();
+        if !ok {
+            return Err("compact-trial `index --add` setup failed".into());
+        }
+        let compact_args = vec!["compact".to_string(), dir.display().to_string()];
+        let crashed = !run_child(&compact_args, Some(spec))?.status.success();
+        let rerun_ok = run_child(&compact_args, None)?.status.success();
+        let fsck = run_child(&["fsck".to_string(), dir.display().to_string()], None)?;
+        let scan = run_child(&scan_args(&dir), None)?;
+        let findings_match = scan.status.success() && findings_of(&scan.stdout) == base_findings;
+        // The compacted base must be byte-identical to the full build,
+        // and the manifest must be live-entry free.
+        let state_match = std::fs::read(firmup_firmware::index::index_path(&dir))
+            .is_ok_and(|bytes| bytes == base_fui)
+            && firmup_firmware::index::read_manifest(&dir)
+                .is_ok_and(|m| m.is_some_and(|m| m.entries.is_empty()));
+        ingest_trials.push(IngestTrial {
+            stage: "compact",
+            spec: spec.to_string(),
+            crashed,
+            rerun_ok,
+            adopted: 0,
+            expected_adopted: None,
+            fsck_clean: fsck.status.success(),
+            findings_match,
+            state_match,
+        });
+    }
+
     let report = CrashMatrixReport {
         seed: config.seed,
         images: n,
         baseline_findings: base_findings.len(),
         trials,
+        ingest_trials,
     };
     if report.passed() {
         let _ = std::fs::remove_dir_all(&work);

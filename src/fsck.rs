@@ -1,18 +1,29 @@
 //! `firmup fsck` — offline integrity verification and repair of an
 //! index directory.
 //!
-//! An index directory holds three kinds of durable state: the
+//! An index directory holds four kinds of durable state: the
 //! checkpoint journal (`journal.fuj`), the per-image segments under
-//! `segments/`, and the final `corpus.fui`. fsck verifies all of them
-//! — every record CRC is re-computed, every journal entry's segment is
-//! read back — and reports a per-record verdict table. Damaged
-//! segments are quarantined (moved into `quarantine/`) so a later
-//! `--repair` run, given the source images, re-lifts *only* the images
-//! whose checkpoints were lost and rebuilds `corpus.fui` from the
-//! surviving plus repaired segments.
+//! `segments/`, the live-segment manifest (`segments.fum`) published
+//! by `index --add`, and the final `corpus.fui`. fsck verifies all of
+//! them — every record CRC is re-computed, every journal entry's
+//! segment is read back, every manifest entry's segment is verified
+//! against its recorded CRC and executable count — and reports a
+//! per-object verdict table. Damaged segments are quarantined (moved
+//! into `quarantine/`) so a later `--repair` run, given the source
+//! images, re-lifts *only* the images whose checkpoints were lost and
+//! rebuilds `corpus.fui` from the surviving plus repaired segments.
 //!
-//! fsck takes the directory's writer lock: it must never race a live
-//! `firmup index`.
+//! Multi-segment layouts add three failure classes, all detected and
+//! all repairable: a *torn* manifest (a crash mid-rewrite left a
+//! salvageable prefix), a manifest entry whose segment is missing,
+//! damaged, or truncated (`--repair` truncates the manifest to its
+//! longest verifiable prefix), and a *double-committed* entry whose
+//! image digest is already sealed into `corpus.fui` — the normal
+//! residue of a compact interrupted between its two atomic writes;
+//! readers skip such entries, and `--repair` drops them.
+//!
+//! fsck takes the directory's writer lock (scope `fsck`): it must
+//! never race a live `firmup index`, `index --add`, or `compact`.
 
 use std::fmt;
 use std::path::{Path, PathBuf};
@@ -22,8 +33,9 @@ use firmup_core::persist::{segment_from_bytes, CorpusIndex, IndexCheckpoint};
 use firmup_firmware::crc::crc32;
 use firmup_firmware::durable::{acquire_lock, is_tmp_debris, write_atomic, LockOptions};
 use firmup_firmware::index::{
-    image_digest, index_path, journal_path, parse_journal, render_journal_entry, scan_container,
-    segments_dir, JournalEntry, RecordStatus,
+    image_digest, index_path, journal_path, manifest_path, parse_journal, render_journal_entry,
+    scan_container, scan_manifest, segments_dir, write_manifest, JournalEntry, Manifest,
+    RecordStatus,
 };
 
 /// Subdirectory damaged segments are moved into.
@@ -134,6 +146,32 @@ impl FsckReport {
     pub fn clean(&self) -> bool {
         self.unresolved() == 0
     }
+
+    /// The exit-code taxonomy: [`FsckOutcome::Clean`] (nothing was
+    /// wrong), [`FsckOutcome::Repaired`] (damage was found and fully
+    /// repaired — the report shows what), or
+    /// [`FsckOutcome::Unrepairable`] (damage remains). The first two
+    /// exit 0; the last exits 1.
+    pub fn outcome(&self) -> FsckOutcome {
+        if !self.clean() {
+            FsckOutcome::Unrepairable
+        } else if self.rows.iter().any(|r| r.verdict == Verdict::Repaired) {
+            FsckOutcome::Repaired
+        } else {
+            FsckOutcome::Clean
+        }
+    }
+}
+
+/// Three-way exit taxonomy of an fsck run — see [`FsckReport::outcome`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum FsckOutcome {
+    /// Every object verified intact; nothing was touched.
+    Clean,
+    /// Damage was found and every piece of it was repaired.
+    Repaired,
+    /// Damage remains after verification (and repair, if requested).
+    Unrepairable,
 }
 
 impl fmt::Display for FsckReport {
@@ -171,7 +209,11 @@ impl fmt::Display for FsckReport {
         writeln!(
             f,
             "fsck: {}",
-            if self.clean() { "clean" } else { "NOT clean" }
+            match self.outcome() {
+                FsckOutcome::Clean => "clean",
+                FsckOutcome::Repaired => "repaired (clean after repair)",
+                FsckOutcome::Unrepairable => "NOT clean",
+            }
         )
     }
 }
@@ -207,7 +249,7 @@ fn quarantine(dir: &Path, path: &Path, report: &mut FsckReport) {
 /// [`FirmUpError::Io`] on unreadable metadata. Damage to the *index
 /// contents* is not an error — it lands in the report.
 pub fn run(dir: &Path, opts: &FsckOptions) -> Result<FsckReport, FirmUpError> {
-    let _lock = acquire_lock(dir, &LockOptions::from_env())?;
+    let _lock = acquire_lock(dir, &LockOptions::scoped("fsck"))?;
     let mut report = FsckReport::default();
     let seg_dir = segments_dir(dir);
     sweep_tmp(dir, &mut report);
@@ -266,15 +308,118 @@ pub fn run(dir: &Path, opts: &FsckOptions) -> Result<FsckReport, FirmUpError> {
         }
     }
 
-    // Orphan segments: present on disk, unreferenced by the journal.
+    // Live-segment manifest: parse tolerantly, then verify every entry
+    // against its segment file. The base file's seals record identifies
+    // double-committed entries (a compact crashed between rewriting
+    // corpus.fui and clearing the manifest): readers already skip them,
+    // so they are dropped, not condemned-with-prejudice. Anything else
+    // bad truncates the manifest to its longest verifiable prefix on
+    // repair.
+    let base_seals: Vec<u64> = std::fs::read(index_path(dir))
+        .ok()
+        .and_then(|b| CorpusIndex::from_bytes(&b).ok())
+        .map(|ix| ix.seals().to_vec())
+        .unwrap_or_default();
+    let manifest_file = manifest_path(dir);
+    let manifest_bytes = match std::fs::read(&manifest_file) {
+        Ok(b) => Some(b),
+        Err(e) if e.kind() == std::io::ErrorKind::NotFound => None,
+        Err(e) => {
+            return Err(
+                FirmUpError::from(e).in_ctx(FaultCtx::image(manifest_file.display().to_string()))
+            )
+        }
+    };
+    let mut manifest_keep: Vec<JournalEntry> = Vec::new();
+    let mut manifest_names: Vec<String> = Vec::new();
+    let mut manifest_dirty = false;
+    let mut manifest_epoch = 0u64;
+    if let Some(bytes) = &manifest_bytes {
+        let mscan = scan_manifest(bytes);
+        manifest_epoch = mscan.epoch.unwrap_or(0);
+        if mscan.torn {
+            report.push(
+                "segments.fum",
+                Verdict::Damaged,
+                format!(
+                    "torn manifest ({} entr{} salvageable)",
+                    mscan.entries.len(),
+                    if mscan.entries.len() == 1 { "y" } else { "ies" }
+                ),
+            );
+            manifest_dirty = true;
+        }
+        let mut prefix_intact = true;
+        for entry in mscan.entries {
+            let what = format!("segments.fum entry {}", entry.segment);
+            manifest_names.push(entry.segment.clone());
+            if base_seals.contains(&entry.digest) {
+                report.push(
+                    what,
+                    Verdict::Orphan,
+                    "double-committed: image already sealed into corpus.fui (readers skip it)",
+                );
+                manifest_dirty = true; // dropped on repair, but harmless
+                continue;
+            }
+            if !prefix_intact {
+                report.push(
+                    what,
+                    Verdict::Damaged,
+                    "beyond a damaged entry (dropped with the prefix on repair)",
+                );
+                continue;
+            }
+            let seg_path = seg_dir.join(&entry.segment);
+            match std::fs::read(&seg_path) {
+                Err(_) => {
+                    report.push(what, Verdict::Missing, "live segment file absent");
+                    manifest_dirty = true;
+                    prefix_intact = false;
+                }
+                Ok(blob) if crc32(&blob) != entry.crc => {
+                    report.push(what, Verdict::Damaged, "CRC-32 mismatch vs manifest");
+                    manifest_dirty = true;
+                    prefix_intact = false;
+                }
+                Ok(blob) => match segment_from_bytes(&blob) {
+                    Ok(reps) if reps.len() as u32 == entry.executables => {
+                        report.push(what, Verdict::Ok, format!("{} executable(s)", reps.len()));
+                        manifest_keep.push(entry);
+                    }
+                    Ok(reps) => {
+                        report.push(
+                            what,
+                            Verdict::Damaged,
+                            format!(
+                                "manifest declares {} executable(s), segment holds {}",
+                                entry.executables,
+                                reps.len()
+                            ),
+                        );
+                        manifest_dirty = true;
+                        prefix_intact = false;
+                    }
+                    Err(e) => {
+                        report.push(what, Verdict::Damaged, e.to_string());
+                        manifest_dirty = true;
+                        prefix_intact = false;
+                    }
+                },
+            }
+        }
+    }
+
+    // Orphan segments: present on disk, referenced by neither the
+    // journal nor the live-segment manifest.
     if let Ok(listing) = std::fs::read_dir(&seg_dir) {
         for item in listing.flatten() {
             let name = item.file_name().to_string_lossy().into_owned();
-            if !valid.iter().any(|e| e.segment == name) {
+            if !valid.iter().any(|e| e.segment == name) && !manifest_names.contains(&name) {
                 report.push(
                     format!("segment {name}"),
                     Verdict::Orphan,
-                    "not referenced by the journal",
+                    "referenced by neither the journal nor the manifest",
                 );
             }
         }
@@ -321,6 +466,31 @@ pub fn run(dir: &Path, opts: &FsckOptions) -> Result<FsckReport, FirmUpError> {
         let bytes = std::fs::read(&journal).unwrap_or_default();
         valid = parse_journal(&bytes).0;
         journal_dirty = false;
+        // Rewrite a damaged manifest to its verified prefix (sealed
+        // duplicates dropped, epoch bumped so reloads notice).
+        if manifest_dirty {
+            write_manifest(
+                dir,
+                &Manifest {
+                    epoch: manifest_epoch + 1,
+                    entries: manifest_keep.clone(),
+                },
+            )
+            .map_err(|e| {
+                FirmUpError::from(e).in_ctx(FaultCtx::image(manifest_file.display().to_string()))
+            })?;
+            report.repaired += 1;
+            report.push(
+                "segments.fum",
+                Verdict::Repaired,
+                format!(
+                    "rewritten to {} verified live entr{} at epoch {}",
+                    manifest_keep.len(),
+                    if manifest_keep.len() == 1 { "y" } else { "ies" },
+                    manifest_epoch + 1
+                ),
+            );
+        }
     } else if journal_dirty && !journal_bytes.is_empty() {
         // Rewrite the journal to only the verified entries so the next
         // resume does not re-diagnose the same damage.
@@ -383,8 +553,31 @@ pub fn run(dir: &Path, opts: &FsckOptions) -> Result<FsckReport, FirmUpError> {
             }
         }
         if complete {
-            CorpusIndex::build(reps).save(dir)?;
+            let mut rebuilt = CorpusIndex::build(reps);
+            // The rebuild folds *every* verified segment, so seal their
+            // digests and clear the manifest — otherwise readers would
+            // union the still-live entries in twice.
+            rebuilt.set_seals(valid.iter().map(|e| e.digest).collect());
+            rebuilt.save(dir)?;
             report.push("corpus.fui", Verdict::Repaired, "rebuilt from segments");
+            if manifest_bytes.is_some() {
+                write_manifest(
+                    dir,
+                    &Manifest {
+                        epoch: manifest_epoch + 1,
+                        entries: Vec::new(),
+                    },
+                )
+                .map_err(|e| {
+                    FirmUpError::from(e)
+                        .in_ctx(FaultCtx::image(manifest_file.display().to_string()))
+                })?;
+                report.push(
+                    "segments.fum",
+                    Verdict::Repaired,
+                    "cleared: every live segment folded into the rebuilt corpus.fui",
+                );
+            }
         } else {
             report.push(
                 "corpus.fui",
@@ -498,6 +691,157 @@ mod tests {
         assert!(report.clean(), "{report}");
         let back = CorpusIndex::load(&dir).unwrap();
         assert_eq!(back.len(), 2);
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    /// A multi-segment layout: base corpus of `a` (sealed), live
+    /// segments `b` (0xb2) and `c` (0xc3) journaled and published by a
+    /// manifest at epoch 5.
+    fn setup_multiseg(tag: &str) -> (PathBuf, Vec<JournalEntry>) {
+        let dir =
+            std::env::temp_dir().join(format!("firmup-fsck-seg-{tag}-{}", std::process::id()));
+        let _ = std::fs::remove_dir_all(&dir);
+        let (mut ckpt, _) = IndexCheckpoint::open(&dir, false).unwrap();
+        ckpt.commit(0xb2, &[rep("b")]).unwrap();
+        ckpt.commit(0xc3, &[rep("c")]).unwrap();
+        let mut base = CorpusIndex::build(vec![rep("a")]);
+        base.set_seals(vec![0xa1]);
+        base.save(&dir).unwrap();
+        let entries = vec![
+            ckpt.entry(0xb2).unwrap().clone(),
+            ckpt.entry(0xc3).unwrap().clone(),
+        ];
+        write_manifest(
+            &dir,
+            &Manifest {
+                epoch: 5,
+                entries: entries.clone(),
+            },
+        )
+        .unwrap();
+        (dir, entries)
+    }
+
+    #[test]
+    fn intact_multi_segment_layout_is_clean() {
+        let (dir, _) = setup_multiseg("clean");
+        let report = run(&dir, &FsckOptions::default()).unwrap();
+        assert_eq!(report.outcome(), FsckOutcome::Clean, "{report}");
+        assert!(report
+            .rows
+            .iter()
+            .any(|r| r.what.starts_with("segments.fum entry") && r.verdict == Verdict::Ok));
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn torn_manifest_is_detected_and_repaired_to_its_prefix() {
+        let (dir, _) = setup_multiseg("torn");
+        let mpath = manifest_path(&dir);
+        let bytes = std::fs::read(&mpath).unwrap();
+        std::fs::write(&mpath, &bytes[..bytes.len() - 3]).unwrap();
+        let report = run(&dir, &FsckOptions::default()).unwrap();
+        assert_eq!(report.outcome(), FsckOutcome::Unrepairable, "{report}");
+        assert!(
+            report
+                .rows
+                .iter()
+                .any(|r| r.what == "segments.fum" && r.detail.contains("torn")),
+            "{report}"
+        );
+        let report = run(
+            &dir,
+            &FsckOptions {
+                repair: true,
+                ..FsckOptions::default()
+            },
+        )
+        .unwrap();
+        assert_eq!(report.outcome(), FsckOutcome::Repaired, "{report}");
+        // Both live entries survived the tear; the repaired manifest
+        // republishes them at a bumped epoch and reads see all three.
+        let ix = CorpusIndex::load(&dir).unwrap();
+        assert_eq!(ix.len(), 3, "{report}");
+        assert_eq!(ix.segment_epoch(), 6);
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn double_committed_manifest_entry_is_a_warning_and_dropped_on_repair() {
+        let (dir, _) = setup_multiseg("dup");
+        // Simulate a compact that crashed after rewriting corpus.fui
+        // but before clearing the manifest: the new base has folded b
+        // in (and sealed 0xb2), yet the manifest still lists it live.
+        let mut base = CorpusIndex::build(vec![rep("a"), rep("b")]);
+        base.set_seals(vec![0xa1, 0xb2]);
+        base.save(&dir).unwrap();
+        let report = run(&dir, &FsckOptions::default()).unwrap();
+        // Readers skip the sealed entry, so this is a warning (orphan),
+        // not damage — fsck without --repair stays clean.
+        assert_eq!(report.outcome(), FsckOutcome::Clean, "{report}");
+        assert!(
+            report
+                .rows
+                .iter()
+                .any(|r| r.verdict == Verdict::Orphan && r.detail.contains("double-committed")),
+            "{report}"
+        );
+        let report = run(
+            &dir,
+            &FsckOptions {
+                repair: true,
+                ..FsckOptions::default()
+            },
+        )
+        .unwrap();
+        assert_eq!(report.outcome(), FsckOutcome::Repaired, "{report}");
+        let m = firmup_firmware::index::read_manifest(&dir)
+            .unwrap()
+            .unwrap();
+        assert_eq!(m.entries.len(), 1, "only 0xc3 stays live");
+        assert_eq!(m.entries[0].digest, 0xc3);
+        assert_eq!(CorpusIndex::load(&dir).unwrap().len(), 3);
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn missing_live_segment_truncates_manifest_to_verifiable_prefix() {
+        let (dir, entries) = setup_multiseg("prefix");
+        // Splice a never-committed segment between the two live ones:
+        // [b, ghost, c] — the verifiable prefix is just [b].
+        let ghost = JournalEntry {
+            digest: 0xdd,
+            crc: 0,
+            executables: 1,
+            segment: firmup_firmware::index::segment_file_name(0xdd),
+        };
+        write_manifest(
+            &dir,
+            &Manifest {
+                epoch: 5,
+                entries: vec![entries[0].clone(), ghost, entries[1].clone()],
+            },
+        )
+        .unwrap();
+        let report = run(&dir, &FsckOptions::default()).unwrap();
+        assert_eq!(report.outcome(), FsckOutcome::Unrepairable, "{report}");
+        let report = run(
+            &dir,
+            &FsckOptions {
+                repair: true,
+                ..FsckOptions::default()
+            },
+        )
+        .unwrap();
+        assert_eq!(report.outcome(), FsckOutcome::Repaired, "{report}");
+        let m = firmup_firmware::index::read_manifest(&dir)
+            .unwrap()
+            .unwrap();
+        assert_eq!(m.entries.len(), 1, "{report}");
+        assert_eq!(m.entries[0].digest, 0xb2);
+        // Base (a) + surviving prefix (b): c is journaled but no longer
+        // published, exactly the consistent-prefix contract.
+        assert_eq!(CorpusIndex::load(&dir).unwrap().len(), 2);
         let _ = std::fs::remove_dir_all(&dir);
     }
 

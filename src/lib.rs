@@ -25,6 +25,7 @@
 
 pub mod chaos;
 pub mod fsck;
+pub mod ingest;
 pub mod pipeline;
 pub mod serve;
 pub mod shutdown;

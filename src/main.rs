@@ -58,6 +58,7 @@ fn main() -> ExitCode {
         Some("info") => info(&args[1..]).map_err(CliError::Msg),
         Some("disasm") => disasm(&args[1..]).map_err(CliError::Msg),
         Some("index") => index(&args[1..]),
+        Some("compact") => compact_cmd(&args[1..]).map_err(CliError::Msg),
         Some("fsck") => fsck_cmd(&args[1..]).map_err(CliError::Msg),
         Some("scan") => scan(&args[1..]),
         Some("profile") => profile(&args[1..]),
@@ -119,7 +120,7 @@ USAGE:
         Describe a firmware image (parts, vendors) or an ELF (sections, procedures).
     firmup disasm ELF [--proc NAME]
         Disassemble an executable and print lifted IR + canonical strands.
-    firmup index IMAGE... --out DIR [--threads N] [--resume]
+    firmup index IMAGE... --out DIR [--add] [--threads N] [--resume]
                  [--metrics-out FILE.json]
         Unpack, lift, and canonicalize every executable in the images and
         persist the result — procedure metadata, canonical strand hashes,
@@ -132,13 +133,35 @@ USAGE:
         advisory lock, every file lands via temp+fsync+rename, and ^C
         exits cleanly (code 130) after the current segment. --resume
         verifies the journal and re-lifts only what was never committed.
+        With --add, IMAGE... are appended incrementally instead: each
+        new image becomes its own CRC'd segment and the live-segment
+        manifest (DIR/segments.fum) is atomically rewritten to publish
+        it — committed state is never rewritten, duplicates are skipped,
+        and segments a crashed run committed but never published are
+        adopted on rerun. Readers (scan, serve after SIGHUP) union the
+        base corpus.fui with every live segment; findings are
+        byte-identical to a from-scratch index over the same images.
+    firmup compact DIR [--metrics-out FILE.json]
+        Fold every live segment published by `index --add` into
+        DIR/corpus.fui: one atomic rewrite of the base (its seals record
+        absorbs the folded image digests), then an atomic rewrite of the
+        manifest to empty. Crash safe at every point — a kill between
+        the two writes leaves only sealed entries, which readers skip
+        and a rerun clears idempotently. Scan findings are byte-for-byte
+        unchanged by compaction.
     firmup fsck DIR [--repair] [IMAGE...] [--threads N]
         Verify a saved index: sweep atomic-write debris, trim a torn
         journal tail, CRC-check every checkpoint segment (quarantining
-        damage), and decode every corpus.fui record. Prints a per-object
-        verdict table; exits nonzero unless clean. With --repair (and
-        the source IMAGE... for anything lost) rebuilds only the damaged
-        pieces and rewrites corpus.fui from verified segments.
+        damage), verify the live-segment manifest (torn headers,
+        missing/damaged/truncated segments, double-committed entries
+        already sealed into corpus.fui), and decode every corpus.fui
+        record. Prints a per-object verdict table and a final taxonomy
+        line: exit 0 for `clean` and for `repaired` (clean after
+        --repair, with the report showing what was rebuilt), exit 1 for
+        unrepairable damage. With --repair (and the source IMAGE... for
+        anything lost) rebuilds only the damaged pieces, truncates the
+        manifest to its longest verifiable prefix, and rewrites
+        corpus.fui from verified segments.
     firmup scan IMAGE... [--index DIR] [--cve CVE-ID] [--threads N]
                 [--top-k K] [--format text|json] [--explain] [--trace]
                 [--trace-out FILE.json] [--metrics-out FILE.json]
@@ -213,9 +236,11 @@ USAGE:
         stale lock stamps, CRC smash, bogus/overlapping part headers,
         mangled section tables, oversized lengths) and push each damaged
         blob through unpack -> lift -> search. Exits nonzero if any stage
-        panics. --crash-matrix instead kills a child `firmup index` at
-        every deterministic crash point and asserts each one resumes to
-        a byte-identical index with identical scan findings. --serve
+        panics. --crash-matrix instead kills a child firmup at every
+        deterministic crash point in `index`, `index --add`, and
+        `compact` (including the torn-manifest fault) and asserts each
+        one recovers to byte-identical scan findings — and, for
+        compact, a byte-identical corpus.fui. --serve
         instead runs the serving drill: boot a child daemon, corrupt
         its on-disk index between SIGHUP reloads, and assert it
         degrades (old snapshot keeps serving identical findings, the
@@ -927,6 +952,9 @@ fn lift_images(paths: &[&String], threads: usize) -> Result<(Vec<ExecutableRep>,
 }
 
 fn index(args: &[String]) -> Result<(), CliError> {
+    if has_flag(args, "--add") {
+        return index_add(args);
+    }
     firmup::telemetry::enable();
     // Pre-register the durability counters so every run (including one
     // that reuses everything) reports them in --metrics-out JSON.
@@ -979,6 +1007,7 @@ fn index(args: &[String]) -> Result<(), CliError> {
         .map(std::time::Duration::from_millis);
 
     let mut reps: Vec<ExecutableRep> = Vec::new();
+    let mut sealed: Vec<u64> = Vec::new();
     let mut skipped = 0usize;
     let mut segments_done = 0usize;
     let mut was_interrupted = false;
@@ -998,6 +1027,7 @@ fn index(args: &[String]) -> Result<(), CliError> {
                 Ok(seg) => {
                     firmup::telemetry::incr("index.segments_reused");
                     reps.extend(seg);
+                    sealed.push(digest);
                     segments_done += 1;
                 }
                 Err(e) => return Err(CliError::Msg(e.to_string())),
@@ -1008,6 +1038,7 @@ fn index(args: &[String]) -> Result<(), CliError> {
                     ckpt.commit(digest, &seg)
                         .map_err(|e| CliError::Msg(e.to_string()))?;
                     reps.extend(seg);
+                    sealed.push(digest);
                     segments_done += 1;
                 }
                 Err(e) => {
@@ -1052,7 +1083,10 @@ fn index(args: &[String]) -> Result<(), CliError> {
             "no indexable image: every input failed to unpack".into(),
         ));
     }
-    let corpus = CorpusIndex::build(reps);
+    let mut corpus = CorpusIndex::build(reps);
+    // Seal the ingested image digests into the base so `index --add`
+    // can dedup against it and `compact` can prove what it folded.
+    corpus.set_seals(sealed);
     corpus
         .save(&out)
         .map_err(|e| CliError::Msg(e.to_string()))?;
@@ -1077,6 +1111,121 @@ fn index(args: &[String]) -> Result<(), CliError> {
     Ok(())
 }
 
+fn index_add(args: &[String]) -> Result<(), CliError> {
+    firmup::telemetry::enable();
+    for name in [
+        "index.segments_committed",
+        "index.segments_reused",
+        "index.manifest_published",
+        "io.retries",
+    ] {
+        let _ = firmup::telemetry::counter(name);
+    }
+    let paths = positional(args);
+    if paths.is_empty() {
+        return Err(CliError::Msg(
+            "index --add requires at least one IMAGE".into(),
+        ));
+    }
+    let out = PathBuf::from(
+        flag_value(args, "--out")
+            .ok_or_else(|| CliError::Msg("index requires --out DIR".into()))?,
+    );
+    let threads = usize_flag(args, "--threads")?.unwrap_or(0);
+    let metrics_out = flag_value(args, "--metrics-out").map(PathBuf::from);
+    firmup::shutdown::install();
+    let images: Vec<PathBuf> = paths.iter().map(|p| PathBuf::from(p.as_str())).collect();
+    let report = firmup::ingest::add_images(&out, &images, threads)
+        .map_err(|e| CliError::Msg(e.to_string()))?;
+    let write_metrics = || -> Result<(), CliError> {
+        if let Some(path) = &metrics_out {
+            let snap = firmup::telemetry::snapshot();
+            write_atomic(path, snap.render_json().render().as_bytes())
+                .map_err(|e| CliError::Msg(format!("{}: {e}", path.display())))?;
+            println!("metrics written to {}", path.display());
+        }
+        Ok(())
+    };
+    if report.interrupted {
+        println!(
+            "interrupted: {} new segment(s) durable in {}; rerun `firmup index --add` to publish them",
+            report.added + report.adopted,
+            out.display()
+        );
+        print!("{}", firmup::telemetry::snapshot().render_text());
+        write_metrics()?;
+        return Err(CliError::Interrupted);
+    }
+    if report.skipped == paths.len() {
+        return Err(CliError::Msg(
+            "no indexable image: every input failed to unpack".into(),
+        ));
+    }
+    let mut notes = String::new();
+    if report.adopted > 0 {
+        notes.push_str(&format!(
+            " ({} segment(s) adopted from an interrupted run)",
+            report.adopted
+        ));
+    }
+    if report.already_live > 0 {
+        notes.push_str(&format!(
+            " ({} image(s) already indexed, skipped)",
+            report.already_live
+        ));
+    }
+    if report.skipped > 0 {
+        notes.push_str(&format!(
+            " ({} unreadable image(s) skipped)",
+            report.skipped
+        ));
+    }
+    println!(
+        "added {} image(s) ({} executable(s)) -> {} live segment(s) at epoch {} in {}{notes}",
+        report.added + report.adopted,
+        report.executables,
+        report.live_segments,
+        report.epoch,
+        out.display(),
+    );
+    print!("{}", firmup::telemetry::snapshot().render_text());
+    write_metrics()?;
+    Ok(())
+}
+
+fn compact_cmd(args: &[String]) -> Result<(), String> {
+    firmup::telemetry::enable();
+    let _ = firmup::telemetry::counter("index.segments_folded");
+    let pos = positional(args);
+    let [dir] = pos.as_slice() else {
+        return Err("compact requires exactly one DIR".into());
+    };
+    let metrics_out = flag_value(args, "--metrics-out").map(PathBuf::from);
+    let report = firmup::ingest::compact(Path::new(dir.as_str())).map_err(|e| e.to_string())?;
+    if report.epoch == 0 {
+        println!(
+            "nothing to compact: no live-segment manifest in {dir} ({} executable(s) in the base)",
+            report.executables
+        );
+    } else {
+        println!(
+            "compacted {} live segment(s) into {} — {} executable(s), manifest now empty at epoch {}",
+            report.folded,
+            firmup::firmware::index::index_path(Path::new(dir.as_str())).display(),
+            report.executables,
+            report.epoch
+        );
+    }
+    if let Some(path) = &metrics_out {
+        let snap = firmup::telemetry::snapshot();
+        write_atomic(path, snap.render_json().render().as_bytes())
+            .map_err(|e| format!("{}: {e}", path.display()))?;
+        println!("metrics written to {}", path.display());
+    }
+    print!("{}", firmup::telemetry::snapshot().render_text());
+    Ok(())
+}
+
 fn fsck_cmd(args: &[String]) -> Result<(), String> {
     firmup::telemetry::enable();
     let _ = firmup::telemetry::counter("fsck.records_repaired");
@@ -1089,15 +1238,17 @@ fn fsck_cmd(args: &[String]) -> Result<(), String> {
     };
     let report = firmup::fsck::run(Path::new(dir.as_str()), &opts).map_err(|e| e.to_string())?;
     print!("{report}");
-    if report.clean() {
-        Ok(())
-    } else if opts.repair {
-        Err(
+    // Exit taxonomy: clean and repaired-to-clean both exit 0 (the
+    // report distinguishes them); unrepairable damage exits 1.
+    match report.outcome() {
+        firmup::fsck::FsckOutcome::Clean | firmup::fsck::FsckOutcome::Repaired => Ok(()),
+        firmup::fsck::FsckOutcome::Unrepairable if opts.repair => Err(
             "index not clean after repair (pass the source IMAGE... to rebuild lost segments)"
                 .into(),
-        )
-    } else {
-        Err("index not clean (rerun with --repair and the source images to rebuild)".into())
+        ),
+        firmup::fsck::FsckOutcome::Unrepairable => {
+            Err("index not clean (rerun with --repair and the source images to rebuild)".into())
+        }
     }
 }
 

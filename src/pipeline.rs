@@ -331,6 +331,11 @@ pub fn run_scan(
             None => arch_groups.push((arch, vec![i])),
         }
     }
+    // Groups are discovered in executable order, which an `index --add`
+    // history is free to permute. Sort by arch so the job list — and
+    // with it the findings stream — is a pure function of corpus
+    // content, not of ingestion order.
+    arch_groups.sort_by_key(|(a, _)| *a);
 
     // Phase 1 — build the job list serially: compile one query per
     // (package, arch) and select its candidates (whole arch group, or
@@ -369,15 +374,25 @@ pub fn run_scan(
                 // candidate selection and explain provenance (rank /
                 // score / pool). Computed once, unconditionally ranked
                 // (k = 0) so explain records are identical with and
-                // without top-k trimming.
+                // without top-k trimming. Score ties are re-broken on
+                // the executable's stable id: the raw postings index
+                // reflects ingestion order, which an `index --add`
+                // history is free to permute, and the top-k cut must
+                // land identically for every such history.
                 let ranked: Option<Vec<(usize, f64)>> =
                     (opts.top_k > 0 || opts.explain).then(|| {
-                        prefilter_candidates(
+                        let mut r = prefilter_candidates(
                             &query.0.procedures[query.1],
                             &corpus.postings,
                             Some(&corpus.context),
                             0,
-                        )
+                        );
+                        r.sort_by(|a, b| {
+                            b.1.partial_cmp(&a.1)
+                                .unwrap_or(std::cmp::Ordering::Equal)
+                                .then_with(|| corpus.exe_id(a.0).cmp(corpus.exe_id(b.0)))
+                        });
+                        r
                     });
                 let candidates: Vec<usize> = if opts.top_k > 0 {
                     ranked

@@ -63,6 +63,16 @@ impl SnapshotStore {
         self.reload_error.lock().expect("reload error lock").clone()
     }
 
+    /// The segment view of the current snapshot: the live-segment
+    /// manifest epoch it was loaded against and how many live segments
+    /// were unioned into the base (both 0 for a plain single-file
+    /// index). Surfaces in `/readyz` so operators can confirm a SIGHUP
+    /// picked up an `index --add` publish.
+    pub fn segment_view(&self) -> (u64, usize) {
+        let snap = self.snapshot();
+        (snap.segment_epoch(), snap.segment_count())
+    }
+
     /// Reload the index from disk (the SIGHUP path). On success the new
     /// snapshot is swapped in and the epoch bumps; on failure the old
     /// snapshot stays current and the error is retained for `/readyz` —
@@ -186,6 +196,31 @@ mod tests {
         store.reload().expect("reload restored index");
         assert_eq!(store.epoch(), 2);
         assert_eq!(store.reload_error(), None);
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn reload_picks_up_newly_published_segments() {
+        let dir = temp_dir("segments");
+        let n = build_index(&dir, 0x5e6_3a11);
+        let store = SnapshotStore::open(&dir).expect("open");
+        assert_eq!(store.segment_view(), (0, 0), "single-file index");
+
+        // Publish one extra image as a live segment, the `index --add`
+        // way, and confirm only a reload (the SIGHUP path) sees it.
+        let extra = generate(&CorpusConfig {
+            seed: 0x0123_abcd,
+            ..CorpusConfig::tiny()
+        });
+        let img_path = dir.join("extra.fwim");
+        std::fs::write(&img_path, &extra.images[0].blob).expect("write image");
+        let report = crate::ingest::add_images(&dir, &[img_path], 1).expect("add");
+        assert_eq!(report.added, 1);
+        assert_eq!(store.snapshot().len(), n, "no reload yet");
+
+        store.reload().expect("reload");
+        assert_eq!(store.segment_view(), (1, 1), "one live segment at epoch 1");
+        assert!(store.snapshot().len() > n);
         let _ = std::fs::remove_dir_all(&dir);
     }
 

@@ -408,6 +408,7 @@ fn readyz(job: &Job, cfg: &ServeConfig, store: &SnapshotStore, depth: usize) {
     let reload_error = store.reload_error();
     // Depth is sampled racily; readiness is advisory by nature.
     let ready = reload_error.is_none() && depth < cfg.queue_cap;
+    let (segment_epoch, segments) = store.segment_view();
     let body = Json::Obj(vec![
         ("ready".into(), Json::Bool(ready)),
         ("epoch".into(), Json::Num(store.epoch() as f64)),
@@ -415,6 +416,8 @@ fn readyz(job: &Job, cfg: &ServeConfig, store: &SnapshotStore, depth: usize) {
             "executables".into(),
             Json::Num(store.snapshot().len() as f64),
         ),
+        ("segment_epoch".into(), Json::Num(segment_epoch as f64)),
+        ("segments".into(), Json::Num(segments as f64)),
         ("queue_depth".into(), Json::Num(depth as f64)),
         ("queue_capacity".into(), Json::Num(cfg.queue_cap as f64)),
         (

@@ -596,6 +596,95 @@ fn cli_error_paths_are_clean() {
     assert!(String::from_utf8_lossy(&out.stderr).contains("--scale"));
 }
 
+/// `firmup fsck` exit-code taxonomy, pinned end to end: a clean index
+/// exits 0 ("fsck: clean"), a successful `--repair` exits 0 and says
+/// "repaired (clean after repair)", and unrepaired damage exits 1
+/// ("fsck: NOT clean"). Scripts branch on these codes, so they are a
+/// compatibility contract, not cosmetics.
+#[test]
+fn fsck_exit_codes_distinguish_clean_repaired_and_unrepairable() {
+    let dir = temp_dir("fsck-taxonomy");
+    let corpus = dir.join("corpus");
+    let out = firmup()
+        .args([
+            "gen-corpus",
+            "--out",
+            corpus.to_str().unwrap(),
+            "--devices",
+            "2",
+        ])
+        .output()
+        .expect("spawn");
+    assert!(out.status.success());
+    let mut images: Vec<PathBuf> = std::fs::read_dir(&corpus)
+        .unwrap()
+        .filter_map(|e| {
+            let p = e.unwrap().path();
+            (p.extension().is_some_and(|x| x == "fwim")).then_some(p)
+        })
+        .collect();
+    images.sort();
+    assert!(images.len() >= 2);
+
+    // Build a multi-segment layout: two `--add` publishes leave live
+    // segments behind a manifest that can be damaged.
+    let idx = dir.join("idx");
+    for img in &images[..2] {
+        let out = firmup()
+            .args(["index", "--add"])
+            .arg(img)
+            .args(["--out", idx.to_str().unwrap(), "--threads", "1"])
+            .output()
+            .expect("spawn");
+        assert!(
+            out.status.success(),
+            "index --add failed: {}",
+            String::from_utf8_lossy(&out.stderr)
+        );
+    }
+
+    let fsck = |extra: &[&str]| -> (Option<i32>, String) {
+        let out = firmup()
+            .arg("fsck")
+            .arg(&idx)
+            .args(extra)
+            .output()
+            .expect("spawn fsck");
+        (
+            out.status.code(),
+            String::from_utf8_lossy(&out.stdout).into_owned(),
+        )
+    };
+
+    // Clean: exit 0.
+    let (code, table) = fsck(&[]);
+    assert_eq!(code, Some(0), "{table}");
+    assert!(table.contains("fsck: clean"), "{table}");
+
+    // Tear the manifest tail: unrepaired damage is exit 1.
+    let manifest = idx.join("segments.fum");
+    let bytes = std::fs::read(&manifest).expect("manifest");
+    std::fs::write(&manifest, &bytes[..bytes.len() - 3]).expect("tear");
+    let (code, table) = fsck(&[]);
+    assert_eq!(code, Some(1), "{table}");
+    assert!(table.contains("fsck: NOT clean"), "{table}");
+
+    // Repair: exit 0 with the repaired footer...
+    let (code, table) = fsck(&["--repair"]);
+    assert_eq!(code, Some(0), "{table}");
+    assert!(
+        table.contains("fsck: repaired (clean after repair)"),
+        "{table}"
+    );
+
+    // ...and the index is plainly clean afterwards.
+    let (code, table) = fsck(&[]);
+    assert_eq!(code, Some(0), "{table}");
+    assert!(table.contains("fsck: clean"), "{table}");
+
+    let _ = std::fs::remove_dir_all(&dir);
+}
+
 /// Read the `*.fwim` image bytes and MANIFEST.tsv of a generated corpus
 /// directory, keyed by file name.
 fn corpus_bytes(dir: &std::path::Path) -> Vec<(String, Vec<u8>)> {
