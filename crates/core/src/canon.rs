@@ -29,7 +29,7 @@ use std::fmt;
 use std::ops::Range;
 
 use firmup_ir::hash::fnv1a_64;
-use firmup_ir::ssa::{SExpr, SsaKind, VarKind};
+use firmup_ir::ssa::{SExpr, SsaKind, SsaStmt, VarKind};
 use firmup_ir::{BinOp, RegId, UnOp, Var, Width};
 use firmup_obj::Elf;
 
@@ -232,18 +232,98 @@ pub enum CStmt {
 pub fn canonicalize(strand: &Strand, space: &AddrSpace, config: &CanonConfig) -> CanonicalStrand {
     firmup_telemetry::incr("canon.strands");
     let mut stmts = substitute(strand, space, config);
+    canonicalize_stmts(&mut stmts, space, config);
+    let text = serialize(&stmts, config.normalize_names);
+    let hash = fnv1a_64(text.as_bytes());
+    CanonicalStrand { text, hash }
+}
+
+/// Reusable scratch for the hash-only canonicalization hot path
+/// ([`canonical_hash_picks`]): every intermediate container the
+/// canonicalizer needs, retained (capacity and all) across strands so
+/// the per-strand cost is cleared maps, not fresh allocations. One
+/// scratch per lift-and-canonicalize unit, reset implicitly per call.
+#[derive(Debug, Default)]
+pub struct CanonScratch {
+    env: HashMap<Var, CExpr>,
+    mem_env: HashMap<Var, (CExpr, Width)>,
+    stmts: Vec<CStmt>,
+    text: String,
+    namer_vars: HashMap<Var, usize>,
+    namer_offsets: HashMap<u32, usize>,
+    /// Strands hashed through this scratch since the last
+    /// [`take_count`](CanonScratch::take_count) — flushed to the
+    /// `canon.strands` counter in one registry touch by the caller.
+    count: u64,
+}
+
+impl CanonScratch {
+    /// Strands hashed since the last call; resets the tally. Flush the
+    /// returned count with `firmup_telemetry::add("canon.strands", n)`.
+    pub fn take_count(&mut self) -> u64 {
+        std::mem::take(&mut self.count)
+    }
+}
+
+/// Canonicalize the strand described by `picks` (statement indices into
+/// `block`, from [`decompose_into`](crate::strand::decompose_into)) and
+/// return only its FNV-1a hash. Semantically identical to
+/// [`canonicalize`] on the materialized [`Strand`] — same substitution,
+/// same passes, same serialization bytes — but reads statements
+/// straight out of the block and builds every temporary in `scratch`,
+/// so the steady-state indexing loop never touches the allocator for
+/// strand plumbing.
+pub fn canonical_hash_picks(
+    block: &firmup_ir::ssa::SsaBlock,
+    picks: &[u32],
+    space: &AddrSpace,
+    config: &CanonConfig,
+    scratch: &mut CanonScratch,
+) -> u64 {
+    scratch.count += 1;
+    scratch.env.clear();
+    scratch.mem_env.clear();
+    scratch.stmts.clear();
+    substitute_core(
+        picks.iter().map(|&i| &block.stmts[i as usize]),
+        picks.len(),
+        &block.vars,
+        space,
+        config,
+        &mut scratch.env,
+        &mut scratch.mem_env,
+        &mut scratch.stmts,
+    );
+    canonicalize_stmts(&mut scratch.stmts, space, config);
+    scratch.text.clear();
+    scratch.namer_vars.clear();
+    scratch.namer_offsets.clear();
+    serialize_into(
+        &mut scratch.text,
+        &scratch.stmts,
+        config.normalize_names,
+        &mut scratch.namer_vars,
+        &mut scratch.namer_offsets,
+    );
+    fnv1a_64(scratch.text.as_bytes())
+}
+
+/// The post-substitution canonicalization passes, in place: optimizer
+/// fixpoint, offset elimination (plus the ordering round it unlocks),
+/// and canonical branch polarity.
+fn canonicalize_stmts(stmts: &mut [CStmt], space: &AddrSpace, config: &CanonConfig) {
     if config.optimize {
-        for s in &mut stmts {
+        for s in stmts.iter_mut() {
             map_stmt(s, &mut |e| simplify(e));
         }
     }
     if config.offset_elimination {
-        for s in &mut stmts {
+        for s in stmts.iter_mut() {
             map_stmt(s, &mut |e| eliminate_offsets(e, space));
         }
         if config.optimize {
             // Offsets may unlock one more round of ordering rules.
-            for s in &mut stmts {
+            for s in stmts.iter_mut() {
                 map_stmt(s, &mut |e| simplify(e));
             }
         }
@@ -254,7 +334,7 @@ pub fn canonicalize(strand: &Strand, space: &AddrSpace, config: &CanonConfig) ->
         // offset-eliminated — so pick the lexicographically smaller of
         // the two forms. Dissolves compiler branch-inversion layout
         // heuristics and the guard/bottom-test split of rotated loops.
-        for s in &mut stmts {
+        for s in stmts.iter_mut() {
             if let CStmt::Br { cond } = s {
                 if let Some(neg) = negate_bool(cond) {
                     if order_key(&neg) < order_key(cond) {
@@ -264,9 +344,6 @@ pub fn canonicalize(strand: &Strand, space: &AddrSpace, config: &CanonConfig) ->
             }
         }
     }
-    let text = serialize(&stmts, config.normalize_names);
-    let hash = fnv1a_64(text.as_bytes());
-    CanonicalStrand { text, hash }
 }
 
 fn map_stmt(s: &mut CStmt, f: &mut impl FnMut(CExpr) -> CExpr) {
@@ -286,16 +363,47 @@ fn map_stmt(s: &mut CStmt, f: &mut impl FnMut(CExpr) -> CExpr) {
 /// with [`CanonConfig::fold_stack_slots`], frame-relative memory behaves
 /// like registers (slot loads become variables, spill stores fold away).
 fn substitute(strand: &Strand, space: &AddrSpace, config: &CanonConfig) -> Vec<CStmt> {
+    let mut env = HashMap::new();
+    let mut mem_env = HashMap::new();
+    let mut out = Vec::new();
+    substitute_core(
+        strand.stmts.iter(),
+        strand.stmts.len(),
+        &strand.vars,
+        space,
+        config,
+        &mut env,
+        &mut mem_env,
+        &mut out,
+    );
+    out
+}
+
+/// The substitution pass over any ordered statement sequence — shared
+/// by [`substitute`] (owned [`Strand`]) and [`canonical_hash_picks`]
+/// (borrowed picks). Caller supplies the (cleared) environment maps and
+/// output vector so the hot path can reuse them across strands.
+#[allow(clippy::too_many_arguments)]
+fn substitute_core<'s, I>(
+    stmts: I,
+    n: usize,
+    vars: &[firmup_ir::ssa::VarInfo],
+    space: &AddrSpace,
+    config: &CanonConfig,
+    env: &mut HashMap<Var, CExpr>,
+    mem_env: &mut HashMap<Var, (CExpr, Width)>,
+    out: &mut Vec<CStmt>,
+) where
+    I: Iterator<Item = &'s SsaStmt> + Clone,
+{
     let mut ctx = Subst {
-        env: HashMap::new(),
-        mem_env: HashMap::new(),
-        vars: &strand.vars,
+        env,
+        mem_env,
+        vars,
         space,
         fold_stack: config.fold_stack_slots,
     };
-    let mut out = Vec::new();
-    let n = strand.stmts.len();
-    for (i, s) in strand.stmts.iter().enumerate() {
+    for (i, s) in stmts.clone().enumerate() {
         let is_root = i == n - 1;
         match &s.kind {
             SsaKind::Assign(e) => {
@@ -337,12 +445,14 @@ fn substitute(strand: &Strand, space: &AddrSpace, config: &CanonConfig) -> Vec<C
     if out.is_empty() {
         // Every statement folded away (e.g. a pure spill strand); keep
         // the root's value so the strand still has a canonical form.
-        let root = strand.stmts.last().expect("strands are never empty");
+        let root = stmts.clone().last().expect("strands are never empty");
         if let SsaKind::Store { value, .. } = &root.kind {
+            let mut env2 = HashMap::new();
+            let mut mem_env2 = HashMap::new();
             let mut ctx2 = Subst {
-                env: HashMap::new(),
-                mem_env: HashMap::new(),
-                vars: &strand.vars,
+                env: &mut env2,
+                mem_env: &mut mem_env2,
+                vars,
                 space,
                 fold_stack: false,
             };
@@ -350,12 +460,11 @@ fn substitute(strand: &Strand, space: &AddrSpace, config: &CanonConfig) -> Vec<C
         }
     }
     debug_assert!(!out.is_empty(), "strand roots are always outward-facing");
-    out
 }
 
 struct Subst<'a> {
-    env: HashMap<Var, CExpr>,
-    mem_env: HashMap<Var, (CExpr, Width)>,
+    env: &'a mut HashMap<Var, CExpr>,
+    mem_env: &'a mut HashMap<Var, (CExpr, Width)>,
     vars: &'a [firmup_ir::ssa::VarInfo],
     space: &'a AddrSpace,
     fold_stack: bool,
@@ -831,93 +940,131 @@ fn eliminate_offsets(e: CExpr, space: &AddrSpace) -> CExpr {
     }
 }
 
-struct Namer {
+struct Namer<'a> {
     normalize: bool,
-    vars: HashMap<Var, usize>,
-    offsets: HashMap<u32, usize>,
+    vars: &'a mut HashMap<Var, usize>,
+    offsets: &'a mut HashMap<u32, usize>,
 }
 
-impl Namer {
-    fn var(&mut self, v: Var) -> String {
+impl Namer<'_> {
+    fn var(&mut self, v: Var, out: &mut String) {
+        use fmt::Write as _;
         if self.normalize {
             let n = self.vars.len();
             let id = *self.vars.entry(v).or_insert(n);
-            format!("v{id}")
+            let _ = write!(out, "v{id}");
         } else {
-            format!("raw{}", v.0)
+            let _ = write!(out, "raw{}", v.0);
         }
     }
 
-    fn offset(&mut self, o: u32) -> String {
+    fn offset(&mut self, o: u32, out: &mut String) {
+        use fmt::Write as _;
         if self.normalize {
             let n = self.offsets.len();
             let id = *self.offsets.entry(o).or_insert(n);
-            format!("offset{id}")
+            let _ = write!(out, "offset{id}");
         } else {
-            format!("{o:#x}")
+            let _ = write!(out, "{o:#x}");
         }
     }
 }
 
 fn serialize(stmts: &[CStmt], normalize: bool) -> String {
-    let mut namer = Namer {
-        normalize,
-        vars: HashMap::new(),
-        offsets: HashMap::new(),
-    };
     let mut out = String::new();
-    for s in stmts {
-        match s {
-            CStmt::Store { addr, value, width } => {
-                out.push_str(&format!(
-                    "store {width} {}, {}\n",
-                    write_expr(value, &mut namer),
-                    write_expr(addr, &mut namer)
-                ));
-            }
-            CStmt::Br { cond } => {
-                out.push_str(&format!("br {}\n", write_expr(cond, &mut namer)));
-            }
-            CStmt::JumpTo { target } => {
-                out.push_str(&format!("jump {}\n", write_expr(target, &mut namer)));
-            }
-            CStmt::Ret(e) => {
-                out.push_str(&format!("ret {}\n", write_expr(e, &mut namer)));
-            }
-        }
-    }
+    let mut vars = HashMap::new();
+    let mut offsets = HashMap::new();
+    serialize_into(&mut out, stmts, normalize, &mut vars, &mut offsets);
     out
 }
 
-fn write_expr(e: &CExpr, namer: &mut Namer) -> String {
+/// Serialize into a caller-owned buffer with caller-owned (cleared)
+/// namer maps — byte-for-byte the same output as [`serialize`], minus
+/// its per-strand allocations. The hot-path entry used by
+/// [`canonical_hash_picks`].
+fn serialize_into(
+    out: &mut String,
+    stmts: &[CStmt],
+    normalize: bool,
+    vars: &mut HashMap<Var, usize>,
+    offsets: &mut HashMap<u32, usize>,
+) {
+    use fmt::Write as _;
+    let mut namer = Namer {
+        normalize,
+        vars,
+        offsets,
+    };
+    for s in stmts {
+        match s {
+            CStmt::Store { addr, value, width } => {
+                let _ = write!(out, "store {width} ");
+                write_expr(value, &mut namer, out);
+                out.push_str(", ");
+                write_expr(addr, &mut namer, out);
+                out.push('\n');
+            }
+            CStmt::Br { cond } => {
+                out.push_str("br ");
+                write_expr(cond, &mut namer, out);
+                out.push('\n');
+            }
+            CStmt::JumpTo { target } => {
+                out.push_str("jump ");
+                write_expr(target, &mut namer, out);
+                out.push('\n');
+            }
+            CStmt::Ret(e) => {
+                out.push_str("ret ");
+                write_expr(e, &mut namer, out);
+                out.push('\n');
+            }
+        }
+    }
+}
+
+fn write_expr(e: &CExpr, namer: &mut Namer<'_>, out: &mut String) {
+    use fmt::Write as _;
     match e {
         CExpr::Const(c) => {
             if *c < 10 {
-                format!("{c}")
+                let _ = write!(out, "{c}");
             } else {
-                format!("{c:#x}")
+                let _ = write!(out, "{c:#x}");
             }
         }
-        CExpr::Var(v) => namer.var(*v),
-        CExpr::Offset(o) => namer.offset(*o),
-        CExpr::Load { addr, width } => format!("(load {width} {})", write_expr(addr, namer)),
-        CExpr::Bin { op, lhs, rhs } => format!(
-            "({} {} {})",
-            op.mnemonic(),
-            write_expr(lhs, namer),
-            write_expr(rhs, namer)
-        ),
-        CExpr::Un { op, arg } => format!("({} {})", op.mnemonic(), write_expr(arg, namer)),
+        CExpr::Var(v) => namer.var(*v, out),
+        CExpr::Offset(o) => namer.offset(*o, out),
+        CExpr::Load { addr, width } => {
+            let _ = write!(out, "(load {width} ");
+            write_expr(addr, namer, out);
+            out.push(')');
+        }
+        CExpr::Bin { op, lhs, rhs } => {
+            let _ = write!(out, "({} ", op.mnemonic());
+            write_expr(lhs, namer, out);
+            out.push(' ');
+            write_expr(rhs, namer, out);
+            out.push(')');
+        }
+        CExpr::Un { op, arg } => {
+            let _ = write!(out, "({} ", op.mnemonic());
+            write_expr(arg, namer, out);
+            out.push(')');
+        }
         CExpr::Ite {
             cond,
             then_e,
             else_e,
-        } => format!(
-            "(select {} {} {})",
-            write_expr(cond, namer),
-            write_expr(then_e, namer),
-            write_expr(else_e, namer)
-        ),
+        } => {
+            out.push_str("(select ");
+            write_expr(cond, namer, out);
+            out.push(' ');
+            write_expr(then_e, namer, out);
+            out.push(' ');
+            write_expr(else_e, namer, out);
+            out.push(')');
+        }
     }
 }
 

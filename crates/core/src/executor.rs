@@ -29,7 +29,7 @@ use std::ops::Range;
 use std::sync::atomic::{AtomicUsize, Ordering};
 use std::sync::Mutex;
 
-use firmup_telemetry::TraceCtx;
+use firmup_telemetry::{Counter, Histogram, TraceCtx};
 
 /// Resolve a `threads` setting: `0` means one worker per available
 /// core (falling back to 4 when parallelism cannot be queried).
@@ -113,6 +113,28 @@ pub fn chunk_size(items: usize, threads: usize) -> usize {
     (items / (threads.max(1) * 4)).max(1)
 }
 
+/// Metric handles resolved once per [`run_units`] call. The registry
+/// resolution (name hash + map lock) must stay off the per-chunk path:
+/// a scan issues O(units) chunks, and the regression pin in
+/// `tests/metric_lookup_pin.rs` requires registry traffic to be O(1)
+/// in corpus size. `None` when telemetry was disabled at entry, so the
+/// disabled path stays lookup-free.
+struct ChunkMetrics {
+    units_done: Counter,
+    unit_items: Histogram,
+    steals: Counter,
+}
+
+impl ChunkMetrics {
+    fn resolve() -> Option<ChunkMetrics> {
+        firmup_telemetry::enabled().then(|| ChunkMetrics {
+            units_done: firmup_telemetry::counter("scan.units_done"),
+            unit_items: firmup_telemetry::histogram("scan.unit_items"),
+            steals: firmup_telemetry::counter("scan.steal_count"),
+        })
+    }
+}
+
 /// Process one chunk of unit indices, with per-chunk telemetry. Every
 /// unit gets its own `unit` span, parented on `parent` (the caller's
 /// innermost span at [`run_units`] entry) and keyed by unit index so
@@ -120,11 +142,14 @@ pub fn chunk_size(items: usize, threads: usize) -> usize {
 fn run_chunk<R>(
     range: Range<usize>,
     parent: Option<&TraceCtx>,
+    metrics: Option<&ChunkMetrics>,
     run: &(impl Fn(usize) -> R + Sync),
     out: &mut Vec<(usize, R)>,
 ) {
-    firmup_telemetry::incr("scan.units_done");
-    firmup_telemetry::observe("scan.unit_items", range.len() as u64);
+    if let Some(m) = metrics {
+        m.units_done.incr();
+        m.unit_items.observe(range.len() as u64);
+    }
     for i in range {
         let _span = match parent {
             Some(p) => p.child("unit", i as u64).enter(),
@@ -157,12 +182,14 @@ where
     // Captured once on the calling thread: the parent every unit span
     // hangs from, no matter which worker ends up executing it.
     let parent = firmup_telemetry::current_ctx();
+    let metrics = ChunkMetrics::resolve();
     if threads <= 1 || n <= 1 {
         let mut out = Vec::with_capacity(n);
         for start in (0..n).step_by(chunk) {
             run_chunk(
                 start..(start + chunk).min(n),
                 parent.as_ref(),
+                metrics.as_ref(),
                 &run,
                 &mut out,
             );
@@ -186,6 +213,7 @@ where
             let slots = &slots;
             let run = &run;
             let parent = parent.as_ref();
+            let metrics = metrics.as_ref();
             scope.spawn(move || {
                 firmup_telemetry::set_worker(Some(w as u32));
                 let mut done: Vec<(usize, R)> = Vec::new();
@@ -202,7 +230,9 @@ where
                             let victim = (w + off) % threads;
                             let stolen = queues[victim].lock().expect("unit queue lock").pop_back();
                             if let Some(range) = &stolen {
-                                firmup_telemetry::incr("scan.steal_count");
+                                if let Some(m) = metrics {
+                                    m.steals.incr();
+                                }
                                 firmup_telemetry::trace_instant(
                                     "steal",
                                     &[
@@ -216,7 +246,7 @@ where
                         })
                     });
                     let Some(range) = job else { break };
-                    run_chunk(range, parent, run, &mut done);
+                    run_chunk(range, parent, metrics, run, &mut done);
                 }
                 let mut slots = slots.lock().expect("unit slots lock");
                 for (i, r) in done {

@@ -11,6 +11,7 @@
 //! not cover either executable — robust to firmware customization
 //! (missing/extra procedures) where full-graph matching breaks.
 
+use std::cell::RefCell;
 use std::collections::HashMap;
 use std::fmt;
 
@@ -60,6 +61,82 @@ impl GameEnd {
             GameEnd::LimitExceeded => "limit_exceeded",
             GameEnd::DeadlineExceeded => "deadline_exceeded",
         }
+    }
+
+    /// All endings, in [`GameStats`] tally order.
+    const ALL: [GameEnd; 4] = [
+        GameEnd::QueryMatched,
+        GameEnd::FixedPoint,
+        GameEnd::LimitExceeded,
+        GameEnd::DeadlineExceeded,
+    ];
+
+    fn tally_index(self) -> usize {
+        match self {
+            GameEnd::QueryMatched => 0,
+            GameEnd::FixedPoint => 1,
+            GameEnd::LimitExceeded => 2,
+            GameEnd::DeadlineExceeded => 3,
+        }
+    }
+}
+
+/// Per-scan accumulator for game-phase telemetry. [`play`] resolves
+/// `game.played` / `game.steps` / `game.ended.*` in the registry once
+/// per game — a lock, a `String` key, and (for `ended`) a `format!`
+/// allocation per target. A scan passes one `GameStats` to
+/// [`play_recorded`] instead; everything accumulates in plain fields
+/// and [`flush`](GameStats::flush) merges into the registry once at
+/// scan end, producing identical counter totals.
+#[derive(Debug, Default)]
+pub struct GameStats {
+    played: u64,
+    steps: firmup_telemetry::LocalHistogram,
+    ended: [u64; 4],
+}
+
+impl GameStats {
+    /// An empty accumulator.
+    pub fn new() -> GameStats {
+        GameStats::default()
+    }
+
+    /// Games accumulated since the last flush.
+    pub fn played(&self) -> u64 {
+        self.played
+    }
+
+    /// Fold another accumulator into this one.
+    pub fn merge(&mut self, other: &GameStats) {
+        self.played += other.played;
+        self.steps.merge(&other.steps);
+        for (t, o) in self.ended.iter_mut().zip(&other.ended) {
+            *t += o;
+        }
+    }
+
+    fn record(&mut self, ended: GameEnd, steps: usize) {
+        self.played += 1;
+        self.steps.record(steps as u64);
+        self.ended[ended.tally_index()] += 1;
+    }
+
+    /// Merge the tallies into the global registry (a bounded handful of
+    /// name resolutions, independent of how many games were played) and
+    /// clear the accumulator.
+    pub fn flush(&mut self) {
+        if self.played > 0 {
+            firmup_telemetry::add("game.played", self.played);
+            for end in GameEnd::ALL {
+                let n = self.ended[end.tally_index()];
+                if n > 0 {
+                    firmup_telemetry::add(&format!("game.ended.{}", end.label()), n);
+                }
+            }
+        }
+        self.steps.flush_into("game.steps");
+        self.played = 0;
+        self.ended = [0; 4];
     }
 }
 
@@ -118,12 +195,19 @@ pub struct GameResult {
     /// (`None` when the game failed).
     pub query_match: Option<(usize, usize)>,
     /// The whole partial matching: `(query index, target index, sim)`.
+    /// Populated by [`play`]; empty from [`play_recorded`], whose one
+    /// caller (the corpus-scan hot path) reads only `query_match` —
+    /// assembling the full matching would allocate a buffer per game
+    /// just to drop it.
     pub matches: Vec<(usize, usize, usize)>,
     /// Iterations performed (the paper's Fig. 9 metric).
     pub steps: usize,
     /// Why the game stopped.
     pub ended: GameEnd,
-    /// Full trace for game-course rendering.
+    /// Full trace for game-course rendering. Recorded by [`play`];
+    /// empty from [`play_recorded`], whose one caller (the corpus-scan
+    /// hot path) discards it — recording would grow a heap buffer per
+    /// game just to drop it.
     pub trace: Vec<TraceStep>,
 }
 
@@ -150,29 +234,170 @@ pub fn play(
     target: &ExecutableRep,
     config: &GameConfig,
 ) -> GameResult {
+    let mut trace = Vec::new();
+    let mut result = play_with(query, qv, target, config, None, Some(&mut trace), true);
+    result.trace = trace;
+    result
+}
+
+/// [`play`] with scan-local telemetry: when `stats` is given the
+/// per-game counters accumulate there (zero registry traffic); when
+/// `None` they are recorded directly, the legacy per-game behaviour.
+/// Neither the game trace nor the full `matches` vector is assembled
+/// (both come back empty): this is the corpus-scan entry point, its
+/// one caller reads only `query_match`/`steps`/`ended` — use [`play`]
+/// when rendering game courses or inspecting the whole matching.
+///
+/// # Panics
+///
+/// Panics if `qv` is out of bounds.
+pub fn play_recorded(
+    query: &ExecutableRep,
+    qv: usize,
+    target: &ExecutableRep,
+    config: &GameConfig,
+    stats: Option<&mut GameStats>,
+) -> GameResult {
+    play_with(query, qv, target, config, stats, None, false)
+}
+
+fn play_with(
+    query: &ExecutableRep,
+    qv: usize,
+    target: &ExecutableRep,
+    config: &GameConfig,
+    stats: Option<&mut GameStats>,
+    trace: Option<&mut Vec<TraceStep>>,
+    want_matches: bool,
+) -> GameResult {
     assert!(qv < query.procedures.len(), "query index out of range");
     let _span = firmup_telemetry::span!("game");
-    let mut sims: HashMap<(usize, usize), usize> = HashMap::new();
+    let result = PLAY_SCRATCH.with(|cell| match cell.try_borrow_mut() {
+        Ok(mut scratch) => play_inner(query, qv, target, config, &mut scratch, trace, want_matches),
+        // Re-entrant play on this thread (e.g. through a test harness
+        // hook): fall back to fresh scratch rather than panicking.
+        Err(_) => play_inner(
+            query,
+            qv,
+            target,
+            config,
+            &mut PlayScratch::default(),
+            trace,
+            want_matches,
+        ),
+    });
+    match stats {
+        Some(st) => st.record(result.ended, result.steps),
+        None => {
+            if firmup_telemetry::enabled() {
+                // Fig. 9's metric: how many back-and-forth iterations
+                // games need.
+                firmup_telemetry::incr("game.played");
+                firmup_telemetry::observe("game.steps", result.steps as u64);
+                firmup_telemetry::incr(&format!("game.ended.{}", result.ended.label()));
+            }
+        }
+    }
+    result
+}
+
+/// Cell cap for the dense sim memo (32 MiB of `(u32, u32)` cells).
+/// Above it — one pathological pair of huge executables — the memo
+/// falls back to a hash map instead of pinning that much scratch per
+/// worker thread.
+const DENSE_CELL_LIMIT: usize = 1 << 22;
+
+/// Sentinel for "unmatched" in the dense matched arrays.
+const UNMATCHED: u32 = u32::MAX;
+
+/// Reusable per-thread game scratch: the pairwise-sim memo and both
+/// matched arrays, capacity-retaining across games so a corpus scan
+/// allocates nothing per target once warm. The memo is epoch-tagged —
+/// starting a game bumps the epoch instead of clearing the table.
+#[derive(Debug, Default)]
+struct PlayScratch {
+    /// Dense `(epoch, sim)` memo, row-major `query × target`.
+    sims: Vec<(u32, u32)>,
+    /// Current memo epoch; cells with a different tag are vacant.
+    epoch: u32,
+    /// `q → t` (`UNMATCHED` when free).
+    matched_q: Vec<u32>,
+    /// `t → q` (`UNMATCHED` when free).
+    matched_t: Vec<u32>,
+    /// The ToMatch work stack, capacity-retaining across games.
+    to_match: Vec<Item>,
+}
+
+thread_local! {
+    static PLAY_SCRATCH: RefCell<PlayScratch> = RefCell::new(PlayScratch::default());
+}
+
+fn play_inner(
+    query: &ExecutableRep,
+    qv: usize,
+    target: &ExecutableRep,
+    config: &GameConfig,
+    scratch: &mut PlayScratch,
+    mut trace: Option<&mut Vec<TraceStep>>,
+    want_matches: bool,
+) -> GameResult {
+    let nq = query.procedures.len();
+    let nt = target.procedures.len();
+    let cells = nq.saturating_mul(nt);
+    let dense = cells <= DENSE_CELL_LIMIT;
+    scratch.epoch = scratch.epoch.wrapping_add(1);
+    if scratch.epoch == 0 {
+        // Epoch wrap: old tags become ambiguous, so clear once per 2^32
+        // games and restart.
+        scratch.sims.fill((0, 0));
+        scratch.epoch = 1;
+    }
+    let PlayScratch {
+        sims,
+        epoch,
+        matched_q,
+        matched_t,
+        to_match,
+    } = scratch;
+    let ep = *epoch;
+    if dense && sims.len() < cells {
+        sims.resize(cells, (0, 0));
+    }
+    let mut map_memo: HashMap<(usize, usize), usize> = HashMap::new();
     let mut sim_of = |qi: usize, ti: usize| -> usize {
-        *sims
-            .entry((qi, ti))
-            .or_insert_with(|| sim(&query.procedures[qi], &target.procedures[ti]))
+        if dense {
+            let cell = &mut sims[qi * nt + ti];
+            if cell.0 == ep {
+                cell.1 as usize
+            } else {
+                let v = sim(&query.procedures[qi], &target.procedures[ti]);
+                *cell = (ep, v as u32);
+                v
+            }
+        } else {
+            *map_memo
+                .entry((qi, ti))
+                .or_insert_with(|| sim(&query.procedures[qi], &target.procedures[ti]))
+        }
     };
 
     // Matches, per side.
-    let mut matched_q: HashMap<usize, usize> = HashMap::new(); // q → t
-    let mut matched_t: HashMap<usize, usize> = HashMap::new(); // t → q
-    let mut to_match: Vec<Item> = vec![Item {
+    matched_q.clear();
+    matched_q.resize(nq, UNMATCHED);
+    matched_t.clear();
+    matched_t.resize(nt, UNMATCHED);
+    let mut matched_count = 0usize;
+    to_match.clear();
+    to_match.push(Item {
         side: Side::Query,
         index: qv,
-    }];
-    let mut trace = Vec::new();
+    });
     let mut steps = 0usize;
     let ended;
 
     loop {
         // Ending conditions (GameDidntEnd()).
-        if matched_q.contains_key(&qv) {
+        if matched_q[qv] != UNMATCHED {
             ended = GameEnd::QueryMatched;
             break;
         }
@@ -181,7 +406,7 @@ pub fn play(
             break;
         }
         if steps >= config.max_steps
-            || matched_q.len() >= config.max_matches
+            || matched_count >= config.max_matches
             || to_match.len() >= config.max_stack
         {
             ended = GameEnd::LimitExceeded;
@@ -200,14 +425,14 @@ pub fn play(
         // Forward: best unmatched candidate on the other side.
         let forward = match m.side {
             Side::Query => best_match(
-                |ti| !matched_t.contains_key(&ti),
-                target.procedures.len(),
+                |ti| matched_t[ti] == UNMATCHED,
+                nt,
                 |ti| sim_of(m.index, ti),
                 config.min_sim,
             ),
             Side::Target => best_match(
-                |qi| !matched_q.contains_key(&qi),
-                query.procedures.len(),
+                |qi| matched_q[qi] == UNMATCHED,
+                nq,
                 |qi| sim_of(qi, m.index),
                 config.min_sim,
             ),
@@ -220,14 +445,14 @@ pub fn play(
         // Back: best unmatched candidate for `forward` on M's side.
         let back = match m.side {
             Side::Query => best_match(
-                |qi| !matched_q.contains_key(&qi),
-                query.procedures.len(),
+                |qi| matched_q[qi] == UNMATCHED,
+                nq,
                 |qi| sim_of(qi, fwd),
                 config.min_sim,
             ),
             Side::Target => best_match(
-                |ti| !matched_t.contains_key(&ti),
-                target.procedures.len(),
+                |ti| matched_t[ti] == UNMATCHED,
+                nt,
                 |ti| sim_of(fwd, ti),
                 config.min_sim,
             ),
@@ -238,27 +463,30 @@ pub fn play(
         };
 
         let accepted = back_idx == m.index;
-        trace.push(TraceStep {
-            m,
-            forward: fwd,
-            back: back_idx,
-            sim_forward: fwd_sim,
-            accepted,
-        });
+        if let Some(t) = trace.as_deref_mut() {
+            t.push(TraceStep {
+                m,
+                forward: fwd,
+                back: back_idx,
+                sim_forward: fwd_sim,
+                accepted,
+            });
+        }
         if accepted {
             // M ↔ Forward joins the matching.
             let (qi, ti) = match m.side {
                 Side::Query => (m.index, fwd),
                 Side::Target => (fwd, m.index),
             };
-            matched_q.insert(qi, ti);
-            matched_t.insert(ti, qi);
+            matched_q[qi] = ti as u32;
+            matched_t[ti] = qi as u32;
+            matched_count += 1;
             // ToMatch.Pop(Matches): clear everything now matched off the
             // top of the stack.
             while let Some(top) = to_match.last() {
                 let is_matched = match top.side {
-                    Side::Query => matched_q.contains_key(&top.index),
-                    Side::Target => matched_t.contains_key(&top.index),
+                    Side::Query => matched_q[top.index] != UNMATCHED,
+                    Side::Target => matched_t[top.index] != UNMATCHED,
                 };
                 if is_matched {
                     to_match.pop();
@@ -295,25 +523,23 @@ pub fn play(
         }
     }
 
-    let matches: Vec<(usize, usize, usize)> = matched_q
-        .iter()
-        .map(|(&qi, &ti)| (qi, ti, sim_of(qi, ti)))
-        .collect();
-    let query_match = matched_q.get(&qv).map(|&ti| (ti, sim_of(qv, ti)));
-    let mut matches = matches;
-    matches.sort_unstable();
-    if firmup_telemetry::enabled() {
-        // Fig. 9's metric: how many back-and-forth iterations games need.
-        firmup_telemetry::incr("game.played");
-        firmup_telemetry::observe("game.steps", steps as u64);
-        firmup_telemetry::incr(&format!("game.ended.{}", ended.label()));
+    let mut matches: Vec<(usize, usize, usize)> = Vec::new();
+    if want_matches {
+        matches.reserve_exact(matched_count);
+        for (qi, &ti) in matched_q.iter().enumerate() {
+            if ti != UNMATCHED {
+                matches.push((qi, ti as usize, sim_of(qi, ti as usize)));
+            }
+        }
     }
+    let query_match = (matched_q[qv] != UNMATCHED)
+        .then(|| (matched_q[qv] as usize, sim_of(qv, matched_q[qv] as usize)));
     GameResult {
         query_match,
         matches,
         steps,
         ended,
-        trace,
+        trace: Vec::new(),
     }
 }
 
@@ -385,6 +611,7 @@ mod tests {
                         strands: s,
                         block_count: 1,
                         size: 16,
+                        interned: None,
                     }
                 })
                 .collect(),

@@ -59,27 +59,32 @@
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
+pub mod arena;
 pub mod canon;
 pub mod emu;
 pub mod error;
 pub mod executor;
 pub mod game;
+pub mod intern;
 pub mod lift;
+pub mod merge;
 pub mod persist;
 pub mod search;
 pub mod sim;
 pub mod strand;
 
+pub use arena::{StrandArena, StrandView};
 pub use canon::{AddrSpace, CanonConfig, CanonicalStrand};
 pub use error::{isolate, FaultCtx, FirmUpError};
 pub use executor::{resolve_threads, run_units};
-pub use game::{GameConfig, GameEnd, GameResult};
+pub use game::{GameConfig, GameEnd, GameResult, GameStats};
+pub use intern::{InternedStrands, StrandId, StrandInterner};
 pub use lift::{lift_executable, LiftedExecutable};
 pub use persist::{CorpusIndex, RepAt};
 pub use search::{
     merge_outcomes, prefilter_candidates, scan_units, search_corpus, search_corpus_robust,
-    search_target, BudgetReason, Explain, ScanBudget, ScanReport, ScanUnit, SearchConfig,
-    TargetOutcome, TargetResult,
+    search_target, BudgetReason, Explain, ScanBudget, ScanReport, ScanStats, ScanUnit,
+    SearchConfig, TargetOutcome, TargetResult,
 };
 pub use sim::{index_elf, sim, ExecutableRep, GlobalContext, ProcedureRep, StrandPostings};
 pub use strand::{decompose, Strand};

@@ -154,13 +154,20 @@ pub fn lift_executable_with(
     // --- Pass 2: procedure extents = [start, next start). ---
     let start_list: Vec<u32> = starts.iter().copied().collect();
     let mut procedures = Vec::with_capacity(start_list.len());
+    let mut scratch = LiftScratch::default();
     for (i, &start) in start_list.iter().enumerate() {
         let end = start_list.get(i + 1).copied().unwrap_or(text.end());
-        match lift_procedure(arch, bytes, base, start, end, options) {
-            Ok((proc_, mut w)) => {
-                warnings.append(&mut w);
-                procedures.push(proc_);
-            }
+        match lift_procedure(
+            arch,
+            bytes,
+            base,
+            start,
+            end,
+            options,
+            &mut warnings,
+            &mut scratch,
+        ) {
+            Ok(proc_) => procedures.push(proc_),
             Err(e) => warnings.push(format!("procedure at {start:#x} dropped: {e}")),
         }
     }
@@ -215,8 +222,26 @@ pub fn lift_executable_with(
     })
 }
 
+/// Per-executable scratch buffers reused across [`lift_procedure`]
+/// calls. Discovery allocates a work queue, a visited map, and a leader
+/// list per procedure; a stripped router image has thousands of
+/// procedures, so the buffers are hoisted here and cleared (capacity
+/// kept) between calls instead of reallocated.
+#[derive(Default)]
+struct LiftScratch {
+    /// Leader work queue for the discovery walk.
+    queue: VecDeque<u32>,
+    /// Visited map for the discovery walk, indexed by `pc - start`.
+    visited: Vec<bool>,
+    /// Sorted leader addresses, snapshot of the `leaders` set.
+    leader_list: Vec<u32>,
+}
+
 /// Lift one procedure in `[start, end)`: recover its blocks by recursive
-/// traversal and lift each.
+/// traversal and lift each. Warnings are appended to the caller's
+/// buffer; on `Err` nothing has been appended (the entry instruction is
+/// the first one decoded, so failure precedes any warning).
+#[allow(clippy::too_many_arguments)]
 fn lift_procedure(
     arch: Arch,
     bytes: &[u8],
@@ -224,19 +249,23 @@ fn lift_procedure(
     start: u32,
     end: u32,
     options: LiftOptions,
-) -> Result<(Procedure, Vec<String>), LiftError> {
-    let mut warnings = Vec::new();
+    warnings: &mut Vec<String>,
+    scratch: &mut LiftScratch,
+) -> Result<Procedure, LiftError> {
     // Block leaders: reachable branch targets within [start, end).
     let mut leaders: BTreeSet<u32> = BTreeSet::new();
     leaders.insert(start);
-    let mut queue: VecDeque<u32> = VecDeque::new();
+    let queue = &mut scratch.queue;
+    queue.clear();
     queue.push_back(start);
-    let mut visited_instrs: BTreeSet<u32> = BTreeSet::new();
+    let visited = &mut scratch.visited;
+    visited.clear();
+    visited.resize((end - start) as usize, false);
     // First, walk instructions from each leader to find all targets.
     while let Some(lead) = queue.pop_front() {
         let mut pc = lead;
         loop {
-            if pc < start || pc >= end || visited_instrs.contains(&pc) {
+            if pc < start || pc >= end || visited[(pc - start) as usize] {
                 break;
             }
             let off = (pc - base) as usize;
@@ -250,7 +279,7 @@ fn lift_procedure(
                     break;
                 }
             };
-            visited_instrs.insert(pc);
+            visited[(pc - start) as usize] = true;
             let slot = if d.delay_slot && !options.naive_delay_slots {
                 4
             } else {
@@ -290,32 +319,22 @@ fn lift_procedure(
         }
     }
     // Lift each block: [leader, next leader or terminator].
-    let leader_list: Vec<u32> = leaders.iter().copied().collect();
+    let leader_list = &mut scratch.leader_list;
+    leader_list.clear();
+    leader_list.extend(leaders.iter().copied());
     let mut blocks: Vec<Block> = Vec::with_capacity(leader_list.len());
-    for &lead in &leader_list {
-        if let Some(block) = lift_block(
-            arch,
-            bytes,
-            base,
-            lead,
-            end,
-            &leaders,
-            options,
-            &mut warnings,
-        ) {
+    for &lead in leader_list.iter() {
+        if let Some(block) = lift_block(arch, bytes, base, lead, end, &leaders, options, warnings) {
             blocks.push(block);
         }
     }
     blocks.sort_by_key(|b| b.addr);
     blocks.dedup_by_key(|b| b.addr);
-    Ok((
-        Procedure {
-            addr: start,
-            name: None,
-            blocks,
-        },
-        warnings,
-    ))
+    Ok(Procedure {
+        addr: start,
+        name: None,
+        blocks,
+    })
 }
 
 /// Lift the block starting at `lead`. The MIPS delay-slot fix lives

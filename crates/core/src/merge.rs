@@ -1,0 +1,133 @@
+//! Sorted-set merge primitives shared by the similarity and prefilter
+//! hot paths.
+//!
+//! `Sim(q, t)` and candidate prefiltering both intersect sorted sets
+//! whose sizes can be wildly skewed (a 10-strand query procedure vs. a
+//! 100k-key postings table). A plain linear merge is `O(|a| + |b|)`;
+//! when one side is much smaller, galloping (exponential probe +
+//! binary search, the timsort/roaring idiom) drops that to
+//! `O(|small| · log |large|)`. Both strategies visit the common
+//! elements in the same ascending order, so any fold over them — a
+//! count, or an `f64` significance sum — is bit-identical to the naive
+//! merge; the `merge_prop` property suite pins that equivalence.
+
+/// Size ratio above which [`for_each_common`] gallops instead of
+/// linear-merging. Galloping costs ~2·log₂(gap) comparisons per probe,
+/// so it only wins once the large side is several times longer.
+const SKEW: usize = 8;
+
+/// First index `i` with `slice[i] >= target`, i.e. the insertion point
+/// of `target` in a sorted slice, found by exponential search from the
+/// front: doubling probes until overshoot, then a binary search of the
+/// last gap. Cost is `O(log i)` — proportional to how far the answer
+/// is, not to the slice length.
+pub fn gallop_ge<T: Ord>(slice: &[T], target: &T) -> usize {
+    let mut hi = 1usize;
+    while hi <= slice.len() && slice[hi - 1] < *target {
+        hi <<= 1;
+    }
+    // Invariant: everything before `lo` is < target, everything at
+    // `hi..` (if any) is unknown but `slice[hi-1] >= target` when
+    // `hi <= len`.
+    let lo = hi >> 1;
+    let hi = hi.min(slice.len());
+    lo + slice[lo..hi].partition_point(|v| v < target)
+}
+
+/// Visit every element common to two sorted, deduplicated slices, in
+/// ascending order — galloping through the larger side when the size
+/// skew warrants it, linear-merging otherwise. The visit order (and
+/// hence any accumulation order) is identical across both strategies.
+pub fn for_each_common<T: Ord + Copy>(a: &[T], b: &[T], f: impl FnMut(T)) {
+    if a.len() <= b.len() {
+        merge_into(a, b, f);
+    } else {
+        merge_into(b, a, f);
+    }
+}
+
+fn merge_into<T: Ord + Copy>(small: &[T], mut large: &[T], mut f: impl FnMut(T)) {
+    if small.len() * SKEW < large.len() {
+        for &x in small {
+            let at = gallop_ge(large, &x);
+            large = &large[at..];
+            match large.first() {
+                Some(&y) if y == x => f(x),
+                Some(_) => {}
+                None => return,
+            }
+        }
+    } else {
+        let (mut i, mut j) = (0, 0);
+        while i < small.len() && j < large.len() {
+            match small[i].cmp(&large[j]) {
+                std::cmp::Ordering::Less => i += 1,
+                std::cmp::Ordering::Greater => j += 1,
+                std::cmp::Ordering::Equal => {
+                    f(small[i]);
+                    i += 1;
+                    j += 1;
+                }
+            }
+        }
+    }
+}
+
+/// `|a ∩ b|` over sorted, deduplicated slices.
+pub fn intersect_count<T: Ord + Copy>(a: &[T], b: &[T]) -> usize {
+    let mut n = 0;
+    for_each_common(a, b, |_| n += 1);
+    n
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn naive(a: &[u64], b: &[u64]) -> Vec<u64> {
+        a.iter().filter(|x| b.contains(x)).copied().collect()
+    }
+
+    #[test]
+    fn gallop_ge_is_the_insertion_point() {
+        let s = [2u64, 4, 6, 8, 10];
+        for t in 0..=11 {
+            assert_eq!(
+                gallop_ge(&s, &t),
+                s.partition_point(|&v| v < t),
+                "target {t}"
+            );
+        }
+        assert_eq!(gallop_ge(&[] as &[u64], &5), 0);
+    }
+
+    #[test]
+    fn common_matches_naive_on_skewed_sets() {
+        let large: Vec<u64> = (0..200).map(|i| i * 3).collect();
+        let small: Vec<u64> = vec![3, 9, 100, 300, 597];
+        let mut seen = Vec::new();
+        for_each_common(&small, &large, |v| seen.push(v));
+        assert_eq!(seen, naive(&small, &large));
+        // Symmetric: argument order must not matter.
+        let mut swapped = Vec::new();
+        for_each_common(&large, &small, |v| swapped.push(v));
+        assert_eq!(swapped, seen);
+    }
+
+    #[test]
+    fn common_matches_naive_on_similar_sizes() {
+        let a: Vec<u64> = vec![1, 2, 3, 5, 8, 13, 21];
+        let b: Vec<u64> = vec![2, 3, 4, 5, 6, 21, 22];
+        let mut seen = Vec::new();
+        for_each_common(&a, &b, |v| seen.push(v));
+        assert_eq!(seen, vec![2, 3, 5, 21]);
+        assert_eq!(intersect_count(&a, &b), 4);
+    }
+
+    #[test]
+    fn empty_and_disjoint_sets() {
+        assert_eq!(intersect_count::<u64>(&[], &[1, 2]), 0);
+        assert_eq!(intersect_count::<u64>(&[1, 2], &[]), 0);
+        assert_eq!(intersect_count::<u64>(&[1, 3], &[2, 4]), 0);
+    }
+}

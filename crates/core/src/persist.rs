@@ -26,7 +26,14 @@
 //!   any `exe:<i>` payload (written by v2 indexes; enables lazy loads);
 //! * `exe:<i>` — the i-th [`ExecutableRep`];
 //! * `context` — the [`GlobalContext`] document frequencies;
-//! * `postings` — the [`StrandPostings`] table.
+//! * `intern` — the corpus [`StrandInterner`] hash list, varint-delta
+//!   compressed (written by v2 indexes; readers without it rebuild the
+//!   interner from the context keys, counted in
+//!   `index.interner_rebuilt`);
+//! * `postings2` — the [`StrandPostings`] table, varint-delta
+//!   compressed (current writers);
+//! * `postings` — the same table in the legacy fixed-width layout
+//!   (still read; written only by [`CorpusIndex::to_bytes_v1`]).
 //!
 //! ## Multi-segment layouts
 //!
@@ -62,13 +69,15 @@ use std::sync::{Arc, OnceLock};
 use firmup_firmware::crc::crc32;
 use firmup_firmware::durable::write_atomic;
 use firmup_firmware::index::{
-    append_journal, index_path, journal_path, manifest_path, parse_journal, read_container,
-    read_manifest, read_table, record_bytes, segment_file_name, segments_dir, write_container,
-    write_container_v2, IndexError, JournalEntry, Record, TableEntry, FORMAT_V2,
+    append_journal, index_path, journal_path, manifest_path, parse_journal, push_varint,
+    read_container, read_manifest, read_table, read_varint, record_bytes, segment_file_name,
+    segments_dir, write_container, write_container_v2, IndexError, JournalEntry, Record,
+    TableEntry, FORMAT_V2,
 };
 use firmup_isa::Arch;
 
 use crate::error::{FaultCtx, FirmUpError};
+use crate::intern::StrandInterner;
 use crate::sim::{ExecutableRep, GlobalContext, ProcedureRep, StrandPostings};
 
 /// How a [`CorpusIndex`] holds its executables: fully decoded, or as
@@ -112,7 +121,7 @@ struct LazyExe {
 ///     arch: Arch::Mips32,
 ///     procedures: vec![ProcedureRep {
 ///         addr: 0x400000, name: None, strands: vec![3, 5, 8],
-///         block_count: 2, size: 24,
+///         block_count: 2, size: 24, interned: None,
 ///     }],
 /// };
 /// let index = CorpusIndex::build(vec![exe]);
@@ -129,6 +138,14 @@ pub struct CorpusIndex {
     pub context: Arc<GlobalContext>,
     /// Inverted strand → `(executable, procedure)` table.
     pub postings: StrandPostings,
+    /// The corpus's frozen strand-hash set, naming every canonical
+    /// strand by its rank ([`StrandId`](crate::intern::StrandId)).
+    /// Every decoded rep and the context are interned against it, so
+    /// game-phase similarity compares dense `u32` ids instead of `u64`
+    /// hashes. Persisted as the `intern` record; rebuilt from the
+    /// context's key set (counted in `index.interner_rebuilt`) when a
+    /// pre-interning file lacks it.
+    pub interner: Arc<StrandInterner>,
     /// Digests of the images folded into this corpus (base file seals
     /// plus any live segments unioned at open). Empty for indexes that
     /// predate incremental ingestion.
@@ -163,14 +180,25 @@ impl CorpusIndex {
     /// Build the derived structures over a set of canonicalized
     /// executables (the in-memory path a cold scan takes, and the final
     /// step of `firmup index`).
-    pub fn build(executables: Vec<ExecutableRep>) -> CorpusIndex {
+    pub fn build(mut executables: Vec<ExecutableRep>) -> CorpusIndex {
         let _span = firmup_telemetry::span!("index.build");
-        let context = Arc::new(GlobalContext::build(&executables));
+        let interner = Arc::new(StrandInterner::from_hashes(
+            executables
+                .iter()
+                .flat_map(|e| e.procedures.iter())
+                .flat_map(|p| p.strands.iter().copied()),
+        ));
+        for e in &mut executables {
+            e.intern_with(&interner);
+        }
+        let mut context = GlobalContext::build(&executables);
+        context.attach_interner(&interner);
         let postings = StrandPostings::build(&executables);
         CorpusIndex {
             store: RepStore::Eager(executables),
-            context,
+            context: Arc::new(context),
             postings,
+            interner,
             seals: Vec::new(),
             seg_epoch: 0,
             seg_count: 0,
@@ -299,7 +327,8 @@ impl CorpusIndex {
                     .as_ref()
                     .ok_or_else(|| malformed("pre-decoded slot lost its value"))?;
                 let bytes = record_bytes(&blobs[entries[i].blob], table)?;
-                let rep = decode_executable(bytes)?;
+                let mut rep = decode_executable(bytes)?;
+                rep.intern_with(&self.interner);
                 firmup_telemetry::incr("index.reps_decoded");
                 // A concurrent decoder may have won the race; either
                 // value is identical, so keep whichever landed.
@@ -365,20 +394,22 @@ impl CorpusIndex {
     }
 
     /// The typed records every format version shares; v2 additionally
-    /// writes `exemeta` so lazy readers can skip the exe payloads.
+    /// writes `exemeta` so lazy readers can skip the exe payloads, the
+    /// `intern` hash list, and `postings2` (varint-delta compressed)
+    /// instead of the fixed-width legacy `postings`.
     ///
     /// # Panics
     ///
     /// On a lazy store with undecoded slots (callers re-serializing a
     /// lazy index must [`CorpusIndex::ensure_all`] first).
-    fn typed_records(&self, with_exemeta: bool) -> Vec<Record> {
+    fn typed_records(&self, v2: bool) -> Vec<Record> {
         let n = self.len();
-        let mut records = Vec::with_capacity(n + 5);
+        let mut records = Vec::with_capacity(n + 6);
         records.push(Record::new("meta", (n as u32).to_le_bytes().to_vec()));
         if !self.seals.is_empty() {
             records.push(Record::new("seals", encode_seals(&self.seals)));
         }
-        if with_exemeta {
+        if v2 {
             records.push(Record::new("exemeta", encode_exemeta(self)));
         }
         for i in 0..n {
@@ -388,7 +419,12 @@ impl CorpusIndex {
             ));
         }
         records.push(Record::new("context", encode_context(&self.context)));
-        records.push(Record::new("postings", encode_postings(&self.postings)));
+        if v2 {
+            records.push(Record::new("intern", encode_interner(&self.interner)));
+            records.push(Record::new("postings2", encode_postings2(&self.postings)));
+        } else {
+            records.push(Record::new("postings", encode_postings(&self.postings)));
+        }
         records
     }
 
@@ -429,6 +465,7 @@ impl CorpusIndex {
         let mut exes: Vec<Option<ExecutableRep>> = Vec::new();
         let mut context: Option<GlobalContext> = None;
         let mut postings: Option<StrandPostings> = None;
+        let mut intern: Option<Vec<u64>> = None;
         let mut seals: Vec<u64> = Vec::new();
         for r in &records {
             if r.name == "meta" {
@@ -444,8 +481,12 @@ impl CorpusIndex {
                 exes[i] = Some(decode_executable(&r.payload)?);
             } else if r.name == "context" {
                 context = Some(decode_context(&r.payload)?);
+            } else if r.name == "intern" {
+                intern = Some(decode_interner(&r.payload)?);
             } else if r.name == "postings" {
                 postings = Some(decode_postings(&r.payload)?);
+            } else if r.name == "postings2" {
+                postings = Some(decode_postings2(&r.payload)?);
             }
             // Unknown record names (including exemeta, which the eager
             // path has no use for) are additive extensions: skip.
@@ -457,17 +498,23 @@ impl CorpusIndex {
                 exes.len()
             )));
         }
-        let executables: Vec<ExecutableRep> = exes
+        let mut executables: Vec<ExecutableRep> = exes
             .into_iter()
             .enumerate()
             .map(|(i, e)| e.ok_or_else(|| malformed(&format!("missing record exe:{i}"))))
             .collect::<Result<_, _>>()?;
-        let context = context.ok_or_else(|| malformed("missing context record"))?;
+        let mut context = context.ok_or_else(|| malformed("missing context record"))?;
         let postings = postings.ok_or_else(|| malformed("missing postings record"))?;
+        let interner = Arc::new(interner_or_rebuild(intern, &context));
+        for e in &mut executables {
+            e.intern_with(&interner);
+        }
+        context.attach_interner(&interner);
         Ok(CorpusIndex {
             store: RepStore::Eager(executables),
             context: Arc::new(context),
             postings,
+            interner,
             seals,
             seg_epoch: 0,
             seg_count: 0,
@@ -497,6 +544,7 @@ impl CorpusIndex {
         let mut identities: Option<Vec<(String, Arch)>> = None;
         let mut context: Option<GlobalContext> = None;
         let mut postings: Option<StrandPostings> = None;
+        let mut intern: Option<Vec<u64>> = None;
         let mut exe_tables: Vec<Option<TableEntry>> = Vec::new();
         let mut seals: Vec<u64> = Vec::new();
         for e in &table {
@@ -516,8 +564,12 @@ impl CorpusIndex {
                 exe_tables[i] = Some(e.clone());
             } else if e.name == "context" {
                 context = Some(decode_context(record_bytes(&blob, e)?)?);
+            } else if e.name == "intern" {
+                intern = Some(decode_interner(record_bytes(&blob, e)?)?);
             } else if e.name == "postings" {
                 postings = Some(decode_postings(record_bytes(&blob, e)?)?);
+            } else if e.name == "postings2" {
+                postings = Some(decode_postings2(record_bytes(&blob, e)?)?);
             }
         }
         let count = count.ok_or_else(|| malformed("missing meta record"))? as usize;
@@ -544,8 +596,10 @@ impl CorpusIndex {
                 })
             })
             .collect::<Result<_, IndexError>>()?;
-        let context = context.ok_or_else(|| malformed("missing context record"))?;
+        let mut context = context.ok_or_else(|| malformed("missing context record"))?;
         let postings = postings.ok_or_else(|| malformed("missing postings record"))?;
+        let interner = Arc::new(interner_or_rebuild(intern, &context));
+        context.attach_interner(&interner);
         firmup_telemetry::add("index.bytes_mapped", blob.len() as u64);
         let slots = (0..count).map(|_| OnceLock::new()).collect();
         Ok(CorpusIndex {
@@ -556,6 +610,7 @@ impl CorpusIndex {
             },
             context: Arc::new(context),
             postings,
+            interner,
             seals,
             seg_epoch: 0,
             seg_count: 0,
@@ -718,9 +773,38 @@ impl CorpusIndex {
             self.push_segment_store(parts.store);
             self.seals.push(entry.digest);
         }
-        self.context = Arc::new(GlobalContext::from_entries(docs, df));
+        // The unioned strand set differs from the base's: freeze a new
+        // interner over it (df keys are exactly the union's strand set)
+        // and re-intern everything already decoded. Lazily held reps
+        // intern against the new interner when they decode.
+        let interner = Arc::new(StrandInterner::from_hashes(df.keys().copied()));
+        let mut context = GlobalContext::from_entries(docs, df);
+        context.attach_interner(&interner);
+        self.context = Arc::new(context);
         self.postings = StrandPostings::from_entries(post);
+        self.interner = interner;
+        self.reintern_decoded();
         Ok(())
+    }
+
+    /// Re-intern every already-decoded executable against the current
+    /// [`CorpusIndex::interner`] (after a segment union replaced it).
+    fn reintern_decoded(&mut self) {
+        let interner = self.interner.clone();
+        match &mut self.store {
+            RepStore::Eager(v) => {
+                for e in v {
+                    e.intern_with(&interner);
+                }
+            }
+            RepStore::Lazy { slots, .. } => {
+                for slot in slots {
+                    if let Some(rep) = slot.get_mut() {
+                        rep.intern_with(&interner);
+                    }
+                }
+            }
+        }
     }
 
     /// Append one decoded segment's executables to this index's store,
@@ -825,8 +909,8 @@ pub fn segment_to_bytes(reps: &[ExecutableRep]) -> Vec<u8> {
         encode_context(&GlobalContext::build(reps)),
     ));
     records.push(Record::new(
-        "postings",
-        encode_postings(&StrandPostings::build(reps)),
+        "postings2",
+        encode_postings2(&StrandPostings::build(reps)),
     ));
     write_container_v2(&records)
 }
@@ -884,6 +968,8 @@ fn decode_segment_parts(blob: Vec<u8>, eager: bool) -> Result<SegmentParts, Inde
                 context = Some(decode_context(record_bytes(&blob, e)?)?);
             } else if e.name == "postings" {
                 postings = Some(decode_postings(record_bytes(&blob, e)?)?);
+            } else if e.name == "postings2" {
+                postings = Some(decode_postings2(record_bytes(&blob, e)?)?);
             }
         }
     }
@@ -1270,6 +1356,7 @@ fn decode_executable(b: &[u8]) -> Result<ExecutableRep, IndexError> {
             strands,
             block_count,
             size,
+            interned: None,
         });
     }
     Ok(ExecutableRep {
@@ -1416,6 +1503,137 @@ fn decode_postings(b: &[u8]) -> Result<StrandPostings, IndexError> {
     Ok(StrandPostings::from_entries(entries))
 }
 
+// ---- postings2 / intern: sorted varint-delta encodings -------------------
+//
+// Both records exploit the same invariant: their key sequences are
+// strictly increasing (postings keys by construction, interner hashes
+// by definition, packed `(exe << 32) | proc` sites within one posting
+// list by walk order). Sorted u64s delta-encode to mostly-small gaps,
+// and LEB128 varints store small gaps in one or two bytes — so the
+// records shrink by roughly the hash entropy they no longer repeat.
+// Strict monotonicity doubles as the trust boundary: a zero or
+// overflowing delta cannot come from our writers and is diagnosed as
+// `Malformed`, never absorbed.
+
+fn encode_interner(interner: &StrandInterner) -> Vec<u8> {
+    let hashes = interner.hashes();
+    let mut out = Vec::with_capacity(10 + hashes.len() * 2);
+    push_varint(&mut out, hashes.len() as u64);
+    let mut prev = 0u64;
+    for (i, &h) in hashes.iter().enumerate() {
+        push_varint(&mut out, if i == 0 { h } else { h - prev });
+        prev = h;
+    }
+    out
+}
+
+fn decode_interner(b: &[u8]) -> Result<Vec<u64>, IndexError> {
+    let mut pos = 0;
+    let n = read_varint(b, &mut pos, "intern count")? as usize;
+    // Every hash costs at least one delta byte.
+    if n > b.len() {
+        return Err(malformed("intern count out of range"));
+    }
+    let mut hashes = Vec::with_capacity(n);
+    let mut prev = 0u64;
+    for i in 0..n {
+        let delta = read_varint(b, &mut pos, "intern delta")?;
+        let h = if i == 0 {
+            delta
+        } else {
+            if delta == 0 {
+                return Err(malformed("intern hashes not strictly increasing"));
+            }
+            prev.checked_add(delta)
+                .ok_or_else(|| malformed("intern delta overflows u64"))?
+        };
+        hashes.push(h);
+        prev = h;
+    }
+    Ok(hashes)
+}
+
+/// The decoded `intern` record, or — for pre-interning files that lack
+/// one — a rebuild from the context's key set (the same strand set, by
+/// construction), counted in `index.interner_rebuilt`.
+fn interner_or_rebuild(intern: Option<Vec<u64>>, context: &GlobalContext) -> StrandInterner {
+    match intern {
+        Some(hashes) => StrandInterner::from_sorted(hashes),
+        None => {
+            firmup_telemetry::incr("index.interner_rebuilt");
+            StrandInterner::from_hashes(context.entries().into_iter().map(|(s, _)| s))
+        }
+    }
+}
+
+fn encode_postings2(postings: &StrandPostings) -> Vec<u8> {
+    let keys = postings.keys();
+    let mut out = Vec::with_capacity(10 + keys.len() * 4);
+    push_varint(&mut out, keys.len() as u64);
+    let mut prev_key = 0u64;
+    for (i, &key) in keys.iter().enumerate() {
+        push_varint(&mut out, if i == 0 { key } else { key - prev_key });
+        prev_key = key;
+        let sites = postings.list_at(i);
+        push_varint(&mut out, sites.len() as u64);
+        let mut prev_site = 0u64;
+        for (j, &(exe, proc_)) in sites.iter().enumerate() {
+            let packed = (u64::from(exe) << 32) | u64::from(proc_);
+            push_varint(&mut out, if j == 0 { packed } else { packed - prev_site });
+            prev_site = packed;
+        }
+    }
+    out
+}
+
+fn decode_postings2(b: &[u8]) -> Result<StrandPostings, IndexError> {
+    let mut pos = 0;
+    let n = read_varint(b, &mut pos, "postings2 strand count")? as usize;
+    // Every strand costs at least two bytes (key delta + list length).
+    if n.saturating_mul(2) > b.len() {
+        return Err(malformed("postings2 strand count out of range"));
+    }
+    let mut entries = Vec::with_capacity(n);
+    let mut prev_key = 0u64;
+    for i in 0..n {
+        let delta = read_varint(b, &mut pos, "postings2 key delta")?;
+        let key = if i == 0 {
+            delta
+        } else {
+            if delta == 0 {
+                return Err(malformed("postings2 keys not strictly increasing"));
+            }
+            prev_key
+                .checked_add(delta)
+                .ok_or_else(|| malformed("postings2 key delta overflows u64"))?
+        };
+        prev_key = key;
+        let m = read_varint(b, &mut pos, "postings2 list length")? as usize;
+        if m > b.len() {
+            return Err(malformed("postings2 list length out of range"));
+        }
+        let mut sites = Vec::with_capacity(m);
+        let mut prev_site = 0u64;
+        for j in 0..m {
+            let delta = read_varint(b, &mut pos, "postings2 site delta")?;
+            let packed = if j == 0 {
+                delta
+            } else {
+                if delta == 0 {
+                    return Err(malformed("postings2 sites not strictly increasing"));
+                }
+                prev_site
+                    .checked_add(delta)
+                    .ok_or_else(|| malformed("postings2 site delta overflows u64"))?
+            };
+            prev_site = packed;
+            sites.push(((packed >> 32) as u32, packed as u32));
+        }
+        entries.push((key, sites));
+    }
+    Ok(StrandPostings::from_entries(entries))
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -1446,6 +1664,7 @@ mod tests {
                     strands: s.to_vec(),
                     block_count: i + 1,
                     size: 16 * (i as u32 + 1),
+                    interned: None,
                 })
                 .collect(),
         }
@@ -1613,7 +1832,7 @@ mod tests {
     #[test]
     fn missing_records_are_diagnosed() {
         let index = sample();
-        for drop_name in ["meta", "exe:1", "context", "postings"] {
+        for drop_name in ["meta", "exe:1", "context", "postings2"] {
             let records: Vec<Record> = read_container(&index.to_bytes())
                 .unwrap()
                 .into_iter()
@@ -1743,6 +1962,7 @@ mod tests {
             strands: vec![2, 3, 7],
             block_count: 1,
             size: 4,
+            interned: None,
         };
         let ranked = prefilter_candidates(&query, &index.postings, None, 0);
         let score = |e: usize| ranked.iter().find(|&&(i, _)| i == e).map(|&(_, s)| s);
@@ -2070,6 +2290,7 @@ mod prop_tests {
                                 strands,
                                 block_count: i,
                                 size: i as u32 * 4,
+                                interned: None,
                             }
                         })
                         .collect(),

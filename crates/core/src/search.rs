@@ -15,7 +15,7 @@ use std::time::{Duration, Instant};
 use std::borrow::Borrow;
 
 use crate::executor::{chunk_size, resolve_threads, run_units};
-use crate::game::{play, GameConfig, GameEnd, GameResult};
+use crate::game::{play, play_recorded, GameConfig, GameEnd, GameResult, GameStats};
 use crate::sim::{ExecutableRep, GlobalContext, ProcedureRep, StrandPostings};
 
 /// Search configuration.
@@ -78,6 +78,58 @@ pub struct MatchInfo {
     pub sim: usize,
 }
 
+/// Scan-local telemetry accumulator: per-target counters and timing
+/// histograms collected as plain fields, merged across workers, and
+/// flushed to the global registry once per scan — so registry traffic
+/// (a lock plus a `String` key per metric touch) stays O(1) in corpus
+/// size instead of O(targets). Counter totals after
+/// [`flush`](ScanStats::flush) are identical to the legacy per-target
+/// recording.
+#[derive(Debug, Default)]
+pub struct ScanStats {
+    targets: u64,
+    accepted: u64,
+    target_us: firmup_telemetry::LocalHistogram,
+    game: GameStats,
+}
+
+impl ScanStats {
+    /// An empty accumulator.
+    pub fn new() -> ScanStats {
+        ScanStats::default()
+    }
+
+    /// Targets searched since the last flush.
+    pub fn targets(&self) -> u64 {
+        self.targets
+    }
+
+    /// Fold another worker's accumulator into this one.
+    pub fn merge(&mut self, other: &ScanStats) {
+        self.targets += other.targets;
+        self.accepted += other.accepted;
+        self.target_us.merge(&other.target_us);
+        self.game.merge(&other.game);
+    }
+
+    /// Merge everything into the global registry (a bounded handful of
+    /// name resolutions, independent of corpus size) and clear.
+    pub fn flush(&mut self) {
+        if firmup_telemetry::enabled() {
+            if self.targets > 0 {
+                firmup_telemetry::add("search.targets", self.targets);
+            }
+            if self.accepted > 0 {
+                firmup_telemetry::add("search.accepted", self.accepted);
+            }
+        }
+        self.target_us.flush_into("search.target_us");
+        self.game.flush();
+        self.targets = 0;
+        self.accepted = 0;
+    }
+}
+
 /// Search a single target executable for `query.procedures[qv]`.
 pub fn search_target(
     query: &ExecutableRep,
@@ -85,14 +137,37 @@ pub fn search_target(
     target: &ExecutableRep,
     config: &SearchConfig,
 ) -> TargetResult {
+    search_target_with(query, qv, target, config, None, None)
+}
+
+/// [`search_target`] with the scan-loop fast paths: `qp_mass` carries
+/// the query procedure's context mass precomputed once per job (it is a
+/// pure function of the query and the context, so recomputing it per
+/// target is pure overhead), and `stats` redirects per-target telemetry
+/// into a scan-local accumulator. With `stats == None` the legacy
+/// direct-to-registry recording is preserved bit for bit.
+fn search_target_with(
+    query: &ExecutableRep,
+    qv: usize,
+    target: &ExecutableRep,
+    config: &SearchConfig,
+    qp_mass: Option<f64>,
+    mut stats: Option<&mut ScanStats>,
+) -> TargetResult {
     let started = firmup_telemetry::enabled().then(std::time::Instant::now);
-    let result: GameResult = play(query, qv, target, &config.game);
+    let result: GameResult = play_recorded(
+        query,
+        qv,
+        target,
+        &config.game,
+        stats.as_deref_mut().map(|s| &mut s.game),
+    );
     let matched = result.query_match.and_then(|(ti, s)| {
         let qp = &query.procedures[qv];
         let tp = &target.procedures[ti];
         let fraction_ok = match &config.context {
             Some(ctx) => {
-                let mass = ctx.mass(qp);
+                let mass = qp_mass.unwrap_or_else(|| ctx.mass(qp));
                 mass <= f64::EPSILON || ctx.weighted_sim(qp, tp) >= config.accept_ratio * mass
             }
             None => (s as f64) >= config.accept_ratio * qp.strand_count() as f64,
@@ -105,10 +180,22 @@ pub fn search_target(
         })
     });
     if let Some(t0) = started {
-        firmup_telemetry::observe("search.target_us", t0.elapsed().as_micros() as u64);
-        firmup_telemetry::incr("search.targets");
-        if matched.is_some() {
-            firmup_telemetry::incr("search.accepted");
+        let us = t0.elapsed().as_micros() as u64;
+        match stats {
+            Some(st) => {
+                st.targets += 1;
+                if matched.is_some() {
+                    st.accepted += 1;
+                }
+                st.target_us.record(us);
+            }
+            None => {
+                firmup_telemetry::observe("search.target_us", us);
+                firmup_telemetry::incr("search.targets");
+                if matched.is_some() {
+                    firmup_telemetry::incr("search.accepted");
+                }
+            }
         }
     }
     let deadline_margin_us = config.game.deadline.map(|d| {
@@ -181,16 +268,24 @@ pub fn prefilter_candidates(
     k: usize,
 ) -> Vec<(usize, f64)> {
     let mut overlap: std::collections::HashMap<u32, f64> = std::collections::HashMap::new();
+    // Both the query's strand set and the postings key array are sorted,
+    // so one forward galloping cursor finds every query strand's slot —
+    // O(|q| log |keys|) worst case instead of a cold binary search per
+    // strand, and nearly linear when the query's strands cluster.
+    let keys = postings.keys();
+    let mut base = 0usize;
     for &strand in &query.strands {
-        let sites = postings.postings(strand);
-        if sites.is_empty() {
+        let at = base + crate::merge::gallop_ge(&keys[base..], &strand);
+        base = at;
+        if keys.get(at) != Some(&strand) {
             continue;
         }
+        base = at + 1;
         let w = context.map_or(1.0, |c| c.weight(strand));
         // A strand counts once per executable, no matter how many of its
         // procedures contain it — mirroring set-based `Sim`.
         let mut last: Option<u32> = None;
-        for &(exe, _proc) in sites {
+        for &(exe, _proc) in postings.list_at(at) {
             if last != Some(exe) {
                 *overlap.entry(exe).or_default() += w;
                 last = Some(exe);
@@ -581,6 +676,7 @@ impl ScanReport {
 /// deadline is computed *here*, immediately before the game starts —
 /// never once per worker or per unit — so a slow sibling game on the
 /// same worker can never eat a later game's `per_game` allowance.
+#[allow(clippy::too_many_arguments)]
 fn run_one_target(
     query: &ExecutableRep,
     qv: usize,
@@ -589,6 +685,8 @@ fn run_one_target(
     budget: &ScanBudget,
     scan_start: Instant,
     steps_spent: &AtomicU64,
+    qp_mass: Option<f64>,
+    stats: Option<&mut ScanStats>,
 ) -> TargetOutcome {
     // Deterministic bound first: refuse to start once the scan-wide
     // step budget is spent.
@@ -619,7 +717,9 @@ fn run_one_target(
     }
     let mut cfg = config.clone();
     cfg.game.deadline = deadline.map(|(d, _)| d);
-    let played = catch_unwind(AssertUnwindSafe(|| search_target(query, qv, target, &cfg)));
+    let played = catch_unwind(AssertUnwindSafe(|| {
+        search_target_with(query, qv, target, &cfg, qp_mass, stats)
+    }));
     match played {
         Ok(r) => {
             steps_spent.fetch_add(r.steps as u64, Ordering::Relaxed);
@@ -680,13 +780,25 @@ pub fn scan_units<T: Borrow<ExecutableRep> + Sync>(
     let _span = firmup_telemetry::span!("search");
     let scan_start = Instant::now();
     let steps_spent = AtomicU64::new(0);
-    run_units(units.len(), resolve_threads(config.threads), 1, |u| {
+    // The query's significance mass is a pure function of (job, context):
+    // compute it once per job here instead of once per target inside the
+    // acceptance check.
+    let job_mass: Option<Vec<f64>> = config.context.as_ref().map(|ctx| {
+        jobs.iter()
+            .map(|&(q, qv)| ctx.mass(&q.procedures[qv]))
+            .collect()
+    });
+    let stats = std::sync::Mutex::new(ScanStats::new());
+    let out = run_units(units.len(), resolve_threads(config.threads), 1, |u| {
         if stop() {
             return Vec::new();
         }
         let unit = &units[u];
         let (query, qv) = jobs[unit.job];
-        unit.targets
+        let qp_mass = job_mass.as_ref().map(|m| m[unit.job]);
+        let mut local = ScanStats::new();
+        let outcomes: Vec<TargetOutcome> = unit
+            .targets
             .iter()
             .map(|&t| {
                 run_one_target(
@@ -697,10 +809,16 @@ pub fn scan_units<T: Borrow<ExecutableRep> + Sync>(
                     budget,
                     scan_start,
                     &steps_spent,
+                    qp_mass,
+                    Some(&mut local),
                 )
             })
-            .collect()
-    })
+            .collect();
+        stats.lock().expect("scan stats lock").merge(&local);
+        outcomes
+    });
+    stats.into_inner().expect("scan stats lock").flush();
+    out
 }
 
 /// Deterministically merge one query job's per-unit outcomes: findings
@@ -811,6 +929,7 @@ mod tests {
                         strands: s,
                         block_count: 1,
                         size: 16,
+                        interned: None,
                     }
                 })
                 .collect(),
@@ -1020,6 +1139,7 @@ mod tests {
             strands,
             block_count: 1,
             size: 16,
+            interned: None,
         };
         let query = ExecutableRep {
             id: "q".into(),

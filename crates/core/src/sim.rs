@@ -8,12 +8,19 @@
 use firmup_isa::Arch;
 use firmup_obj::Elf;
 
-use crate::canon::{canonicalize, AddrSpace, CanonConfig};
+use crate::arena::StrandArena;
+use crate::canon::{canonical_hash_picks, AddrSpace, CanonConfig, CanonScratch};
+use crate::intern::{InternedStrands, StrandInterner};
 use crate::lift::{lift_executable, LiftError, LiftedExecutable};
-use crate::strand::decompose;
+use crate::merge;
+use crate::strand::decompose_into;
 
 /// A procedure as the similarity pipeline sees it.
-#[derive(Debug, Clone, PartialEq, Eq)]
+///
+/// Equality ignores the [`interned`](ProcedureRep::interned) cache:
+/// two reps with the same strands are the same procedure whether or
+/// not either has been translated to interner ids.
+#[derive(Debug, Clone)]
 pub struct ProcedureRep {
     /// Entry address in its executable.
     pub addr: u32,
@@ -26,7 +33,24 @@ pub struct ProcedureRep {
     pub block_count: usize,
     /// Code size in bytes.
     pub size: u32,
+    /// `strands` translated to dense [`StrandInterner`] ids — a pure
+    /// cache attached by [`ExecutableRep::intern_with`], consulted by
+    /// [`sim`] and the [`GlobalContext`] weighted paths when tokens
+    /// line up, and ignored by equality.
+    pub interned: Option<InternedStrands>,
 }
+
+impl PartialEq for ProcedureRep {
+    fn eq(&self, other: &ProcedureRep) -> bool {
+        self.addr == other.addr
+            && self.name == other.name
+            && self.strands == other.strands
+            && self.block_count == other.block_count
+            && self.size == other.size
+    }
+}
+
+impl Eq for ProcedureRep {}
 
 impl ProcedureRep {
     /// IDA-style display name.
@@ -88,26 +112,57 @@ impl ExecutableRep {
     pub fn strand_total(&self) -> usize {
         self.procedures.iter().map(ProcedureRep::strand_count).sum()
     }
+
+    /// Attach interner-id caches to every procedure (see
+    /// [`ProcedureRep::interned`]). Corpus reps interned against the
+    /// corpus interner are always `complete`; query reps may contain
+    /// strands the corpus has never seen and come out partial — the id
+    /// fast paths account for that.
+    pub fn intern_with(&mut self, interner: &StrandInterner) {
+        for p in &mut self.procedures {
+            p.interned = Some(InternedStrands::of(&p.strands, interner));
+        }
+    }
+}
+
+/// Whether `q` and `t` carry id caches from the *same* interner
+/// instance that license an exact id-space intersection: tokens must
+/// match, and at least one side must be `complete` (a strand missing
+/// from the interner then provably cannot occur on the complete side,
+/// so dropping it from the merge loses nothing).
+fn id_comparable<'a>(
+    q: &'a ProcedureRep,
+    t: &'a ProcedureRep,
+) -> Option<(&'a InternedStrands, &'a InternedStrands)> {
+    match (&q.interned, &t.interned) {
+        (Some(qi), Some(ti)) if qi.token == ti.token && (qi.complete || ti.complete) => {
+            Some((qi, ti))
+        }
+        _ => None,
+    }
 }
 
 /// `Sim(q, t)`: the number of shared canonical strands.
+///
+/// When both reps carry comparable interner ids the intersection runs
+/// over dense `u32` ids; otherwise over the `u64` hash vectors. Both
+/// paths produce the same count (ids are hash ranks — see
+/// [`crate::intern`]).
 pub fn sim(q: &ProcedureRep, t: &ProcedureRep) -> usize {
-    let (mut i, mut j, mut n) = (0, 0, 0);
-    while i < q.strands.len() && j < t.strands.len() {
-        match q.strands[i].cmp(&t.strands[j]) {
-            std::cmp::Ordering::Less => i += 1,
-            std::cmp::Ordering::Greater => j += 1,
-            std::cmp::Ordering::Equal => {
-                n += 1;
-                i += 1;
-                j += 1;
-            }
-        }
+    if let Some((qi, ti)) = id_comparable(q, t) {
+        merge::intersect_count(&qi.ids, &ti.ids)
+    } else {
+        merge::intersect_count(&q.strands, &t.strands)
     }
-    n
 }
 
 /// Build the similarity representation of a lifted executable.
+///
+/// The hot path is fully arena-backed: strand decomposition records
+/// statement indices into a per-executable [`StrandArena`] (reset per
+/// block) and hashing runs through one reusable
+/// [`CanonScratch`] — steady state allocates only the final
+/// per-procedure hash vectors.
 pub fn build_rep(
     lifted: &LiftedExecutable,
     space: &AddrSpace,
@@ -115,38 +170,43 @@ pub fn build_rep(
     id: &str,
 ) -> ExecutableRep {
     let _span = firmup_telemetry::span!("canonicalize");
-    let procedures = lifted
-        .program
-        .procedures
-        .iter()
-        .map(|p| {
-            let mut hashes: Vec<u64> = p
-                .blocks
-                .iter()
-                .flat_map(|b| {
-                    let ssa = firmup_ir::ssa::ssa_block(b);
-                    decompose(&ssa)
-                        .iter()
-                        .map(|s| canonicalize(s, space, config).hash)
-                        .collect::<Vec<u64>>()
-                })
-                .collect();
-            hashes.sort_unstable();
-            hashes.dedup();
-            ProcedureRep {
-                addr: p.addr,
-                name: p.name.clone(),
-                strands: hashes,
-                block_count: p.blocks.len(),
-                size: p.blocks.iter().map(|b| b.len).sum(),
+    let mut arena = StrandArena::new();
+    let mut scratch = CanonScratch::default();
+    let mut procedures = Vec::with_capacity(lifted.program.procedures.len());
+    for p in &lifted.program.procedures {
+        let mut hashes: Vec<u64> = Vec::new();
+        for b in &p.blocks {
+            let ssa = firmup_ir::ssa::ssa_block(b);
+            arena.reset();
+            let n = decompose_into(&mut arena, &ssa);
+            for i in 0..n {
+                let view = arena.strand(i).expect("index in range");
+                hashes.push(canonical_hash_picks(
+                    &ssa,
+                    view.picks,
+                    space,
+                    config,
+                    &mut scratch,
+                ));
             }
-        })
-        .collect();
+        }
+        hashes.sort_unstable();
+        hashes.dedup();
+        procedures.push(ProcedureRep {
+            addr: p.addr,
+            name: p.name.clone(),
+            strands: hashes,
+            block_count: p.blocks.len(),
+            size: p.blocks.iter().map(|b| b.len).sum(),
+            interned: None,
+        });
+    }
     let rep = ExecutableRep {
         id: id.to_string(),
         arch: lifted.arch,
         procedures,
     };
+    firmup_telemetry::add("canon.strands", scratch.take_count());
     if firmup_telemetry::enabled() {
         firmup_telemetry::incr("index.executables");
         firmup_telemetry::add("index.procedures", rep.procedures.len() as u64);
@@ -154,6 +214,7 @@ pub fn build_rep(
             "index.strands",
             rep.procedures.iter().map(|p| p.strands.len() as u64).sum(),
         );
+        firmup_telemetry::add("index.arena_bytes", arena.peak_bytes() as u64);
     }
     rep
 }
@@ -164,10 +225,26 @@ pub fn build_rep(
 /// contexts for the §5.3 comparison: "a set of randomly sampled
 /// procedures in the wild used to statistically estimate the
 /// significance of a strand").
-#[derive(Debug, Clone, Default, PartialEq)]
+/// Equality compares the trained statistics (`df`, `docs`) only; the
+/// id-indexed weight cache attached by
+/// [`attach_interner`](GlobalContext::attach_interner) is derived
+/// state and ignored.
+#[derive(Debug, Clone, Default)]
 pub struct GlobalContext {
     df: std::collections::HashMap<u64, u32>,
     docs: u32,
+    /// Token of the interner `id_weights` was computed against
+    /// (0 = none attached).
+    token: u64,
+    /// `weight(hash)` for every interned strand, indexed by
+    /// [`StrandId`](crate::intern::StrandId).
+    id_weights: Vec<f64>,
+}
+
+impl PartialEq for GlobalContext {
+    fn eq(&self, other: &GlobalContext) -> bool {
+        self.df == other.df && self.docs == other.docs
+    }
 }
 
 impl GlobalContext {
@@ -196,7 +273,23 @@ impl GlobalContext {
                 *df.entry(h).or_default() += 1;
             }
         }
-        GlobalContext { df, docs }
+        GlobalContext {
+            df,
+            docs,
+            token: 0,
+            id_weights: Vec::new(),
+        }
+    }
+
+    /// Precompute `weight(hash)` for every strand the interner knows,
+    /// unlocking the id-indexed weighted paths. The cache stores the
+    /// exact `f64` the hash path would compute, and id order is hash
+    /// order, so every weighted sum accumulates the same values in the
+    /// same order — bit-identical results, one array load instead of a
+    /// hash lookup per strand.
+    pub fn attach_interner(&mut self, interner: &StrandInterner) {
+        self.id_weights = interner.hashes().iter().map(|&h| self.weight(h)).collect();
+        self.token = interner.token();
     }
 
     /// Number of documents in the sample.
@@ -218,6 +311,8 @@ impl GlobalContext {
         GlobalContext {
             df: entries.into_iter().collect(),
             docs,
+            token: 0,
+            id_weights: Vec::new(),
         }
     }
 
@@ -230,17 +325,21 @@ impl GlobalContext {
     }
 
     /// Weighted similarity: the significance mass of shared strands.
+    ///
+    /// Takes the id fast path when both reps carry ids from the same
+    /// interner this context was attached to; both paths visit the
+    /// shared strands in ascending hash order and add the same `f64`s,
+    /// so the result is bit-identical either way.
     pub fn weighted_sim(&self, q: &ProcedureRep, t: &ProcedureRep) -> f64 {
-        let (mut i, mut j, mut acc) = (0, 0, 0.0);
-        while i < q.strands.len() && j < t.strands.len() {
-            match q.strands[i].cmp(&t.strands[j]) {
-                std::cmp::Ordering::Less => i += 1,
-                std::cmp::Ordering::Greater => j += 1,
-                std::cmp::Ordering::Equal => {
-                    acc += self.weight(q.strands[i]);
-                    i += 1;
-                    j += 1;
-                }
+        let mut acc = 0.0;
+        match id_comparable(q, t) {
+            Some((qi, ti)) if self.token != 0 && qi.token == self.token => {
+                merge::for_each_common(&qi.ids, &ti.ids, |id| {
+                    acc += self.id_weights[id as usize];
+                });
+            }
+            _ => {
+                merge::for_each_common(&q.strands, &t.strands, |h| acc += self.weight(h));
             }
         }
         acc
@@ -248,6 +347,14 @@ impl GlobalContext {
 
     /// Total significance mass of a procedure's strands.
     pub fn mass(&self, p: &ProcedureRep) -> f64 {
+        // The id path needs a *complete* translation: an unknown strand
+        // still has nonzero weight (df = 0), so a partial id list would
+        // undercount the mass.
+        if let Some(i) = &p.interned {
+            if i.complete && self.token != 0 && i.token == self.token {
+                return i.ids.iter().map(|&id| self.id_weights[id as usize]).sum();
+            }
+        }
         p.strands.iter().map(|&h| self.weight(h)).sum()
     }
 }
@@ -273,6 +380,7 @@ impl GlobalContext {
 ///     arch: Arch::Mips32,
 ///     procedures: vec![ProcedureRep {
 ///         addr: 0x1000, name: None, strands: vec![7, 9], block_count: 1, size: 8,
+///         interned: None,
 ///     }],
 /// };
 /// let postings = StrandPostings::build([&exe]);
@@ -281,7 +389,14 @@ impl GlobalContext {
 /// ```
 #[derive(Debug, Clone, Default, PartialEq, Eq)]
 pub struct StrandPostings {
-    map: std::collections::HashMap<u64, Vec<(u32, u32)>>,
+    /// Sorted, deduplicated strand hashes — the key column.
+    keys: Vec<u64>,
+    /// `keys[i]`'s posting list is `sites[offsets[i]..offsets[i + 1]]`;
+    /// `len == keys.len() + 1` (or empty when there are no keys).
+    offsets: Vec<u32>,
+    /// All posting lists, concatenated in key order; each list sorted
+    /// by `(executable, procedure)`.
+    sites: Vec<(u32, u32)>,
 }
 
 impl StrandPostings {
@@ -289,49 +404,118 @@ impl StrandPostings {
     /// lists come out sorted by `(executable, procedure)` because the
     /// corpus is walked in order.
     pub fn build<'a>(executables: impl IntoIterator<Item = &'a ExecutableRep>) -> StrandPostings {
-        let mut map: std::collections::HashMap<u64, Vec<(u32, u32)>> =
-            std::collections::HashMap::new();
+        let mut triples: Vec<(u64, (u32, u32))> = Vec::new();
         for (ei, exe) in executables.into_iter().enumerate() {
             for (pi, proc_) in exe.procedures.iter().enumerate() {
                 for &h in &proc_.strands {
-                    map.entry(h).or_default().push((ei as u32, pi as u32));
+                    triples.push((h, (ei as u32, pi as u32)));
                 }
             }
         }
-        StrandPostings { map }
+        // Sites of one key are already in walk order, which *is*
+        // ascending (executable, procedure) order, so a full sort by
+        // (key, site) groups the lists without reordering any of them.
+        triples.sort_unstable();
+        let mut p = StrandPostings::default();
+        p.sites.reserve_exact(triples.len());
+        for (h, site) in triples {
+            if p.keys.last() != Some(&h) {
+                p.keys.push(h);
+                p.offsets.push(p.sites.len() as u32);
+            }
+            p.sites.push(site);
+        }
+        if !p.keys.is_empty() {
+            p.offsets.push(p.sites.len() as u32);
+        }
+        p
+    }
+
+    /// The posting list of the `i`-th key, in key order.
+    fn list(&self, i: usize) -> &[(u32, u32)] {
+        &self.sites[self.offsets[i] as usize..self.offsets[i + 1] as usize]
     }
 
     /// The posting list for one strand (empty when the strand is absent
     /// from the corpus).
     pub fn postings(&self, strand: u64) -> &[(u32, u32)] {
-        self.map.get(&strand).map_or(&[], Vec::as_slice)
+        match self.keys.binary_search(&strand) {
+            Ok(i) => self.list(i),
+            Err(_) => &[],
+        }
+    }
+
+    /// The sorted key column — lets callers intersect a sorted query
+    /// strand set against the whole table with one galloping merge
+    /// instead of a lookup per strand
+    /// (see [`prefilter_candidates`](crate::search::prefilter_candidates)).
+    pub fn keys(&self) -> &[u64] {
+        &self.keys
+    }
+
+    /// The posting list of the `i`-th key (pairs with [`keys`](Self::keys)).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `i >= keys().len()`.
+    pub fn list_at(&self, i: usize) -> &[(u32, u32)] {
+        self.list(i)
     }
 
     /// Number of distinct strands in the index.
     pub fn strand_count(&self) -> usize {
-        self.map.len()
+        self.keys.len()
+    }
+
+    /// Total posting sites across all strands.
+    pub fn site_count(&self) -> usize {
+        self.sites.len()
     }
 
     /// Whether the index holds no strands at all.
     pub fn is_empty(&self) -> bool {
-        self.map.is_empty()
+        self.keys.is_empty()
+    }
+
+    /// Resident size of the table's backing arrays, in bytes (the
+    /// `postings_bytes` bench metric).
+    pub fn resident_bytes(&self) -> usize {
+        self.keys.len() * std::mem::size_of::<u64>()
+            + self.offsets.len() * std::mem::size_of::<u32>()
+            + self.sites.len() * std::mem::size_of::<(u32, u32)>()
     }
 
     /// The serializable form: `(strand, posting list)` pairs sorted by
     /// strand hash. Inverse of [`StrandPostings::from_entries`].
     pub fn entries(&self) -> Vec<(u64, &[(u32, u32)])> {
-        let mut v: Vec<(u64, &[(u32, u32)])> =
-            self.map.iter().map(|(&k, l)| (k, l.as_slice())).collect();
-        v.sort_unstable_by_key(|&(k, _)| k);
-        v
+        (0..self.keys.len())
+            .map(|i| (self.keys[i], self.list(i)))
+            .collect()
     }
 
     /// Rebuild a postings table from its serialized parts (see
-    /// `firmup_core::persist` for the on-disk encoding).
+    /// `firmup_core::persist` for the on-disk encoding). Entries may
+    /// arrive in any order; a repeated key keeps the last list.
     pub fn from_entries(entries: impl IntoIterator<Item = (u64, Vec<(u32, u32)>)>) -> Self {
-        StrandPostings {
-            map: entries.into_iter().collect(),
+        let mut pairs: Vec<(u64, Vec<(u32, u32)>)> = entries.into_iter().collect();
+        pairs.sort_by_key(|&(k, _)| k);
+        let mut p = StrandPostings::default();
+        for (h, list) in pairs {
+            if p.keys.last() == Some(&h) {
+                // Last-wins, matching the map-collect semantics the
+                // serialized form was originally defined by.
+                p.keys.pop();
+                let at = p.offsets.pop().expect("one offset per key") as usize;
+                p.sites.truncate(at);
+            }
+            p.keys.push(h);
+            p.offsets.push(p.sites.len() as u32);
+            p.sites.extend(list);
         }
+        if !p.keys.is_empty() {
+            p.offsets.push(p.sites.len() as u32);
+        }
+        p
     }
 }
 

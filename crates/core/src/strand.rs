@@ -6,6 +6,7 @@
 //! target). Blocks are decomposed until every instruction is covered;
 //! instructions may participate in several strands.
 
+use crate::arena::StrandArena;
 use firmup_ir::ssa::{SsaBlock, SsaStmt, VarInfo};
 use firmup_ir::Var;
 
@@ -50,36 +51,70 @@ impl Strand {
 /// Covered statements are removed from the candidate-root set but can
 /// still appear inside later slices.
 pub fn decompose(block: &SsaBlock) -> Vec<Strand> {
+    let mut arena = StrandArena::new();
+    decompose_into(&mut arena, block);
+    (0..arena.len())
+        .map(|i| {
+            let view = arena.strand(i).expect("index in range");
+            Strand {
+                stmts: view
+                    .picks
+                    .iter()
+                    .map(|&p| block.stmts[p as usize].clone())
+                    .collect(),
+                vars: block.vars.clone(),
+            }
+        })
+        .collect()
+}
+
+/// Algorithm 1 into a reusable [`StrandArena`]: identical decomposition
+/// to [`decompose`], but each strand is recorded as statement *indices*
+/// in the arena instead of cloned statements and a cloned variable
+/// table — the allocation-free hot path used by
+/// [`build_rep`](crate::sim::build_rep). Returns the number of strands
+/// appended. The arena is *not* reset here; the caller owns the unit
+/// boundary (see the module docs of [`crate::arena`]).
+pub fn decompose_into(arena: &mut StrandArena, block: &SsaBlock) -> usize {
     let n = block.stmts.len();
-    let mut strands = Vec::new();
-    let mut indexes: Vec<bool> = vec![true; n]; // uncovered roots
+    let before = arena.len();
+    // The root set and the strand's live-variable set are bitmaps from
+    // the arena's reusable scratch — no per-block allocation once warm.
+    let (mut indexes, mut svars) = arena.take_scratch();
+    indexes.clear();
+    indexes.resize(n, true); // uncovered roots
+    let mark = |svars: &mut Vec<bool>, v: Var| {
+        let i = v.0 as usize;
+        if i >= svars.len() {
+            svars.resize(i + 1, false);
+        }
+        svars[i] = true;
+    };
     let mut remaining = n;
     while remaining > 0 {
         // top ← Max(indexes)
         let top = (0..n).rev().find(|&i| indexes[i]).expect("remaining > 0");
         indexes[top] = false;
         remaining -= 1;
-        let mut picked: Vec<usize> = vec![top];
-        let mut svars: std::collections::BTreeSet<Var> =
-            block.stmts[top].uses().into_iter().collect();
+        arena.begin_strand();
+        arena.push_pick(top as u32);
+        svars.clear();
+        block.stmts[top].for_each_use(&mut |v| mark(&mut svars, v));
         for i in (0..top).rev() {
             // WSet(bb[i]) ∩ svars ≠ ∅  (WSet is the singleton {def}).
-            if svars.contains(&block.stmts[i].def) {
-                picked.push(i);
-                svars.extend(block.stmts[i].uses());
+            if svars.get(block.stmts[i].def.0 as usize) == Some(&true) {
+                arena.push_pick(i as u32);
+                block.stmts[i].for_each_use(&mut |v| mark(&mut svars, v));
                 if indexes[i] {
                     indexes[i] = false;
                     remaining -= 1;
                 }
             }
         }
-        picked.reverse();
-        strands.push(Strand {
-            stmts: picked.iter().map(|&i| block.stmts[i].clone()).collect(),
-            vars: block.vars.clone(),
-        });
+        arena.reverse_open_strand();
     }
-    strands
+    arena.give_scratch(indexes, svars);
+    arena.len() - before
 }
 
 #[cfg(test)]

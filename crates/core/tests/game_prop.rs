@@ -21,6 +21,7 @@ fn exec(id: &str, procs: Vec<Vec<u64>>) -> ExecutableRep {
                     strands,
                     block_count: 1,
                     size: 16,
+                    interned: None,
                 }
             })
             .collect(),

@@ -1,0 +1,75 @@
+//! Regression pin: scan-path registry traffic is O(1) in corpus size.
+//!
+//! The per-target timing path used to call into the global telemetry
+//! registry (name hash + mutex) once per target and once per game;
+//! [`firmup_core::search::ScanStats`] now accumulates locally and
+//! flushes a constant number of metrics once per scan. This test lives
+//! in its own integration binary on purpose: `registry_lookups()` is a
+//! process-global counter, and sharing a process with other tests would
+//! make the delta racy.
+
+use firmup_core::search::{scan_units, ScanBudget, ScanUnit, SearchConfig};
+use firmup_core::sim::{ExecutableRep, ProcedureRep};
+use firmup_isa::Arch;
+
+fn rep(id: &str, salt: u64) -> ExecutableRep {
+    ExecutableRep {
+        id: id.into(),
+        arch: Arch::Mips32,
+        procedures: vec![ProcedureRep {
+            addr: 0x1000,
+            name: None,
+            strands: vec![1, 4, 9 + salt, 16, 25 + salt],
+            block_count: 2,
+            size: 32,
+            interned: None,
+        }],
+    }
+}
+
+/// Registry lookups spent by one single-threaded scan over `n_targets`.
+fn lookups_for(n_targets: usize) -> u64 {
+    let query = rep("query", 0);
+    let corpus: Vec<ExecutableRep> = (0..n_targets)
+        .map(|i| rep(&format!("t{i}"), (i % 4) as u64))
+        .collect();
+    let jobs = [(&query, 0usize)];
+    let units: Vec<ScanUnit> = (0..corpus.len())
+        .map(|i| ScanUnit {
+            job: 0,
+            targets: vec![i],
+        })
+        .collect();
+    let config = SearchConfig {
+        threads: 1,
+        ..SearchConfig::default()
+    };
+    let before = firmup_telemetry::registry_lookups();
+    let out = scan_units(
+        &jobs,
+        &units,
+        &corpus,
+        &config,
+        &ScanBudget::default(),
+        &(|| false),
+    );
+    assert_eq!(out.len(), units.len());
+    firmup_telemetry::registry_lookups() - before
+}
+
+#[test]
+fn registry_lookups_stay_flat_as_the_corpus_grows() {
+    firmup_telemetry::enable();
+    // Warm-up: first-ever flush creates the metric entries; creation and
+    // lookup cost the same counter bump, but warming removes any doubt
+    // that the two measured runs see identical registry state.
+    let _ = lookups_for(4);
+    let small = lookups_for(8);
+    let large = lookups_for(64);
+    assert!(small > 0, "an enabled scan must flush some metrics");
+    assert_eq!(
+        small, large,
+        "registry traffic grew with corpus size (8 targets: {small} lookups, \
+         64 targets: {large}) — a per-target registry call crept back into the hot path"
+    );
+}

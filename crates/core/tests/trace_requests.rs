@@ -32,6 +32,7 @@ fn exec(id: String, procs: Vec<Vec<u64>>) -> ExecutableRep {
                     strands,
                     block_count: 1,
                     size: 16,
+                    interned: None,
                 }
             })
             .collect(),

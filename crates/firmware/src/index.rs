@@ -216,6 +216,54 @@ fn read_str(b: &[u8], pos: &mut usize, context: &'static str) -> Result<String, 
     })
 }
 
+// ---------------------------------------------------------------------------
+// Varints
+// ---------------------------------------------------------------------------
+
+/// Append `v` as an LEB128 varint: 7 data bits per byte, least
+/// significant group first, high bit set on every byte but the last.
+/// A `u64` takes at most 10 bytes; values below 128 take one.
+pub fn push_varint(out: &mut Vec<u8>, mut v: u64) {
+    loop {
+        let byte = (v & 0x7f) as u8;
+        v >>= 7;
+        if v == 0 {
+            out.push(byte);
+            return;
+        }
+        out.push(byte | 0x80);
+    }
+}
+
+/// Read one LEB128 varint written by [`push_varint`]. Structured
+/// failure on truncation, on runs longer than 10 bytes, and on a 10th
+/// byte that would shift bits past the 64th — a damaged length can
+/// never escalate into a panic or a silently wrapped value.
+pub fn read_varint(b: &[u8], pos: &mut usize, context: &'static str) -> Result<u64, IndexError> {
+    let mut v: u64 = 0;
+    for i in 0..10 {
+        let byte = *b
+            .get(pos.saturating_add(i))
+            .ok_or(IndexError::Truncated { context })?;
+        let data = u64::from(byte & 0x7f);
+        // Bytes 0..9 contribute 63 bits; the 10th may only carry the
+        // single remaining one.
+        if i == 9 && data > 1 {
+            return Err(IndexError::Malformed {
+                reason: format!("varint overflows u64 in {context}"),
+            });
+        }
+        v |= data << (7 * i);
+        if byte & 0x80 == 0 {
+            *pos += i + 1;
+            return Ok(v);
+        }
+    }
+    Err(IndexError::Malformed {
+        reason: format!("varint longer than 10 bytes in {context}"),
+    })
+}
+
 /// Serialize records into a version-1 FUIX container blob (the
 /// back-compat writer; new indexes use [`write_container_v2`]).
 pub fn write_container(records: &[Record]) -> Vec<u8> {

@@ -265,14 +265,28 @@ pub struct SsaStmt {
 impl SsaStmt {
     /// The paper's `RSet`: variables read by this statement.
     pub fn uses(&self) -> Vec<Var> {
+        let mut out = Vec::new();
+        self.for_each_use(&mut |v| out.push(v));
+        out
+    }
+
+    /// Visit the paper's `RSet` — every variable this statement reads,
+    /// in visit order with duplicates — without allocating. The
+    /// allocation-free twin of [`uses`](SsaStmt::uses) for the strand
+    /// decomposition hot path.
+    pub fn for_each_use(&self, f: &mut impl FnMut(Var)) {
+        let mut g = |e: &SExpr| match e {
+            SExpr::Var(v) => f(*v),
+            SExpr::Load { mem, .. } => f(*mem),
+            _ => {}
+        };
         match &self.kind {
-            SsaKind::Assign(e) | SsaKind::JumpTarget(e) => e.vars(),
+            SsaKind::Assign(e) | SsaKind::JumpTarget(e) => e.visit(&mut g),
             SsaKind::Store { addr, value, .. } => {
-                let mut v = addr.vars();
-                v.extend(value.vars());
-                v
+                addr.visit(&mut g);
+                value.visit(&mut g);
             }
-            SsaKind::Exit { cond, .. } => cond.vars(),
+            SsaKind::Exit { cond, .. } => cond.visit(&mut g),
         }
     }
 }

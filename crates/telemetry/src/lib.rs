@@ -124,6 +124,21 @@ fn registry() -> &'static Registry {
     REGISTRY.get_or_init(Registry::default)
 }
 
+/// Total name → handle resolutions against the metric registry
+/// (counter/gauge/histogram lookups). Every resolution takes the
+/// registry lock and allocates the name `String` on first insert, so
+/// hot loops must not resolve per item — they accumulate locally
+/// (e.g. [`LocalHistogram`]) and flush once. The scan-path regression
+/// test pins this count flat as the corpus grows.
+static METRIC_LOOKUPS: AtomicU64 = AtomicU64::new(0);
+
+/// Number of metric-registry name resolutions so far (see
+/// [`METRIC_LOOKUPS`]'s invariant). Monotonic; not cleared by
+/// [`reset`].
+pub fn registry_lookups() -> u64 {
+    METRIC_LOOKUPS.load(Ordering::Relaxed)
+}
+
 fn epoch() -> Instant {
     static EPOCH: OnceLock<Instant> = OnceLock::new();
     *EPOCH.get_or_init(Instant::now)
@@ -134,6 +149,12 @@ pub(crate) fn epoch_ns() -> u64 {
     epoch().elapsed().as_nanos() as u64
 }
 
+/// Generation counter for [`reset`]: per-thread span-stats caches
+/// compare against it so a reset invalidates handles they hold into the
+/// cleared registry (otherwise they would keep feeding orphaned stats
+/// no snapshot can see).
+static RESET_GEN: AtomicU64 = AtomicU64::new(0);
+
 /// Clear every registered metric and span. Intended for tests; racing
 /// recorders may re-register concurrently.
 pub fn reset() {
@@ -142,6 +163,7 @@ pub fn reset() {
     r.gauges.lock().unwrap().clear();
     r.histograms.lock().unwrap().clear();
     r.spans.lock().unwrap().clear();
+    RESET_GEN.fetch_add(1, Ordering::Relaxed);
 }
 
 // ---------------------------------------------------------------------------
@@ -176,6 +198,7 @@ impl Counter {
 
 /// Look up (registering on first use) the named counter.
 pub fn counter(name: &str) -> Counter {
+    METRIC_LOOKUPS.fetch_add(1, Ordering::Relaxed);
     let mut map = registry().counters.lock().unwrap();
     Counter(Arc::clone(
         map.entry(name.to_string())
@@ -222,6 +245,7 @@ impl Gauge {
 
 /// Look up (registering on first use) the named gauge.
 pub fn gauge(name: &str) -> Gauge {
+    METRIC_LOOKUPS.fetch_add(1, Ordering::Relaxed);
     let mut map = registry().gauges.lock().unwrap();
     Gauge(Arc::clone(
         map.entry(name.to_string())
@@ -306,6 +330,7 @@ impl Histogram {
 
 /// Look up (registering on first use) the named histogram.
 pub fn histogram(name: &str) -> Histogram {
+    METRIC_LOOKUPS.fetch_add(1, Ordering::Relaxed);
     let mut map = registry().histograms.lock().unwrap();
     Histogram(Arc::clone(
         map.entry(name.to_string())
@@ -318,6 +343,93 @@ pub fn histogram(name: &str) -> Histogram {
 pub fn observe(name: &str, v: u64) {
     if enabled() {
         histogram(name).0.record(v);
+    }
+}
+
+/// A plain-struct histogram accumulator for hot loops: identical
+/// bucket layout to the registered [`Histogram`]s, but updated with
+/// ordinary arithmetic — no registry lookup, no lock, no atomics, no
+/// allocation per observation. Accumulate per scan (or per worker) and
+/// [`flush_into`](LocalHistogram::flush_into) the named global
+/// histogram once at the end; the merged global is indistinguishable
+/// from having observed every value directly.
+#[derive(Clone, Debug)]
+pub struct LocalHistogram {
+    count: u64,
+    sum: u64,
+    min: u64,
+    max: u64,
+    buckets: [u64; HIST_BUCKETS],
+}
+
+impl Default for LocalHistogram {
+    fn default() -> LocalHistogram {
+        LocalHistogram {
+            count: 0,
+            sum: 0,
+            min: u64::MAX,
+            max: 0,
+            buckets: [0; HIST_BUCKETS],
+        }
+    }
+}
+
+impl LocalHistogram {
+    /// An empty accumulator.
+    pub fn new() -> LocalHistogram {
+        LocalHistogram::default()
+    }
+
+    /// Record one observation. Unconditional — gating on [`enabled`] is
+    /// the flush's job, keeping this a branch-free handful of integer
+    /// ops.
+    #[inline]
+    pub fn record(&mut self, v: u64) {
+        self.count += 1;
+        // Wrapping, matching the global histogram's `fetch_add`.
+        self.sum = self.sum.wrapping_add(v);
+        self.min = self.min.min(v);
+        self.max = self.max.max(v);
+        self.buckets[bucket_of(v)] += 1;
+    }
+
+    /// Observations accumulated since the last flush.
+    pub fn count(&self) -> u64 {
+        self.count
+    }
+
+    /// Fold another accumulator into this one (per-worker partials into
+    /// a scan-wide total).
+    pub fn merge(&mut self, other: &LocalHistogram) {
+        if other.count == 0 {
+            return;
+        }
+        self.count += other.count;
+        self.sum = self.sum.wrapping_add(other.sum);
+        self.min = self.min.min(other.min);
+        self.max = self.max.max(other.max);
+        for (b, o) in self.buckets.iter_mut().zip(&other.buckets) {
+            *b += o;
+        }
+    }
+
+    /// Merge the accumulated observations into the named global
+    /// histogram (one registry resolution) and clear the accumulator.
+    /// No-op on the registry when empty or when telemetry is disabled.
+    pub fn flush_into(&mut self, name: &str) {
+        if self.count > 0 && enabled() {
+            let h = histogram(name);
+            h.0.count.fetch_add(self.count, Ordering::Relaxed);
+            h.0.sum.fetch_add(self.sum, Ordering::Relaxed);
+            h.0.min.fetch_min(self.min, Ordering::Relaxed);
+            h.0.max.fetch_max(self.max, Ordering::Relaxed);
+            for (i, &n) in self.buckets.iter().enumerate() {
+                if n > 0 {
+                    h.0.buckets[i].fetch_add(n, Ordering::Relaxed);
+                }
+            }
+        }
+        *self = LocalHistogram::default();
     }
 }
 
@@ -358,15 +470,42 @@ impl SpanStats {
     }
 }
 
+thread_local! {
+    /// Per-thread memo of span paths already resolved against the global
+    /// registry, tagged with the [`RESET_GEN`] it was built under. A
+    /// scan finishes one span per game — millions per run — and every
+    /// finish used to take the global spans lock plus a `String`
+    /// allocation for the entry probe. With the memo, a repeated path
+    /// costs one local hash lookup and four atomic updates; the lock and
+    /// allocations are paid once per (thread, path). [`reset`] bumps the
+    /// generation, which drops the whole memo so stale handles into the
+    /// cleared registry are never fed again.
+    static SPAN_STATS_MEMO: std::cell::RefCell<(u64, HashMap<String, Arc<SpanStats>>)> =
+        std::cell::RefCell::new((0, HashMap::new()));
+}
+
 /// Feed one finished span into the per-path latency registry.
 pub(crate) fn record_span_stats(path: &str, elapsed_ns: u64) {
-    let stats = {
-        let mut map = registry().spans.lock().unwrap();
-        Arc::clone(
-            map.entry(path.to_string())
-                .or_insert_with(|| Arc::new(SpanStats::new())),
-        )
-    };
+    let stats = SPAN_STATS_MEMO.with(|memo| {
+        let mut memo = memo.borrow_mut();
+        let gen = RESET_GEN.load(Ordering::Relaxed);
+        if memo.0 != gen {
+            memo.0 = gen;
+            memo.1.clear();
+        }
+        if let Some(s) = memo.1.get(path) {
+            return Arc::clone(s);
+        }
+        let stats = {
+            let mut map = registry().spans.lock().unwrap();
+            Arc::clone(
+                map.entry(path.to_string())
+                    .or_insert_with(|| Arc::new(SpanStats::new())),
+            )
+        };
+        memo.1.insert(path.to_string(), Arc::clone(&stats));
+        stats
+    });
     stats.count.fetch_add(1, Ordering::Relaxed);
     stats.total_ns.fetch_add(elapsed_ns, Ordering::Relaxed);
     stats.min_ns.fetch_min(elapsed_ns, Ordering::Relaxed);

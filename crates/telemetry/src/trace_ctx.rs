@@ -28,10 +28,11 @@
 //! `firmup profile`); [`take_trace`] drains it for export (see
 //! [`crate::export`]).
 
+use std::borrow::Cow;
 use std::cell::{Cell, RefCell};
 use std::collections::HashMap;
 use std::sync::atomic::{AtomicBool, Ordering};
-use std::sync::{Mutex, OnceLock};
+use std::sync::{Arc, Mutex, OnceLock};
 use std::time::Instant;
 
 /// Upper bound on buffered span records: a runaway trace degrades into
@@ -94,9 +95,15 @@ fn derive_id(parent: u64, name: &str, key: u64) -> u64 {
 pub(crate) struct Frame {
     trace_id: u64,
     span_id: u64,
-    path: String,
+    path: Arc<str>,
     /// Sequence number for the next ambient (un-keyed) child span.
     next_child: u64,
+    /// Memo of the last ambient child opened under this frame:
+    /// `(name, joined path)`. A hot loop that opens the same span name
+    /// thousands of times under one parent (the per-game span inside a
+    /// scan unit) re-joins the path once and then pays only an `Arc`
+    /// refcount bump per span instead of a fresh `String` each time.
+    last_child: Option<(&'static str, Arc<str>)>,
 }
 
 thread_local! {
@@ -122,8 +129,8 @@ pub(crate) struct ActiveSpan {
     trace_id: u64,
     span_id: u64,
     parent_id: u64,
-    name: String,
-    path: String,
+    name: Cow<'static, str>,
+    path: Arc<str>,
     attrs: Vec<(String, String)>,
     start_ns: u64,
     started: Instant,
@@ -132,7 +139,11 @@ pub(crate) struct ActiveSpan {
 /// Open an ambient span: a child of whatever frame is on top of this
 /// thread's stack (sequence-keyed), or a fresh root when the stack is
 /// empty.
-pub(crate) fn push_ambient(name: &str) -> ActiveSpan {
+///
+/// `name` is `&'static str` (the only caller is [`crate::span()`], whose
+/// names are literals) so the active span can borrow it — no allocation
+/// per span on the metrics-only path.
+pub(crate) fn push_ambient(name: &'static str) -> ActiveSpan {
     let (trace_id, span_id, parent_id, path) = FRAMES.with(|f| {
         let mut frames = f.borrow_mut();
         let ids = match frames.last_mut() {
@@ -140,22 +151,31 @@ pub(crate) fn push_ambient(name: &str) -> ActiveSpan {
                 let key = p.next_child;
                 p.next_child += 1;
                 let sid = derive_id(p.span_id, name, key);
-                let mut path = String::with_capacity(p.path.len() + 1 + name.len());
-                path.push_str(&p.path);
-                path.push('/');
-                path.push_str(name);
+                let path = match &p.last_child {
+                    Some((n, cached)) if *n == name => Arc::clone(cached),
+                    _ => {
+                        let mut joined = String::with_capacity(p.path.len() + 1 + name.len());
+                        joined.push_str(&p.path);
+                        joined.push('/');
+                        joined.push_str(name);
+                        let joined: Arc<str> = Arc::from(joined);
+                        p.last_child = Some((name, Arc::clone(&joined)));
+                        joined
+                    }
+                };
                 (p.trace_id, sid, p.span_id, path)
             }
             None => {
                 let sid = derive_id(0, name, 0);
-                (sid, sid, 0, name.to_string())
+                (sid, sid, 0, Arc::<str>::from(name))
             }
         };
         frames.push(Frame {
             trace_id: ids.0,
             span_id: ids.1,
-            path: ids.3.clone(),
+            path: Arc::clone(&ids.3),
             next_child: 0,
+            last_child: None,
         });
         ids
     });
@@ -163,32 +183,48 @@ pub(crate) fn push_ambient(name: &str) -> ActiveSpan {
         trace_id,
         span_id,
         parent_id,
-        name: name.to_string(),
+        name: Cow::Borrowed(name),
         path,
         attrs: Vec::new(),
-        start_ns: crate::epoch_ns(),
+        // Only the trace collector consumes start timestamps; with
+        // collection off, skip the extra clock read (one per span, and
+        // the scan opens a span per game).
+        start_ns: if span_trace_enabled() {
+            crate::epoch_ns()
+        } else {
+            0
+        },
         started: Instant::now(),
     }
 }
 
 /// Push a frame for an explicit context (a cross-thread handoff).
 pub(crate) fn push_ctx(ctx: &TraceCtx) -> ActiveSpan {
+    let path: Arc<str> = Arc::from(ctx.path.as_str());
     FRAMES.with(|f| {
         f.borrow_mut().push(Frame {
             trace_id: ctx.trace_id,
             span_id: ctx.span_id,
-            path: ctx.path.clone(),
+            path: Arc::clone(&path),
             next_child: 0,
+            last_child: None,
         });
     });
     ActiveSpan {
         trace_id: ctx.trace_id,
         span_id: ctx.span_id,
         parent_id: ctx.parent_id,
-        name: ctx.name.clone(),
-        path: ctx.path.clone(),
+        name: Cow::Owned(ctx.name.clone()),
+        path,
         attrs: ctx.attrs.clone(),
-        start_ns: crate::epoch_ns(),
+        // Only the trace collector consumes start timestamps; with
+        // collection off, skip the extra clock read (one per span, and
+        // the scan opens a span per game).
+        start_ns: if span_trace_enabled() {
+            crate::epoch_ns()
+        } else {
+            0
+        },
         started: Instant::now(),
     }
 }
@@ -208,8 +244,8 @@ pub(crate) fn finish(active: ActiveSpan) {
             trace_id: active.trace_id,
             span_id: active.span_id,
             parent_id: active.parent_id,
-            name: active.name,
-            path: active.path,
+            name: active.name.into_owned(),
+            path: active.path.to_string(),
             start_ns: active.start_ns,
             dur_ns,
             worker: current_worker(),
@@ -334,7 +370,7 @@ pub fn current_ctx() -> Option<TraceCtx> {
                 .next()
                 .unwrap_or(&frame.path)
                 .to_string(),
-            path: frame.path.clone(),
+            path: frame.path.to_string(),
             attrs: Vec::new(),
         })
     })

@@ -315,3 +315,60 @@ fn events_route_to_trace_file() {
     assert!(doc.get("ms").is_some(), "events carry a timestamp");
     let _ = std::fs::remove_file(&path);
 }
+
+#[test]
+fn local_histogram_flush_matches_direct_observation() {
+    enabled();
+    let values = [0u64, 1, 2, 3, 100, 5_000, u64::MAX];
+    for &v in &values {
+        tm::observe("it.local.direct", v);
+    }
+    let mut local = tm::LocalHistogram::new();
+    for &v in &values {
+        local.record(v);
+    }
+    assert_eq!(local.count(), values.len() as u64);
+    local.flush_into("it.local.flushed");
+    assert_eq!(local.count(), 0, "flush clears the accumulator");
+    let snap = tm::snapshot();
+    let get = |n: &str| {
+        snap.histograms
+            .iter()
+            .find(|(k, _)| k == n)
+            .expect("registered")
+            .1
+            .clone()
+    };
+    let (d, f) = (get("it.local.direct"), get("it.local.flushed"));
+    assert_eq!(d.count, f.count);
+    assert_eq!(d.sum, f.sum);
+    assert_eq!(d.min, f.min);
+    assert_eq!(d.max, f.max);
+    assert_eq!(d.buckets, f.buckets, "bucket layout identical");
+}
+
+#[test]
+fn local_histogram_merge_combines_workers() {
+    let mut a = tm::LocalHistogram::new();
+    let mut b = tm::LocalHistogram::new();
+    a.record(4);
+    a.record(9);
+    b.record(1);
+    a.merge(&b);
+    assert_eq!(a.count(), 3);
+    // Merging an empty accumulator changes nothing.
+    a.merge(&tm::LocalHistogram::new());
+    assert_eq!(a.count(), 3);
+}
+
+#[test]
+fn registry_lookups_counts_name_resolutions() {
+    // Other tests in this binary resolve names concurrently, so only
+    // monotonicity and a lower bound are assertable here; the scan-path
+    // flatness pin lives in firmup-core's dedicated test binary.
+    let before = tm::registry_lookups();
+    let _ = tm::counter("it.lookups.a");
+    let _ = tm::histogram("it.lookups.b");
+    let _ = tm::gauge("it.lookups.c");
+    assert!(tm::registry_lookups() >= before + 3);
+}

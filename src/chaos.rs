@@ -91,6 +91,44 @@ impl OpReport {
     }
 }
 
+/// One targeted FUIX record-corruption trial. Unlike the blind
+/// [`CorruptOp`] stage, these rebuild the container around a damaged
+/// payload so every table offset and CRC-32 is *valid* — the damage is
+/// visible only to the typed codec (`intern` / `postings2` varint-delta
+/// decoders), which must answer with a structured error on both the
+/// eager and the lazy read path.
+#[derive(Debug, Clone)]
+pub struct RecordTrial {
+    /// Record attacked (`intern` or `postings2`).
+    pub record: &'static str,
+    /// Mutation applied (`truncated`, `bitflip`, `zero-delta`, ...).
+    pub mutation: &'static str,
+    /// Whether the mutation is guaranteed malformed (a bitflip may land
+    /// on bytes that still decode; crafted bad deltas may not).
+    pub must_reject: bool,
+    /// Eager loader answered with a structured error.
+    pub eager_rejected: bool,
+    /// Eager loader accepted the blob.
+    pub eager_ok: bool,
+    /// Lazy loader (driven to full decode) answered with a structured
+    /// error.
+    pub lazy_rejected: bool,
+    /// Lazy loader accepted the blob.
+    pub lazy_ok: bool,
+    /// Panics contained by the stage guard — any nonzero value is a bug.
+    pub panics: u64,
+}
+
+impl RecordTrial {
+    /// The invariant: no panic, no eager/lazy divergence, and a
+    /// guaranteed-malformed payload rejected on both paths.
+    pub fn passed(&self) -> bool {
+        self.panics == 0
+            && !(self.eager_rejected && self.lazy_ok)
+            && (!self.must_reject || (self.eager_rejected && self.lazy_rejected))
+    }
+}
+
 /// The full chaos matrix result.
 #[derive(Debug, Clone)]
 pub struct ChaosReport {
@@ -98,6 +136,9 @@ pub struct ChaosReport {
     pub seed: u64,
     /// One tally per operator, in [`CorruptOp::all`] order.
     pub per_op: Vec<OpReport>,
+    /// Targeted typed-codec trials against the `intern` / `postings2`
+    /// records (valid container CRCs, malformed payloads).
+    pub record_trials: Vec<RecordTrial>,
 }
 
 impl ChaosReport {
@@ -108,13 +149,14 @@ impl ChaosReport {
 
     /// Total contained panics — must be zero for a passing run.
     pub fn panics(&self) -> u64 {
-        self.per_op.iter().map(|r| r.panics).sum()
+        self.per_op.iter().map(|r| r.panics).sum::<u64>()
+            + self.record_trials.iter().map(|t| t.panics).sum::<u64>()
     }
 
     /// Whether every trial ended in a structured error or a completed
     /// (possibly degraded) scan.
     pub fn passed(&self) -> bool {
-        self.panics() == 0
+        self.panics() == 0 && self.record_trials.iter().all(RecordTrial::passed)
     }
 }
 
@@ -155,6 +197,35 @@ impl fmt::Display for ChaosReport {
                 r.index_ok,
                 r.panics
             )?;
+        }
+        if !self.record_trials.is_empty() {
+            writeln!(f, "typed-record corruption (valid CRCs):")?;
+            writeln!(
+                f,
+                "  {:<11} {:<15} {:>7} {:>7} {:>7} {:>7}",
+                "record", "mutation", "eager", "lazy", "PANICS", "verdict"
+            )?;
+            for t in &self.record_trials {
+                let path = |rejected: bool, ok: bool| {
+                    if rejected {
+                        "reject"
+                    } else if ok {
+                        "ok"
+                    } else {
+                        "PANIC"
+                    }
+                };
+                writeln!(
+                    f,
+                    "  {:<11} {:<15} {:>7} {:>7} {:>7} {:>7}",
+                    t.record,
+                    t.mutation,
+                    path(t.eager_rejected, t.eager_ok),
+                    path(t.lazy_rejected, t.lazy_ok),
+                    t.panics,
+                    if t.passed() { "pass" } else { "FAIL" }
+                )?;
+            }
         }
         writeln!(
             f,
@@ -226,10 +297,118 @@ pub fn run(config: &ChaosConfig) -> ChaosReport {
         }
         per_op.push(tally);
     }
+    let record_trials = index_blobs
+        .first()
+        .map(|blob| run_record_trials(blob))
+        .unwrap_or_default();
     ChaosReport {
         seed: config.seed,
         per_op,
+        record_trials,
     }
+}
+
+/// Targeted corruption of the typed `intern` / `postings2` records: the
+/// container is rebuilt around each damaged payload with
+/// [`write_container_v2`](firmup_firmware::index::write_container_v2),
+/// so the table and every CRC-32 verify clean — only the varint-delta
+/// codec's own trust boundary (strict monotonicity, bounded counts) can
+/// catch the damage. Each blob goes through both read paths exactly
+/// like [`run_index_trial`].
+fn run_record_trials(pristine: &[u8]) -> Vec<RecordTrial> {
+    use firmup_firmware::index::{push_varint, read_container, write_container_v2};
+    let varints = |vals: &[u64]| {
+        let mut out = Vec::new();
+        for &v in vals {
+            push_varint(&mut out, v);
+        }
+        out
+    };
+    let mut trials = Vec::new();
+    let Ok(records) = read_container(pristine) else {
+        return trials;
+    };
+    for record in ["intern", "postings2"] {
+        let Some(orig) = records.iter().find(|r| r.name == record) else {
+            continue;
+        };
+        // (mutation, guaranteed-malformed, replacement payload).
+        let mut cases: Vec<(&'static str, bool, Vec<u8>)> = vec![
+            // Cut mid-stream: the leading count promises entries the
+            // bytes can no longer deliver.
+            (
+                "truncated",
+                !orig.payload.is_empty(),
+                orig.payload[..orig.payload.len() / 2].to_vec(),
+            ),
+            // Flip bits mid-payload: may or may not still decode, but
+            // must never panic and the two paths must agree.
+            ("bitflip", false, {
+                let mut p = orig.payload.clone();
+                if !p.is_empty() {
+                    let mid = p.len() / 2;
+                    p[mid] ^= 0x55;
+                }
+                p
+            }),
+            // A count far beyond what any payload could back.
+            ("count-overrun", true, varints(&[u64::MAX])),
+        ];
+        if record == "intern" {
+            // count=2, first=5, then a zero delta: not strictly increasing.
+            cases.push(("zero-delta", true, varints(&[2, 5, 0])));
+            // first=MAX, then any positive delta overflows u64.
+            cases.push(("delta-overflow", true, varints(&[2, u64::MAX, u64::MAX])));
+        } else {
+            // 1 key: key=5, list len 2, site=7, then a zero site delta.
+            cases.push(("zero-delta", true, varints(&[1, 5, 2, 7, 0])));
+            // 2 keys: key=5 (1 site), then a zero key delta.
+            cases.push(("zero-key-delta", true, varints(&[2, 5, 1, 9, 0])));
+            // 2 keys: key=5 (1 site), then a key delta that overflows.
+            cases.push(("delta-overflow", true, varints(&[2, 5, 1, 9, u64::MAX])));
+        }
+        for (mutation, must_reject, payload) in cases {
+            let mut damaged = records.clone();
+            damaged
+                .iter_mut()
+                .find(|r| r.name == record)
+                .expect("record present")
+                .payload = payload;
+            let blob = write_container_v2(&damaged);
+            let tag = format!("chaos-record[{record}:{mutation}]");
+            let eager = isolate(FaultCtx::image(&tag), || {
+                CorpusIndex::from_bytes(&blob).map_err(FirmUpError::from)
+            });
+            let lazy = isolate(FaultCtx::image(&tag), || {
+                let index =
+                    CorpusIndex::from_bytes_lazy(blob.clone()).map_err(FirmUpError::from)?;
+                index.ensure_all().map_err(FirmUpError::from)?;
+                Ok(index)
+            });
+            let mut panics = 0u64;
+            let mut verdict = |r: &Result<CorpusIndex, FirmUpError>| match r {
+                Ok(_) => (false, true),
+                Err(e) if e.is_poisoned() => {
+                    panics += 1;
+                    (false, false)
+                }
+                Err(_) => (true, false),
+            };
+            let (eager_rejected, eager_ok) = verdict(&eager);
+            let (lazy_rejected, lazy_ok) = verdict(&lazy);
+            trials.push(RecordTrial {
+                record,
+                mutation,
+                must_reject,
+                eager_rejected,
+                eager_ok,
+                lazy_rejected,
+                lazy_ok,
+                panics,
+            });
+        }
+    }
+    trials
 }
 
 /// Push one damaged blob through unpack → parse → lift/index → search.

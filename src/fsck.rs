@@ -605,6 +605,7 @@ mod tests {
                 strands: vec![1, 4, 9],
                 block_count: 1,
                 size: 16,
+                interned: None,
             }],
         }
     }
@@ -671,6 +672,48 @@ mod tests {
             .collect();
         assert_eq!(damaged.len(), 1, "{report}");
         assert!(damaged[0].what.starts_with("corpus.fui record"), "{report}");
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn v2_intern_and_postings2_records_are_individually_checked() {
+        let (dir, _ckpt) = setup("v2rec");
+        let report = run(&dir, &FsckOptions::default()).unwrap();
+        for name in ["corpus.fui record intern", "corpus.fui record postings2"] {
+            assert!(
+                report
+                    .rows
+                    .iter()
+                    .any(|r| r.what == name && r.verdict == Verdict::Ok),
+                "missing per-record verdict for {name}: {report}"
+            );
+        }
+        // Valid-CRC typed damage: rebuild the container around a
+        // zero-delta intern payload. Every record CRC verifies clean,
+        // so only the full typed decode can condemn the file — the row
+        // must land on corpus.fui itself with the codec's diagnosis.
+        let fui = index_path(&dir);
+        let blob = std::fs::read(&fui).unwrap();
+        let mut records = firmup_firmware::index::read_container(&blob).unwrap();
+        let mut payload = Vec::new();
+        for v in [2u64, 5, 0] {
+            firmup_firmware::index::push_varint(&mut payload, v);
+        }
+        records
+            .iter_mut()
+            .find(|r| r.name == "intern")
+            .expect("v2 index carries an intern record")
+            .payload = payload;
+        let damaged = firmup_firmware::index::write_container_v2(&records);
+        std::fs::write(&fui, &damaged).unwrap();
+        let report = run(&dir, &FsckOptions::default()).unwrap();
+        assert!(!report.clean(), "{report}");
+        assert!(
+            report.rows.iter().any(|r| r.what == "corpus.fui"
+                && r.verdict == Verdict::Damaged
+                && r.detail.contains("strictly increasing")),
+            "typed decode did not diagnose the codec damage: {report}"
+        );
         let _ = std::fs::remove_dir_all(&dir);
     }
 

@@ -772,6 +772,8 @@ fn scan(args: &[String]) -> Result<(), CliError> {
         "index.cache_hit",
         "index.reps_decoded",
         "index.bytes_mapped",
+        "index.arena_bytes",
+        "index.interner_rebuilt",
         "prefilter.candidates",
         "rep.clones",
         "io.retries",

@@ -361,11 +361,36 @@ pub fn run_scan(
                             return None;
                         }
                     };
-                    index_elf(&elf, "query", &canon).ok().and_then(|rep| {
+                    index_elf(&elf, "query", &canon).ok().and_then(|mut rep| {
+                        // Intern against the current corpus snapshot up
+                        // front: a fresh query must not take the
+                        // re-intern clone below (`rep.clones` is pinned
+                        // flat — and zero — as the corpus grows).
+                        rep.intern_with(&corpus.interner);
                         rep.find_named(cve.procedure)
                             .map(|qv| Arc::new((rep, qv, version)))
                     })
                 });
+                // Re-intern the cached query against the *current*
+                // corpus snapshot: the cache outlives hot reloads, and
+                // a stale interner token would silently demote the
+                // whole scan to the hash-compare slow path (never to a
+                // wrong answer — token mismatches fall back). One rep
+                // clone per (package, arch, corpus *generation*) — a
+                // hot-reload event, never a function of corpus size.
+                if let Some(q) = entry.as_mut() {
+                    let tok = corpus.interner.token();
+                    let have =
+                        q.0.procedures
+                            .first()
+                            .and_then(|p| p.interned.as_ref())
+                            .map(|i| i.token);
+                    if have != Some(tok) {
+                        let mut rep = q.0.clone();
+                        rep.intern_with(&corpus.interner);
+                        *q = Arc::new((rep, q.1, q.2.clone()));
+                    }
+                }
                 let Some(query) = entry.clone() else {
                     continue;
                 };

@@ -57,6 +57,49 @@ fn chaos_matrix_contains_every_operator_with_zero_panics() {
 }
 
 #[test]
+fn typed_record_corruption_is_rejected_on_both_read_paths() {
+    let report = run(&ChaosConfig {
+        seed: PINNED_SEED,
+        devices: 1,
+        variants: 1,
+    });
+    assert!(
+        !report.record_trials.is_empty(),
+        "no intern/postings2 record trials ran — v2 records missing from the pristine index?"
+    );
+    for record in ["intern", "postings2"] {
+        for mutation in [
+            "truncated",
+            "bitflip",
+            "count-overrun",
+            "zero-delta",
+            "delta-overflow",
+        ] {
+            assert!(
+                report
+                    .record_trials
+                    .iter()
+                    .any(|t| t.record == record && t.mutation == mutation),
+                "missing trial {record}:{mutation}"
+            );
+        }
+    }
+    for t in &report.record_trials {
+        assert!(
+            t.passed(),
+            "{}:{} violated the codec trust boundary \
+             (eager_rejected={} lazy_rejected={} panics={})",
+            t.record,
+            t.mutation,
+            t.eager_rejected,
+            t.lazy_rejected,
+            t.panics
+        );
+    }
+    assert!(report.passed());
+}
+
+#[test]
 fn chaos_is_deterministic_for_a_pinned_seed() {
     let config = ChaosConfig {
         seed: PINNED_SEED,
